@@ -1,0 +1,72 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+
+#ifndef ATOM_BENCH_BENCHUTIL_H
+#define ATOM_BENCH_BENCHUTIL_H
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+#include "tools/Tools.h"
+#include "workloads/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace bench {
+
+/// Builds all 20 workload executables once.
+inline std::vector<obj::Executable> buildSuite() {
+  std::vector<obj::Executable> Suite;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    DiagEngine Diags;
+    obj::Executable Exe;
+    if (!buildApplication(W.Source, Exe, Diags)) {
+      std::fprintf(stderr, "workload %s failed to build:\n%s", W.Name,
+                   Diags.str().c_str());
+      std::exit(1);
+    }
+    Suite.push_back(std::move(Exe));
+  }
+  return Suite;
+}
+
+/// Simulated instruction count of a clean run (the "execution time" unit).
+inline uint64_t runInsts(const obj::Executable &Exe) {
+  sim::Machine M(Exe);
+  sim::RunResult R = M.run();
+  if (R.Status != sim::RunStatus::Exited || R.ExitCode != 0) {
+    std::fprintf(stderr, "benchmark program did not exit cleanly: %s\n",
+                 R.FaultMessage.c_str());
+    std::exit(1);
+  }
+  return M.stats().Instructions;
+}
+
+inline InstrumentedProgram instrumentOrExit(const obj::Executable &App,
+                                            const Tool &T,
+                                            const AtomOptions &Opts =
+                                                AtomOptions()) {
+  DiagEngine Diags;
+  InstrumentedProgram Out;
+  if (!runAtom(App, T, Opts, Out, Diags)) {
+    std::fprintf(stderr, "atom failed for tool %s:\n%s", T.Name.c_str(),
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  return Out;
+}
+
+inline double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return Xs.empty() ? 0 : std::exp(LogSum / double(Xs.size()));
+}
+
+} // namespace bench
+} // namespace atom
+
+#endif // ATOM_BENCH_BENCHUTIL_H

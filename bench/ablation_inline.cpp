@@ -1,0 +1,55 @@
+//===- bench/ablation_inline.cpp - Analysis inlining (paper future work) --===//
+//
+// Paper §4: "Optimizations such as inlining further reduce the overhead of
+// procedure calls at the cost of increasing the code size. These
+// refinements have not been added to the current system." This repository
+// implements them (AtomOptions::InlineAnalysis): straight-line leaf
+// analysis routines are copied into the instrumentation site, removing the
+// call, the return, and the ra save/restore.
+//
+// Expected shape: block-granularity tools (dyninst, pipe, prof, gprof)
+// improve the most; text size grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace atom;
+using namespace atom::bench;
+
+int main() {
+  std::vector<obj::Executable> Suite = buildSuite();
+  std::vector<uint64_t> BaseInsts;
+  for (const obj::Executable &App : Suite)
+    BaseInsts.push_back(runInsts(App));
+
+  AtomOptions Off;
+  AtomOptions On;
+  On.InlineAnalysis = true;
+
+  std::printf("Ablation: inlining straight-line analysis routines into "
+              "sites\n");
+  std::printf("%-9s | %10s | %10s | %9s | %16s\n", "tool", "calls",
+              "inlined", "saving", "text growth");
+  std::printf("----------+------------+------------+-----------+-----------"
+              "------\n");
+
+  for (const Tool &T : tools::allTools()) {
+    std::vector<double> ROff, ROn;
+    uint64_t TextOff = 0, TextOn = 0;
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      InstrumentedProgram A = instrumentOrExit(Suite[I], T, Off);
+      InstrumentedProgram B = instrumentOrExit(Suite[I], T, On);
+      TextOff += A.Exe.Text.size();
+      TextOn += B.Exe.Text.size();
+      ROff.push_back(double(runInsts(A.Exe)) / double(BaseInsts[I]));
+      ROn.push_back(double(runInsts(B.Exe)) / double(BaseInsts[I]));
+    }
+    double GOff = geomean(ROff), GOn = geomean(ROn);
+    std::printf("%-9s | %9.2fx | %9.2fx | %8.1f%% | %+14.1f%%\n",
+                T.Name.c_str(), GOff, GOn, 100.0 * (GOff - GOn) / GOff,
+                100.0 * (double(TextOn) - double(TextOff)) /
+                    double(TextOff));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- bench/ablation_wrapper.cpp - Wrapper vs. direct saves (E4) ---------===//
+//
+// Paper §4: the default mechanism creates a wrapper routine per analysis
+// procedure (debugger friendly, but "creates an indirection in calls to
+// analysis routines"); the higher optimization option adds the saves to the
+// analysis routine itself so sites call it directly. This bench measures
+// the indirection cost per tool.
+//
+// Expected shape: direct <= wrapper for every tool; the difference grows
+// with event frequency (largest for cache, negligible for io/syscall).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace atom;
+using namespace atom::bench;
+
+int main() {
+  std::vector<obj::Executable> Suite = buildSuite();
+  std::vector<uint64_t> BaseInsts;
+  for (const obj::Executable &App : Suite)
+    BaseInsts.push_back(runInsts(App));
+
+  AtomOptions Wrapper;
+  Wrapper.Strategy = AtomOptions::SaveStrategy::WrapperSummary;
+  AtomOptions Direct;
+  Direct.Strategy = AtomOptions::SaveStrategy::DirectInline;
+
+  std::printf("Ablation E4: wrapper indirection vs. direct calls with "
+              "patched prologues\n");
+  std::printf("%-9s | %10s | %10s | %9s\n", "tool", "wrapper", "direct",
+              "saving");
+  std::printf("----------+------------+------------+----------\n");
+
+  for (const Tool &T : tools::allTools()) {
+    std::vector<double> RW, RD;
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      InstrumentedProgram W = instrumentOrExit(Suite[I], T, Wrapper);
+      InstrumentedProgram D = instrumentOrExit(Suite[I], T, Direct);
+      RW.push_back(double(runInsts(W.Exe)) / double(BaseInsts[I]));
+      RD.push_back(double(runInsts(D.Exe)) / double(BaseInsts[I]));
+    }
+    double GW = geomean(RW), GD = geomean(RD);
+    std::printf("%-9s | %9.2fx | %9.2fx | %8.1f%%\n", T.Name.c_str(), GW,
+                GD, 100.0 * (GW - GD) / GW);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/fig6_exec_overhead.cpp - Paper Figure 6 ----------------------===//
+//
+// "Execution time of instrumented SPEC92 programs as compared to
+// uninstrumented SPEC92 programs": for each tool, the ratio of the
+// instrumented program's execution time to the uninstrumented one
+// (geometric mean over the 20 workloads), next to the instrumentation
+// points and argument counts, and the paper's reported ratio for reference.
+//
+// Execution time is simulated instruction count — both versions run on the
+// same simulator, so the ratio is the meaningful quantity (DESIGN.md).
+// Shape to check (EXPERIMENTS.md): cache is by far the most expensive;
+// branch/dyninst/unalign cluster around 3x; gprof/prof between 2x and 3x;
+// pipe below those; inline/io/malloc/syscall near 1.0x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace atom;
+using namespace atom::bench;
+
+namespace {
+
+struct ToolRow {
+  const char *Name;
+  const char *Points;
+  int Args;
+  double PaperRatio;
+};
+
+/// The paper's Figure 6 rows (instrumentation points, number of arguments,
+/// reported slowdown).
+const ToolRow PaperRows[] = {
+    {"branch", "each conditional branch", 3, 3.03},
+    {"cache", "each memory reference", 1, 11.84},
+    {"dyninst", "each basic block", 3, 2.91},
+    {"gprof", "each procedure/each basic block", 2, 2.70},
+    {"inline", "each call site", 1, 1.03},
+    {"io", "before/after write procedure", 4, 1.01},
+    {"malloc", "before/after malloc procedure", 1, 1.02},
+    {"pipe", "each basic block", 2, 1.80},
+    {"prof", "each procedure/each basic block", 2, 2.33},
+    {"syscall", "before/after each system call", 2, 1.01},
+    {"unalign", "each memory reference", 3, 2.93},
+};
+
+} // namespace
+
+int main() {
+  std::vector<obj::Executable> Suite = buildSuite();
+
+  std::vector<uint64_t> BaseInsts;
+  for (const obj::Executable &App : Suite)
+    BaseInsts.push_back(runInsts(App));
+
+  std::printf("Figure 6: execution time of instrumented programs vs "
+              "uninstrumented (geomean of %zu workloads)\n", Suite.size());
+  std::printf("%-9s | %-32s | %4s | %9s | %9s | %7s | %7s\n", "tool",
+              "instrumentation points", "args", "ratio", "paper", "min",
+              "max");
+  std::printf("----------+----------------------------------+------+-------"
+              "----+-----------+---------+--------\n");
+
+  for (const ToolRow &Row : PaperRows) {
+    const Tool *T = tools::findTool(Row.Name);
+    if (!T) {
+      std::fprintf(stderr, "missing tool %s\n", Row.Name);
+      return 1;
+    }
+    std::vector<double> Ratios;
+    double Min = 1e30, Max = 0;
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      InstrumentedProgram Out = instrumentOrExit(Suite[I], *T);
+      uint64_t Insts = runInsts(Out.Exe);
+      double Ratio = double(Insts) / double(BaseInsts[I]);
+      Ratios.push_back(Ratio);
+      Min = std::min(Min, Ratio);
+      Max = std::max(Max, Ratio);
+    }
+    std::printf("%-9s | %-32s | %4d | %8.2fx | %8.2fx | %6.2fx | %6.2fx\n",
+                Row.Name, Row.Points, Row.Args, geomean(Ratios),
+                Row.PaperRatio, Min, Max);
+  }
+  return 0;
+}

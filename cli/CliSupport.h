@@ -1,0 +1,85 @@
+//===- cli/CliSupport.h - Shared helpers for the command-line tools -------===//
+
+#ifndef ATOM_CLI_CLISUPPORT_H
+#define ATOM_CLI_CLISUPPORT_H
+
+#include "obj/ObjectModule.h"
+#include "support/Support.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace cli {
+
+inline bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+inline bool readTextFile(const std::string &Path, std::string &Out) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Path, Bytes))
+    return false;
+  Out.assign(Bytes.begin(), Bytes.end());
+  return true;
+}
+
+inline bool writeFile(const std::string &Path,
+                      const std::vector<uint8_t> &Bytes) {
+  std::ofstream OutStream(Path, std::ios::binary);
+  if (!OutStream)
+    return false;
+  OutStream.write(reinterpret_cast<const char *>(Bytes.data()),
+                  long(Bytes.size()));
+  return bool(OutStream);
+}
+
+[[noreturn]] inline void die(const std::string &Msg) {
+  std::fprintf(stderr, "error: %s\n", Msg.c_str());
+  std::exit(1);
+}
+
+[[noreturn]] inline void dieWithDiags(const std::string &Msg,
+                                      const DiagEngine &Diags) {
+  std::fprintf(stderr, "error: %s\n%s", Msg.c_str(), Diags.str().c_str());
+  std::exit(1);
+}
+
+/// Loads an object module file, failing loudly.
+inline obj::ObjectModule loadObject(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Path, Bytes))
+    die("cannot read '" + Path + "'");
+  obj::ObjectModule M;
+  if (!obj::ObjectModule::deserialize(Bytes, M))
+    die("'" + Path + "' is not an AOBJ object module");
+  return M;
+}
+
+/// Loads an executable file, failing loudly.
+inline obj::Executable loadExecutable(const std::string &Path) {
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Path, Bytes))
+    die("cannot read '" + Path + "'");
+  obj::Executable E;
+  if (!obj::Executable::deserialize(Bytes, E))
+    die("'" + Path + "' is not an AEXE executable");
+  return E;
+}
+
+inline bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+} // namespace cli
+} // namespace atom
+
+#endif // ATOM_CLI_CLISUPPORT_H

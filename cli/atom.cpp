@@ -1,0 +1,142 @@
+//===- cli/atom.cpp - The atom command ------------------------------------===//
+//
+// The paper's command line was
+//     atom prog inst.c anal.c -o prog.atom
+// where inst.c (instrumentation routines) was compiled and linked with OM
+// into a custom tool. Instrumentation routines here are host C++, so this
+// command exposes the built-in tool suite; custom tools use the library
+// API (see examples/).
+//
+//   atom prog.exe --tool <name> [-o prog.atom] [options]
+//   atom --list-tools
+//
+// Options:
+//   --strategy wrapper|direct|distributed|save-all|liveness
+//   --inline                 inline straight-line analysis routines
+//   --no-rename              disable analysis register renaming
+//   --heap-offset N          partition the heap (paper's method 2)
+//   --run [--dump <file>]    run the result immediately
+//   --stats                  print instrumentation statistics
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "sim/Machine.h"
+#include "tools/Tools.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: atom <prog.exe> --tool <name> [-o <prog.atom>]\n"
+               "            [--strategy wrapper|direct|distributed|"
+               "save-all|liveness]\n"
+               "            [--inline] [--no-rename] [--heap-offset N]\n"
+               "            [--run] [--dump <file>] [--stats]\n"
+               "       atom --list-tools\n");
+  std::exit(2);
+}
+
+int main(int argc, char **argv) {
+  std::string Input, Output, ToolName;
+  std::vector<std::string> Dumps;
+  AtomOptions Opts;
+  bool Run = false, Stats = false, ListTools = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--list-tools") {
+      ListTools = true;
+    } else if (A == "--tool" && I + 1 < argc) {
+      ToolName = argv[++I];
+    } else if (A == "-o" && I + 1 < argc) {
+      Output = argv[++I];
+    } else if (A == "--strategy" && I + 1 < argc) {
+      std::string S = argv[++I];
+      if (S == "wrapper")
+        Opts.Strategy = AtomOptions::SaveStrategy::WrapperSummary;
+      else if (S == "direct")
+        Opts.Strategy = AtomOptions::SaveStrategy::DirectInline;
+      else if (S == "distributed")
+        Opts.Strategy = AtomOptions::SaveStrategy::Distributed;
+      else if (S == "save-all")
+        Opts.Strategy = AtomOptions::SaveStrategy::SaveAll;
+      else if (S == "liveness")
+        Opts.Strategy = AtomOptions::SaveStrategy::SiteLiveness;
+      else
+        die("unknown strategy '" + S + "'");
+    } else if (A == "--inline") {
+      Opts.InlineAnalysis = true;
+    } else if (A == "--no-rename") {
+      Opts.RenameAnalysisRegs = false;
+    } else if (A == "--heap-offset" && I + 1 < argc) {
+      Opts.AnalysisHeapOffset = strtoull(argv[++I], nullptr, 0);
+    } else if (A == "--run") {
+      Run = true;
+    } else if (A == "--dump" && I + 1 < argc) {
+      Dumps.push_back(argv[++I]);
+    } else if (A == "--stats") {
+      Stats = true;
+    } else if (!A.empty() && A[0] == '-') {
+      usage();
+    } else if (Input.empty()) {
+      Input = A;
+    } else {
+      usage();
+    }
+  }
+
+  if (ListTools) {
+    for (const Tool &T : tools::allTools())
+      std::printf("%-9s %s\n", T.Name.c_str(), T.Description.c_str());
+    return 0;
+  }
+  if (Input.empty() || ToolName.empty())
+    usage();
+
+  const Tool *T = tools::findTool(ToolName);
+  if (!T)
+    die("unknown tool '" + ToolName + "' (try atom --list-tools)");
+
+  obj::Executable App = loadExecutable(Input);
+
+  DiagEngine Diags;
+  InstrumentedProgram Out;
+  if (!runAtom(App, *T, Opts, Out, Diags))
+    dieWithDiags("instrumentation failed", Diags);
+
+  if (Stats)
+    std::fprintf(stderr,
+                 "points %u\ninserted-insts %u\nwrappers %u\n"
+                 "patched-procs %u\nanalysis-procs %u\nstripped-procs %u\n"
+                 "save-slots %u\ntext-bytes %zu (was %zu)\n",
+                 Out.Stats.Points, Out.Stats.InsertedInsts,
+                 Out.Stats.Wrappers, Out.Stats.PatchedProcs,
+                 Out.Stats.AnalysisProcs, Out.Stats.StrippedProcs,
+                 Out.Stats.SaveSlots, Out.Exe.Text.size(),
+                 App.Text.size());
+
+  if (Output.empty())
+    Output = Input + ".atom";
+  if (!writeFile(Output, Out.Exe.serialize()))
+    die("cannot write '" + Output + "'");
+
+  if (!Run)
+    return 0;
+
+  sim::Machine M(Out.Exe);
+  sim::RunResult R = M.run();
+  std::fputs(M.vfs().stdoutText().c_str(), stdout);
+  for (const std::string &F : Dumps)
+    if (M.vfs().fileExists(F))
+      std::printf("--- %s ---\n%s", F.c_str(),
+                  M.vfs().fileContents(F).c_str());
+  if (R.Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "atom: instrumented program faulted: %s\n",
+                 R.FaultMessage.c_str());
+    return 128;
+  }
+  return int(R.ExitCode & 0xFF);
+}

@@ -1,0 +1,53 @@
+//===- cli/axp-as.cpp - Assembler driver ----------------------------------===//
+//
+//   axp-as file.s [-o file.obj]
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "asm/Assembler.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr, "usage: axp-as <file.s> [-o <file.obj>]\n");
+  std::exit(2);
+}
+
+int main(int argc, char **argv) {
+  std::string Input, Output;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-o" && I + 1 < argc)
+      Output = argv[++I];
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty())
+    usage();
+
+  std::string Source;
+  if (!readTextFile(Input, Source))
+    die("cannot read '" + Input + "'");
+
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Source, Input, M, Diags))
+    dieWithDiags("assembly of '" + Input + "' failed", Diags);
+
+  if (Output.empty()) {
+    Output = Input;
+    if (endsWith(Output, ".s"))
+      Output.resize(Output.size() - 2);
+    Output += ".obj";
+  }
+  if (!writeFile(Output, M.serialize()))
+    die("cannot write '" + Output + "'");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- cli/axp-cc.cpp - Mini-C compiler driver ----------------------------===//
+//
+//   axp-cc file.mc [-o file.obj] [-S]
+//
+// Compiles mini-C to an AXP64-lite object module (-S prints the generated
+// assembly instead).
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "mcc/Compiler.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr, "usage: axp-cc <file.mc> [-o <file.obj>] [-S]\n");
+  std::exit(2);
+}
+
+int main(int argc, char **argv) {
+  std::string Input, Output;
+  bool EmitAsm = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-o" && I + 1 < argc)
+      Output = argv[++I];
+    else if (A == "-S")
+      EmitAsm = true;
+    else if (A == "-h" || A == "--help")
+      usage();
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty())
+    usage();
+
+  std::string Source;
+  if (!readTextFile(Input, Source))
+    die("cannot read '" + Input + "'");
+
+  std::string ModuleName = Input;
+  size_t Slash = ModuleName.find_last_of('/');
+  if (Slash != std::string::npos)
+    ModuleName = ModuleName.substr(Slash + 1);
+
+  DiagEngine Diags;
+  if (EmitAsm) {
+    std::string Asm;
+    if (!mcc::compileToAsm(Source, ModuleName, Asm, Diags))
+      dieWithDiags("compilation of '" + Input + "' failed", Diags);
+    std::fputs(Asm.c_str(), stdout);
+    return 0;
+  }
+
+  obj::ObjectModule M;
+  if (!mcc::compile(Source, ModuleName, M, Diags))
+    dieWithDiags("compilation of '" + Input + "' failed", Diags);
+
+  if (Output.empty()) {
+    Output = Input;
+    if (endsWith(Output, ".mc"))
+      Output.resize(Output.size() - 3);
+    Output += ".obj";
+  }
+  if (!writeFile(Output, M.serialize()))
+    die("cannot write '" + Output + "'");
+  return 0;
+}

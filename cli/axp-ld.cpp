@@ -1,0 +1,70 @@
+//===- cli/axp-ld.cpp - Linker driver --------------------------------------===//
+//
+//   axp-ld a.obj b.obj ... [-o a.exe] [--no-runtime] [-r merged.obj]
+//
+// Links object modules (plus the runtime library unless --no-runtime) into
+// an executable, or merges them relocatably with -r.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "link/Linker.h"
+#include "runtime/Runtime.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr, "usage: axp-ld <obj>... [-o <exe>] [--no-runtime]\n"
+                       "       axp-ld <obj>... -r <merged.obj>\n");
+  std::exit(2);
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Inputs;
+  std::string Output = "a.exe";
+  std::string RelocOutput;
+  bool WithRuntime = true;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-o" && I + 1 < argc)
+      Output = argv[++I];
+    else if (A == "-r" && I + 1 < argc)
+      RelocOutput = argv[++I];
+    else if (A == "--no-runtime")
+      WithRuntime = false;
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else
+      Inputs.push_back(A);
+  }
+  if (Inputs.empty())
+    usage();
+
+  std::vector<obj::ObjectModule> Modules;
+  for (const std::string &Path : Inputs)
+    Modules.push_back(loadObject(Path));
+
+  DiagEngine Diags;
+  if (!RelocOutput.empty()) {
+    obj::ObjectModule Merged;
+    if (!link::linkRelocatable(Modules, RelocOutput, Merged, Diags,
+                               /*RequireResolved=*/false))
+      dieWithDiags("relocatable link failed", Diags);
+    if (!writeFile(RelocOutput, Merged.serialize()))
+      die("cannot write '" + RelocOutput + "'");
+    return 0;
+  }
+
+  if (WithRuntime)
+    for (const obj::ObjectModule &M : runtime::modules())
+      Modules.push_back(M);
+
+  obj::Executable Exe;
+  if (!link::linkExecutable(Modules, Exe, Diags))
+    dieWithDiags("link failed", Diags);
+  if (!writeFile(Output, Exe.serialize()))
+    die("cannot write '" + Output + "'");
+  return 0;
+}

@@ -1,0 +1,156 @@
+//===- cli/axp-objdump.cpp - Inspect objects and executables --------------===//
+//
+//   axp-objdump file.obj|file.exe [-d] [-t] [-r]
+//
+//   -d  disassemble text (default if no flags given)
+//   -t  symbol table
+//   -r  relocations
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "isa/Isa.h"
+
+#include <map>
+
+using namespace atom;
+using namespace atom::cli;
+using namespace atom::obj;
+
+static void usage() {
+  std::fprintf(stderr, "usage: axp-objdump <file.obj|file.exe> [-d] [-t]"
+                       " [-r]\n");
+  std::exit(2);
+}
+
+static const char *sectionName(SymSection S) {
+  switch (S) {
+  case SymSection::Text: return "text";
+  case SymSection::Data: return "data";
+  case SymSection::Bss: return "bss";
+  case SymSection::Absolute: return "abs";
+  case SymSection::Undefined: return "undef";
+  }
+  return "?";
+}
+
+static const char *relocName(RelocKind K) {
+  switch (K) {
+  case RelocKind::Abs64: return "ABS64";
+  case RelocKind::Hi16: return "HI16";
+  case RelocKind::Lo16: return "LO16";
+  case RelocKind::Br21: return "BR21";
+  }
+  return "?";
+}
+
+static void disassembleText(const std::vector<uint8_t> &Text, uint64_t Base,
+                            const std::vector<Symbol> &Symbols) {
+  // Procedure starts by address for labels.
+  std::map<uint64_t, std::string> Labels;
+  for (const Symbol &S : Symbols)
+    if (S.Section == SymSection::Text)
+      Labels[S.Value] = S.Name;
+
+  for (uint64_t Off = 0; Off + 4 <= Text.size(); Off += 4) {
+    uint64_t PC = Base + Off;
+    auto L = Labels.find(PC);
+    if (L != Labels.end())
+      std::printf("%s:\n", L->second.c_str());
+    uint32_t Word = read32(Text, Off);
+    isa::Inst I;
+    if (isa::decode(Word, I))
+      std::printf("  0x%08llx: %08x  %s\n", (unsigned long long)PC, Word,
+                  isa::disassemble(I, PC).c_str());
+    else
+      std::printf("  0x%08llx: %08x  <data>\n", (unsigned long long)PC,
+                  Word);
+  }
+}
+
+static void dumpSymbols(const std::vector<Symbol> &Symbols) {
+  std::printf("SYMBOL TABLE:\n");
+  for (const Symbol &S : Symbols)
+    std::printf("  0x%08llx %-5s %c%c size %-6llu %s\n",
+                (unsigned long long)S.Value, sectionName(S.Section),
+                S.Global ? 'g' : 'l', S.IsProc ? 'F' : ' ',
+                (unsigned long long)S.Size, S.Name.c_str());
+}
+
+static void dumpRelocs(const char *Section, const std::vector<Reloc> &Rs,
+                       const std::vector<Symbol> &Symbols) {
+  std::printf("RELOCATIONS [%s]:\n", Section);
+  for (const Reloc &R : Rs)
+    std::printf("  0x%08llx %-5s %s%+lld\n", (unsigned long long)R.Offset,
+                relocName(R.Kind), Symbols[R.SymIndex].Name.c_str(),
+                (long long)R.Addend);
+}
+
+int main(int argc, char **argv) {
+  std::string Input;
+  bool Disasm = false, Syms = false, Relocs = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "-d")
+      Disasm = true;
+    else if (A == "-t")
+      Syms = true;
+    else if (A == "-r")
+      Relocs = true;
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty())
+    usage();
+  if (!Disasm && !Syms && !Relocs)
+    Disasm = true;
+
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Input, Bytes))
+    die("cannot read '" + Input + "'");
+
+  Executable E;
+  ObjectModule M;
+  if (Executable::deserialize(Bytes, E)) {
+    std::printf("%s: AEXE executable, entry 0x%llx, text 0x%llx+%zu, "
+                "data 0x%llx+%zu, bss %llu, heap 0x%llx\n",
+                Input.c_str(), (unsigned long long)E.Entry,
+                (unsigned long long)E.TextStart, E.Text.size(),
+                (unsigned long long)E.DataStart, E.Data.size(),
+                (unsigned long long)E.BssSize,
+                (unsigned long long)E.HeapStart);
+    for (const Segment &S : E.Segments)
+      std::printf("  segment 0x%llx+%zu (analysis data)\n",
+                  (unsigned long long)S.Addr, S.Bytes.size());
+    if (Disasm)
+      disassembleText(E.Text, E.TextStart, E.Symbols);
+    if (Syms)
+      dumpSymbols(E.Symbols);
+    if (Relocs) {
+      dumpRelocs("text", E.TextRelocs, E.Symbols);
+      dumpRelocs("data", E.DataRelocs, E.Symbols);
+    }
+    return 0;
+  }
+  if (ObjectModule::deserialize(Bytes, M)) {
+    std::printf("%s: AOBJ object module '%s', text %zu, data %zu, bss "
+                "%llu\n",
+                Input.c_str(), M.Name.c_str(), M.Text.size(),
+                M.Data.size(), (unsigned long long)M.BssSize);
+    if (Disasm)
+      disassembleText(M.Text, 0, M.Symbols);
+    if (Syms)
+      dumpSymbols(M.Symbols);
+    if (Relocs) {
+      dumpRelocs("text", M.TextRelocs, M.Symbols);
+      dumpRelocs("data", M.DataRelocs, M.Symbols);
+    }
+    return 0;
+  }
+  die("'" + Input + "' is neither an AOBJ module nor an AEXE executable");
+}

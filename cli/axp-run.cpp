@@ -1,0 +1,101 @@
+//===- cli/axp-run.cpp - Run an executable on the simulator ---------------===//
+//
+//   axp-run prog.exe [--stats] [--dump <file>] [--fuel N] [--trace]
+//
+// Runs the executable; the program's stdout is forwarded. --dump prints a
+// file from the simulated file system after the run (how you read a tool's
+// report). --trace disassembles every retired instruction to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "sim/Machine.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr, "usage: axp-run <prog.exe> [--stats] [--dump <file>]"
+                       " [--fuel N] [--trace]\n");
+  std::exit(2);
+}
+
+int main(int argc, char **argv) {
+  std::string Input;
+  std::vector<std::string> Dumps;
+  bool Stats = false, Trace = false;
+  uint64_t Fuel = 2'000'000'000;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--stats")
+      Stats = true;
+    else if (A == "--trace")
+      Trace = true;
+    else if (A == "--dump" && I + 1 < argc)
+      Dumps.push_back(argv[++I]);
+    else if (A == "--fuel" && I + 1 < argc)
+      Fuel = strtoull(argv[++I], nullptr, 0);
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty())
+    usage();
+
+  obj::Executable Exe = loadExecutable(Input);
+  sim::Machine M(Exe);
+  if (Trace)
+    M.setTraceHook([](const sim::TraceEvent &E) {
+      std::fprintf(stderr, "0x%08llx: %s\n", (unsigned long long)E.PC,
+                   isa::disassemble(E.I, E.PC).c_str());
+    });
+
+  sim::RunResult R = M.run(Fuel);
+  std::fputs(M.vfs().stdoutText().c_str(), stdout);
+  std::fputs(M.vfs().stderrText().c_str(), stderr);
+
+  for (const std::string &F : Dumps) {
+    if (!M.vfs().fileExists(F)) {
+      std::fprintf(stderr, "axp-run: no file '%s' in the VFS\n", F.c_str());
+      continue;
+    }
+    std::printf("--- %s ---\n%s", F.c_str(),
+                M.vfs().fileContents(F).c_str());
+  }
+
+  if (Stats) {
+    const sim::Stats &S = M.stats();
+    std::fprintf(stderr,
+                 "instructions %llu\nloads %llu\nstores %llu\n"
+                 "cond-branches %llu\ntaken %llu\ncalls %llu\n"
+                 "syscalls %llu\nunaligned %llu\n",
+                 (unsigned long long)S.Instructions,
+                 (unsigned long long)S.Loads,
+                 (unsigned long long)S.Stores,
+                 (unsigned long long)S.CondBranches,
+                 (unsigned long long)S.TakenBranches,
+                 (unsigned long long)S.Calls,
+                 (unsigned long long)S.Syscalls,
+                 (unsigned long long)S.UnalignedAccesses);
+  }
+
+  switch (R.Status) {
+  case sim::RunStatus::Exited:
+    return int(R.ExitCode & 0xFF);
+  case sim::RunStatus::Halted:
+    std::fprintf(stderr, "axp-run: program halted\n");
+    return 0;
+  case sim::RunStatus::Fault:
+    std::fprintf(stderr, "axp-run: fault at 0x%llx: %s\n",
+                 (unsigned long long)R.FaultPC, R.FaultMessage.c_str());
+    return 128;
+  case sim::RunStatus::FuelExhausted:
+    std::fprintf(stderr, "axp-run: instruction budget exhausted\n");
+    return 127;
+  }
+  return 1;
+}

@@ -1,0 +1,129 @@
+//===- examples/address_trace.cpp - Address tracing, the ATOM way ---------===//
+//
+// The paper's introduction surveys address-tracing systems (Pixie traces,
+// ATUM, tracing on the WRL Titan) and argues that ATOM subsumes them: the
+// trace consumer runs *in process*, so "there is no need to record traces
+// as all data is immediately processed". This example shows both modes:
+//
+//   1. An in-process consumer (working-set estimator over the reference
+//      stream: distinct 64-byte lines touched per 10k-reference window).
+//   2. A bounded raw trace written to a file, for offline inspection —
+//      what older systems had to do for every reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+
+#include <cstdio>
+
+using namespace atom;
+
+static const char *Workload = R"(
+long table[8192];
+
+int main() {
+  long i;
+  long sum = 0;
+  // Phase 1: small working set (1 KB).
+  for (i = 0; i < 30000; i = i + 1)
+    sum = sum + table[i % 128];
+  // Phase 2: large working set (64 KB).
+  for (i = 0; i < 30000; i = i + 1)
+    sum = sum + table[(i * 67) % 8192];
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)";
+
+static const char *Analysis = R"(
+char seen[8192];       // one flag per 64-byte line of a 512KB window
+long refs;
+long distinct;
+long window;
+long tracef;
+long traced;
+
+void Init() {
+  long f = fopen("wset.out", "w");
+  fclose(f);
+  tracef = fopen("trace.out", "w");
+}
+
+void Ref(long addr) {
+  // In-process consumer: windowed working-set estimate.
+  long line = (addr >> 6) & 8191;
+  if (!seen[line]) {
+    seen[line] = 1;
+    distinct = distinct + 1;
+  }
+  refs = refs + 1;
+  if (refs % 10000 == 0) {
+    long f = fopen("wset.out", "a");
+    fprintf(f, "window %ld distinct-lines %ld\n", window, distinct);
+    fclose(f);
+    window = window + 1;
+    distinct = 0;
+    memset(seen, 0, 8192);
+  }
+  // Offline-style raw trace, bounded to keep the file small — this is
+  // the firehose older tools emitted for every reference.
+  if (traced < 32) {
+    fprintf(tracef, "0x%lx\n", addr);
+    traced = traced + 1;
+  }
+}
+
+void Done() {
+  fclose(tracef);
+}
+)";
+
+int main() {
+  DiagEngine Diags;
+  obj::Executable App;
+  if (!buildApplication(Workload, App, Diags)) {
+    std::fprintf(stderr, "build failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  Tool T;
+  T.Name = "wset";
+  T.AnalysisSources = {Analysis};
+  T.Instrument = [](InstrumentationContext &C) {
+    C.addCallProto("Init()");
+    C.addCallProto("Ref(VALUE)");
+    C.addCallProto("Done()");
+    for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+      for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+        for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I))
+          if (C.isInstType(I, InstType::MemRef))
+            C.addCallInst(I, InstPoint::InstBefore, "Ref",
+                          {Arg::value(RuntimeValue::EffAddrValue)});
+    C.addCallProgram(ProgramPoint::ProgramBefore, "Init", {});
+    C.addCallProgram(ProgramPoint::ProgramAfter, "Done", {});
+  };
+
+  InstrumentedProgram Out;
+  if (!runAtom(App, T, AtomOptions(), Out, Diags)) {
+    std::fprintf(stderr, "atom failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  sim::Machine M(Out.Exe);
+  if (M.run().Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("--- application output ---\n%s",
+              M.vfs().stdoutText().c_str());
+  std::printf("--- working-set profile (distinct 64B lines per 10k refs) "
+              "---\n%s",
+              M.vfs().fileContents("wset.out").c_str());
+  std::printf("--- first raw trace records (trace.out) ---\n%s",
+              M.vfs().fileContents("trace.out").c_str());
+  std::printf("\nthe working-set shift between the two program phases is\n"
+              "visible without storing the %llu-reference stream anywhere.\n",
+              (unsigned long long)(M.stats().Loads + M.stats().Stores));
+  return 0;
+}

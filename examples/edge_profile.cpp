@@ -1,0 +1,139 @@
+//===- examples/edge_profile.cpp - CFG edge profiling ---------------------===//
+//
+// Profile-driven optimizers want *edge* counts, not just block counts
+// (the paper's intro: tools "provide input for profile-driven
+// optimizations"; its §4 notes edge instrumentation was not implemented —
+// it is here). This example instruments every CFG edge of the hot
+// procedure, then reconstructs the hottest path through it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+using namespace atom;
+
+static const char *Workload = R"(
+long classify(long v) {
+  if (v < 0)
+    return 0;          // cold: inputs are non-negative
+  if (v % 2 == 0) {
+    if (v % 4 == 0)
+      return 1;        // multiples of 4: 25%
+    return 2;          // even, not multiple of 4: 25%
+  }
+  return 3;            // odd: 50%
+}
+
+int main() {
+  long hist[4];
+  long i;
+  hist[0] = 0;
+  hist[1] = 0;
+  hist[2] = 0;
+  hist[3] = 0;
+  for (i = 0; i < 4000; i = i + 1) {
+    long c = classify(i * 7 % 1000);
+    hist[c] = hist[c] + 1;
+  }
+  printf("hist %ld %ld %ld %ld\n", hist[0], hist[1], hist[2], hist[3]);
+  return 0;
+}
+)";
+
+static const char *Analysis = R"(
+long counts[256];
+long n;
+
+void Edge(long id) {
+  counts[id] = counts[id] + 1;
+}
+
+void SetCount(long total) {
+  n = total;
+}
+
+void Report() {
+  long f = fopen("edges.out", "w");
+  long i;
+  for (i = 0; i < n; i = i + 1)
+    fprintf(f, "%ld %ld\n", i, counts[i]);
+  fclose(f);
+}
+)";
+
+int main() {
+  DiagEngine Diags;
+  obj::Executable App;
+  if (!buildApplication(Workload, App, Diags)) {
+    std::fprintf(stderr, "build failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // Edge descriptors gathered during instrumentation.
+  struct EdgeDesc {
+    uint64_t FromPC, ToPC;
+    int SuccIdx;
+  };
+  std::vector<EdgeDesc> Edges;
+
+  Tool T;
+  T.Name = "edgeprof";
+  T.AnalysisSources = {Analysis};
+  T.Instrument = [&Edges](InstrumentationContext &C) {
+    C.addCallProto("Edge(long)");
+    C.addCallProto("SetCount(long)");
+    C.addCallProto("Report()");
+    Proc *Hot = C.findProc("classify");
+    long Id = 0;
+    for (Block *B = C.getFirstBlock(Hot); B; B = C.getNextBlock(B))
+      for (int S = 0; S < C.blockSuccCount(B); ++S) {
+        Block *To = C.blockSucc(B, unsigned(S));
+        Edges.push_back({C.blockPC(B), C.blockPC(To), S});
+        C.addCallEdge(B, unsigned(S), "Edge", {Arg::imm(Id)});
+        ++Id;
+      }
+    C.addCallProgram(ProgramPoint::ProgramBefore, "SetCount",
+                     {Arg::imm(Id)});
+    C.addCallProgram(ProgramPoint::ProgramAfter, "Report", {});
+  };
+
+  InstrumentedProgram Out;
+  if (!runAtom(App, T, AtomOptions(), Out, Diags)) {
+    std::fprintf(stderr, "atom failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  sim::Machine M(Out.Exe);
+  if (M.run().Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("--- application output ---\n%s",
+              M.vfs().stdoutText().c_str());
+  std::printf("--- edge profile of classify() ---\n");
+  std::printf("%-12s -> %-12s %-6s %10s\n", "from", "to", "edge", "count");
+
+  std::istringstream Report(M.vfs().fileContents("edges.out"));
+  long Id, Count, Hottest = -1, HottestCount = -1;
+  while (Report >> Id >> Count) {
+    const EdgeDesc &E = Edges[size_t(Id)];
+    std::printf("0x%-10llx -> 0x%-10llx %-6s %10ld\n",
+                (unsigned long long)E.FromPC, (unsigned long long)E.ToPC,
+                E.SuccIdx == 0 ? "taken" : "fall", Count);
+    if (Count > HottestCount) {
+      HottestCount = Count;
+      Hottest = Id;
+    }
+  }
+  if (Hottest >= 0)
+    std::printf("hottest edge: 0x%llx -> 0x%llx (%ld executions)\n",
+                (unsigned long long)Edges[size_t(Hottest)].FromPC,
+                (unsigned long long)Edges[size_t(Hottest)].ToPC,
+                HottestCount);
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- examples/memory_histogram.cpp - Dynamic memory recording -----------===//
+//
+// Uses the paper's malloc tool pattern (instrument "before the malloc
+// procedure" with REGV a0, the requested size) on an allocation-heavy
+// application, and renders the size histogram. Demonstrates selective
+// procedure-level instrumentation: two instrumentation points in the whole
+// program, near-zero overhead (Figure 6: 1.02x).
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+#include "tools/Tools.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace atom;
+
+static const char *Workload = R"(
+struct blob {
+  long size;
+  char *data;
+};
+
+struct blob blobs[512];
+
+int main() {
+  long i;
+  long total = 0;
+  long seed = 99;
+  for (i = 0; i < 512; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    long size = 1 + seed % 2000;
+    blobs[i].size = size;
+    blobs[i].data = malloc(size);
+    blobs[i].data[0] = (char)i;
+    blobs[i].data[size - 1] = (char)(i + 1);
+    total = total + size;
+  }
+  for (i = 0; i < 512; i = i + 2)
+    free(blobs[i].data);
+  printf("allocated %ld bytes in 512 blobs\n", total);
+  return 0;
+}
+)";
+
+int main() {
+  DiagEngine Diags;
+  obj::Executable App;
+  if (!buildApplication(Workload, App, Diags)) {
+    std::fprintf(stderr, "build failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // Run the stock malloc tool from the suite.
+  const Tool *MallocTool = tools::findTool("malloc");
+  InstrumentedProgram Out;
+  if (!runAtom(App, *MallocTool, AtomOptions(), Out, Diags)) {
+    std::fprintf(stderr, "atom failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  sim::Machine M(Out.Exe);
+  if (M.run().Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "instrumented run failed\n");
+    return 1;
+  }
+
+  std::printf("--- application output ---\n%s", M.vfs().stdoutText().c_str());
+  std::printf("--- malloc histogram (power-of-two size classes) ---\n");
+  std::istringstream Report(M.vfs().fileContents("malloc.out"));
+  std::string Line;
+  while (std::getline(Report, Line)) {
+    std::printf("%s", Line.c_str());
+    // Render a bar for histogram lines: "class N (<= M bytes) count K".
+    size_t P = Line.rfind("count ");
+    if (P != std::string::npos) {
+      long K = strtol(Line.c_str() + P + 6, nullptr, 10);
+      std::printf("  ");
+      for (long I = 0; I < K / 4 && I < 60; ++I)
+        std::printf("#");
+    }
+    std::printf("\n");
+  }
+  std::printf("--- cost ---\n");
+  std::printf("instrumentation points: %u (procedure-level only)\n",
+              Out.Stats.Points);
+  return 0;
+}

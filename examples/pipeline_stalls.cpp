@@ -1,0 +1,92 @@
+//===- examples/pipeline_stalls.cpp - Static scheduling at instrument time ===//
+//
+// The pipe tool pattern (paper Figure 5: "pipe ... does static CPU
+// pipeline scheduling for each basic block at instrumentation time"):
+// expensive per-block analysis happens once, in the instrumentation
+// routine; the run-time analysis merely accumulates two counters per
+// block execution. This example compares the estimated CPI of a
+// load-dependent pointer-chasing loop against a dense arithmetic loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+#include "tools/Tools.h"
+
+#include <cstdio>
+
+using namespace atom;
+
+static const char *PointerChase = R"(
+long nodes[4096];
+
+int main() {
+  long i;
+  // Build a permutation cycle, then chase it: every iteration is a
+  // load-use dependence.
+  for (i = 0; i < 4096; i = i + 1)
+    nodes[i] = (i * 33 + 1) % 4096;
+  long p = 0;
+  long steps = 0;
+  for (i = 0; i < 40000; i = i + 1) {
+    p = nodes[p];
+    steps = steps + 1;
+  }
+  printf("chase end %ld steps %ld\n", p, steps);
+  return 0;
+}
+)";
+
+static const char *MulChain = R"(
+int main() {
+  long s = 1;
+  long i;
+  for (i = 0; i < 40000; i = i + 1)
+    s = s * 31 + i;
+  printf("mulchain %ld\n", s);
+  return 0;
+}
+)";
+
+static bool measure(const char *Name, const char *Source) {
+  DiagEngine Diags;
+  obj::Executable App;
+  if (!buildApplication(Source, App, Diags)) {
+    std::fprintf(stderr, "build failed:\n%s", Diags.str().c_str());
+    return false;
+  }
+  InstrumentedProgram Out;
+  if (!runAtom(App, *tools::findTool("pipe"), AtomOptions(), Out, Diags)) {
+    std::fprintf(stderr, "atom failed:\n%s", Diags.str().c_str());
+    return false;
+  }
+  sim::Machine M(Out.Exe);
+  if (M.run().Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "instrumented run failed\n");
+    return false;
+  }
+  long Insts = 0, Cycles = 0, Stalls = 0, Cpi = 0;
+  std::sscanf(M.vfs().fileContents("pipe.out").c_str(),
+              "insts %ld\ncycles %ld\nstalls %ld\ncpi-x100 %ld", &Insts,
+              &Cycles, &Stalls, &Cpi);
+  std::printf("%-14s | %10ld | %10ld | %9ld | %5.2f\n", Name, Insts,
+              Cycles, Stalls, double(Cpi) / 100.0);
+  return true;
+}
+
+int main() {
+  std::printf("pipeline model: loads 3 cycles, multiplies 8, divides 16, "
+              "others 1\n");
+  std::printf("%-14s | %10s | %10s | %9s | %5s\n", "workload", "insts",
+              "cycles", "stalls", "CPI");
+  std::printf("---------------+------------+------------+-----------+------"
+              "\n");
+  if (!measure("pointer-chase", PointerChase))
+    return 1;
+  if (!measure("mul-chain", MulChain))
+    return 1;
+  std::printf("\nthe dependent-multiply loop shows the higher estimated "
+              "CPI (8-cycle\nmultiplies back to back), computed without "
+              "simulating a single cycle\nat run time.\n");
+  return 0;
+}

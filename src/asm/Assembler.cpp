@@ -1,0 +1,747 @@
+//===- asm/Assembler.cpp --------------------------------------------------===//
+
+#include "asm/Assembler.h"
+
+#include "isa/ConstantSynth.h"
+#include "isa/Isa.h"
+
+#include <cctype>
+#include <map>
+
+using namespace atom;
+using namespace atom::assembler;
+using namespace atom::isa;
+using namespace atom::obj;
+
+namespace {
+
+/// A parsed operand.
+struct Operand {
+  enum Kind { Register, Immediate, SymbolRef, MemRef, RegIndirect, Literal };
+  Kind K = Immediate;
+  unsigned Reg = RegZero; ///< Register / MemRef base / RegIndirect target.
+  int64_t Imm = 0;        ///< Immediate / MemRef displacement / Literal.
+  std::string Sym;        ///< SymbolRef name.
+  int64_t SymAddend = 0;  ///< SymbolRef addend.
+};
+
+class Assembler {
+public:
+  Assembler(const std::string &ModuleName, DiagEngine &Diags)
+      : Diags(Diags) {
+    M.Name = ModuleName;
+  }
+
+  bool run(const std::string &Source, ObjectModule &Out);
+
+private:
+  enum class Section { Text, Data, Bss };
+
+  void error(const std::string &Msg) { Diags.error(Line, Msg); Failed = true; }
+
+  // --- symbol management -------------------------------------------------
+  unsigned symbolIndex(const std::string &Name) {
+    auto It = SymIdx.find(Name);
+    if (It != SymIdx.end())
+      return It->second;
+    Symbol S;
+    S.Name = Name;
+    S.Section = SymSection::Undefined;
+    M.Symbols.push_back(S);
+    unsigned Idx = unsigned(M.Symbols.size() - 1);
+    SymIdx.emplace(Name, Idx);
+    return Idx;
+  }
+
+  void defineLabel(const std::string &Name) {
+    unsigned Idx = symbolIndex(Name);
+    Symbol &S = M.Symbols[Idx];
+    if (S.Section != SymSection::Undefined) {
+      error("symbol '" + Name + "' redefined");
+      return;
+    }
+    switch (Cur) {
+    case Section::Text:
+      S.Section = SymSection::Text;
+      S.Value = M.Text.size();
+      break;
+    case Section::Data:
+      S.Section = SymSection::Data;
+      S.Value = M.Data.size();
+      break;
+    case Section::Bss:
+      S.Section = SymSection::Bss;
+      S.Value = M.BssSize;
+      break;
+    }
+  }
+
+  // --- emission ----------------------------------------------------------
+  void emitInst(const Inst &I) {
+    uint64_t Off = M.Text.size();
+    M.Text.resize(Off + 4);
+    write32(M.Text, Off, encode(I));
+  }
+
+  void addTextReloc(RelocKind Kind, const std::string &Sym, int64_t Addend,
+                    uint64_t Offset) {
+    M.TextRelocs.push_back({Kind, Offset, symbolIndex(Sym), Addend});
+  }
+
+  // --- parsing helpers ---------------------------------------------------
+  static std::string trim(const std::string &S) {
+    size_t B = S.find_first_not_of(" \t");
+    if (B == std::string::npos)
+      return "";
+    size_t E = S.find_last_not_of(" \t");
+    return S.substr(B, E - B + 1);
+  }
+
+  bool parseInt(const std::string &Tok, int64_t &V) {
+    std::string T = trim(Tok);
+    if (T.empty())
+      return false;
+    if (T.size() >= 3 && T[0] == '\'' && T.back() == '\'') {
+      std::string Body = T.substr(1, T.size() - 2);
+      if (Body.size() == 1) {
+        V = uint8_t(Body[0]);
+        return true;
+      }
+      if (Body.size() == 2 && Body[0] == '\\') {
+        switch (Body[1]) {
+        case 'n': V = '\n'; return true;
+        case 't': V = '\t'; return true;
+        case '0': V = 0; return true;
+        case '\\': V = '\\'; return true;
+        case '\'': V = '\''; return true;
+        default: return false;
+        }
+      }
+      return false;
+    }
+    bool Neg = false;
+    size_t I = 0;
+    if (T[0] == '-') {
+      Neg = true;
+      I = 1;
+    } else if (T[0] == '+') {
+      I = 1;
+    }
+    if (I >= T.size())
+      return false;
+    uint64_t U = 0;
+    if (T.size() > I + 2 && T[I] == '0' && (T[I + 1] == 'x' || T[I + 1] == 'X')) {
+      for (size_t J = I + 2; J < T.size(); ++J) {
+        char C = char(std::tolower(T[J]));
+        unsigned D;
+        if (C >= '0' && C <= '9')
+          D = unsigned(C - '0');
+        else if (C >= 'a' && C <= 'f')
+          D = unsigned(C - 'a' + 10);
+        else
+          return false;
+        U = U * 16 + D;
+      }
+    } else {
+      for (size_t J = I; J < T.size(); ++J) {
+        if (!std::isdigit(uint8_t(T[J])))
+          return false;
+        U = U * 10 + unsigned(T[J] - '0');
+      }
+    }
+    V = Neg ? -int64_t(U) : int64_t(U);
+    return true;
+  }
+
+  static bool isSymbolChar(char C) {
+    return std::isalnum(uint8_t(C)) || C == '_' || C == '.' || C == '$' ||
+           C == '@';
+  }
+
+  static bool isSymbolName(const std::string &T) {
+    if (T.empty() || std::isdigit(uint8_t(T[0])) || T[0] == '-' || T[0] == '+')
+      return false;
+    for (char C : T)
+      if (!isSymbolChar(C))
+        return false;
+    return true;
+  }
+
+  /// Parses "sym", "sym+N", "sym-N".
+  bool parseSymExpr(const std::string &Tok, std::string &Sym, int64_t &Add) {
+    std::string T = trim(Tok);
+    size_t P = T.find_first_of("+-", 1);
+    std::string Base = P == std::string::npos ? T : trim(T.substr(0, P));
+    if (!isSymbolName(Base))
+      return false;
+    Sym = Base;
+    Add = 0;
+    if (P == std::string::npos)
+      return true;
+    int64_t V;
+    if (!parseInt(T.substr(P), V))
+      return false;
+    Add = V;
+    return true;
+  }
+
+  bool parseOperand(const std::string &Tok, Operand &Op) {
+    std::string T = trim(Tok);
+    if (T.empty())
+      return false;
+
+    // '#imm' operate literal.
+    if (T[0] == '#') {
+      int64_t V;
+      if (!parseInt(T.substr(1), V) || V < 0 || V > 255) {
+        error("operate literal out of range [0,255]: " + T);
+        return false;
+      }
+      Op.K = Operand::Literal;
+      Op.Imm = V;
+      return true;
+    }
+
+    // '(reg)' or 'disp(reg)'.
+    size_t LP = T.find('(');
+    if (LP != std::string::npos && T.back() == ')') {
+      std::string RegStr = trim(T.substr(LP + 1, T.size() - LP - 2));
+      unsigned R = parseRegName(RegStr);
+      if (R == NumRegs) {
+        error("bad base register: " + RegStr);
+        return false;
+      }
+      std::string DispStr = trim(T.substr(0, LP));
+      int64_t D = 0;
+      if (!DispStr.empty() && !parseInt(DispStr, D)) {
+        error("bad memory displacement: " + DispStr);
+        return false;
+      }
+      if (!fitsSigned(D, 16)) {
+        error("memory displacement out of 16-bit range: " + DispStr);
+        return false;
+      }
+      Op.K = DispStr.empty() && LP == 0 ? Operand::RegIndirect : Operand::MemRef;
+      Op.Reg = R;
+      Op.Imm = D;
+      return true;
+    }
+
+    unsigned R = parseRegName(T);
+    if (R != NumRegs) {
+      Op.K = Operand::Register;
+      Op.Reg = R;
+      return true;
+    }
+
+    int64_t V;
+    if (parseInt(T, V)) {
+      Op.K = Operand::Immediate;
+      Op.Imm = V;
+      return true;
+    }
+
+    std::string Sym;
+    int64_t Add;
+    if (parseSymExpr(T, Sym, Add)) {
+      Op.K = Operand::SymbolRef;
+      Op.Sym = Sym;
+      Op.SymAddend = Add;
+      return true;
+    }
+    error("cannot parse operand: " + T);
+    return false;
+  }
+
+  std::vector<std::string> splitOperands(const std::string &Rest) {
+    std::vector<std::string> Out;
+    std::string Cur;
+    int Depth = 0;
+    bool InStr = false;
+    for (size_t I = 0; I < Rest.size(); ++I) {
+      char C = Rest[I];
+      if (InStr) {
+        Cur += C;
+        if (C == '\\' && I + 1 < Rest.size())
+          Cur += Rest[++I];
+        else if (C == '"')
+          InStr = false;
+        continue;
+      }
+      if (C == '"') {
+        InStr = true;
+        Cur += C;
+      } else if (C == '(') {
+        ++Depth;
+        Cur += C;
+      } else if (C == ')') {
+        --Depth;
+        Cur += C;
+      } else if (C == ',' && Depth == 0) {
+        Out.push_back(trim(Cur));
+        Cur.clear();
+      } else {
+        Cur += C;
+      }
+    }
+    std::string Last = trim(Cur);
+    if (!Last.empty())
+      Out.push_back(Last);
+    return Out;
+  }
+
+  bool parseString(const std::string &Tok, std::string &Out) {
+    std::string T = trim(Tok);
+    if (T.size() < 2 || T.front() != '"' || T.back() != '"') {
+      error("expected string literal");
+      return false;
+    }
+    Out.clear();
+    for (size_t I = 1; I + 1 < T.size(); ++I) {
+      char C = T[I];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (I + 2 >= T.size() + 1) {
+        error("bad escape in string");
+        return false;
+      }
+      char E = T[++I];
+      switch (E) {
+      case 'n': Out += '\n'; break;
+      case 't': Out += '\t'; break;
+      case '0': Out += '\0'; break;
+      case '\\': Out += '\\'; break;
+      case '"': Out += '"'; break;
+      default:
+        error(std::string("unknown escape '\\") + E + "'");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // --- statement handlers -------------------------------------------------
+  void handleDirective(const std::string &Name,
+                       const std::vector<std::string> &Ops);
+  void handleInstruction(const std::string &Mnemonic,
+                         const std::vector<std::string> &Ops);
+  void processLine(std::string LineText);
+
+  DiagEngine &Diags;
+  ObjectModule M;
+  std::map<std::string, unsigned> SymIdx;
+  Section Cur = Section::Text;
+  int Line = 0;
+  bool Failed = false;
+  std::string PendingEnt; ///< Procedure opened by .ent, closed by .end.
+  uint64_t EntStart = 0;
+};
+
+void Assembler::handleDirective(const std::string &Name,
+                                const std::vector<std::string> &Ops) {
+  if (Name == ".text") {
+    Cur = Section::Text;
+    return;
+  }
+  if (Name == ".data") {
+    Cur = Section::Data;
+    return;
+  }
+  if (Name == ".bss") {
+    Cur = Section::Bss;
+    return;
+  }
+  if (Name == ".globl" || Name == ".global") {
+    if (Ops.size() != 1) {
+      error(".globl takes one symbol");
+      return;
+    }
+    M.Symbols[symbolIndex(Ops[0])].Global = true;
+    return;
+  }
+  if (Name == ".ent") {
+    if (Ops.size() != 1) {
+      error(".ent takes one symbol");
+      return;
+    }
+    if (!PendingEnt.empty()) {
+      error(".ent '" + Ops[0] + "' inside unterminated .ent '" + PendingEnt +
+            "'");
+      return;
+    }
+    PendingEnt = Ops[0];
+    EntStart = M.Text.size();
+    return;
+  }
+  if (Name == ".end") {
+    if (Ops.size() != 1 || Ops[0] != PendingEnt) {
+      error(".end does not match .ent '" + PendingEnt + "'");
+      return;
+    }
+    Symbol &S = M.Symbols[symbolIndex(PendingEnt)];
+    S.IsProc = true;
+    S.Size = M.Text.size() - EntStart;
+    PendingEnt.clear();
+    return;
+  }
+  if (Name == ".align") {
+    int64_t N;
+    if (Ops.size() != 1 || !parseInt(Ops[0], N) || N < 0 || N > 12) {
+      error(".align takes an exponent in [0,12]");
+      return;
+    }
+    uint64_t A = uint64_t(1) << N;
+    switch (Cur) {
+    case Section::Text:
+      while (M.Text.size() % A)
+        M.Text.push_back(0);
+      break;
+    case Section::Data:
+      while (M.Data.size() % A)
+        M.Data.push_back(0);
+      break;
+    case Section::Bss:
+      M.BssSize = alignTo(M.BssSize, A);
+      break;
+    }
+    return;
+  }
+  if (Name == ".space") {
+    int64_t N;
+    if (Ops.size() != 1 || !parseInt(Ops[0], N) || N < 0) {
+      error(".space takes a non-negative size");
+      return;
+    }
+    switch (Cur) {
+    case Section::Bss:
+      M.BssSize += uint64_t(N);
+      break;
+    case Section::Data:
+      M.Data.resize(M.Data.size() + uint64_t(N));
+      break;
+    case Section::Text:
+      error(".space not allowed in .text");
+      break;
+    }
+    return;
+  }
+  if (Name == ".quad" || Name == ".long" || Name == ".word" ||
+      Name == ".byte") {
+    if (Cur != Section::Data) {
+      error(Name + " only allowed in .data");
+      return;
+    }
+    unsigned Size = Name == ".quad" ? 8 : Name == ".long" ? 4
+                    : Name == ".word" ? 2 : 1;
+    for (const std::string &OpStr : Ops) {
+      int64_t V;
+      std::string Sym;
+      int64_t Add;
+      if (parseInt(OpStr, V)) {
+        uint64_t Off = M.Data.size();
+        M.Data.resize(Off + Size);
+        for (unsigned I = 0; I < Size; ++I)
+          M.Data[Off + I] = uint8_t(uint64_t(V) >> (8 * I));
+        continue;
+      }
+      if (Size == 8 && parseSymExpr(OpStr, Sym, Add)) {
+        uint64_t Off = M.Data.size();
+        M.Data.resize(Off + 8);
+        M.DataRelocs.push_back(
+            {RelocKind::Abs64, Off, symbolIndex(Sym), Add});
+        continue;
+      }
+      error("bad data expression: " + OpStr);
+    }
+    return;
+  }
+  if (Name == ".asciiz" || Name == ".ascii") {
+    if (Cur != Section::Data) {
+      error(Name + " only allowed in .data");
+      return;
+    }
+    if (Ops.size() != 1) {
+      error(Name + " takes one string");
+      return;
+    }
+    std::string S;
+    if (!parseString(Ops[0], S))
+      return;
+    M.Data.insert(M.Data.end(), S.begin(), S.end());
+    if (Name == ".asciiz")
+      M.Data.push_back(0);
+    return;
+  }
+  error("unknown directive " + Name);
+}
+
+void Assembler::handleInstruction(const std::string &Mnemonic,
+                                  const std::vector<std::string> &OpStrs) {
+  if (Cur != Section::Text) {
+    error("instruction outside .text");
+    return;
+  }
+
+  // Pseudo-instructions.
+  if (Mnemonic == "nop") {
+    emitInst(makeNop());
+    return;
+  }
+  if (Mnemonic == "mov") {
+    Operand A, B;
+    if (OpStrs.size() != 2 || !parseOperand(OpStrs[0], A) ||
+        !parseOperand(OpStrs[1], B) || A.K != Operand::Register ||
+        B.K != Operand::Register) {
+      error("mov takes two registers");
+      return;
+    }
+    emitInst(makeMove(A.Reg, B.Reg));
+    return;
+  }
+  if (Mnemonic == "clr") {
+    Operand A;
+    if (OpStrs.size() != 1 || !parseOperand(OpStrs[0], A) ||
+        A.K != Operand::Register) {
+      error("clr takes one register");
+      return;
+    }
+    emitInst(makeMove(RegZero, A.Reg));
+    return;
+  }
+  if (Mnemonic == "laddr") {
+    Operand A;
+    if (OpStrs.size() != 2 || !parseOperand(OpStrs[0], A) ||
+        A.K != Operand::Register) {
+      error("laddr takes a register and a symbol");
+      return;
+    }
+    std::string Sym;
+    int64_t Add;
+    if (!parseSymExpr(OpStrs[1], Sym, Add)) {
+      error("laddr takes a symbol operand");
+      return;
+    }
+    addTextReloc(RelocKind::Hi16, Sym, Add, M.Text.size());
+    emitInst(makeMem(Opcode::Ldah, A.Reg, 0, RegZero));
+    addTextReloc(RelocKind::Lo16, Sym, Add, M.Text.size());
+    emitInst(makeMem(Opcode::Lda, A.Reg, 0, A.Reg));
+    return;
+  }
+  if (Mnemonic == "lconst") {
+    Operand A;
+    int64_t V;
+    if (OpStrs.size() != 2 || !parseOperand(OpStrs[0], A) ||
+        A.K != Operand::Register || !parseInt(OpStrs[1], V)) {
+      error("lconst takes a register and an integer");
+      return;
+    }
+    std::vector<Inst> Seq;
+    synthesizeConstant(V, A.Reg, Seq);
+    for (const Inst &I : Seq)
+      emitInst(I);
+    return;
+  }
+
+  // Real opcodes.
+  Opcode Op = Opcode::NumOpcodes;
+  for (size_t K = 0; K < size_t(Opcode::NumOpcodes); ++K)
+    if (Mnemonic == opcodeName(Opcode(K))) {
+      Op = Opcode(K);
+      break;
+    }
+  if (Op == Opcode::NumOpcodes) {
+    error("unknown mnemonic '" + Mnemonic + "'");
+    return;
+  }
+
+  std::vector<Operand> Ops;
+  for (const std::string &S : OpStrs) {
+    Operand O;
+    if (!parseOperand(S, O))
+      return;
+    Ops.push_back(O);
+  }
+
+  switch (formatOf(Op)) {
+  case Format::Memory: {
+    if (Ops.size() != 2 || Ops[0].K != Operand::Register) {
+      error("memory format: op ra, disp(rb)");
+      return;
+    }
+    if (Ops[1].K == Operand::MemRef || Ops[1].K == Operand::RegIndirect) {
+      emitInst(makeMem(Op, Ops[0].Reg, int32_t(Ops[1].Imm), Ops[1].Reg));
+      return;
+    }
+    if (Ops[1].K == Operand::Immediate && fitsSigned(Ops[1].Imm, 16)) {
+      emitInst(makeMem(Op, Ops[0].Reg, int32_t(Ops[1].Imm), RegZero));
+      return;
+    }
+    error("bad memory operand");
+    return;
+  }
+  case Format::Branch: {
+    // 'br target' and 'bsr target' default the link register.
+    std::vector<Operand> B = Ops;
+    if (B.size() == 1 && (Op == Opcode::Br || Op == Opcode::Bsr)) {
+      Operand Link;
+      Link.K = Operand::Register;
+      Link.Reg = Op == Opcode::Bsr ? RegRA : RegZero;
+      B.insert(B.begin(), Link);
+    }
+    if (B.size() != 2 || B[0].K != Operand::Register) {
+      error("branch format: op ra, target");
+      return;
+    }
+    if (B[1].K == Operand::SymbolRef) {
+      addTextReloc(RelocKind::Br21, B[1].Sym, B[1].SymAddend, M.Text.size());
+      emitInst(makeBranch(Op, B[0].Reg, 0));
+      return;
+    }
+    if (B[1].K == Operand::Immediate && fitsSigned(B[1].Imm, 21)) {
+      emitInst(makeBranch(Op, B[0].Reg, int32_t(B[1].Imm)));
+      return;
+    }
+    error("bad branch target");
+    return;
+  }
+  case Format::Jump: {
+    std::vector<Operand> J = Ops;
+    if (Op == Opcode::Ret && J.empty()) {
+      Operand R;
+      R.K = Operand::RegIndirect;
+      R.Reg = RegRA;
+      J.push_back(R);
+    }
+    if (J.size() == 1) {
+      Operand Link;
+      Link.K = Operand::Register;
+      Link.Reg = Op == Opcode::Jsr ? RegRA : RegZero;
+      J.insert(J.begin(), Link);
+    }
+    if (J.size() != 2 || J[0].K != Operand::Register ||
+        (J[1].K != Operand::RegIndirect && J[1].K != Operand::Register &&
+         J[1].K != Operand::MemRef)) {
+      error("jump format: op ra, (rb)");
+      return;
+    }
+    emitInst(makeJump(Op, J[0].Reg, J[1].Reg));
+    return;
+  }
+  case Format::Operate: {
+    if (Ops.size() != 3 || Ops[0].K != Operand::Register ||
+        Ops[2].K != Operand::Register) {
+      error("operate format: op ra, rb|#lit, rc");
+      return;
+    }
+    if (Ops[1].K == Operand::Register) {
+      emitInst(makeOp(Op, Ops[0].Reg, Ops[1].Reg, Ops[2].Reg));
+      return;
+    }
+    if (Ops[1].K == Operand::Literal ||
+        (Ops[1].K == Operand::Immediate && Ops[1].Imm >= 0 &&
+         Ops[1].Imm <= 255)) {
+      emitInst(makeOpLit(Op, Ops[0].Reg, uint8_t(Ops[1].Imm), Ops[2].Reg));
+      return;
+    }
+    error("bad operate operand");
+    return;
+  }
+  case Format::Pal:
+    if (!Ops.empty()) {
+      error("PAL instructions take no operands");
+      return;
+    }
+    emitInst(makePal(Op));
+    return;
+  }
+}
+
+void Assembler::processLine(std::string LineText) {
+  // Strip comments (respecting string literals).
+  bool InStr = false;
+  for (size_t I = 0; I < LineText.size(); ++I) {
+    char C = LineText[I];
+    if (InStr) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"') {
+      InStr = true;
+    } else if (C == ';') {
+      // ';' starts a comment. '#' cannot: it introduces operate literals.
+      LineText.resize(I);
+      break;
+    }
+  }
+
+  std::string T = trim(LineText);
+
+  // Labels (possibly several on one line).
+  while (true) {
+    size_t Colon = std::string::npos;
+    for (size_t I = 0; I < T.size(); ++I) {
+      if (T[I] == ':') {
+        Colon = I;
+        break;
+      }
+      if (!isSymbolChar(T[I]))
+        break;
+    }
+    if (Colon == std::string::npos)
+      break;
+    std::string Label = T.substr(0, Colon);
+    if (!isSymbolName(Label)) {
+      error("bad label '" + Label + "'");
+      return;
+    }
+    defineLabel(Label);
+    T = trim(T.substr(Colon + 1));
+  }
+  if (T.empty())
+    return;
+
+  size_t SpacePos = T.find_first_of(" \t");
+  std::string Head = SpacePos == std::string::npos ? T : T.substr(0, SpacePos);
+  std::string Rest = SpacePos == std::string::npos ? "" : T.substr(SpacePos);
+  std::vector<std::string> Ops = splitOperands(Rest);
+
+  if (Head[0] == '.')
+    handleDirective(Head, Ops);
+  else
+    handleInstruction(Head, Ops);
+}
+
+bool Assembler::run(const std::string &Source, ObjectModule &Out) {
+  size_t Pos = 0;
+  Line = 0;
+  while (Pos <= Source.size()) {
+    size_t NL = Source.find('\n', Pos);
+    std::string LineText = Source.substr(
+        Pos, NL == std::string::npos ? std::string::npos : NL - Pos);
+    ++Line;
+    processLine(LineText);
+    if (NL == std::string::npos)
+      break;
+    Pos = NL + 1;
+  }
+  if (!PendingEnt.empty())
+    error("unterminated .ent '" + PendingEnt + "'");
+  if (Failed)
+    return false;
+  Out = std::move(M);
+  return true;
+}
+
+} // namespace
+
+bool assembler::assemble(const std::string &Source,
+                         const std::string &ModuleName, ObjectModule &Out,
+                         DiagEngine &Diags) {
+  Assembler A(ModuleName, Diags);
+  return A.run(Source, Out);
+}

@@ -1,0 +1,42 @@
+//===- asm/Assembler.h - Two-pass assembler ---------------------*- C++ -*-===//
+//
+// Assembles AXP64-lite assembly text into a relocatable ObjectModule.
+//
+// Syntax summary (one statement per line, ';' or '#' comments):
+//   label:            defines a symbol at the current section offset
+//   .text/.data/.bss  section switch
+//   .globl name       export a symbol
+//   .ent name/.end name   bracket a procedure (sets IsProc and Size)
+//   .align n          align to 2^n bytes
+//   .quad/.long/.word/.byte expr,...   data emission (symbols allowed in
+//                      .quad, producing Abs64 relocations)
+//   .asciiz "s" / .ascii "s" / .space n
+//   ldq ra, disp(rb)  memory format ('(rb)' optional => zero register)
+//   addq ra, rb, rc   operate format; 'addq ra, #imm, rc' for literals
+//   beq ra, target    branch format (symbol or numeric displacement)
+//   br/bsr [ra,] target
+//   jmp/jsr [ra,] (rb) ; ret [(rb)]
+//   laddr rd, sym[+off]  pseudo: ldah+lda with Hi16/Lo16 relocations
+//   lconst rd, imm64     pseudo: minimal constant-synthesis sequence
+//   mov rs, rd / clr rd / nop   pseudo-operations
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ASM_ASSEMBLER_H
+#define ATOM_ASM_ASSEMBLER_H
+
+#include "obj/ObjectModule.h"
+#include "support/Support.h"
+
+namespace atom {
+namespace assembler {
+
+/// Assembles \p Source into \p Out. Returns false (with diagnostics in
+/// \p Diags) on any error.
+bool assemble(const std::string &Source, const std::string &ModuleName,
+              obj::ObjectModule &Out, DiagEngine &Diags);
+
+} // namespace assembler
+} // namespace atom
+
+#endif // ATOM_ASM_ASSEMBLER_H

@@ -1,0 +1,396 @@
+//===- atom/Api.cpp - Traversal, query, and annotation primitives ---------===//
+
+#include "atom/Api.h"
+
+using namespace atom;
+using namespace atom::isa;
+using om::Action;
+using om::InstNode;
+using om::Procedure;
+
+InstrumentationContext::InstrumentationContext(om::Unit &App) : App(App) {
+  ProcHandles.resize(App.Procs.size());
+  BlockHandles.resize(App.Procs.size());
+  InstHandles.resize(App.Procs.size());
+  for (size_t PI = 0; PI < App.Procs.size(); ++PI) {
+    ProcHandles[PI] = {int(PI)};
+    const Procedure &P = App.Procs[PI];
+    BlockHandles[PI].resize(P.Blocks.size());
+    InstHandles[PI].resize(P.Blocks.size());
+    for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+      BlockHandles[PI][BI] = {int(PI), int(BI)};
+      InstHandles[PI][BI].resize(P.Blocks[BI].Insts.size());
+      for (size_t II = 0; II < P.Blocks[BI].Insts.size(); ++II)
+        InstHandles[PI][BI][II] = {int(PI), int(BI), int(II)};
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Prototypes
+//===----------------------------------------------------------------------===//
+
+static std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+bool InstrumentationContext::addCallProto(const std::string &Proto) {
+  size_t LP = Proto.find('(');
+  size_t RP = Proto.rfind(')');
+  if (LP == std::string::npos || RP == std::string::npos || RP < LP)
+    return fail("malformed prototype: " + Proto);
+  std::string Name = trim(Proto.substr(0, LP));
+  if (Name.empty())
+    return fail("prototype has no procedure name: " + Proto);
+  if (Protos.count(Name))
+    return fail("duplicate prototype for '" + Name + "'");
+
+  ProtoInfo Info;
+  std::string Inner = Proto.substr(LP + 1, RP - LP - 1);
+  size_t Pos = 0;
+  while (Pos <= Inner.size() && !trim(Inner).empty()) {
+    size_t Comma = Inner.find(',', Pos);
+    std::string Tok = trim(Inner.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos));
+    if (Tok == "int")
+      Info.Params.push_back(ProtoInfo::Int);
+    else if (Tok == "long")
+      Info.Params.push_back(ProtoInfo::Long);
+    else if (Tok == "REGV")
+      Info.Params.push_back(ProtoInfo::Regv);
+    else if (Tok == "VALUE")
+      Info.Params.push_back(ProtoInfo::Value);
+    else
+      return fail("unknown parameter kind '" + Tok + "' in prototype of '" +
+                  Name + "'");
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Info.Params.size() > 16)
+    return fail("too many parameters in prototype of '" + Name + "'");
+  Protos.emplace(Name, std::move(Info));
+  return true;
+}
+
+const InstrumentationContext::ProtoInfo *
+InstrumentationContext::findProto(const std::string &Name) const {
+  auto It = Protos.find(Name);
+  return It == Protos.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal
+//===----------------------------------------------------------------------===//
+
+atom::Proc *InstrumentationContext::getFirstProc() {
+  return ProcHandles.empty() ? nullptr : &ProcHandles[0];
+}
+
+atom::Proc *InstrumentationContext::getNextProc(Proc *P) {
+  if (!P || size_t(P->PIdx + 1) >= ProcHandles.size())
+    return nullptr;
+  return &ProcHandles[size_t(P->PIdx + 1)];
+}
+
+atom::Proc *InstrumentationContext::findProc(const std::string &Name) {
+  auto It = App.ProcByName.find(Name);
+  return It == App.ProcByName.end() ? nullptr
+                                    : &ProcHandles[size_t(It->second)];
+}
+
+atom::Block *InstrumentationContext::getFirstBlock(Proc *P) {
+  if (!P || BlockHandles[size_t(P->PIdx)].empty())
+    return nullptr;
+  return &BlockHandles[size_t(P->PIdx)][0];
+}
+
+atom::Block *InstrumentationContext::getNextBlock(Block *B) {
+  if (!B)
+    return nullptr;
+  auto &Blocks = BlockHandles[size_t(B->PIdx)];
+  if (size_t(B->BIdx + 1) >= Blocks.size())
+    return nullptr;
+  return &Blocks[size_t(B->BIdx + 1)];
+}
+
+atom::Inst *InstrumentationContext::getFirstInst(Block *B) {
+  if (!B || InstHandles[size_t(B->PIdx)][size_t(B->BIdx)].empty())
+    return nullptr;
+  return &InstHandles[size_t(B->PIdx)][size_t(B->BIdx)][0];
+}
+
+atom::Inst *InstrumentationContext::getNextInst(Inst *I) {
+  if (!I)
+    return nullptr;
+  auto &Insts = InstHandles[size_t(I->PIdx)][size_t(I->BIdx)];
+  if (size_t(I->IIdx + 1) >= Insts.size())
+    return nullptr;
+  return &Insts[size_t(I->IIdx + 1)];
+}
+
+atom::Inst *InstrumentationContext::getLastInst(Block *B) {
+  if (!B)
+    return nullptr;
+  auto &Insts = InstHandles[size_t(B->PIdx)][size_t(B->BIdx)];
+  return Insts.empty() ? nullptr : &Insts.back();
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+const InstNode &InstrumentationContext::node(const Inst *I) const {
+  return App.Procs[size_t(I->PIdx)]
+      .Blocks[size_t(I->BIdx)]
+      .Insts[size_t(I->IIdx)];
+}
+
+bool InstrumentationContext::isInstType(Inst *I, InstType T) const {
+  if (!I)
+    return false;
+  Opcode Op = node(I).I.Op;
+  switch (T) {
+  case InstType::CondBranch: return isCondBranch(Op);
+  case InstType::UncondBranch: return isUncondBranch(Op);
+  case InstType::Call: return isCall(Op);
+  case InstType::Return: return isReturn(Op);
+  case InstType::Jump: return isJump(Op);
+  case InstType::Load: return isLoad(Op);
+  case InstType::Store: return isStore(Op);
+  case InstType::MemRef: return isMemRef(Op);
+  case InstType::Syscall: return Op == Opcode::Callsys;
+  }
+  return false;
+}
+
+uint64_t InstrumentationContext::instPC(Inst *I) const {
+  return I ? node(I).OrigPC : 0;
+}
+
+Opcode InstrumentationContext::instOpcode(Inst *I) const {
+  return node(I).I.Op;
+}
+
+unsigned InstrumentationContext::instMemSize(Inst *I) const {
+  return I ? memAccessSize(node(I).I.Op) : 0;
+}
+
+uint32_t InstrumentationContext::instReadRegs(Inst *I) const {
+  return I ? readRegs(node(I).I) : 0;
+}
+
+uint32_t InstrumentationContext::instWrittenRegs(Inst *I) const {
+  return I ? writtenRegs(node(I).I) : 0;
+}
+
+std::string InstrumentationContext::procName(Proc *P) const {
+  return P ? App.Procs[size_t(P->PIdx)].Name : "";
+}
+
+uint64_t InstrumentationContext::procPC(Proc *P) const {
+  return P ? App.Procs[size_t(P->PIdx)].OrigStart : 0;
+}
+
+uint64_t InstrumentationContext::blockPC(Block *B) const {
+  return B ? App.Procs[size_t(B->PIdx)].Blocks[size_t(B->BIdx)].OrigPC : 0;
+}
+
+int InstrumentationContext::procCount() const {
+  return int(App.Procs.size());
+}
+
+int InstrumentationContext::blockCount(Proc *P) const {
+  return P ? int(App.Procs[size_t(P->PIdx)].Blocks.size()) : 0;
+}
+
+int InstrumentationContext::instCount(Block *B) const {
+  return B ? int(App.Procs[size_t(B->PIdx)]
+                     .Blocks[size_t(B->BIdx)]
+                     .Insts.size())
+           : 0;
+}
+
+int InstrumentationContext::blockSuccCount(Block *B) const {
+  return B ? int(App.Procs[size_t(B->PIdx)]
+                     .Blocks[size_t(B->BIdx)]
+                     .Succs.size())
+           : 0;
+}
+
+atom::Block *InstrumentationContext::blockSucc(Block *B, unsigned SuccIdx) {
+  if (!B)
+    return nullptr;
+  const om::Block &Blk =
+      App.Procs[size_t(B->PIdx)].Blocks[size_t(B->BIdx)];
+  if (SuccIdx >= Blk.Succs.size())
+    return nullptr;
+  return &BlockHandles[size_t(B->PIdx)][size_t(Blk.Succs[SuccIdx])];
+}
+
+int InstrumentationContext::procInstTotal(Proc *P) const {
+  return P ? int(App.Procs[size_t(P->PIdx)].instCount()) : 0;
+}
+
+atom::Proc *InstrumentationContext::callTargetProc(Inst *I) {
+  if (!I)
+    return nullptr;
+  const InstNode &N = node(I);
+  if (N.I.Op != Opcode::Bsr || !N.HasReloc || N.Ref.SymIndex < 0)
+    return nullptr;
+  return findProc(App.Symbols[size_t(N.Ref.SymIndex)].Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Annotation
+//===----------------------------------------------------------------------===//
+
+void InstrumentationContext::noteReference(const std::string &Callee) {
+  for (const std::string &R : Referenced)
+    if (R == Callee)
+      return;
+  Referenced.push_back(Callee);
+}
+
+bool InstrumentationContext::makeAction(const std::string &Callee,
+                                        const std::vector<Arg> &Args,
+                                        om::Action &Out,
+                                        const om::InstNode *Site) {
+  const ProtoInfo *Proto = findProto(Callee);
+  if (!Proto)
+    return fail("no prototype for analysis procedure '" + Callee +
+                "' (AddCallProto it first)");
+  if (Args.size() != Proto->Params.size())
+    return fail(formatString(
+        "'%s' takes %zu arguments but %zu were supplied", Callee.c_str(),
+        Proto->Params.size(), Args.size()));
+
+  Out.Callee = Callee;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const om::CallArg &CA = Args[I].raw();
+    ProtoInfo::Kind K = Proto->Params[I];
+    switch (CA.K) {
+    case om::CallArg::ConstI64:
+      if (K != ProtoInfo::Int && K != ProtoInfo::Long)
+        return fail(formatString("argument %zu of '%s' is a constant but "
+                                 "the prototype slot is not int/long",
+                                 I + 1, Callee.c_str()));
+      break;
+    case om::CallArg::Regv:
+      if (K != ProtoInfo::Regv)
+        return fail(formatString("argument %zu of '%s' is REGV but the "
+                                 "prototype slot is not REGV",
+                                 I + 1, Callee.c_str()));
+      if (CA.Reg >= NumRegs)
+        return fail("REGV register out of range");
+      break;
+    case om::CallArg::EffAddr:
+      if (K != ProtoInfo::Value)
+        return fail("EffAddrValue requires a VALUE prototype slot");
+      if (!Site || !isMemRef(Site->I.Op))
+        return fail("EffAddrValue is only valid when instrumenting a load "
+                    "or store instruction");
+      break;
+    case om::CallArg::BrCond:
+      if (K != ProtoInfo::Value)
+        return fail("BrCondValue requires a VALUE prototype slot");
+      if (!Site || !isCondBranch(Site->I.Op))
+        return fail("BrCondValue is only valid when instrumenting a "
+                    "conditional branch");
+      break;
+    }
+    Out.Args.push_back(CA);
+  }
+  return true;
+}
+
+bool InstrumentationContext::addCallInst(Inst *I, InstPoint Where,
+                                         const std::string &Callee,
+                                         const std::vector<Arg> &Args) {
+  if (!I)
+    return fail("addCallInst on null instruction");
+  om::InstNode &N = App.Procs[size_t(I->PIdx)]
+                        .Blocks[size_t(I->BIdx)]
+                        .Insts[size_t(I->IIdx)];
+  if (Where == InstPoint::InstAfter && isControlTransfer(N.I.Op) &&
+      !isCall(N.I.Op))
+    return fail("InstAfter is not supported on branches, jumps, or returns "
+                "(add the call to the successor blocks instead)");
+  om::Action A;
+  if (!makeAction(Callee, Args, A, &N))
+    return false;
+  (Where == InstPoint::InstBefore ? N.Before : N.After)
+      .push_back(std::move(A));
+  noteReference(Callee);
+  ++Points;
+  return true;
+}
+
+bool InstrumentationContext::addCallBlock(Block *B, BlockPoint Where,
+                                          const std::string &Callee,
+                                          const std::vector<Arg> &Args) {
+  if (!B)
+    return fail("addCallBlock on null block");
+  om::Block &Blk = App.Procs[size_t(B->PIdx)].Blocks[size_t(B->BIdx)];
+  om::Action A;
+  if (!makeAction(Callee, Args, A, nullptr))
+    return false;
+  (Where == BlockPoint::BlockBefore ? Blk.Before : Blk.After)
+      .push_back(std::move(A));
+  noteReference(Callee);
+  ++Points;
+  return true;
+}
+
+bool InstrumentationContext::addCallEdge(Block *B, unsigned SuccIdx,
+                                         const std::string &Callee,
+                                         const std::vector<Arg> &Args) {
+  if (!B)
+    return fail("addCallEdge on null block");
+  om::Block &Blk = App.Procs[size_t(B->PIdx)].Blocks[size_t(B->BIdx)];
+  if (SuccIdx >= Blk.Succs.size())
+    return fail(formatString(
+        "edge successor index %u out of range (block has %zu successors)",
+        SuccIdx, Blk.Succs.size()));
+  om::Action A;
+  if (!makeAction(Callee, Args, A, nullptr))
+    return false;
+  Blk.EdgeActions.emplace_back(int(SuccIdx), std::move(A));
+  noteReference(Callee);
+  ++Points;
+  return true;
+}
+
+bool InstrumentationContext::addCallProc(Proc *P, ProcPoint Where,
+                                         const std::string &Callee,
+                                         const std::vector<Arg> &Args) {
+  if (!P)
+    return fail("addCallProc on null procedure");
+  om::Procedure &Pr = App.Procs[size_t(P->PIdx)];
+  om::Action A;
+  if (!makeAction(Callee, Args, A, nullptr))
+    return false;
+  (Where == ProcPoint::ProcBefore ? Pr.Before : Pr.After)
+      .push_back(std::move(A));
+  noteReference(Callee);
+  ++Points;
+  return true;
+}
+
+bool InstrumentationContext::addCallProgram(ProgramPoint Where,
+                                            const std::string &Callee,
+                                            const std::vector<Arg> &Args) {
+  om::Action A;
+  if (!makeAction(Callee, Args, A, nullptr))
+    return false;
+  (Where == ProgramPoint::ProgramBefore ? App.ProgramBefore
+                                        : App.ProgramAfter)
+      .push_back(std::move(A));
+  noteReference(Callee);
+  ++Points;
+  return true;
+}

@@ -1,0 +1,201 @@
+//===- atom/Api.h - The ATOM instrumentation API ----------------*- C++ -*-===//
+//
+// The user-facing half of ATOM (paper §3): instrumentation routines receive
+// an InstrumentationContext and use the traversal primitives
+// (getFirstProc/getNextProc/...), query primitives (isInstType/instPC/...),
+// and annotation primitives (addCallProto/addCallInst/addCallBlock/
+// addCallProc/addCallProgram) to describe where analysis procedures are
+// called and what arguments they receive.
+//
+// Argument kinds mirror the paper: integer constants, REGV (the run-time
+// contents of a register), and VALUE (EffAddrValue for the effective
+// address of a load/store, BrCondValue for the outcome of a conditional
+// branch).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_API_H
+#define ATOM_ATOM_API_H
+
+#include "om/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace atom {
+
+/// Opaque traversal handles. Pointers stay valid for the lifetime of the
+/// InstrumentationContext.
+struct Proc {
+  int PIdx = -1;
+};
+struct Block {
+  int PIdx = -1, BIdx = -1;
+};
+struct Inst {
+  int PIdx = -1, BIdx = -1, IIdx = -1;
+};
+
+enum class InstPoint { InstBefore, InstAfter };
+enum class BlockPoint { BlockBefore, BlockAfter };
+enum class ProcPoint { ProcBefore, ProcAfter };
+enum class ProgramPoint { ProgramBefore, ProgramAfter };
+
+/// Instruction classes for isInstType (paper: IsInstType(inst,
+/// InstTypeCondBr) etc.).
+enum class InstType {
+  CondBranch,
+  UncondBranch,
+  Call,    ///< bsr or jsr.
+  Return,
+  Jump,    ///< jmp.
+  Load,
+  Store,
+  MemRef,  ///< Load or store.
+  Syscall, ///< callsys.
+};
+
+/// VALUE argument kinds.
+enum class RuntimeValue {
+  EffAddrValue, ///< Effective address of the load/store being instrumented.
+  BrCondValue,  ///< Nonzero iff the conditional branch will be taken.
+};
+
+/// One argument of an analysis call.
+class Arg {
+public:
+  /// Integer constant (matches an 'int' or 'long' prototype slot).
+  static Arg imm(int64_t V) {
+    Arg A;
+    A.CA.K = om::CallArg::ConstI64;
+    A.CA.Value = V;
+    return A;
+  }
+  /// Run-time register contents (matches a 'REGV' slot).
+  static Arg regv(unsigned Reg) {
+    Arg A;
+    A.CA.K = om::CallArg::Regv;
+    A.CA.Reg = Reg;
+    return A;
+  }
+  /// Run-time value (matches a 'VALUE' slot).
+  static Arg value(RuntimeValue V) {
+    Arg A;
+    A.CA.K = V == RuntimeValue::EffAddrValue ? om::CallArg::EffAddr
+                                             : om::CallArg::BrCond;
+    return A;
+  }
+
+  const om::CallArg &raw() const { return CA; }
+
+private:
+  om::CallArg CA;
+};
+
+/// Handed to the user's Instrument routine. Wraps the application's OM IR
+/// and records prototypes and call annotations. All addCall* methods return
+/// false (and record a diagnostic) on misuse; instrumentation fails if any
+/// error was recorded.
+class InstrumentationContext {
+public:
+  explicit InstrumentationContext(om::Unit &App);
+
+  //===--- prototypes -----------------------------------------------------===
+  /// Registers an analysis-procedure prototype, e.g.
+  /// "CondBranch(int, VALUE)". Parameter kinds: int, long, REGV, VALUE.
+  bool addCallProto(const std::string &Proto);
+
+  //===--- traversal (paper §3) -------------------------------------------===
+  Proc *getFirstProc();
+  Proc *getNextProc(Proc *P);
+  Proc *findProc(const std::string &Name);
+  Block *getFirstBlock(Proc *P);
+  Block *getNextBlock(Block *B);
+  Inst *getFirstInst(Block *B);
+  Inst *getNextInst(Inst *I);
+  Inst *getLastInst(Block *B);
+
+  //===--- queries ----------------------------------------------------------
+  bool isInstType(Inst *I, InstType T) const;
+  /// Original (uninstrumented) PC of the instruction — ATOM always presents
+  /// pre-instrumentation text addresses (paper §4).
+  uint64_t instPC(Inst *I) const;
+  isa::Opcode instOpcode(Inst *I) const;
+  /// Access size in bytes for loads/stores, 0 otherwise.
+  unsigned instMemSize(Inst *I) const;
+  /// Registers read/written by the instruction, as bitmasks (bit R set =>
+  /// register R). Used by tools that do static scheduling (pipe).
+  uint32_t instReadRegs(Inst *I) const;
+  uint32_t instWrittenRegs(Inst *I) const;
+  std::string procName(Proc *P) const;
+  uint64_t procPC(Proc *P) const;
+  uint64_t blockPC(Block *B) const;
+  int procCount() const;
+  int blockCount(Proc *P) const;
+  /// Number of CFG successors of a block, and the handle of one of them.
+  int blockSuccCount(Block *B) const;
+  Block *blockSucc(Block *B, unsigned SuccIdx);
+  int instCount(Block *B) const;
+  /// Total instructions in a procedure.
+  int procInstTotal(Proc *P) const;
+  /// For a direct call (bsr), the callee procedure; nullptr for indirect
+  /// calls or non-call instructions.
+  Proc *callTargetProc(Inst *I);
+
+  //===--- annotation -------------------------------------------------------
+  bool addCallInst(Inst *I, InstPoint Where, const std::string &Callee,
+                   const std::vector<Arg> &Args);
+  bool addCallBlock(Block *B, BlockPoint Where, const std::string &Callee,
+                    const std::vector<Arg> &Args);
+  /// Adds a call on the CFG edge from \p B to its \p SuccIdx-th
+  /// successor: the call runs exactly when control flows along that edge
+  /// (the paper's unimplemented edge instrumentation, realized here with
+  /// trampoline blocks for taken edges).
+  bool addCallEdge(Block *B, unsigned SuccIdx, const std::string &Callee,
+                   const std::vector<Arg> &Args);
+  bool addCallProc(Proc *P, ProcPoint Where, const std::string &Callee,
+                   const std::vector<Arg> &Args);
+  bool addCallProgram(ProgramPoint Where, const std::string &Callee,
+                      const std::vector<Arg> &Args);
+
+  //===--- error reporting --------------------------------------------------
+  bool hasErrors() const { return !Errors.empty(); }
+  const std::vector<std::string> &errors() const { return Errors; }
+
+  /// Analysis procedures referenced by at least one annotation.
+  const std::vector<std::string> &referencedProcs() const {
+    return Referenced;
+  }
+  /// Total number of annotations added.
+  unsigned pointCount() const { return Points; }
+  /// Prototype parameter kinds (engine use).
+  struct ProtoInfo {
+    enum Kind { Int, Long, Regv, Value };
+    std::vector<Kind> Params;
+  };
+  const ProtoInfo *findProto(const std::string &Name) const;
+
+private:
+  bool fail(const std::string &Msg) {
+    Errors.push_back(Msg);
+    return false;
+  }
+  const om::InstNode &node(const Inst *I) const;
+  /// Validates an annotation against its prototype; returns the action.
+  bool makeAction(const std::string &Callee, const std::vector<Arg> &Args,
+                  om::Action &Out, const om::InstNode *Site);
+  void noteReference(const std::string &Callee);
+
+  om::Unit &App;
+  std::vector<Proc> ProcHandles;
+  std::vector<std::vector<Block>> BlockHandles;
+  std::vector<std::vector<std::vector<Inst>>> InstHandles;
+  std::map<std::string, ProtoInfo> Protos;
+  std::vector<std::string> Referenced;
+  std::vector<std::string> Errors;
+  unsigned Points = 0;
+};
+
+} // namespace atom
+
+#endif // ATOM_ATOM_API_H

@@ -1,0 +1,56 @@
+//===- atom/Driver.cpp ----------------------------------------------------===//
+
+#include "atom/Driver.h"
+
+#include "asm/Assembler.h"
+#include "link/Linker.h"
+#include "mcc/Compiler.h"
+#include "runtime/Runtime.h"
+
+using namespace atom;
+using namespace atom::obj;
+
+bool atom::buildApplication(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    Executable &Out, DiagEngine &Diags) {
+  std::vector<ObjectModule> Modules;
+  for (const auto &[Name, Source] : Sources) {
+    ObjectModule M;
+    if (!mcc::compile(Source, Name, M, Diags))
+      return false;
+    Modules.push_back(std::move(M));
+  }
+  for (const ObjectModule &M : runtime::modules())
+    Modules.push_back(M);
+  return link::linkExecutable(Modules, Out, Diags);
+}
+
+bool atom::buildApplication(const std::string &Source, Executable &Out,
+                            DiagEngine &Diags) {
+  return buildApplication({{"app", Source}}, Out, Diags);
+}
+
+bool atom::runAtom(const Executable &App, const Tool &T,
+                   const AtomOptions &Opts, InstrumentedProgram &Out,
+                   DiagEngine &Diags) {
+  std::vector<ObjectModule> AnalysisModules;
+  for (size_t I = 0; I < T.AnalysisSources.size(); ++I) {
+    ObjectModule M;
+    std::string Name = formatString("%s-anal%zu", T.Name.c_str(), I);
+    if (!mcc::compile(T.AnalysisSources[I], Name, M, Diags))
+      return false;
+    AnalysisModules.push_back(std::move(M));
+  }
+  for (size_t I = 0; I < T.AnalysisAsmSources.size(); ++I) {
+    ObjectModule M;
+    std::string Name = formatString("%s-asm%zu", T.Name.c_str(), I);
+    if (!assembler::assemble(T.AnalysisAsmSources[I], Name, M, Diags))
+      return false;
+    AnalysisModules.push_back(std::move(M));
+  }
+  if (!T.Instrument) {
+    Diags.error(0, "tool '" + T.Name + "' has no instrumentation routine");
+    return false;
+  }
+  return instrument(App, T.Instrument, AnalysisModules, Opts, Out, Diags);
+}

@@ -1,0 +1,51 @@
+//===- atom/Driver.h - End-to-end ATOM pipeline ----------------*- C++ -*-===//
+//
+// The equivalent of the paper's command line
+//     atom prog inst.c anal.c -o prog.atom
+// A Tool bundles an instrumentation routine (host code operating on the
+// ATOM API) with analysis-routine sources (mini-C, compiled and linked with
+// a private copy of the runtime). runAtom() produces the instrumented
+// executable, which runs on the simulator like any other executable.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_DRIVER_H
+#define ATOM_ATOM_DRIVER_H
+
+#include "atom/Engine.h"
+
+namespace atom {
+
+struct Tool {
+  std::string Name;
+  std::string Description;
+  /// The user's instrumentation routine (paper: Instrument(argc, argv)).
+  std::function<void(InstrumentationContext &)> Instrument;
+  /// Analysis-routine sources in mini-C.
+  std::vector<std::string> AnalysisSources;
+  /// Optional hand-optimized analysis routines in assembly (hot per-event
+  /// handlers; ATOM is language-independent because it works on object
+  /// modules).
+  std::vector<std::string> AnalysisAsmSources;
+};
+
+/// Builds an application executable from mini-C sources, linking the
+/// runtime library. Each element of \p Sources is (module name, source).
+bool buildApplication(
+    const std::vector<std::pair<std::string, std::string>> &Sources,
+    obj::Executable &Out, DiagEngine &Diags);
+
+/// Convenience overload for one source module named "app".
+bool buildApplication(const std::string &Source, obj::Executable &Out,
+                      DiagEngine &Diags);
+
+/// The full ATOM pipeline: compiles \p T's analysis routines, runs its
+/// instrumentation routine over \p App, and produces the instrumented
+/// executable.
+bool runAtom(const obj::Executable &App, const Tool &T,
+             const AtomOptions &Opts, InstrumentedProgram &Out,
+             DiagEngine &Diags);
+
+} // namespace atom
+
+#endif // ATOM_ATOM_DRIVER_H

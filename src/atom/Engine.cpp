@@ -1,0 +1,1029 @@
+//===- atom/Engine.cpp - Instrumented-executable construction -------------===//
+
+#include "atom/Engine.h"
+
+#include "isa/ConstantSynth.h"
+#include "link/Linker.h"
+#include "om/DataFlow.h"
+#include "om/Lift.h"
+#include "om/Liveness.h"
+#include "om/Rename.h"
+#include "runtime/Runtime.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <memory>
+
+using namespace atom;
+using namespace atom::isa;
+using namespace atom::obj;
+using namespace atom::om;
+// Disambiguate against the API handle types atom::Inst / atom::Block.
+using MInst = atom::isa::Inst;
+using OBlock = atom::om::Block;
+
+namespace {
+
+/// Scratch (t0..t11) register mask, the delayable portion of save sets.
+uint32_t scratchMask() {
+  uint32_t M = 0;
+  for (unsigned R = RegT0; R <= RegT7; ++R)
+    M |= 1u << R;
+  for (unsigned R = RegT8; R <= RegT11; ++R)
+    M |= 1u << R;
+  return M;
+}
+
+class Engine {
+public:
+  Engine(const Executable &AppExe, const AtomOptions &Opts,
+         DiagEngine &Diags)
+      : AppExe(AppExe), Opts(Opts), Diags(Diags) {}
+
+  bool run(const std::function<void(InstrumentationContext &)> &InstrumentFn,
+           const std::vector<ObjectModule> &AnalysisModules,
+           InstrumentedProgram &Out);
+
+private:
+  bool error(const std::string &Msg) {
+    Diags.error(0, Msg);
+    return false;
+  }
+
+  bool prepareAnalysisUnit(const std::vector<ObjectModule> &AnalysisModules);
+  bool resolveTargets(const InstrumentationContext &Ctx);
+  void stripUnreachable(const std::vector<std::string> &Roots);
+  std::map<std::string, std::vector<std::string>> buildCallGraph() const;
+  bool isPatchable(const Procedure &P, int64_t &Frame) const;
+  bool isInlinable(const Procedure &P, unsigned NumArgs) const;
+  bool patchProcSaves(Procedure &P, uint32_t SaveMask);
+  std::string makeWrapper(const std::string &Target, uint32_t SaveMask,
+                          unsigned NumArgs);
+  bool setupCallTargets(const InstrumentationContext &Ctx);
+  bool linkHeaps();
+
+  std::vector<InstNode> genCallSeq(const Action &A, const InstNode *Site,
+                                   uint32_t LiveMask);
+  bool insertSequences(const InstrumentationContext &Ctx);
+
+  int analSymbol(const std::string &Name) const {
+    for (size_t I = 0; I < Anal.Symbols.size(); ++I)
+      if (Anal.Symbols[I].Name == Name &&
+          Anal.Symbols[I].Section != SymSection::Undefined)
+        return int(I);
+    return -1;
+  }
+
+  const Executable &AppExe;
+  AtomOptions Opts;
+  DiagEngine &Diags;
+
+  Unit App, Anal;
+  DataFlowResult DF;
+  InstrStats Stats;
+
+  /// Per referenced analysis procedure: the symbol actually called from
+  /// instrumentation sites (the procedure itself or its wrapper), and the
+  /// registers the *site* must additionally save (SiteLiveness only).
+  struct TargetInfo {
+    std::string CallSymbol;
+    unsigned NumProtoArgs = 0;
+    uint32_t TransMod = 0;       ///< For SiteLiveness site-save computation.
+    uint32_t SiteExtraSaves = 0; ///< DirectInline fallback: registers the
+                                 ///< site saves when the analysis routine
+                                 ///< cannot be prologue-patched.
+    int InlineProcIdx = -1; ///< Inlining enabled and the routine is
+                            ///< eligible: index (stable under wrapper
+                            ///< appends) of the body to copy into sites.
+  };
+  std::map<std::string, TargetInfo> Targets;
+
+  /// Interprocedural liveness summaries of the application (SiteLiveness
+  /// strategy only; built lazily).
+  std::unique_ptr<UseDefSummaries> AppSummaries;
+
+  uint64_t FakePC = 0x40000000; ///< Synthetic OrigPC space for wrappers.
+};
+
+//===----------------------------------------------------------------------===//
+// Analysis unit preparation
+//===----------------------------------------------------------------------===//
+
+bool Engine::prepareAnalysisUnit(
+    const std::vector<ObjectModule> &AnalysisModules) {
+  std::vector<ObjectModule> All = AnalysisModules;
+  for (const ObjectModule &M : runtime::libraryModules())
+    All.push_back(M);
+  ObjectModule Merged;
+  if (!link::linkRelocatable(All, "analysis", Merged, Diags,
+                             /*RequireResolved=*/false))
+    return false;
+  for (const Symbol &S : Merged.Symbols)
+    if (S.Section == SymSection::Undefined && S.Name != "__heap_start")
+      return error("analysis routines reference undefined symbol '" +
+                   S.Name + "'");
+  return liftObjectModule(Merged, UnitTag::Analysis, Anal, Diags);
+}
+
+bool Engine::resolveTargets(const InstrumentationContext &Ctx) {
+  for (const std::string &Name : Ctx.referencedProcs()) {
+    if (!Anal.findProc(Name))
+      return error("analysis procedure '" + Name +
+                   "' is not defined in the analysis routines");
+    const InstrumentationContext::ProtoInfo *Proto = Ctx.findProto(Name);
+    TargetInfo TI;
+    TI.CallSymbol = Name; // may be replaced by a wrapper later
+    TI.NumProtoArgs = unsigned(Proto->Params.size());
+    Targets.emplace(Name, TI);
+  }
+  return true;
+}
+
+std::map<std::string, std::vector<std::string>> Engine::buildCallGraph()
+    const {
+  std::map<std::string, std::vector<std::string>> CG;
+  for (const Procedure &P : Anal.Procs) {
+    std::vector<std::string> &Callees = CG[P.Name];
+    for (const OBlock &B : P.Blocks)
+      for (const InstNode &N : B.Insts)
+        if (N.I.Op == Opcode::Bsr && N.HasReloc && N.Ref.SymIndex >= 0)
+          Callees.push_back(Anal.Symbols[size_t(N.Ref.SymIndex)].Name);
+  }
+  return CG;
+}
+
+void Engine::stripUnreachable(const std::vector<std::string> &Roots) {
+  auto CG = buildCallGraph();
+  std::set<std::string> Keep;
+  std::vector<std::string> Work(Roots.begin(), Roots.end());
+  while (!Work.empty()) {
+    std::string N = Work.back();
+    Work.pop_back();
+    if (!Keep.insert(N).second)
+      continue;
+    auto It = CG.find(N);
+    if (It != CG.end())
+      for (const std::string &C : It->second)
+        Work.push_back(C);
+  }
+
+  std::vector<Procedure> Kept;
+  for (Procedure &P : Anal.Procs) {
+    if (Keep.count(P.Name))
+      Kept.push_back(std::move(P));
+    else
+      ++Stats.StrippedProcs;
+  }
+  Anal.Procs = std::move(Kept);
+  Anal.ProcByName.clear();
+  for (size_t I = 0; I < Anal.Procs.size(); ++I)
+    Anal.ProcByName[Anal.Procs[I].Name] = int(I);
+}
+
+//===----------------------------------------------------------------------===//
+// Prologue patching (DirectInline / Distributed save strategies)
+//===----------------------------------------------------------------------===//
+
+bool Engine::isPatchable(const Procedure &P, int64_t &Frame) const {
+  if (P.Blocks.empty() || P.Blocks[0].Insts.empty())
+    return false;
+  const MInst &First = P.Blocks[0].Insts[0].I;
+  if (First.Op != Opcode::Lda || First.Ra != RegSP || First.Rb != RegSP ||
+      First.Disp >= 0)
+    return false;
+  Frame = -int64_t(First.Disp);
+
+  for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+    const OBlock &B = P.Blocks[BI];
+    for (size_t II = 0; II < B.Insts.size(); ++II) {
+      if (BI == 0 && II == 0)
+        continue;
+      const MInst &I = B.Insts[II].I;
+      bool ReadsSP = readRegs(I) & (1u << RegSP);
+      bool WritesSP = writtenRegs(I) & (1u << RegSP);
+      if (!ReadsSP && !WritesSP)
+        continue;
+      // Allowed: memory accesses based on sp, and the epilogue's
+      // 'lda sp, +F(sp)'. Anything else (e.g. 'addq tX, sp, tX' in
+      // variadic routines) makes frame bumping unsafe.
+      if (formatOf(I.Op) == Format::Memory && I.Op != Opcode::Lda &&
+          I.Op != Opcode::Ldah && I.Rb == RegSP && !WritesSP)
+        continue;
+      if (I.Op == Opcode::Lda && I.Ra == RegSP && I.Rb == RegSP)
+        continue;
+      // 'lda rX, d(sp)' (address of a local) is fine as long as the local
+      // area below the original frame top is what it refers to.
+      if (I.Op == Opcode::Lda && I.Rb == RegSP && I.Ra != RegSP &&
+          I.Disp >= 0 && I.Disp < Frame)
+        continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A routine can be inlined at its instrumentation sites when it is a
+/// straight-line leaf: one block ending in ret, small, frameless, touching
+/// only caller-save registers, and never reading a register it has not
+/// itself defined (other than its arguments).
+bool Engine::isInlinable(const Procedure &P, unsigned NumArgs) const {
+  if (P.Blocks.size() != 1 || NumArgs > 6)
+    return false;
+  const std::vector<InstNode> &Body = P.Blocks[0].Insts;
+  if (Body.empty() || !isReturn(Body.back().I.Op) ||
+      Body.size() - 1 > Opts.InlineLimit)
+    return false;
+
+  uint32_t Defined = 0;
+  for (unsigned J = 0; J < NumArgs; ++J)
+    Defined |= 1u << (RegA0 + J);
+  const uint32_t CallerSave = callerSavedMask();
+  for (size_t I = 0; I + 1 < Body.size(); ++I) {
+    const MInst &In = Body[I].I;
+    if (isControlTransfer(In.Op) || In.Op == Opcode::Callsys ||
+        In.Op == Opcode::Halt)
+      return false;
+    uint32_t Reads = readRegs(In);
+    if ((Reads & (1u << RegSP)) || (Reads & ~(Defined | 0)) != 0)
+      return false;
+    uint32_t Writes = writtenRegs(In);
+    if (Writes & ~CallerSave)
+      return false;
+    if (Writes & (1u << RegRA))
+      return false;
+    Defined |= Writes;
+  }
+  return true;
+}
+
+bool Engine::patchProcSaves(Procedure &P, uint32_t SaveMask) {
+  SaveMask &= ~(1u << RegSP);
+  if (!SaveMask)
+    return true;
+  int64_t Frame = 0;
+  if (!isPatchable(P, Frame))
+    fatalError("patchProcSaves on unpatchable procedure " + P.Name);
+
+  std::vector<unsigned> Regs = maskToRegs(SaveMask);
+  int64_t Extra = int64_t(alignTo(8 * Regs.size(), 16));
+  if (Frame + Extra > 32000)
+    return error("frame of analysis procedure '" + P.Name +
+                 "' too large to bump");
+
+  for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+    OBlock &B = P.Blocks[BI];
+    std::vector<InstNode> NewInsts;
+    for (size_t II = 0; II < B.Insts.size(); ++II) {
+      InstNode N = B.Insts[II];
+      MInst &I = N.I;
+      bool Prologue = BI == 0 && II == 0;
+      if (Prologue) {
+        I.Disp = int32_t(-(Frame + Extra));
+        NewInsts.push_back(N);
+        // Save the extra registers into the bumped area [Frame, Frame+E).
+        for (size_t K = 0; K < Regs.size(); ++K) {
+          InstNode S;
+          S.I = makeMem(Opcode::Stq, Regs[K], int32_t(Frame + 8 * int64_t(K)),
+                        RegSP);
+          NewInsts.push_back(S);
+          ++Stats.SaveSlots;
+        }
+        continue;
+      }
+      if (I.Op == Opcode::Lda && I.Ra == RegSP && I.Rb == RegSP &&
+          I.Disp > 0) {
+        // Epilogue: restore, then pop the bumped frame.
+        for (size_t K = Regs.size(); K-- > 0;) {
+          InstNode L;
+          L.I = makeMem(Opcode::Ldq, Regs[K], int32_t(Frame + 8 * int64_t(K)),
+                        RegSP);
+          NewInsts.push_back(L);
+        }
+        I.Disp = int32_t(Frame + Extra);
+        NewInsts.push_back(N);
+        continue;
+      }
+      if (formatOf(I.Op) == Format::Memory && I.Rb == RegSP &&
+          I.Disp >= Frame) {
+        // Incoming stack-argument access: shift past the bumped area.
+        I.Disp += int32_t(Extra);
+      }
+      NewInsts.push_back(N);
+    }
+    B.Insts = std::move(NewInsts);
+  }
+  ++Stats.PatchedProcs;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Wrapper routines
+//===----------------------------------------------------------------------===//
+
+std::string Engine::makeWrapper(const std::string &Target, uint32_t SaveMask,
+                                unsigned NumArgs) {
+  SaveMask &= ~(1u << RegRA);
+  SaveMask &= ~(1u << RegSP);
+  unsigned StackArgs = NumArgs > 6 ? NumArgs - 6 : 0;
+  if (StackArgs)
+    SaveMask |= 1u << RegAT; // the copy loop below clobbers at
+
+  std::vector<unsigned> Regs = maskToRegs(SaveMask);
+  int64_t OutBytes = 8 * int64_t(StackArgs);
+  int64_t Frame =
+      int64_t(alignTo(uint64_t(OutBytes + 8 * (1 + int64_t(Regs.size()))),
+                      16));
+
+  int TargetSym = analSymbol(Target);
+  assert(TargetSym >= 0 && "wrapper target must exist");
+
+  std::string Name = "__atom$wrap$" + Target;
+  std::vector<InstNode> Seq;
+  auto push = [&](const MInst &I) {
+    InstNode N;
+    N.I = I;
+    Seq.push_back(N);
+  };
+
+  push(makeMem(Opcode::Lda, RegSP, int32_t(-Frame), RegSP));
+  push(makeMem(Opcode::Stq, RegRA, int32_t(OutBytes), RegSP));
+  for (size_t K = 0; K < Regs.size(); ++K) {
+    push(makeMem(Opcode::Stq, Regs[K],
+                 int32_t(OutBytes + 8 * (1 + int64_t(K))), RegSP));
+    ++Stats.SaveSlots;
+  }
+  // Forward incoming stack arguments to the callee's expected location.
+  for (unsigned J = 0; J < StackArgs; ++J) {
+    push(makeMem(Opcode::Ldq, RegAT, int32_t(Frame + 8 * int64_t(J)), RegSP));
+    push(makeMem(Opcode::Stq, RegAT, int32_t(8 * int64_t(J)), RegSP));
+  }
+  {
+    InstNode Call;
+    Call.I = makeBranch(Opcode::Bsr, RegRA, 0);
+    Call.HasReloc = true;
+    Call.RelKind = RelocKind::Br21;
+    Call.Ref = {UnitTag::Analysis, TargetSym, 0};
+    Seq.push_back(Call);
+  }
+  for (size_t K = Regs.size(); K-- > 0;)
+    push(makeMem(Opcode::Ldq, Regs[K],
+                 int32_t(OutBytes + 8 * (1 + int64_t(K))), RegSP));
+  push(makeMem(Opcode::Ldq, RegRA, int32_t(OutBytes), RegSP));
+  push(makeMem(Opcode::Lda, RegSP, int32_t(Frame), RegSP));
+  push(makeJump(Opcode::Ret, RegZero, RegRA));
+
+  // Register the wrapper as an analysis procedure with synthetic original
+  // addresses (they never appear in the application's PC map).
+  uint64_t Orig = FakePC;
+  FakePC += 4 * Seq.size();
+  for (size_t K = 0; K < Seq.size(); ++K)
+    Seq[K].OrigPC = Orig + 4 * K;
+
+  Symbol Sym;
+  Sym.Name = Name;
+  Sym.Section = SymSection::Text;
+  Sym.Value = Orig;
+  Sym.Global = true;
+  Sym.IsProc = true;
+  Sym.Size = 4 * Seq.size();
+  int SymIdx = Anal.addSymbol(Sym);
+
+  Procedure W;
+  W.Name = Name;
+  W.SymIndex = SymIdx;
+  W.OrigStart = Orig;
+  W.Blocks.emplace_back();
+  W.Blocks[0].OrigPC = Orig;
+  W.Blocks[0].Insts = std::move(Seq);
+  Anal.ProcByName[Name] = int(Anal.Procs.size());
+  Anal.Procs.push_back(std::move(W));
+  ++Stats.Wrappers;
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Save-strategy wiring
+//===----------------------------------------------------------------------===//
+
+bool Engine::setupCallTargets(const InstrumentationContext &Ctx) {
+  (void)Ctx;
+  const uint32_t CallerSave = callerSavedMask();
+  const uint32_t TMask = scratchMask();
+
+  // Which analysis procedures are called from inside the analysis unit
+  // (those cannot have their prologue patched with a v0 restore).
+  std::set<std::string> InternallyCalled;
+  for (const auto &[Caller, Callees] : buildCallGraph())
+    for (const std::string &C : Callees)
+      InternallyCalled.insert(C);
+
+  // In Distributed mode, give every patchable analysis procedure its own
+  // scratch-register saves; collect the unpatchable remainder per entry.
+  std::map<std::string, uint32_t> HoistedT;
+  if (Opts.Strategy == AtomOptions::SaveStrategy::Distributed) {
+    auto CG = buildCallGraph();
+    std::map<std::string, bool> Patchable;
+    std::map<std::string, uint32_t> DirectT;
+    for (Procedure &P : Anal.Procs) {
+      int64_t Frame;
+      Patchable[P.Name] = isPatchable(P, Frame);
+      DirectT[P.Name] =
+          DF.Summaries[size_t(Anal.ProcByName[P.Name])].DirectMod & TMask;
+    }
+    // Per entry procedure, the scratch registers of unpatchable reachable
+    // procedures must still be saved up front (in its wrapper).
+    for (auto &[Name, TI] : Targets) {
+      std::set<std::string> Seen;
+      std::vector<std::string> Work = {Name};
+      uint32_t Hoist = 0;
+      while (!Work.empty()) {
+        std::string N = Work.back();
+        Work.pop_back();
+        if (!Seen.insert(N).second)
+          continue;
+        if (!Patchable.count(N))
+          continue; // out-of-unit name; DataFlow was conservative already
+        if (!Patchable[N])
+          Hoist |= DirectT[N];
+        for (const std::string &C : CG[N])
+          Work.push_back(C);
+      }
+      HoistedT[Name] = Hoist;
+    }
+    for (Procedure &P : Anal.Procs) {
+      int64_t Frame;
+      uint32_t Set = DirectT[P.Name];
+      if (Set && isPatchable(P, Frame))
+        if (!patchProcSaves(P, Set))
+          return false;
+    }
+  }
+
+  for (auto &[Name, TI] : Targets) {
+    const ProcSummary &S = DF.forProc(Anal, Name);
+    unsigned K = std::min<unsigned>(TI.NumProtoArgs, 6);
+
+    if (Opts.InlineAnalysis) {
+      int Idx = Anal.ProcByName[Name];
+      if (isInlinable(Anal.Procs[size_t(Idx)], TI.NumProtoArgs)) {
+        TI.InlineProcIdx = Idx;
+        TI.TransMod = S.TransMod & callerSavedMask();
+        TI.CallSymbol = Name;
+        continue;
+      }
+    }
+    uint32_t SiteSaved = 1u << RegRA;
+    for (unsigned J = 0; J < K; ++J)
+      SiteSaved |= 1u << (RegA0 + J);
+
+    uint32_t Full = (S.TransMod & CallerSave) & ~SiteSaved;
+    TI.TransMod = S.TransMod & CallerSave;
+
+    switch (Opts.Strategy) {
+    case AtomOptions::SaveStrategy::SaveAll:
+      TI.CallSymbol = makeWrapper(Name, CallerSave & ~SiteSaved,
+                                  TI.NumProtoArgs);
+      break;
+    case AtomOptions::SaveStrategy::WrapperSummary:
+      TI.CallSymbol = makeWrapper(Name, Full, TI.NumProtoArgs);
+      break;
+    case AtomOptions::SaveStrategy::DirectInline: {
+      Procedure *P = Anal.findProc(Name);
+      int64_t Frame;
+      if (InternallyCalled.count(Name) || !isPatchable(*P, Frame) ||
+          TI.NumProtoArgs > 6) {
+        // Patching is unsafe (v0 restore would corrupt internal callers)
+        // or impossible (no standard prologue, e.g. hand-written leaf
+        // routines). Keep the direct call and save the summary set at the
+        // site instead — the code-expansion tradeoff the paper's wrapper
+        // mechanism exists to avoid.
+        TI.CallSymbol = Name;
+        TI.SiteExtraSaves = Full;
+      } else {
+        if (!patchProcSaves(*P, Full))
+          return false;
+        TI.CallSymbol = Name;
+      }
+      break;
+    }
+    case AtomOptions::SaveStrategy::Distributed: {
+      // Scratch registers are handled by the per-procedure patches; the
+      // wrapper saves only the non-scratch portion plus hoisted scratch.
+      uint32_t Set = (Full & ~TMask) | (HoistedT[Name] & ~SiteSaved);
+      TI.CallSymbol = makeWrapper(Name, Set, TI.NumProtoArgs);
+      break;
+    }
+    case AtomOptions::SaveStrategy::SiteLiveness:
+      TI.CallSymbol = Name; // sites call directly and save live regs
+      break;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Call-sequence synthesis
+//===----------------------------------------------------------------------===//
+
+std::vector<InstNode> Engine::genCallSeq(const Action &A,
+                                         const InstNode *Site,
+                                         uint32_t LiveMask) {
+  const TargetInfo &TI = Targets.at(A.Callee);
+  unsigned N = unsigned(A.Args.size());
+  unsigned K = std::min<unsigned>(N, 6);
+  unsigned StackArgs = N - K;
+
+  // Site save set: ra, the argument registers we will clobber, at for
+  // stack-argument staging, pv when calling via jsr, and — in SiteLiveness
+  // mode — every live register the analysis may modify. Inlined bodies
+  // need no ra save (there is no call), only their own scratch registers.
+  const Procedure *InlineBody =
+      TI.InlineProcIdx >= 0 ? &Anal.Procs[size_t(TI.InlineProcIdx)]
+                            : nullptr;
+  uint32_t SaveMask = InlineBody ? 0 : (1u << RegRA);
+  for (unsigned J = 0; J < K; ++J)
+    SaveMask |= 1u << (RegA0 + J);
+  if (StackArgs)
+    SaveMask |= 1u << RegAT;
+  if (Opts.ForceJsr && !InlineBody)
+    SaveMask |= 1u << RegPV;
+  if (InlineBody)
+    SaveMask |= TI.TransMod;
+  if (Opts.Strategy == AtomOptions::SaveStrategy::SiteLiveness)
+    SaveMask |= TI.TransMod & LiveMask;
+  SaveMask |= TI.SiteExtraSaves;
+  SaveMask &= ~(1u << RegZero);
+  SaveMask &= ~(1u << RegSP);
+  if (InlineBody)
+    SaveMask &= ~(1u << RegRA);
+
+  std::vector<unsigned> Saves = maskToRegs(SaveMask);
+  int64_t OutBytes = 8 * int64_t(StackArgs);
+  int64_t Frame = int64_t(
+      alignTo(uint64_t(OutBytes + 8 * int64_t(Saves.size())), 16));
+
+  int64_t SlotOf[NumRegs];
+  for (unsigned R = 0; R < NumRegs; ++R)
+    SlotOf[R] = -1;
+  for (size_t I = 0; I < Saves.size(); ++I)
+    SlotOf[Saves[I]] = OutBytes + 8 * int64_t(I);
+
+  std::vector<InstNode> Seq;
+  auto push = [&](const MInst &I) {
+    InstNode Node;
+    Node.I = I;
+    Seq.push_back(Node);
+  };
+
+  if (Frame)
+    push(makeMem(Opcode::Lda, RegSP, int32_t(-Frame), RegSP));
+  for (unsigned R : Saves)
+    push(makeMem(Opcode::Stq, R, int32_t(SlotOf[R]), RegSP));
+  Stats.SaveSlots += unsigned(Saves.size());
+
+  // Loads the application's value of register \p Src into \p Dst
+  // (reading from the save area when we already clobbered it, and
+  // compensating sp for our own frame).
+  auto loadSource = [&](unsigned Src, unsigned Dst) {
+    if (Src == RegSP) {
+      push(makeMem(Opcode::Lda, Dst, int32_t(Frame), RegSP));
+      return;
+    }
+    if (Src == RegZero) {
+      push(makeMove(RegZero, Dst));
+      return;
+    }
+    if (SlotOf[Src] >= 0) {
+      push(makeMem(Opcode::Ldq, Dst, int32_t(SlotOf[Src]), RegSP));
+      return;
+    }
+    if (Src != Dst)
+      push(makeMove(Src, Dst));
+  };
+
+  auto setupArg = [&](const CallArg &CA, unsigned Dst) {
+    switch (CA.K) {
+    case CallArg::ConstI64: {
+      std::vector<MInst> Consts;
+      synthesizeConstant(CA.Value, Dst, Consts);
+      for (const MInst &I : Consts)
+        push(I);
+      break;
+    }
+    case CallArg::Regv:
+      loadSource(CA.Reg, Dst);
+      break;
+    case CallArg::EffAddr: {
+      assert(Site && isMemRef(Site->I.Op) && "validated by the API");
+      unsigned Base = Site->I.Rb;
+      // Fuse base+displacement into one lda when the base register still
+      // holds the application value (not clobbered by us, not sp).
+      if (Base != RegSP && SlotOf[Base] < 0) {
+        push(makeMem(Opcode::Lda, Dst, Site->I.Disp, Base));
+        break;
+      }
+      loadSource(Base, Dst);
+      if (Site->I.Disp != 0)
+        push(makeMem(Opcode::Lda, Dst, Site->I.Disp, Dst));
+      break;
+    }
+    case CallArg::BrCond: {
+      assert(Site && isCondBranch(Site->I.Op) && "validated by the API");
+      // Evaluate the branch condition directly from the source register
+      // when it still holds the application value; otherwise reload it.
+      unsigned S = Site->I.Ra;
+      if (S == RegSP || SlotOf[S] >= 0) {
+        loadSource(S, Dst);
+        S = Dst;
+      }
+      switch (Site->I.Op) {
+      case Opcode::Beq:
+        push(makeOpLit(Opcode::Cmpeq, S, 0, Dst));
+        break;
+      case Opcode::Bne:
+        push(makeOp(Opcode::Cmpult, RegZero, S, Dst));
+        break;
+      case Opcode::Blt:
+        push(makeOpLit(Opcode::Cmplt, S, 0, Dst));
+        break;
+      case Opcode::Ble:
+        push(makeOpLit(Opcode::Cmple, S, 0, Dst));
+        break;
+      case Opcode::Bgt:
+        push(makeOp(Opcode::Cmplt, RegZero, S, Dst));
+        break;
+      case Opcode::Bge:
+        push(makeOp(Opcode::Cmple, RegZero, S, Dst));
+        break;
+      case Opcode::Blbs:
+        push(makeOpLit(Opcode::And, S, 1, Dst));
+        break;
+      case Opcode::Blbc:
+        push(makeOpLit(Opcode::And, S, 1, Dst));
+        push(makeOpLit(Opcode::Xor, Dst, 1, Dst));
+        break;
+      default:
+        fatalError("not a conditional branch");
+      }
+      break;
+    }
+    }
+  };
+
+  for (unsigned J = 0; J < K; ++J)
+    setupArg(A.Args[J], RegA0 + J);
+  for (unsigned J = K; J < N; ++J) {
+    setupArg(A.Args[J], RegAT);
+    push(makeMem(Opcode::Stq, RegAT, int32_t(8 * int64_t(J - K)), RegSP));
+  }
+
+  if (InlineBody) {
+    // Copy the straight-line body (minus the ret) into the site.
+    const std::vector<InstNode> &Body = InlineBody->Blocks[0].Insts;
+    for (size_t I = 0; I + 1 < Body.size(); ++I) {
+      InstNode Copy = Body[I];
+      Copy.OrigPC = 0; // inserted code: not part of the app's PC map
+      Copy.Before.clear();
+      Copy.After.clear();
+      Seq.push_back(std::move(Copy));
+    }
+    for (size_t I = Saves.size(); I-- > 0;)
+      push(makeMem(Opcode::Ldq, Saves[I], int32_t(SlotOf[Saves[I]]),
+                   RegSP));
+    if (Frame)
+      push(makeMem(Opcode::Lda, RegSP, int32_t(Frame), RegSP));
+    Stats.InsertedInsts += unsigned(Seq.size());
+    return Seq;
+  }
+
+  int TargetSym = analSymbol(TI.CallSymbol);
+  assert(TargetSym >= 0 && "call target symbol missing");
+  if (Opts.ForceJsr) {
+    InstNode Hi, Lo;
+    Hi.I = makeMem(Opcode::Ldah, RegPV, 0, RegZero);
+    Hi.HasReloc = true;
+    Hi.RelKind = RelocKind::Hi16;
+    Hi.Ref = {UnitTag::Analysis, TargetSym, 0};
+    Lo.I = makeMem(Opcode::Lda, RegPV, 0, RegPV);
+    Lo.HasReloc = true;
+    Lo.RelKind = RelocKind::Lo16;
+    Lo.Ref = {UnitTag::Analysis, TargetSym, 0};
+    Seq.push_back(Hi);
+    Seq.push_back(Lo);
+    push(makeJump(Opcode::Jsr, RegRA, RegPV));
+  } else {
+    InstNode Call;
+    Call.I = makeBranch(Opcode::Bsr, RegRA, 0);
+    Call.HasReloc = true;
+    Call.RelKind = RelocKind::Br21;
+    Call.Ref = {UnitTag::Analysis, TargetSym, 0};
+    Seq.push_back(Call);
+  }
+
+  for (size_t I = Saves.size(); I-- > 0;)
+    push(makeMem(Opcode::Ldq, Saves[I], int32_t(SlotOf[Saves[I]]), RegSP));
+  if (Frame)
+    push(makeMem(Opcode::Lda, RegSP, int32_t(Frame), RegSP));
+
+  Stats.InsertedInsts += unsigned(Seq.size());
+  return Seq;
+}
+
+//===----------------------------------------------------------------------===//
+// Sequence insertion
+//===----------------------------------------------------------------------===//
+
+bool Engine::insertSequences(const InstrumentationContext &Ctx) {
+  (void)Ctx;
+  bool UseLive = Opts.Strategy == AtomOptions::SaveStrategy::SiteLiveness;
+
+  Procedure *StartProc = App.findProc("_start");
+  Procedure *ExitProc = App.findProc("__exit");
+  if (!App.ProgramBefore.empty() && !StartProc)
+    return error("ProgramBefore instrumentation requires a _start "
+                 "procedure in the application");
+  if (!App.ProgramAfter.empty() && !ExitProc)
+    return error("ProgramAfter instrumentation requires the runtime's "
+                 "__exit procedure in the application");
+
+  for (Procedure &P : App.Procs) {
+    // Entry actions for this procedure, in execution order.
+    std::vector<Action> EntryActions;
+    if (&P == StartProc)
+      for (const Action &A : App.ProgramBefore)
+        EntryActions.push_back(A);
+    if (&P == ExitProc)
+      for (const Action &A : App.ProgramAfter)
+        EntryActions.push_back(A);
+    for (const Action &A : P.Before)
+      EntryActions.push_back(A);
+
+    bool AnyWork = !EntryActions.empty() || !P.After.empty();
+    if (!AnyWork)
+      for (const OBlock &B : P.Blocks) {
+        if (!B.Before.empty() || !B.After.empty() || !B.EdgeActions.empty())
+          AnyWork = true;
+        for (const InstNode &I : B.Insts)
+          if (!I.Before.empty() || !I.After.empty())
+            AnyWork = true;
+        if (AnyWork)
+          break;
+      }
+    if (!AnyWork)
+      continue;
+
+    std::unique_ptr<LivenessInfo> Live;
+    if (UseLive) {
+      // Interprocedural USE/MOD summaries over the application, computed
+      // once (paper: "OM can do interprocedural live variable analysis").
+      if (!AppSummaries)
+        AppSummaries = std::make_unique<UseDefSummaries>(App);
+      Live = std::make_unique<LivenessInfo>(P, &App, AppSummaries.get());
+    }
+
+    // Trampoline blocks created for taken-edge instrumentation; appended
+    // to the procedure after the rebuild so block indices stay stable.
+    std::vector<OBlock> Pending;
+    const size_t NumBlocks = P.Blocks.size();
+
+    for (size_t BI = 0; BI < NumBlocks; ++BI) {
+      OBlock &B = P.Blocks[BI];
+      std::vector<InstNode> NewInsts;
+      auto appendSeq = [&](const Action &A, const InstNode *Site,
+                           unsigned InstIdx) {
+        uint32_t LiveMask = ~0u;
+        if (UseLive)
+          LiveMask = Live->liveBefore(unsigned(BI), InstIdx);
+        std::vector<InstNode> Seq = genCallSeq(A, Site, LiveMask);
+        for (InstNode &I : Seq)
+          NewInsts.push_back(std::move(I));
+      };
+
+      if (BI == 0)
+        for (const Action &A : EntryActions)
+          appendSeq(A, nullptr, 0);
+      for (const Action &A : B.Before)
+        appendSeq(A, nullptr, 0);
+
+      // Classify edge actions. For a conditional branch, successor 0 is
+      // the taken target (trampoline) and successor 1 the fallthrough
+      // (code after the branch). For an unconditional br the single edge
+      // is always taken: the call goes right before the branch. For
+      // fallthrough-only blocks the single edge is the block end.
+      std::vector<const Action *> TakenEdge, FallEdge;
+      const InstNode *Term = B.terminator();
+      bool CondTerm = Term && isCondBranch(Term->I.Op);
+      bool UncondTerm = Term && isUncondBranch(Term->I.Op);
+      for (const auto &[SuccIdx, A] : B.EdgeActions) {
+        if (CondTerm && SuccIdx == 0)
+          TakenEdge.push_back(&A);
+        else if (UncondTerm && SuccIdx == 0)
+          FallEdge.push_back(&A); // emitted before the br: always taken
+        else
+          FallEdge.push_back(&A);
+      }
+
+      for (size_t II = 0; II < B.Insts.size(); ++II) {
+        InstNode &Node = B.Insts[II];
+        bool IsTerm = isControlTransfer(Node.I.Op) && !isCall(Node.I.Op);
+        bool IsLast = II + 1 == B.Insts.size();
+
+        if (IsLast && IsTerm) {
+          for (const Action &A : B.After)
+            appendSeq(A, nullptr, unsigned(II));
+          if (isReturn(Node.I.Op))
+            for (const Action &A : P.After)
+              appendSeq(A, nullptr, unsigned(II));
+          // Unconditional-branch edge calls run right before the branch.
+          if (UncondTerm)
+            for (const Action *A : FallEdge)
+              appendSeq(*A, nullptr, unsigned(II));
+          // Taken-edge calls on a conditional branch go through a
+          // trampoline block so the fallthrough path never sees them.
+          if (CondTerm && !TakenEdge.empty()) {
+            OBlock Tramp;
+            std::vector<InstNode> TrampInsts;
+            for (const Action *A : TakenEdge) {
+              std::vector<InstNode> Seq = genCallSeq(*A, nullptr, ~0u);
+              for (InstNode &TI : Seq)
+                TrampInsts.push_back(std::move(TI));
+            }
+            InstNode Br;
+            Br.I = makeBranch(Opcode::Br, RegZero, 0);
+            Br.BranchBlock = Node.BranchBlock;
+            TrampInsts.push_back(std::move(Br));
+            Tramp.Insts = std::move(TrampInsts);
+            int TrampIdx = int(NumBlocks + Pending.size());
+            Pending.push_back(std::move(Tramp));
+            Node.BranchBlock = TrampIdx;
+            ++Stats.InsertedInsts; // the trampoline's br
+          }
+        }
+        for (const Action &A : Node.Before)
+          appendSeq(A, &Node, unsigned(II));
+
+        InstNode SiteVal = Node; // stable copy for After-action synthesis
+        SiteVal.Before.clear();
+        SiteVal.After.clear();
+        std::vector<Action> AfterActions = std::move(Node.After);
+        NewInsts.push_back(SiteVal);
+        for (const Action &A : AfterActions)
+          appendSeq(A, &SiteVal, unsigned(II + 1 < B.Insts.size() ? II + 1
+                                                                  : II));
+        if (IsLast && !IsTerm)
+          for (const Action &A : B.After)
+            appendSeq(A, nullptr, unsigned(II));
+        if (IsLast && !UncondTerm)
+          // Fallthrough-edge calls run after everything else in the block
+          // (after a conditional terminator they execute only when the
+          // branch falls through).
+          for (const Action *A : FallEdge)
+            appendSeq(*A, nullptr, unsigned(II));
+      }
+      B.Before.clear();
+      B.After.clear();
+      B.EdgeActions.clear();
+      B.Insts = std::move(NewInsts);
+    }
+    for (OBlock &T : Pending)
+      P.Blocks.push_back(std::move(T));
+    P.Before.clear();
+    P.After.clear();
+  }
+  App.ProgramBefore.clear();
+  App.ProgramAfter.clear();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Heap linking (the two sbrks, paper §4)
+//===----------------------------------------------------------------------===//
+
+bool Engine::linkHeaps() {
+  uint64_t AppHeapStart =
+      alignTo(App.DataStart + App.Data.size() + App.BssSize, PageSize);
+
+  // Statically initialize the application's heap-break cell so analysis
+  // routines can allocate in ProgramBefore hooks, which run before the
+  // application's own _start initialization (which is conditional and
+  // therefore idempotent).
+  int AppCell = -1;
+  for (size_t I = 0; I < App.Symbols.size(); ++I)
+    if (App.Symbols[I].Name == "__heap_break" &&
+        App.Symbols[I].Section == SymSection::Data) {
+      AppCell = int(I);
+      break;
+    }
+  if (AppCell >= 0) {
+    uint64_t Off = App.Symbols[size_t(AppCell)].Value - App.DataStart;
+    if (Off + 8 <= App.Data.size())
+      write64(App.Data, Off, AppHeapStart);
+  }
+
+  // Analysis-side cell.
+  int AnalCell = -1, AnalHeapStart = -1;
+  for (size_t I = 0; I < Anal.Symbols.size(); ++I) {
+    if (Anal.Symbols[I].Name == "__heap_break" &&
+        Anal.Symbols[I].Section == SymSection::Data)
+      AnalCell = int(I);
+    if (Anal.Symbols[I].Name == "__heap_start" &&
+        Anal.Symbols[I].Section == SymSection::Undefined)
+      AnalHeapStart = int(I);
+  }
+
+  if (Opts.AnalysisHeapOffset == 0) {
+    // Method 1 (default): link the two sbrks — both bump the same cell, so
+    // each starts where the other left off.
+    if (AnalCell >= 0) {
+      if (AppCell < 0)
+        return error("analysis routines use the heap but the application "
+                     "has no __heap_break cell (link it with the runtime)");
+      Symbol &S = Anal.Symbols[size_t(AnalCell)];
+      S.Section = SymSection::Absolute;
+      S.Value = App.Symbols[size_t(AppCell)].Value;
+    }
+    if (AnalHeapStart >= 0) {
+      Symbol &S = Anal.Symbols[size_t(AnalHeapStart)];
+      S.Section = SymSection::Absolute;
+      S.Value = AppHeapStart;
+    }
+    return true;
+  }
+
+  // Method 2: partition the heap. The application keeps its exact heap
+  // addresses; the analysis heap starts at a user-supplied offset. As in
+  // the paper, there is no runtime check that the application heap does
+  // not grow into the analysis heap.
+  uint64_t AnalysisHeap = AppHeapStart + Opts.AnalysisHeapOffset;
+  if (AnalCell >= 0) {
+    uint64_t Off = Anal.Symbols[size_t(AnalCell)].Value;
+    if (Off + 8 <= Anal.Data.size())
+      write64(Anal.Data, Off, AnalysisHeap);
+  }
+  if (AnalHeapStart >= 0) {
+    Symbol &S = Anal.Symbols[size_t(AnalHeapStart)];
+    S.Section = SymSection::Absolute;
+    S.Value = AnalysisHeap;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+bool Engine::run(
+    const std::function<void(InstrumentationContext &)> &InstrumentFn,
+    const std::vector<ObjectModule> &AnalysisModules,
+    InstrumentedProgram &Out) {
+  if (!liftExecutable(AppExe, App, Diags))
+    return false;
+  if (!prepareAnalysisUnit(AnalysisModules))
+    return false;
+
+  InstrumentationContext Ctx(App);
+  InstrumentFn(Ctx);
+  if (Ctx.hasErrors()) {
+    for (const std::string &E : Ctx.errors())
+      Diags.error(0, E);
+    return false;
+  }
+  Stats.Points = Ctx.pointCount();
+
+  if (!resolveTargets(Ctx))
+    return false;
+
+  if (Opts.StripUnreachableAnalysis)
+    stripUnreachable(Ctx.referencedProcs());
+
+  if (Opts.RenameAnalysisRegs)
+    renameScratchRegs(Anal);
+
+  DF = computeDataFlow(Anal);
+
+  if (!setupCallTargets(Ctx))
+    return false;
+  Stats.AnalysisProcs = unsigned(Anal.Procs.size());
+
+  if (!insertSequences(Ctx))
+    return false;
+  if (!linkHeaps())
+    return false;
+
+  if (!layoutProgram(App, &Anal, Out.Exe, Out.Layout, Diags))
+    return false;
+  Out.Stats = Stats;
+  return true;
+}
+
+} // namespace
+
+bool atom::instrument(
+    const Executable &App,
+    const std::function<void(InstrumentationContext &)> &InstrumentFn,
+    const std::vector<ObjectModule> &AnalysisModules, const AtomOptions &Opts,
+    InstrumentedProgram &Out, DiagEngine &Diags) {
+  Engine E(App, Opts, Diags);
+  return E.run(InstrumentFn, AnalysisModules, Out);
+}

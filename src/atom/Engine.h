@@ -1,0 +1,98 @@
+//===- atom/Engine.h - The instrumentation engine ---------------*- C++ -*-===//
+//
+// Consumes the annotations recorded by the user's instrumentation routine
+// and produces the instrumented executable (paper §4): synthesizes call
+// sequences (stack allocation, register saves, argument setup, the call,
+// restores), creates wrapper routines or patches analysis prologues,
+// minimizes register saves using data-flow summaries and register renaming,
+// lays the executable out per Figure 4, and links or partitions the two
+// sbrk heaps.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_ENGINE_H
+#define ATOM_ATOM_ENGINE_H
+
+#include "atom/Api.h"
+#include "om/Layout.h"
+
+#include <functional>
+
+namespace atom {
+
+struct AtomOptions {
+  /// How caller-save registers are preserved around analysis calls.
+  enum class SaveStrategy {
+    /// Default (paper): a wrapper routine per analysis procedure saves the
+    /// registers the data-flow summary proves may be modified.
+    WrapperSummary,
+    /// Higher optimization (paper): saves/restores are added to the
+    /// analysis routine's own prologue (frame is bumped, stack references
+    /// fixed); calls go directly to the analysis routine.
+    DirectInline,
+    /// Delayed saves (paper): scratch-register saves are distributed to
+    /// the analysis procedures that actually touch them, so cold paths
+    /// (e.g. error reporting) don't tax the common case.
+    Distributed,
+    /// Ablation baseline: save every caller-save register at every call.
+    SaveAll,
+    /// Refinement (paper "future work"): no wrapper; each site saves only
+    /// the registers that are live in the application at that point.
+    SiteLiveness,
+  };
+
+  SaveStrategy Strategy = SaveStrategy::WrapperSummary;
+  /// Register renaming in analysis routines (paper §4). On by default.
+  bool RenameAnalysisRegs = true;
+  /// Call analysis routines with ldah/lda+jsr instead of bsr (used when
+  /// the analysis text is out of branch range).
+  bool ForceJsr = false;
+  /// Remove analysis procedures unreachable from any instrumentation point
+  /// (the authors' unreachable-procedure elimination, reference [13]).
+  bool StripUnreachableAnalysis = true;
+  /// 0: the two sbrks are linked and share the application heap (paper's
+  /// default). Nonzero: the analysis heap is partitioned to start at
+  /// application-heap-start + offset, and application heap addresses are
+  /// exactly those of the uninstrumented run even if analysis routines
+  /// allocate (paper's second method; no overflow check, as in the paper).
+  uint64_t AnalysisHeapOffset = 0;
+  /// Implements the paper's future-work refinement: "Optimizations such as
+  /// inlining further reduce the overhead of procedure calls at the cost of
+  /// increasing the code size." Straight-line leaf analysis routines are
+  /// copied into the instrumentation site, eliminating the call, the
+  /// return, and the ra save.
+  bool InlineAnalysis = false;
+  /// Maximum body size (instructions, excluding ret) eligible for inlining.
+  unsigned InlineLimit = 24;
+};
+
+/// Statistics about one instrumentation run (feeds the benches).
+struct InstrStats {
+  unsigned Points = 0;         ///< Instrumentation points annotated.
+  unsigned InsertedInsts = 0;  ///< Instructions inserted into the program.
+  unsigned Wrappers = 0;       ///< Wrapper routines created.
+  unsigned PatchedProcs = 0;   ///< Analysis prologues patched.
+  unsigned AnalysisProcs = 0;  ///< Analysis procedures kept after stripping.
+  unsigned StrippedProcs = 0;  ///< Unreachable analysis procedures removed.
+  unsigned SaveSlots = 0;      ///< Registers saved across wrappers/sites.
+};
+
+struct InstrumentedProgram {
+  obj::Executable Exe;
+  om::LayoutResult Layout;
+  InstrStats Stats;
+};
+
+/// Instruments \p App: runs \p InstrumentFn over its IR, links
+/// \p AnalysisModules with a private copy of the runtime, and produces the
+/// instrumented executable. Returns false with diagnostics on any error.
+bool instrument(const obj::Executable &App,
+                const std::function<void(InstrumentationContext &)>
+                    &InstrumentFn,
+                const std::vector<obj::ObjectModule> &AnalysisModules,
+                const AtomOptions &Opts, InstrumentedProgram &Out,
+                DiagEngine &Diags);
+
+} // namespace atom
+
+#endif // ATOM_ATOM_ENGINE_H

@@ -1,0 +1,80 @@
+//===- isa/ConstantSynth.cpp ----------------------------------------------===//
+
+#include "isa/ConstantSynth.h"
+
+using namespace atom;
+using namespace atom::isa;
+
+namespace {
+
+/// Exact decomposition Value = Top*2^32 + Mid*2^16 + Lo with Mid and Lo both
+/// signed 16-bit, so an ldah/lda pair (which performs 64-bit adds) can apply
+/// the low 32 bits without displacement overflow.
+struct Decomp {
+  int64_t Top;
+  int16_t Mid;
+  int16_t Lo;
+};
+
+Decomp decompose(int64_t Value) {
+  Decomp D;
+  D.Lo = int16_t(uint64_t(Value) & 0xFFFF);
+  int64_t Rem = Value - D.Lo;
+  D.Mid = int16_t((uint64_t(Rem) >> 16) & 0xFFFF);
+  int64_t Rem2 = Rem - (int64_t(D.Mid) << 16);
+  D.Top = Rem2 >> 32;
+  assert(Rem2 % (int64_t(1) << 32) == 0 && "decomposition not exact");
+  return D;
+}
+
+unsigned synthImpl(int64_t Value, unsigned Rd, std::vector<Inst> *Out) {
+  Decomp D = decompose(Value);
+  if (D.Top == 0) {
+    // Reachable with at most an ldah/lda pair.
+    unsigned N = 0;
+    unsigned Base = RegZero;
+    if (D.Mid != 0 || (D.Mid == 0 && D.Lo == 0)) {
+      if (D.Mid != 0) {
+        if (Out)
+          Out->push_back(makeMem(Opcode::Ldah, Rd, D.Mid, RegZero));
+        Base = Rd;
+        ++N;
+      }
+    }
+    if (D.Lo != 0 || N == 0) {
+      if (Out)
+        Out->push_back(makeMem(Opcode::Lda, Rd, D.Lo, Base));
+      ++N;
+    }
+    return N;
+  }
+
+  // General case: build Top, shift left 32, add the middle/low parts.
+  unsigned N = synthImpl(D.Top, Rd, Out);
+  if (Out)
+    Out->push_back(makeOpLit(Opcode::Sll, Rd, 32, Rd));
+  ++N;
+  if (D.Mid != 0) {
+    if (Out)
+      Out->push_back(makeMem(Opcode::Ldah, Rd, D.Mid, Rd));
+    ++N;
+  }
+  if (D.Lo != 0) {
+    if (Out)
+      Out->push_back(makeMem(Opcode::Lda, Rd, D.Lo, Rd));
+    ++N;
+  }
+  return N;
+}
+
+} // namespace
+
+void isa::synthesizeConstant(int64_t Value, unsigned Rd,
+                             std::vector<Inst> &Out) {
+  assert(Rd != RegZero && "cannot synthesize into the zero register");
+  synthImpl(Value, Rd, &Out);
+}
+
+unsigned isa::constantCost(int64_t Value) {
+  return synthImpl(Value, RegT0, nullptr);
+}

@@ -1,0 +1,29 @@
+//===- isa/ConstantSynth.h - Materialize 64-bit constants ------*- C++ -*-===//
+//
+// Plans the minimal lda/ldah/sll sequence that builds an arbitrary 64-bit
+// constant in a register. ATOM's argument-passing cost model (paper §4:
+// "a 16-bit integer constant can be built in 1 instruction, a 32-bit
+// constant in two instructions, ...") is realized here.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ISA_CONSTANTSYNTH_H
+#define ATOM_ISA_CONSTANTSYNTH_H
+
+#include "isa/Isa.h"
+
+namespace atom {
+namespace isa {
+
+/// Appends to \p Out a sequence of instructions that leaves \p Value in
+/// register \p Rd. Uses only Rd itself as scratch. Sequence lengths:
+/// 1 for 16-bit values, 2 for 32-bit values, up to 5 in the general case.
+void synthesizeConstant(int64_t Value, unsigned Rd, std::vector<Inst> &Out);
+
+/// Number of instructions synthesizeConstant() would emit.
+unsigned constantCost(int64_t Value);
+
+} // namespace isa
+} // namespace atom
+
+#endif // ATOM_ISA_CONSTANTSYNTH_H

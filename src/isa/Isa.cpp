@@ -1,0 +1,450 @@
+//===- isa/Isa.cpp - AXP64-lite encode/decode and queries -----------------===//
+
+#include "isa/Isa.h"
+
+#include <cstring>
+#include <map>
+
+using namespace atom;
+using namespace atom::isa;
+
+bool isa::isCallerSaved(unsigned R) {
+  if (R == RegV0 || R == RegPV || R == RegAT || R == RegRA)
+    return true;
+  if (R >= RegT0 && R <= RegT7)
+    return true;
+  if (R >= RegA0 && R <= RegA5)
+    return true;
+  if (R >= RegT8 && R <= RegT11)
+    return true;
+  return false;
+}
+
+bool isa::isCalleeSaved(unsigned R) {
+  return (R >= RegS0 && R <= RegS5) || R == RegFP;
+}
+
+static const char *const RegNames[NumRegs] = {
+    "v0", "t0", "t1", "t2", "t3", "t4",  "t5",  "t6",  "t7", "s0", "s1",
+    "s2", "s3", "s4", "s5", "fp", "a0",  "a1",  "a2",  "a3", "a4", "a5",
+    "t8", "t9", "t10", "t11", "ra", "pv", "at", "gp", "sp", "zero"};
+
+const char *isa::regName(unsigned R) {
+  assert(R < NumRegs && "register number out of range");
+  return RegNames[R];
+}
+
+unsigned isa::parseRegName(const std::string &Name) {
+  if (Name.size() >= 2 && Name[0] == '$') {
+    unsigned N = 0;
+    for (size_t I = 1; I < Name.size(); ++I) {
+      if (Name[I] < '0' || Name[I] > '9')
+        return NumRegs;
+      N = N * 10 + unsigned(Name[I] - '0');
+    }
+    return N < NumRegs ? N : NumRegs;
+  }
+  for (unsigned R = 0; R < NumRegs; ++R)
+    if (Name == RegNames[R])
+      return R;
+  return NumRegs;
+}
+
+namespace {
+
+/// Encoding descriptor: Alpha-style major opcode plus function code for
+/// operate instructions (and the jump-type field for jumps).
+struct OpDesc {
+  const char *Name;
+  Format Fmt;
+  uint8_t Major; ///< 6-bit major opcode.
+  uint8_t Func;  ///< 7-bit function code (operate) or 2-bit type (jump).
+};
+
+} // namespace
+
+static const OpDesc Descs[size_t(Opcode::NumOpcodes)] = {
+    // Memory format.
+    {"lda", Format::Memory, 0x08, 0},
+    {"ldah", Format::Memory, 0x09, 0},
+    {"ldbu", Format::Memory, 0x0A, 0},
+    {"ldwu", Format::Memory, 0x0C, 0},
+    {"ldl", Format::Memory, 0x28, 0},
+    {"ldq", Format::Memory, 0x29, 0},
+    {"stb", Format::Memory, 0x0E, 0},
+    {"stw", Format::Memory, 0x0D, 0},
+    {"stl", Format::Memory, 0x2C, 0},
+    {"stq", Format::Memory, 0x2D, 0},
+    // Branch format.
+    {"br", Format::Branch, 0x30, 0},
+    {"bsr", Format::Branch, 0x34, 0},
+    {"beq", Format::Branch, 0x39, 0},
+    {"bne", Format::Branch, 0x3D, 0},
+    {"blt", Format::Branch, 0x3A, 0},
+    {"ble", Format::Branch, 0x3B, 0},
+    {"bgt", Format::Branch, 0x3F, 0},
+    {"bge", Format::Branch, 0x3E, 0},
+    {"blbc", Format::Branch, 0x38, 0},
+    {"blbs", Format::Branch, 0x3C, 0},
+    // Jump format (major 0x1A, type field in disp<15:14>).
+    {"jmp", Format::Jump, 0x1A, 0},
+    {"jsr", Format::Jump, 0x1A, 1},
+    {"ret", Format::Jump, 0x1A, 2},
+    // Operate format.
+    {"addl", Format::Operate, 0x10, 0x00},
+    {"addq", Format::Operate, 0x10, 0x20},
+    {"subl", Format::Operate, 0x10, 0x09},
+    {"subq", Format::Operate, 0x10, 0x29},
+    {"mull", Format::Operate, 0x13, 0x00},
+    {"mulq", Format::Operate, 0x13, 0x20},
+    {"umulh", Format::Operate, 0x13, 0x30},
+    {"divq", Format::Operate, 0x14, 0x00},
+    {"remq", Format::Operate, 0x14, 0x01},
+    {"divqu", Format::Operate, 0x14, 0x02},
+    {"remqu", Format::Operate, 0x14, 0x03},
+    {"and", Format::Operate, 0x11, 0x00},
+    {"bic", Format::Operate, 0x11, 0x08},
+    {"bis", Format::Operate, 0x11, 0x20},
+    {"ornot", Format::Operate, 0x11, 0x28},
+    {"xor", Format::Operate, 0x11, 0x40},
+    {"eqv", Format::Operate, 0x11, 0x48},
+    {"sll", Format::Operate, 0x12, 0x39},
+    {"srl", Format::Operate, 0x12, 0x34},
+    {"sra", Format::Operate, 0x12, 0x3C},
+    {"cmpeq", Format::Operate, 0x10, 0x2D},
+    {"cmplt", Format::Operate, 0x10, 0x4D},
+    {"cmple", Format::Operate, 0x10, 0x6D},
+    {"cmpult", Format::Operate, 0x10, 0x1D},
+    {"cmpule", Format::Operate, 0x10, 0x3D},
+    {"sextb", Format::Operate, 0x1C, 0x00},
+    {"sextw", Format::Operate, 0x1C, 0x01},
+    // PAL format (major 0x00; function in the low 26 bits).
+    {"callsys", Format::Pal, 0x00, 0x03},
+    {"halt", Format::Pal, 0x00, 0x01},
+};
+
+Format isa::formatOf(Opcode Op) { return Descs[size_t(Op)].Fmt; }
+
+const char *isa::opcodeName(Opcode Op) { return Descs[size_t(Op)].Name; }
+
+Inst isa::makeMem(Opcode Op, unsigned Ra, int32_t Disp, unsigned Rb) {
+  assert(formatOf(Op) == Format::Memory && "not a memory-format opcode");
+  assert(fitsSigned(Disp, 16) && "memory displacement out of range");
+  Inst I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.Rb = uint8_t(Rb);
+  I.Disp = Disp;
+  return I;
+}
+
+Inst isa::makeBranch(Opcode Op, unsigned Ra, int32_t Disp) {
+  assert(formatOf(Op) == Format::Branch && "not a branch-format opcode");
+  assert(fitsSigned(Disp, 21) && "branch displacement out of range");
+  Inst I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.Disp = Disp;
+  return I;
+}
+
+Inst isa::makeJump(Opcode Op, unsigned Ra, unsigned Rb) {
+  assert(formatOf(Op) == Format::Jump && "not a jump-format opcode");
+  Inst I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.Rb = uint8_t(Rb);
+  return I;
+}
+
+Inst isa::makeOp(Opcode Op, unsigned Ra, unsigned Rb, unsigned Rc) {
+  assert(formatOf(Op) == Format::Operate && "not an operate-format opcode");
+  Inst I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.Rb = uint8_t(Rb);
+  I.Rc = uint8_t(Rc);
+  return I;
+}
+
+Inst isa::makeOpLit(Opcode Op, unsigned Ra, uint8_t Lit, unsigned Rc) {
+  assert(formatOf(Op) == Format::Operate && "not an operate-format opcode");
+  Inst I;
+  I.Op = Op;
+  I.Ra = uint8_t(Ra);
+  I.IsLit = true;
+  I.Lit = Lit;
+  I.Rc = uint8_t(Rc);
+  return I;
+}
+
+Inst isa::makePal(Opcode Op) {
+  assert(formatOf(Op) == Format::Pal && "not a PAL-format opcode");
+  Inst I;
+  I.Op = Op;
+  return I;
+}
+
+Inst isa::makeMove(unsigned Src, unsigned Dst) {
+  return makeOp(Opcode::Bis, Src, Src, Dst);
+}
+
+Inst isa::makeNop() { return makeOp(Opcode::Bis, RegZero, RegZero, RegZero); }
+
+uint32_t isa::encode(const Inst &I) {
+  const OpDesc &D = Descs[size_t(I.Op)];
+  uint32_t W = uint32_t(D.Major) << 26;
+  switch (D.Fmt) {
+  case Format::Memory:
+    assert(fitsSigned(I.Disp, 16) && "memory displacement out of range");
+    return W | uint32_t(I.Ra) << 21 | uint32_t(I.Rb) << 16 |
+           (uint32_t(I.Disp) & 0xFFFF);
+  case Format::Branch:
+    assert(fitsSigned(I.Disp, 21) && "branch displacement out of range");
+    return W | uint32_t(I.Ra) << 21 | (uint32_t(I.Disp) & 0x1FFFFF);
+  case Format::Jump:
+    return W | uint32_t(I.Ra) << 21 | uint32_t(I.Rb) << 16 |
+           uint32_t(D.Func) << 14;
+  case Format::Operate:
+    W |= uint32_t(I.Ra) << 21 | uint32_t(D.Func) << 5 | uint32_t(I.Rc);
+    if (I.IsLit)
+      return W | uint32_t(I.Lit) << 13 | 1u << 12;
+    return W | uint32_t(I.Rb) << 16;
+  case Format::Pal:
+    return W | uint32_t(D.Func);
+  }
+  fatalError("unknown instruction format");
+}
+
+namespace {
+
+/// Lazily-built reverse maps from (major, func) to Opcode.
+struct DecodeTables {
+  std::map<unsigned, Opcode> MemBr;          // major -> opcode
+  std::map<std::pair<unsigned, unsigned>, Opcode> OpFunc; // (major,func)
+  std::map<unsigned, Opcode> JumpType;       // jump type field
+  std::map<unsigned, Opcode> PalFunc;
+
+  DecodeTables() {
+    for (size_t K = 0; K < size_t(Opcode::NumOpcodes); ++K) {
+      const OpDesc &D = Descs[K];
+      auto Op = Opcode(K);
+      switch (D.Fmt) {
+      case Format::Memory:
+      case Format::Branch:
+        MemBr.emplace(D.Major, Op);
+        break;
+      case Format::Operate:
+        OpFunc.emplace(std::make_pair(unsigned(D.Major), unsigned(D.Func)),
+                       Op);
+        break;
+      case Format::Jump:
+        JumpType.emplace(D.Func, Op);
+        break;
+      case Format::Pal:
+        PalFunc.emplace(D.Func, Op);
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+bool isa::decode(uint32_t Word, Inst &I) {
+  static const DecodeTables Tables;
+  unsigned Major = Word >> 26;
+  I = Inst();
+
+  if (Major == 0x00) { // PAL
+    auto It = Tables.PalFunc.find(Word & 0x03FFFFFF);
+    if (It == Tables.PalFunc.end())
+      return false;
+    I.Op = It->second;
+    return true;
+  }
+
+  if (Major == 0x1A) { // Jump
+    auto It = Tables.JumpType.find((Word >> 14) & 0x3);
+    if (It == Tables.JumpType.end())
+      return false;
+    I.Op = It->second;
+    I.Ra = (Word >> 21) & 31;
+    I.Rb = (Word >> 16) & 31;
+    return true;
+  }
+
+  if (Major == 0x10 || Major == 0x11 || Major == 0x12 || Major == 0x13 ||
+      Major == 0x14 || Major == 0x1C) { // Operate
+    unsigned Func = (Word >> 5) & 0x7F;
+    auto It = Tables.OpFunc.find({Major, Func});
+    if (It == Tables.OpFunc.end())
+      return false;
+    I.Op = It->second;
+    I.Ra = (Word >> 21) & 31;
+    I.Rc = Word & 31;
+    if (Word & (1u << 12)) {
+      I.IsLit = true;
+      I.Lit = (Word >> 13) & 0xFF;
+    } else {
+      I.Rb = (Word >> 16) & 31;
+    }
+    return true;
+  }
+
+  auto It = Tables.MemBr.find(Major);
+  if (It == Tables.MemBr.end())
+    return false;
+  I.Op = It->second;
+  I.Ra = (Word >> 21) & 31;
+  if (formatOf(I.Op) == Format::Memory) {
+    I.Rb = (Word >> 16) & 31;
+    I.Disp = int32_t(signExtend(Word & 0xFFFF, 16));
+  } else {
+    I.Disp = int32_t(signExtend(Word & 0x1FFFFF, 21));
+  }
+  return true;
+}
+
+bool isa::isLoad(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ldbu:
+  case Opcode::Ldwu:
+  case Opcode::Ldl:
+  case Opcode::Ldq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isa::isStore(Opcode Op) {
+  switch (Op) {
+  case Opcode::Stb:
+  case Opcode::Stw:
+  case Opcode::Stl:
+  case Opcode::Stq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isa::isMemRef(Opcode Op) { return isLoad(Op) || isStore(Op); }
+
+bool isa::isCondBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::Bge:
+  case Opcode::Blbc:
+  case Opcode::Blbs:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isa::isUncondBranch(Opcode Op) { return Op == Opcode::Br; }
+bool isa::isDirectCall(Opcode Op) { return Op == Opcode::Bsr; }
+bool isa::isIndirectCall(Opcode Op) { return Op == Opcode::Jsr; }
+bool isa::isCall(Opcode Op) { return isDirectCall(Op) || isIndirectCall(Op); }
+bool isa::isReturn(Opcode Op) { return Op == Opcode::Ret; }
+bool isa::isJump(Opcode Op) { return Op == Opcode::Jmp; }
+
+bool isa::isControlTransfer(Opcode Op) {
+  return isCondBranch(Op) || isUncondBranch(Op) || isCall(Op) ||
+         isReturn(Op) || isJump(Op);
+}
+
+unsigned isa::memAccessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ldbu:
+  case Opcode::Stb:
+    return 1;
+  case Opcode::Ldwu:
+  case Opcode::Stw:
+    return 2;
+  case Opcode::Ldl:
+  case Opcode::Stl:
+    return 4;
+  case Opcode::Ldq:
+  case Opcode::Stq:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+static uint32_t regBit(unsigned R) {
+  return R == RegZero ? 0 : (1u << R);
+}
+
+uint32_t isa::writtenRegs(const Inst &I) {
+  switch (formatOf(I.Op)) {
+  case Format::Memory:
+    return isStore(I.Op) ? 0 : regBit(I.Ra);
+  case Format::Branch:
+    // br/bsr write the link register; conditional branches write nothing.
+    return (I.Op == Opcode::Br || I.Op == Opcode::Bsr) ? regBit(I.Ra) : 0;
+  case Format::Jump:
+    return regBit(I.Ra);
+  case Format::Operate:
+    return regBit(I.Rc);
+  case Format::Pal:
+    // callsys returns its result in v0.
+    return I.Op == Opcode::Callsys ? regBit(RegV0) : 0;
+  }
+  return 0;
+}
+
+uint32_t isa::readRegs(const Inst &I) {
+  switch (formatOf(I.Op)) {
+  case Format::Memory:
+    if (isStore(I.Op))
+      return regBit(I.Ra) | regBit(I.Rb);
+    return regBit(I.Rb);
+  case Format::Branch:
+    return isCondBranch(I.Op) ? regBit(I.Ra) : 0;
+  case Format::Jump:
+    return regBit(I.Rb);
+  case Format::Operate:
+    return regBit(I.Ra) | (I.IsLit ? 0 : regBit(I.Rb));
+  case Format::Pal:
+    if (I.Op == Opcode::Callsys)
+      return regBit(RegV0) | regBit(RegA0) | regBit(RegA1) | regBit(RegA2);
+    return 0;
+  }
+  return 0;
+}
+
+std::string isa::disassemble(const Inst &I, uint64_t PC) {
+  const char *N = opcodeName(I.Op);
+  switch (formatOf(I.Op)) {
+  case Format::Memory:
+    return formatString("%-7s %s, %d(%s)", N, regName(I.Ra), I.Disp,
+                        regName(I.Rb));
+  case Format::Branch: {
+    uint64_t Target = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
+    if (I.Op == Opcode::Br || I.Op == Opcode::Bsr)
+      return formatString("%-7s %s, 0x%llx", N, regName(I.Ra),
+                          (unsigned long long)Target);
+    return formatString("%-7s %s, 0x%llx", N, regName(I.Ra),
+                        (unsigned long long)Target);
+  }
+  case Format::Jump:
+    return formatString("%-7s %s, (%s)", N, regName(I.Ra), regName(I.Rb));
+  case Format::Operate:
+    if (I.IsLit)
+      return formatString("%-7s %s, #%u, %s", N, regName(I.Ra),
+                          unsigned(I.Lit), regName(I.Rc));
+    return formatString("%-7s %s, %s, %s", N, regName(I.Ra), regName(I.Rb),
+                        regName(I.Rc));
+  case Format::Pal:
+    return N;
+  }
+  return "<bad>";
+}

@@ -1,0 +1,220 @@
+//===- isa/Isa.h - The AXP64-lite instruction set ---------------*- C++ -*-===//
+//
+// A 64-bit Alpha-AXP-flavoured RISC ISA used as the substrate for the ATOM
+// reproduction. It keeps the properties ATOM's cost model depends on:
+//   * 32 integer registers with the OSF/1 calling-standard roles,
+//   * 32-bit fixed-width instructions in Alpha's operate/memory/branch/jump
+//     formats (16-bit memory displacements, signed 21-bit branch
+//     displacements, 8-bit operate literals),
+//   * bsr/jsr subroutine linkage through the ra register.
+//
+// Deviations from real Alpha (documented in DESIGN.md): integer divide and
+// remainder are hardware instructions (real Alpha used software divide), and
+// byte/word loads and stores exist (as on later Alphas with BWX).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ISA_ISA_H
+#define ATOM_ISA_ISA_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace isa {
+
+/// Integer register numbers with their OSF/1 calling-standard roles.
+enum Reg : unsigned {
+  RegV0 = 0,  ///< Function return value (caller-save).
+  RegT0 = 1,  ///< t0..t7: scratch (caller-save).
+  RegT1 = 2,
+  RegT2 = 3,
+  RegT3 = 4,
+  RegT4 = 5,
+  RegT5 = 6,
+  RegT6 = 7,
+  RegT7 = 8,
+  RegS0 = 9,  ///< s0..s5: saved (callee-save).
+  RegS1 = 10,
+  RegS2 = 11,
+  RegS3 = 12,
+  RegS4 = 13,
+  RegS5 = 14,
+  RegFP = 15, ///< Frame pointer / s6 (callee-save).
+  RegA0 = 16, ///< a0..a5: argument registers (caller-save).
+  RegA1 = 17,
+  RegA2 = 18,
+  RegA3 = 19,
+  RegA4 = 20,
+  RegA5 = 21,
+  RegT8 = 22, ///< t8..t11: scratch (caller-save).
+  RegT9 = 23,
+  RegT10 = 24,
+  RegT11 = 25,
+  RegRA = 26,   ///< Return address.
+  RegPV = 27,   ///< Procedure value / t12 (caller-save).
+  RegAT = 28,   ///< Assembler temporary (caller-save).
+  RegGP = 29,   ///< Global pointer (unused by our code generators).
+  RegSP = 30,   ///< Stack pointer.
+  RegZero = 31, ///< Hardwired zero.
+  NumRegs = 32,
+};
+
+/// True for registers a callee may clobber without saving (v0, t0..t11,
+/// a0..a5, pv, at). ra is reported caller-save as well: it is clobbered by
+/// any call and ATOM always saves it at instrumentation sites.
+bool isCallerSaved(unsigned R);
+
+/// True for s0..s5 and fp, which procedures must preserve.
+bool isCalleeSaved(unsigned R);
+
+/// OSF/1-style register name ("v0", "t3", "sp", ...).
+const char *regName(unsigned R);
+
+/// Parses a register name (either the role name "a0" or "$17" form).
+/// Returns NumRegs on failure.
+unsigned parseRegName(const std::string &Name);
+
+/// Every machine operation. The encoding (major opcode + function code) is
+/// private to encode()/decode(); the rest of the system works with this enum.
+enum class Opcode : uint8_t {
+  // Memory format: op ra, disp(rb)
+  Lda,  ///< ra = rb + sext(disp)
+  Ldah, ///< ra = rb + sext(disp) << 16
+  Ldbu, ///< ra = zext(mem8[rb + disp])
+  Ldwu, ///< ra = zext(mem16[rb + disp])
+  Ldl,  ///< ra = sext(mem32[rb + disp])
+  Ldq,  ///< ra = mem64[rb + disp]
+  Stb,  ///< mem8[rb + disp] = ra
+  Stw,  ///< mem16[rb + disp] = ra
+  Stl,  ///< mem32[rb + disp] = ra
+  Stq,  ///< mem64[rb + disp] = ra
+
+  // Branch format: op ra, disp (target = pc + 4 + 4*disp)
+  Br,   ///< Unconditional; ra = return pc (usually zero).
+  Bsr,  ///< Subroutine branch; ra = return pc.
+  Beq,  ///< Taken iff ra == 0
+  Bne,  ///< Taken iff ra != 0
+  Blt,  ///< Taken iff ra < 0
+  Ble,  ///< Taken iff ra <= 0
+  Bgt,  ///< Taken iff ra > 0
+  Bge,  ///< Taken iff ra >= 0
+  Blbc, ///< Taken iff low bit of ra clear
+  Blbs, ///< Taken iff low bit of ra set
+
+  // Jump format: op ra, (rb); ra = return pc, pc = rb & ~3
+  Jmp,
+  Jsr,
+  Ret,
+
+  // Operate format: op ra, rb|#lit, rc
+  Addl, ///< rc = sext32(ra + rb)
+  Addq,
+  Subl, ///< rc = sext32(ra - rb)
+  Subq,
+  Mull, ///< rc = sext32(ra * rb)
+  Mulq,
+  Umulh, ///< rc = high 64 bits of unsigned ra * rb
+  Divq,  ///< rc = ra / rb (signed; 0 divisor -> 0). ISA extension.
+  Remq,  ///< rc = ra % rb (signed; 0 divisor -> 0). ISA extension.
+  Divqu, ///< Unsigned divide. ISA extension.
+  Remqu, ///< Unsigned remainder. ISA extension.
+  And,
+  Bic,   ///< rc = ra & ~rb
+  Bis,   ///< rc = ra | rb
+  Ornot, ///< rc = ra | ~rb
+  Xor,
+  Eqv,    ///< rc = ra ^ ~rb
+  Sll,
+  Srl,
+  Sra,
+  Cmpeq,  ///< rc = (ra == rb)
+  Cmplt,  ///< rc = (ra < rb) signed
+  Cmple,  ///< rc = (ra <= rb) signed
+  Cmpult, ///< rc = (ra < rb) unsigned
+  Cmpule, ///< rc = (ra <= rb) unsigned
+  Sextb,  ///< rc = sext8(rb)
+  Sextw,  ///< rc = sext16(rb)
+
+  // PAL format.
+  Callsys, ///< System call: number in v0, args a0..a2, result v0.
+  Halt,    ///< Stops the machine (used only by tests).
+
+  NumOpcodes,
+};
+
+/// Instruction formats, derivable from the opcode.
+enum class Format : uint8_t { Memory, Branch, Jump, Operate, Pal };
+
+/// Returns the format of \p Op.
+Format formatOf(Opcode Op);
+
+/// Mnemonic ("ldq", "addq", ...).
+const char *opcodeName(Opcode Op);
+
+/// A decoded instruction. Fields that a format does not use are zero
+/// (registers default to RegZero).
+struct Inst {
+  Opcode Op = Opcode::Halt;
+  uint8_t Ra = RegZero; ///< Memory/branch: value or link reg. Operate: src1.
+  uint8_t Rb = RegZero; ///< Memory: base. Jump: target. Operate: src2.
+  uint8_t Rc = RegZero; ///< Operate: destination.
+  bool IsLit = false;   ///< Operate: rb field is an 8-bit literal.
+  uint8_t Lit = 0;      ///< Operate literal (zero-extended).
+  int32_t Disp = 0;     ///< Memory: signed 16-bit. Branch: signed 21-bit
+                        ///< instruction count.
+
+  bool operator==(const Inst &O) const = default;
+};
+
+/// Convenience constructors.
+Inst makeMem(Opcode Op, unsigned Ra, int32_t Disp, unsigned Rb);
+Inst makeBranch(Opcode Op, unsigned Ra, int32_t Disp);
+Inst makeJump(Opcode Op, unsigned Ra, unsigned Rb);
+Inst makeOp(Opcode Op, unsigned Ra, unsigned Rb, unsigned Rc);
+Inst makeOpLit(Opcode Op, unsigned Ra, uint8_t Lit, unsigned Rc);
+Inst makePal(Opcode Op);
+/// bis rs, rs, rd
+Inst makeMove(unsigned Src, unsigned Dst);
+Inst makeNop(); ///< bis zero, zero, zero
+
+/// Encodes \p I into a 32-bit word. Asserts that immediates fit.
+uint32_t encode(const Inst &I);
+
+/// Decodes \p Word. Returns false for words that are not valid encodings.
+bool decode(uint32_t Word, Inst &I);
+
+/// Classification predicates used by OM and the ATOM query API.
+bool isLoad(Opcode Op);            ///< ldbu/ldwu/ldl/ldq (not lda/ldah)
+bool isStore(Opcode Op);
+bool isMemRef(Opcode Op);          ///< isLoad || isStore
+bool isCondBranch(Opcode Op);
+bool isUncondBranch(Opcode Op);    ///< br
+bool isDirectCall(Opcode Op);      ///< bsr
+bool isIndirectCall(Opcode Op);    ///< jsr
+bool isCall(Opcode Op);            ///< bsr or jsr
+bool isReturn(Opcode Op);          ///< ret
+bool isJump(Opcode Op);            ///< jmp
+/// True if the instruction may transfer control (branches, jumps, calls,
+/// returns). Callsys and Halt are not control transfers for CFG purposes.
+bool isControlTransfer(Opcode Op);
+/// Memory access size in bytes for loads/stores, 0 otherwise.
+unsigned memAccessSize(Opcode Op);
+
+/// Registers written by \p I as a bitmask (bit R set => register R written).
+/// RegZero writes are filtered out.
+uint32_t writtenRegs(const Inst &I);
+/// Registers read by \p I as a bitmask. RegZero is filtered out.
+uint32_t readRegs(const Inst &I);
+
+/// Disassembles \p I; \p PC (the instruction's address) is used to render
+/// branch targets as absolute addresses.
+std::string disassemble(const Inst &I, uint64_t PC);
+
+} // namespace isa
+} // namespace atom
+
+#endif // ATOM_ISA_ISA_H

@@ -1,0 +1,306 @@
+//===- link/Linker.cpp ----------------------------------------------------===//
+
+#include "link/Linker.h"
+
+#include "isa/Isa.h"
+
+#include <map>
+
+using namespace atom;
+using namespace atom::link;
+using namespace atom::obj;
+
+namespace {
+
+/// Per-input-module placement of its sections in the merged image.
+struct ModuleLayout {
+  uint64_t TextOff = 0;
+  uint64_t DataOff = 0;
+  uint64_t BssOff = 0;
+};
+
+/// Shared merging machinery for both link modes.
+struct Merger {
+  explicit Merger(DiagEngine &Diags) : Diags(Diags) {}
+
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  std::vector<ModuleLayout> Layouts;
+  uint64_t TextSize = 0, DataSize = 0, BssSize = 0;
+
+  /// Output symbols and the mapping (module, local index) -> output index.
+  std::vector<Symbol> OutSymbols;
+  std::vector<std::vector<uint32_t>> SymMap;
+  std::map<std::string, uint32_t> GlobalDefs;   // name -> out index
+  std::map<std::string, uint32_t> UndefGlobals; // name -> out index
+
+  void error(const std::string &Msg) {
+    Diags.error(0, Msg);
+    Failed = true;
+  }
+
+  void computeLayout(const std::vector<ObjectModule> &Modules) {
+    for (const ObjectModule &M : Modules) {
+      ModuleLayout L;
+      L.TextOff = alignTo(TextSize, 4);
+      L.DataOff = alignTo(DataSize, 8);
+      L.BssOff = alignTo(BssSize, 8);
+      TextSize = L.TextOff + M.Text.size();
+      DataSize = L.DataOff + M.Data.size();
+      BssSize = L.BssOff + M.BssSize;
+      Layouts.push_back(L);
+    }
+  }
+
+  /// Converts a symbol's section-relative value into a merged-image
+  /// section-relative value.
+  uint64_t placeValue(const Symbol &S, const ModuleLayout &L) {
+    switch (S.Section) {
+    case SymSection::Text:
+      return L.TextOff + S.Value;
+    case SymSection::Data:
+      return L.DataOff + S.Value;
+    case SymSection::Bss:
+      return L.BssOff + S.Value;
+    case SymSection::Absolute:
+    case SymSection::Undefined:
+      return S.Value;
+    }
+    return S.Value;
+  }
+
+  void mergeSymbols(const std::vector<ObjectModule> &Modules) {
+    for (size_t MI = 0; MI < Modules.size(); ++MI) {
+      const ObjectModule &M = Modules[MI];
+      SymMap.emplace_back(M.Symbols.size(), 0);
+      for (size_t SI = 0; SI < M.Symbols.size(); ++SI) {
+        const Symbol &S = M.Symbols[SI];
+        Symbol Placed = S;
+        Placed.Value = placeValue(S, Layouts[MI]);
+
+        if (S.Global || S.Section == SymSection::Undefined) {
+          // Globals and external references share one slot per name.
+          auto DefIt = GlobalDefs.find(S.Name);
+          if (S.Section != SymSection::Undefined) {
+            if (DefIt != GlobalDefs.end()) {
+              error("duplicate global symbol '" + S.Name + "' (in " + M.Name +
+                    ")");
+              SymMap[MI][SI] = DefIt->second;
+              continue;
+            }
+            uint32_t Idx;
+            auto UIt = UndefGlobals.find(S.Name);
+            if (UIt != UndefGlobals.end()) {
+              Idx = UIt->second;
+              OutSymbols[Idx] = Placed;
+              UndefGlobals.erase(UIt);
+            } else {
+              Idx = uint32_t(OutSymbols.size());
+              OutSymbols.push_back(Placed);
+            }
+            GlobalDefs.emplace(S.Name, Idx);
+            SymMap[MI][SI] = Idx;
+            continue;
+          }
+          // Undefined reference.
+          if (DefIt != GlobalDefs.end()) {
+            SymMap[MI][SI] = DefIt->second;
+            continue;
+          }
+          auto UIt = UndefGlobals.find(S.Name);
+          if (UIt != UndefGlobals.end()) {
+            SymMap[MI][SI] = UIt->second;
+            continue;
+          }
+          uint32_t Idx = uint32_t(OutSymbols.size());
+          Placed.Global = true;
+          OutSymbols.push_back(Placed);
+          UndefGlobals.emplace(S.Name, Idx);
+          SymMap[MI][SI] = Idx;
+          continue;
+        }
+
+        // Local symbol: always gets its own slot.
+        SymMap[MI][SI] = uint32_t(OutSymbols.size());
+        OutSymbols.push_back(Placed);
+      }
+    }
+  }
+
+  void mergeSections(const std::vector<ObjectModule> &Modules,
+                     std::vector<uint8_t> &Text, std::vector<uint8_t> &Data,
+                     std::vector<Reloc> &TextRelocs,
+                     std::vector<Reloc> &DataRelocs) {
+    Text.assign(TextSize, 0);
+    Data.assign(DataSize, 0);
+    for (size_t MI = 0; MI < Modules.size(); ++MI) {
+      const ObjectModule &M = Modules[MI];
+      const ModuleLayout &L = Layouts[MI];
+      std::copy(M.Text.begin(), M.Text.end(), Text.begin() + long(L.TextOff));
+      std::copy(M.Data.begin(), M.Data.end(), Data.begin() + long(L.DataOff));
+      for (const Reloc &R : M.TextRelocs)
+        TextRelocs.push_back({R.Kind, R.Offset + L.TextOff,
+                              SymMap[MI][R.SymIndex], R.Addend});
+      for (const Reloc &R : M.DataRelocs)
+        DataRelocs.push_back({R.Kind, R.Offset + L.DataOff,
+                              SymMap[MI][R.SymIndex], R.Addend});
+    }
+  }
+};
+
+} // namespace
+
+bool link::linkRelocatable(const std::vector<ObjectModule> &Modules,
+                           const std::string &Name, ObjectModule &Out,
+                           DiagEngine &Diags, bool RequireResolved) {
+  Merger M(Diags);
+  M.computeLayout(Modules);
+  M.mergeSymbols(Modules);
+  if (RequireResolved)
+    for (const auto &[SymName, Idx] : M.UndefGlobals)
+      M.error("undefined symbol '" + SymName + "'");
+  if (M.Failed)
+    return false;
+
+  Out = ObjectModule();
+  Out.Name = Name;
+  Out.BssSize = M.BssSize;
+  Out.Symbols = std::move(M.OutSymbols);
+  M.mergeSections(Modules, Out.Text, Out.Data, Out.TextRelocs,
+                  Out.DataRelocs);
+  return true;
+}
+
+/// Applies one relocation into the image. \p SValue is the resolved symbol
+/// address, \p Place the absolute address of the relocated field.
+static bool applyReloc(const Reloc &R, uint64_t SValue, uint64_t Place,
+                       std::vector<uint8_t> &Section, uint64_t SectionOffset,
+                       DiagEngine &Diags) {
+  int64_t V = int64_t(SValue) + R.Addend;
+  switch (R.Kind) {
+  case RelocKind::Abs64:
+    write64(Section, SectionOffset, uint64_t(V));
+    return true;
+  case RelocKind::Hi16:
+  case RelocKind::Lo16: {
+    int16_t Lo = int16_t(uint64_t(V) & 0xFFFF);
+    int64_t Hi = (V - Lo) >> 16;
+    if (!fitsSigned(Hi, 16)) {
+      Diags.error(0, formatString(
+                         "Hi16/Lo16 relocation target 0x%llx out of range",
+                         (unsigned long long)V));
+      return false;
+    }
+    uint32_t Word = read32(Section, SectionOffset);
+    uint16_t Field = R.Kind == RelocKind::Hi16 ? uint16_t(Hi) : uint16_t(Lo);
+    Word = (Word & 0xFFFF0000u) | Field;
+    write32(Section, SectionOffset, Word);
+    return true;
+  }
+  case RelocKind::Br21: {
+    int64_t Delta = V - int64_t(Place + 4);
+    if (Delta % 4 != 0) {
+      Diags.error(0, "branch target not instruction aligned");
+      return false;
+    }
+    int64_t Disp = Delta / 4;
+    if (!fitsSigned(Disp, 21)) {
+      Diags.error(0, formatString("branch displacement %lld out of range",
+                                  (long long)Disp));
+      return false;
+    }
+    uint32_t Word = read32(Section, SectionOffset);
+    Word = (Word & ~0x1FFFFFu) | (uint32_t(Disp) & 0x1FFFFF);
+    write32(Section, SectionOffset, Word);
+    return true;
+  }
+  }
+  return false;
+}
+
+bool link::linkExecutable(const std::vector<ObjectModule> &Modules,
+                          Executable &Out, DiagEngine &Diags,
+                          const LinkOptions &Opts) {
+  ObjectModule Merged;
+  if (!linkRelocatable(Modules, "a.out", Merged, Diags,
+                       /*RequireResolved=*/false))
+    return false;
+
+  Out = Executable();
+  Out.TextStart = Opts.TextStart;
+  Out.DataStart = Opts.DataStart;
+  Out.StackStart = Opts.TextStart;
+  Out.Text = std::move(Merged.Text);
+  Out.Data = std::move(Merged.Data);
+  Out.BssSize = alignTo(Merged.BssSize, 8);
+  Out.HeapStart =
+      alignTo(Out.DataStart + Out.Data.size() + Out.BssSize, PageSize);
+  Out.Symbols = std::move(Merged.Symbols);
+  Out.TextRelocs = std::move(Merged.TextRelocs);
+  Out.DataRelocs = std::move(Merged.DataRelocs);
+
+  if (Out.TextStart + Out.Text.size() > Out.DataStart) {
+    Diags.error(0, "text segment overflows into data segment");
+    return false;
+  }
+
+  // Resolve linker-provided symbols and convert section-relative symbol
+  // values to absolute addresses.
+  bool Failed = false;
+  for (Symbol &S : Out.Symbols) {
+    switch (S.Section) {
+    case SymSection::Text:
+      S.Value += Out.TextStart;
+      break;
+    case SymSection::Data:
+      S.Value += Out.DataStart;
+      break;
+    case SymSection::Bss:
+      S.Value += Out.DataStart + Out.Data.size();
+      S.Section = SymSection::Data; // bss sits right after data in memory
+      break;
+    case SymSection::Absolute:
+      break;
+    case SymSection::Undefined:
+      if (S.Name == "__heap_start") {
+        S.Section = SymSection::Absolute;
+        S.Value = Out.HeapStart;
+        break;
+      }
+      Diags.error(0, "undefined symbol '" + S.Name + "'");
+      Failed = true;
+      break;
+    }
+  }
+  if (Failed)
+    return false;
+
+  for (const Reloc &R : Out.TextRelocs)
+    if (!applyReloc(R, Out.Symbols[R.SymIndex].Value, Out.TextStart + R.Offset,
+                    Out.Text, R.Offset, Diags))
+      Failed = true;
+  for (const Reloc &R : Out.DataRelocs)
+    if (!applyReloc(R, Out.Symbols[R.SymIndex].Value, Out.DataStart + R.Offset,
+                    Out.Data, R.Offset, Diags))
+      Failed = true;
+  if (Failed)
+    return false;
+
+  // Statically initialize the runtime's heap-break cell so execution does
+  // not depend on _start's lazy-init path. ATOM performs the same
+  // initialization on instrumented executables; doing it here keeps the
+  // dynamic branch/instruction counts of instrumented and uninstrumented
+  // runs aligned.
+  for (const Symbol &S : Out.Symbols)
+    if (S.Name == "__heap_break" && S.Section == SymSection::Data) {
+      uint64_t Off = S.Value - Out.DataStart;
+      if (Off + 8 <= Out.Data.size())
+        write64(Out.Data, Off, Out.HeapStart);
+      break;
+    }
+
+  int EntryIdx = Out.findSymbol(Opts.EntrySymbol);
+  Out.Entry = EntryIdx >= 0 ? Out.Symbols[EntryIdx].Value : Out.TextStart;
+  return true;
+}

@@ -1,0 +1,45 @@
+//===- link/Linker.h - Static linker ----------------------------*- C++ -*-===//
+//
+// Links object modules into either an executable image (with relocations
+// retained for OM) or a single merged relocatable module (used by ATOM to
+// combine the user's analysis routines with their private copy of the
+// runtime library).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_LINK_LINKER_H
+#define ATOM_LINK_LINKER_H
+
+#include "obj/ObjectModule.h"
+#include "support/Support.h"
+
+#include <vector>
+
+namespace atom {
+namespace link {
+
+struct LinkOptions {
+  uint64_t TextStart = obj::DefaultTextStart;
+  uint64_t DataStart = obj::DefaultDataStart;
+  /// Entry symbol; if absent from the inputs, entry falls back to TextStart.
+  std::string EntrySymbol = "_start";
+};
+
+/// Links \p Modules into an executable. Returns false with diagnostics on
+/// duplicate/undefined globals or relocation overflow.
+bool linkExecutable(const std::vector<obj::ObjectModule> &Modules,
+                    obj::Executable &Out, DiagEngine &Diags,
+                    const LinkOptions &Opts = LinkOptions());
+
+/// Merges \p Modules into one relocatable module ("ld -r"). Global symbol
+/// references are bound to their definitions; no addresses are assigned and
+/// relocations are kept. Returns false on duplicate globals or (if
+/// \p RequireResolved) remaining undefined references.
+bool linkRelocatable(const std::vector<obj::ObjectModule> &Modules,
+                     const std::string &Name, obj::ObjectModule &Out,
+                     DiagEngine &Diags, bool RequireResolved = true);
+
+} // namespace link
+} // namespace atom
+
+#endif // ATOM_LINK_LINKER_H

@@ -1,0 +1,210 @@
+//===- mcc/Ast.h - Mini-C abstract syntax tree ------------------*- C++ -*-===//
+//
+// The mini-C language: the C subset in which analysis routines and the
+// synthetic workloads are written. Supported: char/int/long/void, pointers,
+// arrays, structs, the full statement set, variadic declarations (used by
+// printf), and the usual expression operators.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_MCC_AST_H
+#define ATOM_MCC_AST_H
+
+#include "support/Support.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace mcc {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+struct StructDef;
+
+struct Type {
+  enum Kind { Void, Char, Int, Long, Ptr, Array, Struct } K = Void;
+  const Type *Pointee = nullptr; ///< Ptr/Array element type.
+  int64_t ArraySize = 0;
+  const StructDef *SD = nullptr;
+
+  bool isInteger() const { return K == Char || K == Int || K == Long; }
+  bool isPointer() const { return K == Ptr; }
+  bool isScalar() const { return isInteger() || isPointer(); }
+  bool isArray() const { return K == Array; }
+  bool isStruct() const { return K == Struct; }
+
+  uint64_t size() const;
+  uint64_t align() const;
+  std::string str() const;
+};
+
+struct StructField {
+  std::string Name;
+  const Type *Ty = nullptr;
+  uint64_t Offset = 0;
+};
+
+struct StructDef {
+  std::string Name;
+  std::vector<StructField> Fields;
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  bool Complete = false;
+
+  const StructField *findField(const std::string &N) const {
+    for (const StructField &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Owns and uniques types. One per compilation.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *voidTy() const { return &VoidT; }
+  const Type *charTy() const { return &CharT; }
+  const Type *intTy() const { return &IntT; }
+  const Type *longTy() const { return &LongT; }
+  const Type *ptrTo(const Type *Pointee);
+  const Type *arrayOf(const Type *Elem, int64_t N);
+  const Type *structTy(const StructDef *SD);
+  StructDef *createStruct(const std::string &Name);
+  StructDef *findStruct(const std::string &Name);
+
+private:
+  Type VoidT, CharT, IntT, LongT;
+  std::vector<std::unique_ptr<Type>> Owned;
+  std::vector<std::unique_ptr<StructDef>> Structs;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+struct FuncDecl;
+struct VarDecl;
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum Kind {
+    IntLit,
+    StrLit,
+    VarRef,   ///< Resolved to a VarDecl (global, local, or parameter).
+    FuncRef,  ///< Function name used as a call target.
+    Unary,    ///< - ! ~ * & ++x --x
+    Postfix,  ///< x++ x--
+    Binary,   ///< arithmetic / comparison / logical / shifts
+    Assign,   ///< = += -= *= /=
+    Cond,     ///< ?:
+    Call,
+    Index,    ///< a[i]
+    Member,   ///< s.f and p->f
+    Cast,
+    SizeofTy,
+  } K;
+
+  int Line = 0;
+  const Type *Ty = nullptr; ///< Set by Sema.
+  bool IsLValue = false;    ///< Set by Sema.
+  bool DecayedArray = false; ///< Array-to-pointer decay applied: the
+                             ///< expression's value is an address.
+
+  // IntLit / SizeofTy value.
+  int64_t IntValue = 0;
+  // StrLit contents (without quotes, escapes resolved).
+  std::string StrValue;
+  // VarRef / FuncRef / Member field / Call callee name.
+  std::string Name;
+  // Resolved declarations (Sema).
+  const VarDecl *Var = nullptr;
+  const FuncDecl *Callee = nullptr;
+
+  // Operator spelling for Unary/Postfix/Binary/Assign ("+", "<=", "+=", ...).
+  std::string Op;
+
+  ExprPtr Lhs, Rhs, Third; ///< Sub-expressions (Third for ?:).
+  std::vector<ExprPtr> Args;
+  const Type *CastTy = nullptr; ///< Cast/SizeofTy target.
+  bool IsArrow = false;         ///< Member: -> vs .
+
+  explicit Expr(Kind K) : K(K) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+  ExprPtr Init;  ///< Optional initializer.
+  bool IsGlobal = false;
+  bool IsExtern = false;
+  bool IsParam = false;
+  int ParamIndex = -1;
+  // Codegen info.
+  mutable int64_t FrameOffset = 0; ///< Locals/params: sp-relative offset.
+  mutable std::string AsmLabel;    ///< Globals: symbol name.
+};
+
+struct Stmt {
+  enum Kind {
+    Block,
+    If,
+    While,
+    DoWhile,
+    For,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    ExprStmt,
+    DeclStmt,
+    Empty,
+  } K;
+
+  int Line = 0;
+  std::vector<StmtPtr> Body;       ///< Block / Switch body (flat).
+  ExprPtr Cond, Init, Step, E;     ///< Control/expression payloads.
+  StmtPtr Then, Else, Loop;        ///< Sub-statements.
+  std::unique_ptr<VarDecl> Decl;   ///< DeclStmt; Switch: hidden control
+                                   ///< variable holding the switch value.
+  /// Switch only: (case value, index into Body where the case starts).
+  std::vector<std::pair<int64_t, int>> Cases;
+  int DefaultIndex = -1; ///< Switch: Body index of 'default:', or -1.
+
+  explicit Stmt(Kind K) : K(K) {}
+};
+
+struct FuncDecl {
+  std::string Name;
+  const Type *RetTy = nullptr;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  bool IsVariadic = false;
+  bool IsExtern = false; ///< Declaration only.
+  StmtPtr Body;          ///< Null for extern declarations.
+  int Line = 0;
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+};
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_AST_H

@@ -1,0 +1,1242 @@
+//===- mcc/CodeGen.cpp - AST -> AXP64-lite assembly -----------------------===//
+//
+// Calling convention implemented here (and relied upon by ATOM's data-flow
+// summaries): first six arguments in a0..a5, rest on the stack at the
+// caller's sp; variadic arguments all go to the stack after the named ones;
+// return value in v0; t0..t11 are scratch and never live across calls;
+// s0..s5/fp are never used (so analysis routines modify only caller-save
+// registers, which is what ATOM must save at instrumentation points).
+//
+// Frame layout, offsets from sp after the prologue:
+//   [0,128)    outgoing stack-argument area (only if the function calls)
+//   [128,384)  argument staging slots (32)    (only if the function calls)
+//   [S,S+256)  expression spill slots (32)
+//   [...]      locals and parameter home slots
+//   [F-8,F)    saved ra
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcc/CodeGen.h"
+
+#include "isa/Isa.h"
+
+#include <map>
+
+using namespace atom;
+using namespace atom::mcc;
+using namespace atom::isa;
+
+namespace {
+
+constexpr int NumTempRegs = 12;
+constexpr unsigned TempRegs[NumTempRegs] = {RegT0, RegT1, RegT2,  RegT3,
+                                            RegT4, RegT5, RegT6,  RegT7,
+                                            RegT8, RegT9, RegT10, RegT11};
+constexpr int NumStageSlots = 32;
+constexpr int NumSpillSlots = 32;
+
+/// A handle to an expression value held by the register/spill manager.
+struct Temp {
+  int Id = -1;
+  bool valid() const { return Id >= 0; }
+};
+
+class CodeGen {
+public:
+  CodeGen(const TranslationUnit &Unit, DiagEngine &Diags)
+      : Unit(Unit), Diags(Diags) {}
+
+  bool run(std::string &AsmOut);
+
+private:
+  void error(int Line, const std::string &Msg) {
+    Diags.error(Line, Msg);
+    Failed = true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Assembly emission
+  //===--------------------------------------------------------------------===
+
+  void emit(const std::string &S) { Text += "        " + S + "\n"; }
+  void emitLabel(const std::string &L) { Text += L + ":\n"; }
+  std::string newLabel() {
+    return formatString("L$%s$%d", CurFuncName.c_str(), LabelCounter++);
+  }
+  const char *regN(unsigned R) { return regName(R); }
+
+  //===--------------------------------------------------------------------===
+  // Temp / spill management
+  //===--------------------------------------------------------------------===
+
+  struct TempInfo {
+    int Reg = -1;       ///< Index into TempRegs, or -1 if spilled.
+    int Slot = -1;      ///< Spill slot, or -1.
+    bool Live = false;
+    uint64_t Stamp = 0; ///< For LRU spilling.
+  };
+
+  int64_t spillSlotOffset(int Slot) const { return SpillBase + 8 * Slot; }
+  int64_t stageSlotOffset(int Slot) const { return StageBase + 8 * Slot; }
+
+  int allocSpillSlot(int Line) {
+    for (int I = 0; I < NumSpillSlots; ++I)
+      if (!SpillUsed[I]) {
+        SpillUsed[I] = true;
+        return I;
+      }
+    error(Line, "expression too complex (out of spill slots)");
+    return 0;
+  }
+  void freeSpillSlot(int S) { SpillUsed[S] = false; }
+
+  /// Spills the least-recently-used in-register temp to a slot.
+  void spillOne(int Line) {
+    int Victim = -1;
+    uint64_t Best = ~uint64_t(0);
+    for (size_t I = 0; I < Temps.size(); ++I)
+      if (Temps[I].Live && Temps[I].Reg >= 0 && Temps[I].Stamp < Best) {
+        Best = Temps[I].Stamp;
+        Victim = int(I);
+      }
+    assert(Victim >= 0 && "no spillable temp");
+    TempInfo &T = Temps[size_t(Victim)];
+    if (T.Slot < 0)
+      T.Slot = allocSpillSlot(Line);
+    emit(formatString("stq %s, %lld(sp)", regN(TempRegs[T.Reg]),
+                      (long long)spillSlotOffset(T.Slot)));
+    RegHolder[T.Reg] = -1;
+    T.Reg = -1;
+  }
+
+  int takeFreeReg(int Line) {
+    for (int R = 0; R < NumTempRegs; ++R)
+      if (RegHolder[R] < 0)
+        return R;
+    spillOne(Line);
+    for (int R = 0; R < NumTempRegs; ++R)
+      if (RegHolder[R] < 0)
+        return R;
+    fatalError("spill did not free a register");
+  }
+
+  Temp allocTemp(int Line) {
+    int R = takeFreeReg(Line);
+    TempInfo T;
+    T.Reg = R;
+    T.Live = true;
+    T.Stamp = ++StampCounter;
+    Temps.push_back(T);
+    int Id = int(Temps.size() - 1);
+    RegHolder[R] = Id;
+    return Temp{Id};
+  }
+
+  /// Ensures \p T is in a register and returns its name.
+  unsigned regOf(Temp T, int Line) {
+    assert(T.valid() && Temps[size_t(T.Id)].Live && "dead temp");
+    TempInfo &I = Temps[size_t(T.Id)];
+    I.Stamp = ++StampCounter;
+    if (I.Reg >= 0)
+      return TempRegs[I.Reg];
+    int R = takeFreeReg(Line);
+    I.Reg = R;
+    RegHolder[R] = T.Id;
+    emit(formatString("ldq %s, %lld(sp)", regN(TempRegs[R]),
+                      (long long)spillSlotOffset(I.Slot)));
+    freeSpillSlot(I.Slot);
+    I.Slot = -1;
+    return TempRegs[R];
+  }
+
+  void freeTemp(Temp T) {
+    if (!T.valid())
+      return;
+    TempInfo &I = Temps[size_t(T.Id)];
+    assert(I.Live && "double free of temp");
+    I.Live = false;
+    if (I.Reg >= 0)
+      RegHolder[I.Reg] = -1;
+    if (I.Slot >= 0)
+      freeSpillSlot(I.Slot);
+    I.Reg = I.Slot = -1;
+  }
+
+  /// Spills every live temp to memory (before calls and before any
+  /// intra-expression control flow, so both paths of a branch agree on
+  /// where values live).
+  void spillAllLive(int Line) {
+    for (size_t I = 0; I < Temps.size(); ++I) {
+      TempInfo &T = Temps[I];
+      if (!T.Live || T.Reg < 0)
+        continue;
+      if (T.Slot < 0)
+        T.Slot = allocSpillSlot(Line);
+      emit(formatString("stq %s, %lld(sp)", regN(TempRegs[T.Reg]),
+                        (long long)spillSlotOffset(T.Slot)));
+      RegHolder[T.Reg] = -1;
+      T.Reg = -1;
+    }
+  }
+
+  void assertAllFree(int Line) {
+    for (const TempInfo &T : Temps)
+      if (T.Live)
+        fatalError(formatString("temp leak near line %d", Line));
+    Temps.clear();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expression generation
+  //===--------------------------------------------------------------------===
+
+  static bool isWordType(const Type *T) { return T->K == Type::Int; }
+
+  /// Emits a load of *Addr with the memory type \p T into \p Dst.
+  void emitLoad(unsigned Dst, unsigned Addr, int64_t Disp, const Type *T) {
+    const char *Op = "ldq";
+    if (T->K == Type::Char)
+      Op = "ldbu";
+    else if (T->K == Type::Int)
+      Op = "ldl";
+    emit(formatString("%s %s, %lld(%s)", Op, regN(Dst), (long long)Disp,
+                      regN(Addr)));
+  }
+
+  void emitStore(unsigned Src, unsigned Addr, int64_t Disp, const Type *T) {
+    const char *Op = "stq";
+    if (T->K == Type::Char)
+      Op = "stb";
+    else if (T->K == Type::Int)
+      Op = "stl";
+    emit(formatString("%s %s, %lld(%s)", Op, regN(Src), (long long)Disp,
+                      regN(Addr)));
+  }
+
+  /// Re-establishes the register invariant after converting to \p To.
+  void emitConvert(unsigned R, const Type *From, const Type *To) {
+    if (From == To)
+      return;
+    if (To->K == Type::Int && From->K != Type::Int &&
+        From->K != Type::Char)
+      emit(formatString("addl %s, #0, %s", regN(R), regN(R)));
+    else if (To->K == Type::Char)
+      emit(formatString("and %s, #255, %s", regN(R), regN(R)));
+    // Widening (char->int/long, int->long) is a no-op: values are already
+    // sign/zero extended in registers.
+  }
+
+  /// Multiplies the value in \p T by \p Factor (pointer scaling).
+  void emitScale(Temp T, uint64_t Factor, int Line) {
+    if (Factor == 1)
+      return;
+    unsigned R = regOf(T, Line);
+    if ((Factor & (Factor - 1)) == 0) {
+      unsigned Sh = 0;
+      while ((uint64_t(1) << Sh) < Factor)
+        ++Sh;
+      emit(formatString("sll %s, #%u, %s", regN(R), Sh, regN(R)));
+      return;
+    }
+    if (Factor <= 255) {
+      emit(formatString("mulq %s, #%llu, %s", regN(R),
+                        (unsigned long long)Factor, regN(R)));
+      return;
+    }
+    Temp F = allocTemp(Line);
+    unsigned FR = regOf(F, Line);
+    R = regOf(T, Line);
+    emit(formatString("lconst %s, %llu", regN(FR),
+                      (unsigned long long)Factor));
+    emit(formatString("mulq %s, %s, %s", regN(R), regN(FR), regN(R)));
+    freeTemp(F);
+  }
+
+  std::string stringLabel(const std::string &S) {
+    for (auto &[L, V] : Strings)
+      if (V == S)
+        return L;
+    std::string L = formatString("Lstr$%d", int(Strings.size()));
+    Strings.emplace_back(L, S);
+    return L;
+  }
+
+  Temp genExpr(const Expr &E);
+  Temp genAddr(const Expr &E);
+  Temp genIncDec(const Expr &E, bool IsPre, bool IsInc);
+  Temp genShortCircuit(const Expr &E);
+  Temp genCondExpr(const Expr &E);
+  Temp genCall(const Expr &E);
+  Temp genBinaryOp(const std::string &Op, Temp L, Temp R, const Type *LT,
+                   const Type *RT, const Type *ResTy, int Line);
+  /// Stores the value of \p V (typed \p ValTy) through the lvalue \p E.
+  void genStoreTo(const Expr &E, Temp V, const Type *ValTy);
+
+  //===--------------------------------------------------------------------===
+  // Statements and functions
+  //===--------------------------------------------------------------------===
+
+  void genStmt(const Stmt &S);
+  void genFunction(const FuncDecl &F);
+  void layoutFrame(const FuncDecl &F);
+  void collectLocals(const Stmt &S);
+  static bool stmtHasCall(const Stmt &S);
+  static bool exprHasCall(const Expr &E);
+
+  bool genGlobal(const VarDecl &G);
+  bool foldConst(const Expr &E, int64_t &V, std::string &SymOut);
+
+  //===--------------------------------------------------------------------===
+
+  const TranslationUnit &Unit;
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  std::string Text; ///< .text body.
+  std::string DataSection;
+  std::string BssSection;
+  std::vector<std::pair<std::string, std::string>> Strings;
+
+  // Per-function state.
+  std::string CurFuncName;
+  const FuncDecl *CurFunc = nullptr;
+  int LabelCounter = 0;
+  int64_t FrameSize = 0;
+  int64_t StageBase = 0, SpillBase = 0;
+  std::string RetLabel;
+  std::vector<std::string> BreakLabels, ContinueLabels;
+
+  std::vector<TempInfo> Temps;
+  int RegHolder[NumTempRegs];
+  bool SpillUsed[NumSpillSlots] = {};
+  uint64_t StampCounter = 0;
+  int StageDepth = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Frame layout
+//===----------------------------------------------------------------------===//
+
+bool CodeGen::exprHasCall(const Expr &E) {
+  if (E.K == Expr::Call && E.Name != "__vararg")
+    return true;
+  for (const ExprPtr *Sub : {&E.Lhs, &E.Rhs, &E.Third})
+    if (*Sub && exprHasCall(**Sub))
+      return true;
+  for (const ExprPtr &A : E.Args)
+    if (exprHasCall(*A))
+      return true;
+  return false;
+}
+
+bool CodeGen::stmtHasCall(const Stmt &S) {
+  for (const ExprPtr *E : {&S.Cond, &S.Init, &S.Step, &S.E})
+    if (*E && exprHasCall(**E))
+      return true;
+  if (S.Decl && S.Decl->Init && exprHasCall(*S.Decl->Init))
+    return true;
+  for (const StmtPtr &Sub : S.Body)
+    if (Sub && stmtHasCall(*Sub))
+      return true;
+  for (const StmtPtr *Sub : {&S.Then, &S.Else, &S.Loop})
+    if (*Sub && stmtHasCall(**Sub))
+      return true;
+  return false;
+}
+
+void CodeGen::collectLocals(const Stmt &S) {
+  if ((S.K == Stmt::DeclStmt || S.K == Stmt::Switch) && S.Decl) {
+    const VarDecl *V = S.Decl.get();
+    uint64_t Align = std::min<uint64_t>(8, std::max<uint64_t>(V->Ty->align(), 1));
+    FrameSize = int64_t(alignTo(uint64_t(FrameSize), Align));
+    V->FrameOffset = FrameSize;
+    FrameSize += int64_t(alignTo(std::max<uint64_t>(V->Ty->size(), 8), 8));
+  }
+  for (const StmtPtr &Sub : S.Body)
+    if (Sub)
+      collectLocals(*Sub);
+  for (const StmtPtr *Sub : {&S.Then, &S.Else, &S.Loop})
+    if (*Sub)
+      collectLocals(**Sub);
+}
+
+void CodeGen::layoutFrame(const FuncDecl &F) {
+  bool HasCalls = F.Body && stmtHasCall(*F.Body);
+  int64_t OutArgBytes = HasCalls ? 128 : 0;
+  int64_t StageBytes = HasCalls ? 8 * NumStageSlots : 0;
+  StageBase = OutArgBytes;
+  SpillBase = OutArgBytes + StageBytes;
+  FrameSize = SpillBase + 8 * NumSpillSlots;
+
+  // Parameter home slots.
+  for (const auto &P : F.Params) {
+    P->FrameOffset = FrameSize;
+    FrameSize += 8;
+  }
+  // Locals.
+  if (F.Body)
+    collectLocals(*F.Body);
+  // Saved ra.
+  FrameSize += 8;
+  FrameSize = int64_t(alignTo(uint64_t(FrameSize), 16));
+  if (FrameSize > 32000)
+    error(F.Line, "stack frame of '" + F.Name +
+                      "' too large; move large arrays to globals");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Temp CodeGen::genAddr(const Expr &E) {
+  switch (E.K) {
+  case Expr::VarRef: {
+    const VarDecl *V = E.Var;
+    Temp T = allocTemp(E.Line);
+    unsigned R = regOf(T, E.Line);
+    if (V->IsGlobal)
+      emit(formatString("laddr %s, %s", regN(R), V->Name.c_str()));
+    else
+      emit(formatString("lda %s, %lld(sp)", regN(R),
+                        (long long)V->FrameOffset));
+    return T;
+  }
+  case Expr::Unary:
+    assert(E.Op == "*" && "not an lvalue unary");
+    return genExpr(*E.Lhs);
+  case Expr::Index: {
+    Temp Base = genExpr(*E.Lhs); // pointer or array address
+    Temp Idx = genExpr(*E.Rhs);
+    uint64_t ElemSize =
+        E.Lhs->Ty->isPointer() ? E.Lhs->Ty->Pointee->size()
+                               : E.Lhs->Ty->Pointee->size();
+    emitScale(Idx, ElemSize, E.Line);
+    unsigned BR = regOf(Base, E.Line);
+    unsigned IR = regOf(Idx, E.Line);
+    emit(formatString("addq %s, %s, %s", regN(BR), regN(IR), regN(BR)));
+    freeTemp(Idx);
+    return Base;
+  }
+  case Expr::Member: {
+    Temp Base = E.IsArrow ? genExpr(*E.Lhs) : genAddr(*E.Lhs);
+    const StructDef *SD =
+        E.IsArrow ? E.Lhs->Ty->Pointee->SD : E.Lhs->Ty->SD;
+    const StructField *F = SD->findField(E.Name);
+    assert(F && "sema missed field");
+    if (F->Offset) {
+      unsigned R = regOf(Base, E.Line);
+      if (fitsSigned(int64_t(F->Offset), 16))
+        emit(formatString("lda %s, %llu(%s)", regN(R),
+                          (unsigned long long)F->Offset, regN(R)));
+      else
+        error(E.Line, "struct field offset too large");
+    }
+    return Base;
+  }
+  default:
+    fatalError("genAddr on non-lvalue");
+  }
+}
+
+Temp CodeGen::genBinaryOp(const std::string &Op, Temp L, Temp R,
+                          const Type *LT, const Type *RT, const Type *ResTy,
+                          int Line) {
+  // Pointer arithmetic scaling.
+  if ((Op == "+" || Op == "-") && LT->isPointer() && RT->isInteger())
+    emitScale(R, LT->Pointee->size(), Line);
+  else if (Op == "+" && LT->isInteger() && RT->isPointer())
+    emitScale(L, RT->Pointee->size(), Line);
+
+  unsigned LR = regOf(L, Line);
+  unsigned RR = regOf(R, Line);
+  bool Word = isWordType(ResTy); // 32-bit operation
+  bool Unsigned = LT->isPointer() || RT->isPointer();
+  std::string D = regN(LR); // reuse the left register for the result
+
+  auto op3 = [&](const char *M) {
+    emit(formatString("%s %s, %s, %s", M, regN(LR), regN(RR), D.c_str()));
+  };
+  auto resext = [&]() {
+    if (Word)
+      emit(formatString("addl %s, #0, %s", D.c_str(), D.c_str()));
+  };
+
+  if (Op == "+") {
+    op3(Word ? "addl" : "addq");
+  } else if (Op == "-") {
+    op3(Word ? "subl" : "subq");
+    if (LT->isPointer() && RT->isPointer()) {
+      // Pointer difference: divide by element size.
+      uint64_t Sz = LT->Pointee->size();
+      if (Sz > 1) {
+        if ((Sz & (Sz - 1)) == 0) {
+          unsigned Sh = 0;
+          while ((uint64_t(1) << Sh) < Sz)
+            ++Sh;
+          emit(formatString("sra %s, #%u, %s", D.c_str(), Sh, D.c_str()));
+        } else if (Sz <= 255) {
+          emit(formatString("divq %s, #%llu, %s", D.c_str(),
+                            (unsigned long long)Sz, D.c_str()));
+        } else {
+          emit(formatString("lconst %s, %llu", regN(RR),
+                            (unsigned long long)Sz));
+          emit(formatString("divq %s, %s, %s", D.c_str(), regN(RR),
+                            D.c_str()));
+        }
+      }
+    }
+  } else if (Op == "*") {
+    op3(Word ? "mull" : "mulq");
+  } else if (Op == "/") {
+    op3("divq");
+    resext();
+  } else if (Op == "%") {
+    op3("remq");
+    resext();
+  } else if (Op == "&") {
+    op3("and");
+  } else if (Op == "|") {
+    op3("bis");
+  } else if (Op == "^") {
+    op3("xor");
+  } else if (Op == "<<") {
+    op3("sll");
+    resext();
+  } else if (Op == ">>") {
+    op3("sra");
+  } else if (Op == "==") {
+    op3("cmpeq");
+  } else if (Op == "!=") {
+    op3("cmpeq");
+    emit(formatString("xor %s, #1, %s", D.c_str(), D.c_str()));
+  } else if (Op == "<") {
+    op3(Unsigned ? "cmpult" : "cmplt");
+  } else if (Op == "<=") {
+    op3(Unsigned ? "cmpule" : "cmple");
+  } else if (Op == ">") {
+    emit(formatString("%s %s, %s, %s", Unsigned ? "cmpult" : "cmplt",
+                      regN(RR), regN(LR), D.c_str()));
+  } else if (Op == ">=") {
+    emit(formatString("%s %s, %s, %s", Unsigned ? "cmpule" : "cmple",
+                      regN(RR), regN(LR), D.c_str()));
+  } else {
+    fatalError("unknown binary operator " + Op);
+  }
+  freeTemp(R);
+  return L;
+}
+
+Temp CodeGen::genShortCircuit(const Expr &E) {
+  spillAllLive(E.Line);
+  int Slot = allocSpillSlot(E.Line);
+  std::string LShort = newLabel();
+  std::string LEnd = newLabel();
+  bool IsAnd = E.Op == "&&";
+
+  Temp L = genExpr(*E.Lhs);
+  unsigned LR = regOf(L, E.Line);
+  emit(formatString("%s %s, %s", IsAnd ? "beq" : "bne", regN(LR),
+                    LShort.c_str()));
+  freeTemp(L);
+
+  Temp R = genExpr(*E.Rhs);
+  unsigned RR = regOf(R, E.Line);
+  // Normalize to 0/1.
+  emit(formatString("cmpult zero, %s, %s", regN(RR), regN(RR)));
+  emit(formatString("stq %s, %lld(sp)", regN(RR),
+                    (long long)spillSlotOffset(Slot)));
+  freeTemp(R);
+  emit(formatString("br %s", LEnd.c_str()));
+
+  emitLabel(LShort);
+  {
+    Temp C = allocTemp(E.Line);
+    unsigned CR = regOf(C, E.Line);
+    emit(formatString("lda %s, %d(zero)", regN(CR), IsAnd ? 0 : 1));
+    emit(formatString("stq %s, %lld(sp)", regN(CR),
+                      (long long)spillSlotOffset(Slot)));
+    freeTemp(C);
+  }
+  emitLabel(LEnd);
+
+  Temp Res = allocTemp(E.Line);
+  unsigned RegRes = regOf(Res, E.Line);
+  emit(formatString("ldq %s, %lld(sp)", regN(RegRes),
+                    (long long)spillSlotOffset(Slot)));
+  freeSpillSlot(Slot);
+  return Res;
+}
+
+Temp CodeGen::genCondExpr(const Expr &E) {
+  spillAllLive(E.Line);
+  int Slot = allocSpillSlot(E.Line);
+  std::string LElse = newLabel();
+  std::string LEnd = newLabel();
+
+  Temp C = genExpr(*E.Lhs);
+  unsigned CR = regOf(C, E.Line);
+  emit(formatString("beq %s, %s", regN(CR), LElse.c_str()));
+  freeTemp(C);
+
+  Temp A = genExpr(*E.Rhs);
+  unsigned AR = regOf(A, E.Line);
+  emitConvert(AR, E.Rhs->Ty, E.Ty);
+  emit(formatString("stq %s, %lld(sp)", regN(AR),
+                    (long long)spillSlotOffset(Slot)));
+  freeTemp(A);
+  emit(formatString("br %s", LEnd.c_str()));
+
+  emitLabel(LElse);
+  Temp B = genExpr(*E.Third);
+  unsigned BR = regOf(B, E.Line);
+  emitConvert(BR, E.Third->Ty, E.Ty);
+  emit(formatString("stq %s, %lld(sp)", regN(BR),
+                    (long long)spillSlotOffset(Slot)));
+  freeTemp(B);
+  emitLabel(LEnd);
+
+  Temp Res = allocTemp(E.Line);
+  unsigned RR = regOf(Res, E.Line);
+  emit(formatString("ldq %s, %lld(sp)", regN(RR),
+                    (long long)spillSlotOffset(Slot)));
+  freeSpillSlot(Slot);
+  return Res;
+}
+
+Temp CodeGen::genCall(const Expr &E) {
+  // __vararg(i): load the i-th variadic stack argument of this function.
+  if (E.Name == "__vararg") {
+    Temp I = genExpr(*E.Args[0]);
+    unsigned R = regOf(I, E.Line);
+    emit(formatString("sll %s, #3, %s", regN(R), regN(R)));
+    emit(formatString("addq %s, sp, %s", regN(R), regN(R)));
+    emit(formatString("ldq %s, %lld(%s)", regN(R), (long long)FrameSize,
+                      regN(R)));
+    return I;
+  }
+
+  const FuncDecl *F = E.Callee;
+  size_t NArgs = E.Args.size();
+  size_t NFixed = F->IsVariadic ? F->Params.size() : std::min<size_t>(NArgs, 6);
+
+  // Reserve contiguous staging slots for this call (nested calls bump
+  // StageDepth so they use disjoint slots).
+  int D0 = StageDepth;
+  if (D0 + int(NArgs) > NumStageSlots) {
+    error(E.Line, "call nesting too deep (out of staging slots)");
+    return allocTemp(E.Line);
+  }
+  StageDepth += int(NArgs);
+
+  for (size_t I = 0; I < NArgs; ++I) {
+    Temp A = genExpr(*E.Args[I]);
+    unsigned R = regOf(A, E.Line);
+    if (I < F->Params.size())
+      emitConvert(R, E.Args[I]->Ty, F->Params[I]->Ty);
+    emit(formatString("stq %s, %lld(sp)", regN(R),
+                      (long long)stageSlotOffset(D0 + int(I))));
+    freeTemp(A);
+  }
+
+  // All argument values are now in memory; park every other live temp too.
+  spillAllLive(E.Line);
+
+  // Load register arguments.
+  for (size_t I = 0; I < std::min(NFixed, size_t(6)); ++I)
+    emit(formatString("ldq %s, %lld(sp)", regN(RegA0 + unsigned(I)),
+                      (long long)stageSlotOffset(D0 + int(I))));
+  // Store stack arguments into the outgoing area.
+  for (size_t I = NFixed; I < NArgs; ++I) {
+    emit(formatString("ldq at, %lld(sp)",
+                      (long long)stageSlotOffset(D0 + int(I))));
+    emit(formatString("stq at, %lld(sp)", (long long)(8 * (I - NFixed))));
+  }
+
+  emit(formatString("bsr ra, %s", F->Name.c_str()));
+  StageDepth = D0;
+
+  Temp Res = allocTemp(E.Line);
+  unsigned RR = regOf(Res, E.Line);
+  emit(formatString("mov v0, %s", regN(RR)));
+  return Res;
+}
+
+void CodeGen::genStoreTo(const Expr &E, Temp V, const Type *ValTy) {
+  // Fast paths: direct variable stores avoid materializing an address.
+  if (E.K == Expr::VarRef && !E.Var->IsGlobal) {
+    unsigned VR = regOf(V, E.Line);
+    emitConvert(VR, ValTy, E.Ty);
+    emitStore(VR, RegSP, E.Var->FrameOffset, E.Ty);
+    return;
+  }
+  Temp A = genAddr(E);
+  unsigned VR = regOf(V, E.Line);
+  emitConvert(VR, ValTy, E.Ty);
+  unsigned AR = regOf(A, E.Line);
+  VR = regOf(V, E.Line); // regOf(A) may have spilled V
+  emitStore(VR, AR, 0, E.Ty);
+  freeTemp(A);
+}
+
+Temp CodeGen::genIncDec(const Expr &E, bool IsPre, bool IsInc) {
+  const Expr &LV = *E.Lhs;
+  uint64_t Step =
+      LV.Ty->isPointer() ? LV.Ty->Pointee->size() : 1;
+
+  Temp A = genAddr(LV);
+  unsigned AR = regOf(A, E.Line);
+  Temp Val = allocTemp(E.Line);
+  unsigned VR = regOf(Val, E.Line);
+  AR = regOf(A, E.Line);
+  emitLoad(VR, AR, 0, LV.Ty);
+
+  Temp Result;
+  if (!IsPre) {
+    // Postfix: keep the old value as the result.
+    Result = allocTemp(E.Line);
+    unsigned RR = regOf(Result, E.Line);
+    VR = regOf(Val, E.Line);
+    emit(formatString("mov %s, %s", regN(VR), regN(RR)));
+  }
+
+  VR = regOf(Val, E.Line);
+  bool Word = isWordType(LV.Ty);
+  const char *Op = IsInc ? (Word ? "addl" : "addq") : (Word ? "subl" : "subq");
+  if (Step <= 255) {
+    emit(formatString("%s %s, #%llu, %s", Op, regN(VR),
+                      (unsigned long long)Step, regN(VR)));
+  } else {
+    Temp S = allocTemp(E.Line);
+    unsigned SR = regOf(S, E.Line);
+    VR = regOf(Val, E.Line);
+    emit(formatString("lconst %s, %llu", regN(SR), (unsigned long long)Step));
+    emit(formatString("%s %s, %s, %s", Op, regN(VR), regN(SR), regN(VR)));
+    freeTemp(S);
+  }
+  if (LV.Ty->K == Type::Char) {
+    VR = regOf(Val, E.Line);
+    emit(formatString("and %s, #255, %s", regN(VR), regN(VR)));
+  }
+  AR = regOf(A, E.Line);
+  VR = regOf(Val, E.Line);
+  emitStore(VR, AR, 0, LV.Ty);
+  freeTemp(A);
+
+  if (IsPre)
+    return Val;
+  freeTemp(Val);
+  return Result;
+}
+
+Temp CodeGen::genExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::IntLit:
+  case Expr::SizeofTy: {
+    Temp T = allocTemp(E.Line);
+    emit(formatString("lconst %s, %lld", regN(regOf(T, E.Line)),
+                      (long long)E.IntValue));
+    return T;
+  }
+
+  case Expr::StrLit: {
+    Temp T = allocTemp(E.Line);
+    emit(formatString("laddr %s, %s", regN(regOf(T, E.Line)),
+                      stringLabel(E.StrValue).c_str()));
+    return T;
+  }
+
+  case Expr::VarRef: {
+    const VarDecl *V = E.Var;
+    Temp T = allocTemp(E.Line);
+    unsigned R = regOf(T, E.Line);
+    if (V->Ty->isArray() || V->Ty->isStruct()) {
+      // Arrays (and structs used via &/member) evaluate to their address.
+      if (V->IsGlobal)
+        emit(formatString("laddr %s, %s", regN(R), V->Name.c_str()));
+      else
+        emit(formatString("lda %s, %lld(sp)", regN(R),
+                          (long long)V->FrameOffset));
+      return T;
+    }
+    if (V->IsGlobal) {
+      emit(formatString("laddr %s, %s", regN(R), V->Name.c_str()));
+      emitLoad(R, R, 0, V->Ty);
+    } else {
+      emitLoad(R, RegSP, V->FrameOffset, V->Ty);
+    }
+    return T;
+  }
+
+  case Expr::FuncRef:
+    fatalError("function reference as value");
+
+  case Expr::Unary: {
+    if (E.Op == "*") {
+      Temp A = genExpr(*E.Lhs);
+      if (E.Ty->isArray() || E.Ty->isStruct() || E.DecayedArray)
+        return A; // address is the value
+      unsigned R = regOf(A, E.Line);
+      emitLoad(R, R, 0, E.Ty);
+      return A;
+    }
+    if (E.Op == "&")
+      return genAddr(*E.Lhs);
+    if (E.Op == "++" || E.Op == "--")
+      return genIncDec(E, /*IsPre=*/true, E.Op == "++");
+    Temp T = genExpr(*E.Lhs);
+    unsigned R = regOf(T, E.Line);
+    if (E.Op == "-")
+      emit(formatString("%s zero, %s, %s",
+                        isWordType(E.Ty) ? "subl" : "subq", regN(R),
+                        regN(R)));
+    else if (E.Op == "!")
+      emit(formatString("cmpeq %s, #0, %s", regN(R), regN(R)));
+    else if (E.Op == "~") {
+      emit(formatString("ornot zero, %s, %s", regN(R), regN(R)));
+      if (isWordType(E.Ty))
+        emit(formatString("addl %s, #0, %s", regN(R), regN(R)));
+    } else
+      fatalError("unknown unary " + E.Op);
+    return T;
+  }
+
+  case Expr::Postfix:
+    return genIncDec(E, /*IsPre=*/false, E.Op == "++");
+
+  case Expr::Binary:
+    if (E.Op == "&&" || E.Op == "||")
+      return genShortCircuit(E);
+    else {
+      Temp L = genExpr(*E.Lhs);
+      Temp R = genExpr(*E.Rhs);
+      return genBinaryOp(E.Op, L, R, E.Lhs->Ty, E.Rhs->Ty, E.Ty, E.Line);
+    }
+
+  case Expr::Assign: {
+    if (E.Op == "=") {
+      Temp V = genExpr(*E.Rhs);
+      genStoreTo(*E.Lhs, V, E.Rhs->Ty);
+      return V; // already converted to the lvalue type by genStoreTo
+    }
+    // Compound assignment: load, op, store.
+    std::string BinOp = E.Op.substr(0, E.Op.size() - 1);
+    Temp A = genAddr(*E.Lhs);
+    Temp Cur = allocTemp(E.Line);
+    unsigned CR = regOf(Cur, E.Line);
+    unsigned AR = regOf(A, E.Line);
+    emitLoad(CR, AR, 0, E.Lhs->Ty);
+    Temp R = genExpr(*E.Rhs);
+    Temp Res = genBinaryOp(BinOp, Cur, R, E.Lhs->Ty, E.Rhs->Ty,
+                           E.Lhs->Ty->isPointer() ? E.Lhs->Ty : E.Ty, E.Line);
+    unsigned RR = regOf(Res, E.Line);
+    emitConvert(RR, E.Ty, E.Lhs->Ty);
+    AR = regOf(A, E.Line);
+    RR = regOf(Res, E.Line);
+    emitStore(RR, AR, 0, E.Lhs->Ty);
+    freeTemp(A);
+    return Res;
+  }
+
+  case Expr::Cond:
+    return genCondExpr(E);
+
+  case Expr::Call: {
+    Temp T = genCall(E);
+    return T;
+  }
+
+  case Expr::Index: {
+    Temp A = genAddr(E);
+    if (E.Ty->isArray() || E.Ty->isStruct() || E.DecayedArray)
+      return A;
+    unsigned R = regOf(A, E.Line);
+    emitLoad(R, R, 0, E.Ty);
+    return A;
+  }
+
+  case Expr::Member: {
+    Temp A = genAddr(E);
+    if (E.Ty->isArray() || E.Ty->isStruct() || E.DecayedArray)
+      return A;
+    unsigned R = regOf(A, E.Line);
+    emitLoad(R, R, 0, E.Ty);
+    return A;
+  }
+
+  case Expr::Cast: {
+    Temp T = genExpr(*E.Lhs);
+    unsigned R = regOf(T, E.Line);
+    emitConvert(R, E.Lhs->Ty, E.Ty);
+    return T;
+  }
+  }
+  fatalError("unhandled expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CodeGen::genStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Block:
+    for (const StmtPtr &Sub : S.Body)
+      genStmt(*Sub);
+    return;
+
+  case Stmt::If: {
+    std::string LElse = newLabel();
+    Temp C = genExpr(*S.Cond);
+    emit(formatString("beq %s, %s", regN(regOf(C, S.Line)), LElse.c_str()));
+    freeTemp(C);
+    assertAllFree(S.Line);
+    genStmt(*S.Then);
+    if (S.Else) {
+      std::string LEnd = newLabel();
+      emit(formatString("br %s", LEnd.c_str()));
+      emitLabel(LElse);
+      genStmt(*S.Else);
+      emitLabel(LEnd);
+    } else {
+      emitLabel(LElse);
+    }
+    return;
+  }
+
+  case Stmt::While: {
+    std::string LCond = newLabel(), LEnd = newLabel();
+    emitLabel(LCond);
+    Temp C = genExpr(*S.Cond);
+    emit(formatString("beq %s, %s", regN(regOf(C, S.Line)), LEnd.c_str()));
+    freeTemp(C);
+    assertAllFree(S.Line);
+    BreakLabels.push_back(LEnd);
+    ContinueLabels.push_back(LCond);
+    genStmt(*S.Loop);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emit(formatString("br %s", LCond.c_str()));
+    emitLabel(LEnd);
+    return;
+  }
+
+  case Stmt::DoWhile: {
+    std::string LTop = newLabel(), LCont = newLabel(), LEnd = newLabel();
+    emitLabel(LTop);
+    BreakLabels.push_back(LEnd);
+    ContinueLabels.push_back(LCont);
+    genStmt(*S.Loop);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emitLabel(LCont);
+    Temp C = genExpr(*S.Cond);
+    emit(formatString("bne %s, %s", regN(regOf(C, S.Line)), LTop.c_str()));
+    freeTemp(C);
+    assertAllFree(S.Line);
+    emitLabel(LEnd);
+    return;
+  }
+
+  case Stmt::For: {
+    std::string LCond = newLabel(), LCont = newLabel(), LEnd = newLabel();
+    if (S.Init) {
+      freeTemp(genExpr(*S.Init));
+      assertAllFree(S.Line);
+    }
+    emitLabel(LCond);
+    if (S.Cond) {
+      Temp C = genExpr(*S.Cond);
+      emit(formatString("beq %s, %s", regN(regOf(C, S.Line)), LEnd.c_str()));
+      freeTemp(C);
+      assertAllFree(S.Line);
+    }
+    BreakLabels.push_back(LEnd);
+    ContinueLabels.push_back(LCont);
+    genStmt(*S.Loop);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emitLabel(LCont);
+    if (S.Step) {
+      freeTemp(genExpr(*S.Step));
+      assertAllFree(S.Line);
+    }
+    emit(formatString("br %s", LCond.c_str()));
+    emitLabel(LEnd);
+    return;
+  }
+
+  case Stmt::Switch: {
+    // Lowered to a compare chain (no jump tables: OM's CFG recovery stays
+    // exact). The control value lives in a hidden local.
+    Temp V = genExpr(*S.E);
+    unsigned VR = regOf(V, S.Line);
+    emit(formatString("stq %s, %lld(sp)", regN(VR),
+                      (long long)S.Decl->FrameOffset));
+    freeTemp(V);
+    assertAllFree(S.Line);
+
+    std::vector<std::string> CaseLabels;
+    for (size_t CI = 0; CI < S.Cases.size(); ++CI)
+      CaseLabels.push_back(newLabel());
+    std::string LEnd = newLabel();
+    std::string LDefault = S.DefaultIndex >= 0 ? newLabel() : LEnd;
+
+    for (size_t CI = 0; CI < S.Cases.size(); ++CI) {
+      Temp C = allocTemp(S.Line);
+      unsigned CR = regOf(C, S.Line);
+      emit(formatString("ldq %s, %lld(sp)", regN(CR),
+                        (long long)S.Decl->FrameOffset));
+      Temp K = allocTemp(S.Line);
+      unsigned KR = regOf(K, S.Line);
+      CR = regOf(C, S.Line);
+      emit(formatString("lconst %s, %lld", regN(KR),
+                        (long long)S.Cases[CI].first));
+      emit(formatString("cmpeq %s, %s, %s", regN(CR), regN(KR), regN(CR)));
+      emit(formatString("bne %s, %s", regN(CR), CaseLabels[CI].c_str()));
+      freeTemp(C);
+      freeTemp(K);
+      assertAllFree(S.Line);
+    }
+    emit(formatString("br %s", LDefault.c_str()));
+
+    BreakLabels.push_back(LEnd);
+    for (size_t I = 0; I < S.Body.size(); ++I) {
+      for (size_t CI = 0; CI < S.Cases.size(); ++CI)
+        if (S.Cases[CI].second == int(I))
+          emitLabel(CaseLabels[CI]);
+      if (S.DefaultIndex == int(I))
+        emitLabel(LDefault);
+      genStmt(*S.Body[I]);
+    }
+    // Labels that point past the last statement.
+    for (size_t CI = 0; CI < S.Cases.size(); ++CI)
+      if (S.Cases[CI].second == int(S.Body.size()))
+        emitLabel(CaseLabels[CI]);
+    if (S.DefaultIndex == int(S.Body.size()))
+      emitLabel(LDefault);
+    BreakLabels.pop_back();
+    emitLabel(LEnd);
+    return;
+  }
+
+  case Stmt::Return:
+    if (S.E) {
+      Temp V = genExpr(*S.E);
+      unsigned R = regOf(V, S.Line);
+      emitConvert(R, S.E->Ty, CurFunc->RetTy);
+      emit(formatString("mov %s, v0", regN(R)));
+      freeTemp(V);
+    }
+    assertAllFree(S.Line);
+    emit(formatString("br %s", RetLabel.c_str()));
+    return;
+
+  case Stmt::Break:
+    assert(!BreakLabels.empty());
+    emit(formatString("br %s", BreakLabels.back().c_str()));
+    return;
+
+  case Stmt::Continue:
+    assert(!ContinueLabels.empty());
+    emit(formatString("br %s", ContinueLabels.back().c_str()));
+    return;
+
+  case Stmt::ExprStmt:
+    freeTemp(genExpr(*S.E));
+    assertAllFree(S.Line);
+    return;
+
+  case Stmt::DeclStmt: {
+    const VarDecl *V = S.Decl.get();
+    if (V->Init) {
+      Temp I = genExpr(*V->Init);
+      unsigned R = regOf(I, S.Line);
+      emitConvert(R, V->Init->Ty, V->Ty);
+      emitStore(R, RegSP, V->FrameOffset, V->Ty);
+      freeTemp(I);
+    }
+    assertAllFree(S.Line);
+    return;
+  }
+
+  case Stmt::Empty:
+    return;
+  }
+}
+
+void CodeGen::genFunction(const FuncDecl &F) {
+  CurFunc = &F;
+  CurFuncName = F.Name;
+  LabelCounter = 0;
+  Temps.clear();
+  for (int I = 0; I < NumTempRegs; ++I)
+    RegHolder[I] = -1;
+  for (int I = 0; I < NumSpillSlots; ++I)
+    SpillUsed[I] = false;
+  StageDepth = 0;
+  RetLabel = formatString("L$%s$ret", F.Name.c_str());
+
+  layoutFrame(F);
+
+  Text += formatString("        .ent    %s\n", F.Name.c_str());
+  Text += formatString("        .globl  %s\n", F.Name.c_str());
+  emitLabel(F.Name);
+  emit(formatString("lda sp, -%lld(sp)", (long long)FrameSize));
+  emit(formatString("stq ra, %lld(sp)", (long long)(FrameSize - 8)));
+
+  // Home parameters.
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    const VarDecl *P = F.Params[I].get();
+    if (I < 6) {
+      emit(formatString("stq %s, %lld(sp)", regN(RegA0 + unsigned(I)),
+                        (long long)P->FrameOffset));
+    } else {
+      emit(formatString("ldq at, %lld(sp)",
+                        (long long)(FrameSize + 8 * int64_t(I - 6))));
+      emit(formatString("stq at, %lld(sp)", (long long)P->FrameOffset));
+    }
+  }
+
+  genStmt(*F.Body);
+
+  emitLabel(RetLabel);
+  emit(formatString("ldq ra, %lld(sp)", (long long)(FrameSize - 8)));
+  emit(formatString("lda sp, %lld(sp)", (long long)FrameSize));
+  emit("ret");
+  Text += formatString("        .end    %s\n", F.Name.c_str());
+  CurFunc = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Globals
+//===----------------------------------------------------------------------===//
+
+bool CodeGen::foldConst(const Expr &E, int64_t &V, std::string &SymOut) {
+  switch (E.K) {
+  case Expr::IntLit:
+  case Expr::SizeofTy:
+    V = E.IntValue;
+    return true;
+  case Expr::StrLit:
+    SymOut = stringLabel(E.StrValue);
+    V = 0;
+    return true;
+  case Expr::Unary: {
+    std::string Sym;
+    int64_t Sub;
+    if (!foldConst(*E.Lhs, Sub, Sym) || !Sym.empty())
+      return false;
+    if (E.Op == "-")
+      V = -Sub;
+    else if (E.Op == "~")
+      V = ~Sub;
+    else if (E.Op == "!")
+      V = !Sub;
+    else
+      return false;
+    return true;
+  }
+  case Expr::Cast:
+    return foldConst(*E.Lhs, V, SymOut);
+  case Expr::Binary: {
+    std::string S1, S2;
+    int64_t A, B;
+    if (!foldConst(*E.Lhs, A, S1) || !foldConst(*E.Rhs, B, S2) ||
+        !S1.empty() || !S2.empty())
+      return false;
+    if (E.Op == "+") V = A + B;
+    else if (E.Op == "-") V = A - B;
+    else if (E.Op == "*") V = A * B;
+    else if (E.Op == "/") V = B ? A / B : 0;
+    else if (E.Op == "<<") V = A << (B & 63);
+    else if (E.Op == ">>") V = A >> (B & 63);
+    else if (E.Op == "|") V = A | B;
+    else if (E.Op == "&") V = A & B;
+    else if (E.Op == "^") V = A ^ B;
+    else return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool CodeGen::genGlobal(const VarDecl &G) {
+  if (G.IsExtern)
+    return true;
+  unsigned AlignExp = 0;
+  uint64_t A = std::max<uint64_t>(G.Ty->align(), 1);
+  while ((uint64_t(1) << AlignExp) < A)
+    ++AlignExp;
+
+  if (!G.Init) {
+    BssSection += formatString("        .align  %u\n", std::max(AlignExp, 3u));
+    BssSection += formatString("        .globl  %s\n", G.Name.c_str());
+    BssSection += G.Name + ":\n";
+    BssSection += formatString("        .space  %llu\n",
+                               (unsigned long long)alignTo(G.Ty->size(), 8));
+    return true;
+  }
+
+  int64_t V = 0;
+  std::string Sym;
+  if (!foldConst(*G.Init, V, Sym)) {
+    error(0, "initializer for global '" + G.Name + "' is not constant");
+    return false;
+  }
+  DataSection += formatString("        .align  %u\n", AlignExp);
+  DataSection += formatString("        .globl  %s\n", G.Name.c_str());
+  DataSection += G.Name + ":\n";
+  if (!Sym.empty()) {
+    DataSection += formatString("        .quad   %s\n", Sym.c_str());
+    return true;
+  }
+  const char *Dir = ".quad";
+  if (G.Ty->K == Type::Int)
+    Dir = ".long";
+  else if (G.Ty->K == Type::Char)
+    Dir = ".byte";
+  DataSection +=
+      formatString("        %s   %lld\n", Dir, (long long)V);
+  return true;
+}
+
+bool CodeGen::run(std::string &AsmOut) {
+  Text = "        .text\n";
+  for (const auto &F : Unit.Funcs)
+    if (F->Body)
+      genFunction(*F);
+  for (const auto &G : Unit.Globals)
+    genGlobal(*G);
+
+  std::string Out = Text;
+  Out += "        .data\n";
+  Out += DataSection;
+  for (const auto &[Label, S] : Strings) {
+    Out += Label + ":\n";
+    std::string Esc;
+    for (char C : S) {
+      switch (C) {
+      case '\n': Esc += "\\n"; break;
+      case '\t': Esc += "\\t"; break;
+      case '\\': Esc += "\\\\"; break;
+      case '"': Esc += "\\\""; break;
+      case '\0': Esc += "\\0"; break;
+      default: Esc += C;
+      }
+    }
+    Out += formatString("        .asciiz \"%s\"\n", Esc.c_str());
+  }
+  Out += "        .bss\n";
+  Out += BssSection;
+  AsmOut = std::move(Out);
+  return !Failed;
+}
+
+} // namespace
+
+bool mcc::generate(const TranslationUnit &Unit, std::string &AsmOut,
+                   DiagEngine &Diags) {
+  CodeGen CG(Unit, Diags);
+  return CG.run(AsmOut);
+}

@@ -1,0 +1,20 @@
+//===- mcc/CodeGen.h - Mini-C code generator --------------------*- C++ -*-===//
+
+#ifndef ATOM_MCC_CODEGEN_H
+#define ATOM_MCC_CODEGEN_H
+
+#include "mcc/Ast.h"
+
+namespace atom {
+namespace mcc {
+
+/// Generates AXP64-lite assembly text for an analyzed translation unit.
+/// Returns false on codegen limits (oversized stack frame, expression too
+/// deep, non-constant global initializer, ...).
+bool generate(const TranslationUnit &Unit, std::string &AsmOut,
+              DiagEngine &Diags);
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_CODEGEN_H

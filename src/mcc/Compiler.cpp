@@ -1,0 +1,74 @@
+//===- mcc/Compiler.cpp ---------------------------------------------------===//
+
+#include "mcc/Compiler.h"
+
+#include "asm/Assembler.h"
+#include "mcc/CodeGen.h"
+#include "mcc/Lexer.h"
+#include "mcc/Parser.h"
+#include "mcc/Sema.h"
+
+using namespace atom;
+using namespace atom::mcc;
+
+const char *mcc::runtimePrelude() {
+  return R"(
+extern long printf(char *fmt, ...);
+extern long fprintf(long f, char *fmt, ...);
+extern long fopen(char *path, char *mode);
+extern long fclose(long f);
+extern char *malloc(long n);
+extern void free(char *p);
+extern char *sbrk(long n);
+extern char *calloc(long n, long size);
+extern long strlen(char *s);
+extern long strcmp(char *a, char *b);
+extern char *strcpy(char *d, char *s);
+extern char *memset(char *d, long c, long n);
+extern char *memcpy(char *d, char *s, long n);
+extern long puts(char *s);
+extern long atoi(char *s);
+extern void exit(long code);
+extern long __sys_write(long fd, char *buf, long n);
+extern long __sys_read(long fd, char *buf, long n);
+extern long __sys_open(char *path, long flags);
+extern long __sys_close(long fd);
+)";
+}
+
+bool mcc::compileToAsm(const std::string &Source,
+                       const std::string &ModuleName, std::string &AsmOut,
+                       DiagEngine &Diags) {
+  (void)ModuleName;
+  TypeContext Types;
+  TranslationUnit Unit;
+
+  std::vector<Token> PreludeToks;
+  if (!lex(runtimePrelude(), PreludeToks, Diags))
+    return false;
+  if (!parse(PreludeToks, Types, Unit, Diags))
+    return false;
+
+  std::vector<Token> Toks;
+  if (!lex(Source, Toks, Diags))
+    return false;
+  if (!parse(Toks, Types, Unit, Diags))
+    return false;
+  if (!analyze(Unit, Types, Diags))
+    return false;
+  return generate(Unit, AsmOut, Diags);
+}
+
+bool mcc::compile(const std::string &Source, const std::string &ModuleName,
+                  obj::ObjectModule &Out, DiagEngine &Diags) {
+  std::string Asm;
+  if (!compileToAsm(Source, ModuleName, Asm, Diags))
+    return false;
+  if (!assembler::assemble(Asm, ModuleName, Out, Diags)) {
+    // An assembler diagnostic here is a compiler bug: surface the context.
+    Diags.error(0, "internal error: generated assembly failed to assemble "
+                   "for module '" + ModuleName + "'");
+    return false;
+  }
+  return true;
+}

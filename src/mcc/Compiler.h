@@ -1,0 +1,29 @@
+//===- mcc/Compiler.h - Mini-C compiler driver ------------------*- C++ -*-===//
+
+#ifndef ATOM_MCC_COMPILER_H
+#define ATOM_MCC_COMPILER_H
+
+#include "obj/ObjectModule.h"
+#include "support/Support.h"
+
+namespace atom {
+namespace mcc {
+
+/// Compiles mini-C \p Source into an object module. The runtime-library
+/// declarations (printf, malloc, ...) are pre-declared automatically.
+/// Returns false with diagnostics on any error.
+bool compile(const std::string &Source, const std::string &ModuleName,
+             obj::ObjectModule &Out, DiagEngine &Diags);
+
+/// Like compile() but also returns the generated assembly text (used by
+/// tests and for debugging).
+bool compileToAsm(const std::string &Source, const std::string &ModuleName,
+                  std::string &AsmOut, DiagEngine &Diags);
+
+/// The implicit prelude: extern declarations for the runtime library.
+const char *runtimePrelude();
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_COMPILER_H

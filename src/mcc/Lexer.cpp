@@ -1,0 +1,219 @@
+//===- mcc/Lexer.cpp ------------------------------------------------------===//
+
+#include "mcc/Lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <set>
+
+using namespace atom;
+using namespace atom::mcc;
+
+static const std::set<std::string> Keywords = {
+    "void", "char", "int",      "long",  "struct", "if",
+    "else", "while", "for",     "do",    "return", "break",
+    "continue", "sizeof", "extern", "switch", "case", "default"};
+
+/// Multi-character punctuators, longest-match-first.
+static const char *const Puncts[] = {
+    "...", "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+    "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+",   "-",   "*",   "/",  "%",  "=",  "<",  ">",  "!",  "~",  "&",
+    "|",   "^",   "(",   ")",  "{",  "}",  "[",  "]",  ",",  ";",  ".",
+    "?",   ":"};
+
+namespace {
+
+class Lexer {
+public:
+  Lexer(const std::string &Src, DiagEngine &Diags) : Src(Src), Diags(Diags) {}
+
+  bool run(std::vector<Token> &Out);
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char get() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  void error(const std::string &Msg) {
+    Diags.error(Line, Msg);
+    Failed = true;
+  }
+
+  bool lexEscape(char &Out) {
+    char E = get();
+    switch (E) {
+    case 'n': Out = '\n'; return true;
+    case 't': Out = '\t'; return true;
+    case 'r': Out = '\r'; return true;
+    case '0': Out = '\0'; return true;
+    case '\\': Out = '\\'; return true;
+    case '\'': Out = '\''; return true;
+    case '"': Out = '"'; return true;
+    default:
+      error(std::string("unknown escape '\\") + E + "'");
+      return false;
+    }
+  }
+
+  const std::string &Src;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  bool Failed = false;
+};
+
+bool Lexer::run(std::vector<Token> &Out) {
+  while (Pos < Src.size()) {
+    char C = peek();
+
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      get();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        get();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      get();
+      get();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        get();
+      if (Pos >= Src.size()) {
+        error("unterminated comment");
+        break;
+      }
+      get();
+      get();
+      continue;
+    }
+
+    Token T;
+    T.Line = Line;
+
+    if (std::isalpha(uint8_t(C)) || C == '_') {
+      std::string Id;
+      while (std::isalnum(uint8_t(peek())) || peek() == '_')
+        Id += get();
+      T.K = Keywords.count(Id) ? Token::Keyword : Token::Ident;
+      T.Text = Id;
+      Out.push_back(T);
+      continue;
+    }
+
+    if (std::isdigit(uint8_t(C))) {
+      uint64_t V = 0;
+      if (C == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        get();
+        get();
+        bool Any = false;
+        while (std::isxdigit(uint8_t(peek()))) {
+          char D = char(std::tolower(get()));
+          V = V * 16 + uint64_t(D <= '9' ? D - '0' : D - 'a' + 10);
+          Any = true;
+        }
+        if (!Any)
+          error("bad hex literal");
+      } else {
+        while (std::isdigit(uint8_t(peek())))
+          V = V * 10 + uint64_t(get() - '0');
+      }
+      // Optional L/U suffixes are accepted and ignored.
+      while (peek() == 'l' || peek() == 'L' || peek() == 'u' || peek() == 'U')
+        get();
+      T.K = Token::IntLit;
+      T.Value = int64_t(V);
+      Out.push_back(T);
+      continue;
+    }
+
+    if (C == '\'') {
+      get();
+      char V;
+      if (peek() == '\\') {
+        get();
+        if (!lexEscape(V))
+          continue;
+      } else {
+        V = get();
+      }
+      if (get() != '\'')
+        error("unterminated character literal");
+      T.K = Token::CharLit;
+      T.Value = uint8_t(V);
+      Out.push_back(T);
+      continue;
+    }
+
+    if (C == '"') {
+      get();
+      std::string S;
+      while (true) {
+        if (Pos >= Src.size()) {
+          error("unterminated string literal");
+          break;
+        }
+        char V = get();
+        if (V == '"')
+          break;
+        if (V == '\\') {
+          char E;
+          if (!lexEscape(E))
+            break;
+          S += E;
+        } else {
+          S += V;
+        }
+      }
+      T.K = Token::StrLit;
+      T.Str = S;
+      // Adjacent string literals concatenate.
+      if (!Out.empty() && Out.back().K == Token::StrLit) {
+        Out.back().Str += S;
+        continue;
+      }
+      Out.push_back(T);
+      continue;
+    }
+
+    bool Matched = false;
+    for (const char *P : Puncts) {
+      size_t Len = std::strlen(P);
+      if (Src.compare(Pos, Len, P) == 0) {
+        T.K = Token::Punct;
+        T.Text = P;
+        Out.push_back(T);
+        Pos += Len;
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched) {
+      error(formatString("unexpected character '%c'", C));
+      get();
+    }
+  }
+
+  Token End;
+  End.K = Token::End;
+  End.Line = Line;
+  Out.push_back(End);
+  return !Failed;
+}
+
+} // namespace
+
+bool mcc::lex(const std::string &Source, std::vector<Token> &Out,
+              DiagEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.run(Out);
+}

@@ -1,0 +1,43 @@
+//===- mcc/Lexer.h - Mini-C lexer -------------------------------*- C++ -*-===//
+
+#ifndef ATOM_MCC_LEXER_H
+#define ATOM_MCC_LEXER_H
+
+#include "support/Support.h"
+
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace mcc {
+
+struct Token {
+  enum Kind {
+    End,
+    Ident,
+    Keyword,
+    IntLit,
+    StrLit,
+    CharLit,
+    Punct,
+  } K = End;
+
+  int Line = 0;
+  std::string Text; ///< Identifier/keyword/punctuator spelling.
+  int64_t Value = 0;
+  std::string Str; ///< String literal contents (escapes resolved).
+
+  bool is(Kind Kd, const std::string &T) const { return K == Kd && Text == T; }
+  bool isPunct(const std::string &T) const { return is(Punct, T); }
+  bool isKeyword(const std::string &T) const { return is(Keyword, T); }
+};
+
+/// Tokenizes \p Source. Returns false on lexical errors (reported in
+/// \p Diags). The token stream always ends with an End token.
+bool lex(const std::string &Source, std::vector<Token> &Out,
+         DiagEngine &Diags);
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_LEXER_H

@@ -1,0 +1,770 @@
+//===- mcc/Parser.cpp - Recursive-descent parser for mini-C ---------------===//
+
+#include "mcc/Parser.h"
+
+using namespace atom;
+using namespace atom::mcc;
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+TypeContext::TypeContext() {
+  VoidT.K = Type::Void;
+  CharT.K = Type::Char;
+  IntT.K = Type::Int;
+  LongT.K = Type::Long;
+}
+
+const Type *TypeContext::ptrTo(const Type *Pointee) {
+  for (const auto &T : Owned)
+    if (T->K == Type::Ptr && T->Pointee == Pointee)
+      return T.get();
+  auto T = std::make_unique<Type>();
+  T->K = Type::Ptr;
+  T->Pointee = Pointee;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+const Type *TypeContext::arrayOf(const Type *Elem, int64_t N) {
+  for (const auto &T : Owned)
+    if (T->K == Type::Array && T->Pointee == Elem && T->ArraySize == N)
+      return T.get();
+  auto T = std::make_unique<Type>();
+  T->K = Type::Array;
+  T->Pointee = Elem;
+  T->ArraySize = N;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+const Type *TypeContext::structTy(const StructDef *SD) {
+  for (const auto &T : Owned)
+    if (T->K == Type::Struct && T->SD == SD)
+      return T.get();
+  auto T = std::make_unique<Type>();
+  T->K = Type::Struct;
+  T->SD = SD;
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+StructDef *TypeContext::createStruct(const std::string &Name) {
+  Structs.push_back(std::make_unique<StructDef>());
+  Structs.back()->Name = Name;
+  return Structs.back().get();
+}
+
+StructDef *TypeContext::findStruct(const std::string &Name) {
+  for (const auto &S : Structs)
+    if (S->Name == Name)
+      return S.get();
+  return nullptr;
+}
+
+uint64_t Type::size() const {
+  switch (K) {
+  case Void: return 0;
+  case Char: return 1;
+  case Int: return 4;
+  case Long: return 8;
+  case Ptr: return 8;
+  case Array: return uint64_t(ArraySize) * Pointee->size();
+  case Struct: return SD->Size;
+  }
+  return 0;
+}
+
+uint64_t Type::align() const {
+  switch (K) {
+  case Void: return 1;
+  case Char: return 1;
+  case Int: return 4;
+  case Long: return 8;
+  case Ptr: return 8;
+  case Array: return Pointee->align();
+  case Struct: return SD->Align;
+  }
+  return 1;
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Void: return "void";
+  case Char: return "char";
+  case Int: return "int";
+  case Long: return "long";
+  case Ptr: return Pointee->str() + "*";
+  case Array:
+    return Pointee->str() + formatString("[%lld]", (long long)ArraySize);
+  case Struct: return "struct " + SD->Name;
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::vector<Token> &Toks, TypeContext &Types,
+         TranslationUnit &Unit, DiagEngine &Diags)
+      : Toks(Toks), Types(Types), Unit(Unit), Diags(Diags) {}
+
+  bool run();
+
+private:
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = std::min(Pos + Ahead, Toks.size() - 1);
+    return Toks[I];
+  }
+  const Token &get() {
+    const Token &T = Toks[std::min(Pos, Toks.size() - 1)];
+    if (Pos < Toks.size() - 1)
+      ++Pos;
+    return T;
+  }
+  bool consumePunct(const std::string &P) {
+    if (!peek().isPunct(P))
+      return false;
+    get();
+    return true;
+  }
+  bool expectPunct(const std::string &P) {
+    if (consumePunct(P))
+      return true;
+    error("expected '" + P + "' but found '" + describe(peek()) + "'");
+    return false;
+  }
+  static std::string describe(const Token &T) {
+    switch (T.K) {
+    case Token::End: return "<eof>";
+    case Token::IntLit: return formatString("%lld", (long long)T.Value);
+    case Token::CharLit: return "char literal";
+    case Token::StrLit: return "string literal";
+    default: return T.Text;
+    }
+  }
+  void error(const std::string &Msg) {
+    Diags.error(peek().Line, Msg);
+    Failed = true;
+    // Best-effort recovery: skip to the next ';' or '}'.
+    while (peek().K != Token::End && !peek().isPunct(";") &&
+           !peek().isPunct("}"))
+      get();
+  }
+
+  bool atTypeStart() const {
+    const Token &T = peek();
+    return T.isKeyword("void") || T.isKeyword("char") || T.isKeyword("int") ||
+           T.isKeyword("long") || T.isKeyword("struct");
+  }
+
+  /// Parses a base type plus pointer stars: 'struct foo **'.
+  const Type *parseTypeSpec();
+  /// Parses trailing array dimensions on a declarator.
+  const Type *parseArraySuffix(const Type *Base);
+
+  void parseStructDef();
+  void parseTopLevel();
+  std::unique_ptr<FuncDecl> parseFunctionRest(const Type *RetTy,
+                                              const std::string &Name,
+                                              bool IsExtern);
+  StmtPtr parseBlock();
+  StmtPtr parseStatement();
+
+  ExprPtr parseExpr() { return parseAssign(); }
+  ExprPtr parseAssign();
+  ExprPtr parseCond();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  ExprPtr makeExpr(Expr::Kind K) {
+    auto E = std::make_unique<Expr>(K);
+    E->Line = peek().Line;
+    return E;
+  }
+
+  const std::vector<Token> &Toks;
+  TypeContext &Types;
+  TranslationUnit &Unit;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+const Type *Parser::parseTypeSpec() {
+  const Type *T = nullptr;
+  if (peek().isKeyword("void")) {
+    get();
+    T = Types.voidTy();
+  } else if (peek().isKeyword("char")) {
+    get();
+    T = Types.charTy();
+  } else if (peek().isKeyword("int")) {
+    get();
+    T = Types.intTy();
+  } else if (peek().isKeyword("long")) {
+    get();
+    // Accept 'long long' and 'long int' as long.
+    if (peek().isKeyword("long") || peek().isKeyword("int"))
+      get();
+    T = Types.longTy();
+  } else if (peek().isKeyword("struct")) {
+    get();
+    if (peek().K != Token::Ident) {
+      error("expected struct name");
+      return Types.intTy();
+    }
+    std::string Name = get().Text;
+    StructDef *SD = Types.findStruct(Name);
+    if (!SD)
+      SD = Types.createStruct(Name); // forward reference
+    T = Types.structTy(SD);
+  } else {
+    error("expected type");
+    return Types.intTy();
+  }
+  while (consumePunct("*"))
+    T = Types.ptrTo(T);
+  return T;
+}
+
+const Type *Parser::parseArraySuffix(const Type *Base) {
+  // Collect dimensions, then build inside-out.
+  std::vector<int64_t> Dims;
+  while (consumePunct("[")) {
+    if (peek().K != Token::IntLit) {
+      error("array size must be an integer literal");
+      return Base;
+    }
+    Dims.push_back(get().Value);
+    expectPunct("]");
+  }
+  for (size_t I = Dims.size(); I-- > 0;)
+    Base = Types.arrayOf(Base, Dims[I]);
+  return Base;
+}
+
+void Parser::parseStructDef() {
+  // 'struct' Ident '{' fields '}' ';'
+  get(); // struct
+  if (peek().K != Token::Ident) {
+    error("expected struct name");
+    return;
+  }
+  std::string Name = get().Text;
+  StructDef *SD = Types.findStruct(Name);
+  if (!SD)
+    SD = Types.createStruct(Name);
+  if (SD->Complete) {
+    error("struct '" + Name + "' redefined");
+    return;
+  }
+  expectPunct("{");
+  uint64_t Offset = 0, Align = 1;
+  while (!peek().isPunct("}") && peek().K != Token::End) {
+    const Type *FT = parseTypeSpec();
+    if (peek().K != Token::Ident) {
+      error("expected field name");
+      return;
+    }
+    std::string FName = get().Text;
+    FT = parseArraySuffix(FT);
+    if (FT->size() == 0) {
+      error("field '" + FName + "' has incomplete type");
+      return;
+    }
+    Offset = alignTo(Offset, FT->align());
+    SD->Fields.push_back({FName, FT, Offset});
+    Offset += FT->size();
+    Align = std::max(Align, FT->align());
+    expectPunct(";");
+  }
+  expectPunct("}");
+  expectPunct(";");
+  SD->Size = alignTo(Offset, Align);
+  SD->Align = Align;
+  SD->Complete = true;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunctionRest(const Type *RetTy,
+                                                    const std::string &Name,
+                                                    bool IsExtern) {
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = Name;
+  F->RetTy = RetTy;
+  F->Line = peek().Line;
+  // '(' already consumed by the caller? No: consume here.
+  expectPunct("(");
+  if (peek().isKeyword("void") && peek(1).isPunct(")")) {
+    get();
+  }
+  bool First = true;
+  while (!peek().isPunct(")") && peek().K != Token::End) {
+    if (!First)
+      expectPunct(",");
+    First = false;
+    if (peek().isPunct("...")) {
+      get();
+      F->IsVariadic = true;
+      break;
+    }
+    const Type *PT = parseTypeSpec();
+    auto P = std::make_unique<VarDecl>();
+    P->IsParam = true;
+    P->ParamIndex = int(F->Params.size());
+    if (peek().K == Token::Ident)
+      P->Name = get().Text;
+    PT = parseArraySuffix(PT);
+    // Array parameters decay to pointers.
+    if (PT->isArray())
+      PT = Types.ptrTo(PT->Pointee);
+    P->Ty = PT;
+    F->Params.push_back(std::move(P));
+  }
+  expectPunct(")");
+
+  if (consumePunct(";")) {
+    F->IsExtern = true;
+    return F;
+  }
+  if (IsExtern)
+    error("extern function cannot have a body");
+  F->Body = parseBlock();
+  return F;
+}
+
+void Parser::parseTopLevel() {
+  bool IsExtern = false;
+  if (peek().isKeyword("extern")) {
+    get();
+    IsExtern = true;
+  }
+  if (peek().isKeyword("struct") && peek(1).K == Token::Ident &&
+      peek(2).isPunct("{")) {
+    if (IsExtern)
+      error("extern struct definition");
+    parseStructDef();
+    return;
+  }
+  const Type *T = parseTypeSpec();
+  if (peek().K != Token::Ident) {
+    error("expected declarator name");
+    consumePunct(";");
+    return;
+  }
+  std::string Name = get().Text;
+
+  if (peek().isPunct("(")) {
+    Unit.Funcs.push_back(parseFunctionRest(T, Name, IsExtern));
+    return;
+  }
+
+  // Global variable(s).
+  while (true) {
+    auto V = std::make_unique<VarDecl>();
+    V->Name = Name;
+    V->IsGlobal = true;
+    V->IsExtern = IsExtern;
+    V->Ty = parseArraySuffix(T);
+    if (consumePunct("=")) {
+      if (IsExtern)
+        error("extern variable cannot have an initializer");
+      V->Init = parseAssign();
+    }
+    Unit.Globals.push_back(std::move(V));
+    if (consumePunct(",")) {
+      if (peek().K != Token::Ident) {
+        error("expected declarator name");
+        break;
+      }
+      Name = get().Text;
+      continue;
+    }
+    break;
+  }
+  expectPunct(";");
+}
+
+StmtPtr Parser::parseBlock() {
+  auto S = std::make_unique<Stmt>(Stmt::Block);
+  S->Line = peek().Line;
+  expectPunct("{");
+  while (!peek().isPunct("}") && peek().K != Token::End)
+    S->Body.push_back(parseStatement());
+  expectPunct("}");
+  return S;
+}
+
+StmtPtr Parser::parseStatement() {
+  int Line = peek().Line;
+
+  if (peek().isPunct("{"))
+    return parseBlock();
+
+  if (consumePunct(";")) {
+    auto S = std::make_unique<Stmt>(Stmt::Empty);
+    S->Line = Line;
+    return S;
+  }
+
+  if (peek().isKeyword("if")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::If);
+    S->Line = Line;
+    expectPunct("(");
+    S->Cond = parseExpr();
+    expectPunct(")");
+    S->Then = parseStatement();
+    if (peek().isKeyword("else")) {
+      get();
+      S->Else = parseStatement();
+    }
+    return S;
+  }
+
+  if (peek().isKeyword("while")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::While);
+    S->Line = Line;
+    expectPunct("(");
+    S->Cond = parseExpr();
+    expectPunct(")");
+    S->Loop = parseStatement();
+    return S;
+  }
+
+  if (peek().isKeyword("do")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::DoWhile);
+    S->Line = Line;
+    S->Loop = parseStatement();
+    if (!peek().isKeyword("while"))
+      error("expected 'while' after do body");
+    else
+      get();
+    expectPunct("(");
+    S->Cond = parseExpr();
+    expectPunct(")");
+    expectPunct(";");
+    return S;
+  }
+
+  if (peek().isKeyword("for")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::For);
+    S->Line = Line;
+    expectPunct("(");
+    if (!peek().isPunct(";"))
+      S->Init = parseExpr();
+    expectPunct(";");
+    if (!peek().isPunct(";"))
+      S->Cond = parseExpr();
+    expectPunct(";");
+    if (!peek().isPunct(")"))
+      S->Step = parseExpr();
+    expectPunct(")");
+    S->Loop = parseStatement();
+    return S;
+  }
+
+  if (peek().isKeyword("switch")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::Switch);
+    S->Line = Line;
+    expectPunct("(");
+    S->E = parseExpr();
+    expectPunct(")");
+    // The switch value lives in a hidden compiler-generated local so the
+    // compare chain can reload it per case.
+    auto Hidden = std::make_unique<VarDecl>();
+    Hidden->Name = formatString("$switch%d", Line);
+    S->Decl = std::move(Hidden);
+    expectPunct("{");
+    while (!peek().isPunct("}") && peek().K != Token::End) {
+      if (peek().isKeyword("case")) {
+        get();
+        // Case labels are integer constant expressions: an optional minus
+        // followed by an integer or character literal.
+        bool Neg = consumePunct("-");
+        int64_t V = 0;
+        if (peek().K == Token::IntLit || peek().K == Token::CharLit)
+          V = get().Value;
+        else
+          error("case label must be an integer constant");
+        expectPunct(":");
+        S->Cases.emplace_back(Neg ? -V : V, int(S->Body.size()));
+        continue;
+      }
+      if (peek().isKeyword("default")) {
+        get();
+        expectPunct(":");
+        if (S->DefaultIndex >= 0)
+          error("duplicate default label");
+        S->DefaultIndex = int(S->Body.size());
+        continue;
+      }
+      S->Body.push_back(parseStatement());
+    }
+    expectPunct("}");
+    return S;
+  }
+
+  if (peek().isKeyword("return")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::Return);
+    S->Line = Line;
+    if (!peek().isPunct(";"))
+      S->E = parseExpr();
+    expectPunct(";");
+    return S;
+  }
+
+  if (peek().isKeyword("break")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::Break);
+    S->Line = Line;
+    expectPunct(";");
+    return S;
+  }
+
+  if (peek().isKeyword("continue")) {
+    get();
+    auto S = std::make_unique<Stmt>(Stmt::Continue);
+    S->Line = Line;
+    expectPunct(";");
+    return S;
+  }
+
+  if (atTypeStart()) {
+    auto S = std::make_unique<Stmt>(Stmt::DeclStmt);
+    S->Line = Line;
+    const Type *T = parseTypeSpec();
+    if (peek().K != Token::Ident) {
+      error("expected local variable name");
+      consumePunct(";");
+      return S;
+    }
+    auto V = std::make_unique<VarDecl>();
+    V->Name = get().Text;
+    V->Ty = parseArraySuffix(T);
+    if (consumePunct("="))
+      V->Init = parseAssign();
+    S->Decl = std::move(V);
+    expectPunct(";");
+    return S;
+  }
+
+  auto S = std::make_unique<Stmt>(Stmt::ExprStmt);
+  S->Line = Line;
+  S->E = parseExpr();
+  expectPunct(";");
+  return S;
+}
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr L = parseCond();
+  static const char *const AssignOps[] = {"=",  "+=", "-=", "*=",
+                                          "/=", "%=", "&=", "|=",
+                                          "^=", "<<=", ">>="};
+  for (const char *Op : AssignOps) {
+    if (peek().isPunct(Op)) {
+      get();
+      auto E = makeExpr(Expr::Assign);
+      E->Op = Op;
+      E->Lhs = std::move(L);
+      E->Rhs = parseAssign();
+      return E;
+    }
+  }
+  return L;
+}
+
+ExprPtr Parser::parseCond() {
+  ExprPtr C = parseBinary(0);
+  if (!peek().isPunct("?"))
+    return C;
+  get();
+  auto E = makeExpr(Expr::Cond);
+  E->Lhs = std::move(C);
+  E->Rhs = parseExpr();
+  expectPunct(":");
+  E->Third = parseCond();
+  return E;
+}
+
+/// Binary operator precedence (higher binds tighter).
+static int precOf(const std::string &Op) {
+  if (Op == "||") return 1;
+  if (Op == "&&") return 2;
+  if (Op == "|") return 3;
+  if (Op == "^") return 4;
+  if (Op == "&") return 5;
+  if (Op == "==" || Op == "!=") return 6;
+  if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=") return 7;
+  if (Op == "<<" || Op == ">>") return 8;
+  if (Op == "+" || Op == "-") return 9;
+  if (Op == "*" || Op == "/" || Op == "%") return 10;
+  return -1;
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr L = parseUnary();
+  while (peek().K == Token::Punct) {
+    int Prec = precOf(peek().Text);
+    if (Prec < 0 || Prec < MinPrec)
+      break;
+    std::string Op = get().Text;
+    ExprPtr R = parseBinary(Prec + 1);
+    auto E = makeExpr(Expr::Binary);
+    E->Op = Op;
+    E->Lhs = std::move(L);
+    E->Rhs = std::move(R);
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  static const char *const UnOps[] = {"-", "!", "~", "*", "&", "++", "--"};
+  for (const char *Op : UnOps) {
+    if (peek().isPunct(Op)) {
+      get();
+      auto E = makeExpr(Expr::Unary);
+      E->Op = Op;
+      E->Lhs = parseUnary();
+      return E;
+    }
+  }
+  if (peek().isKeyword("sizeof")) {
+    get();
+    expectPunct("(");
+    auto E = makeExpr(Expr::SizeofTy);
+    if (atTypeStart()) {
+      const Type *T = parseTypeSpec();
+      E->CastTy = T;
+    } else {
+      // sizeof(expr): parse and keep for Sema to size.
+      E->Lhs = parseExpr();
+    }
+    expectPunct(")");
+    return E;
+  }
+  // Cast: '(' type ')' unary.
+  if (peek().isPunct("(") &&
+      (peek(1).isKeyword("void") || peek(1).isKeyword("char") ||
+       peek(1).isKeyword("int") || peek(1).isKeyword("long") ||
+       peek(1).isKeyword("struct"))) {
+    get();
+    auto E = makeExpr(Expr::Cast);
+    E->CastTy = parseTypeSpec();
+    expectPunct(")");
+    E->Lhs = parseUnary();
+    return E;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (true) {
+    if (peek().isPunct("[")) {
+      get();
+      auto N = makeExpr(Expr::Index);
+      N->Lhs = std::move(E);
+      N->Rhs = parseExpr();
+      expectPunct("]");
+      E = std::move(N);
+      continue;
+    }
+    if (peek().isPunct("(")) {
+      get();
+      auto N = makeExpr(Expr::Call);
+      if (E->K != Expr::VarRef) {
+        error("calls are only supported through a function name");
+        return E;
+      }
+      N->Name = E->Name;
+      while (!peek().isPunct(")") && peek().K != Token::End) {
+        if (!N->Args.empty())
+          expectPunct(",");
+        N->Args.push_back(parseAssign());
+      }
+      expectPunct(")");
+      E = std::move(N);
+      continue;
+    }
+    if (peek().isPunct(".") || peek().isPunct("->")) {
+      bool Arrow = get().Text == "->";
+      if (peek().K != Token::Ident) {
+        error("expected field name");
+        return E;
+      }
+      auto N = makeExpr(Expr::Member);
+      N->Name = get().Text;
+      N->IsArrow = Arrow;
+      N->Lhs = std::move(E);
+      E = std::move(N);
+      continue;
+    }
+    if (peek().isPunct("++") || peek().isPunct("--")) {
+      auto N = makeExpr(Expr::Postfix);
+      N->Op = get().Text;
+      N->Lhs = std::move(E);
+      E = std::move(N);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = peek();
+  if (T.K == Token::IntLit || T.K == Token::CharLit) {
+    auto E = makeExpr(Expr::IntLit);
+    E->IntValue = get().Value;
+    return E;
+  }
+  if (T.K == Token::StrLit) {
+    auto E = makeExpr(Expr::StrLit);
+    E->StrValue = get().Str;
+    return E;
+  }
+  if (T.K == Token::Ident) {
+    auto E = makeExpr(Expr::VarRef);
+    E->Name = get().Text;
+    return E;
+  }
+  if (consumePunct("(")) {
+    ExprPtr E = parseExpr();
+    expectPunct(")");
+    return E;
+  }
+  error("expected expression, found '" + describe(T) + "'");
+  auto E = makeExpr(Expr::IntLit);
+  E->IntValue = 0;
+  get();
+  return E;
+}
+
+bool Parser::run() {
+  while (peek().K != Token::End)
+    parseTopLevel();
+  return !Failed;
+}
+
+} // namespace
+
+bool mcc::parse(const std::vector<Token> &Tokens, TypeContext &Types,
+                TranslationUnit &Out, DiagEngine &Diags) {
+  Parser P(Tokens, Types, Out, Diags);
+  return P.run();
+}

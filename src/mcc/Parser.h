@@ -1,0 +1,20 @@
+//===- mcc/Parser.h - Mini-C parser -----------------------------*- C++ -*-===//
+
+#ifndef ATOM_MCC_PARSER_H
+#define ATOM_MCC_PARSER_H
+
+#include "mcc/Ast.h"
+#include "mcc/Lexer.h"
+
+namespace atom {
+namespace mcc {
+
+/// Parses a token stream into a TranslationUnit. Types are created in
+/// \p Types. Returns false on syntax errors.
+bool parse(const std::vector<Token> &Tokens, TypeContext &Types,
+           TranslationUnit &Out, DiagEngine &Diags);
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_PARSER_H

@@ -1,0 +1,558 @@
+//===- mcc/Sema.cpp -------------------------------------------------------===//
+
+#include "mcc/Sema.h"
+
+#include <map>
+
+using namespace atom;
+using namespace atom::mcc;
+
+namespace {
+
+class Sema {
+public:
+  Sema(TranslationUnit &Unit, TypeContext &Types, DiagEngine &Diags)
+      : Unit(Unit), Types(Types), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(int Line, const std::string &Msg) {
+    Diags.error(Line, Msg);
+    Failed = true;
+  }
+
+  // Scope management.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declareLocal(VarDecl *V, int Line) {
+    if (Scopes.back().count(V->Name))
+      error(Line, "redefinition of '" + V->Name + "'");
+    Scopes.back()[V->Name] = V;
+  }
+  const VarDecl *lookupVar(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return F->second;
+    }
+    auto G = GlobalVars.find(Name);
+    return G == GlobalVars.end() ? nullptr : G->second;
+  }
+
+  /// Array-to-pointer decay for rvalue use.
+  void decay(Expr &E) {
+    if (E.Ty && E.Ty->isArray()) {
+      E.Ty = Types.ptrTo(E.Ty->Pointee);
+      E.IsLValue = false;
+      E.DecayedArray = true;
+    }
+  }
+
+  /// Integer promotion: char -> int.
+  const Type *promote(const Type *T) {
+    return T->K == Type::Char ? Types.intTy() : T;
+  }
+
+  /// Usual arithmetic conversions for two integer types.
+  const Type *arith(const Type *A, const Type *B) {
+    A = promote(A);
+    B = promote(B);
+    return (A->K == Type::Long || B->K == Type::Long) ? Types.longTy()
+                                                      : Types.intTy();
+  }
+
+  bool assignable(const Type *Dst, const Type *Src) {
+    if (Dst->isInteger() && Src->isInteger())
+      return true;
+    if (Dst->isPointer() && Src->isPointer())
+      return true; // untyped pointer compatibility
+    if (Dst->isPointer() && Src->isInteger())
+      return true; // allows p = 0
+    if (Dst->isInteger() && Src->isPointer())
+      return true; // address arithmetic idioms
+    return false;
+  }
+
+  void checkExpr(Expr &E);
+  void checkCondition(ExprPtr &E) {
+    if (!E)
+      return;
+    checkExpr(*E);
+    decay(*E);
+    if (E->Ty && !E->Ty->isScalar())
+      error(E->Line, "condition must be scalar");
+  }
+  void checkStmt(Stmt &S);
+
+  TranslationUnit &Unit;
+  TypeContext &Types;
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  std::map<std::string, const VarDecl *> GlobalVars;
+  std::map<std::string, const FuncDecl *> FuncsByName;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  const FuncDecl *CurFunc = nullptr;
+  int LoopDepth = 0;
+  int SwitchDepth = 0;
+};
+
+void Sema::checkExpr(Expr &E) {
+  switch (E.K) {
+  case Expr::IntLit:
+    E.Ty = fitsSigned(E.IntValue, 32) ? Types.intTy() : Types.longTy();
+    return;
+
+  case Expr::StrLit:
+    E.Ty = Types.ptrTo(Types.charTy());
+    return;
+
+  case Expr::VarRef: {
+    const VarDecl *V = lookupVar(E.Name);
+    if (!V) {
+      error(E.Line, "use of undeclared identifier '" + E.Name + "'");
+      E.Ty = Types.intTy();
+      return;
+    }
+    E.Var = V;
+    E.Ty = V->Ty;
+    E.IsLValue = !V->Ty->isArray(); // arrays are addresses, not assignable
+    return;
+  }
+
+  case Expr::FuncRef:
+    error(E.Line, "function name used as a value");
+    E.Ty = Types.intTy();
+    return;
+
+  case Expr::Unary: {
+    checkExpr(*E.Lhs);
+    if (E.Op == "*") {
+      decay(*E.Lhs);
+      if (!E.Lhs->Ty->isPointer() || E.Lhs->Ty->Pointee->K == Type::Void) {
+        error(E.Line, "cannot dereference value of type " + E.Lhs->Ty->str());
+        E.Ty = Types.intTy();
+        return;
+      }
+      E.Ty = E.Lhs->Ty->Pointee;
+      E.IsLValue = !E.Ty->isArray();
+      return;
+    }
+    if (E.Op == "&") {
+      if (!E.Lhs->IsLValue && !E.Lhs->Ty->isArray()) {
+        error(E.Line, "cannot take the address of an rvalue");
+        E.Ty = Types.ptrTo(Types.intTy());
+        return;
+      }
+      const Type *T = E.Lhs->Ty;
+      E.Ty = Types.ptrTo(T->isArray() ? T : T);
+      return;
+    }
+    if (E.Op == "++" || E.Op == "--") {
+      if (!E.Lhs->IsLValue || !E.Lhs->Ty->isScalar()) {
+        error(E.Line, "operand of " + E.Op + " must be a scalar lvalue");
+        E.Ty = Types.intTy();
+        return;
+      }
+      E.Ty = E.Lhs->Ty;
+      return;
+    }
+    decay(*E.Lhs);
+    if (!E.Lhs->Ty->isScalar()) {
+      error(E.Line, "operand of unary " + E.Op + " must be scalar");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (E.Op == "!") {
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (!E.Lhs->Ty->isInteger())
+      error(E.Line, "operand of unary " + E.Op + " must be integer");
+    E.Ty = promote(E.Lhs->Ty);
+    return;
+  }
+
+  case Expr::Postfix: {
+    checkExpr(*E.Lhs);
+    if (!E.Lhs->IsLValue || !E.Lhs->Ty->isScalar()) {
+      error(E.Line, "operand of postfix " + E.Op + " must be a scalar lvalue");
+      E.Ty = Types.intTy();
+      return;
+    }
+    E.Ty = E.Lhs->Ty;
+    return;
+  }
+
+  case Expr::Binary: {
+    checkExpr(*E.Lhs);
+    checkExpr(*E.Rhs);
+    decay(*E.Lhs);
+    decay(*E.Rhs);
+    const Type *L = E.Lhs->Ty, *R = E.Rhs->Ty;
+
+    if (E.Op == "&&" || E.Op == "||") {
+      if (!L->isScalar() || !R->isScalar())
+        error(E.Line, "operands of " + E.Op + " must be scalar");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (E.Op == "==" || E.Op == "!=" || E.Op == "<" || E.Op == "<=" ||
+        E.Op == ">" || E.Op == ">=") {
+      if (!L->isScalar() || !R->isScalar())
+        error(E.Line, "cannot compare these operands");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (E.Op == "+" && L->isPointer() && R->isInteger()) {
+      E.Ty = L;
+      return;
+    }
+    if (E.Op == "+" && L->isInteger() && R->isPointer()) {
+      E.Ty = R;
+      return;
+    }
+    if (E.Op == "-" && L->isPointer() && R->isInteger()) {
+      E.Ty = L;
+      return;
+    }
+    if (E.Op == "-" && L->isPointer() && R->isPointer()) {
+      E.Ty = Types.longTy(); // element difference
+      return;
+    }
+    if (!L->isInteger() || !R->isInteger()) {
+      error(E.Line, "invalid operands to binary " + E.Op + " (" + L->str() +
+                        ", " + R->str() + ")");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (E.Op == "<<" || E.Op == ">>") {
+      E.Ty = promote(L);
+      return;
+    }
+    E.Ty = arith(L, R);
+    return;
+  }
+
+  case Expr::Assign: {
+    checkExpr(*E.Lhs);
+    checkExpr(*E.Rhs);
+    decay(*E.Rhs);
+    if (!E.Lhs->IsLValue || !E.Lhs->Ty->isScalar()) {
+      error(E.Line, "left side of assignment must be a scalar lvalue");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (!assignable(E.Lhs->Ty, E.Rhs->Ty))
+      error(E.Line, "cannot assign " + E.Rhs->Ty->str() + " to " +
+                        E.Lhs->Ty->str());
+    if (E.Op != "=") {
+      // Compound assignment: pointer += int is allowed for "+="/"-=".
+      bool PtrOk = (E.Op == "+=" || E.Op == "-=") && E.Lhs->Ty->isPointer() &&
+                   E.Rhs->Ty->isInteger();
+      if (!PtrOk && (!E.Lhs->Ty->isInteger() || !E.Rhs->Ty->isInteger()))
+        error(E.Line, "invalid compound assignment");
+    }
+    E.Ty = E.Lhs->Ty;
+    return;
+  }
+
+  case Expr::Cond: {
+    checkCondition(E.Lhs);
+    checkExpr(*E.Rhs);
+    checkExpr(*E.Third);
+    decay(*E.Rhs);
+    decay(*E.Third);
+    const Type *A = E.Rhs->Ty, *B = E.Third->Ty;
+    if (A->isInteger() && B->isInteger())
+      E.Ty = arith(A, B);
+    else if (A->isPointer() && (B->isPointer() || B->isInteger()))
+      E.Ty = A;
+    else if (B->isPointer() && A->isInteger())
+      E.Ty = B;
+    else {
+      error(E.Line, "incompatible branches of ?:");
+      E.Ty = Types.intTy();
+    }
+    return;
+  }
+
+  case Expr::Call: {
+    // __vararg(i) builtin reads the i-th variadic stack argument.
+    if (E.Name == "__vararg") {
+      if (E.Args.size() != 1) {
+        error(E.Line, "__vararg takes one argument");
+      } else {
+        checkExpr(*E.Args[0]);
+        decay(*E.Args[0]);
+        if (!CurFunc || !CurFunc->IsVariadic)
+          error(E.Line, "__vararg used outside a variadic function");
+      }
+      E.Ty = Types.longTy();
+      return;
+    }
+    auto It = FuncsByName.find(E.Name);
+    if (It == FuncsByName.end()) {
+      error(E.Line, "call to undeclared function '" + E.Name + "'");
+      E.Ty = Types.intTy();
+      return;
+    }
+    const FuncDecl *F = It->second;
+    E.Callee = F;
+    if (E.Args.size() < F->Params.size() ||
+        (!F->IsVariadic && E.Args.size() > F->Params.size())) {
+      error(E.Line, formatString("wrong number of arguments to '%s'",
+                                 F->Name.c_str()));
+    }
+    if (E.Args.size() > 16)
+      error(E.Line, "too many arguments (max 16)");
+    if (F->IsVariadic && F->Params.size() > 6)
+      error(E.Line, "variadic functions support at most 6 named parameters");
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      checkExpr(*E.Args[I]);
+      decay(*E.Args[I]);
+      if (!E.Args[I]->Ty->isScalar()) {
+        error(E.Args[I]->Line, "arguments must be scalar");
+        continue;
+      }
+      if (I < F->Params.size() &&
+          !assignable(F->Params[I]->Ty, E.Args[I]->Ty))
+        error(E.Args[I]->Line,
+              formatString("argument %zu to '%s' has incompatible type",
+                           I + 1, F->Name.c_str()));
+    }
+    E.Ty = F->RetTy;
+    return;
+  }
+
+  case Expr::Index: {
+    checkExpr(*E.Lhs);
+    checkExpr(*E.Rhs);
+    decay(*E.Rhs);
+    const Type *Base = E.Lhs->Ty;
+    if (Base->isArray())
+      Base = Types.ptrTo(Base->Pointee);
+    else
+      decay(*E.Lhs);
+    if (!Base->isPointer() && !E.Lhs->Ty->isPointer()) {
+      error(E.Line, "subscripted value is not a pointer or array");
+      E.Ty = Types.intTy();
+      return;
+    }
+    if (E.Lhs->Ty->isPointer())
+      Base = E.Lhs->Ty;
+    if (!E.Rhs->Ty->isInteger())
+      error(E.Line, "array subscript must be an integer");
+    E.Ty = Base->Pointee;
+    E.IsLValue = !E.Ty->isArray();
+    return;
+  }
+
+  case Expr::Member: {
+    checkExpr(*E.Lhs);
+    const StructDef *SD = nullptr;
+    if (E.IsArrow) {
+      decay(*E.Lhs);
+      if (!E.Lhs->Ty->isPointer() || !E.Lhs->Ty->Pointee->isStruct()) {
+        error(E.Line, "-> requires a pointer to struct");
+        E.Ty = Types.intTy();
+        return;
+      }
+      SD = E.Lhs->Ty->Pointee->SD;
+    } else {
+      if (!E.Lhs->Ty->isStruct() || !E.Lhs->IsLValue) {
+        error(E.Line, ". requires a struct lvalue");
+        E.Ty = Types.intTy();
+        return;
+      }
+      SD = E.Lhs->Ty->SD;
+    }
+    const StructField *F = SD->findField(E.Name);
+    if (!F) {
+      error(E.Line,
+            "no field '" + E.Name + "' in struct '" + SD->Name + "'");
+      E.Ty = Types.intTy();
+      return;
+    }
+    E.Ty = F->Ty;
+    E.IsLValue = !F->Ty->isArray();
+    return;
+  }
+
+  case Expr::Cast: {
+    checkExpr(*E.Lhs);
+    decay(*E.Lhs);
+    if (E.CastTy->K != Type::Void &&
+        (!E.CastTy->isScalar() || !E.Lhs->Ty->isScalar()))
+      error(E.Line, "invalid cast");
+    E.Ty = E.CastTy;
+    return;
+  }
+
+  case Expr::SizeofTy: {
+    const Type *T = E.CastTy;
+    if (!T) {
+      checkExpr(*E.Lhs);
+      T = E.Lhs->Ty;
+    }
+    E.IntValue = int64_t(T->size());
+    E.Ty = Types.longTy();
+    return;
+  }
+  }
+}
+
+void Sema::checkStmt(Stmt &S) {
+  switch (S.K) {
+  case Stmt::Block:
+    pushScope();
+    for (StmtPtr &Sub : S.Body)
+      checkStmt(*Sub);
+    popScope();
+    return;
+  case Stmt::If:
+    checkCondition(S.Cond);
+    checkStmt(*S.Then);
+    if (S.Else)
+      checkStmt(*S.Else);
+    return;
+  case Stmt::While:
+  case Stmt::DoWhile:
+    checkCondition(S.Cond);
+    ++LoopDepth;
+    checkStmt(*S.Loop);
+    --LoopDepth;
+    return;
+  case Stmt::For:
+    if (S.Init)
+      checkExpr(*S.Init);
+    checkCondition(S.Cond);
+    if (S.Step)
+      checkExpr(*S.Step);
+    ++LoopDepth;
+    checkStmt(*S.Loop);
+    --LoopDepth;
+    return;
+  case Stmt::Switch: {
+    checkExpr(*S.E);
+    decay(*S.E);
+    if (!S.E->Ty->isInteger())
+      error(S.Line, "switch value must be an integer");
+    // Duplicate case values.
+    for (size_t I = 0; I < S.Cases.size(); ++I)
+      for (size_t J = I + 1; J < S.Cases.size(); ++J)
+        if (S.Cases[I].first == S.Cases[J].first)
+          error(S.Line, formatString("duplicate case value %lld",
+                                     (long long)S.Cases[I].first));
+    S.Decl->Ty = Types.longTy();
+    ++SwitchDepth;
+    pushScope();
+    for (StmtPtr &Sub : S.Body)
+      checkStmt(*Sub);
+    popScope();
+    --SwitchDepth;
+    return;
+  }
+  case Stmt::Return:
+    if (S.E) {
+      checkExpr(*S.E);
+      decay(*S.E);
+      if (CurFunc->RetTy->K == Type::Void)
+        error(S.Line, "void function returns a value");
+      else if (!assignable(CurFunc->RetTy, S.E->Ty))
+        error(S.Line, "incompatible return type");
+    } else if (CurFunc->RetTy->K != Type::Void) {
+      error(S.Line, "non-void function returns no value");
+    }
+    return;
+  case Stmt::Break:
+    if (!LoopDepth && !SwitchDepth)
+      error(S.Line, "break outside a loop or switch");
+    return;
+  case Stmt::Continue:
+    if (!LoopDepth)
+      error(S.Line, "continue outside a loop");
+    return;
+  case Stmt::ExprStmt:
+    checkExpr(*S.E);
+    return;
+  case Stmt::DeclStmt: {
+    VarDecl *V = S.Decl.get();
+    if (V->Ty->size() == 0) {
+      error(S.Line, "variable '" + V->Name + "' has incomplete type");
+      return;
+    }
+    if (V->Init) {
+      checkExpr(*V->Init);
+      decay(*V->Init);
+      if (!V->Ty->isScalar())
+        error(S.Line, "only scalar locals can be initialized");
+      else if (!assignable(V->Ty, V->Init->Ty))
+        error(S.Line, "incompatible initializer for '" + V->Name + "'");
+    }
+    declareLocal(V, S.Line);
+    return;
+  }
+  case Stmt::Empty:
+    return;
+  }
+}
+
+bool Sema::run() {
+  // Register functions (a later definition overrides an extern declaration).
+  for (auto &F : Unit.Funcs) {
+    auto It = FuncsByName.find(F->Name);
+    if (It != FuncsByName.end()) {
+      if (It->second->Body && F->Body) {
+        error(F->Line, "redefinition of function '" + F->Name + "'");
+        continue;
+      }
+      if (F->Body)
+        FuncsByName[F->Name] = F.get();
+      continue;
+    }
+    FuncsByName[F->Name] = F.get();
+  }
+
+  // Register and check globals.
+  for (auto &G : Unit.Globals) {
+    if (GlobalVars.count(G->Name)) {
+      error(0, "redefinition of global '" + G->Name + "'");
+      continue;
+    }
+    GlobalVars[G->Name] = G.get();
+    if (!G->IsExtern && G->Ty->size() == 0)
+      error(0, "global '" + G->Name + "' has incomplete type");
+    if (G->Init) {
+      checkExpr(*G->Init);
+      decay(*G->Init);
+      // Constant-ness is validated by codegen (int literal, negated
+      // literal, sizeof, or string literal).
+    }
+  }
+
+  for (auto &F : Unit.Funcs) {
+    if (!F->Body)
+      continue;
+    CurFunc = F.get();
+    pushScope();
+    for (auto &P : F->Params)
+      if (!P->Name.empty())
+        declareLocal(P.get(), F->Line);
+    // The body is a Block which pushes its own scope; parameters live in
+    // the enclosing one.
+    checkStmt(*F->Body);
+    popScope();
+    CurFunc = nullptr;
+  }
+  return !Failed;
+}
+
+} // namespace
+
+bool mcc::analyze(TranslationUnit &Unit, TypeContext &Types,
+                  DiagEngine &Diags) {
+  Sema S(Unit, Types, Diags);
+  return S.run();
+}

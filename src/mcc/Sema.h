@@ -1,0 +1,18 @@
+//===- mcc/Sema.h - Mini-C semantic analysis --------------------*- C++ -*-===//
+
+#ifndef ATOM_MCC_SEMA_H
+#define ATOM_MCC_SEMA_H
+
+#include "mcc/Ast.h"
+
+namespace atom {
+namespace mcc {
+
+/// Resolves names, assigns types to every expression, and checks the
+/// language rules. Returns false on semantic errors.
+bool analyze(TranslationUnit &Unit, TypeContext &Types, DiagEngine &Diags);
+
+} // namespace mcc
+} // namespace atom
+
+#endif // ATOM_MCC_SEMA_H

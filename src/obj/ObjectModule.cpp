@@ -1,0 +1,260 @@
+//===- obj/ObjectModule.cpp -----------------------------------------------===//
+
+#include "obj/ObjectModule.h"
+
+#include <cstring>
+
+using namespace atom;
+using namespace atom::obj;
+
+uint64_t obj::read64(const std::vector<uint8_t> &B, uint64_t Off) {
+  assert(Off + 8 <= B.size() && "read64 out of bounds");
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | B[Off + uint64_t(I)];
+  return V;
+}
+
+uint32_t obj::read32(const std::vector<uint8_t> &B, uint64_t Off) {
+  assert(Off + 4 <= B.size() && "read32 out of bounds");
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | B[Off + uint64_t(I)];
+  return V;
+}
+
+void obj::write64(std::vector<uint8_t> &B, uint64_t Off, uint64_t V) {
+  assert(Off + 8 <= B.size() && "write64 out of bounds");
+  for (int I = 0; I < 8; ++I)
+    B[Off + uint64_t(I)] = uint8_t(V >> (8 * I));
+}
+
+void obj::write32(std::vector<uint8_t> &B, uint64_t Off, uint32_t V) {
+  assert(Off + 4 <= B.size() && "write32 out of bounds");
+  for (int I = 0; I < 4; ++I)
+    B[Off + uint64_t(I)] = uint8_t(V >> (8 * I));
+}
+
+namespace {
+
+/// Simple growable binary writer/reader for the serialization formats.
+class Writer {
+public:
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void str(const std::string &S) {
+    u32(uint32_t(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(const std::vector<uint8_t> &B) {
+    u64(B.size());
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  std::vector<uint8_t> Out;
+};
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > B.size())
+      return false;
+    V = B[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > B.size())
+      return false;
+    V = 0;
+    for (int I = 3; I >= 0; --I)
+      V = (V << 8) | B[Pos + size_t(I)];
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > B.size())
+      return false;
+    V = 0;
+    for (int I = 7; I >= 0; --I)
+      V = (V << 8) | B[Pos + size_t(I)];
+    Pos += 8;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Pos + N > B.size())
+      return false;
+    S.assign(B.begin() + long(Pos), B.begin() + long(Pos + N));
+    Pos += N;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &V) {
+    uint64_t N;
+    if (!u64(N) || Pos + N > B.size())
+      return false;
+    V.assign(B.begin() + long(Pos), B.begin() + long(Pos + N));
+    Pos += N;
+    return true;
+  }
+
+private:
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+};
+
+void writeSymbols(Writer &W, const std::vector<Symbol> &Symbols) {
+  W.u32(uint32_t(Symbols.size()));
+  for (const Symbol &S : Symbols) {
+    W.str(S.Name);
+    W.u8(uint8_t(S.Section));
+    W.u64(S.Value);
+    W.u8(S.Global ? 1 : 0);
+    W.u8(S.IsProc ? 1 : 0);
+    W.u64(S.Size);
+  }
+}
+
+bool readSymbols(Reader &R, std::vector<Symbol> &Symbols) {
+  uint32_t N;
+  if (!R.u32(N))
+    return false;
+  Symbols.resize(N);
+  for (Symbol &S : Symbols) {
+    uint8_t Sec, Glob, Proc;
+    if (!R.str(S.Name) || !R.u8(Sec) || !R.u64(S.Value) || !R.u8(Glob) ||
+        !R.u8(Proc) || !R.u64(S.Size))
+      return false;
+    if (Sec > uint8_t(SymSection::Undefined))
+      return false;
+    S.Section = SymSection(Sec);
+    S.Global = Glob != 0;
+    S.IsProc = Proc != 0;
+  }
+  return true;
+}
+
+void writeRelocs(Writer &W, const std::vector<Reloc> &Relocs) {
+  W.u32(uint32_t(Relocs.size()));
+  for (const Reloc &R : Relocs) {
+    W.u8(uint8_t(R.Kind));
+    W.u64(R.Offset);
+    W.u32(R.SymIndex);
+    W.u64(uint64_t(R.Addend));
+  }
+}
+
+bool readRelocs(Reader &R, std::vector<Reloc> &Relocs) {
+  uint32_t N;
+  if (!R.u32(N))
+    return false;
+  Relocs.resize(N);
+  for (Reloc &Rel : Relocs) {
+    uint8_t Kind;
+    uint64_t Addend;
+    if (!R.u8(Kind) || !R.u64(Rel.Offset) || !R.u32(Rel.SymIndex) ||
+        !R.u64(Addend))
+      return false;
+    if (Kind > uint8_t(RelocKind::Br21))
+      return false;
+    Rel.Kind = RelocKind(Kind);
+    Rel.Addend = int64_t(Addend);
+  }
+  return true;
+}
+
+constexpr uint32_t ObjMagic = 0x4A424F41; // "AOBJ"
+constexpr uint32_t ExeMagic = 0x45584541; // "AEXE"
+
+} // namespace
+
+std::vector<uint8_t> ObjectModule::serialize() const {
+  Writer W;
+  W.u32(ObjMagic);
+  W.str(Name);
+  W.bytes(Text);
+  W.bytes(Data);
+  W.u64(BssSize);
+  writeSymbols(W, Symbols);
+  writeRelocs(W, TextRelocs);
+  writeRelocs(W, DataRelocs);
+  return std::move(W.Out);
+}
+
+bool ObjectModule::deserialize(const std::vector<uint8_t> &Bytes,
+                               ObjectModule &M) {
+  Reader R(Bytes);
+  uint32_t Magic;
+  if (!R.u32(Magic) || Magic != ObjMagic)
+    return false;
+  M = ObjectModule();
+  return R.str(M.Name) && R.bytes(M.Text) && R.bytes(M.Data) &&
+         R.u64(M.BssSize) && readSymbols(R, M.Symbols) &&
+         readRelocs(R, M.TextRelocs) && readRelocs(R, M.DataRelocs);
+}
+
+int ObjectModule::findSymbol(const std::string &SymName) const {
+  for (size_t I = 0; I < Symbols.size(); ++I)
+    if (Symbols[I].Name == SymName)
+      return int(I);
+  return -1;
+}
+
+int Executable::findSymbol(const std::string &SymName) const {
+  for (size_t I = 0; I < Symbols.size(); ++I)
+    if (Symbols[I].Name == SymName)
+      return int(I);
+  return -1;
+}
+
+std::vector<uint8_t> Executable::serialize() const {
+  Writer W;
+  W.u32(ExeMagic);
+  W.u64(TextStart);
+  W.u64(DataStart);
+  W.u64(Entry);
+  W.bytes(Text);
+  W.bytes(Data);
+  W.u64(BssSize);
+  W.u64(HeapStart);
+  W.u64(StackStart);
+  writeSymbols(W, Symbols);
+  writeRelocs(W, TextRelocs);
+  writeRelocs(W, DataRelocs);
+  W.u32(uint32_t(Segments.size()));
+  for (const Segment &S : Segments) {
+    W.u64(S.Addr);
+    W.bytes(S.Bytes);
+  }
+  return std::move(W.Out);
+}
+
+bool Executable::deserialize(const std::vector<uint8_t> &Bytes,
+                             Executable &E) {
+  Reader R(Bytes);
+  uint32_t Magic;
+  if (!R.u32(Magic) || Magic != ExeMagic)
+    return false;
+  E = Executable();
+  if (!(R.u64(E.TextStart) && R.u64(E.DataStart) && R.u64(E.Entry) &&
+        R.bytes(E.Text) && R.bytes(E.Data) && R.u64(E.BssSize) &&
+        R.u64(E.HeapStart) && R.u64(E.StackStart) &&
+        readSymbols(R, E.Symbols) && readRelocs(R, E.TextRelocs) &&
+        readRelocs(R, E.DataRelocs)))
+    return false;
+  uint32_t NSeg;
+  if (!R.u32(NSeg))
+    return false;
+  E.Segments.resize(NSeg);
+  for (Segment &S : E.Segments)
+    if (!R.u64(S.Addr) || !R.bytes(S.Bytes))
+      return false;
+  return true;
+}

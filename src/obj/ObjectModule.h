@@ -1,0 +1,119 @@
+//===- obj/ObjectModule.h - Relocatable object modules ----------*- C++ -*-===//
+//
+// The object-module format consumed by the linker and by OM. A module has
+// text/data/bss sections, a symbol table, and relocations. ATOM operates on
+// object modules rather than source, which is what makes it "independent of
+// compiler and language systems" (paper §2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OBJ_OBJECTMODULE_H
+#define ATOM_OBJ_OBJECTMODULE_H
+
+#include "support/Support.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace obj {
+
+/// Relocation kinds.
+enum class RelocKind : uint8_t {
+  Abs64, ///< 64-bit absolute address in data: *loc = S + A.
+  Hi16,  ///< ldah displacement: adjusted high 16 bits of S + A.
+  Lo16,  ///< lda/load/store displacement: low 16 bits (signed) of S + A.
+  Br21,  ///< 21-bit branch displacement to S + A from the branch site.
+};
+
+/// Which section a symbol is defined in (or Undefined / Absolute).
+enum class SymSection : uint8_t { Text, Data, Bss, Absolute, Undefined };
+
+struct Symbol {
+  std::string Name;
+  SymSection Section = SymSection::Undefined;
+  /// Section-relative offset, or the value itself for Absolute symbols.
+  /// After linking, an absolute address.
+  uint64_t Value = 0;
+  bool Global = false;
+  bool IsProc = false; ///< Marks procedure entry points (.ent/.end).
+  uint64_t Size = 0;   ///< Procedure size in bytes (0 if unknown).
+};
+
+struct Reloc {
+  RelocKind Kind = RelocKind::Abs64;
+  uint64_t Offset = 0;  ///< Byte offset within the holding section.
+  uint32_t SymIndex = 0;
+  int64_t Addend = 0;
+};
+
+/// A relocatable object module. Section contents are raw bytes; text is a
+/// multiple of 4 bytes of encoded instructions.
+struct ObjectModule {
+  std::string Name;
+  std::vector<uint8_t> Text;
+  std::vector<uint8_t> Data;
+  uint64_t BssSize = 0;
+  std::vector<Symbol> Symbols;
+  std::vector<Reloc> TextRelocs; ///< Offsets into Text.
+  std::vector<Reloc> DataRelocs; ///< Offsets into Data.
+
+  /// Serializes to a stable binary format (magic "AOBJ").
+  std::vector<uint8_t> serialize() const;
+  /// Deserializes; returns false on malformed input.
+  static bool deserialize(const std::vector<uint8_t> &Bytes, ObjectModule &M);
+
+  /// Finds a symbol index by name; returns -1 if absent.
+  int findSymbol(const std::string &SymName) const;
+};
+
+/// An extra loadable region (ATOM places the analysis routines' data
+/// between the program's text and data segments, paper Figure 4).
+struct Segment {
+  uint64_t Addr = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// A fully linked executable image. Symbols hold absolute addresses;
+/// relocations are *retained* (with resolved symbol indices) so OM can lift
+/// the code symbolically — this stands in for the paper's "fully linked
+/// application program in object-module format".
+struct Executable {
+  uint64_t TextStart = 0;
+  uint64_t DataStart = 0;
+  uint64_t Entry = 0;
+  std::vector<uint8_t> Text;
+  std::vector<uint8_t> Data;
+  uint64_t BssSize = 0;
+  uint64_t HeapStart = 0;  ///< First byte past bss, page aligned.
+  uint64_t StackStart = 0; ///< Initial sp; the stack grows down.
+  std::vector<Symbol> Symbols; ///< Values are absolute addresses.
+  std::vector<Reloc> TextRelocs; ///< Offsets relative to TextStart.
+  std::vector<Reloc> DataRelocs; ///< Offsets relative to DataStart.
+  std::vector<Segment> Segments; ///< Extra regions (analysis data).
+
+  int findSymbol(const std::string &SymName) const;
+
+  /// Serializes to a stable binary format (magic "AEXE").
+  std::vector<uint8_t> serialize() const;
+  static bool deserialize(const std::vector<uint8_t> &Bytes, Executable &E);
+};
+
+/// Default memory layout (see DESIGN.md: addresses fit in 31 bits so a
+/// 2-instruction ldah/lda pair reaches everything).
+constexpr uint64_t DefaultTextStart = 0x02000000; ///< Stack grows down from
+                                                  ///< here (paper Figure 4).
+constexpr uint64_t DefaultDataStart = 0x10000000;
+constexpr uint64_t PageSize = 0x2000; ///< 8 KB pages, as on Alpha.
+
+/// Reads/writes little-endian scalars in section byte vectors.
+uint64_t read64(const std::vector<uint8_t> &B, uint64_t Off);
+uint32_t read32(const std::vector<uint8_t> &B, uint64_t Off);
+void write64(std::vector<uint8_t> &B, uint64_t Off, uint64_t V);
+void write32(std::vector<uint8_t> &B, uint64_t Off, uint32_t V);
+
+} // namespace obj
+} // namespace atom
+
+#endif // ATOM_OBJ_OBJECTMODULE_H

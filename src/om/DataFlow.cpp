@@ -1,0 +1,108 @@
+//===- om/DataFlow.cpp ----------------------------------------------------===//
+
+#include "om/DataFlow.h"
+
+using namespace atom;
+using namespace atom::om;
+using namespace atom::isa;
+
+uint32_t om::callerSavedMask() {
+  uint32_t M = 0;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    if (isCallerSaved(R))
+      M |= 1u << R;
+  return M;
+}
+
+std::vector<unsigned> om::maskToRegs(uint32_t Mask) {
+  std::vector<unsigned> Out;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    if (Mask & (1u << R))
+      Out.push_back(R);
+  return Out;
+}
+
+/// DFS back-edge detection for HasLoop.
+static bool hasBackEdge(const Procedure &P) {
+  if (P.Blocks.empty())
+    return false;
+  std::vector<int> State(P.Blocks.size(), 0); // 0 new, 1 on stack, 2 done
+  std::vector<std::pair<int, size_t>> Stack = {{0, 0}};
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const Block &Blk = P.Blocks[size_t(B)];
+    if (NextSucc >= Blk.Succs.size()) {
+      State[size_t(B)] = 2;
+      Stack.pop_back();
+      continue;
+    }
+    int S = Blk.Succs[NextSucc++];
+    if (State[size_t(S)] == 1)
+      return true;
+    if (State[size_t(S)] == 0) {
+      State[size_t(S)] = 1;
+      Stack.push_back({S, 0});
+    }
+  }
+  return false;
+}
+
+DataFlowResult om::computeDataFlow(const Unit &U) {
+  DataFlowResult R;
+  R.Summaries.resize(U.Procs.size());
+  const uint32_t CallerSave = callerSavedMask();
+
+  // Direct facts and the call graph.
+  std::vector<std::vector<int>> Callees(U.Procs.size());
+  for (size_t PI = 0; PI < U.Procs.size(); ++PI) {
+    const Procedure &P = U.Procs[PI];
+    ProcSummary &S = R.Summaries[PI];
+    for (const Block &B : P.Blocks) {
+      for (const InstNode &N : B.Insts) {
+        S.DirectMod |= writtenRegs(N.I) & CallerSave;
+        if (N.I.Op == Opcode::Bsr) {
+          S.HasCall = true;
+          if (N.HasReloc && N.Ref.SymIndex >= 0) {
+            const std::string &Callee =
+                U.Symbols[size_t(N.Ref.SymIndex)].Name;
+            auto It = U.ProcByName.find(Callee);
+            if (It != U.ProcByName.end())
+              Callees[PI].push_back(It->second);
+            else
+              S.HasIndirectCall = true; // out-of-unit target: be conservative
+          }
+        } else if (N.I.Op == Opcode::Jsr) {
+          S.HasCall = true;
+          S.HasIndirectCall = true;
+        }
+      }
+    }
+    S.HasLoop = hasBackEdge(P);
+    S.TransMod = S.DirectMod;
+    if (S.HasIndirectCall)
+      S.TransMod = CallerSave;
+  }
+
+  // Fixpoint over the call graph.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t PI = 0; PI < U.Procs.size(); ++PI) {
+      ProcSummary &S = R.Summaries[PI];
+      uint32_t NewMod = S.TransMod;
+      for (int C : Callees[PI])
+        NewMod |= R.Summaries[size_t(C)].TransMod;
+      if (NewMod != S.TransMod) {
+        S.TransMod = NewMod;
+        Changed = true;
+      }
+    }
+  }
+
+  for (size_t PI = 0; PI < U.Procs.size(); ++PI) {
+    ProcSummary &S = R.Summaries[PI];
+    S.HasCallInLoop = S.HasCall && S.HasLoop;
+  }
+  return R;
+}

@@ -1,0 +1,51 @@
+//===- om/DataFlow.h - Register data-flow summaries -------------*- C++ -*-===//
+//
+// Computes, for each analysis procedure, the set of registers that may be
+// modified when control reaches it (paper §4 "Reducing Procedure Call
+// Overhead"). ATOM saves exactly these registers at instrumentation points.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_DATAFLOW_H
+#define ATOM_OM_DATAFLOW_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+struct ProcSummary {
+  uint32_t DirectMod = 0; ///< Caller-save registers written by the
+                          ///< procedure's own instructions.
+  uint32_t TransMod = 0;  ///< DirectMod plus everything callees may modify.
+  bool HasCall = false;
+  bool HasLoop = false;       ///< CFG back edge present.
+  bool HasCallInLoop = false; ///< Conservative: HasCall && HasLoop.
+  bool HasIndirectCall = false; ///< jsr: callees unknown.
+};
+
+struct DataFlowResult {
+  std::vector<ProcSummary> Summaries; ///< Parallel to Unit.Procs.
+
+  const ProcSummary &forProc(const Unit &U, const std::string &Name) const {
+    auto It = U.ProcByName.find(Name);
+    assert(It != U.ProcByName.end() && "unknown procedure");
+    return Summaries[size_t(It->second)];
+  }
+};
+
+/// All caller-save registers as a mask (what a convention-following callee
+/// may clobber): v0, t0..t11, a0..a5, ra, pv, at.
+uint32_t callerSavedMask();
+
+/// Computes per-procedure modified-register summaries over the unit's call
+/// graph (fixpoint over bsr edges; jsr assumes all caller-save).
+DataFlowResult computeDataFlow(const Unit &U);
+
+/// Registers in \p Mask as a list, ascending.
+std::vector<unsigned> maskToRegs(uint32_t Mask);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_DATAFLOW_H

@@ -1,0 +1,358 @@
+//===- om/Layout.cpp ------------------------------------------------------===//
+
+#include "om/Layout.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace atom;
+using namespace atom::om;
+using namespace atom::isa;
+using namespace atom::obj;
+
+namespace {
+
+struct LayoutEngine {
+  LayoutEngine(Unit &App, Unit *Anal, DiagEngine &Diags)
+      : App(App), Anal(Anal), Diags(Diags) {}
+
+  void error(const std::string &Msg) {
+    Diags.error(0, Msg);
+    Failed = true;
+  }
+
+  bool run(Executable &OutExe, LayoutResult &Result);
+
+  /// Assigns NewPC to every block of \p U starting at \p PC; returns the
+  /// end address.
+  uint64_t assignAddresses(Unit &U, uint64_t PC);
+
+  /// New absolute value for symbol \p SI of unit \p U.
+  bool symbolValue(const Unit &U, int SI, uint64_t &V);
+
+  /// Computes old-PC -> new-PC maps used to relocate text symbols.
+  void buildPCMap(const Unit &U, std::map<uint64_t, uint64_t> &Map);
+  void buildSymbolPCMap(const Unit &U, std::map<uint64_t, uint64_t> &Map);
+
+  bool emitText(const Unit &U, std::vector<uint8_t> &Text, uint64_t TextStart);
+
+  bool applyDataRelocs(const Unit &U, std::vector<uint8_t> &Data);
+
+  Unit &App;
+  Unit *Anal;
+  DiagEngine &Diags;
+  bool Failed = false;
+
+  std::map<uint64_t, uint64_t> AppPCMap, AnalPCMap;
+  std::map<uint64_t, uint64_t> AppSymMap, AnalSymMap;
+  uint64_t AnalysisDataStart = 0;
+  uint64_t AppHeapStart = 0;
+};
+
+uint64_t LayoutEngine::assignAddresses(Unit &U, uint64_t PC) {
+  for (Procedure &P : U.Procs) {
+    P.NewStart = PC;
+    for (Block &B : P.Blocks) {
+      B.NewPC = PC;
+      PC += 4 * uint64_t(B.Insts.size());
+    }
+  }
+  return PC;
+}
+
+void LayoutEngine::buildPCMap(const Unit &U,
+                              std::map<uint64_t, uint64_t> &Map) {
+  for (const Procedure &P : U.Procs)
+    for (const Block &B : P.Blocks) {
+      uint64_t PC = B.NewPC;
+      for (const InstNode &N : B.Insts) {
+        if (N.OrigPC)
+          Map[N.OrigPC] = PC;
+        PC += 4;
+      }
+    }
+}
+
+void LayoutEngine::buildSymbolPCMap(const Unit &U,
+                                    std::map<uint64_t, uint64_t> &Map) {
+  // Symbols (procedure entries, branch-target labels) must resolve to the
+  // *block* start, not the first retained instruction: instrumentation
+  // inserted at a procedure or block entry has to execute when control
+  // arrives through the symbol (ProgramBefore/ProcBefore/BlockBefore).
+  for (const Procedure &P : U.Procs)
+    for (const Block &B : P.Blocks)
+      if (B.OrigPC)
+        Map[B.OrigPC] = B.NewPC;
+}
+
+bool LayoutEngine::symbolValue(const Unit &U, int SI, uint64_t &V) {
+  const Symbol &S = U.Symbols[size_t(SI)];
+  switch (S.Section) {
+  case SymSection::Absolute:
+    V = S.Value;
+    return true;
+  case SymSection::Text: {
+    const std::map<uint64_t, uint64_t> &SymMap =
+        U.Tag == UnitTag::App ? AppSymMap : AnalSymMap;
+    auto It = SymMap.find(S.Value);
+    if (It == SymMap.end()) {
+      const std::map<uint64_t, uint64_t> &Map =
+          U.Tag == UnitTag::App ? AppPCMap : AnalPCMap;
+      It = Map.find(S.Value);
+      if (It != Map.end()) {
+        V = It->second;
+        return true;
+      }
+      error("reference to deleted or interior text symbol '" + S.Name + "'");
+      return false;
+    }
+    V = It->second;
+    return true;
+  }
+  case SymSection::Data:
+    // Application data does not move; analysis data is placed at
+    // AnalysisDataStart.
+    V = U.Tag == UnitTag::App ? S.Value : AnalysisDataStart + S.Value;
+    return true;
+  case SymSection::Bss:
+    // Analysis bss is converted to zero-initialized data right after the
+    // analysis data (paper §4). Application bss symbols were already
+    // rewritten to Data by the linker.
+    if (U.Tag == UnitTag::App) {
+      V = S.Value;
+      return true;
+    }
+    V = AnalysisDataStart + U.Data.size() + S.Value;
+    return true;
+  case SymSection::Undefined:
+    if (S.Name == "__heap_start") {
+      V = AppHeapStart;
+      return true;
+    }
+    error("undefined symbol '" + S.Name + "' during layout");
+    return false;
+  }
+  return false;
+}
+
+bool LayoutEngine::emitText(const Unit &U, std::vector<uint8_t> &Text,
+                            uint64_t TextStart) {
+  for (const Procedure &P : U.Procs) {
+    for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+      const Block &B = P.Blocks[BI];
+      uint64_t PC = B.NewPC;
+      for (const InstNode &N : B.Insts) {
+        Inst I = N.I;
+        if (N.BranchBlock >= 0) {
+          int64_t Delta =
+              int64_t(P.Blocks[size_t(N.BranchBlock)].NewPC) -
+              int64_t(PC + 4);
+          int64_t Disp = Delta / 4;
+          if (!fitsSigned(Disp, 21)) {
+            error(formatString("branch in '%s' out of range after "
+                               "instrumentation (%lld instructions)",
+                               P.Name.c_str(), (long long)Disp));
+            return false;
+          }
+          I.Disp = int32_t(Disp);
+        } else if (N.HasReloc) {
+          const Unit &RefUnit =
+              N.Ref.Unit == UnitTag::App ? App : *Anal;
+          uint64_t SV;
+          if (!symbolValue(RefUnit, N.Ref.SymIndex, SV))
+            return false;
+          int64_t V = int64_t(SV) + N.Ref.Addend;
+          switch (N.RelKind) {
+          case RelocKind::Hi16:
+          case RelocKind::Lo16: {
+            int16_t Lo = int16_t(uint64_t(V) & 0xFFFF);
+            int64_t Hi = (V - Lo) >> 16;
+            if (!fitsSigned(Hi, 16)) {
+              error(formatString("address 0x%llx out of ldah/lda range",
+                                 (unsigned long long)V));
+              return false;
+            }
+            I.Disp = N.RelKind == RelocKind::Hi16 ? int32_t(Hi)
+                                                  : int32_t(Lo);
+            break;
+          }
+          case RelocKind::Br21: {
+            int64_t Delta = V - int64_t(PC + 4);
+            if (Delta % 4 != 0) {
+              error("call target not instruction aligned");
+              return false;
+            }
+            int64_t Disp = Delta / 4;
+            if (!fitsSigned(Disp, 21)) {
+              error(formatString(
+                  "call from '%s' to 0x%llx out of bsr range; enable "
+                  "ForceJsr in AtomOptions",
+                  P.Name.c_str(), (unsigned long long)V));
+              return false;
+            }
+            I.Disp = int32_t(Disp);
+            break;
+          }
+          case RelocKind::Abs64:
+            error("Abs64 relocation in text is not supported");
+            return false;
+          }
+        }
+        uint64_t Off = PC - TextStart;
+        if (Off + 4 > Text.size())
+          Text.resize(Off + 4);
+        write32(Text, Off, encode(I));
+        PC += 4;
+      }
+    }
+  }
+  return true;
+}
+
+bool LayoutEngine::applyDataRelocs(const Unit &U, std::vector<uint8_t> &Data) {
+  for (const Reloc &R : U.DataRelocs) {
+    if (R.Kind != RelocKind::Abs64) {
+      error("non-Abs64 relocation in data");
+      return false;
+    }
+    uint64_t SV;
+    if (!symbolValue(U, int(R.SymIndex), SV))
+      return false;
+    if (R.Offset + 8 > Data.size()) {
+      error("data relocation out of bounds");
+      return false;
+    }
+    write64(Data, R.Offset, uint64_t(int64_t(SV) + R.Addend));
+  }
+  return true;
+}
+
+bool LayoutEngine::run(Executable &OutExe, LayoutResult &Result) {
+  const uint64_t TextStart = DefaultTextStart;
+  const uint64_t DataStart = App.DataStart;
+
+  AppHeapStart = alignTo(DataStart + App.Data.size() + App.BssSize, PageSize);
+
+  uint64_t AppEnd = assignAddresses(App, TextStart);
+  uint64_t AnalStart = alignTo(AppEnd, 16);
+  uint64_t AnalEnd = Anal ? assignAddresses(*Anal, AnalStart) : AnalStart;
+
+  AnalysisDataStart = alignTo(AnalEnd, 16);
+  uint64_t AnalysisDataEnd =
+      Anal ? AnalysisDataStart + Anal->Data.size() + Anal->BssSize
+           : AnalysisDataStart;
+  if (AnalysisDataEnd > DataStart) {
+    error("instrumented text + analysis routines overflow into the "
+          "program data segment");
+    return false;
+  }
+
+  buildPCMap(App, AppPCMap);
+  buildSymbolPCMap(App, AppSymMap);
+  if (Anal) {
+    buildPCMap(*Anal, AnalPCMap);
+    buildSymbolPCMap(*Anal, AnalSymMap);
+  }
+
+  OutExe = Executable();
+  OutExe.TextStart = TextStart;
+  OutExe.DataStart = DataStart;
+  OutExe.StackStart = TextStart;
+  OutExe.BssSize = App.BssSize;
+  OutExe.HeapStart = AppHeapStart;
+
+  if (!emitText(App, OutExe.Text, TextStart))
+    return false;
+  if (Anal) {
+    // The analysis text lives in the same contiguous text image.
+    if (!emitText(*Anal, OutExe.Text, TextStart))
+      return false;
+  }
+
+  OutExe.Data = App.Data;
+  if (!applyDataRelocs(App, OutExe.Data))
+    return false;
+
+  if (Anal && (!Anal->Data.empty() || Anal->BssSize)) {
+    Segment S;
+    S.Addr = AnalysisDataStart;
+    S.Bytes = Anal->Data;
+    if (!applyDataRelocs(*Anal, S.Bytes))
+      return false;
+    // Uninitialized analysis data becomes zero-initialized data (§4).
+    S.Bytes.resize(S.Bytes.size() + Anal->BssSize, 0);
+    OutExe.Segments.push_back(std::move(S));
+  }
+
+  // Output symbol table: application symbols with updated text addresses,
+  // then analysis symbols tagged "@anal".
+  for (size_t I = 0; I < App.Symbols.size(); ++I) {
+    Symbol S = App.Symbols[I];
+    if (S.Section == SymSection::Text) {
+      auto It = AppSymMap.find(S.Value);
+      if (It != AppSymMap.end()) {
+        S.Value = It->second;
+      } else {
+        auto It2 = AppPCMap.find(S.Value);
+        if (It2 != AppPCMap.end())
+          S.Value = It2->second;
+      }
+    }
+    OutExe.Symbols.push_back(std::move(S));
+  }
+  if (Anal) {
+    for (size_t I = 0; I < Anal->Symbols.size(); ++I) {
+      Symbol S = Anal->Symbols[I];
+      uint64_t V;
+      // Deleted (unreachable) procedures keep a dangling name, and stray
+      // undefined symbols may be unreferenced; skip both in the output
+      // table (references to them would have failed in emitText already).
+      if (S.Section == SymSection::Text && !AnalPCMap.count(S.Value))
+        continue;
+      if (S.Section == SymSection::Undefined && S.Name != "__heap_start")
+        continue;
+      if (!symbolValue(*Anal, int(I), V))
+        return false;
+      S.Value = V;
+      S.Section = SymSection::Absolute;
+      S.Name += "@anal";
+      OutExe.Symbols.push_back(std::move(S));
+    }
+  }
+
+  int EntryIdx = OutExe.findSymbol("_start");
+  if (EntryIdx < 0) {
+    error("no _start symbol in instrumented program");
+    return false;
+  }
+  OutExe.Entry = OutExe.Symbols[size_t(EntryIdx)].Value;
+
+  // New -> old PC map.
+  Result.NewToOldPC.clear();
+  for (const auto &[Old, New] : AppPCMap)
+    Result.NewToOldPC.emplace_back(New, Old);
+  std::sort(Result.NewToOldPC.begin(), Result.NewToOldPC.end());
+  Result.AppTextEnd = AppEnd;
+  Result.AnalysisTextStart = AnalStart;
+  Result.AnalysisTextEnd = AnalEnd;
+  Result.AnalysisDataStart = AnalysisDataStart;
+  Result.AnalysisDataEnd = AnalysisDataEnd;
+  return !Failed;
+}
+
+} // namespace
+
+uint64_t LayoutResult::origPC(uint64_t NewPC) const {
+  auto It = std::lower_bound(
+      NewToOldPC.begin(), NewToOldPC.end(),
+      std::make_pair(NewPC, uint64_t(0)));
+  if (It != NewToOldPC.end() && It->first == NewPC)
+    return It->second;
+  return 0;
+}
+
+bool om::layoutProgram(Unit &App, Unit *Anal, Executable &OutExe,
+                       LayoutResult &Result, DiagEngine &Diags) {
+  LayoutEngine E(App, Anal, Diags);
+  return E.run(OutExe, Result);
+}

@@ -1,0 +1,52 @@
+//===- om/Layout.h - Code regeneration and executable layout ---*- C++ -*-===//
+//
+// Regenerates an executable from (possibly instrumented) OM IR, producing
+// the memory layout of paper Figure 4:
+//
+//   textstart:  instrumented program text        (addresses change)
+//               analysis text (incl. wrappers)
+//               analysis data (+ analysis bss converted to zeroed data)
+//   datastart:  program data                     (addresses unchanged)
+//               program bss                      (unchanged)
+//   heap:       starts where it always started
+//   stack:      grows down from textstart, as before
+//
+// All branches and address materializations are re-resolved from symbolic
+// form; a static new->old PC map is produced so ATOM can report original
+// text addresses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_LAYOUT_H
+#define ATOM_OM_LAYOUT_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+struct LayoutResult {
+  /// (new PC, original PC) for every retained application instruction,
+  /// sorted by new PC.
+  std::vector<std::pair<uint64_t, uint64_t>> NewToOldPC;
+  uint64_t AppTextEnd = 0;
+  uint64_t AnalysisTextStart = 0;
+  uint64_t AnalysisTextEnd = 0;
+  uint64_t AnalysisDataStart = 0;
+  uint64_t AnalysisDataEnd = 0;
+
+  /// Original PC for \p NewPC, or 0 for inserted/analysis code.
+  uint64_t origPC(uint64_t NewPC) const;
+};
+
+/// Regenerates \p App (plus the optional analysis unit \p Anal) into an
+/// executable. \p App procedures keep their relative order; the analysis
+/// unit is placed after the application text. Mutates NewStart/NewPC
+/// fields in both units. Returns false on relocation/range errors.
+bool layoutProgram(Unit &App, Unit *Anal, obj::Executable &OutExe,
+                   LayoutResult &Result, DiagEngine &Diags);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_LAYOUT_H

@@ -1,0 +1,267 @@
+//===- om/Lift.cpp - Symbolic lifting of machine code ---------------------===//
+
+#include "om/Lift.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace atom;
+using namespace atom::om;
+using namespace atom::isa;
+using namespace atom::obj;
+
+namespace {
+
+struct Lifter {
+  Lifter(UnitTag Tag, const std::vector<Symbol> &Symbols,
+         const std::vector<uint8_t> &Text, uint64_t TextBase,
+         const std::vector<Reloc> &TextRelocs, DiagEngine &Diags)
+      : Tag(Tag), Symbols(Symbols), Text(Text), TextBase(TextBase),
+        Diags(Diags) {
+    for (const Reloc &R : TextRelocs)
+      RelocAt[TextBase + R.Offset] = &R;
+  }
+
+  void error(const std::string &Msg) {
+    Diags.error(0, Msg);
+    Failed = true;
+  }
+
+  /// Resolves a Br21 relocation target address (symbol value + addend).
+  uint64_t relocTarget(const Reloc &R) const {
+    return uint64_t(int64_t(Symbols[R.SymIndex].Value) + R.Addend);
+  }
+
+  /// True for calls to procedures known not to return: code after them is
+  /// unreachable and must not be attributed to the same basic block.
+  bool isNoReturnCall(const Inst &In, const Reloc *R) const {
+    if (In.Op != Opcode::Bsr || !R)
+      return false;
+    const std::string &Name = Symbols[R->SymIndex].Name;
+    return Name == "__exit" || Name == "__sys_exit" || Name == "exit";
+  }
+
+  bool liftProc(int SymIndex, Procedure &P);
+  bool run(Unit &Out);
+
+  UnitTag Tag;
+  const std::vector<Symbol> &Symbols;
+  const std::vector<uint8_t> &Text;
+  uint64_t TextBase;
+  DiagEngine &Diags;
+  std::map<uint64_t, const Reloc *> RelocAt;
+  bool Failed = false;
+};
+
+bool Lifter::liftProc(int SymIndex, Procedure &P) {
+  const Symbol &Sym = Symbols[size_t(SymIndex)];
+  P.Name = Sym.Name;
+  P.SymIndex = SymIndex;
+  P.OrigStart = Sym.Value;
+  uint64_t Start = Sym.Value, End = Sym.Value + Sym.Size;
+  if (Sym.Size == 0 || (Sym.Size & 3)) {
+    error("procedure '" + P.Name + "' has bad size");
+    return false;
+  }
+
+  unsigned N = unsigned(Sym.Size / 4);
+  std::vector<Inst> Insts(N);
+  std::vector<const Reloc *> Relocs(N, nullptr);
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t PC = Start + 4 * I;
+    uint32_t Word = read32(Text, PC - TextBase);
+    if (!decode(Word, Insts[I])) {
+      error(formatString("cannot decode instruction at 0x%llx in '%s'",
+                         (unsigned long long)PC, P.Name.c_str()));
+      return false;
+    }
+    auto It = RelocAt.find(PC);
+    if (It != RelocAt.end())
+      Relocs[I] = It->second;
+  }
+
+  // Find leaders: entry, intra-procedure branch targets, and the
+  // instruction after every non-call control transfer. halt terminates a
+  // block too: code after it is unreachable fall-through and must not be
+  // attributed to the block (block-counting tools would over-count it).
+  std::set<uint64_t> Leaders = {Start};
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t PC = Start + 4 * I;
+    const Inst &In = Insts[I];
+    if (In.Op == Opcode::Halt || isNoReturnCall(In, Relocs[I])) {
+      if (PC + 4 < End)
+        Leaders.insert(PC + 4);
+      continue;
+    }
+    if (!isControlTransfer(In.Op))
+      continue;
+    if (!isCall(In.Op) && PC + 4 < End)
+      Leaders.insert(PC + 4);
+    if (isCondBranch(In.Op) || isUncondBranch(In.Op)) {
+      uint64_t Target;
+      if (Relocs[I]) {
+        if (Relocs[I]->Kind != RelocKind::Br21) {
+          error(formatString("branch at 0x%llx has non-branch relocation",
+                             (unsigned long long)PC));
+          return false;
+        }
+        Target = relocTarget(*Relocs[I]);
+      } else {
+        Target = PC + 4 + uint64_t(int64_t(In.Disp)) * 4;
+      }
+      if (Target < Start || Target >= End) {
+        error(formatString(
+            "branch at 0x%llx in '%s' targets 0x%llx outside the procedure",
+            (unsigned long long)PC, P.Name.c_str(),
+            (unsigned long long)Target));
+        return false;
+      }
+      Leaders.insert(Target);
+    }
+  }
+
+  // Carve blocks.
+  std::map<uint64_t, int> BlockAt;
+  for (uint64_t L : Leaders) {
+    BlockAt[L] = int(P.Blocks.size());
+    P.Blocks.emplace_back();
+    P.Blocks.back().OrigPC = L;
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t PC = Start + 4 * I;
+    auto It = Leaders.upper_bound(PC);
+    --It;
+    Block &B = P.Blocks[size_t(BlockAt[*It])];
+    InstNode Node;
+    Node.I = Insts[I];
+    Node.OrigPC = PC;
+    if (Relocs[I]) {
+      const Reloc &R = *Relocs[I];
+      bool IntraBranch =
+          (isCondBranch(Node.I.Op) || isUncondBranch(Node.I.Op)) &&
+          R.Kind == RelocKind::Br21;
+      if (IntraBranch) {
+        Node.BranchBlock = BlockAt[relocTarget(R)];
+      } else {
+        Node.HasReloc = true;
+        Node.RelKind = R.Kind;
+        Node.Ref.Unit = Tag;
+        Node.Ref.SymIndex = int(R.SymIndex);
+        Node.Ref.Addend = R.Addend;
+      }
+    } else if (isCondBranch(Node.I.Op) || isUncondBranch(Node.I.Op)) {
+      Node.BranchBlock = BlockAt[PC + 4 + uint64_t(int64_t(Node.I.Disp)) * 4];
+    } else if (Node.I.Op == Opcode::Bsr) {
+      error(formatString("bsr at 0x%llx lacks a Br21 relocation",
+                         (unsigned long long)PC));
+      return false;
+    }
+    B.Insts.push_back(std::move(Node));
+  }
+
+  // Successor/predecessor edges.
+  for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+    Block &B = P.Blocks[BI];
+    if (B.Insts.empty()) {
+      error("empty basic block in '" + P.Name + "'");
+      return false;
+    }
+    const InstNode &Last = B.Insts.back();
+    auto addSucc = [&](int S) {
+      B.Succs.push_back(S);
+      P.Blocks[size_t(S)].Preds.push_back(int(BI));
+    };
+    if (isCondBranch(Last.I.Op)) {
+      addSucc(Last.BranchBlock);
+      if (BI + 1 < P.Blocks.size())
+        addSucc(int(BI + 1));
+    } else if (isUncondBranch(Last.I.Op)) {
+      addSucc(Last.BranchBlock);
+    } else if (isReturn(Last.I.Op) || isJump(Last.I.Op) ||
+               Last.I.Op == Opcode::Halt ||
+               (Last.I.Op == Opcode::Bsr && Last.HasReloc &&
+                Last.Ref.SymIndex >= 0 &&
+                (Symbols[size_t(Last.Ref.SymIndex)].Name == "__exit" ||
+                 Symbols[size_t(Last.Ref.SymIndex)].Name == "__sys_exit" ||
+                 Symbols[size_t(Last.Ref.SymIndex)].Name == "exit"))) {
+      // No intra-procedure successors (halt and noreturn calls included).
+    } else if (BI + 1 < P.Blocks.size()) {
+      addSucc(int(BI + 1));
+    }
+  }
+  return true;
+}
+
+bool Lifter::run(Unit &Out) {
+  Out.Tag = Tag;
+  Out.Symbols = Symbols;
+
+  // Procedures, sorted by address.
+  std::vector<int> ProcSyms;
+  for (size_t I = 0; I < Symbols.size(); ++I)
+    if (Symbols[I].IsProc)
+      ProcSyms.push_back(int(I));
+  std::sort(ProcSyms.begin(), ProcSyms.end(), [&](int A, int B) {
+    return Symbols[size_t(A)].Value < Symbols[size_t(B)].Value;
+  });
+
+  uint64_t Covered = TextBase;
+  for (int SI : ProcSyms) {
+    const Symbol &S = Symbols[size_t(SI)];
+    if (S.Value < Covered) {
+      error("overlapping procedures near '" + S.Name + "'");
+      return false;
+    }
+    Covered = S.Value + S.Size;
+    Procedure P;
+    if (!liftProc(SI, P))
+      return false;
+    Out.ProcByName[P.Name] = int(Out.Procs.size());
+    Out.Procs.push_back(std::move(P));
+  }
+  if (Covered != TextBase + Text.size() && !ProcSyms.empty()) {
+    // Trailing padding bytes are tolerated only if zero.
+    for (uint64_t Off = Covered - TextBase; Off < Text.size(); ++Off)
+      if (Text[size_t(Off)] != 0) {
+        error("text not covered by .ent/.end procedures");
+        return false;
+      }
+  }
+  return !Failed;
+}
+
+} // namespace
+
+bool om::liftExecutable(const Executable &Exe, Unit &Out, DiagEngine &Diags) {
+  Lifter L(UnitTag::App, Exe.Symbols, Exe.Text, Exe.TextStart, Exe.TextRelocs,
+           Diags);
+  if (!L.run(Out))
+    return false;
+  Out.Data = Exe.Data;
+  Out.DataStart = Exe.DataStart;
+  Out.BssSize = Exe.BssSize;
+  Out.DataRelocs = Exe.DataRelocs;
+  return true;
+}
+
+bool om::liftObjectModule(const ObjectModule &M, UnitTag Tag, Unit &Out,
+                          DiagEngine &Diags) {
+  // Bias text offsets so that no instruction has "original PC" 0, which is
+  // the marker for inserted code.
+  constexpr uint64_t Base = 0x1000;
+  std::vector<Symbol> Symbols = M.Symbols;
+  for (Symbol &S : Symbols)
+    if (S.Section == SymSection::Text)
+      S.Value += Base;
+  // (Relocation offsets stay section-relative; the lifter keys them by
+  // TextBase + Offset.)
+  Lifter L(Tag, Symbols, M.Text, Base, M.TextRelocs, Diags);
+  if (!L.run(Out))
+    return false;
+  Out.Data = M.Data;
+  Out.DataStart = 0;
+  Out.BssSize = M.BssSize;
+  Out.DataRelocs = M.DataRelocs;
+  return true;
+}

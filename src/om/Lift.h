@@ -1,0 +1,25 @@
+//===- om/Lift.h - Build OM IR from linked code -----------------*- C++ -*-===//
+
+#ifndef ATOM_OM_LIFT_H
+#define ATOM_OM_LIFT_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+/// Lifts a fully linked executable (with retained relocations) into OM IR.
+/// Every control transfer must carry either a Br21 relocation or a
+/// numeric displacement landing inside its procedure; all text must be
+/// covered by .ent/.end procedure symbols.
+bool liftExecutable(const obj::Executable &Exe, Unit &Out, DiagEngine &Diags);
+
+/// Lifts a merged relocatable module (the analysis unit) into OM IR with
+/// text offsets based at 0.
+bool liftObjectModule(const obj::ObjectModule &M, UnitTag Tag, Unit &Out,
+                      DiagEngine &Diags);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_LIFT_H

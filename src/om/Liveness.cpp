@@ -1,0 +1,142 @@
+//===- om/Liveness.cpp ----------------------------------------------------===//
+
+#include "om/Liveness.h"
+
+#include "om/DataFlow.h"
+
+using namespace atom;
+using namespace atom::om;
+using namespace atom::isa;
+
+/// Registers live out of any procedure by convention: the return value,
+/// the stack pointer, the return address, and the callee-save set.
+static uint32_t exitLiveMask() {
+  uint32_t M = (1u << RegV0) | (1u << RegSP) | (1u << RegRA);
+  for (unsigned R = 0; R < NumRegs; ++R)
+    if (isCalleeSaved(R))
+      M |= 1u << R;
+  return M;
+}
+
+uint32_t UseDefSummaries::conservativeUse() {
+  return (1u << RegA0) | (1u << RegA1) | (1u << RegA2) | (1u << RegA3) |
+         (1u << RegA4) | (1u << RegA5) | (1u << RegSP);
+}
+
+uint32_t UseDefSummaries::conservativeMod() { return callerSavedMask(); }
+
+uint32_t UseDefSummaries::useOf(const std::string &Name) const {
+  auto It = Use.find(Name);
+  return It == Use.end() ? conservativeUse() : It->second;
+}
+
+uint32_t UseDefSummaries::modOf(const std::string &Name) const {
+  auto It = Mod.find(Name);
+  return It == Mod.end() ? conservativeMod() : It->second;
+}
+
+UseDefSummaries::UseDefSummaries(const Unit &Un) {
+  // MOD comes from the data-flow summary machinery.
+  DataFlowResult DF = computeDataFlow(Un);
+  for (size_t I = 0; I < Un.Procs.size(); ++I)
+    Mod[Un.Procs[I].Name] = DF.Summaries[I].TransMod;
+
+  // USE(P): fixpoint of each procedure's entry live-in, with calls
+  // interpreted through the current summaries. Start optimistic (empty)
+  // and iterate; the transfer functions are monotone in the summaries.
+  for (const Procedure &P : Un.Procs)
+    Use[P.Name] = 0;
+
+  bool Changed = true;
+  unsigned Rounds = 0;
+  constexpr unsigned MaxRounds = 64;
+  while (Changed && ++Rounds < MaxRounds) {
+    Changed = false;
+    for (const Procedure &P : Un.Procs) {
+      LivenessInfo L(P, &Un, this);
+      uint32_t EntryLive =
+          P.Blocks.empty() || P.Blocks[0].Insts.empty()
+              ? conservativeUse()
+              : L.liveBefore(0, 0);
+      // A procedure's USE never includes sp (always live) beyond what the
+      // caller naturally keeps; keep it for safety anyway.
+      if (EntryLive != Use[P.Name]) {
+        Use[P.Name] = EntryLive;
+        Changed = true;
+      }
+    }
+  }
+  if (Changed) {
+    // Did not converge within the bound (pathological call graph): fall
+    // back to the sound conservative sets.
+    for (auto &[Name, Mask] : Use)
+      Mask = conservativeUse();
+  }
+}
+
+void LivenessInfo::useDef(const InstNode &N, uint32_t &UseMask,
+                          uint32_t &DefMask) const {
+  const Inst &I = N.I;
+  if (isCall(I.Op)) {
+    if (Summaries && U && I.Op == Opcode::Bsr && N.HasReloc &&
+        N.Ref.SymIndex >= 0) {
+      const std::string &Callee = U->Symbols[size_t(N.Ref.SymIndex)].Name;
+      UseMask = Summaries->useOf(Callee) | (1u << RegSP);
+      DefMask = Summaries->modOf(Callee);
+      return;
+    }
+    UseMask = UseDefSummaries::conservativeUse();
+    DefMask = UseDefSummaries::conservativeMod();
+    return;
+  }
+  if (isReturn(I.Op)) {
+    UseMask = exitLiveMask();
+    DefMask = 0;
+    return;
+  }
+  UseMask = readRegs(I);
+  DefMask = writtenRegs(I);
+}
+
+uint32_t LivenessInfo::transferBlock(const Block &B, uint32_t Live) const {
+  for (size_t I = B.Insts.size(); I-- > 0;) {
+    uint32_t UseMask, DefMask;
+    useDef(B.Insts[I], UseMask, DefMask);
+    Live = (Live & ~DefMask) | UseMask;
+  }
+  return Live;
+}
+
+LivenessInfo::LivenessInfo(const Procedure &Proc, const Unit *Un,
+                           const UseDefSummaries *S)
+    : P(Proc), U(Un), Summaries(S) {
+  BlockLiveOut.assign(P.Blocks.size(), 0);
+  const uint32_t ExitLive = exitLiveMask();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = P.Blocks.size(); BI-- > 0;) {
+      const Block &B = P.Blocks[BI];
+      uint32_t Out = B.Succs.empty() ? ExitLive : 0;
+      for (int Succ : B.Succs)
+        Out |= transferBlock(P.Blocks[size_t(Succ)],
+                             BlockLiveOut[size_t(Succ)]);
+      if (Out != BlockLiveOut[BI]) {
+        BlockLiveOut[BI] = Out;
+        Changed = true;
+      }
+    }
+  }
+}
+
+uint32_t LivenessInfo::liveBefore(unsigned BlockIdx, unsigned InstIdx) const {
+  const Block &B = P.Blocks[BlockIdx];
+  uint32_t Live = BlockLiveOut[BlockIdx];
+  for (size_t I = B.Insts.size(); I-- > InstIdx;) {
+    uint32_t UseMask, DefMask;
+    useDef(B.Insts[I], UseMask, DefMask);
+    Live = (Live & ~DefMask) | UseMask;
+  }
+  return Live;
+}

@@ -1,0 +1,78 @@
+//===- om/Liveness.h - Register liveness analysis ---------------*- C++ -*-===//
+//
+// Backward liveness over a procedure's CFG. The paper lists live-register
+// analysis as a refinement that further shrinks register saves at
+// instrumentation points ("Only the live registers need to be saved. OM
+// can do interprocedural live variable analysis"); it was not in the
+// authors' current system, so it is opt-in here
+// (AtomOptions::SaveStrategy::SiteLiveness) and benchmarked as an
+// ablation.
+//
+// Two precision levels:
+//  * intraprocedural: calls conservatively read a0..a5 and clobber the
+//    caller-save set;
+//  * interprocedural: per-procedure USE ("may be read before written") and
+//    MOD summaries computed to a fixpoint over the call graph refine what
+//    each call site reads and kills.
+//
+// Assumes convention-following code; the paper's caveat about hand-crafted
+// assembly is why this is opt-in.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_LIVENESS_H
+#define ATOM_OM_LIVENESS_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+/// Per-procedure USE/MOD register summaries for interprocedural liveness,
+/// computed to a fixpoint over the unit's direct-call graph.
+class UseDefSummaries {
+public:
+  /// Computes summaries for every procedure of \p U.
+  explicit UseDefSummaries(const Unit &U);
+
+  /// Registers procedure \p Name may read before writing (its entry
+  /// live-in), and registers it may modify. Unknown procedures get the
+  /// conservative convention-based sets.
+  uint32_t useOf(const std::string &Name) const;
+  uint32_t modOf(const std::string &Name) const;
+
+  /// Conservative fallback sets (unknown callee): reads the argument
+  /// registers and sp, clobbers the caller-save set.
+  static uint32_t conservativeUse();
+  static uint32_t conservativeMod();
+
+private:
+  std::map<std::string, uint32_t> Use, Mod;
+};
+
+class LivenessInfo {
+public:
+  /// Computes liveness for \p P. With \p Summaries (and the owning unit
+  /// \p U for call-target resolution), call sites use interprocedural
+  /// USE/MOD information instead of the conventions.
+  explicit LivenessInfo(const Procedure &P, const Unit *U = nullptr,
+                        const UseDefSummaries *Summaries = nullptr);
+
+  /// Registers live immediately before instruction \p InstIdx of block
+  /// \p BlockIdx, as a mask.
+  uint32_t liveBefore(unsigned BlockIdx, unsigned InstIdx) const;
+
+private:
+  uint32_t transferBlock(const Block &B, uint32_t Live) const;
+  void useDef(const InstNode &N, uint32_t &UseMask, uint32_t &DefMask) const;
+
+  const Procedure &P;
+  const Unit *U;
+  const UseDefSummaries *Summaries;
+  std::vector<uint32_t> BlockLiveOut;
+};
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_LIVENESS_H

@@ -1,0 +1,50 @@
+//===- om/Program.cpp -----------------------------------------------------===//
+
+#include "om/Program.h"
+
+using namespace atom;
+using namespace atom::om;
+
+unsigned om::totalInsts(const Unit &U) {
+  unsigned N = 0;
+  for (const Procedure &P : U.Procs)
+    N += P.instCount();
+  return N;
+}
+
+std::string om::dumpUnit(const Unit &U) {
+  std::string Out;
+  for (const Procedure &P : U.Procs) {
+    Out += formatString("proc %s (orig 0x%llx, %u insts, %zu blocks)\n",
+                        P.Name.c_str(), (unsigned long long)P.OrigStart,
+                        P.instCount(), P.Blocks.size());
+    for (size_t BI = 0; BI < P.Blocks.size(); ++BI) {
+      const Block &B = P.Blocks[BI];
+      Out += formatString("  block %zu (orig 0x%llx) succs:",
+                          BI, (unsigned long long)B.OrigPC);
+      for (int S : B.Succs)
+        Out += formatString(" %d", S);
+      Out += "\n";
+      for (const InstNode &N : B.Insts) {
+        Out += "    " + isa::disassemble(N.I, N.OrigPC);
+        if (N.BranchBlock >= 0)
+          Out += formatString("  -> block %d", N.BranchBlock);
+        if (N.HasReloc && N.Ref.SymIndex >= 0) {
+          const char *Kind = N.RelKind == obj::RelocKind::Hi16   ? "hi16"
+                             : N.RelKind == obj::RelocKind::Lo16 ? "lo16"
+                                                                 : "br21";
+          const std::vector<obj::Symbol> &Syms = U.Symbols;
+          std::string SymName =
+              N.Ref.Unit == U.Tag && N.Ref.SymIndex < int(Syms.size())
+                  ? Syms[size_t(N.Ref.SymIndex)].Name
+                  : formatString("<unit%d:%d>", int(N.Ref.Unit),
+                                 N.Ref.SymIndex);
+          Out += formatString("  [%s %s%+lld]", Kind, SymName.c_str(),
+                              (long long)N.Ref.Addend);
+        }
+        Out += "\n";
+      }
+    }
+  }
+  return Out;
+}

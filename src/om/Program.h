@@ -1,0 +1,153 @@
+//===- om/Program.h - OM link-time intermediate representation -*- C++ -*-===//
+//
+// OM's symbolic IR: a program is a sequence of procedures, a procedure a
+// CFG of basic blocks, a block a sequence of instructions (paper §2).
+// Control transfers and address materializations are kept symbolic, so
+// instructions can be inserted anywhere and the code regenerated without
+// manual address fixups (§4 "Inserting Procedure Calls").
+//
+// Following the paper, every entity carries "action slots": ordered lists
+// of analysis-procedure calls to be inserted before/after the entity.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_PROGRAM_H
+#define ATOM_OM_PROGRAM_H
+
+#include "isa/Isa.h"
+#include "obj/ObjectModule.h"
+#include "support/Support.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace om {
+
+/// Which linked unit a symbolic reference points into. The application and
+/// the analysis routines keep separate symbol name spaces (paper §2: "ATOM
+/// partitions the symbol name space").
+enum class UnitTag : uint8_t { App, Analysis };
+
+/// A symbolic reference: symbol + addend within a unit.
+struct SymRef {
+  UnitTag Unit = UnitTag::App;
+  int SymIndex = -1;
+  int64_t Addend = 0;
+  bool valid() const { return SymIndex >= 0; }
+};
+
+/// One argument of an inserted analysis call (paper §3: standard constants,
+/// REGV register contents, and VALUE runtime values).
+struct CallArg {
+  enum Kind { ConstI64, Regv, EffAddr, BrCond } K = ConstI64;
+  int64_t Value = 0; ///< ConstI64.
+  unsigned Reg = 0;  ///< Regv.
+};
+
+/// An annotation in an action slot: call analysis procedure \p Callee with
+/// \p Args. Calls at one point run in the order they were added.
+struct Action {
+  std::string Callee;
+  std::vector<CallArg> Args;
+};
+
+/// A lifted (or inserted) instruction.
+struct InstNode {
+  isa::Inst I;
+  uint64_t OrigPC = 0; ///< Pre-instrumentation address; 0 for inserted code.
+
+  /// Symbolic Hi16/Lo16/Br21 operand (from a retained relocation, or
+  /// synthesized by ATOM for calls into the analysis unit).
+  obj::RelocKind RelKind = obj::RelocKind::Abs64;
+  bool HasReloc = false;
+  SymRef Ref;
+
+  /// Intra-procedure branch target (block index), used by conditional
+  /// branches and br. Mutually exclusive with HasReloc.
+  int BranchBlock = -1;
+
+  /// Action slots (instruction-level instrumentation).
+  std::vector<Action> Before, After;
+};
+
+struct Block {
+  std::vector<InstNode> Insts;
+  std::vector<int> Succs, Preds;
+  uint64_t OrigPC = 0;      ///< Original address of the first instruction.
+  uint64_t NewPC = 0;       ///< Assigned during layout.
+  std::vector<Action> Before, After;
+  /// Edge action slots: (successor index, call). The paper left edge
+  /// instrumentation unimplemented ("Currently, adding calls to edges is
+  /// not implemented"); this system supports it via trampoline blocks.
+  std::vector<std::pair<int, Action>> EdgeActions;
+
+  const InstNode *terminator() const {
+    if (Insts.empty())
+      return nullptr;
+    const InstNode &Last = Insts.back();
+    return isa::isControlTransfer(Last.I.Op) && !isa::isCall(Last.I.Op)
+               ? &Last
+               : nullptr;
+  }
+};
+
+struct Procedure {
+  std::string Name;
+  int SymIndex = -1;        ///< Defining symbol in the unit's table.
+  uint64_t OrigStart = 0;
+  uint64_t NewStart = 0;    ///< Assigned during layout.
+  std::vector<Block> Blocks; ///< Blocks[0] is the entry.
+  std::vector<Action> Before, After;
+
+  unsigned instCount() const {
+    unsigned N = 0;
+    for (const Block &B : Blocks)
+      N += unsigned(B.Insts.size());
+    return N;
+  }
+};
+
+/// A lifted unit: the application program or the merged analysis routines.
+struct Unit {
+  UnitTag Tag = UnitTag::App;
+  std::vector<obj::Symbol> Symbols; ///< Values are original addresses
+                                    ///< (app) or section offsets (analysis).
+  std::vector<Procedure> Procs;
+  std::map<std::string, int> ProcByName;
+
+  std::vector<uint8_t> Data;
+  uint64_t DataStart = 0; ///< 0 for a not-yet-placed analysis unit.
+  uint64_t BssSize = 0;
+  std::vector<obj::Reloc> DataRelocs;
+
+  /// Program-level action slots (only meaningful on the application unit).
+  std::vector<Action> ProgramBefore, ProgramAfter;
+
+  Procedure *findProc(const std::string &Name) {
+    auto It = ProcByName.find(Name);
+    return It == ProcByName.end() ? nullptr : &Procs[size_t(It->second)];
+  }
+  const Procedure *findProc(const std::string &Name) const {
+    auto It = ProcByName.find(Name);
+    return It == ProcByName.end() ? nullptr : &Procs[size_t(It->second)];
+  }
+
+  /// Adds a fresh symbol; returns its index.
+  int addSymbol(const obj::Symbol &S) {
+    Symbols.push_back(S);
+    return int(Symbols.size() - 1);
+  }
+};
+
+/// Total instruction count across all procedures.
+unsigned totalInsts(const Unit &U);
+
+/// Renders the unit as pseudo-assembly for debugging and golden tests.
+std::string dumpUnit(const Unit &U);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_PROGRAM_H

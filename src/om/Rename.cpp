@@ -1,0 +1,77 @@
+//===- om/Rename.cpp ------------------------------------------------------===//
+
+#include "om/Rename.h"
+
+using namespace atom;
+using namespace atom::om;
+using namespace atom::isa;
+
+/// Canonical order of the twelve scratch registers.
+static const unsigned ScratchOrder[12] = {RegT0, RegT1, RegT2,  RegT3,
+                                          RegT4, RegT5, RegT6,  RegT7,
+                                          RegT8, RegT9, RegT10, RegT11};
+
+static bool isScratch(unsigned R) {
+  return (R >= RegT0 && R <= RegT7) || (R >= RegT8 && R <= RegT11);
+}
+
+unsigned om::renameScratchRegs(Unit &U) {
+  unsigned ChangedProcs = 0;
+  for (Procedure &P : U.Procs) {
+    // Collect scratch registers the procedure touches, in canonical order.
+    uint32_t Used = 0;
+    for (const Block &B : P.Blocks)
+      for (const InstNode &N : B.Insts) {
+        uint32_t RW = writtenRegs(N.I) | readRegs(N.I);
+        Used |= RW;
+      }
+
+    unsigned Map[NumRegs];
+    for (unsigned R = 0; R < NumRegs; ++R)
+      Map[R] = R;
+    unsigned Next = 0;
+    bool Changed = false;
+    for (unsigned R : ScratchOrder) {
+      if (!(Used & (1u << R)))
+        continue;
+      unsigned To = ScratchOrder[Next++];
+      Map[R] = To;
+      if (To != R)
+        Changed = true;
+    }
+    if (!Changed)
+      continue;
+
+    for (Block &B : P.Blocks)
+      for (InstNode &N : B.Insts) {
+        Inst &I = N.I;
+        auto remap = [&](uint8_t &R) {
+          if (isScratch(R))
+            R = uint8_t(Map[R]);
+        };
+        switch (formatOf(I.Op)) {
+        case Format::Memory:
+          remap(I.Ra);
+          remap(I.Rb);
+          break;
+        case Format::Branch:
+          remap(I.Ra);
+          break;
+        case Format::Jump:
+          remap(I.Ra);
+          remap(I.Rb);
+          break;
+        case Format::Operate:
+          remap(I.Ra);
+          if (!I.IsLit)
+            remap(I.Rb);
+          remap(I.Rc);
+          break;
+        case Format::Pal:
+          break;
+        }
+      }
+    ++ChangedProcs;
+  }
+  return ChangedProcs;
+}

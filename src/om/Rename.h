@@ -1,0 +1,29 @@
+//===- om/Rename.h - Caller-save register renaming --------------*- C++ -*-===//
+//
+// "We use register renaming to minimize the number of different caller-save
+// registers used in the analysis routines" (paper §4). Permutes the scratch
+// registers (t0..t11) used inside each analysis procedure onto the smallest
+// prefix, shrinking the save sets ATOM must emit.
+//
+// This is sound for convention-following code because t-registers carry no
+// value across procedure boundaries (they are dead at entry and exit, and
+// dead across every call).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_RENAME_H
+#define ATOM_OM_RENAME_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+/// Renames scratch registers in every procedure of \p U. Returns the number
+/// of procedures changed.
+unsigned renameScratchRegs(Unit &U);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_RENAME_H

@@ -1,0 +1,398 @@
+//===- runtime/Runtime.cpp ------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+#include "asm/Assembler.h"
+#include "mcc/Compiler.h"
+
+using namespace atom;
+using namespace atom::runtime;
+
+const char *runtime::crtSource() {
+  return R"(
+; crt0.s - program startup.
+        .text
+
+; _start: initialize the heap break (unless ATOM pre-initialized it for a
+; shared heap), call main, exit with its return value.
+        .ent    _start
+        .globl  _start
+_start:
+        lda     sp, -64(sp)
+        laddr   t1, __heap_break
+        ldq     t2, 0(t1)
+        bne     t2, _start$skip
+        laddr   t0, __heap_start
+        stq     t0, 0(t1)
+_start$skip:
+        bsr     ra, main
+        mov     v0, a0
+        bsr     ra, __exit
+        halt
+        .end    _start
+)";
+}
+
+const char *runtime::sysSource() {
+  return R"(
+; sys.s - syscall veneers and the heap-break cell.
+        .text
+        .ent    __sys_exit
+        .globl  __sys_exit
+__sys_exit:
+        lda     v0, 1(zero)
+        callsys
+        halt
+        .end    __sys_exit
+
+        .ent    __sys_read
+        .globl  __sys_read
+__sys_read:
+        lda     v0, 2(zero)
+        callsys
+        ret
+        .end    __sys_read
+
+        .ent    __sys_write
+        .globl  __sys_write
+__sys_write:
+        lda     v0, 3(zero)
+        callsys
+        ret
+        .end    __sys_write
+
+        .ent    __sys_open
+        .globl  __sys_open
+__sys_open:
+        lda     v0, 4(zero)
+        callsys
+        ret
+        .end    __sys_open
+
+        .ent    __sys_close
+        .globl  __sys_close
+__sys_close:
+        lda     v0, 5(zero)
+        callsys
+        ret
+        .end    __sys_close
+
+        .data
+        .align  3
+        .globl  __heap_break
+__heap_break:
+        .quad   0
+)";
+}
+
+const char *runtime::libSource() {
+  return R"(
+// lib.mc - the mini-C runtime library.
+extern void __sys_exit(long code);
+extern long __heap_break;
+
+// ----- heap ---------------------------------------------------------------
+
+char *sbrk(long n) {
+  long p = __heap_break;
+  __heap_break = p + n;
+  return (char *)p;
+}
+
+struct __mblk {
+  long size;
+  struct __mblk *next;
+};
+
+struct __mblk *__freelist;
+
+char *malloc(long n) {
+  long need = ((n + 7) & ~7) + 16;
+  struct __mblk *prev = 0;
+  struct __mblk *b = __freelist;
+  while (b) {
+    if (b->size >= need) {
+      if (prev)
+        prev->next = b->next;
+      else
+        __freelist = b->next;
+      return (char *)b + 16;
+    }
+    prev = b;
+    b = b->next;
+  }
+  b = (struct __mblk *)sbrk(need);
+  b->size = need;
+  b->next = 0;
+  return (char *)b + 16;
+}
+
+void free(char *p) {
+  if (!p)
+    return;
+  struct __mblk *b = (struct __mblk *)(p - 16);
+  b->next = __freelist;
+  __freelist = b;
+}
+
+char *calloc(long n, long size) {
+  long total = n * size;
+  char *p = malloc(total);
+  memset(p, 0, total);
+  return p;
+}
+
+// ----- strings ------------------------------------------------------------
+
+long strlen(char *s) {
+  long n = 0;
+  while (s[n])
+    n = n + 1;
+  return n;
+}
+
+long strcmp(char *a, char *b) {
+  long i = 0;
+  while (a[i] && a[i] == b[i])
+    i = i + 1;
+  return (long)a[i] - (long)b[i];
+}
+
+char *strcpy(char *d, char *s) {
+  long i = 0;
+  while (s[i]) {
+    d[i] = s[i];
+    i = i + 1;
+  }
+  d[i] = 0;
+  return d;
+}
+
+char *memset(char *d, long c, long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1)
+    d[i] = (char)c;
+  return d;
+}
+
+char *memcpy(char *d, char *s, long n) {
+  long i;
+  for (i = 0; i < n; i = i + 1)
+    d[i] = s[i];
+  return d;
+}
+
+long atoi(char *s) {
+  long v = 0;
+  long neg = 0;
+  long i = 0;
+  if (s[0] == '-') {
+    neg = 1;
+    i = 1;
+  }
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  if (neg)
+    return -v;
+  return v;
+}
+
+// ----- program termination --------------------------------------------------
+// __exit is the single point every program passes through on termination;
+// ATOM anchors ProgramAfter instrumentation at its entry.
+
+void __exit(long code) {
+  __sys_exit(code);
+}
+
+void exit(long code) {
+  __exit(code);
+}
+
+// ----- formatted output -----------------------------------------------------
+
+long __emit_dec(char *buf, long len, long v) {
+  char tmp[24];
+  long n = 0;
+  if (v < 0) {
+    // Peel one digit before negating so the most negative value (whose
+    // negation does not exist) is handled too.
+    buf[len] = '-';
+    len = len + 1;
+    long r = v % 10;  // in (-10, 0]
+    tmp[0] = (char)('0' - r);
+    n = 1;
+    v = -(v / 10);
+  }
+  if (v == 0 && n == 0) {
+    tmp[0] = '0';
+    n = 1;
+  }
+  while (v > 0) {
+    tmp[n] = (char)('0' + v % 10);
+    n = n + 1;
+    v = v / 10;
+  }
+  while (n > 0) {
+    n = n - 1;
+    buf[len] = tmp[n];
+    len = len + 1;
+  }
+  return len;
+}
+
+long __emit_hex(char *buf, long len, long v) {
+  long j = 15;
+  long started = 0;
+  while (j >= 0) {
+    long d = (v >> (j * 4)) & 15;
+    if (d || started || j == 0) {
+      started = 1;
+      if (d < 10)
+        buf[len] = (char)('0' + d);
+      else
+        buf[len] = (char)('a' + d - 10);
+      len = len + 1;
+    }
+    j = j - 1;
+  }
+  return len;
+}
+
+long __vformat(long fd, char *fmt, long *args) {
+  char buf[800];
+  long len = 0;
+  long total = 0;
+  long vi = 0;
+  long i = 0;
+  while (fmt[i]) {
+    if (len > 700) {
+      __sys_write(fd, buf, len);
+      total = total + len;
+      len = 0;
+    }
+    char c = fmt[i];
+    if (c != '%') {
+      buf[len] = c;
+      len = len + 1;
+      i = i + 1;
+      continue;
+    }
+    i = i + 1;
+    c = fmt[i];
+    i = i + 1;
+    if (c == 'l') {
+      c = fmt[i];
+      i = i + 1;
+    }
+    if (c == '%') {
+      buf[len] = '%';
+      len = len + 1;
+      continue;
+    }
+    if (c == 'c') {
+      buf[len] = (char)args[vi];
+      vi = vi + 1;
+      len = len + 1;
+      continue;
+    }
+    if (c == 's') {
+      char *s = (char *)args[vi];
+      vi = vi + 1;
+      long j = 0;
+      while (s[j]) {
+        if (len > 700) {
+          __sys_write(fd, buf, len);
+          total = total + len;
+          len = 0;
+        }
+        buf[len] = s[j];
+        len = len + 1;
+        j = j + 1;
+      }
+      continue;
+    }
+    if (c == 'd' || c == 'u') {
+      len = __emit_dec(buf, len, args[vi]);
+      vi = vi + 1;
+      continue;
+    }
+    if (c == 'x') {
+      len = __emit_hex(buf, len, args[vi]);
+      vi = vi + 1;
+      continue;
+    }
+    buf[len] = c;
+    len = len + 1;
+  }
+  if (len > 0)
+    __sys_write(fd, buf, len);
+  return total + len;
+}
+
+long printf(char *fmt, ...) {
+  long args[14];
+  long i;
+  for (i = 0; i < 14; i = i + 1)
+    args[i] = __vararg(i);
+  return __vformat(1, fmt, args);
+}
+
+long fprintf(long f, char *fmt, ...) {
+  long args[14];
+  long i;
+  for (i = 0; i < 14; i = i + 1)
+    args[i] = __vararg(i);
+  return __vformat(f, fmt, args);
+}
+
+long puts(char *s) {
+  __sys_write(1, s, strlen(s));
+  __sys_write(1, "\n", 1);
+  return 0;
+}
+
+// ----- files ----------------------------------------------------------------
+
+long fopen(char *path, char *mode) {
+  long flags = 0;
+  if (mode[0] == 'w')
+    flags = 1;
+  if (mode[0] == 'a')
+    flags = 2;
+  return __sys_open(path, flags);
+}
+
+long fclose(long f) {
+  return __sys_close(f);
+}
+)";
+}
+
+const std::vector<obj::ObjectModule> &runtime::modules() {
+  static const std::vector<obj::ObjectModule> Mods = [] {
+    std::vector<obj::ObjectModule> M(1);
+    DiagEngine Diags;
+    if (!assembler::assemble(crtSource(), "crt0", M[0], Diags))
+      fatalError("runtime crt0.s failed to assemble:\n" + Diags.str());
+    for (const obj::ObjectModule &L : libraryModules())
+      M.push_back(L);
+    return M;
+  }();
+  return Mods;
+}
+
+const std::vector<obj::ObjectModule> &runtime::libraryModules() {
+  static const std::vector<obj::ObjectModule> Mods = [] {
+    std::vector<obj::ObjectModule> M(2);
+    DiagEngine Diags;
+    if (!assembler::assemble(sysSource(), "sys", M[0], Diags))
+      fatalError("runtime sys.s failed to assemble:\n" + Diags.str());
+    if (!mcc::compile(libSource(), "lib", M[1], Diags))
+      fatalError("runtime lib.mc failed to compile:\n" + Diags.str());
+    return M;
+  }();
+  return Mods;
+}

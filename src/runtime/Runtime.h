@@ -1,0 +1,39 @@
+//===- runtime/Runtime.h - The mini-C runtime library -----------*- C++ -*-===//
+//
+// Startup code, syscall veneers, sbrk/malloc, printf, and string routines.
+// Every linked unit (the application, and separately the analysis routines)
+// gets its own copy — the paper's "two copies of printf" property, and the
+// basis of the two-sbrk heap schemes (§4 "Keeping Pristine Behavior").
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_RUNTIME_RUNTIME_H
+#define ATOM_RUNTIME_RUNTIME_H
+
+#include "obj/ObjectModule.h"
+
+#include <vector>
+
+namespace atom {
+namespace runtime {
+
+/// The full runtime (startup + library), for linking applications.
+const std::vector<obj::ObjectModule> &modules();
+
+/// Library only (syscall veneers, heap cell, mini-C library) — what the
+/// analysis unit links; it has no _start of its own.
+const std::vector<obj::ObjectModule> &libraryModules();
+
+/// Assembly source of the startup module (_start).
+const char *crtSource();
+
+/// Assembly source of the syscall veneers and heap-break cell.
+const char *sysSource();
+
+/// Mini-C source of the library (sbrk/malloc/printf/...).
+const char *libSource();
+
+} // namespace runtime
+} // namespace atom
+
+#endif // ATOM_RUNTIME_RUNTIME_H

@@ -1,0 +1,363 @@
+//===- sim/Machine.cpp ----------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include <cstring>
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::isa;
+using namespace atom::obj;
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+uint8_t *Memory::pagePtr(uint64_t Addr) {
+  uint64_t Page = Addr / PageSize;
+  if (Page == CachedPage)
+    return CachedPtr;
+  auto It = Pages.find(Page);
+  if (It == Pages.end()) {
+    auto Mem = std::make_unique<uint8_t[]>(PageSize);
+    std::memset(Mem.get(), 0, PageSize);
+    It = Pages.emplace(Page, std::move(Mem)).first;
+  }
+  CachedPage = Page;
+  CachedPtr = It->second.get();
+  return CachedPtr;
+}
+
+uint8_t Memory::load8(uint64_t Addr) {
+  return pagePtr(Addr)[Addr % PageSize];
+}
+
+void Memory::store8(uint64_t Addr, uint8_t V) {
+  pagePtr(Addr)[Addr % PageSize] = V;
+}
+
+#define ATOM_MEM_SCALAR(N, T)                                                  \
+  T Memory::load##N(uint64_t Addr) {                                           \
+    uint64_t Off = Addr % PageSize;                                            \
+    if (Off + sizeof(T) <= PageSize) {                                         \
+      T V;                                                                     \
+      std::memcpy(&V, pagePtr(Addr) + Off, sizeof(T));                         \
+      return V;                                                                \
+    }                                                                          \
+    T V = 0;                                                                   \
+    for (unsigned I = 0; I < sizeof(T); ++I)                                   \
+      V |= T(load8(Addr + I)) << (8 * I);                                      \
+    return V;                                                                  \
+  }                                                                            \
+  void Memory::store##N(uint64_t Addr, T V) {                                  \
+    uint64_t Off = Addr % PageSize;                                            \
+    if (Off + sizeof(T) <= PageSize) {                                         \
+      std::memcpy(pagePtr(Addr) + Off, &V, sizeof(T));                         \
+      return;                                                                  \
+    }                                                                          \
+    for (unsigned I = 0; I < sizeof(T); ++I)                                   \
+      store8(Addr + I, uint8_t(V >> (8 * I)));                                 \
+  }
+
+ATOM_MEM_SCALAR(16, uint16_t)
+ATOM_MEM_SCALAR(32, uint32_t)
+ATOM_MEM_SCALAR(64, uint64_t)
+#undef ATOM_MEM_SCALAR
+
+void Memory::writeBytes(uint64_t Addr, const uint8_t *Src, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    store8(Addr + I, Src[I]);
+}
+
+void Memory::readBytes(uint64_t Addr, uint8_t *Dst, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Dst[I] = load8(Addr + I);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+Machine::Machine(const Executable &Exe) {
+  TextStart = Exe.TextStart;
+  Mem.writeBytes(Exe.TextStart, Exe.Text.data(), Exe.Text.size());
+  Mem.writeBytes(Exe.DataStart, Exe.Data.data(), Exe.Data.size());
+  for (const obj::Segment &S : Exe.Segments)
+    Mem.writeBytes(S.Addr, S.Bytes.data(), S.Bytes.size());
+  // Bss pages are zero on first touch; nothing to do.
+
+  Decoded.resize(Exe.Text.size() / 4);
+  DecodeOk.resize(Decoded.size());
+  for (size_t I = 0; I < Decoded.size(); ++I) {
+    uint32_t Word = read32(Exe.Text, I * 4);
+    DecodeOk[I] = decode(Word, Decoded[I]);
+  }
+
+  Regs[RegSP] = Exe.StackStart;
+  PC = Exe.Entry;
+}
+
+RunResult Machine::fault(const std::string &Msg) {
+  RunResult R;
+  R.Status = RunStatus::Fault;
+  R.FaultPC = PC;
+  R.FaultMessage = Msg;
+  return R;
+}
+
+RunResult Machine::run(uint64_t MaxInsts) {
+  const bool Tracing = bool(Trace);
+  uint64_t Budget = MaxInsts;
+
+  while (Budget--) {
+    // Fetch.
+    uint64_t Idx = (PC - TextStart) / 4;
+    if (PC < TextStart || (PC & 3) || Idx >= Decoded.size())
+      return fault(formatString("bad pc 0x%llx", (unsigned long long)PC));
+    if (!DecodeOk[Idx])
+      return fault(formatString("illegal instruction at 0x%llx",
+                                (unsigned long long)PC));
+    const Inst &I = Decoded[Idx];
+
+    ++St.Instructions;
+    ++St.PerOpcode[size_t(I.Op)];
+
+    TraceEvent Ev;
+    if (Tracing) {
+      Ev.PC = PC;
+      Ev.I = I;
+    }
+
+    uint64_t NextPC = PC + 4;
+    uint64_t B = I.IsLit ? I.Lit : Regs[I.Rb];
+    int64_t SA = int64_t(Regs[I.Ra]);
+    int64_t SB = int64_t(B);
+
+    switch (I.Op) {
+    case Opcode::Lda:
+      setReg(I.Ra, Regs[I.Rb] + uint64_t(int64_t(I.Disp)));
+      break;
+    case Opcode::Ldah:
+      setReg(I.Ra, Regs[I.Rb] + (uint64_t(int64_t(I.Disp)) << 16));
+      break;
+
+    case Opcode::Ldbu:
+    case Opcode::Ldwu:
+    case Opcode::Ldl:
+    case Opcode::Ldq:
+    case Opcode::Stb:
+    case Opcode::Stw:
+    case Opcode::Stl:
+    case Opcode::Stq: {
+      uint64_t Addr = Regs[I.Rb] + uint64_t(int64_t(I.Disp));
+      unsigned Size = memAccessSize(I.Op);
+      if (Addr & (Size - 1))
+        ++St.UnalignedAccesses;
+      if (Tracing)
+        Ev.EffAddr = Addr;
+      if (isLoad(I.Op)) {
+        ++St.Loads;
+        uint64_t V = 0;
+        switch (I.Op) {
+        case Opcode::Ldbu: V = Mem.load8(Addr); break;
+        case Opcode::Ldwu: V = Mem.load16(Addr); break;
+        case Opcode::Ldl: V = uint64_t(int64_t(int32_t(Mem.load32(Addr)))); break;
+        case Opcode::Ldq: V = Mem.load64(Addr); break;
+        default: break;
+        }
+        setReg(I.Ra, V);
+      } else {
+        ++St.Stores;
+        uint64_t V = Regs[I.Ra];
+        switch (I.Op) {
+        case Opcode::Stb: Mem.store8(Addr, uint8_t(V)); break;
+        case Opcode::Stw: Mem.store16(Addr, uint16_t(V)); break;
+        case Opcode::Stl: Mem.store32(Addr, uint32_t(V)); break;
+        case Opcode::Stq: Mem.store64(Addr, V); break;
+        default: break;
+        }
+      }
+      break;
+    }
+
+    case Opcode::Br:
+    case Opcode::Bsr:
+      if (I.Op == Opcode::Bsr)
+        ++St.Calls;
+      setReg(I.Ra, NextPC);
+      NextPC = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
+      break;
+
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Ble:
+    case Opcode::Bgt:
+    case Opcode::Bge:
+    case Opcode::Blbc:
+    case Opcode::Blbs: {
+      bool Taken = false;
+      switch (I.Op) {
+      case Opcode::Beq: Taken = SA == 0; break;
+      case Opcode::Bne: Taken = SA != 0; break;
+      case Opcode::Blt: Taken = SA < 0; break;
+      case Opcode::Ble: Taken = SA <= 0; break;
+      case Opcode::Bgt: Taken = SA > 0; break;
+      case Opcode::Bge: Taken = SA >= 0; break;
+      case Opcode::Blbc: Taken = (Regs[I.Ra] & 1) == 0; break;
+      case Opcode::Blbs: Taken = (Regs[I.Ra] & 1) == 1; break;
+      default: break;
+      }
+      ++St.CondBranches;
+      if (Taken) {
+        ++St.TakenBranches;
+        NextPC = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
+      }
+      if (Tracing)
+        Ev.Taken = Taken;
+      break;
+    }
+
+    case Opcode::Jmp:
+    case Opcode::Jsr:
+    case Opcode::Ret: {
+      if (I.Op == Opcode::Jsr)
+        ++St.Calls;
+      if (I.Op == Opcode::Ret)
+        ++St.Returns;
+      uint64_t Target = Regs[I.Rb] & ~uint64_t(3);
+      setReg(I.Ra, NextPC);
+      NextPC = Target;
+      break;
+    }
+
+    case Opcode::Addl: setReg(I.Rc, uint64_t(int64_t(int32_t(SA + SB)))); break;
+    case Opcode::Addq: setReg(I.Rc, uint64_t(SA + SB)); break;
+    case Opcode::Subl: setReg(I.Rc, uint64_t(int64_t(int32_t(SA - SB)))); break;
+    case Opcode::Subq: setReg(I.Rc, uint64_t(SA - SB)); break;
+    case Opcode::Mull:
+      setReg(I.Rc, uint64_t(int64_t(int32_t(uint32_t(SA) * uint32_t(SB)))));
+      break;
+    case Opcode::Mulq:
+      setReg(I.Rc, uint64_t(SA) * uint64_t(SB));
+      break;
+    case Opcode::Umulh:
+      setReg(I.Rc, uint64_t((unsigned __int128)(uint64_t)SA *
+                            (unsigned __int128)(uint64_t)SB >> 64));
+      break;
+    case Opcode::Divq:
+      setReg(I.Rc, SB == 0 ? 0
+                           : (SA == INT64_MIN && SB == -1)
+                                 ? uint64_t(INT64_MIN)
+                                 : uint64_t(SA / SB));
+      break;
+    case Opcode::Remq:
+      setReg(I.Rc, SB == 0 ? 0
+                           : (SA == INT64_MIN && SB == -1)
+                                 ? 0
+                                 : uint64_t(SA % SB));
+      break;
+    case Opcode::Divqu:
+      setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) / uint64_t(SB));
+      break;
+    case Opcode::Remqu:
+      setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) % uint64_t(SB));
+      break;
+
+    case Opcode::And: setReg(I.Rc, Regs[I.Ra] & B); break;
+    case Opcode::Bic: setReg(I.Rc, Regs[I.Ra] & ~B); break;
+    case Opcode::Bis: setReg(I.Rc, Regs[I.Ra] | B); break;
+    case Opcode::Ornot: setReg(I.Rc, Regs[I.Ra] | ~B); break;
+    case Opcode::Xor: setReg(I.Rc, Regs[I.Ra] ^ B); break;
+    case Opcode::Eqv: setReg(I.Rc, Regs[I.Ra] ^ ~B); break;
+    case Opcode::Sll: setReg(I.Rc, Regs[I.Ra] << (B & 63)); break;
+    case Opcode::Srl: setReg(I.Rc, Regs[I.Ra] >> (B & 63)); break;
+    case Opcode::Sra: setReg(I.Rc, uint64_t(SA >> (B & 63))); break;
+
+    case Opcode::Cmpeq: setReg(I.Rc, SA == SB); break;
+    case Opcode::Cmplt: setReg(I.Rc, SA < SB); break;
+    case Opcode::Cmple: setReg(I.Rc, SA <= SB); break;
+    case Opcode::Cmpult: setReg(I.Rc, uint64_t(SA) < B); break;
+    case Opcode::Cmpule: setReg(I.Rc, uint64_t(SA) <= B); break;
+
+    case Opcode::Sextb: setReg(I.Rc, uint64_t(int64_t(int8_t(B)))); break;
+    case Opcode::Sextw: setReg(I.Rc, uint64_t(int64_t(int16_t(B)))); break;
+
+    case Opcode::Callsys: {
+      ++St.Syscalls;
+      uint64_t No = Regs[RegV0];
+      uint64_t A0 = Regs[RegA0], A1 = Regs[RegA1], A2 = Regs[RegA2];
+      switch (No) {
+      case SysExit: {
+        if (Tracing)
+          Trace(Ev);
+        RunResult R;
+        R.Status = RunStatus::Exited;
+        R.ExitCode = int64_t(A0);
+        return R;
+      }
+      case SysWrite: {
+        std::vector<uint8_t> Buf(static_cast<size_t>(A2), 0);
+        Mem.readBytes(A1, Buf.data(), Buf.size());
+        setReg(RegV0, uint64_t(Fs.write(int64_t(A0), Buf)));
+        break;
+      }
+      case SysRead: {
+        std::vector<uint8_t> Buf;
+        int64_t N = Fs.read(int64_t(A0), A2, Buf);
+        if (N > 0)
+          Mem.writeBytes(A1, Buf.data(), Buf.size());
+        setReg(RegV0, uint64_t(N));
+        break;
+      }
+      case SysOpen: {
+        std::string Path;
+        for (uint64_t P = A0; Path.size() < 4096; ++P) {
+          char C = char(Mem.load8(P));
+          if (!C)
+            break;
+          Path += C;
+        }
+        setReg(RegV0, uint64_t(Fs.open(Path, A1)));
+        break;
+      }
+      case SysClose:
+        setReg(RegV0, uint64_t(Fs.close(int64_t(A0))));
+        break;
+      default:
+        return fault(formatString("unknown syscall %llu",
+                                  (unsigned long long)No));
+      }
+      break;
+    }
+
+    case Opcode::Halt: {
+      RunResult R;
+      R.Status = RunStatus::Halted;
+      R.ExitCode = int64_t(Regs[RegV0]);
+      return R;
+    }
+
+    case Opcode::NumOpcodes:
+      return fault("corrupt decode");
+    }
+
+    if (Tracing)
+      Trace(Ev);
+    PC = NextPC;
+  }
+
+  RunResult R;
+  R.Status = RunStatus::FuelExhausted;
+  R.FaultPC = PC;
+  R.FaultMessage = "instruction budget exhausted";
+  return R;
+}
+
+RunResult sim::runExecutable(const Executable &Exe, Machine *Out) {
+  Machine M(Exe);
+  RunResult R = M.run();
+  if (Out)
+    *Out = std::move(M);
+  return R;
+}

@@ -1,0 +1,139 @@
+//===- sim/Machine.h - AXP64-lite machine simulator -------------*- C++ -*-===//
+//
+// Interprets linked executables. Plays the role of the Alpha CPU in this
+// reproduction: both the uninstrumented and the ATOM-instrumented
+// executables run here, so instrumented/uninstrumented instruction-count
+// ratios stand in for the paper's execution-time ratios (Figure 6).
+//
+// The simulator can also record a reference trace (per-instruction hook)
+// which the test suite uses as an oracle for tool outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SIM_MACHINE_H
+#define ATOM_SIM_MACHINE_H
+
+#include "isa/Isa.h"
+#include "obj/ObjectModule.h"
+#include "sim/Syscalls.h"
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace atom {
+namespace sim {
+
+/// Why run() returned.
+enum class RunStatus {
+  Exited,        ///< Program called exit().
+  Halted,        ///< Executed a halt instruction.
+  Fault,         ///< Bad instruction, bad PC, or similar.
+  FuelExhausted, ///< MaxInsts executed without exiting.
+};
+
+struct RunResult {
+  RunStatus Status = RunStatus::Fault;
+  int64_t ExitCode = -1;
+  uint64_t FaultPC = 0;
+  std::string FaultMessage;
+
+  bool exitedWith(int64_t Code) const {
+    return Status == RunStatus::Exited && ExitCode == Code;
+  }
+};
+
+/// Dynamic execution statistics.
+struct Stats {
+  uint64_t Instructions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t CondBranches = 0;
+  uint64_t TakenBranches = 0;
+  uint64_t Calls = 0;
+  uint64_t Returns = 0;
+  uint64_t Syscalls = 0;
+  uint64_t UnalignedAccesses = 0;
+  std::array<uint64_t, size_t(isa::Opcode::NumOpcodes)> PerOpcode{};
+};
+
+/// One retired instruction, as seen by the trace hook.
+struct TraceEvent {
+  uint64_t PC = 0;
+  isa::Inst I;
+  uint64_t EffAddr = 0; ///< Loads/stores: effective address.
+  bool Taken = false;   ///< Conditional branches: taken?
+};
+
+/// Sparse byte-addressable memory with 8 KB pages.
+class Memory {
+public:
+  uint8_t load8(uint64_t Addr);
+  uint16_t load16(uint64_t Addr);
+  uint32_t load32(uint64_t Addr);
+  uint64_t load64(uint64_t Addr);
+  void store8(uint64_t Addr, uint8_t V);
+  void store16(uint64_t Addr, uint16_t V);
+  void store32(uint64_t Addr, uint32_t V);
+  void store64(uint64_t Addr, uint64_t V);
+  void writeBytes(uint64_t Addr, const uint8_t *Src, size_t N);
+  void readBytes(uint64_t Addr, uint8_t *Dst, size_t N);
+
+private:
+  uint8_t *pagePtr(uint64_t Addr);
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+  uint64_t CachedPage = ~uint64_t(0);
+  uint8_t *CachedPtr = nullptr;
+};
+
+/// The simulated machine.
+class Machine {
+public:
+  /// Loads \p Exe: copies text/data into memory, zeroes bss, pre-decodes
+  /// text, initializes sp to Exe.StackStart and pc to Exe.Entry.
+  explicit Machine(const obj::Executable &Exe);
+
+  /// Runs until exit/halt/fault or \p MaxInsts instructions.
+  RunResult run(uint64_t MaxInsts = 2'000'000'000);
+
+  uint64_t reg(unsigned R) const { return Regs[R]; }
+  void setReg(unsigned R, uint64_t V) {
+    if (R != isa::RegZero)
+      Regs[R] = V;
+  }
+  uint64_t pc() const { return PC; }
+  void setPC(uint64_t V) { PC = V; }
+
+  Memory &memory() { return Mem; }
+  Vfs &vfs() { return Fs; }
+  const Stats &stats() const { return St; }
+
+  /// Installs a per-retired-instruction hook (the test oracle). Slows
+  /// execution; leave unset for benchmarks.
+  void setTraceHook(std::function<void(const TraceEvent &)> Hook) {
+    Trace = std::move(Hook);
+  }
+
+private:
+  RunResult fault(const std::string &Msg);
+
+  uint64_t Regs[isa::NumRegs] = {};
+  uint64_t PC = 0;
+  Memory Mem;
+  Vfs Fs;
+  Stats St;
+  std::function<void(const TraceEvent &)> Trace;
+
+  uint64_t TextStart = 0;
+  std::vector<isa::Inst> Decoded; ///< Pre-decoded text.
+  std::vector<bool> DecodeOk;
+};
+
+/// Convenience: builds a machine, runs it, returns the result.
+RunResult runExecutable(const obj::Executable &Exe, Machine *Out = nullptr);
+
+} // namespace sim
+} // namespace atom
+
+#endif // ATOM_SIM_MACHINE_H

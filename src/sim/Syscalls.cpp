@@ -1,0 +1,100 @@
+//===- sim/Syscalls.cpp ---------------------------------------------------===//
+
+#include "sim/Syscalls.h"
+
+using namespace atom;
+using namespace atom::sim;
+
+Vfs::Vfs() {
+  // fds 0..2 are stdin/stdout/stderr.
+  Fds.resize(3);
+  Fds[0] = {"<stdin>", 0, false, true};
+  Fds[1] = {"<stdout>", 0, true, true};
+  Fds[2] = {"<stderr>", 0, true, true};
+}
+
+int64_t Vfs::open(const std::string &Path, uint64_t Flags) {
+  if (Path.empty())
+    return -1;
+  if (Flags == OpenWriteCreate) {
+    Files[Path].clear();
+  } else if (Flags == OpenAppend) {
+    Files[Path]; // create if absent
+  } else if (!Files.count(Path)) {
+    return -1;
+  }
+  OpenFile F;
+  F.Path = Path;
+  F.Pos = Flags == OpenAppend ? Files[Path].size() : 0;
+  F.Writable = Flags != OpenRead;
+  F.Open = true;
+  for (size_t I = 3; I < Fds.size(); ++I) {
+    if (!Fds[I].Open) {
+      Fds[I] = F;
+      return int64_t(I);
+    }
+  }
+  Fds.push_back(F);
+  return int64_t(Fds.size() - 1);
+}
+
+int64_t Vfs::close(int64_t Fd) {
+  if (Fd < 3 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
+    return -1;
+  Fds[size_t(Fd)].Open = false;
+  return 0;
+}
+
+int64_t Vfs::write(int64_t Fd, const std::vector<uint8_t> &Data) {
+  if (Fd < 0 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
+    return -1;
+  if (Fd == 1) {
+    StdoutBuf.append(Data.begin(), Data.end());
+    return int64_t(Data.size());
+  }
+  if (Fd == 2) {
+    StderrBuf.append(Data.begin(), Data.end());
+    return int64_t(Data.size());
+  }
+  OpenFile &F = Fds[size_t(Fd)];
+  if (!F.Writable)
+    return -1;
+  std::vector<uint8_t> &Contents = Files[F.Path];
+  if (F.Pos + Data.size() > Contents.size())
+    Contents.resize(F.Pos + Data.size());
+  std::copy(Data.begin(), Data.end(), Contents.begin() + long(F.Pos));
+  F.Pos += Data.size();
+  return int64_t(Data.size());
+}
+
+int64_t Vfs::read(int64_t Fd, uint64_t N, std::vector<uint8_t> &Out) {
+  Out.clear();
+  if (Fd < 0 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
+    return -1;
+  if (Fd == 0)
+    return 0; // stdin is always empty
+  OpenFile &F = Fds[size_t(Fd)];
+  if (F.Writable)
+    return -1;
+  auto It = Files.find(F.Path);
+  if (It == Files.end())
+    return -1;
+  const std::vector<uint8_t> &Contents = It->second;
+  uint64_t Avail = F.Pos < Contents.size() ? Contents.size() - F.Pos : 0;
+  uint64_t Take = std::min(N, Avail);
+  Out.assign(Contents.begin() + long(F.Pos),
+             Contents.begin() + long(F.Pos + Take));
+  F.Pos += Take;
+  return int64_t(Take);
+}
+
+void Vfs::addFile(const std::string &Path, const std::string &Contents) {
+  Files[Path].assign(Contents.begin(), Contents.end());
+}
+
+std::string Vfs::fileContents(const std::string &Path) const {
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return "";
+  return std::string(It->second.begin(), It->second.end());
+}

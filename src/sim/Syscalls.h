@@ -1,0 +1,77 @@
+//===- sim/Syscalls.h - System call layer and in-memory VFS -----*- C++ -*-===//
+//
+// The simulated OS interface: exit/read/write/open/close over an in-memory
+// file system. File descriptors 1 and 2 capture stdout/stderr text so tests
+// and benchmarks can inspect program and tool output.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SIM_SYSCALLS_H
+#define ATOM_SIM_SYSCALLS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace sim {
+
+/// System call numbers (passed in v0).
+enum Sysno : uint64_t {
+  SysExit = 1,
+  SysRead = 2,
+  SysWrite = 3,
+  SysOpen = 4,
+  SysClose = 5,
+};
+
+/// Open flags for SysOpen (a1).
+enum OpenFlags : uint64_t {
+  OpenRead = 0,
+  OpenWriteCreate = 1, ///< Create or truncate for writing.
+  OpenAppend = 2,      ///< Create if absent; position at the end.
+};
+
+/// In-memory file system plus descriptor table.
+class Vfs {
+public:
+  Vfs();
+
+  /// Returns a new fd (>= 3) or -1.
+  int64_t open(const std::string &Path, uint64_t Flags);
+  int64_t close(int64_t Fd);
+  /// Writes \p Data; fd 1/2 append to the stdout/stderr buffers.
+  int64_t write(int64_t Fd, const std::vector<uint8_t> &Data);
+  /// Reads up to \p N bytes into \p Out.
+  int64_t read(int64_t Fd, uint64_t N, std::vector<uint8_t> &Out);
+
+  /// Pre-populates a file (test inputs).
+  void addFile(const std::string &Path, const std::string &Contents);
+  /// Contents of \p Path as a string; empty if absent.
+  std::string fileContents(const std::string &Path) const;
+  bool fileExists(const std::string &Path) const {
+    return Files.count(Path) != 0;
+  }
+
+  const std::string &stdoutText() const { return StdoutBuf; }
+  const std::string &stderrText() const { return StderrBuf; }
+
+private:
+  struct OpenFile {
+    std::string Path;
+    uint64_t Pos = 0;
+    bool Writable = false;
+    bool Open = false;
+  };
+
+  std::map<std::string, std::vector<uint8_t>> Files;
+  std::vector<OpenFile> Fds;
+  std::string StdoutBuf;
+  std::string StderrBuf;
+};
+
+} // namespace sim
+} // namespace atom
+
+#endif // ATOM_SIM_SYSCALLS_H

@@ -1,0 +1,37 @@
+//===- support/Support.cpp ------------------------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace atom;
+
+void atom::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "atom: fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+std::string atom::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(size_t(Len) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(size_t(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diag &D : Diags)
+    Out += formatString("line %d: %s\n", D.Line, D.Message.c_str());
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- support/Support.h - Small shared utilities --------------*- C++ -*-===//
+//
+// Part of the ATOM reproduction. Error reporting, string formatting, and a
+// wall-clock stopwatch used by the benchmark harnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SUPPORT_SUPPORT_H
+#define ATOM_SUPPORT_SUPPORT_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atom {
+
+/// Prints \p Msg to stderr and aborts. Used for violated internal
+/// invariants that should never happen on valid inputs.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// A diagnostic produced by the assembler, linker, or mini-C compiler.
+struct Diag {
+  int Line = 0;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for user-facing front ends (assembler, mcc).
+/// Front ends report errors here instead of aborting so tests can assert
+/// on malformed inputs.
+class DiagEngine {
+public:
+  void error(int Line, const std::string &Message) {
+    Diags.push_back({Line, Message});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// Renders all diagnostics as "line N: message" lines.
+  std::string str() const;
+
+private:
+  std::vector<Diag> Diags;
+};
+
+/// Wall-clock stopwatch for the Figure 5 instrumentation-time benchmark.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Returns true if \p V fits in a signed \p Bits-bit integer.
+inline bool fitsSigned(int64_t V, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bit width out of range");
+  if (Bits == 64)
+    return true;
+  int64_t Lo = -(int64_t(1) << (Bits - 1));
+  int64_t Hi = (int64_t(1) << (Bits - 1)) - 1;
+  return V >= Lo && V <= Hi;
+}
+
+/// Sign-extends the low \p Bits bits of \p V.
+inline int64_t signExtend(uint64_t V, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bit width out of range");
+  if (Bits == 64)
+    return int64_t(V);
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  uint64_t Sign = uint64_t(1) << (Bits - 1);
+  V &= Mask;
+  return int64_t((V ^ Sign) - Sign);
+}
+
+/// Rounds \p V up to the next multiple of \p Align (a power of two).
+inline uint64_t alignTo(uint64_t V, uint64_t Align) {
+  assert(Align && (Align & (Align - 1)) == 0 && "alignment not a power of 2");
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+} // namespace atom
+
+#endif // ATOM_SUPPORT_SUPPORT_H

@@ -1,0 +1,842 @@
+//===- tools/Tools.cpp - The paper's eleven tools -------------------------===//
+//
+// Each tool = an instrumentation routine (C++ over the ATOM API — the host
+// side, as in the paper where instrumentation routines are linked with OM
+// into a custom tool) + analysis routines in mini-C (compiled and linked
+// into the instrumented executable's address space).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/Tools.h"
+
+#include <algorithm>
+
+using namespace atom;
+using namespace atom::tools;
+
+namespace {
+
+using Ctx = InstrumentationContext;
+
+//===----------------------------------------------------------------------===//
+// branch: prediction using a 2-bit history table
+//===----------------------------------------------------------------------===//
+
+const char *BranchAnalysis = R"(
+long *bstats;   // per branch: taken, not-taken, mispredicted
+char *btable;   // 2-bit saturating counter per branch
+long nbranch;
+
+void OpenBranch(long n) {
+  nbranch = n;
+  bstats = (long *)malloc(n * 3 * sizeof(long));
+  memset((char *)bstats, 0, n * 3 * sizeof(long));
+  btable = malloc(n);
+  memset(btable, 1, n);  // weakly not-taken
+}
+
+void CloseBranch() {
+  long f = fopen("branch.out", "w");
+  long taken = 0;
+  long nottaken = 0;
+  long mispred = 0;
+  long i;
+  for (i = 0; i < nbranch; i = i + 1) {
+    taken = taken + bstats[i * 3];
+    nottaken = nottaken + bstats[i * 3 + 1];
+    mispred = mispred + bstats[i * 3 + 2];
+  }
+  fprintf(f, "branches %ld\n", nbranch);
+  fprintf(f, "taken %ld\n", taken);
+  fprintf(f, "nottaken %ld\n", nottaken);
+  fprintf(f, "mispredicted %ld\n", mispred);
+  fclose(f);
+}
+)";
+
+/// The hot per-branch handler, hand-optimized (the paper's analysis
+/// routines were optimized compiled C; mini-C output is deliberately
+/// naive, so per-event handlers are written in assembly instead).
+/// CondBranch(id=a0, taken=a1, pc=a2): update the 2-bit counter and the
+/// taken/not-taken/mispredict counts.
+const char *BranchHotAsm = R"(
+        .text
+        .ent    CondBranch
+        .globl  CondBranch
+CondBranch:
+        laddr   t0, btable
+        ldq     t0, 0(t0)
+        addq    t0, a0, t0        ; &btable[id]
+        ldbu    t1, 0(t0)         ; c
+        laddr   t2, bstats
+        ldq     t2, 0(t2)
+        sll     a0, #1, t3
+        addq    t3, a0, t3
+        sll     t3, #3, t3
+        addq    t2, t3, t2        ; &bstats[id*3]
+        cmplt   t1, #2, t4        ; t4 = predicted-not-taken
+        bne     a1, CondBranch$taken
+        ldq     t3, 8(t2)         ; notTaken++
+        addq    t3, #1, t3
+        stq     t3, 8(t2)
+        beq     t1, CondBranch$mis0
+        subq    t1, #1, t1        ; saturating decrement
+CondBranch$mis0:
+        bne     t4, CondBranch$store
+        ldq     t3, 16(t2)        ; mispredicted++
+        addq    t3, #1, t3
+        stq     t3, 16(t2)
+        br      CondBranch$store
+CondBranch$taken:
+        ldq     t3, 0(t2)         ; taken++
+        addq    t3, #1, t3
+        stq     t3, 0(t2)
+        cmplt   t1, #3, t5
+        beq     t5, CondBranch$mis1
+        addq    t1, #1, t1        ; saturating increment
+CondBranch$mis1:
+        beq     t4, CondBranch$store
+        ldq     t3, 16(t2)        ; mispredicted++
+        addq    t3, #1, t3
+        stq     t3, 16(t2)
+CondBranch$store:
+        stb     t1, 0(t0)
+        ret
+        .end    CondBranch
+)";
+
+void instrumentBranch(Ctx &C) {
+  C.addCallProto("OpenBranch(long)");
+  C.addCallProto("CondBranch(long, VALUE, long)");
+  C.addCallProto("CloseBranch()");
+  long NBranch = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B)) {
+      Inst *I = C.getLastInst(B);
+      if (!C.isInstType(I, InstType::CondBranch))
+        continue;
+      C.addCallInst(I, InstPoint::InstBefore, "CondBranch",
+                    {Arg::imm(NBranch), Arg::value(RuntimeValue::BrCondValue),
+                     Arg::imm(int64_t(C.instPC(I)))});
+      ++NBranch;
+    }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "OpenBranch",
+                   {Arg::imm(NBranch)});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "CloseBranch", {});
+}
+
+//===----------------------------------------------------------------------===//
+// cache: direct-mapped 8 KB data cache, 32-byte lines
+//===----------------------------------------------------------------------===//
+
+const char *CacheAnalysis = R"(
+long tags[256];
+long hits;
+long misses;
+
+void InitCache() {
+  long i;
+  for (i = 0; i < 256; i = i + 1)
+    tags[i] = -1;
+}
+
+void PrintCache() {
+  long f = fopen("cache.out", "w");
+  fprintf(f, "references %ld\n", hits + misses);
+  fprintf(f, "hits %ld\n", hits);
+  fprintf(f, "misses %ld\n", misses);
+  fclose(f);
+}
+)";
+
+/// Reference(addr=a0): direct-mapped lookup, 32-byte lines, 256 lines.
+const char *CacheHotAsm = R"(
+        .text
+        .ent    Reference
+        .globl  Reference
+Reference:
+        srl     a0, #5, t0
+        and     t0, #255, t0      ; line index
+        sll     t0, #3, t0
+        laddr   t1, tags
+        addq    t1, t0, t1        ; &tags[line]
+        ldq     t2, 0(t1)
+        sra     a0, #13, t0       ; tag
+        cmpeq   t0, t2, t2
+        beq     t2, Reference$miss
+        laddr   t1, hits
+        ldq     t2, 0(t1)
+        addq    t2, #1, t2
+        stq     t2, 0(t1)
+        ret
+Reference$miss:
+        stq     t0, 0(t1)
+        laddr   t1, misses
+        ldq     t2, 0(t1)
+        addq    t2, #1, t2
+        stq     t2, 0(t1)
+        ret
+        .end    Reference
+)";
+
+void instrumentCache(Ctx &C) {
+  C.addCallProto("InitCache()");
+  C.addCallProto("Reference(VALUE)");
+  C.addCallProto("PrintCache()");
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I))
+        if (C.isInstType(I, InstType::MemRef))
+          C.addCallInst(I, InstPoint::InstBefore, "Reference",
+                        {Arg::value(RuntimeValue::EffAddrValue)});
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitCache", {});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintCache", {});
+}
+
+//===----------------------------------------------------------------------===//
+// dyninst: dynamic instruction counts
+//===----------------------------------------------------------------------===//
+
+const char *DyninstAnalysis = R"(
+long *bcounts;
+long nblocks;
+long dyninsts;
+long dynmem;
+
+void InitDyn(long n) {
+  nblocks = n;
+  bcounts = (long *)malloc(n * sizeof(long));
+  memset((char *)bcounts, 0, n * sizeof(long));
+}
+
+void PrintDyn() {
+  long f = fopen("dyninst.out", "w");
+  long executed = 0;
+  long i;
+  for (i = 0; i < nblocks; i = i + 1)
+    if (bcounts[i])
+      executed = executed + 1;
+  fprintf(f, "blocks %ld\n", nblocks);
+  fprintf(f, "blocks-executed %ld\n", executed);
+  fprintf(f, "dynamic-insts %ld\n", dyninsts);
+  fprintf(f, "dynamic-memrefs %ld\n", dynmem);
+  fclose(f);
+}
+)";
+
+/// BlockExec(id=a0, ninsts=a1, nmem=a2).
+const char *DyninstHotAsm = R"(
+        .text
+        .ent    BlockExec
+        .globl  BlockExec
+BlockExec:
+        laddr   t0, bcounts
+        ldq     t0, 0(t0)
+        sll     a0, #3, t1
+        addq    t0, t1, t0
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        laddr   t0, dyninsts
+        ldq     t1, 0(t0)
+        addq    t1, a1, t1
+        stq     t1, 0(t0)
+        laddr   t0, dynmem
+        ldq     t1, 0(t0)
+        addq    t1, a2, t1
+        stq     t1, 0(t0)
+        ret
+        .end    BlockExec
+)";
+
+void instrumentDyninst(Ctx &C) {
+  C.addCallProto("InitDyn(long)");
+  C.addCallProto("BlockExec(long, long, long)");
+  C.addCallProto("PrintDyn()");
+  long NBlocks = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B)) {
+      long NMem = 0;
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I))
+        if (C.isInstType(I, InstType::MemRef))
+          ++NMem;
+      C.addCallBlock(B, BlockPoint::BlockBefore, "BlockExec",
+                     {Arg::imm(NBlocks), Arg::imm(C.instCount(B)),
+                      Arg::imm(NMem)});
+      ++NBlocks;
+    }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitDyn",
+                   {Arg::imm(NBlocks)});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintDyn", {});
+}
+
+//===----------------------------------------------------------------------===//
+// gprof: call-graph-based profiling
+//===----------------------------------------------------------------------===//
+
+const char *GprofAnalysis = R"(
+long nproc;
+long *calls;   // per procedure
+long *insts;   // per procedure
+long *arcs;    // caller x callee matrix
+long stack[4096];
+long depth;
+
+void InitGprof(long n) {
+  nproc = n;
+  calls = (long *)malloc(n * sizeof(long));
+  insts = (long *)malloc(n * sizeof(long));
+  arcs = (long *)malloc(n * n * sizeof(long));
+  memset((char *)calls, 0, n * sizeof(long));
+  memset((char *)insts, 0, n * sizeof(long));
+  memset((char *)arcs, 0, n * n * sizeof(long));
+  stack[0] = -1;
+  depth = 0;
+}
+
+void Enter(long id, long pc) {
+  long caller = stack[depth];
+  calls[id] = calls[id] + 1;
+  if (caller >= 0)
+    arcs[caller * nproc + id] = arcs[caller * nproc + id] + 1;
+  if (depth < 4095)
+    depth = depth + 1;
+  stack[depth] = id;
+}
+
+void Leave(long id) {
+  if (depth > 0 && stack[depth] == id)
+    depth = depth - 1;
+}
+
+void PrintGprof() {
+  long f = fopen("gprof.out", "w");
+  long i;
+  long j;
+  for (i = 0; i < nproc; i = i + 1)
+    if (calls[i] || insts[i])
+      fprintf(f, "proc %ld calls %ld insts %ld\n", i, calls[i], insts[i]);
+  for (i = 0; i < nproc; i = i + 1)
+    for (j = 0; j < nproc; j = j + 1)
+      if (arcs[i * nproc + j])
+        fprintf(f, "arc %ld -> %ld count %ld\n", i, j, arcs[i * nproc + j]);
+  fclose(f);
+}
+)";
+
+/// Tick(id=a0, ninsts=a1): per-block self-time attribution.
+const char *GprofHotAsm = R"(
+        .text
+        .ent    Tick
+        .globl  Tick
+Tick:
+        laddr   t0, insts
+        ldq     t0, 0(t0)
+        sll     a0, #3, t1
+        addq    t0, t1, t0
+        ldq     t1, 0(t0)
+        addq    t1, a1, t1
+        stq     t1, 0(t0)
+        ret
+        .end    Tick
+)";
+
+void instrumentGprof(Ctx &C) {
+  C.addCallProto("InitGprof(long)");
+  C.addCallProto("Enter(long, long)");
+  C.addCallProto("Leave(long)");
+  C.addCallProto("Tick(long, long)");
+  C.addCallProto("PrintGprof()");
+  long ProcId = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P)) {
+    C.addCallProc(P, ProcPoint::ProcBefore, "Enter",
+                  {Arg::imm(ProcId), Arg::imm(int64_t(C.procPC(P)))});
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B)) {
+      C.addCallBlock(B, BlockPoint::BlockBefore, "Tick",
+                     {Arg::imm(ProcId), Arg::imm(C.instCount(B))});
+      Inst *Last = C.getLastInst(B);
+      if (C.isInstType(Last, InstType::Return))
+        C.addCallInst(Last, InstPoint::InstBefore, "Leave",
+                      {Arg::imm(ProcId)});
+    }
+    ++ProcId;
+  }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitGprof",
+                   {Arg::imm(ProcId)});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintGprof", {});
+}
+
+//===----------------------------------------------------------------------===//
+// inline: potential inlining call sites
+//===----------------------------------------------------------------------===//
+
+const char *InlineAnalysis = R"(
+long *scount;
+long nsites;
+long printedHeader;
+
+void InitInline(long n) {
+  nsites = n;
+  scount = (long *)malloc(n * sizeof(long));
+  memset((char *)scount, 0, n * sizeof(long));
+}
+
+void CallSite(long id) {
+  scount[id] = scount[id] + 1;
+}
+
+void PrintSite(long id, long pc, long calleeSize) {
+  long f;
+  if (!printedHeader) {
+    printedHeader = 1;
+    f = fopen("inline.out", "w");
+  } else {
+    f = fopen("inline.out", "a");
+  }
+  if (scount[id] > 0) {
+    fprintf(f, "site 0x%lx count %ld callee-insts %ld", pc, scount[id],
+            calleeSize);
+    if (scount[id] >= 16 && calleeSize > 0 && calleeSize <= 120)
+      fprintf(f, " INLINE-CANDIDATE");
+    fprintf(f, "\n");
+  }
+  fclose(f);
+}
+)";
+
+void instrumentInline(Ctx &C) {
+  C.addCallProto("InitInline(long)");
+  C.addCallProto("CallSite(long)");
+  C.addCallProto("PrintSite(long, long, long)");
+  long NSites = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I)) {
+        if (!C.isInstType(I, InstType::Call))
+          continue;
+        Proc *Callee = C.callTargetProc(I);
+        long CalleeSize = Callee ? C.procInstTotal(Callee) : -1;
+        C.addCallInst(I, InstPoint::InstBefore, "CallSite",
+                      {Arg::imm(NSites)});
+        C.addCallProgram(ProgramPoint::ProgramAfter, "PrintSite",
+                         {Arg::imm(NSites), Arg::imm(int64_t(C.instPC(I))),
+                          Arg::imm(CalleeSize)});
+        ++NSites;
+      }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitInline",
+                   {Arg::imm(NSites)});
+}
+
+//===----------------------------------------------------------------------===//
+// io: input/output summary
+//===----------------------------------------------------------------------===//
+
+const char *IoAnalysis = R"(
+long wcalls;
+long wbytesreq;
+long wbytesdone;
+long wfds[8];
+
+void WriteCall(long fd, long buf, long len, long id) {
+  wcalls = wcalls + 1;
+  wbytesreq = wbytesreq + len;
+  if (fd >= 0 && fd < 8)
+    wfds[fd] = wfds[fd] + len;
+}
+
+void WriteRet(long result) {
+  if (result > 0)
+    wbytesdone = wbytesdone + result;
+}
+
+void PrintIo() {
+  long f = fopen("io.out", "w");
+  long i;
+  fprintf(f, "write-calls %ld\n", wcalls);
+  fprintf(f, "bytes-requested %ld\n", wbytesreq);
+  fprintf(f, "bytes-written %ld\n", wbytesdone);
+  for (i = 0; i < 8; i = i + 1)
+    if (wfds[i])
+      fprintf(f, "fd %ld bytes %ld\n", i, wfds[i]);
+  fclose(f);
+}
+)";
+
+void instrumentIo(Ctx &C) {
+  C.addCallProto("WriteCall(REGV, REGV, REGV, long)");
+  C.addCallProto("WriteRet(REGV)");
+  C.addCallProto("PrintIo()");
+  if (Proc *W = C.findProc("__sys_write")) {
+    C.addCallProc(W, ProcPoint::ProcBefore, "WriteCall",
+                  {Arg::regv(isa::RegA0), Arg::regv(isa::RegA1),
+                   Arg::regv(isa::RegA2), Arg::imm(0)});
+    C.addCallProc(W, ProcPoint::ProcAfter, "WriteRet",
+                  {Arg::regv(isa::RegV0)});
+  }
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintIo", {});
+}
+
+//===----------------------------------------------------------------------===//
+// malloc: histogram of dynamic memory
+//===----------------------------------------------------------------------===//
+
+const char *MallocAnalysis = R"(
+long mhist[16];   // power-of-two size classes
+long mcalls;
+long mbytes;
+
+void MallocCall(long size) {
+  long cls = 0;
+  long s = size;
+  mcalls = mcalls + 1;
+  mbytes = mbytes + size;
+  while (s > 1 && cls < 15) {
+    s = s >> 1;
+    cls = cls + 1;
+  }
+  mhist[cls] = mhist[cls] + 1;
+}
+
+void PrintMalloc() {
+  long f = fopen("malloc.out", "w");
+  long i;
+  fprintf(f, "calls %ld\n", mcalls);
+  fprintf(f, "bytes %ld\n", mbytes);
+  for (i = 0; i < 16; i = i + 1)
+    if (mhist[i])
+      fprintf(f, "class %ld (<= %ld bytes) count %ld\n", i, (long)2 << i,
+              mhist[i]);
+  fclose(f);
+}
+)";
+
+void instrumentMalloc(Ctx &C) {
+  C.addCallProto("MallocCall(REGV)");
+  C.addCallProto("PrintMalloc()");
+  if (Proc *M = C.findProc("malloc"))
+    C.addCallProc(M, ProcPoint::ProcBefore, "MallocCall",
+                  {Arg::regv(isa::RegA0)});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintMalloc", {});
+}
+
+//===----------------------------------------------------------------------===//
+// pipe: pipeline stall accounting
+//===----------------------------------------------------------------------===//
+
+const char *PipeAnalysis = R"(
+long totinsts;
+long totcycles;
+
+void PrintPipe() {
+  long f = fopen("pipe.out", "w");
+  fprintf(f, "insts %ld\n", totinsts);
+  fprintf(f, "cycles %ld\n", totcycles);
+  fprintf(f, "stalls %ld\n", totcycles - totinsts);
+  if (totinsts > 0)
+    fprintf(f, "cpi-x100 %ld\n", totcycles * 100 / totinsts);
+  fclose(f);
+}
+)";
+
+/// BlockPipe(ninsts=a0, cycles=a1).
+const char *PipeHotAsm = R"(
+        .text
+        .ent    BlockPipe
+        .globl  BlockPipe
+BlockPipe:
+        laddr   t0, totinsts
+        ldq     t1, 0(t0)
+        addq    t1, a0, t1
+        stq     t1, 0(t0)
+        laddr   t0, totcycles
+        ldq     t1, 0(t0)
+        addq    t1, a1, t1
+        stq     t1, 0(t0)
+        ret
+        .end    BlockPipe
+)";
+
+/// Static scheduling of one basic block on an in-order single-issue
+/// pipeline with result latencies: loads 3 cycles, multiplies 8, divides
+/// 16, everything else 1. An instruction stalls until the results it
+/// reads are ready. Returns the cycle count for one execution of the
+/// block (this is the instrumentation-time work that makes pipe the
+/// slowest tool to *apply* in Figure 5, and one of the cheapest to run).
+long scheduleBlock(Ctx &C, Block *B) {
+  long Ready[isa::NumRegs] = {};
+  long Cycle = 0;
+  for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I)) {
+    isa::Opcode Op = C.instOpcode(I);
+    long Lat = 1;
+    if (isa::isLoad(Op))
+      Lat = 3;
+    else if (Op == isa::Opcode::Mulq || Op == isa::Opcode::Mull ||
+             Op == isa::Opcode::Umulh)
+      Lat = 8;
+    else if (Op == isa::Opcode::Divq || Op == isa::Opcode::Remq ||
+             Op == isa::Opcode::Divqu || Op == isa::Opcode::Remqu)
+      Lat = 16;
+
+    // Issue when all source operands are ready.
+    long Issue = Cycle + 1;
+    uint32_t Reads = C.instReadRegs(I);
+    for (unsigned R = 0; R < isa::NumRegs; ++R)
+      if (Reads & (1u << R))
+        Issue = std::max(Issue, Ready[R]);
+    Cycle = Issue;
+
+    uint32_t Writes = C.instWrittenRegs(I);
+    for (unsigned R = 0; R < isa::NumRegs; ++R)
+      if (Writes & (1u << R))
+        Ready[R] = Issue + Lat;
+  }
+  return Cycle;
+}
+
+void instrumentPipe(Ctx &C) {
+  C.addCallProto("BlockPipe(long, long)");
+  C.addCallProto("PrintPipe()");
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B)) {
+      long Cycles = scheduleBlock(C, B);
+      C.addCallBlock(B, BlockPoint::BlockBefore, "BlockPipe",
+                     {Arg::imm(C.instCount(B)), Arg::imm(Cycles)});
+    }
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintPipe", {});
+}
+
+//===----------------------------------------------------------------------===//
+// prof: instruction profiling
+//===----------------------------------------------------------------------===//
+
+const char *ProfAnalysis = R"(
+long nproc;
+long *pcalls;
+long *pinsts;
+
+void InitProf(long n) {
+  nproc = n;
+  pcalls = (long *)malloc(n * sizeof(long));
+  pinsts = (long *)malloc(n * sizeof(long));
+  memset((char *)pcalls, 0, n * sizeof(long));
+  memset((char *)pinsts, 0, n * sizeof(long));
+}
+
+void PrintProf() {
+  long f = fopen("prof.out", "w");
+  long i;
+  long total = 0;
+  for (i = 0; i < nproc; i = i + 1)
+    total = total + pinsts[i];
+  fprintf(f, "total-insts %ld\n", total);
+  for (i = 0; i < nproc; i = i + 1)
+    if (pcalls[i] || pinsts[i])
+      fprintf(f, "proc %ld calls %ld insts %ld\n", i, pcalls[i], pinsts[i]);
+  fclose(f);
+}
+)";
+
+/// ProcEnter(id=a0, pc=a1) and ProcInsts(id=a0, ninsts=a1).
+const char *ProfHotAsm = R"(
+        .text
+        .ent    ProcEnter
+        .globl  ProcEnter
+ProcEnter:
+        laddr   t0, pcalls
+        ldq     t0, 0(t0)
+        sll     a0, #3, t1
+        addq    t0, t1, t0
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        ret
+        .end    ProcEnter
+
+        .ent    ProcInsts
+        .globl  ProcInsts
+ProcInsts:
+        laddr   t0, pinsts
+        ldq     t0, 0(t0)
+        sll     a0, #3, t1
+        addq    t0, t1, t0
+        ldq     t1, 0(t0)
+        addq    t1, a1, t1
+        stq     t1, 0(t0)
+        ret
+        .end    ProcInsts
+)";
+
+void instrumentProf(Ctx &C) {
+  C.addCallProto("InitProf(long)");
+  C.addCallProto("ProcEnter(long, long)");
+  C.addCallProto("ProcInsts(long, long)");
+  C.addCallProto("PrintProf()");
+  long ProcId = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P)) {
+    C.addCallProc(P, ProcPoint::ProcBefore, "ProcEnter",
+                  {Arg::imm(ProcId), Arg::imm(int64_t(C.procPC(P)))});
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+      C.addCallBlock(B, BlockPoint::BlockBefore, "ProcInsts",
+                     {Arg::imm(ProcId), Arg::imm(C.instCount(B))});
+    ++ProcId;
+  }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitProf",
+                   {Arg::imm(ProcId)});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintProf", {});
+}
+
+//===----------------------------------------------------------------------===//
+// syscall: system call summary
+//===----------------------------------------------------------------------===//
+
+const char *SyscallAnalysis = R"(
+long scount[32];
+long serrs;
+
+void SysBefore(long number, long id) {
+  if (number >= 0 && number < 32)
+    scount[number] = scount[number] + 1;
+}
+
+void SysAfter(long result) {
+  if (result < 0)
+    serrs = serrs + 1;
+}
+
+void PrintSys() {
+  long f = fopen("syscall.out", "w");
+  long i;
+  long total = 0;
+  for (i = 0; i < 32; i = i + 1)
+    total = total + scount[i];
+  fprintf(f, "syscalls %ld\n", total);
+  fprintf(f, "errors %ld\n", serrs);
+  for (i = 0; i < 32; i = i + 1)
+    if (scount[i])
+      fprintf(f, "sysno %ld count %ld\n", i, scount[i]);
+  fclose(f);
+}
+)";
+
+void instrumentSyscall(Ctx &C) {
+  C.addCallProto("SysBefore(REGV, long)");
+  C.addCallProto("SysAfter(REGV)");
+  C.addCallProto("PrintSys()");
+  long Id = 0;
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I)) {
+        if (!C.isInstType(I, InstType::Syscall))
+          continue;
+        // The system call number is in v0 before the call; the result is
+        // in v0 after it.
+        C.addCallInst(I, InstPoint::InstBefore, "SysBefore",
+                      {Arg::regv(isa::RegV0), Arg::imm(Id)});
+        C.addCallInst(I, InstPoint::InstAfter, "SysAfter",
+                      {Arg::regv(isa::RegV0)});
+        ++Id;
+      }
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintSys", {});
+}
+
+//===----------------------------------------------------------------------===//
+// unalign: unaligned access detection
+//===----------------------------------------------------------------------===//
+
+const char *UnalignAnalysis = R"(
+long ucount;
+long utotal;
+long firstpc;
+
+void PrintUnalign() {
+  long f = fopen("unalign.out", "w");
+  fprintf(f, "accesses %ld\n", utotal);
+  fprintf(f, "unaligned %ld\n", ucount);
+  if (firstpc)
+    fprintf(f, "first-unaligned-pc 0x%lx\n", firstpc);
+  fclose(f);
+}
+)";
+
+/// Access(addr=a0, size=a1, pc=a2): the aligned fast path falls straight
+/// through; the unaligned path is cold.
+const char *UnalignHotAsm = R"(
+        .text
+        .ent    Access
+        .globl  Access
+Access:
+        laddr   t0, utotal
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        subq    a1, #1, t0
+        and     a0, t0, t0
+        bne     t0, Access$slow
+        ret
+Access$slow:
+        laddr   t0, ucount
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        laddr   t0, firstpc
+        ldq     t1, 0(t0)
+        bne     t1, Access$done
+        stq     a2, 0(t0)
+Access$done:
+        ret
+        .end    Access
+)";
+
+void instrumentUnalign(Ctx &C) {
+  C.addCallProto("Access(VALUE, long, long)");
+  C.addCallProto("PrintUnalign()");
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B))
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I)) {
+        if (!C.isInstType(I, InstType::MemRef))
+          continue;
+        unsigned Size = C.instMemSize(I);
+        if (Size <= 1)
+          continue;
+        C.addCallInst(I, InstPoint::InstBefore, "Access",
+                      {Arg::value(RuntimeValue::EffAddrValue),
+                       Arg::imm(Size), Arg::imm(int64_t(C.instPC(I)))});
+      }
+  C.addCallProgram(ProgramPoint::ProgramAfter, "PrintUnalign", {});
+}
+
+} // namespace
+
+const std::vector<Tool> &tools::allTools() {
+  static const std::vector<Tool> Tools = {
+      {"branch", "prediction using 2-bit history table", instrumentBranch,
+       {BranchAnalysis}, {BranchHotAsm}},
+      {"cache", "model direct mapped 8k byte cache", instrumentCache,
+       {CacheAnalysis}, {CacheHotAsm}},
+      {"dyninst", "computes dynamic instruction counts", instrumentDyninst,
+       {DyninstAnalysis}, {DyninstHotAsm}},
+      {"gprof", "call graph based profiling tool", instrumentGprof,
+       {GprofAnalysis}, {GprofHotAsm}},
+      {"inline", "finds potential inlining call sites", instrumentInline,
+       {InlineAnalysis}, {}},
+      {"io", "input/output summary tool", instrumentIo, {IoAnalysis}, {}},
+      {"malloc", "histogram of dynamic memory", instrumentMalloc,
+       {MallocAnalysis}, {}},
+      {"pipe", "pipeline stall tool", instrumentPipe, {PipeAnalysis},
+       {PipeHotAsm}},
+      {"prof", "instruction profiling tool", instrumentProf, {ProfAnalysis},
+       {ProfHotAsm}},
+      {"syscall", "system call summary tool", instrumentSyscall,
+       {SyscallAnalysis}, {}},
+      {"unalign", "unalign access tool", instrumentUnalign,
+       {UnalignAnalysis}, {UnalignHotAsm}},
+  };
+  return Tools;
+}
+
+const Tool *tools::findTool(const std::string &Name) {
+  for (const Tool &T : allTools())
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}

@@ -1,0 +1,39 @@
+//===- tools/Tools.h - The paper's eleven analysis tools --------*- C++ -*-===//
+//
+// The tool suite of the paper's evaluation (Figures 5 and 6):
+//   branch   - branch prediction using a 2-bit history table
+//   cache    - direct-mapped 8 KB data-cache model
+//   dyninst  - dynamic instruction counts
+//   gprof    - call-graph-based profiling
+//   inline   - potential inlining call sites
+//   io       - input/output summary
+//   malloc   - histogram of dynamic memory
+//   pipe     - pipeline stall accounting (static scheduling at
+//              instrumentation time)
+//   prof     - instruction profiling per procedure
+//   syscall  - system call summary
+//   unalign  - unaligned access detection
+//
+// Each Tool is an instrumentation routine (over the ATOM API) plus mini-C
+// analysis routines.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_TOOLS_TOOLS_H
+#define ATOM_TOOLS_TOOLS_H
+
+#include "atom/Driver.h"
+
+namespace atom {
+namespace tools {
+
+/// All eleven tools, in the order of the paper's Figure 5.
+const std::vector<Tool> &allTools();
+
+/// Finds a tool by name; nullptr if unknown.
+const Tool *findTool(const std::string &Name);
+
+} // namespace tools
+} // namespace atom
+
+#endif // ATOM_TOOLS_TOOLS_H

@@ -1,0 +1,729 @@
+//===- workloads/Workloads.cpp - The 20 synthetic programs ----------------===//
+//
+// ExpectedStdout is left empty here: the authoritative oracle is the
+// pristine-behaviour property (the instrumented program must produce
+// byte-identical application output), and spot goldens live in the tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace atom;
+using namespace atom::workloads;
+
+static const char *BubbleSrc = R"(
+long a[300];
+
+int main() {
+  long i;
+  long j;
+  long n = 300;
+  for (i = 0; i < n; i = i + 1)
+    a[i] = (i * 7919 + 13) % 1000;
+  for (i = 0; i < n - 1; i = i + 1)
+    for (j = 0; j < n - 1 - i; j = j + 1)
+      if (a[j] > a[j + 1]) {
+        long t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+  long sum = 0;
+  for (i = 0; i < n; i = i + 1)
+    sum = sum + a[i] * i;
+  printf("bubble %ld %ld %ld\n", a[0], a[299], sum);
+  return 0;
+}
+)";
+
+static const char *QsortSrc = R"(
+long a[2000];
+
+void qsortr(long lo, long hi) {
+  if (lo >= hi)
+    return;
+  long pivot = a[(lo + hi) / 2];
+  long i = lo;
+  long j = hi;
+  while (i <= j) {
+    while (a[i] < pivot)
+      i = i + 1;
+    while (a[j] > pivot)
+      j = j - 1;
+    if (i <= j) {
+      long t = a[i];
+      a[i] = a[j];
+      a[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  qsortr(lo, j);
+  qsortr(i, hi);
+}
+
+int main() {
+  long i;
+  long seed = 12345;
+  for (i = 0; i < 2000; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    a[i] = seed % 100000;
+  }
+  qsortr(0, 1999);
+  long ok = 1;
+  for (i = 1; i < 2000; i = i + 1)
+    if (a[i - 1] > a[i])
+      ok = 0;
+  printf("qsort %ld %ld %ld %ld\n", ok, a[0], a[1000], a[1999]);
+  return 0;
+}
+)";
+
+static const char *SieveSrc = R"(
+char comp[8000];
+
+int main() {
+  long i;
+  long j;
+  long count = 0;
+  long last = 0;
+  for (i = 2; i < 8000; i = i + 1) {
+    if (comp[i])
+      continue;
+    count = count + 1;
+    last = i;
+    for (j = i + i; j < 8000; j = j + i)
+      comp[j] = 1;
+  }
+  printf("sieve %ld %ld\n", count, last);
+  return 0;
+}
+)";
+
+static const char *MatmulSrc = R"(
+long a[24][24];
+long b[24][24];
+long c[24][24];
+
+int main() {
+  long i;
+  long j;
+  long k;
+  long r;
+  for (i = 0; i < 24; i = i + 1)
+    for (j = 0; j < 24; j = j + 1) {
+      a[i][j] = i * 3 + j;
+      b[i][j] = i - 2 * j;
+    }
+  for (r = 0; r < 3; r = r + 1)
+    for (i = 0; i < 24; i = i + 1)
+      for (j = 0; j < 24; j = j + 1) {
+        long s = 0;
+        for (k = 0; k < 24; k = k + 1)
+          s = s + a[i][k] * b[k][j];
+        c[i][j] = s;
+      }
+  long sum = 0;
+  for (i = 0; i < 24; i = i + 1)
+    sum = sum + c[i][i];
+  printf("matmul %ld %ld\n", sum, c[3][5]);
+  return 0;
+}
+)";
+
+static const char *FibSrc = R"(
+long fib(long n) {
+  if (n < 2)
+    return n;
+  return fib(n - 1) + fib(n - 2);
+}
+
+int main() {
+  printf("fib %ld\n", fib(18));
+  return 0;
+}
+)";
+
+static const char *HashSrc = R"(
+struct hnode {
+  long key;
+  long value;
+  struct hnode *next;
+};
+
+struct hnode *buckets[128];
+
+void hinsert(long key, long value) {
+  long b = (key * 2654435761) & 127;
+  if (b < 0)
+    b = -b;
+  struct hnode *n = (struct hnode *)malloc(sizeof(struct hnode));
+  n->key = key;
+  n->value = value;
+  n->next = buckets[b];
+  buckets[b] = n;
+}
+
+long hlookup(long key) {
+  long b = (key * 2654435761) & 127;
+  if (b < 0)
+    b = -b;
+  struct hnode *n = buckets[b];
+  while (n) {
+    if (n->key == key)
+      return n->value;
+    n = n->next;
+  }
+  return -1;
+}
+
+int main() {
+  long i;
+  long hits = 0;
+  long sum = 0;
+  for (i = 0; i < 1500; i = i + 1)
+    hinsert(i * 17 % 3001, i);
+  for (i = 0; i < 1500; i = i + 1) {
+    long v = hlookup(i * 13 % 3001);
+    if (v >= 0) {
+      hits = hits + 1;
+      sum = sum + v;
+    }
+  }
+  printf("hash %ld %ld\n", hits, sum);
+  return 0;
+}
+)";
+
+static const char *StringsSrc = R"(
+char buf[256];
+char buf2[256];
+
+int main() {
+  long i;
+  long total = 0;
+  for (i = 0; i < 200; i = i + 1) {
+    long j;
+    long len = 3 + i % 60;
+    for (j = 0; j < len; j = j + 1)
+      buf[j] = (char)('a' + (i + j) % 26);
+    buf[len] = 0;
+    strcpy(buf2, buf);
+    total = total + strlen(buf2);
+    if (strcmp(buf, buf2) != 0)
+      total = total - 1000000;
+  }
+  printf("strings %ld\n", total);
+  return 0;
+}
+)";
+
+static const char *ListSrc = R"(
+struct node {
+  long v;
+  struct node *next;
+};
+
+int main() {
+  struct node *head = 0;
+  long i;
+  for (i = 0; i < 800; i = i + 1) {
+    struct node *n = (struct node *)malloc(sizeof(struct node));
+    n->v = i * i % 97;
+    n->next = head;
+    head = n;
+  }
+  long sum = 0;
+  long count = 0;
+  struct node *p = head;
+  while (p) {
+    sum = sum + p->v;
+    count = count + 1;
+    p = p->next;
+  }
+  // Free every other node to exercise the free list.
+  p = head;
+  while (p && p->next) {
+    struct node *dead = p->next;
+    p->next = dead->next;
+    free((char *)dead);
+    p = p->next;
+  }
+  printf("list %ld %ld\n", count, sum);
+  return 0;
+}
+)";
+
+static const char *TreeSrc = R"(
+struct tnode {
+  long key;
+  struct tnode *l;
+  struct tnode *r;
+};
+
+struct tnode *insert(struct tnode *t, long key) {
+  if (!t) {
+    struct tnode *n = (struct tnode *)malloc(sizeof(struct tnode));
+    n->key = key;
+    n->l = 0;
+    n->r = 0;
+    return n;
+  }
+  if (key < t->key)
+    t->l = insert(t->l, key);
+  else if (key > t->key)
+    t->r = insert(t->r, key);
+  return t;
+}
+
+long height(struct tnode *t) {
+  if (!t)
+    return 0;
+  long hl = height(t->l);
+  long hr = height(t->r);
+  if (hl > hr)
+    return hl + 1;
+  return hr + 1;
+}
+
+long count(struct tnode *t) {
+  if (!t)
+    return 0;
+  return 1 + count(t->l) + count(t->r);
+}
+
+int main() {
+  struct tnode *root = 0;
+  long seed = 7;
+  long i;
+  for (i = 0; i < 600; i = i + 1) {
+    seed = (seed * 75 + 74) % 65537;
+    root = insert(root, seed);
+  }
+  printf("tree %ld %ld\n", count(root), height(root));
+  return 0;
+}
+)";
+
+static const char *QueensSrc = R"(
+long cols[8];
+long solutions;
+
+long safe(long row, long col) {
+  long r;
+  for (r = 0; r < row; r = r + 1) {
+    if (cols[r] == col)
+      return 0;
+    if (cols[r] - col == row - r)
+      return 0;
+    if (col - cols[r] == row - r)
+      return 0;
+  }
+  return 1;
+}
+
+void place(long row) {
+  long c;
+  if (row == 8) {
+    solutions = solutions + 1;
+    return;
+  }
+  for (c = 0; c < 8; c = c + 1)
+    if (safe(row, c)) {
+      cols[row] = c;
+      place(row + 1);
+    }
+}
+
+int main() {
+  place(0);
+  printf("queens %ld\n", solutions);
+  return 0;
+}
+)";
+
+static const char *CrcSrc = R"(
+char data[16384];
+long table[256];
+
+int main() {
+  long i;
+  long j;
+  for (i = 0; i < 256; i = i + 1) {
+    long c = i;
+    for (j = 0; j < 8; j = j + 1) {
+      if (c & 1)
+        c = (c >> 1) ^ 0xedb88320;
+      else
+        c = c >> 1;
+      c = c & 0xffffffff;
+    }
+    table[i] = c;
+  }
+  for (i = 0; i < 16384; i = i + 1)
+    data[i] = (char)(i * 31 + (i >> 5));
+  long crc = 0xffffffff;
+  for (i = 0; i < 16384; i = i + 1) {
+    long idx = (crc ^ (long)data[i]) & 255;
+    crc = ((crc >> 8) & 0xffffff) ^ table[idx];
+  }
+  crc = crc ^ 0xffffffff;
+  printf("crc 0x%lx\n", crc & 0xffffffff);
+  return 0;
+}
+)";
+
+static const char *RleSrc = R"(
+char src[4096];
+char enc[8192];
+char dec[4096];
+
+int main() {
+  long i;
+  for (i = 0; i < 4096; i = i + 1)
+    src[i] = (char)((i / 7) % 11 + 'a');
+  // Encode as (count, byte) pairs.
+  long e = 0;
+  i = 0;
+  while (i < 4096) {
+    long run = 1;
+    while (i + run < 4096 && src[i + run] == src[i] && run < 255)
+      run = run + 1;
+    enc[e] = (char)run;
+    enc[e + 1] = src[i];
+    e = e + 2;
+    i = i + run;
+  }
+  // Decode and verify.
+  long d = 0;
+  for (i = 0; i < e; i = i + 2) {
+    long k;
+    for (k = 0; k < (long)enc[i]; k = k + 1) {
+      dec[d] = enc[i + 1];
+      d = d + 1;
+    }
+  }
+  long ok = d == 4096;
+  for (i = 0; i < 4096; i = i + 1)
+    if (dec[i] != src[i])
+      ok = 0;
+  printf("rle %ld %ld %ld\n", ok, e, d);
+  return 0;
+}
+)";
+
+static const char *DijkstraSrc = R"(
+long dist[256];
+long done[256];
+
+long weight(long a, long b) {
+  return 1 + (a * 7 + b * 13) % 9;
+}
+
+int main() {
+  long i;
+  for (i = 0; i < 256; i = i + 1) {
+    dist[i] = 1000000000;
+    done[i] = 0;
+  }
+  dist[0] = 0;
+  long iter;
+  for (iter = 0; iter < 256; iter = iter + 1) {
+    long best = -1;
+    long bestd = 1000000000;
+    for (i = 0; i < 256; i = i + 1)
+      if (!done[i] && dist[i] < bestd) {
+        bestd = dist[i];
+        best = i;
+      }
+    if (best < 0)
+      break;
+    done[best] = 1;
+    long r = best / 16;
+    long c = best % 16;
+    if (r > 0 && dist[best - 16] > bestd + weight(best, best - 16))
+      dist[best - 16] = bestd + weight(best, best - 16);
+    if (r < 15 && dist[best + 16] > bestd + weight(best, best + 16))
+      dist[best + 16] = bestd + weight(best, best + 16);
+    if (c > 0 && dist[best - 1] > bestd + weight(best, best - 1))
+      dist[best - 1] = bestd + weight(best, best - 1);
+    if (c < 15 && dist[best + 1] > bestd + weight(best, best + 1))
+      dist[best + 1] = bestd + weight(best, best + 1);
+  }
+  printf("dijkstra %ld %ld\n", dist[255], dist[136]);
+  return 0;
+}
+)";
+
+static const char *InterpSrc = R"(
+// A tiny stack-machine interpreter (standing in for SPEC92's lisp
+// interpreter li): opcode dispatch through a switch, a data stack, and a
+// loop counter in a virtual register.
+//   0: push imm   1: add   2: sub   3: mul   4: dup   5: swap
+//   6: jnz rel    7: store reg  8: load reg  9: halt
+long stack[64];
+long regs[8];
+char prog[64];
+long operand[64];
+
+long run() {
+  long sp = 0;
+  long pc = 0;
+  long steps = 0;
+  while (steps < 200000) {
+    long op = (long)prog[pc];
+    long arg = operand[pc];
+    pc = pc + 1;
+    steps = steps + 1;
+    switch (op) {
+    case 0:
+      stack[sp] = arg;
+      sp = sp + 1;
+      break;
+    case 1:
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] + stack[sp];
+      break;
+    case 2:
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] - stack[sp];
+      break;
+    case 3:
+      sp = sp - 1;
+      stack[sp - 1] = stack[sp - 1] * stack[sp];
+      break;
+    case 4:
+      stack[sp] = stack[sp - 1];
+      sp = sp + 1;
+      break;
+    case 5: {
+      long t = stack[sp - 1];
+      stack[sp - 1] = stack[sp - 2];
+      stack[sp - 2] = t;
+      break;
+    }
+    case 6:
+      sp = sp - 1;
+      if (stack[sp])
+        pc = pc + arg;
+      break;
+    case 7:
+      sp = sp - 1;
+      regs[arg] = stack[sp];
+      break;
+    case 8:
+      stack[sp] = regs[arg];
+      sp = sp + 1;
+      break;
+    default:
+      return stack[sp - 1];
+    }
+  }
+  return -1;
+}
+
+void emit(long at, long op, long arg) {
+  prog[at] = (char)op;
+  operand[at] = arg;
+}
+
+int main() {
+  // regs[0] = counter, regs[1] = accumulator:
+  // acc = sum of i*i for i in [1, 400]
+  emit(0, 0, 400);  // push 400
+  emit(1, 7, 0);    // store r0
+  emit(2, 0, 0);    // push 0
+  emit(3, 7, 1);    // store r1
+  // loop:
+  emit(4, 8, 0);    // load r0
+  emit(5, 4, 0);    // dup
+  emit(6, 3, 0);    // mul        -> i*i
+  emit(7, 8, 1);    // load r1
+  emit(8, 1, 0);    // add
+  emit(9, 7, 1);    // store r1
+  emit(10, 8, 0);   // load r0
+  emit(11, 0, 1);   // push 1
+  emit(12, 2, 0);   // sub
+  emit(13, 4, 0);   // dup
+  emit(14, 7, 0);   // store r0
+  emit(15, 6, -12); // jnz loop
+  emit(16, 8, 1);   // load r1
+  emit(17, 9, 0);   // halt
+  printf("interp %ld\n", run());
+  return 0;
+}
+)";
+
+static const char *AckermannSrc = R"(
+long ack(long m, long n) {
+  if (m == 0)
+    return n + 1;
+  if (n == 0)
+    return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+
+int main() {
+  printf("ackermann %ld\n", ack(3, 4));
+  return 0;
+}
+)";
+
+static const char *BitopsSrc = R"(
+long popcount(long v) {
+  long c = 0;
+  while (v) {
+    c = c + (v & 1);
+    v = (v >> 1) & 0x7fffffffffffffff;
+  }
+  return c;
+}
+
+long reverse(long v) {
+  long r = 0;
+  long i;
+  for (i = 0; i < 32; i = i + 1) {
+    r = (r << 1) | (v & 1);
+    v = v >> 1;
+  }
+  return r;
+}
+
+int main() {
+  long i;
+  long pc = 0;
+  long rv = 0;
+  for (i = 0; i < 3000; i = i + 1) {
+    pc = pc + popcount(i * 2654435761);
+    rv = rv ^ reverse(i * 40503);
+  }
+  printf("bitops %ld 0x%lx\n", pc, rv & 0xffffffff);
+  return 0;
+}
+)";
+
+static const char *UnalignedSrc = R"(
+char buf[4096];
+
+int main() {
+  long i;
+  long sum = 0;
+  // Deliberate unaligned 8-byte and 4-byte accesses through char*.
+  for (i = 0; i < 300; i = i + 1) {
+    long *p = (long *)(buf + (i % 32) + 1);
+    *p = i * 1234567;
+    sum = sum + *p;
+  }
+  for (i = 0; i < 300; i = i + 1) {
+    int *q = (int *)(buf + 64 + (i % 16) * 4 + 2);
+    *q = (int)(i * 99);
+    sum = sum + *q;
+  }
+  printf("unaligned %ld\n", sum);
+  return 0;
+}
+)";
+
+static const char *IoboundSrc = R"(
+int main() {
+  long f = fopen("iobound.tmp", "w");
+  long i;
+  for (i = 0; i < 120; i = i + 1)
+    fprintf(f, "line %ld value %ld\n", i, i * i % 37);
+  fclose(f);
+  puts("iobound done");
+  return 0;
+}
+)";
+
+static const char *MallocmixSrc = R"(
+char *ptrs[256];
+
+int main() {
+  long i;
+  long round;
+  long checksum = 0;
+  for (round = 0; round < 4; round = round + 1) {
+    for (i = 0; i < 256; i = i + 1) {
+      long size = 8 + (i * 37 + round * 11) % 480;
+      ptrs[i] = malloc(size);
+      ptrs[i][0] = (char)i;
+      ptrs[i][size - 1] = (char)round;
+    }
+    for (i = 0; i < 256; i = i + 1) {
+      checksum = checksum + (long)ptrs[i][0];
+      if (i % 2 == 0)
+        free(ptrs[i]);
+    }
+    for (i = 1; i < 256; i = i + 2)
+      free(ptrs[i]);
+  }
+  printf("mallocmix %ld\n", checksum);
+  return 0;
+}
+)";
+
+static const char *FftSrc = R"(
+long re[256];
+long im[256];
+
+int main() {
+  long i;
+  long pass;
+  for (i = 0; i < 256; i = i + 1) {
+    re[i] = (i * 13) % 101 - 50;
+    im[i] = 0;
+  }
+  // Integer butterfly passes (a decimation-style mixing kernel standing in
+  // for SPEC92's FP codes).
+  long span = 128;
+  for (pass = 0; pass < 8; pass = pass + 1) {
+    for (i = 0; i < 256; i = i + 1) {
+      long j = i ^ span;
+      if (j > i) {
+        long tr = re[i] - re[j];
+        long ti = im[i] - im[j];
+        re[i] = re[i] + re[j];
+        im[i] = im[i] + im[j];
+        re[j] = (tr * 181) / 256;
+        im[j] = (ti * 181) / 256 + (tr % 7);
+      }
+    }
+    span = span / 2;
+    if (span == 0)
+      span = 128;
+  }
+  long s1 = 0;
+  long s2 = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    s1 = s1 + re[i];
+    s2 = s2 ^ im[i];
+  }
+  printf("fft %ld %ld\n", s1, s2);
+  return 0;
+}
+)";
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> W = {
+      {"bubble", BubbleSrc, ""},       {"qsort", QsortSrc, ""},
+      {"sieve", SieveSrc, ""},         {"matmul", MatmulSrc, ""},
+      {"fib", FibSrc, "fib 2584\n"},   {"hash", HashSrc, ""},
+      {"strings", StringsSrc, ""},     {"list", ListSrc, ""},
+      {"tree", TreeSrc, ""},           {"queens", QueensSrc, "queens 92\n"},
+      {"crc", CrcSrc, ""},             {"rle", RleSrc, ""},
+      {"dijkstra", DijkstraSrc, ""},
+      {"interp", InterpSrc, "interp 21413400\n"},
+      {"ackermann", AckermannSrc, "ackermann 125\n"},
+      {"bitops", BitopsSrc, ""},       {"unaligned", UnalignedSrc, ""},
+      {"iobound", IoboundSrc, ""},     {"mallocmix", MallocmixSrc, ""},
+      {"fft", FftSrc, ""},
+  };
+  return W;
+}
+
+const Workload *workloads::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

@@ -1,0 +1,33 @@
+//===- workloads/Workloads.h - Synthetic benchmark suite --------*- C++ -*-===//
+//
+// Twenty synthetic workloads standing in for the paper's 20 SPEC92
+// programs (DESIGN.md "Substitutions"). They span the axes the evaluation
+// cares about: memory-reference density (cache/unalign), branch density
+// (branch), call density (gprof/prof/inline), allocation behaviour
+// (malloc), I/O (io/syscall), and mixed integer compute (dyninst/pipe).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_WORKLOADS_WORKLOADS_H
+#define ATOM_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace workloads {
+
+struct Workload {
+  const char *Name;
+  const char *Source;          ///< mini-C program text.
+  const char *ExpectedStdout;  ///< Golden output (also the oracle for the
+                               ///< pristine-behaviour property tests).
+};
+
+const std::vector<Workload> &allWorkloads();
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace workloads
+} // namespace atom
+
+#endif // ATOM_WORKLOADS_WORKLOADS_H

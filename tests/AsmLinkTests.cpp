@@ -1,0 +1,299 @@
+//===- tests/AsmLinkTests.cpp - Assembler, linker, object format ----------===//
+
+#include "asm/Assembler.h"
+#include "link/Linker.h"
+#include "obj/ObjectModule.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::obj;
+
+namespace {
+
+ObjectModule assembleOrDie(const std::string &Src) {
+  DiagEngine Diags;
+  ObjectModule M;
+  if (!assembler::assemble(Src, "t", M, Diags)) {
+    ADD_FAILURE() << Diags.str();
+    abort();
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler
+//===----------------------------------------------------------------------===//
+
+TEST(Assembler, SectionsAndSymbols) {
+  ObjectModule M = assembleOrDie(R"(
+        .text
+        .ent f
+        .globl f
+f:      addq a0, a1, v0
+        ret
+        .end f
+g:      nop
+        .data
+        .globl var
+var:    .quad 42
+str:    .asciiz "hi\n"
+        .bss
+        .align 3
+buf:    .space 64
+)");
+  EXPECT_EQ(M.Text.size(), 12u);
+  EXPECT_EQ(M.BssSize, 64u);
+
+  int F = M.findSymbol("f");
+  ASSERT_GE(F, 0);
+  EXPECT_TRUE(M.Symbols[F].IsProc);
+  EXPECT_TRUE(M.Symbols[F].Global);
+  EXPECT_EQ(M.Symbols[F].Size, 8u);
+  EXPECT_EQ(M.Symbols[F].Section, SymSection::Text);
+
+  int G = M.findSymbol("g");
+  ASSERT_GE(G, 0);
+  EXPECT_FALSE(M.Symbols[G].IsProc);
+  EXPECT_FALSE(M.Symbols[G].Global);
+  EXPECT_EQ(M.Symbols[G].Value, 8u);
+
+  int V = M.findSymbol("var");
+  ASSERT_GE(V, 0);
+  EXPECT_EQ(M.Symbols[V].Section, SymSection::Data);
+  EXPECT_EQ(read64(M.Data, 0), 42u);
+
+  int S = M.findSymbol("str");
+  ASSERT_GE(S, 0);
+  EXPECT_EQ(M.Data[M.Symbols[S].Value], 'h');
+  EXPECT_EQ(M.Data[M.Symbols[S].Value + 2], '\n');
+  EXPECT_EQ(M.Data[M.Symbols[S].Value + 3], '\0');
+
+  int B = M.findSymbol("buf");
+  ASSERT_GE(B, 0);
+  EXPECT_EQ(M.Symbols[B].Section, SymSection::Bss);
+}
+
+TEST(Assembler, RelocationsEmitted) {
+  ObjectModule M = assembleOrDie(R"(
+        .text
+        .ent f
+f:      laddr t0, target
+        bsr ra, callee
+        beq t1, f
+        ret
+        .end f
+        .data
+target: .quad 0
+ptr:    .quad target+8
+)");
+  // laddr -> Hi16+Lo16; bsr -> Br21; beq -> Br21.
+  ASSERT_EQ(M.TextRelocs.size(), 4u);
+  EXPECT_EQ(M.TextRelocs[0].Kind, RelocKind::Hi16);
+  EXPECT_EQ(M.TextRelocs[1].Kind, RelocKind::Lo16);
+  EXPECT_EQ(M.TextRelocs[2].Kind, RelocKind::Br21);
+  EXPECT_EQ(M.TextRelocs[3].Kind, RelocKind::Br21);
+  ASSERT_EQ(M.DataRelocs.size(), 1u);
+  EXPECT_EQ(M.DataRelocs[0].Kind, RelocKind::Abs64);
+  EXPECT_EQ(M.DataRelocs[0].Addend, 8);
+  // 'callee' stays undefined (extern).
+  int C = M.findSymbol("callee");
+  ASSERT_GE(C, 0);
+  EXPECT_EQ(M.Symbols[C].Section, SymSection::Undefined);
+}
+
+struct AsmErrorCase {
+  const char *Name;
+  const char *Source;
+  const char *Fragment;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<AsmErrorCase> {};
+
+TEST_P(AssemblerErrors, Rejected) {
+  DiagEngine Diags;
+  ObjectModule M;
+  EXPECT_FALSE(assembler::assemble(GetParam().Source, "bad", M, Diags));
+  EXPECT_NE(Diags.str().find(GetParam().Fragment), std::string::npos)
+      << Diags.str();
+}
+
+const AsmErrorCase AsmErrors[] = {
+    {"unknownMnemonic", ".text\nfrobnicate t0, t1\n", "unknown mnemonic"},
+    {"badRegister", ".text\naddq q9, t1, t2\n", "operate format"},
+    {"litOutOfRange", ".text\naddq t0, #256, t1\n", "out of range"},
+    {"dispOutOfRange", ".text\nldq t0, 40000(sp)\n", "out of"},
+    {"unterminatedEnt", ".text\n.ent f\nf: ret\n", "unterminated"},
+    {"mismatchedEnd", ".text\n.ent f\nf: ret\n.end g\n", "does not match"},
+    {"redefinedLabel", ".text\na: ret\na: ret\n", "redefined"},
+    {"dataInText", ".text\n.quad 1\n", "only allowed in .data"},
+    {"badDirective", ".text\n.bogus 1\n", "unknown directive"},
+    {"instInData", ".data\naddq t0, t1, t2\n", "instruction outside"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Cases, AssemblerErrors,
+                         ::testing::ValuesIn(AsmErrors),
+                         [](const ::testing::TestParamInfo<AsmErrorCase> &I) {
+                           return I.param.Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Linker
+//===----------------------------------------------------------------------===//
+
+TEST(Linker, CrossModuleCallsAndData) {
+  ObjectModule A = assembleOrDie(R"(
+        .text
+        .ent start
+        .globl start
+start:  bsr ra, helper
+        laddr t0, shared
+        ldq v0, 0(t0)
+        halt
+        .end start
+)");
+  ObjectModule B = assembleOrDie(R"(
+        .text
+        .ent helper
+        .globl helper
+helper: ret
+        .end helper
+        .data
+        .globl shared
+shared: .quad 777
+)");
+  DiagEngine Diags;
+  Executable Exe;
+  link::LinkOptions Opts;
+  Opts.EntrySymbol = "start";
+  ASSERT_TRUE(link::linkExecutable({A, B}, Exe, Diags, Opts)) << Diags.str();
+
+  // Symbols resolved to absolute addresses; relocations applied AND
+  // retained.
+  int H = Exe.findSymbol("helper");
+  ASSERT_GE(H, 0);
+  EXPECT_GE(Exe.Symbols[H].Value, Exe.TextStart);
+  EXPECT_EQ(Exe.Entry, Exe.TextStart); // start is the first module
+  EXPECT_FALSE(Exe.TextRelocs.empty());
+
+  // The shared data word is there.
+  int S = Exe.findSymbol("shared");
+  ASSERT_GE(S, 0);
+  EXPECT_EQ(read64(Exe.Data, Exe.Symbols[S].Value - Exe.DataStart), 777u);
+}
+
+TEST(Linker, DuplicateGlobalRejected) {
+  ObjectModule A = assembleOrDie(".text\n.ent f\n.globl f\nf: ret\n.end f\n");
+  DiagEngine Diags;
+  Executable Exe;
+  EXPECT_FALSE(link::linkExecutable({A, A}, Exe, Diags));
+  EXPECT_NE(Diags.str().find("duplicate global"), std::string::npos);
+}
+
+TEST(Linker, UndefinedSymbolRejected) {
+  ObjectModule A = assembleOrDie(
+      ".text\n.ent f\n.globl f\nf: bsr ra, nowhere\n ret\n.end f\n");
+  DiagEngine Diags;
+  Executable Exe;
+  EXPECT_FALSE(link::linkExecutable({A}, Exe, Diags));
+  EXPECT_NE(Diags.str().find("undefined symbol 'nowhere'"),
+            std::string::npos);
+}
+
+TEST(Linker, HeapStartSymbolProvided) {
+  ObjectModule A = assembleOrDie(R"(
+        .text
+        .ent f
+        .globl f
+f:      laddr t0, __heap_start
+        ret
+        .end f
+)");
+  DiagEngine Diags;
+  Executable Exe;
+  ASSERT_TRUE(link::linkExecutable({A}, Exe, Diags)) << Diags.str();
+  int H = Exe.findSymbol("__heap_start");
+  ASSERT_GE(H, 0);
+  EXPECT_EQ(Exe.Symbols[H].Value, Exe.HeapStart);
+  EXPECT_EQ(Exe.HeapStart % PageSize, 0u);
+}
+
+TEST(Linker, RelocatableMergeKeepsRelocations) {
+  ObjectModule A = assembleOrDie(
+      ".text\n.ent f\n.globl f\nf: bsr ra, g\n ret\n.end f\n");
+  ObjectModule B = assembleOrDie(
+      ".text\n.ent g\n.globl g\ng: ret\n.end g\n.data\nd: .quad g\n");
+  DiagEngine Diags;
+  ObjectModule Merged;
+  ASSERT_TRUE(link::linkRelocatable({A, B}, "m", Merged, Diags))
+      << Diags.str();
+  EXPECT_EQ(Merged.Text.size(), A.Text.size() + B.Text.size());
+  ASSERT_EQ(Merged.TextRelocs.size(), 1u);
+  // The reloc from module A now points at B's 'g' in the merged table.
+  EXPECT_EQ(Merged.Symbols[Merged.TextRelocs[0].SymIndex].Name, "g");
+  EXPECT_EQ(Merged.Symbols[Merged.TextRelocs[0].SymIndex].Section,
+            SymSection::Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(Serialization, ObjectModuleRoundTrip) {
+  ObjectModule M = assembleOrDie(R"(
+        .text
+        .ent f
+        .globl f
+f:      laddr t0, d
+        ret
+        .end f
+        .data
+d:      .quad f
+)");
+  std::vector<uint8_t> Bytes = M.serialize();
+  ObjectModule M2;
+  ASSERT_TRUE(ObjectModule::deserialize(Bytes, M2));
+  EXPECT_EQ(M2.Text, M.Text);
+  EXPECT_EQ(M2.Data, M.Data);
+  EXPECT_EQ(M2.BssSize, M.BssSize);
+  ASSERT_EQ(M2.Symbols.size(), M.Symbols.size());
+  for (size_t I = 0; I < M.Symbols.size(); ++I) {
+    EXPECT_EQ(M2.Symbols[I].Name, M.Symbols[I].Name);
+    EXPECT_EQ(M2.Symbols[I].Value, M.Symbols[I].Value);
+    EXPECT_EQ(M2.Symbols[I].Section, M.Symbols[I].Section);
+  }
+  EXPECT_EQ(M2.TextRelocs.size(), M.TextRelocs.size());
+  EXPECT_EQ(M2.DataRelocs.size(), M.DataRelocs.size());
+}
+
+TEST(Serialization, ExecutableRoundTrip) {
+  ObjectModule M = assembleOrDie(
+      ".text\n.ent f\n.globl f\nf: halt\n.end f\n.data\nd: .quad 5\n");
+  DiagEngine Diags;
+  Executable E;
+  ASSERT_TRUE(link::linkExecutable({M}, E, Diags));
+  E.Segments.push_back({0x3000000, {1, 2, 3}});
+  std::vector<uint8_t> Bytes = E.serialize();
+  Executable E2;
+  ASSERT_TRUE(Executable::deserialize(Bytes, E2));
+  EXPECT_EQ(E2.Text, E.Text);
+  EXPECT_EQ(E2.Data, E.Data);
+  EXPECT_EQ(E2.Entry, E.Entry);
+  EXPECT_EQ(E2.HeapStart, E.HeapStart);
+  ASSERT_EQ(E2.Segments.size(), 1u);
+  EXPECT_EQ(E2.Segments[0].Addr, 0x3000000u);
+  EXPECT_EQ(E2.Segments[0].Bytes, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Serialization, RejectsCorruptInput) {
+  ObjectModule M;
+  EXPECT_FALSE(ObjectModule::deserialize({}, M));
+  EXPECT_FALSE(ObjectModule::deserialize({1, 2, 3, 4}, M));
+  std::vector<uint8_t> Good = assembleOrDie(".text\nnop\n").serialize();
+  Good.resize(Good.size() / 2); // truncate
+  EXPECT_FALSE(ObjectModule::deserialize(Good, M));
+  Executable E;
+  EXPECT_FALSE(Executable::deserialize(Good, E));
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+//===- tests/CliTests.cpp - Command-line toolchain integration ------------===//
+//
+// Drives the installed binaries (axp-cc, axp-as, axp-ld, axp-run,
+// axp-objdump, atom) through a scratch directory, checking the full
+// compile -> assemble -> link -> instrument -> run flow a downstream user
+// would follow.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef ATOM_CLI_DIR
+#define ATOM_CLI_DIR "."
+#endif
+
+struct CommandResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr
+};
+
+CommandResult runCommand(const std::string &Cmd) {
+  CommandResult R;
+  std::string Full = Cmd + " 2>&1";
+  FILE *P = popen(Full.c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+class CliFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "atomcli";
+    runCommand("rm -rf " + Dir + " && mkdir -p " + Dir);
+    Bin = ATOM_CLI_DIR;
+  }
+
+  void writeSource(const std::string &Name, const std::string &Contents) {
+    std::ofstream Out(Dir + "/" + Name);
+    Out << Contents;
+  }
+
+  std::string tool(const std::string &Name) { return Bin + "/" + Name; }
+  std::string path(const std::string &Name) { return Dir + "/" + Name; }
+
+  std::string Dir, Bin;
+};
+
+TEST_F(CliFixture, CompileLinkRun) {
+  writeSource("p.mc", "int main() { printf(\"v=%ld\\n\", (long)6 * 7); "
+                      "return 0; }");
+  CommandResult C =
+      runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " +
+                 path("p.exe"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-run") + " " + path("p.exe"));
+  EXPECT_EQ(C.ExitCode, 0);
+  EXPECT_EQ(C.Output, "v=42\n");
+}
+
+TEST_F(CliFixture, ExitCodePropagates) {
+  writeSource("p.mc", "int main() { return 7; }");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C = runCommand(tool("axp-run") + " " + path("p.exe"));
+  EXPECT_EQ(C.ExitCode, 7);
+}
+
+TEST_F(CliFixture, AssembleAndDisassemble) {
+  writeSource("f.s", R"(
+        .text
+        .ent f
+        .globl f
+f:      addq a0, a1, v0
+        ret
+        .end f
+)");
+  CommandResult C =
+      runCommand(tool("axp-as") + " " + path("f.s") + " -o " + path("f.obj"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-objdump") + " " + path("f.obj") + " -d -t");
+  EXPECT_EQ(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find("addq"), std::string::npos) << C.Output;
+  EXPECT_NE(C.Output.find("f:"), std::string::npos);
+  EXPECT_NE(C.Output.find("SYMBOL TABLE"), std::string::npos);
+}
+
+TEST_F(CliFixture, CompilerEmitsAssembly) {
+  writeSource("p.mc", "int main() { return 0; }");
+  CommandResult C = runCommand(tool("axp-cc") + " " + path("p.mc") + " -S");
+  EXPECT_EQ(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find(".ent    main"), std::string::npos) << C.Output;
+}
+
+TEST_F(CliFixture, CompileErrorsAreReported) {
+  writeSource("bad.mc", "int main() { return x; }");
+  CommandResult C = runCommand(tool("axp-cc") + " " + path("bad.mc"));
+  EXPECT_NE(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find("undeclared"), std::string::npos) << C.Output;
+}
+
+TEST_F(CliFixture, AtomInstrumentAndRun) {
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 50; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+
+  CommandResult C = runCommand(tool("atom") + " " + path("p.exe") +
+                               " --tool dyninst -o " + path("p.atom") +
+                               " --run --dump dyninst.out");
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("sum 1225"), std::string::npos) << C.Output;
+  EXPECT_NE(C.Output.find("dynamic-insts"), std::string::npos) << C.Output;
+
+  // The instrumented executable is a valid AEXE runnable on its own.
+  C = runCommand(tool("axp-run") + " " + path("p.atom") +
+                 " --dump dyninst.out");
+  EXPECT_EQ(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find("sum 1225"), std::string::npos);
+}
+
+TEST_F(CliFixture, AtomListsTools) {
+  CommandResult C = runCommand(tool("atom") + " --list-tools");
+  EXPECT_EQ(C.ExitCode, 0);
+  for (const char *N : {"branch", "cache", "dyninst", "gprof", "inline",
+                        "io", "malloc", "pipe", "prof", "syscall",
+                        "unalign"})
+    EXPECT_NE(C.Output.find(N), std::string::npos) << N;
+}
+
+TEST_F(CliFixture, AtomRejectsUnknownTool) {
+  writeSource("p.mc", "int main() { return 0; }");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C =
+      runCommand(tool("atom") + " " + path("p.exe") + " --tool nope");
+  EXPECT_NE(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find("unknown tool"), std::string::npos);
+}
+
+TEST_F(CliFixture, RelocatableLink) {
+  writeSource("a.mc", "extern long g();\nint main() { return (int)g(); }");
+  writeSource("b.mc", "long g() { return 0; }");
+  runCommand(tool("axp-cc") + " " + path("a.mc") + " -o " + path("a.obj"));
+  runCommand(tool("axp-cc") + " " + path("b.mc") + " -o " + path("b.obj"));
+  CommandResult C = runCommand(tool("axp-ld") + " " + path("a.obj") + " " +
+                               path("b.obj") + " -r " + path("ab.obj"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-ld") + " " + path("ab.obj") + " -o " +
+                 path("ab.exe"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-run") + " " + path("ab.exe"));
+  EXPECT_EQ(C.ExitCode, 0);
+}
+
+} // namespace
+
+namespace {
+
+TEST_F(CliFixture, AtomStrategyAndInlineFlags) {
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long s = 0;
+  for (i = 0; i < 30; i = i + 1)
+    s = s + i * i;
+  printf("s %ld\n", s);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+
+  for (const char *Strategy :
+       {"wrapper", "direct", "distributed", "save-all", "liveness"}) {
+    CommandResult C = runCommand(
+        tool("atom") + " " + path("p.exe") + " --tool prof --strategy " +
+        Strategy + " --run -o " + path("p.atom"));
+    EXPECT_EQ(C.ExitCode, 0) << Strategy << ": " << C.Output;
+    EXPECT_NE(C.Output.find("s 8555"), std::string::npos)
+        << Strategy << ": " << C.Output;
+  }
+  CommandResult C =
+      runCommand(tool("atom") + " " + path("p.exe") +
+                 " --tool prof --inline --no-rename --stats --run");
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("s 8555"), std::string::npos);
+  EXPECT_NE(C.Output.find("points"), std::string::npos);
+
+  C = runCommand(tool("atom") + " " + path("p.exe") +
+                 " --tool malloc --heap-offset 1048576 --run");
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+
+  C = runCommand(tool("atom") + " " + path("p.exe") + " --strategy bogus");
+  EXPECT_NE(C.ExitCode, 0);
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- tests/IsaTests.cpp - ISA encode/decode and constant synthesis ------===//
+
+#include "isa/ConstantSynth.h"
+#include "isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::isa;
+
+namespace {
+
+TEST(Registers, CallingConventionPartition) {
+  unsigned CallerSaved = 0, CalleeSaved = 0;
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    EXPECT_FALSE(isCallerSaved(R) && isCalleeSaved(R))
+        << "register " << regName(R) << " in both classes";
+    CallerSaved += isCallerSaved(R);
+    CalleeSaved += isCalleeSaved(R);
+  }
+  EXPECT_EQ(CallerSaved, 22u); // v0, t0..t11, a0..a5, ra, pv, at
+  EXPECT_EQ(CalleeSaved, 7u);  // s0..s5, fp
+  EXPECT_FALSE(isCallerSaved(RegSP));
+  EXPECT_FALSE(isCallerSaved(RegGP));
+  EXPECT_FALSE(isCallerSaved(RegZero));
+}
+
+TEST(Registers, NameRoundTrip) {
+  for (unsigned R = 0; R < NumRegs; ++R) {
+    EXPECT_EQ(parseRegName(regName(R)), R);
+    EXPECT_EQ(parseRegName(formatString("$%u", R)), R);
+  }
+  EXPECT_EQ(parseRegName("nosuch"), unsigned(NumRegs));
+  EXPECT_EQ(parseRegName("$32"), unsigned(NumRegs));
+}
+
+/// Round-trip every opcode through encode/decode in each operand shape it
+/// supports.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode) {
+  auto Op = Opcode(GetParam());
+  std::vector<Inst> Variants;
+  switch (formatOf(Op)) {
+  case Format::Memory:
+    Variants.push_back(makeMem(Op, RegA0, 1234, RegSP));
+    Variants.push_back(makeMem(Op, RegT3, -32768, RegV0));
+    Variants.push_back(makeMem(Op, RegRA, 32767, RegZero));
+    break;
+  case Format::Branch:
+    Variants.push_back(makeBranch(Op, RegT0, 1000));
+    Variants.push_back(makeBranch(Op, RegZero, -1048576));
+    Variants.push_back(makeBranch(Op, RegRA, 1048575));
+    break;
+  case Format::Jump:
+    Variants.push_back(makeJump(Op, RegRA, RegPV));
+    Variants.push_back(makeJump(Op, RegZero, RegRA));
+    break;
+  case Format::Operate:
+    Variants.push_back(makeOp(Op, RegT0, RegT1, RegT2));
+    Variants.push_back(makeOpLit(Op, RegA5, 255, RegV0));
+    Variants.push_back(makeOpLit(Op, RegZero, 0, RegT11));
+    break;
+  case Format::Pal:
+    Variants.push_back(makePal(Op));
+    break;
+  }
+  for (const Inst &I : Variants) {
+    uint32_t W = encode(I);
+    Inst D;
+    ASSERT_TRUE(decode(W, D)) << disassemble(I, 0);
+    EXPECT_EQ(I, D) << disassemble(I, 0) << " vs " << disassemble(D, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::Range(0, int(Opcode::NumOpcodes)),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return opcodeName(Opcode(Info.param));
+                         });
+
+TEST(Decode, RejectsGarbage) {
+  Inst I;
+  EXPECT_FALSE(decode(0x00000000, I)); // PAL function 0
+  EXPECT_FALSE(decode(uint32_t(0x04) << 26, I)); // unused major
+  EXPECT_FALSE(decode(uint32_t(0x07) << 26, I));
+}
+
+TEST(Classify, Predicates) {
+  EXPECT_TRUE(isLoad(Opcode::Ldq));
+  EXPECT_FALSE(isLoad(Opcode::Lda));
+  EXPECT_FALSE(isLoad(Opcode::Ldah));
+  EXPECT_TRUE(isStore(Opcode::Stb));
+  EXPECT_TRUE(isMemRef(Opcode::Ldl));
+  EXPECT_TRUE(isCondBranch(Opcode::Blbs));
+  EXPECT_FALSE(isCondBranch(Opcode::Br));
+  EXPECT_TRUE(isUncondBranch(Opcode::Br));
+  EXPECT_TRUE(isCall(Opcode::Bsr));
+  EXPECT_TRUE(isCall(Opcode::Jsr));
+  EXPECT_FALSE(isCall(Opcode::Jmp));
+  EXPECT_TRUE(isReturn(Opcode::Ret));
+  EXPECT_TRUE(isControlTransfer(Opcode::Beq));
+  EXPECT_FALSE(isControlTransfer(Opcode::Callsys));
+  EXPECT_EQ(memAccessSize(Opcode::Ldbu), 1u);
+  EXPECT_EQ(memAccessSize(Opcode::Ldwu), 2u);
+  EXPECT_EQ(memAccessSize(Opcode::Stl), 4u);
+  EXPECT_EQ(memAccessSize(Opcode::Stq), 8u);
+  EXPECT_EQ(memAccessSize(Opcode::Addq), 0u);
+}
+
+TEST(Classify, ReadWriteSets) {
+  // stq a0, 8(sp) reads a0 and sp, writes nothing.
+  Inst St = makeMem(Opcode::Stq, RegA0, 8, RegSP);
+  EXPECT_EQ(writtenRegs(St), 0u);
+  EXPECT_EQ(readRegs(St), (1u << RegA0) | (1u << RegSP));
+
+  // ldq v0, 0(t0) writes v0, reads t0.
+  Inst Ld = makeMem(Opcode::Ldq, RegV0, 0, RegT0);
+  EXPECT_EQ(writtenRegs(Ld), 1u << RegV0);
+  EXPECT_EQ(readRegs(Ld), 1u << RegT0);
+
+  // addq t0, t1, t2.
+  Inst Add = makeOp(Opcode::Addq, RegT0, RegT1, RegT2);
+  EXPECT_EQ(writtenRegs(Add), 1u << RegT2);
+  EXPECT_EQ(readRegs(Add), (1u << RegT0) | (1u << RegT1));
+
+  // Literal form reads only ra.
+  Inst AddL = makeOpLit(Opcode::Addq, RegT0, 5, RegT2);
+  EXPECT_EQ(readRegs(AddL), 1u << RegT0);
+
+  // bsr ra, x writes ra.
+  Inst Call = makeBranch(Opcode::Bsr, RegRA, 0);
+  EXPECT_EQ(writtenRegs(Call), 1u << RegRA);
+
+  // Writes to the zero register are filtered.
+  Inst Zero = makeOp(Opcode::Addq, RegT0, RegT1, RegZero);
+  EXPECT_EQ(writtenRegs(Zero), 0u);
+
+  // callsys reads v0/a0..a2, writes v0.
+  Inst Sys = makePal(Opcode::Callsys);
+  EXPECT_EQ(writtenRegs(Sys), 1u << RegV0);
+  EXPECT_EQ(readRegs(Sys), (1u << RegV0) | (1u << RegA0) | (1u << RegA1) |
+                               (1u << RegA2));
+}
+
+//===----------------------------------------------------------------------===//
+// Constant synthesis
+//===----------------------------------------------------------------------===//
+
+/// Simulates an lda/ldah/sll sequence starting from a zeroed register file.
+static int64_t evalSequence(const std::vector<Inst> &Seq, unsigned Rd) {
+  int64_t Regs[NumRegs] = {};
+  for (const Inst &I : Seq) {
+    switch (I.Op) {
+    case Opcode::Lda:
+      Regs[I.Ra] = Regs[I.Rb] + I.Disp;
+      break;
+    case Opcode::Ldah:
+      Regs[I.Ra] = Regs[I.Rb] + (int64_t(I.Disp) << 16);
+      break;
+    case Opcode::Sll:
+      Regs[I.Rc] = int64_t(uint64_t(Regs[I.Ra]) << I.Lit);
+      break;
+    default:
+      ADD_FAILURE() << "unexpected opcode in constant sequence";
+    }
+    Regs[RegZero] = 0;
+  }
+  return Regs[Rd];
+}
+
+class ConstantSynthTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ConstantSynthTest, ValueRoundTrip) {
+  int64_t V = GetParam();
+  std::vector<Inst> Seq;
+  synthesizeConstant(V, RegT5, Seq);
+  EXPECT_EQ(evalSequence(Seq, RegT5), V);
+  EXPECT_EQ(Seq.size(), constantCost(V));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ConstantSynthTest,
+    ::testing::Values(
+        int64_t(0), int64_t(1), int64_t(-1), int64_t(42), int64_t(-42),
+        int64_t(32767), int64_t(-32768), int64_t(32768), int64_t(-32769),
+        int64_t(65536), int64_t(0x7FFF0000), int64_t(0x7FFFFFFF),
+        int64_t(-0x80000000LL), int64_t(0x80000000LL), int64_t(0x12345678),
+        int64_t(0x123456789ALL), int64_t(-0x123456789ALL),
+        int64_t(0x7FFFFFFFFFFFFFFFLL), int64_t(0x8000000000000000ULL),
+        int64_t(0x0200000000000001LL), int64_t(0xDEADBEEFCAFEF00DULL),
+        int64_t(0x0000000100000000LL), int64_t(0xFFFFFFFF00000000ULL),
+        int64_t(0x00007FFF8000FFFFLL)));
+
+TEST(ConstantSynth, CostModel) {
+  // Paper §4: 16-bit constants take 1 instruction, 32-bit take 2.
+  EXPECT_EQ(constantCost(0), 1u);
+  EXPECT_EQ(constantCost(100), 1u);
+  EXPECT_EQ(constantCost(-32768), 1u);
+  EXPECT_EQ(constantCost(0x12345678), 2u);
+  EXPECT_EQ(constantCost(0x7FFF0000), 1u); // single ldah
+  EXPECT_LE(constantCost(int64_t(0xDEADBEEFCAFEF00DULL)), 5u);
+}
+
+TEST(Disassemble, Formats) {
+  EXPECT_EQ(disassemble(makeMem(Opcode::Ldq, RegV0, 16, RegSP), 0),
+            "ldq     v0, 16(sp)");
+  EXPECT_EQ(disassemble(makeOpLit(Opcode::Addq, RegT0, 8, RegT1), 0),
+            "addq    t0, #8, t1");
+  std::string Br = disassemble(makeBranch(Opcode::Beq, RegT0, 2), 0x1000);
+  EXPECT_NE(Br.find("0x100c"), std::string::npos) << Br;
+}
+
+} // namespace
+
+namespace {
+
+TEST(Decode, StableUnderReencoding) {
+  // Pseudo-random 32-bit words: whatever decodes must re-encode to a word
+  // that decodes to the same instruction (encode/decode form a retract).
+  uint64_t State = 0x853C49E6748FEA9BULL;
+  unsigned Decoded = 0;
+  for (int I = 0; I < 200000; ++I) {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    uint32_t Word = uint32_t(State * 0x2545F4914F6CDD1DULL >> 32);
+    Inst A;
+    if (!decode(Word, A))
+      continue;
+    ++Decoded;
+    uint32_t W2 = encode(A);
+    Inst B;
+    ASSERT_TRUE(decode(W2, B)) << std::hex << Word;
+    ASSERT_EQ(A, B) << std::hex << Word;
+  }
+  EXPECT_GT(Decoded, 1000u); // the sweep actually hit valid encodings
+}
+
+} // namespace

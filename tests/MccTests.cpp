@@ -1,0 +1,640 @@
+//===- tests/MccTests.cpp - Mini-C compiler golden tests ------------------===//
+//
+// Each case compiles a mini-C program with the full pipeline (mcc ->
+// assembler -> linker -> simulator) and checks its output — these are the
+// deepest integration tests of the substrate below ATOM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "mcc/Compiler.h"
+
+using namespace atom;
+using namespace atom::test;
+
+namespace {
+
+struct GoldenCase {
+  const char *Name;
+  const char *Source;
+  const char *Expected;
+};
+
+class MccGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(MccGolden, CompilesAndRuns) {
+  EXPECT_EQ(compileAndRun(GetParam().Source), GetParam().Expected);
+}
+
+const GoldenCase Cases[] = {
+    {"return0", "int main() { return 0; }", ""},
+
+    {"arith", R"(
+int main() {
+  long a = 7;
+  long b = 3;
+  printf("%ld %ld %ld %ld %ld\n", a + b, a - b, a * b, a / b, a % b);
+  return 0;
+})",
+     "10 4 21 2 1\n"},
+
+    {"negatives", R"(
+int main() {
+  long a = -17;
+  printf("%ld %ld %ld %ld\n", a / 5, a % 5, -a, a * -2);
+  return 0;
+})",
+     "-3 -2 17 34\n"},
+
+    {"intWrap", R"(
+int main() {
+  int h = 2147483647;
+  h = h + 1;                      // 32-bit wrap
+  int m = 1000000;
+  int p = m * m;                  // wraps in 32 bits
+  printf("%ld %ld\n", (long)h, (long)p);
+  return 0;
+})",
+     "-2147483648 -727379968\n"},
+
+    {"charOps", R"(
+int main() {
+  char c = 'A';
+  c = (char)(c + 2);
+  char big = (char)300;           // truncates to 44
+  printf("%c %ld\n", c, (long)big);
+  return 0;
+})",
+     "C 44\n"},
+
+    {"shifts", R"(
+int main() {
+  long v = 1;
+  printf("%ld %ld %ld\n", v << 40, (100 >> 2), -16 >> 2);
+  return 0;
+})",
+     "1099511627776 25 -4\n"},
+
+    {"bitwise", R"(
+int main() {
+  printf("%ld %ld %ld %ld\n", 12 & 10, 12 | 3, 12 ^ 10, ~(long)0);
+  return 0;
+})",
+     "8 15 6 -1\n"},
+
+    {"compare", R"(
+int main() {
+  printf("%ld%ld%ld%ld%ld%ld\n", (long)(1 < 2), (long)(2 <= 1),
+         (long)(3 > 2), (long)(2 >= 3), (long)(5 == 5), (long)(5 != 5));
+  return 0;
+})",
+     "101010\n"},
+
+    {"shortCircuit", R"(
+long calls;
+long bump(long v) { calls = calls + 1; return v; }
+int main() {
+  long a = bump(0) && bump(1);
+  long b = bump(1) || bump(1);
+  printf("%ld %ld %ld\n", a, b, calls);
+  return 0;
+})",
+     "0 1 2\n"},
+
+    {"ternary", R"(
+int main() {
+  long x = 5;
+  printf("%ld %ld\n", x > 3 ? 111 : 222, x < 3 ? 111 : 222);
+  return 0;
+})",
+     "111 222\n"},
+
+    {"whileLoop", R"(
+int main() {
+  long i = 0;
+  long sum = 0;
+  while (i < 10) {
+    sum = sum + i;
+    i = i + 1;
+  }
+  printf("%ld\n", sum);
+  return 0;
+})",
+     "45\n"},
+
+    {"doWhile", R"(
+int main() {
+  long i = 10;
+  long n = 0;
+  do {
+    n = n + 1;
+    i = i - 3;
+  } while (i > 0);
+  printf("%ld %ld\n", n, i);
+  return 0;
+})",
+     "4 -2\n"},
+
+    {"breakContinue", R"(
+int main() {
+  long sum = 0;
+  long i;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0)
+      continue;
+    if (i > 10)
+      break;
+    sum = sum + i;
+  }
+  printf("%ld\n", sum);
+  return 0;
+})",
+     "25\n"},
+
+    {"incDec", R"(
+int main() {
+  long i = 5;
+  long a = i++;
+  long b = ++i;
+  long c = i--;
+  long d = --i;
+  printf("%ld %ld %ld %ld %ld\n", a, b, c, d, i);
+  return 0;
+})",
+     "5 7 7 5 5\n"},
+
+    {"compoundAssign", R"(
+int main() {
+  long v = 10;
+  v += 5;
+  v -= 3;
+  v *= 2;
+  v /= 4;
+  v %= 4;
+  v <<= 3;
+  v >>= 1;
+  v |= 1;
+  v &= 7;
+  v ^= 2;
+  printf("%ld\n", v);
+  return 0;
+})",
+     "3\n"},
+
+    {"pointers", R"(
+int main() {
+  long x = 42;
+  long *p = &x;
+  *p = *p + 1;
+  long **pp = &p;
+  **pp = **pp * 2;
+  printf("%ld\n", x);
+  return 0;
+})",
+     "86\n"},
+
+    {"pointerArith", R"(
+long arr[8];
+int main() {
+  long i;
+  for (i = 0; i < 8; i = i + 1)
+    arr[i] = i * i;
+  long *p = arr;
+  long *q = p + 5;
+  printf("%ld %ld %ld\n", *q, *(q - 2), q - p);
+  return 0;
+})",
+     "25 9 5\n"},
+
+    {"arrays2d", R"(
+long m[4][6];
+int main() {
+  long i;
+  long j;
+  for (i = 0; i < 4; i = i + 1)
+    for (j = 0; j < 6; j = j + 1)
+      m[i][j] = i * 10 + j;
+  printf("%ld %ld %ld\n", m[0][0], m[2][3], m[3][5]);
+  return 0;
+})",
+     "0 23 35\n"},
+
+    {"localArray", R"(
+int main() {
+  long buf[16];
+  long i;
+  for (i = 0; i < 16; i = i + 1)
+    buf[i] = i * 3;
+  long sum = 0;
+  for (i = 0; i < 16; i = i + 1)
+    sum = sum + buf[i];
+  printf("%ld\n", sum);
+  return 0;
+})",
+     "360\n"},
+
+    {"structs", R"(
+struct point {
+  long x;
+  long y;
+};
+struct rect {
+  struct point lo;
+  struct point hi;
+  int tag;
+};
+int main() {
+  struct rect r;
+  r.lo.x = 1;
+  r.lo.y = 2;
+  r.hi.x = 10;
+  r.hi.y = 20;
+  r.tag = 7;
+  struct rect *p = &r;
+  long area = (p->hi.x - p->lo.x) * (p->hi.y - p->lo.y);
+  printf("%ld %ld\n", area, (long)p->tag);
+  return 0;
+})",
+     "162 7\n"},
+
+    {"structArray", R"(
+struct kv {
+  long key;
+  char name[8];
+};
+struct kv table[4];
+int main() {
+  long i;
+  for (i = 0; i < 4; i = i + 1) {
+    table[i].key = i * 100;
+    table[i].name[0] = (char)('a' + i);
+    table[i].name[1] = 0;
+  }
+  printf("%ld %s %s\n", table[3].key, table[0].name, table[2].name);
+  return 0;
+})",
+     "300 a c\n"},
+
+    {"recursion", R"(
+long fact(long n) {
+  if (n <= 1)
+    return 1;
+  return n * fact(n - 1);
+}
+int main() {
+  printf("%ld\n", fact(12));
+  return 0;
+})",
+     "479001600\n"},
+
+    {"mutualRecursion", R"(
+long isOdd(long n);
+long isEven(long n) {
+  if (n == 0)
+    return 1;
+  return isOdd(n - 1);
+}
+long isOdd(long n) {
+  if (n == 0)
+    return 0;
+  return isEven(n - 1);
+}
+int main() {
+  printf("%ld %ld\n", isEven(10), isOdd(7));
+  return 0;
+})",
+     "1 1\n"},
+
+    {"manyArgs", R"(
+long sum8(long a, long b, long c, long d, long e, long f, long g, long h) {
+  return a + b + c + d + e + f + g + h;
+}
+int main() {
+  printf("%ld\n", sum8(1, 2, 3, 4, 5, 6, 7, 8));
+  return 0;
+})",
+     "36\n"},
+
+    {"nestedCalls", R"(
+long add(long a, long b) { return a + b; }
+long mul(long a, long b) { return a * b; }
+int main() {
+  printf("%ld\n", add(mul(2, 3), add(mul(4, 5), mul(1, add(6, 7)))));
+  return 0;
+})",
+     "39\n"},
+
+    {"sizeofOp", R"(
+struct s {
+  char c;
+  long l;
+  int i;
+};
+int main() {
+  printf("%ld %ld %ld %ld %ld\n", sizeof(char), sizeof(int), sizeof(long),
+         sizeof(char *), sizeof(struct s));
+  return 0;
+})",
+     "1 4 8 8 24\n"},
+
+    {"globalsInit", R"(
+long g1 = 42;
+int g2 = -7;
+char g3 = 'x';
+long g4 = 3 * 7 + 1;
+char *msg = "hello";
+long uninit;
+int main() {
+  printf("%ld %ld %c %ld %s %ld\n", g1, (long)g2, g3, g4, msg, uninit);
+  return 0;
+})",
+     "42 -7 x 22 hello 0\n"},
+
+    {"stringOps", R"(
+char dst[32];
+int main() {
+  strcpy(dst, "abc");
+  printf("%ld %ld %ld\n", strlen(dst), strcmp(dst, "abc"),
+         strcmp(dst, "abd") < 0 ? -1 : 1);
+  return 0;
+})",
+     "3 0 -1\n"},
+
+    {"mallocFree", R"(
+int main() {
+  long *p = (long *)malloc(10 * sizeof(long));
+  long i;
+  for (i = 0; i < 10; i = i + 1)
+    p[i] = i;
+  long sum = 0;
+  for (i = 0; i < 10; i = i + 1)
+    sum = sum + p[i];
+  free((char *)p);
+  long *q = (long *)malloc(10 * sizeof(long)); // reuses the freed block
+  printf("%ld %ld\n", sum, (long)(p == q));
+  return 0;
+})",
+     "45 1\n"},
+
+    {"callocZero", R"(
+int main() {
+  long *p = (long *)calloc(8, sizeof(long));
+  long sum = 0;
+  long i;
+  for (i = 0; i < 8; i = i + 1)
+    sum = sum + p[i];
+  printf("%ld\n", sum);
+  return 0;
+})",
+     "0\n"},
+
+    {"fileIo", R"(
+int main() {
+  long f = fopen("out.txt", "w");
+  fprintf(f, "x=%ld\n", 99);
+  fclose(f);
+  puts("wrote");
+  return 0;
+})",
+     "wrote\n"},
+
+    {"printfFormats", R"(
+int main() {
+  printf("%d %u %x %lx %c %s %% %ld\n", 42, 7, 255, 4096, 'Z', "str", -5);
+  return 0;
+})",
+     "42 7 ff 1000 Z str % -5\n"},
+
+    {"atoiTest", R"(
+int main() {
+  printf("%ld %ld %ld\n", atoi("123"), atoi("-45"), atoi("0"));
+  return 0;
+})",
+     "123 -45 0\n"},
+
+    {"exitCall", R"(
+int main() {
+  puts("before");
+  exit(0);
+  puts("after");
+  return 1;
+})",
+     "before\n"},
+
+    {"unalignedPtr", R"(
+char buf[64];
+int main() {
+  long *p = (long *)(buf + 3);
+  *p = 0x1122334455667788;
+  int *q = (int *)(buf + 3);
+  printf("0x%lx\n", (long)*q & 0xffffffff);
+  return 0;
+})",
+     "0x55667788\n"},
+
+    {"castTruncate", R"(
+int main() {
+  long big = 0x123456789abcdef0;
+  int low = (int)big;
+  char byte = (char)big;
+  printf("%ld %ld\n", (long)low, (long)byte);
+  return 0;
+})",
+     "-1698898192 240\n"},
+
+    {"commaDecls", R"(
+long a = 1, b = 2, c;
+int main() {
+  c = a + b;
+  printf("%ld\n", c);
+  return 0;
+})",
+     "3\n"},
+
+    {"deepExpr", R"(
+int main() {
+  long v = ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) * 2 +
+            (((9 + 10) * (11 - 12)) + ((13 * 14) - (15 + 16))));
+  printf("%ld\n", v);
+  return 0;
+})",
+     "204\n"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Golden, MccGolden, ::testing::ValuesIn(Cases),
+                         [](const ::testing::TestParamInfo<GoldenCase> &I) {
+                           return I.param.Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+struct ErrorCase {
+  const char *Name;
+  const char *Source;
+  const char *MessageFragment;
+};
+
+class MccErrors : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(MccErrors, Rejected) {
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  EXPECT_FALSE(mcc::compile(GetParam().Source, "bad", M, Diags));
+  EXPECT_NE(Diags.str().find(GetParam().MessageFragment), std::string::npos)
+      << "diagnostics were:\n"
+      << Diags.str();
+}
+
+const ErrorCase ErrorCases[] = {
+    {"undeclaredVar", "int main() { return x; }", "undeclared"},
+    {"undeclaredFunc", "int main() { return nope(); }", "undeclared function"},
+    {"badArgCount", "long f(long a) { return a; }\n"
+                    "int main() { return (int)f(1, 2); }",
+     "wrong number of arguments"},
+    {"assignToRValue", "int main() { 3 = 4; return 0; }", "lvalue"},
+    {"derefInt", "int main() { long x = 1; return (int)*x; }",
+     "cannot dereference"},
+    {"redefinedVar", "int main() { long a = 1; long a = 2; return 0; }",
+     "redefinition"},
+    {"redefinedFunc", "int main() { return 0; }\nint main() { return 1; }",
+     "redefinition of function"},
+    {"breakOutsideLoop", "int main() { break; return 0; }",
+     "break outside"},
+    {"unknownField", "struct s { long a; };\n"
+                     "int main() { struct s v; v.b = 1; return 0; }",
+     "no field"},
+    {"voidReturnValue", "void f() { return 3; }\nint main() { return 0; }",
+     "void function returns a value"},
+    {"syntaxError", "int main() { long x = ; return 0; }",
+     "expected expression"},
+    {"unterminatedString", "int main() { puts(\"abc); return 0; }",
+     "unterminated string"},
+    {"largeFrame", "int main() { long big[8000]; return 0; }",
+     "too large"},
+    {"incompleteStruct", "int main() { struct s v; return 0; }",
+     "incomplete type"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Errors, MccErrors, ::testing::ValuesIn(ErrorCases),
+                         [](const ::testing::TestParamInfo<ErrorCase> &I) {
+                           return I.param.Name;
+                         });
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// switch statements (lowered to compare chains)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST(MccSwitch, BasicDispatchAndDefault) {
+  EXPECT_EQ(compileAndRun(R"(
+long pick(long v) {
+  switch (v) {
+  case 1:
+    return 100;
+  case 2:
+  case 3:
+    return 200;
+  case -4:
+    return 300;
+  default:
+    return 999;
+  }
+}
+int main() {
+  printf("%ld %ld %ld %ld %ld\n", pick(1), pick(2), pick(3), pick(-4),
+         pick(42));
+  return 0;
+})"),
+            "100 200 200 300 999\n");
+}
+
+TEST(MccSwitch, FallthroughAndBreak) {
+  EXPECT_EQ(compileAndRun(R"(
+int main() {
+  long sum = 0;
+  long i;
+  for (i = 0; i < 5; i = i + 1) {
+    switch (i) {
+    case 0:
+      sum = sum + 1;
+      // fall through
+    case 1:
+      sum = sum + 10;
+      break;
+    case 3:
+      sum = sum + 100;
+      break;
+    }
+  }
+  printf("%ld\n", sum);
+  return 0;
+})"),
+            "121\n"); // i=0: 1+10, i=1: 10, i=3: 100
+}
+
+TEST(MccSwitch, NoDefaultFallsPast) {
+  EXPECT_EQ(compileAndRun(R"(
+int main() {
+  long r = 7;
+  switch (99) {
+  case 1:
+    r = 1;
+    break;
+  }
+  printf("%ld\n", r);
+  return 0;
+})"),
+            "7\n");
+}
+
+TEST(MccSwitch, NestedInLoopWithCharLabels) {
+  EXPECT_EQ(compileAndRun(R"(
+int main() {
+  char *s = "abcab";
+  long a = 0;
+  long b = 0;
+  long other = 0;
+  long i;
+  for (i = 0; s[i]; i = i + 1) {
+    switch ((long)s[i]) {
+    case 'a':
+      a = a + 1;
+      break;
+    case 'b':
+      b = b + 1;
+      break;
+    default:
+      other = other + 1;
+      break;
+    }
+  }
+  printf("%ld %ld %ld\n", a, b, other);
+  return 0;
+})"),
+            "2 2 1\n");
+}
+
+TEST(MccSwitch, DuplicateCaseRejected) {
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  EXPECT_FALSE(mcc::compile(
+      "int main() { switch (1) { case 2: break; case 2: break; } return 0; }",
+      "bad", M, Diags));
+  EXPECT_NE(Diags.str().find("duplicate case"), std::string::npos);
+}
+
+TEST(MccSwitch, BreakOutsideLoopOrSwitchStillRejected) {
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  EXPECT_FALSE(mcc::compile("int main() { break; return 0; }", "bad", M,
+                            Diags));
+  EXPECT_NE(Diags.str().find("break outside"), std::string::npos);
+}
+
+} // namespace

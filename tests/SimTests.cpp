@@ -1,0 +1,337 @@
+//===- tests/SimTests.cpp - Machine simulator semantics -------------------===//
+//
+// Each case assembles a tiny program that computes one value into v0 and
+// halts; the harness checks v0. Covers every instruction's semantics plus
+// memory, syscalls, and statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "link/Linker.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::sim;
+
+namespace {
+
+/// Assembles and links \p Body (placed inside a 'start' procedure) and runs
+/// it; returns the final machine state through \p Out.
+RunResult runAsm(const std::string &Body, Machine **Out = nullptr) {
+  std::string Src = "        .text\n        .ent start\n"
+                    "        .globl start\nstart:\n" +
+                    Body + "        .end start\n";
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Src, "t", M, Diags)) {
+    ADD_FAILURE() << "assembly failed:\n" << Diags.str() << "\n" << Src;
+    abort();
+  }
+  obj::Executable Exe;
+  link::LinkOptions Opts;
+  Opts.EntrySymbol = "start";
+  if (!link::linkExecutable({M}, Exe, Diags, Opts)) {
+    ADD_FAILURE() << "link failed:\n" << Diags.str();
+    abort();
+  }
+  static Machine *Keep = nullptr;
+  delete Keep;
+  Keep = new Machine(Exe);
+  if (Out)
+    *Out = Keep;
+  return Keep->run(1'000'000);
+}
+
+/// Runs \p Body and expects a halt with v0 == \p Expected.
+void expectV0(const std::string &Body, uint64_t Expected) {
+  Machine *M = nullptr;
+  RunResult R = runAsm(Body + "        halt\n", &M);
+  ASSERT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+  EXPECT_EQ(M->reg(isa::RegV0), Expected);
+}
+
+struct SemCase {
+  const char *Name;
+  const char *Body;
+  uint64_t Expected;
+};
+
+class Semantics : public ::testing::TestWithParam<SemCase> {};
+
+TEST_P(Semantics, V0) { expectV0(GetParam().Body, GetParam().Expected); }
+
+const SemCase SemCases[] = {
+    {"lda", "lda v0, 42(zero)\n", 42},
+    {"ldaNegative", "lda v0, -1(zero)\n", uint64_t(-1)},
+    {"ldah", "ldah v0, 2(zero)\n", 0x20000},
+    {"ldahNegative", "ldah v0, -1(zero)\n", uint64_t(-0x10000)},
+    {"ldaBase", "lda t0, 100(zero)\n lda v0, -30(t0)\n", 70},
+
+    {"addq", "lda t0, 20(zero)\n lda t1, 22(zero)\n addq t0, t1, v0\n", 42},
+    {"addqLit", "lda t0, 40(zero)\n addq t0, #2, v0\n", 42},
+    {"subq", "lda t0, 10(zero)\n subq t0, #14, v0\n", uint64_t(-4)},
+    {"addl", "ldah t0, 0x7fff(zero)\n lda t0, 0x7fff(t0)\n"
+             " ldah t1, 1(zero)\n addl t0, t1, v0\n",
+     uint64_t(int64_t(int32_t(0x7fff7fff + 0x10000)))},
+    {"subl", "lconst t0, 0x80000000\n subl t0, #1, v0\n",
+     uint64_t(int64_t(int32_t(0x7fffffff)))},
+    {"mulq", "lda t0, -6(zero)\n lda t1, 7(zero)\n mulq t0, t1, v0\n",
+     uint64_t(-42)},
+    {"mull", "lconst t0, 100000\n lconst t1, 100000\n mull t0, t1, v0\n",
+     uint64_t(int64_t(int32_t(10000000000LL)))},
+    {"umulh", "lconst t0, 0x100000000\n lconst t1, 0x100000000\n"
+              " umulh t0, t1, v0\n",
+     1},
+    {"divq", "lda t0, -17(zero)\n lda t1, 5(zero)\n divq t0, t1, v0\n",
+     uint64_t(-3)},
+    {"remq", "lda t0, -17(zero)\n lda t1, 5(zero)\n remq t0, t1, v0\n",
+     uint64_t(-2)},
+    {"divByZero", "lda t0, 9(zero)\n divq t0, #0, v0\n", 0},
+    {"divqu", "lda t0, -1(zero)\n lda t1, 2(zero)\n divqu t0, t1, v0\n",
+     0x7FFFFFFFFFFFFFFFULL},
+    {"remqu", "lda t0, 17(zero)\n remqu t0, #5, v0\n", 2},
+
+    {"and", "lda t0, 12(zero)\n and t0, #10, v0\n", 8},
+    {"bic", "lda t0, 15(zero)\n bic t0, #6, v0\n", 9},
+    {"bis", "lda t0, 12(zero)\n bis t0, #3, v0\n", 15},
+    {"ornot", "lda t0, 0(zero)\n ornot t0, #0, v0\n", ~uint64_t(0)},
+    {"xor", "lda t0, 12(zero)\n xor t0, #10, v0\n", 6},
+    {"eqv", "lda t0, 12(zero)\n eqv t0, #10, v0\n", uint64_t(-7)},
+    {"sll", "lda t0, 1(zero)\n sll t0, #40, v0\n", uint64_t(1) << 40},
+    {"srl", "lda t0, -1(zero)\n srl t0, #60, v0\n", 15},
+    {"sra", "lda t0, -16(zero)\n sra t0, #2, v0\n", uint64_t(-4)},
+    {"sextb", "lda t0, 0xff(zero)\n sextb t0, t0, v0\n", uint64_t(-1)},
+    {"sextw", "lconst t0, 0x8000\n sextw t0, t0, v0\n", uint64_t(-32768)},
+
+    {"cmpeqTrue", "lda t0, 5(zero)\n cmpeq t0, #5, v0\n", 1},
+    {"cmpeqFalse", "lda t0, 5(zero)\n cmpeq t0, #6, v0\n", 0},
+    {"cmplt", "lda t0, -1(zero)\n cmplt t0, #0, v0\n", 1},
+    {"cmple", "lda t0, 5(zero)\n cmple t0, #5, v0\n", 1},
+    {"cmpult", "lda t0, -1(zero)\n cmpult t0, #0, v0\n", 0},
+    {"cmpule", "lda t0, 0(zero)\n cmpule t0, #0, v0\n", 1},
+
+    {"storeLoad", "lconst t0, 0x10000000\n lconst t1, 0x1122334455667788\n"
+                  " stq t1, 0(t0)\n ldq v0, 0(t0)\n",
+     0x1122334455667788ULL},
+    {"storeLoadByte", "lconst t0, 0x10000000\n lda t1, 0x7f(zero)\n"
+                      " stb t1, 3(t0)\n ldbu v0, 3(t0)\n",
+     0x7f},
+    {"ldlSignExtends", "lconst t0, 0x10000000\n lconst t1, 0x80000000\n"
+                       " stl t1, 0(t0)\n ldl v0, 0(t0)\n",
+     uint64_t(int64_t(int32_t(0x80000000)))},
+    {"ldwuZeroExtends", "lconst t0, 0x10000000\n lconst t1, 0xffff\n"
+                        " stw t1, 0(t0)\n ldwu v0, 0(t0)\n",
+     0xffff},
+    {"unalignedLoad", "lconst t0, 0x10000000\n lconst t1, 0x1122334455667788\n"
+                      " stq t1, 1(t0)\n ldq v0, 1(t0)\n",
+     0x1122334455667788ULL},
+    {"littleEndian", "lconst t0, 0x10000000\n lconst t1, 0x11223344\n"
+                     " stl t1, 0(t0)\n ldbu v0, 0(t0)\n",
+     0x44},
+
+    {"brSkips", "br Lx\n lda v0, 1(zero)\nLx:\n lda v0, 2(zero)\n", 2},
+    {"beqTaken", "lda t0, 0(zero)\n beq t0, Ly\n lda v0, 1(zero)\n halt\n"
+                 "Ly:\n lda v0, 2(zero)\n",
+     2},
+    {"beqNotTaken", "lda t0, 1(zero)\n beq t0, Lz\n lda v0, 7(zero)\n halt\n"
+                    "Lz:\n lda v0, 2(zero)\n",
+     7},
+    {"bltNegative", "lda t0, -5(zero)\n blt t0, Lw\n lda v0, 1(zero)\n halt\n"
+                    "Lw:\n lda v0, 3(zero)\n",
+     3},
+    {"blbsOdd", "lda t0, 7(zero)\n blbs t0, Lv\n lda v0, 1(zero)\n halt\n"
+                "Lv:\n lda v0, 4(zero)\n",
+     4},
+    {"bsrLinks", "bsr ra, Lsub\n lda v0, 9(zero)\n halt\n"
+                 "Lsub:\n ret\n",
+     9},
+    {"jsrIndirect", "laddr pv, Lsub2\n jsr ra, (pv)\n lda v0, 11(zero)\n"
+                    " halt\nLsub2:\n ret\n",
+     11},
+    {"loop10", "lda t0, 10(zero)\n clr v0\nLloop:\n addq v0, #1, v0\n"
+               " subq t0, #1, t0\n bne t0, Lloop\n",
+     10},
+};
+
+INSTANTIATE_TEST_SUITE_P(All, Semantics, ::testing::ValuesIn(SemCases),
+                         [](const ::testing::TestParamInfo<SemCase> &I) {
+                           return I.param.Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Faults and fuel
+//===----------------------------------------------------------------------===//
+
+TEST(SimFaults, BadPC) {
+  RunResult R = runAsm("lda t0, 0(zero)\n jmp zero, (t0)\n");
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_NE(R.FaultMessage.find("bad pc"), std::string::npos);
+}
+
+TEST(SimFaults, FuelExhausted) {
+  RunResult R = runAsm("Lspin:\n br Lspin\n");
+  EXPECT_EQ(R.Status, RunStatus::FuelExhausted);
+}
+
+TEST(SimFaults, UnknownSyscall) {
+  RunResult R = runAsm("lconst v0, 999\n callsys\n");
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_NE(R.FaultMessage.find("syscall"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Syscalls and the VFS
+//===----------------------------------------------------------------------===//
+
+TEST(SimSyscalls, ExitCode) {
+  RunResult R = runAsm("lda a0, 42(zero)\n lda v0, 1(zero)\n callsys\n");
+  ASSERT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(SimSyscalls, WriteStdout) {
+  Machine *M = nullptr;
+  // Write 3 bytes from the data section to fd 1.
+  std::string Src = R"(
+        .text
+        .ent start
+        .globl start
+start:
+        lda     a0, 1(zero)
+        laddr   a1, msg
+        lda     a2, 3(zero)
+        lda     v0, 3(zero)
+        callsys
+        mov     v0, t5
+        clr     a0
+        lda     v0, 1(zero)
+        callsys
+        .end start
+        .data
+msg:    .ascii  "hey"
+)";
+  DiagEngine Diags;
+  obj::ObjectModule Mod;
+  ASSERT_TRUE(assembler::assemble(Src, "t", Mod, Diags)) << Diags.str();
+  obj::Executable Exe;
+  link::LinkOptions Opts;
+  Opts.EntrySymbol = "start";
+  ASSERT_TRUE(link::linkExecutable({Mod}, Exe, Diags, Opts)) << Diags.str();
+  M = new Machine(Exe);
+  RunResult R = M->run();
+  ASSERT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(M->vfs().stdoutText(), "hey");
+  EXPECT_EQ(M->reg(isa::RegT5), 3u); // write() returned 3
+  delete M;
+}
+
+TEST(Vfs, OpenWriteReadRoundTrip) {
+  Vfs V;
+  int64_t Fd = V.open("f.txt", OpenWriteCreate);
+  ASSERT_GE(Fd, 3);
+  std::vector<uint8_t> Data = {'a', 'b', 'c'};
+  EXPECT_EQ(V.write(Fd, Data), 3);
+  EXPECT_EQ(V.close(Fd), 0);
+  EXPECT_EQ(V.fileContents("f.txt"), "abc");
+
+  int64_t Rd = V.open("f.txt", OpenRead);
+  ASSERT_GE(Rd, 3);
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(V.read(Rd, 10, Out), 3);
+  EXPECT_EQ(V.read(Rd, 10, Out), 0); // EOF
+  EXPECT_EQ(V.close(Rd), 0);
+}
+
+TEST(Vfs, Errors) {
+  Vfs V;
+  EXPECT_EQ(V.open("missing", OpenRead), -1);
+  EXPECT_EQ(V.close(99), -1);
+  EXPECT_EQ(V.close(1), -1); // stdout cannot be closed
+  std::vector<uint8_t> Out;
+  EXPECT_EQ(V.read(42, 1, Out), -1);
+  // fds are recycled after close.
+  int64_t A = V.open("a", OpenWriteCreate);
+  V.close(A);
+  int64_t B = V.open("b", OpenWriteCreate);
+  EXPECT_EQ(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics and tracing (the oracle used by the tool tests)
+//===----------------------------------------------------------------------===//
+
+TEST(SimStats, CountsClasses) {
+  Machine *M = nullptr;
+  RunResult R = runAsm(
+      "lconst t0, 0x10000000\n stq zero, 0(t0)\n ldq t1, 0(t0)\n"
+      " lda t2, 3(zero)\nLl:\n subq t2, #1, t2\n bne t2, Ll\n halt\n",
+      &M);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(M->stats().Loads, 1u);
+  EXPECT_EQ(M->stats().Stores, 1u);
+  EXPECT_EQ(M->stats().CondBranches, 3u);
+  EXPECT_EQ(M->stats().TakenBranches, 2u);
+  EXPECT_GT(M->stats().Instructions, 8u);
+}
+
+TEST(SimTrace, EffAddrAndTaken) {
+  std::string Src =
+      "lconst t0, 0x10000008\n stq zero, 8(t0)\n lda t1, 1(zero)\n"
+      " beq t1, Lt\n lda t2, 1(zero)\nLt:\n halt\n";
+  DiagEngine Diags;
+  obj::ObjectModule Mod;
+  std::string Full = "        .text\n        .ent start\n"
+                     "        .globl start\nstart:\n" +
+                     Src + "        .end start\n";
+  ASSERT_TRUE(assembler::assemble(Full, "t", Mod, Diags)) << Diags.str();
+  obj::Executable Exe;
+  link::LinkOptions Opts;
+  Opts.EntrySymbol = "start";
+  ASSERT_TRUE(link::linkExecutable({Mod}, Exe, Diags, Opts));
+  Machine M(Exe);
+  std::vector<TraceEvent> Events;
+  M.setTraceHook([&](const TraceEvent &E) { Events.push_back(E); });
+  ASSERT_EQ(M.run().Status, RunStatus::Halted);
+  bool SawStore = false, SawBranch = false;
+  for (const TraceEvent &E : Events) {
+    if (isa::isStore(E.I.Op)) {
+      SawStore = true;
+      EXPECT_EQ(E.EffAddr, 0x10000010u);
+    }
+    if (isa::isCondBranch(E.I.Op)) {
+      SawBranch = true;
+      EXPECT_FALSE(E.Taken);
+    }
+  }
+  EXPECT_TRUE(SawStore);
+  EXPECT_TRUE(SawBranch);
+}
+
+} // namespace
+
+namespace {
+
+TEST(SimMemory, PageBoundaryCrossingAccesses) {
+  // 8 KB pages: a quad written across the first page boundary of the data
+  // segment reads back identically.
+  Machine *M = nullptr;
+  RunResult R = runAsm(
+      "lconst t0, 0x10001ffc\n lconst t1, 0x1122334455667788\n"
+      " stq t1, 0(t0)\n ldq v0, 0(t0)\n halt\n",
+      &M);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(M->reg(isa::RegV0), 0x1122334455667788ULL);
+  // The simulator flags it as unaligned.
+  EXPECT_EQ(M->stats().UnalignedAccesses, 2u);
+}
+
+TEST(SimMemory, BssReadsAsZero) {
+  Machine *M = nullptr;
+  RunResult R = runAsm("lconst t0, 0x10004000\n ldq v0, 0(t0)\n halt\n", &M);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(M->reg(isa::RegV0), 0u);
+}
+
+} // namespace

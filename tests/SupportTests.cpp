@@ -1,0 +1,75 @@
+//===- tests/SupportTests.cpp - Support utilities -------------------------===//
+
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+
+namespace {
+
+TEST(Support, FitsSigned) {
+  EXPECT_TRUE(fitsSigned(0, 1));
+  EXPECT_TRUE(fitsSigned(-1, 1));
+  EXPECT_FALSE(fitsSigned(1, 1));
+  EXPECT_TRUE(fitsSigned(32767, 16));
+  EXPECT_FALSE(fitsSigned(32768, 16));
+  EXPECT_TRUE(fitsSigned(-32768, 16));
+  EXPECT_FALSE(fitsSigned(-32769, 16));
+  EXPECT_TRUE(fitsSigned(1048575, 21));
+  EXPECT_FALSE(fitsSigned(1048576, 21));
+  EXPECT_TRUE(fitsSigned(INT64_MAX, 64));
+  EXPECT_TRUE(fitsSigned(INT64_MIN, 64));
+}
+
+TEST(Support, SignExtend) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0x8000, 16), -32768);
+  EXPECT_EQ(signExtend(0xFFFFF, 21), 0xFFFFF);
+  EXPECT_EQ(signExtend(0x100000, 21), -1048576);
+  EXPECT_EQ(signExtend(0xDEADBEEFCAFEF00D, 64),
+            int64_t(0xDEADBEEFCAFEF00DULL));
+  // Upper bits beyond the field are ignored.
+  EXPECT_EQ(signExtend(0xABCD00FF, 8), -1);
+}
+
+TEST(Support, AlignTo) {
+  EXPECT_EQ(alignTo(0, 16), 0u);
+  EXPECT_EQ(alignTo(1, 16), 16u);
+  EXPECT_EQ(alignTo(16, 16), 16u);
+  EXPECT_EQ(alignTo(17, 8), 24u);
+  EXPECT_EQ(alignTo(0x1FFF, 0x2000), 0x2000u);
+}
+
+TEST(Support, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(formatString("%lld", (long long)INT64_MIN),
+            "-9223372036854775808");
+  EXPECT_EQ(formatString("empty"), "empty");
+  // Long outputs are not truncated.
+  std::string Long = formatString("%0500d", 7);
+  EXPECT_EQ(Long.size(), 500u);
+}
+
+TEST(Support, DiagEngine) {
+  DiagEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.error(3, "first");
+  D.error(0, "second");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.diags().size(), 2u);
+  std::string S = D.str();
+  EXPECT_NE(S.find("line 3: first"), std::string::npos);
+  EXPECT_NE(S.find("second"), std::string::npos);
+}
+
+TEST(Support, StopwatchAdvances) {
+  Stopwatch W;
+  double A = W.seconds();
+  EXPECT_GE(A, 0.0);
+  W.reset();
+  EXPECT_GE(W.seconds(), 0.0);
+}
+
+} // namespace

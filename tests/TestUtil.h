@@ -1,0 +1,73 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+
+#ifndef ATOM_TESTS_TESTUTIL_H
+#define ATOM_TESTS_TESTUTIL_H
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+namespace atom {
+namespace test {
+
+/// Compiles and links \p Source (mini-C); aborts the test on failure.
+inline obj::Executable buildOrDie(const std::string &Source) {
+  DiagEngine Diags;
+  obj::Executable Exe;
+  if (!buildApplication(Source, Exe, Diags)) {
+    ADD_FAILURE() << "build failed:\n" << Diags.str();
+    abort();
+  }
+  return Exe;
+}
+
+struct RunOutcome {
+  sim::RunResult Result;
+  std::string Stdout;
+  uint64_t Instructions = 0;
+};
+
+/// Runs \p Exe to completion and returns outcome; keeps \p M alive for
+/// further inspection if provided.
+inline RunOutcome runProgram(const obj::Executable &Exe,
+                             sim::Machine *Keep = nullptr) {
+  sim::Machine M(Exe);
+  RunOutcome O;
+  O.Result = M.run();
+  O.Stdout = M.vfs().stdoutText();
+  O.Instructions = M.stats().Instructions;
+  if (Keep)
+    *Keep = std::move(M);
+  return O;
+}
+
+/// Compile+link+run, expecting a clean exit 0; returns stdout.
+inline std::string compileAndRun(const std::string &Source) {
+  obj::Executable Exe = buildOrDie(Source);
+  sim::Machine M(Exe);
+  sim::RunResult R = M.run();
+  EXPECT_EQ(R.Status, sim::RunStatus::Exited)
+      << R.FaultMessage << " at pc 0x" << std::hex << R.FaultPC;
+  EXPECT_EQ(R.ExitCode, 0) << M.vfs().stdoutText();
+  return M.vfs().stdoutText();
+}
+
+/// Instruments \p App with \p T; aborts the test on failure.
+inline InstrumentedProgram instrumentOrDie(const obj::Executable &App,
+                                           const Tool &T,
+                                           const AtomOptions &Opts =
+                                               AtomOptions()) {
+  DiagEngine Diags;
+  InstrumentedProgram Out;
+  if (!runAtom(App, T, Opts, Out, Diags)) {
+    ADD_FAILURE() << "atom failed:\n" << Diags.str();
+    abort();
+  }
+  return Out;
+}
+
+} // namespace test
+} // namespace atom
+
+#endif // ATOM_TESTS_TESTUTIL_H

@@ -1,0 +1,358 @@
+//===- tests/ToolsTests.cpp - Tool outputs vs. the simulator oracle -------===//
+//
+// The simulator's own statistics and trace hook are ground truth for what
+// the instrumented tools measure: branch outcomes, memory references,
+// unaligned accesses, system calls, dynamic instruction counts, calls.
+// Each tool's output file is parsed and cross-checked.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "tools/Tools.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <sstream>
+
+using namespace atom;
+using namespace atom::test;
+
+namespace {
+
+/// Parses "key value" lines into a map (values as signed 64-bit; hex
+/// 0x-prefixed values supported).
+std::map<std::string, int64_t> parseReport(const std::string &Text) {
+  std::map<std::string, int64_t> Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Space = Line.rfind(' ');
+    if (Space == std::string::npos)
+      continue;
+    std::string Key = Line.substr(0, Space);
+    std::string Val = Line.substr(Space + 1);
+    int64_t V = 0;
+    if (Val.rfind("0x", 0) == 0)
+      V = int64_t(strtoull(Val.c_str() + 2, nullptr, 16));
+    else
+      V = strtoll(Val.c_str(), nullptr, 10);
+    Out[Key] = V;
+  }
+  return Out;
+}
+
+/// Ground truth computed from the simulator's reference trace. Counting
+/// stops when control reaches __exit: that is where ProgramAfter hooks
+/// print the tool reports, so events in the shutdown path (the exit
+/// syscall itself, __exit's instructions) are after the measurement
+/// window by construction.
+struct OracleRun {
+  sim::Stats Stats; ///< Event counts within the measurement window.
+  std::string Stdout;
+  uint64_t SizedRefs = 0;   ///< loads/stores with access size > 1
+  uint64_t MallocCalls = 0; ///< dynamic bsr executions targeting malloc
+};
+
+OracleRun runOracle(const obj::Executable &App) {
+  OracleRun O;
+  sim::Machine M(App);
+  int MallocSym = App.findSymbol("malloc");
+  uint64_t MallocAddr =
+      MallocSym >= 0 ? App.Symbols[size_t(MallocSym)].Value : 0;
+  int ExitSym = App.findSymbol("__exit");
+  uint64_t ExitAddr = ExitSym >= 0 ? App.Symbols[size_t(ExitSym)].Value : 0;
+  bool Done = false;
+  M.setTraceHook([&](const sim::TraceEvent &E) {
+    if (Done || (ExitAddr && E.PC == ExitAddr)) {
+      Done = true;
+      return;
+    }
+    ++O.Stats.Instructions;
+    if (isa::isLoad(E.I.Op))
+      ++O.Stats.Loads;
+    if (isa::isStore(E.I.Op))
+      ++O.Stats.Stores;
+    if (isa::isCondBranch(E.I.Op)) {
+      ++O.Stats.CondBranches;
+      if (E.Taken)
+        ++O.Stats.TakenBranches;
+    }
+    if (isa::isCall(E.I.Op))
+      ++O.Stats.Calls;
+    if (E.I.Op == isa::Opcode::Callsys)
+      ++O.Stats.Syscalls;
+    if (isa::isMemRef(E.I.Op)) {
+      unsigned Size = isa::memAccessSize(E.I.Op);
+      if (Size > 1)
+        ++O.SizedRefs;
+      if (E.EffAddr & (Size - 1))
+        ++O.Stats.UnalignedAccesses;
+    }
+    if (E.I.Op == isa::Opcode::Bsr && MallocAddr) {
+      uint64_t Target = E.PC + 4 + uint64_t(int64_t(E.I.Disp)) * 4;
+      if (Target == MallocAddr)
+        ++O.MallocCalls;
+    }
+  });
+  sim::RunResult R = M.run();
+  EXPECT_EQ(R.Status, sim::RunStatus::Exited);
+  O.Stdout = M.vfs().stdoutText();
+  return O;
+}
+
+/// Runs tool \p ToolName on workload \p WorkloadName; returns the parsed
+/// report plus the oracle of the uninstrumented run.
+struct ToolRun {
+  std::map<std::string, int64_t> Report;
+  OracleRun Oracle;
+  std::string RawReport;
+  sim::Stats InstrStats;
+};
+
+ToolRun runTool(const char *ToolName, const char *WorkloadName,
+                AtomOptions Opts = AtomOptions()) {
+  const Tool *T = tools::findTool(ToolName);
+  const workloads::Workload *W = workloads::findWorkload(WorkloadName);
+  EXPECT_NE(T, nullptr);
+  EXPECT_NE(W, nullptr);
+  obj::Executable App = buildOrDie(W->Source);
+
+  ToolRun TR;
+  TR.Oracle = runOracle(App);
+
+  InstrumentedProgram Out = instrumentOrDie(App, *T, Opts);
+  sim::Machine M(Out.Exe);
+  sim::RunResult R = M.run();
+  EXPECT_TRUE(R.exitedWith(0)) << R.FaultMessage;
+  EXPECT_EQ(M.vfs().stdoutText(), TR.Oracle.Stdout);
+  TR.RawReport = M.vfs().fileContents(std::string(ToolName) + ".out");
+  TR.Report = parseReport(TR.RawReport);
+  TR.InstrStats = M.stats();
+  return TR;
+}
+
+//===----------------------------------------------------------------------===//
+// branch
+//===----------------------------------------------------------------------===//
+
+class BranchOracle : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BranchOracle, CountsMatchSimulator) {
+  ToolRun TR = runTool("branch", GetParam());
+  EXPECT_EQ(uint64_t(TR.Report["taken"]), TR.Oracle.Stats.TakenBranches);
+  EXPECT_EQ(uint64_t(TR.Report["taken"] + TR.Report["nottaken"]),
+            TR.Oracle.Stats.CondBranches);
+  // A 2-bit predictor must beat always-wrong and can't beat perfect.
+  EXPECT_GE(TR.Report["mispredicted"], 0);
+  EXPECT_LE(uint64_t(TR.Report["mispredicted"]),
+            TR.Oracle.Stats.CondBranches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BranchOracle,
+                         ::testing::Values("fib", "qsort", "sieve",
+                                           "dijkstra"));
+
+TEST(BranchPredictor, LearnsLoopBranches) {
+  // A long-running loop branch is highly predictable: misprediction rate
+  // must be far below 50%.
+  ToolRun TR = runTool("branch", "crc");
+  double Total = double(TR.Report["taken"] + TR.Report["nottaken"]);
+  EXPECT_LT(double(TR.Report["mispredicted"]), 0.25 * Total)
+      << TR.RawReport;
+}
+
+//===----------------------------------------------------------------------===//
+// cache
+//===----------------------------------------------------------------------===//
+
+class CacheOracle : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CacheOracle, ReferencesMatchSimulator) {
+  ToolRun TR = runTool("cache", GetParam());
+  EXPECT_EQ(uint64_t(TR.Report["references"]),
+            TR.Oracle.Stats.Loads + TR.Oracle.Stats.Stores);
+  EXPECT_EQ(TR.Report["references"],
+            TR.Report["hits"] + TR.Report["misses"]);
+  EXPECT_GT(TR.Report["hits"], 0);
+  EXPECT_GT(TR.Report["misses"], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CacheOracle,
+                         ::testing::Values("matmul", "list", "crc"));
+
+TEST(CacheModel, SequentialScanHasHighHitRate) {
+  // crc streams sequentially over 16 KB: with 32-byte lines the miss rate
+  // on data accesses should be low.
+  ToolRun TR = runTool("cache", "crc");
+  EXPECT_GT(TR.Report["hits"], TR.Report["misses"] * 3) << TR.RawReport;
+}
+
+//===----------------------------------------------------------------------===//
+// dyninst
+//===----------------------------------------------------------------------===//
+
+class DyninstOracle : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DyninstOracle, DynamicCountsMatchSimulator) {
+  ToolRun TR = runTool("dyninst", GetParam());
+  EXPECT_EQ(uint64_t(TR.Report["dynamic-insts"]),
+            TR.Oracle.Stats.Instructions);
+  EXPECT_EQ(uint64_t(TR.Report["dynamic-memrefs"]),
+            TR.Oracle.Stats.Loads + TR.Oracle.Stats.Stores);
+  EXPECT_GT(TR.Report["blocks-executed"], 0);
+  EXPECT_LE(TR.Report["blocks-executed"], TR.Report["blocks"]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DyninstOracle,
+                         ::testing::Values("fib", "bubble", "fft"));
+
+//===----------------------------------------------------------------------===//
+// unalign
+//===----------------------------------------------------------------------===//
+
+TEST(UnalignOracle, FindsExactlyTheUnalignedAccesses) {
+  ToolRun TR = runTool("unalign", "unaligned");
+  EXPECT_EQ(uint64_t(TR.Report["accesses"]), TR.Oracle.SizedRefs);
+  EXPECT_EQ(uint64_t(TR.Report["unaligned"]),
+            TR.Oracle.Stats.UnalignedAccesses);
+  EXPECT_GT(TR.Report["unaligned"], 0);
+  EXPECT_GT(TR.Report["first-unaligned-pc"], 0);
+}
+
+TEST(UnalignOracle, CleanWorkloadHasNone) {
+  ToolRun TR = runTool("unalign", "sieve");
+  EXPECT_EQ(TR.Report["unaligned"], 0) << TR.RawReport;
+  EXPECT_EQ(uint64_t(TR.Report["accesses"]), TR.Oracle.SizedRefs);
+}
+
+//===----------------------------------------------------------------------===//
+// syscall
+//===----------------------------------------------------------------------===//
+
+TEST(SyscallOracle, TotalsMatchSimulator) {
+  ToolRun TR = runTool("syscall", "iobound");
+  EXPECT_EQ(uint64_t(TR.Report["syscalls"]), TR.Oracle.Stats.Syscalls);
+  // iobound opens, writes repeatedly, closes. The exit syscall happens
+  // after the ProgramAfter report is printed, so it is not in the report.
+  EXPECT_EQ(TR.Report["sysno 4 count"], 1);  // open
+  EXPECT_EQ(TR.Report["sysno 5 count"], 1);  // close
+  EXPECT_GT(TR.Report["sysno 3 count"], 10); // write
+  EXPECT_EQ(TR.Report["sysno 1 count"], 0);  // exit: post-report
+}
+
+//===----------------------------------------------------------------------===//
+// malloc
+//===----------------------------------------------------------------------===//
+
+TEST(MallocOracle, CountsEveryAllocation) {
+  ToolRun TR = runTool("malloc", "mallocmix");
+  EXPECT_EQ(uint64_t(TR.Report["calls"]), TR.Oracle.MallocCalls);
+  EXPECT_EQ(TR.Report["calls"], 1024); // 4 rounds x 256 allocations
+  EXPECT_GT(TR.Report["bytes"], 1024 * 8);
+}
+
+TEST(MallocOracle, HistogramCoversAllCalls) {
+  ToolRun TR = runTool("malloc", "hash");
+  int64_t HistTotal = 0;
+  for (const auto &[K, V] : TR.Report)
+    if (K.rfind("class ", 0) == 0)
+      HistTotal += V;
+  EXPECT_EQ(HistTotal, TR.Report["calls"]) << TR.RawReport;
+  EXPECT_EQ(uint64_t(TR.Report["calls"]), TR.Oracle.MallocCalls);
+}
+
+//===----------------------------------------------------------------------===//
+// io
+//===----------------------------------------------------------------------===//
+
+TEST(IoOracle, ByteCountsMatchOutput) {
+  ToolRun TR = runTool("io", "iobound");
+  // Everything requested was written, and it equals stdout + the file.
+  EXPECT_EQ(TR.Report["bytes-requested"], TR.Report["bytes-written"]);
+  sim::Machine M(buildOrDie(workloads::findWorkload("iobound")->Source));
+  ASSERT_TRUE(M.run().exitedWith(0));
+  int64_t Expected = int64_t(M.vfs().stdoutText().size() +
+                             M.vfs().fileContents("iobound.tmp").size());
+  EXPECT_EQ(TR.Report["bytes-written"], Expected);
+  EXPECT_GT(TR.Report["write-calls"], 100);
+}
+
+//===----------------------------------------------------------------------===//
+// pipe
+//===----------------------------------------------------------------------===//
+
+class PipeOracle : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PipeOracle, CycleAccounting) {
+  ToolRun TR = runTool("pipe", GetParam());
+  EXPECT_EQ(uint64_t(TR.Report["insts"]), TR.Oracle.Stats.Instructions);
+  EXPECT_GE(TR.Report["cycles"], TR.Report["insts"]);
+  EXPECT_EQ(TR.Report["stalls"], TR.Report["cycles"] - TR.Report["insts"]);
+  EXPECT_GE(TR.Report["cpi-x100"], 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PipeOracle,
+                         ::testing::Values("matmul", "bitops"));
+
+//===----------------------------------------------------------------------===//
+// prof / gprof
+//===----------------------------------------------------------------------===//
+
+TEST(ProfOracle, TotalsMatchSimulator) {
+  ToolRun TR = runTool("prof", "fib");
+  EXPECT_EQ(uint64_t(TR.Report["total-insts"]),
+            TR.Oracle.Stats.Instructions);
+}
+
+TEST(GprofOracle, ArcsAndCalls) {
+  ToolRun TR = runTool("gprof", "fib");
+  // fib(18): fib is entered fib-call-count times; main once. Identify
+  // procs by scanning the report for plausible counts.
+  // The self-recursive arc for fib must dominate.
+  int64_t MaxArc = 0;
+  for (const auto &[K, V] : TR.Report)
+    if (K.rfind("arc ", 0) == 0)
+      MaxArc = std::max(MaxArc, V);
+  // fib(18) performs 8361 calls of fib total; 8360 of them recursive.
+  EXPECT_EQ(MaxArc, 8360) << TR.RawReport;
+}
+
+//===----------------------------------------------------------------------===//
+// inline
+//===----------------------------------------------------------------------===//
+
+TEST(InlineOracle, SiteCountsSumToDynamicCalls) {
+  ToolRun TR = runTool("inline", "tree");
+  // Sum of per-site counts == dynamic calls in the uninstrumented run.
+  int64_t Sum = 0;
+  std::istringstream In(TR.RawReport);
+  std::string Line;
+  bool SawCandidate = false;
+  while (std::getline(In, Line)) {
+    size_t P = Line.find("count ");
+    if (P == std::string::npos)
+      continue;
+    Sum += strtoll(Line.c_str() + P + 6, nullptr, 10);
+    if (Line.find("INLINE-CANDIDATE") != std::string::npos)
+      SawCandidate = true;
+  }
+  EXPECT_EQ(uint64_t(Sum), TR.Oracle.Stats.Calls) << TR.RawReport;
+  EXPECT_TRUE(SawCandidate) << TR.RawReport;
+}
+
+//===----------------------------------------------------------------------===//
+// Suite shape (Figure 5's tool list)
+//===----------------------------------------------------------------------===//
+
+TEST(ToolSuite, MatchesThePaper) {
+  const char *Expected[] = {"branch", "cache", "dyninst", "gprof",
+                            "inline", "io",    "malloc",  "pipe",
+                            "prof",   "syscall", "unalign"};
+  ASSERT_EQ(tools::allTools().size(), 11u);
+  for (size_t I = 0; I < 11; ++I)
+    EXPECT_EQ(tools::allTools()[I].Name, Expected[I]);
+  EXPECT_EQ(tools::findTool("nope"), nullptr);
+}
+
+} // namespace

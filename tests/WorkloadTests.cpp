@@ -1,0 +1,78 @@
+//===- tests/WorkloadTests.cpp - The 20 synthetic workloads ---------------===//
+
+#include "TestUtil.h"
+
+#include "workloads/Workloads.h"
+
+using namespace atom;
+using namespace atom::test;
+using namespace atom::workloads;
+
+namespace {
+
+class WorkloadRun : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadRun, RunsCleanly) {
+  const Workload &W = GetParam();
+  obj::Executable Exe = buildOrDie(W.Source);
+  sim::Machine M(Exe);
+  sim::RunResult R = M.run();
+  ASSERT_EQ(R.Status, sim::RunStatus::Exited)
+      << W.Name << ": " << R.FaultMessage << " at 0x" << std::hex
+      << R.FaultPC;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_FALSE(M.vfs().stdoutText().empty())
+      << W.Name << " produced no output";
+  if (W.ExpectedStdout && *W.ExpectedStdout)
+    EXPECT_EQ(M.vfs().stdoutText(), W.ExpectedStdout);
+  // Each workload must do a nontrivial amount of work for the Figure 6
+  // ratios to be meaningful, but stay small enough for the test matrix.
+  EXPECT_GT(M.stats().Instructions, 10000u) << W.Name;
+  EXPECT_LT(M.stats().Instructions, 20'000'000u) << W.Name;
+}
+
+TEST_P(WorkloadRun, Deterministic) {
+  const Workload &W = GetParam();
+  obj::Executable Exe = buildOrDie(W.Source);
+  RunOutcome A = runProgram(Exe);
+  RunOutcome B = runProgram(Exe);
+  EXPECT_EQ(A.Stdout, B.Stdout) << W.Name;
+  EXPECT_EQ(A.Instructions, B.Instructions) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadRun,
+                         ::testing::ValuesIn(allWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &I) {
+                           return I.param.Name;
+                         });
+
+TEST(Workloads, SuiteShape) {
+  // The paper instruments 20 SPEC92 programs.
+  EXPECT_EQ(allWorkloads().size(), 20u);
+  EXPECT_NE(findWorkload("fib"), nullptr);
+  EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+TEST(Workloads, CoverToolDimensions) {
+  // The suite must exercise what the tools measure: unaligned accesses,
+  // file I/O, and heap allocation.
+  {
+    obj::Executable Exe = buildOrDie(findWorkload("unaligned")->Source);
+    sim::Machine M(Exe);
+    ASSERT_TRUE(M.run().exitedWith(0));
+    EXPECT_GT(M.stats().UnalignedAccesses, 100u);
+  }
+  {
+    obj::Executable Exe = buildOrDie(findWorkload("iobound")->Source);
+    sim::Machine M(Exe);
+    ASSERT_TRUE(M.run().exitedWith(0));
+    EXPECT_FALSE(M.vfs().fileContents("iobound.tmp").empty());
+  }
+  {
+    obj::Executable Exe = buildOrDie(findWorkload("mallocmix")->Source);
+    sim::Machine M(Exe);
+    ASSERT_TRUE(M.run().exitedWith(0));
+  }
+}
+
+} // namespace
