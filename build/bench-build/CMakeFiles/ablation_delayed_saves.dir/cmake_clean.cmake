@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_delayed_saves"
+  "../bench/ablation_delayed_saves.pdb"
+  "CMakeFiles/ablation_delayed_saves.dir/ablation_delayed_saves.cpp.o"
+  "CMakeFiles/ablation_delayed_saves.dir/ablation_delayed_saves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delayed_saves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

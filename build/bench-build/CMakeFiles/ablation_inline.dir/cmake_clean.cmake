@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inline"
+  "../bench/ablation_inline.pdb"
+  "CMakeFiles/ablation_inline.dir/ablation_inline.cpp.o"
+  "CMakeFiles/ablation_inline.dir/ablation_inline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regsave"
+  "../bench/ablation_regsave.pdb"
+  "CMakeFiles/ablation_regsave.dir/ablation_regsave.cpp.o"
+  "CMakeFiles/ablation_regsave.dir/ablation_regsave.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regsave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wrapper"
+  "../bench/ablation_wrapper.pdb"
+  "CMakeFiles/ablation_wrapper.dir/ablation_wrapper.cpp.o"
+  "CMakeFiles/ablation_wrapper.dir/ablation_wrapper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/arg_setup_cost"
+  "../bench/arg_setup_cost.pdb"
+  "CMakeFiles/arg_setup_cost.dir/arg_setup_cost.cpp.o"
+  "CMakeFiles/arg_setup_cost.dir/arg_setup_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arg_setup_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

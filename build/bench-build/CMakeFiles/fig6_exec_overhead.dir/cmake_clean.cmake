@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_exec_overhead"
+  "../bench/fig6_exec_overhead.pdb"
+  "CMakeFiles/fig6_exec_overhead.dir/fig6_exec_overhead.cpp.o"
+  "CMakeFiles/fig6_exec_overhead.dir/fig6_exec_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_exec_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom.dir/atom.cpp.o"
+  "CMakeFiles/atom.dir/atom.cpp.o.d"
+  "atom"
+  "atom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

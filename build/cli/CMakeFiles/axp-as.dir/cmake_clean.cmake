@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axp-as.dir/axp-as.cpp.o"
+  "CMakeFiles/axp-as.dir/axp-as.cpp.o.d"
+  "axp-as"
+  "axp-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axp-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

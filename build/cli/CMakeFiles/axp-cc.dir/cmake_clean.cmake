@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axp-cc.dir/axp-cc.cpp.o"
+  "CMakeFiles/axp-cc.dir/axp-cc.cpp.o.d"
+  "axp-cc"
+  "axp-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axp-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axp-ld.dir/axp-ld.cpp.o"
+  "CMakeFiles/axp-ld.dir/axp-ld.cpp.o.d"
+  "axp-ld"
+  "axp-ld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axp-ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axp-objdump.dir/axp-objdump.cpp.o"
+  "CMakeFiles/axp-objdump.dir/axp-objdump.cpp.o.d"
+  "axp-objdump"
+  "axp-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axp-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

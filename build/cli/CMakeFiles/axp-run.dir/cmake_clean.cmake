@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axp-run.dir/axp-run.cpp.o"
+  "CMakeFiles/axp-run.dir/axp-run.cpp.o.d"
+  "axp-run"
+  "axp-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axp-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

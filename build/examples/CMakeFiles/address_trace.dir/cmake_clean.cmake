@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_trace.dir/address_trace.cpp.o"
+  "CMakeFiles/address_trace.dir/address_trace.cpp.o.d"
+  "address_trace"
+  "address_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_histogram.dir/memory_histogram.cpp.o"
+  "CMakeFiles/memory_histogram.dir/memory_histogram.cpp.o.d"
+  "memory_histogram"
+  "memory_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

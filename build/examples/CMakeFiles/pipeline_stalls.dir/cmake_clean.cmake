@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stalls.dir/pipeline_stalls.cpp.o"
+  "CMakeFiles/pipeline_stalls.dir/pipeline_stalls.cpp.o.d"
+  "pipeline_stalls"
+  "pipeline_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/Assembler.cpp" "src/CMakeFiles/atomlib.dir/asm/Assembler.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/asm/Assembler.cpp.o.d"
+  "/root/repo/src/atom/Api.cpp" "src/CMakeFiles/atomlib.dir/atom/Api.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/atom/Api.cpp.o.d"
+  "/root/repo/src/atom/Driver.cpp" "src/CMakeFiles/atomlib.dir/atom/Driver.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/atom/Driver.cpp.o.d"
+  "/root/repo/src/atom/Engine.cpp" "src/CMakeFiles/atomlib.dir/atom/Engine.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/atom/Engine.cpp.o.d"
+  "/root/repo/src/isa/ConstantSynth.cpp" "src/CMakeFiles/atomlib.dir/isa/ConstantSynth.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/isa/ConstantSynth.cpp.o.d"
+  "/root/repo/src/isa/Isa.cpp" "src/CMakeFiles/atomlib.dir/isa/Isa.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/isa/Isa.cpp.o.d"
+  "/root/repo/src/link/Linker.cpp" "src/CMakeFiles/atomlib.dir/link/Linker.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/link/Linker.cpp.o.d"
+  "/root/repo/src/mcc/CodeGen.cpp" "src/CMakeFiles/atomlib.dir/mcc/CodeGen.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/mcc/CodeGen.cpp.o.d"
+  "/root/repo/src/mcc/Compiler.cpp" "src/CMakeFiles/atomlib.dir/mcc/Compiler.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/mcc/Compiler.cpp.o.d"
+  "/root/repo/src/mcc/Lexer.cpp" "src/CMakeFiles/atomlib.dir/mcc/Lexer.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/mcc/Lexer.cpp.o.d"
+  "/root/repo/src/mcc/Parser.cpp" "src/CMakeFiles/atomlib.dir/mcc/Parser.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/mcc/Parser.cpp.o.d"
+  "/root/repo/src/mcc/Sema.cpp" "src/CMakeFiles/atomlib.dir/mcc/Sema.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/mcc/Sema.cpp.o.d"
+  "/root/repo/src/obj/ObjectModule.cpp" "src/CMakeFiles/atomlib.dir/obj/ObjectModule.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/obj/ObjectModule.cpp.o.d"
+  "/root/repo/src/om/DataFlow.cpp" "src/CMakeFiles/atomlib.dir/om/DataFlow.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/DataFlow.cpp.o.d"
+  "/root/repo/src/om/Layout.cpp" "src/CMakeFiles/atomlib.dir/om/Layout.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/Layout.cpp.o.d"
+  "/root/repo/src/om/Lift.cpp" "src/CMakeFiles/atomlib.dir/om/Lift.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/Lift.cpp.o.d"
+  "/root/repo/src/om/Liveness.cpp" "src/CMakeFiles/atomlib.dir/om/Liveness.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/Liveness.cpp.o.d"
+  "/root/repo/src/om/Program.cpp" "src/CMakeFiles/atomlib.dir/om/Program.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/Program.cpp.o.d"
+  "/root/repo/src/om/Rename.cpp" "src/CMakeFiles/atomlib.dir/om/Rename.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/om/Rename.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/atomlib.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/CMakeFiles/atomlib.dir/sim/Machine.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/sim/Machine.cpp.o.d"
+  "/root/repo/src/sim/Syscalls.cpp" "src/CMakeFiles/atomlib.dir/sim/Syscalls.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/sim/Syscalls.cpp.o.d"
+  "/root/repo/src/support/Support.cpp" "src/CMakeFiles/atomlib.dir/support/Support.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/support/Support.cpp.o.d"
+  "/root/repo/src/tools/Tools.cpp" "src/CMakeFiles/atomlib.dir/tools/Tools.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/tools/Tools.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/atomlib.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/atomlib.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atomlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AsmLinkTests.cpp" "tests/CMakeFiles/atom_tests.dir/AsmLinkTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/AsmLinkTests.cpp.o.d"
+  "/root/repo/tests/AtomTests.cpp" "tests/CMakeFiles/atom_tests.dir/AtomTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/AtomTests.cpp.o.d"
+  "/root/repo/tests/CliTests.cpp" "tests/CMakeFiles/atom_tests.dir/CliTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/CliTests.cpp.o.d"
+  "/root/repo/tests/IsaTests.cpp" "tests/CMakeFiles/atom_tests.dir/IsaTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/IsaTests.cpp.o.d"
+  "/root/repo/tests/MccPropertyTests.cpp" "tests/CMakeFiles/atom_tests.dir/MccPropertyTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/MccPropertyTests.cpp.o.d"
+  "/root/repo/tests/MccTests.cpp" "tests/CMakeFiles/atom_tests.dir/MccTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/MccTests.cpp.o.d"
+  "/root/repo/tests/OmTests.cpp" "tests/CMakeFiles/atom_tests.dir/OmTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/OmTests.cpp.o.d"
+  "/root/repo/tests/SimTests.cpp" "tests/CMakeFiles/atom_tests.dir/SimTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/SimTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/atom_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/ToolsTests.cpp" "tests/CMakeFiles/atom_tests.dir/ToolsTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/ToolsTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/atom_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/atom_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atomlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

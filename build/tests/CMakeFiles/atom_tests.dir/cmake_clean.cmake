@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_tests.dir/AsmLinkTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/AsmLinkTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/AtomTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/AtomTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/CliTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/CliTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/IsaTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/IsaTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/MccPropertyTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/MccPropertyTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/MccTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/MccTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/OmTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/OmTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/SimTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/SimTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/SupportTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/SupportTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/ToolsTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/ToolsTests.cpp.o.d"
+  "CMakeFiles/atom_tests.dir/WorkloadTests.cpp.o"
+  "CMakeFiles/atom_tests.dir/WorkloadTests.cpp.o.d"
+  "atom_tests"
+  "atom_tests.pdb"
+  "atom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
