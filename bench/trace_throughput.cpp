@@ -1,0 +1,167 @@
+//===- bench/trace_throughput.cpp - ATF encode/decode throughput ----------===//
+//
+// How fast is the trace subsystem itself? Two measurements:
+//
+//   synthetic  a generated event stream with realistic kind mix and PC
+//              locality, encoded and decoded in memory — the raw codec
+//              ceiling, reported in events/s and MB/s of encoded payload.
+//   recorded   real workload traces from the simulator sink, decoded and
+//              replayed through the offline cache model — the analyze-many
+//              half of the record-once workflow.
+//
+// Also prints bytes/event, the figure that justifies the delta+varint
+// encoding (sequential plain events should cost about one byte).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "trace/Replay.h"
+#include "trace/TraceSink.h"
+
+#include <random>
+
+using namespace atom;
+using namespace atom::bench;
+using namespace atom::trace;
+
+namespace {
+
+std::vector<Event> syntheticStream(size_t N) {
+  std::mt19937_64 Rng(42);
+  std::vector<Event> Events;
+  Events.reserve(N);
+  uint64_t PC = 0x120000000, Addr = 0x140000000;
+  while (Events.size() < N) {
+    // A "basic block": a few plain ops, some memory traffic, a branch.
+    unsigned Len = 3 + unsigned(Rng() % 8);
+    for (unsigned I = 0; I < Len && Events.size() < N; ++I) {
+      Event E;
+      E.PC = PC;
+      PC += 4;
+      unsigned Dice = unsigned(Rng() % 10);
+      if (Dice < 2) {
+        E.Kind = EventKind::Load;
+        Addr += int64_t(Rng() % 256) - 64;
+        E.Addr = Addr;
+        E.Size = 8;
+      } else if (Dice < 3) {
+        E.Kind = EventKind::Store;
+        E.Addr = Addr + Rng() % 4096;
+        E.Size = 8;
+      }
+      Events.push_back(E);
+    }
+    if (Events.size() < N) {
+      Event E;
+      E.Kind = EventKind::CondBranch;
+      E.PC = PC;
+      E.Taken = Rng() % 4 != 0;
+      if (E.Taken)
+        PC = PC - 4 * (Rng() % 64);
+      else
+        PC += 4;
+      Events.push_back(E);
+    }
+  }
+  return Events;
+}
+
+void reportRate(const char *What, uint64_t Events, uint64_t Bytes,
+                double Seconds) {
+  std::printf("%-22s %9.1f Mevents/s %9.1f MB/s  (%llu events, "
+              "%.2f bytes/event, %.3fs)\n",
+              What, double(Events) / Seconds / 1e6,
+              double(Bytes) / Seconds / 1e6, (unsigned long long)Events,
+              double(Bytes) / double(Events), Seconds);
+}
+
+} // namespace
+
+int main() {
+  // --- Synthetic stream: codec ceiling. ---
+  const size_t N = 4'000'000;
+  std::vector<Event> Events = syntheticStream(N);
+
+  Stopwatch Encode;
+  AtfWriter W;
+  for (const Event &E : Events)
+    W.append(E);
+  std::vector<uint8_t> Bytes = W.finish();
+  double EncodeSec = Encode.seconds();
+
+  AtfReader R;
+  if (R.open(Bytes) != AtfReader::Error::None) {
+    std::fprintf(stderr, "self-encoded trace failed to open\n");
+    return 1;
+  }
+  Stopwatch Decode;
+  uint64_t Decoded = 0;
+  if (!R.forEach([&](const Event &) {
+        ++Decoded;
+        return true;
+      })) {
+    std::fprintf(stderr, "self-encoded trace failed to decode\n");
+    return 1;
+  }
+  double DecodeSec = Decode.seconds();
+  if (Decoded != Events.size()) {
+    std::fprintf(stderr, "decode returned %llu of %zu events\n",
+                 (unsigned long long)Decoded, Events.size());
+    return 1;
+  }
+
+  std::printf("ATF throughput (payload %llu bytes for %zu events)\n",
+              (unsigned long long)R.stat().PayloadBytes, Events.size());
+  reportRate("synthetic encode", Events.size(), R.stat().PayloadBytes,
+             EncodeSec);
+  reportRate("synthetic decode", Decoded, R.stat().PayloadBytes, DecodeSec);
+
+  // --- Recorded workload traces: decode + cache replay. ---
+  std::printf("\nrecorded workload traces (simulator sink, window to "
+              "__exit)\n");
+  for (const char *Name : {"crc", "qsort", "matmul"}) {
+    const workloads::Workload *WL = workloads::findWorkload(Name);
+    if (!WL) {
+      std::fprintf(stderr, "missing workload %s\n", Name);
+      return 1;
+    }
+    DiagEngine Diags;
+    obj::Executable App;
+    if (!buildApplication(WL->Source, App, Diags)) {
+      std::fprintf(stderr, "%s failed to build:\n%s", Name,
+                   Diags.str().c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Atf;
+    sim::RunResult Run;
+    Stopwatch Record;
+    if (!recordTrace(App, /*FullRun=*/false, Atf, Run, Diags)) {
+      std::fprintf(stderr, "%s failed to record:\n%s", Name,
+                   Diags.str().c_str());
+      return 1;
+    }
+    double RecordSec = Record.seconds();
+
+    AtfReader WR;
+    if (WR.open(Atf) != AtfReader::Error::None) {
+      std::fprintf(stderr, "%s: recorded trace failed to open\n", Name);
+      return 1;
+    }
+    Stopwatch Replay;
+    CacheReplayResult Cache;
+    if (!replayCache(WR, Cache)) {
+      std::fprintf(stderr, "%s: replay failed\n", Name);
+      return 1;
+    }
+    double ReplaySec = Replay.seconds();
+
+    std::string Label = std::string(Name) + " record";
+    reportRate(Label.c_str(), WR.stat().EventCount, WR.stat().PayloadBytes,
+               RecordSec);
+    Label = std::string(Name) + " cache replay";
+    reportRate(Label.c_str(), WR.stat().EventCount, WR.stat().PayloadBytes,
+               ReplaySec);
+  }
+  return 0;
+}

@@ -1,0 +1,205 @@
+//===- cli/axp-trace.cpp - Record, inspect, and replay ATF traces ---------===//
+//
+//   axp-trace record <prog.exe> -o <trace.atf> [--tool] [--full]
+//   axp-trace stat   <trace.atf>
+//   axp-trace dump   <trace.atf> [--limit N]
+//   axp-trace replay <cache|branch> <trace.atf>
+//
+// record runs the executable on the simulator with an ATF sink attached
+// (or, with --tool, instruments it with the `trace` ATOM tool and converts
+// the recorded raw stream); --full keeps recording past __exit instead of
+// stopping at the measurement-window boundary. replay feeds the trace to
+// an offline analyzer and prints the same report the live tool writes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "trace/Replay.h"
+#include "trace/TraceSink.h"
+#include "trace/TraceTool.h"
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: axp-trace record <prog.exe> -o <trace.atf>"
+               " [--tool] [--full]\n"
+               "       axp-trace stat   <trace.atf>\n"
+               "       axp-trace dump   <trace.atf> [--limit N]\n"
+               "       axp-trace replay <cache|branch> <trace.atf>\n");
+  std::exit(2);
+}
+
+static trace::AtfReader openOrDie(const std::vector<uint8_t> &Bytes,
+                                  const std::string &Path) {
+  trace::AtfReader R;
+  if (R.open(Bytes) != trace::AtfReader::Error::None)
+    die("'" + Path + "': " + trace::AtfReader::errorString(R.error()));
+  return R;
+}
+
+static int cmdRecord(const std::vector<std::string> &Args) {
+  std::string Input, Output;
+  bool ViaTool = false, FullRun = false;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A == "-o" && I + 1 < Args.size())
+      Output = Args[++I];
+    else if (A == "--tool")
+      ViaTool = true;
+    else if (A == "--full")
+      FullRun = true;
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty() || Output.empty() || (ViaTool && FullRun))
+    usage();
+
+  obj::Executable App = loadExecutable(Input);
+  DiagEngine Diags;
+  std::vector<uint8_t> Atf;
+  sim::RunResult Run;
+  bool Ok = ViaTool
+                ? trace::recordTraceViaTool(App, trace::ToolRecordOptions(),
+                                            Atf, Run, Diags)
+                : trace::recordTrace(App, FullRun, Atf, Run, Diags);
+  if (!Ok)
+    dieWithDiags("recording failed", Diags);
+  if (!writeFile(Output, Atf))
+    die("cannot write '" + Output + "'");
+
+  trace::AtfReader R = openOrDie(Atf, Output);
+  std::fprintf(stderr, "axp-trace: %llu events, %llu blocks, %llu bytes\n",
+               (unsigned long long)R.stat().EventCount,
+               (unsigned long long)R.stat().BlockCount,
+               (unsigned long long)R.stat().FileBytes);
+  return 0;
+}
+
+static int cmdStat(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Args[0], Bytes))
+    die("cannot read '" + Args[0] + "'");
+  trace::AtfReader R = openOrDie(Bytes, Args[0]);
+  const trace::AtfStat &S = R.stat();
+  std::printf("version %u\nevents %llu\nblocks %llu\n"
+              "payload-bytes %llu\nfile-bytes %llu\n"
+              "static-cond-branches %llu\n",
+              unsigned(S.Version), (unsigned long long)S.EventCount,
+              (unsigned long long)S.BlockCount,
+              (unsigned long long)S.PayloadBytes,
+              (unsigned long long)S.FileBytes,
+              (unsigned long long)S.StaticCondBranches);
+  for (unsigned K = 0; K < trace::NumEventKinds; ++K)
+    std::printf("%s %llu\n", trace::eventKindName(trace::EventKind(K)),
+                (unsigned long long)S.KindCounts[K]);
+  if (S.EventCount)
+    std::printf("bytes-per-event %.3f\n",
+                double(S.PayloadBytes) / double(S.EventCount));
+  return 0;
+}
+
+static int cmdDump(const std::vector<std::string> &Args) {
+  std::string Input;
+  uint64_t Limit = ~0ULL;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A == "--limit" && I + 1 < Args.size())
+      Limit = strtoull(Args[++I].c_str(), nullptr, 0);
+    else if (!A.empty() && A[0] == '-')
+      usage();
+    else if (Input.empty())
+      Input = A;
+    else
+      usage();
+  }
+  if (Input.empty())
+    usage();
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Input, Bytes))
+    die("cannot read '" + Input + "'");
+  trace::AtfReader R = openOrDie(Bytes, Input);
+  uint64_t N = 0;
+  bool Ok = R.forEach([&](const trace::Event &E) {
+    if (N >= Limit)
+      return false;
+    ++N;
+    std::printf("0x%08llx %s", (unsigned long long)E.PC,
+                trace::eventKindName(E.Kind));
+    switch (E.Kind) {
+    case trace::EventKind::Load:
+    case trace::EventKind::Store:
+      std::printf(" addr=0x%llx size=%u", (unsigned long long)E.Addr,
+                  unsigned(E.Size));
+      break;
+    case trace::EventKind::CondBranch:
+      std::printf(" %s", E.Taken ? "taken" : "not-taken");
+      break;
+    case trace::EventKind::Call:
+      if (E.Target)
+        std::printf(" target=0x%llx", (unsigned long long)E.Target);
+      break;
+    case trace::EventKind::Syscall:
+      std::printf(" no=%llu", (unsigned long long)E.Sysno);
+      break;
+    default:
+      break;
+    }
+    std::printf("\n");
+    return true;
+  });
+  if (!Ok)
+    die("'" + Input + "': " + trace::AtfReader::errorString(R.error()));
+  return 0;
+}
+
+static int cmdReplay(const std::vector<std::string> &Args) {
+  if (Args.size() != 2)
+    usage();
+  const std::string &Model = Args[0];
+  std::vector<uint8_t> Bytes;
+  if (!readFile(Args[1], Bytes))
+    die("cannot read '" + Args[1] + "'");
+  trace::AtfReader R = openOrDie(Bytes, Args[1]);
+  std::string Report;
+  bool Ok = false;
+  if (Model == "cache") {
+    trace::CacheReplayResult Res;
+    Ok = trace::replayCache(R, Res);
+    Report = Res.report();
+  } else if (Model == "branch") {
+    trace::BranchReplayResult Res;
+    Ok = trace::replayBranch(R, Res);
+    Report = Res.report();
+  } else {
+    usage();
+  }
+  if (!Ok)
+    die("'" + Args[1] + "': " + trace::AtfReader::errorString(R.error()));
+  std::fputs(Report.c_str(), stdout);
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    usage();
+  std::string Cmd = argv[1];
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "record")
+    return cmdRecord(Args);
+  if (Cmd == "stat")
+    return cmdStat(Args);
+  if (Cmd == "dump")
+    return cmdDump(Args);
+  if (Cmd == "replay")
+    return cmdReplay(Args);
+  usage();
+}

@@ -186,6 +186,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
         ++St.Calls;
       setReg(I.Ra, NextPC);
       NextPC = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
+      if (Tracing)
+        Ev.EffAddr = NextPC;
       break;
 
     case Opcode::Beq:
@@ -228,6 +230,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
       uint64_t Target = Regs[I.Rb] & ~uint64_t(3);
       setReg(I.Ra, NextPC);
       NextPC = Target;
+      if (Tracing)
+        Ev.EffAddr = Target;
       break;
     }
 
@@ -286,6 +290,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
     case Opcode::Callsys: {
       ++St.Syscalls;
       uint64_t No = Regs[RegV0];
+      if (Tracing)
+        Ev.EffAddr = No;
       uint64_t A0 = Regs[RegA0], A1 = Regs[RegA1], A2 = Regs[RegA2];
       switch (No) {
       case SysExit: {

@@ -62,7 +62,9 @@ struct Stats {
 struct TraceEvent {
   uint64_t PC = 0;
   isa::Inst I;
-  uint64_t EffAddr = 0; ///< Loads/stores: effective address.
+  uint64_t EffAddr = 0; ///< Loads/stores: effective address. Branches and
+                        ///< jumps (br/bsr/jmp/jsr/ret): transfer target.
+                        ///< callsys: the syscall number.
   bool Taken = false;   ///< Conditional branches: taken?
 };
 

@@ -9,6 +9,8 @@
 
 #include "tools/Tools.h"
 
+#include "trace/TraceTool.h"
+
 #include <algorithm>
 
 using namespace atom;
@@ -838,5 +840,9 @@ const Tool *tools::findTool(const std::string &Name) {
   for (const Tool &T : allTools())
     if (T.Name == Name)
       return &T;
+  // The trace recorder is not part of the paper's Figure 5 suite, but it
+  // is addressable like any other tool.
+  if (Name == trace::traceTool().Name)
+    return &trace::traceTool();
   return nullptr;
 }

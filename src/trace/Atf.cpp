@@ -1,0 +1,408 @@
+//===- trace/Atf.cpp - ATF encode/decode ----------------------------------===//
+
+#include "trace/Atf.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace atom;
+using namespace atom::trace;
+
+//===----------------------------------------------------------------------===//
+// Wire constants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint8_t Magic[4] = {'A', 'T', 'F', '1'};
+constexpr uint16_t FormatVersion = 1;
+
+// Header layout (see Atf.h). Fixed 104 bytes.
+constexpr uint64_t HeaderSize = 104;
+constexpr uint64_t OffVersion = 4;
+constexpr uint64_t OffFlags = 6;
+constexpr uint64_t OffEventsPerBlock = 8;
+constexpr uint64_t OffEventCount = 16;
+constexpr uint64_t OffBlockCount = 24;
+constexpr uint64_t OffIndexOffset = 32;
+constexpr uint64_t OffStaticBranches = 40;
+constexpr uint64_t OffKindCounts = 48; // 7 x u64 -> ends at 104.
+
+// Block header: u32 payload size, u32 event count, u64 base PC, u64 base
+// address. 24 bytes, payload follows.
+constexpr uint64_t BlockHeaderSize = 24;
+
+// Index entry: u64 file offset, u64 first event index, u32 event count,
+// u32 payload size. 24 bytes.
+constexpr uint64_t IndexEntrySize = 24;
+
+// Tag byte: bits 0-2 kind, bit 3 sequential-PC, bits 4-7 kind-specific.
+constexpr uint8_t TagKindMask = 0x7;
+constexpr uint8_t TagSeqPC = 0x8;
+constexpr uint8_t TagTaken = 0x10;      // CondBranch
+constexpr uint8_t TagHasTarget = 0x10;  // Call
+constexpr unsigned TagSizeShift = 4;    // Load/Store: log2(size) in bits 4-5
+
+void put16(std::vector<uint8_t> &B, uint64_t Off, uint16_t V) {
+  B[Off] = uint8_t(V);
+  B[Off + 1] = uint8_t(V >> 8);
+}
+void put32(std::vector<uint8_t> &B, uint64_t Off, uint32_t V) {
+  for (unsigned I = 0; I < 4; ++I)
+    B[Off + I] = uint8_t(V >> (8 * I));
+}
+void put64(std::vector<uint8_t> &B, uint64_t Off, uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I)
+    B[Off + I] = uint8_t(V >> (8 * I));
+}
+uint16_t get16(const uint8_t *B) { return uint16_t(B[0] | (B[1] << 8)); }
+uint32_t get32(const uint8_t *B) {
+  uint32_t V = 0;
+  for (unsigned I = 0; I < 4; ++I)
+    V |= uint32_t(B[I]) << (8 * I);
+  return V;
+}
+uint64_t get64(const uint8_t *B) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    V |= uint64_t(B[I]) << (8 * I);
+  return V;
+}
+
+unsigned log2Size(uint8_t Size) {
+  switch (Size) {
+  case 2: return 1;
+  case 4: return 2;
+  case 8: return 3;
+  default: return 0;
+  }
+}
+
+} // namespace
+
+const char *trace::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Plain: return "plain";
+  case EventKind::Load: return "load";
+  case EventKind::Store: return "store";
+  case EventKind::CondBranch: return "cond-branch";
+  case EventKind::Call: return "call";
+  case EventKind::Return: return "return";
+  case EventKind::Syscall: return "syscall";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Varint primitives
+//===----------------------------------------------------------------------===//
+
+void trace::appendVarint(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(uint8_t(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(uint8_t(V));
+}
+
+uint64_t trace::zigzagEncode(int64_t V) {
+  return (uint64_t(V) << 1) ^ uint64_t(V >> 63);
+}
+
+int64_t trace::zigzagDecode(uint64_t V) {
+  return int64_t(V >> 1) ^ -int64_t(V & 1);
+}
+
+bool trace::readVarint(const uint8_t *Bytes, size_t &Pos, size_t End,
+                       uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  while (Pos < End && Shift < 70) {
+    uint8_t B = Bytes[Pos++];
+    V |= uint64_t(B & 0x7F) << Shift;
+    if (!(B & 0x80))
+      return true;
+    Shift += 7;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// AtfWriter
+//===----------------------------------------------------------------------===//
+
+AtfWriter::AtfWriter(uint32_t EventsPerBlock)
+    : EventsPerBlock(EventsPerBlock ? EventsPerBlock : 1) {}
+
+void AtfWriter::append(const Event &E) {
+  assert(!Finished && "append after finish()");
+  if (OpenEvents == 0) {
+    OpenBasePC = E.PC;
+    OpenBaseAddr = PrevAddr;
+    PrevPC = E.PC - 4; // First event of a block is "sequential" by design.
+  }
+
+  uint8_t Tag = uint8_t(E.Kind);
+  bool Seq = E.PC == PrevPC + 4;
+  if (Seq)
+    Tag |= TagSeqPC;
+  switch (E.Kind) {
+  case EventKind::Load:
+  case EventKind::Store:
+    Tag |= uint8_t(log2Size(E.Size) << TagSizeShift);
+    break;
+  case EventKind::CondBranch:
+    if (E.Taken)
+      Tag |= TagTaken;
+    break;
+  case EventKind::Call:
+    if (E.Target)
+      Tag |= TagHasTarget;
+    break;
+  default:
+    break;
+  }
+  Payload.push_back(Tag);
+  if (!Seq)
+    appendVarint(Payload,
+                 zigzagEncode((int64_t(E.PC) - int64_t(PrevPC + 4)) / 4));
+  switch (E.Kind) {
+  case EventKind::Load:
+  case EventKind::Store:
+    appendVarint(Payload,
+                 zigzagEncode(int64_t(E.Addr) - int64_t(PrevAddr)));
+    PrevAddr = E.Addr;
+    break;
+  case EventKind::Call:
+    if (E.Target)
+      appendVarint(Payload,
+                   zigzagEncode((int64_t(E.Target) - int64_t(E.PC + 4)) / 4));
+    break;
+  case EventKind::Syscall:
+    appendVarint(Payload, E.Sysno);
+    break;
+  default:
+    break;
+  }
+  PrevPC = E.PC;
+
+  ++KindCounts[size_t(E.Kind)];
+  ++EventCount;
+  if (++OpenEvents >= EventsPerBlock)
+    flushBlock();
+}
+
+void AtfWriter::flushBlock() {
+  if (OpenEvents == 0)
+    return;
+  IndexEntry Ent;
+  Ent.BlockOffset = Blocks.size();
+  Ent.FirstEvent = EventCount - OpenEvents;
+  Ent.EventCount = OpenEvents;
+  Ent.PayloadSize = uint32_t(Payload.size());
+  Index.push_back(Ent);
+
+  size_t HdrAt = Blocks.size();
+  Blocks.resize(Blocks.size() + BlockHeaderSize);
+  put32(Blocks, HdrAt, uint32_t(Payload.size()));
+  put32(Blocks, HdrAt + 4, OpenEvents);
+  put64(Blocks, HdrAt + 8, OpenBasePC);
+  put64(Blocks, HdrAt + 16, OpenBaseAddr);
+  Blocks.insert(Blocks.end(), Payload.begin(), Payload.end());
+
+  Payload.clear();
+  OpenEvents = 0;
+}
+
+std::vector<uint8_t> AtfWriter::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  flushBlock();
+
+  std::vector<uint8_t> Out(HeaderSize);
+  std::memcpy(Out.data(), Magic, 4);
+  put16(Out, OffVersion, FormatVersion);
+  put16(Out, OffFlags, 0);
+  put32(Out, OffEventsPerBlock, EventsPerBlock);
+  put64(Out, OffEventCount, EventCount);
+  put64(Out, OffBlockCount, Index.size());
+  put64(Out, OffStaticBranches, StaticCondBranches);
+  for (unsigned K = 0; K < NumEventKinds; ++K)
+    put64(Out, OffKindCounts + 8 * K, KindCounts[K]);
+
+  Out.insert(Out.end(), Blocks.begin(), Blocks.end());
+  uint64_t IndexOffset = Out.size();
+  put64(Out, OffIndexOffset, IndexOffset);
+  size_t At = Out.size();
+  Out.resize(Out.size() + Index.size() * IndexEntrySize);
+  for (const IndexEntry &Ent : Index) {
+    put64(Out, At, HeaderSize + Ent.BlockOffset);
+    put64(Out, At + 8, Ent.FirstEvent);
+    put32(Out, At + 16, Ent.EventCount);
+    put32(Out, At + 20, Ent.PayloadSize);
+    At += IndexEntrySize;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// AtfReader
+//===----------------------------------------------------------------------===//
+
+const char *AtfReader::errorString(Error E) {
+  switch (E) {
+  case Error::None: return "no error";
+  case Error::TooSmall: return "file shorter than an ATF header";
+  case Error::BadMagic: return "not an ATF trace (bad magic)";
+  case Error::BadVersion: return "unsupported ATF version";
+  case Error::BadHeader: return "corrupt ATF header";
+  case Error::BadIndex: return "corrupt ATF block index";
+  case Error::BadPayload: return "corrupt ATF event payload";
+  }
+  return "?";
+}
+
+AtfReader::Error AtfReader::open(const std::vector<uint8_t> &InBytes) {
+  Bytes = &InBytes;
+  BlockRefs.clear();
+  Stat = AtfStat();
+
+  const uint8_t *B = InBytes.data();
+  uint64_t Size = InBytes.size();
+  if (Size < HeaderSize)
+    return Err = Error::TooSmall;
+  if (std::memcmp(B, Magic, 4) != 0)
+    return Err = Error::BadMagic;
+  Stat.Version = get16(B + OffVersion);
+  if (Stat.Version != FormatVersion)
+    return Err = Error::BadVersion;
+
+  Stat.EventCount = get64(B + OffEventCount);
+  Stat.BlockCount = get64(B + OffBlockCount);
+  Stat.StaticCondBranches = get64(B + OffStaticBranches);
+  Stat.FileBytes = Size;
+  uint64_t KindTotal = 0;
+  for (unsigned K = 0; K < NumEventKinds; ++K) {
+    Stat.KindCounts[K] = get64(B + OffKindCounts + 8 * K);
+    KindTotal += Stat.KindCounts[K];
+  }
+  if (KindTotal != Stat.EventCount)
+    return Err = Error::BadHeader;
+
+  uint64_t IndexOffset = get64(B + OffIndexOffset);
+  if (IndexOffset < HeaderSize || IndexOffset > Size ||
+      Stat.BlockCount > (Size - IndexOffset) / IndexEntrySize)
+    return Err = Error::BadHeader;
+
+  uint64_t EventsSeen = 0;
+  for (uint64_t I = 0; I < Stat.BlockCount; ++I) {
+    const uint8_t *Ent = B + IndexOffset + I * IndexEntrySize;
+    BlockRef R;
+    R.Offset = get64(Ent);
+    uint64_t FirstEvent = get64(Ent + 8);
+    R.EventCount = get32(Ent + 16);
+    R.PayloadSize = get32(Ent + 20);
+    if (R.Offset < HeaderSize ||
+        R.Offset + BlockHeaderSize + R.PayloadSize > IndexOffset ||
+        FirstEvent != EventsSeen || R.EventCount == 0)
+      return Err = Error::BadIndex;
+    // The block's own header must agree with the index.
+    if (get32(B + R.Offset) != R.PayloadSize ||
+        get32(B + R.Offset + 4) != R.EventCount)
+      return Err = Error::BadIndex;
+    EventsSeen += R.EventCount;
+    Stat.PayloadBytes += R.PayloadSize;
+    BlockRefs.push_back(R);
+  }
+  if (EventsSeen != Stat.EventCount)
+    return Err = Error::BadIndex;
+  return Err = Error::None;
+}
+
+bool AtfReader::forEach(const std::function<bool(const Event &)> &Fn) {
+  if (Err != Error::None)
+    return false;
+  const uint8_t *B = Bytes->data();
+  for (const BlockRef &R : BlockRefs) {
+    uint64_t PrevPC = get64(B + R.Offset + 8) - 4;
+    uint64_t PrevAddr = get64(B + R.Offset + 16);
+    size_t Pos = R.Offset + BlockHeaderSize;
+    size_t End = Pos + R.PayloadSize;
+    for (uint32_t N = 0; N < R.EventCount; ++N) {
+      if (Pos >= End) {
+        Err = Error::BadPayload;
+        return false;
+      }
+      uint8_t Tag = B[Pos++];
+      Event E;
+      if ((Tag & TagKindMask) >= NumEventKinds) {
+        Err = Error::BadPayload;
+        return false;
+      }
+      E.Kind = EventKind(Tag & TagKindMask);
+      if (Tag & TagSeqPC) {
+        E.PC = PrevPC + 4;
+      } else {
+        uint64_t Raw;
+        if (!readVarint(B, Pos, End, Raw)) {
+          Err = Error::BadPayload;
+          return false;
+        }
+        E.PC = uint64_t(int64_t(PrevPC + 4) + zigzagDecode(Raw) * 4);
+      }
+      PrevPC = E.PC;
+      switch (E.Kind) {
+      case EventKind::Load:
+      case EventKind::Store: {
+        E.Size = uint8_t(1u << ((Tag >> TagSizeShift) & 3));
+        uint64_t Raw;
+        if (!readVarint(B, Pos, End, Raw)) {
+          Err = Error::BadPayload;
+          return false;
+        }
+        E.Addr = uint64_t(int64_t(PrevAddr) + zigzagDecode(Raw));
+        PrevAddr = E.Addr;
+        break;
+      }
+      case EventKind::CondBranch:
+        E.Taken = (Tag & TagTaken) != 0;
+        break;
+      case EventKind::Call:
+        if (Tag & TagHasTarget) {
+          uint64_t Raw;
+          if (!readVarint(B, Pos, End, Raw)) {
+            Err = Error::BadPayload;
+            return false;
+          }
+          E.Target = uint64_t(int64_t(E.PC + 4) + zigzagDecode(Raw) * 4);
+        }
+        break;
+      case EventKind::Syscall:
+        if (!readVarint(B, Pos, End, E.Sysno)) {
+          Err = Error::BadPayload;
+          return false;
+        }
+        break;
+      default:
+        break;
+      }
+      if (!Fn(E))
+        return true;
+    }
+    if (Pos != End) {
+      Err = Error::BadPayload;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Event> AtfReader::readAll() {
+  std::vector<Event> Out;
+  Out.reserve(Stat.EventCount);
+  forEach([&](const Event &E) {
+    Out.push_back(E);
+    return true;
+  });
+  return Out;
+}

@@ -1,0 +1,192 @@
+//===- trace/Atf.h - The ATOM Trace Format ----------------------*- C++ -*-===//
+//
+// ATF is a compact, tool-neutral binary encoding of the dynamic event
+// stream every ATOM tool consumes: one event per retired instruction,
+// classified (plain / load / store / conditional branch / call / return /
+// syscall) and carrying the runtime values the tools need (effective
+// address and access size, branch outcome, call target, syscall number).
+//
+// A trace is recorded once — from the simulator's retired-instruction
+// hook, or by the `trace` instrumentation tool — and replayed many times
+// by offline analyzers (see Replay.h), turning run-per-tool workflows
+// into record-once / analyze-many ones.
+//
+// Layout (all integers little-endian):
+//
+//   header   magic "ATF1", version, per-kind event totals, static
+//            conditional-branch count (recorder metadata), block count,
+//            index offset — enough for `stat` without decoding a byte of
+//            payload.
+//   blocks   each holds up to EventsPerBlock events: a fixed block header
+//            (payload size, event count, base PC, base address) followed
+//            by the varint-encoded payload. Blocks decode independently,
+//            enabling streaming reads.
+//   index    one fixed-size entry per block (file offset, first event
+//            index, event count, payload size).
+//
+// Event encoding: a tag byte (kind, "PC is sequential" bit, kind-specific
+// bits), then only the fields the kind needs, as LEB128 varints of deltas:
+// PCs are encoded as zigzag instruction-count deltas from the previous
+// event's PC + 4 (so straight-line code costs one byte per event), memory
+// addresses as zigzag byte deltas from the previous memory event, and
+// call targets as zigzag deltas from the fall-through PC.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_TRACE_ATF_H
+#define ATOM_TRACE_ATF_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace trace {
+
+/// Classification of one retired instruction.
+enum class EventKind : uint8_t {
+  Plain = 0,   ///< Anything not covered below (ALU ops, lda, br, jmp...).
+  Load = 1,    ///< Carries effective address + access size.
+  Store = 2,   ///< Carries effective address + access size.
+  CondBranch = 3, ///< Carries the taken/not-taken outcome.
+  Call = 4,    ///< bsr/jsr; carries the target when known (0 = unknown).
+  Return = 5,  ///< ret.
+  Syscall = 6, ///< callsys; carries the syscall number.
+};
+constexpr unsigned NumEventKinds = 7;
+
+/// Name of \p K ("load", "cond-branch", ...).
+const char *eventKindName(EventKind K);
+
+/// One decoded trace event.
+struct Event {
+  EventKind Kind = EventKind::Plain;
+  uint64_t PC = 0;
+  uint64_t Addr = 0;   ///< Load/Store: effective address.
+  uint8_t Size = 0;    ///< Load/Store: access size in bytes (1/2/4/8).
+  bool Taken = false;  ///< CondBranch: outcome.
+  uint64_t Target = 0; ///< Call: callee entry PC (0 if unknown).
+  uint64_t Sysno = 0;  ///< Syscall: number.
+
+  bool operator==(const Event &O) const = default;
+};
+
+/// Everything `stat` reports — parsed from the header and index alone,
+/// without decoding any event payload.
+struct AtfStat {
+  uint16_t Version = 0;
+  uint64_t EventCount = 0;
+  uint64_t BlockCount = 0;
+  uint64_t PayloadBytes = 0; ///< Total encoded event bytes.
+  uint64_t FileBytes = 0;
+  uint64_t KindCounts[NumEventKinds] = {};
+  /// Static conditional-branch count of the recorded executable (recorder
+  /// metadata; what the branch tool reports as "branches"). 0 if unknown.
+  uint64_t StaticCondBranches = 0;
+};
+
+/// Builds an ATF byte stream. Events are appended one at a time; blocks
+/// are flushed as they fill; finish() seals the header and index.
+class AtfWriter {
+public:
+  explicit AtfWriter(uint32_t EventsPerBlock = 4096);
+
+  void setStaticCondBranches(uint64_t N) { StaticCondBranches = N; }
+
+  void append(const Event &E);
+
+  uint64_t eventCount() const { return EventCount; }
+
+  /// Flushes the open block and returns the complete file image. The
+  /// writer is spent afterwards.
+  std::vector<uint8_t> finish();
+
+private:
+  void flushBlock();
+
+  uint32_t EventsPerBlock;
+  uint64_t StaticCondBranches = 0;
+  uint64_t EventCount = 0;
+  uint64_t KindCounts[NumEventKinds] = {};
+
+  std::vector<uint8_t> Blocks; ///< Concatenated block headers + payloads.
+  struct IndexEntry {
+    uint64_t FileOffset = 0; ///< Filled in by finish().
+    uint64_t BlockOffset = 0; ///< Offset within Blocks.
+    uint64_t FirstEvent = 0;
+    uint32_t EventCount = 0;
+    uint32_t PayloadSize = 0;
+  };
+  std::vector<IndexEntry> Index;
+
+  // Open block state.
+  std::vector<uint8_t> Payload;
+  uint32_t OpenEvents = 0;
+  uint64_t OpenBasePC = 0;
+  uint64_t OpenBaseAddr = 0;
+  // Encoder context (carried across blocks via the block header bases).
+  uint64_t PrevPC = 0;
+  uint64_t PrevAddr = 0;
+  bool Finished = false;
+};
+
+/// Streaming reader. open() validates the header and index only; event
+/// payloads are decoded on demand, block by block.
+class AtfReader {
+public:
+  enum class Error {
+    None,
+    TooSmall,    ///< Shorter than a header.
+    BadMagic,
+    BadVersion,
+    BadHeader,   ///< Header fields inconsistent with the file size.
+    BadIndex,    ///< Index entries out of bounds or inconsistent.
+    BadPayload,  ///< Varint stream corrupt or truncated inside a block.
+  };
+  static const char *errorString(Error E);
+
+  /// Parses header + index of \p Bytes (which must outlive the reader).
+  /// On failure the reader is unusable and error() says why.
+  Error open(const std::vector<uint8_t> &Bytes);
+
+  const AtfStat &stat() const { return Stat; }
+  Error error() const { return Err; }
+
+  /// Decodes every event in order. \p Fn returns false to stop early.
+  /// Returns false if a payload was corrupt (error() set) — events
+  /// delivered before the corruption point were valid.
+  bool forEach(const std::function<bool(const Event &)> &Fn);
+
+  /// Convenience: decodes the whole trace into a vector.
+  std::vector<Event> readAll();
+
+private:
+  const std::vector<uint8_t> *Bytes = nullptr;
+  AtfStat Stat;
+  Error Err = Error::TooSmall;
+  struct BlockRef {
+    uint64_t Offset = 0; ///< File offset of the block header.
+    uint32_t EventCount = 0;
+    uint32_t PayloadSize = 0;
+  };
+  std::vector<BlockRef> BlockRefs;
+};
+
+//===----------------------------------------------------------------------===//
+// Varint primitives (exposed for tests).
+//===----------------------------------------------------------------------===//
+
+/// Appends \p V as LEB128.
+void appendVarint(std::vector<uint8_t> &Out, uint64_t V);
+/// Zigzag-encodes a signed value for varint storage.
+uint64_t zigzagEncode(int64_t V);
+int64_t zigzagDecode(uint64_t V);
+/// Reads a LEB128 varint from Bytes[Pos...End); returns false on overrun
+/// or a varint longer than 10 bytes.
+bool readVarint(const uint8_t *Bytes, size_t &Pos, size_t End, uint64_t &V);
+
+} // namespace trace
+} // namespace atom
+
+#endif // ATOM_TRACE_ATF_H

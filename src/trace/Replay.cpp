@@ -1,0 +1,71 @@
+//===- trace/Replay.cpp - Trace-driven offline analyzers ------------------===//
+
+#include "trace/Replay.h"
+
+#include "support/Support.h"
+
+#include <unordered_map>
+
+using namespace atom;
+using namespace atom::trace;
+
+std::string CacheReplayResult::report() const {
+  return formatString("references %lld\nhits %lld\nmisses %lld\n",
+                      (long long)(Hits + Misses), (long long)Hits,
+                      (long long)Misses);
+}
+
+std::string BranchReplayResult::report() const {
+  return formatString("branches %lld\ntaken %lld\nnottaken %lld\n"
+                      "mispredicted %lld\n",
+                      (long long)StaticBranches, (long long)Taken,
+                      (long long)NotTaken, (long long)Mispredicted);
+}
+
+bool trace::replayCache(AtfReader &R, CacheReplayResult &Out) {
+  Out = CacheReplayResult();
+  // Mirrors the cache tool's Reference handler: line = bits 5..12 of the
+  // address, tag = the address arithmetically shifted right by 13.
+  int64_t Tags[256];
+  for (int64_t &T : Tags)
+    T = -1;
+  return R.forEach([&](const Event &E) {
+    if (E.Kind != EventKind::Load && E.Kind != EventKind::Store)
+      return true;
+    unsigned Line = (E.Addr >> 5) & 255;
+    int64_t Tag = int64_t(E.Addr) >> 13;
+    if (Tags[Line] == Tag) {
+      ++Out.Hits;
+    } else {
+      Tags[Line] = Tag;
+      ++Out.Misses;
+    }
+    return true;
+  });
+}
+
+bool trace::replayBranch(AtfReader &R, BranchReplayResult &Out) {
+  Out = BranchReplayResult();
+  Out.StaticBranches = R.stat().StaticCondBranches;
+  // Mirrors the branch tool's CondBranch handler: a 2-bit saturating
+  // counter per site, initialized to 1; counters >= 2 predict taken.
+  std::unordered_map<uint64_t, uint8_t> Counters;
+  return R.forEach([&](const Event &E) {
+    if (E.Kind != EventKind::CondBranch)
+      return true;
+    uint8_t &C = Counters.try_emplace(E.PC, uint8_t(1)).first->second;
+    bool PredictedTaken = C >= 2;
+    if (E.Taken) {
+      ++Out.Taken;
+      if (C < 3)
+        ++C;
+    } else {
+      ++Out.NotTaken;
+      if (C > 0)
+        --C;
+    }
+    if (PredictedTaken != E.Taken)
+      ++Out.Mispredicted;
+    return true;
+  });
+}

@@ -1,0 +1,52 @@
+//===- trace/Replay.h - Trace-driven offline analyzers ----------*- C++ -*-===//
+//
+// Offline re-implementations of the memory-system tools that, fed a
+// recorded ATF trace, reproduce the corresponding live tool's output file
+// bit-for-bit: the 8 KB direct-mapped cache model (cache.out) and the
+// 2-bit-counter branch predictor (branch.out). Record a workload once,
+// then run as many analyzers over the trace as you like — no simulator,
+// no re-instrumentation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_TRACE_REPLAY_H
+#define ATOM_TRACE_REPLAY_H
+
+#include "trace/Atf.h"
+
+namespace atom {
+namespace trace {
+
+/// Replay result of the cache tool's model: direct-mapped, 8 KB, 32-byte
+/// lines (256 lines), write-allocate, tags initialized to -1.
+struct CacheReplayResult {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Exactly the bytes the live cache tool writes to cache.out.
+  std::string report() const;
+};
+
+/// Replay result of the branch tool's predictor: one 2-bit saturating
+/// counter per static branch site, initialized to 1 (weakly not-taken).
+struct BranchReplayResult {
+  uint64_t StaticBranches = 0; ///< From the trace header.
+  uint64_t Taken = 0;
+  uint64_t NotTaken = 0;
+  uint64_t Mispredicted = 0;
+  /// Exactly the bytes the live branch tool writes to branch.out.
+  std::string report() const;
+};
+
+/// Runs the cache model over every load/store event of \p R.
+/// Returns false if the trace payload is corrupt (R.error() set).
+bool replayCache(AtfReader &R, CacheReplayResult &Out);
+
+/// Runs the branch predictor over every conditional-branch event of \p R,
+/// keying counters by branch PC (equivalent to the live tool's per-site
+/// ids — every static site has a unique PC).
+bool replayBranch(AtfReader &R, BranchReplayResult &Out);
+
+} // namespace trace
+} // namespace atom
+
+#endif // ATOM_TRACE_REPLAY_H

@@ -1,0 +1,75 @@
+//===- trace/TraceSink.cpp - Record ATF from the simulator ----------------===//
+
+#include "trace/TraceSink.h"
+
+#include "om/Lift.h"
+
+using namespace atom;
+using namespace atom::trace;
+
+Event trace::classifyEvent(const sim::TraceEvent &E) {
+  Event Out;
+  Out.PC = E.PC;
+  isa::Opcode Op = E.I.Op;
+  if (isa::isLoad(Op) || isa::isStore(Op)) {
+    Out.Kind = isa::isLoad(Op) ? EventKind::Load : EventKind::Store;
+    Out.Addr = E.EffAddr;
+    Out.Size = uint8_t(isa::memAccessSize(Op));
+  } else if (isa::isCondBranch(Op)) {
+    Out.Kind = EventKind::CondBranch;
+    Out.Taken = E.Taken;
+  } else if (isa::isCall(Op)) {
+    Out.Kind = EventKind::Call;
+    // The simulator reports the transfer target in EffAddr for branch and
+    // jump instructions (direct and indirect alike).
+    Out.Target = E.EffAddr;
+  } else if (isa::isReturn(Op)) {
+    Out.Kind = EventKind::Return;
+  } else if (Op == isa::Opcode::Callsys) {
+    Out.Kind = EventKind::Syscall;
+    // The simulator reports the syscall number in EffAddr.
+    Out.Sysno = E.EffAddr;
+  }
+  return Out;
+}
+
+bool trace::staticCondBranchCount(const obj::Executable &Exe, uint64_t &Out,
+                                  DiagEngine &Diags) {
+  om::Unit Unit;
+  if (!om::liftExecutable(Exe, Unit, Diags))
+    return false;
+  Out = 0;
+  for (const om::Procedure &P : Unit.Procs)
+    for (const om::Block &B : P.Blocks)
+      if (!B.Insts.empty() && isa::isCondBranch(B.Insts.back().I.Op))
+        ++Out;
+  return true;
+}
+
+bool trace::recordTrace(const obj::Executable &Exe, bool FullRun,
+                        std::vector<uint8_t> &Out, sim::RunResult &Run,
+                        DiagEngine &Diags, uint32_t EventsPerBlock) {
+  uint64_t StaticBranches = 0;
+  if (!staticCondBranchCount(Exe, StaticBranches, Diags))
+    return false;
+
+  uint64_t StopPC = 0;
+  if (!FullRun) {
+    int ExitSym = Exe.findSymbol("__exit");
+    if (ExitSym >= 0)
+      StopPC = Exe.Symbols[size_t(ExitSym)].Value;
+  }
+
+  AtfWriter W(EventsPerBlock);
+  W.setStaticCondBranches(StaticBranches);
+  TraceSink Sink(W, StopPC);
+  sim::Machine M(Exe);
+  Sink.attach(M);
+  Run = M.run();
+  if (Run.Status == sim::RunStatus::Fault) {
+    Diags.error(0, "traced program faulted: " + Run.FaultMessage);
+    return false;
+  }
+  Out = W.finish();
+  return true;
+}

@@ -1,0 +1,70 @@
+//===- trace/TraceSink.h - Record ATF from the simulator --------*- C++ -*-===//
+//
+// The first ATF producer: a sink on the simulator's retired-instruction
+// hook. Classifies each sim::TraceEvent into an ATF event and appends it
+// to an AtfWriter. Recording normally stops when control reaches __exit —
+// the same measurement window the ATOM tools use (ProgramAfter hooks run
+// at __exit, so tool reports never include the shutdown path), which is
+// what lets offline replay reproduce live tool outputs bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_TRACE_TRACESINK_H
+#define ATOM_TRACE_TRACESINK_H
+
+#include "sim/Machine.h"
+#include "trace/Atf.h"
+
+namespace atom {
+namespace trace {
+
+/// Converts a retired-instruction hook event into an ATF event.
+Event classifyEvent(const sim::TraceEvent &E);
+
+/// Appends events to \p W until \p StopPC retires (0 = never stop).
+class TraceSink {
+public:
+  explicit TraceSink(AtfWriter &W, uint64_t StopPC = 0)
+      : W(W), StopPC(StopPC) {}
+
+  /// Installs this sink as \p M's trace hook. The sink must outlive the
+  /// run.
+  void attach(sim::Machine &M) {
+    M.setTraceHook([this](const sim::TraceEvent &E) { handle(E); });
+  }
+
+  void handle(const sim::TraceEvent &E) {
+    if (Stopped || (StopPC && E.PC == StopPC)) {
+      Stopped = true;
+      return;
+    }
+    W.append(classifyEvent(E));
+  }
+
+  bool stopped() const { return Stopped; }
+
+private:
+  AtfWriter &W;
+  uint64_t StopPC;
+  bool Stopped = false;
+};
+
+/// Static conditional-branch count of \p Exe, computed with the same
+/// proc/block traversal the branch tool uses — this is the "branches"
+/// line of branch.out, stored in the ATF header so replay can reproduce
+/// it. Returns false (with diagnostics) if the executable cannot be
+/// lifted.
+bool staticCondBranchCount(const obj::Executable &Exe, uint64_t &Out,
+                           DiagEngine &Diags);
+
+/// Records a full ATF trace of \p Exe via the simulator hook. Recording
+/// stops at __exit unless \p FullRun is set. On success \p Out holds the
+/// serialized trace and \p Run the program's run result.
+bool recordTrace(const obj::Executable &Exe, bool FullRun,
+                 std::vector<uint8_t> &Out, sim::RunResult &Run,
+                 DiagEngine &Diags, uint32_t EventsPerBlock = 4096);
+
+} // namespace trace
+} // namespace atom
+
+#endif // ATOM_TRACE_TRACESINK_H

@@ -1,0 +1,347 @@
+//===- trace/TraceTool.cpp - The `trace` instrumentation tool -------------===//
+
+#include "trace/TraceTool.h"
+
+#include "om/Lift.h"
+#include "trace/TraceSink.h"
+
+#include <map>
+
+using namespace atom;
+using namespace atom::trace;
+
+//===----------------------------------------------------------------------===//
+// Analysis routines (mini-C)
+//===----------------------------------------------------------------------===//
+
+// 16384 records x 16 bytes, flushed with a single __sys_write. The `tdone`
+// flag closes the measurement window at ProgramAfter (anchored at __exit),
+// so the shutdown path is never recorded — the same window the other
+// tools' reports cover and the TraceSink's __exit stop reproduces.
+namespace {
+
+const char *TraceAnalysis = R"(
+long *tbuf;
+long tn;
+long tfd;
+long tdone;
+
+void InitTrace() {
+  tbuf = (long *)malloc(16384 * 2 * sizeof(long));
+  tn = 0;
+  tdone = 0;
+  tfd = fopen("trace.raw", "w");
+}
+
+void TraceFlush() {
+  if (tn > 0)
+    __sys_write(tfd, (char *)tbuf, tn * 16);
+  tn = 0;
+}
+
+void TraceBlock(long pc, long n) {
+  if (tdone)
+    return;
+  tbuf[tn * 2] = 1 + (n << 8);
+  tbuf[tn * 2 + 1] = pc;
+  tn = tn + 1;
+  if (tn >= 16384)
+    TraceFlush();
+}
+
+void TraceMem(long a) {
+  if (tdone)
+    return;
+  tbuf[tn * 2] = 2;
+  tbuf[tn * 2 + 1] = a;
+  tn = tn + 1;
+  if (tn >= 16384)
+    TraceFlush();
+}
+
+void TraceBr(long t) {
+  if (tdone)
+    return;
+  tbuf[tn * 2] = 3;
+  if (t)
+    tbuf[tn * 2] = 3 + 256;
+  tbuf[tn * 2 + 1] = 0;
+  tn = tn + 1;
+  if (tn >= 16384)
+    TraceFlush();
+}
+
+void TraceSys(long no) {
+  if (tdone)
+    return;
+  tbuf[tn * 2] = 4;
+  tbuf[tn * 2 + 1] = no;
+  tn = tn + 1;
+  if (tn >= 16384)
+    TraceFlush();
+}
+
+void CloseTrace() {
+  TraceFlush();
+  fclose(tfd);
+  tdone = 1;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Instrumentation routine
+//===----------------------------------------------------------------------===//
+
+void instrumentTrace(InstrumentationContext &C) {
+  C.addCallProto("InitTrace()");
+  C.addCallProto("TraceBlock(long, long)");
+  C.addCallProto("TraceMem(VALUE)");
+  C.addCallProto("TraceBr(VALUE)");
+  C.addCallProto("TraceSys(REGV)");
+  C.addCallProto("CloseTrace()");
+  for (Proc *P = C.getFirstProc(); P; P = C.getNextProc(P))
+    for (Block *B = C.getFirstBlock(P); B; B = C.getNextBlock(B)) {
+      C.addCallBlock(B, BlockPoint::BlockBefore, "TraceBlock",
+                     {Arg::imm(int64_t(C.blockPC(B))),
+                      Arg::imm(C.instCount(B))});
+      for (Inst *I = C.getFirstInst(B); I; I = C.getNextInst(I)) {
+        if (C.isInstType(I, InstType::MemRef))
+          C.addCallInst(I, InstPoint::InstBefore, "TraceMem",
+                        {Arg::value(RuntimeValue::EffAddrValue)});
+        else if (C.isInstType(I, InstType::CondBranch))
+          C.addCallInst(I, InstPoint::InstBefore, "TraceBr",
+                        {Arg::value(RuntimeValue::BrCondValue)});
+        else if (C.isInstType(I, InstType::Syscall))
+          C.addCallInst(I, InstPoint::InstBefore, "TraceSys",
+                        {Arg::regv(isa::RegV0)});
+      }
+    }
+  C.addCallProgram(ProgramPoint::ProgramBefore, "InitTrace", {});
+  C.addCallProgram(ProgramPoint::ProgramAfter, "CloseTrace", {});
+}
+
+} // namespace
+
+const Tool &trace::traceTool() {
+  static const Tool T = {"trace",
+                         "records an ATF event stream via instrumentation",
+                         instrumentTrace,
+                         {TraceAnalysis},
+                         {}};
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Raw stream -> ATF conversion
+//===----------------------------------------------------------------------===//
+
+bool trace::convertRawTrace(const obj::Executable &App,
+                            const std::vector<uint8_t> &Raw,
+                            std::vector<uint8_t> &AtfOut, DiagEngine &Diags,
+                            uint32_t EventsPerBlock) {
+  om::Unit Unit;
+  if (!om::liftExecutable(App, Unit, Diags))
+    return false;
+
+  // Map block start PC -> decoded instruction run. Blocks are
+  // straight-line, so instruction I of a block retires at start + 4*I.
+  struct BlockInfo {
+    uint64_t StartPC = 0;
+    std::vector<isa::Inst> Insts;
+  };
+  std::map<uint64_t, BlockInfo> BlocksByPC;
+  uint64_t StaticBranches = 0;
+  for (const om::Procedure &P : Unit.Procs)
+    for (const om::Block &B : P.Blocks) {
+      if (B.Insts.empty())
+        continue;
+      if (isa::isCondBranch(B.Insts.back().I.Op))
+        ++StaticBranches;
+      BlockInfo Info;
+      Info.StartPC = B.OrigPC;
+      Info.Insts.reserve(B.Insts.size());
+      for (const om::InstNode &I : B.Insts)
+        Info.Insts.push_back(I.I);
+      BlocksByPC[B.OrigPC] = std::move(Info);
+    }
+
+  if (Raw.size() % 16 != 0) {
+    Diags.error(0, "raw trace is not a whole number of 16-byte records");
+    return false;
+  }
+  size_t NumRecords = Raw.size() / 16;
+  auto word = [&](size_t Rec, unsigned Half) {
+    return obj::read64(Raw, Rec * 16 + Half * 8);
+  };
+
+  AtfWriter W(EventsPerBlock);
+  W.setStaticCondBranches(StaticBranches);
+
+  // Blocks do not end at calls, so a callee's records interleave with the
+  // caller block's: reconstruction needs a stack of suspended blocks. Each
+  // frame is a block plus the index of its next unretired instruction;
+  // quiet instructions (no raw record: arithmetic, calls, returns,
+  // unconditional jumps) are replayed from the decoded block whenever a
+  // record forces the frame forward.
+  struct Frame {
+    const BlockInfo *B;
+    size_t Next;
+  };
+  std::vector<Frame> Stack;
+
+  // True for instructions the analysis routines emit a record for.
+  auto needsRecord = [](const isa::Inst &In) {
+    return isa::isMemRef(In.Op) || isa::isCondBranch(In.Op) ||
+           In.Op == isa::Opcode::Callsys;
+  };
+  // Appends the ATF event for a quiet instruction. CalleePC carries the
+  // machine-observed call target when the callee's block record follows
+  // (covers indirect jsr); bsr targets are decodable either way.
+  auto emitQuiet = [&](const isa::Inst &In, uint64_t PC, uint64_t CalleePC) {
+    Event E;
+    E.PC = PC;
+    if (isa::isCall(In.Op)) {
+      E.Kind = EventKind::Call;
+      if (CalleePC)
+        E.Target = CalleePC;
+      else if (In.Op == isa::Opcode::Bsr)
+        E.Target = PC + 4 + uint64_t(int64_t(In.Disp)) * 4;
+    } else if (isa::isReturn(In.Op)) {
+      E.Kind = EventKind::Return;
+    }
+    W.append(E);
+  };
+  auto badRecord = [&](size_t R, const char *What) {
+    Diags.error(0, formatString("raw trace: record %zu: %s",
+                                R, What));
+    return false;
+  };
+
+  for (size_t Rec = 0; Rec < NumRecords; ++Rec) {
+    uint64_t Word0 = word(Rec, 0);
+    uint64_t Kind = Word0 & 0xFF;
+
+    const BlockInfo *Entered = nullptr;
+    if (Kind == RawBlock) {
+      uint64_t StartPC = word(Rec, 1);
+      auto It = BlocksByPC.find(StartPC);
+      if (It == BlocksByPC.end() ||
+          It->second.Insts.size() != (Word0 >> 8))
+        return badRecord(Rec, "block record matches no lifted block");
+      Entered = &It->second;
+      if (Stack.empty()) {
+        Stack.push_back({Entered, 0});
+        continue;
+      }
+    } else if (Stack.empty()) {
+      return badRecord(Rec, "expected a block record first");
+    }
+
+    // Replay quiet instructions on the top frame until this record's
+    // instruction (per-instruction record), the call that entered the new
+    // block, or the end of the block. A return pops to the suspended
+    // caller and the walk continues there.
+    bool Attached = false;
+    while (!Attached) {
+      if (Stack.empty())
+        return badRecord(Rec, "record after the call stack unwound");
+      Frame &F = Stack.back();
+      const std::vector<isa::Inst> &Insts = F.B->Insts;
+      if (F.Next >= Insts.size()) {
+        // Fell off the block end (fall-through or a branch/jump already
+        // replayed): only a block record can follow.
+        if (!Entered)
+          return badRecord(Rec, "expected a block record at block end");
+        F = {Entered, 0};
+        Attached = true;
+        break;
+      }
+      const isa::Inst &In = Insts[F.Next];
+      uint64_t PC = F.B->StartPC + 4 * F.Next;
+      if (needsRecord(In)) {
+        Event E;
+        E.PC = PC;
+        if (isa::isMemRef(In.Op)) {
+          if (Kind != RawMem)
+            return badRecord(Rec, "expected a memory record");
+          E.Kind = isa::isLoad(In.Op) ? EventKind::Load : EventKind::Store;
+          E.Addr = word(Rec, 1);
+          E.Size = uint8_t(isa::memAccessSize(In.Op));
+        } else if (isa::isCondBranch(In.Op)) {
+          if (Kind != RawBranch)
+            return badRecord(Rec, "expected a branch record");
+          E.Kind = EventKind::CondBranch;
+          E.Taken = ((Word0 >> 8) & 0xFF) != 0;
+        } else {
+          if (Kind != RawSyscall)
+            return badRecord(Rec, "expected a syscall record");
+          E.Kind = EventKind::Syscall;
+          E.Sysno = word(Rec, 1);
+        }
+        W.append(E);
+        ++F.Next;
+        Attached = true;
+        break;
+      }
+      if (isa::isCall(In.Op)) {
+        if (!Entered)
+          return badRecord(Rec, "per-instruction record at a call site");
+        emitQuiet(In, PC, Entered->StartPC);
+        ++F.Next;
+        Stack.push_back({Entered, 0});
+        Attached = true;
+        break;
+      }
+      emitQuiet(In, PC, 0);
+      ++F.Next;
+      if (isa::isReturn(In.Op))
+        Stack.pop_back();
+    }
+  }
+
+  // Records stop when CloseTrace runs at __exit entry; the instructions
+  // retired between the last record and __exit are all quiet (anything
+  // else would have produced a record). Replay them: unwind through
+  // returns and stop at the call that enters __exit (always a noreturn
+  // call, never recorded because the window is already closed).
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const std::vector<isa::Inst> &Insts = F.B->Insts;
+    if (F.Next >= Insts.size())
+      break;
+    const isa::Inst &In = Insts[F.Next];
+    uint64_t PC = F.B->StartPC + 4 * F.Next;
+    if (needsRecord(In))
+      break;
+    emitQuiet(In, PC, 0);
+    ++F.Next;
+    if (isa::isCall(In.Op))
+      break;
+    if (isa::isReturn(In.Op))
+      Stack.pop_back();
+  }
+
+  AtfOut = W.finish();
+  return true;
+}
+
+bool trace::recordTraceViaTool(const obj::Executable &App,
+                               const ToolRecordOptions &Opts,
+                               std::vector<uint8_t> &AtfOut,
+                               sim::RunResult &Run, DiagEngine &Diags) {
+  AtomOptions AOpts;
+  AOpts.AnalysisHeapOffset = Opts.AnalysisHeapOffset;
+  InstrumentedProgram Out;
+  if (!runAtom(App, traceTool(), AOpts, Out, Diags))
+    return false;
+
+  sim::Machine M(Out.Exe);
+  Run = M.run();
+  if (Run.Status == sim::RunStatus::Fault) {
+    Diags.error(0, "instrumented program faulted: " + Run.FaultMessage);
+    return false;
+  }
+  std::string RawText = M.vfs().fileContents(RawTraceFile);
+  std::vector<uint8_t> Raw(RawText.begin(), RawText.end());
+  return convertRawTrace(App, Raw, AtfOut, Diags);
+}

@@ -1,0 +1,70 @@
+//===- trace/TraceTool.h - The `trace` instrumentation tool -----*- C++ -*-===//
+//
+// The second ATF producer: a twelfth ATOM tool that records the dynamic
+// event stream via instrumentation, exactly like the paper's eleven tools
+// observe theirs. Its analysis routines append fixed-width raw records
+// (block executions, memory references, branch outcomes, syscall numbers)
+// to a buffer and flush them to the VFS file "trace.raw"; a host-side
+// converter then regenerates the full per-instruction ATF stream by
+// walking each executed block's decoded instructions — straight-line
+// blocks make every intermediate PC reconstructible from the block's
+// start address.
+//
+// Record with a pristine application heap (AtomOptions::AnalysisHeapOffset)
+// so recorded effective addresses equal those of the uninstrumented run.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_TRACE_TRACETOOL_H
+#define ATOM_TRACE_TRACETOOL_H
+
+#include "atom/Driver.h"
+#include "sim/Machine.h"
+#include "trace/Atf.h"
+
+namespace atom {
+namespace trace {
+
+/// The `trace` tool. Not part of tools::allTools() (that list is the
+/// paper's Figure 5 suite); tools::findTool() resolves it by name.
+const Tool &traceTool();
+
+/// Name of the VFS file the tool's analysis routines write.
+constexpr const char *RawTraceFile = "trace.raw";
+
+/// Raw record kinds (two 64-bit words per record: word0 = kind | aux<<8,
+/// word1 = value).
+enum RawKind : uint64_t {
+  RawBlock = 1,   ///< aux = instruction count, value = block start PC.
+  RawMem = 2,     ///< value = effective address.
+  RawBranch = 3,  ///< aux = taken (0/1).
+  RawSyscall = 4, ///< value = syscall number.
+};
+
+/// Options for recording via the trace tool. The heap offset defaults to
+/// 16 MB: the analysis buffer lives far above the application heap, so
+/// recorded addresses match the uninstrumented run (paper's second
+/// pristine-heap method).
+struct ToolRecordOptions {
+  uint64_t AnalysisHeapOffset = 16 * 1024 * 1024;
+};
+
+/// Converts the raw byte stream \p Raw (contents of trace.raw) recorded
+/// against \p App into a full ATF trace. Fails with diagnostics on
+/// malformed raw streams or if \p App cannot be lifted.
+bool convertRawTrace(const obj::Executable &App,
+                     const std::vector<uint8_t> &Raw,
+                     std::vector<uint8_t> &AtfOut, DiagEngine &Diags,
+                     uint32_t EventsPerBlock = 4096);
+
+/// End-to-end: instruments \p App with the trace tool, runs it, converts
+/// the raw stream. \p Run receives the instrumented program's run result.
+bool recordTraceViaTool(const obj::Executable &App,
+                        const ToolRecordOptions &Opts,
+                        std::vector<uint8_t> &AtfOut, sim::RunResult &Run,
+                        DiagEngine &Diags);
+
+} // namespace trace
+} // namespace atom
+
+#endif // ATOM_TRACE_TRACETOOL_H

@@ -43,7 +43,11 @@ CommandResult runCommand(const std::string &Cmd) {
 class CliFixture : public ::testing::Test {
 protected:
   void SetUp() override {
-    Dir = ::testing::TempDir() + "atomcli";
+    // One scratch directory per test: tests run concurrently under
+    // `ctest -j`, and a shared directory would let one test's rm -rf
+    // race another's compile.
+    Dir = ::testing::TempDir() + "atomcli-" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
     runCommand("rm -rf " + Dir + " && mkdir -p " + Dir);
     Bin = ATOM_CLI_DIR;
   }
@@ -159,6 +163,55 @@ TEST_F(CliFixture, AtomRejectsUnknownTool) {
       runCommand(tool("atom") + " " + path("p.exe") + " --tool nope");
   EXPECT_NE(C.ExitCode, 0);
   EXPECT_NE(C.Output.find("unknown tool"), std::string::npos);
+}
+
+TEST_F(CliFixture, TraceRecordStatDumpReplay) {
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 50; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+
+  CommandResult C = runCommand(tool("axp-trace") + " record " +
+                               path("p.exe") + " -o " + path("p.atf"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("events"), std::string::npos) << C.Output;
+
+  C = runCommand(tool("axp-trace") + " stat " + path("p.atf"));
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("version 1"), std::string::npos) << C.Output;
+  EXPECT_NE(C.Output.find("cond-branch"), std::string::npos) << C.Output;
+
+  C = runCommand(tool("axp-trace") + " dump " + path("p.atf") +
+                 " --limit 5");
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+
+  C = runCommand(tool("axp-trace") + " replay cache " + path("p.atf"));
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("references"), std::string::npos) << C.Output;
+
+  C = runCommand(tool("axp-trace") + " replay branch " + path("p.atf"));
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("mispredicted"), std::string::npos) << C.Output;
+
+  // The instrumentation-tool producer records the same trace.
+  C = runCommand(tool("axp-trace") + " record " + path("p.exe") +
+                 " --tool -o " + path("p2.atf"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  CommandResult C2 = runCommand("cmp " + path("p.atf") + " " + path("p2.atf"));
+  EXPECT_EQ(C2.ExitCode, 0) << C2.Output;
+
+  // Damaged files are rejected, not misparsed.
+  C = runCommand("head -c 50 " + path("p.atf") + " > " + path("cut.atf"));
+  C = runCommand(tool("axp-trace") + " stat " + path("cut.atf"));
+  EXPECT_NE(C.ExitCode, 0);
 }
 
 TEST_F(CliFixture, RelocatableLink) {

@@ -1,0 +1,427 @@
+//===- tests/TraceTests.cpp - ATF encode/decode and replay equivalence ----===//
+//
+// Three layers of coverage: (1) the ATF wire format round-trips arbitrary
+// event streams and rejects truncated or corrupt files, (2) the two
+// producers — simulator sink and `trace` instrumentation tool — record
+// identical event streams, and (3) offline replay of a recorded trace
+// reproduces the live cache/branch tool reports bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "tools/Tools.h"
+#include "trace/Replay.h"
+#include "trace/TraceSink.h"
+#include "trace/TraceTool.h"
+#include "workloads/Workloads.h"
+
+#include <random>
+
+using namespace atom;
+using namespace atom::test;
+using namespace atom::trace;
+
+namespace {
+
+obj::Executable buildWorkload(const char *Name) {
+  const workloads::Workload *W = workloads::findWorkload(Name);
+  EXPECT_NE(W, nullptr) << Name;
+  return buildOrDie(W->Source);
+}
+
+/// Runs the live tool \p ToolName on \p App and returns its report file.
+std::string liveToolReport(const char *ToolName, const obj::Executable &App) {
+  const Tool *T = tools::findTool(ToolName);
+  EXPECT_NE(T, nullptr);
+  InstrumentedProgram Out = instrumentOrDie(App, *T);
+  sim::Machine M(Out.Exe);
+  sim::RunResult R = M.run();
+  EXPECT_TRUE(R.exitedWith(0)) << R.FaultMessage;
+  return M.vfs().fileContents(std::string(ToolName) + ".out");
+}
+
+std::vector<uint8_t> recordSink(const obj::Executable &App,
+                                uint32_t EventsPerBlock = 4096) {
+  DiagEngine Diags;
+  std::vector<uint8_t> Atf;
+  sim::RunResult Run;
+  bool Ok = recordTrace(App, /*FullRun=*/false, Atf, Run, Diags,
+                        EventsPerBlock);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return Atf;
+}
+
+std::vector<uint8_t> recordTool(const obj::Executable &App) {
+  DiagEngine Diags;
+  std::vector<uint8_t> Atf;
+  sim::RunResult Run;
+  bool Ok = recordTraceViaTool(App, ToolRecordOptions(), Atf, Run, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return Atf;
+}
+
+AtfReader openOrFail(const std::vector<uint8_t> &Bytes) {
+  AtfReader R;
+  EXPECT_EQ(R.open(Bytes), AtfReader::Error::None)
+      << AtfReader::errorString(R.error());
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Varint primitives
+//===----------------------------------------------------------------------===//
+
+TEST(AtfVarint, RoundTripsEdgeValues) {
+  const uint64_t Values[] = {0,    1,    127,  128,   129,    16383, 16384,
+                             1ULL << 32, ~0ULL, ~0ULL - 1, 0x8000000000000000ULL};
+  std::vector<uint8_t> Buf;
+  for (uint64_t V : Values)
+    appendVarint(Buf, V);
+  size_t Pos = 0;
+  for (uint64_t V : Values) {
+    uint64_t Got = 0;
+    ASSERT_TRUE(readVarint(Buf.data(), Pos, Buf.size(), Got));
+    EXPECT_EQ(Got, V);
+  }
+  EXPECT_EQ(Pos, Buf.size());
+}
+
+TEST(AtfVarint, RejectsTruncatedAndOverlong) {
+  std::vector<uint8_t> Buf;
+  appendVarint(Buf, ~0ULL);
+  uint64_t V = 0;
+  for (size_t Cut = 0; Cut < Buf.size(); ++Cut) {
+    size_t Pos = 0;
+    EXPECT_FALSE(readVarint(Buf.data(), Pos, Cut, V)) << Cut;
+  }
+  // Eleven continuation bytes can't be a valid 64-bit varint.
+  std::vector<uint8_t> Overlong(11, 0x80);
+  size_t Pos = 0;
+  EXPECT_FALSE(readVarint(Overlong.data(), Pos, Overlong.size(), V));
+}
+
+TEST(AtfVarint, ZigzagIsAnInvolution) {
+  const int64_t Values[] = {0, -1, 1, -2, 2, INT64_MIN, INT64_MAX, -4096};
+  for (int64_t V : Values) {
+    EXPECT_EQ(zigzagDecode(zigzagEncode(V)), V);
+    EXPECT_LE(zigzagEncode(V >= -64 && V < 64 ? V : 0), 127u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip
+//===----------------------------------------------------------------------===//
+
+Event randomEvent(std::mt19937_64 &Rng, uint64_t &PC) {
+  Event E;
+  E.Kind = EventKind(Rng() % NumEventKinds);
+  // Mostly sequential PCs with occasional jumps, like real code.
+  PC = (Rng() % 8 == 0) ? (Rng() % (1ULL << 40)) & ~3ULL : PC + 4;
+  E.PC = PC;
+  switch (E.Kind) {
+  case EventKind::Load:
+  case EventKind::Store:
+    E.Addr = Rng() % (1ULL << 44);
+    E.Size = uint8_t(1u << (Rng() % 4));
+    break;
+  case EventKind::CondBranch:
+    E.Taken = Rng() % 2;
+    break;
+  case EventKind::Call:
+    if (Rng() % 4)
+      E.Target = (Rng() % (1ULL << 40)) & ~3ULL;
+    break;
+  case EventKind::Syscall:
+    E.Sysno = Rng() % 64;
+    break;
+  default:
+    break;
+  }
+  return E;
+}
+
+TEST(AtfRoundTrip, RandomEventsManyBlocks) {
+  std::mt19937_64 Rng(7);
+  uint64_t PC = 0x120000000;
+  std::vector<Event> Events;
+  for (int I = 0; I < 20000; ++I)
+    Events.push_back(randomEvent(Rng, PC));
+
+  AtfWriter W(/*EventsPerBlock=*/64);
+  W.setStaticCondBranches(123);
+  for (const Event &E : Events)
+    W.append(E);
+  std::vector<uint8_t> Bytes = W.finish();
+
+  AtfReader R = openOrFail(Bytes);
+  EXPECT_EQ(R.stat().EventCount, Events.size());
+  EXPECT_EQ(R.stat().BlockCount, (Events.size() + 63) / 64);
+  EXPECT_EQ(R.stat().StaticCondBranches, 123u);
+  EXPECT_EQ(R.stat().FileBytes, Bytes.size());
+
+  std::vector<Event> Decoded = R.readAll();
+  EXPECT_EQ(R.error(), AtfReader::Error::None);
+  ASSERT_EQ(Decoded.size(), Events.size());
+  for (size_t I = 0; I < Events.size(); ++I)
+    ASSERT_EQ(Decoded[I], Events[I]) << "event " << I;
+
+  // Header kind totals agree with the payload.
+  uint64_t Counts[NumEventKinds] = {};
+  for (const Event &E : Events)
+    ++Counts[unsigned(E.Kind)];
+  for (unsigned K = 0; K < NumEventKinds; ++K)
+    EXPECT_EQ(R.stat().KindCounts[K], Counts[K]) << eventKindName(EventKind(K));
+}
+
+TEST(AtfRoundTrip, EmptyTrace) {
+  AtfWriter W;
+  std::vector<uint8_t> Bytes = W.finish();
+  AtfReader R = openOrFail(Bytes);
+  EXPECT_EQ(R.stat().EventCount, 0u);
+  EXPECT_EQ(R.stat().BlockCount, 0u);
+  EXPECT_TRUE(R.readAll().empty());
+  EXPECT_EQ(R.error(), AtfReader::Error::None);
+}
+
+TEST(AtfRoundTrip, EarlyStopAndRestart) {
+  AtfWriter W(/*EventsPerBlock=*/8);
+  for (int I = 0; I < 100; ++I) {
+    Event E;
+    E.PC = 0x1000 + 4 * unsigned(I);
+    W.append(E);
+  }
+  std::vector<uint8_t> Bytes = W.finish();
+  AtfReader R = openOrFail(Bytes);
+  int Seen = 0;
+  EXPECT_TRUE(R.forEach([&](const Event &) { return ++Seen < 10; }));
+  EXPECT_EQ(Seen, 10);
+  // The reader is restartable: a second pass sees everything.
+  Seen = 0;
+  EXPECT_TRUE(R.forEach([&](const Event &) { return ++Seen, true; }));
+  EXPECT_EQ(Seen, 100);
+}
+
+TEST(AtfRoundTrip, SequentialCodeCostsAboutOneBytePerEvent) {
+  AtfWriter W;
+  for (unsigned I = 0; I < 10000; ++I) {
+    Event E;
+    E.PC = 0x120000000 + 4 * I;
+    W.append(E);
+  }
+  std::vector<uint8_t> Bytes = W.finish();
+  AtfReader R = openOrFail(Bytes);
+  EXPECT_LE(R.stat().PayloadBytes, uint64_t(10000 * 1.01 + 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Rejection of damaged files
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> smallValidTrace() {
+  AtfWriter W(/*EventsPerBlock=*/16);
+  uint64_t PC = 0x1000;
+  std::mt19937_64 Rng(11);
+  for (int I = 0; I < 100; ++I)
+    W.append(randomEvent(Rng, PC));
+  return W.finish();
+}
+
+TEST(AtfReject, TruncatedFiles) {
+  std::vector<uint8_t> Bytes = smallValidTrace();
+  // Every proper prefix must be rejected at open() — header, blocks, and
+  // index sizes are all cross-checked against the file size.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + long(Len));
+    AtfReader R;
+    EXPECT_NE(R.open(Cut), AtfReader::Error::None) << "length " << Len;
+  }
+}
+
+TEST(AtfReject, BadMagicAndVersion) {
+  std::vector<uint8_t> Bytes = smallValidTrace();
+  {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[0] = 'X';
+    AtfReader R;
+    EXPECT_EQ(R.open(Bad), AtfReader::Error::BadMagic);
+  }
+  {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[4] = 0xFF; // version
+    AtfReader R;
+    EXPECT_EQ(R.open(Bad), AtfReader::Error::BadVersion);
+  }
+}
+
+TEST(AtfReject, InconsistentHeaderCounts) {
+  std::vector<uint8_t> Bytes = smallValidTrace();
+  // Bump the event-count field: kind totals no longer add up.
+  Bytes[16] += 1;
+  AtfReader R;
+  EXPECT_EQ(R.open(Bytes), AtfReader::Error::BadHeader);
+}
+
+TEST(AtfReject, CorruptIndex) {
+  std::vector<uint8_t> Bytes = smallValidTrace();
+  AtfReader Good;
+  ASSERT_EQ(Good.open(Bytes), AtfReader::Error::None);
+  ASSERT_GT(Good.stat().BlockCount, 1u);
+  // Point the first index entry's file offset past the end of the file.
+  uint64_t IndexOff = Bytes.size() - Good.stat().BlockCount * 24;
+  for (int I = 0; I < 8; ++I)
+    Bytes[size_t(IndexOff) + size_t(I)] = 0xFF;
+  AtfReader R;
+  EXPECT_EQ(R.open(Bytes), AtfReader::Error::BadIndex);
+}
+
+TEST(AtfReject, CorruptPayload) {
+  std::vector<uint8_t> Bytes = smallValidTrace();
+  // Force a dangling continuation bit on the last byte of the first
+  // block's payload: the decoder must fail, not read out of bounds.
+  uint32_t PayloadSize = uint32_t(Bytes[104]) | uint32_t(Bytes[105]) << 8 |
+                         uint32_t(Bytes[106]) << 16 |
+                         uint32_t(Bytes[107]) << 24;
+  Bytes[104 + 24 + PayloadSize - 1] = 0x80;
+  AtfReader R;
+  ASSERT_EQ(R.open(Bytes), AtfReader::Error::None);
+  EXPECT_FALSE(R.forEach([](const Event &) { return true; }));
+  EXPECT_EQ(R.error(), AtfReader::Error::BadPayload);
+}
+
+//===----------------------------------------------------------------------===//
+// The sink producer: measurement window
+//===----------------------------------------------------------------------===//
+
+TEST(TraceWindow, EventCountMatchesOracleWindow) {
+  obj::Executable App = buildWorkload("fib");
+  // Count retired instructions up to __exit with a bare hook — the same
+  // window the tools' reports cover.
+  int ExitSym = App.findSymbol("__exit");
+  ASSERT_GE(ExitSym, 0);
+  uint64_t ExitAddr = App.Symbols[size_t(ExitSym)].Value;
+  uint64_t Expected = 0;
+  bool Done = false;
+  sim::Machine M(App);
+  M.setTraceHook([&](const sim::TraceEvent &E) {
+    if (Done || E.PC == ExitAddr) {
+      Done = true;
+      return;
+    }
+    ++Expected;
+  });
+  ASSERT_EQ(M.run().Status, sim::RunStatus::Exited);
+
+  std::vector<uint8_t> Atf = recordSink(App);
+  AtfReader R = openOrFail(Atf);
+  EXPECT_EQ(R.stat().EventCount, Expected);
+}
+
+TEST(TraceWindow, FullRunRecordsMoreThanWindow) {
+  obj::Executable App = buildWorkload("fib");
+  DiagEngine Diags;
+  std::vector<uint8_t> Windowed, Full;
+  sim::RunResult Run;
+  ASSERT_TRUE(recordTrace(App, /*FullRun=*/false, Windowed, Run, Diags));
+  ASSERT_TRUE(recordTrace(App, /*FullRun=*/true, Full, Run, Diags));
+  AtfReader RW = openOrFail(Windowed), RF = openOrFail(Full);
+  EXPECT_GT(RF.stat().EventCount, RW.stat().EventCount);
+}
+
+//===----------------------------------------------------------------------===//
+// Producer equivalence: instrumentation tool vs. simulator sink
+//===----------------------------------------------------------------------===//
+
+class ProducerEquivalence : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ProducerEquivalence, ToolTraceEqualsSinkTrace) {
+  obj::Executable App = buildWorkload(GetParam());
+  std::vector<uint8_t> SinkAtf = recordSink(App);
+  std::vector<uint8_t> ToolAtf = recordTool(App);
+
+  AtfReader SR = openOrFail(SinkAtf), TR = openOrFail(ToolAtf);
+  EXPECT_EQ(SR.stat().StaticCondBranches, TR.stat().StaticCondBranches);
+  std::vector<Event> Sink = SR.readAll(), Tool = TR.readAll();
+  ASSERT_EQ(SR.error(), AtfReader::Error::None);
+  ASSERT_EQ(TR.error(), AtfReader::Error::None);
+  ASSERT_EQ(Sink.size(), Tool.size());
+  for (size_t I = 0; I < Sink.size(); ++I)
+    ASSERT_EQ(Sink[I], Tool[I])
+        << "event " << I << ": sink pc 0x" << std::hex << Sink[I].PC
+        << " kind " << eventKindName(Sink[I].Kind) << ", tool pc 0x"
+        << Tool[I].PC << " kind " << eventKindName(Tool[I].Kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ProducerEquivalence,
+                         ::testing::Values("fib", "crc", "list"));
+
+//===----------------------------------------------------------------------===//
+// Replay equivalence: offline analyzers vs. live tools, bit for bit
+//===----------------------------------------------------------------------===//
+
+class CacheReplayEquivalence : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(CacheReplayEquivalence, SinkReplayMatchesLiveReport) {
+  obj::Executable App = buildWorkload(GetParam());
+  std::string Live = liveToolReport("cache", App);
+  ASSERT_FALSE(Live.empty());
+
+  std::vector<uint8_t> Atf = recordSink(App);
+  AtfReader R = openOrFail(Atf);
+  CacheReplayResult Res;
+  ASSERT_TRUE(replayCache(R, Res));
+  EXPECT_EQ(Res.report(), Live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CacheReplayEquivalence,
+                         ::testing::Values("matmul", "list", "crc"));
+
+class BranchReplayEquivalence : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(BranchReplayEquivalence, SinkReplayMatchesLiveReport) {
+  obj::Executable App = buildWorkload(GetParam());
+  std::string Live = liveToolReport("branch", App);
+  ASSERT_FALSE(Live.empty());
+
+  std::vector<uint8_t> Atf = recordSink(App);
+  AtfReader R = openOrFail(Atf);
+  BranchReplayResult Res;
+  ASSERT_TRUE(replayBranch(R, Res));
+  EXPECT_EQ(Res.report(), Live);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, BranchReplayEquivalence,
+                         ::testing::Values("fib", "qsort", "sieve",
+                                           "dijkstra"));
+
+TEST(ToolTraceReplay, MatchesLiveReports) {
+  // The full paper workflow: record once with the trace tool, then run
+  // both offline analyzers against the one recording.
+  obj::Executable App = buildWorkload("qsort");
+  std::vector<uint8_t> Atf = recordTool(App);
+  AtfReader R = openOrFail(Atf);
+
+  CacheReplayResult Cache;
+  ASSERT_TRUE(replayCache(R, Cache));
+  EXPECT_EQ(Cache.report(), liveToolReport("cache", App));
+
+  BranchReplayResult Branch;
+  ASSERT_TRUE(replayBranch(R, Branch));
+  EXPECT_EQ(Branch.report(), liveToolReport("branch", App));
+}
+
+//===----------------------------------------------------------------------===//
+// The trace tool is addressable but not part of the Figure 5 suite
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTool, FindableButNotInSuite) {
+  const Tool *T = tools::findTool("trace");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Name, "trace");
+  for (const Tool &Suite : tools::allTools())
+    EXPECT_NE(Suite.Name, "trace");
+}
+
+} // namespace
