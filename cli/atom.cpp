@@ -22,6 +22,7 @@
 
 #include "CliSupport.h"
 
+#include "atom/Recovery.h"
 #include "sim/Machine.h"
 #include "tools/Tools.h"
 
@@ -126,17 +127,29 @@ int main(int argc, char **argv) {
   if (!Run)
     return 0;
 
+  // On a trap the tool's finalization still runs (re-entry at __exit), so
+  // the report dumped below covers the execution up to the fault.
   sim::Machine M(Out.Exe);
-  sim::RunResult R = M.run();
+  RecoveryResult RR = runWithRecovery(Out.Exe, M);
+  const sim::RunResult &R = RR.Result;
   std::fputs(M.vfs().stdoutText().c_str(), stdout);
   for (const std::string &F : Dumps)
     if (M.vfs().fileExists(F))
       std::printf("--- %s ---\n%s", F.c_str(),
                   M.vfs().fileContents(F).c_str());
+  if (R.Status == sim::RunStatus::Trap) {
+    std::fprintf(stderr,
+                 "atom: instrumented program trapped (%s): %s\n"
+                 "atom: original pc 0x%llx%s\n",
+                 sim::trapKindName(R.Trap), R.FaultMessage.c_str(),
+                 (unsigned long long)RR.OrigFaultPC,
+                 RR.OrigFaultPC ? "" : " (inserted/analysis code)");
+    return 124;
+  }
   if (R.Status != sim::RunStatus::Exited) {
-    std::fprintf(stderr, "atom: instrumented program faulted: %s\n",
+    std::fprintf(stderr, "atom: instrumented program did not exit: %s\n",
                  R.FaultMessage.c_str());
-    return 128;
+    return 125;
   }
   return int(R.ExitCode & 0xFF);
 }

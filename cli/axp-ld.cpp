@@ -57,9 +57,12 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (WithRuntime)
+  if (WithRuntime) {
+    if (!runtime::image().Ok)
+      die(runtime::image().Error);
     for (const obj::ObjectModule &M : runtime::modules())
       Modules.push_back(M);
+  }
 
   obj::Executable Exe;
   if (!link::linkExecutable(Modules, Exe, Diags))

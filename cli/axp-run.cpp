@@ -1,30 +1,50 @@
 //===- cli/axp-run.cpp - Run an executable on the simulator ---------------===//
 //
 //   axp-run prog.exe [--stats] [--dump <file>] [--fuel N] [--trace]
+//           [--inject kind@icount[,seed]] [--no-protect] [--no-recover]
+//           [--strict-align]
 //
 // Runs the executable; the program's stdout is forwarded. --dump prints a
 // file from the simulated file system after the run (how you read a tool's
 // report). --trace disassembles every retired instruction to stderr.
+// --inject arms a deterministic fault injector (repeatable; see
+// docs/FAULTS.md for the grammar).
+//
+// Exit codes (documented in docs/FAULTS.md):
+//   0-255  the program's own exit code
+//   124    the program trapped (trap kind + fault PC printed to stderr)
+//   125    the instruction budget (--fuel) was exhausted
 //
 //===----------------------------------------------------------------------===//
 
 #include "CliSupport.h"
 
+#include "atom/Recovery.h"
+#include "sim/Inject.h"
 #include "sim/Machine.h"
 
 using namespace atom;
 using namespace atom::cli;
 
 static void usage() {
-  std::fprintf(stderr, "usage: axp-run <prog.exe> [--stats] [--dump <file>]"
-                       " [--fuel N] [--trace]\n");
+  std::fprintf(stderr,
+               "usage: axp-run <prog.exe> [--stats] [--dump <file>]"
+               " [--fuel N] [--trace]\n"
+               "               [--inject kind@icount[,seed]] [--no-protect]"
+               " [--no-recover]\n"
+               "               [--strict-align]\n"
+               "  --inject kinds: regbit membit decode io\n"
+               "  exit codes: program's own (0-255), 124 trap,"
+               " 125 fuel exhausted\n");
   std::exit(2);
 }
 
 int main(int argc, char **argv) {
   std::string Input;
   std::vector<std::string> Dumps;
-  bool Stats = false, Trace = false;
+  std::vector<sim::InjectSpec> Injections;
+  bool Stats = false, Trace = false, Recover = true;
+  sim::MachineOptions Opts;
   uint64_t Fuel = 2'000'000'000;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -32,7 +52,19 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (A == "--trace")
       Trace = true;
-    else if (A == "--dump" && I + 1 < argc)
+    else if (A == "--no-protect")
+      Opts.MemoryProtection = false;
+    else if (A == "--no-recover")
+      Recover = false;
+    else if (A == "--strict-align")
+      Opts.StrictAlignment = true;
+    else if (A == "--inject" && I + 1 < argc) {
+      sim::InjectSpec Spec;
+      std::string Err;
+      if (!sim::parseInjectSpec(argv[++I], Spec, Err))
+        die("--inject: " + Err);
+      Injections.push_back(Spec);
+    } else if (A == "--dump" && I + 1 < argc)
       Dumps.push_back(argv[++I]);
     else if (A == "--fuel" && I + 1 < argc)
       Fuel = strtoull(argv[++I], nullptr, 0);
@@ -47,14 +79,24 @@ int main(int argc, char **argv) {
     usage();
 
   obj::Executable Exe = loadExecutable(Input);
-  sim::Machine M(Exe);
+  sim::Machine M(Exe, Opts);
   if (Trace)
     M.setTraceHook([](const sim::TraceEvent &E) {
       std::fprintf(stderr, "0x%08llx: %s\n", (unsigned long long)E.PC,
                    isa::disassemble(E.I, E.PC).c_str());
     });
+  sim::armInjections(Injections, M);
 
-  sim::RunResult R = M.run(Fuel);
+  // For instrumented executables, a trap still runs the tool's registered
+  // finalization (re-entry at __exit) so the analysis report survives the
+  // crash — unless --no-recover asks for the bare trap.
+  RecoveryResult RR;
+  if (Recover)
+    RR = runWithRecovery(Exe, M, Fuel);
+  else
+    RR.Result = M.run(Fuel);
+  const sim::RunResult &R = RR.Result;
+
   std::fputs(M.vfs().stdoutText().c_str(), stdout);
   std::fputs(M.vfs().stderrText().c_str(), stderr);
 
@@ -89,13 +131,28 @@ int main(int argc, char **argv) {
   case sim::RunStatus::Halted:
     std::fprintf(stderr, "axp-run: program halted\n");
     return 0;
-  case sim::RunStatus::Fault:
-    std::fprintf(stderr, "axp-run: fault at 0x%llx: %s\n",
-                 (unsigned long long)R.FaultPC, R.FaultMessage.c_str());
-    return 128;
+  case sim::RunStatus::Trap:
+    std::fprintf(stderr, "axp-run: trap (%s) at pc 0x%llx: %s\n",
+                 sim::trapKindName(R.Trap), (unsigned long long)R.FaultPC,
+                 R.FaultMessage.c_str());
+    if (R.Trap == sim::TrapKind::UnmappedAccess ||
+        R.Trap == sim::TrapKind::WriteProtected ||
+        R.Trap == sim::TrapKind::StackGuard ||
+        R.Trap == sim::TrapKind::Unaligned)
+      std::fprintf(stderr, "axp-run: faulting address 0x%llx\n",
+                   (unsigned long long)R.FaultAddr);
+    if (isInstrumented(Exe)) {
+      std::fprintf(stderr, "axp-run: original pc 0x%llx%s\n",
+                   (unsigned long long)RR.OrigFaultPC,
+                   RR.OrigFaultPC ? "" : " (inserted/analysis code)");
+      if (RR.Recovered)
+        std::fprintf(stderr,
+                     "axp-run: analysis finalization ran despite the trap\n");
+    }
+    return 124;
   case sim::RunStatus::FuelExhausted:
     std::fprintf(stderr, "axp-run: instruction budget exhausted\n");
-    return 127;
+    return 125;
   }
   return 1;
 }

@@ -79,6 +79,12 @@ static int cmdRecord(const std::vector<std::string> &Args) {
                (unsigned long long)R.stat().EventCount,
                (unsigned long long)R.stat().BlockCount,
                (unsigned long long)R.stat().FileBytes);
+  if (Run.Status == sim::RunStatus::Trap)
+    std::fprintf(stderr,
+                 "axp-trace: traced program trapped (%s) at pc 0x%llx;"
+                 " trace is truncated\n",
+                 sim::trapKindName(Run.Trap),
+                 (unsigned long long)Run.FaultPC);
   return 0;
 }
 
@@ -90,10 +96,11 @@ static int cmdStat(const std::vector<std::string> &Args) {
     die("cannot read '" + Args[0] + "'");
   trace::AtfReader R = openOrDie(Bytes, Args[0]);
   const trace::AtfStat &S = R.stat();
-  std::printf("version %u\nevents %llu\nblocks %llu\n"
+  std::printf("version %u\ntruncated %s\nevents %llu\nblocks %llu\n"
               "payload-bytes %llu\nfile-bytes %llu\n"
               "static-cond-branches %llu\n",
-              unsigned(S.Version), (unsigned long long)S.EventCount,
+              unsigned(S.Version), S.Truncated ? "yes" : "no",
+              (unsigned long long)S.EventCount,
               (unsigned long long)S.BlockCount,
               (unsigned long long)S.PayloadBytes,
               (unsigned long long)S.FileBytes,

@@ -20,6 +20,10 @@ bool atom::buildApplication(
       return false;
     Modules.push_back(std::move(M));
   }
+  if (!runtime::image().Ok) {
+    Diags.error(0, runtime::image().Error);
+    return false;
+  }
   for (const ObjectModule &M : runtime::modules())
     Modules.push_back(M);
   return link::linkExecutable(Modules, Out, Diags);

@@ -104,6 +104,8 @@ private:
   std::unique_ptr<UseDefSummaries> AppSummaries;
 
   uint64_t FakePC = 0x40000000; ///< Synthetic OrigPC space for wrappers.
+  bool Failed = false; ///< Set by helpers without an error channel
+                       ///< (genCallSeq); checked after insertion.
 };
 
 //===----------------------------------------------------------------------===//
@@ -113,6 +115,8 @@ private:
 bool Engine::prepareAnalysisUnit(
     const std::vector<ObjectModule> &AnalysisModules) {
   std::vector<ObjectModule> All = AnalysisModules;
+  if (!runtime::image().Ok)
+    return error(runtime::image().Error);
   for (const ObjectModule &M : runtime::libraryModules())
     All.push_back(M);
   ObjectModule Merged;
@@ -263,7 +267,8 @@ bool Engine::patchProcSaves(Procedure &P, uint32_t SaveMask) {
     return true;
   int64_t Frame = 0;
   if (!isPatchable(P, Frame))
-    fatalError("patchProcSaves on unpatchable procedure " + P.Name);
+    return error("cannot patch register saves into analysis procedure '" +
+                 P.Name + "' (no standard prologue)");
 
   std::vector<unsigned> Regs = maskToRegs(SaveMask);
   int64_t Extra = int64_t(alignTo(8 * Regs.size(), 16));
@@ -664,7 +669,12 @@ std::vector<InstNode> Engine::genCallSeq(const Action &A,
         push(makeOpLit(Opcode::Xor, Dst, 1, Dst));
         break;
       default:
-        fatalError("not a conditional branch");
+        // Unreachable through the public API (BrCond args are validated
+        // against the site), but fail with a diagnostic rather than
+        // aborting the host if a caller slips one through.
+        Failed = true;
+        Diags.error(0, "BrCond argument at a non-conditional-branch site");
+        break;
       }
       break;
     }
@@ -1006,13 +1016,16 @@ bool Engine::run(
     return false;
   Stats.AnalysisProcs = unsigned(Anal.Procs.size());
 
-  if (!insertSequences(Ctx))
+  if (!insertSequences(Ctx) || Failed)
     return false;
   if (!linkHeaps())
     return false;
 
   if (!layoutProgram(App, &Anal, Out.Exe, Out.Layout, Diags))
     return false;
+  // Embed the new->old PC map so loaders can translate fault PCs back to
+  // pristine addresses (and recognize the executable as instrumented).
+  Out.Exe.PCMap = Out.Layout.NewToOldPC;
   Out.Stats = Stats;
   return true;
 }

@@ -1,0 +1,46 @@
+//===- atom/Recovery.cpp - Crash-surviving analysis -----------------------===//
+
+#include "atom/Recovery.h"
+
+#include <algorithm>
+
+using namespace atom;
+
+uint64_t atom::originalPC(const obj::Executable &Exe, uint64_t NewPC) {
+  if (Exe.PCMap.empty())
+    return NewPC;
+  auto It = std::lower_bound(
+      Exe.PCMap.begin(), Exe.PCMap.end(), NewPC,
+      [](const std::pair<uint64_t, uint64_t> &P, uint64_t PC) {
+        return P.first < PC;
+      });
+  if (It != Exe.PCMap.end() && It->first == NewPC)
+    return It->second;
+  return 0; // inserted or analysis code
+}
+
+RecoveryResult atom::runWithRecovery(const obj::Executable &Exe,
+                                     sim::Machine &M, uint64_t Fuel) {
+  RecoveryResult R;
+  R.Result = M.run(Fuel);
+  if (R.Result.Status != sim::RunStatus::Trap)
+    return R;
+
+  R.OrigFaultPC = originalPC(Exe, R.Result.FaultPC);
+  int ExitSym = Exe.findSymbol("__exit");
+  if (!isInstrumented(Exe) || ExitSym < 0)
+    return R;
+
+  // Re-enter at __exit on a fresh stack: the ProgramAfter hooks inserted
+  // at its entry run the tool's registered finalization against the
+  // analysis state accumulated so far. The trapped application state is
+  // otherwise abandoned (exit code 0 is what the hooks would have seen
+  // from a clean exit; the trap itself is preserved in R.Result).
+  M.memory().clearMemFault();
+  M.setReg(isa::RegSP, Exe.StackStart);
+  M.setReg(isa::RegA0, 0);
+  M.setPC(Exe.Symbols[size_t(ExitSym)].Value);
+  sim::RunResult Final = M.run(Fuel);
+  R.Recovered = Final.Status == sim::RunStatus::Exited;
+  return R;
+}

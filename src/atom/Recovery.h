@@ -1,0 +1,55 @@
+//===- atom/Recovery.h - Crash-surviving analysis ---------------*- C++ -*-===//
+//
+// ATOM tools report at program exit: ProgramAfter hooks are anchored at
+// the runtime's __exit entry. When the *application* traps, those hooks
+// would never run and the tool's report would be lost with the crash.
+// runWithRecovery() runs an instrumented executable and, on a trap,
+// restarts the machine at __exit with a fresh stack so the registered
+// finalization (and therefore the report) still executes — the analysis
+// survives the application's crash.
+//
+// The fault PC is translated back to pristine addresses via the PCMap the
+// engine embeds in instrumented executables (paper §3: statically-known
+// addresses are reported in original terms).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_RECOVERY_H
+#define ATOM_ATOM_RECOVERY_H
+
+#include "obj/ObjectModule.h"
+#include "sim/Machine.h"
+
+namespace atom {
+
+/// True if \p Exe carries an instrumentation PC map (i.e. was produced by
+/// the engine).
+inline bool isInstrumented(const obj::Executable &Exe) {
+  return !Exe.PCMap.empty();
+}
+
+/// Original (uninstrumented) PC for \p NewPC. Identity when \p Exe is not
+/// instrumented; 0 for inserted/analysis code with no original address.
+uint64_t originalPC(const obj::Executable &Exe, uint64_t NewPC);
+
+struct RecoveryResult {
+  /// The application's own run result; a trap is preserved here even when
+  /// the report path was recovered afterwards.
+  sim::RunResult Result;
+  /// On a trap: the fault PC translated to uninstrumented addresses
+  /// (0 = the trap hit inserted/analysis code, or no map was available).
+  uint64_t OrigFaultPC = 0;
+  /// The __exit finalization path ran to completion after a trap.
+  bool Recovered = false;
+};
+
+/// Runs \p M (already loaded with \p Exe) to completion. If the program
+/// traps and \p Exe is instrumented, re-enters it at __exit with a reset
+/// stack so ProgramAfter finalization runs and tool reports survive the
+/// crash. Inspect \p M's VFS afterwards for program output and reports.
+RecoveryResult runWithRecovery(const obj::Executable &Exe, sim::Machine &M,
+                               uint64_t Fuel = 2'000'000'000);
+
+} // namespace atom
+
+#endif // ATOM_ATOM_RECOVERY_H

@@ -105,6 +105,8 @@ public:
     return true;
   }
 
+  bool atEnd() const { return Pos >= B.size(); }
+
 private:
   const std::vector<uint8_t> &B;
   size_t Pos = 0;
@@ -233,6 +235,14 @@ std::vector<uint8_t> Executable::serialize() const {
     W.u64(S.Addr);
     W.bytes(S.Bytes);
   }
+  // Optional trailing section (absent in pre-PCMap files).
+  if (!PCMap.empty()) {
+    W.u64(PCMap.size());
+    for (const auto &[NewPC, OrigPC] : PCMap) {
+      W.u64(NewPC);
+      W.u64(OrigPC);
+    }
+  }
   return std::move(W.Out);
 }
 
@@ -255,6 +265,15 @@ bool Executable::deserialize(const std::vector<uint8_t> &Bytes,
   E.Segments.resize(NSeg);
   for (Segment &S : E.Segments)
     if (!R.u64(S.Addr) || !R.bytes(S.Bytes))
+      return false;
+  if (R.atEnd())
+    return true; // pre-PCMap file
+  uint64_t NMap;
+  if (!R.u64(NMap) || NMap > Bytes.size())
+    return false;
+  E.PCMap.resize(NMap);
+  for (auto &[NewPC, OrigPC] : E.PCMap)
+    if (!R.u64(NewPC) || !R.u64(OrigPC))
       return false;
   return true;
 }

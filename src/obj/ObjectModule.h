@@ -92,6 +92,12 @@ struct Executable {
   std::vector<Reloc> TextRelocs; ///< Offsets relative to TextStart.
   std::vector<Reloc> DataRelocs; ///< Offsets relative to DataStart.
   std::vector<Segment> Segments; ///< Extra regions (analysis data).
+  /// Instrumented executables only: (new PC, original PC) for every
+  /// retained application instruction, sorted by new PC. Lets a loader
+  /// translate a fault PC back to pristine (uninstrumented) addresses.
+  /// Empty for ordinary executables; serialized as an optional trailing
+  /// section, so pre-PCMap AEXE files still load.
+  std::vector<std::pair<uint64_t, uint64_t>> PCMap;
 
   int findSymbol(const std::string &SymName) const;
 

@@ -371,28 +371,35 @@ long fclose(long f) {
 )";
 }
 
-const std::vector<obj::ObjectModule> &runtime::modules() {
-  static const std::vector<obj::ObjectModule> Mods = [] {
-    std::vector<obj::ObjectModule> M(1);
+const runtime::RuntimeImage &runtime::image() {
+  static const RuntimeImage Img = [] {
+    RuntimeImage R;
     DiagEngine Diags;
-    if (!assembler::assemble(crtSource(), "crt0", M[0], Diags))
-      fatalError("runtime crt0.s failed to assemble:\n" + Diags.str());
-    for (const obj::ObjectModule &L : libraryModules())
-      M.push_back(L);
-    return M;
+    obj::ObjectModule Crt, Sys, Lib;
+    if (!assembler::assemble(crtSource(), "crt0", Crt, Diags)) {
+      R.Error = "runtime crt0.s failed to assemble:\n" + Diags.str();
+      return R;
+    }
+    if (!assembler::assemble(sysSource(), "sys", Sys, Diags)) {
+      R.Error = "runtime sys.s failed to assemble:\n" + Diags.str();
+      return R;
+    }
+    if (!mcc::compile(libSource(), "lib", Lib, Diags)) {
+      R.Error = "runtime lib.mc failed to compile:\n" + Diags.str();
+      return R;
+    }
+    R.Library = {Sys, Lib};
+    R.Full = {std::move(Crt), std::move(Sys), std::move(Lib)};
+    R.Ok = true;
+    return R;
   }();
-  return Mods;
+  return Img;
+}
+
+const std::vector<obj::ObjectModule> &runtime::modules() {
+  return image().Full;
 }
 
 const std::vector<obj::ObjectModule> &runtime::libraryModules() {
-  static const std::vector<obj::ObjectModule> Mods = [] {
-    std::vector<obj::ObjectModule> M(2);
-    DiagEngine Diags;
-    if (!assembler::assemble(sysSource(), "sys", M[0], Diags))
-      fatalError("runtime sys.s failed to assemble:\n" + Diags.str());
-    if (!mcc::compile(libSource(), "lib", M[1], Diags))
-      fatalError("runtime lib.mc failed to compile:\n" + Diags.str());
-    return M;
-  }();
-  return Mods;
+  return image().Library;
 }

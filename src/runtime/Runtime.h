@@ -17,11 +17,27 @@
 namespace atom {
 namespace runtime {
 
+/// The runtime's object modules, built once from the embedded sources.
+/// Building can fail (e.g. when hacking on the embedded assembly/mini-C);
+/// that failure is carried here as data so callers report a diagnostic
+/// and exit nonzero instead of abort()ing the host process.
+struct RuntimeImage {
+  bool Ok = false;
+  std::string Error;                      ///< Build diagnostics when !Ok.
+  std::vector<obj::ObjectModule> Full;    ///< crt0 + library (applications).
+  std::vector<obj::ObjectModule> Library; ///< Library only (analysis unit;
+                                          ///< it has no _start of its own).
+};
+
+/// Builds (once) and returns the runtime image.
+const RuntimeImage &image();
+
 /// The full runtime (startup + library), for linking applications.
+/// Empty when the build failed — check image().Ok for the reason.
 const std::vector<obj::ObjectModule> &modules();
 
 /// Library only (syscall veneers, heap cell, mini-C library) — what the
-/// analysis unit links; it has no _start of its own.
+/// analysis unit links. Empty when the build failed.
 const std::vector<obj::ObjectModule> &libraryModules();
 
 /// Assembly source of the startup module (_start).

@@ -1,0 +1,115 @@
+//===- sim/Inject.cpp - Deterministic fault injection ---------------------===//
+
+#include "sim/Inject.h"
+
+#include <cstdlib>
+
+using namespace atom;
+using namespace atom::sim;
+
+const char *sim::injectKindName(InjectSpec::Kind K) {
+  switch (K) {
+  case InjectSpec::Kind::RegBit: return "regbit";
+  case InjectSpec::Kind::MemBit: return "membit";
+  case InjectSpec::Kind::Decode: return "decode";
+  case InjectSpec::Kind::Io: return "io";
+  }
+  return "?";
+}
+
+bool sim::parseInjectSpec(const std::string &Text, InjectSpec &Spec,
+                          std::string &Err) {
+  size_t At = Text.find('@');
+  if (At == std::string::npos) {
+    Err = "inject spec '" + Text + "' has no '@' (want kind@icount[,seed])";
+    return false;
+  }
+  std::string Kind = Text.substr(0, At);
+  if (Kind == "regbit")
+    Spec.K = InjectSpec::Kind::RegBit;
+  else if (Kind == "membit")
+    Spec.K = InjectSpec::Kind::MemBit;
+  else if (Kind == "decode")
+    Spec.K = InjectSpec::Kind::Decode;
+  else if (Kind == "io")
+    Spec.K = InjectSpec::Kind::Io;
+  else {
+    Err = "unknown inject kind '" + Kind +
+          "' (want regbit|membit|decode|io)";
+    return false;
+  }
+
+  std::string Rest = Text.substr(At + 1);
+  std::string Count = Rest;
+  Spec.Seed = 1;
+  size_t Comma = Rest.find(',');
+  if (Comma != std::string::npos) {
+    Count = Rest.substr(0, Comma);
+    std::string SeedStr = Rest.substr(Comma + 1);
+    char *End = nullptr;
+    Spec.Seed = strtoull(SeedStr.c_str(), &End, 0);
+    if (SeedStr.empty() || (End && *End)) {
+      Err = "bad inject seed '" + SeedStr + "'";
+      return false;
+    }
+  }
+  char *End = nullptr;
+  Spec.ICount = strtoull(Count.c_str(), &End, 0);
+  if (Count.empty() || (End && *End)) {
+    Err = "bad inject instruction count '" + Count + "'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// xorshift64: tiny, deterministic, and plenty for picking corruption
+/// targets. Never returns 0 for a nonzero seed.
+uint64_t nextRand(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+} // namespace
+
+void sim::applyInjection(const InjectSpec &Spec, Machine &M) {
+  uint64_t S = Spec.Seed ? Spec.Seed : 1;
+  switch (Spec.K) {
+  case InjectSpec::Kind::RegBit: {
+    // Any register but the hardwired zero.
+    unsigned R = unsigned(nextRand(S) % (isa::NumRegs - 1));
+    unsigned Bit = unsigned(nextRand(S) % 64);
+    M.setReg(R, M.reg(R) ^ (uint64_t(1) << Bit));
+    break;
+  }
+  case InjectSpec::Kind::MemBit: {
+    uint64_t Len = M.dataEnd() - M.dataStart();
+    if (!Len)
+      return;
+    uint64_t Addr = M.dataStart() + nextRand(S) % Len;
+    unsigned Bit = unsigned(nextRand(S) % 8);
+    M.memory().store8(Addr, M.memory().load8(Addr) ^ uint8_t(1u << Bit));
+    break;
+  }
+  case InjectSpec::Kind::Decode: {
+    if (!M.textWordCount())
+      return;
+    size_t Idx = size_t(nextRand(S) % M.textWordCount());
+    uint32_t Mask = uint32_t(nextRand(S));
+    M.corruptTextWord(Idx, Mask ? Mask : 1);
+    break;
+  }
+  case InjectSpec::Kind::Io:
+    M.vfs().injectErrors(1);
+    break;
+  }
+}
+
+void sim::armInjections(const std::vector<InjectSpec> &Specs, Machine &M) {
+  for (const InjectSpec &Spec : Specs)
+    M.addPreInstHook(Spec.ICount,
+                     [Spec](Machine &Target) { applyInjection(Spec, Target); });
+}

@@ -1,0 +1,55 @@
+//===- sim/Inject.h - Deterministic fault injection -------------*- C++ -*-===//
+//
+// A seeded fault injector for the simulator: at a chosen retired-
+// instruction count it flips a register bit, corrupts a byte of the data
+// image, scrambles a decoded text word, or makes the next VFS system call
+// fail. All randomness comes from a per-spec xorshift64 seed, so a given
+// spec reproduces byte-identical outcomes run after run — the test vehicle
+// for the trap taxonomy and crash-surviving analysis, and a workload class
+// of its own (axp-run --inject kind@icount[,seed]).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SIM_INJECT_H
+#define ATOM_SIM_INJECT_H
+
+#include "sim/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace sim {
+
+/// One injection: what to corrupt, when, and with which RNG seed.
+struct InjectSpec {
+  enum class Kind {
+    RegBit, ///< Flip one bit of one integer register.
+    MemBit, ///< Flip one bit of one byte in the static data image.
+    Decode, ///< XOR a random text word and re-decode it.
+    Io,     ///< Make the next VFS syscall return -1.
+  };
+  Kind K = Kind::RegBit;
+  uint64_t ICount = 0; ///< Fires once this many instructions have retired.
+  uint64_t Seed = 1;
+};
+
+/// Parses "kind@icount[,seed]" where kind is regbit|membit|decode|io.
+/// Returns false with \p Err set on malformed input.
+bool parseInjectSpec(const std::string &Text, InjectSpec &Spec,
+                     std::string &Err);
+
+/// Name of \p K ("regbit", ...).
+const char *injectKindName(InjectSpec::Kind K);
+
+/// Applies \p Spec's corruption to \p M immediately. Exposed for tests;
+/// normal use is armInjections().
+void applyInjection(const InjectSpec &Spec, Machine &M);
+
+/// Arms every spec as a pre-instruction hook on \p M.
+void armInjections(const std::vector<InjectSpec> &Specs, Machine &M);
+
+} // namespace sim
+} // namespace atom
+
+#endif // ATOM_SIM_INJECT_H

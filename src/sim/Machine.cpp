@@ -2,6 +2,7 @@
 
 #include "sim/Machine.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace atom;
@@ -9,9 +10,89 @@ using namespace atom::sim;
 using namespace atom::isa;
 using namespace atom::obj;
 
+const char *sim::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None: return "none";
+  case TrapKind::IllegalInstruction: return "illegal-instruction";
+  case TrapKind::BadPC: return "bad-pc";
+  case TrapKind::UnmappedAccess: return "unmapped-access";
+  case TrapKind::WriteProtected: return "write-protected";
+  case TrapKind::Unaligned: return "unaligned";
+  case TrapKind::StackGuard: return "stack-guard";
+  case TrapKind::Arithmetic: return "arithmetic";
+  case TrapKind::BadSyscall: return "bad-syscall";
+  }
+  return "?";
+}
+
 //===----------------------------------------------------------------------===//
 // Memory
 //===----------------------------------------------------------------------===//
+
+void Memory::addRegion(uint64_t Start, uint64_t End, uint8_t Perms,
+                       TrapKind Kind) {
+  if (Start >= End)
+    return;
+  Region R;
+  R.Start = Start;
+  R.End = End;
+  R.Perms = Perms;
+  R.Kind = Kind;
+  auto It = std::upper_bound(
+      Regions.begin(), Regions.end(), Start,
+      [](uint64_t S, const Region &Reg) { return S < Reg.Start; });
+  Regions.insert(It, R);
+  LastRegion = size_t(-1);
+}
+
+void Memory::recordFault(uint64_t Addr, bool IsWrite, TrapKind Kind) {
+  if (Fault.Faulted)
+    return; // first violation wins
+  Fault.Faulted = true;
+  Fault.Addr = Addr;
+  Fault.IsWrite = IsWrite;
+  Fault.Kind = Kind;
+}
+
+bool Memory::allowedSlow(uint64_t Addr, unsigned Size, bool IsWrite) {
+  const uint8_t Need = IsWrite ? PermWrite : PermRead;
+  // Index of the first region with Start > Addr.
+  size_t Lo = 0, Hi = Regions.size();
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Regions[Mid].Start <= Addr)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  if (Lo == 0) {
+    recordFault(Addr, IsWrite, TrapKind::UnmappedAccess);
+    return false;
+  }
+  // Walk forward through adjacent regions until the access is covered.
+  uint64_t Cur = Addr;
+  uint64_t Left = Size;
+  for (size_t Idx = Lo - 1; Idx < Regions.size(); ++Idx) {
+    const Region &R = Regions[Idx];
+    if (Cur < R.Start || Cur >= R.End) {
+      recordFault(Cur, IsWrite, TrapKind::UnmappedAccess);
+      return false;
+    }
+    if (!(R.Perms & Need)) {
+      recordFault(Cur, IsWrite, R.Kind);
+      return false;
+    }
+    uint64_t Span = R.End - Cur;
+    if (Span >= Left) {
+      LastRegion = Idx;
+      return true;
+    }
+    Cur += Span;
+    Left -= Span;
+  }
+  recordFault(Cur, IsWrite, TrapKind::UnmappedAccess);
+  return false;
+}
 
 uint8_t *Memory::pagePtr(uint64_t Addr) {
   uint64_t Page = Addr / PageSize;
@@ -29,15 +110,21 @@ uint8_t *Memory::pagePtr(uint64_t Addr) {
 }
 
 uint8_t Memory::load8(uint64_t Addr) {
+  if (!allowed(Addr, 1, /*IsWrite=*/false))
+    return 0;
   return pagePtr(Addr)[Addr % PageSize];
 }
 
 void Memory::store8(uint64_t Addr, uint8_t V) {
+  if (!allowed(Addr, 1, /*IsWrite=*/true))
+    return;
   pagePtr(Addr)[Addr % PageSize] = V;
 }
 
 #define ATOM_MEM_SCALAR(N, T)                                                  \
   T Memory::load##N(uint64_t Addr) {                                           \
+    if (!allowed(Addr, sizeof(T), /*IsWrite=*/false))                          \
+      return 0;                                                                \
     uint64_t Off = Addr % PageSize;                                            \
     if (Off + sizeof(T) <= PageSize) {                                         \
       T V;                                                                     \
@@ -50,6 +137,8 @@ void Memory::store8(uint64_t Addr, uint8_t V) {
     return V;                                                                  \
   }                                                                            \
   void Memory::store##N(uint64_t Addr, T V) {                                  \
+    if (!allowed(Addr, sizeof(T), /*IsWrite=*/true))                           \
+      return;                                                                  \
     uint64_t Off = Addr % PageSize;                                            \
     if (Off + sizeof(T) <= PageSize) {                                         \
       std::memcpy(pagePtr(Addr) + Off, &V, sizeof(T));                         \
@@ -78,31 +167,100 @@ void Memory::readBytes(uint64_t Addr, uint8_t *Dst, size_t N) {
 // Machine
 //===----------------------------------------------------------------------===//
 
-Machine::Machine(const Executable &Exe) {
+Machine::Machine(const Executable &Exe, const MachineOptions &Opts)
+    : Opts(Opts) {
   TextStart = Exe.TextStart;
+  DataStart = Exe.DataStart;
+  DataEnd = Exe.DataStart + Exe.Data.size() + Exe.BssSize;
   Mem.writeBytes(Exe.TextStart, Exe.Text.data(), Exe.Text.size());
   Mem.writeBytes(Exe.DataStart, Exe.Data.data(), Exe.Data.size());
   for (const obj::Segment &S : Exe.Segments)
     Mem.writeBytes(S.Addr, S.Bytes.data(), S.Bytes.size());
   // Bss pages are zero on first touch; nothing to do.
 
-  Decoded.resize(Exe.Text.size() / 4);
+  TextWords.resize(Exe.Text.size() / 4);
+  Decoded.resize(TextWords.size());
   DecodeOk.resize(Decoded.size());
   for (size_t I = 0; I < Decoded.size(); ++I) {
-    uint32_t Word = read32(Exe.Text, I * 4);
-    DecodeOk[I] = decode(Word, Decoded[I]);
+    TextWords[I] = read32(Exe.Text, I * 4);
+    DecodeOk[I] = decode(TextWords[I], Decoded[I]);
   }
 
   Regs[RegSP] = Exe.StackStart;
   PC = Exe.Entry;
+
+  if (Opts.MemoryProtection) {
+    // Figure-4 layout: stack grows down from StackStart (= text start),
+    // with an unmapped guard page at its limit; text is read/execute-only;
+    // analysis segments sit between text and data; everything from the
+    // data segment up (data, bss, sbrk heap) is read/write. The null page
+    // and all other gaps stay unmapped so wild pointers trap.
+    uint64_t StackTop = Exe.StackStart;
+    uint64_t MaxStack = Opts.StackMaxBytes;
+    if (MaxStack + 2 * PageSize > StackTop)
+      MaxStack = StackTop > 2 * PageSize ? StackTop - 2 * PageSize : 0;
+    if (MaxStack) {
+      uint64_t StackLimit = StackTop - MaxStack;
+      Mem.addRegion(StackLimit - PageSize, StackLimit, Memory::PermNone,
+                    TrapKind::StackGuard);
+      Mem.addRegion(StackLimit, StackTop,
+                    Memory::PermRead | Memory::PermWrite);
+    }
+    Mem.addRegion(Exe.TextStart, Exe.TextStart + Exe.Text.size(),
+                  Memory::PermRead | Memory::PermExec,
+                  TrapKind::WriteProtected);
+    for (const obj::Segment &S : Exe.Segments)
+      Mem.addRegion(S.Addr, S.Addr + S.Bytes.size(),
+                    Memory::PermRead | Memory::PermWrite);
+    Mem.addRegion(Exe.DataStart, ~uint64_t(0),
+                  Memory::PermRead | Memory::PermWrite);
+    Mem.enableProtection();
+  }
 }
 
-RunResult Machine::fault(const std::string &Msg) {
+RunResult Machine::trap(TrapKind Kind, uint64_t Addr, const std::string &Msg) {
   RunResult R;
-  R.Status = RunStatus::Fault;
+  R.Status = RunStatus::Trap;
+  R.Trap = Kind;
   R.FaultPC = PC;
+  R.FaultAddr = Addr;
   R.FaultMessage = Msg;
   return R;
+}
+
+RunResult Machine::memTrap() {
+  Memory::MemFault F = Mem.memFault();
+  Mem.clearMemFault();
+  return trap(F.Kind, F.Addr,
+              formatString("%s: %s at address 0x%llx", trapKindName(F.Kind),
+                           F.IsWrite ? "store" : "load",
+                           (unsigned long long)F.Addr));
+}
+
+void Machine::addPreInstHook(uint64_t ICount,
+                             std::function<void(Machine &)> Hook) {
+  PendingHook H;
+  H.At = ICount;
+  H.Fn = std::move(Hook);
+  Hooks.push_back(std::move(H));
+  NextHookAt = std::min(NextHookAt, ICount);
+}
+
+void Machine::runPendingHooks() {
+  std::vector<PendingHook> Due;
+  for (size_t I = 0; I < Hooks.size();) {
+    if (Hooks[I].At <= St.Instructions) {
+      Due.push_back(std::move(Hooks[I]));
+      Hooks.erase(Hooks.begin() + long(I));
+    } else {
+      ++I;
+    }
+  }
+  NextHookAt = ~uint64_t(0);
+  for (const PendingHook &H : Hooks)
+    NextHookAt = std::min(NextHookAt, H.At);
+  for (PendingHook &H : Due)
+    H.Fn(*this);
 }
 
 RunResult Machine::run(uint64_t MaxInsts) {
@@ -110,13 +268,18 @@ RunResult Machine::run(uint64_t MaxInsts) {
   uint64_t Budget = MaxInsts;
 
   while (Budget--) {
+    if (St.Instructions >= NextHookAt)
+      runPendingHooks();
+
     // Fetch.
     uint64_t Idx = (PC - TextStart) / 4;
     if (PC < TextStart || (PC & 3) || Idx >= Decoded.size())
-      return fault(formatString("bad pc 0x%llx", (unsigned long long)PC));
+      return trap(TrapKind::BadPC, PC,
+                  formatString("bad pc 0x%llx", (unsigned long long)PC));
     if (!DecodeOk[Idx])
-      return fault(formatString("illegal instruction at 0x%llx",
-                                (unsigned long long)PC));
+      return trap(TrapKind::IllegalInstruction, PC,
+                  formatString("illegal instruction at 0x%llx",
+                               (unsigned long long)PC));
     const Inst &I = Decoded[Idx];
 
     ++St.Instructions;
@@ -151,12 +314,16 @@ RunResult Machine::run(uint64_t MaxInsts) {
     case Opcode::Stq: {
       uint64_t Addr = Regs[I.Rb] + uint64_t(int64_t(I.Disp));
       unsigned Size = memAccessSize(I.Op);
-      if (Addr & (Size - 1))
+      if (Addr & (Size - 1)) {
         ++St.UnalignedAccesses;
+        if (Opts.StrictAlignment)
+          return trap(TrapKind::Unaligned, Addr,
+                      formatString("unaligned %u-byte access at 0x%llx",
+                                   Size, (unsigned long long)Addr));
+      }
       if (Tracing)
         Ev.EffAddr = Addr;
       if (isLoad(I.Op)) {
-        ++St.Loads;
         uint64_t V = 0;
         switch (I.Op) {
         case Opcode::Ldbu: V = Mem.load8(Addr); break;
@@ -165,9 +332,11 @@ RunResult Machine::run(uint64_t MaxInsts) {
         case Opcode::Ldq: V = Mem.load64(Addr); break;
         default: break;
         }
+        if (Mem.memFault().Faulted)
+          return memTrap();
+        ++St.Loads;
         setReg(I.Ra, V);
       } else {
-        ++St.Stores;
         uint64_t V = Regs[I.Ra];
         switch (I.Op) {
         case Opcode::Stb: Mem.store8(Addr, uint8_t(V)); break;
@@ -176,6 +345,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
         case Opcode::Stq: Mem.store64(Addr, V); break;
         default: break;
         }
+        if (Mem.memFault().Faulted)
+          return memTrap();
+        ++St.Stores;
       }
       break;
     }
@@ -250,21 +422,29 @@ RunResult Machine::run(uint64_t MaxInsts) {
                             (unsigned __int128)(uint64_t)SB >> 64));
       break;
     case Opcode::Divq:
+      if (SB == 0 && Opts.TrapOnDivideByZero)
+        return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
       setReg(I.Rc, SB == 0 ? 0
                            : (SA == INT64_MIN && SB == -1)
                                  ? uint64_t(INT64_MIN)
                                  : uint64_t(SA / SB));
       break;
     case Opcode::Remq:
+      if (SB == 0 && Opts.TrapOnDivideByZero)
+        return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
       setReg(I.Rc, SB == 0 ? 0
                            : (SA == INT64_MIN && SB == -1)
                                  ? 0
                                  : uint64_t(SA % SB));
       break;
     case Opcode::Divqu:
+      if (SB == 0 && Opts.TrapOnDivideByZero)
+        return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
       setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) / uint64_t(SB));
       break;
     case Opcode::Remqu:
+      if (SB == 0 && Opts.TrapOnDivideByZero)
+        return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
       setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) % uint64_t(SB));
       break;
 
@@ -305,6 +485,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
       case SysWrite: {
         std::vector<uint8_t> Buf(static_cast<size_t>(A2), 0);
         Mem.readBytes(A1, Buf.data(), Buf.size());
+        if (Mem.memFault().Faulted)
+          return memTrap();
         setReg(RegV0, uint64_t(Fs.write(int64_t(A0), Buf)));
         break;
       }
@@ -313,6 +495,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
         int64_t N = Fs.read(int64_t(A0), A2, Buf);
         if (N > 0)
           Mem.writeBytes(A1, Buf.data(), Buf.size());
+        if (Mem.memFault().Faulted)
+          return memTrap();
         setReg(RegV0, uint64_t(N));
         break;
       }
@@ -324,6 +508,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
             break;
           Path += C;
         }
+        if (Mem.memFault().Faulted)
+          return memTrap();
         setReg(RegV0, uint64_t(Fs.open(Path, A1)));
         break;
       }
@@ -331,8 +517,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
         setReg(RegV0, uint64_t(Fs.close(int64_t(A0))));
         break;
       default:
-        return fault(formatString("unknown syscall %llu",
-                                  (unsigned long long)No));
+        return trap(TrapKind::BadSyscall, No,
+                    formatString("unknown syscall %llu",
+                                 (unsigned long long)No));
       }
       break;
     }
@@ -345,7 +532,7 @@ RunResult Machine::run(uint64_t MaxInsts) {
     }
 
     case Opcode::NumOpcodes:
-      return fault("corrupt decode");
+      return trap(TrapKind::IllegalInstruction, PC, "corrupt decode");
     }
 
     if (Tracing)
@@ -358,6 +545,13 @@ RunResult Machine::run(uint64_t MaxInsts) {
   R.FaultPC = PC;
   R.FaultMessage = "instruction budget exhausted";
   return R;
+}
+
+void Machine::corruptTextWord(size_t Idx, uint32_t Mask) {
+  if (Idx >= TextWords.size())
+    return;
+  TextWords[Idx] ^= Mask;
+  DecodeOk[Idx] = decode(TextWords[Idx], Decoded[Idx]);
 }
 
 RunResult sim::runExecutable(const Executable &Exe, Machine *Out) {

@@ -8,6 +8,11 @@
 // The simulator can also record a reference trace (per-instruction hook)
 // which the test suite uses as an oracle for tool outputs.
 //
+// Faults are precise: a trapping instruction never retires, the trap kind
+// and effective address are carried in RunResult, and memory is protected
+// per region (read-only text, unmapped null page, stack guard page), so a
+// wild store traps instead of silently materializing a page.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ATOM_SIM_MACHINE_H
@@ -29,19 +34,48 @@ namespace sim {
 enum class RunStatus {
   Exited,        ///< Program called exit().
   Halted,        ///< Executed a halt instruction.
-  Fault,         ///< Bad instruction, bad PC, or similar.
+  Trap,          ///< Machine fault; RunResult::Trap says which kind.
   FuelExhausted, ///< MaxInsts executed without exiting.
 };
 
+/// Precise trap taxonomy. Every RunStatus::Trap carries one of these.
+enum class TrapKind : uint8_t {
+  None = 0,           ///< Not a trap.
+  IllegalInstruction, ///< Fetched word does not decode.
+  BadPC,              ///< PC outside text or misaligned.
+  UnmappedAccess,     ///< Load/store to an unmapped address.
+  WriteProtected,     ///< Store to a read-only region (text).
+  Unaligned,          ///< Misaligned access under strict alignment.
+  StackGuard,         ///< Access in the guard page below the stack.
+  Arithmetic,         ///< Integer divide by zero (when trapping).
+  BadSyscall,         ///< Unknown system call number.
+};
+
+/// Stable lower-case name of \p K ("unmapped-access", ...).
+const char *trapKindName(TrapKind K);
+
 struct RunResult {
-  RunStatus Status = RunStatus::Fault;
+  RunStatus Status = RunStatus::Trap;
   int64_t ExitCode = -1;
   uint64_t FaultPC = 0;
+  TrapKind Trap = TrapKind::None;
+  uint64_t FaultAddr = 0; ///< Effective address for memory traps, target
+                          ///< PC for BadPC, syscall number for BadSyscall.
   std::string FaultMessage;
 
   bool exitedWith(int64_t Code) const {
     return Status == RunStatus::Exited && ExitCode == Code;
   }
+};
+
+/// Execution knobs. Defaults preserve the historical semantics of every
+/// workload: protection on (wild accesses trap), lenient alignment, and
+/// divide-by-zero producing 0 as before.
+struct MachineOptions {
+  bool MemoryProtection = true;
+  bool StrictAlignment = false;
+  bool TrapOnDivideByZero = false;
+  uint64_t StackMaxBytes = 8 * 1024 * 1024; ///< Guard page sits below this.
 };
 
 /// Dynamic execution statistics.
@@ -68,9 +102,38 @@ struct TraceEvent {
   bool Taken = false;   ///< Conditional branches: taken?
 };
 
-/// Sparse byte-addressable memory with 8 KB pages.
+/// Sparse byte-addressable memory with 8 KB pages and optional per-region
+/// permissions. Protection is off until enableProtection() — the loader
+/// writes the image first — and violations are recorded (first one wins)
+/// rather than thrown, so the machine can turn them into precise traps.
 class Memory {
 public:
+  enum Perm : uint8_t {
+    PermNone = 0,
+    PermRead = 1,
+    PermWrite = 2,
+    PermExec = 4,
+  };
+
+  struct MemFault {
+    bool Faulted = false;
+    uint64_t Addr = 0;
+    bool IsWrite = false;
+    TrapKind Kind = TrapKind::None;
+  };
+
+  /// Declares [Start, End) with \p Perms. \p Kind is the trap reported
+  /// when an access violates the region's permissions (e.g. StackGuard
+  /// for the guard page, WriteProtected for text). Regions must not
+  /// overlap; addresses covered by no region trap as UnmappedAccess.
+  void addRegion(uint64_t Start, uint64_t End, uint8_t Perms,
+                 TrapKind Kind = TrapKind::UnmappedAccess);
+  void enableProtection() { ProtectionOn = true; }
+  bool protectionEnabled() const { return ProtectionOn; }
+
+  const MemFault &memFault() const { return Fault; }
+  void clearMemFault() { Fault = MemFault(); }
+
   uint8_t load8(uint64_t Addr);
   uint16_t load16(uint64_t Addr);
   uint32_t load32(uint64_t Addr);
@@ -83,20 +146,49 @@ public:
   void readBytes(uint64_t Addr, uint8_t *Dst, size_t N);
 
 private:
+  struct Region {
+    uint64_t Start = 0;
+    uint64_t End = 0;
+    uint8_t Perms = PermNone;
+    TrapKind Kind = TrapKind::UnmappedAccess;
+  };
+
+  /// Fast-path permission check; falls back to the region search.
+  bool allowed(uint64_t Addr, unsigned Size, bool IsWrite) {
+    if (!ProtectionOn)
+      return true;
+    if (LastRegion != size_t(-1)) {
+      const Region &R = Regions[LastRegion];
+      if (Addr >= R.Start && Size <= R.End - Addr)
+        return (R.Perms & (IsWrite ? PermWrite : PermRead)) != 0 ||
+               (recordFault(Addr, IsWrite, R.Kind), false);
+    }
+    return allowedSlow(Addr, Size, IsWrite);
+  }
+  bool allowedSlow(uint64_t Addr, unsigned Size, bool IsWrite);
+  void recordFault(uint64_t Addr, bool IsWrite, TrapKind Kind);
+
   uint8_t *pagePtr(uint64_t Addr);
   std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
   uint64_t CachedPage = ~uint64_t(0);
   uint8_t *CachedPtr = nullptr;
+
+  std::vector<Region> Regions; ///< Sorted by Start, non-overlapping.
+  size_t LastRegion = size_t(-1);
+  bool ProtectionOn = false;
+  MemFault Fault;
 };
 
 /// The simulated machine.
 class Machine {
 public:
   /// Loads \p Exe: copies text/data into memory, zeroes bss, pre-decodes
-  /// text, initializes sp to Exe.StackStart and pc to Exe.Entry.
-  explicit Machine(const obj::Executable &Exe);
+  /// text, initializes sp to Exe.StackStart and pc to Exe.Entry, and (per
+  /// \p Opts) arms region protection around the loaded image.
+  explicit Machine(const obj::Executable &Exe,
+                   const MachineOptions &Opts = MachineOptions());
 
-  /// Runs until exit/halt/fault or \p MaxInsts instructions.
+  /// Runs until exit/halt/trap or \p MaxInsts instructions.
   RunResult run(uint64_t MaxInsts = 2'000'000'000);
 
   uint64_t reg(unsigned R) const { return Regs[R]; }
@@ -110,6 +202,7 @@ public:
   Memory &memory() { return Mem; }
   Vfs &vfs() { return Fs; }
   const Stats &stats() const { return St; }
+  const MachineOptions &options() const { return Opts; }
 
   /// Installs a per-retired-instruction hook (the test oracle). Slows
   /// execution; leave unset for benchmarks.
@@ -117,17 +210,46 @@ public:
     Trace = std::move(Hook);
   }
 
+  /// Arms \p Hook to run once when the retired-instruction count reaches
+  /// \p ICount, before the next instruction executes (the fault-injection
+  /// mechanism; costs one compare per instruction when armed).
+  void addPreInstHook(uint64_t ICount, std::function<void(Machine &)> Hook);
+
+  /// Extent of the static data image [DataStart, DataStart + data + bss);
+  /// the fault injector's memory-corruption target window.
+  uint64_t dataStart() const { return DataStart; }
+  uint64_t dataEnd() const { return DataEnd; }
+
+  /// Number of pre-decoded text words.
+  size_t textWordCount() const { return Decoded.size(); }
+  /// XORs text word \p Idx with \p Mask and re-decodes it (decode-stream
+  /// corruption for fault injection).
+  void corruptTextWord(size_t Idx, uint32_t Mask);
+
 private:
-  RunResult fault(const std::string &Msg);
+  RunResult trap(TrapKind Kind, uint64_t Addr, const std::string &Msg);
+  RunResult memTrap();
+  void runPendingHooks();
 
   uint64_t Regs[isa::NumRegs] = {};
   uint64_t PC = 0;
   Memory Mem;
   Vfs Fs;
   Stats St;
+  MachineOptions Opts;
   std::function<void(const TraceEvent &)> Trace;
 
+  struct PendingHook {
+    uint64_t At = 0;
+    std::function<void(Machine &)> Fn;
+  };
+  std::vector<PendingHook> Hooks;
+  uint64_t NextHookAt = ~uint64_t(0);
+
   uint64_t TextStart = 0;
+  uint64_t DataStart = 0;
+  uint64_t DataEnd = 0;
+  std::vector<uint32_t> TextWords;
   std::vector<isa::Inst> Decoded; ///< Pre-decoded text.
   std::vector<bool> DecodeOk;
 };

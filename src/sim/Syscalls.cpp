@@ -14,6 +14,8 @@ Vfs::Vfs() {
 }
 
 int64_t Vfs::open(const std::string &Path, uint64_t Flags) {
+  if (takeInjectedError())
+    return -1;
   if (Path.empty())
     return -1;
   if (Flags == OpenWriteCreate) {
@@ -39,6 +41,8 @@ int64_t Vfs::open(const std::string &Path, uint64_t Flags) {
 }
 
 int64_t Vfs::close(int64_t Fd) {
+  if (takeInjectedError())
+    return -1;
   if (Fd < 3 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
     return -1;
   Fds[size_t(Fd)].Open = false;
@@ -46,6 +50,8 @@ int64_t Vfs::close(int64_t Fd) {
 }
 
 int64_t Vfs::write(int64_t Fd, const std::vector<uint8_t> &Data) {
+  if (takeInjectedError())
+    return -1;
   if (Fd < 0 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
     return -1;
   if (Fd == 1) {
@@ -69,6 +75,8 @@ int64_t Vfs::write(int64_t Fd, const std::vector<uint8_t> &Data) {
 
 int64_t Vfs::read(int64_t Fd, uint64_t N, std::vector<uint8_t> &Out) {
   Out.clear();
+  if (takeInjectedError())
+    return -1;
   if (Fd < 0 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
     return -1;
   if (Fd == 0)

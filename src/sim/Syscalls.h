@@ -57,7 +57,20 @@ public:
   const std::string &stdoutText() const { return StdoutBuf; }
   const std::string &stderrText() const { return StderrBuf; }
 
+  /// Makes the next \p N open/close/read/write calls fail with -1 (fault
+  /// injection: exercises the program's error paths deterministically).
+  void injectErrors(uint64_t N) { ErrInject += N; }
+
 private:
+  /// Consumes one injected error; returns true if this call should fail.
+  bool takeInjectedError() {
+    if (!ErrInject)
+      return false;
+    --ErrInject;
+    return true;
+  }
+
+  uint64_t ErrInject = 0;
   struct OpenFile {
     std::string Path;
     uint64_t Pos = 0;

@@ -36,6 +36,9 @@ constexpr uint64_t BlockHeaderSize = 24;
 // u32 payload size. 24 bytes.
 constexpr uint64_t IndexEntrySize = 24;
 
+// Header flag bits.
+constexpr uint16_t FlagTruncated = 1; // Recorded program trapped mid-run.
+
 // Tag byte: bits 0-2 kind, bit 3 sequential-PC, bits 4-7 kind-specific.
 constexpr uint8_t TagKindMask = 0x7;
 constexpr uint8_t TagSeqPC = 0x8;
@@ -222,7 +225,7 @@ std::vector<uint8_t> AtfWriter::finish() {
   std::vector<uint8_t> Out(HeaderSize);
   std::memcpy(Out.data(), Magic, 4);
   put16(Out, OffVersion, FormatVersion);
-  put16(Out, OffFlags, 0);
+  put16(Out, OffFlags, Truncated ? FlagTruncated : 0);
   put32(Out, OffEventsPerBlock, EventsPerBlock);
   put64(Out, OffEventCount, EventCount);
   put64(Out, OffBlockCount, Index.size());
@@ -276,6 +279,7 @@ AtfReader::Error AtfReader::open(const std::vector<uint8_t> &InBytes) {
   Stat.Version = get16(B + OffVersion);
   if (Stat.Version != FormatVersion)
     return Err = Error::BadVersion;
+  Stat.Truncated = (get16(B + OffFlags) & FlagTruncated) != 0;
 
   Stat.EventCount = get64(B + OffEventCount);
   Stat.BlockCount = get64(B + OffBlockCount);

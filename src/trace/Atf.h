@@ -84,6 +84,10 @@ struct AtfStat {
   /// Static conditional-branch count of the recorded executable (recorder
   /// metadata; what the branch tool reports as "branches"). 0 if unknown.
   uint64_t StaticCondBranches = 0;
+  /// True when the recorded program trapped mid-run: the trace holds every
+  /// event up to the fault but not a complete execution. Replay works
+  /// normally; analyzers just see a shorter stream.
+  bool Truncated = false;
 };
 
 /// Builds an ATF byte stream. Events are appended one at a time; blocks
@@ -93,6 +97,11 @@ public:
   explicit AtfWriter(uint32_t EventsPerBlock = 4096);
 
   void setStaticCondBranches(uint64_t N) { StaticCondBranches = N; }
+
+  /// Marks the trace as truncated (the traced program trapped before it
+  /// finished). The header flag lets `stat` and replayers tell a partial
+  /// trace from a complete one.
+  void markTruncated() { Truncated = true; }
 
   void append(const Event &E);
 
@@ -107,6 +116,7 @@ private:
 
   uint32_t EventsPerBlock;
   uint64_t StaticCondBranches = 0;
+  bool Truncated = false;
   uint64_t EventCount = 0;
   uint64_t KindCounts[NumEventKinds] = {};
 

@@ -66,10 +66,10 @@ bool trace::recordTrace(const obj::Executable &Exe, bool FullRun,
   sim::Machine M(Exe);
   Sink.attach(M);
   Run = M.run();
-  if (Run.Status == sim::RunStatus::Fault) {
-    Diags.error(0, "traced program faulted: " + Run.FaultMessage);
-    return false;
-  }
+  if (Run.Status == sim::RunStatus::Trap)
+    // Keep everything recorded up to the fault: flush the partial trace
+    // and mark the header truncated so stat/replay know it is incomplete.
+    W.markTruncated();
   Out = W.finish();
   return true;
 }

@@ -59,7 +59,9 @@ bool staticCondBranchCount(const obj::Executable &Exe, uint64_t &Out,
 
 /// Records a full ATF trace of \p Exe via the simulator hook. Recording
 /// stops at __exit unless \p FullRun is set. On success \p Out holds the
-/// serialized trace and \p Run the program's run result.
+/// serialized trace and \p Run the program's run result. If the program
+/// traps mid-run the partial trace is still flushed — with the header's
+/// truncated flag set — and \p Run carries the trap; check Run.Status.
 bool recordTrace(const obj::Executable &Exe, bool FullRun,
                  std::vector<uint8_t> &Out, sim::RunResult &Run,
                  DiagEngine &Diags, uint32_t EventsPerBlock = 4096);

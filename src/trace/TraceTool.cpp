@@ -337,7 +337,7 @@ bool trace::recordTraceViaTool(const obj::Executable &App,
 
   sim::Machine M(Out.Exe);
   Run = M.run();
-  if (Run.Status == sim::RunStatus::Fault) {
+  if (Run.Status == sim::RunStatus::Trap) {
     Diags.error(0, "instrumented program faulted: " + Run.FaultMessage);
     return false;
   }

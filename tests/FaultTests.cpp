@@ -1,0 +1,649 @@
+//===- tests/FaultTests.cpp - Precise traps, protection, recovery ---------===//
+//
+// Covers the fault subsystem end to end: one test per trap kind, memory
+// protection (null page, read-only text, stack guard), crash-surviving
+// analysis (a trapped instrumented program still emits its report, with
+// the fault PC translated to uninstrumented addresses), deterministic
+// fault injection, and a decoder fuzz smoke test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "asm/Assembler.h"
+#include "atom/Recovery.h"
+#include "link/Linker.h"
+#include "runtime/Runtime.h"
+#include "sim/Inject.h"
+#include "tools/Tools.h"
+#include "trace/Atf.h"
+#include "trace/TraceSink.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::test;
+
+namespace {
+
+/// Assembles \p Body into a standalone 'start' procedure (no runtime) and
+/// runs it under \p Opts.
+RunResult runAsm(const std::string &Body,
+                 const MachineOptions &Opts = MachineOptions(),
+                 std::unique_ptr<Machine> *Keep = nullptr) {
+  std::string Src = "        .text\n        .ent start\n"
+                    "        .globl start\nstart:\n" +
+                    Body + "        .end start\n";
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Src, "t", M, Diags)) {
+    ADD_FAILURE() << "assembly failed:\n" << Diags.str() << "\n" << Src;
+    abort();
+  }
+  obj::Executable Exe;
+  link::LinkOptions LOpts;
+  LOpts.EntrySymbol = "start";
+  if (!link::linkExecutable({M}, Exe, Diags, LOpts)) {
+    ADD_FAILURE() << "link failed:\n" << Diags.str();
+    abort();
+  }
+  auto Mach = std::make_unique<Machine>(Exe, Opts);
+  RunResult R = Mach->run(1'000'000);
+  if (Keep)
+    *Keep = std::move(Mach);
+  return R;
+}
+
+/// Assembles a full application (the module must define main) and links
+/// it with the runtime, like buildApplication does for mini-C.
+obj::Executable buildAsmApp(const std::string &Src) {
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Src, "app", M, Diags)) {
+    ADD_FAILURE() << "assembly failed:\n" << Diags.str();
+    abort();
+  }
+  std::vector<obj::ObjectModule> Modules{M};
+  for (const obj::ObjectModule &R : runtime::modules())
+    Modules.push_back(R);
+  obj::Executable Exe;
+  if (!link::linkExecutable(Modules, Exe, Diags)) {
+    ADD_FAILURE() << "link failed:\n" << Diags.str();
+    abort();
+  }
+  return Exe;
+}
+
+//===----------------------------------------------------------------------===//
+// Trap taxonomy: one test per kind, with kind + faulting address checked.
+//===----------------------------------------------------------------------===//
+
+TEST(Traps, StoreToNullTraps) {
+  RunResult R = runAsm("clr t0\n stq t1, 0(t0)\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0u);
+  EXPECT_NE(R.FaultMessage.find("store"), std::string::npos);
+}
+
+TEST(Traps, LoadFromUnmappedTraps) {
+  RunResult R = runAsm("lconst t0, 0x03000000\n ldq t1, 0(t0)\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0x03000000u);
+  EXPECT_NE(R.FaultMessage.find("load"), std::string::npos);
+}
+
+TEST(Traps, StoreToTextTraps) {
+  RunResult R = runAsm("lconst t0, 0x02000000\n stq t1, 0(t0)\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::WriteProtected);
+  EXPECT_EQ(R.FaultAddr, obj::DefaultTextStart);
+}
+
+TEST(Traps, TextIsReadable) {
+  RunResult R = runAsm("lconst t0, 0x02000000\n ldq t1, 0(t0)\n halt\n");
+  EXPECT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+}
+
+TEST(Traps, StackGuardPageTraps) {
+  // The guard page sits just below StackStart - StackMaxBytes:
+  // [0x02000000 - 8MB - 8KB, 0x02000000 - 8MB).
+  uint64_t Guard = obj::DefaultTextStart - 8 * 1024 * 1024 - 16;
+  std::string Body =
+      formatString("lconst t0, 0x%llx\n stq t1, 0(t0)\n halt\n",
+                   (unsigned long long)Guard);
+  RunResult R = runAsm(Body);
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::StackGuard);
+  EXPECT_EQ(R.FaultAddr, Guard);
+}
+
+TEST(Traps, DeepStackIsUsable) {
+  // Well inside the 8 MB stack window: no trap.
+  uint64_t Deep = obj::DefaultTextStart - 4 * 1024 * 1024;
+  std::string Body =
+      formatString("lconst t0, 0x%llx\n stq t1, 0(t0)\n halt\n",
+                   (unsigned long long)Deep);
+  RunResult R = runAsm(Body);
+  EXPECT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+}
+
+TEST(Traps, UnalignedTrapsOnlyWhenStrict) {
+  std::string Body = "lconst t0, 0x10000001\n ldq t1, 0(t0)\n halt\n";
+  EXPECT_EQ(runAsm(Body).Status, RunStatus::Halted);
+
+  MachineOptions Strict;
+  Strict.StrictAlignment = true;
+  RunResult R = runAsm(Body, Strict);
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::Unaligned);
+  EXPECT_EQ(R.FaultAddr, 0x10000001u);
+}
+
+TEST(Traps, DivideByZeroTrapsOnlyWhenOptedIn) {
+  std::string Body = "lda t0, 9(zero)\n divq t0, #0, v0\n halt\n";
+  EXPECT_EQ(runAsm(Body).Status, RunStatus::Halted);
+
+  MachineOptions Opts;
+  Opts.TrapOnDivideByZero = true;
+  RunResult R = runAsm(Body, Opts);
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::Arithmetic);
+}
+
+TEST(Traps, BadPCCarriesKindAndTarget) {
+  RunResult R = runAsm("clr t0\n jmp zero, (t0)\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::BadPC);
+  EXPECT_EQ(R.FaultPC, 0u);
+}
+
+TEST(Traps, BadSyscallCarriesKindAndNumber) {
+  RunResult R = runAsm("lconst v0, 999\n callsys\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::BadSyscall);
+  EXPECT_EQ(R.FaultAddr, 999u);
+}
+
+TEST(Traps, IllegalInstructionAfterDecodeCorruption) {
+  // 'halt' encodes as PAL word 0x00000001; XOR with 3 gives PAL function
+  // 2, which no opcode uses.
+  std::unique_ptr<Machine> M;
+  std::string Src = "        .text\n        .ent start\n"
+                    "        .globl start\nstart:\n halt\n        .end start\n";
+  DiagEngine Diags;
+  obj::ObjectModule Mod;
+  ASSERT_TRUE(assembler::assemble(Src, "t", Mod, Diags)) << Diags.str();
+  obj::Executable Exe;
+  link::LinkOptions LOpts;
+  LOpts.EntrySymbol = "start";
+  ASSERT_TRUE(link::linkExecutable({Mod}, Exe, Diags, LOpts)) << Diags.str();
+  Machine Mach(Exe);
+  Mach.corruptTextWord(0, 0x3);
+  RunResult R = Mach.run(100);
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.Trap, TrapKind::IllegalInstruction);
+  EXPECT_EQ(R.FaultPC, Exe.Entry);
+}
+
+TEST(Traps, ProtectionCanBeDisabled) {
+  MachineOptions Off;
+  Off.MemoryProtection = false;
+  // With protection off a wild store silently materializes the page —
+  // the historical behavior, kept reachable for differential testing.
+  RunResult R = runAsm("clr t0\n stq t1, 0(t0)\n ldq v0, 0(t0)\n halt\n",
+                       Off);
+  EXPECT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder fuzz smoke test: random byte streams never abort the host.
+//===----------------------------------------------------------------------===//
+
+TEST(Traps, DecoderFuzzNeverAbortsHost) {
+  uint64_t Seed = 0x9E3779B97F4A7C15ULL;
+  auto Next = [&Seed]() {
+    Seed ^= Seed << 13;
+    Seed ^= Seed >> 7;
+    Seed ^= Seed << 17;
+    return Seed;
+  };
+  for (int Round = 0; Round < 100; ++Round) {
+    obj::Executable Exe;
+    Exe.TextStart = obj::DefaultTextStart;
+    Exe.DataStart = obj::DefaultDataStart;
+    Exe.StackStart = obj::DefaultTextStart;
+    Exe.HeapStart = obj::DefaultDataStart;
+    Exe.Entry = Exe.TextStart;
+    Exe.Text.resize(64 * 4);
+    for (size_t I = 0; I < Exe.Text.size(); ++I)
+      Exe.Text[I] = uint8_t(Next());
+    Machine M(Exe);
+    RunResult R = M.run(10'000);
+    // Any clean outcome is fine; the host must simply survive.
+    EXPECT_TRUE(R.Status == RunStatus::Trap ||
+                R.Status == RunStatus::Halted ||
+                R.Status == RunStatus::Exited ||
+                R.Status == RunStatus::FuelExhausted);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// PC map: serialization and original-address translation.
+//===----------------------------------------------------------------------===//
+
+TEST(PCMap, SerializeRoundTrip) {
+  obj::Executable Exe;
+  Exe.TextStart = obj::DefaultTextStart;
+  Exe.Text.resize(8);
+  Exe.PCMap = {{0x2000000, 0x2000000}, {0x2000010, 0x2000004}};
+  std::vector<uint8_t> Bytes = Exe.serialize();
+  obj::Executable Back;
+  ASSERT_TRUE(obj::Executable::deserialize(Bytes, Back));
+  EXPECT_EQ(Back.PCMap, Exe.PCMap);
+}
+
+TEST(PCMap, FilesWithoutMapStillLoad) {
+  obj::Executable Exe;
+  Exe.TextStart = obj::DefaultTextStart;
+  Exe.Text.resize(8);
+  std::vector<uint8_t> Bytes = Exe.serialize();
+  obj::Executable Back;
+  ASSERT_TRUE(obj::Executable::deserialize(Bytes, Back));
+  EXPECT_TRUE(Back.PCMap.empty());
+}
+
+TEST(PCMap, OriginalPCTranslation) {
+  obj::Executable Exe;
+  // No map: identity (ordinary executable).
+  EXPECT_EQ(originalPC(Exe, 0x2000008), 0x2000008u);
+  Exe.PCMap = {{0x2000000, 0x2000000}, {0x2000010, 0x2000004}};
+  EXPECT_EQ(originalPC(Exe, 0x2000010), 0x2000004u);
+  // Inserted (analysis) instructions have no original address.
+  EXPECT_EQ(originalPC(Exe, 0x2000008), 0u);
+}
+
+TEST(PCMap, InstrumentationEmbedsMap) {
+  obj::Executable App = buildOrDie(
+      "int main() { printf(\"x=%ld\\n\", (long)6); return 0; }");
+  EXPECT_TRUE(App.PCMap.empty());
+  InstrumentedProgram Out =
+      instrumentOrDie(App, *tools::findTool("dyninst"));
+  ASSERT_FALSE(Out.Exe.PCMap.empty());
+  EXPECT_TRUE(isInstrumented(Out.Exe));
+  // Every original-PC value refers into the original text.
+  for (const auto &[NewPC, OldPC] : Out.Exe.PCMap) {
+    EXPECT_GE(NewPC, Out.Exe.TextStart);
+    EXPECT_GE(OldPC, App.TextStart);
+    EXPECT_LT(OldPC, App.TextStart + App.Text.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-surviving analysis.
+//===----------------------------------------------------------------------===//
+
+const char *CrashingApp = R"(
+int main() {
+  long i;
+  long sum = 0;
+  long buf[8];
+  for (i = 0; i < 8; i = i + 1)
+    buf[i] = i;
+  for (i = 0; i < 8; i = i + 1)
+    sum = sum + buf[i];
+  printf("sum=%ld\n", sum);
+  char *p = (char *)0;
+  p[0] = 1;  // traps: store to the null page
+  return 0;
+}
+)";
+
+TEST(Recovery, ReportSurvivesCrash) {
+  obj::Executable App = buildOrDie(CrashingApp);
+
+  // The uninstrumented program traps at the null store.
+  Machine Plain(App);
+  RunResult PR = Plain.run();
+  ASSERT_EQ(PR.Status, RunStatus::Trap) << PR.FaultMessage;
+  ASSERT_EQ(PR.Trap, TrapKind::UnmappedAccess);
+
+  // The instrumented one traps too — but recovery re-enters __exit, the
+  // registered finalization runs, and the report is written.
+  InstrumentedProgram Out = instrumentOrDie(App, *tools::findTool("cache"));
+  Machine M(Out.Exe);
+  RecoveryResult RR = runWithRecovery(Out.Exe, M);
+  ASSERT_EQ(RR.Result.Status, RunStatus::Trap) << RR.Result.FaultMessage;
+  EXPECT_EQ(RR.Result.Trap, TrapKind::UnmappedAccess);
+  EXPECT_TRUE(RR.Recovered);
+  ASSERT_TRUE(M.vfs().fileExists("cache.out"));
+  EXPECT_NE(M.vfs().fileContents("cache.out").find("references"),
+            std::string::npos);
+
+  // The fault PC translates back to the pristine (uninstrumented) address
+  // — the very instruction the plain run trapped on.
+  EXPECT_EQ(RR.OrigFaultPC, PR.FaultPC);
+}
+
+// Exit-vs-crash equivalence: two programs with an identical instruction
+// prefix; one then exits cleanly, the other jumps to PC 0. The analysis
+// report an instrumented run emits must be identical in both cases.
+const char *EquivPrefix = R"(
+        .text
+        .ent    main
+        .globl  main
+main:
+        lda     sp, -16(sp)
+        stq     ra, 8(sp)
+        laddr   t0, wrk
+        lda     t3, 4(zero)
+Lgo:
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        subq    t3, #1, t3
+        bne     t3, Lgo
+)";
+const char *EquivData = R"(
+        .end    main
+        .data
+        .align  3
+wrk:
+        .quad   0
+)";
+
+std::string reportAfterRun(const obj::Executable &App, const char *ToolName,
+                           const char *ReportFile, bool ExpectTrap) {
+  InstrumentedProgram Out =
+      instrumentOrDie(App, *tools::findTool(ToolName));
+  Machine M(Out.Exe);
+  RecoveryResult RR = runWithRecovery(Out.Exe, M);
+  if (ExpectTrap) {
+    EXPECT_EQ(RR.Result.Status, RunStatus::Trap) << RR.Result.FaultMessage;
+    EXPECT_TRUE(RR.Recovered);
+  } else {
+    EXPECT_TRUE(RR.Result.exitedWith(0)) << RR.Result.FaultMessage;
+  }
+  EXPECT_TRUE(M.vfs().fileExists(ReportFile));
+  return M.vfs().fileContents(ReportFile);
+}
+
+TEST(Recovery, ReportIdenticalWhetherExitOrCrash) {
+  std::string ExitTail = "        clr     a0\n        bsr     ra, __exit\n";
+  std::string CrashTail = "        jmp     zero, (zero)\n";
+  obj::Executable Exits =
+      buildAsmApp(EquivPrefix + ExitTail + EquivData);
+  obj::Executable Crashes =
+      buildAsmApp(EquivPrefix + CrashTail + EquivData);
+
+  std::string CacheA = reportAfterRun(Exits, "cache", "cache.out", false);
+  std::string CacheB = reportAfterRun(Crashes, "cache", "cache.out", true);
+  EXPECT_EQ(CacheA, CacheB);
+  EXPECT_NE(CacheA.find("references"), std::string::npos);
+
+  std::string BranchA = reportAfterRun(Exits, "branch", "branch.out", false);
+  std::string BranchB = reportAfterRun(Crashes, "branch", "branch.out", true);
+  EXPECT_EQ(BranchA, BranchB);
+}
+
+TEST(Recovery, UninstrumentedProgramIsNotRecovered) {
+  obj::Executable App = buildOrDie(CrashingApp);
+  Machine M(App);
+  RecoveryResult RR = runWithRecovery(App, M);
+  EXPECT_EQ(RR.Result.Status, RunStatus::Trap);
+  EXPECT_FALSE(RR.Recovered);
+  // Identity translation for ordinary executables.
+  EXPECT_EQ(RR.OrigFaultPC, RR.Result.FaultPC);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic fault injection.
+//===----------------------------------------------------------------------===//
+
+TEST(Inject, SpecParsing) {
+  InjectSpec S;
+  std::string Err;
+  ASSERT_TRUE(parseInjectSpec("regbit@1000", S, Err)) << Err;
+  EXPECT_EQ(S.K, InjectSpec::Kind::RegBit);
+  EXPECT_EQ(S.ICount, 1000u);
+  EXPECT_EQ(S.Seed, 1u);
+  ASSERT_TRUE(parseInjectSpec("membit@5,42", S, Err)) << Err;
+  EXPECT_EQ(S.K, InjectSpec::Kind::MemBit);
+  EXPECT_EQ(S.Seed, 42u);
+  ASSERT_TRUE(parseInjectSpec("decode@0", S, Err));
+  ASSERT_TRUE(parseInjectSpec("io@7", S, Err));
+
+  EXPECT_FALSE(parseInjectSpec("regbit", S, Err));
+  EXPECT_FALSE(parseInjectSpec("nope@3", S, Err));
+  EXPECT_FALSE(parseInjectSpec("regbit@x", S, Err));
+  EXPECT_FALSE(parseInjectSpec("regbit@3,", S, Err));
+}
+
+struct InjectOutcome {
+  RunStatus Status = RunStatus::Trap;
+  TrapKind Trap = TrapKind::None;
+  int64_t ExitCode = 0;
+  uint64_t FaultPC = 0;
+  uint64_t Instructions = 0;
+  std::string Stdout;
+
+  bool operator==(const InjectOutcome &O) const = default;
+};
+
+InjectOutcome runInjected(const obj::Executable &Exe,
+                          const std::string &Spec) {
+  InjectSpec S;
+  std::string Err;
+  EXPECT_TRUE(parseInjectSpec(Spec, S, Err)) << Err;
+  Machine M(Exe);
+  armInjections({S}, M);
+  RunResult R = M.run(1'000'000);
+  InjectOutcome O;
+  O.Status = R.Status;
+  O.Trap = R.Trap;
+  O.ExitCode = R.ExitCode;
+  O.FaultPC = R.FaultPC;
+  O.Instructions = M.stats().Instructions;
+  O.Stdout = M.vfs().stdoutText();
+  return O;
+}
+
+TEST(Inject, DeterministicAcrossRuns) {
+  obj::Executable App = buildOrDie(R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 200; i = i + 1)
+    sum = sum + i * i;
+  printf("sum=%ld\n", sum);
+  return 0;
+}
+)");
+  for (const char *Spec :
+       {"regbit@500,7", "membit@500,7", "decode@500,7", "io@0,7"}) {
+    InjectOutcome A = runInjected(App, Spec);
+    InjectOutcome B = runInjected(App, Spec);
+    EXPECT_EQ(A, B) << "nondeterministic outcome for " << Spec;
+  }
+  // Different seeds must be able to produce different corruptions: at
+  // minimum the run is still deterministic per seed.
+  InjectOutcome C = runInjected(App, "regbit@500,8");
+  InjectOutcome D = runInjected(App, "regbit@500,8");
+  EXPECT_EQ(C, D);
+}
+
+TEST(Inject, IoInjectionFailsNextSyscall) {
+  obj::Executable App = buildOrDie(R"(
+int main() {
+  long f = fopen("x.txt", "w");
+  if (f < 0) {
+    printf("open-failed\n");
+    return 0;
+  }
+  printf("open-ok\n");
+  return 0;
+}
+)");
+  // Uninjected: open succeeds.
+  Machine Plain(App);
+  Plain.run(1'000'000);
+  EXPECT_NE(Plain.vfs().stdoutText().find("open-ok"), std::string::npos);
+
+  InjectOutcome O = runInjected(App, "io@0");
+  EXPECT_EQ(O.Status, RunStatus::Exited);
+  EXPECT_NE(O.Stdout.find("open-failed"), std::string::npos) << O.Stdout;
+}
+
+//===----------------------------------------------------------------------===//
+// CLI: exit codes and --inject determinism.
+//===----------------------------------------------------------------------===//
+
+struct CmdResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr
+};
+
+CmdResult runCmd(const std::string &Cmd) {
+  CmdResult R;
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(P);
+  R.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  return R;
+}
+
+class FaultCli : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "atomfault-" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    runCmd("rm -rf " + Dir + " && mkdir -p " + Dir);
+    Bin = ATOM_CLI_DIR;
+  }
+
+  /// Writes \p Exe into the scratch dir and returns its path.
+  std::string writeExe(const obj::Executable &Exe, const std::string &Name) {
+    std::string Path = Dir + "/" + Name;
+    std::vector<uint8_t> Bytes = Exe.serialize();
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              std::streamsize(Bytes.size()));
+    return Path;
+  }
+
+  std::string tool(const std::string &Name) { return Bin + "/" + Name; }
+
+  std::string Dir, Bin;
+};
+
+TEST_F(FaultCli, TrapExitCodeAndDiagnostics) {
+  std::string Exe = writeExe(buildOrDie(CrashingApp), "crash.exe");
+  CmdResult R = runCmd(tool("axp-run") + " " + Exe);
+  EXPECT_EQ(R.ExitCode, 124) << R.Output;
+  EXPECT_NE(R.Output.find("trap (unmapped-access)"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("faulting address 0x"), std::string::npos);
+}
+
+TEST_F(FaultCli, FuelExitCode) {
+  std::string Exe = writeExe(buildOrDie("int main() { while (1) {} "
+                                        "return 0; }"),
+                             "spin.exe");
+  CmdResult R = runCmd(tool("axp-run") + " " + Exe + " --fuel 1000");
+  EXPECT_EQ(R.ExitCode, 125) << R.Output;
+  EXPECT_NE(R.Output.find("budget exhausted"), std::string::npos);
+}
+
+TEST_F(FaultCli, CleanExitCodeUnchanged) {
+  std::string Exe = writeExe(buildOrDie("int main() { return 3; }"),
+                             "ok.exe");
+  CmdResult R = runCmd(tool("axp-run") + " " + Exe);
+  EXPECT_EQ(R.ExitCode, 3) << R.Output;
+}
+
+TEST_F(FaultCli, InjectIsDeterministic) {
+  std::string Exe = writeExe(buildOrDie(R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 300; i = i + 1)
+    sum = sum + i;
+  printf("sum=%ld\n", sum);
+  return 0;
+}
+)"),
+                             "p.exe");
+  std::string Cmd =
+      tool("axp-run") + " " + Exe + " --inject regbit@400,9 --stats";
+  CmdResult A = runCmd(Cmd);
+  CmdResult B = runCmd(Cmd);
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.Output, B.Output); // byte-identical outcome for a fixed seed
+}
+
+TEST_F(FaultCli, InstrumentedTrapStillDumpsReport) {
+  obj::Executable App = buildOrDie(CrashingApp);
+  InstrumentedProgram Out = instrumentOrDie(App, *tools::findTool("cache"));
+  std::string Exe = writeExe(Out.Exe, "crash.atom");
+  CmdResult R = runCmd(tool("axp-run") + " " + Exe + " --dump cache.out");
+  EXPECT_EQ(R.ExitCode, 124) << R.Output;
+  EXPECT_NE(R.Output.find("references"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("original pc 0x"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("finalization ran"), std::string::npos) << R.Output;
+
+  // --no-recover suppresses the report path.
+  CmdResult NR = runCmd(tool("axp-run") + " " + Exe +
+                        " --no-recover --dump cache.out");
+  EXPECT_EQ(NR.ExitCode, 124);
+  EXPECT_EQ(NR.Output.find("references"), std::string::npos) << NR.Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Truncated traces.
+//===----------------------------------------------------------------------===//
+
+TEST(Traps, TrapFlushesTruncatedTrace) {
+  obj::Executable App = buildOrDie(CrashingApp);
+  DiagEngine Diags;
+  std::vector<uint8_t> Atf;
+  RunResult Run;
+  ASSERT_TRUE(trace::recordTrace(App, /*FullRun=*/false, Atf, Run, Diags))
+      << Diags.str();
+  EXPECT_EQ(Run.Status, RunStatus::Trap);
+
+  trace::AtfReader R;
+  ASSERT_EQ(R.open(Atf), trace::AtfReader::Error::None);
+  EXPECT_TRUE(R.stat().Truncated);
+  EXPECT_GT(R.stat().EventCount, 0u);
+  // The partial stream decodes cleanly end to end.
+  uint64_t N = 0;
+  ASSERT_TRUE(R.forEach([&](const trace::Event &) {
+    ++N;
+    return true;
+  }));
+  EXPECT_EQ(N, R.stat().EventCount);
+
+  // A cleanly exiting program records an untruncated trace.
+  obj::Executable Ok =
+      buildOrDie("int main() { printf(\"hi\\n\"); return 0; }");
+  std::vector<uint8_t> OkAtf;
+  ASSERT_TRUE(trace::recordTrace(Ok, false, OkAtf, Run, Diags))
+      << Diags.str();
+  EXPECT_EQ(Run.Status, RunStatus::Exited);
+  trace::AtfReader R2;
+  ASSERT_EQ(R2.open(OkAtf), trace::AtfReader::Error::None);
+  EXPECT_FALSE(R2.stat().Truncated);
+}
+
+} // namespace

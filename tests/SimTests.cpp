@@ -166,7 +166,7 @@ INSTANTIATE_TEST_SUITE_P(All, Semantics, ::testing::ValuesIn(SemCases),
 
 TEST(SimFaults, BadPC) {
   RunResult R = runAsm("lda t0, 0(zero)\n jmp zero, (t0)\n");
-  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_EQ(R.Status, RunStatus::Trap);
   EXPECT_NE(R.FaultMessage.find("bad pc"), std::string::npos);
 }
 
@@ -177,7 +177,7 @@ TEST(SimFaults, FuelExhausted) {
 
 TEST(SimFaults, UnknownSyscall) {
   RunResult R = runAsm("lconst v0, 999\n callsys\n");
-  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_EQ(R.Status, RunStatus::Trap);
   EXPECT_NE(R.FaultMessage.find("syscall"), std::string::npos);
 }
 
