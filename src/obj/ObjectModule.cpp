@@ -106,6 +106,7 @@ public:
   }
 
   bool atEnd() const { return Pos >= B.size(); }
+  size_t remaining() const { return B.size() - Pos; }
 
 private:
   const std::vector<uint8_t> &B;
@@ -269,7 +270,7 @@ bool Executable::deserialize(const std::vector<uint8_t> &Bytes,
   if (R.atEnd())
     return true; // pre-PCMap file
   uint64_t NMap;
-  if (!R.u64(NMap) || NMap > Bytes.size())
+  if (!R.u64(NMap) || NMap > R.remaining() / 16)
     return false;
   E.PCMap.resize(NMap);
   for (auto &[NewPC, OrigPC] : E.PCMap)

@@ -282,9 +282,6 @@ RunResult Machine::run(uint64_t MaxInsts) {
                                (unsigned long long)PC));
     const Inst &I = Decoded[Idx];
 
-    ++St.Instructions;
-    ++St.PerOpcode[size_t(I.Op)];
-
     TraceEvent Ev;
     if (Tracing) {
       Ev.PC = PC;
@@ -315,11 +312,11 @@ RunResult Machine::run(uint64_t MaxInsts) {
       uint64_t Addr = Regs[I.Rb] + uint64_t(int64_t(I.Disp));
       unsigned Size = memAccessSize(I.Op);
       if (Addr & (Size - 1)) {
-        ++St.UnalignedAccesses;
         if (Opts.StrictAlignment)
           return trap(TrapKind::Unaligned, Addr,
                       formatString("unaligned %u-byte access at 0x%llx",
                                    Size, (unsigned long long)Addr));
+        ++St.UnalignedAccesses;
       }
       if (Tracing)
         Ev.EffAddr = Addr;
@@ -475,6 +472,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
       uint64_t A0 = Regs[RegA0], A1 = Regs[RegA1], A2 = Regs[RegA2];
       switch (No) {
       case SysExit: {
+        ++St.Instructions;
+        ++St.PerOpcode[size_t(I.Op)];
         if (Tracing)
           Trace(Ev);
         RunResult R;
@@ -525,6 +524,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
     }
 
     case Opcode::Halt: {
+      ++St.Instructions;
+      ++St.PerOpcode[size_t(I.Op)];
       RunResult R;
       R.Status = RunStatus::Halted;
       R.ExitCode = int64_t(Regs[RegV0]);
@@ -535,6 +536,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
       return trap(TrapKind::IllegalInstruction, PC, "corrupt decode");
     }
 
+    // Retirement: only instructions that complete without trapping count.
+    ++St.Instructions;
+    ++St.PerOpcode[size_t(I.Op)];
     if (Tracing)
       Trace(Ev);
     PC = NextPC;

@@ -159,7 +159,7 @@ private:
       return true;
     if (LastRegion != size_t(-1)) {
       const Region &R = Regions[LastRegion];
-      if (Addr >= R.Start && Size <= R.End - Addr)
+      if (Addr >= R.Start && Addr < R.End && Size <= R.End - Addr)
         return (R.Perms & (IsWrite ? PermWrite : PermRead)) != 0 ||
                (recordFault(Addr, IsWrite, R.Kind), false);
     }

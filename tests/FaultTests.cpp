@@ -124,6 +124,19 @@ TEST(Traps, StackGuardPageTraps) {
   EXPECT_EQ(R.FaultAddr, Guard);
 }
 
+TEST(Traps, CachedRegionDoesNotLeakPermissions) {
+  // A valid stack store caches the RW stack region in the fast path; a
+  // following store above that region's End (read-only text here) must
+  // fall through to the slow path and trap, not inherit the cached
+  // RW permissions via an End - Addr underflow.
+  RunResult R = runAsm("stq t1, -8(sp)\n"
+                       "        lconst t0, 0x02000000\n"
+                       "        stq t1, 0(t0)\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::WriteProtected);
+  EXPECT_EQ(R.FaultAddr, obj::DefaultTextStart);
+}
+
 TEST(Traps, DeepStackIsUsable) {
   // Well inside the 8 MB stack window: no trap.
   uint64_t Deep = obj::DefaultTextStart - 4 * 1024 * 1024;
