@@ -4,6 +4,7 @@
 #define ATOM_BENCH_BENCHUTIL_H
 
 #include "atom/Driver.h"
+#include "obs/Obs.h"
 #include "sim/Machine.h"
 #include "tools/Tools.h"
 #include "workloads/Workloads.h"
@@ -11,16 +12,47 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 namespace atom {
 namespace bench {
 
-/// Builds all 20 workload executables once.
-inline std::vector<obj::Executable> buildSuite() {
+/// Common figure-benchmark command line: `--smoke` caps the workload
+/// suite for CI smoke runs, `--json <path>` overrides where the
+/// machine-readable results document lands.
+struct BenchArgs {
+  bool Smoke = false;
+  std::string JsonPath;
+
+  static BenchArgs parse(int Argc, char **Argv,
+                         const std::string &DefaultJson) {
+    BenchArgs A;
+    A.JsonPath = DefaultJson;
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--smoke")
+        A.Smoke = true;
+      else if (Arg == "--json" && I + 1 < Argc)
+        A.JsonPath = Argv[++I];
+      else {
+        std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n",
+                     Argv[0]);
+        std::exit(2);
+      }
+    }
+    return A;
+  }
+};
+
+/// Builds the workload executables once; \p MaxWorkloads caps the suite
+/// (0 = all 20) for smoke runs.
+inline std::vector<obj::Executable> buildSuite(size_t MaxWorkloads = 0) {
   std::vector<obj::Executable> Suite;
   for (const workloads::Workload &W : workloads::allWorkloads()) {
+    if (MaxWorkloads && Suite.size() >= MaxWorkloads)
+      break;
     DiagEngine Diags;
     obj::Executable Exe;
     if (!buildApplication(W.Source, Exe, Diags)) {
@@ -31,6 +63,16 @@ inline std::vector<obj::Executable> buildSuite() {
     Suite.push_back(std::move(Exe));
   }
   return Suite;
+}
+
+/// Writes \p Json (a complete document) to \p Path, failing loudly.
+inline void writeJsonDoc(const std::string &Path, const std::string &Json) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  Out << Json;
 }
 
 /// Simulated instruction count of a clean run (the "execution time" unit).

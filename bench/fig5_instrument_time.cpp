@@ -19,15 +19,28 @@
 using namespace atom;
 using namespace atom::bench;
 
-int main() {
-  std::vector<obj::Executable> Suite = buildSuite();
+int main(int argc, char **argv) {
+  BenchArgs Args = BenchArgs::parse(argc, argv, "BENCH_fig5.json");
+  std::vector<obj::Executable> Suite = buildSuite(Args.Smoke ? 4 : 0);
 
-  std::printf("Figure 5: time taken by ATOM to instrument the 20-program "
-              "suite\n");
+  std::printf("Figure 5: time taken by ATOM to instrument the %zu-program "
+              "suite\n",
+              Suite.size());
   std::printf("%-9s | %-44s | %10s | %9s | %8s\n", "tool", "description",
               "total (s)", "avg (ms)", "points");
   std::printf("----------+----------------------------------------------+-"
               "-----------+-----------+---------\n");
+
+  obs::JsonWriter J;
+  J.beginObject();
+  J.key("figure");
+  J.value("fig5");
+  J.key("workloads");
+  J.value(uint64_t(Suite.size()));
+  J.key("smoke");
+  J.value(Args.Smoke);
+  J.key("tools");
+  J.beginArray();
 
   double GrandTotal = 0;
   for (const Tool &T : tools::allTools()) {
@@ -39,14 +52,31 @@ int main() {
     }
     double Secs = Timer.seconds();
     GrandTotal += Secs;
+    double AvgMs = 1000.0 * Secs / double(Suite.size());
     std::printf("%-9s | %-44s | %10.3f | %9.2f | %8u\n", T.Name.c_str(),
-                T.Description.c_str(), Secs,
-                1000.0 * Secs / double(Suite.size()), Points);
+                T.Description.c_str(), Secs, AvgMs, Points);
+    J.beginObject();
+    J.key("tool");
+    J.value(T.Name);
+    J.key("total_s");
+    J.value(Secs);
+    J.key("avg_ms");
+    J.value(AvgMs);
+    J.key("points");
+    J.value(uint64_t(Points));
+    J.endObject();
   }
+  J.endArray();
+  J.key("total_s");
+  J.value(GrandTotal);
+  J.endObject();
+  writeJsonDoc(Args.JsonPath, J.take() + "\n");
+
   std::printf("----------+----------------------------------------------+-"
               "-----------+-----------+---------\n");
-  std::printf("total instrumentation time: %.3f s (11 tools x 20 "
+  std::printf("total instrumentation time: %.3f s (%zu tools x %zu "
               "programs)\n",
-              GrandTotal);
+              GrandTotal, tools::allTools().size(), Suite.size());
+  std::printf("results written to %s\n", Args.JsonPath.c_str());
   return 0;
 }

@@ -46,8 +46,9 @@ const ToolRow PaperRows[] = {
 
 } // namespace
 
-int main() {
-  std::vector<obj::Executable> Suite = buildSuite();
+int main(int argc, char **argv) {
+  BenchArgs Args = BenchArgs::parse(argc, argv, "BENCH_fig6.json");
+  std::vector<obj::Executable> Suite = buildSuite(Args.Smoke ? 4 : 0);
 
   std::vector<uint64_t> BaseInsts;
   for (const obj::Executable &App : Suite)
@@ -61,25 +62,63 @@ int main() {
   std::printf("----------+----------------------------------+------+-------"
               "----+-----------+---------+--------\n");
 
+  obs::JsonWriter J;
+  J.beginObject();
+  J.key("figure");
+  J.value("fig6");
+  J.key("workloads");
+  J.value(uint64_t(Suite.size()));
+  J.key("smoke");
+  J.value(Args.Smoke);
+  J.key("tools");
+  J.beginArray();
+
+  auto measure = [&](const Tool &T, const AtomOptions &Opts, double &Ratio,
+                     double &Min, double &Max) {
+    std::vector<double> Ratios;
+    Min = 1e30;
+    Max = 0;
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      InstrumentedProgram Out = instrumentOrExit(Suite[I], T, Opts);
+      uint64_t Insts = runInsts(Out.Exe);
+      double R = double(Insts) / double(BaseInsts[I]);
+      Ratios.push_back(R);
+      Min = std::min(Min, R);
+      Max = std::max(Max, R);
+    }
+    Ratio = geomean(Ratios);
+  };
+
+  auto emitRow = [&](const char *Name, double Ratio, double PaperRatio,
+                     double Min, double Max) {
+    J.beginObject();
+    J.key("tool");
+    J.value(Name);
+    J.key("ratio");
+    J.value(Ratio);
+    if (PaperRatio > 0) {
+      J.key("paper_ratio");
+      J.value(PaperRatio);
+    }
+    J.key("min");
+    J.value(Min);
+    J.key("max");
+    J.value(Max);
+    J.endObject();
+  };
+
   for (const ToolRow &Row : PaperRows) {
     const Tool *T = tools::findTool(Row.Name);
     if (!T) {
       std::fprintf(stderr, "missing tool %s\n", Row.Name);
       return 1;
     }
-    std::vector<double> Ratios;
-    double Min = 1e30, Max = 0;
-    for (size_t I = 0; I < Suite.size(); ++I) {
-      InstrumentedProgram Out = instrumentOrExit(Suite[I], *T);
-      uint64_t Insts = runInsts(Out.Exe);
-      double Ratio = double(Insts) / double(BaseInsts[I]);
-      Ratios.push_back(Ratio);
-      Min = std::min(Min, Ratio);
-      Max = std::max(Max, Ratio);
-    }
+    double Ratio, Min, Max;
+    measure(*T, AtomOptions(), Ratio, Min, Max);
     std::printf("%-9s | %-32s | %4d | %8.2fx | %8.2fx | %6.2fx | %6.2fx\n",
-                Row.Name, Row.Points, Row.Args, geomean(Ratios),
-                Row.PaperRatio, Min, Max);
+                Row.Name, Row.Points, Row.Args, Ratio, Row.PaperRatio, Min,
+                Max);
+    emitRow(Row.Name, Ratio, Row.PaperRatio, Min, Max);
   }
 
   // Not a Figure 6 row: the ATF trace recorder (docs/TRACING.md), measured
@@ -94,19 +133,17 @@ int main() {
     }
     AtomOptions Opts;
     Opts.AnalysisHeapOffset = 16 * 1024 * 1024;
-    std::vector<double> Ratios;
-    double Min = 1e30, Max = 0;
-    for (size_t I = 0; I < Suite.size(); ++I) {
-      InstrumentedProgram Out = instrumentOrExit(Suite[I], *T, Opts);
-      uint64_t Insts = runInsts(Out.Exe);
-      double Ratio = double(Insts) / double(BaseInsts[I]);
-      Ratios.push_back(Ratio);
-      Min = std::min(Min, Ratio);
-      Max = std::max(Max, Ratio);
-    }
+    double Ratio, Min, Max;
+    measure(*T, Opts, Ratio, Min, Max);
     std::printf("%-9s | %-32s | %4d | %8.2fx | %9s | %6.2fx | %6.2fx\n",
-                "trace", "each block + mem/branch/syscall", 2,
-                geomean(Ratios), "--", Min, Max);
+                "trace", "each block + mem/branch/syscall", 2, Ratio, "--",
+                Min, Max);
+    emitRow("trace", Ratio, 0, Min, Max);
   }
+
+  J.endArray();
+  J.endObject();
+  writeJsonDoc(Args.JsonPath, J.take() + "\n");
+  std::printf("results written to %s\n", Args.JsonPath.c_str());
   return 0;
 }

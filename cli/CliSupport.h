@@ -4,6 +4,7 @@
 #define ATOM_CLI_CLISUPPORT_H
 
 #include "obj/ObjectModule.h"
+#include "obs/Obs.h"
 #include "support/Support.h"
 
 #include <cstdio>
@@ -78,6 +79,70 @@ inline bool endsWith(const std::string &S, const std::string &Suffix) {
   return S.size() >= Suffix.size() &&
          S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
+
+/// `--metrics-out <file>` / `--metrics-format json|prom`, shared by every
+/// CLI. consume() recognizes both `--flag value` and `--flag=value`
+/// spellings; when an output file is requested the global registry is
+/// enabled so the run actually collects something.
+struct MetricsOptions {
+  std::string OutPath;
+  bool Prometheus = false;
+
+  /// If Args[I] (with optional value at Args[I+1]) is a metrics flag,
+  /// consumes it (advancing \p I past any value operand) and returns true.
+  bool consume(int Argc, char **Argv, int &I) {
+    size_t Idx = size_t(I);
+    std::vector<std::string> Args(Argv + 1, Argv + Argc);
+    --Idx; // Args omits argv[0].
+    bool Hit = consume(Args, Idx);
+    I = int(Idx) + 1;
+    return Hit;
+  }
+
+  /// Same, over an already-collected argument vector.
+  bool consume(const std::vector<std::string> &Args, size_t &I) {
+    const std::string &Arg = Args[I];
+    auto valueOf = [&](const std::string &Flag, std::string &V) {
+      if (Arg == Flag) {
+        if (I + 1 >= Args.size())
+          die("missing value for " + Flag);
+        V = Args[++I];
+        return true;
+      }
+      if (Arg.rfind(Flag + "=", 0) == 0) {
+        V = Arg.substr(Flag.size() + 1);
+        return true;
+      }
+      return false;
+    };
+    if (valueOf("--metrics-out", OutPath)) {
+      obs::Registry::global().setEnabled(true);
+      return true;
+    }
+    std::string Fmt;
+    if (valueOf("--metrics-format", Fmt)) {
+      if (Fmt == "prom" || Fmt == "prometheus")
+        Prometheus = true;
+      else if (Fmt == "json")
+        Prometheus = false;
+      else
+        die("unknown metrics format '" + Fmt + "' (json|prom)");
+      return true;
+    }
+    return false;
+  }
+
+  /// Writes the registry to OutPath (no-op when no path was given).
+  void write(obs::Registry &Reg = obs::Registry::global()) const {
+    if (OutPath.empty())
+      return;
+    std::string Doc = Prometheus ? Reg.toPrometheus() : Reg.toJson();
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out)
+      die("cannot write '" + OutPath + "'");
+    Out << Doc;
+  }
+};
 
 } // namespace cli
 } // namespace atom

@@ -16,7 +16,10 @@
 //   --no-rename              disable analysis register renaming
 //   --heap-offset N          partition the heap (paper's method 2)
 //   --run [--dump <file>]    run the result immediately
-//   --stats                  print instrumentation statistics
+//   --stats                  print instrumentation statistics and the
+//                            per-phase timing tree
+//   --metrics-out <file>     write metrics/spans/events document
+//   --metrics-format json|prom
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +39,8 @@ static void usage() {
                "save-all|liveness]\n"
                "            [--inline] [--no-rename] [--heap-offset N]\n"
                "            [--run] [--dump <file>] [--stats]\n"
+               "            [--metrics-out <file>] "
+               "[--metrics-format json|prom]\n"
                "       atom --list-tools\n");
   std::exit(2);
 }
@@ -44,11 +49,14 @@ int main(int argc, char **argv) {
   std::string Input, Output, ToolName;
   std::vector<std::string> Dumps;
   AtomOptions Opts;
+  MetricsOptions Metrics;
   bool Run = false, Stats = false, ListTools = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--list-tools") {
+    if (Metrics.consume(argc, argv, I)) {
+      continue;
+    } else if (A == "--list-tools") {
       ListTools = true;
     } else if (A == "--tool" && I + 1 < argc) {
       ToolName = argv[++I];
@@ -101,14 +109,31 @@ int main(int argc, char **argv) {
   if (!T)
     die("unknown tool '" + ToolName + "' (try atom --list-tools)");
 
-  obj::Executable App = loadExecutable(Input);
+  // --stats wants the per-phase timing tree, so it needs spans collected
+  // even without a --metrics-out file.
+  if (Stats)
+    obs::Registry::global().setEnabled(true);
+
+  obj::Executable App;
+  {
+    obs::Span S("read");
+    App = loadExecutable(Input);
+  }
 
   DiagEngine Diags;
   InstrumentedProgram Out;
   if (!runAtom(App, *T, Opts, Out, Diags))
     dieWithDiags("instrumentation failed", Diags);
 
-  if (Stats)
+  if (Output.empty())
+    Output = Input + ".atom";
+  {
+    obs::Span S("write");
+    if (!writeFile(Output, Out.Exe.serialize()))
+      die("cannot write '" + Output + "'");
+  }
+
+  if (Stats) {
     std::fprintf(stderr,
                  "points %u\ninserted-insts %u\nwrappers %u\n"
                  "patched-procs %u\nanalysis-procs %u\nstripped-procs %u\n"
@@ -118,25 +143,30 @@ int main(int argc, char **argv) {
                  Out.Stats.AnalysisProcs, Out.Stats.StrippedProcs,
                  Out.Stats.SaveSlots, Out.Exe.Text.size(),
                  App.Text.size());
+    std::fprintf(stderr, "%s",
+                 obs::Registry::global().timingTree().c_str());
+  }
 
-  if (Output.empty())
-    Output = Input + ".atom";
-  if (!writeFile(Output, Out.Exe.serialize()))
-    die("cannot write '" + Output + "'");
-
-  if (!Run)
+  if (!Run) {
+    Metrics.write();
     return 0;
+  }
 
   // On a trap the tool's finalization still runs (re-entry at __exit), so
   // the report dumped below covers the execution up to the fault.
   sim::Machine M(Out.Exe);
-  RecoveryResult RR = runWithRecovery(Out.Exe, M);
+  RecoveryResult RR;
+  {
+    obs::Span S("run");
+    RR = runWithRecovery(Out.Exe, M);
+  }
   const sim::RunResult &R = RR.Result;
   std::fputs(M.vfs().stdoutText().c_str(), stdout);
   for (const std::string &F : Dumps)
     if (M.vfs().fileExists(F))
       std::printf("--- %s ---\n%s", F.c_str(),
                   M.vfs().fileContents(F).c_str());
+  Metrics.write();
   if (R.Status == sim::RunStatus::Trap) {
     std::fprintf(stderr,
                  "atom: instrumented program trapped (%s): %s\n"

@@ -2,13 +2,18 @@
 //
 //   axp-run prog.exe [--stats] [--dump <file>] [--fuel N] [--trace]
 //           [--inject kind@icount[,seed]] [--no-protect] [--no-recover]
-//           [--strict-align]
+//           [--strict-align] [--profile <file>] [--json-diag]
+//           [--metrics-out <file>] [--metrics-format json|prom]
 //
 // Runs the executable; the program's stdout is forwarded. --dump prints a
 // file from the simulated file system after the run (how you read a tool's
 // report). --trace disassembles every retired instruction to stderr.
 // --inject arms a deterministic fault injector (repeatable; see
-// docs/FAULTS.md for the grammar).
+// docs/FAULTS.md for the grammar). --profile collects a per-basic-block
+// hotness profile and writes the report — addresses translated back to the
+// original, uninstrumented program — to a host file. --json-diag prints
+// trap diagnostics as a single JSON object on stderr, for harnesses that
+// would otherwise scrape the human-readable lines.
 //
 // Exit codes (documented in docs/FAULTS.md):
 //   0-255  the program's own exit code
@@ -32,7 +37,10 @@ static void usage() {
                " [--fuel N] [--trace]\n"
                "               [--inject kind@icount[,seed]] [--no-protect]"
                " [--no-recover]\n"
-               "               [--strict-align]\n"
+               "               [--strict-align] [--profile <file>]"
+               " [--json-diag]\n"
+               "               [--metrics-out <file>]"
+               " [--metrics-format json|prom]\n"
                "  --inject kinds: regbit membit decode io\n"
                "  exit codes: program's own (0-255), 124 trap,"
                " 125 fuel exhausted\n");
@@ -40,24 +48,33 @@ static void usage() {
 }
 
 int main(int argc, char **argv) {
-  std::string Input;
+  std::string Input, ProfilePath;
   std::vector<std::string> Dumps;
   std::vector<sim::InjectSpec> Injections;
-  bool Stats = false, Trace = false, Recover = true;
+  MetricsOptions Metrics;
+  bool Stats = false, Trace = false, Recover = true, JsonDiag = false;
   sim::MachineOptions Opts;
   uint64_t Fuel = 2'000'000'000;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--stats")
+    if (Metrics.consume(argc, argv, I))
+      continue;
+    else if (A == "--stats")
       Stats = true;
     else if (A == "--trace")
       Trace = true;
+    else if (A == "--json-diag")
+      JsonDiag = true;
     else if (A == "--no-protect")
       Opts.MemoryProtection = false;
     else if (A == "--no-recover")
       Recover = false;
     else if (A == "--strict-align")
       Opts.StrictAlignment = true;
+    else if (A == "--profile" && I + 1 < argc)
+      ProfilePath = argv[++I];
+    else if (A.rfind("--profile=", 0) == 0)
+      ProfilePath = A.substr(std::string("--profile=").size());
     else if (A == "--inject" && I + 1 < argc) {
       sim::InjectSpec Spec;
       std::string Err;
@@ -85,16 +102,21 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "0x%08llx: %s\n", (unsigned long long)E.PC,
                    isa::disassemble(E.I, E.PC).c_str());
     });
+  if (!ProfilePath.empty())
+    M.enableBlockProfile();
   sim::armInjections(Injections, M);
 
   // For instrumented executables, a trap still runs the tool's registered
   // finalization (re-entry at __exit) so the analysis report survives the
   // crash — unless --no-recover asks for the bare trap.
   RecoveryResult RR;
-  if (Recover)
-    RR = runWithRecovery(Exe, M, Fuel);
-  else
-    RR.Result = M.run(Fuel);
+  {
+    obs::Span S("run");
+    if (Recover)
+      RR = runWithRecovery(Exe, M, Fuel);
+    else
+      RR.Result = M.run(Fuel);
+  }
   const sim::RunResult &R = RR.Result;
 
   std::fputs(M.vfs().stdoutText().c_str(), stdout);
@@ -109,8 +131,16 @@ int main(int argc, char **argv) {
                 M.vfs().fileContents(F).c_str());
   }
 
-  if (Stats) {
-    const sim::Stats &S = M.stats();
+  if (!ProfilePath.empty()) {
+    std::string Report = hotProfileReport(Exe, M);
+    std::ofstream ProfOut(ProfilePath, std::ios::binary);
+    if (!ProfOut)
+      die("cannot write '" + ProfilePath + "'");
+    ProfOut << Report;
+  }
+
+  const sim::Stats &S = M.stats();
+  if (Stats)
     std::fprintf(stderr,
                  "instructions %llu\nloads %llu\nstores %llu\n"
                  "cond-branches %llu\ntaken %llu\ncalls %llu\n"
@@ -123,8 +153,24 @@ int main(int argc, char **argv) {
                  (unsigned long long)S.Calls,
                  (unsigned long long)S.Syscalls,
                  (unsigned long long)S.UnalignedAccesses);
-  }
 
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.addCounter("sim.instructions", S.Instructions);
+  Reg.addCounter("sim.loads", S.Loads);
+  Reg.addCounter("sim.stores", S.Stores);
+  Reg.addCounter("sim.cond-branches", S.CondBranches);
+  Reg.addCounter("sim.taken-branches", S.TakenBranches);
+  Reg.addCounter("sim.calls", S.Calls);
+  Reg.addCounter("sim.returns", S.Returns);
+  Reg.addCounter("sim.syscalls", S.Syscalls);
+  Reg.addCounter("sim.unaligned", S.UnalignedAccesses);
+  for (const auto &[PC, Count] : M.blockProfile()) {
+    (void)PC;
+    Reg.recordValue("sim.block-hotness", Count);
+  }
+  Metrics.write();
+
+  int ExitCode = 1;
   switch (R.Status) {
   case sim::RunStatus::Exited:
     return int(R.ExitCode & 0xFF);
@@ -132,6 +178,21 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "axp-run: program halted\n");
     return 0;
   case sim::RunStatus::Trap:
+    if (JsonDiag) {
+      // One machine-readable object on stderr; the human-readable lines
+      // are suppressed so harnesses see exactly one diagnostic.
+      obs::Event Diag("trap-diag");
+      Diag.str("kind", sim::trapKindName(R.Trap))
+          .num("pc", R.FaultPC)
+          .num("addr", R.FaultAddr)
+          .str("message", R.FaultMessage)
+          .num("exit-code", 124);
+      if (isInstrumented(Exe))
+        Diag.num("original-pc", RR.OrigFaultPC)
+            .boolean("recovered", RR.Recovered);
+      std::fprintf(stderr, "%s\n", Diag.jsonLine().c_str());
+      return 124;
+    }
     std::fprintf(stderr, "axp-run: trap (%s) at pc 0x%llx: %s\n",
                  sim::trapKindName(R.Trap), (unsigned long long)R.FaultPC,
                  R.FaultMessage.c_str());
@@ -154,5 +215,5 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "axp-run: instruction budget exhausted\n");
     return 125;
   }
-  return 1;
+  return ExitCode;
 }

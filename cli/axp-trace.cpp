@@ -10,6 +10,11 @@
 // the recorded raw stream); --full keeps recording past __exit instead of
 // stopping at the measurement-window boundary. replay feeds the trace to
 // an offline analyzer and prints the same report the live tool writes.
+// stat decodes the payload to print a histogram of encoded record sizes
+// next to the header-derived figures.
+//
+// Every subcommand accepts --metrics-out <file> / --metrics-format
+// json|prom to dump the run's metrics document (docs/OBSERVABILITY.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +33,14 @@ static void usage() {
                " [--tool] [--full]\n"
                "       axp-trace stat   <trace.atf>\n"
                "       axp-trace dump   <trace.atf> [--limit N]\n"
-               "       axp-trace replay <cache|branch> <trace.atf>\n");
+               "       axp-trace replay <cache|branch> <trace.atf>\n"
+               "  all: [--metrics-out <file>]"
+               " [--metrics-format json|prom]\n");
   std::exit(2);
 }
+
+// Shared by every subcommand; main() strips the flags before dispatch.
+static MetricsOptions Metrics;
 
 static trace::AtfReader openOrDie(const std::vector<uint8_t> &Bytes,
                                   const std::string &Path) {
@@ -85,6 +95,12 @@ static int cmdRecord(const std::vector<std::string> &Args) {
                  " trace is truncated\n",
                  sim::trapKindName(Run.Trap),
                  (unsigned long long)Run.FaultPC);
+
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.addCounter("trace.events", R.stat().EventCount);
+  Reg.addCounter("trace.blocks", R.stat().BlockCount);
+  Reg.addCounter("trace.file-bytes", R.stat().FileBytes);
+  Metrics.write();
   return 0;
 }
 
@@ -111,6 +127,22 @@ static int cmdStat(const std::vector<std::string> &Args) {
   if (S.EventCount)
     std::printf("bytes-per-event %.3f\n",
                 double(S.PayloadBytes) / double(S.EventCount));
+
+  // Encoded-size distribution: decode the payload once, bucketing each
+  // record's tag+varint byte count.
+  obs::Histogram Sizes;
+  obs::Registry &Reg = obs::Registry::global();
+  bool Ok = R.forEachSized([&](const trace::Event &E, uint32_t Bytes) {
+    Sizes.record(Bytes);
+    Reg.recordValue("trace.record-bytes", Bytes);
+    Reg.addCounter(std::string("trace.kind.") + trace::eventKindName(E.Kind));
+    return true;
+  });
+  if (!Ok)
+    die("'" + Args[0] + "': " + trace::AtfReader::errorString(R.error()));
+  std::printf("record-size histogram (bytes):\n%s",
+              Sizes.render("B").c_str());
+  Metrics.write();
   return 0;
 }
 
@@ -165,6 +197,7 @@ static int cmdDump(const std::vector<std::string> &Args) {
   });
   if (!Ok)
     die("'" + Input + "': " + trace::AtfReader::errorString(R.error()));
+  Metrics.write();
   return 0;
 }
 
@@ -192,6 +225,7 @@ static int cmdReplay(const std::vector<std::string> &Args) {
   if (!Ok)
     die("'" + Args[1] + "': " + trace::AtfReader::errorString(R.error()));
   std::fputs(Report.c_str(), stdout);
+  Metrics.write();
   return 0;
 }
 
@@ -199,7 +233,12 @@ int main(int argc, char **argv) {
   if (argc < 2)
     usage();
   std::string Cmd = argv[1];
-  std::vector<std::string> Args(argv + 2, argv + argc);
+  // Strip the global metrics flags before subcommand dispatch so the
+  // subcommands' strict argument checks don't see them.
+  std::vector<std::string> Raw(argv + 2, argv + argc), Args;
+  for (size_t I = 0; I < Raw.size(); ++I)
+    if (!Metrics.consume(Raw, I))
+      Args.push_back(Raw[I]);
   if (Cmd == "record")
     return cmdRecord(Args);
   if (Cmd == "stat")

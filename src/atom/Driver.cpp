@@ -5,6 +5,7 @@
 #include "asm/Assembler.h"
 #include "link/Linker.h"
 #include "mcc/Compiler.h"
+#include "obs/Obs.h"
 #include "runtime/Runtime.h"
 
 using namespace atom;
@@ -37,24 +38,41 @@ bool atom::buildApplication(const std::string &Source, Executable &Out,
 bool atom::runAtom(const Executable &App, const Tool &T,
                    const AtomOptions &Opts, InstrumentedProgram &Out,
                    DiagEngine &Diags) {
+  obs::Span Pipeline("atom");
   std::vector<ObjectModule> AnalysisModules;
-  for (size_t I = 0; I < T.AnalysisSources.size(); ++I) {
-    ObjectModule M;
-    std::string Name = formatString("%s-anal%zu", T.Name.c_str(), I);
-    if (!mcc::compile(T.AnalysisSources[I], Name, M, Diags))
-      return false;
-    AnalysisModules.push_back(std::move(M));
-  }
-  for (size_t I = 0; I < T.AnalysisAsmSources.size(); ++I) {
-    ObjectModule M;
-    std::string Name = formatString("%s-asm%zu", T.Name.c_str(), I);
-    if (!assembler::assemble(T.AnalysisAsmSources[I], Name, M, Diags))
-      return false;
-    AnalysisModules.push_back(std::move(M));
+  {
+    obs::Span S("compile-analysis");
+    for (size_t I = 0; I < T.AnalysisSources.size(); ++I) {
+      ObjectModule M;
+      std::string Name = formatString("%s-anal%zu", T.Name.c_str(), I);
+      if (!mcc::compile(T.AnalysisSources[I], Name, M, Diags))
+        return false;
+      AnalysisModules.push_back(std::move(M));
+    }
+    for (size_t I = 0; I < T.AnalysisAsmSources.size(); ++I) {
+      ObjectModule M;
+      std::string Name = formatString("%s-asm%zu", T.Name.c_str(), I);
+      if (!assembler::assemble(T.AnalysisAsmSources[I], Name, M, Diags))
+        return false;
+      AnalysisModules.push_back(std::move(M));
+    }
   }
   if (!T.Instrument) {
     Diags.error(0, "tool '" + T.Name + "' has no instrumentation routine");
     return false;
   }
-  return instrument(App, T.Instrument, AnalysisModules, Opts, Out, Diags);
+  if (!instrument(App, T.Instrument, AnalysisModules, Opts, Out, Diags))
+    return false;
+
+  // Export the run's instrumentation statistics as registry counters so a
+  // --metrics-out document carries them next to the phase spans.
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.addCounter("atom.points", Out.Stats.Points);
+  Reg.addCounter("atom.inserted-insts", Out.Stats.InsertedInsts);
+  Reg.addCounter("atom.wrappers", Out.Stats.Wrappers);
+  Reg.addCounter("atom.patched-procs", Out.Stats.PatchedProcs);
+  Reg.addCounter("atom.analysis-procs", Out.Stats.AnalysisProcs);
+  Reg.addCounter("atom.stripped-procs", Out.Stats.StrippedProcs);
+  Reg.addCounter("atom.save-slots", Out.Stats.SaveSlots);
+  return true;
 }

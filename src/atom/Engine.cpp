@@ -4,6 +4,7 @@
 
 #include "isa/ConstantSynth.h"
 #include "link/Linker.h"
+#include "obs/Obs.h"
 #include "om/DataFlow.h"
 #include "om/Lift.h"
 #include "om/Liveness.h"
@@ -987,42 +988,72 @@ bool Engine::run(
     const std::function<void(InstrumentationContext &)> &InstrumentFn,
     const std::vector<ObjectModule> &AnalysisModules,
     InstrumentedProgram &Out) {
-  if (!liftExecutable(AppExe, App, Diags))
-    return false;
-  if (!prepareAnalysisUnit(AnalysisModules))
-    return false;
+  {
+    obs::Span S("lift");
+    if (!liftExecutable(AppExe, App, Diags))
+      return false;
+  }
+  {
+    obs::Span S("link-analysis");
+    if (!prepareAnalysisUnit(AnalysisModules))
+      return false;
+  }
 
   InstrumentationContext Ctx(App);
-  InstrumentFn(Ctx);
-  if (Ctx.hasErrors()) {
-    for (const std::string &E : Ctx.errors())
-      Diags.error(0, E);
-    return false;
+  {
+    obs::Span S("instrument");
+    InstrumentFn(Ctx);
+    if (Ctx.hasErrors()) {
+      for (const std::string &E : Ctx.errors())
+        Diags.error(0, E);
+      return false;
+    }
+    Stats.Points = Ctx.pointCount();
   }
-  Stats.Points = Ctx.pointCount();
 
-  if (!resolveTargets(Ctx))
-    return false;
+  {
+    obs::Span S("plan");
+    if (!resolveTargets(Ctx))
+      return false;
 
-  if (Opts.StripUnreachableAnalysis)
-    stripUnreachable(Ctx.referencedProcs());
+    if (Opts.StripUnreachableAnalysis)
+      stripUnreachable(Ctx.referencedProcs());
+  }
 
-  if (Opts.RenameAnalysisRegs)
-    renameScratchRegs(Anal);
+  {
+    obs::Span S("rename");
+    if (Opts.RenameAnalysisRegs)
+      renameScratchRegs(Anal);
+  }
 
-  DF = computeDataFlow(Anal);
+  {
+    obs::Span S("dataflow");
+    DF = computeDataFlow(Anal);
+  }
 
-  if (!setupCallTargets(Ctx))
-    return false;
-  Stats.AnalysisProcs = unsigned(Anal.Procs.size());
+  {
+    obs::Span S("setup-calls");
+    if (!setupCallTargets(Ctx))
+      return false;
+    Stats.AnalysisProcs = unsigned(Anal.Procs.size());
+  }
 
-  if (!insertSequences(Ctx) || Failed)
-    return false;
-  if (!linkHeaps())
-    return false;
+  {
+    obs::Span S("insert");
+    if (!insertSequences(Ctx) || Failed)
+      return false;
+  }
+  {
+    obs::Span S("link-heaps");
+    if (!linkHeaps())
+      return false;
+  }
 
-  if (!layoutProgram(App, &Anal, Out.Exe, Out.Layout, Diags))
-    return false;
+  {
+    obs::Span S("layout");
+    if (!layoutProgram(App, &Anal, Out.Exe, Out.Layout, Diags))
+      return false;
+  }
   // Embed the new->old PC map so loaders can translate fault PCs back to
   // pristine addresses (and recognize the executable as instrumented).
   Out.Exe.PCMap = Out.Layout.NewToOldPC;

@@ -2,6 +2,9 @@
 
 #include "atom/Recovery.h"
 
+#include "obs/Obs.h"
+#include "support/Support.h"
+
 #include <algorithm>
 
 using namespace atom;
@@ -27,6 +30,12 @@ RecoveryResult atom::runWithRecovery(const obj::Executable &Exe,
     return R;
 
   R.OrigFaultPC = originalPC(Exe, R.Result.FaultPC);
+  obs::Registry::global().emitEvent(
+      obs::Event("trap")
+          .str("kind", sim::trapKindName(R.Result.Trap))
+          .num("pc", R.Result.FaultPC)
+          .num("original-pc", R.OrigFaultPC)
+          .num("addr", R.Result.FaultAddr));
   int ExitSym = Exe.findSymbol("__exit");
   if (!isInstrumented(Exe) || ExitSym < 0)
     return R;
@@ -39,8 +48,72 @@ RecoveryResult atom::runWithRecovery(const obj::Executable &Exe,
   M.memory().clearMemFault();
   M.setReg(isa::RegSP, Exe.StackStart);
   M.setReg(isa::RegA0, 0);
-  M.setPC(Exe.Symbols[size_t(ExitSym)].Value);
+  uint64_t ExitPC = Exe.Symbols[size_t(ExitSym)].Value;
+  M.setPC(ExitPC);
+  obs::Registry::global().emitEvent(
+      obs::Event("recovery-reentry").num("pc", ExitPC));
   sim::RunResult Final = M.run(Fuel);
   R.Recovered = Final.Status == sim::RunStatus::Exited;
   return R;
+}
+
+// Original address identifying the block that starts at \p LeaderPC. An
+// instrumented block usually *starts* with inserted analysis-call code
+// (which has no original address), so an exact PCMap lookup would report
+// almost every block as inserted; the block's identity is the first
+// original instruction at or after its leader. Analysis procedures sit
+// past the last mapped instruction and still report 0.
+static uint64_t originalBlockPC(const obj::Executable &Exe,
+                                uint64_t LeaderPC) {
+  if (Exe.PCMap.empty())
+    return LeaderPC;
+  auto It = std::lower_bound(
+      Exe.PCMap.begin(), Exe.PCMap.end(), LeaderPC,
+      [](const std::pair<uint64_t, uint64_t> &P, uint64_t PC) {
+        return P.first < PC;
+      });
+  return It != Exe.PCMap.end() ? It->second : 0;
+}
+
+std::vector<HotBlock> atom::hotBlocks(const obj::Executable &Exe,
+                                      const sim::Machine &M) {
+  std::vector<HotBlock> Blocks;
+  Blocks.reserve(M.blockProfile().size());
+  for (const auto &[PC, Count] : M.blockProfile())
+    Blocks.push_back({PC, originalBlockPC(Exe, PC), Count});
+  std::sort(Blocks.begin(), Blocks.end(),
+            [](const HotBlock &A, const HotBlock &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.PC < B.PC;
+            });
+  return Blocks;
+}
+
+std::string atom::hotProfileReport(const obj::Executable &Exe,
+                                   const sim::Machine &M, size_t Max) {
+  std::vector<HotBlock> Blocks = hotBlocks(Exe, M);
+  uint64_t Total = 0;
+  for (const HotBlock &B : Blocks)
+    Total += B.Count;
+
+  std::string Out;
+  Out += formatString("hot blocks: %zu distinct, %llu entries total\n",
+                      Blocks.size(), (unsigned long long)Total);
+  Out += formatString("%16s  %16s  %12s  %6s\n", "pc", "original", "count",
+                      "%");
+  size_t Rows = (Max && Max < Blocks.size()) ? Max : Blocks.size();
+  for (size_t I = 0; I < Rows; ++I) {
+    const HotBlock &B = Blocks[I];
+    double Pct = Total ? 100.0 * double(B.Count) / double(Total) : 0.0;
+    std::string Orig =
+        B.OrigPC ? formatString("0x%llx", (unsigned long long)B.OrigPC)
+                 : std::string("-"); // inserted/analysis code
+    Out += formatString("%#16llx  %16s  %12llu  %5.1f%%\n",
+                        (unsigned long long)B.PC, Orig.c_str(),
+                        (unsigned long long)B.Count, Pct);
+  }
+  if (Rows < Blocks.size())
+    Out += formatString("... %zu more\n", Blocks.size() - Rows);
+  return Out;
 }

@@ -47,8 +47,33 @@ struct RecoveryResult {
 /// traps and \p Exe is instrumented, re-enters it at __exit with a reset
 /// stack so ProgramAfter finalization runs and tool reports survive the
 /// crash. Inspect \p M's VFS afterwards for program output and reports.
+///
+/// Emits structured events into the global obs registry (when enabled):
+/// "trap" with the kind and both PCs, and "recovery-reentry" when the
+/// finalization path is restarted.
 RecoveryResult runWithRecovery(const obj::Executable &Exe, sim::Machine &M,
                                uint64_t Fuel = 2'000'000'000);
+
+/// One row of the hotspot profile: an executed basic block, with its PC
+/// translated back to the original, uninstrumented address — the paper's
+/// pristine-address contract extends to profiles (0 = the block is
+/// inserted or analysis code with no original address).
+struct HotBlock {
+  uint64_t PC = 0;     ///< Block-leader PC in the executable that ran.
+  uint64_t OrigPC = 0; ///< Original address via the PCMap; identity when
+                       ///< the executable is not instrumented.
+  uint64_t Count = 0;  ///< Times the block started executing.
+};
+
+/// \p M's block profile (enableBlockProfile() must have been on during the
+/// run) sorted hottest-first, addresses translated through \p Exe's PCMap.
+std::vector<HotBlock> hotBlocks(const obj::Executable &Exe,
+                                const sim::Machine &M);
+
+/// Renders hotBlocks() as the `axp-run --profile` report: one row per
+/// block, hottest first, capped at \p Max rows (0 = unlimited).
+std::string hotProfileReport(const obj::Executable &Exe,
+                             const sim::Machine &M, size_t Max = 0);
 
 } // namespace atom
 

@@ -1,0 +1,912 @@
+//===- obs/Obs.cpp - Observability: metrics, spans, events ----------------===//
+
+#include "obs/Obs.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+using namespace atom;
+using namespace atom::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketOf(uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned Bits = 0;
+  while (V) {
+    V >>= 1;
+    ++Bits;
+  }
+  return Bits; // value in [2^(Bits-1), 2^Bits)
+}
+
+uint64_t Histogram::bucketLo(unsigned I) {
+  if (I == 0)
+    return 0;
+  return uint64_t(1) << (I - 1);
+}
+
+uint64_t Histogram::bucketHi(unsigned I) {
+  if (I == 0)
+    return 0;
+  if (I >= 64)
+    return ~uint64_t(0);
+  return (uint64_t(1) << I) - 1;
+}
+
+void Histogram::record(uint64_t V) {
+  ++Count;
+  Sum += V;
+  Min = std::min(Min, V);
+  Max = std::max(Max, V);
+  ++Buckets[bucketOf(V)];
+}
+
+std::string Histogram::render(const std::string &Unit) const {
+  std::string Out;
+  if (!Count)
+    return "  (empty)\n";
+  uint64_t Peak = 0;
+  for (uint64_t B : Buckets)
+    Peak = std::max(Peak, B);
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    if (!Buckets[I])
+      continue;
+    unsigned Width = unsigned(40 * Buckets[I] / Peak);
+    Out += formatString("  [%10llu, %10llu] %10llu ",
+                        (unsigned long long)bucketLo(I),
+                        (unsigned long long)bucketHi(I),
+                        (unsigned long long)Buckets[I]);
+    Out.append(Width, '#');
+    Out += '\n';
+  }
+  Out += formatString("  count %llu  min %llu  mean %.1f  max %llu%s%s\n",
+                      (unsigned long long)Count, (unsigned long long)min(),
+                      mean(), (unsigned long long)Max,
+                      Unit.empty() ? "" : " ", Unit.c_str());
+  return Out;
+}
+
+bool Histogram::operator==(const Histogram &O) const {
+  return Count == O.Count && Sum == O.Sum && Max == O.Max &&
+         (Count == 0 || Min == O.Min) &&
+         std::equal(Buckets, Buckets + NumBuckets, O.Buckets);
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+std::string JsonWriter::quote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (uint8_t(C) < 0x20)
+        Out += formatString("\\u%04x", unsigned(uint8_t(C)));
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string JsonWriter::number(double V) {
+  std::string S = formatString("%.17g", V);
+  // Trim to the shortest representation that still round-trips.
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    std::string T = formatString("%.*g", Prec, V);
+    if (std::strtod(T.c_str(), nullptr) == V)
+      return T;
+  }
+  return S;
+}
+
+void JsonWriter::comma() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  comma();
+  Out += '{';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  Out += '}';
+  NeedComma.pop_back();
+}
+
+void JsonWriter::beginArray() {
+  comma();
+  Out += '[';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  Out += ']';
+  NeedComma.pop_back();
+}
+
+void JsonWriter::key(const std::string &K) {
+  comma();
+  Out += quote(K);
+  Out += ':';
+  PendingKey = true;
+}
+
+void JsonWriter::value(const std::string &V) {
+  comma();
+  Out += quote(V);
+}
+
+void JsonWriter::value(uint64_t V) {
+  comma();
+  Out += formatString("%" PRIu64, V);
+}
+
+void JsonWriter::value(int64_t V) {
+  comma();
+  Out += formatString("%" PRId64, V);
+}
+
+void JsonWriter::value(double V) {
+  comma();
+  Out += number(V);
+}
+
+void JsonWriter::value(bool V) {
+  comma();
+  Out += V ? "true" : "false";
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+Event &Event::str(const std::string &Name, const std::string &V) {
+  Field F;
+  F.Name = Name;
+  F.Ty = Field::TStr;
+  F.Str = V;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::num(const std::string &Name, uint64_t V) {
+  Field F;
+  F.Name = Name;
+  F.Ty = Field::TNum;
+  F.Num = V;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::flt(const std::string &Name, double V) {
+  Field F;
+  F.Name = Name;
+  F.Ty = Field::TFlt;
+  F.Flt = V;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::boolean(const std::string &Name, bool V) {
+  Field F;
+  F.Name = Name;
+  F.Ty = Field::TBool;
+  F.Bool = V;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+std::string Event::jsonLine() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("event");
+  W.value(Kind);
+  for (const Field &F : Fields) {
+    W.key(F.Name);
+    switch (F.Ty) {
+    case Field::TStr: W.value(F.Str); break;
+    case Field::TNum: W.value(F.Num); break;
+    case Field::TFlt: W.value(F.Flt); break;
+    case Field::TBool: W.value(F.Bool); break;
+    }
+  }
+  W.endObject();
+  return W.take();
+}
+
+bool Event::Field::operator==(const Field &O) const {
+  if (Name != O.Name || Ty != O.Ty)
+    return false;
+  switch (Ty) {
+  case TStr: return Str == O.Str;
+  case TNum: return Num == O.Num;
+  case TFlt: return Flt == O.Flt;
+  case TBool: return Bool == O.Bool;
+  }
+  return false;
+}
+
+bool Event::operator==(const Event &O) const {
+  return Kind == O.Kind && Fields == O.Fields;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+void Registry::reset() {
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+  Events.clear();
+  Root = SpanNode{"root", 0, 0, {}};
+  Current = &Root;
+  Allocs = 0;
+}
+
+void Registry::addCounter(const std::string &Name, uint64_t Delta) {
+  if (!Enabled)
+    return;
+  auto It = Counters.find(Name);
+  if (It == Counters.end()) {
+    ++Allocs;
+    Counters.emplace(Name, Delta);
+  } else {
+    It->second += Delta;
+  }
+}
+
+void Registry::setGauge(const std::string &Name, double V) {
+  if (!Enabled)
+    return;
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end()) {
+    ++Allocs;
+    Gauges.emplace(Name, V);
+  } else {
+    It->second = V;
+  }
+}
+
+void Registry::recordValue(const std::string &Name, uint64_t V) {
+  if (!Enabled)
+    return;
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end()) {
+    ++Allocs;
+    It = Histograms.emplace(Name, Histogram()).first;
+  }
+  It->second.record(V);
+}
+
+uint64_t Registry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+const Histogram *Registry::histogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : &It->second;
+}
+
+void Registry::emitEvent(Event E) {
+  if (!Enabled)
+    return;
+  if (EventStream) {
+    std::string Line = E.jsonLine();
+    std::fprintf(EventStream, "%s\n", Line.c_str());
+  }
+  ++Allocs;
+  Events.push_back(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+Span::Span(Registry &R, const char *Name) {
+  if (!R.enabled())
+    return;
+  Reg = &R;
+  Saved = R.Current;
+  Registry::SpanNode *Node = nullptr;
+  for (auto &C : Saved->Children)
+    if (C->Name == Name) {
+      Node = C.get();
+      break;
+    }
+  if (!Node) {
+    ++R.Allocs;
+    Saved->Children.push_back(std::make_unique<Registry::SpanNode>());
+    Node = Saved->Children.back().get();
+    Node->Name = Name;
+  }
+  ++Node->Count;
+  R.Current = Node;
+  Start = Clock::now();
+}
+
+Span::~Span() {
+  if (!Reg)
+    return;
+  double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
+  Reg->Current->Seconds += Secs;
+  Reg->Current = Saved;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeSpanNode(JsonWriter &W, const Registry::SpanNode &N) {
+  W.beginObject();
+  W.key("name");
+  W.value(N.Name);
+  W.key("seconds");
+  W.value(N.Seconds);
+  W.key("count");
+  W.value(N.Count);
+  W.key("children");
+  W.beginArray();
+  for (const auto &C : N.Children)
+    writeSpanNode(W, *C);
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string Registry::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, V] : Counters) {
+    W.key(Name);
+    W.value(V);
+  }
+  W.endObject();
+
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, V] : Gauges) {
+    W.key(Name);
+    W.value(V);
+  }
+  W.endObject();
+
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name);
+    W.beginObject();
+    W.key("count");
+    W.value(H.count());
+    W.key("sum");
+    W.value(H.sum());
+    W.key("min");
+    W.value(H.min());
+    W.key("max");
+    W.value(H.max());
+    W.key("buckets");
+    W.beginArray();
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+      if (!H.bucketCount(I))
+        continue;
+      W.beginArray();
+      W.value(Histogram::bucketLo(I));
+      W.value(Histogram::bucketHi(I));
+      W.value(H.bucketCount(I));
+      W.endArray();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+
+  W.key("spans");
+  W.beginArray();
+  for (const auto &C : Root.Children)
+    writeSpanNode(W, *C);
+  W.endArray();
+
+  W.key("events");
+  W.beginArray();
+  for (const Event &E : Events) {
+    W.beginObject();
+    W.key("event");
+    W.value(E.kind());
+    for (const Event::Field &F : E.Fields) {
+      W.key(F.Name);
+      switch (F.Ty) {
+      case Event::Field::TStr: W.value(F.Str); break;
+      case Event::Field::TNum: W.value(F.Num); break;
+      case Event::Field::TFlt: W.value(F.Flt); break;
+      case Event::Field::TBool: W.value(F.Bool); break;
+      }
+    }
+    W.endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+  return W.take();
+}
+
+namespace {
+
+std::string promName(const std::string &Name) {
+  std::string Out = "atom_";
+  for (char C : Name)
+    Out += std::isalnum(uint8_t(C)) ? C : '_';
+  return Out;
+}
+
+void promSpans(std::string &Out, const Registry::SpanNode &N,
+               const std::string &Path) {
+  for (const auto &C : N.Children) {
+    std::string P = Path.empty() ? C->Name : Path + "/" + C->Name;
+    Out += formatString("atom_span_seconds{path=\"%s\"} %s\n", P.c_str(),
+                        JsonWriter::number(C->Seconds).c_str());
+    Out += formatString("atom_span_count{path=\"%s\"} %llu\n", P.c_str(),
+                        (unsigned long long)C->Count);
+    promSpans(Out, *C, P);
+  }
+}
+
+} // namespace
+
+std::string Registry::toPrometheus() const {
+  std::string Out;
+  for (const auto &[Name, V] : Counters) {
+    std::string N = promName(Name);
+    Out += formatString("# TYPE %s counter\n%s %llu\n", N.c_str(), N.c_str(),
+                        (unsigned long long)V);
+  }
+  for (const auto &[Name, V] : Gauges) {
+    std::string N = promName(Name);
+    Out += formatString("# TYPE %s gauge\n%s %s\n", N.c_str(), N.c_str(),
+                        JsonWriter::number(V).c_str());
+  }
+  for (const auto &[Name, H] : Histograms) {
+    std::string N = promName(Name);
+    Out += formatString("# TYPE %s histogram\n", N.c_str());
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+      if (!H.bucketCount(I))
+        continue;
+      Cum += H.bucketCount(I);
+      Out += formatString("%s_bucket{le=\"%llu\"} %llu\n", N.c_str(),
+                          (unsigned long long)Histogram::bucketHi(I),
+                          (unsigned long long)Cum);
+    }
+    Out += formatString("%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
+                        (unsigned long long)H.count());
+    Out += formatString("%s_sum %llu\n%s_count %llu\n", N.c_str(),
+                        (unsigned long long)H.sum(), N.c_str(),
+                        (unsigned long long)H.count());
+  }
+  promSpans(Out, Root, "");
+  return Out;
+}
+
+namespace {
+
+void treeLines(std::string &Out, const Registry::SpanNode &N, unsigned Depth,
+               double ParentSecs) {
+  for (const auto &C : N.Children) {
+    double Pct = ParentSecs > 0 ? 100.0 * C->Seconds / ParentSecs : 0;
+    std::string Label(2 * Depth, ' ');
+    Label += C->Name;
+    Out += formatString("  %-28s %10.3f ms %6.1f%%", Label.c_str(),
+                        1000.0 * C->Seconds, Pct);
+    if (C->Count > 1)
+      Out += formatString("  x%llu", (unsigned long long)C->Count);
+    Out += '\n';
+    treeLines(Out, *C, Depth + 1, C->Seconds);
+  }
+}
+
+} // namespace
+
+std::string Registry::timingTree() const {
+  if (Root.Children.empty())
+    return "";
+  double Total = 0;
+  for (const auto &C : Root.Children)
+    Total += C->Seconds;
+  std::string Out =
+      formatString("phase timing (total %.3f ms):\n", 1000.0 * Total);
+  treeLines(Out, Root, 0, Total);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// fromJson — a minimal parser for exactly the toJson() schema
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A tiny JSON value tree. Numbers keep their raw text so 64-bit counters
+/// survive the round trip exactly.
+struct JValue {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  std::string Text; ///< Num: raw literal. Str: decoded contents.
+  std::vector<JValue> Items;
+  std::vector<std::pair<std::string, JValue>> Members;
+
+  const JValue *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+  uint64_t asU64() const { return std::strtoull(Text.c_str(), nullptr, 10); }
+  double asDouble() const { return std::strtod(Text.c_str(), nullptr); }
+  bool isIntText() const {
+    return Text.find_first_of(".eE") == std::string::npos;
+  }
+};
+
+class JParser {
+public:
+  JParser(const std::string &S) : S(S) {}
+
+  bool parse(JValue &Out, std::string &Err) {
+    if (!value(Out, Err))
+      return false;
+    skipWs();
+    if (Pos != S.size()) {
+      Err = "trailing characters";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(uint8_t(S[Pos])))
+      ++Pos;
+  }
+
+  bool fail(std::string &Err, const char *Msg) {
+    Err = formatString("%s at offset %zu", Msg, Pos);
+    return false;
+  }
+
+  bool value(JValue &Out, std::string &Err) {
+    skipWs();
+    if (Pos >= S.size())
+      return fail(Err, "unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return object(Out, Err);
+    if (C == '[')
+      return array(Out, Err);
+    if (C == '"') {
+      Out.K = JValue::Str;
+      return string(Out.Text, Err);
+    }
+    if (C == 't' || C == 'f') {
+      const char *Lit = C == 't' ? "true" : "false";
+      size_t N = std::strlen(Lit);
+      if (S.compare(Pos, N, Lit) != 0)
+        return fail(Err, "bad literal");
+      Pos += N;
+      Out.K = JValue::Bool;
+      Out.B = C == 't';
+      return true;
+    }
+    if (C == 'n') {
+      if (S.compare(Pos, 4, "null") != 0)
+        return fail(Err, "bad literal");
+      Pos += 4;
+      Out.K = JValue::Null;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(uint8_t(S[Pos])) || std::strchr(".eE+-", S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return fail(Err, "unexpected character");
+    Out.K = JValue::Num;
+    Out.Text = S.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool string(std::string &Out, std::string &Err) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      char E = S[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail(Err, "bad \\u escape");
+        unsigned V = 0;
+        for (unsigned I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= unsigned(H - 'A' + 10);
+          else
+            return fail(Err, "bad \\u escape");
+        }
+        // The writer only emits \u00xx control escapes; decode the low
+        // byte and ignore the (unused) non-BMP/UTF-16 machinery.
+        Out += char(uint8_t(V));
+        break;
+      }
+      default:
+        return fail(Err, "bad escape");
+      }
+    }
+    return fail(Err, "unterminated string");
+  }
+
+  bool object(JValue &Out, std::string &Err) {
+    Out.K = JValue::Obj;
+    ++Pos; // {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail(Err, "expected object key");
+      std::string Key;
+      if (!string(Key, Err))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail(Err, "expected ':'");
+      ++Pos;
+      JValue V;
+      if (!value(V, Err))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail(Err, "expected ',' or '}'");
+    }
+  }
+
+  bool array(JValue &Out, std::string &Err) {
+    Out.K = JValue::Arr;
+    ++Pos; // [
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JValue V;
+      if (!value(V, Err))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail(Err, "expected ',' or ']'");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+bool loadSpan(const JValue &V, Registry::SpanNode &Out, std::string &Err) {
+  const JValue *Name = V.find("name"), *Secs = V.find("seconds"),
+               *Count = V.find("count"), *Kids = V.find("children");
+  if (V.K != JValue::Obj || !Name || Name->K != JValue::Str || !Secs ||
+      Secs->K != JValue::Num || !Count || Count->K != JValue::Num || !Kids ||
+      Kids->K != JValue::Arr) {
+    Err = "malformed span node";
+    return false;
+  }
+  Out.Name = Name->Text;
+  Out.Seconds = Secs->asDouble();
+  Out.Count = Count->asU64();
+  for (const JValue &C : Kids->Items) {
+    auto Child = std::make_unique<Registry::SpanNode>();
+    if (!loadSpan(C, *Child, Err))
+      return false;
+    Out.Children.push_back(std::move(Child));
+  }
+  return true;
+}
+
+} // namespace
+
+bool Registry::fromJson(const std::string &Text, Registry &Out,
+                        std::string &Err) {
+  JValue Doc;
+  if (!JParser(Text).parse(Doc, Err))
+    return false;
+  if (Doc.K != JValue::Obj) {
+    Err = "top level is not an object";
+    return false;
+  }
+  Out.reset();
+  Out.setEnabled(true);
+
+  if (const JValue *Cs = Doc.find("counters")) {
+    if (Cs->K != JValue::Obj) {
+      Err = "counters is not an object";
+      return false;
+    }
+    for (const auto &[Name, V] : Cs->Members)
+      Out.Counters[Name] = V.asU64();
+  }
+  if (const JValue *Gs = Doc.find("gauges")) {
+    if (Gs->K != JValue::Obj) {
+      Err = "gauges is not an object";
+      return false;
+    }
+    for (const auto &[Name, V] : Gs->Members)
+      Out.Gauges[Name] = V.asDouble();
+  }
+  if (const JValue *Hs = Doc.find("histograms")) {
+    if (Hs->K != JValue::Obj) {
+      Err = "histograms is not an object";
+      return false;
+    }
+    for (const auto &[Name, V] : Hs->Members) {
+      const JValue *Count = V.find("count"), *Sum = V.find("sum"),
+                   *Min = V.find("min"), *Max = V.find("max"),
+                   *Buckets = V.find("buckets");
+      if (V.K != JValue::Obj || !Count || !Sum || !Min || !Max || !Buckets ||
+          Buckets->K != JValue::Arr) {
+        Err = "malformed histogram '" + Name + "'";
+        return false;
+      }
+      Histogram H;
+      H.Count = Count->asU64();
+      H.Sum = Sum->asU64();
+      H.Min = H.Count ? Min->asU64() : ~uint64_t(0);
+      H.Max = Max->asU64();
+      for (const JValue &B : Buckets->Items) {
+        if (B.K != JValue::Arr || B.Items.size() != 3) {
+          Err = "malformed histogram bucket";
+          return false;
+        }
+        unsigned Idx = Histogram::bucketOf(B.Items[0].asU64());
+        if (Idx >= Histogram::NumBuckets) {
+          Err = "histogram bucket out of range";
+          return false;
+        }
+        H.Buckets[Idx] = B.Items[2].asU64();
+      }
+      Out.Histograms[Name] = H;
+    }
+  }
+  if (const JValue *Spans = Doc.find("spans")) {
+    if (Spans->K != JValue::Arr) {
+      Err = "spans is not an array";
+      return false;
+    }
+    for (const JValue &N : Spans->Items) {
+      auto Child = std::make_unique<SpanNode>();
+      if (!loadSpan(N, *Child, Err))
+        return false;
+      Out.Root.Children.push_back(std::move(Child));
+    }
+  }
+  if (const JValue *Evs = Doc.find("events")) {
+    if (Evs->K != JValue::Arr) {
+      Err = "events is not an array";
+      return false;
+    }
+    for (const JValue &EV : Evs->Items) {
+      if (EV.K != JValue::Obj) {
+        Err = "malformed event";
+        return false;
+      }
+      Event E;
+      for (const auto &[Name, V] : EV.Members) {
+        if (Name == "event" && V.K == JValue::Str) {
+          E.Kind = V.Text;
+          continue;
+        }
+        switch (V.K) {
+        case JValue::Str:
+          E.str(Name, V.Text);
+          break;
+        case JValue::Bool:
+          E.boolean(Name, V.B);
+          break;
+        case JValue::Num:
+          if (V.isIntText())
+            E.num(Name, V.asU64());
+          else
+            E.flt(Name, V.asDouble());
+          break;
+        default:
+          Err = "unsupported event field type";
+          return false;
+        }
+      }
+      if (E.Kind.empty()) {
+        Err = "event without a kind";
+        return false;
+      }
+      Out.Events.push_back(std::move(E));
+    }
+  }
+  return true;
+}

@@ -1,0 +1,266 @@
+//===- obs/Obs.h - Observability: metrics, spans, events --------*- C++ -*-===//
+//
+// A zero-dependency observability layer for the tool-builder itself. ATOM's
+// thesis is that program observability should be cheap to build; this
+// subsystem makes the *reproduction* observable the same way:
+//
+//   Registry   process-wide store of counters, gauges, and log-bucketed
+//              histograms, plus a timing tree of phase spans and a list of
+//              structured events. Disabled by default: every mutator is a
+//              single branch and performs no allocation until enabled.
+//   Span       RAII phase timer. Nested spans form a tree ("atom" ->
+//              "lift" -> ...); repeated spans with the same name under the
+//              same parent accumulate time and count.
+//   Event      one structured record (a trap, a recovery re-entry, a
+//              truncated trace flush, ...) serialized as a single JSON
+//              object per line (JSONL).
+//
+// The whole registry serializes as one JSON document (counters + gauges +
+// histograms + span tree + events) or as a Prometheus-style text
+// exposition; fromJson() round-trips the JSON form. Every CLI exposes this
+// through --metrics-out (docs/OBSERVABILITY.md).
+//
+// Not thread-safe: the toolchain is single-threaded by design; guard
+// externally if that ever changes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OBS_OBS_H
+#define ATOM_OBS_OBS_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+/// Log-bucketed histogram of unsigned values. Bucket 0 holds exactly the
+/// value 0; bucket i (1..64) holds values in [2^(i-1), 2^i). Fixed storage,
+/// no allocation per sample.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  /// Bucket index of \p V.
+  static unsigned bucketOf(uint64_t V);
+  /// Inclusive range [lo, hi] of bucket \p I.
+  static uint64_t bucketLo(unsigned I);
+  static uint64_t bucketHi(unsigned I);
+
+  void record(uint64_t V);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+  double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+  uint64_t bucketCount(unsigned I) const {
+    return I < NumBuckets ? Buckets[I] : 0;
+  }
+
+  /// Human-readable rendering: one "[lo, hi] count bar" row per non-empty
+  /// bucket, plus a summary line. \p Unit labels the value axis ("bytes").
+  std::string render(const std::string &Unit = "") const;
+
+  bool operator==(const Histogram &O) const;
+
+private:
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~uint64_t(0);
+  uint64_t Max = 0;
+  uint64_t Buckets[NumBuckets] = {};
+  friend class Registry;
+};
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+/// Minimal streaming JSON writer (comma management + string escaping).
+/// Used by the registry's serializer and by the benchmark emitters.
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void key(const std::string &K);
+  void value(const std::string &V);
+  void value(const char *V) { value(std::string(V)); }
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(double V);
+  void value(bool V);
+
+  /// The document built so far; the writer is spent afterwards.
+  std::string take() { return std::move(Out); }
+
+  /// Escapes \p S as a JSON string literal (with quotes).
+  static std::string quote(const std::string &S);
+  /// Stable text form of a double (round-trips through strtod).
+  static std::string number(double V);
+
+private:
+  void comma();
+  std::string Out;
+  std::vector<bool> NeedComma; ///< One per open container.
+  bool PendingKey = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+/// One structured event, e.g. Event("trap").str("kind", "bad-pc")
+/// .num("pc", 0x2000000). Serializes as {"event":"trap","kind":...}.
+class Event {
+public:
+  Event() = default;
+  explicit Event(std::string Kind) : Kind(std::move(Kind)) {}
+
+  Event &str(const std::string &Name, const std::string &V);
+  Event &num(const std::string &Name, uint64_t V);
+  Event &flt(const std::string &Name, double V);
+  Event &boolean(const std::string &Name, bool V);
+
+  const std::string &kind() const { return Kind; }
+
+  /// The event as a single-line JSON object (no trailing newline).
+  std::string jsonLine() const;
+
+  bool operator==(const Event &O) const;
+
+private:
+  struct Field {
+    enum Type { TStr, TNum, TFlt, TBool };
+    std::string Name;
+    Type Ty = TStr;
+    std::string Str;
+    uint64_t Num = 0;
+    double Flt = 0;
+    bool Bool = false;
+    bool operator==(const Field &O) const;
+  };
+  std::string Kind;
+  std::vector<Field> Fields;
+  friend class Registry;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+class Registry {
+public:
+  /// One node of the phase-span timing tree.
+  struct SpanNode {
+    std::string Name;
+    double Seconds = 0;
+    uint64_t Count = 0; ///< Times a span with this name/parent was opened.
+    std::vector<std::unique_ptr<SpanNode>> Children;
+  };
+
+  /// The process-wide registry. Disabled until a CLI or bench opts in.
+  static Registry &global();
+
+  void setEnabled(bool On) { Enabled = On; }
+  bool enabled() const { return Enabled; }
+
+  /// Drops all metrics, spans, and events (keeps the enabled flag).
+  void reset();
+
+  // Metrics. All no-ops (no allocation, no entry creation) when disabled.
+  void addCounter(const std::string &Name, uint64_t Delta = 1);
+  void setGauge(const std::string &Name, double V);
+  void recordValue(const std::string &Name, uint64_t V);
+
+  uint64_t counter(const std::string &Name) const;
+  const Histogram *histogram(const std::string &Name) const;
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &gauges() const { return Gauges; }
+  const std::map<std::string, Histogram> &histograms() const {
+    return Histograms;
+  }
+
+  // Events.
+  void emitEvent(Event E);
+  const std::vector<Event> &events() const { return Events; }
+  /// Mirror every event to \p F as one JSON line, as it is emitted
+  /// (nullptr to stop). The stream is not owned.
+  void setEventStream(std::FILE *F) { EventStream = F; }
+
+  // Spans.
+  const SpanNode &spanRoot() const { return Root; }
+  bool hasSpans() const { return !Root.Children.empty(); }
+
+  /// Entries/nodes/events created so far. Stays 0 while disabled — the
+  /// "disabled means zero allocations" contract, enforced by tests.
+  uint64_t allocations() const { return Allocs; }
+
+  /// The whole registry as one JSON document.
+  std::string toJson() const;
+  /// Prometheus-style text exposition (counters, gauges, histogram
+  /// buckets, span seconds/counts with a path label).
+  std::string toPrometheus() const;
+  /// Indented per-phase timing tree (what `atom --stats` prints).
+  std::string timingTree() const;
+
+  /// Parses a document produced by toJson() back into \p Out (which is
+  /// reset and left enabled). Returns false with \p Err on malformed or
+  /// schema-violating input.
+  static bool fromJson(const std::string &Text, Registry &Out,
+                       std::string &Err);
+
+private:
+  friend class Span;
+
+  bool Enabled = false;
+  uint64_t Allocs = 0;
+
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, Histogram> Histograms;
+  std::vector<Event> Events;
+  std::FILE *EventStream = nullptr;
+
+  SpanNode Root{"root", 0, 0, {}};
+  SpanNode *Current = &Root;
+};
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+/// RAII phase timer. Opening a span makes it the current parent; closing
+/// adds the elapsed wall-clock time to its node. No-op (and no allocation)
+/// when the registry is disabled at open time.
+class Span {
+public:
+  explicit Span(const char *Name) : Span(Registry::global(), Name) {}
+  Span(Registry &R, const char *Name);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Registry *Reg = nullptr;           ///< nullptr: disabled at open.
+  Registry::SpanNode *Saved = nullptr; ///< Parent to restore.
+  Clock::time_point Start;
+};
+
+} // namespace obs
+} // namespace atom
+
+#endif // ATOM_OBS_OBS_H

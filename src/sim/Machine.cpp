@@ -282,6 +282,11 @@ RunResult Machine::run(uint64_t MaxInsts) {
                                (unsigned long long)PC));
     const Inst &I = Decoded[Idx];
 
+    if (ProfileOn && ProfNextLeader) {
+      ++BlockCounts[PC];
+      ProfNextLeader = false;
+    }
+
     TraceEvent Ev;
     if (Tracing) {
       Ev.PC = PC;
@@ -541,6 +546,8 @@ RunResult Machine::run(uint64_t MaxInsts) {
     ++St.PerOpcode[size_t(I.Op)];
     if (Tracing)
       Trace(Ev);
+    if (ProfileOn && isControlTransfer(I.Op))
+      ProfNextLeader = true; // target and fall-through both lead blocks
     PC = NextPC;
   }
 

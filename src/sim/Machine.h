@@ -197,7 +197,10 @@ public:
       Regs[R] = V;
   }
   uint64_t pc() const { return PC; }
-  void setPC(uint64_t V) { PC = V; }
+  void setPC(uint64_t V) {
+    PC = V;
+    ProfNextLeader = true; // an explicit PC change starts a new block
+  }
 
   Memory &memory() { return Mem; }
   Vfs &vfs() { return Fs; }
@@ -208,6 +211,17 @@ public:
   /// execution; leave unset for benchmarks.
   void setTraceHook(std::function<void(const TraceEvent &)> Hook) {
     Trace = std::move(Hook);
+  }
+
+  /// Turns on the per-basic-block hotness profile: every block-leader PC
+  /// (program entry, any control-transfer target or fall-through) counts
+  /// one execution each time it retires. Costs one branch per instruction
+  /// plus a hash update per block entry; off by default.
+  void enableBlockProfile() { ProfileOn = true; }
+  bool blockProfileEnabled() const { return ProfileOn; }
+  /// Block-leader PC -> times that block started executing.
+  const std::unordered_map<uint64_t, uint64_t> &blockProfile() const {
+    return BlockCounts;
   }
 
   /// Arms \p Hook to run once when the retired-instruction count reaches
@@ -245,6 +259,10 @@ private:
   };
   std::vector<PendingHook> Hooks;
   uint64_t NextHookAt = ~uint64_t(0);
+
+  bool ProfileOn = false;
+  bool ProfNextLeader = true; ///< Next retired instruction starts a block.
+  std::unordered_map<uint64_t, uint64_t> BlockCounts;
 
   uint64_t TextStart = 0;
   uint64_t DataStart = 0;

@@ -324,6 +324,11 @@ AtfReader::Error AtfReader::open(const std::vector<uint8_t> &InBytes) {
 }
 
 bool AtfReader::forEach(const std::function<bool(const Event &)> &Fn) {
+  return forEachSized([&](const Event &E, uint32_t) { return Fn(E); });
+}
+
+bool AtfReader::forEachSized(
+    const std::function<bool(const Event &, uint32_t)> &Fn) {
   if (Err != Error::None)
     return false;
   const uint8_t *B = Bytes->data();
@@ -337,6 +342,7 @@ bool AtfReader::forEach(const std::function<bool(const Event &)> &Fn) {
         Err = Error::BadPayload;
         return false;
       }
+      size_t EventStart = Pos;
       uint8_t Tag = B[Pos++];
       Event E;
       if ((Tag & TagKindMask) >= NumEventKinds) {
@@ -390,7 +396,7 @@ bool AtfReader::forEach(const std::function<bool(const Event &)> &Fn) {
       default:
         break;
       }
-      if (!Fn(E))
+      if (!Fn(E, uint32_t(Pos - EventStart)))
         return true;
     }
     if (Pos != End) {

@@ -168,6 +168,11 @@ public:
   /// delivered before the corruption point were valid.
   bool forEach(const std::function<bool(const Event &)> &Fn);
 
+  /// Like forEach() but also hands \p Fn each event's encoded size in
+  /// bytes (tag + varints; block headers not attributed) — the basis for
+  /// `axp-trace stat`'s record-size histogram.
+  bool forEachSized(const std::function<bool(const Event &, uint32_t)> &Fn);
+
   /// Convenience: decodes the whole trace into a vector.
   std::vector<Event> readAll();
 

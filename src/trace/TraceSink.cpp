@@ -3,6 +3,7 @@
 #include "trace/TraceSink.h"
 
 #include "om/Lift.h"
+#include "obs/Obs.h"
 
 using namespace atom;
 using namespace atom::trace;
@@ -66,10 +67,16 @@ bool trace::recordTrace(const obj::Executable &Exe, bool FullRun,
   sim::Machine M(Exe);
   Sink.attach(M);
   Run = M.run();
-  if (Run.Status == sim::RunStatus::Trap)
+  if (Run.Status == sim::RunStatus::Trap) {
     // Keep everything recorded up to the fault: flush the partial trace
     // and mark the header truncated so stat/replay know it is incomplete.
     W.markTruncated();
+    obs::Registry::global().emitEvent(
+        obs::Event("truncated-flush")
+            .num("events", W.eventCount())
+            .str("kind", sim::trapKindName(Run.Trap))
+            .num("pc", Run.FaultPC));
+  }
   Out = W.finish();
   return true;
 }

@@ -271,4 +271,146 @@ int main() {
   EXPECT_NE(C.ExitCode, 0);
 }
 
+//===----------------------------------------------------------------------===//
+// Observability: --stats phase tree, --metrics-out, --profile, --json-diag,
+// stat histograms (docs/OBSERVABILITY.md).
+//===----------------------------------------------------------------------===//
+
+std::string readHostFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+const char *ObsLoopProgram = R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 50; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)";
+
+TEST_F(CliFixture, AtomStatsPrintsPhaseTimingTree) {
+  writeSource("p.mc", ObsLoopProgram);
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C = runCommand(tool("atom") + " " + path("p.exe") +
+                               " --tool prof --stats -o " + path("p.atom"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("phase timing"), std::string::npos) << C.Output;
+  // The pipeline phases appear as children of the atom span, and the
+  // CLI-level read/write spans bracket them.
+  for (const char *Phase : {"read", "atom", "compile-analysis", "lift",
+                            "link-analysis", "instrument", "plan", "rename",
+                            "dataflow", "setup-calls", "insert",
+                            "link-heaps", "layout", "write"})
+    EXPECT_NE(C.Output.find(Phase), std::string::npos) << Phase;
+}
+
+TEST_F(CliFixture, AtomMetricsOutWritesDocument) {
+  writeSource("p.mc", ObsLoopProgram);
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C = runCommand(
+      tool("atom") + " " + path("p.exe") + " --tool dyninst -o " +
+      path("p.atom") + " --metrics-out " + path("m.json"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  std::string Doc = readHostFile(path("m.json"));
+  ASSERT_FALSE(Doc.empty());
+  EXPECT_NE(Doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"atom.points\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"spans\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"lift\""), std::string::npos);
+
+  // The same flag with = syntax and the Prometheus format.
+  C = runCommand(tool("atom") + " " + path("p.exe") +
+                 " --tool dyninst -o " + path("p.atom") +
+                 " --metrics-out=" + path("m.prom") +
+                 " --metrics-format=prom");
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  std::string Prom = readHostFile(path("m.prom"));
+  EXPECT_NE(Prom.find("atom_atom_points"), std::string::npos) << Prom;
+  EXPECT_NE(Prom.find("atom_span_seconds{path=\"atom/lift\"}"),
+            std::string::npos)
+      << Prom;
+}
+
+TEST_F(CliFixture, RunProfileMapsToOriginalAddresses) {
+  writeSource("p.mc", ObsLoopProgram);
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C =
+      runCommand(tool("atom") + " " + path("p.exe") + " --tool dyninst -o " +
+                 path("p.atom"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+
+  // Profile the uninstrumented program: identity addresses.
+  C = runCommand(tool("axp-run") + " " + path("p.exe") +
+                 " --profile=" + path("base.prof"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  std::string Base = readHostFile(path("base.prof"));
+  EXPECT_NE(Base.find("hot blocks:"), std::string::npos) << Base;
+
+  // Profile the instrumented program: application blocks resolve to
+  // original addresses, inserted/analysis blocks print '-'.
+  C = runCommand(tool("axp-run") + " " + path("p.atom") + " --profile " +
+                 path("inst.prof"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  std::string Inst = readHostFile(path("inst.prof"));
+  EXPECT_NE(Inst.find("hot blocks:"), std::string::npos) << Inst;
+  EXPECT_NE(Inst.find("original"), std::string::npos);
+  EXPECT_NE(Inst.find(" - "), std::string::npos) << Inst;
+  // At least one original address from the base profile reappears.
+  size_t AddrPos = Base.find("0x");
+  ASSERT_NE(AddrPos, std::string::npos);
+  std::string FirstAddr = Base.substr(AddrPos, Base.find(' ', AddrPos) -
+                                                   AddrPos);
+  EXPECT_NE(Inst.find(FirstAddr), std::string::npos)
+      << "expected " << FirstAddr << " in:\n" << Inst;
+}
+
+TEST_F(CliFixture, RunJsonDiagEmitsSingleObject) {
+  writeSource("c.mc", R"(
+int main() {
+  long *p;
+  p = (long *)0;
+  *p = 42;
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("c.mc") + " -o " + path("c.obj"));
+  runCommand(tool("axp-ld") + " " + path("c.obj") + " -o " + path("c.exe"));
+  CommandResult C =
+      runCommand(tool("axp-run") + " " + path("c.exe") + " --json-diag");
+  EXPECT_EQ(C.ExitCode, 124);
+  EXPECT_EQ(C.Output.find("{\"event\":\"trap-diag\""), 0u) << C.Output;
+  EXPECT_NE(C.Output.find("\"kind\":\"unmapped-access\""),
+            std::string::npos);
+  EXPECT_NE(C.Output.find("\"exit-code\":124"), std::string::npos);
+  // One line only: the human-readable diagnostics are suppressed.
+  EXPECT_EQ(C.Output.find("axp-run: trap"), std::string::npos) << C.Output;
+}
+
+TEST_F(CliFixture, TraceStatPrintsRecordSizeHistogram) {
+  writeSource("p.mc", ObsLoopProgram);
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C = runCommand(tool("axp-trace") + " record " +
+                               path("p.exe") + " -o " + path("t.atf"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-trace") + " stat " + path("t.atf") +
+                 " --metrics-out " + path("t.json"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("record-size histogram"), std::string::npos)
+      << C.Output;
+  EXPECT_NE(C.Output.find("count "), std::string::npos);
+  std::string Doc = readHostFile(path("t.json"));
+  EXPECT_NE(Doc.find("\"trace.record-bytes\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"trace.kind.load\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"buckets\""), std::string::npos);
+}
+
 } // namespace

@@ -1,0 +1,376 @@
+//===- tests/ObsTests.cpp - Observability layer tests ---------------------===//
+//
+// Covers the obs subsystem: histogram bucketing, the disabled-registry
+// zero-allocation contract, span-tree nesting and accumulation, JSON
+// round-tripping, the Prometheus exposition, event serialization, and the
+// simulator's block profile with original-address translation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atom/Recovery.h"
+#include "obs/Obs.h"
+#include "tools/Tools.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::obs;
+using namespace atom::test;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(7), 3u);
+  EXPECT_EQ(Histogram::bucketOf(8), 4u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 64u);
+
+  EXPECT_EQ(Histogram::bucketLo(0), 0u);
+  EXPECT_EQ(Histogram::bucketHi(0), 0u);
+  EXPECT_EQ(Histogram::bucketLo(1), 1u);
+  EXPECT_EQ(Histogram::bucketHi(1), 1u);
+  EXPECT_EQ(Histogram::bucketLo(4), 8u);
+  EXPECT_EQ(Histogram::bucketHi(4), 15u);
+  EXPECT_EQ(Histogram::bucketHi(64), ~uint64_t(0));
+
+  // Every bucket's bounds agree with bucketOf.
+  for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
+    EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(I)), I);
+    EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHi(I)), I);
+  }
+}
+
+TEST(Histogram, RecordsStatsAndBuckets) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  for (uint64_t V : {0, 1, 2, 3, 1000})
+    H.record(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1006u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_DOUBLE_EQ(H.mean(), 1006.0 / 5.0);
+  EXPECT_EQ(H.bucketCount(0), 1u); // 0
+  EXPECT_EQ(H.bucketCount(1), 1u); // 1
+  EXPECT_EQ(H.bucketCount(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucketCount(10), 1u); // 1000 in [512, 1023]
+  std::string R = H.render("B");
+  EXPECT_NE(R.find("count 5"), std::string::npos);
+  EXPECT_NE(R.find("max 1000"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry: metrics and the disabled contract
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, CountersGaugesHistograms) {
+  Registry R;
+  R.setEnabled(true);
+  R.addCounter("a");
+  R.addCounter("a", 4);
+  R.setGauge("g", 2.5);
+  R.recordValue("h", 7);
+  R.recordValue("h", 9);
+  EXPECT_EQ(R.counter("a"), 5u);
+  EXPECT_EQ(R.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(R.gauges().at("g"), 2.5);
+  ASSERT_NE(R.histogram("h"), nullptr);
+  EXPECT_EQ(R.histogram("h")->count(), 2u);
+  EXPECT_EQ(R.histogram("missing"), nullptr);
+}
+
+TEST(ObsRegistry, DisabledMeansZeroAllocations) {
+  Registry R;
+  ASSERT_FALSE(R.enabled());
+  R.addCounter("a", 10);
+  R.setGauge("g", 1.0);
+  R.recordValue("h", 42);
+  R.emitEvent(Event("trap").num("pc", 1));
+  {
+    Span Outer(R, "outer");
+    Span Inner(R, "inner");
+  }
+  EXPECT_EQ(R.allocations(), 0u);
+  EXPECT_TRUE(R.counters().empty());
+  EXPECT_TRUE(R.gauges().empty());
+  EXPECT_TRUE(R.histograms().empty());
+  EXPECT_TRUE(R.events().empty());
+  EXPECT_FALSE(R.hasSpans());
+}
+
+TEST(ObsRegistry, ResetKeepsEnabledFlag) {
+  Registry R;
+  R.setEnabled(true);
+  R.addCounter("a");
+  { Span S(R, "p"); }
+  R.reset();
+  EXPECT_TRUE(R.enabled());
+  EXPECT_TRUE(R.counters().empty());
+  EXPECT_FALSE(R.hasSpans());
+  EXPECT_EQ(R.allocations(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spans
+//===----------------------------------------------------------------------===//
+
+TEST(Spans, NestAndAccumulate) {
+  Registry R;
+  R.setEnabled(true);
+  {
+    Span Pipeline(R, "pipeline");
+    { Span S(R, "lift"); }
+    { Span S(R, "lift"); } // same name, same parent: accumulates
+    { Span S(R, "layout"); }
+  }
+  { Span Pipeline(R, "pipeline"); }
+
+  const Registry::SpanNode &Root = R.spanRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const Registry::SpanNode &P = *Root.Children[0];
+  EXPECT_EQ(P.Name, "pipeline");
+  EXPECT_EQ(P.Count, 2u);
+  ASSERT_EQ(P.Children.size(), 2u);
+  EXPECT_EQ(P.Children[0]->Name, "lift");
+  EXPECT_EQ(P.Children[0]->Count, 2u);
+  EXPECT_EQ(P.Children[1]->Name, "layout");
+  EXPECT_EQ(P.Children[1]->Count, 1u);
+  // A parent's time covers its children's.
+  EXPECT_GE(P.Seconds,
+            P.Children[0]->Seconds + P.Children[1]->Seconds);
+
+  std::string Tree = R.timingTree();
+  EXPECT_NE(Tree.find("pipeline"), std::string::npos);
+  EXPECT_NE(Tree.find("lift"), std::string::npos);
+  EXPECT_NE(Tree.find("x2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Events
+//===----------------------------------------------------------------------===//
+
+TEST(Events, JsonLineEscapesAndTypes) {
+  Event E("trap");
+  E.str("kind", "bad \"pc\"\n\\")
+      .num("pc", 0x2000000)
+      .flt("ratio", 1.5)
+      .boolean("recovered", true);
+  std::string L = E.jsonLine();
+  EXPECT_EQ(L.find("{\"event\":\"trap\""), 0u);
+  EXPECT_NE(L.find("\"kind\":\"bad \\\"pc\\\"\\n\\\\\""), std::string::npos);
+  EXPECT_NE(L.find("\"pc\":33554432"), std::string::npos);
+  EXPECT_NE(L.find("\"ratio\":1.5"), std::string::npos);
+  EXPECT_NE(L.find("\"recovered\":true"), std::string::npos);
+  EXPECT_EQ(L.find('\n'), std::string::npos) << "JSONL: single line";
+}
+
+TEST(Events, RegistryCollectsInOrder) {
+  Registry R;
+  R.setEnabled(true);
+  R.emitEvent(Event("first"));
+  R.emitEvent(Event("second").num("n", 2));
+  ASSERT_EQ(R.events().size(), 2u);
+  EXPECT_EQ(R.events()[0].kind(), "first");
+  EXPECT_EQ(R.events()[1].kind(), "second");
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: JSON round-trip and Prometheus exposition
+//===----------------------------------------------------------------------===//
+
+static Registry populatedRegistry() {
+  Registry R;
+  R.setEnabled(true);
+  R.addCounter("atom.points", 184);
+  R.addCounter("sim.instructions", 123456789);
+  R.setGauge("overhead", 2.91);
+  R.recordValue("trace.record-bytes", 1);
+  R.recordValue("trace.record-bytes", 3);
+  R.recordValue("trace.record-bytes", 900);
+  {
+    Span Pipeline(R, "atom");
+    { Span S(R, "lift"); }
+    { Span S(R, "layout"); }
+  }
+  R.emitEvent(Event("trap")
+                  .str("kind", "unmapped-access")
+                  .num("pc", 0x2000010)
+                  .boolean("recovered", true)
+                  .flt("x", 0.5));
+  return R;
+}
+
+TEST(ObsJson, RoundTripIsExact) {
+  Registry R = populatedRegistry();
+  std::string Doc = R.toJson();
+  // The document looks like the schema docs/OBSERVABILITY.md promises.
+  EXPECT_NE(Doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"spans\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"events\""), std::string::npos);
+
+  Registry Back;
+  std::string Err;
+  ASSERT_TRUE(Registry::fromJson(Doc, Back, Err)) << Err;
+  EXPECT_EQ(Back.counter("atom.points"), 184u);
+  EXPECT_EQ(Back.counter("sim.instructions"), 123456789u);
+  EXPECT_DOUBLE_EQ(Back.gauges().at("overhead"), 2.91);
+  ASSERT_NE(Back.histogram("trace.record-bytes"), nullptr);
+  EXPECT_TRUE(*Back.histogram("trace.record-bytes") ==
+              *R.histogram("trace.record-bytes"));
+  ASSERT_EQ(Back.events().size(), 1u);
+  EXPECT_TRUE(Back.events()[0] == R.events()[0]);
+  ASSERT_EQ(Back.spanRoot().Children.size(), 1u);
+  EXPECT_EQ(Back.spanRoot().Children[0]->Name, "atom");
+  EXPECT_EQ(Back.spanRoot().Children[0]->Children.size(), 2u);
+
+  // Serialize -> parse -> serialize is byte-stable.
+  EXPECT_EQ(Back.toJson(), Doc);
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+  Registry Back;
+  std::string Err;
+  EXPECT_FALSE(Registry::fromJson("", Back, Err));
+  EXPECT_FALSE(Registry::fromJson("{", Back, Err));
+  EXPECT_FALSE(Registry::fromJson("[]", Back, Err));
+  EXPECT_FALSE(Registry::fromJson("{\"counters\":[]}", Back, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ObsPrometheus, ExposesAllMetricKinds) {
+  Registry R = populatedRegistry();
+  std::string P = R.toPrometheus();
+  EXPECT_NE(P.find("atom_atom_points 184"), std::string::npos);
+  EXPECT_NE(P.find("atom_overhead 2.91"), std::string::npos);
+  EXPECT_NE(P.find("atom_trace_record_bytes_count 3"), std::string::npos);
+  EXPECT_NE(P.find("atom_trace_record_bytes_sum 904"), std::string::npos);
+  EXPECT_NE(P.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(P.find("atom_span_seconds{path=\"atom/lift\"}"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Block profile: leader counting and original-address translation
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *LoopProgram = "int main() {\n"
+                          "  int S; int I;\n"
+                          "  S = 0; I = 0;\n"
+                          "  while (I < 50) { S = S + I; I = I + 1; }\n"
+                          "  return 0;\n"
+                          "}\n";
+} // namespace
+
+TEST(BlockProfile, OffByDefaultOnWhenEnabled) {
+  obj::Executable Exe = buildOrDie(LoopProgram);
+  {
+    sim::Machine M(Exe);
+    ASSERT_TRUE(M.run().exitedWith(0));
+    EXPECT_TRUE(M.blockProfile().empty());
+  }
+  sim::Machine M(Exe);
+  M.enableBlockProfile();
+  ASSERT_TRUE(M.run().exitedWith(0));
+  ASSERT_FALSE(M.blockProfile().empty());
+  // The loop body's leader must be the hottest application block: it runs
+  // ~50 times. Every counted leader lies in text.
+  uint64_t MaxCount = 0;
+  for (const auto &[PC, Count] : M.blockProfile()) {
+    EXPECT_GE(PC, Exe.TextStart);
+    EXPECT_LT(PC, Exe.TextStart + Exe.Text.size());
+    MaxCount = std::max(MaxCount, Count);
+  }
+  EXPECT_GE(MaxCount, 50u);
+}
+
+TEST(BlockProfile, UninstrumentedReportUsesIdentityAddresses) {
+  obj::Executable Exe = buildOrDie(LoopProgram);
+  sim::Machine M(Exe);
+  M.enableBlockProfile();
+  ASSERT_TRUE(M.run().exitedWith(0));
+  std::vector<HotBlock> Blocks = hotBlocks(Exe, M);
+  ASSERT_FALSE(Blocks.empty());
+  // Sorted hottest-first; no PCMap means identity translation.
+  for (size_t I = 1; I < Blocks.size(); ++I)
+    EXPECT_GE(Blocks[I - 1].Count, Blocks[I].Count);
+  for (const HotBlock &B : Blocks)
+    EXPECT_EQ(B.OrigPC, B.PC);
+}
+
+TEST(BlockProfile, InstrumentedReportMapsToOriginalAddresses) {
+  obj::Executable App = buildOrDie(LoopProgram);
+  InstrumentedProgram Out =
+      instrumentOrDie(App, *tools::findTool("dyninst"));
+  ASSERT_TRUE(isInstrumented(Out.Exe));
+
+  sim::Machine M(Out.Exe);
+  M.enableBlockProfile();
+  ASSERT_TRUE(M.run().exitedWith(0));
+
+  std::vector<HotBlock> Blocks = hotBlocks(Out.Exe, M);
+  ASSERT_FALSE(Blocks.empty());
+  size_t Mapped = 0;
+  for (const HotBlock &B : Blocks) {
+    if (!B.OrigPC)
+      continue; // inserted/analysis code
+    ++Mapped;
+    // Mapped addresses land in the ORIGINAL text, not the instrumented
+    // executable's (which is strictly larger).
+    EXPECT_GE(B.OrigPC, App.TextStart);
+    EXPECT_LT(B.OrigPC, App.TextStart + App.Text.size());
+  }
+  EXPECT_GT(Mapped, 0u) << "application blocks must resolve";
+
+  // The hottest application block in the instrumented run is the same
+  // original block as in an uninstrumented run.
+  sim::Machine Base(App);
+  Base.enableBlockProfile();
+  ASSERT_TRUE(Base.run().exitedWith(0));
+  std::vector<HotBlock> BaseBlocks = hotBlocks(App, Base);
+  uint64_t HotOrig = 0;
+  for (const HotBlock &B : Blocks)
+    if (B.OrigPC) {
+      HotOrig = B.OrigPC;
+      break;
+    }
+  ASSERT_FALSE(BaseBlocks.empty());
+  EXPECT_EQ(HotOrig, BaseBlocks[0].PC);
+
+  std::string Report = hotProfileReport(Out.Exe, M, 10);
+  EXPECT_NE(Report.find("hot blocks:"), std::string::npos);
+  EXPECT_NE(Report.find("original"), std::string::npos);
+  EXPECT_NE(Report.find("-"), std::string::npos);
+}
+
+TEST(BlockProfile, RecoveryReentryCountsNewLeader) {
+  // setPC (used by trap recovery) must start a new block so re-entry at
+  // __exit is counted even when the trap wasn't at a block boundary.
+  obj::Executable Exe = buildOrDie(LoopProgram);
+  sim::Machine M(Exe);
+  M.enableBlockProfile();
+  ASSERT_TRUE(M.run().exitedWith(0));
+  size_t Before = M.blockProfile().size();
+  uint64_t Entry = Exe.Entry;
+  uint64_t Count = M.blockProfile().count(Entry)
+                       ? M.blockProfile().at(Entry)
+                       : 0;
+  M.setPC(Entry);
+  (void)M.run(1); // one instruction is enough to retire the leader
+  EXPECT_GE(M.blockProfile().size(), Before);
+  EXPECT_EQ(M.blockProfile().at(Entry), Count + 1);
+}
