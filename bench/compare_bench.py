@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Advisory comparison of a fresh BENCH_*.json against a committed baseline.
+
+Prints a per-key delta table and flags regressions beyond a tolerance, but
+always exits 0: CI runners are noisy, so the comparison informs rather than
+gates. Only stdlib is used.
+
+Usage: compare_bench.py <baseline.json> <current.json> [--tolerance PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(doc, prefix=""):
+    """Numeric leaves of a JSON document as {dotted.path: value}."""
+    out = {}
+    if isinstance(doc, dict):
+        for key, val in doc.items():
+            out.update(flatten(val, f"{prefix}{key}."))
+    elif isinstance(doc, list):
+        for idx, val in enumerate(doc):
+            name = val.get("name", idx) if isinstance(val, dict) else idx
+            out.update(flatten(val, f"{prefix}{name}."))
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        out[prefix[:-1]] = float(doc)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=20.0,
+                        help="percent slack before a delta is flagged")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = flatten(json.load(f))
+    with open(args.current) as f:
+        cur = flatten(json.load(f))
+
+    # Throughput-style keys where lower is a regression; timing keys
+    # (seconds) vary with machine load and are reported but never flagged.
+    rate_keys = [k for k in base
+                 if "mips" in k.rsplit(".", 1)[-1] or "speedup" in k]
+    flagged = []
+    print(f"{'metric':48s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
+    for key in sorted(rate_keys):
+        if key not in cur:
+            print(f"{key:48s} {base[key]:12.2f} {'missing':>12s}")
+            flagged.append((key, "missing"))
+            continue
+        delta = 0.0 if base[key] == 0 else (cur[key] / base[key] - 1) * 100
+        mark = ""
+        if delta < -args.tolerance:
+            mark = "  <-- regression?"
+            flagged.append((key, f"{delta:+.1f}%"))
+        print(f"{key:48s} {base[key]:12.2f} {cur[key]:12.2f} "
+              f"{delta:+7.1f}%{mark}")
+
+    if flagged:
+        print(f"\nadvisory: {len(flagged)} metric(s) beyond "
+              f"-{args.tolerance:.0f}% of baseline (not failing the build):")
+        for key, what in flagged:
+            print(f"  {key}: {what}")
+    else:
+        print("\nall rate metrics within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

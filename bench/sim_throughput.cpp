@@ -1,0 +1,137 @@
+//===- bench/sim_throughput.cpp - Raw interpreter throughput --------------===//
+//
+// Instructions/second of the bare simulator — no tool, no trace sink, no
+// hooks. Each workload runs twice per configuration:
+//
+//   fast   the default fused loop (translation cache, span copies, batched
+//          stats) that engages whenever nothing observes mid-run state.
+//   slow   the fully checked per-instruction loop (EnableFastPath = false),
+//          i.e. the historical interpreter the fast path must match.
+//
+// The headline numbers are geomean Minst/s for both configurations and the
+// fast/slow speedup. Emits BENCH_sim_throughput.json; bench-smoke compares
+// it (advisorily) against the committed baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace atom;
+using namespace atom::bench;
+
+namespace {
+
+struct Measure {
+  double Seconds = 0;
+  uint64_t Insts = 0;
+  double mips() const { return Seconds > 0 ? double(Insts) / Seconds / 1e6 : 0; }
+};
+
+/// Repeats fresh runs of \p Exe until \p MinSeconds of simulated execution
+/// has been timed (at least one run), so short workloads still produce a
+/// stable rate.
+Measure measure(const obj::Executable &Exe, bool FastPath, double MinSeconds) {
+  Measure M;
+  do {
+    sim::MachineOptions Opts;
+    Opts.EnableFastPath = FastPath;
+    sim::Machine Mach(Exe, Opts);
+    Stopwatch T;
+    sim::RunResult R = Mach.run();
+    M.Seconds += T.seconds();
+    if (R.Status != sim::RunStatus::Exited) {
+      std::fprintf(stderr, "workload did not exit cleanly: %s\n",
+                   R.FaultMessage.c_str());
+      std::exit(1);
+    }
+    M.Insts += Mach.stats().Instructions;
+  } while (M.Seconds < MinSeconds);
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv, "BENCH_sim_throughput.json");
+  // Smoke keeps CI fast; full runs time each workload long enough for a
+  // stable Minst/s figure.
+  const double MinSeconds = Args.Smoke ? 0.1 : 0.5;
+  const char *Names[] = {"crc", "qsort", "matmul", "sieve", "bubble", "rle"};
+
+  obs::JsonWriter J;
+  J.beginObject();
+  J.key("bench");
+  J.value("sim_throughput");
+  J.key("smoke");
+  J.value(Args.Smoke);
+  J.key("workloads");
+  J.beginArray();
+
+  std::printf("%-8s %12s %12s %8s\n", "workload", "fast Mi/s", "slow Mi/s",
+              "speedup");
+  std::vector<double> FastMips, SlowMips, Speedups;
+  for (const char *Name : Names) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    if (!W) {
+      std::fprintf(stderr, "missing workload %s\n", Name);
+      return 1;
+    }
+    DiagEngine Diags;
+    obj::Executable Exe;
+    if (!buildApplication(W->Source, Exe, Diags)) {
+      std::fprintf(stderr, "%s failed to build:\n%s", Name,
+                   Diags.str().c_str());
+      return 1;
+    }
+    Measure Fast = measure(Exe, /*FastPath=*/true, MinSeconds);
+    Measure Slow = measure(Exe, /*FastPath=*/false, MinSeconds);
+    double Speedup = Slow.mips() > 0 ? Fast.mips() / Slow.mips() : 0;
+    FastMips.push_back(Fast.mips());
+    SlowMips.push_back(Slow.mips());
+    Speedups.push_back(Speedup);
+
+    std::printf("%-8s %12.2f %12.2f %7.2fx\n", Name, Fast.mips(), Slow.mips(),
+                Speedup);
+
+    J.beginObject();
+    J.key("name");
+    J.value(Name);
+    J.key("insts");
+    J.value(uint64_t(Fast.Insts));
+    J.key("fast");
+    J.beginObject();
+    J.key("seconds");
+    J.value(Fast.Seconds);
+    J.key("mips");
+    J.value(Fast.mips());
+    J.endObject();
+    J.key("slow");
+    J.beginObject();
+    J.key("seconds");
+    J.value(Slow.Seconds);
+    J.key("mips");
+    J.value(Slow.mips());
+    J.endObject();
+    J.key("speedup");
+    J.value(Speedup);
+    J.endObject();
+  }
+  J.endArray();
+
+  double GFast = geomean(FastMips), GSlow = geomean(SlowMips),
+         GSpeed = geomean(Speedups);
+  J.key("geomean_mips_fast");
+  J.value(GFast);
+  J.key("geomean_mips_slow");
+  J.value(GSlow);
+  J.key("geomean_speedup");
+  J.value(GSpeed);
+  J.endObject();
+
+  std::printf("%-8s %12.2f %12.2f %7.2fx  (geomean)\n", "geomean", GFast,
+              GSlow, GSpeed);
+
+  writeJsonDoc(Args.JsonPath, J.take() + "\n");
+  std::printf("results written to %s\n", Args.JsonPath.c_str());
+  return 0;
+}

@@ -164,6 +164,15 @@ int main(int argc, char **argv) {
   Reg.addCounter("sim.returns", S.Returns);
   Reg.addCounter("sim.syscalls", S.Syscalls);
   Reg.addCounter("sim.unaligned", S.UnalignedAccesses);
+  const sim::Memory::Perf &MP = M.memory().perf();
+  Reg.addCounter("sim.trans-hits", MP.TransHits);
+  Reg.addCounter("sim.trans-misses", MP.TransMisses);
+  Reg.addCounter("sim.trans-fills", MP.TransFills);
+  Reg.addCounter("sim.trans-invalidations", MP.TransInvalidations);
+  Reg.addCounter("sim.bulk-spans", MP.BulkSpans);
+  Reg.addCounter("sim.bulk-bytes", MP.BulkBytes);
+  Reg.addCounter("sim.fast-loop-entries", M.loopPerf().FastEntries);
+  Reg.addCounter("sim.slow-loop-entries", M.loopPerf().SlowEntries);
   for (const auto &[PC, Count] : M.blockProfile()) {
     (void)PC;
     Reg.recordValue("sim.block-hotness", Count);

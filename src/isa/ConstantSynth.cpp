@@ -17,13 +17,16 @@ struct Decomp {
 };
 
 Decomp decompose(int64_t Value) {
+  // The intermediate subtractions can step past INT64_MAX (e.g.
+  // Value = 2^63-1 has Lo = -1), so do them in uint64_t where wrap-around
+  // is defined; the ldah/lda adds they model wrap the same way.
   Decomp D;
   D.Lo = int16_t(uint64_t(Value) & 0xFFFF);
-  int64_t Rem = Value - D.Lo;
-  D.Mid = int16_t((uint64_t(Rem) >> 16) & 0xFFFF);
-  int64_t Rem2 = Rem - (int64_t(D.Mid) << 16);
-  D.Top = Rem2 >> 32;
-  assert(Rem2 % (int64_t(1) << 32) == 0 && "decomposition not exact");
+  uint64_t Rem = uint64_t(Value) - uint64_t(int64_t(D.Lo));
+  D.Mid = int16_t((Rem >> 16) & 0xFFFF);
+  uint64_t Rem2 = Rem - (uint64_t(int64_t(D.Mid)) << 16);
+  D.Top = int64_t(Rem2) >> 32;
+  assert((Rem2 & 0xFFFFFFFF) == 0 && "decomposition not exact");
   return D;
 }
 

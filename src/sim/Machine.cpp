@@ -43,6 +43,38 @@ void Memory::addRegion(uint64_t Start, uint64_t End, uint8_t Perms,
       [](uint64_t S, const Region &Reg) { return S < Reg.Start; });
   Regions.insert(It, R);
   LastRegion = size_t(-1);
+  invalidateTranslation();
+}
+
+void Memory::invalidateTranslation() {
+  for (TransEntry &E : Trans)
+    E = TransEntry();
+  ++P.TransInvalidations;
+}
+
+void Memory::fillTranslation(uint64_t Addr) {
+  uint64_t Base = Addr & ~(obj::PageSize - 1);
+  TransEntry &E = Trans[transIndex(Addr)];
+  E.Host = pagePtr(Addr);
+  if (!ProtectionOn) {
+    E.PageBase = Base;
+    E.Lo = 0;
+    E.Hi = uint32_t(obj::PageSize);
+    E.Perms = PermRead | PermWrite | PermExec;
+    ++P.TransFills;
+    return;
+  }
+  const Region &R = Regions[LastRegion];
+  if (Addr < R.Start || Addr >= R.End) {
+    E.PageBase = ~uint64_t(0); // stale LastRegion; never cache a guess
+    return;
+  }
+  E.PageBase = Base;
+  E.Lo = uint32_t(R.Start > Base ? R.Start - Base : 0);
+  uint64_t HiAddr = std::min(Base + obj::PageSize, R.End);
+  E.Hi = uint32_t(HiAddr - Base);
+  E.Perms = R.Perms;
+  ++P.TransFills;
 }
 
 void Memory::recordFault(uint64_t Addr, bool IsWrite, TrapKind Kind) {
@@ -54,7 +86,7 @@ void Memory::recordFault(uint64_t Addr, bool IsWrite, TrapKind Kind) {
   Fault.Kind = Kind;
 }
 
-bool Memory::allowedSlow(uint64_t Addr, unsigned Size, bool IsWrite) {
+bool Memory::allowedSlow(uint64_t Addr, uint64_t Size, bool IsWrite) {
   const uint8_t Need = IsWrite ? PermWrite : PermRead;
   // Index of the first region with Start > Addr.
   size_t Lo = 0, Hi = Regions.size();
@@ -109,24 +141,28 @@ uint8_t *Memory::pagePtr(uint64_t Addr) {
   return CachedPtr;
 }
 
-uint8_t Memory::load8(uint64_t Addr) {
-  if (!allowed(Addr, 1, /*IsWrite=*/false))
-    return 0;
-  return pagePtr(Addr)[Addr % PageSize];
-}
-
-void Memory::store8(uint64_t Addr, uint8_t V) {
-  if (!allowed(Addr, 1, /*IsWrite=*/true))
-    return;
-  pagePtr(Addr)[Addr % PageSize] = V;
-}
-
+// Every scalar entry point probes the direct-mapped translation cache
+// first: one mask, one compare against the cached page, one in-page range
+// check, one memcpy. A hit is by construction inside one region with the
+// needed permission, so it cannot fault and the precise-trap contract is
+// untouched. Misses take the historical allowed() + pagePtr() path and
+// install the entry for next time.
 #define ATOM_MEM_SCALAR(N, T)                                                  \
   T Memory::load##N(uint64_t Addr) {                                           \
+    uint64_t Off = Addr & (obj::PageSize - 1);                                 \
+    const TransEntry &E = Trans[transIndex(Addr)];                             \
+    if (E.PageBase == Addr - Off && (E.Perms & PermRead) && Off >= E.Lo &&     \
+        Off + sizeof(T) <= E.Hi) {                                             \
+      ++P.TransHits;                                                           \
+      T V;                                                                     \
+      std::memcpy(&V, E.Host + Off, sizeof(T));                                \
+      return V;                                                                \
+    }                                                                          \
+    ++P.TransMisses;                                                           \
     if (!allowed(Addr, sizeof(T), /*IsWrite=*/false))                          \
       return 0;                                                                \
-    uint64_t Off = Addr % PageSize;                                            \
-    if (Off + sizeof(T) <= PageSize) {                                         \
+    fillTranslation(Addr);                                                     \
+    if (Off + sizeof(T) <= obj::PageSize) {                                    \
       T V;                                                                     \
       std::memcpy(&V, pagePtr(Addr) + Off, sizeof(T));                         \
       return V;                                                                \
@@ -137,10 +173,19 @@ void Memory::store8(uint64_t Addr, uint8_t V) {
     return V;                                                                  \
   }                                                                            \
   void Memory::store##N(uint64_t Addr, T V) {                                  \
+    uint64_t Off = Addr & (obj::PageSize - 1);                                 \
+    const TransEntry &E = Trans[transIndex(Addr)];                             \
+    if (E.PageBase == Addr - Off && (E.Perms & PermWrite) && Off >= E.Lo &&    \
+        Off + sizeof(T) <= E.Hi) {                                             \
+      ++P.TransHits;                                                           \
+      std::memcpy(E.Host + Off, &V, sizeof(T));                                \
+      return;                                                                  \
+    }                                                                          \
+    ++P.TransMisses;                                                           \
     if (!allowed(Addr, sizeof(T), /*IsWrite=*/true))                           \
       return;                                                                  \
-    uint64_t Off = Addr % PageSize;                                            \
-    if (Off + sizeof(T) <= PageSize) {                                         \
+    fillTranslation(Addr);                                                     \
+    if (Off + sizeof(T) <= obj::PageSize) {                                    \
       std::memcpy(pagePtr(Addr) + Off, &V, sizeof(T));                         \
       return;                                                                  \
     }                                                                          \
@@ -148,19 +193,49 @@ void Memory::store8(uint64_t Addr, uint8_t V) {
       store8(Addr + I, uint8_t(V >> (8 * I)));                                 \
   }
 
+ATOM_MEM_SCALAR(8, uint8_t)
 ATOM_MEM_SCALAR(16, uint16_t)
 ATOM_MEM_SCALAR(32, uint32_t)
 ATOM_MEM_SCALAR(64, uint64_t)
 #undef ATOM_MEM_SCALAR
 
+// Bulk paths: validate the whole range once (precise first-fault recording,
+// zero side effects on failure), then move page-sized spans. This replaces
+// a region search + page-hash probe + permission check per *byte* with one
+// check per range and one memcpy per span.
 void Memory::writeBytes(uint64_t Addr, const uint8_t *Src, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    store8(Addr + I, Src[I]);
+  if (!N || !validRange(Addr, N, /*IsWrite=*/true))
+    return;
+  while (N) {
+    uint64_t Off = Addr & (obj::PageSize - 1);
+    size_t Span = size_t(std::min<uint64_t>(N, obj::PageSize - Off));
+    std::memcpy(pagePtr(Addr) + Off, Src, Span);
+    ++P.BulkSpans;
+    P.BulkBytes += Span;
+    Addr += Span;
+    Src += Span;
+    N -= Span;
+  }
 }
 
 void Memory::readBytes(uint64_t Addr, uint8_t *Dst, size_t N) {
-  for (size_t I = 0; I < N; ++I)
-    Dst[I] = load8(Addr + I);
+  if (!N || !validRange(Addr, N, /*IsWrite=*/false))
+    return;
+  while (N) {
+    uint64_t Off = Addr & (obj::PageSize - 1);
+    size_t Span = size_t(std::min<uint64_t>(N, obj::PageSize - Off));
+    std::memcpy(Dst, pagePtr(Addr) + Off, Span);
+    ++P.BulkSpans;
+    P.BulkBytes += Span;
+    Addr += Span;
+    Dst += Span;
+    N -= Span;
+  }
+}
+
+void Memory::poke32(uint64_t Addr, uint32_t V) {
+  for (unsigned I = 0; I < 4; ++I)
+    pagePtr(Addr + I)[(Addr + I) & (obj::PageSize - 1)] = uint8_t(V >> (8 * I));
 }
 
 //===----------------------------------------------------------------------===//
@@ -183,7 +258,7 @@ Machine::Machine(const Executable &Exe, const MachineOptions &Opts)
   DecodeOk.resize(Decoded.size());
   for (size_t I = 0; I < Decoded.size(); ++I) {
     TextWords[I] = read32(Exe.Text, I * 4);
-    DecodeOk[I] = decode(TextWords[I], Decoded[I]);
+    DecodeOk[I] = decode(TextWords[I], Decoded[I]) ? 1 : 0;
   }
 
   Regs[RegSP] = Exe.StackStart;
@@ -212,7 +287,16 @@ Machine::Machine(const Executable &Exe, const MachineOptions &Opts)
     for (const obj::Segment &S : Exe.Segments)
       Mem.addRegion(S.Addr, S.Addr + S.Bytes.size(),
                     Memory::PermRead | Memory::PermWrite);
-    Mem.addRegion(Exe.DataStart, ~uint64_t(0),
+    // Data, bss, and the sbrk heap. The heap is a bump allocator with no
+    // syscall, so its exact break is invisible here; HeapMaxBytes of
+    // headroom past the static image bounds the mapped world instead of
+    // extending it to 2^64 — a guest-controlled syscall length far past
+    // the break must trap, not be treated as mapped (docs/FAULTS.md).
+    uint64_t HeapBase = std::max(Exe.HeapStart, DataEnd);
+    uint64_t HeapLimit = ~uint64_t(0);
+    if (Opts.HeapMaxBytes && HeapBase + Opts.HeapMaxBytes > HeapBase)
+      HeapLimit = HeapBase + Opts.HeapMaxBytes;
+    Mem.addRegion(Exe.DataStart, HeapLimit,
                   Memory::PermRead | Memory::PermWrite);
     Mem.enableProtection();
   }
@@ -264,27 +348,76 @@ void Machine::runPendingHooks() {
 }
 
 RunResult Machine::run(uint64_t MaxInsts) {
-  const bool Tracing = bool(Trace);
+  // The fused fast-path loop elides the per-instruction trace / profile /
+  // hook checks and batches Stats, so it is only legal when none of those
+  // can observe mid-run state. Anything armed falls back to the fully
+  // checked loop — oracle traces and fault-injection runs see behavior
+  // identical to the historical interpreter.
+  if (Opts.EnableFastPath && !Trace && !ProfileOn &&
+      NextHookAt == ~uint64_t(0)) {
+    ++LP.FastEntries;
+    return runLoop</*Fast=*/true>(MaxInsts);
+  }
+  ++LP.SlowEntries;
+  return runLoop</*Fast=*/false>(MaxInsts);
+}
+
+template <bool Fast> RunResult Machine::runLoop(uint64_t MaxInsts) {
+  const bool Tracing = !Fast && bool(Trace);
   uint64_t Budget = MaxInsts;
 
-  while (Budget--) {
-    if (St.Instructions >= NextHookAt)
-      runPendingHooks();
+  // Scalar stats accumulate in locals. The fast loop commits them only at
+  // exits (one batched update per run segment); the checked loop commits
+  // at every retirement so hooks and callers observe per-instruction
+  // counts exactly as before.
+  uint64_t BInsts = 0, BLoads = 0, BStores = 0, BCond = 0, BTaken = 0,
+           BCalls = 0, BRets = 0, BSys = 0, BUnal = 0;
+  auto Commit = [&] {
+    St.Instructions += BInsts;
+    St.Loads += BLoads;
+    St.Stores += BStores;
+    St.CondBranches += BCond;
+    St.TakenBranches += BTaken;
+    St.Calls += BCalls;
+    St.Returns += BRets;
+    St.Syscalls += BSys;
+    St.UnalignedAccesses += BUnal;
+    BInsts = BLoads = BStores = BCond = BTaken = 0;
+    BCalls = BRets = BSys = BUnal = 0;
+  };
 
-    // Fetch.
-    uint64_t Idx = (PC - TextStart) / 4;
-    if (PC < TextStart || (PC & 3) || Idx >= Decoded.size())
+  const Inst *const Insts = Decoded.data();
+  const uint8_t *const Ok = DecodeOk.data();
+  const uint64_t TextWordsN = Decoded.size();
+
+  while (Budget--) {
+    if constexpr (!Fast) {
+      if (St.Instructions >= NextHookAt)
+        runPendingHooks();
+    }
+
+    // Fetch. PC below TextStart wraps to a huge offset, so one bound and
+    // one alignment test cover all three historical bad-pc cases.
+    uint64_t Off = PC - TextStart;
+    uint64_t Idx = Off / 4;
+    if ((Off & 3) || Idx >= TextWordsN) {
+      Commit();
       return trap(TrapKind::BadPC, PC,
                   formatString("bad pc 0x%llx", (unsigned long long)PC));
-    if (!DecodeOk[Idx])
+    }
+    if (!Ok[Idx]) {
+      Commit();
       return trap(TrapKind::IllegalInstruction, PC,
                   formatString("illegal instruction at 0x%llx",
                                (unsigned long long)PC));
-    const Inst &I = Decoded[Idx];
+    }
+    const Inst &I = Insts[Idx];
 
-    if (ProfileOn && ProfNextLeader) {
-      ++BlockCounts[PC];
-      ProfNextLeader = false;
+    if constexpr (!Fast) {
+      if (ProfileOn && ProfNextLeader) {
+        ++BlockCounts[PC];
+        ProfNextLeader = false;
+      }
     }
 
     TraceEvent Ev;
@@ -317,11 +450,13 @@ RunResult Machine::run(uint64_t MaxInsts) {
       uint64_t Addr = Regs[I.Rb] + uint64_t(int64_t(I.Disp));
       unsigned Size = memAccessSize(I.Op);
       if (Addr & (Size - 1)) {
-        if (Opts.StrictAlignment)
+        if (Opts.StrictAlignment) {
+          Commit();
           return trap(TrapKind::Unaligned, Addr,
                       formatString("unaligned %u-byte access at 0x%llx",
                                    Size, (unsigned long long)Addr));
-        ++St.UnalignedAccesses;
+        }
+        ++BUnal;
       }
       if (Tracing)
         Ev.EffAddr = Addr;
@@ -334,9 +469,11 @@ RunResult Machine::run(uint64_t MaxInsts) {
         case Opcode::Ldq: V = Mem.load64(Addr); break;
         default: break;
         }
-        if (Mem.memFault().Faulted)
+        if (Mem.memFault().Faulted) {
+          Commit();
           return memTrap();
-        ++St.Loads;
+        }
+        ++BLoads;
         setReg(I.Ra, V);
       } else {
         uint64_t V = Regs[I.Ra];
@@ -347,9 +484,11 @@ RunResult Machine::run(uint64_t MaxInsts) {
         case Opcode::Stq: Mem.store64(Addr, V); break;
         default: break;
         }
-        if (Mem.memFault().Faulted)
+        if (Mem.memFault().Faulted) {
+          Commit();
           return memTrap();
-        ++St.Stores;
+        }
+        ++BStores;
       }
       break;
     }
@@ -357,7 +496,7 @@ RunResult Machine::run(uint64_t MaxInsts) {
     case Opcode::Br:
     case Opcode::Bsr:
       if (I.Op == Opcode::Bsr)
-        ++St.Calls;
+        ++BCalls;
       setReg(I.Ra, NextPC);
       NextPC = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
       if (Tracing)
@@ -384,9 +523,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
       case Opcode::Blbs: Taken = (Regs[I.Ra] & 1) == 1; break;
       default: break;
       }
-      ++St.CondBranches;
+      ++BCond;
       if (Taken) {
-        ++St.TakenBranches;
+        ++BTaken;
         NextPC = PC + 4 + uint64_t(int64_t(I.Disp)) * 4;
       }
       if (Tracing)
@@ -398,9 +537,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
     case Opcode::Jsr:
     case Opcode::Ret: {
       if (I.Op == Opcode::Jsr)
-        ++St.Calls;
+        ++BCalls;
       if (I.Op == Opcode::Ret)
-        ++St.Returns;
+        ++BRets;
       uint64_t Target = Regs[I.Rb] & ~uint64_t(3);
       setReg(I.Ra, NextPC);
       NextPC = Target;
@@ -424,29 +563,37 @@ RunResult Machine::run(uint64_t MaxInsts) {
                             (unsigned __int128)(uint64_t)SB >> 64));
       break;
     case Opcode::Divq:
-      if (SB == 0 && Opts.TrapOnDivideByZero)
+      if (SB == 0 && Opts.TrapOnDivideByZero) {
+        Commit();
         return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
+      }
       setReg(I.Rc, SB == 0 ? 0
                            : (SA == INT64_MIN && SB == -1)
                                  ? uint64_t(INT64_MIN)
                                  : uint64_t(SA / SB));
       break;
     case Opcode::Remq:
-      if (SB == 0 && Opts.TrapOnDivideByZero)
+      if (SB == 0 && Opts.TrapOnDivideByZero) {
+        Commit();
         return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
+      }
       setReg(I.Rc, SB == 0 ? 0
                            : (SA == INT64_MIN && SB == -1)
                                  ? 0
                                  : uint64_t(SA % SB));
       break;
     case Opcode::Divqu:
-      if (SB == 0 && Opts.TrapOnDivideByZero)
+      if (SB == 0 && Opts.TrapOnDivideByZero) {
+        Commit();
         return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
+      }
       setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) / uint64_t(SB));
       break;
     case Opcode::Remqu:
-      if (SB == 0 && Opts.TrapOnDivideByZero)
+      if (SB == 0 && Opts.TrapOnDivideByZero) {
+        Commit();
         return trap(TrapKind::Arithmetic, PC, "integer divide by zero");
+      }
       setReg(I.Rc, SB == 0 ? 0 : uint64_t(SA) % uint64_t(SB));
       break;
 
@@ -470,15 +617,16 @@ RunResult Machine::run(uint64_t MaxInsts) {
     case Opcode::Sextw: setReg(I.Rc, uint64_t(int64_t(int16_t(B)))); break;
 
     case Opcode::Callsys: {
-      ++St.Syscalls;
+      ++BSys;
       uint64_t No = Regs[RegV0];
       if (Tracing)
         Ev.EffAddr = No;
       uint64_t A0 = Regs[RegA0], A1 = Regs[RegA1], A2 = Regs[RegA2];
       switch (No) {
       case SysExit: {
-        ++St.Instructions;
+        ++BInsts;
         ++St.PerOpcode[size_t(I.Op)];
+        Commit();
         if (Tracing)
           Trace(Ev);
         RunResult R;
@@ -487,33 +635,63 @@ RunResult Machine::run(uint64_t MaxInsts) {
         return R;
       }
       case SysWrite: {
+        // Validate the whole source range before allocating any host
+        // memory: a guest-controlled huge A2 must trap, not OOM the host.
+        if (!Mem.validRange(A1, A2, /*IsWrite=*/false)) {
+          Commit();
+          return memTrap();
+        }
         std::vector<uint8_t> Buf(static_cast<size_t>(A2), 0);
         Mem.readBytes(A1, Buf.data(), Buf.size());
-        if (Mem.memFault().Faulted)
+        if (Mem.memFault().Faulted) {
+          Commit();
           return memTrap();
+        }
         setReg(RegV0, uint64_t(Fs.write(int64_t(A0), Buf)));
         break;
       }
       case SysRead: {
+        // Validate the destination before touching the VFS so a trapping
+        // read never advances the file offset (recovery/replay depend on
+        // the fd state being untouched by a faulting instruction).
+        if (!Mem.validRange(A1, A2, /*IsWrite=*/true)) {
+          Commit();
+          return memTrap();
+        }
         std::vector<uint8_t> Buf;
         int64_t N = Fs.read(int64_t(A0), A2, Buf);
         if (N > 0)
           Mem.writeBytes(A1, Buf.data(), Buf.size());
-        if (Mem.memFault().Faulted)
+        if (Mem.memFault().Faulted) {
+          Commit();
           return memTrap();
+        }
         setReg(RegV0, uint64_t(N));
         break;
       }
       case SysOpen: {
         std::string Path;
+        bool Terminated = false;
         for (uint64_t P = A0; Path.size() < 4096; ++P) {
           char C = char(Mem.load8(P));
-          if (!C)
+          if (Mem.memFault().Faulted) {
+            Commit();
+            return memTrap();
+          }
+          if (!C) {
+            Terminated = true;
             break;
+          }
           Path += C;
         }
-        if (Mem.memFault().Faulted)
-          return memTrap();
+        if (!Terminated) {
+          // Never act on a silently truncated name.
+          Commit();
+          return trap(TrapKind::UnmappedAccess, A0,
+                      formatString("open: path at 0x%llx not NUL-terminated "
+                                   "within 4096 bytes",
+                                   (unsigned long long)A0));
+        }
         setReg(RegV0, uint64_t(Fs.open(Path, A1)));
         break;
       }
@@ -521,6 +699,7 @@ RunResult Machine::run(uint64_t MaxInsts) {
         setReg(RegV0, uint64_t(Fs.close(int64_t(A0))));
         break;
       default:
+        Commit();
         return trap(TrapKind::BadSyscall, No,
                     formatString("unknown syscall %llu",
                                  (unsigned long long)No));
@@ -529,8 +708,9 @@ RunResult Machine::run(uint64_t MaxInsts) {
     }
 
     case Opcode::Halt: {
-      ++St.Instructions;
+      ++BInsts;
       ++St.PerOpcode[size_t(I.Op)];
+      Commit();
       RunResult R;
       R.Status = RunStatus::Halted;
       R.ExitCode = int64_t(Regs[RegV0]);
@@ -538,19 +718,26 @@ RunResult Machine::run(uint64_t MaxInsts) {
     }
 
     case Opcode::NumOpcodes:
+      Commit();
       return trap(TrapKind::IllegalInstruction, PC, "corrupt decode");
     }
 
     // Retirement: only instructions that complete without trapping count.
-    ++St.Instructions;
+    ++BInsts;
     ++St.PerOpcode[size_t(I.Op)];
-    if (Tracing)
-      Trace(Ev);
-    if (ProfileOn && isControlTransfer(I.Op))
-      ProfNextLeader = true; // target and fall-through both lead blocks
+    if constexpr (!Fast) {
+      // Hooks and tracers observe exact per-instruction stats; flush the
+      // batched counters at every retirement on the slow path.
+      Commit();
+      if (Tracing)
+        Trace(Ev);
+      if (ProfileOn && isControlTransfer(I.Op))
+        ProfNextLeader = true; // target and fall-through both lead blocks
+    }
     PC = NextPC;
   }
 
+  Commit();
   RunResult R;
   R.Status = RunStatus::FuelExhausted;
   R.FaultPC = PC;
@@ -562,7 +749,11 @@ void Machine::corruptTextWord(size_t Idx, uint32_t Mask) {
   if (Idx >= TextWords.size())
     return;
   TextWords[Idx] ^= Mask;
-  DecodeOk[Idx] = decode(TextWords[Idx], Decoded[Idx]);
+  DecodeOk[Idx] = decode(TextWords[Idx], Decoded[Idx]) ? 1 : 0;
+  // Keep the memory image coherent with the decode stream, and drop any
+  // translation-cache entry that still points at the stale bytes.
+  Mem.poke32(TextStart + uint64_t(Idx) * 4, TextWords[Idx]);
+  Mem.invalidateTranslation();
 }
 
 RunResult sim::runExecutable(const Executable &Exe, Machine *Out) {

@@ -76,6 +76,16 @@ struct MachineOptions {
   bool StrictAlignment = false;
   bool TrapOnDivideByZero = false;
   uint64_t StackMaxBytes = 8 * 1024 * 1024; ///< Guard page sits below this.
+  /// Mapped heap headroom past the static image: the read/write region ends
+  /// at HeapStart + HeapMaxBytes instead of 2^64, so a wild pointer (or a
+  /// guest-controlled syscall length) far past the break traps as
+  /// UnmappedAccess instead of being treated as mapped. 0 = unbounded
+  /// (the pre-fault-precision behavior).
+  uint64_t HeapMaxBytes = 256 * 1024 * 1024;
+  /// Use the fused fast-path run loop when no trace hook, profile, or
+  /// pre-instruction hook is armed. Semantics are identical either way
+  /// (ctest-enforced); off is useful for differential runs and benchmarks.
+  bool EnableFastPath = true;
 };
 
 /// Dynamic execution statistics.
@@ -106,6 +116,17 @@ struct TraceEvent {
 /// permissions. Protection is off until enableProtection() — the loader
 /// writes the image first — and violations are recorded (first one wins)
 /// rather than thrown, so the machine can turn them into precise traps.
+///
+/// Two layers keep the common case fast without weakening the precise-fault
+/// contract:
+///
+///   - a small direct-mapped translation cache (page -> host pointer +
+///     effective permissions + the in-page byte range they cover), consulted
+///     by the scalar load*/store* entry points so a hit is one mask, one
+///     compare, and one memcpy with no region search or page-hash probe;
+///   - bulk readBytes/writeBytes pre-validate the whole range (recording the
+///     precise first faulting byte on failure, with **no** side effects),
+///     then copy one page-sized span at a time.
 class Memory {
 public:
   enum Perm : uint8_t {
@@ -122,17 +143,37 @@ public:
     TrapKind Kind = TrapKind::None;
   };
 
+  /// Hot-path instrumentation, published as sim.* obs counters by axp-run.
+  struct Perf {
+    uint64_t TransHits = 0;      ///< Scalar accesses served by the cache.
+    uint64_t TransMisses = 0;    ///< Scalar accesses that took the slow path.
+    uint64_t TransFills = 0;     ///< Cache entries (re)installed.
+    uint64_t TransInvalidations = 0; ///< Whole-cache flushes.
+    uint64_t BulkSpans = 0;      ///< memcpy spans in read/writeBytes.
+    uint64_t BulkBytes = 0;      ///< Bytes moved by read/writeBytes.
+  };
+
   /// Declares [Start, End) with \p Perms. \p Kind is the trap reported
   /// when an access violates the region's permissions (e.g. StackGuard
   /// for the guard page, WriteProtected for text). Regions must not
   /// overlap; addresses covered by no region trap as UnmappedAccess.
   void addRegion(uint64_t Start, uint64_t End, uint8_t Perms,
                  TrapKind Kind = TrapKind::UnmappedAccess);
-  void enableProtection() { ProtectionOn = true; }
+  void enableProtection() {
+    ProtectionOn = true;
+    invalidateTranslation(); // entries filled while loading were RW-everything
+  }
   bool protectionEnabled() const { return ProtectionOn; }
 
   const MemFault &memFault() const { return Fault; }
   void clearMemFault() { Fault = MemFault(); }
+
+  /// True if the whole range [Addr, Addr+N) is accessible; otherwise records
+  /// the precise first faulting byte (first-fault-wins) and returns false.
+  /// Performs no side effects either way. N == 0 is trivially valid.
+  bool validRange(uint64_t Addr, uint64_t N, bool IsWrite) {
+    return !ProtectionOn || N == 0 || allowed(Addr, N, IsWrite);
+  }
 
   uint8_t load8(uint64_t Addr);
   uint16_t load16(uint64_t Addr);
@@ -142,8 +183,25 @@ public:
   void store16(uint64_t Addr, uint16_t V);
   void store32(uint64_t Addr, uint32_t V);
   void store64(uint64_t Addr, uint64_t V);
+
+  /// Bulk copies. The whole range is validated up front: on a violation the
+  /// precise first faulting byte is recorded and **nothing** is copied (no
+  /// partial prefix, no page materialization), honoring the same
+  /// never-retires contract as scalar accesses. Valid ranges are copied one
+  /// page-sized span at a time.
   void writeBytes(uint64_t Addr, const uint8_t *Src, size_t N);
   void readBytes(uint64_t Addr, uint8_t *Dst, size_t N);
+
+  /// Unchecked write that ignores permissions (machine-internal: decode
+  /// corruption keeps the text image coherent through this).
+  void poke32(uint64_t Addr, uint32_t V);
+
+  /// Drops every translation-cache entry. Called whenever effective
+  /// permissions may have changed (addRegion, enableProtection, text
+  /// corruption).
+  void invalidateTranslation();
+
+  const Perf &perf() const { return P; }
 
 private:
   struct Region {
@@ -153,8 +211,27 @@ private:
     TrapKind Kind = TrapKind::UnmappedAccess;
   };
 
+  /// One direct-mapped translation-cache entry: within page PageBase, byte
+  /// offsets [Lo, Hi) are backed by Host and carry Perms. Lo/Hi matter
+  /// because region boundaries need not be page-aligned.
+  struct TransEntry {
+    uint64_t PageBase = ~uint64_t(0);
+    uint8_t *Host = nullptr;
+    uint32_t Lo = 0;
+    uint32_t Hi = 0;
+    uint8_t Perms = PermNone;
+  };
+  static constexpr size_t TransSlots = 64; // power of two
+
+  size_t transIndex(uint64_t Addr) const {
+    return size_t(Addr / obj::PageSize) & (TransSlots - 1);
+  }
+  /// Installs the entry for Addr's page after a successful slow-path check
+  /// (LastRegion covers Addr, or protection is off).
+  void fillTranslation(uint64_t Addr);
+
   /// Fast-path permission check; falls back to the region search.
-  bool allowed(uint64_t Addr, unsigned Size, bool IsWrite) {
+  bool allowed(uint64_t Addr, uint64_t Size, bool IsWrite) {
     if (!ProtectionOn)
       return true;
     if (LastRegion != size_t(-1)) {
@@ -165,7 +242,7 @@ private:
     }
     return allowedSlow(Addr, Size, IsWrite);
   }
-  bool allowedSlow(uint64_t Addr, unsigned Size, bool IsWrite);
+  bool allowedSlow(uint64_t Addr, uint64_t Size, bool IsWrite);
   void recordFault(uint64_t Addr, bool IsWrite, TrapKind Kind);
 
   uint8_t *pagePtr(uint64_t Addr);
@@ -173,10 +250,13 @@ private:
   uint64_t CachedPage = ~uint64_t(0);
   uint8_t *CachedPtr = nullptr;
 
+  TransEntry Trans[TransSlots];
+
   std::vector<Region> Regions; ///< Sorted by Start, non-overlapping.
   size_t LastRegion = size_t(-1);
   bool ProtectionOn = false;
   MemFault Fault;
+  Perf P;
 };
 
 /// The simulated machine.
@@ -236,14 +316,30 @@ public:
 
   /// Number of pre-decoded text words.
   size_t textWordCount() const { return Decoded.size(); }
-  /// XORs text word \p Idx with \p Mask and re-decodes it (decode-stream
-  /// corruption for fault injection).
+  /// XORs text word \p Idx with \p Mask, re-decodes it, and writes the
+  /// corrupted word through to the memory image (so loads from text see it)
+  /// — invalidating the translation cache (decode-stream corruption for
+  /// fault injection).
   void corruptTextWord(size_t Idx, uint32_t Mask);
+
+  /// Loop-dispatch instrumentation: how many times run() entered the fused
+  /// fast-path loop vs. fell back to the fully-checked slow loop.
+  struct LoopPerf {
+    uint64_t FastEntries = 0;
+    uint64_t SlowEntries = 0;
+  };
+  const LoopPerf &loopPerf() const { return LP; }
 
 private:
   RunResult trap(TrapKind Kind, uint64_t Addr, const std::string &Msg);
   RunResult memTrap();
   void runPendingHooks();
+
+  /// The interpreter. Fast = true elides the per-instruction trace /
+  /// profile / pre-inst-hook checks and batches Stats updates (committed at
+  /// every exit), legal only when none of those are armed; Fast = false is
+  /// the fully-checked loop with per-instruction semantics.
+  template <bool Fast> RunResult runLoop(uint64_t MaxInsts);
 
   uint64_t Regs[isa::NumRegs] = {};
   uint64_t PC = 0;
@@ -264,12 +360,14 @@ private:
   bool ProfNextLeader = true; ///< Next retired instruction starts a block.
   std::unordered_map<uint64_t, uint64_t> BlockCounts;
 
+  LoopPerf LP;
+
   uint64_t TextStart = 0;
   uint64_t DataStart = 0;
   uint64_t DataEnd = 0;
   std::vector<uint32_t> TextWords;
-  std::vector<isa::Inst> Decoded; ///< Pre-decoded text.
-  std::vector<bool> DecodeOk;
+  std::vector<isa::Inst> Decoded;  ///< Pre-decoded text.
+  std::vector<uint8_t> DecodeOk;   ///< Byte-sized: no bit-probe per fetch.
 };
 
 /// Convenience: builds a machine, runs it, returns the result.

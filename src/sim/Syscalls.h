@@ -46,6 +46,15 @@ public:
   /// Reads up to \p N bytes into \p Out.
   int64_t read(int64_t Fd, uint64_t N, std::vector<uint8_t> &Out);
 
+  /// Current file position of \p Fd, or -1 if it is not open. The precise
+  /// syscall-fault contract (docs/FAULTS.md) says a trapping read must not
+  /// advance the offset; tests observe that through this.
+  int64_t tell(int64_t Fd) const {
+    if (Fd < 0 || Fd >= int64_t(Fds.size()) || !Fds[size_t(Fd)].Open)
+      return -1;
+    return int64_t(Fds[size_t(Fd)].Pos);
+  }
+
   /// Pre-populates a file (test inputs).
   void addFile(const std::string &Path, const std::string &Contents);
   /// Contents of \p Path as a string; empty if absent.

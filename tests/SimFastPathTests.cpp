@@ -1,0 +1,355 @@
+//===- tests/SimFastPathTests.cpp - Hot path + syscall fault fixes --------===//
+//
+// Regression tests for the precise-fault holes in the syscall/bulk-memory
+// layer and for the fast-path machinery (translation cache, span copies,
+// fused loop):
+//
+//   * SysWrite/SysRead validate guest ranges before host allocation / VFS
+//     side effects (huge guest lengths trap instead of OOMing the host,
+//     trapped reads never advance the fd offset).
+//   * SysOpen refuses unterminated path strings instead of truncating.
+//   * Bulk readBytes/writeBytes are side-effect free on fault.
+//   * Scalar accesses straddling a region boundary trap precisely.
+//   * corruptTextWord stays coherent with the memory image and the
+//     translation cache.
+//   * The fast loop is observationally equivalent to the checked loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "asm/Assembler.h"
+#include "link/Linker.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::test;
+
+namespace {
+
+/// Assembles \p Body into a standalone 'start' procedure and returns a
+/// Machine ready to run, so tests can seed memory or the VFS first.
+std::unique_ptr<Machine> makeAsmMachine(const std::string &Body,
+                                        const MachineOptions &Opts =
+                                            MachineOptions()) {
+  std::string Src = "        .text\n        .ent start\n"
+                    "        .globl start\nstart:\n" +
+                    Body + "        .end start\n";
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Src, "t", M, Diags)) {
+    ADD_FAILURE() << "assembly failed:\n" << Diags.str() << "\n" << Src;
+    abort();
+  }
+  obj::Executable Exe;
+  link::LinkOptions LOpts;
+  LOpts.EntrySymbol = "start";
+  if (!link::linkExecutable({M}, Exe, Diags, LOpts)) {
+    ADD_FAILURE() << "link failed:\n" << Diags.str();
+    abort();
+  }
+  return std::make_unique<Machine>(Exe, Opts);
+}
+
+RunResult runAsm(const std::string &Body,
+                 const MachineOptions &Opts = MachineOptions()) {
+  return makeAsmMachine(Body, Opts)->run(1'000'000);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Syscall precise-fault fixes.
+//===----------------------------------------------------------------------===//
+
+TEST(SyscallFaults, WriteHugeLengthTrapsInsteadOfHostAllocation) {
+  // a2 = 1 TiB. The pre-fix SysWrite allocated a host buffer of that size
+  // before any validation; now the source range is validated first and the
+  // guest traps precisely.
+  RunResult R = runAsm("lconst v0, 3\n"          // SysWrite
+                       "        lconst a0, 1\n"  // stdout
+                       "        lconst a1, 0x10000000\n"
+                       "        lconst a2, 0x10000000000\n"
+                       "        callsys\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+}
+
+TEST(SyscallFaults, ReadHugeLengthTrapsBeforeVfs) {
+  // Destination [a1, a1+a2) reaches past the heap limit; the read must
+  // trap without consulting the VFS at all (pre-fix it returned the VFS
+  // error and halted cleanly).
+  RunResult R = runAsm("lconst v0, 2\n"          // SysRead
+                       "        clr a0\n"
+                       "        lconst a1, 0x10000000\n"
+                       "        lconst a2, 0x10000000000\n"
+                       "        callsys\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+}
+
+TEST(SyscallFaults, TrappedReadDoesNotAdvanceFdOffset) {
+  // open("in.txt") then read(fd, unmapped, 16): the read traps, and the
+  // file offset must still be 0 so recovery or replay re-reads the same
+  // bytes. Pre-fix, Fs.read consumed the bytes before validation.
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst v0, 4\n"                      // SysOpen
+      "        lconst a0, 0x10000000\n"     // path seeded below
+      "        clr a1\n"                    // OpenRead
+      "        callsys\n"
+      "        mov v0, a0\n"                // fd
+      "        lconst v0, 2\n"              // SysRead
+      "        lconst a1, 0x03000000\n"     // unmapped destination
+      "        lconst a2, 16\n"
+      "        callsys\n halt\n");
+  M->vfs().addFile("in.txt", "hello, precise faults");
+  const char Path[] = "in.txt";
+  M->memory().writeBytes(0x10000000, reinterpret_cast<const uint8_t *>(Path),
+                         sizeof(Path));
+  ASSERT_FALSE(M->memory().memFault().Faulted);
+
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0x03000000u);
+  // fd 3 is the first descriptor handed out; its position is untouched.
+  EXPECT_EQ(M->vfs().tell(3), 0);
+}
+
+TEST(SyscallFaults, OpenUnterminatedPathTraps) {
+  // 5000 non-NUL bytes at the path pointer: pre-fix SysOpen silently
+  // truncated at 4096 and opened the garbage name; now it traps.
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst v0, 4\n"
+      "        lconst a0, 0x10000000\n"
+      "        clr a1\n"
+      "        callsys\n halt\n");
+  std::vector<uint8_t> Junk(5000, uint8_t('A'));
+  M->memory().writeBytes(0x10000000, Junk.data(), Junk.size());
+  ASSERT_FALSE(M->memory().memFault().Faulted);
+
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0x10000000u);
+  EXPECT_NE(R.FaultMessage.find("NUL-terminated"), std::string::npos)
+      << R.FaultMessage;
+  EXPECT_FALSE(M->vfs().fileExists(std::string(4096, 'A')));
+}
+
+TEST(SyscallFaults, OpenPathEndingAtUnmappedByteTraps) {
+  // The path scan runs off the end of the heap region without a NUL: the
+  // scalar load faults and the fault (not a truncated open) is reported.
+  MachineOptions Opts;
+  Opts.HeapMaxBytes = 0x1000; // tiny heap: region is [0x10000000, +4K)
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst v0, 4\n"
+      "        lconst a0, 0x10000ffc\n" // 4 bytes before the region end
+      "        clr a1\n"
+      "        callsys\n halt\n",
+      Opts);
+  const uint8_t Tail[4] = {'x', 'y', 'z', 'w'}; // no NUL before the edge
+  M->memory().writeBytes(0x10000ffc, Tail, sizeof(Tail));
+  ASSERT_FALSE(M->memory().memFault().Faulted);
+
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::UnmappedAccess);
+  EXPECT_EQ(R.FaultAddr, 0x10001000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bulk-op side-effect freedom.
+//===----------------------------------------------------------------------===//
+
+TEST(BulkOps, FaultingWriteLeavesMemoryUntouched) {
+  // A 16-byte write starting in the RW stack and running into read-only
+  // text: the whole range is validated up front, so not even the allowed
+  // stack prefix is modified (pre-fix the prefix was committed).
+  std::unique_ptr<Machine> M = makeAsmMachine("halt\n");
+  Memory &Mem = M->memory();
+  const uint64_t Text = obj::DefaultTextStart;
+
+  std::vector<uint8_t> Data(16, 0xAA);
+  Mem.writeBytes(Text - 8, Data.data(), Data.size());
+  ASSERT_TRUE(Mem.memFault().Faulted);
+  EXPECT_EQ(Mem.memFault().Addr, Text);
+  EXPECT_EQ(Mem.memFault().Kind, TrapKind::WriteProtected);
+  Mem.clearMemFault();
+
+  EXPECT_EQ(Mem.load64(Text - 8), 0u) << "allowed prefix was committed";
+  ASSERT_FALSE(Mem.memFault().Faulted);
+}
+
+TEST(BulkOps, FaultingReadLeavesBufferUntouched) {
+  // A read straddling the end of the text region: the destination buffer
+  // must not receive the allowed prefix.
+  std::unique_ptr<Machine> M = makeAsmMachine("halt\n");
+  Memory &Mem = M->memory();
+  const uint64_t Text = obj::DefaultTextStart;
+
+  // One word of text exists ('halt' = 4 bytes); read 64 bytes spanning
+  // past the text region end.
+  std::vector<uint8_t> Buf(64, 0xEE);
+  Mem.readBytes(Text, Buf.data(), Buf.size());
+  ASSERT_TRUE(Mem.memFault().Faulted);
+  Mem.clearMemFault();
+  for (uint8_t B : Buf)
+    EXPECT_EQ(B, 0xEE) << "allowed prefix was copied out";
+}
+
+TEST(BulkOps, SpanCopyAcrossPagesRoundTrips) {
+  // A bulk write/read crossing several 8K pages inside one region comes
+  // back byte-identical (exercises the span splitting).
+  std::unique_ptr<Machine> M = makeAsmMachine("halt\n");
+  Memory &Mem = M->memory();
+  std::vector<uint8_t> Out(3 * obj::PageSize + 123);
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = uint8_t(I * 7 + 3);
+  const uint64_t Base = 0x10000000 + 100; // unaligned start
+  Mem.writeBytes(Base, Out.data(), Out.size());
+  ASSERT_FALSE(Mem.memFault().Faulted);
+  std::vector<uint8_t> In(Out.size(), 0);
+  Mem.readBytes(Base, In.data(), In.size());
+  ASSERT_FALSE(Mem.memFault().Faulted);
+  EXPECT_EQ(In, Out);
+  EXPECT_GT(Mem.perf().BulkSpans, 0u);
+  EXPECT_GE(Mem.perf().BulkBytes, 2 * Out.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar fast path: straddles and translation-cache coherence.
+//===----------------------------------------------------------------------===//
+
+TEST(ScalarFastPath, StoreStraddlingRegionBoundaryTrapsPrecisely) {
+  // stq at TextStart-4 covers 4 writable stack bytes and 4 read-only text
+  // bytes; it must trap at the text byte and leave the stack bytes alone.
+  RunResult R = runAsm("lconst t0, 0x01fffffc\n"
+                       "        lconst t1, -1\n"
+                       "        stq t1, 0(t0)\n halt\n");
+  ASSERT_EQ(R.Status, RunStatus::Trap) << R.FaultMessage;
+  EXPECT_EQ(R.Trap, TrapKind::WriteProtected);
+  EXPECT_EQ(R.FaultAddr, obj::DefaultTextStart);
+}
+
+TEST(ScalarFastPath, StraddlingStoreHasNoSideEffects) {
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst t0, 0x01fffffc\n"
+      "        lconst t1, -1\n"
+      "        stq t1, 0(t0)\n halt\n");
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  Memory &Mem = M->memory();
+  Mem.clearMemFault();
+  EXPECT_EQ(Mem.load32(obj::DefaultTextStart - 4), 0u)
+      << "stack prefix of a straddling store was committed";
+}
+
+TEST(ScalarFastPath, TranslationCacheSeesCorruptTextWord) {
+  // Prime the translation cache with a load from the text page, corrupt
+  // the word under it, and load again: the corrupted bytes must be
+  // visible (corruptTextWord writes through to the memory image and
+  // invalidates the cache).
+  std::unique_ptr<Machine> M = makeAsmMachine("halt\n");
+  Memory &Mem = M->memory();
+  const uint64_t Text = obj::DefaultTextStart;
+
+  uint32_t Before = Mem.load32(Text);
+  ASSERT_FALSE(Mem.memFault().Faulted);
+  M->corruptTextWord(0, 0xFFFFFFFF);
+  uint32_t After = Mem.load32(Text);
+  ASSERT_FALSE(Mem.memFault().Faulted);
+  EXPECT_EQ(After, Before ^ 0xFFFFFFFFu);
+  EXPECT_GT(Mem.perf().TransInvalidations, 0u);
+}
+
+TEST(ScalarFastPath, TranslationCacheCountsHits) {
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst t0, 0x10000000\n"
+      "        stq t1, 0(t0)\n"
+      "        ldq t2, 0(t0)\n"
+      "        ldq t3, 0(t0)\n halt\n");
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+  const Memory::Perf &P = M->memory().perf();
+  EXPECT_GT(P.TransHits + P.TransMisses, 0u);
+  EXPECT_GT(P.TransHits, 0u) << "repeated same-page accesses never hit";
+}
+
+//===----------------------------------------------------------------------===//
+// Fast loop vs checked loop equivalence.
+//===----------------------------------------------------------------------===//
+
+TEST(FastLoop, MatchesCheckedLoopOnWorkloads) {
+  for (const char *Name : {"crc", "qsort", "iobound"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    obj::Executable Exe = buildOrDie(W->Source);
+
+    MachineOptions FastOpts;
+    FastOpts.EnableFastPath = true;
+    Machine MF(Exe, FastOpts);
+    RunResult RF = MF.run();
+
+    MachineOptions SlowOpts;
+    SlowOpts.EnableFastPath = false;
+    Machine MS(Exe, SlowOpts);
+    RunResult RS = MS.run();
+
+    ASSERT_EQ(RF.Status, RunStatus::Exited) << Name;
+    ASSERT_EQ(RS.Status, RunStatus::Exited) << Name;
+    EXPECT_EQ(RF.ExitCode, RS.ExitCode) << Name;
+    EXPECT_EQ(MF.vfs().stdoutText(), MS.vfs().stdoutText()) << Name;
+
+    const Stats &SF = MF.stats(), &SS = MS.stats();
+    EXPECT_EQ(SF.Instructions, SS.Instructions) << Name;
+    EXPECT_EQ(SF.Loads, SS.Loads) << Name;
+    EXPECT_EQ(SF.Stores, SS.Stores) << Name;
+    EXPECT_EQ(SF.CondBranches, SS.CondBranches) << Name;
+    EXPECT_EQ(SF.TakenBranches, SS.TakenBranches) << Name;
+    EXPECT_EQ(SF.Calls, SS.Calls) << Name;
+    EXPECT_EQ(SF.Returns, SS.Returns) << Name;
+    EXPECT_EQ(SF.Syscalls, SS.Syscalls) << Name;
+    EXPECT_EQ(SF.UnalignedAccesses, SS.UnalignedAccesses) << Name;
+    for (size_t Op = 0; Op < SF.PerOpcode.size(); ++Op)
+      EXPECT_EQ(SF.PerOpcode[Op], SS.PerOpcode[Op])
+          << Name << " opcode " << Op;
+    EXPECT_EQ(MF.loopPerf().FastEntries, 1u) << Name;
+    EXPECT_EQ(MS.loopPerf().SlowEntries, 1u) << Name;
+  }
+}
+
+TEST(FastLoop, ArmedHookForcesCheckedLoop) {
+  // A pending pre-inst hook makes the fast loop illegal; the dispatcher
+  // must take the checked loop so the hook fires at the exact count.
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst t0, 5\n"
+      "loop:   subq t0, #1, t0\n"
+      "        bne t0, loop\n halt\n");
+  uint64_t SeenAt = ~uint64_t(0);
+  M->addPreInstHook(4, [&](Machine &Mach) {
+    SeenAt = Mach.stats().Instructions;
+  });
+  RunResult R = M->run(1'000'000);
+  ASSERT_EQ(R.Status, RunStatus::Halted) << R.FaultMessage;
+  EXPECT_EQ(SeenAt, 4u);
+  EXPECT_EQ(M->loopPerf().FastEntries, 0u);
+  EXPECT_GE(M->loopPerf().SlowEntries, 1u);
+}
+
+TEST(FastLoop, FuelExhaustionCommitsBatchedStats) {
+  // Stop mid-run on the fast path: the batched counters must be flushed
+  // into Stats at the FuelExhausted exit.
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "loop:   addq t0, #1, t0\n"
+      "        br loop\n");
+  RunResult R = M->run(100);
+  ASSERT_EQ(R.Status, RunStatus::FuelExhausted);
+  EXPECT_EQ(M->stats().Instructions, 100u);
+}
