@@ -3,12 +3,15 @@
 #ifndef ATOM_BENCH_BENCHUTIL_H
 #define ATOM_BENCH_BENCHUTIL_H
 
-#include "atom/Driver.h"
+#include "atom/Batch.h"
 #include "obs/Obs.h"
 #include "sim/Machine.h"
+#include "support/ThreadPool.h"
 #include "tools/Tools.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -21,9 +24,12 @@ namespace bench {
 
 /// Common figure-benchmark command line: `--smoke` caps the workload
 /// suite for CI smoke runs, `--json <path>` overrides where the
-/// machine-readable results document lands.
+/// machine-readable results document lands, `--jobs N` sets the worker
+/// count for suite building and batched instrumentation (0 = one per
+/// hardware thread).
 struct BenchArgs {
   bool Smoke = false;
+  unsigned Jobs = 0;
   std::string JsonPath;
 
   static BenchArgs parse(int Argc, char **Argv,
@@ -34,10 +40,13 @@ struct BenchArgs {
       std::string Arg = Argv[I];
       if (Arg == "--smoke")
         A.Smoke = true;
+      else if ((Arg == "--jobs" || Arg == "-j") && I + 1 < Argc)
+        A.Jobs = unsigned(std::strtoul(Argv[++I], nullptr, 0));
       else if (Arg == "--json" && I + 1 < Argc)
         A.JsonPath = Argv[++I];
       else {
-        std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n",
+        std::fprintf(stderr,
+                     "usage: %s [--smoke] [--jobs N] [--json <path>]\n",
                      Argv[0]);
         std::exit(2);
       }
@@ -46,22 +55,38 @@ struct BenchArgs {
   }
 };
 
-/// Builds the workload executables once; \p MaxWorkloads caps the suite
-/// (0 = all 20) for smoke runs.
-inline std::vector<obj::Executable> buildSuite(size_t MaxWorkloads = 0) {
-  std::vector<obj::Executable> Suite;
+/// Builds the workload executables once, across \p Jobs worker threads
+/// (0 = one per hardware thread); \p MaxWorkloads caps the suite (0 = all
+/// 20) for smoke runs. Suite-build time is reported separately so figure
+/// timings stay pure instrumentation/simulation time.
+inline std::vector<obj::Executable> buildSuite(size_t MaxWorkloads = 0,
+                                               unsigned Jobs = 0) {
+  Stopwatch Timer;
+  std::vector<const workloads::Workload *> Wanted;
   for (const workloads::Workload &W : workloads::allWorkloads()) {
-    if (MaxWorkloads && Suite.size() >= MaxWorkloads)
+    if (MaxWorkloads && Wanted.size() >= MaxWorkloads)
       break;
-    DiagEngine Diags;
-    obj::Executable Exe;
-    if (!buildApplication(W.Source, Exe, Diags)) {
-      std::fprintf(stderr, "workload %s failed to build:\n%s", W.Name,
-                   Diags.str().c_str());
-      std::exit(1);
-    }
-    Suite.push_back(std::move(Exe));
+    Wanted.push_back(&W);
   }
+  std::vector<obj::Executable> Suite(Wanted.size());
+  std::atomic<bool> Failed{false};
+  unsigned Threads = Jobs ? Jobs : ThreadPool::defaultConcurrency();
+  {
+    ThreadPool Pool(unsigned(std::min<size_t>(Threads, Wanted.size())));
+    Pool.parallelFor(Wanted.size(), [&](size_t I) {
+      DiagEngine Diags;
+      if (!buildApplication(Wanted[I]->Source, Suite[I], Diags)) {
+        std::fprintf(stderr, "workload %s failed to build:\n%s",
+                     Wanted[I]->Name, Diags.str().c_str());
+        Failed.store(true);
+      }
+    });
+  }
+  if (Failed.load())
+    std::exit(1);
+  std::printf("suite build: %.3f s (%zu programs, %u workers)\n",
+              Timer.seconds(), Suite.size(),
+              unsigned(std::min<size_t>(Threads, Suite.size())));
   return Suite;
 }
 

@@ -21,7 +21,9 @@ def flatten(doc, prefix=""):
             out.update(flatten(val, f"{prefix}{key}."))
     elif isinstance(doc, list):
         for idx, val in enumerate(doc):
-            name = val.get("name", idx) if isinstance(val, dict) else idx
+            name = idx
+            if isinstance(val, dict):
+                name = val.get("name", val.get("tool", idx))
             out.update(flatten(val, f"{prefix}{name}."))
     elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
         out[prefix[:-1]] = float(doc)
@@ -41,20 +43,25 @@ def main():
     with open(args.current) as f:
         cur = flatten(json.load(f))
 
-    # Throughput-style keys where lower is a regression; timing keys
-    # (seconds) vary with machine load and are reported but never flagged.
+    # Throughput-style keys where lower is a regression, and overhead
+    # ratios (fig6 instrumented/uninstrumented execution time) where
+    # *higher* is a regression; timing keys (seconds) vary with machine
+    # load and are reported but never flagged.
     rate_keys = [k for k in base
                  if "mips" in k.rsplit(".", 1)[-1] or "speedup" in k]
+    ratio_keys = [k for k in base if k.rsplit(".", 1)[-1] == "ratio"]
     flagged = []
     print(f"{'metric':48s} {'baseline':>12s} {'current':>12s} {'delta':>8s}")
-    for key in sorted(rate_keys):
+    for key in sorted(rate_keys + ratio_keys):
         if key not in cur:
             print(f"{key:48s} {base[key]:12.2f} {'missing':>12s}")
             flagged.append((key, "missing"))
             continue
         delta = 0.0 if base[key] == 0 else (cur[key] / base[key] - 1) * 100
+        bad = delta > args.tolerance if key in ratio_keys \
+            else delta < -args.tolerance
         mark = ""
-        if delta < -args.tolerance:
+        if bad:
             mark = "  <-- regression?"
             flagged.append((key, f"{delta:+.1f}%"))
         print(f"{key:48s} {base[key]:12.2f} {cur[key]:12.2f} "

@@ -12,6 +12,13 @@
 // scheduling per block at instrumentation time), malloc is the fastest
 // (it instruments a single procedure).
 //
+// After the serial per-tool sweep (the figure itself), the same
+// tools x programs matrix runs again through runAtomBatch() — parallel
+// across --jobs workers with per-tool/per-program pipeline artifacts
+// cached — and the serial/batch wall-clock ratio is reported as
+// "speedup" (docs/PIPELINE.md). Instrumentation-point totals are
+// cross-checked between the two sweeps.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -21,7 +28,8 @@ using namespace atom::bench;
 
 int main(int argc, char **argv) {
   BenchArgs Args = BenchArgs::parse(argc, argv, "BENCH_fig5.json");
-  std::vector<obj::Executable> Suite = buildSuite(Args.Smoke ? 4 : 0);
+  std::vector<obj::Executable> Suite =
+      buildSuite(Args.Smoke ? 4 : 0, Args.Jobs);
 
   std::printf("Figure 5: time taken by ATOM to instrument the %zu-program "
               "suite\n",
@@ -43,6 +51,7 @@ int main(int argc, char **argv) {
   J.beginArray();
 
   double GrandTotal = 0;
+  uint64_t SerialPoints = 0;
   for (const Tool &T : tools::allTools()) {
     Stopwatch Timer;
     unsigned Points = 0;
@@ -52,6 +61,7 @@ int main(int argc, char **argv) {
     }
     double Secs = Timer.seconds();
     GrandTotal += Secs;
+    SerialPoints += Points;
     double AvgMs = 1000.0 * Secs / double(Suite.size());
     std::printf("%-9s | %-44s | %10.3f | %9.2f | %8u\n", T.Name.c_str(),
                 T.Description.c_str(), Secs, AvgMs, Points);
@@ -69,14 +79,71 @@ int main(int argc, char **argv) {
   J.endArray();
   J.key("total_s");
   J.value(GrandTotal);
-  J.endObject();
-  writeJsonDoc(Args.JsonPath, J.take() + "\n");
 
   std::printf("----------+----------------------------------------------+-"
               "-----------+-----------+---------\n");
   std::printf("total instrumentation time: %.3f s (%zu tools x %zu "
               "programs)\n",
               GrandTotal, tools::allTools().size(), Suite.size());
+
+  // The same matrix through the parallel, cached batch driver.
+  std::vector<const obj::Executable *> Apps;
+  for (const obj::Executable &App : Suite)
+    Apps.push_back(&App);
+  std::vector<const Tool *> Ts;
+  for (const Tool &T : tools::allTools())
+    Ts.push_back(&T);
+
+  AtomOptions Opts;
+  Opts.Jobs = Args.Jobs;
+  PipelineCache Cache;
+  std::vector<BatchResult> Results;
+  DiagEngine Diags;
+  Stopwatch BatchTimer;
+  bool Ok = runAtomBatch(Apps, Ts, Opts, Results, Diags, &Cache);
+  double BatchSecs = BatchTimer.seconds();
+  if (!Ok) {
+    std::fprintf(stderr, "batch instrumentation failed:\n%s",
+                 Diags.str().c_str());
+    return 1;
+  }
+  uint64_t BatchPoints = 0;
+  for (const BatchResult &R : Results)
+    BatchPoints += R.Prog.Stats.Points;
+  if (BatchPoints != SerialPoints) {
+    std::fprintf(stderr,
+                 "point mismatch: serial sweep saw %llu, batch saw %llu\n",
+                 (unsigned long long)SerialPoints,
+                 (unsigned long long)BatchPoints);
+    return 1;
+  }
+
+  CacheStats CS = Cache.stats();
+  unsigned Jobs = Args.Jobs ? Args.Jobs : ThreadPool::defaultConcurrency();
+  double Speedup = BatchSecs > 0 ? GrandTotal / BatchSecs : 0;
+  std::printf("batch instrumentation time: %.3f s (--jobs %u, cache: %llu "
+              "hits, %llu misses, %.1f KiB)\n",
+              BatchSecs, Jobs, (unsigned long long)CS.Hits,
+              (unsigned long long)CS.Misses, double(CS.Bytes) / 1024.0);
+  std::printf("speedup over serial: %.2fx\n", Speedup);
+
+  J.key("batch_total_s");
+  J.value(BatchSecs);
+  J.key("jobs");
+  J.value(uint64_t(Jobs));
+  J.key("speedup");
+  J.value(Speedup);
+  J.key("cache");
+  J.beginObject();
+  J.key("hits");
+  J.value(CS.Hits);
+  J.key("misses");
+  J.value(CS.Misses);
+  J.key("bytes");
+  J.value(CS.Bytes);
+  J.endObject();
+  J.endObject();
+  writeJsonDoc(Args.JsonPath, J.take() + "\n");
   std::printf("results written to %s\n", Args.JsonPath.c_str());
   return 0;
 }

@@ -48,7 +48,8 @@ const ToolRow PaperRows[] = {
 
 int main(int argc, char **argv) {
   BenchArgs Args = BenchArgs::parse(argc, argv, "BENCH_fig6.json");
-  std::vector<obj::Executable> Suite = buildSuite(Args.Smoke ? 4 : 0);
+  std::vector<obj::Executable> Suite =
+      buildSuite(Args.Smoke ? 4 : 0, Args.Jobs);
 
   std::vector<uint64_t> BaseInsts;
   for (const obj::Executable &App : Suite)

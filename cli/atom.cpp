@@ -8,14 +8,22 @@
 // API (see examples/).
 //
 //   atom prog.exe --tool <name> [-o prog.atom] [options]
+//   atom prog1.exe prog2.exe ... --tool t1,t2,... [options]   (batch mode)
 //   atom --list-tools
+//
+// With several inputs and/or tools, every (tool, program) pair is
+// instrumented — in parallel across --jobs workers, with per-tool and
+// per-program pipeline artifacts cached (docs/PIPELINE.md) — and each
+// result is written to <input>.<tool>.atom.
 //
 // Options:
 //   --strategy wrapper|direct|distributed|save-all|liveness
 //   --inline                 inline straight-line analysis routines
 //   --no-rename              disable analysis register renaming
 //   --heap-offset N          partition the heap (paper's method 2)
-//   --run [--dump <file>]    run the result immediately
+//   --jobs N, -j N           batch worker threads (0 = one per core)
+//   --no-cache               disable pipeline memoization in batch mode
+//   --run [--dump <file>]    run the result immediately (single pair only)
 //   --stats                  print instrumentation statistics and the
 //                            per-phase timing tree
 //   --metrics-out <file>     write metrics/spans/events document
@@ -25,6 +33,7 @@
 
 #include "CliSupport.h"
 
+#include "atom/Batch.h"
 #include "atom/Recovery.h"
 #include "sim/Machine.h"
 #include "tools/Tools.h"
@@ -34,10 +43,12 @@ using namespace atom::cli;
 
 static void usage() {
   std::fprintf(stderr,
-               "usage: atom <prog.exe> --tool <name> [-o <prog.atom>]\n"
+               "usage: atom <prog.exe>... --tool <name>[,<name>...] "
+               "[-o <prog.atom>]\n"
                "            [--strategy wrapper|direct|distributed|"
                "save-all|liveness]\n"
                "            [--inline] [--no-rename] [--heap-offset N]\n"
+               "            [--jobs N] [--no-cache]\n"
                "            [--run] [--dump <file>] [--stats]\n"
                "            [--metrics-out <file>] "
                "[--metrics-format json|prom]\n"
@@ -45,8 +56,24 @@ static void usage() {
   std::exit(2);
 }
 
+/// Splits a comma-separated --tool argument ("cache,branch").
+static std::vector<std::string> splitNames(const std::string &Arg) {
+  std::vector<std::string> Names;
+  size_t Pos = 0;
+  while (Pos <= Arg.size()) {
+    size_t Comma = Arg.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Arg.size();
+    if (Comma > Pos)
+      Names.push_back(Arg.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Names;
+}
+
 int main(int argc, char **argv) {
-  std::string Input, Output, ToolName;
+  std::string Output;
+  std::vector<std::string> Inputs, ToolNames;
   std::vector<std::string> Dumps;
   AtomOptions Opts;
   MetricsOptions Metrics;
@@ -59,7 +86,8 @@ int main(int argc, char **argv) {
     } else if (A == "--list-tools") {
       ListTools = true;
     } else if (A == "--tool" && I + 1 < argc) {
-      ToolName = argv[++I];
+      for (const std::string &N : splitNames(argv[++I]))
+        ToolNames.push_back(N);
     } else if (A == "-o" && I + 1 < argc) {
       Output = argv[++I];
     } else if (A == "--strategy" && I + 1 < argc) {
@@ -82,6 +110,10 @@ int main(int argc, char **argv) {
       Opts.RenameAnalysisRegs = false;
     } else if (A == "--heap-offset" && I + 1 < argc) {
       Opts.AnalysisHeapOffset = strtoull(argv[++I], nullptr, 0);
+    } else if ((A == "--jobs" || A == "-j") && I + 1 < argc) {
+      Opts.Jobs = unsigned(strtoul(argv[++I], nullptr, 0));
+    } else if (A == "--no-cache") {
+      Opts.CachePipeline = false;
     } else if (A == "--run") {
       Run = true;
     } else if (A == "--dump" && I + 1 < argc) {
@@ -90,10 +122,8 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (!A.empty() && A[0] == '-') {
       usage();
-    } else if (Input.empty()) {
-      Input = A;
     } else {
-      usage();
+      Inputs.push_back(A);
     }
   }
 
@@ -102,18 +132,71 @@ int main(int argc, char **argv) {
       std::printf("%-9s %s\n", T.Name.c_str(), T.Description.c_str());
     return 0;
   }
-  if (Input.empty() || ToolName.empty())
+  if (Inputs.empty() || ToolNames.empty())
     usage();
 
-  const Tool *T = tools::findTool(ToolName);
-  if (!T)
-    die("unknown tool '" + ToolName + "' (try atom --list-tools)");
+  std::vector<const Tool *> Ts;
+  for (const std::string &N : ToolNames) {
+    const Tool *T = tools::findTool(N);
+    if (!T)
+      die("unknown tool '" + N + "' (try atom --list-tools)");
+    Ts.push_back(T);
+  }
 
   // --stats wants the per-phase timing tree, so it needs spans collected
   // even without a --metrics-out file.
   if (Stats)
     obs::Registry::global().setEnabled(true);
 
+  // Batch mode: every (tool, program) pair, through the worker pool.
+  if (Inputs.size() > 1 || Ts.size() > 1) {
+    if (!Output.empty())
+      die("-o requires a single input and tool; batch mode writes "
+          "<input>.<tool>.atom");
+    if (Run || !Dumps.empty())
+      die("--run/--dump require a single input and tool");
+
+    std::vector<obj::Executable> Apps(Inputs.size());
+    {
+      obs::Span S("read");
+      for (size_t I = 0; I < Inputs.size(); ++I)
+        Apps[I] = loadExecutable(Inputs[I]);
+    }
+    std::vector<const obj::Executable *> AppPtrs;
+    for (const obj::Executable &App : Apps)
+      AppPtrs.push_back(&App);
+
+    DiagEngine Diags;
+    std::vector<BatchResult> Results;
+    bool Ok = runAtomBatch(AppPtrs, Ts, Opts, Results, Diags);
+
+    {
+      obs::Span S("write");
+      for (size_t TI = 0; TI < Ts.size(); ++TI)
+        for (size_t AI = 0; AI < Inputs.size(); ++AI) {
+          const BatchResult &R = Results[TI * Inputs.size() + AI];
+          if (!R.Ok)
+            continue;
+          std::string Path = Inputs[AI] + "." + Ts[TI]->Name + ".atom";
+          if (!writeFile(Path, R.Prog.Exe.serialize()))
+            die("cannot write '" + Path + "'");
+        }
+    }
+    if (Stats)
+      std::fprintf(stderr, "%s",
+                   obs::Registry::global().timingTree().c_str());
+    Metrics.write();
+    if (!Ok) {
+      for (const Diag &D : Diags.diags())
+        std::fprintf(stderr, "atom: %s\n", D.Message.c_str());
+      std::fprintf(stderr, "atom: instrumentation failed\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  const Tool *T = Ts[0];
+  std::string Input = Inputs[0];
   obj::Executable App;
   {
     obs::Span S("read");

@@ -1,0 +1,181 @@
+//===- atom/Batch.cpp -----------------------------------------------------===//
+
+#include "atom/Batch.h"
+
+#include "obs/Obs.h"
+#include "om/Lift.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace atom;
+using namespace atom::obj;
+
+//===----------------------------------------------------------------------===//
+// PipelineCache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Domain-separating seeds so a tool key can never collide with an app key.
+uint64_t toolKey(const Tool &T) {
+  uint64_t H = fnv1a(std::string("tool"));
+  H = fnv1a(T.Name, H);
+  for (const std::string &S : T.AnalysisSources)
+    H = fnv1a(S, H);
+  H = fnv1a(std::string("asm"), H);
+  for (const std::string &S : T.AnalysisAsmSources)
+    H = fnv1a(S, H);
+  return H;
+}
+
+uint64_t appKey(const Executable &App) {
+  std::vector<uint8_t> Bytes = App.serialize();
+  return fnv1a(Bytes.data(), Bytes.size(), fnv1a(std::string("app")));
+}
+
+} // namespace
+
+const CachedUnit &PipelineCache::getOrBuild(
+    uint64_t Key,
+    const std::function<bool(om::Unit &, DiagEngine &)> &Build) {
+  Slot *S;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    std::unique_ptr<Slot> &P = Slots[Key];
+    if (!P)
+      P = std::make_unique<Slot>();
+    S = P.get(); // stable: entries are never erased
+  }
+  std::lock_guard<std::mutex> SL(S->Mu);
+  if (!S->Done) {
+    DiagEngine D;
+    S->Art.Ok = Build(S->Art.U, D);
+    S->Art.Diags = D.diags();
+    S->Done = true;
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Misses;
+    if (S->Art.Ok)
+      Stats.Bytes += om::unitMemoryBytes(S->Art.U);
+  } else {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Hits;
+  }
+  return S->Art;
+}
+
+const CachedUnit &PipelineCache::analysisUnit(const Tool &T) {
+  return getOrBuild(toolKey(T), [&T](om::Unit &U, DiagEngine &D) {
+    std::vector<ObjectModule> Modules;
+    if (!compileAnalysisModules(T, Modules, D))
+      return false;
+    obs::Span S("link-analysis");
+    return buildAnalysisUnit(Modules, U, D);
+  });
+}
+
+const CachedUnit &PipelineCache::liftedApp(const Executable &App) {
+  return getOrBuild(appKey(App), [&App](om::Unit &U, DiagEngine &D) {
+    obs::Span S("lift");
+    return om::liftExecutable(App, U, D);
+  });
+}
+
+CacheStats PipelineCache::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+void PipelineCache::publishStats() {
+  obs::Registry &Reg = obs::Registry::global();
+  if (!Reg.enabled())
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  Reg.addCounter("atom.cache-hits", Stats.Hits - Published.Hits);
+  Reg.addCounter("atom.cache-misses", Stats.Misses - Published.Misses);
+  Reg.addCounter("atom.cache-bytes", Stats.Bytes - Published.Bytes);
+  Published = Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// runAtomBatch
+//===----------------------------------------------------------------------===//
+
+bool atom::runAtomBatch(const std::vector<const Executable *> &Apps,
+                        const std::vector<const Tool *> &Tools,
+                        const AtomOptions &Opts,
+                        std::vector<BatchResult> &Results, DiagEngine &Diags,
+                        PipelineCache *Cache) {
+  Results.clear();
+  Results.resize(Tools.size() * Apps.size());
+  if (Results.empty())
+    return true;
+
+  obs::Registry &Reg = obs::Registry::global();
+  obs::Span Batch("atom-batch");
+
+  PipelineCache Local;
+  if (Opts.CachePipeline && !Cache)
+    Cache = &Local;
+  else if (!Opts.CachePipeline)
+    Cache = nullptr;
+
+  auto RunOne = [&](size_t Idx) {
+    const Tool &T = *Tools[Idx / Apps.size()];
+    const Executable &App = *Apps[Idx % Apps.size()];
+    BatchResult &R = Results[Idx];
+    PipelineReuse Reuse;
+    if (Cache) {
+      // Build (or reuse) the memoized artifacts first so a bad tool or
+      // application fails every pairing with identical diagnostics.
+      const CachedUnit &TA = Cache->analysisUnit(T);
+      if (!TA.Ok) {
+        R.Diags = TA.Diags;
+        return;
+      }
+      const CachedUnit &AA = Cache->liftedApp(App);
+      if (!AA.Ok) {
+        R.Diags = AA.Diags;
+        return;
+      }
+      Reuse.AnalysisUnit = &TA.U;
+      Reuse.LiftedApp = &AA.U;
+    }
+    DiagEngine D;
+    R.Ok = runAtomPipeline(App, T, Opts, Cache ? &Reuse : nullptr, R.Prog, D);
+    R.Diags = D.diags();
+  };
+
+  size_t N = Results.size();
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultConcurrency();
+  if (Jobs <= 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      RunOne(I);
+  } else {
+    // Stitch worker span trees in under the batch span, then fan out.
+    obs::ThreadSpanAnchor Anchor(Reg);
+    ThreadPool Pool(unsigned(std::min<size_t>(Jobs, N)));
+    Pool.parallelFor(N, RunOne);
+  }
+
+  // Deterministic replay on the calling thread: per-run statistics and
+  // failure diagnostics in tool-major order, independent of Jobs.
+  bool AllOk = true;
+  for (size_t TI = 0; TI < Tools.size(); ++TI)
+    for (size_t AI = 0; AI < Apps.size(); ++AI) {
+      BatchResult &R = Results[TI * Apps.size() + AI];
+      if (R.Ok) {
+        publishInstrumentStats(*Tools[TI], R.Prog.Stats);
+        continue;
+      }
+      AllOk = false;
+      for (const Diag &D : R.Diags)
+        Diags.error(D.Line,
+                    formatString("tool '%s', app #%zu: ",
+                                 Tools[TI]->Name.c_str(), AI) +
+                        D.Message);
+    }
+  if (Cache)
+    Cache->publishStats();
+  return AllOk;
+}

@@ -1,0 +1,108 @@
+//===- atom/Batch.h - Batched, cached instrumentation runs ------*- C++ -*-===//
+//
+// Runs every (tool, application) pair of a matrix through the ATOM
+// pipeline, optionally in parallel on a worker pool and with the two
+// app-independent / tool-independent pipeline stages memoized:
+//
+//   per tool  compile-analysis + link-analysis + lift  ->  om::Unit
+//   per app   lift to OM IR                            ->  om::Unit
+//
+// Cached units are immutable; every pipeline run starts from a deep copy,
+// so the instrumented executables are byte-identical to a fresh serial
+// runAtom() at any job count (enforced by tests/BatchTests.cpp). Metrics,
+// events, and failure diagnostics are replayed on the calling thread in
+// tool-major order, so --metrics-out documents and error output are also
+// independent of the job count (docs/PIPELINE.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_BATCH_H
+#define ATOM_ATOM_BATCH_H
+
+#include "atom/Driver.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace atom {
+
+/// One memoized build artifact plus the diagnostics its build produced.
+/// Failed builds are cached too (Ok = false), so every consumer of a bad
+/// tool or application replays identical diagnostics.
+struct CachedUnit {
+  bool Ok = false;
+  om::Unit U;
+  std::vector<Diag> Diags;
+};
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0; ///< Builds performed (successful or failed).
+  uint64_t Bytes = 0;  ///< Approximate footprint of cached units.
+};
+
+/// Content-addressed memo of pipeline artifacts, safe for concurrent use.
+/// Keys are FNV-1a hashes of the tool's name and sources (analysis units)
+/// or of the executable image (lifted applications), so two Tool values
+/// with identical sources share one entry. Each entry is built at most
+/// once; concurrent requesters block until the first build finishes.
+class PipelineCache {
+public:
+  /// The tool's analysis unit: analysis sources compiled, linked with a
+  /// private copy of the runtime library, and lifted to OM IR.
+  const CachedUnit &analysisUnit(const Tool &T);
+
+  /// The application executable lifted to OM IR.
+  const CachedUnit &liftedApp(const obj::Executable &App);
+
+  CacheStats stats() const;
+
+  /// Adds this cache's activity since the last publish to the global
+  /// registry as atom.cache-hits / atom.cache-misses / atom.cache-bytes
+  /// counter deltas (no-op while the registry is disabled).
+  void publishStats();
+
+private:
+  struct Slot {
+    std::mutex Mu; ///< Serializes the one-time build of this entry.
+    bool Done = false;
+    CachedUnit Art;
+  };
+
+  const CachedUnit &
+  getOrBuild(uint64_t Key,
+             const std::function<bool(om::Unit &, DiagEngine &)> &Build);
+
+  mutable std::mutex Mu; ///< Guards Slots (the map, not the entries), stats.
+  std::map<uint64_t, std::unique_ptr<Slot>> Slots;
+  CacheStats Stats;
+  CacheStats Published; ///< Snapshot at the last publishStats().
+};
+
+/// Outcome of one (tool, application) pipeline run within a batch.
+struct BatchResult {
+  bool Ok = false;
+  InstrumentedProgram Prog;       ///< Valid when Ok.
+  std::vector<Diag> Diags;        ///< This run's diagnostics (empty if Ok).
+};
+
+/// Instruments every application with every tool: Tools.size() *
+/// Apps.size() pipeline runs, distributed over Opts.Jobs worker threads
+/// (0 = one per hardware thread, 1 = serial on the calling thread) and
+/// sharing memoized artifacts through \p Cache when Opts.CachePipeline is
+/// set (a private cache is used when \p Cache is null). Results is resized
+/// to the full matrix, tool-major: Results[TI * Apps.size() + AI].
+///
+/// Returns true iff every run succeeded. Failure diagnostics are replayed
+/// into \p Diags prefixed with "tool '<name>', app #<index>:", and
+/// per-run statistics are published to the global registry, both in
+/// tool-major order regardless of the job count.
+bool runAtomBatch(const std::vector<const obj::Executable *> &Apps,
+                  const std::vector<const Tool *> &Tools,
+                  const AtomOptions &Opts, std::vector<BatchResult> &Results,
+                  DiagEngine &Diags, PipelineCache *Cache = nullptr);
+
+} // namespace atom
+
+#endif // ATOM_ATOM_BATCH_H

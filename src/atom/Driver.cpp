@@ -35,44 +35,75 @@ bool atom::buildApplication(const std::string &Source, Executable &Out,
   return buildApplication({{"app", Source}}, Out, Diags);
 }
 
-bool atom::runAtom(const Executable &App, const Tool &T,
-                   const AtomOptions &Opts, InstrumentedProgram &Out,
-                   DiagEngine &Diags) {
+bool atom::compileAnalysisModules(const Tool &T,
+                                  std::vector<ObjectModule> &Out,
+                                  DiagEngine &Diags) {
+  obs::Span S("compile-analysis");
+  for (size_t I = 0; I < T.AnalysisSources.size(); ++I) {
+    ObjectModule M;
+    std::string Name = formatString("%s-anal%zu", T.Name.c_str(), I);
+    if (!mcc::compile(T.AnalysisSources[I], Name, M, Diags))
+      return false;
+    Out.push_back(std::move(M));
+  }
+  for (size_t I = 0; I < T.AnalysisAsmSources.size(); ++I) {
+    ObjectModule M;
+    std::string Name = formatString("%s-asm%zu", T.Name.c_str(), I);
+    if (!assembler::assemble(T.AnalysisAsmSources[I], Name, M, Diags))
+      return false;
+    Out.push_back(std::move(M));
+  }
+  return true;
+}
+
+bool atom::runAtomPipeline(const Executable &App, const Tool &T,
+                           const AtomOptions &Opts,
+                           const PipelineReuse *Reuse,
+                           InstrumentedProgram &Out, DiagEngine &Diags) {
   obs::Span Pipeline("atom");
   std::vector<ObjectModule> AnalysisModules;
-  {
-    obs::Span S("compile-analysis");
-    for (size_t I = 0; I < T.AnalysisSources.size(); ++I) {
-      ObjectModule M;
-      std::string Name = formatString("%s-anal%zu", T.Name.c_str(), I);
-      if (!mcc::compile(T.AnalysisSources[I], Name, M, Diags))
-        return false;
-      AnalysisModules.push_back(std::move(M));
-    }
-    for (size_t I = 0; I < T.AnalysisAsmSources.size(); ++I) {
-      ObjectModule M;
-      std::string Name = formatString("%s-asm%zu", T.Name.c_str(), I);
-      if (!assembler::assemble(T.AnalysisAsmSources[I], Name, M, Diags))
-        return false;
-      AnalysisModules.push_back(std::move(M));
-    }
-  }
+  if (!(Reuse && Reuse->AnalysisUnit) &&
+      !compileAnalysisModules(T, AnalysisModules, Diags))
+    return false;
   if (!T.Instrument) {
     Diags.error(0, "tool '" + T.Name + "' has no instrumentation routine");
     return false;
   }
-  if (!instrument(App, T.Instrument, AnalysisModules, Opts, Out, Diags))
-    return false;
+  return instrument(App, T.Instrument, AnalysisModules, Opts, Out, Diags,
+                    Reuse);
+}
 
-  // Export the run's instrumentation statistics as registry counters so a
-  // --metrics-out document carries them next to the phase spans.
+void atom::publishInstrumentStats(const Tool &T, const InstrStats &S) {
   obs::Registry &Reg = obs::Registry::global();
-  Reg.addCounter("atom.points", Out.Stats.Points);
-  Reg.addCounter("atom.inserted-insts", Out.Stats.InsertedInsts);
-  Reg.addCounter("atom.wrappers", Out.Stats.Wrappers);
-  Reg.addCounter("atom.patched-procs", Out.Stats.PatchedProcs);
-  Reg.addCounter("atom.analysis-procs", Out.Stats.AnalysisProcs);
-  Reg.addCounter("atom.stripped-procs", Out.Stats.StrippedProcs);
-  Reg.addCounter("atom.save-slots", Out.Stats.SaveSlots);
+  if (!Reg.enabled())
+    return;
+  // Cumulative counters for dashboards; the per-run event keeps each run's
+  // values recoverable when several runs share one registry (previously
+  // the counters silently summed across runs with no way to split them).
+  Reg.addCounter("atom.runs");
+  Reg.addCounter("atom.points", S.Points);
+  Reg.addCounter("atom.inserted-insts", S.InsertedInsts);
+  Reg.addCounter("atom.wrappers", S.Wrappers);
+  Reg.addCounter("atom.patched-procs", S.PatchedProcs);
+  Reg.addCounter("atom.analysis-procs", S.AnalysisProcs);
+  Reg.addCounter("atom.stripped-procs", S.StrippedProcs);
+  Reg.addCounter("atom.save-slots", S.SaveSlots);
+  Reg.emitEvent(obs::Event("instrument-run")
+                    .str("tool", T.Name)
+                    .num("points", S.Points)
+                    .num("inserted-insts", S.InsertedInsts)
+                    .num("wrappers", S.Wrappers)
+                    .num("patched-procs", S.PatchedProcs)
+                    .num("analysis-procs", S.AnalysisProcs)
+                    .num("stripped-procs", S.StrippedProcs)
+                    .num("save-slots", S.SaveSlots));
+}
+
+bool atom::runAtom(const Executable &App, const Tool &T,
+                   const AtomOptions &Opts, InstrumentedProgram &Out,
+                   DiagEngine &Diags) {
+  if (!runAtomPipeline(App, T, Opts, /*Reuse=*/nullptr, Out, Diags))
+    return false;
+  publishInstrumentStats(T, Out.Stats);
   return true;
 }

@@ -39,6 +39,28 @@ bool buildApplication(
 bool buildApplication(const std::string &Source, obj::Executable &Out,
                       DiagEngine &Diags);
 
+/// Compiles \p T's analysis routines (mini-C and assembly) into object
+/// modules. Depends only on the tool, so the result is memoized by the
+/// batch pipeline cache.
+bool compileAnalysisModules(const Tool &T,
+                            std::vector<obj::ObjectModule> &Out,
+                            DiagEngine &Diags);
+
+/// The pipeline body shared by runAtom() and runAtomBatch(): compiles the
+/// analysis routines (unless \p Reuse already carries the tool's analysis
+/// unit) and instruments \p App. Publishes no metrics and emits no events,
+/// so batch workers can run it concurrently and the caller can replay
+/// results in a deterministic order.
+bool runAtomPipeline(const obj::Executable &App, const Tool &T,
+                     const AtomOptions &Opts, const PipelineReuse *Reuse,
+                     InstrumentedProgram &Out, DiagEngine &Diags);
+
+/// Publishes one finished run's statistics to the global registry:
+/// cumulative atom.* counters, an atom.runs counter, and one
+/// "instrument-run" event carrying the per-run values labeled with the
+/// tool name (so multiple runs stay distinguishable in --metrics-out).
+void publishInstrumentStats(const Tool &T, const InstrStats &S);
+
 /// The full ATOM pipeline: compiles \p T's analysis routines, runs its
 /// instrumentation routine over \p App, and produces the instrumented
 /// executable.

@@ -39,8 +39,8 @@ uint32_t scratchMask() {
 class Engine {
 public:
   Engine(const Executable &AppExe, const AtomOptions &Opts,
-         DiagEngine &Diags)
-      : AppExe(AppExe), Opts(Opts), Diags(Diags) {}
+         DiagEngine &Diags, const PipelineReuse *Reuse)
+      : AppExe(AppExe), Opts(Opts), Diags(Diags), Reuse(Reuse) {}
 
   bool run(const std::function<void(InstrumentationContext &)> &InstrumentFn,
            const std::vector<ObjectModule> &AnalysisModules,
@@ -79,6 +79,7 @@ private:
   const Executable &AppExe;
   AtomOptions Opts;
   DiagEngine &Diags;
+  const PipelineReuse *Reuse; ///< Optional precomputed inputs (may be null).
 
   Unit App, Anal;
   DataFlowResult DF;
@@ -115,20 +116,7 @@ private:
 
 bool Engine::prepareAnalysisUnit(
     const std::vector<ObjectModule> &AnalysisModules) {
-  std::vector<ObjectModule> All = AnalysisModules;
-  if (!runtime::image().Ok)
-    return error(runtime::image().Error);
-  for (const ObjectModule &M : runtime::libraryModules())
-    All.push_back(M);
-  ObjectModule Merged;
-  if (!link::linkRelocatable(All, "analysis", Merged, Diags,
-                             /*RequireResolved=*/false))
-    return false;
-  for (const Symbol &S : Merged.Symbols)
-    if (S.Section == SymSection::Undefined && S.Name != "__heap_start")
-      return error("analysis routines reference undefined symbol '" +
-                   S.Name + "'");
-  return liftObjectModule(Merged, UnitTag::Analysis, Anal, Diags);
+  return buildAnalysisUnit(AnalysisModules, Anal, Diags);
 }
 
 bool Engine::resolveTargets(const InstrumentationContext &Ctx) {
@@ -990,12 +978,16 @@ bool Engine::run(
     InstrumentedProgram &Out) {
   {
     obs::Span S("lift");
-    if (!liftExecutable(AppExe, App, Diags))
+    if (Reuse && Reuse->LiftedApp)
+      App = *Reuse->LiftedApp; // deep copy; the cached unit stays pristine
+    else if (!liftExecutable(AppExe, App, Diags))
       return false;
   }
   {
     obs::Span S("link-analysis");
-    if (!prepareAnalysisUnit(AnalysisModules))
+    if (Reuse && Reuse->AnalysisUnit)
+      Anal = *Reuse->AnalysisUnit;
+    else if (!prepareAnalysisUnit(AnalysisModules))
       return false;
   }
 
@@ -1063,11 +1055,33 @@ bool Engine::run(
 
 } // namespace
 
+bool atom::buildAnalysisUnit(const std::vector<ObjectModule> &AnalysisModules,
+                             Unit &Out, DiagEngine &Diags) {
+  std::vector<ObjectModule> All = AnalysisModules;
+  if (!runtime::image().Ok) {
+    Diags.error(0, runtime::image().Error);
+    return false;
+  }
+  for (const ObjectModule &M : runtime::libraryModules())
+    All.push_back(M);
+  ObjectModule Merged;
+  if (!link::linkRelocatable(All, "analysis", Merged, Diags,
+                             /*RequireResolved=*/false))
+    return false;
+  for (const Symbol &S : Merged.Symbols)
+    if (S.Section == SymSection::Undefined && S.Name != "__heap_start") {
+      Diags.error(0, "analysis routines reference undefined symbol '" +
+                         S.Name + "'");
+      return false;
+    }
+  return liftObjectModule(Merged, UnitTag::Analysis, Out, Diags);
+}
+
 bool atom::instrument(
     const Executable &App,
     const std::function<void(InstrumentationContext &)> &InstrumentFn,
     const std::vector<ObjectModule> &AnalysisModules, const AtomOptions &Opts,
-    InstrumentedProgram &Out, DiagEngine &Diags) {
-  Engine E(App, Opts, Diags);
+    InstrumentedProgram &Out, DiagEngine &Diags, const PipelineReuse *Reuse) {
+  Engine E(App, Opts, Diags, Reuse);
   return E.run(InstrumentFn, AnalysisModules, Out);
 }

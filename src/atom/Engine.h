@@ -64,6 +64,23 @@ struct AtomOptions {
   bool InlineAnalysis = false;
   /// Maximum body size (instructions, excluding ret) eligible for inlining.
   unsigned InlineLimit = 24;
+  /// Worker threads for runAtomBatch(). 0 means one per hardware thread;
+  /// 1 runs every (tool, application) pipeline on the calling thread.
+  /// Outputs are byte-identical for every value (enforced by tests).
+  unsigned Jobs = 0;
+  /// Memoize per-tool analysis units and per-application lifted IR across
+  /// the pipelines of one runAtomBatch() call (atom.cache-* counters).
+  bool CachePipeline = true;
+};
+
+/// Precomputed pipeline inputs a caller may supply to instrument(): the
+/// application already lifted to OM IR, and/or the tool's analysis unit
+/// already compiled, linked, and lifted (see buildAnalysisUnit). The engine
+/// deep-copies what it is given — cached units are never mutated, so one
+/// artifact can feed many concurrent pipelines.
+struct PipelineReuse {
+  const om::Unit *LiftedApp = nullptr;     ///< Tag must be UnitTag::App.
+  const om::Unit *AnalysisUnit = nullptr;  ///< Tag must be UnitTag::Analysis.
 };
 
 /// Statistics about one instrumentation run (feeds the benches).
@@ -83,15 +100,25 @@ struct InstrumentedProgram {
   InstrStats Stats;
 };
 
+/// Links \p AnalysisModules with a private copy of the runtime library and
+/// lifts the merged module to OM IR. The result depends only on the
+/// analysis modules (not on any application), so it can be built once per
+/// tool and reused across applications via PipelineReuse.
+bool buildAnalysisUnit(const std::vector<obj::ObjectModule> &AnalysisModules,
+                       om::Unit &Out, DiagEngine &Diags);
+
 /// Instruments \p App: runs \p InstrumentFn over its IR, links
 /// \p AnalysisModules with a private copy of the runtime, and produces the
 /// instrumented executable. Returns false with diagnostics on any error.
+/// When \p Reuse supplies a lifted application and/or analysis unit, the
+/// corresponding phases start from a copy of it; \p App (respectively
+/// \p AnalysisModules) is then ignored and may be empty.
 bool instrument(const obj::Executable &App,
                 const std::function<void(InstrumentationContext &)>
                     &InstrumentFn,
                 const std::vector<obj::ObjectModule> &AnalysisModules,
                 const AtomOptions &Opts, InstrumentedProgram &Out,
-                DiagEngine &Diags);
+                DiagEngine &Diags, const PipelineReuse *Reuse = nullptr);
 
 } // namespace atom
 

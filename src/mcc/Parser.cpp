@@ -308,6 +308,10 @@ std::unique_ptr<FuncDecl> Parser::parseFunctionRest(const Type *RetTy,
   }
   bool First = true;
   while (!peek().isPunct(")") && peek().K != Token::End) {
+    // A malformed parameter list can leave error recovery parked on a
+    // token this loop never consumes (e.g. '}'); bail out rather than
+    // spin without making progress.
+    size_t Before = Pos;
     if (!First)
       expectPunct(",");
     First = false;
@@ -317,6 +321,8 @@ std::unique_ptr<FuncDecl> Parser::parseFunctionRest(const Type *RetTy,
       break;
     }
     const Type *PT = parseTypeSpec();
+    if (Failed && Pos == Before)
+      break;
     auto P = std::make_unique<VarDecl>();
     P->IsParam = true;
     P->ParamIndex = int(F->Params.size());

@@ -260,24 +260,82 @@ bool Event::operator==(const Event &O) const {
 // Registry
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Per-thread span state: the innermost open span node per registry. The
+/// registry id (not its address) keys entries so a destroyed registry's
+/// slot can never alias a new one; the epoch invalidates entries when the
+/// tree is reset or the thread anchor moves. Only ever touched while the
+/// owning registry is enabled, so the disabled path stays allocation-free.
+struct TlsSpanState {
+  uint64_t RegId = 0;
+  uint64_t Epoch = 0;
+  Registry::SpanNode *Current = nullptr;
+};
+
+thread_local std::vector<TlsSpanState> TlsSpans;
+
+TlsSpanState &tlsEntry(uint64_t RegId) {
+  for (TlsSpanState &E : TlsSpans)
+    if (E.RegId == RegId)
+      return E;
+  TlsSpans.push_back(TlsSpanState{RegId, 0, nullptr});
+  return TlsSpans.back();
+}
+
+std::atomic<uint64_t> NextRegistryId{1};
+
+} // namespace
+
+Registry::Registry()
+    : Id(NextRegistryId.fetch_add(1, std::memory_order_relaxed)) {}
+
 Registry &Registry::global() {
   static Registry R;
   return R;
 }
 
+Registry::SpanNode *Registry::threadParent() {
+  TlsSpanState &T = tlsEntry(Id);
+  uint64_t E = TlsEpoch.load(std::memory_order_relaxed);
+  if (T.Epoch == E && T.Current)
+    return T.Current;
+  return Anchor;
+}
+
 void Registry::reset() {
+  std::lock_guard<std::mutex> L(Mu);
   Counters.clear();
   Gauges.clear();
   Histograms.clear();
   Events.clear();
   Root = SpanNode{"root", 0, 0, {}};
-  Current = &Root;
+  Anchor = &Root;
+  ++ResetCount;
+  TlsEpoch.fetch_add(1, std::memory_order_relaxed);
   Allocs = 0;
 }
 
-void Registry::addCounter(const std::string &Name, uint64_t Delta) {
-  if (!Enabled)
+void Registry::anchorThreadsAtCurrent() {
+  if (!enabled())
     return;
+  std::lock_guard<std::mutex> L(Mu);
+  Anchor = threadParent();
+  TlsEpoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::anchorThreadsAtRoot() {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  Anchor = &Root;
+  TlsEpoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::addCounter(const std::string &Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Counters.find(Name);
   if (It == Counters.end()) {
     ++Allocs;
@@ -288,8 +346,9 @@ void Registry::addCounter(const std::string &Name, uint64_t Delta) {
 }
 
 void Registry::setGauge(const std::string &Name, double V) {
-  if (!Enabled)
+  if (!enabled())
     return;
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Gauges.find(Name);
   if (It == Gauges.end()) {
     ++Allocs;
@@ -300,8 +359,9 @@ void Registry::setGauge(const std::string &Name, double V) {
 }
 
 void Registry::recordValue(const std::string &Name, uint64_t V) {
-  if (!Enabled)
+  if (!enabled())
     return;
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Histograms.find(Name);
   if (It == Histograms.end()) {
     ++Allocs;
@@ -311,18 +371,23 @@ void Registry::recordValue(const std::string &Name, uint64_t V) {
 }
 
 uint64_t Registry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Counters.find(Name);
   return It == Counters.end() ? 0 : It->second;
 }
 
 const Histogram *Registry::histogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Histograms.find(Name);
+  // std::map nodes are stable, so the pointer outlives the lock; reading
+  // through it while another thread records is a snapshot-API misuse.
   return It == Histograms.end() ? nullptr : &It->second;
 }
 
 void Registry::emitEvent(Event E) {
-  if (!Enabled)
+  if (!enabled())
     return;
+  std::lock_guard<std::mutex> L(Mu);
   if (EventStream) {
     std::string Line = E.jsonLine();
     std::fprintf(EventStream, "%s\n", Line.c_str());
@@ -339,21 +404,25 @@ Span::Span(Registry &R, const char *Name) {
   if (!R.enabled())
     return;
   Reg = &R;
-  Saved = R.Current;
-  Registry::SpanNode *Node = nullptr;
-  for (auto &C : Saved->Children)
-    if (C->Name == Name) {
-      Node = C.get();
-      break;
+  {
+    std::lock_guard<std::mutex> L(R.Mu);
+    Saved = R.threadParent();
+    for (auto &C : Saved->Children)
+      if (C->Name == Name) {
+        Node = C.get();
+        break;
+      }
+    if (!Node) {
+      ++R.Allocs;
+      Saved->Children.push_back(std::make_unique<Registry::SpanNode>());
+      Node = Saved->Children.back().get();
+      Node->Name = Name;
     }
-  if (!Node) {
-    ++R.Allocs;
-    Saved->Children.push_back(std::make_unique<Registry::SpanNode>());
-    Node = Saved->Children.back().get();
-    Node->Name = Name;
+    ++Node->Count;
+    ResetAtOpen = R.ResetCount;
+    TlsSpanState &T = tlsEntry(R.Id);
+    T = {R.Id, R.TlsEpoch.load(std::memory_order_relaxed), Node};
   }
-  ++Node->Count;
-  R.Current = Node;
   Start = Clock::now();
 }
 
@@ -361,8 +430,12 @@ Span::~Span() {
   if (!Reg)
     return;
   double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
-  Reg->Current->Seconds += Secs;
-  Reg->Current = Saved;
+  std::lock_guard<std::mutex> L(Reg->Mu);
+  if (Reg->ResetCount != ResetAtOpen)
+    return; // The tree this span opened into was reset; Node is gone.
+  Node->Seconds += Secs;
+  TlsSpanState &T = tlsEntry(Reg->Id);
+  T = {Reg->Id, Reg->TlsEpoch.load(std::memory_order_relaxed), Saved};
 }
 
 //===----------------------------------------------------------------------===//
@@ -390,6 +463,7 @@ void writeSpanNode(JsonWriter &W, const Registry::SpanNode &N) {
 } // namespace
 
 std::string Registry::toJson() const {
+  std::lock_guard<std::mutex> L(Mu);
   JsonWriter W;
   W.beginObject();
 
@@ -491,6 +565,7 @@ void promSpans(std::string &Out, const Registry::SpanNode &N,
 } // namespace
 
 std::string Registry::toPrometheus() const {
+  std::lock_guard<std::mutex> L(Mu);
   std::string Out;
   for (const auto &[Name, V] : Counters) {
     std::string N = promName(Name);
@@ -544,6 +619,7 @@ void treeLines(std::string &Out, const Registry::SpanNode &N, unsigned Depth,
 } // namespace
 
 std::string Registry::timingTree() const {
+  std::lock_guard<std::mutex> L(Mu);
   if (Root.Children.empty())
     return "";
   double Total = 0;

@@ -20,19 +20,30 @@
 // exposition; fromJson() round-trips the JSON form. Every CLI exposes this
 // through --metrics-out (docs/OBSERVABILITY.md).
 //
-// Not thread-safe: the toolchain is single-threaded by design; guard
-// externally if that ever changes.
+// Thread-safety (docs/PIPELINE.md): every mutator and scalar reader is
+// safe to call concurrently — metric maps, the span tree, and the event
+// list are guarded by one internal mutex, and each thread keeps its own
+// "current span" so nested Span timing stays coherent per thread. Spans
+// opened by a thread with none open attach at the registry's thread
+// anchor (the root by default); the batched instrumentation driver points
+// the anchor at its batch span so worker timings stitch into one tree.
+// Reference-returning accessors (counters(), events(), spanRoot(), ...)
+// are snapshot APIs: call them only when no other thread is mutating.
+// The disabled path is unchanged: a single (atomic) branch, no locking,
+// no allocation.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef ATOM_OBS_OBS_H
 #define ATOM_OBS_OBS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -170,13 +181,17 @@ public:
     std::vector<std::unique_ptr<SpanNode>> Children;
   };
 
+  Registry();
+
   /// The process-wide registry. Disabled until a CLI or bench opts in.
   static Registry &global();
 
-  void setEnabled(bool On) { Enabled = On; }
-  bool enabled() const { return Enabled; }
+  void setEnabled(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
 
-  /// Drops all metrics, spans, and events (keeps the enabled flag).
+  /// Drops all metrics, spans, and events (keeps the enabled flag) and
+  /// invalidates every thread's span state. Do not call while spans are
+  /// open on other threads.
   void reset();
 
   // Metrics. All no-ops (no allocation, no entry creation) when disabled.
@@ -203,9 +218,23 @@ public:
   const SpanNode &spanRoot() const { return Root; }
   bool hasSpans() const { return !Root.Children.empty(); }
 
+  /// Makes the calling thread's innermost open span the attachment point
+  /// for spans opened by threads that have none open. The batched driver
+  /// calls this right after opening its batch-root span so every worker's
+  /// pipeline spans stitch in under it. Invalidates all threads' span
+  /// state — call only between phases, never concurrent with open worker
+  /// spans.
+  void anchorThreadsAtCurrent();
+  /// Restores the default anchor (spans from fresh threads attach at the
+  /// root). Same invalidation caveat as anchorThreadsAtCurrent().
+  void anchorThreadsAtRoot();
+
   /// Entries/nodes/events created so far. Stays 0 while disabled — the
   /// "disabled means zero allocations" contract, enforced by tests.
-  uint64_t allocations() const { return Allocs; }
+  uint64_t allocations() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Allocs;
+  }
 
   /// The whole registry as one JSON document.
   std::string toJson() const;
@@ -224,7 +253,12 @@ public:
 private:
   friend class Span;
 
-  bool Enabled = false;
+  /// The calling thread's current span parent for this registry: its
+  /// thread-local entry if still valid, the anchor otherwise. Requires Mu.
+  SpanNode *threadParent();
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu; ///< Guards everything below except TlsEpoch.
   uint64_t Allocs = 0;
 
   std::map<std::string, uint64_t> Counters;
@@ -234,16 +268,26 @@ private:
   std::FILE *EventStream = nullptr;
 
   SpanNode Root{"root", 0, 0, {}};
-  SpanNode *Current = &Root;
+  /// Where spans from threads with no valid span state attach.
+  SpanNode *Anchor = &Root;
+  /// Distinguishes this registry in thread-local span state, surviving
+  /// address reuse after destruction.
+  uint64_t Id = 0;
+  /// Bumped whenever per-thread span state becomes stale (reset, anchor
+  /// moves); threads re-resolve their parent from Anchor on mismatch.
+  std::atomic<uint64_t> TlsEpoch{1};
+  /// Bumped by reset() only: an open Span skips its node update when the
+  /// tree it opened into no longer exists.
+  uint64_t ResetCount = 0;
 };
 
 //===----------------------------------------------------------------------===//
 // Span
 //===----------------------------------------------------------------------===//
 
-/// RAII phase timer. Opening a span makes it the current parent; closing
-/// adds the elapsed wall-clock time to its node. No-op (and no allocation)
-/// when the registry is disabled at open time.
+/// RAII phase timer. Opening a span makes it the calling thread's current
+/// parent; closing adds the elapsed wall-clock time to its node. No-op
+/// (and no allocation) when the registry is disabled at open time.
 class Span {
 public:
   explicit Span(const char *Name) : Span(Registry::global(), Name) {}
@@ -255,9 +299,27 @@ public:
 
 private:
   using Clock = std::chrono::steady_clock;
-  Registry *Reg = nullptr;           ///< nullptr: disabled at open.
-  Registry::SpanNode *Saved = nullptr; ///< Parent to restore.
+  Registry *Reg = nullptr;             ///< nullptr: disabled at open.
+  Registry::SpanNode *Node = nullptr;  ///< This span's tree node.
+  Registry::SpanNode *Saved = nullptr; ///< Parent to restore on close.
+  uint64_t ResetAtOpen = 0; ///< Tree generation; stale means Node is gone.
   Clock::time_point Start;
+};
+
+/// RAII worker-span stitching for a parallel phase: anchors new threads'
+/// spans at the caller's current span, restoring the root anchor on exit.
+class ThreadSpanAnchor {
+public:
+  explicit ThreadSpanAnchor(Registry &R) : Reg(R) {
+    R.anchorThreadsAtCurrent();
+  }
+  ~ThreadSpanAnchor() { Reg.anchorThreadsAtRoot(); }
+
+  ThreadSpanAnchor(const ThreadSpanAnchor &) = delete;
+  ThreadSpanAnchor &operator=(const ThreadSpanAnchor &) = delete;
+
+private:
+  Registry &Reg;
 };
 
 } // namespace obs

@@ -12,6 +12,21 @@ unsigned om::totalInsts(const Unit &U) {
   return N;
 }
 
+size_t om::unitMemoryBytes(const Unit &U) {
+  size_t N = sizeof(Unit) + U.Data.capacity() +
+             U.DataRelocs.capacity() * sizeof(obj::Reloc) +
+             U.Symbols.capacity() * sizeof(obj::Symbol);
+  for (const obj::Symbol &S : U.Symbols)
+    N += S.Name.size();
+  for (const Procedure &P : U.Procs) {
+    N += sizeof(Procedure) + P.Name.size();
+    for (const Block &B : P.Blocks)
+      N += sizeof(Block) + B.Insts.capacity() * sizeof(InstNode) +
+           (B.Succs.capacity() + B.Preds.capacity()) * sizeof(int);
+  }
+  return N;
+}
+
 std::string om::dumpUnit(const Unit &U) {
   std::string Out;
   for (const Procedure &P : U.Procs) {

@@ -144,6 +144,11 @@ struct Unit {
 /// Total instruction count across all procedures.
 unsigned totalInsts(const Unit &U);
 
+/// Approximate heap footprint of a unit in bytes (containers, code,
+/// data). Used for the pipeline cache's atom.cache-bytes accounting;
+/// small allocations (action args, map nodes) are estimated, not counted.
+size_t unitMemoryBytes(const Unit &U);
+
 /// Renders the unit as pseudo-assembly for debugging and golden tests.
 std::string dumpUnit(const Unit &U);
 

@@ -94,6 +94,28 @@ inline uint64_t alignTo(uint64_t V, uint64_t Align) {
   return (V + Align - 1) & ~(Align - 1);
 }
 
+/// 64-bit FNV-1a content hash; \p Seed chains multi-part keys (the
+/// pipeline cache hashes tool sources and executable images with it).
+inline uint64_t fnv1a(const void *Data, size_t Len,
+                      uint64_t Seed = 14695981039346656037ull) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+inline uint64_t fnv1a(const std::string &S,
+                      uint64_t Seed = 14695981039346656037ull) {
+  // Mix the length first so concatenation boundaries stay distinct when
+  // several strings are chained through one running hash.
+  uint64_t Len = S.size();
+  uint64_t H = fnv1a(&Len, sizeof(Len), Seed);
+  return fnv1a(S.data(), S.size(), H);
+}
+
 } // namespace atom
 
 #endif // ATOM_SUPPORT_SUPPORT_H

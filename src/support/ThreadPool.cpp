@@ -1,0 +1,71 @@
+//===- support/ThreadPool.cpp - Small reusable worker pool ----------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace atom;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (!Threads)
+    Threads = defaultConcurrency();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      HasWork.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stop requested and the queue is drained.
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Pending == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    assert(!Stop && "submit after shutdown");
+    ++Pending;
+    Queue.push(std::move(Task));
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(Mu);
+  Idle.wait(L, [this] { return Pending == 0; });
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  for (size_t I = 0; I < N; ++I)
+    submit([&Fn, I] { Fn(I); });
+  wait();
+}

@@ -1,0 +1,67 @@
+//===- support/ThreadPool.h - Small reusable worker pool --------*- C++ -*-===//
+//
+// A fixed-size FIFO worker pool for the batched instrumentation driver
+// (atom/Batch.h) and the benchmark suite builders. Tasks are plain
+// std::function<void()>; wait() blocks until every submitted task has
+// finished, after which the pool can be reused for another wave. The
+// destructor drains any queued work before joining.
+//
+// Tasks must not throw: the toolchain reports failures through DiagEngine,
+// and an escaping exception would terminate the worker.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SUPPORT_THREADPOOL_H
+#define ATOM_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atom {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 = defaultConcurrency()).
+  explicit ThreadPool(unsigned Threads = 0);
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const { return unsigned(Workers.size()); }
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has completed. If multiple threads
+  /// submit concurrently, wait() waits for all of them.
+  void wait();
+
+  /// Runs Fn(0), Fn(1), ..., Fn(N-1) across the pool and returns once all
+  /// have completed. Indices may execute in any order and concurrently.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable HasWork; ///< Signaled on submit and shutdown.
+  std::condition_variable Idle;    ///< Signaled when Pending reaches 0.
+  std::queue<std::function<void()>> Queue;
+  size_t Pending = 0; ///< Queued plus currently-running tasks.
+  bool Stop = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace atom
+
+#endif // ATOM_SUPPORT_THREADPOOL_H

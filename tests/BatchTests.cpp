@@ -1,0 +1,426 @@
+//===- tests/BatchTests.cpp - Worker pool, pipeline cache, batch driver ---===//
+//
+// Concurrency suites (also run under ThreadSanitizer in CI): the thread
+// pool, the thread-safe observability registry, the content-keyed pipeline
+// cache, and the determinism contract of runAtomBatch() — instrumented
+// executables must be byte-identical at every job count and with the cache
+// on or off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atom/Batch.h"
+#include "obs/Obs.h"
+#include "support/ThreadPool.h"
+#include "tools/Tools.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace atom;
+using namespace atom::test;
+
+namespace {
+
+const char *AppA = R"(
+int add(int a, int b) { return a + b; }
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 8; i = i + 1)
+    s = add(s, i);
+  return 0;
+}
+)";
+
+const char *AppB = R"(
+int main() {
+  char *p;
+  p = malloc(16);
+  p[0] = (char)7;
+  free(p);
+  return 0;
+}
+)";
+
+const char *AppC = R"(
+int f(int n) { if (n < 2) return n; return f(n - 1) + f(n - 2); }
+int main() { return f(10) == 55 ? 0 : 1; }
+)";
+
+const Tool &toolOrDie(const char *Name) {
+  const Tool *T = tools::findTool(Name);
+  if (!T) {
+    ADD_FAILURE() << "missing built-in tool " << Name;
+    abort();
+  }
+  return *T;
+}
+
+Tool badTool() {
+  Tool T;
+  T.Name = "bad";
+  T.AnalysisSources = {"int broken( { return }"};
+  T.Instrument = [](InstrumentationContext &) {};
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEveryIndexAcrossWaves) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+
+  std::vector<std::atomic<int>> Seen(100);
+  Pool.parallelFor(100, [&](size_t I) { Seen[I].fetch_add(1); });
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+
+  // The pool is reusable for a second wave.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(37, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 37);
+}
+
+TEST(ThreadPool, WaitBlocksUntilSubmittedTasksFinish) {
+  ThreadPool Pool(2);
+  std::atomic<int> Done{0};
+  for (int I = 0; I < 16; ++I)
+    Pool.submit([&Done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Done.fetch_add(1);
+    });
+  Pool.wait();
+  EXPECT_EQ(Done.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> Done{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 8; ++I)
+      Pool.submit([&Done] { Done.fetch_add(1); });
+  }
+  EXPECT_EQ(Done.load(), 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-safe observability
+//===----------------------------------------------------------------------===//
+
+TEST(ObsThreads, ConcurrentMutationsAggregateExactly) {
+  obs::Registry R;
+  R.setEnabled(true);
+  ThreadPool Pool(4);
+  Pool.parallelFor(4, [&](size_t) {
+    for (int I = 0; I < 1000; ++I) {
+      R.addCounter("work");
+      R.recordValue("size", 8);
+      R.emitEvent(obs::Event("tick"));
+    }
+  });
+  EXPECT_EQ(R.counter("work"), 4000u);
+  ASSERT_NE(R.histogram("size"), nullptr);
+  EXPECT_EQ(R.histogram("size")->count(), 4000u);
+  EXPECT_EQ(R.events().size(), 4000u);
+}
+
+TEST(ObsThreads, DisabledStaysZeroAllocationUnderThreads) {
+  obs::Registry R;
+  ThreadPool Pool(4);
+  Pool.parallelFor(8, [&](size_t) {
+    for (int I = 0; I < 500; ++I) {
+      R.addCounter("work");
+      R.recordValue("size", 8);
+      obs::Span S(R, "phase");
+    }
+  });
+  EXPECT_EQ(R.allocations(), 0u);
+  EXPECT_FALSE(R.hasSpans());
+}
+
+TEST(ObsThreads, WorkerSpansStitchUnderTheAnchor) {
+  obs::Registry R;
+  R.setEnabled(true);
+  {
+    obs::Span Batch(R, "batch");
+    obs::ThreadSpanAnchor Anchor(R);
+    ThreadPool Pool(2);
+    Pool.parallelFor(8, [&](size_t) {
+      obs::Span Task(R, "task");
+      obs::Span Phase(R, "phase");
+    });
+  }
+  // root -> batch -> task (count 8) -> phase (count 8): every worker span
+  // landed under the batch span, and nesting survived per thread.
+  const obs::Registry::SpanNode &Root = R.spanRoot();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const obs::Registry::SpanNode &Batch = *Root.Children[0];
+  EXPECT_EQ(Batch.Name, "batch");
+  ASSERT_EQ(Batch.Children.size(), 1u);
+  const obs::Registry::SpanNode &Task = *Batch.Children[0];
+  EXPECT_EQ(Task.Name, "task");
+  EXPECT_EQ(Task.Count, 8u);
+  ASSERT_EQ(Task.Children.size(), 1u);
+  EXPECT_EQ(Task.Children[0]->Name, "phase");
+  EXPECT_EQ(Task.Children[0]->Count, 8u);
+
+  // After the anchor is restored, new spans attach at the root again.
+  { obs::Span After(R, "after"); }
+  EXPECT_EQ(R.spanRoot().Children.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineCache
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineCache, CountsHitsMissesAndBytes) {
+  obj::Executable App = buildOrDie(AppA);
+  PipelineCache Cache;
+
+  const CachedUnit &P1 = Cache.analysisUnit(toolOrDie("prof"));
+  const CachedUnit &P2 = Cache.analysisUnit(toolOrDie("prof"));
+  ASSERT_TRUE(P1.Ok);
+  EXPECT_EQ(&P1, &P2); // same slot, not a rebuild
+
+  const CachedUnit &M1 = Cache.analysisUnit(toolOrDie("malloc"));
+  ASSERT_TRUE(M1.Ok);
+
+  const CachedUnit &A1 = Cache.liftedApp(App);
+  const CachedUnit &A2 = Cache.liftedApp(App);
+  ASSERT_TRUE(A1.Ok);
+  EXPECT_EQ(&A1, &A2);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 3u); // prof, malloc, app
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_GT(S.Bytes, 0u);
+  EXPECT_EQ(S.Bytes, om::unitMemoryBytes(P1.U) + om::unitMemoryBytes(M1.U) +
+                         om::unitMemoryBytes(A1.U));
+}
+
+TEST(PipelineCache, FailedBuildsAreCachedWithIdenticalDiags) {
+  PipelineCache Cache;
+  Tool Bad = badTool();
+  const CachedUnit &B1 = Cache.analysisUnit(Bad);
+  const CachedUnit &B2 = Cache.analysisUnit(Bad);
+  EXPECT_FALSE(B1.Ok);
+  EXPECT_EQ(&B1, &B2);
+  EXPECT_FALSE(B1.Diags.empty());
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Bytes, 0u);
+}
+
+TEST(PipelineCache, ConcurrentRequestsBuildOnce) {
+  obj::Executable App = buildOrDie(AppB);
+  PipelineCache Cache;
+  ThreadPool Pool(4);
+  std::atomic<int> OkCount{0};
+  Pool.parallelFor(16, [&](size_t I) {
+    const CachedUnit &U = I % 2 ? Cache.analysisUnit(toolOrDie("dyninst"))
+                                : Cache.liftedApp(App);
+    if (U.Ok)
+      OkCount.fetch_add(1);
+  });
+  EXPECT_EQ(OkCount.load(), 16);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Hits, 14u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch driver determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fingerprint of everything a batch run produces for one pair.
+struct RunPrint {
+  std::vector<uint8_t> Exe;
+  std::vector<std::pair<uint64_t, uint64_t>> PCMap;
+  InstrStats Stats;
+};
+
+bool samePrint(const RunPrint &A, const RunPrint &B) {
+  return A.Exe == B.Exe && A.PCMap == B.PCMap &&
+         A.Stats.Points == B.Stats.Points &&
+         A.Stats.InsertedInsts == B.Stats.InsertedInsts &&
+         A.Stats.Wrappers == B.Stats.Wrappers &&
+         A.Stats.PatchedProcs == B.Stats.PatchedProcs &&
+         A.Stats.AnalysisProcs == B.Stats.AnalysisProcs &&
+         A.Stats.StrippedProcs == B.Stats.StrippedProcs &&
+         A.Stats.SaveSlots == B.Stats.SaveSlots;
+}
+
+RunPrint printOf(const InstrumentedProgram &P) {
+  return {P.Exe.serialize(), P.Exe.PCMap, P.Stats};
+}
+
+} // namespace
+
+TEST(Batch, OutputsIdenticalAcrossJobsAndCache) {
+  std::vector<obj::Executable> Apps = {buildOrDie(AppA), buildOrDie(AppB),
+                                       buildOrDie(AppC)};
+  std::vector<const obj::Executable *> AppPtrs;
+  for (const obj::Executable &A : Apps)
+    AppPtrs.push_back(&A);
+  std::vector<const Tool *> Ts = {&toolOrDie("prof"), &toolOrDie("malloc"),
+                                  &toolOrDie("dyninst")};
+
+  // Reference: the legacy serial pipeline, one pair at a time.
+  std::vector<RunPrint> Ref;
+  for (const Tool *T : Ts)
+    for (const obj::Executable *App : AppPtrs) {
+      DiagEngine Diags;
+      InstrumentedProgram Out;
+      ASSERT_TRUE(runAtom(*App, *T, AtomOptions(), Out, Diags))
+          << Diags.str();
+      Ref.push_back(printOf(Out));
+    }
+
+  auto checkBatch = [&](unsigned Jobs, bool Cache) {
+    AtomOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.CachePipeline = Cache;
+    DiagEngine Diags;
+    std::vector<BatchResult> Results;
+    ASSERT_TRUE(runAtomBatch(AppPtrs, Ts, Opts, Results, Diags))
+        << Diags.str();
+    ASSERT_EQ(Results.size(), Ref.size());
+    for (size_t I = 0; I < Results.size(); ++I) {
+      ASSERT_TRUE(Results[I].Ok);
+      EXPECT_TRUE(samePrint(printOf(Results[I].Prog), Ref[I]))
+          << "jobs=" << Jobs << " cache=" << Cache << " pair " << I;
+    }
+  };
+  checkBatch(1, true);
+  checkBatch(2, true);
+  checkBatch(4, true);
+  checkBatch(4, false);
+}
+
+TEST(Batch, DiagnosticsReplayDeterministically) {
+  std::vector<obj::Executable> Apps = {buildOrDie(AppA), buildOrDie(AppC)};
+  std::vector<const obj::Executable *> AppPtrs = {&Apps[0], &Apps[1]};
+  Tool Bad = badTool();
+  std::vector<const Tool *> Ts = {&toolOrDie("prof"), &Bad};
+
+  auto diagsAt = [&](unsigned Jobs) {
+    AtomOptions Opts;
+    Opts.Jobs = Jobs;
+    DiagEngine Diags;
+    std::vector<BatchResult> Results;
+    EXPECT_FALSE(runAtomBatch(AppPtrs, Ts, Opts, Results, Diags));
+    EXPECT_TRUE(Results[0].Ok && Results[1].Ok);   // prof pairs
+    EXPECT_FALSE(Results[2].Ok || Results[3].Ok);  // bad pairs
+    return Diags.str();
+  };
+  std::string D1 = diagsAt(1);
+  EXPECT_FALSE(D1.empty());
+  EXPECT_NE(D1.find("tool 'bad'"), std::string::npos);
+  EXPECT_EQ(D1, diagsAt(2));
+  EXPECT_EQ(D1, diagsAt(4));
+}
+
+TEST(Batch, LiftOnceInstrumentTwiceMatchesFreshRuns) {
+  obj::Executable App = buildOrDie(AppB);
+  PipelineCache Cache;
+  const CachedUnit &Lifted = Cache.liftedApp(App);
+  ASSERT_TRUE(Lifted.Ok);
+  std::string Before = om::dumpUnit(Lifted.U);
+
+  for (const char *Name : {"malloc", "prof"}) {
+    const Tool &T = toolOrDie(Name);
+    PipelineReuse Reuse;
+    Reuse.LiftedApp = &Lifted.U;
+    DiagEngine D1, D2;
+    InstrumentedProgram FromCache, Fresh;
+    ASSERT_TRUE(
+        runAtomPipeline(App, T, AtomOptions(), &Reuse, FromCache, D1))
+        << D1.str();
+    ASSERT_TRUE(runAtom(App, T, AtomOptions(), Fresh, D2)) << D2.str();
+    EXPECT_EQ(FromCache.Exe.serialize(), Fresh.Exe.serialize()) << Name;
+  }
+  // Instrumenting from the cached unit must not have mutated it.
+  EXPECT_EQ(om::dumpUnit(Lifted.U), Before);
+}
+
+TEST(Batch, MetricsArePerRunAndCumulative) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.reset();
+  Reg.setEnabled(true);
+
+  obj::Executable App = buildOrDie(AppA);
+  DiagEngine Diags;
+  InstrumentedProgram P1, P2;
+  ASSERT_TRUE(runAtom(App, toolOrDie("prof"), AtomOptions(), P1, Diags));
+  ASSERT_TRUE(runAtom(App, toolOrDie("dyninst"), AtomOptions(), P2, Diags));
+
+  EXPECT_EQ(Reg.counter("atom.runs"), 2u);
+  // Counters accumulate across runs...
+  EXPECT_EQ(Reg.counter("atom.points"), P1.Stats.Points + P2.Stats.Points);
+  // ...and the per-run events keep each run's values recoverable.
+  std::vector<const obs::Event *> Runs;
+  for (const obs::Event &E : Reg.events())
+    if (E.kind() == "instrument-run")
+      Runs.push_back(&E);
+  ASSERT_EQ(Runs.size(), 2u);
+  std::string L1 = Runs[0]->jsonLine(), L2 = Runs[1]->jsonLine();
+  EXPECT_NE(L1.find("\"tool\":\"prof\""), std::string::npos) << L1;
+  EXPECT_NE(L1.find(formatString("\"points\":%u", P1.Stats.Points)),
+            std::string::npos)
+      << L1;
+  EXPECT_NE(L2.find("\"tool\":\"dyninst\""), std::string::npos) << L2;
+  EXPECT_NE(L2.find(formatString("\"points\":%u", P2.Stats.Points)),
+            std::string::npos)
+      << L2;
+
+  Reg.setEnabled(false);
+  Reg.reset();
+}
+
+TEST(Batch, PublishesCacheCountersAndBatchSpan) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.reset();
+  Reg.setEnabled(true);
+
+  std::vector<obj::Executable> Apps = {buildOrDie(AppA), buildOrDie(AppB)};
+  std::vector<const obj::Executable *> AppPtrs = {&Apps[0], &Apps[1]};
+  std::vector<const Tool *> Ts = {&toolOrDie("prof"), &toolOrDie("malloc")};
+
+  AtomOptions Opts;
+  Opts.Jobs = 2;
+  DiagEngine Diags;
+  std::vector<BatchResult> Results;
+  ASSERT_TRUE(runAtomBatch(AppPtrs, Ts, Opts, Results, Diags));
+
+  // 2 tools + 2 apps built once each; the remaining lookups hit.
+  EXPECT_EQ(Reg.counter("atom.cache-misses"), 4u);
+  EXPECT_EQ(Reg.counter("atom.cache-hits"), 4u);
+  EXPECT_GT(Reg.counter("atom.cache-bytes"), 0u);
+  EXPECT_EQ(Reg.counter("atom.runs"), 4u);
+
+  // Every pipeline span landed under the batch span.
+  const obs::Registry::SpanNode &Root = Reg.spanRoot();
+  const obs::Registry::SpanNode *Batch = nullptr;
+  for (const auto &C : Root.Children)
+    if (C->Name == "atom-batch")
+      Batch = C.get();
+  ASSERT_NE(Batch, nullptr);
+  uint64_t PipelineRuns = 0;
+  for (const auto &C : Batch->Children)
+    if (C->Name == "atom")
+      PipelineRuns += C->Count;
+  EXPECT_EQ(PipelineRuns, 4u);
+
+  Reg.setEnabled(false);
+  Reg.reset();
+}

@@ -190,8 +190,9 @@ TEST(Events, RegistryCollectsInOrder) {
 // Serialization: JSON round-trip and Prometheus exposition
 //===----------------------------------------------------------------------===//
 
-static Registry populatedRegistry() {
-  Registry R;
+// Registry holds a mutex (it is shared across worker threads), so it is
+// not movable; tests populate one in place.
+static void populateRegistry(Registry &R) {
   R.setEnabled(true);
   R.addCounter("atom.points", 184);
   R.addCounter("sim.instructions", 123456789);
@@ -209,11 +210,11 @@ static Registry populatedRegistry() {
                   .num("pc", 0x2000010)
                   .boolean("recovered", true)
                   .flt("x", 0.5));
-  return R;
 }
 
 TEST(ObsJson, RoundTripIsExact) {
-  Registry R = populatedRegistry();
+  Registry R;
+  populateRegistry(R);
   std::string Doc = R.toJson();
   // The document looks like the schema docs/OBSERVABILITY.md promises.
   EXPECT_NE(Doc.find("\"counters\""), std::string::npos);
@@ -252,7 +253,8 @@ TEST(ObsJson, RejectsMalformedDocuments) {
 }
 
 TEST(ObsPrometheus, ExposesAllMetricKinds) {
-  Registry R = populatedRegistry();
+  Registry R;
+  populateRegistry(R);
   std::string P = R.toPrometheus();
   EXPECT_NE(P.find("atom_atom_points 184"), std::string::npos);
   EXPECT_NE(P.find("atom_overhead 2.91"), std::string::npos);
