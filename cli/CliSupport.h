@@ -7,7 +7,9 @@
 #include "obs/Obs.h"
 #include "support/Support.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -73,6 +75,43 @@ inline obj::Executable loadExecutable(const std::string &Path) {
   if (!obj::Executable::deserialize(Bytes, E))
     die("'" + Path + "' is not an AEXE executable");
   return E;
+}
+
+/// Strict numeric flag operand: the whole string must be one unsigned
+/// integer (decimal, or 0x/0 prefixed). Dies with the offending flag
+/// otherwise — bare strtoul silently turned `--jobs max` into jobs=0.
+inline uint64_t parseUnsignedArg(const std::string &Flag,
+                                 const std::string &Value) {
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Value.c_str(), &End, 0);
+  if (Value.empty() || End == Value.c_str() || *End != '\0' ||
+      errno == ERANGE || Value[0] == '-')
+    die("invalid value '" + Value + "' for " + Flag +
+        " (expected an unsigned integer)");
+  return V;
+}
+
+/// parseUnsignedArg with an optional k/m/g (KiB/MiB/GiB) suffix, for byte
+/// caps like --cache-bytes and --store-bytes.
+inline uint64_t parseByteSizeArg(const std::string &Flag,
+                                 const std::string &Value) {
+  std::string Num = Value;
+  uint64_t Shift = 0;
+  if (!Num.empty()) {
+    switch (Num.back()) {
+    case 'k': case 'K': Shift = 10; break;
+    case 'm': case 'M': Shift = 20; break;
+    case 'g': case 'G': Shift = 30; break;
+    default: break;
+    }
+    if (Shift)
+      Num.pop_back();
+  }
+  uint64_t V = parseUnsignedArg(Flag, Num);
+  if (Shift && V > (~uint64_t(0) >> Shift))
+    die("value '" + Value + "' for " + Flag + " overflows");
+  return V << Shift;
 }
 
 inline bool endsWith(const std::string &S, const std::string &Suffix) {

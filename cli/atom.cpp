@@ -9,12 +9,18 @@
 //
 //   atom prog.exe --tool <name> [-o prog.atom] [options]
 //   atom prog1.exe prog2.exe ... --tool t1,t2,... [options]   (batch mode)
+//   atom --connect <sock> prog.exe... --tool t1,t2,... [options]
 //   atom --list-tools
 //
 // With several inputs and/or tools, every (tool, program) pair is
 // instrumented — in parallel across --jobs workers, with per-tool and
 // per-program pipeline artifacts cached (docs/PIPELINE.md) — and each
 // result is written to <input>.<tool>.atom.
+//
+// --connect routes the same requests to a running atomd daemon
+// (docs/DAEMON.md) instead of instrumenting in-process: requests are
+// pipelined over the socket, backpressure replies are retried, and the
+// returned executables are byte-identical to local runs.
 //
 // Options:
 //   --strategy wrapper|direct|distributed|save-all|liveness
@@ -23,6 +29,9 @@
 //   --heap-offset N          partition the heap (paper's method 2)
 //   --jobs N, -j N           batch worker threads (0 = one per core)
 //   --no-cache               disable pipeline memoization in batch mode
+//   --cache-bytes SZ         cap the pipeline cache (k/m/g suffixes)
+//   --connect <sock>         send requests to the atomd at <sock>
+//   --client <name>          client label reported to the daemon
 //   --run [--dump <file>]    run the result immediately (single pair only)
 //   --stats                  print instrumentation statistics and the
 //                            per-phase timing tree
@@ -35,8 +44,13 @@
 
 #include "atom/Batch.h"
 #include "atom/Recovery.h"
+#include "atomd/Client.h"
 #include "sim/Machine.h"
 #include "tools/Tools.h"
+
+#include <chrono>
+#include <map>
+#include <thread>
 
 using namespace atom;
 using namespace atom::cli;
@@ -48,7 +62,8 @@ static void usage() {
                "            [--strategy wrapper|direct|distributed|"
                "save-all|liveness]\n"
                "            [--inline] [--no-rename] [--heap-offset N]\n"
-               "            [--jobs N] [--no-cache]\n"
+               "            [--jobs N] [--no-cache] [--cache-bytes SZ]\n"
+               "            [--connect <sock>] [--client <name>]\n"
                "            [--run] [--dump <file>] [--stats]\n"
                "            [--metrics-out <file>] "
                "[--metrics-format json|prom]\n"
@@ -71,8 +86,156 @@ static std::vector<std::string> splitNames(const std::string &Arg) {
   return Names;
 }
 
+static void printStats(const InstrStats &S, size_t TextBytes,
+                       size_t OrigTextBytes) {
+  std::fprintf(stderr,
+               "points %u\ninserted-insts %u\nwrappers %u\n"
+               "patched-procs %u\nanalysis-procs %u\nstripped-procs %u\n"
+               "save-slots %u\ntext-bytes %zu (was %zu)\n",
+               S.Points, S.InsertedInsts, S.Wrappers, S.PatchedProcs,
+               S.AnalysisProcs, S.StrippedProcs, S.SaveSlots, TextBytes,
+               OrigTextBytes);
+}
+
+/// The --run tail shared by local and --connect single-pair modes.
+static int runInstrumented(const obj::Executable &Exe,
+                           const std::vector<std::string> &Dumps,
+                           const MetricsOptions &Metrics) {
+  // On a trap the tool's finalization still runs (re-entry at __exit), so
+  // the report dumped below covers the execution up to the fault.
+  sim::Machine M(Exe);
+  RecoveryResult RR;
+  {
+    obs::Span S("run");
+    RR = runWithRecovery(Exe, M);
+  }
+  const sim::RunResult &R = RR.Result;
+  std::fputs(M.vfs().stdoutText().c_str(), stdout);
+  for (const std::string &F : Dumps)
+    if (M.vfs().fileExists(F))
+      std::printf("--- %s ---\n%s", F.c_str(),
+                  M.vfs().fileContents(F).c_str());
+  Metrics.write();
+  if (R.Status == sim::RunStatus::Trap) {
+    std::fprintf(stderr,
+                 "atom: instrumented program trapped (%s): %s\n"
+                 "atom: original pc 0x%llx%s\n",
+                 sim::trapKindName(R.Trap), R.FaultMessage.c_str(),
+                 (unsigned long long)RR.OrigFaultPC,
+                 RR.OrigFaultPC ? "" : " (inserted/analysis code)");
+    return 124;
+  }
+  if (R.Status != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "atom: instrumented program did not exit: %s\n",
+                 R.FaultMessage.c_str());
+    return 125;
+  }
+  return int(R.ExitCode & 0xFF);
+}
+
+/// Daemon proxy mode: every (tool, input) request is pipelined to the
+/// atomd at \p Socket; backpressure replies ("queue-full", "quota") are
+/// resent after the advised delay. Output files match local mode.
+static int runConnectMode(const std::string &Socket,
+                          const std::string &ClientName,
+                          const std::vector<std::string> &Inputs,
+                          const std::vector<const Tool *> &Ts,
+                          const AtomOptions &Opts, const std::string &Output,
+                          bool Run, bool Stats,
+                          const std::vector<std::string> &Dumps,
+                          const MetricsOptions &Metrics) {
+  bool Single = Inputs.size() == 1 && Ts.size() == 1;
+  if (!Output.empty() && !Single)
+    die("-o requires a single input and tool; batch mode writes "
+        "<input>.<tool>.atom");
+  if ((Run || !Dumps.empty()) && !Single)
+    die("--run/--dump require a single input and tool");
+
+  atomd::Client Cl;
+  std::string Err;
+  if (!Cl.connect(Socket, Err))
+    die(Err);
+
+  struct Request {
+    std::string Json;
+    std::vector<uint8_t> Bin;
+    std::string OutPath;
+    std::string Label; ///< "tool 'x', prog.exe" for error messages.
+  };
+  std::map<uint64_t, Request> Pending;
+  for (const Tool *T : Ts)
+    for (const std::string &Input : Inputs) {
+      Request Rq;
+      if (!readFile(Input, Rq.Bin))
+        die("cannot read '" + Input + "'");
+      uint64_t Id = Cl.nextId();
+      Rq.Json = atomd::makeInstrumentRequest(Id, T->Name, ClientName, Opts);
+      Rq.OutPath = !Output.empty() ? Output
+                   : Single       ? Input + ".atom"
+                                  : Input + "." + T->Name + ".atom";
+      Rq.Label = "tool '" + T->Name + "', " + Input;
+      if (!Cl.send(Rq.Json, Rq.Bin, Err))
+        die(Err);
+      Pending.emplace(Id, std::move(Rq));
+    }
+
+  bool Ok = true;
+  int Exit = 0;
+  while (!Pending.empty()) {
+    atomd::Reply R;
+    atomd::Frame F;
+    if (!Cl.recv(R, F, Err))
+      die("lost daemon connection: " + Err);
+    auto It = Pending.find(R.Id);
+    if (It == Pending.end())
+      die("daemon replied with unknown request id");
+    Request &Rq = It->second;
+    if (R.Retry) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(R.RetryAfterMs ? R.RetryAfterMs : 1));
+      if (!Cl.send(Rq.Json, Rq.Bin, Err))
+        die(Err);
+      continue;
+    }
+    if (!R.Ok) {
+      for (const Diag &D : R.Diags)
+        std::fprintf(stderr, "atom: %s: line %d: %s\n", Rq.Label.c_str(),
+                     D.Line, D.Message.c_str());
+      std::fprintf(stderr, "atom: %s: %s\n", Rq.Label.c_str(),
+                   R.Error.c_str());
+      Ok = false;
+      Pending.erase(It);
+      continue;
+    }
+    if (!writeFile(Rq.OutPath, F.Bin))
+      die("cannot write '" + Rq.OutPath + "'");
+    if (Single) {
+      if (Stats) {
+        obj::Executable Exe, Orig;
+        if (obj::Executable::deserialize(F.Bin, Exe) &&
+            obj::Executable::deserialize(Rq.Bin, Orig))
+          printStats(R.Stats, Exe.Text.size(), Orig.Text.size());
+      }
+      if (Run) {
+        obj::Executable Exe;
+        if (!obj::Executable::deserialize(F.Bin, Exe))
+          die("daemon returned a malformed executable");
+        Exit = runInstrumented(Exe, Dumps, Metrics);
+      }
+    }
+    Pending.erase(It);
+  }
+  if (!Single || !Run)
+    Metrics.write();
+  if (!Ok) {
+    std::fprintf(stderr, "atom: instrumentation failed\n");
+    return 1;
+  }
+  return Exit;
+}
+
 int main(int argc, char **argv) {
-  std::string Output;
+  std::string Output, ConnectSocket, ClientName = "atom";
   std::vector<std::string> Inputs, ToolNames;
   std::vector<std::string> Dumps;
   AtomOptions Opts;
@@ -92,28 +255,24 @@ int main(int argc, char **argv) {
       Output = argv[++I];
     } else if (A == "--strategy" && I + 1 < argc) {
       std::string S = argv[++I];
-      if (S == "wrapper")
-        Opts.Strategy = AtomOptions::SaveStrategy::WrapperSummary;
-      else if (S == "direct")
-        Opts.Strategy = AtomOptions::SaveStrategy::DirectInline;
-      else if (S == "distributed")
-        Opts.Strategy = AtomOptions::SaveStrategy::Distributed;
-      else if (S == "save-all")
-        Opts.Strategy = AtomOptions::SaveStrategy::SaveAll;
-      else if (S == "liveness")
-        Opts.Strategy = AtomOptions::SaveStrategy::SiteLiveness;
-      else
+      if (!atomd::parseSaveStrategy(S, Opts.Strategy))
         die("unknown strategy '" + S + "'");
     } else if (A == "--inline") {
       Opts.InlineAnalysis = true;
     } else if (A == "--no-rename") {
       Opts.RenameAnalysisRegs = false;
     } else if (A == "--heap-offset" && I + 1 < argc) {
-      Opts.AnalysisHeapOffset = strtoull(argv[++I], nullptr, 0);
+      Opts.AnalysisHeapOffset = parseUnsignedArg("--heap-offset", argv[++I]);
     } else if ((A == "--jobs" || A == "-j") && I + 1 < argc) {
-      Opts.Jobs = unsigned(strtoul(argv[++I], nullptr, 0));
+      Opts.Jobs = unsigned(parseUnsignedArg(A, argv[++I]));
     } else if (A == "--no-cache") {
       Opts.CachePipeline = false;
+    } else if (A == "--cache-bytes" && I + 1 < argc) {
+      Opts.CacheBytes = parseByteSizeArg("--cache-bytes", argv[++I]);
+    } else if (A == "--connect" && I + 1 < argc) {
+      ConnectSocket = argv[++I];
+    } else if (A == "--client" && I + 1 < argc) {
+      ClientName = argv[++I];
     } else if (A == "--run") {
       Run = true;
     } else if (A == "--dump" && I + 1 < argc) {
@@ -147,6 +306,10 @@ int main(int argc, char **argv) {
   // even without a --metrics-out file.
   if (Stats)
     obs::Registry::global().setEnabled(true);
+
+  if (!ConnectSocket.empty())
+    return runConnectMode(ConnectSocket, ClientName, Inputs, Ts, Opts,
+                          Output, Run, Stats, Dumps, Metrics);
 
   // Batch mode: every (tool, program) pair, through the worker pool.
   if (Inputs.size() > 1 || Ts.size() > 1) {
@@ -217,15 +380,7 @@ int main(int argc, char **argv) {
   }
 
   if (Stats) {
-    std::fprintf(stderr,
-                 "points %u\ninserted-insts %u\nwrappers %u\n"
-                 "patched-procs %u\nanalysis-procs %u\nstripped-procs %u\n"
-                 "save-slots %u\ntext-bytes %zu (was %zu)\n",
-                 Out.Stats.Points, Out.Stats.InsertedInsts,
-                 Out.Stats.Wrappers, Out.Stats.PatchedProcs,
-                 Out.Stats.AnalysisProcs, Out.Stats.StrippedProcs,
-                 Out.Stats.SaveSlots, Out.Exe.Text.size(),
-                 App.Text.size());
+    printStats(Out.Stats, Out.Exe.Text.size(), App.Text.size());
     std::fprintf(stderr, "%s",
                  obs::Registry::global().timingTree().c_str());
   }
@@ -234,35 +389,5 @@ int main(int argc, char **argv) {
     Metrics.write();
     return 0;
   }
-
-  // On a trap the tool's finalization still runs (re-entry at __exit), so
-  // the report dumped below covers the execution up to the fault.
-  sim::Machine M(Out.Exe);
-  RecoveryResult RR;
-  {
-    obs::Span S("run");
-    RR = runWithRecovery(Out.Exe, M);
-  }
-  const sim::RunResult &R = RR.Result;
-  std::fputs(M.vfs().stdoutText().c_str(), stdout);
-  for (const std::string &F : Dumps)
-    if (M.vfs().fileExists(F))
-      std::printf("--- %s ---\n%s", F.c_str(),
-                  M.vfs().fileContents(F).c_str());
-  Metrics.write();
-  if (R.Status == sim::RunStatus::Trap) {
-    std::fprintf(stderr,
-                 "atom: instrumented program trapped (%s): %s\n"
-                 "atom: original pc 0x%llx%s\n",
-                 sim::trapKindName(R.Trap), R.FaultMessage.c_str(),
-                 (unsigned long long)RR.OrigFaultPC,
-                 RR.OrigFaultPC ? "" : " (inserted/analysis code)");
-    return 124;
-  }
-  if (R.Status != sim::RunStatus::Exited) {
-    std::fprintf(stderr, "atom: instrumented program did not exit: %s\n",
-                 R.FaultMessage.c_str());
-    return 125;
-  }
-  return int(R.ExitCode & 0xFF);
+  return runInstrumented(Out.Exe, Dumps, Metrics);
 }

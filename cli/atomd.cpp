@@ -1,0 +1,162 @@
+//===- cli/atomd.cpp - The atomd daemon command ---------------------------===//
+//
+// Runs and manages the instrumentation-as-a-service daemon (docs/DAEMON.md):
+//
+//   atomd serve --socket <path> [--jobs N] [--queue-max N]
+//         [--client-quota N] [--cache-bytes SZ]
+//         [--store <dir>] [--store-bytes SZ]
+//         [--metrics-http <port>] [--metrics-out <file>]
+//         [--metrics-format json|prom]
+//   atomd status --socket <path>
+//   atomd ping --socket <path>
+//   atomd shutdown --socket <path>
+//
+// serve blocks until a shutdown request (socket op, SIGINT, or SIGTERM),
+// prints "atomd: listening on <path>" once ready, and — with
+// --metrics-http — "atomd: metrics on http://127.0.0.1:<port>/metrics"
+// (port 0 binds an ephemeral port and prints the real one). status prints
+// the daemon's status reply as one JSON document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CliSupport.h"
+
+#include "atomd/Client.h"
+#include "atomd/Daemon.h"
+
+#include <csignal>
+#include <thread>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::cli;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: atomd serve --socket <path> [--jobs N] "
+               "[--queue-max N] [--client-quota N]\n"
+               "             [--cache-bytes SZ] [--store <dir>] "
+               "[--store-bytes SZ]\n"
+               "             [--metrics-http <port>] [--metrics-out <file>] "
+               "[--metrics-format json|prom]\n"
+               "       atomd status|ping|shutdown --socket <path>\n");
+  std::exit(2);
+}
+
+static int SignalPipe[2] = {-1, -1};
+
+static void onSignal(int) {
+  char C = 1;
+  // Self-pipe: the only async-signal-safe thing here is write().
+  (void)!::write(SignalPipe[1], &C, 1);
+}
+
+static int serve(const atomd::DaemonOptions &Opts,
+                 const MetricsOptions &Metrics) {
+  // The daemon is an observability citizen by construction: counters,
+  // latency histograms, and the Prometheus endpoint all need the registry.
+  obs::Registry::global().setEnabled(true);
+
+  atomd::Daemon D(Opts);
+  std::string Err;
+  if (!D.start(Err))
+    die(Err);
+  std::printf("atomd: listening on %s\n", Opts.SocketPath.c_str());
+  if (D.metricsPort() >= 0)
+    std::printf("atomd: metrics on http://127.0.0.1:%d/metrics\n",
+                D.metricsPort());
+  std::fflush(stdout);
+
+  std::thread SigThread;
+  if (::pipe(SignalPipe) == 0) {
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    SigThread = std::thread([&D] {
+      char C;
+      if (::read(SignalPipe[0], &C, 1) == 1)
+        D.requestShutdown();
+    });
+  }
+
+  D.wait();
+
+  if (SigThread.joinable()) {
+    ::close(SignalPipe[1]); // wakes the signal thread if no signal came
+    SigThread.join();
+    ::close(SignalPipe[0]);
+  }
+  Metrics.write();
+  std::printf("atomd: stopped\n");
+  return 0;
+}
+
+static int callSimple(const std::string &Socket, const std::string &Op) {
+  atomd::Client Cl;
+  std::string Err;
+  if (!Cl.connect(Socket, Err))
+    die(Err);
+  atomd::Reply R;
+  atomd::Frame F;
+  if (!Cl.call(atomd::makeSimpleRequest(Cl.nextId(), Op), {}, R, F, Err))
+    die(Err);
+  if (!R.Ok)
+    die("daemon error: " + R.Error);
+  if (Op == "status")
+    std::printf("%s\n", F.Json.c_str());
+  else if (Op == "ping")
+    std::printf("atomd: protocol version %llu\n",
+                (unsigned long long)R.Doc.u64("version"));
+  else if (Op == "shutdown")
+    std::printf("atomd: shutdown requested\n");
+  return 0;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    usage();
+  std::string Cmd = argv[1];
+  if (Cmd != "serve" && Cmd != "status" && Cmd != "ping" &&
+      Cmd != "shutdown")
+    usage();
+
+  atomd::DaemonOptions Opts;
+  MetricsOptions Metrics;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (Metrics.consume(argc, argv, I)) {
+      continue;
+    } else if (A == "--socket" && I + 1 < argc) {
+      Opts.SocketPath = argv[++I];
+    } else if (A == "--jobs" && I + 1 < argc) {
+      Opts.Jobs = unsigned(parseUnsignedArg("--jobs", argv[++I]));
+    } else if (A == "--queue-max" && I + 1 < argc) {
+      Opts.QueueMax = unsigned(parseUnsignedArg("--queue-max", argv[++I]));
+      if (Opts.QueueMax == 0)
+        die("--queue-max must be at least 1");
+    } else if (A == "--client-quota" && I + 1 < argc) {
+      Opts.ClientQuota =
+          unsigned(parseUnsignedArg("--client-quota", argv[++I]));
+      if (Opts.ClientQuota == 0)
+        die("--client-quota must be at least 1");
+    } else if (A == "--cache-bytes" && I + 1 < argc) {
+      Opts.CacheBytes = parseByteSizeArg("--cache-bytes", argv[++I]);
+    } else if (A == "--store" && I + 1 < argc) {
+      Opts.StoreDir = argv[++I];
+    } else if (A == "--store-bytes" && I + 1 < argc) {
+      Opts.StoreBytes = parseByteSizeArg("--store-bytes", argv[++I]);
+    } else if (A == "--metrics-http" && I + 1 < argc) {
+      uint64_t Port = parseUnsignedArg("--metrics-http", argv[++I]);
+      if (Port > 65535)
+        die("--metrics-http port out of range");
+      Opts.MetricsPort = int(Port);
+    } else {
+      usage();
+    }
+  }
+  if (Opts.SocketPath.empty())
+    die("--socket is required");
+
+  if (Cmd == "serve")
+    return serve(Opts, Metrics);
+  return callSimple(Opts.SocketPath, Cmd);
+}

@@ -15,10 +15,8 @@ using namespace atom::obj;
 // PipelineCache
 //===----------------------------------------------------------------------===//
 
-namespace {
-
 /// Domain-separating seeds so a tool key can never collide with an app key.
-uint64_t toolKey(const Tool &T) {
+uint64_t atom::toolCacheKey(const Tool &T) {
   uint64_t H = fnv1a(std::string("tool"));
   H = fnv1a(T.Name, H);
   for (const std::string &S : T.AnalysisSources)
@@ -29,43 +27,74 @@ uint64_t toolKey(const Tool &T) {
   return H;
 }
 
-uint64_t appKey(const Executable &App) {
+uint64_t atom::appCacheKey(const Executable &App) {
   std::vector<uint8_t> Bytes = App.serialize();
   return fnv1a(Bytes.data(), Bytes.size(), fnv1a(std::string("app")));
 }
 
-} // namespace
+void PipelineCache::evictLocked() {
+  while (MaxBytes && Stats.Resident > MaxBytes) {
+    // Least-recently-used completed entry; in-flight builds (not Ready)
+    // are never evicted — their footprint is not yet charged.
+    auto Victim = Slots.end();
+    for (auto It = Slots.begin(); It != Slots.end(); ++It)
+      if (It->second->Ready &&
+          (Victim == Slots.end() ||
+           It->second->LastUse < Victim->second->LastUse))
+        Victim = It;
+    if (Victim == Slots.end())
+      return;
+    Stats.Resident -= Victim->second->Bytes;
+    ++Stats.Evictions;
+    Slots.erase(Victim); // outstanding UnitPtrs keep the artifact alive
+  }
+}
 
-const CachedUnit &PipelineCache::getOrBuild(
+PipelineCache::UnitPtr PipelineCache::getOrBuild(
     uint64_t Key,
     const std::function<bool(om::Unit &, DiagEngine &)> &Build) {
-  Slot *S;
+  std::shared_ptr<Slot> S;
   {
     std::lock_guard<std::mutex> L(Mu);
-    std::unique_ptr<Slot> &P = Slots[Key];
+    std::shared_ptr<Slot> &P = Slots[Key];
     if (!P)
-      P = std::make_unique<Slot>();
-    S = P.get(); // stable: entries are never erased
+      P = std::make_shared<Slot>();
+    S = P;
   }
   std::lock_guard<std::mutex> SL(S->Mu);
   if (!S->Done) {
-    DiagEngine D;
-    S->Art.Ok = Build(S->Art.U, D);
-    S->Art.Diags = D.diags();
+    auto Art = std::make_shared<CachedUnit>();
+    bool FromTier = Tier && Tier->load(Key, *Art);
+    if (!FromTier) {
+      DiagEngine D;
+      Art->Ok = Build(Art->U, D);
+      Art->Diags = D.diags();
+      if (Tier)
+        Tier->store(Key, *Art);
+    }
+    S->Art = Art;
     S->Done = true;
+    uint64_t Bytes = Art->Ok ? om::unitMemoryBytes(Art->U) : 0;
     std::lock_guard<std::mutex> L(Mu);
     ++Stats.Misses;
-    if (S->Art.Ok)
-      Stats.Bytes += om::unitMemoryBytes(S->Art.U);
-  } else {
-    std::lock_guard<std::mutex> L(Mu);
-    ++Stats.Hits;
+    if (FromTier)
+      ++Stats.TierHits;
+    Stats.Bytes += Bytes;
+    Stats.Resident += Bytes;
+    S->Bytes = Bytes;
+    S->Ready = true;
+    S->LastUse = ++UseClock;
+    evictLocked();
+    return Art;
   }
+  std::lock_guard<std::mutex> L(Mu);
+  ++Stats.Hits;
+  S->LastUse = ++UseClock;
   return S->Art;
 }
 
-const CachedUnit &PipelineCache::analysisUnit(const Tool &T) {
-  return getOrBuild(toolKey(T), [&T](om::Unit &U, DiagEngine &D) {
+PipelineCache::UnitPtr PipelineCache::analysisUnit(const Tool &T) {
+  return getOrBuild(toolCacheKey(T), [&T](om::Unit &U, DiagEngine &D) {
     std::vector<ObjectModule> Modules;
     if (!compileAnalysisModules(T, Modules, D))
       return false;
@@ -74,8 +103,8 @@ const CachedUnit &PipelineCache::analysisUnit(const Tool &T) {
   });
 }
 
-const CachedUnit &PipelineCache::liftedApp(const Executable &App) {
-  return getOrBuild(appKey(App), [&App](om::Unit &U, DiagEngine &D) {
+PipelineCache::UnitPtr PipelineCache::liftedApp(const Executable &App) {
+  return getOrBuild(appCacheKey(App), [&App](om::Unit &U, DiagEngine &D) {
     obs::Span S("lift");
     return om::liftExecutable(App, U, D);
   });
@@ -93,7 +122,11 @@ void PipelineCache::publishStats() {
   std::lock_guard<std::mutex> L(Mu);
   Reg.addCounter("atom.cache-hits", Stats.Hits - Published.Hits);
   Reg.addCounter("atom.cache-misses", Stats.Misses - Published.Misses);
+  Reg.addCounter("atom.cache-tier-hits", Stats.TierHits - Published.TierHits);
+  Reg.addCounter("atom.cache-evictions",
+                 Stats.Evictions - Published.Evictions);
   Reg.addCounter("atom.cache-bytes", Stats.Bytes - Published.Bytes);
+  Reg.setGauge("atom.cache-resident-bytes", double(Stats.Resident));
   Published = Stats;
 }
 
@@ -114,7 +147,7 @@ bool atom::runAtomBatch(const std::vector<const Executable *> &Apps,
   obs::Registry &Reg = obs::Registry::global();
   obs::Span Batch("atom-batch");
 
-  PipelineCache Local;
+  PipelineCache Local(Opts.CacheBytes);
   if (Opts.CachePipeline && !Cache)
     Cache = &Local;
   else if (!Opts.CachePipeline)
@@ -125,21 +158,22 @@ bool atom::runAtomBatch(const std::vector<const Executable *> &Apps,
     const Executable &App = *Apps[Idx % Apps.size()];
     BatchResult &R = Results[Idx];
     PipelineReuse Reuse;
+    PipelineCache::UnitPtr TA, AA; // keep cached units alive for this run
     if (Cache) {
       // Build (or reuse) the memoized artifacts first so a bad tool or
       // application fails every pairing with identical diagnostics.
-      const CachedUnit &TA = Cache->analysisUnit(T);
-      if (!TA.Ok) {
-        R.Diags = TA.Diags;
+      TA = Cache->analysisUnit(T);
+      if (!TA->Ok) {
+        R.Diags = TA->Diags;
         return;
       }
-      const CachedUnit &AA = Cache->liftedApp(App);
-      if (!AA.Ok) {
-        R.Diags = AA.Diags;
+      AA = Cache->liftedApp(App);
+      if (!AA->Ok) {
+        R.Diags = AA->Diags;
         return;
       }
-      Reuse.AnalysisUnit = &TA.U;
-      Reuse.LiftedApp = &AA.U;
+      Reuse.AnalysisUnit = &TA->U;
+      Reuse.LiftedApp = &AA->U;
     }
     DiagEngine D;
     R.Ok = runAtomPipeline(App, T, Opts, Cache ? &Reuse : nullptr, R.Prog, D);

@@ -14,6 +14,12 @@
 // tool-major order, so --metrics-out documents and error output are also
 // independent of the job count (docs/PIPELINE.md).
 //
+// The in-memory cache is byte-bounded with LRU eviction (`--cache-bytes`),
+// and can be layered over a persistent CacheTier — the atomd daemon plugs
+// its on-disk artifact store in here (docs/DAEMON.md), so misses consult
+// the disk before rebuilding and every build is spilled for the next
+// process.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ATOM_ATOM_BATCH_H
@@ -36,46 +42,93 @@ struct CachedUnit {
   std::vector<Diag> Diags;
 };
 
+/// Content-addressed key of a tool's analysis unit: FNV-1a over the tool's
+/// name and sources, domain-separated from application keys. Stable across
+/// processes, so it doubles as the persistent store key (atomd::Store).
+uint64_t toolCacheKey(const Tool &T);
+
+/// Content-addressed key of an application: FNV-1a over its serialized
+/// executable image.
+uint64_t appCacheKey(const obj::Executable &App);
+
+/// A second-level artifact cache behind the in-memory PipelineCache (the
+/// atomd on-disk store). Implementations must be safe for concurrent calls
+/// with distinct keys; the PipelineCache serializes calls per key.
+class CacheTier {
+public:
+  virtual ~CacheTier() = default;
+  /// Fills \p Out for \p Key if the tier holds a valid entry.
+  virtual bool load(uint64_t Key, CachedUnit &Out) = 0;
+  /// Persists a freshly built \p U under \p Key (best effort).
+  virtual void store(uint64_t Key, const CachedUnit &U) = 0;
+};
+
 struct CacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0; ///< Builds performed (successful or failed).
-  uint64_t Bytes = 0;  ///< Approximate footprint of cached units.
+  uint64_t Hits = 0;      ///< In-memory hits.
+  uint64_t Misses = 0;    ///< In-memory misses (tier loads + builds).
+  uint64_t TierHits = 0;  ///< Misses satisfied by the CacheTier, no build.
+  uint64_t Evictions = 0; ///< Entries evicted to respect the byte cap.
+  uint64_t Bytes = 0;     ///< Cumulative footprint of units built/loaded.
+  uint64_t Resident = 0;  ///< Current in-memory footprint.
 };
 
 /// Content-addressed memo of pipeline artifacts, safe for concurrent use.
 /// Keys are FNV-1a hashes of the tool's name and sources (analysis units)
 /// or of the executable image (lifted applications), so two Tool values
 /// with identical sources share one entry. Each entry is built at most
-/// once; concurrent requesters block until the first build finishes.
+/// once while resident; concurrent requesters block until the first build
+/// finishes. Entries are handed out as shared_ptr so an evicted unit stays
+/// valid for every pipeline still using it.
 class PipelineCache {
 public:
+  using UnitPtr = std::shared_ptr<const CachedUnit>;
+
+  /// \p MaxBytes caps the resident footprint (0 = unbounded); the
+  /// least-recently-used entries are evicted once the cap is exceeded.
+  explicit PipelineCache(uint64_t MaxBytes = 0) : MaxBytes(MaxBytes) {}
+
   /// The tool's analysis unit: analysis sources compiled, linked with a
   /// private copy of the runtime library, and lifted to OM IR.
-  const CachedUnit &analysisUnit(const Tool &T);
+  UnitPtr analysisUnit(const Tool &T);
 
   /// The application executable lifted to OM IR.
-  const CachedUnit &liftedApp(const obj::Executable &App);
+  UnitPtr liftedApp(const obj::Executable &App);
+
+  /// Plugs a persistent second level under this cache (not owned; may be
+  /// null). Misses try \p T before building, and completed builds are
+  /// spilled to it. Set before sharing the cache across threads.
+  void setTier(CacheTier *T) { Tier = T; }
 
   CacheStats stats() const;
 
   /// Adds this cache's activity since the last publish to the global
-  /// registry as atom.cache-hits / atom.cache-misses / atom.cache-bytes
-  /// counter deltas (no-op while the registry is disabled).
+  /// registry: atom.cache-hits / -misses / -tier-hits / -evictions /
+  /// -bytes counter deltas plus the atom.cache-resident-bytes gauge
+  /// (no-op while the registry is disabled).
   void publishStats();
 
 private:
   struct Slot {
     std::mutex Mu; ///< Serializes the one-time build of this entry.
-    bool Done = false;
-    CachedUnit Art;
+    bool Done = false;                ///< Guarded by Slot::Mu.
+    std::shared_ptr<CachedUnit> Art;  ///< Set once Done.
+    // Guarded by PipelineCache::Mu:
+    bool Ready = false;   ///< Build finished and accounted; evictable.
+    uint64_t Bytes = 0;   ///< Footprint charged against the cap.
+    uint64_t LastUse = 0; ///< LRU clock value of the last access.
   };
 
-  const CachedUnit &
-  getOrBuild(uint64_t Key,
-             const std::function<bool(om::Unit &, DiagEngine &)> &Build);
+  UnitPtr getOrBuild(uint64_t Key,
+                     const std::function<bool(om::Unit &, DiagEngine &)>
+                         &Build);
+  void evictLocked(); ///< Requires Mu.
 
-  mutable std::mutex Mu; ///< Guards Slots (the map, not the entries), stats.
-  std::map<uint64_t, std::unique_ptr<Slot>> Slots;
+  mutable std::mutex Mu; ///< Guards Slots (the map, not the entries),
+                         ///< stats, and the LRU bookkeeping.
+  std::map<uint64_t, std::shared_ptr<Slot>> Slots;
+  uint64_t MaxBytes;
+  uint64_t UseClock = 0;
+  CacheTier *Tier = nullptr;
   CacheStats Stats;
   CacheStats Published; ///< Snapshot at the last publishStats().
 };
@@ -91,8 +144,9 @@ struct BatchResult {
 /// Apps.size() pipeline runs, distributed over Opts.Jobs worker threads
 /// (0 = one per hardware thread, 1 = serial on the calling thread) and
 /// sharing memoized artifacts through \p Cache when Opts.CachePipeline is
-/// set (a private cache is used when \p Cache is null). Results is resized
-/// to the full matrix, tool-major: Results[TI * Apps.size() + AI].
+/// set (a private cache capped at Opts.CacheBytes is used when \p Cache is
+/// null). Results is resized to the full matrix, tool-major:
+/// Results[TI * Apps.size() + AI].
 ///
 /// Returns true iff every run succeeded. Failure diagnostics are replayed
 /// into \p Diags prefixed with "tool '<name>', app #<index>:", and

@@ -71,6 +71,10 @@ struct AtomOptions {
   /// Memoize per-tool analysis units and per-application lifted IR across
   /// the pipelines of one runAtomBatch() call (atom.cache-* counters).
   bool CachePipeline = true;
+  /// Byte cap on the in-memory pipeline cache (0 = unbounded); the
+  /// least-recently-used artifacts are evicted past the cap
+  /// (atom.cache-evictions). The `--cache-bytes` knob on atom and atomd.
+  uint64_t CacheBytes = 0;
 };
 
 /// Precomputed pipeline inputs a caller may supply to instrument(): the

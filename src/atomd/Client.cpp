@@ -1,0 +1,81 @@
+//===- atomd/Client.cpp ---------------------------------------------------===//
+
+#include "atomd/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::atomd;
+
+bool Client::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: '" + SocketPath + "'";
+    return false;
+  }
+  std::strcpy(Addr.sun_path, SocketPath.c_str());
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "cannot connect to '" + SocketPath +
+          "': " + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::send(const std::string &Json, const std::vector<uint8_t> &Bin,
+                  std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  Frame F;
+  F.Json = Json;
+  F.Bin = Bin;
+  return writeFrame(Fd, F, Err);
+}
+
+bool Client::recv(Reply &R, Frame &F, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  return readFrame(Fd, F, Err) && parseReply(F, R, Err);
+}
+
+bool Client::call(const std::string &Json, const std::vector<uint8_t> &Bin,
+                  Reply &R, Frame &F, std::string &Err,
+                  unsigned MaxRetries) {
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (!send(Json, Bin, Err) || !recv(R, F, Err))
+      return false;
+    if (!R.Retry)
+      return true;
+    if (Attempt >= MaxRetries) {
+      Err = "daemon kept pushing back (" + R.Error + ")";
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(R.RetryAfterMs ? R.RetryAfterMs : 1));
+  }
+}

@@ -1,0 +1,59 @@
+//===- atomd/Client.h - atomd client connection -----------------*- C++ -*-===//
+//
+// The client side of the atomd protocol: one Unix-socket connection that
+// sends request frames and receives replies. Used by `atom --connect` and
+// the atomd CLI's status/shutdown subcommands. call() implements the
+// backpressure contract: a {"retry":true} reply is resent after the
+// advised delay, so callers see only final outcomes. Requests may also be
+// pipelined (several send()s before recv()s); replies carry the request id
+// and may arrive in any order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_CLIENT_H
+#define ATOM_ATOMD_CLIENT_H
+
+#include "atomd/Protocol.h"
+
+namespace atom {
+namespace atomd {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to a daemon at \p SocketPath.
+  bool connect(const std::string &SocketPath, std::string &Err);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request frame.
+  bool send(const std::string &Json, const std::vector<uint8_t> &Bin,
+            std::string &Err);
+
+  /// Receives one reply frame (any id) into \p R / \p F.
+  bool recv(Reply &R, Frame &F, std::string &Err);
+
+  /// Round-trip: send, receive, and transparently resend on backpressure
+  /// (waiting the advised retry_after_ms each time, up to \p MaxRetries).
+  /// Returns false only on transport/parse errors; application failures
+  /// come back as R.Ok = false.
+  bool call(const std::string &Json, const std::vector<uint8_t> &Bin,
+            Reply &R, Frame &F, std::string &Err, unsigned MaxRetries = 1000);
+
+  /// Monotonic request-id source for this connection.
+  uint64_t nextId() { return ++LastId; }
+
+private:
+  int Fd = -1;
+  uint64_t LastId = 0;
+};
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_CLIENT_H

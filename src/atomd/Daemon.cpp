@@ -1,0 +1,617 @@
+//===- atomd/Daemon.cpp ---------------------------------------------------===//
+
+#include "atomd/Daemon.h"
+
+#include "support/Support.h"
+#include "tools/Tools.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::atomd;
+
+namespace {
+
+/// Advised client wait before resending a backpressured request.
+constexpr uint64_t RetryAfterMs = 20;
+/// Cap on the "stall" debug op so a bad client can't park a worker forever.
+constexpr uint64_t MaxStallMs = 10000;
+
+/// Client labels feed metric names; restrict them to a safe alphabet.
+std::string sanitizeLabel(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (Out.size() == 32)
+      break;
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '-' || C == '_' || C == '.';
+    Out.push_back(Ok ? C : '_');
+  }
+  return Out.empty() ? "anon" : Out;
+}
+
+void writeDiags(obs::JsonWriter &W, const std::vector<Diag> &Diags) {
+  W.key("diags");
+  W.beginArray();
+  for (const Diag &D : Diags) {
+    W.beginObject();
+    W.key("line");
+    W.value(int64_t(D.Line));
+    W.key("message");
+    W.value(D.Message);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheBytes) {}
+
+Daemon::~Daemon() {
+  requestShutdown();
+  wait();
+}
+
+bool Daemon::start(std::string &Err) {
+  if (Opts.SocketPath.empty()) {
+    Err = "no socket path";
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: '" + Opts.SocketPath + "'";
+    return false;
+  }
+  std::strcpy(Addr.sun_path, Opts.SocketPath.c_str());
+
+  if (!Opts.StoreDir.empty()) {
+    DiskStore.reset(new Store(Opts.StoreDir, Opts.StoreBytes));
+    if (!DiskStore->open(Err)) {
+      DiskStore.reset();
+      return false;
+    }
+    Cache.setTier(DiskStore.get());
+  }
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    // A leftover socket file from a crashed daemon is reclaimed iff no
+    // live daemon answers on it.
+    bool Stale = false;
+    if (errno == EADDRINUSE) {
+      int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (Probe >= 0) {
+        Stale = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) != 0;
+        ::close(Probe);
+      }
+    }
+    if (Stale) {
+      ::unlink(Opts.SocketPath.c_str());
+      Stale = ::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+    }
+    if (!Stale) {
+      Err = "cannot bind '" + Opts.SocketPath +
+            "': " + std::strerror(errno) +
+            (errno == EADDRINUSE ? " (daemon already running?)" : "");
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+  }
+  if (::listen(ListenFd, 128) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+    return false;
+  }
+
+  if (Opts.MetricsPort >= 0) {
+    MetricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (MetricsFd < 0) {
+      Err = std::string("metrics socket: ") + std::strerror(errno);
+      ::close(ListenFd);
+      ListenFd = -1;
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(MetricsFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in In{};
+    In.sin_family = AF_INET;
+    In.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    In.sin_port = htons(uint16_t(Opts.MetricsPort));
+    socklen_t InLen = sizeof(In);
+    if (::bind(MetricsFd, reinterpret_cast<sockaddr *>(&In), InLen) != 0 ||
+        ::listen(MetricsFd, 16) != 0 ||
+        ::getsockname(MetricsFd, reinterpret_cast<sockaddr *>(&In),
+                      &InLen) != 0) {
+      Err = std::string("metrics endpoint: ") + std::strerror(errno);
+      ::close(MetricsFd);
+      MetricsFd = -1;
+      ::close(ListenFd);
+      ListenFd = -1;
+      ::unlink(Opts.SocketPath.c_str());
+      return false;
+    }
+    BoundMetricsPort = int(ntohs(In.sin_port));
+    MetricsThread = std::thread([this] { metricsLoop(); });
+  }
+
+  Pool.reset(new ThreadPool(Opts.Jobs));
+  Uptime.reset();
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  Started = true;
+  return true;
+}
+
+void Daemon::requestShutdown() {
+  bool Expected = false;
+  if (!ShuttingDown.compare_exchange_strong(Expected, true))
+    return;
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR); // unblocks accept()
+  StopCv.notify_all();
+}
+
+void Daemon::wait() {
+  if (!Started)
+    return;
+  {
+    std::unique_lock<std::mutex> L(StopMu);
+    StopCv.wait(L, [this] { return ShuttingDown.load(); });
+  }
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  {
+    // Every admitted request finishes and its reply is written before any
+    // connection is torn down; PoolMu fences late submissions (handleFrame
+    // rejects once ShuttingDown is set, and a request that slipped past
+    // the flag completes inside reset()'s drain).
+    std::lock_guard<std::mutex> L(PoolMu);
+    Pool.reset();
+  }
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (const std::shared_ptr<Conn> &C : Conns) {
+      std::lock_guard<std::mutex> WL(C->WriteMu);
+      if (C->Fd >= 0)
+        ::shutdown(C->Fd, SHUT_RDWR); // unblocks the reader thread
+    }
+  }
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+  ConnThreads.clear();
+  Conns.clear();
+  if (MetricsFd >= 0) {
+    ::shutdown(MetricsFd, SHUT_RDWR);
+    ::close(MetricsFd);
+    MetricsFd = -1;
+  }
+  if (MetricsThread.joinable())
+    MetricsThread.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  publishAll();
+  Started = false;
+}
+
+void Daemon::acceptLoop() {
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR && !ShuttingDown)
+        continue;
+      break;
+    }
+    if (ShuttingDown) {
+      ::close(Fd);
+      break;
+    }
+    auto C = std::make_shared<Conn>();
+    C->Fd = Fd;
+    std::lock_guard<std::mutex> L(ConnMu);
+    Conns.push_back(C);
+    ConnThreads.emplace_back([this, C] { serveConnection(C); });
+  }
+}
+
+void Daemon::serveConnection(std::shared_ptr<Conn> C) {
+  obs::Registry::global().addCounter("atomd.connections");
+  while (true) {
+    Frame F;
+    std::string Err;
+    if (!readFrame(C->Fd, F, Err))
+      break;
+    handleFrame(C, std::move(F));
+  }
+  std::lock_guard<std::mutex> L(C->WriteMu);
+  if (C->Fd >= 0) {
+    ::close(C->Fd);
+    C->Fd = -1;
+  }
+}
+
+void Daemon::reply(const std::shared_ptr<Conn> &C, const std::string &Json,
+                   const std::vector<uint8_t> &Bin) {
+  std::lock_guard<std::mutex> L(C->WriteMu);
+  if (C->Fd < 0)
+    return;
+  Frame F;
+  F.Json = Json;
+  F.Bin = Bin;
+  std::string Err;
+  writeFrame(C->Fd, F, Err); // a vanished client is not our problem
+}
+
+void Daemon::replyError(const std::shared_ptr<Conn> &C, uint64_t Id,
+                        const std::string &Error,
+                        const std::vector<Diag> &Diags) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(false);
+  W.key("error");
+  W.value(Error);
+  if (!Diags.empty())
+    writeDiags(W, Diags);
+  W.endObject();
+  reply(C, W.take());
+}
+
+void Daemon::replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
+                        const char *Reason) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(false);
+  W.key("retry");
+  W.value(true);
+  W.key("reason");
+  W.value(Reason);
+  W.key("retry_after_ms");
+  W.value(RetryAfterMs);
+  W.endObject();
+  reply(C, W.take());
+}
+
+void Daemon::countClient(const std::string &Label) {
+  {
+    std::lock_guard<std::mutex> L(ClientMu);
+    ++ClientRequests[Label];
+  }
+  obs::Registry::global().addCounter("atomd.client-requests." + Label);
+}
+
+void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
+  obs::Registry &Reg = obs::Registry::global();
+  obs::json::Value Doc;
+  std::string Err;
+  if (!obs::json::parse(F.Json, Doc, Err) ||
+      Doc.K != obs::json::Value::Obj) {
+    replyError(C, 0, "malformed request: " + Err);
+    return;
+  }
+  uint64_t Id = Doc.u64("id");
+  std::string Op = Doc.str("op");
+
+  if (Op == "ping") {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.value(Id);
+    W.key("ok");
+    W.value(true);
+    W.key("version");
+    W.value(uint64_t(ProtocolVersion));
+    W.endObject();
+    reply(C, W.take());
+    return;
+  }
+  if (Op == "status") {
+    reply(C, statusJson(Id));
+    return;
+  }
+  if (Op == "metrics") {
+    publishAll();
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.value(Id);
+    W.key("ok");
+    W.value(true);
+    W.endObject();
+    Frame R;
+    R.Json = W.take();
+    std::string Json = Reg.toJson();
+    R.Bin.assign(Json.begin(), Json.end());
+    std::lock_guard<std::mutex> L(C->WriteMu);
+    if (C->Fd >= 0) {
+      std::string WErr;
+      writeFrame(C->Fd, R, WErr);
+    }
+    return;
+  }
+  if (Op == "shutdown") {
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.value(Id);
+    W.key("ok");
+    W.value(true);
+    W.endObject();
+    reply(C, W.take());
+    requestShutdown();
+    return;
+  }
+  if (Op != "instrument" && Op != "stall") {
+    replyError(C, Id, "unknown op '" + Op + "'");
+    return;
+  }
+
+  // Work requests: per-client quota first, then the global queue bound.
+  // Both rejections are explicit retry replies, never silent drops.
+  std::string Client = sanitizeLabel(Doc.str("client", "anon"));
+  std::lock_guard<std::mutex> L(PoolMu);
+  if (ShuttingDown || !Pool) {
+    replyError(C, Id, "daemon is shutting down");
+    return;
+  }
+  if (C->InFlight.load() >= Opts.ClientQuota) {
+    Reg.addCounter("atomd.rejects-quota");
+    replyRetry(C, Id, "quota");
+    return;
+  }
+  if (QueueDepth.load() >= Opts.QueueMax) {
+    Reg.addCounter("atomd.rejects-queue");
+    replyRetry(C, Id, "queue-full");
+    return;
+  }
+  ++C->InFlight;
+  Reg.setGauge("atomd.queue-depth", double(++QueueDepth));
+  Reg.addCounter("atomd.requests");
+  countClient(Client);
+
+  if (Op == "stall") {
+    uint64_t Ms = std::min<uint64_t>(Doc.u64("ms"), MaxStallMs);
+    Pool->submit([this, C, Id, Ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+      obs::JsonWriter W;
+      W.beginObject();
+      W.key("id");
+      W.value(Id);
+      W.key("ok");
+      W.value(true);
+      W.endObject();
+      reply(C, W.take());
+      --C->InFlight;
+      obs::Registry::global().setGauge("atomd.queue-depth",
+                                       double(--QueueDepth));
+    });
+    return;
+  }
+
+  auto Tool = std::make_shared<std::string>(Doc.str("tool"));
+  auto O = std::make_shared<AtomOptions>();
+  std::string OptErr;
+  const obs::json::Value *OV = Doc.find("options");
+  if (OV && !parseAtomOptions(*OV, *O, OptErr)) {
+    replyError(C, Id, OptErr);
+    --C->InFlight;
+    Reg.setGauge("atomd.queue-depth", double(--QueueDepth));
+    return;
+  }
+  auto AppBytes = std::make_shared<std::vector<uint8_t>>(std::move(F.Bin));
+  Pool->submit([this, C, Id, Tool, O, AppBytes] {
+    Stopwatch Watch;
+    executeInstrument(C, Id, *Tool, *O, *AppBytes);
+    obs::Registry &R = obs::Registry::global();
+    R.recordValue("atomd.request-latency-us",
+                  uint64_t(Watch.seconds() * 1e6));
+    --C->InFlight;
+    R.setGauge("atomd.queue-depth", double(--QueueDepth));
+  });
+}
+
+void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
+                               const std::string &ToolName,
+                               const AtomOptions &O,
+                               const std::vector<uint8_t> &AppBytes) {
+  const Tool *T = tools::findTool(ToolName);
+  if (!T) {
+    replyError(C, Id, "unknown tool '" + ToolName + "'");
+    return;
+  }
+  obj::Executable App;
+  if (!obj::Executable::deserialize(AppBytes, App)) {
+    replyError(C, Id, "malformed application image");
+    return;
+  }
+
+  // Identical artifact flow to the batch driver's RunOne: the immutable
+  // cached units feed the pipeline through PipelineReuse deep copies, so
+  // the reply bytes match a standalone `atom` run exactly.
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(*T);
+  if (!TA->Ok) {
+    replyError(C, Id, "analysis build failed for tool '" + ToolName + "'",
+               TA->Diags);
+    return;
+  }
+  PipelineCache::UnitPtr AA = Cache.liftedApp(App);
+  if (!AA->Ok) {
+    replyError(C, Id, "application lift failed", AA->Diags);
+    return;
+  }
+  PipelineReuse Reuse;
+  Reuse.AnalysisUnit = &TA->U;
+  Reuse.LiftedApp = &AA->U;
+  InstrumentedProgram Out;
+  DiagEngine D;
+  if (!runAtomPipeline(App, *T, O, &Reuse, Out, D)) {
+    replyError(C, Id, "instrumentation failed", D.diags());
+    return;
+  }
+  publishInstrumentStats(*T, Out.Stats);
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(true);
+  W.key("tool");
+  W.value(ToolName);
+  W.key("stats");
+  W.beginObject();
+  W.key("points");
+  W.value(uint64_t(Out.Stats.Points));
+  W.key("inserted-insts");
+  W.value(uint64_t(Out.Stats.InsertedInsts));
+  W.key("wrappers");
+  W.value(uint64_t(Out.Stats.Wrappers));
+  W.key("patched-procs");
+  W.value(uint64_t(Out.Stats.PatchedProcs));
+  W.key("analysis-procs");
+  W.value(uint64_t(Out.Stats.AnalysisProcs));
+  W.key("stripped-procs");
+  W.value(uint64_t(Out.Stats.StrippedProcs));
+  W.key("save-slots");
+  W.value(uint64_t(Out.Stats.SaveSlots));
+  W.endObject();
+  W.endObject();
+  reply(C, W.take(), Out.Exe.serialize());
+}
+
+std::string Daemon::statusJson(uint64_t Id) {
+  publishAll();
+  CacheStats CS = Cache.stats();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(true);
+  W.key("version");
+  W.value(uint64_t(ProtocolVersion));
+  W.key("uptime-s");
+  W.value(Uptime.seconds());
+  W.key("workers");
+  W.value(uint64_t(Pool ? Pool->threadCount() : 0));
+  W.key("queue-depth");
+  W.value(uint64_t(QueueDepth.load()));
+  W.key("queue-max");
+  W.value(uint64_t(Opts.QueueMax));
+  W.key("client-quota");
+  W.value(uint64_t(Opts.ClientQuota));
+  W.key("cache");
+  W.beginObject();
+  W.key("hits");
+  W.value(CS.Hits);
+  W.key("misses");
+  W.value(CS.Misses);
+  W.key("tier-hits");
+  W.value(CS.TierHits);
+  W.key("evictions");
+  W.value(CS.Evictions);
+  W.key("resident-bytes");
+  W.value(CS.Resident);
+  W.endObject();
+  if (DiskStore) {
+    StoreStats SS = DiskStore->stats();
+    W.key("store");
+    W.beginObject();
+    W.key("hits");
+    W.value(SS.Hits);
+    W.key("misses");
+    W.value(SS.Misses);
+    W.key("load-failures");
+    W.value(SS.LoadFailures);
+    W.key("writes");
+    W.value(SS.Writes);
+    W.key("evictions");
+    W.value(SS.Evictions);
+    W.key("bytes");
+    W.value(SS.Bytes);
+    W.key("entries");
+    W.value(uint64_t(DiskStore->entryCount()));
+    W.endObject();
+  }
+  W.key("clients");
+  W.beginObject();
+  {
+    std::lock_guard<std::mutex> L(ClientMu);
+    for (const auto &[Name, Count] : ClientRequests) {
+      W.key(Name);
+      W.value(Count);
+    }
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+void Daemon::publishAll() {
+  Cache.publishStats();
+  if (DiskStore)
+    DiskStore->publishStats();
+}
+
+void Daemon::metricsLoop() {
+  while (true) {
+    int Fd = ::accept(MetricsFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR && !ShuttingDown)
+        continue;
+      break;
+    }
+    // One best-effort read of the request line; any GET gets the full
+    // exposition (this is a scrape endpoint, not a web server).
+    char Buf[4096];
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    (void)N;
+    publishAll();
+    std::string Body = obs::Registry::global().toPrometheus();
+    std::string Resp = "HTTP/1.0 200 OK\r\n"
+                       "Content-Type: text/plain; version=0.0.4\r\n"
+                       "Content-Length: " +
+                       formatString("%zu", Body.size()) +
+                       "\r\n"
+                       "Connection: close\r\n\r\n" +
+                       Body;
+    size_t Sent = 0;
+    while (Sent < Resp.size()) {
+      ssize_t Wr = ::send(Fd, Resp.data() + Sent, Resp.size() - Sent,
+                          MSG_NOSIGNAL);
+      if (Wr <= 0) {
+        if (Wr < 0 && errno == EINTR)
+          continue;
+        break;
+      }
+      Sent += size_t(Wr);
+    }
+    ::close(Fd);
+  }
+}

@@ -1,0 +1,128 @@
+//===- atomd/Daemon.h - Instrumentation-as-a-service daemon -----*- C++ -*-===//
+//
+// The long-running service of ROADMAP item 2: accepts instrument/status
+// requests from many concurrent clients over a Unix-domain socket
+// (atomd/Protocol.h), schedules them on the shared support::ThreadPool
+// with a bounded request queue, backpressure (queue-full -> explicit
+// retry-after reply), and per-client in-flight quotas. Requests hit the
+// in-process atom::PipelineCache first, then the persistent atomd::Store,
+// so only the first request for a (tool, app) key anywhere in the
+// daemon's lifetime — or its predecessors' — pays compile/link/lift.
+//
+// Outputs are byte-identical to standalone `atom` runs of the same pairs
+// (the PR 5 immutable-artifact contract; ctest-enforced, including after
+// a restart that reloads the on-disk store). Queue depth, request latency
+// histograms, per-client counters, and store hit/miss/evict metrics are
+// published through obs::Registry, with an optional live Prometheus
+// endpoint on a loopback TCP port (docs/DAEMON.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_DAEMON_H
+#define ATOM_ATOMD_DAEMON_H
+
+#include "atomd/Protocol.h"
+#include "atomd/Store.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <thread>
+
+namespace atom {
+namespace atomd {
+
+struct DaemonOptions {
+  std::string SocketPath;
+  unsigned Jobs = 0;        ///< Worker threads (0 = one per hardware thread).
+  unsigned QueueMax = 64;   ///< Queued + running requests before backpressure.
+  unsigned ClientQuota = 8; ///< Per-connection in-flight cap.
+  uint64_t CacheBytes = 0;  ///< In-memory pipeline cache cap (0 = unbounded).
+  std::string StoreDir;     ///< On-disk artifact store (empty = disabled).
+  uint64_t StoreBytes = 0;  ///< Store byte cap (0 = unbounded).
+  int MetricsPort = -1;     ///< Prometheus port on 127.0.0.1; 0 picks a free
+                            ///< port (see metricsPort()); -1 disables.
+};
+
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds the socket, opens the store, and starts the accept loop,
+  /// worker pool, and metrics endpoint. Returns false with \p Err on any
+  /// setup failure (socket in use, store directory unwritable, ...).
+  bool start(std::string &Err);
+
+  /// Blocks until a shutdown request arrives (socket op or
+  /// requestShutdown()), then drains in-flight work, closes every
+  /// connection, and releases the socket.
+  void wait();
+
+  /// Initiates shutdown from any thread; idempotent.
+  void requestShutdown();
+
+  /// The bound Prometheus port (useful with MetricsPort = 0), or -1.
+  int metricsPort() const { return BoundMetricsPort; }
+
+  const DaemonOptions &options() const { return Opts; }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::mutex WriteMu;              ///< Serializes reply frames.
+    std::atomic<unsigned> InFlight{0};
+  };
+
+  void acceptLoop();
+  void serveConnection(std::shared_ptr<Conn> C);
+  void handleFrame(const std::shared_ptr<Conn> &C, Frame F);
+  void executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
+                         const std::string &ToolName, const AtomOptions &O,
+                         const std::vector<uint8_t> &AppBytes);
+  void metricsLoop();
+  void publishAll();
+
+  void reply(const std::shared_ptr<Conn> &C, const std::string &Json,
+             const std::vector<uint8_t> &Bin = {});
+  void replyError(const std::shared_ptr<Conn> &C, uint64_t Id,
+                  const std::string &Error,
+                  const std::vector<Diag> &Diags = {});
+  void replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
+                  const char *Reason);
+  std::string statusJson(uint64_t Id);
+  void countClient(const std::string &Label);
+
+  DaemonOptions Opts;
+  int ListenFd = -1;
+  int MetricsFd = -1;
+  int BoundMetricsPort = -1;
+  bool Started = false;
+
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<Store> DiskStore;
+  PipelineCache Cache;
+  Stopwatch Uptime;
+
+  std::thread AcceptThread, MetricsThread;
+  std::mutex ConnMu; ///< Guards Conns and ConnThreads.
+  std::vector<std::shared_ptr<Conn>> Conns;
+  std::vector<std::thread> ConnThreads;
+
+  std::atomic<bool> ShuttingDown{false};
+  std::mutex PoolMu; ///< Fences request admission against Pool teardown.
+  std::atomic<unsigned> QueueDepth{0}; ///< Admitted, not yet replied.
+  std::mutex StopMu;
+  std::condition_variable StopCv;
+
+  std::mutex ClientMu; ///< Guards ClientRequests.
+  std::map<std::string, uint64_t> ClientRequests;
+};
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_DAEMON_H

@@ -1,0 +1,254 @@
+//===- atomd/Protocol.cpp -------------------------------------------------===//
+
+#include "atomd/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::atomd;
+
+namespace {
+
+constexpr uint32_t FrameMagic = 0x444D5441; // "ATMD" little-endian
+
+bool readFull(int Fd, void *Buf, size_t Len, std::string &Err,
+              bool &AtStart) {
+  uint8_t *P = static_cast<uint8_t *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(Fd, P + Got, Len - Got);
+    if (N == 0) {
+      Err = AtStart && Got == 0 ? "eof" : "unexpected eof mid-frame";
+      return false;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    Got += size_t(N);
+    AtStart = false;
+  }
+  return true;
+}
+
+bool writeFull(int Fd, const void *Buf, size_t Len, std::string &Err) {
+  const uint8_t *P = static_cast<const uint8_t *>(Buf);
+  size_t Sent = 0;
+  while (Sent < Len) {
+    // MSG_NOSIGNAL: a vanished client yields EPIPE, not process death.
+    ssize_t N = ::send(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Sent += size_t(N);
+  }
+  return true;
+}
+
+void put32(uint8_t *P, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    P[I] = uint8_t(V >> (8 * I));
+}
+
+void put64(uint8_t *P, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    P[I] = uint8_t(V >> (8 * I));
+}
+
+uint32_t get32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+uint64_t get64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+} // namespace
+
+bool atomd::readFrame(int Fd, Frame &F, std::string &Err) {
+  uint8_t Header[16];
+  bool AtStart = true;
+  if (!readFull(Fd, Header, sizeof(Header), Err, AtStart))
+    return false;
+  if (get32(Header) != FrameMagic) {
+    Err = "bad frame magic";
+    return false;
+  }
+  uint32_t JsonLen = get32(Header + 4);
+  uint64_t BinLen = get64(Header + 8);
+  if (JsonLen > MaxJsonBytes || BinLen > MaxBinBytes) {
+    Err = "frame too large";
+    return false;
+  }
+  F.Json.resize(JsonLen);
+  F.Bin.resize(BinLen);
+  if (JsonLen && !readFull(Fd, F.Json.data(), JsonLen, Err, AtStart))
+    return false;
+  if (BinLen && !readFull(Fd, F.Bin.data(), BinLen, Err, AtStart))
+    return false;
+  return true;
+}
+
+bool atomd::writeFrame(int Fd, const Frame &F, std::string &Err) {
+  if (F.Json.size() > MaxJsonBytes || F.Bin.size() > MaxBinBytes) {
+    Err = "frame too large";
+    return false;
+  }
+  uint8_t Header[16];
+  put32(Header, FrameMagic);
+  put32(Header + 4, uint32_t(F.Json.size()));
+  put64(Header + 8, F.Bin.size());
+  return writeFull(Fd, Header, sizeof(Header), Err) &&
+         writeFull(Fd, F.Json.data(), F.Json.size(), Err) &&
+         writeFull(Fd, F.Bin.data(), F.Bin.size(), Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Options transport
+//===----------------------------------------------------------------------===//
+
+const char *atomd::saveStrategyName(AtomOptions::SaveStrategy S) {
+  switch (S) {
+  case AtomOptions::SaveStrategy::WrapperSummary: return "wrapper";
+  case AtomOptions::SaveStrategy::DirectInline: return "direct";
+  case AtomOptions::SaveStrategy::Distributed: return "distributed";
+  case AtomOptions::SaveStrategy::SaveAll: return "save-all";
+  case AtomOptions::SaveStrategy::SiteLiveness: return "liveness";
+  }
+  return "wrapper";
+}
+
+bool atomd::parseSaveStrategy(const std::string &Name,
+                              AtomOptions::SaveStrategy &S) {
+  if (Name == "wrapper")
+    S = AtomOptions::SaveStrategy::WrapperSummary;
+  else if (Name == "direct")
+    S = AtomOptions::SaveStrategy::DirectInline;
+  else if (Name == "distributed")
+    S = AtomOptions::SaveStrategy::Distributed;
+  else if (Name == "save-all")
+    S = AtomOptions::SaveStrategy::SaveAll;
+  else if (Name == "liveness")
+    S = AtomOptions::SaveStrategy::SiteLiveness;
+  else
+    return false;
+  return true;
+}
+
+void atomd::writeAtomOptions(obs::JsonWriter &W, const AtomOptions &O) {
+  W.beginObject();
+  W.key("strategy");
+  W.value(saveStrategyName(O.Strategy));
+  W.key("rename");
+  W.value(O.RenameAnalysisRegs);
+  W.key("force-jsr");
+  W.value(O.ForceJsr);
+  W.key("strip-unreachable");
+  W.value(O.StripUnreachableAnalysis);
+  W.key("heap-offset");
+  W.value(uint64_t(O.AnalysisHeapOffset));
+  W.key("inline");
+  W.value(O.InlineAnalysis);
+  W.key("inline-limit");
+  W.value(uint64_t(O.InlineLimit));
+  W.endObject();
+}
+
+bool atomd::parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
+                             std::string &Err) {
+  if (V.K != obs::json::Value::Obj) {
+    Err = "options is not an object";
+    return false;
+  }
+  std::string Strategy = V.str("strategy", saveStrategyName(O.Strategy));
+  if (!parseSaveStrategy(Strategy, O.Strategy)) {
+    Err = "unknown strategy '" + Strategy + "'";
+    return false;
+  }
+  O.RenameAnalysisRegs = V.boolean("rename", O.RenameAnalysisRegs);
+  O.ForceJsr = V.boolean("force-jsr", O.ForceJsr);
+  O.StripUnreachableAnalysis =
+      V.boolean("strip-unreachable", O.StripUnreachableAnalysis);
+  O.AnalysisHeapOffset = V.u64("heap-offset", O.AnalysisHeapOffset);
+  O.InlineAnalysis = V.boolean("inline", O.InlineAnalysis);
+  O.InlineLimit = unsigned(V.u64("inline-limit", O.InlineLimit));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request/reply documents
+//===----------------------------------------------------------------------===//
+
+std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
+                                         const std::string &Client,
+                                         const AtomOptions &O) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("op");
+  W.value("instrument");
+  W.key("id");
+  W.value(Id);
+  W.key("tool");
+  W.value(Tool);
+  if (!Client.empty()) {
+    W.key("client");
+    W.value(Client);
+  }
+  W.key("options");
+  writeAtomOptions(W, O);
+  W.endObject();
+  return W.take();
+}
+
+std::string atomd::makeSimpleRequest(uint64_t Id, const std::string &Op) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("op");
+  W.value(Op);
+  W.key("id");
+  W.value(Id);
+  W.endObject();
+  return W.take();
+}
+
+bool atomd::parseReply(const Frame &F, Reply &R, std::string &Err) {
+  R = Reply();
+  if (!obs::json::parse(F.Json, R.Doc, Err))
+    return false;
+  if (R.Doc.K != obs::json::Value::Obj) {
+    Err = "reply is not an object";
+    return false;
+  }
+  R.Id = R.Doc.u64("id");
+  R.Ok = R.Doc.boolean("ok");
+  R.Retry = R.Doc.boolean("retry");
+  R.RetryAfterMs = R.Doc.u64("retry_after_ms");
+  R.Error = R.Doc.str(R.Retry ? "reason" : "error");
+  if (const obs::json::Value *Ds = R.Doc.find("diags"))
+    for (const obs::json::Value &D : Ds->Items)
+      R.Diags.push_back({int(D.u64("line")), D.str("message")});
+  if (const obs::json::Value *S = R.Doc.find("stats")) {
+    R.Stats.Points = unsigned(S->u64("points"));
+    R.Stats.InsertedInsts = unsigned(S->u64("inserted-insts"));
+    R.Stats.Wrappers = unsigned(S->u64("wrappers"));
+    R.Stats.PatchedProcs = unsigned(S->u64("patched-procs"));
+    R.Stats.AnalysisProcs = unsigned(S->u64("analysis-procs"));
+    R.Stats.StrippedProcs = unsigned(S->u64("stripped-procs"));
+    R.Stats.SaveSlots = unsigned(S->u64("save-slots"));
+  }
+  return true;
+}

@@ -1,0 +1,99 @@
+//===- atomd/Protocol.h - atomd request/reply wire protocol -----*- C++ -*-===//
+//
+// The length-prefixed JSON protocol spoken over the atomd Unix-domain
+// socket (docs/DAEMON.md). Every message is one frame:
+//
+//   u32 magic "ATMD" | u32 jsonLen | u64 binLen | json | binary
+//
+// The JSON document (parsed with obs::json, written with obs::JsonWriter —
+// no new dependencies) carries the operation and its parameters; the
+// binary attachment carries bulk payloads (the AEXE image of the
+// application on requests, the instrumented AEXE on replies) so
+// executables are never base64'd through the JSON layer.
+//
+// Requests:  {"op":"instrument","id":N,"tool":"cache","client":"ci",
+//             "options":{...}}                      + bin = application AEXE
+//            {"op":"status","id":N}
+//            {"op":"metrics","id":N}                -> registry JSON
+//            {"op":"ping","id":N}
+//            {"op":"stall","id":N,"ms":M}           (test/debug: occupies a
+//                                                    worker slot for M ms)
+//            {"op":"shutdown","id":N}
+// Replies:   {"id":N,"ok":true,...}                 (+ bin where noted)
+//            {"id":N,"ok":false,"error":...,"diags":[{"line":L,"message":M}]}
+//            {"id":N,"ok":false,"retry":true,"reason":"queue-full"|"quota",
+//             "retry_after_ms":M}                   (backpressure: resend)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_PROTOCOL_H
+#define ATOM_ATOMD_PROTOCOL_H
+
+#include "atom/Batch.h"
+#include "obs/Json.h"
+#include "obs/Obs.h"
+
+namespace atom {
+namespace atomd {
+
+constexpr uint32_t ProtocolVersion = 1;
+
+/// Sanity caps on frame sizes; a frame beyond these is a protocol error
+/// (protects the daemon from allocation bombs on a garbage connection).
+constexpr uint32_t MaxJsonBytes = 16u << 20;
+constexpr uint64_t MaxBinBytes = 1ull << 30;
+
+struct Frame {
+  std::string Json;
+  std::vector<uint8_t> Bin;
+};
+
+/// Reads one frame, blocking until complete. Returns false with \p Err on
+/// EOF, I/O error, or malformed framing. A clean EOF before any byte sets
+/// \p Err to "eof".
+bool readFrame(int Fd, Frame &F, std::string &Err);
+
+/// Writes one frame, blocking until fully sent (SIGPIPE-safe).
+bool writeFrame(int Fd, const Frame &F, std::string &Err);
+
+/// Name/parse of AtomOptions::SaveStrategy, shared by the CLIs and the
+/// protocol ("wrapper", "direct", "distributed", "save-all", "liveness").
+const char *saveStrategyName(AtomOptions::SaveStrategy S);
+bool parseSaveStrategy(const std::string &Name, AtomOptions::SaveStrategy &S);
+
+/// Serializes every AtomOptions field that affects output bytes as a JSON
+/// object value (the scheduling fields Jobs/CachePipeline/CacheBytes stay
+/// daemon-side). parseAtomOptions accepts what writeAtomOptions emits,
+/// with absent fields keeping their defaults.
+void writeAtomOptions(obs::JsonWriter &W, const AtomOptions &O);
+bool parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
+                      std::string &Err);
+
+/// Builds the JSON document of an instrument request (application image
+/// travels as the frame's binary attachment).
+std::string makeInstrumentRequest(uint64_t Id, const std::string &Tool,
+                                  const std::string &Client,
+                                  const AtomOptions &O);
+
+/// Builds an argument-free request ("status", "ping", "shutdown", ...).
+std::string makeSimpleRequest(uint64_t Id, const std::string &Op);
+
+/// A parsed reply. Doc keeps the whole document for op-specific fields
+/// (status counters etc.).
+struct Reply {
+  uint64_t Id = 0;
+  bool Ok = false;
+  bool Retry = false;          ///< Backpressure: resend after RetryAfterMs.
+  uint64_t RetryAfterMs = 0;
+  std::string Error;           ///< Reason ("queue-full", "quota") or error.
+  std::vector<Diag> Diags;     ///< Pipeline diagnostics on failure.
+  InstrStats Stats;            ///< Instrument replies.
+  obs::json::Value Doc;
+};
+
+bool parseReply(const Frame &F, Reply &R, std::string &Err);
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_PROTOCOL_H

@@ -1,0 +1,314 @@
+//===- atomd/Store.cpp ----------------------------------------------------===//
+
+#include "atomd/Store.h"
+
+#include "obs/Obs.h"
+#include "om/Serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+using namespace atom;
+using namespace atom::atomd;
+
+namespace {
+
+constexpr char Magic[4] = {'A', 'S', 'T', 'R'};
+
+void put32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(uint8_t(V >> (8 * I)));
+}
+
+void put64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(uint8_t(V >> (8 * I)));
+}
+
+bool get32(const std::vector<uint8_t> &B, size_t &Pos, uint32_t &V) {
+  if (Pos + 4 > B.size())
+    return false;
+  V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | B[Pos + size_t(I)];
+  Pos += 4;
+  return true;
+}
+
+bool get64(const std::vector<uint8_t> &B, size_t &Pos, uint64_t &V) {
+  if (Pos + 8 > B.size())
+    return false;
+  V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | B[Pos + size_t(I)];
+  Pos += 8;
+  return true;
+}
+
+bool readWhole(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Parses a "<16 hex>.au" entry file name into its key.
+bool parseEntryName(const std::string &Name, uint64_t &Key) {
+  if (Name.size() != 19 || Name.compare(16, 3, ".au") != 0)
+    return false;
+  Key = 0;
+  for (size_t I = 0; I < 16; ++I) {
+    char C = Name[I];
+    Key <<= 4;
+    if (C >= '0' && C <= '9')
+      Key |= uint64_t(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Key |= uint64_t(C - 'a' + 10);
+    else
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Store::Store(std::string Dir, uint64_t MaxBytes)
+    : Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
+
+std::string Store::entryPath(const std::string &Dir, uint64_t Key) {
+  return Dir + "/" + formatString("%016llx.au", (unsigned long long)Key);
+}
+
+bool Store::open(std::string &Err) {
+  if (mkdir(Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    Err = "cannot create store directory '" + Dir + "': " +
+          std::strerror(errno);
+    return false;
+  }
+  DIR *D = opendir(Dir.c_str());
+  if (!D) {
+    Err = "cannot read store directory '" + Dir + "': " +
+          std::strerror(errno);
+    return false;
+  }
+  // Initial LRU order: file mtime (coarse, but only seeds the in-memory
+  // clock); interrupted writes left behind as tmp.* files are removed.
+  std::vector<std::pair<int64_t, std::pair<uint64_t, uint64_t>>> Found;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("tmp.", 0) == 0) {
+      ::unlink((Dir + "/" + Name).c_str());
+      continue;
+    }
+    uint64_t Key;
+    if (!parseEntryName(Name, Key))
+      continue;
+    struct stat St;
+    if (stat((Dir + "/" + Name).c_str(), &St) != 0)
+      continue;
+    Found.push_back({int64_t(St.st_mtime), {Key, uint64_t(St.st_size)}});
+  }
+  closedir(D);
+  std::sort(Found.begin(), Found.end());
+  std::lock_guard<std::mutex> L(Mu);
+  for (const auto &[Mtime, KeySize] : Found) {
+    (void)Mtime;
+    Entry &En = Entries[KeySize.first];
+    En.Bytes = KeySize.second;
+    En.LastUse = ++UseClock;
+    Stats.Bytes += En.Bytes;
+  }
+  evictLocked();
+  return true;
+}
+
+std::vector<uint8_t> Store::encodeEntry(uint64_t Key, const CachedUnit &U) {
+  // Payload: ok flag, diagnostics, serialized unit (empty when !Ok).
+  std::vector<uint8_t> Payload;
+  Payload.push_back(U.Ok ? 1 : 0);
+  put32(Payload, uint32_t(U.Diags.size()));
+  for (const Diag &D : U.Diags) {
+    put32(Payload, uint32_t(D.Line));
+    put32(Payload, uint32_t(D.Message.size()));
+    Payload.insert(Payload.end(), D.Message.begin(), D.Message.end());
+  }
+  std::vector<uint8_t> Unit;
+  if (U.Ok)
+    Unit = om::serializeUnit(U.U);
+  put64(Payload, Unit.size());
+  Payload.insert(Payload.end(), Unit.begin(), Unit.end());
+
+  std::vector<uint8_t> Out;
+  for (char C : Magic)
+    Out.push_back(uint8_t(C));
+  put32(Out, StoreFormatVersion);
+  put64(Out, Key);
+  put64(Out, Payload.size());
+  put64(Out, fnv1a(Payload.data(), Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
+                        CachedUnit &Out) {
+  size_t Pos = 0;
+  if (Bytes.size() < 4)
+    return false;
+  for (char C : Magic)
+    if (Bytes[Pos++] != uint8_t(C))
+      return false;
+  uint32_t Version;
+  uint64_t FileKey, PayloadLen, Checksum;
+  if (!get32(Bytes, Pos, Version) || Version != StoreFormatVersion ||
+      !get64(Bytes, Pos, FileKey) || FileKey != Key ||
+      !get64(Bytes, Pos, PayloadLen) || !get64(Bytes, Pos, Checksum))
+    return false;
+  // The payload must be exactly the rest of the file and checksum clean:
+  // a truncated or torn entry fails here and is rebuilt.
+  if (PayloadLen != Bytes.size() - Pos)
+    return false;
+  if (fnv1a(Bytes.data() + Pos, PayloadLen) != Checksum)
+    return false;
+
+  if (Pos >= Bytes.size())
+    return false;
+  uint8_t Ok = Bytes[Pos++];
+  if (Ok > 1)
+    return false;
+  Out.Ok = Ok != 0;
+  uint32_t NumDiags;
+  if (!get32(Bytes, Pos, NumDiags) ||
+      size_t(NumDiags) > (Bytes.size() - Pos) / 8)
+    return false;
+  Out.Diags.resize(NumDiags);
+  for (Diag &D : Out.Diags) {
+    uint32_t Line, Len;
+    if (!get32(Bytes, Pos, Line) || !get32(Bytes, Pos, Len) ||
+        Len > Bytes.size() - Pos)
+      return false;
+    D.Line = int(Line);
+    D.Message.assign(Bytes.begin() + long(Pos), Bytes.begin() + long(Pos + Len));
+    Pos += Len;
+  }
+  uint64_t UnitLen;
+  if (!get64(Bytes, Pos, UnitLen) || UnitLen != Bytes.size() - Pos)
+    return false;
+  if (!Out.Ok)
+    return UnitLen == 0;
+  std::vector<uint8_t> Unit(Bytes.begin() + long(Pos), Bytes.end());
+  return om::deserializeUnit(Unit, Out.U);
+}
+
+bool Store::load(uint64_t Key, CachedUnit &Out) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Stats.Misses;
+    return false;
+  }
+  std::vector<uint8_t> Bytes;
+  std::string Path = entryPath(Dir, Key);
+  if (!readWhole(Path, Bytes) || !decodeEntry(Bytes, Key, Out)) {
+    // Corrupted (torn write, bit rot, stale format): drop it and let the
+    // caller rebuild; the rebuilt unit will be re-spilled.
+    ++Stats.Misses;
+    ++Stats.LoadFailures;
+    dropLocked(Key, /*CountEviction=*/false);
+    Out = CachedUnit();
+    return false;
+  }
+  ++Stats.Hits;
+  It->second.LastUse = ++UseClock;
+  return true;
+}
+
+void Store::store(uint64_t Key, const CachedUnit &U) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Entries.count(Key))
+    return; // content-addressed: an existing entry is already identical
+  std::vector<uint8_t> Bytes = encodeEntry(Key, U);
+  // Write-then-rename so a crash mid-write never publishes a torn entry.
+  std::string Tmp =
+      Dir + "/" + formatString("tmp.%d.%016llx", int(getpid()),
+                               (unsigned long long)Key);
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return;
+    OutF.write(reinterpret_cast<const char *>(Bytes.data()),
+               long(Bytes.size()));
+    if (!OutF)
+      return;
+  }
+  if (std::rename(Tmp.c_str(), entryPath(Dir, Key).c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return;
+  }
+  Entry &En = Entries[Key];
+  En.Bytes = Bytes.size();
+  En.LastUse = ++UseClock;
+  Stats.Bytes += En.Bytes;
+  ++Stats.Writes;
+  evictLocked();
+}
+
+void Store::dropLocked(uint64_t Key, bool CountEviction) {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return;
+  Stats.Bytes -= It->second.Bytes;
+  if (CountEviction)
+    ++Stats.Evictions;
+  Entries.erase(It);
+  ::unlink(entryPath(Dir, Key).c_str());
+}
+
+void Store::evictLocked() {
+  while (MaxBytes && Stats.Bytes > MaxBytes && !Entries.empty()) {
+    auto Victim = Entries.begin();
+    for (auto It = Entries.begin(); It != Entries.end(); ++It)
+      if (It->second.LastUse < Victim->second.LastUse)
+        Victim = It;
+    dropLocked(Victim->first, /*CountEviction=*/true);
+  }
+}
+
+bool Store::contains(uint64_t Key) const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Entries.count(Key) != 0;
+}
+
+size_t Store::entryCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Entries.size();
+}
+
+StoreStats Store::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+void Store::publishStats() {
+  obs::Registry &Reg = obs::Registry::global();
+  if (!Reg.enabled())
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  Reg.addCounter("atomd.store-hits", Stats.Hits - Published.Hits);
+  Reg.addCounter("atomd.store-misses", Stats.Misses - Published.Misses);
+  Reg.addCounter("atomd.store-load-failures",
+                 Stats.LoadFailures - Published.LoadFailures);
+  Reg.addCounter("atomd.store-writes", Stats.Writes - Published.Writes);
+  Reg.addCounter("atomd.store-evictions",
+                 Stats.Evictions - Published.Evictions);
+  Reg.setGauge("atomd.store-bytes", double(Stats.Bytes));
+  Published = Stats;
+}

@@ -1,0 +1,101 @@
+//===- atomd/Store.h - Persistent content-addressed artifact store -*-C++-*===//
+//
+// The disk tier behind atom::PipelineCache (docs/DAEMON.md): one file per
+// cached pipeline artifact, named by its existing FNV-1a content key, each
+// holding a versioned, checksummed serialization of the CachedUnit (build
+// outcome + diagnostics + om IR via om::serializeUnit). A restarted daemon
+// reloads lift results instead of recompiling, so cold starts are cheap.
+//
+// Durability contract: entries are written to a temporary file and
+// rename()d into place, so a crash mid-write never publishes a torn entry;
+// a corrupted or truncated entry fails its checksum on load, is deleted,
+// and the artifact is rebuilt (tests/StoreTests.cpp, tests/AtomdTests.cpp).
+// The store is size-capped with LRU eviction.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_STORE_H
+#define ATOM_ATOMD_STORE_H
+
+#include "atom/Batch.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace atom {
+namespace atomd {
+
+/// Bumped on any entry-format change; readers treat other versions as
+/// misses (the entry is deleted and rebuilt).
+constexpr uint32_t StoreFormatVersion = 1;
+
+struct StoreStats {
+  uint64_t Hits = 0;         ///< load() calls that returned an entry.
+  uint64_t Misses = 0;       ///< load() calls with no (valid) entry.
+  uint64_t LoadFailures = 0; ///< Entries rejected (checksum/format) and
+                             ///< deleted; every one is also a miss.
+  uint64_t Writes = 0;       ///< Entries persisted by store().
+  uint64_t Evictions = 0;    ///< Entries deleted to respect the byte cap.
+  uint64_t Bytes = 0;        ///< Current on-disk footprint.
+};
+
+/// A directory of "<16-hex-key>.au" entry files plus LRU bookkeeping.
+/// Thread-safe; every operation takes one internal mutex (entries are
+/// small and local-disk I/O is not the pipeline bottleneck).
+class Store : public CacheTier {
+public:
+  /// \p MaxBytes caps the on-disk footprint (0 = unbounded).
+  Store(std::string Dir, uint64_t MaxBytes = 0);
+
+  /// Creates the directory if needed and scans existing entries (initial
+  /// LRU order by file mtime; stale temporary files are removed). Returns
+  /// false with \p Err if the directory cannot be created or read.
+  bool open(std::string &Err);
+
+  // CacheTier: the PipelineCache consults the store on an in-memory miss
+  // and spills every completed build.
+  bool load(uint64_t Key, CachedUnit &Out) override;
+  void store(uint64_t Key, const CachedUnit &U) override;
+
+  bool contains(uint64_t Key) const;
+  size_t entryCount() const;
+  StoreStats stats() const;
+  const std::string &dir() const { return Dir; }
+
+  /// Adds activity since the last publish to the global registry as
+  /// atomd.store-hits / -misses / -load-failures / -writes / -evictions
+  /// counter deltas plus the atomd.store-bytes gauge.
+  void publishStats();
+
+  /// Serializes \p U as one store entry payload (exposed for tests).
+  static std::vector<uint8_t> encodeEntry(uint64_t Key, const CachedUnit &U);
+  /// Parses and validates an entry file image; false on any corruption.
+  static bool decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
+                          CachedUnit &Out);
+
+  /// Entry file path for \p Key under \p Dir ("<dir>/<16-hex>.au").
+  static std::string entryPath(const std::string &Dir, uint64_t Key);
+
+private:
+  struct Entry {
+    uint64_t Bytes = 0;
+    uint64_t LastUse = 0;
+  };
+
+  void evictLocked();   ///< Requires Mu.
+  void dropLocked(uint64_t Key, bool CountEviction); ///< Requires Mu.
+
+  std::string Dir;
+  uint64_t MaxBytes;
+  mutable std::mutex Mu;
+  std::map<uint64_t, Entry> Entries;
+  uint64_t UseClock = 0;
+  StoreStats Stats;
+  StoreStats Published;
+};
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_STORE_H

@@ -1,0 +1,218 @@
+//===- obs/Json.cpp -------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+using namespace atom;
+using namespace atom::obs::json;
+
+uint64_t Value::asU64() const {
+  return std::strtoull(Text.c_str(), nullptr, 10);
+}
+
+int64_t Value::asI64() const {
+  return std::strtoll(Text.c_str(), nullptr, 10);
+}
+
+double Value::asDouble() const { return std::strtod(Text.c_str(), nullptr); }
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &S) : S(S) {}
+
+  bool parse(Value &Out, std::string &Err) {
+    if (!value(Out, Err))
+      return false;
+    skipWs();
+    if (Pos != S.size()) {
+      Err = "trailing characters";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(uint8_t(S[Pos])))
+      ++Pos;
+  }
+
+  bool fail(std::string &Err, const char *Msg) {
+    Err = formatString("%s at offset %zu", Msg, Pos);
+    return false;
+  }
+
+  bool value(Value &Out, std::string &Err) {
+    skipWs();
+    if (Pos >= S.size())
+      return fail(Err, "unexpected end of input");
+    char C = S[Pos];
+    if (C == '{')
+      return object(Out, Err);
+    if (C == '[')
+      return array(Out, Err);
+    if (C == '"') {
+      Out.K = Value::Str;
+      return string(Out.Text, Err);
+    }
+    if (C == 't' || C == 'f') {
+      const char *Lit = C == 't' ? "true" : "false";
+      size_t N = std::strlen(Lit);
+      if (S.compare(Pos, N, Lit) != 0)
+        return fail(Err, "bad literal");
+      Pos += N;
+      Out.K = Value::Bool;
+      Out.B = C == 't';
+      return true;
+    }
+    if (C == 'n') {
+      if (S.compare(Pos, 4, "null") != 0)
+        return fail(Err, "bad literal");
+      Pos += 4;
+      Out.K = Value::Null;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(uint8_t(S[Pos])) || std::strchr(".eE+-", S[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return fail(Err, "unexpected character");
+    Out.K = Value::Num;
+    Out.Text = S.substr(Start, Pos - Start);
+    return true;
+  }
+
+  bool string(std::string &Out, std::string &Err) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      char E = S[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return fail(Err, "bad \\u escape");
+        unsigned V = 0;
+        for (unsigned I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= unsigned(H - 'A' + 10);
+          else
+            return fail(Err, "bad \\u escape");
+        }
+        // The writer only emits \u00xx control escapes; decode the low
+        // byte and ignore the (unused) non-BMP/UTF-16 machinery.
+        Out += char(uint8_t(V));
+        break;
+      }
+      default:
+        return fail(Err, "bad escape");
+      }
+    }
+    return fail(Err, "unterminated string");
+  }
+
+  bool object(Value &Out, std::string &Err) {
+    Out.K = Value::Obj;
+    ++Pos; // {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail(Err, "expected object key");
+      std::string Key;
+      if (!string(Key, Err))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return fail(Err, "expected ':'");
+      ++Pos;
+      Value V;
+      if (!value(V, Err))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail(Err, "expected ',' or '}'");
+    }
+  }
+
+  bool array(Value &Out, std::string &Err) {
+    Out.K = Value::Arr;
+    ++Pos; // [
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Value V;
+      if (!value(V, Err))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail(Err, "expected ',' or ']'");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool atom::obs::json::parse(const std::string &Text, Value &Out,
+                            std::string &Err) {
+  return Parser(Text).parse(Out, Err);
+}

@@ -1,0 +1,72 @@
+//===- obs/Json.h - Minimal JSON value tree and parser ----------*- C++ -*-===//
+//
+// The zero-dependency JSON reader that backs obs::Registry::fromJson(),
+// exposed so other subsystems can parse small JSON documents (the atomd
+// request protocol, docs/DAEMON.md) without growing a dependency. The
+// matching writer is obs::JsonWriter (Obs.h).
+//
+// Numbers keep their raw text so 64-bit counters survive a round trip
+// exactly; callers pick the interpretation (asU64/asI64/asDouble).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OBS_JSON_H
+#define ATOM_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace obs {
+namespace json {
+
+/// A parsed JSON value. Object members keep their document order.
+struct Value {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
+  bool B = false;
+  std::string Text; ///< Num: raw literal. Str: decoded contents.
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+
+  /// Looks up an object member; nullptr if absent (or not an object).
+  const Value *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+
+  uint64_t asU64() const;
+  int64_t asI64() const;
+  double asDouble() const;
+  /// True when the numeric literal has no fraction or exponent.
+  bool isIntText() const {
+    return Text.find_first_of(".eE") == std::string::npos;
+  }
+
+  // Typed member accessors with defaults, for protocol-style documents.
+  std::string str(const std::string &Key,
+                  const std::string &Default = "") const {
+    const Value *V = find(Key);
+    return V && V->K == Str ? V->Text : Default;
+  }
+  uint64_t u64(const std::string &Key, uint64_t Default = 0) const {
+    const Value *V = find(Key);
+    return V && V->K == Num ? V->asU64() : Default;
+  }
+  bool boolean(const std::string &Key, bool Default = false) const {
+    const Value *V = find(Key);
+    return V && V->K == Bool ? V->B : Default;
+  }
+};
+
+/// Parses \p Text into \p Out. Returns false with a position-carrying
+/// message in \p Err on malformed input.
+bool parse(const std::string &Text, Value &Out, std::string &Err);
+
+} // namespace json
+} // namespace obs
+} // namespace atom
+
+#endif // ATOM_OBS_JSON_H

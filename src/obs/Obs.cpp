@@ -2,6 +2,8 @@
 
 #include "obs/Obs.h"
 
+#include "obs/Json.h"
+
 #include "support/Support.h"
 
 #include <algorithm>
@@ -632,219 +634,12 @@ std::string Registry::timingTree() const {
 }
 
 //===----------------------------------------------------------------------===//
-// fromJson — a minimal parser for exactly the toJson() schema
+// fromJson — loads exactly the toJson() schema via the obs::json parser
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-/// A tiny JSON value tree. Numbers keep their raw text so 64-bit counters
-/// survive the round trip exactly.
-struct JValue {
-  enum Kind { Null, Bool, Num, Str, Arr, Obj } K = Null;
-  bool B = false;
-  std::string Text; ///< Num: raw literal. Str: decoded contents.
-  std::vector<JValue> Items;
-  std::vector<std::pair<std::string, JValue>> Members;
-
-  const JValue *find(const std::string &Key) const {
-    for (const auto &[K2, V] : Members)
-      if (K2 == Key)
-        return &V;
-    return nullptr;
-  }
-  uint64_t asU64() const { return std::strtoull(Text.c_str(), nullptr, 10); }
-  double asDouble() const { return std::strtod(Text.c_str(), nullptr); }
-  bool isIntText() const {
-    return Text.find_first_of(".eE") == std::string::npos;
-  }
-};
-
-class JParser {
-public:
-  JParser(const std::string &S) : S(S) {}
-
-  bool parse(JValue &Out, std::string &Err) {
-    if (!value(Out, Err))
-      return false;
-    skipWs();
-    if (Pos != S.size()) {
-      Err = "trailing characters";
-      return false;
-    }
-    return true;
-  }
-
-private:
-  void skipWs() {
-    while (Pos < S.size() && std::isspace(uint8_t(S[Pos])))
-      ++Pos;
-  }
-
-  bool fail(std::string &Err, const char *Msg) {
-    Err = formatString("%s at offset %zu", Msg, Pos);
-    return false;
-  }
-
-  bool value(JValue &Out, std::string &Err) {
-    skipWs();
-    if (Pos >= S.size())
-      return fail(Err, "unexpected end of input");
-    char C = S[Pos];
-    if (C == '{')
-      return object(Out, Err);
-    if (C == '[')
-      return array(Out, Err);
-    if (C == '"') {
-      Out.K = JValue::Str;
-      return string(Out.Text, Err);
-    }
-    if (C == 't' || C == 'f') {
-      const char *Lit = C == 't' ? "true" : "false";
-      size_t N = std::strlen(Lit);
-      if (S.compare(Pos, N, Lit) != 0)
-        return fail(Err, "bad literal");
-      Pos += N;
-      Out.K = JValue::Bool;
-      Out.B = C == 't';
-      return true;
-    }
-    if (C == 'n') {
-      if (S.compare(Pos, 4, "null") != 0)
-        return fail(Err, "bad literal");
-      Pos += 4;
-      Out.K = JValue::Null;
-      return true;
-    }
-    // Number.
-    size_t Start = Pos;
-    if (C == '-')
-      ++Pos;
-    while (Pos < S.size() &&
-           (std::isdigit(uint8_t(S[Pos])) || std::strchr(".eE+-", S[Pos])))
-      ++Pos;
-    if (Pos == Start)
-      return fail(Err, "unexpected character");
-    Out.K = JValue::Num;
-    Out.Text = S.substr(Start, Pos - Start);
-    return true;
-  }
-
-  bool string(std::string &Out, std::string &Err) {
-    ++Pos; // opening quote
-    Out.clear();
-    while (Pos < S.size()) {
-      char C = S[Pos++];
-      if (C == '"')
-        return true;
-      if (C != '\\') {
-        Out += C;
-        continue;
-      }
-      if (Pos >= S.size())
-        break;
-      char E = S[Pos++];
-      switch (E) {
-      case '"': Out += '"'; break;
-      case '\\': Out += '\\'; break;
-      case '/': Out += '/'; break;
-      case 'n': Out += '\n'; break;
-      case 'r': Out += '\r'; break;
-      case 't': Out += '\t'; break;
-      case 'b': Out += '\b'; break;
-      case 'f': Out += '\f'; break;
-      case 'u': {
-        if (Pos + 4 > S.size())
-          return fail(Err, "bad \\u escape");
-        unsigned V = 0;
-        for (unsigned I = 0; I < 4; ++I) {
-          char H = S[Pos++];
-          V <<= 4;
-          if (H >= '0' && H <= '9')
-            V |= unsigned(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            V |= unsigned(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            V |= unsigned(H - 'A' + 10);
-          else
-            return fail(Err, "bad \\u escape");
-        }
-        // The writer only emits \u00xx control escapes; decode the low
-        // byte and ignore the (unused) non-BMP/UTF-16 machinery.
-        Out += char(uint8_t(V));
-        break;
-      }
-      default:
-        return fail(Err, "bad escape");
-      }
-    }
-    return fail(Err, "unterminated string");
-  }
-
-  bool object(JValue &Out, std::string &Err) {
-    Out.K = JValue::Obj;
-    ++Pos; // {
-    skipWs();
-    if (Pos < S.size() && S[Pos] == '}') {
-      ++Pos;
-      return true;
-    }
-    while (true) {
-      skipWs();
-      if (Pos >= S.size() || S[Pos] != '"')
-        return fail(Err, "expected object key");
-      std::string Key;
-      if (!string(Key, Err))
-        return false;
-      skipWs();
-      if (Pos >= S.size() || S[Pos] != ':')
-        return fail(Err, "expected ':'");
-      ++Pos;
-      JValue V;
-      if (!value(V, Err))
-        return false;
-      Out.Members.emplace_back(std::move(Key), std::move(V));
-      skipWs();
-      if (Pos < S.size() && S[Pos] == ',') {
-        ++Pos;
-        continue;
-      }
-      if (Pos < S.size() && S[Pos] == '}') {
-        ++Pos;
-        return true;
-      }
-      return fail(Err, "expected ',' or '}'");
-    }
-  }
-
-  bool array(JValue &Out, std::string &Err) {
-    Out.K = JValue::Arr;
-    ++Pos; // [
-    skipWs();
-    if (Pos < S.size() && S[Pos] == ']') {
-      ++Pos;
-      return true;
-    }
-    while (true) {
-      JValue V;
-      if (!value(V, Err))
-        return false;
-      Out.Items.push_back(std::move(V));
-      skipWs();
-      if (Pos < S.size() && S[Pos] == ',') {
-        ++Pos;
-        continue;
-      }
-      if (Pos < S.size() && S[Pos] == ']') {
-        ++Pos;
-        return true;
-      }
-      return fail(Err, "expected ',' or ']'");
-    }
-  }
-
-  const std::string &S;
-  size_t Pos = 0;
-};
+using JValue = json::Value;
 
 bool loadSpan(const JValue &V, Registry::SpanNode &Out, std::string &Err) {
   const JValue *Name = V.find("name"), *Secs = V.find("seconds"),
@@ -872,7 +667,7 @@ bool loadSpan(const JValue &V, Registry::SpanNode &Out, std::string &Err) {
 bool Registry::fromJson(const std::string &Text, Registry &Out,
                         std::string &Err) {
   JValue Doc;
-  if (!JParser(Text).parse(Doc, Err))
+  if (!json::parse(Text, Doc, Err))
     return false;
   if (Doc.K != JValue::Obj) {
     Err = "top level is not an object";

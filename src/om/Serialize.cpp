@@ -1,0 +1,368 @@
+//===- om/Serialize.cpp ---------------------------------------------------===//
+
+#include "om/Serialize.h"
+
+using namespace atom;
+using namespace atom::om;
+
+namespace {
+
+constexpr char Magic[4] = {'A', 'O', 'M', 'U'};
+
+class Writer {
+public:
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void i32(int32_t V) { u32(uint32_t(V)); }
+  void i64(int64_t V) { u64(uint64_t(V)); }
+  void str(const std::string &S) {
+    u32(uint32_t(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(const std::vector<uint8_t> &B) {
+    u64(B.size());
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  std::vector<uint8_t> Out;
+};
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > B.size())
+      return false;
+    V = B[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > B.size())
+      return false;
+    V = 0;
+    for (int I = 3; I >= 0; --I)
+      V = (V << 8) | B[Pos + size_t(I)];
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > B.size())
+      return false;
+    V = 0;
+    for (int I = 7; I >= 0; --I)
+      V = (V << 8) | B[Pos + size_t(I)];
+    Pos += 8;
+    return true;
+  }
+  bool i32(int32_t &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = int32_t(U);
+    return true;
+  }
+  bool i64(int64_t &V) {
+    uint64_t U;
+    if (!u64(U))
+      return false;
+    V = int64_t(U);
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || Pos + N > B.size())
+      return false;
+    S.assign(B.begin() + long(Pos), B.begin() + long(Pos + N));
+    Pos += N;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &V) {
+    uint64_t N;
+    if (!u64(N) || N > B.size() - Pos)
+      return false;
+    V.assign(B.begin() + long(Pos), B.begin() + long(Pos + N));
+    Pos += N;
+    return true;
+  }
+  /// Reads an element count that is followed by at least \p MinElemBytes
+  /// bytes per element, so a corrupted count cannot drive a huge resize.
+  bool count(uint32_t &N, size_t MinElemBytes) {
+    if (!u32(N))
+      return false;
+    return MinElemBytes == 0 || size_t(N) <= (B.size() - Pos) / MinElemBytes;
+  }
+  bool atEnd() const { return Pos >= B.size(); }
+
+private:
+  const std::vector<uint8_t> &B;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+void writeActions(Writer &W, const std::vector<Action> &As) {
+  W.u32(uint32_t(As.size()));
+  for (const Action &A : As) {
+    W.str(A.Callee);
+    W.u32(uint32_t(A.Args.size()));
+    for (const CallArg &Arg : A.Args) {
+      W.u8(uint8_t(Arg.K));
+      W.i64(Arg.Value);
+      W.u32(Arg.Reg);
+    }
+  }
+}
+
+void writeInst(Writer &W, const InstNode &N) {
+  W.u8(uint8_t(N.I.Op));
+  W.u8(N.I.Ra);
+  W.u8(N.I.Rb);
+  W.u8(N.I.Rc);
+  W.u8(N.I.IsLit);
+  W.u8(N.I.Lit);
+  W.i32(N.I.Disp);
+  W.u64(N.OrigPC);
+  W.u8(uint8_t(N.RelKind));
+  W.u8(N.HasReloc);
+  W.u8(uint8_t(N.Ref.Unit));
+  W.i32(N.Ref.SymIndex);
+  W.i64(N.Ref.Addend);
+  W.i32(N.BranchBlock);
+  writeActions(W, N.Before);
+  writeActions(W, N.After);
+}
+
+void writeRelocs(Writer &W, const std::vector<obj::Reloc> &Rs) {
+  W.u32(uint32_t(Rs.size()));
+  for (const obj::Reloc &R : Rs) {
+    W.u8(uint8_t(R.Kind));
+    W.u64(R.Offset);
+    W.u32(R.SymIndex);
+    W.i64(R.Addend);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
+
+bool readActions(Reader &R, std::vector<Action> &As) {
+  uint32_t N;
+  if (!R.count(N, 4))
+    return false;
+  As.resize(N);
+  for (Action &A : As) {
+    uint32_t NArgs;
+    if (!R.str(A.Callee) || !R.count(NArgs, 13))
+      return false;
+    A.Args.resize(NArgs);
+    for (CallArg &Arg : A.Args) {
+      uint8_t K;
+      int64_t V;
+      uint32_t Reg;
+      if (!R.u8(K) || K > uint8_t(CallArg::BrCond) || !R.i64(V) ||
+          !R.u32(Reg))
+        return false;
+      Arg.K = CallArg::Kind(K);
+      Arg.Value = V;
+      Arg.Reg = Reg;
+    }
+  }
+  return true;
+}
+
+bool readInst(Reader &R, InstNode &N, int NumBlocks) {
+  uint8_t Op, IsLit, RelKind, HasReloc, RefUnit;
+  if (!R.u8(Op) || Op >= uint8_t(isa::Opcode::NumOpcodes))
+    return false;
+  N.I.Op = isa::Opcode(Op);
+  if (!R.u8(N.I.Ra) || !R.u8(N.I.Rb) || !R.u8(N.I.Rc) || !R.u8(IsLit) ||
+      !R.u8(N.I.Lit) || !R.i32(N.I.Disp) || !R.u64(N.OrigPC))
+    return false;
+  N.I.IsLit = IsLit != 0;
+  if (!R.u8(RelKind) || RelKind > uint8_t(obj::RelocKind::Br21) ||
+      !R.u8(HasReloc) || !R.u8(RefUnit) ||
+      RefUnit > uint8_t(UnitTag::Analysis) || !R.i32(N.Ref.SymIndex) ||
+      !R.i64(N.Ref.Addend) || !R.i32(N.BranchBlock))
+    return false;
+  N.RelKind = obj::RelocKind(RelKind);
+  N.HasReloc = HasReloc != 0;
+  N.Ref.Unit = UnitTag(RefUnit);
+  if (N.BranchBlock < -1 || N.BranchBlock >= NumBlocks)
+    return false;
+  return readActions(R, N.Before) && readActions(R, N.After);
+}
+
+bool readRelocs(Reader &R, std::vector<obj::Reloc> &Rs, size_t NumSymbols) {
+  uint32_t N;
+  if (!R.count(N, 21))
+    return false;
+  Rs.resize(N);
+  for (obj::Reloc &Rel : Rs) {
+    uint8_t Kind;
+    if (!R.u8(Kind) || Kind > uint8_t(obj::RelocKind::Br21) ||
+        !R.u64(Rel.Offset) || !R.u32(Rel.SymIndex) || !R.i64(Rel.Addend) ||
+        Rel.SymIndex >= NumSymbols)
+      return false;
+    Rel.Kind = obj::RelocKind(Kind);
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> om::serializeUnit(const Unit &U) {
+  Writer W;
+  for (char C : Magic)
+    W.u8(uint8_t(C));
+  W.u32(UnitFormatVersion);
+  W.u8(uint8_t(U.Tag));
+
+  W.u32(uint32_t(U.Symbols.size()));
+  for (const obj::Symbol &S : U.Symbols) {
+    W.str(S.Name);
+    W.u8(uint8_t(S.Section));
+    W.u64(S.Value);
+    W.u8(S.Global);
+    W.u8(S.IsProc);
+    W.u64(S.Size);
+  }
+
+  W.u32(uint32_t(U.Procs.size()));
+  for (const Procedure &P : U.Procs) {
+    W.str(P.Name);
+    W.i32(P.SymIndex);
+    W.u64(P.OrigStart);
+    W.u64(P.NewStart);
+    W.u32(uint32_t(P.Blocks.size()));
+    for (const Block &B : P.Blocks) {
+      W.u32(uint32_t(B.Insts.size()));
+      for (const InstNode &N : B.Insts)
+        writeInst(W, N);
+      W.u32(uint32_t(B.Succs.size()));
+      for (int S : B.Succs)
+        W.i32(S);
+      W.u32(uint32_t(B.Preds.size()));
+      for (int S : B.Preds)
+        W.i32(S);
+      W.u64(B.OrigPC);
+      W.u64(B.NewPC);
+      writeActions(W, B.Before);
+      writeActions(W, B.After);
+      W.u32(uint32_t(B.EdgeActions.size()));
+      for (const auto &[Succ, A] : B.EdgeActions) {
+        W.i32(Succ);
+        writeActions(W, {A});
+      }
+    }
+    writeActions(W, P.Before);
+    writeActions(W, P.After);
+  }
+
+  W.bytes(U.Data);
+  W.u64(U.DataStart);
+  W.u64(U.BssSize);
+  writeRelocs(W, U.DataRelocs);
+  writeActions(W, U.ProgramBefore);
+  writeActions(W, U.ProgramAfter);
+  return std::move(W.Out);
+}
+
+bool om::deserializeUnit(const std::vector<uint8_t> &Bytes, Unit &Out) {
+  Reader R(Bytes);
+  for (char C : Magic) {
+    uint8_t V;
+    if (!R.u8(V) || V != uint8_t(C))
+      return false;
+  }
+  uint32_t Version;
+  uint8_t Tag;
+  if (!R.u32(Version) || Version != UnitFormatVersion || !R.u8(Tag) ||
+      Tag > uint8_t(UnitTag::Analysis))
+    return false;
+
+  Out = Unit();
+  Out.Tag = UnitTag(Tag);
+
+  uint32_t NumSymbols;
+  if (!R.count(NumSymbols, 23))
+    return false;
+  Out.Symbols.resize(NumSymbols);
+  for (obj::Symbol &S : Out.Symbols) {
+    uint8_t Section, Global, IsProc;
+    if (!R.str(S.Name) || !R.u8(Section) ||
+        Section > uint8_t(obj::SymSection::Undefined) || !R.u64(S.Value) ||
+        !R.u8(Global) || !R.u8(IsProc) || !R.u64(S.Size))
+      return false;
+    S.Section = obj::SymSection(Section);
+    S.Global = Global != 0;
+    S.IsProc = IsProc != 0;
+  }
+
+  uint32_t NumProcs;
+  if (!R.count(NumProcs, 24))
+    return false;
+  Out.Procs.resize(NumProcs);
+  for (Procedure &P : Out.Procs) {
+    uint32_t NumBlocks;
+    if (!R.str(P.Name) || !R.i32(P.SymIndex) ||
+        P.SymIndex < -1 || P.SymIndex >= int(NumSymbols) ||
+        !R.u64(P.OrigStart) || !R.u64(P.NewStart) || !R.count(NumBlocks, 32))
+      return false;
+    P.Blocks.resize(NumBlocks);
+    for (Block &B : P.Blocks) {
+      uint32_t N;
+      if (!R.count(N, 35))
+        return false;
+      B.Insts.resize(N);
+      for (InstNode &I : B.Insts)
+        if (!readInst(R, I, int(NumBlocks)))
+          return false;
+      if (!R.count(N, 4))
+        return false;
+      B.Succs.resize(N);
+      for (int &S : B.Succs)
+        if (!R.i32(S) || S < 0 || S >= int(NumBlocks))
+          return false;
+      if (!R.count(N, 4))
+        return false;
+      B.Preds.resize(N);
+      for (int &S : B.Preds)
+        if (!R.i32(S) || S < 0 || S >= int(NumBlocks))
+          return false;
+      if (!R.u64(B.OrigPC) || !R.u64(B.NewPC) || !readActions(R, B.Before) ||
+          !readActions(R, B.After) || !R.count(N, 8))
+        return false;
+      B.EdgeActions.resize(N);
+      for (auto &[Succ, A] : B.EdgeActions) {
+        std::vector<Action> One;
+        if (!R.i32(Succ) || Succ < 0 || Succ >= int(NumBlocks) ||
+            !readActions(R, One) || One.size() != 1)
+          return false;
+        A = std::move(One[0]);
+      }
+    }
+    if (!readActions(R, P.Before) || !readActions(R, P.After))
+      return false;
+  }
+
+  if (!R.bytes(Out.Data) || !R.u64(Out.DataStart) || !R.u64(Out.BssSize) ||
+      !readRelocs(R, Out.DataRelocs, NumSymbols) ||
+      !readActions(R, Out.ProgramBefore) || !readActions(R, Out.ProgramAfter))
+    return false;
+  if (!R.atEnd())
+    return false;
+
+  for (size_t I = 0; I < Out.Procs.size(); ++I)
+    Out.ProcByName[Out.Procs[I].Name] = int(I);
+  return true;
+}

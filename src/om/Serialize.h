@@ -1,0 +1,41 @@
+//===- om/Serialize.h - Versioned binary form of lifted OM IR ---*- C++ -*-===//
+//
+// A stable on-disk serialization of om::Unit (magic "AOMU"), in the spirit
+// of GTIRB's serialized binary IR: lift results can be cached persistently,
+// diffed, and consumed by external tools. The atomd artifact store
+// (src/atomd/Store.h) uses it as the persistent tier behind the in-memory
+// atom::PipelineCache, so a restarted daemon skips compile/link/lift for
+// every tool and application it has seen before.
+//
+// The format is self-contained and fully bounds-checked on read: a
+// truncated or corrupted buffer deserializes to false, never to a crash or
+// a half-populated unit. Round-tripping is exact — serialize(deserialize(B))
+// == B — and enforced by tests/OmSerializeTests.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OM_SERIALIZE_H
+#define ATOM_OM_SERIALIZE_H
+
+#include "om/Program.h"
+
+namespace atom {
+namespace om {
+
+/// Bumped on any layout change; readers reject other versions (a stale
+/// cache entry is rebuilt, never misread).
+constexpr uint32_t UnitFormatVersion = 1;
+
+/// Serializes \p U to the versioned "AOMU" binary form.
+std::vector<uint8_t> serializeUnit(const Unit &U);
+
+/// Parses a serializeUnit() buffer. Returns false on any malformed input
+/// (bad magic, version mismatch, truncation, out-of-range enum or index);
+/// \p Out is left in an unspecified state on failure. ProcByName is
+/// rebuilt, so the result is ready for instrumentation.
+bool deserializeUnit(const std::vector<uint8_t> &Bytes, Unit &Out);
+
+} // namespace om
+} // namespace atom
+
+#endif // ATOM_OM_SERIALIZE_H

@@ -1,0 +1,459 @@
+//===- tests/AtomdTests.cpp - Instrumentation-as-a-service daemon ---------===//
+//
+// In-process atomd::Daemon + atomd::Client tests for the contracts in
+// docs/DAEMON.md:
+//
+//  * daemon-served executables are byte-identical to standalone runAtom(),
+//    for any mix of concurrent clients and request kinds — including after
+//    a restart that reloads the persistent store;
+//  * shared artifacts are built once, however many clients ask;
+//  * the bounded queue and per-client quota reject with explicit retry
+//    replies, never silent drops or deadlocks;
+//  * a torn store entry is rejected by checksum and rebuilt, never served.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atomd/Client.h"
+#include "atomd/Daemon.h"
+#include "tools/Tools.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace atom;
+using namespace atom::atomd;
+using namespace atom::test;
+
+namespace {
+
+const char *AppA = R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 40; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)";
+
+const char *AppB = R"(
+long square(long x) { return x * x; }
+int main() {
+  printf("sq %ld\n", square(9));
+  return 0;
+}
+)";
+
+class AtomdFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Name = ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = ::testing::TempDir() + "atomd-" + Name;
+    std::string Cmd = "rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'";
+    ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  }
+
+  std::string socketPath() const { return Dir + "/d.sock"; }
+  std::string storeDir() const { return Dir + "/store"; }
+
+  /// One instrument round-trip (with backpressure retries); the returned
+  /// reply's frame binary lands in \p ExeBytes.
+  void instrumentVia(Client &Cl, const std::string &ToolName,
+                     const obj::Executable &App, const AtomOptions &O,
+                     std::vector<uint8_t> &ExeBytes, Reply &R) {
+    Frame F;
+    std::string Err;
+    ASSERT_TRUE(Cl.call(
+        makeInstrumentRequest(Cl.nextId(), ToolName, "test", O),
+        App.serialize(), R, F, Err))
+        << Err;
+    ExeBytes = std::move(F.Bin);
+  }
+
+  std::string Name, Dir;
+};
+
+TEST_F(AtomdFixture, PingStatusShutdown) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 2;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "ping"), {}, R, F,
+                      Err))
+      << Err;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Doc.u64("version"), uint64_t(ProtocolVersion));
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Doc.u64("workers"), 2u);
+  EXPECT_EQ(R.Doc.u64("queue-max"), 64u);
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "shutdown"), {}, R, F,
+                      Err))
+      << Err;
+  EXPECT_TRUE(R.Ok);
+  D.wait(); // returns because the shutdown op fired
+
+  // The daemon is gone: fresh connections fail.
+  Client Cl2;
+  EXPECT_FALSE(Cl2.connect(socketPath(), Err));
+}
+
+TEST_F(AtomdFixture, RejectsMalformedAndUnknownRequests) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.send("{not json", {}, Err));
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("malformed"), std::string::npos);
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "frobnicate"), {}, R,
+                      F, Err))
+      << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown op"), std::string::npos);
+
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "no-such-tool",
+                                            "test", AtomOptions()),
+                      {1, 2, 3}, R, F, Err))
+      << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown tool"), std::string::npos);
+}
+
+TEST_F(AtomdFixture, InstrumentMatchesStandaloneByteForByte) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 2;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  for (const char *ToolName : {"prof", "dyninst"}) {
+    AtomOptions AO;
+    InstrumentedProgram Local = instrumentOrDie(
+        App, *tools::findTool(ToolName), AO);
+
+    Client Cl;
+    ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+    std::vector<uint8_t> Exe;
+    Reply R;
+    instrumentVia(Cl, ToolName, App, AO, Exe, R);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(Exe, Local.Exe.serialize()) << ToolName;
+    EXPECT_EQ(R.Stats.Points, Local.Stats.Points);
+    EXPECT_EQ(R.Stats.InsertedInsts, Local.Stats.InsertedInsts);
+  }
+
+  // Non-default options travel with the request and change the output the
+  // same way they do locally.
+  AtomOptions Direct;
+  Direct.Strategy = AtomOptions::SaveStrategy::DirectInline;
+  Direct.InlineAnalysis = true;
+  InstrumentedProgram Local = instrumentOrDie(
+      App, *tools::findTool("prof"), Direct);
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  std::vector<uint8_t> Exe;
+  Reply R;
+  instrumentVia(Cl, "prof", App, Direct, Exe, R);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(Exe, Local.Exe.serialize());
+}
+
+TEST_F(AtomdFixture, FailedPipelineReturnsDiagnostics) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  // A garbage application image is rejected before any pipeline work.
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "test",
+                                            AtomOptions()),
+                      std::vector<uint8_t>(64, 0xEE), R, F, Err))
+      << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("malformed application"), std::string::npos);
+}
+
+TEST_F(AtomdFixture, ConcurrentClientsBuildOnceAndMatchStandalone) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 4;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable AppsArr[2] = {buildOrDie(AppA), buildOrDie(AppB)};
+  const char *ToolNames[2] = {"prof", "malloc"};
+  std::vector<uint8_t> Local[2][2];
+  for (int T = 0; T < 2; ++T)
+    for (int A = 0; A < 2; ++A)
+      Local[T][A] = instrumentOrDie(AppsArr[A],
+                                    *tools::findTool(ToolNames[T]))
+                        .Exe.serialize();
+
+  // 8 clients, each sending every (tool, app) pair — plenty of identical
+  // and distinct requests in flight at once.
+  constexpr int NumClients = 8;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int C = 0; C < NumClients; ++C)
+    Threads.emplace_back([&, C] {
+      Client Cl;
+      std::string CErr;
+      if (!Cl.connect(socketPath(), CErr)) {
+        ++Failures;
+        return;
+      }
+      for (int T = 0; T < 2; ++T)
+        for (int A = 0; A < 2; ++A) {
+          Reply R;
+          Frame F;
+          std::string Json = makeInstrumentRequest(
+              Cl.nextId(), ToolNames[T], "client-" + std::to_string(C),
+              AtomOptions());
+          if (!Cl.call(Json, AppsArr[A].serialize(), R, F, CErr) ||
+              !R.Ok || F.Bin != Local[T][A])
+            ++Failures;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Build-once: 32 requests, but only 4 artifacts (2 tools + 2 apps).
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *Cache = R.Doc.find("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->u64("misses"), 4u);
+  EXPECT_EQ(Cache->u64("hits"), uint64_t(NumClients * 4 * 2 - 4));
+  const obs::json::Value *Clients = R.Doc.find("clients");
+  ASSERT_NE(Clients, nullptr);
+  EXPECT_EQ(Clients->Members.size(), size_t(NumClients));
+}
+
+TEST_F(AtomdFixture, QuotaRejectionIsExplicitRetry) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 4;
+  O.ClientQuota = 1; // one in-flight request per connection
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  // First request parks a worker; the second (same connection, still in
+  // flight) trips the quota.
+  ASSERT_TRUE(Cl.send("{\"op\":\"stall\",\"id\":1,\"ms\":400}", {}, Err));
+  ASSERT_TRUE(Cl.send("{\"op\":\"stall\",\"id\":2,\"ms\":0}", {}, Err));
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err;
+  EXPECT_EQ(R.Id, 2u); // the rejection overtakes the stalled request
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Retry);
+  EXPECT_EQ(R.Error, "quota");
+  EXPECT_GT(R.RetryAfterMs, 0u);
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err; // the stall finishes fine
+  EXPECT_EQ(R.Id, 1u);
+  EXPECT_TRUE(R.Ok);
+
+  // A second connection has its own quota and is not affected.
+  Client Cl2;
+  ASSERT_TRUE(Cl2.connect(socketPath(), Err)) << Err;
+  ASSERT_TRUE(Cl2.call("{\"op\":\"stall\",\"id\":7,\"ms\":0}", {}, R, F,
+                       Err))
+      << Err;
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST_F(AtomdFixture, QueueFullRejectionIsExplicitRetry) {
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 1;
+  O.QueueMax = 1; // one admitted request total
+  O.ClientQuota = 8;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  ASSERT_TRUE(Cl.send("{\"op\":\"stall\",\"id\":1,\"ms\":400}", {}, Err));
+  ASSERT_TRUE(Cl.send("{\"op\":\"stall\",\"id\":2,\"ms\":0}", {}, Err));
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err;
+  EXPECT_EQ(R.Id, 2u);
+  EXPECT_TRUE(R.Retry);
+  EXPECT_EQ(R.Error, "queue-full");
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err;
+  EXPECT_EQ(R.Id, 1u);
+  EXPECT_TRUE(R.Ok);
+
+  // Client::call retries transparently until the queue drains: while Cl's
+  // stall occupies the whole queue, a second connection's request is first
+  // rejected, then admitted on a later resend.
+  ASSERT_TRUE(Cl.send("{\"op\":\"stall\",\"id\":3,\"ms\":300}", {}, Err));
+  Client Cl2;
+  ASSERT_TRUE(Cl2.connect(socketPath(), Err)) << Err;
+  ASSERT_TRUE(Cl2.call("{\"op\":\"stall\",\"id\":4,\"ms\":0}", {}, R, F,
+                       Err))
+      << Err;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Id, 4u);
+  ASSERT_TRUE(Cl.recv(R, F, Err)) << Err; // drain id 3's reply
+  EXPECT_EQ(R.Id, 3u);
+}
+
+TEST_F(AtomdFixture, RestartReloadsStoreAndStaysByteIdentical) {
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+  std::string Err;
+
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.StoreDir = storeDir();
+
+  { // First daemon: cold build, artifacts spilled to disk.
+    Daemon D(O);
+    ASSERT_TRUE(D.start(Err)) << Err;
+    Client Cl;
+    ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+    Reply R;
+    Frame F;
+    ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "t",
+                                              AtomOptions()),
+                        App.serialize(), R, F, Err))
+        << Err;
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(F.Bin, Local);
+    ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                        Err))
+        << Err;
+    const obs::json::Value *St = R.Doc.find("store");
+    ASSERT_NE(St, nullptr);
+    EXPECT_EQ(St->u64("writes"), 2u); // analysis unit + lifted app
+    D.requestShutdown();
+    D.wait();
+  }
+
+  // Second daemon, same store: the request is served from disk (tier
+  // hits, no rebuild) and the output is still byte-identical.
+  Daemon D2(O);
+  ASSERT_TRUE(D2.start(Err)) << Err;
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "t",
+                                            AtomOptions()),
+                      App.serialize(), R, F, Err))
+      << Err;
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(F.Bin, Local);
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *Cache = R.Doc.find("cache");
+  const obs::json::Value *St = R.Doc.find("store");
+  ASSERT_NE(Cache, nullptr);
+  ASSERT_NE(St, nullptr);
+  EXPECT_EQ(Cache->u64("tier-hits"), 2u);
+  EXPECT_EQ(St->u64("hits"), 2u);
+  EXPECT_EQ(St->u64("writes"), 0u);
+}
+
+TEST_F(AtomdFixture, TornStoreEntryIsRebuiltNotServed) {
+  obj::Executable App = buildOrDie(AppB);
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("malloc")).Exe.serialize();
+  std::string Err;
+
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.StoreDir = storeDir();
+  { // Populate the store, then tear every entry mid-file (as a crashed
+    // writer or interrupted disk would).
+    Daemon D(O);
+    ASSERT_TRUE(D.start(Err)) << Err;
+    Client Cl;
+    ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+    Reply R;
+    Frame F;
+    ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "malloc", "t",
+                                              AtomOptions()),
+                        App.serialize(), R, F, Err))
+        << Err;
+    ASSERT_TRUE(R.Ok) << R.Error;
+    D.requestShutdown();
+    D.wait();
+  }
+  std::string Cmd =
+      "for f in '" + storeDir() +
+      "'/*.au; do sz=$(wc -c < \"$f\"); head -c $((sz * 6 / 10)) \"$f\" > "
+      "\"$f.t\" && mv \"$f.t\" \"$f\"; done";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+
+  Daemon D2(O);
+  ASSERT_TRUE(D2.start(Err)) << Err;
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "malloc", "t",
+                                            AtomOptions()),
+                      App.serialize(), R, F, Err))
+      << Err;
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The torn entries were rejected by checksum and rebuilt from scratch;
+  // the output is still exactly the standalone result.
+  EXPECT_EQ(F.Bin, Local);
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *St = R.Doc.find("store");
+  ASSERT_NE(St, nullptr);
+  EXPECT_EQ(St->u64("load-failures"), 2u);
+  EXPECT_EQ(St->u64("hits"), 0u);
+  EXPECT_EQ(St->u64("writes"), 2u); // rebuilt artifacts re-spilled
+}
+
+} // namespace

@@ -184,35 +184,36 @@ TEST(PipelineCache, CountsHitsMissesAndBytes) {
   obj::Executable App = buildOrDie(AppA);
   PipelineCache Cache;
 
-  const CachedUnit &P1 = Cache.analysisUnit(toolOrDie("prof"));
-  const CachedUnit &P2 = Cache.analysisUnit(toolOrDie("prof"));
-  ASSERT_TRUE(P1.Ok);
-  EXPECT_EQ(&P1, &P2); // same slot, not a rebuild
+  PipelineCache::UnitPtr P1 = Cache.analysisUnit(toolOrDie("prof"));
+  PipelineCache::UnitPtr P2 = Cache.analysisUnit(toolOrDie("prof"));
+  ASSERT_TRUE(P1->Ok);
+  EXPECT_EQ(P1.get(), P2.get()); // same slot, not a rebuild
 
-  const CachedUnit &M1 = Cache.analysisUnit(toolOrDie("malloc"));
-  ASSERT_TRUE(M1.Ok);
+  PipelineCache::UnitPtr M1 = Cache.analysisUnit(toolOrDie("malloc"));
+  ASSERT_TRUE(M1->Ok);
 
-  const CachedUnit &A1 = Cache.liftedApp(App);
-  const CachedUnit &A2 = Cache.liftedApp(App);
-  ASSERT_TRUE(A1.Ok);
-  EXPECT_EQ(&A1, &A2);
+  PipelineCache::UnitPtr A1 = Cache.liftedApp(App);
+  PipelineCache::UnitPtr A2 = Cache.liftedApp(App);
+  ASSERT_TRUE(A1->Ok);
+  EXPECT_EQ(A1.get(), A2.get());
 
   CacheStats S = Cache.stats();
   EXPECT_EQ(S.Misses, 3u); // prof, malloc, app
   EXPECT_EQ(S.Hits, 2u);
   EXPECT_GT(S.Bytes, 0u);
-  EXPECT_EQ(S.Bytes, om::unitMemoryBytes(P1.U) + om::unitMemoryBytes(M1.U) +
-                         om::unitMemoryBytes(A1.U));
+  EXPECT_EQ(S.Bytes, om::unitMemoryBytes(P1->U) + om::unitMemoryBytes(M1->U) +
+                         om::unitMemoryBytes(A1->U));
+  EXPECT_EQ(S.Resident, S.Bytes); // nothing evicted: resident == cumulative
 }
 
 TEST(PipelineCache, FailedBuildsAreCachedWithIdenticalDiags) {
   PipelineCache Cache;
   Tool Bad = badTool();
-  const CachedUnit &B1 = Cache.analysisUnit(Bad);
-  const CachedUnit &B2 = Cache.analysisUnit(Bad);
-  EXPECT_FALSE(B1.Ok);
-  EXPECT_EQ(&B1, &B2);
-  EXPECT_FALSE(B1.Diags.empty());
+  PipelineCache::UnitPtr B1 = Cache.analysisUnit(Bad);
+  PipelineCache::UnitPtr B2 = Cache.analysisUnit(Bad);
+  EXPECT_FALSE(B1->Ok);
+  EXPECT_EQ(B1.get(), B2.get());
+  EXPECT_FALSE(B1->Diags.empty());
   CacheStats S = Cache.stats();
   EXPECT_EQ(S.Misses, 1u);
   EXPECT_EQ(S.Hits, 1u);
@@ -225,15 +226,53 @@ TEST(PipelineCache, ConcurrentRequestsBuildOnce) {
   ThreadPool Pool(4);
   std::atomic<int> OkCount{0};
   Pool.parallelFor(16, [&](size_t I) {
-    const CachedUnit &U = I % 2 ? Cache.analysisUnit(toolOrDie("dyninst"))
-                                : Cache.liftedApp(App);
-    if (U.Ok)
+    PipelineCache::UnitPtr U = I % 2 ? Cache.analysisUnit(toolOrDie("dyninst"))
+                                     : Cache.liftedApp(App);
+    if (U->Ok)
       OkCount.fetch_add(1);
   });
   EXPECT_EQ(OkCount.load(), 16);
   CacheStats S = Cache.stats();
   EXPECT_EQ(S.Misses, 2u);
   EXPECT_EQ(S.Hits, 14u);
+}
+
+TEST(PipelineCache, EvictsLeastRecentlyUsedPastByteCap) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.reset();
+  Reg.setEnabled(true);
+
+  obj::Executable App = buildOrDie(AppA);
+  PipelineCache Cache(1); // any completed entry exceeds the cap
+
+  PipelineCache::UnitPtr P1 = Cache.analysisUnit(toolOrDie("prof"));
+  PipelineCache::UnitPtr A1 = Cache.liftedApp(App);
+  ASSERT_TRUE(P1->Ok && A1->Ok);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 2u);
+  EXPECT_EQ(S.Resident, 0u); // both entries were over the cap
+  EXPECT_GT(S.Bytes, 0u);    // cumulative accounting is not rolled back
+
+  // Eviction erases the slot, not the artifact: outstanding handles stay
+  // valid, and the next request is a rebuild (miss), not a hit.
+  std::string Dump = om::dumpUnit(P1->U);
+  EXPECT_FALSE(Dump.empty());
+  PipelineCache::UnitPtr P2 = Cache.analysisUnit(toolOrDie("prof"));
+  ASSERT_TRUE(P2->Ok);
+  EXPECT_NE(P2.get(), P1.get());
+  EXPECT_EQ(om::dumpUnit(P2->U), Dump); // rebuild is deterministic
+  S = Cache.stats();
+  EXPECT_EQ(S.Misses, 3u);
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Evictions, 3u);
+
+  Cache.publishStats();
+  EXPECT_EQ(Reg.counter("atom.cache-evictions"), 3u);
+  ASSERT_EQ(Reg.gauges().count("atom.cache-resident-bytes"), 1u);
+  EXPECT_EQ(Reg.gauges().at("atom.cache-resident-bytes"), 0.0);
+
+  Reg.setEnabled(false);
+  Reg.reset();
 }
 
 //===----------------------------------------------------------------------===//
@@ -333,14 +372,14 @@ TEST(Batch, DiagnosticsReplayDeterministically) {
 TEST(Batch, LiftOnceInstrumentTwiceMatchesFreshRuns) {
   obj::Executable App = buildOrDie(AppB);
   PipelineCache Cache;
-  const CachedUnit &Lifted = Cache.liftedApp(App);
-  ASSERT_TRUE(Lifted.Ok);
-  std::string Before = om::dumpUnit(Lifted.U);
+  PipelineCache::UnitPtr Lifted = Cache.liftedApp(App);
+  ASSERT_TRUE(Lifted->Ok);
+  std::string Before = om::dumpUnit(Lifted->U);
 
   for (const char *Name : {"malloc", "prof"}) {
     const Tool &T = toolOrDie(Name);
     PipelineReuse Reuse;
-    Reuse.LiftedApp = &Lifted.U;
+    Reuse.LiftedApp = &Lifted->U;
     DiagEngine D1, D2;
     InstrumentedProgram FromCache, Fresh;
     ASSERT_TRUE(
@@ -350,7 +389,7 @@ TEST(Batch, LiftOnceInstrumentTwiceMatchesFreshRuns) {
     EXPECT_EQ(FromCache.Exe.serialize(), Fresh.Exe.serialize()) << Name;
   }
   // Instrumenting from the cached unit must not have mutated it.
-  EXPECT_EQ(om::dumpUnit(Lifted.U), Before);
+  EXPECT_EQ(om::dumpUnit(Lifted->U), Before);
 }
 
 TEST(Batch, MetricsArePerRunAndCumulative) {

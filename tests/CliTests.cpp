@@ -282,6 +282,28 @@ std::string readHostFile(const std::string &Path) {
                      std::istreambuf_iterator<char>());
 }
 
+/// Polls \p File until a line containing \p Needle appears (the atomd
+/// smoke test starts the daemon in the background and must wait for its
+/// readiness line) or ~10s pass.
+bool waitForLogLine(const std::string &File, const std::string &Needle) {
+  for (int I = 0; I < 200; ++I) {
+    if (readHostFile(File).find(Needle) != std::string::npos)
+      return true;
+    runCommand("sleep 0.05");
+  }
+  return false;
+}
+
+/// First line of \p File containing \p Needle ("" if absent).
+std::string grepLogLine(const std::string &File, const std::string &Needle) {
+  std::string Text = readHostFile(File);
+  size_t Pos = Text.find(Needle);
+  if (Pos == std::string::npos)
+    return "";
+  size_t End = Text.find('\n', Pos);
+  return Text.substr(Pos, End == std::string::npos ? End : End - Pos);
+}
+
 const char *ObsLoopProgram = R"(
 int main() {
   long i;
@@ -411,6 +433,103 @@ TEST_F(CliFixture, TraceStatPrintsRecordSizeHistogram) {
   EXPECT_NE(Doc.find("\"trace.record-bytes\""), std::string::npos) << Doc;
   EXPECT_NE(Doc.find("\"trace.kind.load\""), std::string::npos) << Doc;
   EXPECT_NE(Doc.find("\"buckets\""), std::string::npos);
+}
+
+TEST_F(CliFixture, NumericFlagsRejectGarbage) {
+  // strtoul-style silent acceptance is a bug class of its own: every
+  // numeric flag must reject non-numeric text with a hard error instead
+  // of quietly parsing it as 0.
+  for (const char *Bad :
+       {" --jobs max", " -j 4x", " --jobs -4", " --heap-offset lots",
+        " --cache-bytes huge", " --cache-bytes 1z"}) {
+    CommandResult C = runCommand(tool("atom") + " p.exe --tool prof" + Bad);
+    EXPECT_EQ(C.ExitCode, 1) << Bad << ": " << C.Output;
+    EXPECT_NE(C.Output.find("invalid value"), std::string::npos)
+        << Bad << ": " << C.Output;
+  }
+  for (const char *Bad :
+       {" --jobs many", " --queue-max banana", " --client-quota 2q",
+        " --store-bytes 10z", " --metrics-http http"}) {
+    CommandResult C =
+        runCommand(tool("atomd") + " serve --socket s.sock" + Bad);
+    EXPECT_EQ(C.ExitCode, 1) << Bad << ": " << C.Output;
+    EXPECT_NE(C.Output.find("invalid value"), std::string::npos)
+        << Bad << ": " << C.Output;
+  }
+  // Suffixed byte sizes are fine; zero queue capacity is not.
+  CommandResult C =
+      runCommand(tool("atomd") + " serve --socket s.sock --queue-max 0");
+  EXPECT_EQ(C.ExitCode, 1);
+  EXPECT_NE(C.Output.find("at least 1"), std::string::npos) << C.Output;
+}
+
+TEST_F(CliFixture, AtomdServeConnectScrapeShutdown) {
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long s = 0;
+  for (i = 0; i < 25; i = i + 1)
+    s = s + i;
+  printf("s %ld\n", s);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+  CommandResult C = runCommand(tool("atom") + " " + path("p.exe") +
+                               " --tool prof -o " + path("local.atom"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+
+  std::string Sock = path("d.sock");
+  std::string Log = path("d.log");
+  runCommand(tool("atomd") + " serve --socket " + Sock + " --store " +
+             path("store") + " --metrics-http 0 > " + Log + " 2>&1 &");
+  ASSERT_TRUE(waitForLogLine(Log, "atomd: listening")) << readHostFile(Log);
+
+  // The daemon result is byte-identical to the standalone run.
+  C = runCommand(tool("atom") + " --connect " + Sock + " " + path("p.exe") +
+                 " --tool prof -o " + path("remote.atom"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand("cmp " + path("local.atom") + " " + path("remote.atom"));
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand(tool("axp-run") + " " + path("remote.atom") +
+                 " --dump prof.out");
+  EXPECT_EQ(C.ExitCode, 0);
+  EXPECT_NE(C.Output.find("s 300"), std::string::npos) << C.Output;
+
+  // A repeat request is served warm; the Prometheus scrape shows the hits.
+  C = runCommand(tool("atom") + " --connect " + Sock + " " + path("p.exe") +
+                 " --tool prof -o " + path("warm.atom"));
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  C = runCommand("cmp " + path("local.atom") + " " + path("warm.atom"));
+  EXPECT_EQ(C.ExitCode, 0) << C.Output;
+
+  std::string Line = grepLogLine(Log, "atomd: metrics on http://127.0.0.1:");
+  ASSERT_FALSE(Line.empty()) << readHostFile(Log);
+  std::string Port = Line.substr(Line.rfind(':') + 1);
+  Port = Port.substr(0, Port.find('/'));
+  C = runCommand("bash -c 'exec 3<>/dev/tcp/127.0.0.1/" + Port +
+                 " && printf \"GET /metrics HTTP/1.0\\r\\n\\r\\n\" >&3 && "
+                 "cat <&3'");
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("atom_atomd_requests 2"), std::string::npos)
+      << C.Output;
+  EXPECT_NE(C.Output.find("atom_atom_cache_hits 2"), std::string::npos)
+      << C.Output;
+  EXPECT_NE(C.Output.find("atom_atomd_request_latency_us_count 2"),
+            std::string::npos)
+      << C.Output;
+
+  C = runCommand(tool("atomd") + " status --socket " + Sock);
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("\"store\""), std::string::npos) << C.Output;
+  EXPECT_NE(C.Output.find("\"atom\""), std::string::npos)
+      << C.Output; // the client label
+
+  C = runCommand(tool("atomd") + " shutdown --socket " + Sock);
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  EXPECT_NE(C.Output.find("shutdown requested"), std::string::npos);
+  ASSERT_TRUE(waitForLogLine(Log, "atomd: stopped")) << readHostFile(Log);
 }
 
 } // namespace

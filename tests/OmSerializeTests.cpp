@@ -1,0 +1,154 @@
+//===- tests/OmSerializeTests.cpp - om::Unit serialization ----------------===//
+//
+// The AOMU format (om/Serialize.h) carries pipeline artifacts into the
+// atomd persistent store, so these tests pin down the property the daemon
+// depends on: a deserialized unit is indistinguishable from the one that
+// was serialized — same dump, same re-serialization bytes, and identical
+// instrumented executables when fed back through PipelineReuse. Malformed
+// input (truncation, header corruption) must be rejected, never crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atom/Batch.h"
+#include "om/Serialize.h"
+#include "tools/Tools.h"
+
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::test;
+
+namespace {
+
+const char *AppSrc = R"(
+long fib(long n) {
+  if (n < 2)
+    return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  printf("fib %ld\n", fib(12));
+  return 0;
+}
+)";
+
+const Tool &toolOrDie(const char *Name) {
+  const Tool *T = tools::findTool(Name);
+  if (!T)
+    abort();
+  return *T;
+}
+
+om::Unit roundTrip(const om::Unit &U) {
+  std::vector<uint8_t> Bytes = om::serializeUnit(U);
+  om::Unit Out;
+  EXPECT_TRUE(om::deserializeUnit(Bytes, Out));
+  return Out;
+}
+
+TEST(OmSerialize, AnalysisUnitRoundTripsExactly) {
+  PipelineCache Cache;
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(toolOrDie("prof"));
+  ASSERT_TRUE(TA->Ok);
+
+  std::vector<uint8_t> B1 = om::serializeUnit(TA->U);
+  om::Unit Back;
+  ASSERT_TRUE(om::deserializeUnit(B1, Back));
+  EXPECT_EQ(om::dumpUnit(Back), om::dumpUnit(TA->U));
+  // Serialization is canonical: a round-trip re-serializes to the same
+  // bytes, which is what makes the store's content-addressing coherent.
+  EXPECT_EQ(om::serializeUnit(Back), B1);
+}
+
+TEST(OmSerialize, LiftedAppRoundTripsExactly) {
+  obj::Executable App = buildOrDie(AppSrc);
+  PipelineCache Cache;
+  PipelineCache::UnitPtr AA = Cache.liftedApp(App);
+  ASSERT_TRUE(AA->Ok);
+  std::vector<uint8_t> B1 = om::serializeUnit(AA->U);
+  om::Unit Back;
+  ASSERT_TRUE(om::deserializeUnit(B1, Back));
+  EXPECT_EQ(om::dumpUnit(Back), om::dumpUnit(AA->U));
+  EXPECT_EQ(om::serializeUnit(Back), B1);
+}
+
+TEST(OmSerialize, InstrumentingFromDeserializedUnitsMatchesFresh) {
+  obj::Executable App = buildOrDie(AppSrc);
+  const Tool &T = toolOrDie("dyninst");
+  PipelineCache Cache;
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(T);
+  PipelineCache::UnitPtr AA = Cache.liftedApp(App);
+  ASSERT_TRUE(TA->Ok && AA->Ok);
+
+  om::Unit TA2 = roundTrip(TA->U);
+  om::Unit AA2 = roundTrip(AA->U);
+
+  InstrumentedProgram Fresh, FromDisk;
+  DiagEngine D1, D2;
+  ASSERT_TRUE(runAtom(App, T, AtomOptions(), Fresh, D1)) << D1.str();
+  PipelineReuse Reuse;
+  Reuse.AnalysisUnit = &TA2;
+  Reuse.LiftedApp = &AA2;
+  ASSERT_TRUE(runAtomPipeline(App, T, AtomOptions(), &Reuse, FromDisk, D2))
+      << D2.str();
+  // The whole point of the persistent store: artifacts that crossed a
+  // serialize/deserialize boundary still produce bit-identical output.
+  EXPECT_EQ(FromDisk.Exe.serialize(), Fresh.Exe.serialize());
+}
+
+TEST(OmSerialize, RejectsTruncation) {
+  PipelineCache Cache;
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(toolOrDie("malloc"));
+  ASSERT_TRUE(TA->Ok);
+  std::vector<uint8_t> Bytes = om::serializeUnit(TA->U);
+  ASSERT_GT(Bytes.size(), 64u);
+
+  // Every header prefix, then a sweep of longer prefixes.
+  for (size_t Len = 0; Len < 64; ++Len) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + long(Len));
+    om::Unit U;
+    EXPECT_FALSE(om::deserializeUnit(Cut, U)) << "prefix " << Len;
+  }
+  size_t Step = std::max<size_t>(1, Bytes.size() / 203);
+  for (size_t Len = 64; Len < Bytes.size(); Len += Step) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + long(Len));
+    om::Unit U;
+    EXPECT_FALSE(om::deserializeUnit(Cut, U)) << "prefix " << Len;
+  }
+}
+
+TEST(OmSerialize, CorruptionNeverCrashes) {
+  PipelineCache Cache;
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(toolOrDie("prof"));
+  ASSERT_TRUE(TA->Ok);
+  std::vector<uint8_t> Bytes = om::serializeUnit(TA->U);
+
+  // Magic and version flips must be rejected outright.
+  for (size_t I = 0; I < 8; ++I) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0x40;
+    om::Unit U;
+    EXPECT_FALSE(om::deserializeUnit(Bad, U)) << "header byte " << I;
+  }
+  // Arbitrary flips elsewhere may or may not validate, but the parser's
+  // bounds checks must hold (this is what the store relies on after its
+  // checksum, and what a hostile entry file would exercise).
+  size_t Step = std::max<size_t>(1, Bytes.size() / 509);
+  for (size_t I = 8; I < Bytes.size(); I += Step) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0xFF;
+    om::Unit U;
+    (void)om::deserializeUnit(Bad, U);
+  }
+}
+
+TEST(OmSerialize, RejectsEmptyAndGarbage) {
+  om::Unit U;
+  EXPECT_FALSE(om::deserializeUnit({}, U));
+  std::vector<uint8_t> Garbage(256, 0xAB);
+  EXPECT_FALSE(om::deserializeUnit(Garbage, U));
+}
+
+} // namespace

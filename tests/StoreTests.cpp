@@ -1,0 +1,275 @@
+//===- tests/StoreTests.cpp - Persistent artifact store -------------------===//
+//
+// The atomd on-disk store (atomd/Store.h): entry round-trips, the
+// checksum/torn-write durability contract (a corrupted or truncated entry
+// is rejected, deleted, and rebuilt — never served), LRU eviction against
+// the byte cap, rescan on open, and layering under atom::PipelineCache as
+// its CacheTier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atom/Batch.h"
+#include "atomd/Store.h"
+#include "tools/Tools.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::atomd;
+using namespace atom::test;
+
+namespace {
+
+std::string scratchDir() {
+  std::string Dir =
+      ::testing::TempDir() + "atomstore-" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string Cmd = "rm -rf '" + Dir + "'";
+  if (std::system(Cmd.c_str()) != 0)
+    abort();
+  return Dir;
+}
+
+const Tool &toolOrDie(const char *Name) {
+  const Tool *T = tools::findTool(Name);
+  if (!T)
+    abort();
+  return *T;
+}
+
+CachedUnit builtUnit(const char *ToolName) {
+  PipelineCache Cache;
+  PipelineCache::UnitPtr P = Cache.analysisUnit(toolOrDie(ToolName));
+  CachedUnit U = *P;
+  EXPECT_TRUE(U.Ok);
+  return U;
+}
+
+std::vector<uint8_t> readHostFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeHostFile(const std::string &Path, const std::vector<uint8_t> &B) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(B.data()), long(B.size()));
+}
+
+bool hostFileExists(const std::string &Path) {
+  std::ifstream In(Path);
+  return bool(In);
+}
+
+TEST(Store, EntryRoundTripsOkAndFailedUnits) {
+  CachedUnit U = builtUnit("prof");
+  std::vector<uint8_t> Entry = Store::encodeEntry(42, U);
+  CachedUnit Back;
+  ASSERT_TRUE(Store::decodeEntry(Entry, 42, Back));
+  EXPECT_TRUE(Back.Ok);
+  EXPECT_EQ(om::dumpUnit(Back.U), om::dumpUnit(U.U));
+
+  // Failed builds are stored too (negative caching with replayed diags).
+  CachedUnit Bad;
+  Bad.Ok = false;
+  Bad.Diags = {{3, "unknown identifier 'x'"}, {9, "type mismatch"}};
+  Entry = Store::encodeEntry(7, Bad);
+  ASSERT_TRUE(Store::decodeEntry(Entry, 7, Back));
+  EXPECT_FALSE(Back.Ok);
+  ASSERT_EQ(Back.Diags.size(), 2u);
+  EXPECT_EQ(Back.Diags[0].Line, 3);
+  EXPECT_EQ(Back.Diags[0].Message, "unknown identifier 'x'");
+  EXPECT_EQ(Back.Diags[1].Message, "type mismatch");
+}
+
+TEST(Store, DecodeRejectsWrongKeyTruncationAndBitFlips) {
+  CachedUnit U = builtUnit("malloc");
+  std::vector<uint8_t> Entry = Store::encodeEntry(99, U);
+  CachedUnit Back;
+
+  // The key is part of the addressed content: a file renamed to another
+  // key's slot must not decode.
+  EXPECT_FALSE(Store::decodeEntry(Entry, 100, Back));
+
+  size_t Step = std::max<size_t>(1, Entry.size() / 211);
+  for (size_t Len = 0; Len < Entry.size(); Len += Step) {
+    std::vector<uint8_t> Cut(Entry.begin(), Entry.begin() + long(Len));
+    EXPECT_FALSE(Store::decodeEntry(Cut, 99, Back)) << "prefix " << Len;
+  }
+  // Any single bit flip anywhere breaks the FNV-1a payload checksum (or
+  // the header): a torn entry can never be served.
+  for (size_t I = 0; I < Entry.size(); I += Step) {
+    std::vector<uint8_t> Bad = Entry;
+    Bad[I] ^= 0x10;
+    EXPECT_FALSE(Store::decodeEntry(Bad, 99, Back)) << "byte " << I;
+  }
+}
+
+TEST(Store, StoreThenLoadAcrossInstances) {
+  std::string Dir = scratchDir();
+  CachedUnit U = builtUnit("prof");
+  {
+    Store S(Dir);
+    std::string Err;
+    ASSERT_TRUE(S.open(Err)) << Err;
+    S.store(11, U);
+    EXPECT_TRUE(S.contains(11));
+    EXPECT_EQ(S.stats().Writes, 1u);
+    CachedUnit Out;
+    ASSERT_TRUE(S.load(11, Out));
+    EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+    EXPECT_EQ(S.stats().Hits, 1u);
+  }
+  // A fresh instance (daemon restart) rescans the directory.
+  Store S2(Dir);
+  std::string Err;
+  ASSERT_TRUE(S2.open(Err)) << Err;
+  EXPECT_EQ(S2.entryCount(), 1u);
+  CachedUnit Out;
+  ASSERT_TRUE(S2.load(11, Out));
+  EXPECT_TRUE(Out.Ok);
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  EXPECT_FALSE(S2.load(12, Out)); // unknown key is a miss
+  EXPECT_EQ(S2.stats().Misses, 1u);
+}
+
+TEST(Store, CorruptEntryIsRejectedAndDeleted) {
+  std::string Dir = scratchDir();
+  CachedUnit U = builtUnit("dyninst");
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  S.store(5, U);
+
+  // Tear the entry on disk (as an interrupted write or bit rot would).
+  std::string Path = Store::entryPath(Dir, 5);
+  std::vector<uint8_t> Bytes = readHostFile(Path);
+  ASSERT_FALSE(Bytes.empty());
+  Bytes[Bytes.size() / 2] ^= 0xFF;
+  writeHostFile(Path, Bytes);
+
+  CachedUnit Out;
+  EXPECT_FALSE(S.load(5, Out));
+  StoreStats St = S.stats();
+  EXPECT_EQ(St.LoadFailures, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  // The bad file is gone, so the rebuilt artifact can be re-spilled.
+  EXPECT_FALSE(hostFileExists(Path));
+  EXPECT_FALSE(S.contains(5));
+  S.store(5, U);
+  ASSERT_TRUE(S.load(5, Out));
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+}
+
+TEST(Store, TruncatedEntryIsRejectedOnRestart) {
+  std::string Dir = scratchDir();
+  CachedUnit U = builtUnit("prof");
+  {
+    Store S(Dir);
+    std::string Err;
+    ASSERT_TRUE(S.open(Err)) << Err;
+    S.store(8, U);
+  }
+  std::string Path = Store::entryPath(Dir, 8);
+  std::vector<uint8_t> Bytes = readHostFile(Path);
+  Bytes.resize(Bytes.size() / 3);
+  writeHostFile(Path, Bytes);
+
+  Store S2(Dir);
+  std::string Err;
+  ASSERT_TRUE(S2.open(Err)) << Err;
+  CachedUnit Out;
+  EXPECT_FALSE(S2.load(8, Out));
+  EXPECT_EQ(S2.stats().LoadFailures, 1u);
+  EXPECT_FALSE(hostFileExists(Path));
+}
+
+TEST(Store, StaleTempFilesAreRemovedOnOpen) {
+  std::string Dir = scratchDir();
+  {
+    Store S(Dir);
+    std::string Err;
+    ASSERT_TRUE(S.open(Err)) << Err;
+  }
+  // Simulate a crash mid-write: a tmp.* file left behind.
+  std::string Tmp = Dir + "/tmp.1234.00000000000000aa";
+  writeHostFile(Tmp, std::vector<uint8_t>(100, 0x55));
+  ASSERT_TRUE(hostFileExists(Tmp));
+  Store S2(Dir);
+  std::string Err;
+  ASSERT_TRUE(S2.open(Err)) << Err;
+  EXPECT_FALSE(hostFileExists(Tmp));
+  EXPECT_EQ(S2.entryCount(), 0u); // tmp files are not entries
+}
+
+TEST(Store, EvictsLeastRecentlyUsedPastByteCap) {
+  std::string Dir = scratchDir();
+  CachedUnit U = builtUnit("prof");
+  uint64_t EntryBytes = Store::encodeEntry(1, U).size();
+
+  // Cap fits exactly two entries; a third evicts the least recently used.
+  Store S(Dir, 2 * EntryBytes);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  S.store(1, U);
+  S.store(2, U);
+  EXPECT_EQ(S.entryCount(), 2u);
+
+  CachedUnit Out;
+  ASSERT_TRUE(S.load(1, Out)); // key 2 is now the LRU entry
+  S.store(3, U);
+  EXPECT_EQ(S.entryCount(), 2u);
+  EXPECT_TRUE(S.contains(1));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(hostFileExists(Store::entryPath(Dir, 2)));
+  StoreStats St = S.stats();
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_LE(St.Bytes, 2 * EntryBytes);
+}
+
+TEST(Store, ActsAsPipelineCacheTier) {
+  std::string Dir = scratchDir();
+  obj::Executable App = buildOrDie("int main() { return 0; }");
+  std::string FreshDump, FreshAppDump;
+
+  {
+    Store S(Dir);
+    std::string Err;
+    ASSERT_TRUE(S.open(Err)) << Err;
+    PipelineCache Cache;
+    Cache.setTier(&S);
+    PipelineCache::UnitPtr TA = Cache.analysisUnit(toolOrDie("prof"));
+    PipelineCache::UnitPtr AA = Cache.liftedApp(App);
+    ASSERT_TRUE(TA->Ok && AA->Ok);
+    FreshDump = om::dumpUnit(TA->U);
+    FreshAppDump = om::dumpUnit(AA->U);
+    // Both builds were spilled through the tier.
+    EXPECT_EQ(S.stats().Writes, 2u);
+    EXPECT_EQ(Cache.stats().TierHits, 0u);
+  }
+
+  // A second process: in-memory cold, disk warm. The tier satisfies the
+  // misses without a rebuild, and the loaded artifacts are identical.
+  Store S2(Dir);
+  std::string Err;
+  ASSERT_TRUE(S2.open(Err)) << Err;
+  PipelineCache Cache2;
+  Cache2.setTier(&S2);
+  PipelineCache::UnitPtr TA = Cache2.analysisUnit(toolOrDie("prof"));
+  PipelineCache::UnitPtr AA = Cache2.liftedApp(App);
+  ASSERT_TRUE(TA->Ok && AA->Ok);
+  EXPECT_EQ(om::dumpUnit(TA->U), FreshDump);
+  EXPECT_EQ(om::dumpUnit(AA->U), FreshAppDump);
+  CacheStats CS = Cache2.stats();
+  EXPECT_EQ(CS.Misses, 2u);
+  EXPECT_EQ(CS.TierHits, 2u);
+  EXPECT_EQ(S2.stats().Hits, 2u);
+  // No duplicate spill of tier-loaded artifacts.
+  EXPECT_EQ(S2.stats().Writes, 0u);
+}
+
+} // namespace
