@@ -15,21 +15,28 @@ using namespace atom::obj;
 // PipelineCache
 //===----------------------------------------------------------------------===//
 
-/// Domain-separating seeds so a tool key can never collide with an app key.
-uint64_t atom::toolCacheKey(const Tool &T) {
-  uint64_t H = fnv1a(std::string("tool"));
-  H = fnv1a(T.Name, H);
+/// Domain-separating seeds so a tool key can never collide with an app
+/// key; both lanes of the 128-bit key chain over the same field sequence.
+CacheKey atom::toolCacheKey(const Tool &T) {
+  CacheKey K{fnv1a(std::string("tool")), mixHash(std::string("tool"))};
+  auto Chain = [&K](const std::string &S) {
+    K.K0 = fnv1a(S, K.K0);
+    K.K1 = mixHash(S, K.K1);
+  };
+  Chain(T.Name);
   for (const std::string &S : T.AnalysisSources)
-    H = fnv1a(S, H);
-  H = fnv1a(std::string("asm"), H);
+    Chain(S);
+  Chain("asm");
   for (const std::string &S : T.AnalysisAsmSources)
-    H = fnv1a(S, H);
-  return H;
+    Chain(S);
+  return K;
 }
 
-uint64_t atom::appCacheKey(const Executable &App) {
+CacheKey atom::appCacheKey(const Executable &App) {
   std::vector<uint8_t> Bytes = App.serialize();
-  return fnv1a(Bytes.data(), Bytes.size(), fnv1a(std::string("app")));
+  return CacheKey{
+      fnv1a(Bytes.data(), Bytes.size(), fnv1a(std::string("app"))),
+      mixHash(Bytes.data(), Bytes.size(), mixHash(std::string("app")))};
 }
 
 void PipelineCache::evictLocked() {
@@ -51,7 +58,7 @@ void PipelineCache::evictLocked() {
 }
 
 PipelineCache::UnitPtr PipelineCache::getOrBuild(
-    uint64_t Key,
+    CacheKey Key,
     const std::function<bool(om::Unit &, DiagEngine &)> &Build) {
   std::shared_ptr<Slot> S;
   {

@@ -42,14 +42,37 @@ struct CachedUnit {
   std::vector<Diag> Diags;
 };
 
-/// Content-addressed key of a tool's analysis unit: FNV-1a over the tool's
-/// name and sources, domain-separated from application keys. Stable across
-/// processes, so it doubles as the persistent store key (atomd::Store).
-uint64_t toolCacheKey(const Tool &T);
+/// 128-bit content identity of a cached pipeline artifact: two 64-bit
+/// hashes of the same content computed with unrelated mixes (fnv1a and
+/// support's mixHash). The keys persist across restarts as the on-disk
+/// store's addressing (atomd::Store), so a bare 64-bit FNV-1a — weak
+/// against crafted inputs — is not trusted alone: a collision would have
+/// to defeat both lanes at once.
+struct CacheKey {
+  uint64_t K0 = 0; ///< FNV-1a lane.
+  uint64_t K1 = 0; ///< mixHash lane.
 
-/// Content-addressed key of an application: FNV-1a over its serialized
-/// executable image.
-uint64_t appCacheKey(const obj::Executable &App);
+  CacheKey() = default;
+  CacheKey(uint64_t K0, uint64_t K1 = 0) : K0(K0), K1(K1) {}
+
+  bool operator==(const CacheKey &O) const {
+    return K0 == O.K0 && K1 == O.K1;
+  }
+  bool operator!=(const CacheKey &O) const { return !(*this == O); }
+  bool operator<(const CacheKey &O) const {
+    return K0 != O.K0 ? K0 < O.K0 : K1 < O.K1;
+  }
+};
+
+/// Content-addressed key of a tool's analysis unit: both hash lanes over
+/// the tool's name and sources, domain-separated from application keys.
+/// Stable across processes, so it doubles as the persistent store key
+/// (atomd::Store).
+CacheKey toolCacheKey(const Tool &T);
+
+/// Content-addressed key of an application: both hash lanes over its
+/// serialized executable image.
+CacheKey appCacheKey(const obj::Executable &App);
 
 /// A second-level artifact cache behind the in-memory PipelineCache (the
 /// atomd on-disk store). Implementations must be safe for concurrent calls
@@ -58,9 +81,9 @@ class CacheTier {
 public:
   virtual ~CacheTier() = default;
   /// Fills \p Out for \p Key if the tier holds a valid entry.
-  virtual bool load(uint64_t Key, CachedUnit &Out) = 0;
+  virtual bool load(CacheKey Key, CachedUnit &Out) = 0;
   /// Persists a freshly built \p U under \p Key (best effort).
-  virtual void store(uint64_t Key, const CachedUnit &U) = 0;
+  virtual void store(CacheKey Key, const CachedUnit &U) = 0;
 };
 
 struct CacheStats {
@@ -118,14 +141,14 @@ private:
     uint64_t LastUse = 0; ///< LRU clock value of the last access.
   };
 
-  UnitPtr getOrBuild(uint64_t Key,
+  UnitPtr getOrBuild(CacheKey Key,
                      const std::function<bool(om::Unit &, DiagEngine &)>
                          &Build);
   void evictLocked(); ///< Requires Mu.
 
   mutable std::mutex Mu; ///< Guards Slots (the map, not the entries),
                          ///< stats, and the LRU bookkeeping.
-  std::map<uint64_t, std::shared_ptr<Slot>> Slots;
+  std::map<CacheKey, std::shared_ptr<Slot>> Slots;
   uint64_t MaxBytes;
   uint64_t UseClock = 0;
   CacheTier *Tier = nullptr;

@@ -21,6 +21,11 @@ namespace {
 constexpr uint64_t RetryAfterMs = 20;
 /// Cap on the "stall" debug op so a bad client can't park a worker forever.
 constexpr uint64_t MaxStallMs = 10000;
+/// Once a connection's outbound reply queue holds this many bytes, the
+/// reader stops pulling new frames until the writer drains below it — a
+/// client that floods requests without reading replies is throttled at
+/// the socket instead of growing the queue without bound.
+constexpr uint64_t MaxOutboundBytes = 32u << 20;
 
 /// Client labels feed metric names; restrict them to a safe alphabet.
 std::string sanitizeLabel(const std::string &S) {
@@ -179,26 +184,47 @@ void Daemon::wait() {
   if (AcceptThread.joinable())
     AcceptThread.join();
   {
-    // Every admitted request finishes and its reply is written before any
+    // Every admitted request finishes and its reply is enqueued before any
     // connection is torn down; PoolMu fences late submissions (handleFrame
     // rejects once ShuttingDown is set, and a request that slipped past
     // the flag completes inside reset()'s drain).
     std::lock_guard<std::mutex> L(PoolMu);
     Pool.reset();
   }
+  // Flush: every enqueued reply is written (or its client proved dead)
+  // before the sockets come down. Conns can only shrink from here — the
+  // accept thread is gone — so a snapshot covers them all.
+  std::vector<std::shared_ptr<Conn>> Snapshot;
   {
     std::lock_guard<std::mutex> L(ConnMu);
-    for (const std::shared_ptr<Conn> &C : Conns) {
-      std::lock_guard<std::mutex> WL(C->WriteMu);
-      if (C->Fd >= 0)
-        ::shutdown(C->Fd, SHUT_RDWR); // unblocks the reader thread
-    }
+    Snapshot = Conns;
   }
-  for (std::thread &T : ConnThreads)
-    if (T.joinable())
-      T.join();
-  ConnThreads.clear();
-  Conns.clear();
+  for (const std::shared_ptr<Conn> &C : Snapshot) {
+    std::unique_lock<std::mutex> QL(C->QMu);
+    C->QCv.wait(QL, [&] { return C->OutQ.empty() || C->WriterDone; });
+  }
+  for (const std::shared_ptr<Conn> &C : Snapshot) {
+    std::lock_guard<std::mutex> FL(C->FdMu);
+    if (C->Fd >= 0)
+      ::shutdown(C->Fd, SHUT_RDWR); // unblocks the reader thread
+  }
+  std::vector<std::thread> Join;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (const std::shared_ptr<Conn> &C : Conns)
+      if (C->Reader.joinable())
+        Join.push_back(std::move(C->Reader));
+    for (std::thread &T : DoneReaders)
+      Join.push_back(std::move(T));
+    DoneReaders.clear();
+  }
+  for (std::thread &T : Join)
+    T.join();
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Conns.clear();
+    DoneReaders.clear();
+  }
   if (MetricsFd >= 0) {
     ::shutdown(MetricsFd, SHUT_RDWR);
     ::close(MetricsFd);
@@ -215,9 +241,26 @@ void Daemon::wait() {
   Started = false;
 }
 
+void Daemon::reapConnections() {
+  std::vector<std::thread> Join;
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    Join.swap(DoneReaders);
+  }
+  for (std::thread &T : Join)
+    T.join();
+}
+
+size_t Daemon::liveConnections() const {
+  std::lock_guard<std::mutex> L(ConnMu);
+  return Conns.size();
+}
+
 void Daemon::acceptLoop() {
   while (true) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
+    reapConnections(); // closed connections are joined as we go, not
+                       // accumulated until shutdown
     if (Fd < 0) {
       if (errno == EINTR && !ShuttingDown)
         continue;
@@ -231,36 +274,104 @@ void Daemon::acceptLoop() {
     C->Fd = Fd;
     std::lock_guard<std::mutex> L(ConnMu);
     Conns.push_back(C);
-    ConnThreads.emplace_back([this, C] { serveConnection(C); });
+    C->Writer = std::thread([this, C] { connWriter(C); });
+    C->Reader = std::thread([this, C] { serveConnection(C); });
   }
 }
 
 void Daemon::serveConnection(std::shared_ptr<Conn> C) {
   obs::Registry::global().addCounter("atomd.connections");
   while (true) {
+    {
+      // Outbound backpressure: past the byte bound we stop reading, so
+      // the client's sends eventually block instead of the reply queue
+      // growing without limit. The writer wakes us as it drains.
+      std::unique_lock<std::mutex> QL(C->QMu);
+      C->QCv.wait(QL, [&] {
+        return C->QueuedBytes < MaxOutboundBytes || C->WriterDone;
+      });
+    }
     Frame F;
     std::string Err;
     if (!readFrame(C->Fd, F, Err))
       break;
     handleFrame(C, std::move(F));
   }
-  std::lock_guard<std::mutex> L(C->WriteMu);
-  if (C->Fd >= 0) {
-    ::close(C->Fd);
-    C->Fd = -1;
+  // Let the writer flush what is already queued, then close and
+  // deregister; replies enqueued after this point are dropped (the
+  // client is gone).
+  {
+    std::lock_guard<std::mutex> QL(C->QMu);
+    C->CloseWriter = true;
+    C->QCv.notify_all();
   }
+  if (C->Writer.joinable())
+    C->Writer.join();
+  {
+    std::lock_guard<std::mutex> FL(C->FdMu);
+    if (C->Fd >= 0) {
+      ::close(C->Fd);
+      C->Fd = -1;
+    }
+  }
+  std::lock_guard<std::mutex> L(ConnMu);
+  if (C->Reader.joinable()) // not already claimed by wait()
+    DoneReaders.push_back(std::move(C->Reader));
+  for (auto It = Conns.begin(); It != Conns.end(); ++It)
+    if (It->get() == C.get()) {
+      Conns.erase(It);
+      break;
+    }
+}
+
+void Daemon::connWriter(std::shared_ptr<Conn> C) {
+  while (true) {
+    const Frame *F;
+    {
+      std::unique_lock<std::mutex> QL(C->QMu);
+      C->QCv.wait(QL, [&] { return !C->OutQ.empty() || C->CloseWriter; });
+      if (C->OutQ.empty())
+        break;
+      // Only this thread pops, and deque growth never moves elements, so
+      // the front frame is stable while we write it unlocked.
+      F = &C->OutQ.front();
+    }
+    int Fd;
+    {
+      std::lock_guard<std::mutex> FL(C->FdMu);
+      Fd = C->Fd;
+    }
+    std::string Err;
+    bool Sent = Fd >= 0 && writeFrame(Fd, *F, Err);
+    std::lock_guard<std::mutex> QL(C->QMu);
+    C->QueuedBytes -= F->Json.size() + F->Bin.size();
+    C->OutQ.pop_front();
+    if (!Sent) {
+      // A vanished client is not our problem: drop its pending replies.
+      C->OutQ.clear();
+      C->QueuedBytes = 0;
+      C->WriterDone = true;
+      C->QCv.notify_all();
+      return;
+    }
+    C->QCv.notify_all();
+  }
+  std::lock_guard<std::mutex> QL(C->QMu);
+  C->WriterDone = true;
+  C->QCv.notify_all();
 }
 
 void Daemon::reply(const std::shared_ptr<Conn> &C, const std::string &Json,
                    const std::vector<uint8_t> &Bin) {
-  std::lock_guard<std::mutex> L(C->WriteMu);
-  if (C->Fd < 0)
+  std::lock_guard<std::mutex> L(C->QMu);
+  if (C->CloseWriter || C->WriterDone)
     return;
+  C->QueuedBytes += Json.size() + Bin.size();
   Frame F;
   F.Json = Json;
   F.Bin = Bin;
-  std::string Err;
-  writeFrame(C->Fd, F, Err); // a vanished client is not our problem
+  C->OutQ.push_back(std::move(F));
+  C->QCv.notify_all();
 }
 
 void Daemon::replyError(const std::shared_ptr<Conn> &C, uint64_t Id,
@@ -299,11 +410,22 @@ void Daemon::replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
 }
 
 void Daemon::countClient(const std::string &Label) {
+  // Labels are client-controlled: once the map is full, new labels fold
+  // into one "other" bucket so neither it nor the metric registry can be
+  // grown without bound by a hostile client.
+  std::string Counted;
   {
     std::lock_guard<std::mutex> L(ClientMu);
-    ++ClientRequests[Label];
+    auto It = ClientRequests.find(Label);
+    if (It == ClientRequests.end() &&
+        ClientRequests.size() >= MaxClientLabels)
+      It = ClientRequests.try_emplace("other").first;
+    else if (It == ClientRequests.end())
+      It = ClientRequests.try_emplace(Label).first;
+    ++It->second;
+    Counted = It->first;
   }
-  obs::Registry::global().addCounter("atomd.client-requests." + Label);
+  obs::Registry::global().addCounter("atomd.client-requests." + Counted);
 }
 
 void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
@@ -344,15 +466,8 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     W.key("ok");
     W.value(true);
     W.endObject();
-    Frame R;
-    R.Json = W.take();
     std::string Json = Reg.toJson();
-    R.Bin.assign(Json.begin(), Json.end());
-    std::lock_guard<std::mutex> L(C->WriteMu);
-    if (C->Fd >= 0) {
-      std::string WErr;
-      writeFrame(C->Fd, R, WErr);
-    }
+    reply(C, W.take(), std::vector<uint8_t>(Json.begin(), Json.end()));
     return;
   }
   if (Op == "shutdown") {
@@ -372,20 +487,45 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     return;
   }
 
-  // Work requests: per-client quota first, then the global queue bound.
-  // Both rejections are explicit retry replies, never silent drops.
+  // Work requests. Parse the payload up front — admission below briefly
+  // holds PoolMu, and nothing slow belongs under it.
   std::string Client = sanitizeLabel(Doc.str("client", "anon"));
-  std::lock_guard<std::mutex> L(PoolMu);
+  uint64_t StallMs = 0;
+  std::shared_ptr<std::string> Tool;
+  std::shared_ptr<AtomOptions> O;
+  std::shared_ptr<std::vector<uint8_t>> AppBytes;
+  if (Op == "stall") {
+    StallMs = std::min<uint64_t>(Doc.u64("ms"), MaxStallMs);
+  } else {
+    Tool = std::make_shared<std::string>(Doc.str("tool"));
+    O = std::make_shared<AtomOptions>();
+    std::string OptErr;
+    const obs::json::Value *OV = Doc.find("options");
+    if (OV && !parseAtomOptions(*OV, *O, OptErr)) {
+      replyError(C, Id, OptErr);
+      return;
+    }
+    AppBytes = std::make_shared<std::vector<uint8_t>>(std::move(F.Bin));
+  }
+
+  // Admission: per-client quota first, then the global queue bound. Both
+  // rejections are explicit retry replies, never silent drops. PoolMu is
+  // scoped to the checks + submit only, so no reply is ever produced (let
+  // alone written) while holding the admission path.
+  std::unique_lock<std::mutex> L(PoolMu);
   if (ShuttingDown || !Pool) {
+    L.unlock();
     replyError(C, Id, "daemon is shutting down");
     return;
   }
   if (C->InFlight.load() >= Opts.ClientQuota) {
+    L.unlock();
     Reg.addCounter("atomd.rejects-quota");
     replyRetry(C, Id, "quota");
     return;
   }
   if (QueueDepth.load() >= Opts.QueueMax) {
+    L.unlock();
     Reg.addCounter("atomd.rejects-queue");
     replyRetry(C, Id, "queue-full");
     return;
@@ -396,9 +536,8 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
   countClient(Client);
 
   if (Op == "stall") {
-    uint64_t Ms = std::min<uint64_t>(Doc.u64("ms"), MaxStallMs);
-    Pool->submit([this, C, Id, Ms] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+    Pool->submit([this, C, Id, StallMs] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
       obs::JsonWriter W;
       W.beginObject();
       W.key("id");
@@ -414,17 +553,6 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     return;
   }
 
-  auto Tool = std::make_shared<std::string>(Doc.str("tool"));
-  auto O = std::make_shared<AtomOptions>();
-  std::string OptErr;
-  const obs::json::Value *OV = Doc.find("options");
-  if (OV && !parseAtomOptions(*OV, *O, OptErr)) {
-    replyError(C, Id, OptErr);
-    --C->InFlight;
-    Reg.setGauge("atomd.queue-depth", double(--QueueDepth));
-    return;
-  }
-  auto AppBytes = std::make_shared<std::vector<uint8_t>>(std::move(F.Bin));
   Pool->submit([this, C, Id, Tool, O, AppBytes] {
     Stopwatch Watch;
     executeInstrument(C, Id, *Tool, *O, *AppBytes);

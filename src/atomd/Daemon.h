@@ -27,10 +27,16 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <thread>
 
 namespace atom {
 namespace atomd {
+
+/// Distinct per-client request counters tracked before further labels
+/// fold into one "other" bucket — labels are client-controlled, so the
+/// metrics registry must not grow with them without bound.
+constexpr size_t MaxClientLabels = 64;
 
 struct DaemonOptions {
   std::string SocketPath;
@@ -70,15 +76,35 @@ public:
 
   const DaemonOptions &options() const { return Opts; }
 
+  /// Connections currently registered (closed ones are reaped as they
+  /// exit, not accumulated for the daemon's lifetime). Exposed for tests.
+  size_t liveConnections() const;
+
 private:
   struct Conn {
     int Fd = -1;
-    std::mutex WriteMu;              ///< Serializes reply frames.
+    std::mutex FdMu; ///< Guards Fd lifecycle (shutdown/close vs. use).
     std::atomic<unsigned> InFlight{0};
+
+    // Outbound replies, drained by a per-connection writer thread so
+    // neither the reader thread nor a pool worker ever blocks on a slow
+    // client's socket buffer (reply order is enqueue order). The frame
+    // being written stays at the front until fully sent, so an empty
+    // queue means every reply reached the kernel.
+    std::mutex QMu; ///< Guards the queue state below.
+    std::condition_variable QCv;
+    std::deque<Frame> OutQ;
+    uint64_t QueuedBytes = 0;
+    bool CloseWriter = false; ///< Reader gone: drain OutQ, then exit.
+    bool WriterDone = false;  ///< Writer exited; later replies are dropped.
+    std::thread Writer;
+    std::thread Reader;
   };
 
   void acceptLoop();
   void serveConnection(std::shared_ptr<Conn> C);
+  void connWriter(std::shared_ptr<Conn> C);
+  void reapConnections();
   void handleFrame(const std::shared_ptr<Conn> &C, Frame F);
   void executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                          const std::string &ToolName, const AtomOptions &O,
@@ -108,9 +134,9 @@ private:
   Stopwatch Uptime;
 
   std::thread AcceptThread, MetricsThread;
-  std::mutex ConnMu; ///< Guards Conns and ConnThreads.
-  std::vector<std::shared_ptr<Conn>> Conns;
-  std::vector<std::thread> ConnThreads;
+  mutable std::mutex ConnMu; ///< Guards Conns and DoneReaders.
+  std::vector<std::shared_ptr<Conn>> Conns; ///< Registered connections.
+  std::vector<std::thread> DoneReaders; ///< Exited readers awaiting join.
 
   std::atomic<bool> ShuttingDown{false};
   std::mutex PoolMu; ///< Fences request admission against Pool teardown.

@@ -61,22 +61,26 @@ bool readWhole(const std::string &Path, std::vector<uint8_t> &Out) {
   return true;
 }
 
-/// Parses a "<16 hex>.au" entry file name into its key.
-bool parseEntryName(const std::string &Name, uint64_t &Key) {
-  if (Name.size() != 19 || Name.compare(16, 3, ".au") != 0)
-    return false;
-  Key = 0;
+bool parseHex64(const std::string &Name, size_t At, uint64_t &Word) {
+  Word = 0;
   for (size_t I = 0; I < 16; ++I) {
-    char C = Name[I];
-    Key <<= 4;
+    char C = Name[At + I];
+    Word <<= 4;
     if (C >= '0' && C <= '9')
-      Key |= uint64_t(C - '0');
+      Word |= uint64_t(C - '0');
     else if (C >= 'a' && C <= 'f')
-      Key |= uint64_t(C - 'a' + 10);
+      Word |= uint64_t(C - 'a' + 10);
     else
       return false;
   }
   return true;
+}
+
+/// Parses a "<32 hex>.au" entry file name into its 128-bit key.
+bool parseEntryName(const std::string &Name, CacheKey &Key) {
+  if (Name.size() != 35 || Name.compare(32, 3, ".au") != 0)
+    return false;
+  return parseHex64(Name, 0, Key.K0) && parseHex64(Name, 16, Key.K1);
 }
 
 } // namespace
@@ -84,8 +88,10 @@ bool parseEntryName(const std::string &Name, uint64_t &Key) {
 Store::Store(std::string Dir, uint64_t MaxBytes)
     : Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
 
-std::string Store::entryPath(const std::string &Dir, uint64_t Key) {
-  return Dir + "/" + formatString("%016llx.au", (unsigned long long)Key);
+std::string Store::entryPath(const std::string &Dir, CacheKey Key) {
+  return Dir + "/" + formatString("%016llx%016llx.au",
+                                  (unsigned long long)Key.K0,
+                                  (unsigned long long)Key.K1);
 }
 
 bool Store::open(std::string &Err) {
@@ -102,14 +108,14 @@ bool Store::open(std::string &Err) {
   }
   // Initial LRU order: file mtime (coarse, but only seeds the in-memory
   // clock); interrupted writes left behind as tmp.* files are removed.
-  std::vector<std::pair<int64_t, std::pair<uint64_t, uint64_t>>> Found;
+  std::vector<std::pair<int64_t, std::pair<CacheKey, uint64_t>>> Found;
   while (struct dirent *E = readdir(D)) {
     std::string Name = E->d_name;
     if (Name.rfind("tmp.", 0) == 0) {
       ::unlink((Dir + "/" + Name).c_str());
       continue;
     }
-    uint64_t Key;
+    CacheKey Key;
     if (!parseEntryName(Name, Key))
       continue;
     struct stat St;
@@ -131,7 +137,7 @@ bool Store::open(std::string &Err) {
   return true;
 }
 
-std::vector<uint8_t> Store::encodeEntry(uint64_t Key, const CachedUnit &U) {
+std::vector<uint8_t> Store::encodeEntry(CacheKey Key, const CachedUnit &U) {
   // Payload: ok flag, diagnostics, serialized unit (empty when !Ok).
   std::vector<uint8_t> Payload;
   Payload.push_back(U.Ok ? 1 : 0);
@@ -151,14 +157,15 @@ std::vector<uint8_t> Store::encodeEntry(uint64_t Key, const CachedUnit &U) {
   for (char C : Magic)
     Out.push_back(uint8_t(C));
   put32(Out, StoreFormatVersion);
-  put64(Out, Key);
+  put64(Out, Key.K0);
+  put64(Out, Key.K1);
   put64(Out, Payload.size());
   put64(Out, fnv1a(Payload.data(), Payload.size()));
   Out.insert(Out.end(), Payload.begin(), Payload.end());
   return Out;
 }
 
-bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
+bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, CacheKey Key,
                         CachedUnit &Out) {
   size_t Pos = 0;
   if (Bytes.size() < 4)
@@ -167,9 +174,10 @@ bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
     if (Bytes[Pos++] != uint8_t(C))
       return false;
   uint32_t Version;
-  uint64_t FileKey, PayloadLen, Checksum;
+  uint64_t FileK0, FileK1, PayloadLen, Checksum;
   if (!get32(Bytes, Pos, Version) || Version != StoreFormatVersion ||
-      !get64(Bytes, Pos, FileKey) || FileKey != Key ||
+      !get64(Bytes, Pos, FileK0) || !get64(Bytes, Pos, FileK1) ||
+      CacheKey(FileK0, FileK1) != Key ||
       !get64(Bytes, Pos, PayloadLen) || !get64(Bytes, Pos, Checksum))
     return false;
   // The payload must be exactly the rest of the file and checksum clean:
@@ -208,7 +216,7 @@ bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
   return om::deserializeUnit(Unit, Out.U);
 }
 
-bool Store::load(uint64_t Key, CachedUnit &Out) {
+bool Store::load(CacheKey Key, CachedUnit &Out) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = Entries.find(Key);
   if (It == Entries.end()) {
@@ -231,15 +239,16 @@ bool Store::load(uint64_t Key, CachedUnit &Out) {
   return true;
 }
 
-void Store::store(uint64_t Key, const CachedUnit &U) {
+void Store::store(CacheKey Key, const CachedUnit &U) {
   std::lock_guard<std::mutex> L(Mu);
   if (Entries.count(Key))
     return; // content-addressed: an existing entry is already identical
   std::vector<uint8_t> Bytes = encodeEntry(Key, U);
   // Write-then-rename so a crash mid-write never publishes a torn entry.
   std::string Tmp =
-      Dir + "/" + formatString("tmp.%d.%016llx", int(getpid()),
-                               (unsigned long long)Key);
+      Dir + "/" + formatString("tmp.%d.%016llx%016llx", int(getpid()),
+                               (unsigned long long)Key.K0,
+                               (unsigned long long)Key.K1);
   {
     std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
     if (!OutF)
@@ -261,7 +270,7 @@ void Store::store(uint64_t Key, const CachedUnit &U) {
   evictLocked();
 }
 
-void Store::dropLocked(uint64_t Key, bool CountEviction) {
+void Store::dropLocked(CacheKey Key, bool CountEviction) {
   auto It = Entries.find(Key);
   if (It == Entries.end())
     return;
@@ -282,7 +291,7 @@ void Store::evictLocked() {
   }
 }
 
-bool Store::contains(uint64_t Key) const {
+bool Store::contains(CacheKey Key) const {
   std::lock_guard<std::mutex> L(Mu);
   return Entries.count(Key) != 0;
 }

@@ -1,7 +1,8 @@
 //===- atomd/Store.h - Persistent content-addressed artifact store -*-C++-*===//
 //
 // The disk tier behind atom::PipelineCache (docs/DAEMON.md): one file per
-// cached pipeline artifact, named by its existing FNV-1a content key, each
+// cached pipeline artifact, named by its 128-bit content key (both lanes
+// of atom::CacheKey, re-verified in the entry header on load), each
 // holding a versioned, checksummed serialization of the CachedUnit (build
 // outcome + diagnostics + om IR via om::serializeUnit). A restarted daemon
 // reloads lift results instead of recompiling, so cold starts are cheap.
@@ -27,8 +28,9 @@ namespace atom {
 namespace atomd {
 
 /// Bumped on any entry-format change; readers treat other versions as
-/// misses (the entry is deleted and rebuilt).
-constexpr uint32_t StoreFormatVersion = 1;
+/// misses (the entry is deleted and rebuilt). v2 widened the entry key to
+/// the full 128-bit atom::CacheKey.
+constexpr uint32_t StoreFormatVersion = 2;
 
 struct StoreStats {
   uint64_t Hits = 0;         ///< load() calls that returned an entry.
@@ -40,7 +42,7 @@ struct StoreStats {
   uint64_t Bytes = 0;        ///< Current on-disk footprint.
 };
 
-/// A directory of "<16-hex-key>.au" entry files plus LRU bookkeeping.
+/// A directory of "<32-hex-key>.au" entry files plus LRU bookkeeping.
 /// Thread-safe; every operation takes one internal mutex (entries are
 /// small and local-disk I/O is not the pipeline bottleneck).
 class Store : public CacheTier {
@@ -55,10 +57,10 @@ public:
 
   // CacheTier: the PipelineCache consults the store on an in-memory miss
   // and spills every completed build.
-  bool load(uint64_t Key, CachedUnit &Out) override;
-  void store(uint64_t Key, const CachedUnit &U) override;
+  bool load(CacheKey Key, CachedUnit &Out) override;
+  void store(CacheKey Key, const CachedUnit &U) override;
 
-  bool contains(uint64_t Key) const;
+  bool contains(CacheKey Key) const;
   size_t entryCount() const;
   StoreStats stats() const;
   const std::string &dir() const { return Dir; }
@@ -69,13 +71,14 @@ public:
   void publishStats();
 
   /// Serializes \p U as one store entry payload (exposed for tests).
-  static std::vector<uint8_t> encodeEntry(uint64_t Key, const CachedUnit &U);
-  /// Parses and validates an entry file image; false on any corruption.
-  static bool decodeEntry(const std::vector<uint8_t> &Bytes, uint64_t Key,
+  static std::vector<uint8_t> encodeEntry(CacheKey Key, const CachedUnit &U);
+  /// Parses and validates an entry file image; false on any corruption
+  /// (including either word of the 128-bit key disagreeing with \p Key).
+  static bool decodeEntry(const std::vector<uint8_t> &Bytes, CacheKey Key,
                           CachedUnit &Out);
 
-  /// Entry file path for \p Key under \p Dir ("<dir>/<16-hex>.au").
-  static std::string entryPath(const std::string &Dir, uint64_t Key);
+  /// Entry file path for \p Key under \p Dir ("<dir>/<32-hex>.au").
+  static std::string entryPath(const std::string &Dir, CacheKey Key);
 
 private:
   struct Entry {
@@ -84,12 +87,12 @@ private:
   };
 
   void evictLocked();   ///< Requires Mu.
-  void dropLocked(uint64_t Key, bool CountEviction); ///< Requires Mu.
+  void dropLocked(CacheKey Key, bool CountEviction); ///< Requires Mu.
 
   std::string Dir;
   uint64_t MaxBytes;
   mutable std::mutex Mu;
-  std::map<uint64_t, Entry> Entries;
+  std::map<CacheKey, Entry> Entries;
   uint64_t UseClock = 0;
   StoreStats Stats;
   StoreStats Published;

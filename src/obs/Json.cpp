@@ -23,6 +23,11 @@ double Value::asDouble() const { return std::strtod(Text.c_str(), nullptr); }
 
 namespace {
 
+/// Containers may nest at most this deep. The parser (and the Value tree
+/// it builds) is recursive, and sockets feed it untrusted input — without
+/// a bound, a few megabytes of '[' overflow the stack.
+constexpr unsigned MaxNestingDepth = 64;
+
 class Parser {
 public:
   Parser(const std::string &S) : S(S) {}
@@ -54,10 +59,14 @@ private:
     if (Pos >= S.size())
       return fail(Err, "unexpected end of input");
     char C = S[Pos];
-    if (C == '{')
-      return object(Out, Err);
-    if (C == '[')
-      return array(Out, Err);
+    if (C == '{' || C == '[') {
+      if (Depth >= MaxNestingDepth)
+        return fail(Err, "nesting too deep");
+      ++Depth;
+      bool Ok = C == '{' ? object(Out, Err) : array(Out, Err);
+      --Depth;
+      return Ok;
+    }
     if (C == '"') {
       Out.K = Value::Str;
       return string(Out.Text, Err);
@@ -208,6 +217,7 @@ private:
 
   const std::string &S;
   size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace

@@ -62,7 +62,9 @@ struct Value {
 };
 
 /// Parses \p Text into \p Out. Returns false with a position-carrying
-/// message in \p Err on malformed input.
+/// message in \p Err on malformed input. Containers may nest at most 64
+/// deep ("nesting too deep"), so arbitrarily hostile input cannot
+/// overflow the parser's stack.
 bool parse(const std::string &Text, Value &Out, std::string &Err);
 
 } // namespace json

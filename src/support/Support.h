@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,43 @@ inline uint64_t fnv1a(const std::string &S,
   uint64_t Len = S.size();
   uint64_t H = fnv1a(&Len, sizeof(Len), Seed);
   return fnv1a(S.data(), S.size(), H);
+}
+
+/// splitmix64 finalizer: a full-avalanche 64-bit bijection.
+inline uint64_t avalanche64(uint64_t X) {
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// A second 64-bit content hash with mixing unrelated to FNV-1a
+/// (word-at-a-time multiply-xor avalanche). Paired with fnv1a it forms an
+/// effectively 128-bit content identity (atom::CacheKey): a collision —
+/// accidental or crafted against FNV-1a's known weaknesses — must defeat
+/// both mixes on the same input simultaneously.
+inline uint64_t mixHash(const void *Data, size_t Len,
+                        uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = avalanche64(Seed ^ (uint64_t(Len) * 0xFF51AFD7ED558CCDull));
+  size_t I = 0;
+  for (; I + 8 <= Len; I += 8) {
+    uint64_t W;
+    std::memcpy(&W, P + I, 8);
+    H = avalanche64(H ^ W) * 0x2545F4914F6CDD1Dull;
+  }
+  if (I < Len) {
+    uint64_t Tail = 0;
+    for (size_t J = 0; I + J < Len; ++J)
+      Tail |= uint64_t(P[I + J]) << (8 * J);
+    H = avalanche64(H ^ Tail) * 0x2545F4914F6CDD1Dull;
+  }
+  return avalanche64(H);
+}
+
+inline uint64_t mixHash(const std::string &S,
+                        uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+  uint64_t Len = S.size();
+  return mixHash(S.data(), S.size(), mixHash(&Len, sizeof(Len), Seed));
 }
 
 } // namespace atom

@@ -21,6 +21,7 @@
 
 #include <fstream>
 #include <gtest/gtest.h>
+#include <set>
 #include <thread>
 
 using namespace atom;
@@ -340,6 +341,127 @@ TEST_F(AtomdFixture, QueueFullRejectionIsExplicitRetry) {
   EXPECT_EQ(R.Id, 4u);
   ASSERT_TRUE(Cl.recv(R, F, Err)) << Err; // drain id 3's reply
   EXPECT_EQ(R.Id, 3u);
+}
+
+TEST_F(AtomdFixture, PipelinedFloodCompletesWithoutDeadlock) {
+  // Regression: a client that pipelines far past its quota before reading
+  // any replies used to wedge the daemon — the reader blocked writing a
+  // retry reply into a full socket buffer while holding the admission
+  // lock. Replies now drain through a per-connection writer thread, so
+  // every request must eventually complete, byte-identical.
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 4;
+  O.ClientQuota = 8;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+  std::vector<uint8_t> Bin = App.serialize();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  constexpr int N = 48;
+  std::set<uint64_t> Pending;
+  for (int I = 0; I < N; ++I) {
+    uint64_t Id = Cl.nextId();
+    ASSERT_TRUE(Cl.send(
+        makeInstrumentRequest(Id, "prof", "flood", AtomOptions()), Bin,
+        Err))
+        << Err;
+    Pending.insert(Id);
+  }
+  while (!Pending.empty()) {
+    Reply R;
+    Frame F;
+    ASSERT_TRUE(Cl.recv(R, F, Err)) << Err;
+    ASSERT_EQ(Pending.count(R.Id), 1u);
+    if (R.Retry) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(R.RetryAfterMs ? R.RetryAfterMs : 1));
+      ASSERT_TRUE(Cl.send(
+          makeInstrumentRequest(R.Id, "prof", "flood", AtomOptions()),
+          Bin, Err))
+          << Err;
+      continue;
+    }
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(F.Bin, Local);
+    Pending.erase(R.Id);
+  }
+}
+
+TEST_F(AtomdFixture, ClientLabelMetricsAreBounded) {
+  // Labels are client-controlled; past MaxClientLabels distinct ones the
+  // daemon folds new labels into a single "other" bucket instead of
+  // growing the per-client map and metric registry without bound.
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 2;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  constexpr size_t Extra = 10;
+  for (size_t I = 0; I < MaxClientLabels + Extra; ++I) {
+    Reply R;
+    Frame F;
+    std::string Req = "{\"op\":\"stall\",\"id\":" +
+                      std::to_string(Cl.nextId()) +
+                      ",\"ms\":0,\"client\":\"c" + std::to_string(I) +
+                      "\"}";
+    ASSERT_TRUE(Cl.call(Req, {}, R, F, Err)) << Err;
+    ASSERT_TRUE(R.Ok);
+  }
+
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *Clients = R.Doc.find("clients");
+  ASSERT_NE(Clients, nullptr);
+  EXPECT_EQ(Clients->Members.size(), MaxClientLabels + 1);
+  EXPECT_EQ(Clients->u64("other"), uint64_t(Extra));
+  EXPECT_EQ(Clients->u64("c0"), 1u);
+}
+
+TEST_F(AtomdFixture, ClosedConnectionsAreReaped) {
+  // A long-running daemon serving short-lived connections must not
+  // accumulate dead Conn records: readers deregister as they exit.
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 1;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  for (int I = 0; I < 20; ++I) {
+    Client Cl;
+    ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+    Reply R;
+    Frame F;
+    ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "ping"), {}, R, F,
+                        Err))
+        << Err;
+  }
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "ping"), {}, R, F,
+                      Err))
+      << Err;
+  // Deregistration runs on each reader thread moments after its client
+  // disconnects; wait for the count to settle at just our live one.
+  for (int Tries = 0; D.liveConnections() > 1 && Tries < 400; ++Tries)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(D.liveConnections(), 1u);
 }
 
 TEST_F(AtomdFixture, RestartReloadsStoreAndStaysByteIdentical) {

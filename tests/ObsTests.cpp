@@ -10,6 +10,7 @@
 #include "TestUtil.h"
 
 #include "atom/Recovery.h"
+#include "obs/Json.h"
 #include "obs/Obs.h"
 #include "tools/Tools.h"
 
@@ -250,6 +251,32 @@ TEST(ObsJson, RejectsMalformedDocuments) {
   EXPECT_FALSE(Registry::fromJson("[]", Back, Err));
   EXPECT_FALSE(Registry::fromJson("{\"counters\":[]}", Back, Err));
   EXPECT_FALSE(Err.empty());
+}
+
+TEST(ObsJson, RejectsDeepNestingWithoutOverflowingTheStack) {
+  // The daemon feeds the parser multi-megabyte untrusted socket input; a
+  // '['-bomb must come back as a parse error, not a stack overflow.
+  auto Nest = [](size_t Depth, const char *Leaf) {
+    std::string S(Depth, '[');
+    S += Leaf;
+    S.append(Depth, ']');
+    return S;
+  };
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Nest(60, "1"), V, Err)) << Err;
+  EXPECT_FALSE(json::parse(Nest(65, "1"), V, Err));
+  EXPECT_NE(Err.find("nesting too deep"), std::string::npos);
+  // A megabyte of unclosed brackets (the cheap hostile case: no closers
+  // needed to drive recursion) fails the same way.
+  EXPECT_FALSE(json::parse(std::string(1u << 20, '['), V, Err));
+  EXPECT_NE(Err.find("nesting too deep"), std::string::npos);
+  // Objects count against the same bound.
+  std::string ObjBomb;
+  for (int I = 0; I < 100; ++I)
+    ObjBomb += "{\"k\":";
+  EXPECT_FALSE(json::parse(ObjBomb, V, Err));
+  EXPECT_NE(Err.find("nesting too deep"), std::string::npos);
 }
 
 TEST(ObsPrometheus, ExposesAllMetricKinds) {

@@ -91,8 +91,11 @@ TEST(Store, DecodeRejectsWrongKeyTruncationAndBitFlips) {
   CachedUnit Back;
 
   // The key is part of the addressed content: a file renamed to another
-  // key's slot must not decode.
+  // key's slot must not decode — and both 64-bit lanes of the 128-bit
+  // key are verified, so a single-lane collision is not enough.
   EXPECT_FALSE(Store::decodeEntry(Entry, 100, Back));
+  EXPECT_FALSE(Store::decodeEntry(Entry, CacheKey(99, 1), Back));
+  EXPECT_TRUE(Store::decodeEntry(Entry, CacheKey(99, 0), Back));
 
   size_t Step = std::max<size_t>(1, Entry.size() / 211);
   for (size_t Len = 0; Len < Entry.size(); Len += Step) {
@@ -106,6 +109,24 @@ TEST(Store, DecodeRejectsWrongKeyTruncationAndBitFlips) {
     Bad[I] ^= 0x10;
     EXPECT_FALSE(Store::decodeEntry(Bad, 99, Back)) << "byte " << I;
   }
+}
+
+TEST(Store, CacheKeysPopulateBothHashLanes) {
+  // The persistent identity is 128-bit: two independently mixed lanes
+  // over the same content. Same content -> same key; different content
+  // differs in both lanes; the lanes are not copies of each other.
+  CacheKey T1 = toolCacheKey(toolOrDie("prof"));
+  CacheKey T2 = toolCacheKey(toolOrDie("malloc"));
+  EXPECT_EQ(T1, toolCacheKey(toolOrDie("prof")));
+  EXPECT_NE(T1.K0, T2.K0);
+  EXPECT_NE(T1.K1, T2.K1);
+  EXPECT_NE(T1.K0, T1.K1);
+
+  obj::Executable App = buildOrDie("int main() { return 0; }");
+  CacheKey A = appCacheKey(App);
+  EXPECT_EQ(A, appCacheKey(App));
+  EXPECT_NE(A.K0, T1.K0); // tool/app domains separated in both lanes
+  EXPECT_NE(A.K1, T1.K1);
 }
 
 TEST(Store, StoreThenLoadAcrossInstances) {
