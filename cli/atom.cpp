@@ -32,6 +32,8 @@
 //   --cache-bytes SZ         cap the pipeline cache (k/m/g suffixes)
 //   --connect <sock>         send requests to the atomd at <sock>
 //   --client <name>          client label reported to the daemon
+//   --timeout-ms N           per-request deadline asked of the daemon
+//                            (only meaningful with --connect)
 //   --run [--dump <file>]    run the result immediately (single pair only)
 //   --stats                  print instrumentation statistics and the
 //                            per-phase timing tree
@@ -51,6 +53,7 @@
 #include <chrono>
 #include <map>
 #include <thread>
+#include <unistd.h>
 
 using namespace atom;
 using namespace atom::cli;
@@ -63,7 +66,8 @@ static void usage() {
                "save-all|liveness]\n"
                "            [--inline] [--no-rename] [--heap-offset N]\n"
                "            [--jobs N] [--no-cache] [--cache-bytes SZ]\n"
-               "            [--connect <sock>] [--client <name>]\n"
+               "            [--connect <sock>] [--client <name>] "
+               "[--timeout-ms N]\n"
                "            [--run] [--dump <file>] [--stats]\n"
                "            [--metrics-out <file>] "
                "[--metrics-format json|prom]\n"
@@ -135,13 +139,15 @@ static int runInstrumented(const obj::Executable &Exe,
 
 /// Daemon proxy mode: every (tool, input) request is pipelined to the
 /// atomd at \p Socket; backpressure replies ("queue-full", "quota") are
-/// resent after the advised delay. Output files match local mode.
+/// resent after a capped, jittered exponential delay floored at the
+/// daemon's advice, and a request that keeps bouncing is abandoned after
+/// a bounded number of attempts. Output files match local mode.
 static int runConnectMode(const std::string &Socket,
                           const std::string &ClientName,
                           const std::vector<std::string> &Inputs,
                           const std::vector<const Tool *> &Ts,
-                          const AtomOptions &Opts, const std::string &Output,
-                          bool Run, bool Stats,
+                          const AtomOptions &Opts, uint64_t TimeoutMs,
+                          const std::string &Output, bool Run, bool Stats,
                           const std::vector<std::string> &Dumps,
                           const MetricsOptions &Metrics) {
   bool Single = Inputs.size() == 1 && Ts.size() == 1;
@@ -160,7 +166,8 @@ static int runConnectMode(const std::string &Socket,
     std::string Json;
     std::vector<uint8_t> Bin;
     std::string OutPath;
-    std::string Label; ///< "tool 'x', prog.exe" for error messages.
+    std::string Label;     ///< "tool 'x', prog.exe" for error messages.
+    unsigned Attempts = 0; ///< Backpressure resends so far.
   };
   std::map<uint64_t, Request> Pending;
   for (const Tool *T : Ts)
@@ -169,7 +176,8 @@ static int runConnectMode(const std::string &Socket,
       if (!readFile(Input, Rq.Bin))
         die("cannot read '" + Input + "'");
       uint64_t Id = Cl.nextId();
-      Rq.Json = atomd::makeInstrumentRequest(Id, T->Name, ClientName, Opts);
+      Rq.Json = atomd::makeInstrumentRequest(Id, T->Name, ClientName, Opts,
+                                             TimeoutMs);
       Rq.OutPath = !Output.empty() ? Output
                    : Single       ? Input + ".atom"
                                   : Input + "." + T->Name + ".atom";
@@ -178,6 +186,13 @@ static int runConnectMode(const std::string &Socket,
         die(Err);
       Pending.emplace(Id, std::move(Rq));
     }
+
+  // One backoff state for the connection: when several pipelined requests
+  // bounce, their resends still spread out instead of re-arriving as the
+  // same burst that was just rejected.
+  const unsigned MaxAttempts = 100;
+  Backoff Retry(5, 250,
+                0x9E3779B97F4A7C15ull ^ (uint64_t(getpid()) << 32));
 
   bool Ok = true;
   int Exit = 0;
@@ -191,8 +206,11 @@ static int runConnectMode(const std::string &Socket,
       die("daemon replied with unknown request id");
     Request &Rq = It->second;
     if (R.Retry) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(R.RetryAfterMs ? R.RetryAfterMs : 1));
+      if (Rq.Attempts >= MaxAttempts)
+        die("daemon kept pushing back (" + R.Error + ") after " +
+            formatString("%u", Rq.Attempts + 1) + " attempts: " + Rq.Label);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          Retry.delayMs(Rq.Attempts++, R.RetryAfterMs)));
       if (!Cl.send(Rq.Json, Rq.Bin, Err))
         die(Err);
       continue;
@@ -240,6 +258,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Dumps;
   AtomOptions Opts;
   MetricsOptions Metrics;
+  uint64_t TimeoutMs = 0;
   bool Run = false, Stats = false, ListTools = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -273,6 +292,8 @@ int main(int argc, char **argv) {
       ConnectSocket = argv[++I];
     } else if (A == "--client" && I + 1 < argc) {
       ClientName = argv[++I];
+    } else if (A == "--timeout-ms" && I + 1 < argc) {
+      TimeoutMs = parseUnsignedArg("--timeout-ms", argv[++I]);
     } else if (A == "--run") {
       Run = true;
     } else if (A == "--dump" && I + 1 < argc) {
@@ -309,7 +330,7 @@ int main(int argc, char **argv) {
 
   if (!ConnectSocket.empty())
     return runConnectMode(ConnectSocket, ClientName, Inputs, Ts, Opts,
-                          Output, Run, Stats, Dumps, Metrics);
+                          TimeoutMs, Output, Run, Stats, Dumps, Metrics);
 
   // Batch mode: every (tool, program) pair, through the worker pool.
   if (Inputs.size() > 1 || Ts.size() > 1) {

@@ -7,6 +7,9 @@
 //         [--store <dir>] [--store-bytes SZ]
 //         [--metrics-http <port>] [--metrics-out <file>]
 //         [--metrics-format json|prom]
+//         [--isolate|--no-isolate] [--deadline-ms N]
+//         [--worker-requests N] [--breaker-threshold N]
+//         [--breaker-cooldown-ms N]
 //   atomd status --socket <path>
 //   atomd ping --socket <path>
 //   atomd shutdown --socket <path>
@@ -17,12 +20,19 @@
 // (port 0 binds an ephemeral port and prints the real one). status prints
 // the daemon's status reply as one JSON document.
 //
+// serve runs tool pipelines in isolated worker processes by default
+// (docs/RESILIENCE.md): a crashing or hanging request costs one worker,
+// never the daemon. --no-isolate restores the in-process pipeline. There
+// is also a hidden `atomd __worker` mode — the worker-process service
+// loop the daemon spawns; it is not part of the CLI surface.
+//
 //===----------------------------------------------------------------------===//
 
 #include "CliSupport.h"
 
 #include "atomd/Client.h"
 #include "atomd/Daemon.h"
+#include "atomd/Worker.h"
 
 #include <csignal>
 #include <thread>
@@ -39,6 +49,10 @@ static void usage() {
                "[--store-bytes SZ]\n"
                "             [--metrics-http <port>] [--metrics-out <file>] "
                "[--metrics-format json|prom]\n"
+               "             [--isolate|--no-isolate] [--deadline-ms N] "
+               "[--worker-requests N]\n"
+               "             [--breaker-threshold N] "
+               "[--breaker-cooldown-ms N]\n"
                "       atomd status|ping|shutdown --socket <path>\n");
   std::exit(2);
 }
@@ -111,15 +125,52 @@ static int callSimple(const std::string &Socket, const std::string &Op) {
   return 0;
 }
 
+// Resolves the path to this very binary so serve can respawn it as a
+// worker. /proc/self/exe is authoritative on Linux; argv[0] is the
+// fallback for exotic mounts.
+static std::string selfExePath(const char *Argv0) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = 0;
+    return Buf;
+  }
+  return Argv0 ? Argv0 : "atomd";
+}
+
+// Hidden worker-process mode: `atomd __worker [--store-dir D]
+// [--store-bytes SZ] [--cache-bytes SZ]`. The daemon spawns these; the
+// service loop speaks frames on the channel fd until EOF.
+static int workerCommand(int argc, char **argv) {
+  atomd::WorkerConfig C;
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--store-dir" && I + 1 < argc)
+      C.StoreDir = argv[++I];
+    else if (A == "--store-bytes" && I + 1 < argc)
+      C.StoreBytes = parseByteSizeArg("--store-bytes", argv[++I]);
+    else if (A == "--cache-bytes" && I + 1 < argc)
+      C.CacheBytes = parseByteSizeArg("--cache-bytes", argv[++I]);
+    else
+      die("unknown __worker argument: " + A);
+  }
+  return atomd::workerMain(C);
+}
+
 int main(int argc, char **argv) {
   if (argc < 2)
     usage();
   std::string Cmd = argv[1];
+  if (Cmd == "__worker")
+    return workerCommand(argc, argv);
   if (Cmd != "serve" && Cmd != "status" && Cmd != "ping" &&
       Cmd != "shutdown")
     usage();
 
   atomd::DaemonOptions Opts;
+  // The CLI daemon isolates by default: a crashing tool should never take
+  // the service down. The library default stays in-process for embedders.
+  Opts.Isolate = true;
   MetricsOptions Metrics;
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -149,12 +200,31 @@ int main(int argc, char **argv) {
       if (Port > 65535)
         die("--metrics-http port out of range");
       Opts.MetricsPort = int(Port);
+    } else if (A == "--isolate") {
+      Opts.Isolate = true;
+    } else if (A == "--no-isolate") {
+      Opts.Isolate = false;
+    } else if (A == "--deadline-ms" && I + 1 < argc) {
+      Opts.DeadlineMs = parseUnsignedArg("--deadline-ms", argv[++I]);
+    } else if (A == "--worker-requests" && I + 1 < argc) {
+      Opts.WorkerRequests =
+          unsigned(parseUnsignedArg("--worker-requests", argv[++I]));
+    } else if (A == "--breaker-threshold" && I + 1 < argc) {
+      Opts.BreakerThreshold =
+          unsigned(parseUnsignedArg("--breaker-threshold", argv[++I]));
+      if (Opts.BreakerThreshold == 0)
+        die("--breaker-threshold must be at least 1");
+    } else if (A == "--breaker-cooldown-ms" && I + 1 < argc) {
+      Opts.BreakerCooldownMs =
+          parseUnsignedArg("--breaker-cooldown-ms", argv[++I]);
     } else {
       usage();
     }
   }
   if (Opts.SocketPath.empty())
     die("--socket is required");
+  if (Opts.Isolate)
+    Opts.WorkerExe = selfExePath(argv[0]);
 
   if (Cmd == "serve")
     return serve(Opts, Metrics);

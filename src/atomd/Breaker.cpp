@@ -1,0 +1,124 @@
+//===- atomd/Breaker.cpp --------------------------------------------------===//
+
+#include "atomd/Breaker.h"
+
+#include "obs/Obs.h"
+
+#include <chrono>
+
+using namespace atom;
+using namespace atom::atomd;
+
+Breaker::Breaker(BreakerOptions O, std::function<uint64_t()> C)
+    : Opts(O), Clock(std::move(C)) {
+  if (Opts.Threshold == 0)
+    Opts.Threshold = 1;
+}
+
+uint64_t Breaker::nowMs() const {
+  if (Clock)
+    return Clock();
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+const char *Breaker::stateName(State S) {
+  switch (S) {
+  case State::Closed: return "closed";
+  case State::Open: return "open";
+  case State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+Breaker::Decision Breaker::admit(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return {};
+  Entry &E = It->second;
+  if (E.St == State::Closed)
+    return {};
+  uint64_t Now = nowMs();
+  if (E.St == State::Open) {
+    uint64_t Since = Now - E.OpenedAtMs;
+    if (Since < Opts.CooldownMs) {
+      obs::Registry::global().addCounter("atomd.breaker-fast-fails");
+      return {false, false, Opts.CooldownMs - Since};
+    }
+    E.St = State::HalfOpen;
+    E.ProbeInFlight = true;
+    obs::Registry::global().emitEvent(
+        obs::Event("breaker-half-open").str("tool", Key));
+    return {true, true, 0};
+  }
+  // HalfOpen: one probe at a time; everyone else keeps waiting.
+  if (!E.ProbeInFlight) {
+    E.ProbeInFlight = true;
+    return {true, true, 0};
+  }
+  obs::Registry::global().addCounter("atomd.breaker-fast-fails");
+  return {false, false, Opts.CooldownMs};
+}
+
+void Breaker::recordSuccess(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return;
+  Entry &E = It->second;
+  bool WasOpen = E.St != State::Closed;
+  Entries.erase(It); // back to pristine Closed
+  if (WasOpen)
+    obs::Registry::global().emitEvent(
+        obs::Event("breaker-close").str("tool", Key));
+}
+
+void Breaker::recordFailure(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  Entry &E = Entries[Key];
+  ++E.ConsecFailures;
+  if (E.St == State::HalfOpen) {
+    // The probe failed too: straight back to Open for another cooldown.
+    E.St = State::Open;
+    E.OpenedAtMs = nowMs();
+    E.ProbeInFlight = false;
+    obs::Registry::global().addCounter("atomd.breaker-open");
+    obs::Registry::global().emitEvent(obs::Event("breaker-open")
+                                          .str("tool", Key)
+                                          .num("failures", E.ConsecFailures)
+                                          .boolean("probe-failed", true));
+    return;
+  }
+  if (E.St == State::Closed && E.ConsecFailures >= Opts.Threshold) {
+    E.St = State::Open;
+    E.OpenedAtMs = nowMs();
+    obs::Registry::global().addCounter("atomd.breaker-open");
+    obs::Registry::global().emitEvent(obs::Event("breaker-open")
+                                          .str("tool", Key)
+                                          .num("failures", E.ConsecFailures)
+                                          .boolean("probe-failed", false));
+  }
+}
+
+void Breaker::releaseProbe(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  if (It != Entries.end() && It->second.St == State::HalfOpen)
+    It->second.ProbeInFlight = false;
+}
+
+Breaker::State Breaker::state(const std::string &Key) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? State::Closed : It->second.St;
+}
+
+std::vector<Breaker::KeyState> Breaker::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<KeyState> Out;
+  for (const auto &[Key, E] : Entries)
+    Out.push_back({Key, E.St, E.ConsecFailures});
+  return Out;
+}

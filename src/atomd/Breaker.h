@@ -1,0 +1,104 @@
+//===- atomd/Breaker.h - Per-tool-key circuit breaker -----------*- C++ -*-===//
+//
+// Fail-fast protection for the daemon's instrument path
+// (docs/RESILIENCE.md): a tool whose requests keep crashing workers (or
+// blowing their deadlines) is almost certainly broken for everyone, so
+// after Threshold consecutive such failures the breaker for that tool key
+// opens and later requests are rejected immediately with a retry_after_ms
+// hint — no worker is burned re-proving a known-bad tool. After CooldownMs
+// the breaker admits exactly one half-open probe request; if it completes,
+// the breaker closes, otherwise it re-opens for another cooldown.
+//
+// Only infrastructure failures feed the breaker: worker crashes and
+// deadline kills. Ordinary pipeline failures (bad tool source, malformed
+// application) are deterministic per-request outcomes the client must see
+// every time.
+//
+// The clock is injectable so tests can drive open -> half-open -> closed
+// transitions without sleeping.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_BREAKER_H
+#define ATOM_ATOMD_BREAKER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace atomd {
+
+struct BreakerOptions {
+  unsigned Threshold = 3;     ///< Consecutive failures that open the breaker.
+  uint64_t CooldownMs = 1000; ///< Open time before the half-open probe.
+};
+
+class Breaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  /// \p Clock returns monotonic milliseconds; nullptr uses steady_clock.
+  explicit Breaker(BreakerOptions O = {},
+                   std::function<uint64_t()> Clock = nullptr);
+
+  struct Decision {
+    bool Allow = true;
+    bool Probe = false;        ///< This request is the half-open probe.
+    uint64_t RetryAfterMs = 0; ///< Advice when !Allow.
+  };
+
+  /// Admission check for one request on tool \p Key. An Open breaker past
+  /// its cooldown flips to HalfOpen and admits this request as the probe;
+  /// while a probe is in flight everything else is rejected.
+  Decision admit(const std::string &Key);
+
+  /// The admitted request completed without infrastructure failure (the
+  /// pipeline outcome is irrelevant). Closes a half-open breaker.
+  void recordSuccess(const std::string &Key);
+
+  /// The admitted request crashed its worker or was deadline-killed.
+  /// Opens the breaker at Threshold consecutive failures; a failed probe
+  /// re-opens immediately.
+  void recordFailure(const std::string &Key);
+
+  /// An admitted probe was never executed (backpressure-rejected further
+  /// down the admission path): return the half-open slot so the next
+  /// request can probe instead.
+  void releaseProbe(const std::string &Key);
+
+  State state(const std::string &Key) const;
+
+  struct KeyState {
+    std::string Key;
+    State St = State::Closed;
+    unsigned ConsecFailures = 0;
+  };
+  /// Every key with a non-default state (for statusJson).
+  std::vector<KeyState> snapshot() const;
+
+  static const char *stateName(State S);
+
+private:
+  struct Entry {
+    State St = State::Closed;
+    unsigned ConsecFailures = 0;
+    uint64_t OpenedAtMs = 0;
+    bool ProbeInFlight = false;
+  };
+
+  uint64_t nowMs() const;
+
+  BreakerOptions Opts;
+  std::function<uint64_t()> Clock;
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_BREAKER_H

@@ -72,10 +72,13 @@ bool Client::call(const std::string &Json, const std::vector<uint8_t> &Bin,
     if (!R.Retry)
       return true;
     if (Attempt >= MaxRetries) {
-      Err = "daemon kept pushing back (" + R.Error + ")";
+      Err = "daemon kept pushing back (" + R.Error + ") after " +
+            formatString("%u", Attempt + 1) + " attempts";
       return false;
     }
+    // Jittered exponential delay, floored at the daemon's advice: retrying
+    // herds decorrelate instead of re-arriving together.
     std::this_thread::sleep_for(
-        std::chrono::milliseconds(R.RetryAfterMs ? R.RetryAfterMs : 1));
+        std::chrono::milliseconds(Retry.delayMs(Attempt, R.RetryAfterMs)));
   }
 }

@@ -3,10 +3,13 @@
 // The client side of the atomd protocol: one Unix-socket connection that
 // sends request frames and receives replies. Used by `atom --connect` and
 // the atomd CLI's status/shutdown subcommands. call() implements the
-// backpressure contract: a {"retry":true} reply is resent after the
-// advised delay, so callers see only final outcomes. Requests may also be
-// pipelined (several send()s before recv()s); replies carry the request id
-// and may arrive in any order.
+// backpressure contract: a {"retry":true} reply is resent after a capped,
+// jittered exponential backoff (at least the daemon's advised
+// retry_after_ms), so callers see only final outcomes and a herd of
+// retrying clients decorrelates instead of hammering the daemon in
+// lockstep. Attempts are bounded; exhaustion reports how many were made.
+// Requests may also be pipelined (several send()s before recv()s); replies
+// carry the request id and may arrive in any order.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,13 +17,21 @@
 #define ATOM_ATOMD_CLIENT_H
 
 #include "atomd/Protocol.h"
+#include "support/Support.h"
+
+#include <unistd.h>
 
 namespace atom {
 namespace atomd {
 
 class Client {
 public:
-  Client() = default;
+  /// The backoff jitter is seeded per process and per instance, so
+  /// concurrent clients spread their retries apart.
+  Client()
+      : Retry(5, 250,
+              0x9E3779B97F4A7C15ull ^ (uint64_t(getpid()) << 32) ^
+                  uint64_t(reinterpret_cast<uintptr_t>(this))) {}
   ~Client() { close(); }
 
   Client(const Client &) = delete;
@@ -39,11 +50,12 @@ public:
   bool recv(Reply &R, Frame &F, std::string &Err);
 
   /// Round-trip: send, receive, and transparently resend on backpressure
-  /// (waiting the advised retry_after_ms each time, up to \p MaxRetries).
-  /// Returns false only on transport/parse errors; application failures
-  /// come back as R.Ok = false.
+  /// (jittered exponential delay of at least the advised retry_after_ms,
+  /// up to \p MaxRetries resends). Returns false only on transport/parse
+  /// errors or retry exhaustion; application failures come back as
+  /// R.Ok = false.
   bool call(const std::string &Json, const std::vector<uint8_t> &Bin,
-            Reply &R, Frame &F, std::string &Err, unsigned MaxRetries = 1000);
+            Reply &R, Frame &F, std::string &Err, unsigned MaxRetries = 100);
 
   /// Monotonic request-id source for this connection.
   uint64_t nextId() { return ++LastId; }
@@ -51,6 +63,7 @@ public:
 private:
   int Fd = -1;
   uint64_t LastId = 0;
+  Backoff Retry;
 };
 
 } // namespace atomd

@@ -69,6 +69,10 @@ bool Daemon::start(std::string &Err) {
     Err = "no socket path";
     return false;
   }
+  if (Opts.Isolate && Opts.WorkerExe.empty()) {
+    Err = "isolate mode needs the worker executable path";
+    return false;
+  }
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
@@ -86,7 +90,10 @@ bool Daemon::start(std::string &Err) {
     Cache.setTier(DiskStore.get());
   }
 
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  // CLOEXEC throughout: worker processes must not inherit the listen or
+  // connection sockets, or a closed client connection would stay half-open
+  // in every worker and EOF-based lifecycle tracking would break.
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (ListenFd < 0) {
     Err = std::string("socket: ") + std::strerror(errno);
     return false;
@@ -97,7 +104,7 @@ bool Daemon::start(std::string &Err) {
     // live daemon answers on it.
     bool Stale = false;
     if (errno == EADDRINUSE) {
-      int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
       if (Probe >= 0) {
         Stale = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
                           sizeof(Addr)) != 0;
@@ -127,7 +134,7 @@ bool Daemon::start(std::string &Err) {
   }
 
   if (Opts.MetricsPort >= 0) {
-    MetricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MetricsFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (MetricsFd < 0) {
       Err = std::string("metrics socket: ") + std::strerror(errno);
       ::close(ListenFd);
@@ -156,6 +163,29 @@ bool Daemon::start(std::string &Err) {
     }
     BoundMetricsPort = int(ntohs(In.sin_port));
     MetricsThread = std::thread([this] { metricsLoop(); });
+  }
+
+  Brk.reset(new Breaker({Opts.BreakerThreshold, Opts.BreakerCooldownMs}));
+  if (Opts.Isolate) {
+    WorkerPoolOptions WO;
+    WO.WorkerArgv = {Opts.WorkerExe, "__worker"};
+    if (!Opts.StoreDir.empty()) {
+      WO.WorkerArgv.push_back("--store-dir");
+      WO.WorkerArgv.push_back(Opts.StoreDir);
+      if (Opts.StoreBytes) {
+        WO.WorkerArgv.push_back("--store-bytes");
+        WO.WorkerArgv.push_back(
+            formatString("%llu", (unsigned long long)Opts.StoreBytes));
+      }
+    }
+    if (Opts.CacheBytes) {
+      WO.WorkerArgv.push_back("--cache-bytes");
+      WO.WorkerArgv.push_back(
+          formatString("%llu", (unsigned long long)Opts.CacheBytes));
+    }
+    WO.NumWorkers = Opts.Jobs;
+    WO.WorkerRequests = Opts.WorkerRequests;
+    Workers.reset(new WorkerPool(WO));
   }
 
   Pool.reset(new ThreadPool(Opts.Jobs));
@@ -191,6 +221,9 @@ void Daemon::wait() {
     std::lock_guard<std::mutex> L(PoolMu);
     Pool.reset();
   }
+  // Only pool tasks touch the worker pool, so it is idle now; its
+  // destructor retires every worker via channel EOF.
+  Workers.reset();
   // Flush: every enqueued reply is written (or its client proved dead)
   // before the sockets come down. Conns can only shrink from here — the
   // accept thread is gone — so a snapshot covers them all.
@@ -257,8 +290,9 @@ size_t Daemon::liveConnections() const {
 }
 
 void Daemon::acceptLoop() {
+  setCurrentThreadName("atomd-accept");
   while (true) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
     reapConnections(); // closed connections are joined as we go, not
                        // accumulated until shutdown
     if (Fd < 0) {
@@ -280,6 +314,7 @@ void Daemon::acceptLoop() {
 }
 
 void Daemon::serveConnection(std::shared_ptr<Conn> C) {
+  setCurrentThreadName("atomd-conn");
   obs::Registry::global().addCounter("atomd.connections");
   while (true) {
     {
@@ -325,6 +360,7 @@ void Daemon::serveConnection(std::shared_ptr<Conn> C) {
 }
 
 void Daemon::connWriter(std::shared_ptr<Conn> C) {
+  setCurrentThreadName("atomd-write");
   while (true) {
     const Frame *F;
     {
@@ -494,6 +530,8 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
   std::shared_ptr<std::string> Tool;
   std::shared_ptr<AtomOptions> O;
   std::shared_ptr<std::vector<uint8_t>> AppBytes;
+  uint64_t DeadlineMs = 0;
+  bool BreakerProbe = false;
   if (Op == "stall") {
     StallMs = std::min<uint64_t>(Doc.u64("ms"), MaxStallMs);
   } else {
@@ -506,6 +544,35 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
       return;
     }
     AppBytes = std::make_shared<std::vector<uint8_t>>(std::move(F.Bin));
+
+    // Effective deadline: the tighter of the server cap and the client's
+    // requested timeout (a client cannot extend past the server's).
+    DeadlineMs = Opts.DeadlineMs;
+    uint64_t TimeoutMs = Doc.u64("timeout_ms");
+    if (TimeoutMs && (!DeadlineMs || TimeoutMs < DeadlineMs))
+      DeadlineMs = TimeoutMs;
+
+    // Circuit breaker: a tool that keeps crashing workers fails fast here
+    // — a final error (no retry flag), with advice on when to try again.
+    Breaker::Decision BD = Brk->admit(*Tool);
+    BreakerProbe = BD.Probe;
+    if (!BD.Allow) {
+      obs::JsonWriter W;
+      W.beginObject();
+      W.key("id");
+      W.value(Id);
+      W.key("ok");
+      W.value(false);
+      W.key("error");
+      W.value("breaker-open");
+      W.key("tool");
+      W.value(*Tool);
+      W.key("retry_after_ms");
+      W.value(BD.RetryAfterMs);
+      W.endObject();
+      reply(C, W.take());
+      return;
+    }
   }
 
   // Admission: per-client quota first, then the global queue bound. Both
@@ -515,17 +582,23 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
   std::unique_lock<std::mutex> L(PoolMu);
   if (ShuttingDown || !Pool) {
     L.unlock();
+    if (BreakerProbe)
+      Brk->releaseProbe(*Tool);
     replyError(C, Id, "daemon is shutting down");
     return;
   }
   if (C->InFlight.load() >= Opts.ClientQuota) {
     L.unlock();
+    if (BreakerProbe)
+      Brk->releaseProbe(*Tool);
     Reg.addCounter("atomd.rejects-quota");
     replyRetry(C, Id, "quota");
     return;
   }
   if (QueueDepth.load() >= Opts.QueueMax) {
     L.unlock();
+    if (BreakerProbe)
+      Brk->releaseProbe(*Tool);
     Reg.addCounter("atomd.rejects-queue");
     replyRetry(C, Id, "queue-full");
     return;
@@ -553,9 +626,9 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     return;
   }
 
-  Pool->submit([this, C, Id, Tool, O, AppBytes] {
+  Pool->submit([this, C, Id, Tool, O, AppBytes, DeadlineMs] {
     Stopwatch Watch;
-    executeInstrument(C, Id, *Tool, *O, *AppBytes);
+    executeInstrument(C, Id, *Tool, *O, *AppBytes, DeadlineMs);
     obs::Registry &R = obs::Registry::global();
     R.recordValue("atomd.request-latency-us",
                   uint64_t(Watch.seconds() * 1e6));
@@ -567,70 +640,84 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
 void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                                const std::string &ToolName,
                                const AtomOptions &O,
-                               const std::vector<uint8_t> &AppBytes) {
-  const Tool *T = tools::findTool(ToolName);
-  if (!T) {
-    replyError(C, Id, "unknown tool '" + ToolName + "'");
-    return;
-  }
-  obj::Executable App;
-  if (!obj::Executable::deserialize(AppBytes, App)) {
-    replyError(C, Id, "malformed application image");
+                               const std::vector<uint8_t> &AppBytes,
+                               uint64_t DeadlineMs) {
+  if (!Workers) {
+    // In-process path (--no-isolate): no process boundary, so a crashing
+    // tool takes the daemon down and deadlines cannot kill anything — the
+    // historical trade for skipping the worker round-trip.
+    Frame R = buildInstrumentReply(Cache, Id, ToolName, O, AppBytes);
+    Brk->recordSuccess(ToolName);
+    reply(C, R.Json, R.Bin);
     return;
   }
 
-  // Identical artifact flow to the batch driver's RunOne: the immutable
-  // cached units feed the pipeline through PipelineReuse deep copies, so
-  // the reply bytes match a standalone `atom` run exactly.
-  PipelineCache::UnitPtr TA = Cache.analysisUnit(*T);
-  if (!TA->Ok) {
-    replyError(C, Id, "analysis build failed for tool '" + ToolName + "'",
-               TA->Diags);
+  Frame Req;
+  Req.Json = makeInstrumentRequest(Id, ToolName, "", O);
+  Req.Bin = AppBytes;
+  WorkerPool::Result R =
+      Workers->execute(Req, DeadlineMs ? int64_t(DeadlineMs) : -1);
+  obs::Registry &Reg = obs::Registry::global();
+  switch (R.Out) {
+  case WorkerPool::Outcome::Ok:
+    // The worker built the reply (including pipeline failures, which are
+    // request outcomes, not infrastructure failures); pass it through
+    // verbatim — it already carries this request's id.
+    Brk->recordSuccess(ToolName);
+    reply(C, R.Reply.Json, R.Reply.Bin);
+    return;
+  case WorkerPool::Outcome::Crashed: {
+    Reg.addCounter("atomd.worker-crashes");
+    Reg.emitEvent(obs::Event("worker-crashed")
+                      .str("tool", ToolName)
+                      .num("signal", uint64_t(R.TermSignal))
+                      .num("exit", uint64_t(R.ExitCode < 0 ? 0
+                                                           : R.ExitCode)));
+    Brk->recordFailure(ToolName);
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.value(Id);
+    W.key("ok");
+    W.value(false);
+    W.key("error");
+    W.value("worker-crashed");
+    W.key("tool");
+    W.value(ToolName);
+    W.key("signal");
+    W.value(uint64_t(R.TermSignal));
+    W.key("exit");
+    W.value(int64_t(R.ExitCode));
+    W.endObject();
+    reply(C, W.take());
     return;
   }
-  PipelineCache::UnitPtr AA = Cache.liftedApp(App);
-  if (!AA->Ok) {
-    replyError(C, Id, "application lift failed", AA->Diags);
+  case WorkerPool::Outcome::DeadlineKilled: {
+    Reg.addCounter("atomd.deadline-kills");
+    Reg.emitEvent(obs::Event("deadline-exceeded")
+                      .str("tool", ToolName)
+                      .num("deadline-ms", DeadlineMs));
+    Brk->recordFailure(ToolName);
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("id");
+    W.value(Id);
+    W.key("ok");
+    W.value(false);
+    W.key("error");
+    W.value("deadline-exceeded");
+    W.key("tool");
+    W.value(ToolName);
+    W.key("deadline_ms");
+    W.value(DeadlineMs);
+    W.endObject();
+    reply(C, W.take());
     return;
   }
-  PipelineReuse Reuse;
-  Reuse.AnalysisUnit = &TA->U;
-  Reuse.LiftedApp = &AA->U;
-  InstrumentedProgram Out;
-  DiagEngine D;
-  if (!runAtomPipeline(App, *T, O, &Reuse, Out, D)) {
-    replyError(C, Id, "instrumentation failed", D.diags());
+  case WorkerPool::Outcome::SpawnFailed:
+    replyError(C, Id, R.Error.empty() ? "worker spawn failed" : R.Error);
     return;
   }
-  publishInstrumentStats(*T, Out.Stats);
-
-  obs::JsonWriter W;
-  W.beginObject();
-  W.key("id");
-  W.value(Id);
-  W.key("ok");
-  W.value(true);
-  W.key("tool");
-  W.value(ToolName);
-  W.key("stats");
-  W.beginObject();
-  W.key("points");
-  W.value(uint64_t(Out.Stats.Points));
-  W.key("inserted-insts");
-  W.value(uint64_t(Out.Stats.InsertedInsts));
-  W.key("wrappers");
-  W.value(uint64_t(Out.Stats.Wrappers));
-  W.key("patched-procs");
-  W.value(uint64_t(Out.Stats.PatchedProcs));
-  W.key("analysis-procs");
-  W.value(uint64_t(Out.Stats.AnalysisProcs));
-  W.key("stripped-procs");
-  W.value(uint64_t(Out.Stats.StrippedProcs));
-  W.key("save-slots");
-  W.value(uint64_t(Out.Stats.SaveSlots));
-  W.endObject();
-  W.endObject();
-  reply(C, W.take(), Out.Exe.serialize());
 }
 
 std::string Daemon::statusJson(uint64_t Id) {
@@ -648,6 +735,43 @@ std::string Daemon::statusJson(uint64_t Id) {
   W.value(Uptime.seconds());
   W.key("workers");
   W.value(uint64_t(Pool ? Pool->threadCount() : 0));
+  W.key("isolate");
+  W.value(Workers != nullptr);
+  W.key("deadline-ms");
+  W.value(Opts.DeadlineMs);
+  if (Workers) {
+    WorkerPool::PoolStats PS = Workers->stats();
+    W.key("worker-pool");
+    W.beginObject();
+    W.key("processes");
+    W.value(uint64_t(Workers->size()));
+    W.key("spawns");
+    W.value(PS.Spawns);
+    W.key("crashes");
+    W.value(PS.Crashes);
+    W.key("deadline-kills");
+    W.value(PS.DeadlineKills);
+    W.key("recycles");
+    W.value(PS.Recycles);
+    W.endObject();
+  }
+  if (Brk) {
+    std::vector<Breaker::KeyState> BS = Brk->snapshot();
+    if (!BS.empty()) {
+      W.key("breakers");
+      W.beginObject();
+      for (const Breaker::KeyState &K : BS) {
+        W.key(K.Key);
+        W.beginObject();
+        W.key("state");
+        W.value(Breaker::stateName(K.St));
+        W.key("consecutive-failures");
+        W.value(uint64_t(K.ConsecFailures));
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
   W.key("queue-depth");
   W.value(uint64_t(QueueDepth.load()));
   W.key("queue-max");
@@ -685,6 +809,10 @@ std::string Daemon::statusJson(uint64_t Id) {
     W.value(SS.Bytes);
     W.key("entries");
     W.value(uint64_t(DiskStore->entryCount()));
+    W.key("io-errors");
+    W.value(SS.IoErrors);
+    W.key("degraded");
+    W.value(DiskStore->degraded());
     W.endObject();
   }
   W.key("clients");
@@ -708,8 +836,9 @@ void Daemon::publishAll() {
 }
 
 void Daemon::metricsLoop() {
+  setCurrentThreadName("atomd-metrics");
   while (true) {
-    int Fd = ::accept(MetricsFd, nullptr, nullptr);
+    int Fd = ::accept4(MetricsFd, nullptr, nullptr, SOCK_CLOEXEC);
     if (Fd < 0) {
       if (errno == EINTR && !ShuttingDown)
         continue;
@@ -718,7 +847,7 @@ void Daemon::metricsLoop() {
     // One best-effort read of the request line; any GET gets the full
     // exposition (this is a scrape endpoint, not a web server).
     char Buf[4096];
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t N = retryEintr([&] { return ::read(Fd, Buf, sizeof(Buf)); });
     (void)N;
     publishAll();
     std::string Body = obs::Registry::global().toPrometheus();

@@ -21,8 +21,10 @@
 #ifndef ATOM_ATOMD_DAEMON_H
 #define ATOM_ATOMD_DAEMON_H
 
+#include "atomd/Breaker.h"
 #include "atomd/Protocol.h"
 #include "atomd/Store.h"
+#include "atomd/Worker.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
@@ -48,6 +50,20 @@ struct DaemonOptions {
   uint64_t StoreBytes = 0;  ///< Store byte cap (0 = unbounded).
   int MetricsPort = -1;     ///< Prometheus port on 127.0.0.1; 0 picks a free
                             ///< port (see metricsPort()); -1 disables.
+
+  // Resilience (docs/RESILIENCE.md).
+  bool Isolate = false;     ///< Run pipelines in worker processes, not in
+                            ///< the daemon's own address space.
+  std::string WorkerExe;    ///< The atomd binary to spawn as `__worker`
+                            ///< (required when Isolate is set).
+  uint64_t DeadlineMs = 0;  ///< Server cap on per-request wall time; the
+                            ///< worker is killed past it (0 = none;
+                            ///< enforced only under Isolate).
+  unsigned WorkerRequests = 0;  ///< Recycle each worker after this many
+                                ///< requests (0 = keep forever).
+  unsigned BreakerThreshold = 3;    ///< Consecutive worker crashes/deadline
+                                    ///< kills per tool before failing fast.
+  uint64_t BreakerCooldownMs = 1000; ///< Open time before a half-open probe.
 };
 
 class Daemon {
@@ -108,7 +124,8 @@ private:
   void handleFrame(const std::shared_ptr<Conn> &C, Frame F);
   void executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                          const std::string &ToolName, const AtomOptions &O,
-                         const std::vector<uint8_t> &AppBytes);
+                         const std::vector<uint8_t> &AppBytes,
+                         uint64_t DeadlineMs);
   void metricsLoop();
   void publishAll();
 
@@ -129,6 +146,8 @@ private:
   bool Started = false;
 
   std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<WorkerPool> Workers; ///< Isolate mode only.
+  std::unique_ptr<Breaker> Brk;
   std::unique_ptr<Store> DiskStore;
   PipelineCache Cache;
   Stopwatch Uptime;

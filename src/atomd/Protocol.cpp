@@ -2,8 +2,12 @@
 
 #include "atomd/Protocol.h"
 
+#include "support/FaultPoints.h"
+#include "support/Support.h"
+
 #include <cerrno>
 #include <cstring>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,19 +18,48 @@ namespace {
 
 constexpr uint32_t FrameMagic = 0x444D5441; // "ATMD" little-endian
 
-bool readFull(int Fd, void *Buf, size_t Len, std::string &Err,
-              bool &AtStart) {
+/// Waits until \p Fd is readable or the stopwatch passes \p DeadlineMs
+/// (negative = no deadline). False only on timeout.
+bool awaitReadable(int Fd, int64_t DeadlineMs, const Stopwatch &W) {
+  for (;;) {
+    int64_t WaitMs = -1;
+    if (DeadlineMs >= 0) {
+      int64_t Left = DeadlineMs - int64_t(W.seconds() * 1000.0);
+      if (Left <= 0)
+        return false;
+      WaitMs = Left;
+    }
+    pollfd P{Fd, POLLIN, 0};
+    int R = retryEintr([&] { return ::poll(&P, 1, int(WaitMs)); });
+    if (R > 0)
+      return true;
+    if (R == 0 && DeadlineMs >= 0)
+      return false;
+    // R == 0 with no deadline (cannot happen with -1) or poll error: let
+    // the read itself surface the failure.
+    if (R < 0)
+      return true;
+  }
+}
+
+bool readFull(int Fd, void *Buf, size_t Len, std::string &Err, bool &AtStart,
+              int64_t DeadlineMs = -1, const Stopwatch *W = nullptr,
+              bool *TimedOut = nullptr) {
   uint8_t *P = static_cast<uint8_t *>(Buf);
   size_t Got = 0;
   while (Got < Len) {
-    ssize_t N = ::read(Fd, P + Got, Len - Got);
+    if (W && !awaitReadable(Fd, DeadlineMs, *W)) {
+      if (TimedOut)
+        *TimedOut = true;
+      Err = "timeout";
+      return false;
+    }
+    ssize_t N = retryEintr([&] { return fpRead(Fd, P + Got, Len - Got); });
     if (N == 0) {
       Err = AtStart && Got == 0 ? "eof" : "unexpected eof mid-frame";
       return false;
     }
     if (N < 0) {
-      if (errno == EINTR)
-        continue;
       Err = std::string("read: ") + std::strerror(errno);
       return false;
     }
@@ -41,10 +74,11 @@ bool writeFull(int Fd, const void *Buf, size_t Len, std::string &Err) {
   size_t Sent = 0;
   while (Sent < Len) {
     // MSG_NOSIGNAL: a vanished client yields EPIPE, not process death.
-    ssize_t N = ::send(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL);
+    // fpSend lets the chaos harness inject EINTR/EIO/short transfers here;
+    // retryEintr plus this loop must absorb the recoverable ones.
+    ssize_t N = retryEintr(
+        [&] { return fpSend(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL); });
     if (N < 0) {
-      if (errno == EINTR)
-        continue;
       Err = std::string("write: ") + std::strerror(errno);
       return false;
     }
@@ -80,9 +114,19 @@ uint64_t get64(const uint8_t *P) {
 } // namespace
 
 bool atomd::readFrame(int Fd, Frame &F, std::string &Err) {
+  bool TimedOut = false;
+  return readFrameDeadline(Fd, F, Err, -1, TimedOut);
+}
+
+bool atomd::readFrameDeadline(int Fd, Frame &F, std::string &Err,
+                              int64_t DeadlineMs, bool &TimedOut) {
+  TimedOut = false;
+  Stopwatch W;
+  const Stopwatch *WP = DeadlineMs >= 0 ? &W : nullptr;
   uint8_t Header[16];
   bool AtStart = true;
-  if (!readFull(Fd, Header, sizeof(Header), Err, AtStart))
+  if (!readFull(Fd, Header, sizeof(Header), Err, AtStart, DeadlineMs, WP,
+                &TimedOut))
     return false;
   if (get32(Header) != FrameMagic) {
     Err = "bad frame magic";
@@ -96,9 +140,11 @@ bool atomd::readFrame(int Fd, Frame &F, std::string &Err) {
   }
   F.Json.resize(JsonLen);
   F.Bin.resize(BinLen);
-  if (JsonLen && !readFull(Fd, F.Json.data(), JsonLen, Err, AtStart))
+  if (JsonLen && !readFull(Fd, F.Json.data(), JsonLen, Err, AtStart,
+                           DeadlineMs, WP, &TimedOut))
     return false;
-  if (BinLen && !readFull(Fd, F.Bin.data(), BinLen, Err, AtStart))
+  if (BinLen && !readFull(Fd, F.Bin.data(), BinLen, Err, AtStart, DeadlineMs,
+                          WP, &TimedOut))
     return false;
   return true;
 }
@@ -195,7 +241,8 @@ bool atomd::parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
 
 std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
                                          const std::string &Client,
-                                         const AtomOptions &O) {
+                                         const AtomOptions &O,
+                                         uint64_t TimeoutMs) {
   obs::JsonWriter W;
   W.beginObject();
   W.key("op");
@@ -208,8 +255,39 @@ std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
     W.key("client");
     W.value(Client);
   }
+  if (TimeoutMs) {
+    W.key("timeout_ms");
+    W.value(TimeoutMs);
+  }
   W.key("options");
   writeAtomOptions(W, O);
+  W.endObject();
+  return W.take();
+}
+
+std::string atomd::makeErrorReply(uint64_t Id, const std::string &Error,
+                                  const std::vector<Diag> &Diags) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(false);
+  W.key("error");
+  W.value(Error);
+  if (!Diags.empty()) {
+    W.key("diags");
+    W.beginArray();
+    for (const Diag &D : Diags) {
+      W.beginObject();
+      W.key("line");
+      W.value(int64_t(D.Line));
+      W.key("message");
+      W.value(D.Message);
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
   return W.take();
 }

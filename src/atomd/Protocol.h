@@ -12,7 +12,10 @@
 // executables are never base64'd through the JSON layer.
 //
 // Requests:  {"op":"instrument","id":N,"tool":"cache","client":"ci",
-//             "options":{...}}                      + bin = application AEXE
+//             "options":{...},"timeout_ms":M}      + bin = application AEXE
+//                                                   (timeout_ms optional: a
+//                                                    client-requested deadline,
+//                                                    capped by the server's)
 //            {"op":"status","id":N}
 //            {"op":"metrics","id":N}                -> registry JSON
 //            {"op":"ping","id":N}
@@ -23,6 +26,14 @@
 //            {"id":N,"ok":false,"error":...,"diags":[{"line":L,"message":M}]}
 //            {"id":N,"ok":false,"retry":true,"reason":"queue-full"|"quota",
 //             "retry_after_ms":M}                   (backpressure: resend)
+//            {"id":N,"ok":false,"error":"worker-crashed","signal":S,
+//             "exit":E,"tool":T}                    (isolated worker died)
+//            {"id":N,"ok":false,"error":"deadline-exceeded",
+//             "deadline_ms":M,"tool":T}             (worker killed at deadline)
+//            {"id":N,"ok":false,"error":"breaker-open","tool":T,
+//             "retry_after_ms":M}                   (fail-fast: tool keeps
+//                                                    crashing; final, not a
+//                                                    backpressure retry)
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,7 +47,9 @@
 namespace atom {
 namespace atomd {
 
-constexpr uint32_t ProtocolVersion = 1;
+/// v2 added timeout_ms on instrument requests and the worker-crashed /
+/// deadline-exceeded / breaker-open failure replies (docs/RESILIENCE.md).
+constexpr uint32_t ProtocolVersion = 2;
 
 /// Sanity caps on frame sizes; a frame beyond these is a protocol error
 /// (protects the daemon from allocation bombs on a garbage connection).
@@ -52,6 +65,13 @@ struct Frame {
 /// EOF, I/O error, or malformed framing. A clean EOF before any byte sets
 /// \p Err to "eof".
 bool readFrame(int Fd, Frame &F, std::string &Err);
+
+/// readFrame with a wall-clock budget: gives up once \p DeadlineMs have
+/// elapsed without a complete frame (sets \p TimedOut; \p Err = "timeout").
+/// Negative \p DeadlineMs waits forever. The worker pool uses this to kill
+/// hung workers.
+bool readFrameDeadline(int Fd, Frame &F, std::string &Err, int64_t DeadlineMs,
+                       bool &TimedOut);
 
 /// Writes one frame, blocking until fully sent (SIGPIPE-safe).
 bool writeFrame(int Fd, const Frame &F, std::string &Err);
@@ -70,13 +90,21 @@ bool parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
                       std::string &Err);
 
 /// Builds the JSON document of an instrument request (application image
-/// travels as the frame's binary attachment).
+/// travels as the frame's binary attachment). A nonzero \p TimeoutMs asks
+/// the daemon to kill the request past that many milliseconds (the server
+/// caps it at its own --deadline-ms).
 std::string makeInstrumentRequest(uint64_t Id, const std::string &Tool,
                                   const std::string &Client,
-                                  const AtomOptions &O);
+                                  const AtomOptions &O,
+                                  uint64_t TimeoutMs = 0);
 
 /// Builds an argument-free request ("status", "ping", "shutdown", ...).
 std::string makeSimpleRequest(uint64_t Id, const std::string &Op);
+
+/// Builds the {"id":N,"ok":false,"error":...,"diags":[...]} failure reply
+/// document (shared by the daemon and the worker service loop).
+std::string makeErrorReply(uint64_t Id, const std::string &Error,
+                           const std::vector<Diag> &Diags = {});
 
 /// A parsed reply. Doc keeps the whole document for op-specific fields
 /// (status counters etc.).

@@ -4,12 +4,14 @@
 
 #include "obs/Obs.h"
 #include "om/Serialize.h"
+#include "support/FaultPoints.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <dirent.h>
-#include <fstream>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -52,13 +54,67 @@ bool get64(const std::vector<uint8_t> &B, size_t &Pos, uint64_t &V) {
   return true;
 }
 
-bool readWhole(const std::string &Path, std::vector<uint8_t> &Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
+/// Reads \p Path fully through the fault-injectable fd path. On failure
+/// \p IoErr distinguishes a disk-level error (EIO and friends — feeds the
+/// degrade state machine) from a merely missing file.
+bool readWhole(const std::string &Path, std::vector<uint8_t> &Out,
+               bool &IoErr) {
+  IoErr = false;
+  int Fd =
+      retryEintr([&] { return ::open(Path.c_str(), O_RDONLY | O_CLOEXEC); });
+  if (Fd < 0) {
+    IoErr = errno != ENOENT;
     return false;
-  Out.assign(std::istreambuf_iterator<char>(In),
-             std::istreambuf_iterator<char>());
+  }
+  Out.clear();
+  uint8_t Buf[64 << 10];
+  for (;;) {
+    ssize_t N = retryEintr([&] { return fpRead(Fd, Buf, sizeof(Buf)); });
+    if (N < 0) {
+      ::close(Fd);
+      IoErr = true;
+      return false;
+    }
+    if (N == 0)
+      break;
+    Out.insert(Out.end(), Buf, Buf + N);
+  }
+  ::close(Fd);
   return true;
+}
+
+/// Writes \p Bytes to \p Path through the fault-injectable fd path,
+/// looping over short transfers. False on any syscall failure.
+bool writeWhole(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  int Fd = retryEintr([&] {
+    return ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  });
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = retryEintr(
+        [&] { return fpWrite(Fd, Bytes.data() + Off, Bytes.size() - Off); });
+    if (N <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Off += size_t(N);
+  }
+  return ::close(Fd) == 0;
+}
+
+/// True when the tmp file \p Name ("tmp.<pid>.<hex>") may be swept: its
+/// writer is this process (no write is in flight during open()) or a dead
+/// one. A live sibling sharing the store keeps its in-flight tmp files.
+bool tmpFileIsStale(const std::string &Name) {
+  int OwnerPid = 0;
+  if (std::sscanf(Name.c_str(), "tmp.%d.", &OwnerPid) != 1 || OwnerPid <= 0)
+    return true; // unparseable (legacy) name: sweep it
+  if (OwnerPid == int(getpid()))
+    return true;
+  return ::kill(pid_t(OwnerPid), 0) != 0 && errno == ESRCH;
 }
 
 bool parseHex64(const std::string &Name, size_t At, uint64_t &Word) {
@@ -112,7 +168,8 @@ bool Store::open(std::string &Err) {
   while (struct dirent *E = readdir(D)) {
     std::string Name = E->d_name;
     if (Name.rfind("tmp.", 0) == 0) {
-      ::unlink((Dir + "/" + Name).c_str());
+      if (tmpFileIsStale(Name))
+        ::unlink((Dir + "/" + Name).c_str());
       continue;
     }
     CacheKey Key;
@@ -223,9 +280,28 @@ bool Store::load(CacheKey Key, CachedUnit &Out) {
     ++Stats.Misses;
     return false;
   }
+  if (bypassLocked()) {
+    ++Stats.Misses;
+    return false;
+  }
   std::vector<uint8_t> Bytes;
   std::string Path = entryPath(Dir, Key);
-  if (!readWhole(Path, Bytes) || !decodeEntry(Bytes, Key, Out)) {
+  bool IoErr = false;
+  if (!readWhole(Path, Bytes, IoErr)) {
+    // A flaky disk is not evidence against the entry itself: keep it and
+    // let a later (or recovered) load retry; the caller rebuilds for now.
+    ++Stats.Misses;
+    noteIoLocked(!IoErr);
+    if (!IoErr) {
+      // Entry file vanished underneath us: forget it.
+      ++Stats.LoadFailures;
+      dropLocked(Key, /*CountEviction=*/false);
+    }
+    Out = CachedUnit();
+    return false;
+  }
+  noteIoLocked(true);
+  if (!decodeEntry(Bytes, Key, Out)) {
     // Corrupted (torn write, bit rot, stale format): drop it and let the
     // caller rebuild; the rebuilt unit will be re-spilled.
     ++Stats.Misses;
@@ -243,31 +319,67 @@ void Store::store(CacheKey Key, const CachedUnit &U) {
   std::lock_guard<std::mutex> L(Mu);
   if (Entries.count(Key))
     return; // content-addressed: an existing entry is already identical
+  if (bypassLocked())
+    return;
   std::vector<uint8_t> Bytes = encodeEntry(Key, U);
   // Write-then-rename so a crash mid-write never publishes a torn entry.
   std::string Tmp =
       Dir + "/" + formatString("tmp.%d.%016llx%016llx", int(getpid()),
                                (unsigned long long)Key.K0,
                                (unsigned long long)Key.K1);
-  {
-    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
-    if (!OutF)
-      return;
-    OutF.write(reinterpret_cast<const char *>(Bytes.data()),
-               long(Bytes.size()));
-    if (!OutF)
-      return;
-  }
-  if (std::rename(Tmp.c_str(), entryPath(Dir, Key).c_str()) != 0) {
+  if (!writeWhole(Tmp, Bytes)) {
     ::unlink(Tmp.c_str());
+    noteIoLocked(false);
     return;
   }
+  if (fpRename(Tmp.c_str(), entryPath(Dir, Key).c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    noteIoLocked(false);
+    return;
+  }
+  noteIoLocked(true);
   Entry &En = Entries[Key];
   En.Bytes = Bytes.size();
   En.LastUse = ++UseClock;
   Stats.Bytes += En.Bytes;
   ++Stats.Writes;
   evictLocked();
+}
+
+bool Store::degraded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return DegradedFlag;
+}
+
+void Store::noteIoLocked(bool Ok) {
+  if (Ok) {
+    ConsecIoErrors = 0;
+    if (DegradedFlag) {
+      DegradedFlag = false;
+      ProbeClock = 0;
+      obs::Registry::global().emitEvent(
+          obs::Event("store-recovered").str("dir", Dir));
+    }
+    return;
+  }
+  ++Stats.IoErrors;
+  if (!DegradedFlag && ++ConsecIoErrors >= StoreDegradeThreshold) {
+    DegradedFlag = true;
+    ProbeClock = 0;
+    ++Stats.Degrades;
+    obs::Registry::global().emitEvent(
+        obs::Event("store-degraded")
+            .str("dir", Dir)
+            .num("consecutive-errors", ConsecIoErrors));
+  }
+}
+
+bool Store::bypassLocked() {
+  if (!DegradedFlag)
+    return false;
+  // Every StoreProbeInterval-th operation runs for real; its outcome
+  // (through noteIoLocked) decides whether the disk is back.
+  return ++ProbeClock % StoreProbeInterval != 0;
 }
 
 void Store::dropLocked(CacheKey Key, bool CountEviction) {
@@ -318,6 +430,10 @@ void Store::publishStats() {
   Reg.addCounter("atomd.store-writes", Stats.Writes - Published.Writes);
   Reg.addCounter("atomd.store-evictions",
                  Stats.Evictions - Published.Evictions);
+  Reg.addCounter("atomd.store-io-errors",
+                 Stats.IoErrors - Published.IoErrors);
+  Reg.addCounter("atomd.store-degraded", Stats.Degrades - Published.Degrades);
   Reg.setGauge("atomd.store-bytes", double(Stats.Bytes));
+  Reg.setGauge("atomd.store-degraded-now", DegradedFlag ? 1 : 0);
   Published = Stats;
 }

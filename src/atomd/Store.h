@@ -13,6 +13,16 @@
 // and the artifact is rebuilt (tests/StoreTests.cpp, tests/AtomdTests.cpp).
 // The store is size-capped with LRU eviction.
 //
+// Degraded mode (docs/RESILIENCE.md): the store is an accelerator, never a
+// correctness dependency, so persistent syscall-level disk errors (EIO,
+// ENOSPC — not checksum corruption) must not take the daemon down. After
+// StoreDegradeThreshold consecutive I/O errors the store flips to a
+// read-through bypass: loads miss without touching the disk and stores are
+// dropped, except that every StoreProbeInterval-th operation is tried for
+// real; the first probe that completes cleanly restores normal service.
+// All file I/O goes through support::FaultPoints (fpRead/fpWrite/fpRename)
+// so the chaos harness can drive every one of these paths deterministically.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef ATOM_ATOMD_STORE_H
@@ -32,6 +42,12 @@ namespace atomd {
 /// the full 128-bit atom::CacheKey.
 constexpr uint32_t StoreFormatVersion = 2;
 
+/// Consecutive syscall-level I/O errors that flip the store into degraded
+/// (read-through bypass) mode, and how often a degraded store retries one
+/// real operation to probe for recovery.
+constexpr unsigned StoreDegradeThreshold = 3;
+constexpr unsigned StoreProbeInterval = 16;
+
 struct StoreStats {
   uint64_t Hits = 0;         ///< load() calls that returned an entry.
   uint64_t Misses = 0;       ///< load() calls with no (valid) entry.
@@ -40,6 +56,9 @@ struct StoreStats {
   uint64_t Writes = 0;       ///< Entries persisted by store().
   uint64_t Evictions = 0;    ///< Entries deleted to respect the byte cap.
   uint64_t Bytes = 0;        ///< Current on-disk footprint.
+  uint64_t IoErrors = 0;     ///< Reads/writes/renames failed at the syscall
+                             ///< level (checksum corruption not included).
+  uint64_t Degrades = 0;     ///< Times the store entered degraded mode.
 };
 
 /// A directory of "<32-hex-key>.au" entry files plus LRU bookkeeping.
@@ -65,6 +84,10 @@ public:
   StoreStats stats() const;
   const std::string &dir() const { return Dir; }
 
+  /// True while the store is bypassing the disk after persistent I/O
+  /// errors (still probing every StoreProbeInterval-th operation).
+  bool degraded() const;
+
   /// Adds activity since the last publish to the global registry as
   /// atomd.store-hits / -misses / -load-failures / -writes / -evictions
   /// counter deltas plus the atomd.store-bytes gauge.
@@ -88,6 +111,10 @@ private:
 
   void evictLocked();   ///< Requires Mu.
   void dropLocked(CacheKey Key, bool CountEviction); ///< Requires Mu.
+  /// Feeds the degrade state machine with one real I/O outcome. Requires Mu.
+  void noteIoLocked(bool Ok);
+  /// True when this (counted) operation must skip the disk. Requires Mu.
+  bool bypassLocked();
 
   std::string Dir;
   uint64_t MaxBytes;
@@ -96,6 +123,9 @@ private:
   uint64_t UseClock = 0;
   StoreStats Stats;
   StoreStats Published;
+  unsigned ConsecIoErrors = 0;
+  bool DegradedFlag = false;
+  uint64_t ProbeClock = 0; ///< Operations seen while degraded.
 };
 
 } // namespace atomd

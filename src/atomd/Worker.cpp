@@ -1,0 +1,264 @@
+//===- atomd/Worker.cpp ---------------------------------------------------===//
+
+#include "atomd/Worker.h"
+
+#include "atom/Driver.h"
+#include "atomd/Store.h"
+#include "obs/Obs.h"
+#include "support/Support.h"
+#include "support/ThreadPool.h"
+#include "tools/Tools.h"
+
+#include <csignal>
+
+using namespace atom;
+using namespace atom::atomd;
+
+//===----------------------------------------------------------------------===//
+// Shared instrument service
+//===----------------------------------------------------------------------===//
+
+Frame atomd::buildInstrumentReply(PipelineCache &Cache, uint64_t Id,
+                                  const std::string &ToolName,
+                                  const AtomOptions &O,
+                                  const std::vector<uint8_t> &AppBytes) {
+  Frame R;
+  const Tool *T = tools::findTool(ToolName);
+  if (!T) {
+    R.Json = makeErrorReply(Id, "unknown tool '" + ToolName + "'");
+    return R;
+  }
+  obj::Executable App;
+  if (!obj::Executable::deserialize(AppBytes, App)) {
+    R.Json = makeErrorReply(Id, "malformed application image");
+    return R;
+  }
+
+  // Identical artifact flow to the batch driver's RunOne: the immutable
+  // cached units feed the pipeline through PipelineReuse deep copies, so
+  // the reply bytes match a standalone `atom` run exactly — wherever the
+  // pipeline runs (daemon thread or isolated worker process).
+  PipelineCache::UnitPtr TA = Cache.analysisUnit(*T);
+  if (!TA->Ok) {
+    R.Json = makeErrorReply(
+        Id, "analysis build failed for tool '" + ToolName + "'", TA->Diags);
+    return R;
+  }
+  PipelineCache::UnitPtr AA = Cache.liftedApp(App);
+  if (!AA->Ok) {
+    R.Json = makeErrorReply(Id, "application lift failed", AA->Diags);
+    return R;
+  }
+  PipelineReuse Reuse;
+  Reuse.AnalysisUnit = &TA->U;
+  Reuse.LiftedApp = &AA->U;
+  InstrumentedProgram Out;
+  DiagEngine D;
+  if (!runAtomPipeline(App, *T, O, &Reuse, Out, D)) {
+    R.Json = makeErrorReply(Id, "instrumentation failed", D.diags());
+    return R;
+  }
+  publishInstrumentStats(*T, Out.Stats);
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("id");
+  W.value(Id);
+  W.key("ok");
+  W.value(true);
+  W.key("tool");
+  W.value(ToolName);
+  W.key("stats");
+  W.beginObject();
+  W.key("points");
+  W.value(uint64_t(Out.Stats.Points));
+  W.key("inserted-insts");
+  W.value(uint64_t(Out.Stats.InsertedInsts));
+  W.key("wrappers");
+  W.value(uint64_t(Out.Stats.Wrappers));
+  W.key("patched-procs");
+  W.value(uint64_t(Out.Stats.PatchedProcs));
+  W.key("analysis-procs");
+  W.value(uint64_t(Out.Stats.AnalysisProcs));
+  W.key("stripped-procs");
+  W.value(uint64_t(Out.Stats.StrippedProcs));
+  W.key("save-slots");
+  W.value(uint64_t(Out.Stats.SaveSlots));
+  W.endObject();
+  W.endObject();
+  R.Json = W.take();
+  R.Bin = Out.Exe.serialize();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Worker service loop (the hidden `atomd __worker` mode)
+//===----------------------------------------------------------------------===//
+
+int atomd::workerMain(const WorkerConfig &C) {
+  setCurrentThreadName("atomd-worker");
+  // The channel is a socketpair; a pool that vanished mid-write must
+  // surface as a failed send, not process death.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  PipelineCache Cache(C.CacheBytes);
+  std::unique_ptr<Store> DiskStore;
+  if (!C.StoreDir.empty()) {
+    DiskStore.reset(new Store(C.StoreDir, C.StoreBytes));
+    std::string Err;
+    if (DiskStore->open(Err))
+      Cache.setTier(DiskStore.get());
+    else
+      DiskStore.reset(); // store trouble degrades to cache-only, never fatal
+  }
+
+  const int Fd = SubprocessChannelFd;
+  for (;;) {
+    Frame F;
+    std::string Err;
+    if (!readFrame(Fd, F, Err))
+      return Err == "eof" ? 0 : 1;
+
+    obs::json::Value Doc;
+    Frame R;
+    if (!obs::json::parse(F.Json, Doc, Err) ||
+        Doc.K != obs::json::Value::Obj) {
+      R.Json = makeErrorReply(0, "malformed worker request: " + Err);
+    } else {
+      uint64_t Id = Doc.u64("id");
+      AtomOptions O;
+      std::string OptErr;
+      const obs::json::Value *OV = Doc.find("options");
+      if (OV && !parseAtomOptions(*OV, O, OptErr))
+        R.Json = makeErrorReply(Id, OptErr);
+      else
+        R = buildInstrumentReply(Cache, Id, Doc.str("tool"), O, F.Bin);
+    }
+    if (!writeFrame(Fd, R, Err))
+      return 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(WorkerPoolOptions O) : Opts(std::move(O)) {
+  unsigned N = Opts.NumWorkers ? Opts.NumWorkers
+                               : ThreadPool::defaultConcurrency();
+  Slots.resize(N);
+}
+
+WorkerPool::~WorkerPool() {
+  std::unique_lock<std::mutex> L(Mu);
+  Shutdown = true;
+  Cv.wait(L, [this] {
+    for (const Slot &S : Slots)
+      if (S.Busy)
+        return false;
+    return true;
+  });
+  for (Slot &S : Slots)
+    if (S.Proc) {
+      // EOF on the channel asks the worker to exit cleanly; give it a
+      // moment before the Subprocess destructor escalates to SIGKILL.
+      S.Proc->closeChannel();
+      S.Proc->waitExit(200);
+      S.Proc.reset();
+    }
+}
+
+bool WorkerPool::ensureWorker(Slot &S, std::string &Err) {
+  if (S.Proc && S.Proc->alive())
+    return true;
+  S.Proc.reset(new Subprocess());
+  S.Served = 0;
+  Subprocess::Options O;
+  O.Argv = Opts.WorkerArgv;
+  O.Mode = Subprocess::Io::Channel;
+  if (!S.Proc->spawn(O, Err)) {
+    S.Proc.reset();
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Spawns;
+  }
+  obs::Registry::global().addCounter("atomd.worker-spawns");
+  return true;
+}
+
+WorkerPool::Result WorkerPool::execute(const Frame &Request,
+                                       int64_t DeadlineMs) {
+  Result R;
+  Slot *S = nullptr;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] {
+      if (Shutdown)
+        return true;
+      for (Slot &Sl : Slots)
+        if (!Sl.Busy) {
+          S = &Sl;
+          return true;
+        }
+      return false;
+    });
+    if (Shutdown || !S) {
+      R.Error = "worker pool shutting down";
+      return R;
+    }
+    S->Busy = true;
+  }
+
+  std::string Err;
+  bool TimedOut = false;
+  if (!ensureWorker(*S, Err)) {
+    R.Out = Outcome::SpawnFailed;
+    R.Error = "cannot spawn worker: " + Err;
+  } else if (!writeFrame(S->Proc->channelFd(), Request, Err) ||
+             !readFrameDeadline(S->Proc->channelFd(), R.Reply, Err,
+                                DeadlineMs > 0 ? DeadlineMs : -1, TimedOut)) {
+    if (TimedOut) {
+      // Past deadline with no reply: the worker is hung (or hopelessly
+      // slow). Kill it; the next request on this slot respawns.
+      S->Proc->kill();
+      S->Proc->waitExit(-1);
+      S->Proc.reset();
+      R.Out = Outcome::DeadlineKilled;
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.DeadlineKills;
+    } else {
+      // Broken channel: the worker died underneath us. Reap and report
+      // how. Under ASan a SIGSEGV becomes exit(1), so both signal and
+      // exit-code channels matter.
+      S->Proc->waitExit(-1);
+      R.Out = Outcome::Crashed;
+      R.TermSignal = S->Proc->termSignal();
+      R.ExitCode = S->Proc->exitCode();
+      S->Proc.reset();
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Crashes;
+    }
+  } else {
+    R.Out = Outcome::Ok;
+    if (Opts.WorkerRequests && ++S->Served >= Opts.WorkerRequests) {
+      // Planned recycling (leak hygiene): retire gracefully via EOF.
+      S->Proc->closeChannel();
+      S->Proc->waitExit(200);
+      S->Proc.reset();
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Recycles;
+    }
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  S->Busy = false;
+  Cv.notify_all();
+  return R;
+}
+
+WorkerPool::PoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}

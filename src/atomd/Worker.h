@@ -1,0 +1,129 @@
+//===- atomd/Worker.h - Process-isolated instrument workers -----*- C++ -*-===//
+//
+// The crash-isolation layer of atomd (docs/RESILIENCE.md). In --isolate
+// mode the daemon never runs tool pipelines in its own address space:
+// each instrument request is forwarded over a private socketpair (child
+// fd support::SubprocessChannelFd) to a persistent worker process —
+// `atomd __worker`, the same binary in a hidden mode — which runs the
+// pipeline and sends the reply frame back. A worker that SIGSEGVs,
+// aborts, is OOM-killed, or hangs past its deadline costs exactly one
+// structured error reply ({"error":"worker-crashed"|"deadline-exceeded"})
+// and one respawn; the daemon, its connections, and the on-disk store are
+// untouched.
+//
+// Workers share artifacts through the persistent atomd::Store (each
+// process keeps its own in-memory PipelineCache over the same store
+// directory), so isolation costs one process spawn amortized over many
+// requests, not a cold pipeline per request.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOMD_WORKER_H
+#define ATOM_ATOMD_WORKER_H
+
+#include "atom/Batch.h"
+#include "atomd/Protocol.h"
+#include "support/Subprocess.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace atom {
+namespace atomd {
+
+/// Runs one instrument request against \p Cache and returns the complete
+/// reply frame (success with stats + serialized executable, or an error
+/// document with diagnostics). The single implementation behind both the
+/// in-process path (Daemon, --no-isolate) and workerMain, so the reply
+/// bytes cannot depend on where the pipeline ran.
+Frame buildInstrumentReply(PipelineCache &Cache, uint64_t Id,
+                           const std::string &ToolName, const AtomOptions &O,
+                           const std::vector<uint8_t> &AppBytes);
+
+/// Configuration of one worker process (mirrors the daemon's cache/store
+/// options; passed on the hidden __worker command line).
+struct WorkerConfig {
+  std::string StoreDir;    ///< Shared artifact store ("" = none).
+  uint64_t StoreBytes = 0;
+  uint64_t CacheBytes = 0;
+};
+
+/// The `atomd __worker` service loop: reads request frames from
+/// SubprocessChannelFd, replies on the same descriptor, exits 0 on EOF
+/// (the pool closed the channel). Returns the process exit code.
+int workerMain(const WorkerConfig &C);
+
+struct WorkerPoolOptions {
+  /// Argv prefix of a worker, e.g. {"/path/atomd", "__worker", ...}; the
+  /// pool spawns it verbatim.
+  std::vector<std::string> WorkerArgv;
+  unsigned NumWorkers = 0;     ///< Concurrent workers (0 = one per hw thread).
+  unsigned WorkerRequests = 0; ///< Recycle a worker after this many requests
+                               ///< (0 = keep forever).
+};
+
+/// A fixed-size pool of persistent worker processes. execute() checks out
+/// an idle worker (spawning lazily), round-trips one frame, and classifies
+/// every way that can go wrong.
+class WorkerPool {
+public:
+  explicit WorkerPool(WorkerPoolOptions O);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  enum class Outcome {
+    Ok,             ///< Reply holds the worker's verbatim reply frame.
+    Crashed,        ///< Worker died mid-request (signal or nonzero exit).
+    DeadlineKilled, ///< No reply within the deadline; worker killed.
+    SpawnFailed,    ///< Could not start a worker process.
+  };
+
+  struct Result {
+    Outcome Out = Outcome::SpawnFailed;
+    Frame Reply;        ///< Valid when Out == Ok.
+    int TermSignal = 0; ///< Crashed: the fatal signal (0 if it exited).
+    int ExitCode = -1;  ///< Crashed: the exit status (-1 if signaled).
+    std::string Error;  ///< SpawnFailed detail.
+  };
+
+  /// Round-trips \p Request through an idle worker. \p DeadlineMs <= 0
+  /// means no deadline. Blocks while all workers are busy (the daemon's
+  /// admission queue bounds how many callers can be here).
+  Result execute(const Frame &Request, int64_t DeadlineMs);
+
+  struct PoolStats {
+    uint64_t Spawns = 0;
+    uint64_t Crashes = 0;
+    uint64_t DeadlineKills = 0;
+    uint64_t Recycles = 0;
+  };
+  PoolStats stats() const;
+  unsigned size() const { return unsigned(Slots.size()); }
+
+private:
+  struct Slot {
+    std::unique_ptr<Subprocess> Proc; ///< Live worker, or null (spawn lazily).
+    unsigned Served = 0;              ///< Requests since (re)spawn.
+    bool Busy = false;
+  };
+
+  /// Ensures Slots[I].Proc is a live worker. Requires the slot checked
+  /// out (Busy) by the caller; runs unlocked.
+  bool ensureWorker(Slot &S, std::string &Err);
+
+  WorkerPoolOptions Opts;
+  mutable std::mutex Mu; ///< Guards Busy flags and Stats.
+  std::condition_variable Cv;
+  std::vector<Slot> Slots;
+  PoolStats Stats;
+  bool Shutdown = false;
+};
+
+} // namespace atomd
+} // namespace atom
+
+#endif // ATOM_ATOMD_WORKER_H

@@ -311,7 +311,7 @@ void Registry::reset() {
   Gauges.clear();
   Histograms.clear();
   Events.clear();
-  Root = SpanNode{"root", 0, 0, {}};
+  Root = SpanNode{"root", 0, 0, {}, {}};
   Anchor = &Root;
   ++ResetCount;
   TlsEpoch.fetch_add(1, std::memory_order_relaxed);
@@ -389,6 +389,10 @@ const Histogram *Registry::histogram(const std::string &Name) const {
 void Registry::emitEvent(Event E) {
   if (!enabled())
     return;
+  // Named threads (daemon/worker/pool) stamp their events so interleaved
+  // event streams attribute each failure to the thread that saw it.
+  if (const std::string &Thr = currentThreadName(); !Thr.empty())
+    E.str("thread", Thr);
   std::lock_guard<std::mutex> L(Mu);
   if (EventStream) {
     std::string Line = E.jsonLine();
@@ -419,6 +423,7 @@ Span::Span(Registry &R, const char *Name) {
       Saved->Children.push_back(std::make_unique<Registry::SpanNode>());
       Node = Saved->Children.back().get();
       Node->Name = Name;
+      Node->Thread = currentThreadName();
     }
     ++Node->Count;
     ResetAtOpen = R.ResetCount;
@@ -450,6 +455,10 @@ void writeSpanNode(JsonWriter &W, const Registry::SpanNode &N) {
   W.beginObject();
   W.key("name");
   W.value(N.Name);
+  if (!N.Thread.empty()) {
+    W.key("thread");
+    W.value(N.Thread);
+  }
   W.key("seconds");
   W.value(N.Seconds);
   W.key("count");
@@ -651,6 +660,8 @@ bool loadSpan(const JValue &V, Registry::SpanNode &Out, std::string &Err) {
     return false;
   }
   Out.Name = Name->Text;
+  if (const JValue *Thr = V.find("thread"))
+    Out.Thread = Thr->K == JValue::Str ? Thr->Text : "";
   Out.Seconds = Secs->asDouble();
   Out.Count = Count->asU64();
   for (const JValue &C : Kids->Items) {

@@ -178,6 +178,8 @@ public:
     std::string Name;
     double Seconds = 0;
     uint64_t Count = 0; ///< Times a span with this name/parent was opened.
+    std::string Thread; ///< currentThreadName() of the opener at creation,
+                        ///< when that thread was named ("" otherwise).
     std::vector<std::unique_ptr<SpanNode>> Children;
   };
 
@@ -267,7 +269,7 @@ private:
   std::vector<Event> Events;
   std::FILE *EventStream = nullptr;
 
-  SpanNode Root{"root", 0, 0, {}};
+  SpanNode Root{"root", 0, 0, {}, {}};
   /// Where spans from threads with no valid span state attach.
   SpanNode *Anchor = &Root;
   /// Distinguishes this registry in thread-local span state, surviving

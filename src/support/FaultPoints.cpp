@@ -1,0 +1,224 @@
+//===- support/FaultPoints.cpp --------------------------------------------===//
+
+#include "support/FaultPoints.h"
+
+#include "support/Support.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace atom;
+
+namespace {
+
+/// Fast-path gate: sites skip the mutex entirely while nothing is armed.
+std::atomic<bool> AnyArmed{false};
+std::mutex Mu; ///< Guards the instance's Arms.
+
+uint64_t nextRand(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+bool parseKind(const std::string &Name, FaultKind &K) {
+  for (unsigned I = 0; I < NumFaultKinds; ++I)
+    if (Name == faultKindName(FaultKind(I))) {
+      K = FaultKind(I);
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+const char *atom::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::ShortWrite: return "short-write";
+  case FaultKind::Eio: return "eio";
+  case FaultKind::Enospc: return "enospc";
+  case FaultKind::Eintr: return "eintr";
+  case FaultKind::TornRename: return "torn-rename";
+  }
+  return "?";
+}
+
+FaultPoints &FaultPoints::instance() {
+  static FaultPoints FP = [] {
+    FaultPoints P;
+    P.configureFromEnv();
+    return P;
+  }();
+  return FP;
+}
+
+void FaultPoints::configureFromEnv() {
+  const char *Env = std::getenv("ATOMD_FAULTPOINTS");
+  std::string Err;
+  if (!configure(Env ? Env : "", Err) && !Err.empty()) {
+    // A malformed env spec must not silently disable chaos CI sweeps.
+    fatalError("ATOMD_FAULTPOINTS: " + Err);
+  }
+}
+
+bool FaultPoints::configure(const std::string &Spec, std::string &Err) {
+  Arm Next[NumFaultKinds];
+  bool Any = false;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string One = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (One.empty())
+      continue;
+
+    size_t At = One.find('@');
+    if (At == std::string::npos) {
+      Err = "fault spec '" + One + "' has no '@' (want kind@count[,seed])";
+      return false;
+    }
+    FaultKind K;
+    if (!parseKind(One.substr(0, At), K)) {
+      Err = "unknown fault kind '" + One.substr(0, At) +
+            "' (want short-write|eio|enospc|eintr|torn-rename)";
+      return false;
+    }
+    std::string Rest = One.substr(At + 1);
+    std::string Count = Rest;
+    uint64_t Seed = 1;
+    size_t Comma = Rest.find(',');
+    if (Comma != std::string::npos) {
+      Count = Rest.substr(0, Comma);
+      std::string SeedStr = Rest.substr(Comma + 1);
+      char *EndP = nullptr;
+      Seed = strtoull(SeedStr.c_str(), &EndP, 0);
+      if (SeedStr.empty() || (EndP && *EndP)) {
+        Err = "bad fault seed '" + SeedStr + "'";
+        return false;
+      }
+    }
+    bool Periodic = !Count.empty() && Count.back() == '+';
+    if (Periodic)
+      Count.pop_back();
+    char *EndP = nullptr;
+    uint64_t N = strtoull(Count.c_str(), &EndP, 0);
+    if (Count.empty() || (EndP && *EndP) || N == 0) {
+      Err = "bad fault count '" + Count + "' (want a positive integer)";
+      return false;
+    }
+    Arm &A = Next[unsigned(K)];
+    A.Armed = true;
+    A.Periodic = Periodic;
+    A.Count = N;
+    A.Seed = Seed ? Seed : 1;
+    A.Rng = A.Seed;
+    Any = true;
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  for (unsigned I = 0; I < NumFaultKinds; ++I)
+    Arms[I] = Next[I];
+  AnyArmed.store(Any, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPoints::enabled() const {
+  return AnyArmed.load(std::memory_order_relaxed);
+}
+
+bool FaultPoints::trip(FaultKind K) {
+  if (!enabled())
+    return false;
+  std::lock_guard<std::mutex> L(Mu);
+  Arm &A = Arms[unsigned(K)];
+  if (!A.Armed)
+    return false;
+  ++A.Hits;
+  return A.Periodic ? (A.Hits % A.Count) == 0 : A.Hits == A.Count;
+}
+
+uint64_t FaultPoints::rand(FaultKind K) {
+  std::lock_guard<std::mutex> L(Mu);
+  return nextRand(Arms[unsigned(K)].Rng);
+}
+
+//===----------------------------------------------------------------------===//
+// Syscall wrappers
+//===----------------------------------------------------------------------===//
+
+ssize_t atom::fpRead(int Fd, void *Buf, size_t Len) {
+  FaultPoints &FP = FaultPoints::instance();
+  if (FP.enabled()) {
+    if (FP.trip(FaultKind::Eintr)) {
+      errno = EINTR;
+      return -1;
+    }
+    if (FP.trip(FaultKind::Eio)) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::read(Fd, Buf, Len);
+}
+
+ssize_t atom::fpWrite(int Fd, const void *Buf, size_t Len) {
+  FaultPoints &FP = FaultPoints::instance();
+  if (FP.enabled()) {
+    if (FP.trip(FaultKind::Eintr)) {
+      errno = EINTR;
+      return -1;
+    }
+    if (FP.trip(FaultKind::Eio)) {
+      errno = EIO;
+      return -1;
+    }
+    if (FP.trip(FaultKind::Enospc)) {
+      errno = ENOSPC;
+      return -1;
+    }
+    if (Len > 1 && FP.trip(FaultKind::ShortWrite))
+      Len = 1 + FP.rand(FaultKind::ShortWrite) % (Len - 1);
+  }
+  return ::write(Fd, Buf, Len);
+}
+
+ssize_t atom::fpSend(int Fd, const void *Buf, size_t Len, int Flags) {
+  FaultPoints &FP = FaultPoints::instance();
+  if (FP.enabled()) {
+    if (FP.trip(FaultKind::Eintr)) {
+      errno = EINTR;
+      return -1;
+    }
+    if (FP.trip(FaultKind::Eio)) {
+      errno = EIO;
+      return -1;
+    }
+    if (Len > 1 && FP.trip(FaultKind::ShortWrite))
+      Len = 1 + FP.rand(FaultKind::ShortWrite) % (Len - 1);
+  }
+  return ::send(Fd, Buf, Len, Flags);
+}
+
+int atom::fpRename(const char *From, const char *To) {
+  FaultPoints &FP = FaultPoints::instance();
+  if (FP.enabled() && FP.trip(FaultKind::TornRename)) {
+    // Publish a torn entry: the rename "succeeds" but the file is cut to a
+    // seeded fraction — exactly what a crash inside a non-atomic rename
+    // would leave. Readers must catch this by checksum, never serve it.
+    struct stat St;
+    if (::stat(From, &St) == 0 && St.st_size > 1) {
+      off_t Keep = 1 + off_t(FP.rand(FaultKind::TornRename) %
+                             uint64_t(St.st_size - 1));
+      (void)!::truncate(From, Keep);
+    }
+  }
+  return ::rename(From, To);
+}

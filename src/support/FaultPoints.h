@@ -1,0 +1,104 @@
+//===- support/FaultPoints.h - Deterministic I/O chaos layer ----*- C++ -*-===//
+//
+// A seeded, deterministic fault injector for the daemon's I/O paths,
+// modeled on sim/Inject: where Inject corrupts the *simulated* machine at
+// a chosen instruction count, FaultPoints fails the *host* syscalls behind
+// the atomd Store and the daemon's socket writes at a chosen consultation
+// count. The environment variable
+//
+//   ATOMD_FAULTPOINTS=kind@count[,seed][;kind@count[,seed]...]
+//
+// arms one or more specs, where kind is one of
+//
+//   short-write   write/send transfers only a seeded fraction of the
+//                 buffer (exercises every partial-write loop)
+//   eio           read/write/send fails with EIO
+//   enospc        write fails with ENOSPC
+//   eintr         read/write/send fails with EINTR once (must be
+//                 invisible: retryEintr retries it)
+//   torn-rename   the store's publish rename lands a truncated file
+//                 (simulates a non-atomic filesystem or a crash window)
+//
+// and count selects *which* consultation of that kind faults: "kind@N"
+// fires on the Nth consultation only; "kind@N+" fires on every Nth
+// (periodic — the sweep mode CI uses). All randomness (short-write
+// fractions, torn-file lengths) comes from the spec's xorshift64 seed, so
+// a given spec reproduces byte-identical failures run after run.
+//
+// Sites consult the layer through the fp* wrappers below, which are plain
+// EINTR-faithful syscalls when nothing is armed (one relaxed atomic load
+// on the fast path).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SUPPORT_FAULTPOINTS_H
+#define ATOM_SUPPORT_FAULTPOINTS_H
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace atom {
+
+enum class FaultKind : unsigned {
+  ShortWrite,
+  Eio,
+  Enospc,
+  Eintr,
+  TornRename,
+};
+constexpr unsigned NumFaultKinds = 5;
+
+const char *faultKindName(FaultKind K);
+
+class FaultPoints {
+public:
+  /// The process-wide injector. First use arms it from ATOMD_FAULTPOINTS
+  /// (unset or empty = disabled).
+  static FaultPoints &instance();
+
+  /// Replaces the armed specs with \p Spec (the env syntax; empty string
+  /// disarms). Counters restart from zero. Returns false with \p Err on a
+  /// malformed spec, leaving the previous arming in place.
+  bool configure(const std::string &Spec, std::string &Err);
+
+  /// Re-arms from the environment (what tests call after a programmatic
+  /// configure(), so a CI sweep's env spec stays in force around them).
+  void configureFromEnv();
+
+  bool enabled() const;
+
+  /// Consults the injector: true when the armed spec for \p K says this
+  /// (atomically counted) consultation must fault.
+  bool trip(FaultKind K);
+
+  /// Seeded per-kind RNG for fault parameters (short-write and torn-file
+  /// lengths). Only meaningful right after trip(K) returned true.
+  uint64_t rand(FaultKind K);
+
+private:
+  FaultPoints() = default;
+
+  struct Arm {
+    bool Armed = false;
+    bool Periodic = false;
+    uint64_t Count = 0; ///< 1-based consultation index (or period).
+    uint64_t Seed = 1;
+    uint64_t Hits = 0; ///< Consultations so far.
+    uint64_t Rng = 1;
+  };
+  Arm Arms[NumFaultKinds];
+};
+
+/// Syscall wrappers the chaos-aware sites use. They inject the armed
+/// faults (including one-shot EINTRs) and otherwise behave exactly like
+/// the raw syscall — callers keep their own retryEintr/short-transfer
+/// loops, which is precisely what the injection verifies.
+ssize_t fpRead(int Fd, void *Buf, size_t Len);
+ssize_t fpWrite(int Fd, const void *Buf, size_t Len);
+ssize_t fpSend(int Fd, const void *Buf, size_t Len, int Flags);
+int fpRename(const char *From, const char *To);
+
+} // namespace atom
+
+#endif // ATOM_SUPPORT_FAULTPOINTS_H

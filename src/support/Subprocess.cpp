@@ -1,0 +1,143 @@
+//===- support/Subprocess.cpp ---------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "support/Support.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace atom;
+
+Subprocess::~Subprocess() {
+  if (started() && !Reaped) {
+    kill();
+    waitExit(-1);
+  }
+  closeChannel();
+}
+
+bool Subprocess::spawn(const Options &O, std::string &Err) {
+  if (started()) {
+    Err = "subprocess already spawned";
+    return false;
+  }
+  if (O.Argv.empty()) {
+    Err = "empty argv";
+    return false;
+  }
+
+  int Chan[2] = {-1, -1};
+  int Out[2] = {-1, -1};
+  if (O.Mode == Io::Channel &&
+      ::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, Chan) != 0) {
+    Err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  if (O.Mode == Io::Capture && ::pipe2(Out, O_CLOEXEC) != 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+
+  // execv wants mutable char*; keep the strings alive across fork.
+  std::vector<std::string> Args = O.Argv;
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  pid_t P = ::fork();
+  if (P < 0) {
+    Err = std::string("fork: ") + std::strerror(errno);
+    for (int Fd : {Chan[0], Chan[1], Out[0], Out[1]})
+      if (Fd >= 0)
+        ::close(Fd);
+    return false;
+  }
+  if (P == 0) {
+    // Child: only async-signal-safe calls until exec.
+    if (O.Mode == Io::Channel) {
+      if (Chan[1] != SubprocessChannelFd) {
+        ::dup2(Chan[1], SubprocessChannelFd); // clears CLOEXEC on the copy
+        ::close(Chan[1]);
+      } else {
+        ::fcntl(Chan[1], F_SETFD, 0);
+      }
+    } else if (O.Mode == Io::Capture) {
+      ::dup2(Out[1], 1);
+      ::dup2(Out[1], 2);
+    }
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+
+  Pid = P;
+  if (O.Mode == Io::Channel) {
+    ::close(Chan[1]);
+    ChanFd = Chan[0];
+  } else if (O.Mode == Io::Capture) {
+    ::close(Out[1]);
+    OutFd = Out[0];
+  }
+  return true;
+}
+
+void Subprocess::closeChannel() {
+  if (ChanFd >= 0) {
+    ::close(ChanFd);
+    ChanFd = -1;
+  }
+  if (OutFd >= 0) {
+    ::close(OutFd);
+    OutFd = -1;
+  }
+}
+
+bool Subprocess::alive() {
+  if (!started() || Reaped)
+    return false;
+  int Status = 0;
+  pid_t R = retryEintr([&] { return ::waitpid(Pid, &Status, WNOHANG); });
+  if (R == 0)
+    return true;
+  if (R == Pid) {
+    Reaped = true;
+    if (WIFEXITED(Status))
+      ExitCode = WEXITSTATUS(Status);
+    else if (WIFSIGNALED(Status))
+      TermSignal = WTERMSIG(Status);
+  }
+  return false;
+}
+
+bool Subprocess::waitExit(int64_t DeadlineMs) {
+  if (!started())
+    return false;
+  if (Reaped)
+    return true;
+  // Polling waitpid keeps this usable from any thread without a SIGCHLD
+  // handler; worker lifecycles are milliseconds-coarse anyway.
+  Stopwatch W;
+  for (;;) {
+    if (!alive())
+      return Reaped;
+    if (DeadlineMs >= 0 && W.seconds() * 1000.0 >= double(DeadlineMs))
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Subprocess::kill(int Sig) {
+  if (started() && !Reaped)
+    ::kill(Pid, Sig);
+}
+
+bool Subprocess::exitedCleanly() const {
+  return Reaped && TermSignal == 0 && ExitCode == 0;
+}

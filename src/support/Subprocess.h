@@ -1,0 +1,96 @@
+//===- support/Subprocess.h - Child-process plumbing ------------*- C++ -*-===//
+//
+// A small fork/exec wrapper for the process-isolation layer of atomd
+// (docs/RESILIENCE.md): spawn a child with either an inherited stdio, a
+// bidirectional AF_UNIX channel on a fixed descriptor (the atomd worker
+// protocol), or stdout+stderr captured through a pipe (test harnesses
+// driving a real daemon). Provides wait-with-deadline, kill-on-timeout,
+// and exit/signal reporting, so a crashing or hanging child is always
+// observable and reapable — never a zombie, never a silent hang.
+//
+// All parent-side descriptors are CLOEXEC: one worker never inherits a
+// sibling's channel (which would defeat EOF-based lifecycle tracking).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SUPPORT_SUBPROCESS_H
+#define ATOM_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace atom {
+
+/// The descriptor number the child finds its channel on in Io::Channel
+/// mode (stdin/stdout stay untouched, so stray prints from pipeline code
+/// can never corrupt the frame stream).
+constexpr int SubprocessChannelFd = 3;
+
+class Subprocess {
+public:
+  enum class Io {
+    Inherit, ///< Child shares the parent's stdio.
+    Channel, ///< Bidirectional socketpair on child fd SubprocessChannelFd;
+             ///< parent end at channelFd(). stderr is inherited.
+    Capture, ///< Child stdout+stderr redirected into a pipe readable at
+             ///< outputFd().
+  };
+
+  struct Options {
+    std::vector<std::string> Argv; ///< Argv[0] is the executable path.
+    Io Mode = Io::Inherit;
+  };
+
+  Subprocess() = default;
+  /// Kills (SIGKILL) and reaps the child if it is still running.
+  ~Subprocess();
+
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks and execs. Returns false with \p Err on setup failure; an
+  /// executable that cannot be exec'd surfaces as the child exiting 127.
+  bool spawn(const Options &O, std::string &Err);
+
+  pid_t pid() const { return Pid; }
+  bool started() const { return Pid > 0; }
+
+  /// Parent end of the Io::Channel socketpair (-1 otherwise).
+  int channelFd() const { return ChanFd; }
+  /// Read end of the Io::Capture pipe (-1 otherwise).
+  int outputFd() const { return OutFd; }
+
+  /// Closes the parent's channel/capture descriptor (the child sees EOF —
+  /// the graceful shutdown signal for atomd workers).
+  void closeChannel();
+
+  /// True while the child has not been reaped and waitpid(WNOHANG) says it
+  /// is still alive.
+  bool alive();
+
+  /// Waits up to \p DeadlineMs for the child to exit and reaps it
+  /// (negative = wait forever). Returns false on timeout, leaving the
+  /// child running.
+  bool waitExit(int64_t DeadlineMs);
+
+  /// Sends \p Sig (default SIGKILL). No-op once reaped.
+  void kill(int Sig = 9);
+
+  // Valid after waitExit() returned true.
+  bool exitedCleanly() const; ///< Exited (not signaled) with status 0.
+  int exitCode() const { return ExitCode; }     ///< -1 if killed by signal.
+  int termSignal() const { return TermSignal; } ///< 0 if exited normally.
+
+private:
+  pid_t Pid = -1;
+  int ChanFd = -1;
+  int OutFd = -1;
+  bool Reaped = false;
+  int ExitCode = -1;
+  int TermSignal = 0;
+};
+
+} // namespace atom
+
+#endif // ATOM_SUPPORT_SUBPROCESS_H

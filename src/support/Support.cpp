@@ -4,8 +4,41 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <pthread.h>
 
 using namespace atom;
+
+namespace {
+
+thread_local std::string ThreadName;
+
+} // namespace
+
+void atom::setCurrentThreadName(const std::string &Name) {
+  ThreadName = Name;
+#if defined(__linux__)
+  // The kernel caps comm at 15 characters + NUL; truncate rather than fail.
+  char Short[16];
+  std::snprintf(Short, sizeof(Short), "%s", Name.c_str());
+  pthread_setname_np(pthread_self(), Short);
+#endif
+}
+
+const std::string &atom::currentThreadName() { return ThreadName; }
+
+uint64_t Backoff::delayMs(unsigned Attempt, uint64_t AdviseMs) {
+  // Exponential target, saturating well before the shift overflows.
+  uint64_t Target = Attempt < 32 ? BaseMs << Attempt : CapMs;
+  if (Target < AdviseMs)
+    Target = AdviseMs;
+  if (Target > CapMs)
+    Target = CapMs;
+  // xorshift64 full jitter: uniform in [1, Target].
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return 1 + State % Target;
+}
 
 void atom::fatalError(const std::string &Msg) {
   std::fprintf(stderr, "atom: fatal error: %s\n", Msg.c_str());

@@ -95,6 +95,48 @@ inline uint64_t alignTo(uint64_t V, uint64_t Align) {
   return (V + Align - 1) & ~(Align - 1);
 }
 
+/// Retries \p Syscall while it fails with EINTR. Every blocking read/write
+/// in the daemon, client, and store goes through this (or an equivalent
+/// inline loop) so a signal landing mid-syscall can never drop part of a
+/// frame or store entry.
+template <typename Fn> inline auto retryEintr(Fn &&Syscall) {
+  decltype(Syscall()) R;
+  do
+    R = Syscall();
+  while (R < 0 && errno == EINTR);
+  return R;
+}
+
+/// Names the calling thread (pthread_setname_np, truncated to the 15-char
+/// kernel limit) and remembers the full name thread-locally so obs events
+/// emitted from this thread can carry it. Diagnosing a stuck worker from a
+/// core dump or /proc/<pid>/task/*/comm needs every long-lived thread
+/// named.
+void setCurrentThreadName(const std::string &Name);
+
+/// The name set by setCurrentThreadName on this thread ("" if none).
+const std::string &currentThreadName();
+
+/// Capped exponential backoff with full jitter for retry loops (the atomd
+/// client's answer to backpressure and breaker-open replies). Delays are
+/// drawn uniformly from [1, min(Cap, max(Advise, Base << Attempt))], so
+/// concurrent clients de-synchronize instead of hammering the daemon in
+/// lockstep. Deterministic for a fixed seed.
+class Backoff {
+public:
+  explicit Backoff(uint64_t BaseMs = 5, uint64_t CapMs = 200,
+                   uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : BaseMs(BaseMs ? BaseMs : 1), CapMs(CapMs ? CapMs : 1),
+        State(Seed ? Seed : 1) {}
+
+  /// The delay before retry number \p Attempt (0-based). \p AdviseMs is a
+  /// server-provided floor on the uncapped target (retry_after_ms).
+  uint64_t delayMs(unsigned Attempt, uint64_t AdviseMs = 0);
+
+private:
+  uint64_t BaseMs, CapMs, State;
+};
+
 /// 64-bit FNV-1a content hash; \p Seed chains multi-part keys (the
 /// pipeline cache hashes tool sources and executable images with it).
 inline uint64_t fnv1a(const void *Data, size_t Len,

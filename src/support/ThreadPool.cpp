@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Support.h"
+
 #include <cassert>
 
 using namespace atom;
@@ -16,7 +18,10 @@ ThreadPool::ThreadPool(unsigned Threads) {
     Threads = defaultConcurrency();
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] {
+      setCurrentThreadName(formatString("atom-pool-%u", I));
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

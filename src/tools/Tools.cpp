@@ -12,6 +12,7 @@
 #include "trace/TraceTool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace atom;
 using namespace atom::tools;
@@ -807,6 +808,46 @@ void instrumentUnalign(Ctx &C) {
   C.addCallProgram(ProgramPoint::ProgramAfter, "PrintUnalign", {});
 }
 
+//===----------------------------------------------------------------------===//
+// Fault-injection tools (test-only, env-gated)
+//===----------------------------------------------------------------------===//
+
+// Deliberately misbehaving "tools" for exercising the daemon's process
+// isolation: __crash dies mid-instrumentation, __hang never returns. They
+// are resolvable only with ATOM_ENABLE_CRASH_TOOL set (worker processes
+// inherit the daemon's environment), so no production daemon can be made
+// to run them by a request alone.
+
+void instrumentCrash(Ctx &) {
+  volatile int *Null = nullptr;
+  *Null = 42; // SIGSEGV inside the pipeline, on purpose
+}
+
+void instrumentHang(Ctx &) {
+  // The volatile access keeps this loop observable, so the optimizer
+  // cannot delete it as side-effect-free UB.
+  volatile uint64_t Spin = 0;
+  for (;;)
+    ++Spin;
+}
+
+bool crashToolsEnabled() {
+  const char *E = std::getenv("ATOM_ENABLE_CRASH_TOOL");
+  return E && *E;
+}
+
+const Tool &crashTool() {
+  static const Tool T = {"__crash", "test-only: SIGSEGVs mid-pipeline",
+                         instrumentCrash, {}, {}};
+  return T;
+}
+
+const Tool &hangTool() {
+  static const Tool T = {"__hang", "test-only: never returns",
+                         instrumentHang, {}, {}};
+  return T;
+}
+
 } // namespace
 
 const std::vector<Tool> &tools::allTools() {
@@ -844,5 +885,11 @@ const Tool *tools::findTool(const std::string &Name) {
   // is addressable like any other tool.
   if (Name == trace::traceTool().Name)
     return &trace::traceTool();
+  if (crashToolsEnabled()) {
+    if (Name == crashTool().Name)
+      return &crashTool();
+    if (Name == hangTool().Name)
+      return &hangTool();
+  }
   return nullptr;
 }

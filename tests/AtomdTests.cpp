@@ -492,7 +492,8 @@ TEST_F(AtomdFixture, RestartReloadsStoreAndStaysByteIdentical) {
         << Err;
     const obs::json::Value *St = R.Doc.find("store");
     ASSERT_NE(St, nullptr);
-    EXPECT_EQ(St->u64("writes"), 2u); // analysis unit + lifted app
+    if (!destructiveChaosActive())
+      EXPECT_EQ(St->u64("writes"), 2u); // analysis unit + lifted app
     D.requestShutdown();
     D.wait();
   }
@@ -518,12 +519,18 @@ TEST_F(AtomdFixture, RestartReloadsStoreAndStaysByteIdentical) {
   const obs::json::Value *St = R.Doc.find("store");
   ASSERT_NE(Cache, nullptr);
   ASSERT_NE(St, nullptr);
-  EXPECT_EQ(Cache->u64("tier-hits"), 2u);
-  EXPECT_EQ(St->u64("hits"), 2u);
-  EXPECT_EQ(St->u64("writes"), 0u);
+  // Byte-identity above is unconditional; the exact hit accounting only
+  // holds when no chaos sweep is failing store I/O underneath.
+  if (!destructiveChaosActive()) {
+    EXPECT_EQ(Cache->u64("tier-hits"), 2u);
+    EXPECT_EQ(St->u64("hits"), 2u);
+    EXPECT_EQ(St->u64("writes"), 0u);
+  }
 }
 
 TEST_F(AtomdFixture, TornStoreEntryIsRebuiltNotServed) {
+  if (destructiveChaosActive())
+    GTEST_SKIP() << "tears entries by hand; ChaosTests covers torn-rename";
   obj::Executable App = buildOrDie(AppB);
   std::vector<uint8_t> Local =
       instrumentOrDie(App, *tools::findTool("malloc")).Exe.serialize();
@@ -573,9 +580,11 @@ TEST_F(AtomdFixture, TornStoreEntryIsRebuiltNotServed) {
       << Err;
   const obs::json::Value *St = R.Doc.find("store");
   ASSERT_NE(St, nullptr);
-  EXPECT_EQ(St->u64("load-failures"), 2u);
-  EXPECT_EQ(St->u64("hits"), 0u);
-  EXPECT_EQ(St->u64("writes"), 2u); // rebuilt artifacts re-spilled
+  if (!destructiveChaosActive()) {
+    EXPECT_EQ(St->u64("load-failures"), 2u);
+    EXPECT_EQ(St->u64("hits"), 0u);
+    EXPECT_EQ(St->u64("writes"), 2u); // rebuilt artifacts re-spilled
+  }
 }
 
 } // namespace

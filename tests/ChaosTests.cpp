@@ -1,0 +1,325 @@
+//===- tests/ChaosTests.cpp - Deterministic fault injection ---------------===//
+//
+// The support::FaultPoints chaos layer (docs/RESILIENCE.md) over the atomd
+// Store's file I/O: spec parsing, one-shot vs periodic firing, seeded
+// determinism, and the durability contracts under injected faults —
+// EINTR and short writes are invisible, persistent EIO/ENOSPC degrade the
+// store to cache-bypass (and a later probe recovers it), and a torn
+// rename can never result in a corrupt entry being served.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atom/Batch.h"
+#include "atomd/Store.h"
+#include "support/FaultPoints.h"
+#include "tools/Tools.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace atom;
+using namespace atom::atomd;
+using namespace atom::test;
+
+namespace {
+
+class ChaosFixture : public ::testing::Test {
+protected:
+  void SetUp() override { disarm(); }
+
+  /// Hand the layer back to ATOMD_FAULTPOINTS, so a CI sweep's env spec
+  /// stays armed for whatever test runs next in this process.
+  void TearDown() override { FaultPoints::instance().configureFromEnv(); }
+
+  void arm(const std::string &Spec) {
+    std::string Err;
+    ASSERT_TRUE(FaultPoints::instance().configure(Spec, Err)) << Err;
+  }
+  void disarm() {
+    std::string Err;
+    ASSERT_TRUE(FaultPoints::instance().configure("", Err)) << Err;
+  }
+
+  std::string scratchDir(const char *Tag = "") {
+    std::string Dir =
+        ::testing::TempDir() + "atomchaos-" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        Tag;
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    if (std::system(Cmd.c_str()) != 0)
+      abort();
+    return Dir;
+  }
+};
+
+const Tool &toolOrDie(const char *Name) {
+  const Tool *T = tools::findTool(Name);
+  if (!T)
+    abort();
+  return *T;
+}
+
+CachedUnit builtUnit(const char *ToolName) {
+  PipelineCache Cache;
+  PipelineCache::UnitPtr P = Cache.analysisUnit(toolOrDie(ToolName));
+  CachedUnit U = *P;
+  EXPECT_TRUE(U.Ok);
+  return U;
+}
+
+uint64_t hostFileSize(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary | std::ios::ate);
+  return In ? uint64_t(In.tellg()) : 0;
+}
+
+TEST_F(ChaosFixture, SpecParsingAcceptsAndRejects) {
+  FaultPoints &FP = FaultPoints::instance();
+  std::string Err;
+  EXPECT_FALSE(FP.enabled());
+  EXPECT_TRUE(FP.configure("eio@3", Err)) << Err;
+  EXPECT_TRUE(FP.enabled());
+  EXPECT_TRUE(
+      FP.configure("short-write@2+,42;torn-rename@1,7;enospc@9", Err))
+      << Err;
+  EXPECT_TRUE(FP.enabled());
+
+  // Malformed specs are rejected and leave the previous arming in place.
+  for (const char *Bad :
+       {"frobnicate@1", "eio", "eio@", "eio@0", "eio@x", "eio@3,", "@3"}) {
+    Err.clear();
+    EXPECT_FALSE(FP.configure(Bad, Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+    EXPECT_TRUE(FP.enabled()) << Bad;
+  }
+
+  EXPECT_TRUE(FP.configure("", Err)); // empty spec disarms
+  EXPECT_FALSE(FP.enabled());
+}
+
+TEST_F(ChaosFixture, OneShotFiresOnExactlyTheNthConsultation) {
+  arm("eio@3");
+  FaultPoints &FP = FaultPoints::instance();
+  EXPECT_FALSE(FP.trip(FaultKind::Eio));
+  EXPECT_FALSE(FP.trip(FaultKind::Eio));
+  EXPECT_TRUE(FP.trip(FaultKind::Eio));
+  for (int I = 0; I < 8; ++I)
+    EXPECT_FALSE(FP.trip(FaultKind::Eio)) << I; // one-shot: never again
+  EXPECT_FALSE(FP.trip(FaultKind::Enospc));     // other kinds unarmed
+}
+
+TEST_F(ChaosFixture, PeriodicFiresOnEveryNth) {
+  arm("enospc@2+");
+  FaultPoints &FP = FaultPoints::instance();
+  for (int I = 1; I <= 12; ++I)
+    EXPECT_EQ(FP.trip(FaultKind::Enospc), I % 2 == 0) << I;
+}
+
+TEST_F(ChaosFixture, SeededRandIsDeterministic) {
+  arm("short-write@1,42");
+  FaultPoints &FP = FaultPoints::instance();
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 8; ++I)
+    First.push_back(FP.rand(FaultKind::ShortWrite));
+
+  arm("short-write@1,42"); // re-arming restarts the stream
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(FP.rand(FaultKind::ShortWrite), First[I]) << I;
+
+  arm("short-write@1,43"); // a different seed diverges
+  bool AnyDiff = false;
+  for (int I = 0; I < 8; ++I)
+    AnyDiff |= FP.rand(FaultKind::ShortWrite) != First[I];
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST_F(ChaosFixture, EintrIsInvisibleToTheStore) {
+  // Periodic EINTR on every 2nd syscall: retryEintr must absorb each one,
+  // so the store round-trips byte-identically with zero I/O errors.
+  arm("eintr@2+");
+  CachedUnit U = builtUnit("prof");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  S.store(11, U);
+  CachedUnit Out;
+  ASSERT_TRUE(S.load(11, Out));
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  EXPECT_EQ(S.stats().IoErrors, 0u);
+  EXPECT_FALSE(S.degraded());
+}
+
+TEST_F(ChaosFixture, ShortWritesAreCompletedByTheLoop) {
+  // Every write transfers only a seeded fraction; the short-transfer loop
+  // must finish the job and the published entry must be whole.
+  arm("short-write@1+,7");
+  CachedUnit U = builtUnit("prof");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  S.store(21, U);
+  disarm();
+  CachedUnit Out;
+  ASSERT_TRUE(S.load(21, Out));
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  EXPECT_EQ(S.stats().IoErrors, 0u);
+  EXPECT_EQ(S.stats().LoadFailures, 0u);
+  EXPECT_EQ(hostFileSize(Store::entryPath(Dir, 21)),
+            Store::encodeEntry(21, U).size());
+}
+
+TEST_F(ChaosFixture, PersistentEioDegradesAndProbeRecovers) {
+  CachedUnit U = builtUnit("prof");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+
+  // A dead disk: every write fails. After StoreDegradeThreshold
+  // consecutive errors the store flips to cache-bypass instead of burning
+  // a syscall (and an error) per request.
+  arm("eio@1+");
+  for (unsigned I = 0; I < StoreDegradeThreshold; ++I) {
+    EXPECT_FALSE(S.degraded());
+    S.store(CacheKey(100 + I, 0), U);
+  }
+  EXPECT_TRUE(S.degraded());
+  StoreStats St = S.stats();
+  EXPECT_EQ(St.IoErrors, uint64_t(StoreDegradeThreshold));
+  EXPECT_EQ(St.Degrades, 1u);
+  CachedUnit Out;
+  EXPECT_FALSE(S.load(CacheKey(100, 0), Out)); // nothing was persisted
+
+  // Disk comes back: within StoreProbeInterval operations one probe goes
+  // through for real, succeeds, and the store recovers.
+  disarm();
+  unsigned Ops = 0;
+  while (S.degraded() && Ops < 2 * StoreProbeInterval) {
+    S.store(7, U);
+    ++Ops;
+  }
+  EXPECT_FALSE(S.degraded());
+  EXPECT_LE(Ops, StoreProbeInterval);
+  ASSERT_TRUE(S.load(7, Out));
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  EXPECT_EQ(S.stats().Degrades, 1u);
+}
+
+TEST_F(ChaosFixture, EnospcDegradesTheSameWay) {
+  CachedUnit U = builtUnit("malloc");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  arm("enospc@1+");
+  for (unsigned I = 0; I < StoreDegradeThreshold; ++I)
+    S.store(CacheKey(200 + I, 0), U);
+  EXPECT_TRUE(S.degraded());
+  EXPECT_EQ(S.stats().Degrades, 1u);
+  EXPECT_EQ(S.entryCount(), 0u); // no partial entries published
+}
+
+TEST_F(ChaosFixture, TornRenameIsNeverServed) {
+  CachedUnit U = builtUnit("prof");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+
+  // The publish rename lands a truncated file (non-atomic filesystem or a
+  // crash window). The store believes the write succeeded...
+  arm("torn-rename@1,99");
+  S.store(31, U);
+  EXPECT_TRUE(S.contains(31));
+  uint64_t Full = Store::encodeEntry(31, U).size();
+  uint64_t Torn = hostFileSize(Store::entryPath(Dir, 31));
+  EXPECT_GT(Torn, 0u);
+  EXPECT_LT(Torn, Full);
+
+  // ...but the checksum rejects the entry on load: dropped and deleted,
+  // never served.
+  disarm();
+  CachedUnit Out;
+  EXPECT_FALSE(S.load(31, Out));
+  EXPECT_EQ(S.stats().LoadFailures, 1u);
+  EXPECT_FALSE(S.contains(31));
+  EXPECT_EQ(hostFileSize(Store::entryPath(Dir, 31)), 0u);
+  EXPECT_FALSE(S.degraded()); // corruption is not a disk-health signal
+
+  // The slot is clean for the rebuild.
+  S.store(31, U);
+  ASSERT_TRUE(S.load(31, Out));
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+}
+
+TEST_F(ChaosFixture, TornRenameLengthIsSeedDeterministic) {
+  CachedUnit U = builtUnit("prof");
+  uint64_t Sizes[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    arm("torn-rename@1,1234");
+    std::string Dir = scratchDir(Round == 0 ? "-a" : "-b");
+    Store S(Dir);
+    std::string Err;
+    ASSERT_TRUE(S.open(Err)) << Err;
+    S.store(5, U);
+    Sizes[Round] = hostFileSize(Store::entryPath(Dir, 5));
+  }
+  EXPECT_GT(Sizes[0], 0u);
+  EXPECT_EQ(Sizes[0], Sizes[1]);
+}
+
+TEST_F(ChaosFixture, FlakyReadKeepsTheEntryForRetry) {
+  CachedUnit U = builtUnit("prof");
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  S.store(41, U);
+
+  // One transient read error: the load fails, but the entry survives —
+  // unlike corruption, a flaky disk says nothing about the bytes.
+  arm("eio@1");
+  CachedUnit Out;
+  EXPECT_FALSE(S.load(41, Out));
+  StoreStats St = S.stats();
+  EXPECT_EQ(St.IoErrors, 1u);
+  EXPECT_EQ(St.LoadFailures, 0u);
+  EXPECT_TRUE(S.contains(41));
+
+  ASSERT_TRUE(S.load(41, Out)); // the retry is served
+  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+}
+
+TEST_F(ChaosFixture, EnvSweepWorkloadNeverServesCorruptData) {
+  // Runs under whatever ATOMD_FAULTPOINTS the environment armed (the CI
+  // sweep mode) — or none. Only invariants are asserted: a successful
+  // load always decodes to exactly what was stored, and the store never
+  // crashes, whatever the disk does.
+  FaultPoints::instance().configureFromEnv();
+  CachedUnit U = builtUnit("prof");
+  std::string Dump = om::dumpUnit(U.U);
+  std::string Dir = scratchDir();
+  Store S(Dir);
+  std::string Err;
+  ASSERT_TRUE(S.open(Err)) << Err;
+  unsigned Served = 0;
+  for (unsigned I = 0; I < 48; ++I) {
+    CacheKey K(300 + I % 6, 0);
+    S.store(K, U);
+    CachedUnit Out;
+    if (S.load(K, Out)) {
+      ASSERT_TRUE(Out.Ok);
+      EXPECT_EQ(om::dumpUnit(Out.U), Dump) << I;
+      ++Served;
+    }
+  }
+  if (!chaosActive()) {
+    EXPECT_EQ(Served, 48u);
+    EXPECT_EQ(S.stats().IoErrors, 0u);
+  }
+}
+
+} // namespace

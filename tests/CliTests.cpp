@@ -482,8 +482,12 @@ int main() {
 
   std::string Sock = path("d.sock");
   std::string Log = path("d.log");
-  runCommand(tool("atomd") + " serve --socket " + Sock + " --store " +
-             path("store") + " --metrics-http 0 > " + Log + " 2>&1 &");
+  // --no-isolate: this test pins the daemon's own in-process cache
+  // counters, which worker processes would keep to themselves. The
+  // isolate path has its own suite (tests/ResilienceTests.cpp).
+  runCommand(tool("atomd") + " serve --socket " + Sock + " --no-isolate" +
+             " --store " + path("store") + " --metrics-http 0 > " + Log +
+             " 2>&1 &");
   ASSERT_TRUE(waitForLogLine(Log, "atomd: listening")) << readHostFile(Log);
 
   // The daemon result is byte-identical to the standalone run.

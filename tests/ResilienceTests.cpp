@@ -1,0 +1,595 @@
+//===- tests/ResilienceTests.cpp - Crash-proof atomd ----------------------===//
+//
+// The resilience layer of docs/RESILIENCE.md:
+//
+//  * support::Subprocess — spawn/capture/kill/wait-with-deadline plumbing;
+//  * support::Backoff — capped jittered exponential retry delays;
+//  * atomd::Breaker — the closed/open/half-open state machine, driven by
+//    a fake clock;
+//  * the daemon under --isolate — a deliberately crashing tool yields a
+//    structured worker-crashed reply while concurrent requests stay
+//    byte-identical to standalone atom, hung workers are deadline-killed,
+//    consecutive crashes open the per-tool breaker, and kill -9 of the
+//    whole daemon mid-work never corrupts the store across restarts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atomd/Breaker.h"
+#include "atomd/Client.h"
+#include "atomd/Daemon.h"
+#include "obs/Obs.h"
+#include "support/Subprocess.h"
+#include "tools/Tools.h"
+
+#include <csignal>
+#include <gtest/gtest.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::atomd;
+using namespace atom::test;
+
+namespace {
+
+const char *AppA = R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 40; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)";
+
+std::string atomdExe() { return std::string(ATOM_CLI_DIR) + "/atomd"; }
+
+//===----------------------------------------------------------------------===//
+// Subprocess
+//===----------------------------------------------------------------------===//
+
+std::string drainFd(int Fd) {
+  std::string Out;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = retryEintr([&] { return ::read(Fd, Buf, sizeof(Buf)); });
+    if (N <= 0)
+      return Out;
+    Out.append(Buf, size_t(N));
+  }
+}
+
+TEST(Subprocess, CapturesOutputAndExitCode) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({{"/bin/sh", "-c", "echo chirp; exit 3"},
+                       Subprocess::Io::Capture},
+                      Err))
+      << Err;
+  std::string Out = drainFd(P.outputFd());
+  ASSERT_TRUE(P.waitExit(-1));
+  EXPECT_EQ(P.exitCode(), 3);
+  EXPECT_EQ(P.termSignal(), 0);
+  EXPECT_FALSE(P.exitedCleanly());
+  EXPECT_NE(Out.find("chirp"), std::string::npos);
+}
+
+TEST(Subprocess, KillIsReportedAsSignal) {
+  Subprocess P;
+  std::string Err;
+  // exec, not fork: this sh forks simple commands, and an orphaned sleep
+  // would hold the test's inherited stdout open long after the kill.
+  ASSERT_TRUE(P.spawn({{"/bin/sh", "-c", "exec sleep 30"},
+                       Subprocess::Io::Inherit},
+                      Err))
+      << Err;
+  EXPECT_TRUE(P.alive());
+  P.kill();
+  ASSERT_TRUE(P.waitExit(5000));
+  EXPECT_EQ(P.termSignal(), SIGKILL);
+  EXPECT_FALSE(P.exitedCleanly());
+  EXPECT_FALSE(P.alive());
+}
+
+TEST(Subprocess, WaitExitHonorsDeadline) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({{"/bin/sh", "-c", "exec sleep 30"},
+                       Subprocess::Io::Inherit},
+                      Err))
+      << Err;
+  Stopwatch W;
+  EXPECT_FALSE(P.waitExit(60)); // times out, child still running
+  EXPECT_GE(W.seconds(), 0.05);
+  EXPECT_TRUE(P.alive());
+  P.kill();
+  EXPECT_TRUE(P.waitExit(-1));
+}
+
+TEST(Subprocess, ExecFailureSurfacesAs127) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({{"/no/such/binary-atom-test"},
+                       Subprocess::Io::Inherit},
+                      Err))
+      << Err;
+  ASSERT_TRUE(P.waitExit(5000));
+  EXPECT_EQ(P.exitCode(), 127);
+}
+
+TEST(Subprocess, ChannelRoundTripsAndEofShutsChildDown) {
+  // The worker-protocol shape: a bidirectional channel on child fd 3,
+  // with the parent's closeChannel() as the graceful-shutdown signal.
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({{"/bin/sh", "-c", "cat <&3 >&3"},
+                       Subprocess::Io::Channel},
+                      Err))
+      << Err;
+  int Fd = P.channelFd();
+  ASSERT_GE(Fd, 0);
+  const char Msg[] = "ping-over-channel";
+  ASSERT_EQ(retryEintr([&] { return ::write(Fd, Msg, sizeof(Msg)); }),
+            ssize_t(sizeof(Msg)));
+  char Buf[64] = {};
+  ASSERT_EQ(retryEintr([&] { return ::read(Fd, Buf, sizeof(Buf)); }),
+            ssize_t(sizeof(Msg)));
+  EXPECT_STREQ(Buf, Msg);
+  P.closeChannel();
+  ASSERT_TRUE(P.waitExit(5000)); // EOF ends cat; no kill needed
+  EXPECT_TRUE(P.exitedCleanly());
+}
+
+//===----------------------------------------------------------------------===//
+// Backoff
+//===----------------------------------------------------------------------===//
+
+TEST(Backoff, DelaysAreBoundedAndSeedDeterministic) {
+  Backoff A(5, 250, 42), B(5, 250, 42), C(5, 250, 43);
+  bool Diverged = false;
+  for (unsigned At = 0; At < 16; ++At) {
+    uint64_t DA = A.delayMs(At), DB = B.delayMs(At);
+    EXPECT_EQ(DA, DB) << At;        // same seed, same schedule
+    EXPECT_GE(DA, 1u);              // always sleeps at least a tick
+    EXPECT_LE(DA, 250u);            // never past the cap
+    uint64_t Target = std::min<uint64_t>(250, 5ull << std::min(At, 31u));
+    EXPECT_LE(DA, Target) << At;    // jitter stays inside the window
+    Diverged |= C.delayMs(At) != DA;
+  }
+  EXPECT_TRUE(Diverged); // a different seed decorrelates
+}
+
+TEST(Backoff, AdviseFloorsTheWindow) {
+  // Early attempts obey a server's retry_after_ms advice instead of the
+  // tiny exponential window, but the cap still wins.
+  Backoff B(5, 250, 7);
+  for (int I = 0; I < 32; ++I) {
+    EXPECT_LE(B.delayMs(0, 100), 100u);
+    EXPECT_LE(B.delayMs(0, 100000), 250u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Breaker
+//===----------------------------------------------------------------------===//
+
+struct FakeClock {
+  uint64_t Now = 1000;
+  std::function<uint64_t()> fn() {
+    return [this] { return Now; };
+  }
+};
+
+TEST(Breaker, OpensAfterThresholdConsecutiveFailures) {
+  FakeClock Clk;
+  Breaker B({3, 500}, Clk.fn());
+  EXPECT_EQ(B.state("prof"), Breaker::State::Closed);
+  for (int I = 0; I < 3; ++I) {
+    Breaker::Decision D = B.admit("prof");
+    EXPECT_TRUE(D.Allow);
+    B.recordFailure("prof");
+  }
+  EXPECT_EQ(B.state("prof"), Breaker::State::Open);
+
+  Breaker::Decision D = B.admit("prof");
+  EXPECT_FALSE(D.Allow);
+  EXPECT_GT(D.RetryAfterMs, 0u);
+  EXPECT_LE(D.RetryAfterMs, 500u);
+  EXPECT_EQ(B.state("other"), Breaker::State::Closed); // keys independent
+  EXPECT_TRUE(B.admit("other").Allow);
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccess) {
+  FakeClock Clk;
+  Breaker B({2, 500}, Clk.fn());
+  for (int I = 0; I < 2; ++I) {
+    B.admit("t");
+    B.recordFailure("t");
+  }
+  EXPECT_FALSE(B.admit("t").Allow);
+
+  Clk.Now += 501; // cooldown elapses: exactly one probe is admitted
+  Breaker::Decision D = B.admit("t");
+  EXPECT_TRUE(D.Allow);
+  EXPECT_TRUE(D.Probe);
+  EXPECT_EQ(B.state("t"), Breaker::State::HalfOpen);
+  EXPECT_FALSE(B.admit("t").Allow); // second request waits on the probe
+
+  B.recordSuccess("t");
+  EXPECT_EQ(B.state("t"), Breaker::State::Closed);
+  EXPECT_TRUE(B.admit("t").Allow);
+  EXPECT_TRUE(B.snapshot().empty()); // healthy keys carry no state
+}
+
+TEST(Breaker, FailedProbeReopensImmediately) {
+  FakeClock Clk;
+  Breaker B({2, 500}, Clk.fn());
+  for (int I = 0; I < 2; ++I) {
+    B.admit("t");
+    B.recordFailure("t");
+  }
+  Clk.Now += 501;
+  ASSERT_TRUE(B.admit("t").Probe);
+  B.recordFailure("t"); // one failed probe re-opens — no threshold count
+  EXPECT_EQ(B.state("t"), Breaker::State::Open);
+  EXPECT_FALSE(B.admit("t").Allow);
+  Clk.Now += 501;
+  EXPECT_TRUE(B.admit("t").Probe); // and the cycle repeats
+}
+
+TEST(Breaker, ReleaseProbeReturnsTheSlot) {
+  // A probe that is admitted by the breaker but then rejected further down
+  // the admission path (quota, queue) must hand the half-open slot back,
+  // or the breaker would wait forever on a request that never ran.
+  FakeClock Clk;
+  Breaker B({1, 500}, Clk.fn());
+  B.admit("t");
+  B.recordFailure("t");
+  Clk.Now += 501;
+  ASSERT_TRUE(B.admit("t").Probe);
+  EXPECT_FALSE(B.admit("t").Allow);
+  B.releaseProbe("t");
+  EXPECT_TRUE(B.admit("t").Probe); // the next request probes instead
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveCount) {
+  FakeClock Clk;
+  Breaker B({3, 500}, Clk.fn());
+  for (int Round = 0; Round < 4; ++Round) {
+    B.admit("t");
+    B.recordFailure("t");
+    B.admit("t");
+    B.recordFailure("t");
+    B.admit("t");
+    B.recordSuccess("t"); // never three in a row
+  }
+  EXPECT_EQ(B.state("t"), Breaker::State::Closed);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread names in observability output
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadNames, StampEventsAndSpans) {
+  obs::Registry &Reg = obs::Registry::global();
+  Reg.setEnabled(true);
+  Reg.reset();
+  setCurrentThreadName("resil-test");
+  Reg.emitEvent(obs::Event("stuck-worker").str("tool", "prof"));
+  { obs::Span S("phase"); }
+  ASSERT_EQ(Reg.events().size(), 1u);
+  EXPECT_NE(Reg.events()[0].jsonLine().find("\"thread\":\"resil-test\""),
+            std::string::npos);
+  EXPECT_NE(Reg.toJson().find("\"thread\":\"resil-test\""),
+            std::string::npos);
+  setCurrentThreadName("");
+  Reg.reset();
+  Reg.setEnabled(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon under --isolate
+//===----------------------------------------------------------------------===//
+
+class IsolateFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // The deliberately misbehaving __crash/__hang tools are env-gated so
+    // no production daemon can ever be asked to run them by accident.
+    ::setenv("ATOM_ENABLE_CRASH_TOOL", "1", 1);
+    Name = ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = ::testing::TempDir() + "atomresil-" + Name;
+    std::string Cmd = "rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'";
+    ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  }
+  void TearDown() override { ::unsetenv("ATOM_ENABLE_CRASH_TOOL"); }
+
+  std::string socketPath() const { return Dir + "/d.sock"; }
+  std::string storeDir() const { return Dir + "/store"; }
+
+  DaemonOptions isolateOptions() const {
+    DaemonOptions O;
+    O.SocketPath = socketPath();
+    O.Isolate = true;
+    O.WorkerExe = atomdExe();
+    O.Jobs = 2;
+    return O;
+  }
+
+  /// One instrument round-trip through \p Cl (with backpressure retries).
+  void instrumentVia(Client &Cl, const std::string &ToolName,
+                     const std::vector<uint8_t> &AppBytes, Reply &R,
+                     Frame &F, uint64_t TimeoutMs = 0) {
+    std::string Err;
+    ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), ToolName,
+                                              "resil", AtomOptions(),
+                                              TimeoutMs),
+                        AppBytes, R, F, Err))
+        << Err;
+  }
+
+  std::string Name, Dir;
+};
+
+TEST_F(IsolateFixture, CrashIsStructuredAndConcurrentRequestsUnharmed) {
+  DaemonOptions O = isolateOptions();
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+
+  // Well-formed traffic on another connection, concurrent with the crash.
+  std::atomic<int> GoodFailures{0};
+  std::thread Good([&] {
+    Client Cl;
+    std::string CErr;
+    if (!Cl.connect(socketPath(), CErr)) {
+      ++GoodFailures;
+      return;
+    }
+    for (int I = 0; I < 4; ++I) {
+      Reply R;
+      Frame F;
+      if (!Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "good",
+                                         AtomOptions()),
+                   Bin, R, F, CErr) ||
+          !R.Ok || F.Bin != Local)
+        ++GoodFailures;
+    }
+  });
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  instrumentVia(Cl, "__crash", Bin, R, F);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "worker-crashed");
+  // Plain builds report the SIGSEGV; sanitizer builds intercept it and
+  // exit non-zero. Either way the failure is attributed, never silent.
+  EXPECT_TRUE(R.Doc.u64("signal") != 0 ||
+              R.Doc.find("exit") != nullptr);
+
+  Good.join();
+  EXPECT_EQ(GoodFailures.load(), 0);
+
+  // The daemon (and its cache) survived: same connection, next request.
+  instrumentVia(Cl, "prof", Bin, R, F);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(F.Bin, Local);
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *WP = R.Doc.find("worker-pool");
+  ASSERT_NE(WP, nullptr);
+  EXPECT_GE(WP->u64("crashes"), 1u);
+  EXPECT_GE(WP->u64("spawns"), 2u); // the crashed worker was replaced
+}
+
+TEST_F(IsolateFixture, ClientTimeoutKillsHungWorker) {
+  DaemonOptions O = isolateOptions();
+  O.Jobs = 1;
+  O.BreakerThreshold = 100; // keep the breaker out of this test
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  instrumentVia(Cl, "__hang", Bin, R, F, /*TimeoutMs=*/400);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "deadline-exceeded");
+  EXPECT_EQ(R.Doc.u64("deadline_ms"), 400u);
+
+  // The single worker was hung and killed; a fresh one serves on.
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+  instrumentVia(Cl, "prof", Bin, R, F);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(F.Bin, Local);
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *WP = R.Doc.find("worker-pool");
+  ASSERT_NE(WP, nullptr);
+  EXPECT_EQ(WP->u64("deadline-kills"), 1u);
+}
+
+TEST_F(IsolateFixture, ServerDeadlineCapsEveryRequest) {
+  DaemonOptions O = isolateOptions();
+  O.Jobs = 1;
+  O.DeadlineMs = 400;
+  O.BreakerThreshold = 100;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  instrumentVia(Cl, "__hang", App.serialize(), R, F); // no client timeout
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "deadline-exceeded");
+  EXPECT_EQ(R.Doc.u64("deadline_ms"), 400u);
+}
+
+TEST_F(IsolateFixture, BreakerFailsFastAfterConsecutiveCrashes) {
+  DaemonOptions O = isolateOptions();
+  O.Jobs = 1;
+  O.BreakerThreshold = 2;
+  O.BreakerCooldownMs = 300;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  for (int I = 0; I < 2; ++I) {
+    instrumentVia(Cl, "__crash", Bin, R, F);
+    EXPECT_EQ(R.Error, "worker-crashed") << I;
+  }
+
+  // Two consecutive crashes opened __crash's breaker: the next request
+  // fails fast — no worker burned — with retry advice.
+  instrumentVia(Cl, "__crash", Bin, R, F);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "breaker-open");
+  EXPECT_GT(R.Doc.u64("retry_after_ms"), 0u);
+
+  // Other tools are unaffected.
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+  instrumentVia(Cl, "prof", Bin, R, F);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(F.Bin, Local);
+
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "status"), {}, R, F,
+                      Err))
+      << Err;
+  const obs::json::Value *Brk = R.Doc.find("breakers");
+  ASSERT_NE(Brk, nullptr);
+  const obs::json::Value *Key = Brk->find("__crash");
+  ASSERT_NE(Key, nullptr);
+  EXPECT_EQ(Key->str("state"), "open");
+
+  // After the cooldown exactly one probe is admitted and really runs (it
+  // crashes again here, so the breaker re-opens for another round).
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  instrumentVia(Cl, "__crash", Bin, R, F);
+  EXPECT_EQ(R.Error, "worker-crashed");
+  instrumentVia(Cl, "__crash", Bin, R, F);
+  EXPECT_EQ(R.Error, "breaker-open");
+}
+
+TEST_F(IsolateFixture, WorkerPathStaysByteIdenticalColdAndWarm) {
+  DaemonOptions O = isolateOptions();
+  O.StoreDir = storeDir();
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  for (const char *ToolName : {"prof", "malloc"}) {
+    std::vector<uint8_t> Local =
+        instrumentOrDie(App, *tools::findTool(ToolName)).Exe.serialize();
+    for (int Round = 0; Round < 2; ++Round) { // cold, then warm
+      Reply R;
+      Frame F;
+      instrumentVia(Cl, ToolName, Bin, R, F);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_EQ(F.Bin, Local) << ToolName << " round " << Round;
+    }
+  }
+}
+
+TEST_F(IsolateFixture, Kill9MidWorkNeverCorruptsTheStoreAcrossRestarts) {
+  // The full crash-recovery loop over the real CLI binary: a daemon
+  // kill -9'd mid-request leaves at worst torn tmp files; every restart
+  // over the same store must keep serving byte-identical results.
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  const char *ToolNames[3] = {"prof", "malloc", "dyninst"};
+  std::vector<uint8_t> Local[3];
+  for (int I = 0; I < 3; ++I)
+    Local[I] =
+        instrumentOrDie(App, *tools::findTool(ToolNames[I])).Exe.serialize();
+
+  for (int Iter = 0; Iter < 3; ++Iter) {
+    std::string Sock = Dir + "/d" + std::to_string(Iter) + ".sock";
+    Subprocess Daemon;
+    std::string Err;
+    ASSERT_TRUE(Daemon.spawn({{atomdExe(), "serve", "--socket", Sock,
+                               "--store", storeDir(), "--jobs", "2"},
+                              Subprocess::Io::Capture},
+                             Err))
+        << Err;
+
+    Client Cl;
+    bool Connected = false;
+    for (int Tries = 0; Tries < 200 && !Connected; ++Tries) {
+      Connected = Cl.connect(Sock, Err);
+      if (!Connected)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(Connected) << Err;
+
+    // A fresh tool each iteration forces new pipeline builds and new
+    // store writes on every restart.
+    Reply R;
+    Frame F;
+    ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(),
+                                              ToolNames[Iter], "resil",
+                                              AtomOptions()),
+                        Bin, R, F, Err))
+        << Err;
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(F.Bin, Local[Iter]) << "iter " << Iter;
+
+    if (Iter > 0) {
+      // Whatever the previous kill tore, yesterday's tool still serves
+      // byte-identical (rebuilt if its entries were lost mid-write).
+      ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(),
+                                                ToolNames[Iter - 1],
+                                                "resil", AtomOptions()),
+                          Bin, R, F, Err))
+          << Err;
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_EQ(F.Bin, Local[Iter - 1]) << "iter " << Iter;
+    }
+
+    // Fire one more request and kill the daemon while it is (likely)
+    // mid-pipeline or mid-store-write — then SIGKILL, no goodbyes.
+    ASSERT_TRUE(Cl.send(makeInstrumentRequest(Cl.nextId(), "trace",
+                                              "resil", AtomOptions()),
+                        Bin, Err))
+        << Err;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 * Iter));
+    Daemon.kill();
+    ASSERT_TRUE(Daemon.waitExit(5000));
+    EXPECT_EQ(Daemon.termSignal(), SIGKILL);
+  }
+}
+
+} // namespace

@@ -132,32 +132,50 @@ TEST(Store, CacheKeysPopulateBothHashLanes) {
 TEST(Store, StoreThenLoadAcrossInstances) {
   std::string Dir = scratchDir();
   CachedUnit U = builtUnit("prof");
+  // Under a destructive chaos sweep writes/reads may legitimately fail;
+  // only the no-corruption invariant (a served entry decodes to exactly
+  // what was stored) stays enforced.
+  bool Chaos = destructiveChaosActive();
   {
     Store S(Dir);
     std::string Err;
     ASSERT_TRUE(S.open(Err)) << Err;
     S.store(11, U);
-    EXPECT_TRUE(S.contains(11));
-    EXPECT_EQ(S.stats().Writes, 1u);
+    if (!Chaos) {
+      EXPECT_TRUE(S.contains(11));
+      EXPECT_EQ(S.stats().Writes, 1u);
+    }
     CachedUnit Out;
-    ASSERT_TRUE(S.load(11, Out));
-    EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
-    EXPECT_EQ(S.stats().Hits, 1u);
+    bool Loaded = S.load(11, Out);
+    if (!Chaos) {
+      ASSERT_TRUE(Loaded);
+      EXPECT_EQ(S.stats().Hits, 1u);
+    }
+    if (Loaded)
+      EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
   }
   // A fresh instance (daemon restart) rescans the directory.
   Store S2(Dir);
   std::string Err;
   ASSERT_TRUE(S2.open(Err)) << Err;
-  EXPECT_EQ(S2.entryCount(), 1u);
+  if (!Chaos)
+    EXPECT_EQ(S2.entryCount(), 1u);
   CachedUnit Out;
-  ASSERT_TRUE(S2.load(11, Out));
-  EXPECT_TRUE(Out.Ok);
-  EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  bool Loaded = S2.load(11, Out);
+  if (!Chaos)
+    ASSERT_TRUE(Loaded);
+  if (Loaded) {
+    EXPECT_TRUE(Out.Ok);
+    EXPECT_EQ(om::dumpUnit(Out.U), om::dumpUnit(U.U));
+  }
   EXPECT_FALSE(S2.load(12, Out)); // unknown key is a miss
-  EXPECT_EQ(S2.stats().Misses, 1u);
+  if (!Chaos)
+    EXPECT_EQ(S2.stats().Misses, 1u);
 }
 
 TEST(Store, CorruptEntryIsRejectedAndDeleted) {
+  if (destructiveChaosActive())
+    GTEST_SKIP() << "hand-corrupts specific files; covered by ChaosTests";
   std::string Dir = scratchDir();
   CachedUnit U = builtUnit("dyninst");
   Store S(Dir);
@@ -186,6 +204,8 @@ TEST(Store, CorruptEntryIsRejectedAndDeleted) {
 }
 
 TEST(Store, TruncatedEntryIsRejectedOnRestart) {
+  if (destructiveChaosActive())
+    GTEST_SKIP() << "hand-truncates specific files; covered by ChaosTests";
   std::string Dir = scratchDir();
   CachedUnit U = builtUnit("prof");
   {
@@ -227,6 +247,8 @@ TEST(Store, StaleTempFilesAreRemovedOnOpen) {
 }
 
 TEST(Store, EvictsLeastRecentlyUsedPastByteCap) {
+  if (destructiveChaosActive())
+    GTEST_SKIP() << "LRU accounting assumes every write lands";
   std::string Dir = scratchDir();
   CachedUnit U = builtUnit("prof");
   uint64_t EntryBytes = Store::encodeEntry(1, U).size();
@@ -269,8 +291,10 @@ TEST(Store, ActsAsPipelineCacheTier) {
     FreshDump = om::dumpUnit(TA->U);
     FreshAppDump = om::dumpUnit(AA->U);
     // Both builds were spilled through the tier.
-    EXPECT_EQ(S.stats().Writes, 2u);
-    EXPECT_EQ(Cache.stats().TierHits, 0u);
+    if (!destructiveChaosActive()) {
+      EXPECT_EQ(S.stats().Writes, 2u);
+      EXPECT_EQ(Cache.stats().TierHits, 0u);
+    }
   }
 
   // A second process: in-memory cold, disk warm. The tier satisfies the
@@ -283,14 +307,18 @@ TEST(Store, ActsAsPipelineCacheTier) {
   PipelineCache::UnitPtr TA = Cache2.analysisUnit(toolOrDie("prof"));
   PipelineCache::UnitPtr AA = Cache2.liftedApp(App);
   ASSERT_TRUE(TA->Ok && AA->Ok);
+  // Whether the tier hit or the chaos sweep forced a rebuild, the
+  // artifacts are identical either way.
   EXPECT_EQ(om::dumpUnit(TA->U), FreshDump);
   EXPECT_EQ(om::dumpUnit(AA->U), FreshAppDump);
-  CacheStats CS = Cache2.stats();
-  EXPECT_EQ(CS.Misses, 2u);
-  EXPECT_EQ(CS.TierHits, 2u);
-  EXPECT_EQ(S2.stats().Hits, 2u);
-  // No duplicate spill of tier-loaded artifacts.
-  EXPECT_EQ(S2.stats().Writes, 0u);
+  if (!destructiveChaosActive()) {
+    CacheStats CS = Cache2.stats();
+    EXPECT_EQ(CS.Misses, 2u);
+    EXPECT_EQ(CS.TierHits, 2u);
+    EXPECT_EQ(S2.stats().Hits, 2u);
+    // No duplicate spill of tier-loaded artifacts.
+    EXPECT_EQ(S2.stats().Writes, 0u);
+  }
 }
 
 } // namespace

@@ -6,10 +6,34 @@
 #include "atom/Driver.h"
 #include "sim/Machine.h"
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 namespace atom {
 namespace test {
+
+/// True when a CI chaos sweep armed ATOMD_FAULTPOINTS for this process.
+/// Exact-count assertions (cache/store statistics) are relaxed under a
+/// sweep — injected faults legitimately change them — while identity and
+/// never-serve-corruption invariants stay enforced.
+inline bool chaosActive() {
+  const char *E = ::getenv("ATOMD_FAULTPOINTS");
+  return E && *E;
+}
+
+/// True when the armed sweep injects faults that are *visible* (EIO,
+/// ENOSPC, torn renames) rather than transparent (EINTR, short writes).
+/// Tests whose logic depends on writes actually landing skip or relax
+/// under these; benign sweeps must pass every test unchanged.
+inline bool destructiveChaosActive() {
+  const char *E = ::getenv("ATOMD_FAULTPOINTS");
+  if (!E)
+    return false;
+  std::string S(E);
+  return S.find("eio") != std::string::npos ||
+         S.find("enospc") != std::string::npos ||
+         S.find("torn-rename") != std::string::npos;
+}
 
 /// Compiles and links \p Source (mini-C); aborts the test on failure.
 inline obj::Executable buildOrDie(const std::string &Source) {
