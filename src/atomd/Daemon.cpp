@@ -715,6 +715,13 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
     return;
   }
   case WorkerPool::Outcome::SpawnFailed:
+    // A spawn failure is a daemon-side resource problem (fork/exec), not
+    // evidence against the tool, so it does not feed the breaker — but if
+    // this request was the half-open probe, the probe never ran and its
+    // slot must be returned or the breaker wedges with ProbeInFlight set
+    // forever. Any request reaching execution while its breaker is
+    // half-open *is* the probe, so an unconditional release is safe.
+    Brk->releaseProbe(ToolName);
     replyError(C, Id, R.Error.empty() ? "worker spawn failed" : R.Error);
     return;
   }

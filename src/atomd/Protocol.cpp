@@ -69,15 +69,51 @@ bool readFull(int Fd, void *Buf, size_t Len, std::string &Err, bool &AtStart,
   return true;
 }
 
-bool writeFull(int Fd, const void *Buf, size_t Len, std::string &Err) {
+/// Waits until \p Fd accepts more bytes or the stopwatch passes
+/// \p DeadlineMs (negative = no deadline). False only on timeout.
+bool awaitWritable(int Fd, int64_t DeadlineMs, const Stopwatch &W) {
+  for (;;) {
+    int64_t WaitMs = -1;
+    if (DeadlineMs >= 0) {
+      int64_t Left = DeadlineMs - int64_t(W.seconds() * 1000.0);
+      if (Left <= 0)
+        return false;
+      WaitMs = Left;
+    }
+    pollfd P{Fd, POLLOUT, 0};
+    int R = retryEintr([&] { return ::poll(&P, 1, int(WaitMs)); });
+    if (R > 0)
+      return true;
+    if (R == 0 && DeadlineMs >= 0)
+      return false;
+    if (R < 0)
+      return true; // let the send itself surface the failure
+  }
+}
+
+bool writeFull(int Fd, const void *Buf, size_t Len, std::string &Err,
+               int64_t DeadlineMs = -1, const Stopwatch *W = nullptr,
+               bool *TimedOut = nullptr) {
   const uint8_t *P = static_cast<const uint8_t *>(Buf);
   size_t Sent = 0;
   while (Sent < Len) {
     // MSG_NOSIGNAL: a vanished client yields EPIPE, not process death.
     // fpSend lets the chaos harness inject EINTR/EIO/short transfers here;
-    // retryEintr plus this loop must absorb the recoverable ones.
-    ssize_t N = retryEintr(
-        [&] { return fpSend(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL); });
+    // retryEintr plus this loop must absorb the recoverable ones. Under a
+    // deadline the send is non-blocking and EAGAIN waits in poll, so a
+    // peer that stops draining can only cost the remaining budget.
+    int Flags = MSG_NOSIGNAL | (W ? MSG_DONTWAIT : 0);
+    ssize_t N =
+        retryEintr([&] { return fpSend(Fd, P + Sent, Len - Sent, Flags); });
+    if (N < 0 && W && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!awaitWritable(Fd, DeadlineMs, *W)) {
+        if (TimedOut)
+          *TimedOut = true;
+        Err = "timeout";
+        return false;
+      }
+      continue;
+    }
     if (N < 0) {
       Err = std::string("write: ") + std::strerror(errno);
       return false;
@@ -161,6 +197,27 @@ bool atomd::writeFrame(int Fd, const Frame &F, std::string &Err) {
   return writeFull(Fd, Header, sizeof(Header), Err) &&
          writeFull(Fd, F.Json.data(), F.Json.size(), Err) &&
          writeFull(Fd, F.Bin.data(), F.Bin.size(), Err);
+}
+
+bool atomd::writeFrameDeadline(int Fd, const Frame &F, std::string &Err,
+                               int64_t DeadlineMs, bool &TimedOut) {
+  TimedOut = false;
+  if (F.Json.size() > MaxJsonBytes || F.Bin.size() > MaxBinBytes) {
+    Err = "frame too large";
+    return false;
+  }
+  Stopwatch W;
+  const Stopwatch *WP = DeadlineMs >= 0 ? &W : nullptr;
+  uint8_t Header[16];
+  put32(Header, FrameMagic);
+  put32(Header + 4, uint32_t(F.Json.size()));
+  put64(Header + 8, F.Bin.size());
+  return writeFull(Fd, Header, sizeof(Header), Err, DeadlineMs, WP,
+                   &TimedOut) &&
+         writeFull(Fd, F.Json.data(), F.Json.size(), Err, DeadlineMs, WP,
+                   &TimedOut) &&
+         writeFull(Fd, F.Bin.data(), F.Bin.size(), Err, DeadlineMs, WP,
+                   &TimedOut);
 }
 
 //===----------------------------------------------------------------------===//

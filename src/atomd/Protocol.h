@@ -76,6 +76,14 @@ bool readFrameDeadline(int Fd, Frame &F, std::string &Err, int64_t DeadlineMs,
 /// Writes one frame, blocking until fully sent (SIGPIPE-safe).
 bool writeFrame(int Fd, const Frame &F, std::string &Err);
 
+/// writeFrame with a wall-clock budget: gives up once \p DeadlineMs have
+/// elapsed without the frame fully sent (sets \p TimedOut; \p Err =
+/// "timeout"). Negative \p DeadlineMs blocks forever. The worker pool uses
+/// this so a worker that stops draining its channel mid-request cannot
+/// wedge a daemon thread in a blocking send.
+bool writeFrameDeadline(int Fd, const Frame &F, std::string &Err,
+                        int64_t DeadlineMs, bool &TimedOut);
+
 /// Name/parse of AtomOptions::SaveStrategy, shared by the CLIs and the
 /// protocol ("wrapper", "direct", "distributed", "save-all", "liveness").
 const char *saveStrategyName(AtomOptions::SaveStrategy S);

@@ -143,6 +143,28 @@ int atomd::workerMain(const WorkerConfig &C) {
 // WorkerPool
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// One frame exchange with a worker under a single wall-clock budget: the
+/// request send consumes part of \p DeadlineMs (a worker that stops
+/// draining its channel mid-request must not block the pool thread past
+/// the deadline) and the reply read gets whatever remains.
+bool roundTrip(int Fd, const Frame &Request, Frame &Reply, int64_t DeadlineMs,
+               std::string &Err, bool &TimedOut) {
+  Stopwatch W;
+  if (!writeFrameDeadline(Fd, Request, Err, DeadlineMs, TimedOut))
+    return false;
+  int64_t Left = DeadlineMs;
+  if (DeadlineMs >= 0) {
+    Left = DeadlineMs - int64_t(W.seconds() * 1000.0);
+    if (Left < 0)
+      Left = 0;
+  }
+  return readFrameDeadline(Fd, Reply, Err, Left, TimedOut);
+}
+
+} // namespace
+
 WorkerPool::WorkerPool(WorkerPoolOptions O) : Opts(std::move(O)) {
   unsigned N = Opts.NumWorkers ? Opts.NumWorkers
                                : ThreadPool::defaultConcurrency();
@@ -216,12 +238,12 @@ WorkerPool::Result WorkerPool::execute(const Frame &Request,
   if (!ensureWorker(*S, Err)) {
     R.Out = Outcome::SpawnFailed;
     R.Error = "cannot spawn worker: " + Err;
-  } else if (!writeFrame(S->Proc->channelFd(), Request, Err) ||
-             !readFrameDeadline(S->Proc->channelFd(), R.Reply, Err,
-                                DeadlineMs > 0 ? DeadlineMs : -1, TimedOut)) {
+  } else if (!roundTrip(S->Proc->channelFd(), Request, R.Reply,
+                        DeadlineMs > 0 ? DeadlineMs : -1, Err, TimedOut)) {
     if (TimedOut) {
-      // Past deadline with no reply: the worker is hung (or hopelessly
-      // slow). Kill it; the next request on this slot respawns.
+      // Past deadline — either the worker stopped draining the request or
+      // produced no reply in time. It is hung (or hopelessly slow): kill
+      // it; the next request on this slot respawns.
       S->Proc->kill();
       S->Proc->waitExit(-1);
       S->Proc.reset();
@@ -229,10 +251,20 @@ WorkerPool::Result WorkerPool::execute(const Frame &Request,
       std::lock_guard<std::mutex> L(Mu);
       ++Stats.DeadlineKills;
     } else {
-      // Broken channel: the worker died underneath us. Reap and report
-      // how. Under ASan a SIGSEGV becomes exit(1), so both signal and
-      // exit-code channels matter.
-      S->Proc->waitExit(-1);
+      // Broken channel: the worker died underneath us — usually. A
+      // protocol violation (bad magic, oversized frame) or an injected
+      // channel fault reaches here with the worker still alive, and an
+      // unbounded reap would wedge this thread and deadlock shutdown, so
+      // close the channel (EOF), give it a moment, then SIGKILL. A
+      // SIGKILL on an already-dead child cannot overwrite the real exit
+      // status the kernel has queued.
+      S->Proc->closeChannel();
+      if (!S->Proc->waitExit(200)) {
+        S->Proc->kill();
+        S->Proc->waitExit(-1);
+      }
+      // Report how it went down. Under ASan a SIGSEGV becomes exit(1),
+      // so both signal and exit-code channels matter.
       R.Out = Outcome::Crashed;
       R.TermSignal = S->Proc->termSignal();
       R.ExitCode = S->Proc->exitCode();

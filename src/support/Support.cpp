@@ -33,11 +33,17 @@ uint64_t Backoff::delayMs(unsigned Attempt, uint64_t AdviseMs) {
     Target = AdviseMs;
   if (Target > CapMs)
     Target = CapMs;
-  // xorshift64 full jitter: uniform in [1, Target].
+  // The server's advice is a hard floor on the delay, not just a stretch
+  // of the jitter window — a client must never re-arrive before the
+  // daemon said to. Capped, so absurd advice cannot park a client forever.
+  uint64_t Floor = AdviseMs < CapMs ? AdviseMs : CapMs;
+  if (Floor < 1)
+    Floor = 1;
+  // xorshift64 jitter: uniform in [Floor, Target].
   State ^= State << 13;
   State ^= State >> 7;
   State ^= State << 17;
-  return 1 + State % Target;
+  return Floor + State % (Target - Floor + 1);
 }
 
 void atom::fatalError(const std::string &Msg) {

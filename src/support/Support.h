@@ -117,11 +117,13 @@ void setCurrentThreadName(const std::string &Name);
 /// The name set by setCurrentThreadName on this thread ("" if none).
 const std::string &currentThreadName();
 
-/// Capped exponential backoff with full jitter for retry loops (the atomd
+/// Capped exponential backoff with jitter for retry loops (the atomd
 /// client's answer to backpressure and breaker-open replies). Delays are
-/// drawn uniformly from [1, min(Cap, max(Advise, Base << Attempt))], so
-/// concurrent clients de-synchronize instead of hammering the daemon in
-/// lockstep. Deterministic for a fixed seed.
+/// drawn uniformly from [min(Cap, Advise), min(Cap, max(Advise, Base <<
+/// Attempt))] — the server's retry_after_ms advice is a hard (capped)
+/// floor, and the jitter above it de-synchronizes concurrent clients
+/// instead of hammering the daemon in lockstep. Deterministic for a
+/// fixed seed.
 class Backoff {
 public:
   explicit Backoff(uint64_t BaseMs = 5, uint64_t CapMs = 200,
@@ -129,8 +131,9 @@ public:
       : BaseMs(BaseMs ? BaseMs : 1), CapMs(CapMs ? CapMs : 1),
         State(Seed ? Seed : 1) {}
 
-  /// The delay before retry number \p Attempt (0-based). \p AdviseMs is a
-  /// server-provided floor on the uncapped target (retry_after_ms).
+  /// The delay before retry number \p Attempt (0-based). \p AdviseMs is
+  /// the server's retry_after_ms: a hard floor on the returned delay
+  /// (capped at CapMs) as well as on the jitter window's target.
   uint64_t delayMs(unsigned Attempt, uint64_t AdviseMs = 0);
 
 private:

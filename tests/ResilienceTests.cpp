@@ -19,6 +19,7 @@
 #include "atomd/Breaker.h"
 #include "atomd/Client.h"
 #include "atomd/Daemon.h"
+#include "atomd/Worker.h"
 #include "obs/Obs.h"
 #include "support/Subprocess.h"
 #include "tools/Tools.h"
@@ -163,13 +164,61 @@ TEST(Backoff, DelaysAreBoundedAndSeedDeterministic) {
 }
 
 TEST(Backoff, AdviseFloorsTheWindow) {
-  // Early attempts obey a server's retry_after_ms advice instead of the
-  // tiny exponential window, but the cap still wins.
+  // The server's retry_after_ms is a hard floor on the delay — a client
+  // must never re-arrive before the daemon said to — while the cap still
+  // wins over absurd advice. With advice above the exponential window the
+  // delay is exact; below it, jitter fills [advice, window].
   Backoff B(5, 250, 7);
   for (int I = 0; I < 32; ++I) {
-    EXPECT_LE(B.delayMs(0, 100), 100u);
-    EXPECT_LE(B.delayMs(0, 100000), 250u);
+    EXPECT_EQ(B.delayMs(0, 100), 100u);    // floor == target: no jitter room
+    EXPECT_EQ(B.delayMs(0, 100000), 250u); // capped advice: exactly the cap
+    uint64_t D = B.delayMs(3, 20);         // window is [20, 5 << 3]
+    EXPECT_GE(D, 20u);
+    EXPECT_LE(D, 40u);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool failure classification (fake workers standing in for atomd
+// __worker, so the protocol-violation and hung-channel paths are exact)
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPool, GarbageFrameFromLiveWorkerIsReapedNotHung) {
+  // A worker that violates the protocol while staying alive (bad frame
+  // magic, then sleeps) must be classified as crashed and reaped via the
+  // SIGKILL escalation. An unbounded reap here used to wedge the pool
+  // thread forever and deadlock ~WorkerPool.
+  WorkerPoolOptions O;
+  O.WorkerArgv = {"/bin/sh", "-c",
+                  "printf XXXXXXXXXXXXXXXX >&3; exec sleep 30"};
+  O.NumWorkers = 1;
+  WorkerPool P(O);
+  Frame Req;
+  Req.Json = "{}";
+  Stopwatch W;
+  WorkerPool::Result R = P.execute(Req, /*DeadlineMs=*/-1);
+  EXPECT_EQ(R.Out, WorkerPool::Outcome::Crashed);
+  EXPECT_EQ(R.TermSignal, SIGKILL); // the live violator was escalated
+  EXPECT_LT(W.seconds(), 10.0);
+  EXPECT_EQ(P.stats().Crashes, 1u);
+}
+
+TEST(WorkerPool, DeadlineCoversTheRequestSend) {
+  // A worker that never drains its channel must not park the pool thread
+  // in a blocking send: the request write shares the deadline budget with
+  // the reply read, and expiry kills the worker either way.
+  WorkerPoolOptions O;
+  O.WorkerArgv = {"/bin/sh", "-c", "exec sleep 30"};
+  O.NumWorkers = 1;
+  WorkerPool P(O);
+  Frame Req;
+  Req.Json = "{}";
+  Req.Bin.assign(32u << 20, 0xAB); // far beyond any socketpair buffer
+  Stopwatch W;
+  WorkerPool::Result R = P.execute(Req, /*DeadlineMs=*/400);
+  EXPECT_EQ(R.Out, WorkerPool::Outcome::DeadlineKilled);
+  EXPECT_LT(W.seconds(), 10.0);
+  EXPECT_EQ(P.stats().DeadlineKills, 1u);
 }
 
 //===----------------------------------------------------------------------===//
