@@ -1,0 +1,145 @@
+//===- bench/obs_overhead.cpp - Observability overhead (tracing on/off) ---===//
+//
+// Prices the observability layer around the instrumentation pipeline
+// (docs/OBSERVABILITY.md):
+//
+//   disabled   registry off — the shipping default for library embedders.
+//              The zero-allocation contract is ENFORCED here, not assumed:
+//              any registry allocation while disabled fails the benchmark.
+//   enabled    registry on — counters, histograms, span trees.
+//   traced     registry on + a per-run TraceContext, so every span also
+//              lands in the lock-free flight-recorder ring.
+//
+// Plus a microbenchmark of FlightRecorder::record itself (ns/record), the
+// figure that bounds what "always-on" costs a hot request path.
+//
+// Emits BENCH_obs_overhead.json; CI runs `--smoke` and keeps the document
+// as a build artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "obs/Trace.h"
+
+using namespace atom;
+using namespace atom::bench;
+
+namespace {
+
+/// Seconds per full instrument run of \p T over \p App.
+double runPipeline(const obj::Executable &App, const Tool &T, int Iters,
+                   bool Traced) {
+  Stopwatch W;
+  for (int I = 0; I < Iters; ++I) {
+    if (Traced) {
+      obs::TraceScope Scope(obs::TraceContext::mint());
+      instrumentOrExit(App, T);
+    } else {
+      instrumentOrExit(App, T);
+    }
+  }
+  return W.seconds() / Iters;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = BenchArgs::parse(Argc, Argv, "BENCH_obs_overhead.json");
+  const int Iters = Args.Smoke ? 3 : 12;
+
+  const workloads::Workload *W = workloads::findWorkload("qsort");
+  if (!W) {
+    std::fprintf(stderr, "missing workload qsort\n");
+    return 1;
+  }
+  DiagEngine Diags;
+  obj::Executable App;
+  if (!buildApplication(W->Source, App, Diags)) {
+    std::fprintf(stderr, "qsort failed to build:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  const Tool *T = tools::findTool("prof");
+  if (!T) {
+    std::fprintf(stderr, "missing tool prof\n");
+    return 1;
+  }
+
+  obs::Registry &Reg = obs::Registry::global();
+
+  // Mode 1: disabled. One warm-up run first so lazily-initialized state
+  // (tool source cache and the like) is not billed to this mode.
+  Reg.setEnabled(false);
+  Reg.reset();
+  instrumentOrExit(App, *T);
+  Reg.reset();
+  double Disabled = runPipeline(App, *T, Iters, /*Traced=*/false);
+  uint64_t Allocs = Reg.allocations();
+  bool ZeroAlloc = Allocs == 0 && Reg.counters().empty() &&
+                   Reg.histograms().empty() && !Reg.hasSpans();
+  if (!ZeroAlloc) {
+    std::fprintf(stderr,
+                 "FAIL: disabled registry did work (%llu allocations) — "
+                 "the zero-alloc-while-disabled contract is broken\n",
+                 (unsigned long long)Allocs);
+    return 1;
+  }
+
+  // Mode 2: metrics enabled, requests untraced.
+  Reg.setEnabled(true);
+  Reg.reset();
+  double Enabled = runPipeline(App, *T, Iters, /*Traced=*/false);
+
+  // Mode 3: metrics enabled + per-run trace context: spans now also hit
+  // the flight-recorder ring and histograms pick up exemplars.
+  Reg.reset();
+  double Traced = runPipeline(App, *T, Iters, /*Traced=*/true);
+  Reg.reset();
+  Reg.setEnabled(false);
+
+  // The ring itself: ns per record, single-threaded.
+  const uint64_t RecN = Args.Smoke ? 200000 : 2000000;
+  obs::TraceContext Ctx = obs::TraceContext::mint();
+  auto FR = std::make_unique<obs::FlightRecorder>();
+  Stopwatch RecW;
+  for (uint64_t I = 0; I < RecN; ++I)
+    FR->recordSpan(Ctx, "bench", int64_t(I), 1);
+  double NsPerRec = RecW.seconds() * 1e9 / double(RecN);
+
+  double EnabledPct = Disabled > 0 ? (Enabled / Disabled - 1) * 100 : 0;
+  double TracedPct = Disabled > 0 ? (Traced / Disabled - 1) * 100 : 0;
+  std::printf("%-22s %10.4f s/run\n", "registry disabled", Disabled);
+  std::printf("%-22s %10.4f s/run (%+.1f%%)\n", "registry enabled",
+              Enabled, EnabledPct);
+  std::printf("%-22s %10.4f s/run (%+.1f%%)\n", "enabled + traced",
+              Traced, TracedPct);
+  std::printf("%-22s %10.1f ns/record\n", "flight recorder", NsPerRec);
+  std::printf("zero-alloc while disabled: ok\n");
+
+  obs::JsonWriter J;
+  J.beginObject();
+  J.key("bench");
+  J.value("obs_overhead");
+  J.key("smoke");
+  J.value(Args.Smoke);
+  J.key("iters");
+  J.value(uint64_t(Iters));
+  J.key("disabled_s");
+  J.value(Disabled);
+  J.key("enabled_s");
+  J.value(Enabled);
+  J.key("traced_s");
+  J.value(Traced);
+  J.key("overhead_enabled_pct");
+  J.value(EnabledPct);
+  J.key("overhead_traced_pct");
+  J.value(TracedPct);
+  J.key("flightrec_ns_per_record");
+  J.value(NsPerRec);
+  J.key("zero_alloc_disabled");
+  J.value(true);
+  J.endObject();
+  writeJsonDoc(Args.JsonPath, J.take() + "\n");
+  std::printf("results written to %s\n", Args.JsonPath.c_str());
+  return 0;
+}

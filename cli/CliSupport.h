@@ -5,6 +5,7 @@
 
 #include "obj/ObjectModule.h"
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "support/Support.h"
 
 #include <cerrno>
@@ -180,6 +181,63 @@ struct MetricsOptions {
     if (!Out)
       die("cannot write '" + OutPath + "'");
     Out << Doc;
+  }
+};
+
+/// `--trace-out <file>`: emit a Chrome trace_event JSON document of this
+/// run's flight-recorder records (plus, in connect mode, the daemon's
+/// stitched per-request traces) — loadable in Perfetto or
+/// chrome://tracing. Shares the MetricsOptions consume() conventions.
+struct TraceOptions {
+  std::string OutPath;
+
+  bool consume(int Argc, char **Argv, int &I) {
+    size_t Idx = size_t(I);
+    std::vector<std::string> Args(Argv + 1, Argv + Argc);
+    --Idx; // Args omits argv[0].
+    bool Hit = consume(Args, Idx);
+    I = int(Idx) + 1;
+    return Hit;
+  }
+
+  bool consume(const std::vector<std::string> &Args, size_t &I) {
+    const std::string &Arg = Args[I];
+    std::string V;
+    bool Hit = false;
+    if (Arg == "--trace-out") {
+      if (I + 1 >= Args.size())
+        die("missing value for --trace-out");
+      V = Args[++I];
+      Hit = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      V = Arg.substr(sizeof("--trace-out=") - 1);
+      Hit = true;
+    }
+    if (Hit) {
+      OutPath = V;
+      // Tracing rides on spans, which record only while the registry is
+      // enabled.
+      obs::Registry::global().setEnabled(true);
+    }
+    return Hit;
+  }
+
+  /// Writes \p Rows as Chrome trace JSON to OutPath (no-op without one).
+  void write(const std::vector<obs::TraceRecordRow> &Rows) const {
+    if (OutPath.empty())
+      return;
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out)
+      die("cannot write '" + OutPath + "'");
+    Out << obs::chromeTraceJson(Rows);
+  }
+
+  /// Convenience: this process's own ring, all records.
+  void writeOwnRing(const std::string &Proc) const {
+    if (OutPath.empty())
+      return;
+    write(obs::rowsFromRecords(obs::FlightRecorder::global().snapshot(),
+                               Proc));
   }
 };
 

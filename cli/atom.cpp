@@ -39,6 +39,10 @@
 //                            per-phase timing tree
 //   --metrics-out <file>     write metrics/spans/events document
 //   --metrics-format json|prom
+//   --trace-out <file>       write a Chrome trace_event JSON document of
+//                            this run (in --connect mode, stitched with
+//                            the daemon's and workers' spans) — loadable
+//                            in Perfetto (docs/OBSERVABILITY.md)
 //
 //===----------------------------------------------------------------------===//
 
@@ -71,6 +75,7 @@ static void usage() {
                "            [--run] [--dump <file>] [--stats]\n"
                "            [--metrics-out <file>] "
                "[--metrics-format json|prom]\n"
+               "            [--trace-out <file>]\n"
                "       atom --list-tools\n");
   std::exit(2);
 }
@@ -149,7 +154,8 @@ static int runConnectMode(const std::string &Socket,
                           const AtomOptions &Opts, uint64_t TimeoutMs,
                           const std::string &Output, bool Run, bool Stats,
                           const std::vector<std::string> &Dumps,
-                          const MetricsOptions &Metrics) {
+                          const MetricsOptions &Metrics,
+                          const TraceOptions &Trace) {
   bool Single = Inputs.size() == 1 && Ts.size() == 1;
   if (!Output.empty() && !Single)
     die("-o requires a single input and tool; batch mode writes "
@@ -168,16 +174,23 @@ static int runConnectMode(const std::string &Socket,
     std::string OutPath;
     std::string Label;     ///< "tool 'x', prog.exe" for error messages.
     unsigned Attempts = 0; ///< Backpressure resends so far.
+    obs::TraceContext Ctx; ///< This request's minted trace context.
+    int64_t StartUs = 0;   ///< First send, for the client "request" span.
   };
   std::map<uint64_t, Request> Pending;
+  std::vector<std::string> DoneTraces; ///< For --trace-out stitching.
   for (const Tool *T : Ts)
     for (const std::string &Input : Inputs) {
       Request Rq;
       if (!readFile(Input, Rq.Bin))
         die("cannot read '" + Input + "'");
       uint64_t Id = Cl.nextId();
+      // The client is the edge of the trace: it mints the id that the
+      // daemon and worker spans will stitch under.
+      Rq.Ctx = obs::TraceContext::mint();
+      Rq.StartUs = obs::traceNowUs();
       Rq.Json = atomd::makeInstrumentRequest(Id, T->Name, ClientName, Opts,
-                                             TimeoutMs);
+                                             TimeoutMs, Rq.Ctx);
       Rq.OutPath = !Output.empty() ? Output
                    : Single       ? Input + ".atom"
                                   : Input + "." + T->Name + ".atom";
@@ -215,12 +228,23 @@ static int runConnectMode(const std::string &Socket,
         die(Err);
       continue;
     }
+    // The request is settled: close the client's hop of the trace.
+    obs::FlightRecorder::global().recordSpan(
+        Rq.Ctx, "request", Rq.StartUs,
+        uint64_t(obs::traceNowUs() - Rq.StartUs));
+    DoneTraces.push_back(Rq.Ctx.traceIdHex());
     if (!R.Ok) {
       for (const Diag &D : R.Diags)
         std::fprintf(stderr, "atom: %s: line %d: %s\n", Rq.Label.c_str(),
                      D.Line, D.Message.c_str());
       std::fprintf(stderr, "atom: %s: %s\n", Rq.Label.c_str(),
                    R.Error.c_str());
+      if (!R.TraceId.empty())
+        std::fprintf(stderr, "atom: %s: trace %s\n", Rq.Label.c_str(),
+                     R.TraceId.c_str());
+      if (!R.Postmortem.empty())
+        std::fprintf(stderr, "atom: %s: postmortem %s\n", Rq.Label.c_str(),
+                     R.Postmortem.c_str());
       Ok = false;
       Pending.erase(It);
       continue;
@@ -243,6 +267,35 @@ static int runConnectMode(const std::string &Socket,
     }
     Pending.erase(It);
   }
+  if (!Trace.OutPath.empty()) {
+    // Stitch: this process's records plus each request's daemon-side
+    // trace document (which already folds in the worker's hop).
+    std::vector<obs::TraceRecordRow> Rows = obs::rowsFromRecords(
+        obs::FlightRecorder::global().snapshot(), "client");
+    for (const std::string &IdHex : DoneTraces) {
+      obs::JsonWriter W;
+      W.beginObject();
+      W.key("op");
+      W.value("trace");
+      W.key("id");
+      W.value(Cl.nextId());
+      W.key("trace");
+      W.value(IdHex);
+      W.endObject();
+      atomd::Reply R;
+      atomd::Frame F;
+      if (!Cl.call(W.take(), {}, R, F, Err) || !R.Ok)
+        continue; // trace fell off the daemon's bounded index
+      if (const obs::json::Value *T = R.Doc.find("trace"))
+        if (const obs::json::Value *Recs = T->find("records"))
+          for (const obs::json::Value &RV : Recs->Items) {
+            obs::TraceRecordRow Row;
+            if (obs::parseTraceRow(RV, Row))
+              Rows.push_back(std::move(Row));
+          }
+    }
+    Trace.write(Rows);
+  }
   if (!Single || !Run)
     Metrics.write();
   if (!Ok) {
@@ -258,12 +311,13 @@ int main(int argc, char **argv) {
   std::vector<std::string> Dumps;
   AtomOptions Opts;
   MetricsOptions Metrics;
+  TraceOptions Trace;
   uint64_t TimeoutMs = 0;
   bool Run = false, Stats = false, ListTools = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (Metrics.consume(argc, argv, I)) {
+    if (Metrics.consume(argc, argv, I) || Trace.consume(argc, argv, I)) {
       continue;
     } else if (A == "--list-tools") {
       ListTools = true;
@@ -330,7 +384,8 @@ int main(int argc, char **argv) {
 
   if (!ConnectSocket.empty())
     return runConnectMode(ConnectSocket, ClientName, Inputs, Ts, Opts,
-                          TimeoutMs, Output, Run, Stats, Dumps, Metrics);
+                          TimeoutMs, Output, Run, Stats, Dumps, Metrics,
+                          Trace);
 
   // Batch mode: every (tool, program) pair, through the worker pool.
   if (Inputs.size() > 1 || Ts.size() > 1) {
@@ -370,6 +425,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "%s",
                    obs::Registry::global().timingTree().c_str());
     Metrics.write();
+    Trace.writeOwnRing("atom");
     if (!Ok) {
       for (const Diag &D : Diags.diags())
         std::fprintf(stderr, "atom: %s\n", D.Message.c_str());
@@ -381,6 +437,9 @@ int main(int argc, char **argv) {
 
   const Tool *T = Ts[0];
   std::string Input = Inputs[0];
+  // Local single-pair runs trace too: one minted context scopes the whole
+  // read/instrument/write sequence, so --trace-out has a tree to show.
+  obs::TraceScope Scope(obs::TraceContext::mint());
   obj::Executable App;
   {
     obs::Span S("read");
@@ -408,7 +467,10 @@ int main(int argc, char **argv) {
 
   if (!Run) {
     Metrics.write();
+    Trace.writeOwnRing("atom");
     return 0;
   }
-  return runInstrumented(Out.Exe, Dumps, Metrics);
+  int Exit = runInstrumented(Out.Exe, Dumps, Metrics);
+  Trace.writeOwnRing("atom");
+  return Exit;
 }

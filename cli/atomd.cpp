@@ -6,19 +6,24 @@
 //         [--client-quota N] [--cache-bytes SZ]
 //         [--store <dir>] [--store-bytes SZ]
 //         [--metrics-http <port>] [--metrics-out <file>]
-//         [--metrics-format json|prom]
+//         [--metrics-format json|prom] [--trace-out <file>]
 //         [--isolate|--no-isolate] [--deadline-ms N]
 //         [--worker-requests N] [--breaker-threshold N]
 //         [--breaker-cooldown-ms N]
 //   atomd status --socket <path>
 //   atomd ping --socket <path>
 //   atomd shutdown --socket <path>
+//   atomd trace <trace-id> --socket <path>
+//   atomd tail --socket <path>
 //
 // serve blocks until a shutdown request (socket op, SIGINT, or SIGTERM),
 // prints "atomd: listening on <path>" once ready, and — with
 // --metrics-http — "atomd: metrics on http://127.0.0.1:<port>/metrics"
 // (port 0 binds an ephemeral port and prints the real one). status prints
-// the daemon's status reply as one JSON document.
+// the daemon's status reply as one JSON document followed by a one-line
+// human summary (uptime + circuit-breaker state counts). trace fetches a
+// finished request's stitched cross-process trace by 32-hex id; tail
+// lists the most recent trace summaries (docs/OBSERVABILITY.md).
 //
 // serve runs tool pipelines in isolated worker processes by default
 // (docs/RESILIENCE.md): a crashing or hanging request costs one worker,
@@ -48,12 +53,14 @@ static void usage() {
                "             [--cache-bytes SZ] [--store <dir>] "
                "[--store-bytes SZ]\n"
                "             [--metrics-http <port>] [--metrics-out <file>] "
-               "[--metrics-format json|prom]\n"
+               "[--metrics-format json|prom] [--trace-out <file>]\n"
                "             [--isolate|--no-isolate] [--deadline-ms N] "
                "[--worker-requests N]\n"
                "             [--breaker-threshold N] "
                "[--breaker-cooldown-ms N]\n"
-               "       atomd status|ping|shutdown --socket <path>\n");
+               "       atomd status|ping|shutdown --socket <path>\n"
+               "       atomd trace <trace-id> --socket <path>\n"
+               "       atomd tail --socket <path>\n");
   std::exit(2);
 }
 
@@ -66,7 +73,7 @@ static void onSignal(int) {
 }
 
 static int serve(const atomd::DaemonOptions &Opts,
-                 const MetricsOptions &Metrics) {
+                 const MetricsOptions &Metrics, const TraceOptions &Trace) {
   // The daemon is an observability citizen by construction: counters,
   // latency histograms, and the Prometheus endpoint all need the registry.
   obs::Registry::global().setEnabled(true);
@@ -100,6 +107,9 @@ static int serve(const atomd::DaemonOptions &Opts,
     ::close(SignalPipe[0]);
   }
   Metrics.write();
+  // The daemon's own ring: queue-wait and dispatch spans for every recent
+  // request, viewable in Perfetto alongside per-request stitched traces.
+  Trace.writeOwnRing("atomd");
   std::printf("atomd: stopped\n");
   return 0;
 }
@@ -115,13 +125,82 @@ static int callSimple(const std::string &Socket, const std::string &Op) {
     die(Err);
   if (!R.Ok)
     die("daemon error: " + R.Error);
-  if (Op == "status")
+  if (Op == "status") {
     std::printf("%s\n", F.Json.c_str());
-  else if (Op == "ping")
+    // Human summary under the JSON: uptime plus the per-tool circuit
+    // breaker states folded into counts (docs/RESILIENCE.md).
+    unsigned Closed = 0, Open = 0, HalfOpen = 0;
+    if (const obs::json::Value *B = R.Doc.find("breakers"))
+      for (const auto &[Tool, St] : B->Members) {
+        (void)Tool;
+        std::string S = St.str("state");
+        if (S == "open")
+          ++Open;
+        else if (S == "half-open")
+          ++HalfOpen;
+        else
+          ++Closed;
+      }
+    const obs::json::Value *Up = R.Doc.find("uptime-s");
+    std::printf(
+        "atomd: up %.1fs, breakers: %u closed, %u open, %u half-open\n",
+        Up ? Up->asDouble() : 0.0, Closed, Open, HalfOpen);
+  } else if (Op == "ping")
     std::printf("atomd: protocol version %llu\n",
                 (unsigned long long)R.Doc.u64("version"));
   else if (Op == "shutdown")
     std::printf("atomd: shutdown requested\n");
+  return 0;
+}
+
+/// `atomd trace <id>`: fetches one stitched cross-process trace from the
+/// daemon's in-memory index and prints the reply document (jq-friendly;
+/// the stitched doc is under its "trace" key).
+static int traceCommand(const std::string &Socket, const std::string &IdHex) {
+  atomd::Client Cl;
+  std::string Err;
+  if (!Cl.connect(Socket, Err))
+    die(Err);
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("op");
+  W.value("trace");
+  W.key("id");
+  W.value(Cl.nextId());
+  W.key("trace");
+  W.value(IdHex);
+  W.endObject();
+  atomd::Reply R;
+  atomd::Frame F;
+  if (!Cl.call(W.take(), {}, R, F, Err))
+    die(Err);
+  if (!R.Ok)
+    die("daemon error: " + R.Error);
+  std::printf("%s\n", F.Json.c_str());
+  return 0;
+}
+
+/// `atomd tail`: one line per recent request, newest last.
+static int tailCommand(const std::string &Socket) {
+  atomd::Client Cl;
+  std::string Err;
+  if (!Cl.connect(Socket, Err))
+    die(Err);
+  atomd::Reply R;
+  atomd::Frame F;
+  if (!Cl.call(atomd::makeSimpleRequest(Cl.nextId(), "tail"), {}, R, F, Err))
+    die(Err);
+  if (!R.Ok)
+    die("daemon error: " + R.Error);
+  const obs::json::Value *Ts = R.Doc.find("traces");
+  if (!Ts || Ts->Items.empty()) {
+    std::printf("atomd: no traces recorded\n");
+    return 0;
+  }
+  for (const obs::json::Value &T : Ts->Items)
+    std::printf("%s  %-20s %-18s %8llu us\n", T.str("trace_id").c_str(),
+                T.str("tool").c_str(), T.str("outcome").c_str(),
+                (unsigned long long)T.u64("total-us"));
   return 0;
 }
 
@@ -164,17 +243,27 @@ int main(int argc, char **argv) {
   if (Cmd == "__worker")
     return workerCommand(argc, argv);
   if (Cmd != "serve" && Cmd != "status" && Cmd != "ping" &&
-      Cmd != "shutdown")
+      Cmd != "shutdown" && Cmd != "trace" && Cmd != "tail")
     usage();
+
+  std::string TraceId;
+  int FlagStart = 2;
+  if (Cmd == "trace") {
+    if (argc < 3 || argv[2][0] == '-')
+      die("trace requires a trace-id operand (32 hex digits)");
+    TraceId = argv[2];
+    FlagStart = 3;
+  }
 
   atomd::DaemonOptions Opts;
   // The CLI daemon isolates by default: a crashing tool should never take
   // the service down. The library default stays in-process for embedders.
   Opts.Isolate = true;
   MetricsOptions Metrics;
-  for (int I = 2; I < argc; ++I) {
+  TraceOptions Trace;
+  for (int I = FlagStart; I < argc; ++I) {
     std::string A = argv[I];
-    if (Metrics.consume(argc, argv, I)) {
+    if (Metrics.consume(argc, argv, I) || Trace.consume(argc, argv, I)) {
       continue;
     } else if (A == "--socket" && I + 1 < argc) {
       Opts.SocketPath = argv[++I];
@@ -227,6 +316,10 @@ int main(int argc, char **argv) {
     Opts.WorkerExe = selfExePath(argv[0]);
 
   if (Cmd == "serve")
-    return serve(Opts, Metrics);
+    return serve(Opts, Metrics, Trace);
+  if (Cmd == "trace")
+    return traceCommand(Opts.SocketPath, TraceId);
+  if (Cmd == "tail")
+    return tailCommand(Opts.SocketPath);
   return callSimple(Opts.SocketPath, Cmd);
 }

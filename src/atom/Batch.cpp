@@ -3,6 +3,7 @@
 #include "atom/Batch.h"
 
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "om/Lift.h"
 #include "support/ThreadPool.h"
 
@@ -164,6 +165,10 @@ bool atom::runAtomBatch(const std::vector<const Executable *> &Apps,
     const Tool &T = *Tools[Idx / Apps.size()];
     const Executable &App = *Apps[Idx % Apps.size()];
     BatchResult &R = Results[Idx];
+    // Each (tool, app) pair is one traced request: its pipeline spans land
+    // in the flight recorder under a fresh trace id, mirroring what the
+    // daemon does per connection request.
+    obs::TraceScope Scope(obs::TraceContext::mint());
     PipelineReuse Reuse;
     PipelineCache::UnitPtr TA, AA; // keep cached units alive for this run
     if (Cache) {

@@ -7,8 +7,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -38,20 +40,6 @@ std::string sanitizeLabel(const std::string &S) {
     Out.push_back(Ok ? C : '_');
   }
   return Out.empty() ? "anon" : Out;
-}
-
-void writeDiags(obs::JsonWriter &W, const std::vector<Diag> &Diags) {
-  W.key("diags");
-  W.beginArray();
-  for (const Diag &D : Diags) {
-    W.beginObject();
-    W.key("line");
-    W.value(int64_t(D.Line));
-    W.key("message");
-    W.value(D.Message);
-    W.endObject();
-  }
-  W.endArray();
 }
 
 } // namespace
@@ -88,6 +76,11 @@ bool Daemon::start(std::string &Err) {
       return false;
     }
     Cache.setTier(DiskStore.get());
+    // Postmortem dumps live next to the artifacts they explain. Failure
+    // to create the directory degrades to no-postmortem, never fatal.
+    PostmortemDir = Opts.StoreDir + "/postmortem";
+    if (::mkdir(PostmortemDir.c_str(), 0755) != 0 && errno != EEXIST)
+      PostmortemDir.clear();
   }
 
   // CLOEXEC throughout: worker processes must not inherit the listen or
@@ -412,23 +405,14 @@ void Daemon::reply(const std::shared_ptr<Conn> &C, const std::string &Json,
 
 void Daemon::replyError(const std::shared_ptr<Conn> &C, uint64_t Id,
                         const std::string &Error,
-                        const std::vector<Diag> &Diags) {
-  obs::JsonWriter W;
-  W.beginObject();
-  W.key("id");
-  W.value(Id);
-  W.key("ok");
-  W.value(false);
-  W.key("error");
-  W.value(Error);
-  if (!Diags.empty())
-    writeDiags(W, Diags);
-  W.endObject();
-  reply(C, W.take());
+                        const std::vector<Diag> &Diags,
+                        const std::string &TraceId,
+                        const std::string &Postmortem) {
+  reply(C, makeErrorReply(Id, Error, Diags, TraceId, Postmortem));
 }
 
 void Daemon::replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
-                        const char *Reason) {
+                        const char *Reason, const std::string &TraceId) {
   obs::JsonWriter W;
   W.beginObject();
   W.key("id");
@@ -441,6 +425,10 @@ void Daemon::replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
   W.value(Reason);
   W.key("retry_after_ms");
   W.value(RetryAfterMs);
+  if (!TraceId.empty()) {
+    W.key("trace_id");
+    W.value(TraceId);
+  }
   W.endObject();
   reply(C, W.take());
 }
@@ -518,6 +506,41 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     requestShutdown();
     return;
   }
+  if (Op == "trace") {
+    std::string Want = Doc.str("trace");
+    std::string Found;
+    {
+      std::lock_guard<std::mutex> TL(TraceMu);
+      for (const TraceEntry &E : Traces)
+        if (E.IdHex == Want) {
+          Found = E.Doc;
+          break;
+        }
+    }
+    if (Found.empty()) {
+      replyError(C, Id, "unknown trace '" + Want + "'");
+      return;
+    }
+    reply(C, formatString("{\"id\":%llu,\"ok\":true,\"trace\":",
+                          (unsigned long long)Id) +
+                 Found + "}");
+    return;
+  }
+  if (Op == "tail") {
+    std::string Body;
+    {
+      std::lock_guard<std::mutex> TL(TraceMu);
+      for (const TraceEntry &E : Traces) {
+        if (!Body.empty())
+          Body += ',';
+        Body += E.Summary;
+      }
+    }
+    reply(C, formatString("{\"id\":%llu,\"ok\":true,\"traces\":[",
+                          (unsigned long long)Id) +
+                 Body + "]}");
+    return;
+  }
   if (Op != "instrument" && Op != "stall") {
     replyError(C, Id, "unknown op '" + Op + "'");
     return;
@@ -532,6 +555,12 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
   std::shared_ptr<std::vector<uint8_t>> AppBytes;
   uint64_t DeadlineMs = 0;
   bool BreakerProbe = false;
+  // v3 trace context: adopt the client's trace id (v2 callers send none —
+  // mint server-side so every request is traced either way) and open this
+  // hop's span under the client's parent_span.
+  obs::TraceContext Ctx = obs::TraceContext::mint();
+  obs::TraceContext::parseTraceId(Doc.str("trace_id"), Ctx.Hi, Ctx.Lo);
+  obs::TraceContext::parseHex64(Doc.str("parent_span"), Ctx.ParentSpan);
   if (Op == "stall") {
     StallMs = std::min<uint64_t>(Doc.u64("ms"), MaxStallMs);
   } else {
@@ -540,7 +569,7 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     std::string OptErr;
     const obs::json::Value *OV = Doc.find("options");
     if (OV && !parseAtomOptions(*OV, *O, OptErr)) {
-      replyError(C, Id, OptErr);
+      replyError(C, Id, OptErr, {}, Ctx.traceIdHex());
       return;
     }
     AppBytes = std::make_shared<std::vector<uint8_t>>(std::move(F.Bin));
@@ -557,6 +586,17 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     Breaker::Decision BD = Brk->admit(*Tool);
     BreakerProbe = BD.Probe;
     if (!BD.Allow) {
+      // A fail-fast still gets the full postmortem treatment: emit the
+      // event under the request's trace scope (so the ring holds it),
+      // dump the ring, and name both in the reply.
+      obs::TraceScope Scope(Ctx);
+      Reg.emitEvent(obs::Event("breaker-open").str("tool", *Tool));
+      std::string Pm = writePostmortem(Ctx);
+      recordTrace(Ctx, *Tool, "breaker-open", {},
+                  obs::rowsFromRecords(obs::FlightRecorder::global()
+                                           .snapshot(),
+                                       "daemon", Ctx.Hi, Ctx.Lo),
+                  Pm);
       obs::JsonWriter W;
       W.beginObject();
       W.key("id");
@@ -569,6 +609,12 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
       W.value(*Tool);
       W.key("retry_after_ms");
       W.value(BD.RetryAfterMs);
+      W.key("trace_id");
+      W.value(Ctx.traceIdHex());
+      if (!Pm.empty()) {
+        W.key("postmortem");
+        W.value(Pm);
+      }
       W.endObject();
       reply(C, W.take());
       return;
@@ -592,7 +638,7 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     if (BreakerProbe)
       Brk->releaseProbe(*Tool);
     Reg.addCounter("atomd.rejects-quota");
-    replyRetry(C, Id, "quota");
+    replyRetry(C, Id, "quota", Ctx.traceIdHex());
     return;
   }
   if (QueueDepth.load() >= Opts.QueueMax) {
@@ -600,7 +646,7 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     if (BreakerProbe)
       Brk->releaseProbe(*Tool);
     Reg.addCounter("atomd.rejects-queue");
-    replyRetry(C, Id, "queue-full");
+    replyRetry(C, Id, "queue-full", Ctx.traceIdHex());
     return;
   }
   ++C->InFlight;
@@ -626,10 +672,18 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
     return;
   }
 
-  Pool->submit([this, C, Id, Tool, O, AppBytes, DeadlineMs] {
-    Stopwatch Watch;
-    executeInstrument(C, Id, *Tool, *O, *AppBytes, DeadlineMs);
+  Stopwatch Admitted; // queue-wait: admission -> pool thread pickup
+  Pool->submit([this, C, Id, Tool, O, AppBytes, DeadlineMs, Ctx, Admitted] {
+    obs::TraceScope Scope(Ctx);
+    uint64_t QueueWaitUs = uint64_t(Admitted.seconds() * 1e6);
     obs::Registry &R = obs::Registry::global();
+    R.recordValue("atomd.queue-wait-us", QueueWaitUs);
+    obs::FlightRecorder::global().recordSpan(
+        Ctx, "queue-wait", obs::traceNowUs() - int64_t(QueueWaitUs),
+        QueueWaitUs);
+    Stopwatch Watch;
+    executeInstrument(C, Id, *Tool, *O, *AppBytes, DeadlineMs, Ctx,
+                      QueueWaitUs);
     R.recordValue("atomd.request-latency-us",
                   uint64_t(Watch.seconds() * 1e6));
     --C->InFlight;
@@ -637,35 +691,108 @@ void Daemon::handleFrame(const std::shared_ptr<Conn> &C, Frame F) {
   });
 }
 
+namespace {
+
+/// Sums the store-I/O rows and finds the pipeline ("request") span among
+/// trace rows, filling the matching segments.
+void priceRows(const std::vector<obs::TraceRecordRow> &Rows,
+               Daemon::Segments &Seg) {
+  for (const obs::TraceRecordRow &Row : Rows) {
+    if (Row.Name == "request" && Row.Kind == "span")
+      Seg.PipelineUs = Row.DurUs;
+    else if (Row.Name == "store-load" || Row.Name == "store-store")
+      Seg.StoreIoUs += Row.DurUs;
+  }
+}
+
+/// The daemon's own ring records stamped with this trace.
+std::vector<obs::TraceRecordRow> daemonRows(const obs::TraceContext &Ctx) {
+  return obs::rowsFromRecords(obs::FlightRecorder::global().snapshot(),
+                              "daemon", Ctx.Hi, Ctx.Lo);
+}
+
+} // namespace
+
 void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                                const std::string &ToolName,
                                const AtomOptions &O,
                                const std::vector<uint8_t> &AppBytes,
-                               uint64_t DeadlineMs) {
+                               uint64_t DeadlineMs,
+                               const obs::TraceContext &Ctx,
+                               uint64_t QueueWaitUs) {
+  obs::Registry &Reg = obs::Registry::global();
+  Segments Seg;
+  Seg.QueueWaitUs = QueueWaitUs;
+
   if (!Workers) {
     // In-process path (--no-isolate): no process boundary, so a crashing
     // tool takes the daemon down and deadlines cannot kill anything — the
     // historical trade for skipping the worker round-trip.
-    Frame R = buildInstrumentReply(Cache, Id, ToolName, O, AppBytes);
+    Stopwatch Total;
+    Frame R;
+    {
+      obs::Span Request("request");
+      R = buildInstrumentReply(Cache, Id, ToolName, O, AppBytes);
+    }
     Brk->recordSuccess(ToolName);
+    std::vector<obs::TraceRecordRow> Rows = daemonRows(Ctx);
+    priceRows(Rows, Seg);
+    Seg.TotalUs = QueueWaitUs + uint64_t(Total.seconds() * 1e6);
+    Reg.recordValue("atomd.pipeline-us", Seg.PipelineUs);
+    Reg.recordValue("atomd.store-io-us", Seg.StoreIoUs);
+    obs::spliceTraceIntoReply(R.Json, Ctx, Rows);
+    recordTrace(Ctx, ToolName, R.Bin.empty() ? "error" : "ok", Seg, Rows,
+                "");
     reply(C, R.Json, R.Bin);
     return;
   }
 
   Frame Req;
-  Req.Json = makeInstrumentRequest(Id, ToolName, "", O);
+  // Propagate the trace over the fd-3 channel: the worker parents its
+  // span under this request's daemon span (Ctx.SpanId).
+  Req.Json = makeInstrumentRequest(Id, ToolName, "", O, 0, Ctx);
   Req.Bin = AppBytes;
+  int64_t DispatchStart = obs::traceNowUs();
+  Stopwatch RoundTrip;
   WorkerPool::Result R =
       Workers->execute(Req, DeadlineMs ? int64_t(DeadlineMs) : -1);
-  obs::Registry &Reg = obs::Registry::global();
+  uint64_t RoundTripUs = uint64_t(RoundTrip.seconds() * 1e6);
+  obs::FlightRecorder::global().recordSpan(Ctx, "dispatch", DispatchStart,
+                                           RoundTripUs);
+  Seg.TotalUs = QueueWaitUs + RoundTripUs;
   switch (R.Out) {
-  case WorkerPool::Outcome::Ok:
+  case WorkerPool::Outcome::Ok: {
     // The worker built the reply (including pipeline failures, which are
     // request outcomes, not infrastructure failures); pass it through
-    // verbatim — it already carries this request's id.
+    // verbatim — it already carries this request's id and its hop of the
+    // trace. Parse that hop back out to price the segments and stitch
+    // the cross-process tree for the trace/tail ops.
     Brk->recordSuccess(ToolName);
+    std::vector<obs::TraceRecordRow> Rows;
+    obs::json::Value RDoc;
+    std::string PErr;
+    if (obs::json::parse(R.Reply.Json, RDoc, PErr))
+      if (const obs::json::Value *TR = RDoc.find("trace"))
+        for (const obs::json::Value &RV : TR->Items) {
+          obs::TraceRecordRow Row;
+          if (obs::parseTraceRow(RV, Row))
+            Rows.push_back(std::move(Row));
+        }
+    priceRows(Rows, Seg);
+    // Dispatch overhead = everything the round trip spent outside the
+    // worker's pipeline (channel transfer, frame codec, scheduling).
+    Seg.DispatchUs =
+        RoundTripUs > Seg.PipelineUs ? RoundTripUs - Seg.PipelineUs : 0;
+    Reg.recordValue("atomd.dispatch-us", Seg.DispatchUs);
+    Reg.recordValue("atomd.pipeline-us", Seg.PipelineUs);
+    Reg.recordValue("atomd.store-io-us", Seg.StoreIoUs);
+    std::vector<obs::TraceRecordRow> DRows = daemonRows(Ctx);
+    Rows.insert(Rows.end(), DRows.begin(), DRows.end());
+    recordTrace(Ctx, ToolName, R.Reply.Bin.empty() ? "error" : "ok", Seg,
+                Rows, "");
     reply(C, R.Reply.Json, R.Reply.Bin);
     return;
+  }
   case WorkerPool::Outcome::Crashed: {
     Reg.addCounter("atomd.worker-crashes");
     Reg.emitEvent(obs::Event("worker-crashed")
@@ -674,6 +801,11 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                       .num("exit", uint64_t(R.ExitCode < 0 ? 0
                                                            : R.ExitCode)));
     Brk->recordFailure(ToolName);
+    // The crashing worker best-effort dumped its own ring from the signal
+    // handler (<store>/postmortem/<trace>.worker.json); the daemon's dump
+    // is the guaranteed artifact and the one the reply names.
+    std::string Pm = writePostmortem(Ctx);
+    recordTrace(Ctx, ToolName, "worker-crashed", Seg, daemonRows(Ctx), Pm);
     obs::JsonWriter W;
     W.beginObject();
     W.key("id");
@@ -688,6 +820,12 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
     W.value(uint64_t(R.TermSignal));
     W.key("exit");
     W.value(int64_t(R.ExitCode));
+    W.key("trace_id");
+    W.value(Ctx.traceIdHex());
+    if (!Pm.empty()) {
+      W.key("postmortem");
+      W.value(Pm);
+    }
     W.endObject();
     reply(C, W.take());
     return;
@@ -698,6 +836,11 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                       .str("tool", ToolName)
                       .num("deadline-ms", DeadlineMs));
     Brk->recordFailure(ToolName);
+    // A SIGKILLed worker cannot run a signal handler, so there is no
+    // worker-side dump here — the daemon's is the only record.
+    std::string Pm = writePostmortem(Ctx);
+    recordTrace(Ctx, ToolName, "deadline-exceeded", Seg, daemonRows(Ctx),
+                Pm);
     obs::JsonWriter W;
     W.beginObject();
     W.key("id");
@@ -710,6 +853,12 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
     W.value(ToolName);
     W.key("deadline_ms");
     W.value(DeadlineMs);
+    W.key("trace_id");
+    W.value(Ctx.traceIdHex());
+    if (!Pm.empty()) {
+      W.key("postmortem");
+      W.value(Pm);
+    }
     W.endObject();
     reply(C, W.take());
     return;
@@ -722,9 +871,83 @@ void Daemon::executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
     // forever. Any request reaching execution while its breaker is
     // half-open *is* the probe, so an unconditional release is safe.
     Brk->releaseProbe(ToolName);
-    replyError(C, Id, R.Error.empty() ? "worker spawn failed" : R.Error);
+    replyError(C, Id, R.Error.empty() ? "worker spawn failed" : R.Error,
+               {}, Ctx.traceIdHex());
     return;
   }
+}
+
+void Daemon::recordTrace(const obs::TraceContext &Ctx,
+                         const std::string &Tool,
+                         const std::string &Outcome, const Segments &Seg,
+                         const std::vector<obs::TraceRecordRow> &Rows,
+                         const std::string &Postmortem) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("trace_id");
+  W.value(Ctx.traceIdHex());
+  W.key("tool");
+  W.value(Tool);
+  W.key("outcome");
+  W.value(Outcome);
+  W.key("segments");
+  W.beginObject();
+  W.key("queue-wait-us");
+  W.value(Seg.QueueWaitUs);
+  W.key("dispatch-us");
+  W.value(Seg.DispatchUs);
+  W.key("pipeline-us");
+  W.value(Seg.PipelineUs);
+  W.key("store-io-us");
+  W.value(Seg.StoreIoUs);
+  W.endObject();
+  W.key("total-us");
+  W.value(Seg.TotalUs);
+  if (!Postmortem.empty()) {
+    W.key("postmortem");
+    W.value(Postmortem);
+  }
+  W.key("records");
+  W.beginArray();
+  for (const obs::TraceRecordRow &R : Rows)
+    obs::writeTraceRow(W, R);
+  W.endArray();
+  W.endObject();
+
+  obs::JsonWriter S;
+  S.beginObject();
+  S.key("trace_id");
+  S.value(Ctx.traceIdHex());
+  S.key("tool");
+  S.value(Tool);
+  S.key("outcome");
+  S.value(Outcome);
+  S.key("total-us");
+  S.value(Seg.TotalUs);
+  S.endObject();
+
+  std::lock_guard<std::mutex> L(TraceMu);
+  Traces.push_back({Ctx.traceIdHex(), W.take(), S.take()});
+  while (Traces.size() > MaxTraceIndex)
+    Traces.pop_front();
+}
+
+std::string Daemon::writePostmortem(const obs::TraceContext &Ctx) {
+  if (PostmortemDir.empty())
+    return "";
+  std::string Path = PostmortemDir + "/" + Ctx.traceIdHex() + ".json";
+  int Fd =
+      ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return "";
+  bool Ok = obs::FlightRecorder::global().dumpToFd(Fd);
+  ::close(Fd);
+  if (!Ok) {
+    ::unlink(Path.c_str());
+    return "";
+  }
+  obs::Registry::global().addCounter("atomd.postmortems-written");
+  return Path;
 }
 
 std::string Daemon::statusJson(uint64_t Id) {
@@ -840,6 +1063,24 @@ void Daemon::publishAll() {
   Cache.publishStats();
   if (DiskStore)
     DiskStore->publishStats();
+  obs::Registry::global().setGauge(
+      "obs.flightrec-dropped",
+      double(obs::FlightRecorder::global().dropped()));
+}
+
+std::string Daemon::healthJson() {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("ok");
+  W.value(true);
+  W.key("version");
+  W.value(uint64_t(ProtocolVersion));
+  W.key("uptime-s");
+  W.value(Uptime.seconds());
+  W.key("live-connections");
+  W.value(uint64_t(liveConnections()));
+  W.endObject();
+  return W.take();
 }
 
 void Daemon::metricsLoop() {
@@ -851,15 +1092,27 @@ void Daemon::metricsLoop() {
         continue;
       break;
     }
-    // One best-effort read of the request line; any GET gets the full
-    // exposition (this is a scrape endpoint, not a web server).
+    // One best-effort read of the request line; /healthz gets a liveness
+    // document, any other GET gets the full exposition (this is a scrape
+    // endpoint, not a web server).
     char Buf[4096];
     ssize_t N = retryEintr([&] { return ::read(Fd, Buf, sizeof(Buf)); });
-    (void)N;
+    std::string ReqLine(Buf, N > 0 ? size_t(N) : 0);
+    bool Health = ReqLine.find(" /healthz") != std::string::npos;
     publishAll();
-    std::string Body = obs::Registry::global().toPrometheus();
+    std::string Body;
+    const char *ContentType;
+    if (Health) {
+      Body = healthJson();
+      ContentType = "application/json";
+    } else {
+      Body = obs::Registry::global().toPrometheus();
+      ContentType = "text/plain; version=0.0.4";
+    }
     std::string Resp = "HTTP/1.0 200 OK\r\n"
-                       "Content-Type: text/plain; version=0.0.4\r\n"
+                       "Content-Type: " +
+                       std::string(ContentType) +
+                       "\r\n"
                        "Content-Length: " +
                        formatString("%zu", Body.size()) +
                        "\r\n"

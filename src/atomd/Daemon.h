@@ -40,6 +40,10 @@ namespace atomd {
 /// metrics registry must not grow with them without bound.
 constexpr size_t MaxClientLabels = 64;
 
+/// Stitched trace documents kept for the trace/tail ops. Old traces fall
+/// off the front; this bounds daemon memory no matter the request rate.
+constexpr size_t MaxTraceIndex = 128;
+
 struct DaemonOptions {
   std::string SocketPath;
   unsigned Jobs = 0;        ///< Worker threads (0 = one per hardware thread).
@@ -96,6 +100,16 @@ public:
   /// exit, not accumulated for the daemon's lifetime). Exposed for tests.
   size_t liveConnections() const;
 
+  /// Per-request segment timings, recorded as labeled histograms (with
+  /// trace-id exemplars) and echoed in the stitched trace document.
+  struct Segments {
+    uint64_t QueueWaitUs = 0; ///< Admission -> pool thread pickup.
+    uint64_t DispatchUs = 0;  ///< Worker round-trip minus pipeline time.
+    uint64_t PipelineUs = 0;  ///< The instrument pipeline itself.
+    uint64_t StoreIoUs = 0;   ///< Time inside Store::load/store.
+    uint64_t TotalUs = 0;
+  };
+
 private:
   struct Conn {
     int Fd = -1;
@@ -125,7 +139,8 @@ private:
   void executeInstrument(const std::shared_ptr<Conn> &C, uint64_t Id,
                          const std::string &ToolName, const AtomOptions &O,
                          const std::vector<uint8_t> &AppBytes,
-                         uint64_t DeadlineMs);
+                         uint64_t DeadlineMs, const obs::TraceContext &Ctx,
+                         uint64_t QueueWaitUs);
   void metricsLoop();
   void publishAll();
 
@@ -133,11 +148,25 @@ private:
              const std::vector<uint8_t> &Bin = {});
   void replyError(const std::shared_ptr<Conn> &C, uint64_t Id,
                   const std::string &Error,
-                  const std::vector<Diag> &Diags = {});
+                  const std::vector<Diag> &Diags = {},
+                  const std::string &TraceId = {},
+                  const std::string &Postmortem = {});
   void replyRetry(const std::shared_ptr<Conn> &C, uint64_t Id,
-                  const char *Reason);
+                  const char *Reason, const std::string &TraceId = {});
   std::string statusJson(uint64_t Id);
+  std::string healthJson();
   void countClient(const std::string &Label);
+
+  /// Indexes a finished request's stitched trace for the trace/tail ops.
+  void recordTrace(const obs::TraceContext &Ctx, const std::string &Tool,
+                   const std::string &Outcome, const Segments &Seg,
+                   const std::vector<obs::TraceRecordRow> &Rows,
+                   const std::string &Postmortem);
+
+  /// Dumps the daemon's flight-recorder ring to
+  /// <store>/postmortem/<trace>.json ("" when no store directory). Call
+  /// under the request's TraceScope so the dump header names the trace.
+  std::string writePostmortem(const obs::TraceContext &Ctx);
 
   DaemonOptions Opts;
   int ListenFd = -1;
@@ -165,6 +194,15 @@ private:
 
   std::mutex ClientMu; ///< Guards ClientRequests.
   std::map<std::string, uint64_t> ClientRequests;
+
+  struct TraceEntry {
+    std::string IdHex;   ///< 32-hex trace id.
+    std::string Doc;     ///< Stitched trace document (JSON object).
+    std::string Summary; ///< One-line JSON for the tail op.
+  };
+  std::string PostmortemDir; ///< <store>/postmortem ("" = no store).
+  mutable std::mutex TraceMu; ///< Guards Traces.
+  std::deque<TraceEntry> Traces; ///< Most recent last; MaxTraceIndex cap.
 };
 
 } // namespace atomd

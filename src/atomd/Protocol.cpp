@@ -299,7 +299,8 @@ bool atomd::parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
 std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
                                          const std::string &Client,
                                          const AtomOptions &O,
-                                         uint64_t TimeoutMs) {
+                                         uint64_t TimeoutMs,
+                                         const obs::TraceContext &Trace) {
   obs::JsonWriter W;
   W.beginObject();
   W.key("op");
@@ -316,6 +317,12 @@ std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
     W.key("timeout_ms");
     W.value(TimeoutMs);
   }
+  if (Trace.valid()) {
+    W.key("trace_id");
+    W.value(Trace.traceIdHex());
+    W.key("parent_span");
+    W.value(Trace.spanIdHex());
+  }
   W.key("options");
   writeAtomOptions(W, O);
   W.endObject();
@@ -323,7 +330,9 @@ std::string atomd::makeInstrumentRequest(uint64_t Id, const std::string &Tool,
 }
 
 std::string atomd::makeErrorReply(uint64_t Id, const std::string &Error,
-                                  const std::vector<Diag> &Diags) {
+                                  const std::vector<Diag> &Diags,
+                                  const std::string &TraceId,
+                                  const std::string &Postmortem) {
   obs::JsonWriter W;
   W.beginObject();
   W.key("id");
@@ -332,6 +341,14 @@ std::string atomd::makeErrorReply(uint64_t Id, const std::string &Error,
   W.value(false);
   W.key("error");
   W.value(Error);
+  if (!TraceId.empty()) {
+    W.key("trace_id");
+    W.value(TraceId);
+  }
+  if (!Postmortem.empty()) {
+    W.key("postmortem");
+    W.value(Postmortem);
+  }
   if (!Diags.empty()) {
     W.key("diags");
     W.beginArray();
@@ -373,6 +390,8 @@ bool atomd::parseReply(const Frame &F, Reply &R, std::string &Err) {
   R.Retry = R.Doc.boolean("retry");
   R.RetryAfterMs = R.Doc.u64("retry_after_ms");
   R.Error = R.Doc.str(R.Retry ? "reason" : "error");
+  R.TraceId = R.Doc.str("trace_id");
+  R.Postmortem = R.Doc.str("postmortem");
   if (const obs::json::Value *Ds = R.Doc.find("diags"))
     for (const obs::json::Value &D : Ds->Items)
       R.Diags.push_back({int(D.u64("line")), D.str("message")});

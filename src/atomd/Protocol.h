@@ -12,13 +12,21 @@
 // executables are never base64'd through the JSON layer.
 //
 // Requests:  {"op":"instrument","id":N,"tool":"cache","client":"ci",
-//             "options":{...},"timeout_ms":M}      + bin = application AEXE
+//             "options":{...},"timeout_ms":M,
+//             "trace_id":"<32hex>","parent_span":"<16hex>"}
+//                                                   + bin = application AEXE
 //                                                   (timeout_ms optional: a
 //                                                    client-requested deadline,
-//                                                    capped by the server's)
+//                                                    capped by the server's;
+//                                                    trace fields optional:
+//                                                    the caller's v3 trace
+//                                                    context, minted server-
+//                                                    side when absent)
 //            {"op":"status","id":N}
 //            {"op":"metrics","id":N}                -> registry JSON
 //            {"op":"ping","id":N}
+//            {"op":"trace","id":N,"trace":"<32hex>"} -> stitched trace doc
+//            {"op":"tail","id":N}                   -> recent trace summaries
 //            {"op":"stall","id":N,"ms":M}           (test/debug: occupies a
 //                                                    worker slot for M ms)
 //            {"op":"shutdown","id":N}
@@ -43,13 +51,19 @@
 #include "atom/Batch.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 
 namespace atom {
 namespace atomd {
 
 /// v2 added timeout_ms on instrument requests and the worker-crashed /
 /// deadline-exceeded / breaker-open failure replies (docs/RESILIENCE.md).
-constexpr uint32_t ProtocolVersion = 2;
+/// v3 adds optional trace_id/parent_span header fields on instrument
+/// requests, trace_id/postmortem on replies, and the trace/tail ops
+/// (docs/OBSERVABILITY.md, "Tracing"). All trace fields are optional both
+/// ways, so v2 peers interoperate: an untraced request simply gets a
+/// server-minted trace id.
+constexpr uint32_t ProtocolVersion = 3;
 
 /// Sanity caps on frame sizes; a frame beyond these is a protocol error
 /// (protects the daemon from allocation bombs on a garbage connection).
@@ -100,19 +114,27 @@ bool parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
 /// Builds the JSON document of an instrument request (application image
 /// travels as the frame's binary attachment). A nonzero \p TimeoutMs asks
 /// the daemon to kill the request past that many milliseconds (the server
-/// caps it at its own --deadline-ms).
+/// caps it at its own --deadline-ms). A valid \p Trace becomes the v3
+/// trace_id/parent_span header fields (parent_span = Trace.SpanId, the
+/// caller's span the callee should parent under).
 std::string makeInstrumentRequest(uint64_t Id, const std::string &Tool,
                                   const std::string &Client,
                                   const AtomOptions &O,
-                                  uint64_t TimeoutMs = 0);
+                                  uint64_t TimeoutMs = 0,
+                                  const obs::TraceContext &Trace = {});
 
 /// Builds an argument-free request ("status", "ping", "shutdown", ...).
 std::string makeSimpleRequest(uint64_t Id, const std::string &Op);
 
 /// Builds the {"id":N,"ok":false,"error":...,"diags":[...]} failure reply
-/// document (shared by the daemon and the worker service loop).
+/// document (shared by the daemon and the worker service loop). A
+/// non-empty \p TraceId (32-hex) tags the failure with the request's
+/// trace; a non-empty \p Postmortem names the flight-recorder dump that
+/// describes it.
 std::string makeErrorReply(uint64_t Id, const std::string &Error,
-                           const std::vector<Diag> &Diags = {});
+                           const std::vector<Diag> &Diags = {},
+                           const std::string &TraceId = {},
+                           const std::string &Postmortem = {});
 
 /// A parsed reply. Doc keeps the whole document for op-specific fields
 /// (status counters etc.).
@@ -124,6 +146,8 @@ struct Reply {
   std::string Error;           ///< Reason ("queue-full", "quota") or error.
   std::vector<Diag> Diags;     ///< Pipeline diagnostics on failure.
   InstrStats Stats;            ///< Instrument replies.
+  std::string TraceId;         ///< v3: the request's 32-hex trace id.
+  std::string Postmortem;      ///< v3: flight-recorder dump path, if any.
   obs::json::Value Doc;
 };
 

@@ -274,6 +274,7 @@ bool Store::decodeEntry(const std::vector<uint8_t> &Bytes, CacheKey Key,
 }
 
 bool Store::load(CacheKey Key, CachedUnit &Out) {
+  obs::Span IoSpan("store-load"); // store-I/O segment of the request trace
   std::lock_guard<std::mutex> L(Mu);
   auto It = Entries.find(Key);
   if (It == Entries.end()) {
@@ -316,6 +317,7 @@ bool Store::load(CacheKey Key, CachedUnit &Out) {
 }
 
 void Store::store(CacheKey Key, const CachedUnit &U) {
+  obs::Span IoSpan("store-store"); // store-I/O segment of the request trace
   std::lock_guard<std::mutex> L(Mu);
   if (Entries.count(Key))
     return; // content-addressed: an existing entry is already identical

@@ -5,11 +5,13 @@
 #include "atom/Driver.h"
 #include "atomd/Store.h"
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 #include "tools/Tools.h"
 
 #include <csignal>
+#include <sys/stat.h>
 
 using namespace atom;
 using namespace atom::atomd;
@@ -100,9 +102,14 @@ int atomd::workerMain(const WorkerConfig &C) {
   // The channel is a socketpair; a pool that vanished mid-write must
   // surface as a failed send, not process death.
   std::signal(SIGPIPE, SIG_IGN);
+  // Tracing needs the registry live in this process: pipeline spans reach
+  // the flight recorder through the Span destructor hook, which is what
+  // the stitched trace and the crash postmortem are made of.
+  obs::Registry::global().setEnabled(true);
 
   PipelineCache Cache(C.CacheBytes);
   std::unique_ptr<Store> DiskStore;
+  std::string PostmortemDir;
   if (!C.StoreDir.empty()) {
     DiskStore.reset(new Store(C.StoreDir, C.StoreBytes));
     std::string Err;
@@ -110,6 +117,8 @@ int atomd::workerMain(const WorkerConfig &C) {
       Cache.setTier(DiskStore.get());
     else
       DiskStore.reset(); // store trouble degrades to cache-only, never fatal
+    PostmortemDir = C.StoreDir + "/postmortem";
+    ::mkdir(PostmortemDir.c_str(), 0755); // best-effort; daemon makes it too
   }
 
   const int Fd = SubprocessChannelFd;
@@ -126,13 +135,42 @@ int atomd::workerMain(const WorkerConfig &C) {
       R.Json = makeErrorReply(0, "malformed worker request: " + Err);
     } else {
       uint64_t Id = Doc.u64("id");
+      // v3 trace context: adopt the daemon's trace id (v2 callers send
+      // none — mint locally so this process still records coherently) and
+      // open this hop's span under the daemon's parent_span.
+      obs::TraceContext Ctx = obs::TraceContext::mint();
+      obs::TraceContext::parseTraceId(Doc.str("trace_id"), Ctx.Hi, Ctx.Lo);
+      obs::TraceContext::parseHex64(Doc.str("parent_span"), Ctx.ParentSpan);
+      obs::TraceScope Scope(Ctx);
+      // Arm the crash dump before touching the pipeline: if this request
+      // takes the process down, the fatal-signal handler dumps the ring
+      // to a file the daemon can name in its error reply. The fd is
+      // opened here, outside the handler, to keep the dump path
+      // async-signal-safe.
+      std::string PmPath;
+      if (!PostmortemDir.empty()) {
+        PmPath = PostmortemDir + "/" + Ctx.traceIdHex() + ".worker.json";
+        obs::FlightRecorder::global().arm(PmPath);
+      }
       AtomOptions O;
       std::string OptErr;
       const obs::json::Value *OV = Doc.find("options");
-      if (OV && !parseAtomOptions(*OV, O, OptErr))
-        R.Json = makeErrorReply(Id, OptErr);
-      else
-        R = buildInstrumentReply(Cache, Id, Doc.str("tool"), O, F.Bin);
+      if (OV && !parseAtomOptions(*OV, O, OptErr)) {
+        R.Json = makeErrorReply(Id, OptErr, {}, Ctx.traceIdHex());
+      } else {
+        {
+          obs::Span Request("request");
+          R = buildInstrumentReply(Cache, Id, Doc.str("tool"), O, F.Bin);
+        }
+        // Ship this hop's records back with the reply so the daemon can
+        // stitch the cross-process tree and price the pipeline phases.
+        obs::spliceTraceIntoReply(
+            R.Json, Ctx,
+            obs::rowsFromRecords(obs::FlightRecorder::global().snapshot(),
+                                 "worker", Ctx.Hi, Ctx.Lo));
+      }
+      if (!PmPath.empty())
+        obs::FlightRecorder::global().disarm(/*RemoveFile=*/true);
     }
     if (!writeFrame(Fd, R, Err))
       return 1;

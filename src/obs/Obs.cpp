@@ -3,6 +3,7 @@
 #include "obs/Obs.h"
 
 #include "obs/Json.h"
+#include "obs/Trace.h"
 
 #include "support/Support.h"
 
@@ -363,6 +364,7 @@ void Registry::setGauge(const std::string &Name, double V) {
 void Registry::recordValue(const std::string &Name, uint64_t V) {
   if (!enabled())
     return;
+  TraceContext Ctx = currentTrace();
   std::lock_guard<std::mutex> L(Mu);
   auto It = Histograms.find(Name);
   if (It == Histograms.end()) {
@@ -370,6 +372,13 @@ void Registry::recordValue(const std::string &Name, uint64_t V) {
     It = Histograms.emplace(Name, Histogram()).first;
   }
   It->second.record(V);
+  if (Ctx.valid()) {
+    // Trace-id exemplar (latest wins): fixed fields, no allocation, and a
+    // scrape can point a histogram outlier at one concrete request.
+    It->second.ExemplarValue = V;
+    It->second.ExemplarHi = Ctx.Hi;
+    It->second.ExemplarLo = Ctx.Lo;
+  }
 }
 
 uint64_t Registry::counter(const std::string &Name) const {
@@ -393,6 +402,16 @@ void Registry::emitEvent(Event E) {
   // event streams attribute each failure to the thread that saw it.
   if (const std::string &Thr = currentThreadName(); !Thr.empty())
     E.str("thread", Thr);
+  // Request-scoped threads stamp the current trace context so one
+  // request's events stitch across the client/daemon/worker JSONL
+  // streams, and mirror the event into the flight recorder for
+  // postmortem dumps.
+  if (TraceContext Ctx = currentTrace(); Ctx.valid()) {
+    E.str("trace_id", Ctx.traceIdHex());
+    E.str("span", Ctx.spanIdHex());
+    FlightRecorder::global().recordEvent(Ctx, E.kind().c_str(),
+                                         /*Error=*/false);
+  }
   std::lock_guard<std::mutex> L(Mu);
   if (EventStream) {
     std::string Line = E.jsonLine();
@@ -436,13 +455,28 @@ Span::Span(Registry &R, const char *Name) {
 Span::~Span() {
   if (!Reg)
     return;
-  double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
-  std::lock_guard<std::mutex> L(Reg->Mu);
-  if (Reg->ResetCount != ResetAtOpen)
-    return; // The tree this span opened into was reset; Node is gone.
-  Node->Seconds += Secs;
-  TlsSpanState &T = tlsEntry(Reg->Id);
-  T = {Reg->Id, Reg->TlsEpoch.load(std::memory_order_relaxed), Saved};
+  Clock::time_point End = Clock::now();
+  double Secs = std::chrono::duration<double>(End - Start).count();
+  const char *Name = nullptr;
+  {
+    std::lock_guard<std::mutex> L(Reg->Mu);
+    if (Reg->ResetCount != ResetAtOpen)
+      return; // The tree this span opened into was reset; Node is gone.
+    Node->Seconds += Secs;
+    Name = Node->Name.c_str();
+    TlsSpanState &T = tlsEntry(Reg->Id);
+    T = {Reg->Id, Reg->TlsEpoch.load(std::memory_order_relaxed), Saved};
+  }
+  // Request-scoped spans also land in the flight recorder (lock-free,
+  // fixed storage) so postmortems and stitched traces can replay this
+  // request's phases with begin timestamps and durations.
+  if (TraceContext Ctx = currentTrace(); Ctx.valid()) {
+    int64_t StartUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Start.time_since_epoch())
+                          .count();
+    FlightRecorder::global().recordSpan(Ctx, Name, StartUs,
+                                        uint64_t(Secs * 1e6));
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -519,6 +553,16 @@ std::string Registry::toJson() const {
       W.endArray();
     }
     W.endArray();
+    if (H.hasExemplar()) {
+      W.key("exemplar");
+      W.beginObject();
+      W.key("value");
+      W.value(H.exemplarValue());
+      W.key("trace_id");
+      W.value(TraceContext::hex64(H.exemplarTraceHi()) +
+              TraceContext::hex64(H.exemplarTraceLo()));
+      W.endObject();
+    }
     W.endObject();
   }
   W.endObject();
@@ -561,13 +605,32 @@ std::string promName(const std::string &Name) {
   return Out;
 }
 
+/// Prometheus label-value escaping: backslash, double quote, and newline
+/// must be escaped inside the quoted label value (exposition format §
+/// "Escaping"). Span names are caller-controlled strings, so exporting
+/// them raw would corrupt the whole scrape.
+std::string promLabelValue(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  for (char C : V) {
+    switch (C) {
+    case '\\': Out += "\\\\"; break;
+    case '"': Out += "\\\""; break;
+    case '\n': Out += "\\n"; break;
+    default: Out += C; break;
+    }
+  }
+  return Out;
+}
+
 void promSpans(std::string &Out, const Registry::SpanNode &N,
                const std::string &Path) {
   for (const auto &C : N.Children) {
     std::string P = Path.empty() ? C->Name : Path + "/" + C->Name;
-    Out += formatString("atom_span_seconds{path=\"%s\"} %s\n", P.c_str(),
+    std::string PE = promLabelValue(P);
+    Out += formatString("atom_span_seconds{path=\"%s\"} %s\n", PE.c_str(),
                         JsonWriter::number(C->Seconds).c_str());
-    Out += formatString("atom_span_count{path=\"%s\"} %llu\n", P.c_str(),
+    Out += formatString("atom_span_count{path=\"%s\"} %llu\n", PE.c_str(),
                         (unsigned long long)C->Count);
     promSpans(Out, *C, P);
   }
@@ -591,14 +654,27 @@ std::string Registry::toPrometheus() const {
   for (const auto &[Name, H] : Histograms) {
     std::string N = promName(Name);
     Out += formatString("# TYPE %s histogram\n", N.c_str());
+    // The bucket holding the exemplar value gets an OpenMetrics exemplar
+    // suffix ("# {trace_id=...} value") linking the aggregate to one
+    // concrete traced request.
+    unsigned ExBucket = H.hasExemplar()
+                            ? Histogram::bucketOf(H.exemplarValue())
+                            : Histogram::NumBuckets;
     uint64_t Cum = 0;
     for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
       if (!H.bucketCount(I))
         continue;
       Cum += H.bucketCount(I);
-      Out += formatString("%s_bucket{le=\"%llu\"} %llu\n", N.c_str(),
+      Out += formatString("%s_bucket{le=\"%llu\"} %llu", N.c_str(),
                           (unsigned long long)Histogram::bucketHi(I),
                           (unsigned long long)Cum);
+      if (I == ExBucket)
+        Out += formatString(
+            " # {trace_id=\"%s%s\"} %llu",
+            TraceContext::hex64(H.exemplarTraceHi()).c_str(),
+            TraceContext::hex64(H.exemplarTraceLo()).c_str(),
+            (unsigned long long)H.exemplarValue());
+      Out += '\n';
     }
     Out += formatString("%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
                         (unsigned long long)H.count());
@@ -733,6 +809,16 @@ bool Registry::fromJson(const std::string &Text, Registry &Out,
           return false;
         }
         H.Buckets[Idx] = B.Items[2].asU64();
+      }
+      if (const JValue *Ex = V.find("exemplar")) {
+        const JValue *EV = Ex->find("value"), *ET = Ex->find("trace_id");
+        if (Ex->K != JValue::Obj || !EV || !ET || ET->K != JValue::Str ||
+            !TraceContext::parseTraceId(ET->Text, H.ExemplarHi,
+                                        H.ExemplarLo)) {
+          Err = "malformed histogram exemplar";
+          return false;
+        }
+        H.ExemplarValue = EV->asU64();
       }
       Out.Histograms[Name] = H;
     }

@@ -82,6 +82,15 @@ public:
   /// bucket, plus a summary line. \p Unit labels the value axis ("bytes").
   std::string render(const std::string &Unit = "") const;
 
+  /// Trace-id exemplar: the most recent sample recorded while a trace
+  /// context was current (docs/OBSERVABILITY.md, "Tracing"). Fixed
+  /// storage, so the zero-alloc contract is untouched. Not part of
+  /// operator== (two runs of the same work carry different trace ids).
+  bool hasExemplar() const { return (ExemplarHi | ExemplarLo) != 0; }
+  uint64_t exemplarValue() const { return ExemplarValue; }
+  uint64_t exemplarTraceHi() const { return ExemplarHi; }
+  uint64_t exemplarTraceLo() const { return ExemplarLo; }
+
   bool operator==(const Histogram &O) const;
 
 private:
@@ -90,6 +99,8 @@ private:
   uint64_t Min = ~uint64_t(0);
   uint64_t Max = 0;
   uint64_t Buckets[NumBuckets] = {};
+  uint64_t ExemplarValue = 0;
+  uint64_t ExemplarHi = 0, ExemplarLo = 0; ///< Trace id (0:0 = none).
   friend class Registry;
 };
 

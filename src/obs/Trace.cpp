@@ -1,0 +1,529 @@
+//===- obs/Trace.cpp - Cross-process request tracing ----------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Support.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::obs;
+
+//===----------------------------------------------------------------------===//
+// TraceContext
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<uint64_t> MintCounter{1};
+
+uint64_t mintWord() {
+  uint64_t C = MintCounter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t T = uint64_t(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // Three independent low-entropy sources through a full-avalanche mix:
+  // good enough to keep uncoordinated processes from colliding, with no
+  // dependency on /dev/urandom in the hot path.
+  return avalanche64(avalanche64(T ^ (uint64_t(::getpid()) << 32)) ^
+                     avalanche64(C * 0x9E3779B97F4A7C15ull));
+}
+
+thread_local TraceContext CurrentCtx;
+
+uint32_t cachedTid() {
+  static thread_local uint32_t Tid = uint32_t(::syscall(SYS_gettid));
+  return Tid;
+}
+
+} // namespace
+
+int64_t obs::traceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceContext TraceContext::mint() {
+  TraceContext C;
+  C.Hi = mintWord();
+  C.Lo = mintWord();
+  if (!C.valid())
+    C.Lo = 1; // astronomically unlikely; keep valid() honest
+  C.SpanId = mintWord();
+  return C;
+}
+
+uint64_t TraceContext::mintSpanId() { return mintWord(); }
+
+std::string TraceContext::hex64(uint64_t V) {
+  char Buf[17];
+  for (int I = 15; I >= 0; --I) {
+    Buf[I] = "0123456789abcdef"[V & 0xF];
+    V >>= 4;
+  }
+  Buf[16] = 0;
+  return Buf;
+}
+
+std::string TraceContext::traceIdHex() const {
+  if (!valid())
+    return "";
+  return hex64(Hi) + hex64(Lo);
+}
+
+std::string TraceContext::spanIdHex() const { return hex64(SpanId); }
+
+bool TraceContext::parseHex64(const std::string &S, uint64_t &V) {
+  if (S.size() != 16)
+    return false;
+  uint64_t Out = 0;
+  for (char C : S) {
+    Out <<= 4;
+    if (C >= '0' && C <= '9')
+      Out |= uint64_t(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Out |= uint64_t(C - 'a' + 10);
+    else
+      return false;
+  }
+  V = Out;
+  return true;
+}
+
+bool TraceContext::parseTraceId(const std::string &S, uint64_t &Hi,
+                                uint64_t &Lo) {
+  if (S.size() != 32)
+    return false;
+  uint64_t H, L;
+  if (!parseHex64(S.substr(0, 16), H) || !parseHex64(S.substr(16), L))
+    return false;
+  if ((H | L) == 0)
+    return false;
+  Hi = H;
+  Lo = L;
+  return true;
+}
+
+TraceContext obs::currentTrace() { return CurrentCtx; }
+
+void TraceScope::set(const TraceContext &Ctx) { CurrentCtx = Ctx; }
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder
+//===----------------------------------------------------------------------===//
+
+FlightRecorder &FlightRecorder::global() {
+  static FlightRecorder R;
+  return R;
+}
+
+void FlightRecorder::record(const FlightRecord &R) {
+  uint64_t N = Next.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = Ring[N & (Capacity - 1)];
+  // Seqlock publication: odd while the payload is being replaced, then a
+  // unique even value. A reader that sees the same even value before and
+  // after its copy has a consistent record; anything else is skipped.
+  S.Seq.store(2 * N + 1, std::memory_order_release);
+  S.R = R;
+  S.Seq.store(2 * N + 2, std::memory_order_release);
+}
+
+void FlightRecorder::recordSpan(const TraceContext &Ctx, const char *Name,
+                                int64_t TsUs, uint64_t DurUs) {
+  FlightRecord R;
+  R.TsUs = TsUs;
+  R.DurUs = DurUs;
+  R.TraceHi = Ctx.Hi;
+  R.TraceLo = Ctx.Lo;
+  R.Span = Ctx.SpanId;
+  R.Parent = Ctx.ParentSpan;
+  R.Tid = cachedTid();
+  R.RecKind = FlightRecord::KSpan;
+  std::strncpy(R.Name, Name, sizeof(R.Name) - 1);
+  record(R);
+}
+
+void FlightRecorder::recordEvent(const TraceContext &Ctx, const char *Name,
+                                 bool Error) {
+  FlightRecord R;
+  R.TsUs = traceNowUs();
+  R.TraceHi = Ctx.Hi;
+  R.TraceLo = Ctx.Lo;
+  R.Span = Ctx.SpanId;
+  R.Parent = Ctx.ParentSpan;
+  R.Tid = cachedTid();
+  R.RecKind = Error ? FlightRecord::KError : FlightRecord::KEvent;
+  std::strncpy(R.Name, Name, sizeof(R.Name) - 1);
+  record(R);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> Out;
+  uint64_t N = Next.load(std::memory_order_acquire);
+  uint64_t First = N > Capacity ? N - Capacity : 0;
+  Out.reserve(size_t(N - First));
+  for (uint64_t I = First; I < N; ++I) {
+    const Slot &S = Ring[I & (Capacity - 1)];
+    uint64_t Before = S.Seq.load(std::memory_order_acquire);
+    if (Before != 2 * I + 2)
+      continue; // overwritten or mid-write
+    FlightRecord R = S.R;
+    if (S.Seq.load(std::memory_order_acquire) != Before)
+      continue; // torn under us
+    Out.push_back(R);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Async-signal-safe dump
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Buffered writer usable from a fatal-signal handler: stack storage,
+/// write() only. Every put degrades to a no-op after the first failure.
+struct SigWriter {
+  int Fd;
+  char Buf[512];
+  size_t Pos = 0;
+  bool Ok = true;
+
+  explicit SigWriter(int Fd) : Fd(Fd) {}
+
+  void flush() {
+    size_t Off = 0;
+    while (Ok && Off < Pos) {
+      ssize_t N = ::write(Fd, Buf + Off, Pos - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        Ok = false;
+        break;
+      }
+      Off += size_t(N);
+    }
+    Pos = 0;
+  }
+
+  void putc(char C) {
+    if (Pos == sizeof(Buf))
+      flush();
+    Buf[Pos++] = C;
+  }
+
+  void puts(const char *S) {
+    for (; *S; ++S)
+      putc(*S);
+  }
+
+  /// JSON string contents: anything that would need escaping becomes '_'
+  /// (names here are span/event identifiers, not user text).
+  void putName(const char *S) {
+    for (; *S; ++S) {
+      unsigned char C = (unsigned char)*S;
+      putc(C < 0x20 || C == '"' || C == '\\' || C >= 0x7F ? '_' : char(C));
+    }
+  }
+
+  void putU64(uint64_t V) {
+    char Tmp[20];
+    int N = 0;
+    do {
+      Tmp[N++] = char('0' + V % 10);
+      V /= 10;
+    } while (V);
+    while (N)
+      putc(Tmp[--N]);
+  }
+
+  void putI64(int64_t V) {
+    if (V < 0) {
+      putc('-');
+      putU64(uint64_t(-(V + 1)) + 1);
+    } else {
+      putU64(uint64_t(V));
+    }
+  }
+
+  void putHex64(uint64_t V) {
+    for (int I = 15; I >= 0; --I)
+      putc("0123456789abcdef"[(V >> (4 * I)) & 0xF]);
+  }
+};
+
+const char *recKindName(uint8_t K) {
+  switch (K) {
+  case FlightRecord::KEvent: return "event";
+  case FlightRecord::KError: return "error";
+  default: return "span";
+  }
+}
+
+} // namespace
+
+bool FlightRecorder::dumpToFd(int Fd) const {
+  SigWriter W(Fd);
+  TraceContext Ctx = currentTrace();
+  W.puts("{\"postmortem\":\"flight-recorder\",\"trace_id\":\"");
+  if (Ctx.valid()) {
+    W.putHex64(Ctx.Hi);
+    W.putHex64(Ctx.Lo);
+  }
+  W.puts("\",\"flightrec-dropped\":");
+  W.putU64(dropped());
+  W.puts(",\"records\":[");
+  uint64_t N = Next.load(std::memory_order_acquire);
+  uint64_t First = N > Capacity ? N - Capacity : 0;
+  bool Comma = false;
+  for (uint64_t I = First; I < N; ++I) {
+    const Slot &S = Ring[I & (Capacity - 1)];
+    uint64_t Before = S.Seq.load(std::memory_order_acquire);
+    if (Before != 2 * I + 2)
+      continue;
+    FlightRecord R = S.R;
+    if (S.Seq.load(std::memory_order_acquire) != Before)
+      continue;
+    if (Comma)
+      W.putc(',');
+    Comma = true;
+    W.puts("{\"name\":\"");
+    W.putName(R.Name);
+    W.puts("\",\"kind\":\"");
+    W.puts(recKindName(R.RecKind));
+    W.puts("\",\"ts-us\":");
+    W.putI64(R.TsUs);
+    W.puts(",\"dur-us\":");
+    W.putU64(R.DurUs);
+    W.puts(",\"tid\":");
+    W.putU64(R.Tid);
+    W.puts(",\"trace\":\"");
+    if (R.TraceHi | R.TraceLo) {
+      W.putHex64(R.TraceHi);
+      W.putHex64(R.TraceLo);
+    }
+    W.puts("\",\"span\":\"");
+    W.putHex64(R.Span);
+    W.puts("\",\"parent\":\"");
+    W.putHex64(R.Parent);
+    W.puts("\"}");
+  }
+  W.puts("]}\n");
+  W.flush();
+  return W.Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-dump arming
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const int FatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+std::atomic<int> ArmedFd{-1};
+std::string ArmedPath; // touched only from normal (non-handler) context
+
+void crashDumpHandler(int Sig) {
+  int Fd = ArmedFd.exchange(-1, std::memory_order_acq_rel);
+  if (Fd >= 0) {
+    FlightRecorder::global().dumpToFd(Fd);
+    ::close(Fd);
+  }
+  // Restore the default disposition and re-deliver so the process still
+  // dies with the original signal (the worker pool reads it from wait()).
+  ::signal(Sig, SIG_DFL);
+  ::raise(Sig);
+}
+
+} // namespace
+
+bool FlightRecorder::arm(const std::string &Path) {
+  disarm(true);
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return false;
+  ArmedPath = Path;
+  ArmedFd.store(Fd, std::memory_order_release);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = crashDumpHandler;
+  sigemptyset(&SA.sa_mask);
+  for (int Sig : FatalSignals)
+    ::sigaction(Sig, &SA, nullptr);
+  return true;
+}
+
+void FlightRecorder::disarm(bool RemoveFile) {
+  int Fd = ArmedFd.exchange(-1, std::memory_order_acq_rel);
+  if (Fd < 0)
+    return;
+  for (int Sig : FatalSignals)
+    ::signal(Sig, SIG_DFL);
+  ::close(Fd);
+  if (RemoveFile && !ArmedPath.empty())
+    ::unlink(ArmedPath.c_str());
+  ArmedPath.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace record rows
+//===----------------------------------------------------------------------===//
+
+std::vector<TraceRecordRow> obs::rowsFromRecords(
+    const std::vector<FlightRecord> &Recs, const std::string &Proc,
+    uint64_t Hi, uint64_t Lo) {
+  std::vector<TraceRecordRow> Rows;
+  for (const FlightRecord &R : Recs) {
+    if ((Hi | Lo) && (R.TraceHi != Hi || R.TraceLo != Lo))
+      continue;
+    TraceRecordRow Row;
+    Row.Proc = Proc;
+    Row.Name = R.Name;
+    Row.Kind = recKindName(R.RecKind);
+    Row.TsUs = R.TsUs;
+    Row.DurUs = R.DurUs;
+    Row.Tid = R.Tid;
+    Row.Hi = R.TraceHi;
+    Row.Lo = R.TraceLo;
+    Row.Span = R.Span;
+    Row.Parent = R.Parent;
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+void obs::writeTraceRow(JsonWriter &W, const TraceRecordRow &R) {
+  W.beginObject();
+  W.key("proc");
+  W.value(R.Proc);
+  W.key("name");
+  W.value(R.Name);
+  W.key("kind");
+  W.value(R.Kind);
+  W.key("ts-us");
+  W.value(int64_t(R.TsUs));
+  W.key("dur-us");
+  W.value(R.DurUs);
+  W.key("tid");
+  W.value(R.Tid);
+  W.key("trace_id");
+  W.value((R.Hi | R.Lo) ? TraceContext::hex64(R.Hi) +
+                              TraceContext::hex64(R.Lo)
+                        : std::string());
+  W.key("span");
+  W.value(TraceContext::hex64(R.Span));
+  W.key("parent");
+  W.value(TraceContext::hex64(R.Parent));
+  W.endObject();
+}
+
+bool obs::parseTraceRow(const json::Value &V, TraceRecordRow &R) {
+  if (V.K != json::Value::Obj)
+    return false;
+  R.Proc = V.str("proc");
+  R.Name = V.str("name");
+  R.Kind = V.str("kind", "span");
+  R.TsUs = int64_t(V.u64("ts-us"));
+  R.DurUs = V.u64("dur-us");
+  R.Tid = V.u64("tid");
+  std::string Trace = V.str("trace_id");
+  if (!Trace.empty() && !TraceContext::parseTraceId(Trace, R.Hi, R.Lo))
+    return false;
+  TraceContext::parseHex64(V.str("span"), R.Span);
+  TraceContext::parseHex64(V.str("parent"), R.Parent);
+  return !R.Name.empty();
+}
+
+void obs::spliceTraceIntoReply(std::string &Json, const TraceContext &Ctx,
+                               const std::vector<TraceRecordRow> &Rows) {
+  if (Json.empty() || Json.back() != '}')
+    return; // not a finished object document; leave it alone
+  JsonWriter W;
+  W.beginObject();
+  W.key("trace_id");
+  W.value(Ctx.traceIdHex());
+  W.key("trace");
+  W.beginArray();
+  for (const TraceRecordRow &R : Rows)
+    writeTraceRow(W, R);
+  W.endArray();
+  W.endObject();
+  std::string T = W.take(); // {"trace_id":...,"trace":[...]}
+  Json.pop_back();
+  Json += ',';
+  Json.append(T, 1, std::string::npos); // skip T's opening brace
+}
+
+std::string obs::chromeTraceJson(const std::vector<TraceRecordRow> &Rows) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  // One synthetic pid per process label, announced with a process_name
+  // metadata event so Perfetto renders client/daemon/worker as separate
+  // tracks.
+  std::map<std::string, uint64_t> Pids;
+  for (const TraceRecordRow &R : Rows) {
+    auto It = Pids.find(R.Proc);
+    if (It != Pids.end())
+      continue;
+    uint64_t Pid = Pids.size() + 1;
+    Pids.emplace(R.Proc, Pid);
+    W.beginObject();
+    W.key("ph");
+    W.value("M");
+    W.key("name");
+    W.value("process_name");
+    W.key("pid");
+    W.value(Pid);
+    W.key("tid");
+    W.value(uint64_t(0));
+    W.key("args");
+    W.beginObject();
+    W.key("name");
+    W.value(R.Proc);
+    W.endObject();
+    W.endObject();
+  }
+  for (const TraceRecordRow &R : Rows) {
+    W.beginObject();
+    W.key("ph");
+    W.value(R.Kind == "span" ? "X" : "i");
+    W.key("name");
+    W.value(R.Name);
+    W.key("pid");
+    W.value(Pids[R.Proc]);
+    W.key("tid");
+    W.value(R.Tid);
+    W.key("ts");
+    W.value(int64_t(R.TsUs));
+    if (R.Kind == "span") {
+      W.key("dur");
+      W.value(R.DurUs);
+    } else {
+      W.key("s");
+      W.value("t");
+    }
+    W.key("args");
+    W.beginObject();
+    if (R.Hi | R.Lo) {
+      W.key("trace_id");
+      W.value(TraceContext::hex64(R.Hi) + TraceContext::hex64(R.Lo));
+    }
+    W.key("span");
+    W.value(TraceContext::hex64(R.Span));
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

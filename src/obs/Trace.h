@@ -1,0 +1,221 @@
+//===- obs/Trace.h - Cross-process request tracing --------------*- C++ -*-===//
+//
+// Distributed tracing for the atom/atomd stack plus a crash-surviving
+// flight recorder (docs/OBSERVABILITY.md, "Tracing"):
+//
+//   TraceContext   a 128-bit trace id + 64-bit span id minted at the edge
+//                  (atom --connect, runAtomBatch) and carried across the
+//                  atomd socket and the worker fd-3 channel as protocol-v3
+//                  header fields, so one request's spans and events stitch
+//                  into a single tree across client, daemon, and worker
+//                  processes. A thread-local current context lets Span and
+//                  Registry::emitEvent stamp it without plumbing it
+//                  through every call signature.
+//
+//   FlightRecorder a fixed-size lock-free ring of recent spans and events
+//                  per process. Always armed (fixed storage, no
+//                  allocation, a few atomics per record) so that when a
+//                  request ends in worker-crashed / deadline-exceeded /
+//                  breaker-open there is something to dump: the daemon
+//                  writes <store>/postmortem/<trace_id>.json from its
+//                  ring, and a crashing worker best-effort dumps its own
+//                  ring from a fatal-signal handler over a pre-opened fd
+//                  (the dump path is async-signal-safe: no malloc, no
+//                  locks, only write()).
+//
+// Timestamps are CLOCK_MONOTONIC microseconds. On Linux the monotonic
+// clock is system-wide, so client/daemon/worker records align on one time
+// axis without any clock synchronization — which is what makes the
+// stitched tree and the Chrome trace_event export (chromeTraceJson, loads
+// in Perfetto) possible.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_OBS_TRACE_H
+#define ATOM_OBS_TRACE_H
+
+#include "obs/Json.h"
+#include "obs/Obs.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atom {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// TraceContext
+//===----------------------------------------------------------------------===//
+
+/// The tracing identity a request carries across process boundaries: which
+/// trace it belongs to (128-bit, collision-safe across uncoordinated
+/// minters) and which span within that trace is currently executing.
+struct TraceContext {
+  uint64_t Hi = 0, Lo = 0;  ///< 128-bit trace id (0:0 = no trace).
+  uint64_t SpanId = 0;      ///< This process's span within the trace.
+  uint64_t ParentSpan = 0;  ///< The remote caller's span id (0 = root).
+
+  bool valid() const { return (Hi | Lo) != 0; }
+
+  /// A fresh trace: random-quality ids from pid/clock/counter through the
+  /// splitmix64 avalanche (no global coordination, no /dev/urandom).
+  static TraceContext mint();
+
+  /// A fresh span id for a child hop of this trace.
+  static uint64_t mintSpanId();
+
+  /// 32 lower-case hex chars ("" when invalid).
+  std::string traceIdHex() const;
+  /// 16 lower-case hex chars of SpanId.
+  std::string spanIdHex() const;
+
+  static std::string hex64(uint64_t V);
+  static bool parseHex64(const std::string &S, uint64_t &V);
+  /// Parses a 32-hex-char trace id. False (and no write) on anything else.
+  static bool parseTraceId(const std::string &S, uint64_t &Hi, uint64_t &Lo);
+};
+
+/// The calling thread's current trace context (invalid when none is set).
+TraceContext currentTrace();
+
+/// RAII scope: installs \p Ctx as the thread's current context for its
+/// lifetime (restoring the previous one on exit). Span and emitEvent stamp
+/// the current context into flight records and event JSON.
+class TraceScope {
+public:
+  explicit TraceScope(const TraceContext &Ctx) : Prev(currentTrace()) {
+    set(Ctx);
+  }
+  ~TraceScope() { set(Prev); }
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  static void set(const TraceContext &Ctx);
+  TraceContext Prev;
+};
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder
+//===----------------------------------------------------------------------===//
+
+/// One ring slot: plain old data so a fatal-signal handler can format it
+/// with nothing but integer arithmetic and write().
+struct FlightRecord {
+  enum Kind : uint8_t { KSpan = 0, KEvent = 1, KError = 2 };
+
+  int64_t TsUs = 0;   ///< CLOCK_MONOTONIC µs at begin (spans) or emit.
+  uint64_t DurUs = 0; ///< Span duration (0 for events).
+  uint64_t TraceHi = 0, TraceLo = 0; ///< Trace id (0:0 = untraced record).
+  uint64_t Span = 0, Parent = 0;     ///< Current context's span ids.
+  uint32_t Tid = 0;                  ///< Kernel thread id of the recorder.
+  uint8_t RecKind = KSpan;
+  char Name[39] = {}; ///< NUL-terminated, truncated.
+};
+
+/// Fixed-size lock-free ring of recent FlightRecords. Writers claim a slot
+/// with one fetch_add and publish it with a per-slot sequence number
+/// (odd while being written); readers skip slots whose sequence changes
+/// under them, so record() is safe from any thread and snapshot() never
+/// blocks a writer. No allocation anywhere — the ring is always on.
+class FlightRecorder {
+public:
+  static constexpr size_t Capacity = 1024; // power of two
+
+  /// The process-wide recorder.
+  static FlightRecorder &global();
+
+  void record(const FlightRecord &R);
+
+  /// Convenience: stamp \p Ctx + the calling thread into a record.
+  void recordSpan(const TraceContext &Ctx, const char *Name, int64_t TsUs,
+                  uint64_t DurUs);
+  void recordEvent(const TraceContext &Ctx, const char *Name, bool Error);
+
+  /// Records written so far (monotonic).
+  uint64_t written() const {
+    return Next.load(std::memory_order_relaxed);
+  }
+  /// Records lost to ring wrap-around (the obs.flightrec-dropped gauge).
+  uint64_t dropped() const {
+    uint64_t N = written();
+    return N > Capacity ? N - Capacity : 0;
+  }
+
+  /// Consistent copy of the ring, oldest first. Not async-signal-safe
+  /// (allocates); use dumpToFd from signal handlers.
+  std::vector<FlightRecord> snapshot() const;
+
+  /// Async-signal-safe JSON dump of the ring to \p Fd: uses only write()
+  /// and stack buffers — no malloc, no locks, no stdio. Torn slots are
+  /// skipped. Returns false if any write failed.
+  bool dumpToFd(int Fd) const;
+
+  /// Arms the crash dump: opens \p Path now (so the handler never names a
+  /// file) and installs SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that
+  /// dumpToFd the ring and re-raise. Re-arming replaces the previous path.
+  bool arm(const std::string &Path);
+  /// Disarms: restores default dispositions, closes the fd, and (when
+  /// \p RemoveFile) unlinks the unused file. Safe to call when not armed.
+  void disarm(bool RemoveFile);
+
+private:
+  struct Slot {
+    std::atomic<uint64_t> Seq{0}; ///< 0 = empty; odd = writing; even = 2n+2.
+    FlightRecord R;
+  };
+  Slot Ring[Capacity];
+  std::atomic<uint64_t> Next{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Trace record rows — the wire/JSON form of a stitched trace
+//===----------------------------------------------------------------------===//
+
+/// One row of a stitched trace document: a FlightRecord plus which process
+/// recorded it. This is the schema of the "records" arrays in worker
+/// replies, daemon trace-op replies, and postmortem files.
+struct TraceRecordRow {
+  std::string Proc;          ///< "client", "daemon", "worker".
+  std::string Name;
+  std::string Kind;          ///< "span", "event", "error".
+  int64_t TsUs = 0;
+  uint64_t DurUs = 0;
+  uint64_t Tid = 0;
+  uint64_t Hi = 0, Lo = 0;   ///< Trace id.
+  uint64_t Span = 0, Parent = 0;
+};
+
+/// Converts ring records into rows, keeping only those stamped with the
+/// given trace id (pass 0:0 to keep everything, untraced records
+/// included).
+std::vector<TraceRecordRow> rowsFromRecords(
+    const std::vector<FlightRecord> &Recs, const std::string &Proc,
+    uint64_t Hi = 0, uint64_t Lo = 0);
+
+/// Writes one row as a JSON object ({"proc":...,"name":...,"ts-us":...}).
+void writeTraceRow(JsonWriter &W, const TraceRecordRow &R);
+/// Parses what writeTraceRow emits. False on schema violations.
+bool parseTraceRow(const json::Value &V, TraceRecordRow &R);
+
+/// Splices `"trace_id":"...","trace":[rows]` into a finished JSON object
+/// document (drops the closing brace, appends, re-closes). Reply builders
+/// call this after the fact so the shared reply path stays trace-free.
+void spliceTraceIntoReply(std::string &Json, const TraceContext &Ctx,
+                          const std::vector<TraceRecordRow> &Rows);
+
+/// Renders rows as a Chrome trace_event JSON document (complete "X"
+/// events, process_name metadata per Proc) loadable in Perfetto or
+/// chrome://tracing.
+std::string chromeTraceJson(const std::vector<TraceRecordRow> &Rows);
+
+/// CLOCK_MONOTONIC now, in microseconds (the flight-record time axis).
+int64_t traceNowUs();
+
+} // namespace obs
+} // namespace atom
+
+#endif // ATOM_OBS_TRACE_H

@@ -17,12 +17,17 @@
 
 #include "atomd/Client.h"
 #include "atomd/Daemon.h"
+#include "obs/Json.h"
 #include "tools/Tools.h"
 
+#include <arpa/inet.h>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <set>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace atom;
 using namespace atom::atomd;
@@ -112,6 +117,73 @@ TEST_F(AtomdFixture, PingStatusShutdown) {
   // The daemon is gone: fresh connections fail.
   Client Cl2;
   EXPECT_FALSE(Cl2.connect(socketPath(), Err));
+}
+
+/// One HTTP/1.0 GET against the daemon's loopback metrics endpoint.
+std::string httpGet(int Port, const std::string &Path) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in In{};
+  In.sin_family = AF_INET;
+  In.sin_port = htons(uint16_t(Port));
+  In.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&In), sizeof(In)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = "GET " + Path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(Fd, Req.data(), Req.size());
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, size_t(N));
+  ::close(Fd);
+  return Out;
+}
+
+TEST_F(AtomdFixture, HealthzServesLivenessNextToTheMetrics) {
+  // The CLI daemon always enables the registry (cli/atomd.cpp); the
+  // library leaves it to the embedder, so this test plays the CLI.
+  obs::Registry::global().setEnabled(true);
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.MetricsPort = 0; // ephemeral
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+  ASSERT_GT(D.metricsPort(), 0);
+
+  Client Cl; // one live connection the health document should count
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  Reply R;
+  Frame F;
+  // A ping round-trip guarantees the accept loop registered us before
+  // the scrape below counts live connections.
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "ping"), {}, R, F,
+                      Err))
+      << Err;
+
+  std::string Resp = httpGet(D.metricsPort(), "/healthz");
+  ASSERT_NE(Resp.find("200 OK"), std::string::npos) << Resp;
+  ASSERT_NE(Resp.find("application/json"), std::string::npos) << Resp;
+  size_t BodyAt = Resp.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  obs::json::Value V;
+  ASSERT_TRUE(obs::json::parse(Resp.substr(BodyAt + 4), V, Err)) << Err;
+  EXPECT_TRUE(V.boolean("ok"));
+  EXPECT_EQ(V.u64("version"), uint64_t(ProtocolVersion));
+  ASSERT_NE(V.find("uptime-s"), nullptr);
+  EXPECT_GE(V.u64("live-connections"), 1u);
+
+  // The plain metrics path still serves the Prometheus exposition.
+  std::string Metrics = httpGet(D.metricsPort(), "/metrics");
+  EXPECT_NE(Metrics.find("text/plain"), std::string::npos);
+  EXPECT_NE(Metrics.find("# TYPE"), std::string::npos);
+
+  obs::Registry::global().reset();
+  obs::Registry::global().setEnabled(false);
 }
 
 TEST_F(AtomdFixture, RejectsMalformedAndUnknownRequests) {

@@ -12,6 +12,7 @@
 #include "atom/Recovery.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "tools/Tools.h"
 
 #include <gtest/gtest.h>
@@ -290,6 +291,73 @@ TEST(ObsPrometheus, ExposesAllMetricKinds) {
   EXPECT_NE(P.find("le=\"+Inf\""), std::string::npos);
   EXPECT_NE(P.find("atom_span_seconds{path=\"atom/lift\"}"),
             std::string::npos);
+}
+
+TEST(ObsPrometheus, EscapesHostileSpanPathLabels) {
+  // Span names are caller-controlled; quotes, backslashes, and newlines
+  // must be escaped in the label value or one span corrupts the scrape.
+  Registry R;
+  R.setEnabled(true);
+  { Span S(R, "evil\"quote\\back\nline"); }
+  std::string P = R.toPrometheus();
+  EXPECT_NE(P.find("path=\"evil\\\"quote\\\\back\\nline\""),
+            std::string::npos)
+      << P;
+  EXPECT_EQ(P.find("back\nline"), std::string::npos); // no raw newline
+}
+
+TEST(ObsPrometheus, BucketUpperBoundsAreInclusive) {
+  // le is inclusive: bucket 4 spans [8, 15], so both edge values land
+  // under le="15" and the first value past it starts le="31".
+  Registry R;
+  R.setEnabled(true);
+  R.recordValue("edge", 8);
+  R.recordValue("edge", 15);
+  R.recordValue("edge", 16);
+  std::string P = R.toPrometheus();
+  EXPECT_NE(P.find("atom_edge_bucket{le=\"15\"} 2"), std::string::npos)
+      << P;
+  EXPECT_NE(P.find("atom_edge_bucket{le=\"31\"} 3"), std::string::npos)
+      << P;
+  EXPECT_EQ(P.find("le=\"7\""), std::string::npos); // empty buckets elided
+  EXPECT_NE(P.find("atom_edge_bucket{le=\"+Inf\"} 3"), std::string::npos);
+}
+
+TEST(ObsHistogram, ExemplarsRoundTripAndAnnotateTheExposition) {
+  Registry R;
+  R.setEnabled(true);
+  R.recordValue("lat", 3); // untraced: no exemplar
+  ASSERT_NE(R.histogram("lat"), nullptr);
+  EXPECT_FALSE(R.histogram("lat")->hasExemplar());
+
+  TraceContext Ctx = TraceContext::mint();
+  {
+    TraceScope Scope(Ctx);
+    R.recordValue("lat", 12); // traced: stamps the exemplar
+  }
+  const Histogram *H = R.histogram("lat");
+  ASSERT_TRUE(H->hasExemplar());
+  EXPECT_EQ(H->exemplarValue(), 12u);
+  EXPECT_EQ(H->exemplarTraceHi(), Ctx.Hi);
+  EXPECT_EQ(H->exemplarTraceLo(), Ctx.Lo);
+
+  // The exemplar survives the JSON round trip.
+  Registry Back;
+  std::string Err;
+  ASSERT_TRUE(Registry::fromJson(R.toJson(), Back, Err)) << Err;
+  const Histogram *BH = Back.histogram("lat");
+  ASSERT_NE(BH, nullptr);
+  ASSERT_TRUE(BH->hasExemplar());
+  EXPECT_EQ(BH->exemplarValue(), 12u);
+  EXPECT_EQ(BH->exemplarTraceLo(), Ctx.Lo);
+  EXPECT_EQ(Back.toJson(), R.toJson());
+
+  // The bucket holding 12 ([8, 15], cumulative count 2) carries the
+  // OpenMetrics exemplar suffix pointing at the traced request.
+  std::string P = R.toPrometheus();
+  std::string Line = "atom_lat_bucket{le=\"15\"} 2 # {trace_id=\"" +
+                     Ctx.traceIdHex() + "\"} 12";
+  EXPECT_NE(P.find(Line), std::string::npos) << P;
 }
 
 //===----------------------------------------------------------------------===//

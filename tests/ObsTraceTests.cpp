@@ -1,0 +1,511 @@
+//===- tests/ObsTraceTests.cpp - Cross-process request tracing ------------===//
+//
+// The tracing layer of docs/OBSERVABILITY.md ("Tracing"):
+//
+//  * obs::TraceContext — 128-bit ids, hex round-trips, the thread-local
+//    current-context scope;
+//  * obs::FlightRecorder — lock-free ring semantics (wrap, drop counting,
+//    snapshot ordering) and the async-signal-safe JSON dump;
+//  * trace rows — writeTraceRow/parseTraceRow round-trips, reply splicing,
+//    and the Chrome trace_event export;
+//  * the daemon end to end — one instrument request produces a stitched
+//    trace tree whose client-minted trace id appears in daemon AND worker
+//    records, with queue-wait/dispatch/pipeline/store segments, while the
+//    reply binary stays byte-identical to standalone atom; protocol-v2
+//    clients (no trace fields) still interoperate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "atomd/Client.h"
+#include "atomd/Daemon.h"
+#include "obs/Json.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+#include "tools/Tools.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <memory>
+#include <set>
+#include <unistd.h>
+
+using namespace atom;
+using namespace atom::atomd;
+using namespace atom::obs;
+using namespace atom::test;
+
+namespace {
+
+const char *AppA = R"(
+int main() {
+  long i;
+  long sum = 0;
+  for (i = 0; i < 25; i = i + 1)
+    sum = sum + i;
+  printf("sum %ld\n", sum);
+  return 0;
+}
+)";
+
+std::string atomdExe() { return std::string(ATOM_CLI_DIR) + "/atomd"; }
+
+//===----------------------------------------------------------------------===//
+// TraceContext
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, MintedContextsAreUniqueAndRoundTrip) {
+  TraceContext A = TraceContext::mint();
+  TraceContext B = TraceContext::mint();
+  EXPECT_TRUE(A.valid());
+  EXPECT_TRUE(B.valid());
+  EXPECT_FALSE(A.Hi == B.Hi && A.Lo == B.Lo); // fresh ids every mint
+  EXPECT_NE(A.SpanId, 0u);
+  EXPECT_NE(A.SpanId, B.SpanId);
+
+  std::string Hex = A.traceIdHex();
+  ASSERT_EQ(Hex.size(), 32u);
+  uint64_t Hi = 0, Lo = 0;
+  ASSERT_TRUE(TraceContext::parseTraceId(Hex, Hi, Lo));
+  EXPECT_EQ(Hi, A.Hi);
+  EXPECT_EQ(Lo, A.Lo);
+
+  uint64_t Span = 0;
+  ASSERT_EQ(A.spanIdHex().size(), 16u);
+  ASSERT_TRUE(TraceContext::parseHex64(A.spanIdHex(), Span));
+  EXPECT_EQ(Span, A.SpanId);
+}
+
+TEST(ObsTrace, ParseRejectsMalformedIds) {
+  uint64_t Hi = 7, Lo = 9, V = 5;
+  EXPECT_FALSE(TraceContext::parseTraceId("", Hi, Lo));
+  EXPECT_FALSE(TraceContext::parseTraceId(std::string(31, 'a'), Hi, Lo));
+  EXPECT_FALSE(TraceContext::parseTraceId(std::string(33, 'a'), Hi, Lo));
+  EXPECT_FALSE(TraceContext::parseTraceId(std::string(32, 'g'), Hi, Lo));
+  EXPECT_EQ(Hi, 7u); // rejected parses never write
+  EXPECT_EQ(Lo, 9u);
+  EXPECT_FALSE(TraceContext::parseHex64("12345", V));
+  EXPECT_FALSE(TraceContext::parseHex64(std::string(16, 'x'), V));
+  EXPECT_EQ(V, 5u);
+
+  TraceContext None;
+  EXPECT_FALSE(None.valid());
+  EXPECT_EQ(None.traceIdHex(), "");
+}
+
+TEST(ObsTrace, ScopeInstallsAndRestoresTheThreadContext) {
+  TraceContext Outer = currentTrace(); // whatever the harness left
+  TraceContext A = TraceContext::mint();
+  {
+    TraceScope SA(A);
+    EXPECT_EQ(currentTrace().traceIdHex(), A.traceIdHex());
+    TraceContext B = TraceContext::mint();
+    {
+      TraceScope SB(B);
+      EXPECT_EQ(currentTrace().traceIdHex(), B.traceIdHex());
+    }
+    EXPECT_EQ(currentTrace().traceIdHex(), A.traceIdHex());
+  }
+  EXPECT_EQ(currentTrace().traceIdHex(), Outer.traceIdHex());
+}
+
+//===----------------------------------------------------------------------===//
+// FlightRecorder ring
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, RingWrapsOldestFirstAndCountsDrops) {
+  auto FR = std::make_unique<FlightRecorder>();
+  TraceContext Ctx = TraceContext::mint();
+  const size_t Extra = 100;
+  for (size_t I = 0; I < FlightRecorder::Capacity + Extra; ++I)
+    FR->recordSpan(Ctx, "w", int64_t(I), 1);
+  EXPECT_EQ(FR->written(), FlightRecorder::Capacity + Extra);
+  EXPECT_EQ(FR->dropped(), Extra);
+
+  std::vector<FlightRecord> Recs = FR->snapshot();
+  ASSERT_EQ(Recs.size(), FlightRecorder::Capacity);
+  EXPECT_EQ(Recs.front().TsUs, int64_t(Extra)); // oldest survivor
+  EXPECT_EQ(Recs.back().TsUs,
+            int64_t(FlightRecorder::Capacity + Extra - 1));
+}
+
+TEST(ObsTrace, RecordsStampContextThreadAndTruncateNames) {
+  auto FR = std::make_unique<FlightRecorder>();
+  TraceContext Ctx = TraceContext::mint();
+  std::string Long(100, 'n');
+  FR->recordSpan(Ctx, Long.c_str(), 42, 7);
+  FR->recordEvent(Ctx, "boom", /*Error=*/true);
+  EXPECT_EQ(FR->dropped(), 0u);
+
+  std::vector<FlightRecord> Recs = FR->snapshot();
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_EQ(Recs[0].TraceHi, Ctx.Hi);
+  EXPECT_EQ(Recs[0].TraceLo, Ctx.Lo);
+  EXPECT_EQ(Recs[0].Span, Ctx.SpanId);
+  EXPECT_NE(Recs[0].Tid, 0u);
+  EXPECT_EQ(Recs[0].RecKind, FlightRecord::KSpan);
+  EXPECT_EQ(std::string(Recs[0].Name), std::string(38, 'n')); // truncated
+  EXPECT_EQ(Recs[1].RecKind, FlightRecord::KError);
+  EXPECT_EQ(std::string(Recs[1].Name), "boom");
+}
+
+TEST(ObsTrace, DumpToFdEmitsParseableJsonNamingTheCurrentTrace) {
+  auto FR = std::make_unique<FlightRecorder>();
+  TraceContext Ctx = TraceContext::mint();
+  TraceScope Scope(Ctx); // the dump header names the thread's trace
+  FR->recordSpan(Ctx, "phase", 10, 5);
+  FR->recordEvent(Ctx, "boom", /*Error=*/true);
+
+  char Path[] = "/tmp/atom-obstrace-XXXXXX";
+  int Fd = ::mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  EXPECT_TRUE(FR->dumpToFd(Fd));
+  ::close(Fd);
+
+  std::ifstream In(Path);
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  ::unlink(Path);
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, V, Err)) << Err << "\n" << Text;
+  EXPECT_EQ(V.str("postmortem"), "flight-recorder");
+  EXPECT_EQ(V.str("trace_id"), Ctx.traceIdHex());
+  EXPECT_EQ(V.u64("flightrec-dropped"), 0u);
+  const json::Value *Recs = V.find("records");
+  ASSERT_NE(Recs, nullptr);
+  ASSERT_EQ(Recs->Items.size(), 2u);
+  EXPECT_EQ(Recs->Items[0].str("name"), "phase");
+  EXPECT_EQ(Recs->Items[0].str("kind"), "span");
+  EXPECT_EQ(Recs->Items[0].u64("dur-us"), 5u);
+  EXPECT_EQ(Recs->Items[0].str("trace"), Ctx.traceIdHex());
+  EXPECT_EQ(Recs->Items[1].str("kind"), "error");
+}
+
+//===----------------------------------------------------------------------===//
+// Trace rows
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, RowsFilterByTraceIdAndRoundTripAsJson) {
+  TraceContext A = TraceContext::mint();
+  TraceContext B = TraceContext::mint();
+  auto FR = std::make_unique<FlightRecorder>();
+  FR->recordSpan(A, "mine", 1, 2);
+  FR->recordSpan(B, "theirs", 3, 4);
+
+  std::vector<TraceRecordRow> Mine =
+      rowsFromRecords(FR->snapshot(), "worker", A.Hi, A.Lo);
+  ASSERT_EQ(Mine.size(), 1u);
+  EXPECT_EQ(Mine[0].Name, "mine");
+  EXPECT_EQ(Mine[0].Proc, "worker");
+  std::vector<TraceRecordRow> All = rowsFromRecords(FR->snapshot(), "p");
+  EXPECT_EQ(All.size(), 2u); // 0:0 keeps everything
+
+  JsonWriter W;
+  writeTraceRow(W, Mine[0]);
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(W.take(), V, Err)) << Err;
+  TraceRecordRow Back;
+  ASSERT_TRUE(parseTraceRow(V, Back));
+  EXPECT_EQ(Back.Proc, Mine[0].Proc);
+  EXPECT_EQ(Back.Name, Mine[0].Name);
+  EXPECT_EQ(Back.Kind, Mine[0].Kind);
+  EXPECT_EQ(Back.TsUs, Mine[0].TsUs);
+  EXPECT_EQ(Back.DurUs, Mine[0].DurUs);
+  EXPECT_EQ(Back.Hi, Mine[0].Hi);
+  EXPECT_EQ(Back.Lo, Mine[0].Lo);
+  EXPECT_EQ(Back.Span, Mine[0].Span);
+}
+
+TEST(ObsTrace, SpliceAppendsTraceWithoutBreakingTheDocument) {
+  TraceContext Ctx = TraceContext::mint();
+  TraceRecordRow Row;
+  Row.Proc = "worker";
+  Row.Name = "request";
+  Row.Kind = "span";
+  Row.DurUs = 11;
+  Row.Hi = Ctx.Hi;
+  Row.Lo = Ctx.Lo;
+
+  std::string Json = "{\"id\":7,\"ok\":true}";
+  spliceTraceIntoReply(Json, Ctx, {Row});
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Json, V, Err)) << Err << "\n" << Json;
+  EXPECT_EQ(V.u64("id"), 7u);
+  EXPECT_EQ(V.str("trace_id"), Ctx.traceIdHex());
+  const json::Value *TR = V.find("trace");
+  ASSERT_NE(TR, nullptr);
+  ASSERT_EQ(TR->Items.size(), 1u);
+  EXPECT_EQ(TR->Items[0].str("name"), "request");
+
+  // Non-object documents are left alone rather than corrupted.
+  std::string NotDoc = "[1,2]";
+  spliceTraceIntoReply(NotDoc, Ctx, {Row});
+  EXPECT_EQ(NotDoc, "[1,2]");
+}
+
+TEST(ObsTrace, ChromeExportIsValidJsonWithPerProcessTracks) {
+  TraceContext Ctx = TraceContext::mint();
+  std::vector<TraceRecordRow> Rows(3);
+  Rows[0] = {"client", "request", "span", 0, 50, 1, Ctx.Hi, Ctx.Lo, 1, 0};
+  Rows[1] = {"daemon", "dispatch", "span", 5, 40, 2, Ctx.Hi, Ctx.Lo, 2, 1};
+  Rows[2] = {"worker", "boom", "error", 9, 0, 3, Ctx.Hi, Ctx.Lo, 3, 2};
+
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(chromeTraceJson(Rows), V, Err)) << Err;
+  const json::Value *Ev = V.find("traceEvents");
+  ASSERT_NE(Ev, nullptr);
+  // Three process_name metadata events + three records.
+  ASSERT_EQ(Ev->Items.size(), 6u);
+  std::set<std::string> Names;
+  unsigned Meta = 0, Complete = 0, Instant = 0;
+  for (const json::Value &E : Ev->Items) {
+    std::string Ph = E.str("ph");
+    if (Ph == "M") {
+      ++Meta;
+      const json::Value *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      Names.insert(Args->str("name"));
+    } else if (Ph == "X") {
+      ++Complete;
+      EXPECT_GT(E.u64("dur"), 0u);
+    } else if (Ph == "i") {
+      ++Instant;
+    }
+  }
+  EXPECT_EQ(Meta, 3u);
+  EXPECT_EQ(Complete, 2u);
+  EXPECT_EQ(Instant, 1u);
+  EXPECT_EQ(Names, (std::set<std::string>{"client", "daemon", "worker"}));
+}
+
+//===----------------------------------------------------------------------===//
+// End to end through the daemon
+//===----------------------------------------------------------------------===//
+
+class ObsTraceFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Name = ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = ::testing::TempDir() + "atomtrace-" + Name;
+    std::string Cmd = "rm -rf '" + Dir + "' && mkdir -p '" + Dir + "'";
+    ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  }
+
+  std::string socketPath() const { return Dir + "/d.sock"; }
+
+  DaemonOptions isolateOptions() const {
+    DaemonOptions O;
+    O.SocketPath = socketPath();
+    O.Isolate = true;
+    O.WorkerExe = atomdExe();
+    O.Jobs = 2;
+    O.StoreDir = Dir + "/store";
+    return O;
+  }
+
+  /// Fetches the stitched trace document for \p IdHex via the trace op.
+  void fetchTrace(Client &Cl, const std::string &IdHex, json::Value &Doc) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("op");
+    W.value("trace");
+    W.key("id");
+    W.value(Cl.nextId());
+    W.key("trace");
+    W.value(IdHex);
+    W.endObject();
+    Reply R;
+    Frame F;
+    std::string Err;
+    ASSERT_TRUE(Cl.call(W.take(), {}, R, F, Err)) << Err;
+    ASSERT_TRUE(R.Ok) << R.Error;
+    const json::Value *T = R.Doc.find("trace");
+    ASSERT_NE(T, nullptr);
+    Doc = *T;
+  }
+
+  std::string Name, Dir;
+};
+
+TEST_F(ObsTraceFixture, OneRequestStitchesIntoOneCrossProcessTree) {
+  Daemon D(isolateOptions());
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Bin = App.serialize();
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+
+  // The client mints the trace; every hop must carry it.
+  TraceContext Ctx = TraceContext::mint();
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "obs",
+                                            AtomOptions(), 0, Ctx),
+                      Bin, R, F, Err))
+      << Err;
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  // Tracing never perturbs the artifact: byte-identical to standalone.
+  EXPECT_EQ(F.Bin, Local);
+
+  // The reply names our trace and carries the worker hop's records.
+  EXPECT_EQ(R.TraceId, Ctx.traceIdHex());
+  const json::Value *WT = R.Doc.find("trace");
+  ASSERT_NE(WT, nullptr);
+  ASSERT_FALSE(WT->Items.empty());
+  bool SawRequestSpan = false;
+  for (const json::Value &Row : WT->Items) {
+    EXPECT_EQ(Row.str("trace_id"), Ctx.traceIdHex());
+    EXPECT_EQ(Row.str("proc"), "worker");
+    if (Row.str("name") == "request" && Row.str("kind") == "span")
+      SawRequestSpan = true;
+  }
+  EXPECT_TRUE(SawRequestSpan);
+
+  // The daemon's stitched view: one tree spanning both processes, every
+  // record stamped with the same id, segments priced.
+  json::Value Doc;
+  fetchTrace(Cl, Ctx.traceIdHex(), Doc);
+  EXPECT_EQ(Doc.str("trace_id"), Ctx.traceIdHex());
+  EXPECT_EQ(Doc.str("tool"), "prof");
+  EXPECT_EQ(Doc.str("outcome"), "ok");
+  const json::Value *Seg = Doc.find("segments");
+  ASSERT_NE(Seg, nullptr);
+  ASSERT_NE(Seg->find("queue-wait-us"), nullptr);
+  ASSERT_NE(Seg->find("dispatch-us"), nullptr);
+  ASSERT_NE(Seg->find("store-io-us"), nullptr);
+  EXPECT_GT(Seg->u64("pipeline-us"), 0u); // a cold build is never free
+  EXPECT_GT(Doc.u64("total-us"), 0u);
+
+  const json::Value *Recs = Doc.find("records");
+  ASSERT_NE(Recs, nullptr);
+  std::set<std::string> Procs;
+  std::set<std::string> DaemonSpans;
+  for (const json::Value &Row : Recs->Items) {
+    EXPECT_EQ(Row.str("trace_id"), Ctx.traceIdHex());
+    Procs.insert(Row.str("proc"));
+    if (Row.str("proc") == "daemon")
+      DaemonSpans.insert(Row.str("name"));
+  }
+  EXPECT_EQ(Procs, (std::set<std::string>{"daemon", "worker"}));
+  EXPECT_TRUE(DaemonSpans.count("queue-wait"));
+  EXPECT_TRUE(DaemonSpans.count("dispatch"));
+
+  // tail lists the finished request, newest last.
+  Reply TR;
+  Frame TF;
+  ASSERT_TRUE(Cl.call(makeSimpleRequest(Cl.nextId(), "tail"), {}, TR, TF,
+                      Err))
+      << Err;
+  ASSERT_TRUE(TR.Ok) << TR.Error;
+  const json::Value *Ts = TR.Doc.find("traces");
+  ASSERT_NE(Ts, nullptr);
+  bool Listed = false;
+  for (const json::Value &S : Ts->Items)
+    if (S.str("trace_id") == Ctx.traceIdHex()) {
+      Listed = true;
+      EXPECT_EQ(S.str("outcome"), "ok");
+    }
+  EXPECT_TRUE(Listed);
+
+  // Unknown ids are an explicit error, not an empty document.
+  JsonWriter W;
+  W.beginObject();
+  W.key("op");
+  W.value("trace");
+  W.key("id");
+  W.value(Cl.nextId());
+  W.key("trace");
+  W.value(std::string(32, 'f'));
+  W.endObject();
+  ASSERT_TRUE(Cl.call(W.take(), {}, TR, TF, Err)) << Err;
+  EXPECT_FALSE(TR.Ok);
+}
+
+TEST_F(ObsTraceFixture, InProcessDaemonTracesWithoutAWorkerHop) {
+  // In-process pipeline spans reach the flight recorder through obs::Span,
+  // which records only while the registry is enabled — as the CLI daemon
+  // always arranges (cli/atomd.cpp). Isolate mode needs no such setup
+  // here because the worker process enables its own registry.
+  obs::Registry::global().setEnabled(true);
+  DaemonOptions O = isolateOptions();
+  O.Isolate = false;
+  O.WorkerExe.clear();
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  TraceContext Ctx = TraceContext::mint();
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "prof", "obs",
+                                            AtomOptions(), 0, Ctx),
+                      App.serialize(), R, F, Err))
+      << Err;
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TraceId, Ctx.traceIdHex());
+
+  json::Value Doc;
+  fetchTrace(Cl, Ctx.traceIdHex(), Doc);
+  EXPECT_EQ(Doc.str("outcome"), "ok");
+  const json::Value *Recs = Doc.find("records");
+  ASSERT_NE(Recs, nullptr);
+  bool SawRequest = false;
+  for (const json::Value &Row : Recs->Items) {
+    EXPECT_EQ(Row.str("proc"), "daemon"); // no worker process exists
+    if (Row.str("name") == "request")
+      SawRequest = true;
+  }
+  EXPECT_TRUE(SawRequest);
+  const json::Value *Seg = Doc.find("segments");
+  ASSERT_NE(Seg, nullptr);
+  EXPECT_GT(Seg->u64("pipeline-us"), 0u);
+
+  Registry::global().reset();
+  Registry::global().setEnabled(false);
+}
+
+TEST_F(ObsTraceFixture, UntracedV2RequestsStillWorkAndGetServerIds) {
+  Daemon D(isolateOptions());
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  std::vector<uint8_t> Local =
+      instrumentOrDie(App, *tools::findTool("prof")).Exe.serialize();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  // A v2 client: no trace_id/parent_span in the header (the default
+  // TraceContext is invalid, so makeInstrumentRequest omits them).
+  std::string Req =
+      makeInstrumentRequest(Cl.nextId(), "prof", "old", AtomOptions());
+  EXPECT_EQ(Req.find("trace_id"), std::string::npos);
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(Req, App.serialize(), R, F, Err)) << Err;
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(F.Bin, Local);
+  // The daemon minted ids on the old client's behalf.
+  EXPECT_EQ(R.TraceId.size(), 32u);
+
+  json::Value Doc;
+  fetchTrace(Cl, R.TraceId, Doc);
+  EXPECT_EQ(Doc.str("outcome"), "ok");
+}
+
+} // namespace

@@ -20,11 +20,14 @@
 #include "atomd/Client.h"
 #include "atomd/Daemon.h"
 #include "atomd/Worker.h"
+#include "obs/Json.h"
 #include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "support/Subprocess.h"
 #include "tools/Tools.h"
 
 #include <csignal>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <thread>
 #include <unistd.h>
@@ -547,6 +550,50 @@ TEST_F(IsolateFixture, BreakerFailsFastAfterConsecutiveCrashes) {
   EXPECT_EQ(R.Error, "worker-crashed");
   instrumentVia(Cl, "__crash", Bin, R, F);
   EXPECT_EQ(R.Error, "breaker-open");
+}
+
+TEST_F(IsolateFixture, CrashedWorkerLeavesAParseablePostmortem) {
+  // A worker SIGSEGVing mid-request must not just be attributed — the
+  // structured error names a flight-recorder postmortem on disk that
+  // parses and carries the request's trace id (docs/OBSERVABILITY.md).
+  DaemonOptions O = isolateOptions();
+  O.StoreDir = storeDir();
+  O.Jobs = 1;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  obs::TraceContext Ctx = obs::TraceContext::mint();
+  Reply R;
+  Frame F;
+  ASSERT_TRUE(Cl.call(makeInstrumentRequest(Cl.nextId(), "__crash",
+                                            "resil", AtomOptions(), 0,
+                                            Ctx),
+                      App.serialize(), R, F, Err))
+      << Err;
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "worker-crashed");
+  EXPECT_EQ(R.TraceId, Ctx.traceIdHex());
+
+  if (destructiveChaosActive())
+    return; // injected EIO/ENOSPC may legitimately lose the dump
+
+  ASSERT_FALSE(R.Postmortem.empty());
+  std::ifstream In(R.Postmortem);
+  ASSERT_TRUE(In.good()) << R.Postmortem;
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  obs::json::Value V;
+  std::string PErr;
+  ASSERT_TRUE(obs::json::parse(Text, V, PErr)) << PErr << "\n" << Text;
+  EXPECT_EQ(V.str("postmortem"), "flight-recorder");
+  EXPECT_EQ(V.str("trace_id"), Ctx.traceIdHex());
+  const obs::json::Value *Recs = V.find("records");
+  ASSERT_NE(Recs, nullptr);
+  EXPECT_FALSE(Recs->Items.empty());
 }
 
 TEST_F(IsolateFixture, WorkerPathStaysByteIdenticalColdAndWarm) {
