@@ -1092,19 +1092,28 @@ void Daemon::metricsLoop() {
         continue;
       break;
     }
-    // One best-effort read of the request line; /healthz gets a liveness
+    // One best-effort read of the request head; /healthz gets a liveness
     // document, any other GET gets the full exposition (this is a scrape
-    // endpoint, not a web server).
+    // endpoint, not a web server). Exemplars are OpenMetrics-only syntax,
+    // so they are served only to scrapers whose Accept header negotiates
+    // application/openmetrics-text; everyone else gets the classic
+    // text/plain exposition their parser can read.
     char Buf[4096];
     ssize_t N = retryEintr([&] { return ::read(Fd, Buf, sizeof(Buf)); });
     std::string ReqLine(Buf, N > 0 ? size_t(N) : 0);
     bool Health = ReqLine.find(" /healthz") != std::string::npos;
+    bool OpenMetrics =
+        ReqLine.find("application/openmetrics-text") != std::string::npos;
     publishAll();
     std::string Body;
     const char *ContentType;
     if (Health) {
       Body = healthJson();
       ContentType = "application/json";
+    } else if (OpenMetrics) {
+      Body = obs::Registry::global().toPrometheus(/*OpenMetrics=*/true);
+      ContentType = "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8";
     } else {
       Body = obs::Registry::global().toPrometheus();
       ContentType = "text/plain; version=0.0.4";

@@ -144,9 +144,10 @@ int atomd::workerMain(const WorkerConfig &C) {
       obs::TraceScope Scope(Ctx);
       // Arm the crash dump before touching the pipeline: if this request
       // takes the process down, the fatal-signal handler dumps the ring
-      // to a file the daemon can name in its error reply. The fd is
-      // opened here, outside the handler, to keep the dump path
-      // async-signal-safe.
+      // to a file the daemon can name in its error reply. Arming is just
+      // a path swap (handlers install once, the file is created only by
+      // an actual crash), so the per-request cost on the success path is
+      // two atomic stores.
       std::string PmPath;
       if (!PostmortemDir.empty()) {
         PmPath = PostmortemDir + "/" + Ctx.traceIdHex() + ".worker.json";
@@ -170,7 +171,7 @@ int atomd::workerMain(const WorkerConfig &C) {
                                  "worker", Ctx.Hi, Ctx.Lo));
       }
       if (!PmPath.empty())
-        obs::FlightRecorder::global().disarm(/*RemoveFile=*/true);
+        obs::FlightRecorder::global().disarm();
     }
     if (!writeFrame(Fd, R, Err))
       return 1;

@@ -457,20 +457,25 @@ Span::~Span() {
     return;
   Clock::time_point End = Clock::now();
   double Secs = std::chrono::duration<double>(End - Start).count();
-  const char *Name = nullptr;
+  TraceContext Ctx = currentTrace();
+  // The flight-record name is copied out while still holding the lock: a
+  // concurrent reset() frees the node tree, so no pointer into it may
+  // survive the unlock.
+  char Name[sizeof(FlightRecord::Name)] = {};
   {
     std::lock_guard<std::mutex> L(Reg->Mu);
     if (Reg->ResetCount != ResetAtOpen)
       return; // The tree this span opened into was reset; Node is gone.
     Node->Seconds += Secs;
-    Name = Node->Name.c_str();
+    if (Ctx.valid())
+      std::strncpy(Name, Node->Name.c_str(), sizeof(Name) - 1);
     TlsSpanState &T = tlsEntry(Reg->Id);
     T = {Reg->Id, Reg->TlsEpoch.load(std::memory_order_relaxed), Saved};
   }
   // Request-scoped spans also land in the flight recorder (lock-free,
   // fixed storage) so postmortems and stitched traces can replay this
   // request's phases with begin timestamps and durations.
-  if (TraceContext Ctx = currentTrace(); Ctx.valid()) {
+  if (Ctx.valid()) {
     int64_t StartUs = std::chrono::duration_cast<std::chrono::microseconds>(
                           Start.time_since_epoch())
                           .count();
@@ -638,7 +643,7 @@ void promSpans(std::string &Out, const Registry::SpanNode &N,
 
 } // namespace
 
-std::string Registry::toPrometheus() const {
+std::string Registry::toPrometheus(bool OpenMetrics) const {
   std::lock_guard<std::mutex> L(Mu);
   std::string Out;
   for (const auto &[Name, V] : Counters) {
@@ -656,8 +661,10 @@ std::string Registry::toPrometheus() const {
     Out += formatString("# TYPE %s histogram\n", N.c_str());
     // The bucket holding the exemplar value gets an OpenMetrics exemplar
     // suffix ("# {trace_id=...} value") linking the aggregate to one
-    // concrete traced request.
-    unsigned ExBucket = H.hasExemplar()
+    // concrete traced request — but only in a negotiated OpenMetrics
+    // exposition: the classic text/plain parser reads the trailing '#'
+    // token as a malformed timestamp and fails the whole scrape.
+    unsigned ExBucket = OpenMetrics && H.hasExemplar()
                             ? Histogram::bucketOf(H.exemplarValue())
                             : Histogram::NumBuckets;
     uint64_t Cum = 0;
@@ -683,6 +690,8 @@ std::string Registry::toPrometheus() const {
                         (unsigned long long)H.count());
   }
   promSpans(Out, Root, "");
+  if (OpenMetrics)
+    Out += "# EOF\n"; // OpenMetrics expositions are explicitly terminated
   return Out;
 }
 

@@ -252,8 +252,11 @@ public:
   /// The whole registry as one JSON document.
   std::string toJson() const;
   /// Prometheus-style text exposition (counters, gauges, histogram
-  /// buckets, span seconds/counts with a path label).
-  std::string toPrometheus() const;
+  /// buckets, span seconds/counts with a path label). Exemplar suffixes
+  /// are OpenMetrics-only syntax — the classic text/plain parser rejects
+  /// them — so they appear (with the closing `# EOF`) only when the
+  /// scraper negotiated OpenMetrics.
+  std::string toPrometheus(bool OpenMetrics = false) const;
   /// Indented per-phase timing tree (what `atom --stats` prints).
   std::string timingTree() const;
 

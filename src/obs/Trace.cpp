@@ -129,7 +129,11 @@ void FlightRecorder::record(const FlightRecord &R) {
   // Seqlock publication: odd while the payload is being replaced, then a
   // unique even value. A reader that sees the same even value before and
   // after its copy has a consistent record; anything else is skipped.
-  S.Seq.store(2 * N + 1, std::memory_order_release);
+  // The full fence keeps the payload store from hoisting above the odd
+  // store (a release store only orders what precedes it): without it a
+  // reader could see the stale even Seq on both sides of a torn copy.
+  S.Seq.store(2 * N + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   S.R = R;
   S.Seq.store(2 * N + 2, std::memory_order_release);
 }
@@ -174,7 +178,10 @@ std::vector<FlightRecord> FlightRecorder::snapshot() const {
     if (Before != 2 * I + 2)
       continue; // overwritten or mid-write
     FlightRecord R = S.R;
-    if (S.Seq.load(std::memory_order_acquire) != Before)
+    // Fence the copy before the recheck: an acquire load alone lets the
+    // copy sink below it, which would defeat the tear detection.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (S.Seq.load(std::memory_order_relaxed) != Before)
       continue; // torn under us
     Out.push_back(R);
   }
@@ -288,7 +295,8 @@ bool FlightRecorder::dumpToFd(int Fd) const {
     if (Before != 2 * I + 2)
       continue;
     FlightRecord R = S.R;
-    if (S.Seq.load(std::memory_order_acquire) != Before)
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (S.Seq.load(std::memory_order_relaxed) != Before)
       continue;
     if (Comma)
       W.putc(',');
@@ -327,14 +335,21 @@ namespace {
 
 const int FatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
 
-std::atomic<int> ArmedFd{-1};
-std::string ArmedPath; // touched only from normal (non-handler) context
+// The armed dump path lives in fixed storage and is claimed with one
+// exchange. open(2) is on the POSIX async-signal-safe list, so the
+// handler creates the file itself — the no-crash path (every successful
+// request) never touches the filesystem at all.
+std::atomic<bool> Armed{false};
+char ArmedPath[512];
 
 void crashDumpHandler(int Sig) {
-  int Fd = ArmedFd.exchange(-1, std::memory_order_acq_rel);
-  if (Fd >= 0) {
-    FlightRecorder::global().dumpToFd(Fd);
-    ::close(Fd);
+  if (Armed.exchange(false, std::memory_order_acq_rel)) {
+    int Fd = ::open(ArmedPath, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (Fd >= 0) {
+      FlightRecorder::global().dumpToFd(Fd);
+      ::close(Fd);
+    }
   }
   // Restore the default disposition and re-deliver so the process still
   // dies with the original signal (the worker pool reads it from wait()).
@@ -342,35 +357,36 @@ void crashDumpHandler(int Sig) {
   ::raise(Sig);
 }
 
+void installCrashHandlersOnce() {
+  static const bool Installed = [] {
+    struct sigaction SA;
+    std::memset(&SA, 0, sizeof(SA));
+    SA.sa_handler = crashDumpHandler;
+    sigemptyset(&SA.sa_mask);
+    for (int Sig : FatalSignals)
+      ::sigaction(Sig, &SA, nullptr);
+    return true;
+  }();
+  (void)Installed;
+}
+
 } // namespace
 
 bool FlightRecorder::arm(const std::string &Path) {
-  disarm(true);
-  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (Fd < 0)
+  // Handlers are installed exactly once; per-request arming is just a
+  // path swap (an unarmed handler re-raises with the default disposition,
+  // so leaving them installed is behavior-neutral).
+  Armed.store(false, std::memory_order_release);
+  if (Path.size() >= sizeof(ArmedPath))
     return false;
-  ArmedPath = Path;
-  ArmedFd.store(Fd, std::memory_order_release);
-  struct sigaction SA;
-  std::memset(&SA, 0, sizeof(SA));
-  SA.sa_handler = crashDumpHandler;
-  sigemptyset(&SA.sa_mask);
-  for (int Sig : FatalSignals)
-    ::sigaction(Sig, &SA, nullptr);
+  installCrashHandlersOnce();
+  std::memcpy(ArmedPath, Path.c_str(), Path.size() + 1);
+  Armed.store(true, std::memory_order_release);
   return true;
 }
 
-void FlightRecorder::disarm(bool RemoveFile) {
-  int Fd = ArmedFd.exchange(-1, std::memory_order_acq_rel);
-  if (Fd < 0)
-    return;
-  for (int Sig : FatalSignals)
-    ::signal(Sig, SIG_DFL);
-  ::close(Fd);
-  if (RemoveFile && !ArmedPath.empty())
-    ::unlink(ArmedPath.c_str());
-  ArmedPath.clear();
+void FlightRecorder::disarm() {
+  Armed.store(false, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//
@@ -458,7 +474,11 @@ void obs::spliceTraceIntoReply(std::string &Json, const TraceContext &Ctx,
   W.endObject();
   std::string T = W.take(); // {"trace_id":...,"trace":[...]}
   Json.pop_back();
-  Json += ',';
+  // An empty object ("{}", possibly with interior whitespace) takes no
+  // separator — "{," is not JSON.
+  size_t Last = Json.find_last_not_of(" \t\r\n");
+  if (Last != std::string::npos && Json[Last] != '{')
+    Json += ',';
   Json.append(T, 1, std::string::npos); // skip T's opening brace
 }
 

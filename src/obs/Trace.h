@@ -19,9 +19,9 @@
 //                  breaker-open there is something to dump: the daemon
 //                  writes <store>/postmortem/<trace_id>.json from its
 //                  ring, and a crashing worker best-effort dumps its own
-//                  ring from a fatal-signal handler over a pre-opened fd
-//                  (the dump path is async-signal-safe: no malloc, no
-//                  locks, only write()).
+//                  ring from a fatal-signal handler (the dump path is
+//                  async-signal-safe: no malloc, no locks, only the
+//                  POSIX-safe open()/write()/close()).
 //
 // Timestamps are CLOCK_MONOTONIC microseconds. On Linux the monotonic
 // clock is system-wide, so client/daemon/worker records align on one time
@@ -154,13 +154,16 @@ public:
   /// skipped. Returns false if any write failed.
   bool dumpToFd(int Fd) const;
 
-  /// Arms the crash dump: opens \p Path now (so the handler never names a
-  /// file) and installs SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that
-  /// dumpToFd the ring and re-raise. Re-arming replaces the previous path.
+  /// Arms the crash dump: records \p Path in fixed storage and (first call
+  /// only) installs SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handlers that
+  /// open it — open(2) is async-signal-safe — dumpToFd the ring, and
+  /// re-raise. Re-arming replaces the path; no file exists until a crash
+  /// actually dumps, so the success path never touches the filesystem.
+  /// False when \p Path does not fit the fixed buffer.
   bool arm(const std::string &Path);
-  /// Disarms: restores default dispositions, closes the fd, and (when
-  /// \p RemoveFile) unlinks the unused file. Safe to call when not armed.
-  void disarm(bool RemoveFile);
+  /// Disarms: the handlers stay installed but become re-raise-only.
+  /// Safe to call when not armed.
+  void disarm();
 
 private:
   struct Slot {

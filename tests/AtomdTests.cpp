@@ -119,8 +119,10 @@ TEST_F(AtomdFixture, PingStatusShutdown) {
   EXPECT_FALSE(Cl2.connect(socketPath(), Err));
 }
 
-/// One HTTP/1.0 GET against the daemon's loopback metrics endpoint.
-std::string httpGet(int Port, const std::string &Path) {
+/// One HTTP/1.0 GET against the daemon's loopback metrics endpoint,
+/// optionally sending an Accept header (OpenMetrics negotiation).
+std::string httpGet(int Port, const std::string &Path,
+                    const std::string &Accept = "") {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return "";
@@ -132,7 +134,10 @@ std::string httpGet(int Port, const std::string &Path) {
     ::close(Fd);
     return "";
   }
-  std::string Req = "GET " + Path + " HTTP/1.0\r\n\r\n";
+  std::string Req = "GET " + Path + " HTTP/1.0\r\n";
+  if (!Accept.empty())
+    Req += "Accept: " + Accept + "\r\n";
+  Req += "\r\n";
   (void)!::write(Fd, Req.data(), Req.size());
   std::string Out;
   char Buf[4096];
@@ -177,10 +182,22 @@ TEST_F(AtomdFixture, HealthzServesLivenessNextToTheMetrics) {
   ASSERT_NE(V.find("uptime-s"), nullptr);
   EXPECT_GE(V.u64("live-connections"), 1u);
 
-  // The plain metrics path still serves the Prometheus exposition.
+  // The plain metrics path still serves the classic Prometheus
+  // exposition: no OpenMetrics-only exemplar suffixes or EOF marker,
+  // which its parser would reject.
   std::string Metrics = httpGet(D.metricsPort(), "/metrics");
   EXPECT_NE(Metrics.find("text/plain"), std::string::npos);
   EXPECT_NE(Metrics.find("# TYPE"), std::string::npos);
+  EXPECT_EQ(Metrics.find(" # {"), std::string::npos) << Metrics;
+  EXPECT_EQ(Metrics.find("# EOF"), std::string::npos);
+
+  // A scraper that negotiates OpenMetrics gets that content type and the
+  // explicit terminator (and with it, exemplar suffixes when present).
+  std::string OM = httpGet(D.metricsPort(), "/metrics",
+                           "application/openmetrics-text");
+  EXPECT_NE(OM.find("application/openmetrics-text"), std::string::npos)
+      << OM;
+  EXPECT_NE(OM.find("# EOF"), std::string::npos);
 
   obs::Registry::global().reset();
   obs::Registry::global().setEnabled(false);

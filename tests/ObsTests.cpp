@@ -352,12 +352,23 @@ TEST(ObsHistogram, ExemplarsRoundTripAndAnnotateTheExposition) {
   EXPECT_EQ(BH->exemplarTraceLo(), Ctx.Lo);
   EXPECT_EQ(Back.toJson(), R.toJson());
 
-  // The bucket holding 12 ([8, 15], cumulative count 2) carries the
-  // OpenMetrics exemplar suffix pointing at the traced request.
-  std::string P = R.toPrometheus();
+  // In a negotiated OpenMetrics exposition the bucket holding 12
+  // ([8, 15], cumulative count 2) carries the exemplar suffix pointing at
+  // the traced request, and the document is explicitly terminated.
+  std::string OM = R.toPrometheus(/*OpenMetrics=*/true);
   std::string Line = "atom_lat_bucket{le=\"15\"} 2 # {trace_id=\"" +
                      Ctx.traceIdHex() + "\"} 12";
-  EXPECT_NE(P.find(Line), std::string::npos) << P;
+  EXPECT_NE(OM.find(Line), std::string::npos) << OM;
+  EXPECT_NE(OM.find("# EOF\n"), std::string::npos) << OM;
+
+  // The classic text/plain exposition must stay exemplar-free: its parser
+  // reads the trailing "#" token as a malformed timestamp and fails the
+  // whole scrape.
+  std::string P = R.toPrometheus();
+  EXPECT_EQ(P.find(" # {"), std::string::npos) << P;
+  EXPECT_EQ(P.find("# EOF"), std::string::npos) << P;
+  EXPECT_NE(P.find("atom_lat_bucket{le=\"15\"} 2\n"), std::string::npos)
+      << P;
 }
 
 //===----------------------------------------------------------------------===//

@@ -246,6 +246,15 @@ TEST(ObsTrace, SpliceAppendsTraceWithoutBreakingTheDocument) {
   std::string NotDoc = "[1,2]";
   spliceTraceIntoReply(NotDoc, Ctx, {Row});
   EXPECT_EQ(NotDoc, "[1,2]");
+
+  // An empty object reply must not grow a leading comma ("{,...}").
+  for (const char *EmptyDoc : {"{}", "{ }", "{\n}"}) {
+    std::string Empty = EmptyDoc;
+    spliceTraceIntoReply(Empty, Ctx, {Row});
+    json::Value EV;
+    ASSERT_TRUE(json::parse(Empty, EV, Err)) << Err << "\n" << Empty;
+    EXPECT_EQ(EV.str("trace_id"), Ctx.traceIdHex());
+  }
 }
 
 TEST(ObsTrace, ChromeExportIsValidJsonWithPerProcessTracks) {
