@@ -90,14 +90,33 @@ inline std::vector<obj::Executable> buildSuite(size_t MaxWorkloads = 0,
   return Suite;
 }
 
-/// Writes \p Json (a complete document) to \p Path, failing loudly.
+/// Writes \p Json (a complete document) to \p Path atomically: the bytes
+/// land in a sibling temp file which is renamed over \p Path only once
+/// fully flushed (the atomd::Store pattern). A failed bench run therefore
+/// leaves either the previous complete document or none at all — never a
+/// truncated one for CI's compare step to trip over.
 inline void writeJsonDoc(const std::string &Path, const std::string &Json) {
-  std::ofstream Out(Path, std::ios::binary);
-  if (!Out) {
-    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write '%s'\n", Tmp.c_str());
+      std::exit(1);
+    }
+    Out << Json;
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "short write to '%s'\n", Tmp.c_str());
+      std::remove(Tmp.c_str());
+      std::exit(1);
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::fprintf(stderr, "cannot rename '%s' to '%s'\n", Tmp.c_str(),
+                 Path.c_str());
+    std::remove(Tmp.c_str());
     std::exit(1);
   }
-  Out << Json;
 }
 
 /// Simulated instruction count of a clean run (the "execution time" unit).

@@ -1,16 +1,19 @@
 //===- bench/sim_throughput.cpp - Raw interpreter throughput --------------===//
 //
 // Instructions/second of the bare simulator — no tool, no trace sink, no
-// hooks. Each workload runs twice per configuration:
+// hooks. Each workload runs three times per configuration:
 //
-//   fast   the default fused loop (translation cache, span copies, batched
-//          stats) that engages whenever nothing observes mid-run state.
+//   dbt    the dynamic-binary-translation tier (docs/DBT.md): hot blocks
+//          run as host machine code out of the code cache.
+//   fast   the fused interpreter loop (translation cache, span copies,
+//          batched stats) with DBT disabled — the pre-DBT fast path.
 //   slow   the fully checked per-instruction loop (EnableFastPath = false),
-//          i.e. the historical interpreter the fast path must match.
+//          i.e. the historical interpreter both faster tiers must match.
 //
-// The headline numbers are geomean Minst/s for both configurations and the
-// fast/slow speedup. Emits BENCH_sim_throughput.json; bench-smoke compares
-// it (advisorily) against the committed baseline.
+// The headline numbers are geomean Minst/s for all three configurations,
+// the fast/slow speedup, and the dbt/fast speedup (the ROADMAP item-1
+// target: >= 5x). Emits BENCH_sim_throughput.json atomically; bench-smoke
+// compares it (advisorily) against the committed baseline.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +25,7 @@ using namespace atom::bench;
 namespace {
 
 struct Measure {
+  bool Ok = false;
   double Seconds = 0;
   uint64_t Insts = 0;
   double mips() const { return Seconds > 0 ? double(Insts) / Seconds / 1e6 : 0; }
@@ -29,12 +33,13 @@ struct Measure {
 
 /// Repeats fresh runs of \p Exe until \p MinSeconds of simulated execution
 /// has been timed (at least one run), so short workloads still produce a
-/// stable rate.
-Measure measure(const obj::Executable &Exe, bool FastPath, double MinSeconds) {
+/// stable rate. A non-clean run reports failure instead of exiting so the
+/// caller can abandon the document cleanly (it is written atomically at
+/// the end; a failed bench leaves no partial JSON behind).
+Measure measure(const obj::Executable &Exe, const sim::MachineOptions &Opts,
+                double MinSeconds) {
   Measure M;
   do {
-    sim::MachineOptions Opts;
-    Opts.EnableFastPath = FastPath;
     sim::Machine Mach(Exe, Opts);
     Stopwatch T;
     sim::RunResult R = Mach.run();
@@ -42,10 +47,11 @@ Measure measure(const obj::Executable &Exe, bool FastPath, double MinSeconds) {
     if (R.Status != sim::RunStatus::Exited) {
       std::fprintf(stderr, "workload did not exit cleanly: %s\n",
                    R.FaultMessage.c_str());
-      std::exit(1);
+      return M;
     }
     M.Insts += Mach.stats().Instructions;
   } while (M.Seconds < MinSeconds);
+  M.Ok = true;
   return M;
 }
 
@@ -58,6 +64,13 @@ int main(int Argc, char **Argv) {
   const double MinSeconds = Args.Smoke ? 0.1 : 0.5;
   const char *Names[] = {"crc", "qsort", "matmul", "sieve", "bubble", "rle"};
 
+  sim::MachineOptions DbtOpts; // defaults: fast path + DBT
+  sim::MachineOptions FastOpts;
+  FastOpts.EnableDbt = false;
+  sim::MachineOptions SlowOpts;
+  SlowOpts.EnableFastPath = false;
+  SlowOpts.EnableDbt = false;
+
   obs::JsonWriter J;
   J.beginObject();
   J.key("bench");
@@ -67,9 +80,9 @@ int main(int Argc, char **Argv) {
   J.key("workloads");
   J.beginArray();
 
-  std::printf("%-8s %12s %12s %8s\n", "workload", "fast Mi/s", "slow Mi/s",
-              "speedup");
-  std::vector<double> FastMips, SlowMips, Speedups;
+  std::printf("%-8s %12s %12s %12s %8s %8s\n", "workload", "dbt Mi/s",
+              "fast Mi/s", "slow Mi/s", "f/s", "dbt/f");
+  std::vector<double> DbtMips, FastMips, SlowMips, Speedups, DbtSpeedups;
   for (const char *Name : Names) {
     const workloads::Workload *W = workloads::findWorkload(Name);
     if (!W) {
@@ -83,21 +96,34 @@ int main(int Argc, char **Argv) {
                    Diags.str().c_str());
       return 1;
     }
-    Measure Fast = measure(Exe, /*FastPath=*/true, MinSeconds);
-    Measure Slow = measure(Exe, /*FastPath=*/false, MinSeconds);
+    Measure Dbt = measure(Exe, DbtOpts, MinSeconds);
+    Measure Fast = measure(Exe, FastOpts, MinSeconds);
+    Measure Slow = measure(Exe, SlowOpts, MinSeconds);
+    if (!Dbt.Ok || !Fast.Ok || !Slow.Ok)
+      return 1; // nothing written: the JSON lands atomically at the end
     double Speedup = Slow.mips() > 0 ? Fast.mips() / Slow.mips() : 0;
+    double DbtSpeedup = Fast.mips() > 0 ? Dbt.mips() / Fast.mips() : 0;
+    DbtMips.push_back(Dbt.mips());
     FastMips.push_back(Fast.mips());
     SlowMips.push_back(Slow.mips());
     Speedups.push_back(Speedup);
+    DbtSpeedups.push_back(DbtSpeedup);
 
-    std::printf("%-8s %12.2f %12.2f %7.2fx\n", Name, Fast.mips(), Slow.mips(),
-                Speedup);
+    std::printf("%-8s %12.2f %12.2f %12.2f %7.2fx %7.2fx\n", Name, Dbt.mips(),
+                Fast.mips(), Slow.mips(), Speedup, DbtSpeedup);
 
     J.beginObject();
     J.key("name");
     J.value(Name);
     J.key("insts");
     J.value(uint64_t(Fast.Insts));
+    J.key("dbt");
+    J.beginObject();
+    J.key("seconds");
+    J.value(Dbt.Seconds);
+    J.key("mips");
+    J.value(Dbt.mips());
+    J.endObject();
     J.key("fast");
     J.beginObject();
     J.key("seconds");
@@ -114,22 +140,29 @@ int main(int Argc, char **Argv) {
     J.endObject();
     J.key("speedup");
     J.value(Speedup);
+    J.key("dbt_speedup");
+    J.value(DbtSpeedup);
     J.endObject();
   }
   J.endArray();
 
-  double GFast = geomean(FastMips), GSlow = geomean(SlowMips),
-         GSpeed = geomean(Speedups);
+  double GDbt = geomean(DbtMips), GFast = geomean(FastMips),
+         GSlow = geomean(SlowMips), GSpeed = geomean(Speedups),
+         GDbtSpeed = geomean(DbtSpeedups);
+  J.key("geomean_mips_dbt");
+  J.value(GDbt);
   J.key("geomean_mips_fast");
   J.value(GFast);
   J.key("geomean_mips_slow");
   J.value(GSlow);
   J.key("geomean_speedup");
   J.value(GSpeed);
+  J.key("geomean_dbt_speedup");
+  J.value(GDbtSpeed);
   J.endObject();
 
-  std::printf("%-8s %12.2f %12.2f %7.2fx  (geomean)\n", "geomean", GFast,
-              GSlow, GSpeed);
+  std::printf("%-8s %12.2f %12.2f %12.2f %7.2fx %7.2fx  (geomean)\n",
+              "geomean", GDbt, GFast, GSlow, GSpeed, GDbtSpeed);
 
   writeJsonDoc(Args.JsonPath, J.take() + "\n");
   std::printf("results written to %s\n", Args.JsonPath.c_str());

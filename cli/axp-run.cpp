@@ -2,7 +2,8 @@
 //
 //   axp-run prog.exe [--stats] [--dump <file>] [--fuel N] [--trace]
 //           [--inject kind@icount[,seed]] [--no-protect] [--no-recover]
-//           [--strict-align] [--profile <file>] [--json-diag]
+//           [--strict-align] [--no-dbt] [--dbt-threshold N]
+//           [--profile <file>] [--json-diag]
 //           [--metrics-out <file>] [--metrics-format json|prom]
 //
 // Runs the executable; the program's stdout is forwarded. --dump prints a
@@ -27,6 +28,7 @@
 #include "atom/Recovery.h"
 #include "sim/Inject.h"
 #include "sim/Machine.h"
+#include "sim/dbt/Dbt.h"
 
 using namespace atom;
 using namespace atom::cli;
@@ -37,7 +39,9 @@ static void usage() {
                " [--fuel N] [--trace]\n"
                "               [--inject kind@icount[,seed]] [--no-protect]"
                " [--no-recover]\n"
-               "               [--strict-align] [--profile <file>]"
+               "               [--strict-align] [--no-dbt]"
+               " [--dbt-threshold N]\n"
+               "               [--profile <file>]"
                " [--json-diag]\n"
                "               [--metrics-out <file>]"
                " [--metrics-format json|prom]\n"
@@ -71,6 +75,14 @@ int main(int argc, char **argv) {
       Recover = false;
     else if (A == "--strict-align")
       Opts.StrictAlignment = true;
+    else if (A == "--no-dbt")
+      Opts.EnableDbt = false;
+    else if (A == "--dbt-threshold" && I + 1 < argc)
+      Opts.DbtThreshold =
+          uint32_t(parseUnsignedArg("--dbt-threshold", argv[++I]));
+    else if (A.rfind("--dbt-threshold=", 0) == 0)
+      Opts.DbtThreshold = uint32_t(parseUnsignedArg(
+          "--dbt-threshold", A.substr(std::string("--dbt-threshold=").size())));
     else if (A == "--profile" && I + 1 < argc)
       ProfilePath = argv[++I];
     else if (A.rfind("--profile=", 0) == 0)
@@ -169,10 +181,23 @@ int main(int argc, char **argv) {
   Reg.addCounter("sim.trans-misses", MP.TransMisses);
   Reg.addCounter("sim.trans-fills", MP.TransFills);
   Reg.addCounter("sim.trans-invalidations", MP.TransInvalidations);
+  Reg.addCounter("sim.trans-ranged-invalidations",
+                 MP.TransRangedInvalidations);
   Reg.addCounter("sim.bulk-spans", MP.BulkSpans);
   Reg.addCounter("sim.bulk-bytes", MP.BulkBytes);
   Reg.addCounter("sim.fast-loop-entries", M.loopPerf().FastEntries);
   Reg.addCounter("sim.slow-loop-entries", M.loopPerf().SlowEntries);
+  if (const sim::dbt::DbtPerf *DP = M.dbtPerf()) {
+    Reg.addCounter("sim.dbt-blocks-translated", DP->BlocksTranslated);
+    Reg.addCounter("sim.dbt-cache-bytes", DP->CacheBytes);
+    Reg.addCounter("sim.dbt-chain-links", DP->ChainLinks);
+    Reg.addCounter("sim.dbt-interp-fallbacks", DP->InterpFallbacks);
+    Reg.addCounter("sim.dbt-side-exits", DP->SideExits);
+    Reg.addCounter("sim.dbt-tlb-fills", DP->TlbFills);
+    Reg.addCounter("sim.dbt-slow-mem-ops", DP->SlowMemOps);
+    Reg.addCounter("sim.dbt-invalidations", DP->Invalidations);
+    Reg.addCounter("sim.dbt-cache-flushes", DP->CacheFlushes);
+  }
   for (const auto &[PC, Count] : M.blockProfile()) {
     (void)PC;
     Reg.recordValue("sim.block-hotness", Count);

@@ -2,10 +2,33 @@
 
 #include "sim/Inject.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 using namespace atom;
 using namespace atom::sim;
+
+namespace {
+
+/// Strict unsigned parse (the cli parseUnsignedArg contract, but
+/// returning failure instead of exiting): the whole string must be one
+/// unsigned integer — no trailing garbage ("4x"), no sign, no leading
+/// whitespace, no overflow.
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S[0] == '-' || S[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(S[0])))
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 0);
+  if (End == S.c_str() || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
 
 const char *sim::injectKindName(InjectSpec::Kind K) {
   switch (K) {
@@ -46,17 +69,15 @@ bool sim::parseInjectSpec(const std::string &Text, InjectSpec &Spec,
   if (Comma != std::string::npos) {
     Count = Rest.substr(0, Comma);
     std::string SeedStr = Rest.substr(Comma + 1);
-    char *End = nullptr;
-    Spec.Seed = strtoull(SeedStr.c_str(), &End, 0);
-    if (SeedStr.empty() || (End && *End)) {
-      Err = "bad inject seed '" + SeedStr + "'";
+    if (!parseU64(SeedStr, Spec.Seed)) {
+      Err = "bad inject seed '" + SeedStr +
+            "' (want an unsigned integer, no trailing characters)";
       return false;
     }
   }
-  char *End = nullptr;
-  Spec.ICount = strtoull(Count.c_str(), &End, 0);
-  if (Count.empty() || (End && *End)) {
-    Err = "bad inject instruction count '" + Count + "'";
+  if (!parseU64(Count, Spec.ICount)) {
+    Err = "bad inject instruction count '" + Count +
+          "' (want an unsigned integer, no trailing characters)";
     return false;
   }
   return true;

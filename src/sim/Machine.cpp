@@ -2,6 +2,8 @@
 
 #include "sim/Machine.h"
 
+#include "sim/dbt/Dbt.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -50,6 +52,48 @@ void Memory::invalidateTranslation() {
   for (TransEntry &E : Trans)
     E = TransEntry();
   ++P.TransInvalidations;
+  if (InvalListener)
+    InvalListener(0, ~uint64_t(0));
+}
+
+void Memory::invalidateTranslation(uint64_t Lo, uint64_t Hi) {
+  for (TransEntry &E : Trans)
+    if (E.PageBase != ~uint64_t(0) && E.PageBase < Hi &&
+        E.PageBase + obj::PageSize > Lo)
+      E = TransEntry();
+  ++P.TransRangedInvalidations;
+  if (InvalListener)
+    InvalListener(Lo, Hi);
+}
+
+uint8_t *Memory::spanFor(uint64_t Addr, bool IsWrite, uint64_t &Lo,
+                         uint64_t &Hi) {
+  const uint64_t PageBase = Addr & ~uint64_t(obj::PageSize - 1);
+  const uint64_t PageEnd = PageBase + obj::PageSize;
+  if (!ProtectionOn) {
+    Lo = PageBase;
+    Hi = PageEnd;
+    return pagePtr(PageBase);
+  }
+  const uint8_t Need = IsWrite ? PermWrite : PermRead;
+  // Last region with Start <= Addr (same search as allowedSlow, but with
+  // no fault recording — an uncovered address is simply not cacheable).
+  size_t L = 0, H = Regions.size();
+  while (L < H) {
+    size_t Mid = (L + H) / 2;
+    if (Regions[Mid].Start <= Addr)
+      L = Mid + 1;
+    else
+      H = Mid;
+  }
+  if (L == 0)
+    return nullptr;
+  const Region &R = Regions[L - 1];
+  if (Addr >= R.End || !(R.Perms & Need))
+    return nullptr;
+  Lo = std::max(PageBase, R.Start);
+  Hi = std::min(PageEnd, R.End);
+  return pagePtr(PageBase) + (Lo - PageBase);
 }
 
 void Memory::fillTranslation(uint64_t Addr) {
@@ -347,22 +391,112 @@ void Machine::runPendingHooks() {
     H.Fn(*this);
 }
 
+Machine::~Machine() = default;
+Machine::Machine(Machine &&) = default;
+Machine &Machine::operator=(Machine &&) = default;
+
+const dbt::DbtPerf *Machine::dbtPerf() const {
+  return DbtT ? &DbtT->perf() : nullptr;
+}
+
 RunResult Machine::run(uint64_t MaxInsts) {
   // The fused fast-path loop elides the per-instruction trace / profile /
   // hook checks and batches Stats, so it is only legal when none of those
   // can observe mid-run state. Anything armed falls back to the fully
   // checked loop — oracle traces and fault-injection runs see behavior
-  // identical to the historical interpreter.
+  // identical to the historical interpreter. The DBT tier has the same
+  // legality condition plus host support; everything precise it defers
+  // back to the interpreter, so dispatching to it here cannot change
+  // observable behavior (ctest-enforced).
   if (Opts.EnableFastPath && !Trace && !ProfileOn &&
       NextHookAt == ~uint64_t(0)) {
     ++LP.FastEntries;
+    if (Opts.EnableDbt && dbt::DbtTier::supported() &&
+        dbt::envMode() != dbt::EnvMode::Off)
+      return runDbt(MaxInsts);
     return runLoop</*Fast=*/true>(MaxInsts);
   }
   ++LP.SlowEntries;
   return runLoop</*Fast=*/false>(MaxInsts);
 }
 
-template <bool Fast> RunResult Machine::runLoop(uint64_t MaxInsts) {
+RunResult Machine::runDbt(uint64_t MaxInsts) {
+  if (!DbtT)
+    DbtT = std::make_unique<dbt::DbtTier>(*this);
+  DbtT->attach(*this);
+  dbt::DbtState &S = DbtT->state();
+
+  uint32_t Threshold = Opts.DbtThreshold;
+  if (dbt::envMode() == dbt::EnvMode::Force)
+    Threshold = 0;
+
+  uint64_t Remaining = MaxInsts;
+  auto Finish = [&](RunResult R) {
+    DbtT->foldStats(St);
+    return R;
+  };
+
+  for (;;) {
+    if (Remaining == 0) {
+      RunResult R;
+      R.Status = RunStatus::FuelExhausted;
+      R.FaultPC = PC;
+      R.FaultMessage = "instruction budget exhausted";
+      return Finish(R);
+    }
+
+    dbt::TranslatedBlock *B = DbtT->lookup(PC);
+    if (!B && DbtT->shouldTranslate(PC, Threshold))
+      B = DbtT->translate(PC);
+
+    if (B) {
+      S.Budget = Remaining;
+      DbtT->execute(B);
+      Remaining = S.Budget;
+      if (S.ExitReason == uint64_t(dbt::ExitReason::Next)) {
+        PC = S.ExitPC;
+        // Publish the successor in the inline indirect-branch target
+        // cache so the next jmp/jsr/ret that resolves to this PC jumps
+        // straight to its code instead of round-tripping through here.
+        if (dbt::TranslatedBlock *NB = DbtT->lookup(PC)) {
+          dbt::IbtcEntry &IE = S.Ibtc[(PC >> 2) & (dbt::TlbSlots - 1)];
+          IE.Tag = PC;
+          IE.Code = uint64_t(reinterpret_cast<uintptr_t>(NB->Code));
+        }
+        continue;
+      }
+      if (S.ExitReason == uint64_t(dbt::ExitReason::Fault)) {
+        // A helper recorded a precise event mid-block (which may not be
+        // the entry block when exits were chained): commit the retired
+        // prefix, then re-execute the faulting instruction in the checked
+        // interpreter below — it re-discovers the identical trap from the
+        // same machine state.
+        dbt::TranslatedBlock *FB = DbtT->lookup(S.ExitPC);
+        DbtT->commitSideExit(FB, St);
+        Remaining = S.Budget;
+        PC = FB->PCs[S.ExitIndex]; // traces are not contiguous
+      } else {
+        // Fuel: the budget cannot cover the block; nothing ran. The
+        // interpreter retires the precise tail below.
+        PC = S.ExitPC;
+      }
+    }
+
+    // Interpret one basic block (cold code, fuel tails, or a precise
+    // re-execution; anything that ends the run returns from here).
+    ++DbtT->perfMutable().InterpFallbacks;
+    uint64_t Before = St.Instructions;
+    SteppedBlockEnd = false;
+    RunResult R = runLoop</*Fast=*/true, /*BlockStep=*/true>(Remaining);
+    uint64_t Used = St.Instructions - Before;
+    Remaining -= std::min(Used, Remaining);
+    if (R.Status != RunStatus::FuelExhausted || !SteppedBlockEnd)
+      return Finish(R);
+  }
+}
+
+template <bool Fast, bool BlockStep>
+RunResult Machine::runLoop(uint64_t MaxInsts) {
   const bool Tracing = !Fast && bool(Trace);
   uint64_t Budget = MaxInsts;
 
@@ -735,6 +869,20 @@ template <bool Fast> RunResult Machine::runLoop(uint64_t MaxInsts) {
         ProfNextLeader = true; // target and fall-through both lead blocks
     }
     PC = NextPC;
+    if constexpr (BlockStep) {
+      // DBT dispatcher mode: hand control back at the basic-block
+      // boundary so hot targets can be translated. Reported as
+      // FuelExhausted with SteppedBlockEnd distinguishing it from the
+      // genuine case.
+      if (isControlTransfer(I.Op)) {
+        Commit();
+        SteppedBlockEnd = true;
+        RunResult R;
+        R.Status = RunStatus::FuelExhausted;
+        R.FaultPC = PC;
+        return R;
+      }
+    }
   }
 
   Commit();
@@ -751,9 +899,12 @@ void Machine::corruptTextWord(size_t Idx, uint32_t Mask) {
   TextWords[Idx] ^= Mask;
   DecodeOk[Idx] = decode(TextWords[Idx], Decoded[Idx]) ? 1 : 0;
   // Keep the memory image coherent with the decode stream, and drop any
-  // translation-cache entry that still points at the stale bytes.
-  Mem.poke32(TextStart + uint64_t(Idx) * 4, TextWords[Idx]);
-  Mem.invalidateTranslation();
+  // translation that still covers the stale word — page-ranged, so one
+  // corrupted word no longer evicts unrelated entries (and the DBT tier,
+  // listening on the same event, drops exactly the blocks it intersects).
+  uint64_t Addr = TextStart + uint64_t(Idx) * 4;
+  Mem.poke32(Addr, TextWords[Idx]);
+  Mem.invalidateTranslation(Addr, Addr + 4);
 }
 
 RunResult sim::runExecutable(const Executable &Exe, Machine *Out) {

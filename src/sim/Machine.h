@@ -30,6 +30,11 @@
 namespace atom {
 namespace sim {
 
+namespace dbt {
+class DbtTier;
+struct DbtPerf;
+} // namespace dbt
+
 /// Why run() returned.
 enum class RunStatus {
   Exited,        ///< Program called exit().
@@ -86,6 +91,14 @@ struct MachineOptions {
   /// pre-instruction hook is armed. Semantics are identical either way
   /// (ctest-enforced); off is useful for differential runs and benchmarks.
   bool EnableFastPath = true;
+  /// Dynamic binary translation: lower hot basic blocks to host machine
+  /// code (docs/DBT.md). Subject to the same arming gate as the fast path
+  /// plus host support; observable behavior is identical to the
+  /// interpreter (ctest-enforced). `axp-run --no-dbt` clears this;
+  /// ATOM_SIM_DBT=off|force overrides from the environment.
+  bool EnableDbt = true;
+  /// Block execution count after which the DBT tier translates it.
+  uint32_t DbtThreshold = 16;
 };
 
 /// Dynamic execution statistics.
@@ -149,6 +162,7 @@ public:
     uint64_t TransMisses = 0;    ///< Scalar accesses that took the slow path.
     uint64_t TransFills = 0;     ///< Cache entries (re)installed.
     uint64_t TransInvalidations = 0; ///< Whole-cache flushes.
+    uint64_t TransRangedInvalidations = 0; ///< Page-ranged evictions.
     uint64_t BulkSpans = 0;      ///< memcpy spans in read/writeBytes.
     uint64_t BulkBytes = 0;      ///< Bytes moved by read/writeBytes.
   };
@@ -197,9 +211,27 @@ public:
   void poke32(uint64_t Addr, uint32_t V);
 
   /// Drops every translation-cache entry. Called whenever effective
-  /// permissions may have changed (addRegion, enableProtection, text
-  /// corruption).
+  /// permissions may have changed wholesale (addRegion, enableProtection).
   void invalidateTranslation();
+  /// Drops only the entries whose page intersects [Lo, Hi) — text
+  /// corruption of one word no longer evicts unrelated entries. Both
+  /// forms notify the invalidation listener (the DBT tier) with the same
+  /// range, so every translation layer sees one event stream.
+  void invalidateTranslation(uint64_t Lo, uint64_t Hi);
+
+  /// Subscribes \p L to translation-invalidation events; called with the
+  /// affected [Lo, Hi) range (full flushes pass [0, ~0)).
+  void setInvalidationListener(std::function<void(uint64_t, uint64_t)> L) {
+    InvalListener = std::move(L);
+  }
+
+  /// Accessible span around \p Addr for the DBT inline TLB: sets [Lo, Hi)
+  /// to the maximal subrange of Addr's page that contains Addr and is
+  /// covered by one region with \p IsWrite permission, and returns the
+  /// host pointer for Lo. Clamped to the page because guest pages are not
+  /// host-contiguous. Null when Addr itself is inaccessible; never
+  /// records a fault.
+  uint8_t *spanFor(uint64_t Addr, bool IsWrite, uint64_t &Lo, uint64_t &Hi);
 
   const Perf &perf() const { return P; }
 
@@ -257,6 +289,7 @@ private:
   bool ProtectionOn = false;
   MemFault Fault;
   Perf P;
+  std::function<void(uint64_t, uint64_t)> InvalListener;
 };
 
 /// The simulated machine.
@@ -267,6 +300,9 @@ public:
   /// \p Opts) arms region protection around the loaded image.
   explicit Machine(const obj::Executable &Exe,
                    const MachineOptions &Opts = MachineOptions());
+  ~Machine();
+  Machine(Machine &&);
+  Machine &operator=(Machine &&);
 
   /// Runs until exit/halt/trap or \p MaxInsts instructions.
   RunResult run(uint64_t MaxInsts = 2'000'000'000);
@@ -316,6 +352,11 @@ public:
 
   /// Number of pre-decoded text words.
   size_t textWordCount() const { return Decoded.size(); }
+  /// Base address of the text image.
+  uint64_t textStart() const { return TextStart; }
+  /// Pre-decoded text word \p Idx (DBT block discovery / stat replay).
+  const isa::Inst &decodedWord(size_t Idx) const { return Decoded[Idx]; }
+  bool decodeOkWord(size_t Idx) const { return DecodeOk[Idx] != 0; }
   /// XORs text word \p Idx with \p Mask, re-decodes it, and writes the
   /// corrupted word through to the memory image (so loads from text see it)
   /// — invalidating the translation cache (decode-stream corruption for
@@ -330,7 +371,14 @@ public:
   };
   const LoopPerf &loopPerf() const { return LP; }
 
+  /// DBT tier observability counters, or null if the tier never ran.
+  const dbt::DbtPerf *dbtPerf() const;
+  /// The tier itself (tests); null until the first DBT-dispatched run.
+  dbt::DbtTier *dbtTier() { return DbtT.get(); }
+
 private:
+  friend class dbt::DbtTier;
+
   RunResult trap(TrapKind Kind, uint64_t Addr, const std::string &Msg);
   RunResult memTrap();
   void runPendingHooks();
@@ -338,8 +386,17 @@ private:
   /// The interpreter. Fast = true elides the per-instruction trace /
   /// profile / pre-inst-hook checks and batches Stats updates (committed at
   /// every exit), legal only when none of those are armed; Fast = false is
-  /// the fully-checked loop with per-instruction semantics.
-  template <bool Fast> RunResult runLoop(uint64_t MaxInsts);
+  /// the fully-checked loop with per-instruction semantics. BlockStep
+  /// stops after the first retired control transfer (returning
+  /// FuelExhausted with SteppedBlockEnd set) so the DBT dispatcher can
+  /// interpret cold code one basic block at a time.
+  template <bool Fast, bool BlockStep = false>
+  RunResult runLoop(uint64_t MaxInsts);
+
+  /// The DBT dispatcher: alternates translated-block execution with
+  /// block-stepped interpretation; precise events re-execute in the
+  /// checked loop (docs/DBT.md).
+  RunResult runDbt(uint64_t MaxInsts);
 
   uint64_t Regs[isa::NumRegs] = {};
   uint64_t PC = 0;
@@ -368,6 +425,13 @@ private:
   std::vector<uint32_t> TextWords;
   std::vector<isa::Inst> Decoded;  ///< Pre-decoded text.
   std::vector<uint8_t> DecodeOk;   ///< Byte-sized: no bit-probe per fetch.
+
+  /// Lazily created by the first runDbt entry; unique_ptr keeps the
+  /// tier's address stable across Machine moves (attach() re-points it).
+  std::unique_ptr<dbt::DbtTier> DbtT;
+  /// Set by runLoop<.., BlockStep> when it returned at a block boundary
+  /// rather than from genuine fuel exhaustion.
+  bool SteppedBlockEnd = false;
 };
 
 /// Convenience: builds a machine, runs it, returns the result.

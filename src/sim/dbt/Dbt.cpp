@@ -1,0 +1,457 @@
+//===- sim/dbt/Dbt.cpp - Code cache, dispatcher glue, helpers -------------===//
+
+#include "sim/dbt/Dbt.h"
+#include "sim/dbt/Emitter.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <sys/mman.h>
+#define ATOM_DBT_HOST 1
+#else
+#define ATOM_DBT_HOST 0
+#endif
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::sim::dbt;
+using namespace atom::isa;
+
+// The generated code addresses DbtState fields by these offsets.
+static_assert(offsetof(DbtState, Regs) == 0);
+static_assert(offsetof(DbtState, Budget) == 8);
+static_assert(offsetof(DbtState, ExitPC) == 16);
+static_assert(offsetof(DbtState, ExitReason) == 24);
+static_assert(offsetof(DbtState, ExitIndex) == 32);
+static_assert(offsetof(DbtState, ChainFrom) == 40);
+static_assert(offsetof(DbtState, Unaligned) == 48);
+static_assert(offsetof(DbtState, RdTlb) == 72);
+static_assert(offsetof(DbtState, WrTlb) == 72 + 32 * TlbSlots);
+static_assert(offsetof(DbtState, Ibtc) == 72 + 64 * TlbSlots);
+static_assert(sizeof(TlbEntry) == 32);
+static_assert(sizeof(IbtcEntry) == 16);
+
+namespace {
+constexpr size_t CacheBytesTotal = 16 * 1024 * 1024;
+} // namespace
+
+EnvMode dbt::envMode() {
+  static EnvMode Mode = [] {
+    const char *V = std::getenv("ATOM_SIM_DBT");
+    if (!V)
+      return EnvMode::Default;
+    std::string S(V);
+    if (S == "off" || S == "0" || S == "no")
+      return EnvMode::Off;
+    if (S == "force")
+      return EnvMode::Force;
+    return EnvMode::Default;
+  }();
+  return Mode;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime helpers called from generated code
+//===----------------------------------------------------------------------===//
+//
+// Every slow path funnels through sim::Memory, so the fault semantics are
+// the interpreter's own: a failed access records the precise first fault
+// and the helper requests a side exit; the dispatcher then re-executes the
+// instruction in the checked loop, which re-discovers the identical trap.
+
+namespace {
+
+inline void requestSideExit(DbtState *S, uint64_t Idx) {
+  S->ExitReason = uint64_t(ExitReason::Fault);
+  S->ExitIndex = Idx;
+}
+
+/// Installs a TLB entry for the accessible span of \p Addr's page. Spans
+/// shorter than 8 bytes are skipped: the inline probe's conservative
+/// `addr <= Hi - 8` bound could never hit them.
+inline void tryFillTlb(DbtState *S, uint64_t Addr, bool IsWrite) {
+  Memory &Mem = *static_cast<Memory *>(S->Mem);
+  uint64_t Lo = 0, Hi = 0;
+  uint8_t *Host = Mem.spanFor(Addr, IsWrite, Lo, Hi);
+  if (!Host || Hi - Lo < 8)
+    return;
+  TlbEntry &E = (IsWrite ? S->WrTlb : S->RdTlb)
+      [(Addr >> 13) & (TlbSlots - 1)];
+  E.Lo = Lo;
+  E.HiM8 = Hi - 8;
+  E.Bias = uint64_t(reinterpret_cast<uintptr_t>(Host)) - Lo;
+  Machine *M = static_cast<Machine *>(S->M);
+  ++M->dbtTier()->perfMutable().TlbFills;
+}
+
+} // namespace
+
+extern "C" {
+
+/// Load slow path. IdxOp = (instruction index << 8) | opcode.
+uint64_t atomDbtLoad(DbtState *S, uint64_t Addr, uint64_t IdxOp) {
+  Memory &Mem = *static_cast<Memory *>(S->Mem);
+  ++static_cast<Machine *>(S->M)->dbtTier()->perfMutable().SlowMemOps;
+  Opcode Op = Opcode(IdxOp & 0xFF);
+  uint64_t Idx = IdxOp >> 8;
+  unsigned Size = memAccessSize(Op);
+  bool Misaligned = (Addr & (Size - 1)) != 0;
+  if (Misaligned && S->Opts->StrictAlignment) {
+    requestSideExit(S, Idx); // checked loop raises the Unaligned trap
+    return 0;
+  }
+  uint64_t V = 0;
+  switch (Op) {
+  case Opcode::Ldbu: V = Mem.load8(Addr); break;
+  case Opcode::Ldwu: V = Mem.load16(Addr); break;
+  case Opcode::Ldl: V = uint64_t(int64_t(int32_t(Mem.load32(Addr)))); break;
+  default: V = Mem.load64(Addr); break;
+  }
+  if (Mem.memFault().Faulted) {
+    // Leave the recorded fault in place: the re-executed instruction's
+    // own permission check fails again and memTrap() reports this exact
+    // first-fault address.
+    requestSideExit(S, Idx);
+    return 0;
+  }
+  if (Misaligned)
+    ++S->St->UnalignedAccesses;
+  // Fill regardless of alignment: the span entry serves any address in
+  // range, and when strict alignment is off the inline path handles
+  // misaligned hits natively.
+  tryFillTlb(S, Addr, /*IsWrite=*/false);
+  return V;
+}
+
+/// Store slow path.
+void atomDbtStore(DbtState *S, uint64_t Addr, uint64_t Val, uint64_t IdxOp) {
+  Memory &Mem = *static_cast<Memory *>(S->Mem);
+  ++static_cast<Machine *>(S->M)->dbtTier()->perfMutable().SlowMemOps;
+  Opcode Op = Opcode(IdxOp & 0xFF);
+  uint64_t Idx = IdxOp >> 8;
+  unsigned Size = memAccessSize(Op);
+  bool Misaligned = (Addr & (Size - 1)) != 0;
+  if (Misaligned && S->Opts->StrictAlignment) {
+    requestSideExit(S, Idx);
+    return;
+  }
+  switch (Op) {
+  case Opcode::Stb: Mem.store8(Addr, uint8_t(Val)); break;
+  case Opcode::Stw: Mem.store16(Addr, uint16_t(Val)); break;
+  case Opcode::Stl: Mem.store32(Addr, uint32_t(Val)); break;
+  default: Mem.store64(Addr, Val); break;
+  }
+  if (Mem.memFault().Faulted) {
+    requestSideExit(S, Idx);
+    return;
+  }
+  if (Misaligned)
+    ++S->St->UnalignedAccesses;
+  tryFillTlb(S, Addr, /*IsWrite=*/true);
+}
+
+/// Divide/remainder, matching the interpreter's 0-divisor and
+/// INT64_MIN/-1 semantics; opts into the Arithmetic trap by side exit.
+uint64_t atomDbtDiv(DbtState *S, uint64_t A, uint64_t B, uint64_t IdxOp) {
+  Opcode Op = Opcode(IdxOp & 0xFF);
+  uint64_t Idx = IdxOp >> 8;
+  int64_t SA = int64_t(A), SB = int64_t(B);
+  if (B == 0) {
+    if (S->Opts->TrapOnDivideByZero) {
+      requestSideExit(S, Idx);
+      return 0;
+    }
+    return 0;
+  }
+  switch (Op) {
+  case Opcode::Divq:
+    return (SA == INT64_MIN && SB == -1) ? uint64_t(INT64_MIN)
+                                         : uint64_t(SA / SB);
+  case Opcode::Remq:
+    return (SA == INT64_MIN && SB == -1) ? 0 : uint64_t(SA % SB);
+  case Opcode::Divqu:
+    return A / B;
+  default: // Remqu
+    return A % B;
+  }
+}
+
+} // extern "C"
+
+//===----------------------------------------------------------------------===//
+// DbtTier
+//===----------------------------------------------------------------------===//
+
+bool DbtTier::supported() {
+#if ATOM_DBT_HOST
+  return true;
+#else
+  return false;
+#endif
+}
+
+DbtTier::DbtTier(Machine &Mach) : M(&Mach), State(new DbtState()) {
+#if ATOM_DBT_HOST
+  void *P = mmap(nullptr, CacheBytesTotal, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P != MAP_FAILED) {
+    Cache = static_cast<uint8_t *>(P);
+    CacheSize = CacheBytesTotal;
+    CacheWritable = true;
+    emitThunks();
+    makeExecutable();
+  }
+#endif
+}
+
+DbtTier::~DbtTier() {
+#if ATOM_DBT_HOST
+  if (Cache)
+    munmap(Cache, CacheSize);
+#endif
+}
+
+void DbtTier::attach(Machine &Mach) {
+  M = &Mach;
+  DbtState &S = *State;
+  S.Regs = Mach.Regs;
+  S.M = &Mach;
+  S.Mem = &Mach.Mem;
+  S.St = &Mach.St;
+  S.Opts = &Mach.Opts;
+  Mach.Mem.setInvalidationListener(
+      [this](uint64_t Lo, uint64_t Hi) { invalidateRange(Lo, Hi); });
+}
+
+void DbtTier::makeWritable() {
+#if ATOM_DBT_HOST
+  if (!CacheWritable) {
+    mprotect(Cache, CacheSize, PROT_READ | PROT_WRITE);
+    CacheWritable = true;
+  }
+#endif
+}
+
+void DbtTier::makeExecutable() {
+#if ATOM_DBT_HOST
+  if (CacheWritable) {
+    mprotect(Cache, CacheSize, PROT_READ | PROT_EXEC);
+    CacheWritable = false;
+  }
+#endif
+}
+
+void DbtTier::emitThunks() {
+  // Enter: save callee-saved state, pin r15 = DbtState*, r14 = guest
+  // registers, r13 = inline-TLB base, then tail-jump into the block. The
+  // extra 8-byte adjustment keeps rsp 16-aligned at every helper call
+  // site inside translated code.
+  Emitter E;
+  E.push(RBX); E.push(RBP); E.push(R12);
+  E.push(R13); E.push(R14); E.push(R15);
+  E.subImm(RSP, 8);
+  E.movRR(R15, RDI);
+  E.loadRM(R14, RDI, 0);                       // Regs
+  E.lea(R13, RDI, int32_t(offsetof(DbtState, RdTlb)));
+  E.jmpReg(RSI);
+
+  size_t ExitOff = E.size();
+  E.addImm(RSP, 8);
+  E.pop(R15); E.pop(R14); E.pop(R13);
+  E.pop(R12); E.pop(RBP); E.pop(RBX);
+  E.ret();
+
+  std::memcpy(Cache, E.bytes().data(), E.size());
+  CacheUsed = (E.size() + 15) & ~size_t(15);
+  Enter = reinterpret_cast<EnterFn>(Cache);
+  ExitThunk = Cache + ExitOff;
+  Perf.CacheBytes = CacheUsed;
+}
+
+uint8_t *DbtTier::commitCode(const std::vector<uint8_t> &Bytes) {
+  if (CacheUsed + Bytes.size() > CacheSize)
+    flushCache();
+  makeWritable();
+  uint8_t *At = Cache + CacheUsed;
+  std::memcpy(At, Bytes.data(), Bytes.size());
+  CacheUsed = (CacheUsed + Bytes.size() + 15) & ~size_t(15);
+  Perf.CacheBytes = CacheUsed;
+  return At;
+}
+
+void DbtTier::flushCache() {
+  foldStats(PendingStats);
+  PendingStatsDirty = true;
+  Blocks.clear();
+  // Every cached indirect-branch target points into the dead cache.
+  for (size_t I = 0; I < TlbSlots; ++I)
+    State->Ibtc[I] = IbtcEntry();
+  makeWritable();
+  emitThunks(); // resets CacheUsed past the fresh thunks
+  ++Perf.CacheFlushes;
+}
+
+void DbtTier::execute(TranslatedBlock *B) {
+  DbtState &S = *State;
+  S.ExitReason = uint64_t(ExitReason::Next);
+  S.ExitIndex = 0;
+  S.ChainFrom = 0;
+  makeExecutable();
+  Enter(&S, B->Code);
+  if (S.ExitReason == uint64_t(ExitReason::Next) && S.ChainFrom) {
+    auto It = Blocks.find(S.ExitPC);
+    if (It != Blocks.end())
+      chain(It->second.get());
+  }
+}
+
+void DbtTier::chain(TranslatedBlock *Target) {
+  uint8_t *Site = reinterpret_cast<uint8_t *>(State->ChainFrom);
+  makeWritable();
+  int64_t Rel = int64_t(uint64_t(Target->Code)) - int64_t(uint64_t(Site) + 5);
+  Site[0] = 0xE9;
+  int32_t R32 = int32_t(Rel);
+  std::memcpy(Site + 1, &R32, 4);
+  makeExecutable();
+  Target->Incoming.push_back(Site);
+  ++Perf.ChainLinks;
+}
+
+bool DbtTier::shouldTranslate(uint64_t PC, uint32_t Threshold) {
+  if (!Cache || Untranslatable.count(PC))
+    return false;
+  uint32_t C = ++ExecCounts[PC];
+  return C > Threshold;
+}
+
+static void addStatsInto(Stats &Dst, const Stats &Src) {
+  Dst.Instructions += Src.Instructions;
+  Dst.Loads += Src.Loads;
+  Dst.Stores += Src.Stores;
+  Dst.CondBranches += Src.CondBranches;
+  Dst.TakenBranches += Src.TakenBranches;
+  Dst.Calls += Src.Calls;
+  Dst.Returns += Src.Returns;
+  Dst.Syscalls += Src.Syscalls;
+  Dst.UnalignedAccesses += Src.UnalignedAccesses;
+  for (size_t I = 0; I < Src.PerOpcode.size(); ++I)
+    Dst.PerOpcode[I] += Src.PerOpcode[I];
+}
+
+static void foldBlock(Stats &St, TranslatedBlock &B) {
+  for (ExitEdge &E : B.Exits) {
+    uint64_t N = E.Cnt;
+    if (!N)
+      continue;
+    St.Instructions += N * E.Insts;
+    St.Loads += N * E.Loads;
+    St.Stores += N * E.Stores;
+    St.CondBranches += N * E.CondBranches;
+    St.TakenBranches += N * E.TakenBranches;
+    St.Calls += N * E.Calls;
+    St.Returns += N * E.Returns;
+    for (const auto &[Op, C] : E.Mix)
+      St.PerOpcode[size_t(Op)] += N * C;
+    E.Cnt = 0;
+  }
+}
+
+void DbtTier::foldStats(Stats &St) {
+  if (State->Unaligned) {
+    St.UnalignedAccesses += State->Unaligned;
+    State->Unaligned = 0;
+  }
+  if (PendingStatsDirty && &St != &PendingStats) {
+    addStatsInto(St, PendingStats);
+    PendingStats = Stats();
+    PendingStatsDirty = false;
+  }
+  for (auto &[PC, B] : Blocks) {
+    (void)PC;
+    foldBlock(St, *B);
+  }
+}
+
+void DbtTier::commitSideExit(TranslatedBlock *B, Stats &St) {
+  uint64_t Idx = State->ExitIndex;
+  ++Perf.SideExits;
+  // The block consumed its whole length from the budget up front; refund
+  // the unretired tail (the faulting instruction retires nothing).
+  State->Budget += B->NumInsts - Idx;
+  const Machine &Mach = *M;
+  for (uint64_t I = 0; I < Idx; ++I) {
+    // Traces are not contiguous: resolve each retired instruction by its
+    // recorded PC. Interior branches that retired took the trace's
+    // followed direction (otherwise execution would have left earlier).
+    const Inst &In = Mach.decodedWord((B->PCs[I] - Mach.textStart()) / 4);
+    ++St.Instructions;
+    ++St.PerOpcode[size_t(In.Op)];
+    if (isLoad(In.Op))
+      ++St.Loads;
+    else if (isStore(In.Op))
+      ++St.Stores;
+    if (isCondBranch(In.Op)) {
+      ++St.CondBranches;
+      St.TakenBranches += B->TookBranch[I];
+    } else if (isCall(In.Op)) {
+      ++St.Calls;
+    } else if (isReturn(In.Op)) {
+      ++St.Returns;
+    }
+  }
+}
+
+void DbtTier::invalidateRange(uint64_t Lo, uint64_t Hi) {
+  // TLB pages intersecting the range can no longer be trusted.
+  DbtState &S = *State;
+  bool Full = Lo == 0 && Hi == ~uint64_t(0);
+  for (size_t I = 0; I < TlbSlots; ++I) {
+    TlbEntry &R = S.RdTlb[I]; // entries are spans [Lo, HiM8 + 8)
+    if (R.Lo != ~uint64_t(0) && R.Lo < Hi && R.HiM8 + 8 > Lo)
+      R = TlbEntry();
+    TlbEntry &W = S.WrTlb[I];
+    if (W.Lo != ~uint64_t(0) && W.Lo < Hi && W.HiM8 + 8 > Lo)
+      W = TlbEntry();
+  }
+  if (Blocks.empty())
+    return;
+  if (Full) {
+    // Permission geometry changed wholesale (addRegion/enableProtection):
+    // safest is a clean slate.
+    flushCache();
+    makeExecutable();
+    return;
+  }
+  // Surgical: drop translated blocks whose guest range intersects, fold
+  // their pending counters, and unlink any chain jumps into them.
+  bool Touched = false;
+  for (auto It = Blocks.begin(); It != Blocks.end();) {
+    TranslatedBlock &B = *It->second;
+    if (B.LoPC < Hi && B.HiPC > Lo) {
+      foldBlock(PendingStats, B);
+      PendingStatsDirty = true;
+      // A cached indirect-branch target for this block would jump into
+      // freed code.
+      IbtcEntry &IE = S.Ibtc[(B.StartPC >> 2) & (TlbSlots - 1)];
+      if (IE.Tag == B.StartPC)
+        IE = IbtcEntry();
+      if (!B.Incoming.empty()) {
+        makeWritable();
+        for (uint8_t *Site : B.Incoming) {
+          // Restore the fall-through (rel32 = 0): the slow exit path that
+          // publishes ExitPC/ChainFrom lives right after the 5-byte site.
+          Site[0] = 0xE9;
+          std::memset(Site + 1, 0, 4);
+        }
+        Touched = true;
+      }
+      ++Perf.Invalidations;
+      It = Blocks.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  if (Touched)
+    makeExecutable();
+}

@@ -1,0 +1,289 @@
+//===- sim/dbt/Dbt.h - Dynamic-binary-translation tier ----------*- C++ -*-===//
+//
+// Translates hot axp basic blocks to host x86-64 machine code in an
+// mmap'd W^X code cache, entered from Machine::run once a block's
+// execution count crosses MachineOptions::DbtThreshold. Everything
+// precise — traps, syscalls, protection faults, strict-alignment checks,
+// fuel exhaustion — exits back to the checked interpreter loop, so the
+// docs/FAULTS.md contract is preserved verbatim and the interpreter
+// remains the oracle (ctest-enforced equality of RunResult, Stats and
+// PerOpcode on every workload and fault test).
+//
+// Architecture (DynamoRIO/Pin-style, see PAPERS.md):
+//
+//   Machine::runDbt  — the dispatcher: looks up the translated block for
+//                      the current PC, executes it, and interprets one
+//                      basic block at a time (runLoop block-step mode)
+//                      until a block gets hot.
+//   TranslatedBlock  — a trace: straight-line guest code extended through
+//                      unconditional branches/calls and the likely side
+//                      of conditional branches (backward = taken); the
+//                      unfollowed side becomes a counted exit edge.
+//                      Instructions that must stay precise (callsys,
+//                      halt, undecodable words) end the trace *before*
+//                      themselves; indirect transfers end it *after*.
+//   Fixed-map regalloc — the three most-referenced guest registers of a
+//                      block are pinned in host callee-saved registers
+//                      (rbx/rbp/r12) for the block's duration; all other
+//                      guest registers live in the Machine's register
+//                      array, addressed off r14.
+//   Inline TLB       — aligned loads/stores probe a 256-entry
+//                      direct-mapped span TLB (accessible guest range +
+//                      host bias per page, handling partial pages) inline;
+//                      misses, unaligned accesses, and divides call out
+//                      to C++ helpers that reuse sim::Memory, so the
+//                      precise-fault semantics are the interpreter's own.
+//   Chaining         — direct-branch exits are patched to jump straight
+//                      to the successor's translation once both sides
+//                      exist, so hot loops never leave the cache.
+//
+// Statistics are *not* counted per instruction: each trace keeps one
+// counter per exit edge, each edge knows the static stat sums of its
+// retired prefix, and the dispatcher folds count x prefix into
+// sim::Stats when the run leaves the tier, which is what makes
+// translated execution fast while remaining bit-identical to the
+// interpreter's accounting. A faulting instruction side-exits with its
+// trace index; the dispatcher commits the retired prefix and re-executes
+// the faulting instruction in the checked loop, which re-discovers the
+// identical trap.
+//
+// The tier subscribes to the same invalidation events as the scalar
+// translation cache (region-map changes, enableProtection,
+// corruptTextWord): a ranged event drops exactly the translated blocks
+// and TLB pages it intersects.
+//
+// Host support: x86-64 only. On other hosts supported() is false and
+// Machine::run falls back to the interpreter fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SIM_DBT_DBT_H
+#define ATOM_SIM_DBT_DBT_H
+
+#include "isa/Isa.h"
+#include "sim/Machine.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace atom {
+namespace sim {
+namespace dbt {
+
+/// One direct-mapped software-TLB entry: the accessible *span* of one
+/// guest page (region boundaries need not be page-aligned, so only part
+/// of a page may be covered). An address hits when Lo <= addr <= HiM8;
+/// HiM8 is the span end minus 8, so a hit guarantees addr + 8 bytes are
+/// in bounds — conservative for all access sizes, and an inline hit can
+/// never fault. 32-byte stride keeps the probe's indexing a shift.
+struct TlbEntry {
+  uint64_t Lo = ~uint64_t(0); ///< Lowest spanned guest address; ~0: empty.
+  uint64_t HiM8 = 0;          ///< Highest address valid for an 8-byte access.
+  uint64_t Bias = 0;          ///< Host pointer minus guest address.
+  uint64_t Pad = 0;
+};
+constexpr size_t TlbSlots = 256;
+
+/// One inline indirect-branch-target-cache entry: guest block-start PC ->
+/// code-cache entry point.
+struct IbtcEntry {
+  uint64_t Tag = ~uint64_t(0); ///< Guest PC; ~0 never matches.
+  uint64_t Code = 0;           ///< Host code address of the translation.
+};
+
+/// Why translated code returned to the dispatcher.
+enum class ExitReason : uint64_t {
+  Next = 0,  ///< Block completed; ExitPC is the successor.
+  Fault = 1, ///< Helper requested a precise side exit at ExitIndex.
+  Fuel = 2,  ///< Remaining budget below the block length; nothing ran.
+};
+
+/// The state block shared between C++ and generated code. Layout is part
+/// of the emitted code (static_asserts in Dbt.cpp pin the offsets).
+struct DbtState {
+  uint64_t *Regs = nullptr;   ///< +0   guest registers
+  uint64_t Budget = 0;        ///< +8   remaining instruction fuel
+  uint64_t ExitPC = 0;        ///< +16  successor / re-execution PC
+  uint64_t ExitReason = 0;    ///< +24  ExitReason
+  uint64_t ExitIndex = 0;     ///< +32  faulting instruction index
+  uint64_t ChainFrom = 0;     ///< +40  patchable exit-site address (0: none)
+  /// +48: misaligned accesses retired inline (x86 handles them natively
+  /// when strict alignment is off); foldStats drains this into
+  /// Stats::UnalignedAccesses.
+  uint64_t Unaligned = 0;
+  void *M = nullptr;          ///< +56  Machine*
+  void *Mem = nullptr;        ///< +64  Memory*
+  TlbEntry RdTlb[TlbSlots];   ///< +72
+  TlbEntry WrTlb[TlbSlots];   ///< +72 + 32*TlbSlots
+  /// Inline indirect-branch target cache, probed by jmp/jsr/ret exits so
+  /// monomorphic indirect transfers stay inside the cache. Filled by the
+  /// dispatcher, cleared on invalidation.
+  IbtcEntry Ibtc[TlbSlots];   ///< +72 + 64*TlbSlots
+  Stats *St = nullptr;        ///< after the tables (not touched by jit code)
+  const MachineOptions *Opts = nullptr;
+};
+
+/// One way out of a trace, with the statistics of the retired prefix. A
+/// trace may span several guest basic blocks (unconditional branches and
+/// the likely side of conditional branches are followed inline), so each
+/// exit edge records the stat sums of everything retired on the path to
+/// it; folding is then edge-count x prefix per edge.
+struct ExitEdge {
+  uint64_t Cnt = 0; ///< Bumped by generated code (address baked in).
+  uint32_t Insts = 0, Loads = 0, Stores = 0;
+  uint32_t CondBranches = 0, TakenBranches = 0, Calls = 0, Returns = 0;
+  std::vector<std::pair<isa::Opcode, uint32_t>> Mix;
+};
+
+/// Static per-trace facts plus the runtime exit-edge counters the
+/// generated code bumps. Heap-allocated once per translation so the
+/// absolute counter addresses baked into the code stay valid for the
+/// trace's life.
+struct TranslatedBlock {
+  uint64_t StartPC = 0;       ///< Entry PC (the trace's identity).
+  uint64_t LoPC = 0, HiPC = 0; ///< Guest range bounds for invalidation.
+  uint32_t NumInsts = 0;
+  const void *Code = nullptr; ///< Entry point in the code cache.
+
+  /// Guest PC of every trace instruction (traces are not contiguous).
+  std::vector<uint64_t> PCs;
+  /// Per instruction: true when it is a conditional branch the trace
+  /// follows on its *taken* side (retiring it counts a taken branch).
+  std::vector<uint8_t> TookBranch;
+
+  /// Exit edges; the last one is the trace end (prefix = whole trace),
+  /// the others are the unfollowed sides of interior conditional
+  /// branches. Sized before emission: counter addresses must not move.
+  std::vector<ExitEdge> Exits;
+
+  /// Chain patch sites inside *other* blocks that jump here; unlinked on
+  /// invalidation.
+  std::vector<uint8_t *> Incoming;
+  bool Invalidated = false;
+};
+
+/// Observability counters, published by axp-run as sim.dbt-*.
+struct DbtPerf {
+  uint64_t BlocksTranslated = 0; ///< Translations performed.
+  uint64_t CacheBytes = 0;       ///< Bytes of code emitted into the cache.
+  uint64_t ChainLinks = 0;       ///< Direct-branch exits patched.
+  uint64_t InterpFallbacks = 0;  ///< Dispatcher hand-offs to the interpreter.
+  uint64_t SideExits = 0;        ///< Precise fault/strict-align side exits.
+  uint64_t TlbFills = 0;         ///< Inline-TLB entries installed.
+  uint64_t SlowMemOps = 0;       ///< Loads/stores through the C++ helpers.
+  uint64_t Invalidations = 0;    ///< Blocks dropped by invalidation events.
+  uint64_t CacheFlushes = 0;     ///< Whole-cache resets (full or overflow).
+};
+
+/// The translation tier owned by one Machine.
+class DbtTier {
+public:
+  explicit DbtTier(Machine &M);
+  ~DbtTier();
+
+  DbtTier(const DbtTier &) = delete;
+  DbtTier &operator=(const DbtTier &) = delete;
+
+  /// True when the host can run translated code (x86-64 with an
+  /// executable code cache).
+  static bool supported();
+
+  /// Re-points the tier at \p M (Machine objects move; the tier is held
+  /// by unique_ptr so its own address is stable) and refreshes the
+  /// DbtState pointers. Called at every runDbt entry.
+  void attach(Machine &M);
+
+  /// The translated block starting at \p PC, or null.
+  TranslatedBlock *lookup(uint64_t PC) {
+    auto It = Blocks.find(PC);
+    return It == Blocks.end() ? nullptr : It->second.get();
+  }
+
+  /// Bumps the execution count for \p PC; true once it crosses the
+  /// translation threshold (and the block is not known-untranslatable).
+  bool shouldTranslate(uint64_t PC, uint32_t Threshold);
+
+  /// Translates the block at \p PC; returns null (and remembers the PC
+  /// as untranslatable) when the first instruction must stay with the
+  /// interpreter.
+  TranslatedBlock *translate(uint64_t PC);
+
+  /// Runs \p B with \p Budget instruction fuel. On return the state's
+  /// ExitReason/ExitPC/ExitIndex/Budget describe what happened; chaining
+  /// of the taken exit is attempted against the current block map.
+  void execute(TranslatedBlock *B);
+
+  DbtState &state() { return *State; }
+
+  /// Folds all pending per-block exit counters into \p St. Idempotent;
+  /// called whenever control leaves the tier for good (run exit) and
+  /// before a block's counters die to invalidation.
+  void foldStats(Stats &St);
+
+  /// Commits the retired prefix [0, ExitIndex) of \p B after a precise
+  /// side exit (the faulting instruction itself retires nothing) and
+  /// refunds the unretired fuel.
+  void commitSideExit(TranslatedBlock *B, Stats &St);
+
+  /// Invalidation subscriber: drops translated blocks and TLB pages
+  /// intersecting [Lo, Hi). Full events pass Lo=0, Hi=~0.
+  void invalidateRange(uint64_t Lo, uint64_t Hi);
+
+  const DbtPerf &perf() const { return Perf; }
+  DbtPerf &perfMutable() { return Perf; }
+
+private:
+  friend struct TranslateCtx;
+
+  /// Attempts to patch the exit site recorded in State->ChainFrom to jump
+  /// straight to \p Target's code.
+  void chain(TranslatedBlock *Target);
+
+  /// Emits the enter/exit thunks at the start of a fresh cache.
+  void emitThunks();
+  /// Drops every translation (counters folded into PendingStats first).
+  void flushCache();
+  /// Copies \p Bytes into the cache (RW window), returns the code
+  /// address, or null when the cache is full.
+  uint8_t *commitCode(const std::vector<uint8_t> &Bytes);
+  void makeWritable();
+  void makeExecutable();
+
+  Machine *M = nullptr;
+  std::unique_ptr<DbtState> State;
+
+  uint8_t *Cache = nullptr;
+  size_t CacheSize = 0;
+  size_t CacheUsed = 0;
+  bool CacheWritable = false;
+
+  /// Shared thunks inside the cache.
+  using EnterFn = void (*)(DbtState *, const void *);
+  EnterFn Enter = nullptr;
+  uint8_t *ExitThunk = nullptr;
+
+  std::unordered_map<uint64_t, std::unique_ptr<TranslatedBlock>> Blocks;
+  std::unordered_map<uint64_t, uint32_t> ExecCounts;
+  std::unordered_map<uint64_t, bool> Untranslatable;
+
+  /// Stats folded out of invalidated blocks before their counters die,
+  /// drained by the next foldStats().
+  Stats PendingStats;
+  bool PendingStatsDirty = false;
+
+  DbtPerf Perf;
+};
+
+/// Environment override for CI sweeps: ATOM_SIM_DBT=off disables the
+/// tier, ATOM_SIM_DBT=force sets the translation threshold to 0.
+enum class EnvMode { Default, Off, Force };
+EnvMode envMode();
+
+} // namespace dbt
+} // namespace sim
+} // namespace atom
+
+#endif // ATOM_SIM_DBT_DBT_H

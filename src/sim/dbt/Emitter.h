@@ -1,0 +1,496 @@
+//===- sim/dbt/Emitter.h - Minimal x86-64 machine-code emitter --*- C++ -*-===//
+//
+// Just enough of an assembler for the DBT block translator: 64-bit ALU
+// forms, loads/stores with [base + disp] and [base + index + disp]
+// addressing, setcc, near jumps with back-patchable rel32 targets, and
+// absolute 64-bit immediates. Encodings follow the Intel SDM; REX is
+// emitted whenever an extended register or 64-bit operand needs it.
+//
+// The emitter builds into a byte vector; the code cache copies the bytes
+// into executable memory and resolves cross-block rel32 targets there.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_SIM_DBT_EMITTER_H
+#define ATOM_SIM_DBT_EMITTER_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace atom {
+namespace sim {
+namespace dbt {
+
+/// Host register numbers (x86-64 encoding order).
+enum HostReg : unsigned {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3,
+  RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8,  R9 = 9,  R10 = 10, R11 = 11,
+  R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+  NoHostReg = 255,
+};
+
+/// Condition codes (the low nibble of the 0F 8x / 0F 9x opcodes).
+enum Cond : uint8_t {
+  CondO = 0x0, CondNO = 0x1, CondB = 0x2, CondAE = 0x3,
+  CondE = 0x4, CondNE = 0x5, CondBE = 0x6, CondA = 0x7,
+  CondS = 0x8, CondNS = 0x9, CondP = 0xA, CondNP = 0xB,
+  CondL = 0xC, CondGE = 0xD, CondLE = 0xE, CondG = 0xF,
+};
+
+class Emitter {
+public:
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+
+  //===--- labels and patches ---------------------------------------------===//
+
+  /// A forward-reference site: 4 bytes at Offset hold a rel32 counted from
+  /// Offset + 4.
+  struct Fixup {
+    size_t Offset = 0;
+  };
+
+  size_t here() const { return Buf.size(); }
+
+  /// Patches the rel32 at \p F so control reaches buffer offset \p Target.
+  void patch(Fixup F, size_t Target) {
+    int64_t Rel = int64_t(Target) - int64_t(F.Offset + 4);
+    int32_t R32 = int32_t(Rel);
+    std::memcpy(&Buf[F.Offset], &R32, 4);
+  }
+
+  //===--- moves ----------------------------------------------------------===//
+
+  /// mov r64, imm64 (movabs; shrinks to the 32-bit forms when possible).
+  void movImm64(unsigned R, uint64_t V) {
+    if (V <= 0x7fffffffull) {
+      // mov r32, imm32 zero-extends.
+      if (R >= 8)
+        b(0x41);
+      b(0xB8 | (R & 7));
+      d32(uint32_t(V));
+      return;
+    }
+    if (int64_t(V) < 0 && int64_t(V) >= INT32_MIN) {
+      rex(1, 0, 0, R);
+      b(0xC7);
+      modrmReg(0, R);
+      d32(uint32_t(V));
+      return;
+    }
+    rex(1, 0, 0, R);
+    b(0xB8 | (R & 7));
+    d64(V);
+  }
+
+  /// mov r64, imm64 in the full 10-byte form regardless of value; returns
+  /// the buffer offset of the imm64 field so it can be patched after the
+  /// code is placed at its final address.
+  size_t movImm64Fixed(unsigned R, uint64_t V) {
+    rex(1, 0, 0, R);
+    b(0xB8 | (R & 7));
+    size_t Off = here();
+    d64(V);
+    return Off;
+  }
+
+  /// mov rDst, rSrc (64-bit).
+  void movRR(unsigned Dst, unsigned Src) {
+    rex(1, Src, 0, Dst);
+    b(0x89);
+    modrmReg(Src, Dst);
+  }
+
+  /// mov r64, [base + disp].
+  void loadRM(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  /// mov [base + disp], r64.
+  void storeMR(unsigned Base, int32_t Disp, unsigned Src) {
+    rex(1, Src, 0, Base);
+    b(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  /// mov [base + disp], r32/r16/r8 (stores of sub-word guest values).
+  void storeMR32(unsigned Base, int32_t Disp, unsigned Src) {
+    rexOpt(0, Src, 0, Base);
+    b(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void storeMR16(unsigned Base, int32_t Disp, unsigned Src) {
+    b(0x66);
+    rexOpt(0, Src, 0, Base);
+    b(0x89);
+    modrmMem(Src, Base, Disp);
+  }
+  void storeMR8(unsigned Base, int32_t Disp, unsigned Src) {
+    // SPL/BPL/SIL/DIL need a REX prefix even without extension bits.
+    if (Src >= 4)
+      rex(0, Src, 0, Base);
+    else
+      rexOpt(0, Src, 0, Base);
+    b(0x88);
+    modrmMem(Src, Base, Disp);
+  }
+
+  /// movzx r64, byte/word [base + disp]; mov r32, dword [base+disp] (zext).
+  void loadZx8(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x0F); b(0xB6);
+    modrmMem(Dst, Base, Disp);
+  }
+  void loadZx16(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x0F); b(0xB7);
+    modrmMem(Dst, Base, Disp);
+  }
+  void loadZx32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rexOpt(0, Dst, 0, Base); // mov r32, m32 zero-extends to 64
+    b(0x8B);
+    modrmMem(Dst, Base, Disp);
+  }
+  /// movsxd r64, dword [base + disp].
+  void loadSx32(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x63);
+    modrmMem(Dst, Base, Disp);
+  }
+
+  /// mov r64, [base + index*1 + disp]  (SIB form, scale 1).
+  void loadRMIndex(unsigned Dst, unsigned Base, unsigned Index,
+                   int32_t Disp) {
+    rex(1, Dst, Index, Base);
+    b(0x8B);
+    sibMem(Dst, Base, Index, Disp);
+  }
+
+  /// lea r64, [base + disp].
+  void lea(unsigned Dst, unsigned Base, int32_t Disp) {
+    rex(1, Dst, 0, Base);
+    b(0x8D);
+    modrmMem(Dst, Base, Disp);
+  }
+
+  /// movsxd r64, r32 / movsx r64, r8/r16 / movzx r64, r8/r16.
+  void sext32RR(unsigned Dst, unsigned Src) {
+    rex(1, Dst, 0, Src);
+    b(0x63);
+    modrmReg(Dst, Src);
+  }
+  void sext8RR(unsigned Dst, unsigned Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F); b(0xBE);
+    modrmReg(Dst, Src);
+  }
+  void sext16RR(unsigned Dst, unsigned Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F); b(0xBF);
+    modrmReg(Dst, Src);
+  }
+  void zext8RR(unsigned Dst, unsigned Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F); b(0xB6);
+    modrmReg(Dst, Src);
+  }
+
+  //===--- ALU ------------------------------------------------------------===//
+
+  // Binary ops, 64-bit, register-register: op Dst, Src.
+  void addRR(unsigned Dst, unsigned Src) { aluRR(0x01, Dst, Src); }
+  void subRR(unsigned Dst, unsigned Src) { aluRR(0x29, Dst, Src); }
+  void andRR(unsigned Dst, unsigned Src) { aluRR(0x21, Dst, Src); }
+  void orRR(unsigned Dst, unsigned Src) { aluRR(0x09, Dst, Src); }
+  void xorRR(unsigned Dst, unsigned Src) { aluRR(0x31, Dst, Src); }
+  void cmpRR(unsigned A, unsigned B) { aluRR(0x39, A, B); }
+  void testRR(unsigned A, unsigned B) { aluRR(0x85, A, B); }
+
+  // op r64, imm32 (sign-extended). /digit selects the operation.
+  void addImm(unsigned R, int32_t V) { aluImm(0, R, V); }
+  void subImm(unsigned R, int32_t V) { aluImm(5, R, V); }
+  void andImm(unsigned R, int32_t V) { aluImm(4, R, V); }
+  void orImm(unsigned R, int32_t V) { aluImm(1, R, V); }
+  void xorImm(unsigned R, int32_t V) { aluImm(6, R, V); }
+  void cmpImm(unsigned R, int32_t V) { aluImm(7, R, V); }
+
+  /// test r8, imm8 (for blbc/blbs and alignment checks).
+  void testImm8(unsigned R, uint8_t V) {
+    if (R >= 4)
+      rex(0, 0, 0, R);
+    b(0xF6);
+    modrmReg(0, R);
+    b(V);
+  }
+
+  /// not r64 / neg r64.
+  void notR(unsigned R) { unary(2, R); }
+  void negR(unsigned R) { unary(3, R); }
+
+  /// imul rDst, rSrc (64-bit, low half).
+  void imulRR(unsigned Dst, unsigned Src) {
+    rex(1, Dst, 0, Src);
+    b(0x0F); b(0xAF);
+    modrmReg(Dst, Src);
+  }
+  /// mul rSrc: rdx:rax = rax * rSrc (unsigned).
+  void mulR(unsigned Src) { unary(4, Src); }
+
+  // Shifts by CL and by immediate. /4 shl, /5 shr, /7 sar.
+  void shlCl(unsigned R) { shift(4, R); }
+  void shrCl(unsigned R) { shift(5, R); }
+  void sarCl(unsigned R) { shift(7, R); }
+  void shlImm(unsigned R, uint8_t N) { shiftImm(4, R, N); }
+  void shrImm(unsigned R, uint8_t N) { shiftImm(5, R, N); }
+  void sarImm(unsigned R, uint8_t N) { shiftImm(7, R, N); }
+
+  /// setcc r8 (zeroes the rest of the register via a preceding xor or
+  /// an explicit movzx by the caller).
+  void setcc(Cond C, unsigned R) {
+    if (R >= 4)
+      rex(0, 0, 0, R);
+    b(0x0F);
+    b(0x90 | C);
+    modrmReg(0, R);
+  }
+
+  /// add r64, [base + index*1 + disp] (TLB bias application).
+  void addRMIndex(unsigned Dst, unsigned Base, unsigned Index,
+                  int32_t Disp) {
+    rex(1, Dst, Index, Base);
+    b(0x03);
+    sibMem(Dst, Base, Index, Disp);
+  }
+  /// cmp r64, [base + index*1 + disp] (TLB tag probe).
+  void cmpRMIndex(unsigned A, unsigned Base, unsigned Index, int32_t Disp) {
+    rex(1, A, Index, Base);
+    b(0x3B);
+    sibMem(A, Base, Index, Disp);
+  }
+
+  /// Scaled memory loads/stores through a host pointer in \p Base.
+  void loadMem(unsigned Dst, unsigned Base, unsigned SizeLog2, bool Sext) {
+    switch (SizeLog2) {
+    case 0: Sext ? sextLoad(0xBE, Dst, Base) : zextLoad(0xB6, Dst, Base); break;
+    case 1: Sext ? sextLoad(0xBF, Dst, Base) : zextLoad(0xB7, Dst, Base); break;
+    case 2:
+      if (Sext) {
+        rex(1, Dst, 0, Base);
+        b(0x63);
+        modrmMem(Dst, Base, 0);
+      } else {
+        rexOpt(0, Dst, 0, Base);
+        b(0x8B);
+        modrmMem(Dst, Base, 0);
+      }
+      break;
+    default:
+      rex(1, Dst, 0, Base);
+      b(0x8B);
+      modrmMem(Dst, Base, 0);
+      break;
+    }
+  }
+  void storeMem(unsigned Base, unsigned Src, unsigned SizeLog2) {
+    switch (SizeLog2) {
+    case 0: storeMR8(Base, 0, Src); break;
+    case 1: storeMR16(Base, 0, Src); break;
+    case 2: storeMR32(Base, 0, Src); break;
+    default: storeMR(Base, 0, Src); break;
+    }
+  }
+
+  /// inc qword [r64].
+  void incMem(unsigned Base) {
+    rex(1, 0, 0, Base);
+    b(0xFF);
+    modrmMem(0, Base, 0);
+  }
+  /// add qword [base + disp], imm32.
+  void addMemImm(unsigned Base, int32_t Disp, int32_t V) {
+    rex(1, 0, 0, Base);
+    b(0x81);
+    modrmMem(0, Base, Disp);
+    d32(uint32_t(V));
+  }
+  /// sub qword [base + disp], imm32.
+  void subMemImm(unsigned Base, int32_t Disp, int32_t V) {
+    rex(1, 0, 0, Base);
+    b(0x81);
+    modrmMem(5, Base, Disp);
+    d32(uint32_t(V));
+  }
+  /// cmp qword [base + disp], imm32.
+  void cmpMemImm(unsigned Base, int32_t Disp, int32_t V) {
+    rex(1, 0, 0, Base);
+    b(0x81);
+    modrmMem(7, Base, Disp);
+    d32(uint32_t(V));
+  }
+  /// mov qword [base + disp], imm32 (sign-extended).
+  void storeMemImm(unsigned Base, int32_t Disp, int32_t V) {
+    rex(1, 0, 0, Base);
+    b(0xC7);
+    modrmMem(0, Base, Disp);
+    d32(uint32_t(V));
+  }
+
+  //===--- control flow ---------------------------------------------------===//
+
+  /// jmp rel32; returns the fixup for later patching.
+  Fixup jmp() {
+    b(0xE9);
+    Fixup F{here()};
+    d32(0);
+    return F;
+  }
+  /// jcc rel32.
+  Fixup jcc(Cond C) {
+    b(0x0F);
+    b(0x80 | C);
+    Fixup F{here()};
+    d32(0);
+    return F;
+  }
+  /// call rax-indirect through an absolute helper address.
+  void callAbs(uint64_t Target) {
+    movImm64(RAX, Target);
+    // call rax
+    b(0xFF);
+    modrmReg(2, RAX);
+  }
+  /// jmp r64 (register-indirect).
+  void jmpReg(unsigned R) {
+    if (R >= 8)
+      b(0x41);
+    b(0xFF);
+    modrmReg(4, R);
+  }
+  void ret() { b(0xC3); }
+  void push(unsigned R) {
+    if (R >= 8)
+      b(0x41);
+    b(0x50 | (R & 7));
+  }
+  void pop(unsigned R) {
+    if (R >= 8)
+      b(0x41);
+    b(0x58 | (R & 7));
+  }
+  /// cdq/cqo-free zeroing idiom.
+  void zero(unsigned R) { rexOpt(0, R, 0, R); b(0x31); modrmReg(R, R); }
+
+private:
+  std::vector<uint8_t> Buf;
+
+  void b(uint8_t V) { Buf.push_back(V); }
+  void d32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(uint8_t(V >> (8 * I)));
+  }
+  void d64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(uint8_t(V >> (8 * I)));
+  }
+
+  void rex(unsigned W, unsigned R, unsigned X, unsigned B_) {
+    b(uint8_t(0x40 | (W << 3) | ((R >> 3) << 2) | ((X >> 3) << 1) |
+              (B_ >> 3)));
+  }
+  /// REX only when an extension bit is needed.
+  void rexOpt(unsigned W, unsigned R, unsigned X, unsigned B_) {
+    if (W || R >= 8 || X >= 8 || B_ >= 8)
+      rex(W, R, X, B_);
+  }
+
+  void modrmReg(unsigned Reg, unsigned Rm) {
+    b(uint8_t(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+  }
+
+  /// [base + disp]; handles the RSP SIB escape and the RBP/R13 disp rules.
+  void modrmMem(unsigned Reg, unsigned Base, int32_t Disp) {
+    unsigned BaseLow = Base & 7;
+    bool NeedDisp8 = Disp != 0 || BaseLow == 5; // rbp/r13 require a disp
+    if (Disp >= -128 && Disp <= 127) {
+      b(uint8_t((NeedDisp8 ? 0x40 : 0x00) | ((Reg & 7) << 3) | BaseLow));
+      if (BaseLow == 4)
+        b(0x24); // SIB: base only
+      if (NeedDisp8)
+        b(uint8_t(int8_t(Disp)));
+    } else {
+      b(uint8_t(0x80 | ((Reg & 7) << 3) | BaseLow));
+      if (BaseLow == 4)
+        b(0x24);
+      d32(uint32_t(Disp));
+    }
+  }
+
+  /// [base + index*1 + disp] via SIB.
+  void sibMem(unsigned Reg, unsigned Base, unsigned Index, int32_t Disp) {
+    unsigned BaseLow = Base & 7;
+    bool NeedDisp8 = Disp != 0 || BaseLow == 5;
+    uint8_t Sib = uint8_t(((Index & 7) << 3) | BaseLow);
+    if (Disp >= -128 && Disp <= 127) {
+      b(uint8_t((NeedDisp8 ? 0x44 : 0x04) | ((Reg & 7) << 3)));
+      b(Sib);
+      if (NeedDisp8)
+        b(uint8_t(int8_t(Disp)));
+    } else {
+      b(uint8_t(0x84 | ((Reg & 7) << 3)));
+      b(Sib);
+      d32(uint32_t(Disp));
+    }
+  }
+
+  void aluRR(uint8_t Op, unsigned Rm, unsigned Reg) {
+    rex(1, Reg, 0, Rm);
+    b(Op);
+    modrmReg(Reg, Rm);
+  }
+  void aluImm(unsigned Digit, unsigned R, int32_t V) {
+    rex(1, 0, 0, R);
+    if (V >= -128 && V <= 127) {
+      b(0x83);
+      modrmReg(Digit, R);
+      b(uint8_t(int8_t(V)));
+    } else {
+      b(0x81);
+      modrmReg(Digit, R);
+      d32(uint32_t(V));
+    }
+  }
+  void unary(unsigned Digit, unsigned R) {
+    rex(1, 0, 0, R);
+    b(0xF7);
+    modrmReg(Digit, R);
+  }
+  void shift(unsigned Digit, unsigned R) {
+    rex(1, 0, 0, R);
+    b(0xD3);
+    modrmReg(Digit, R);
+  }
+  void shiftImm(unsigned Digit, unsigned R, uint8_t N) {
+    rex(1, 0, 0, R);
+    b(0xC1);
+    modrmReg(Digit, R);
+    b(N);
+  }
+  void zextLoad(uint8_t Op, unsigned Dst, unsigned Base) {
+    rex(1, Dst, 0, Base);
+    b(0x0F); b(Op);
+    modrmMem(Dst, Base, 0);
+  }
+  void sextLoad(uint8_t Op, unsigned Dst, unsigned Base) {
+    rex(1, Dst, 0, Base);
+    b(0x0F); b(Op);
+    modrmMem(Dst, Base, 0);
+  }
+};
+
+} // namespace dbt
+} // namespace sim
+} // namespace atom
+
+#endif // ATOM_SIM_DBT_EMITTER_H

@@ -1,0 +1,841 @@
+//===- sim/dbt/Translate.cpp - axp trace -> host x86-64 -------------------===//
+//
+// Lowers one guest *trace* to host code. A trace starts at the hot PC and
+// follows execution through unconditional branches/calls (inlined — the
+// link write happens, then translation continues at the target) and
+// through the likely side of conditional branches (backward displacement =
+// loop back edge = taken); the unfollowed side becomes a counted exit
+// edge with the stat sums of its retired prefix. The trace ends at the
+// first indirect transfer, untranslatable instruction, revisited PC
+// (loop closure), or size cap.
+//
+// The per-instruction lowering mirrors Machine::runLoop's switch case for
+// case — operand read order, sign extensions, the 32-bit sub-operations,
+// and the link-before-target rule of the jump format are all the
+// interpreter's own, which is what the differential fuzz suite
+// (tests/DbtTests.cpp) enforces.
+//
+// Register conventions inside a trace (SysV callee-saved pinned by the
+// enter thunk):
+//   r15  DbtState*            r14  guest register array
+//   r13  inline-TLB base (reads at +0, writes at +32*TlbSlots)
+//   rbx/rbp/r12  fixed-map cache of the trace's three hottest guest regs
+//   rax  primary scratch / result    rcx  operand B / shift count
+//   rdx  TLB probe scratch           rsi  effective address / jump target
+//   r8   store value
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/dbt/Dbt.h"
+#include "sim/dbt/Emitter.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::sim::dbt;
+using namespace atom::isa;
+
+#if !defined(__x86_64__)
+
+TranslatedBlock *DbtTier::translate(uint64_t PC) {
+  Untranslatable[PC] = true;
+  return nullptr;
+}
+
+#else
+
+extern "C" {
+uint64_t atomDbtLoad(atom::sim::dbt::DbtState *, uint64_t, uint64_t);
+void atomDbtStore(atom::sim::dbt::DbtState *, uint64_t, uint64_t, uint64_t);
+uint64_t atomDbtDiv(atom::sim::dbt::DbtState *, uint64_t, uint64_t, uint64_t);
+}
+
+namespace {
+
+/// Opcodes the emitter can lower. Callsys/Halt always stay with the
+/// interpreter (they end the trace before themselves).
+bool canLower(Opcode Op) {
+  switch (Op) {
+  case Opcode::Callsys:
+  case Opcode::Halt:
+  case Opcode::NumOpcodes:
+    return false;
+  default:
+    return true;
+  }
+}
+
+constexpr size_t MaxTraceInsts = 256;
+constexpr size_t MaxCondEdges = 24;
+constexpr int32_t WrTlbDisp = int32_t(32 * TlbSlots); // WrTlb past RdTlb
+
+Cond invertCond(Cond C) {
+  switch (C) {
+  case CondE: return CondNE;
+  case CondNE: return CondE;
+  case CondL: return CondGE;
+  case CondGE: return CondL;
+  case CondLE: return CondG;
+  case CondG: return CondLE;
+  case CondB: return CondAE;
+  default: return CondB; // CondAE
+  }
+}
+
+/// Host condition for a guest conditional branch (tested against 0, or
+/// the low bit for blbc/blbs).
+Cond branchCond(Opcode Op, bool &LowBit) {
+  LowBit = false;
+  switch (Op) {
+  case Opcode::Beq: return CondE;
+  case Opcode::Bne: return CondNE;
+  case Opcode::Blt: return CondL;
+  case Opcode::Ble: return CondLE;
+  case Opcode::Bgt: return CondG;
+  case Opcode::Bge: return CondGE;
+  case Opcode::Blbc: LowBit = true; return CondE;
+  default: LowBit = true; return CondNE; // Blbs
+  }
+}
+
+} // namespace
+
+namespace atom {
+namespace sim {
+namespace dbt {
+
+/// One instruction of a discovered trace.
+struct TraceStep {
+  Inst In;
+  uint64_t PC = 0;
+  bool FollowTaken = false; ///< Cond branch followed on its taken side.
+};
+
+/// One in-flight translation. Friend of DbtTier.
+struct TranslateCtx {
+  DbtTier &T;
+  Machine &M;
+  TranslatedBlock &Meta;
+  const std::vector<TraceStep> &Body;
+  /// Exit target PC per interior edge (parallel to Meta.Exits minus the
+  /// final edge); the final edge's target for a direct trace end.
+  const std::vector<uint64_t> &EdgeTargets;
+  bool EndsIndirect;
+  Emitter E;
+
+  /// rel32 fields that must point at the shared exit thunk once the trace
+  /// is placed in the cache.
+  std::vector<size_t> ThunkSites;
+  /// movabs imm64 fields that must hold the absolute address of their own
+  /// exit jmp (the ChainFrom patch site).
+  struct AbsSite {
+    size_t ImmOff;
+    size_t JmpOff;
+  };
+  std::vector<AbsSite> AbsSites;
+
+  /// Pending jcc's to the block-local side-exit stub (helper faulted).
+  std::vector<Emitter::Fixup> SideExits;
+  /// Pending jcc's to interior exit-edge stubs (unfollowed branch side).
+  struct EdgeStub {
+    Emitter::Fixup From;
+    size_t EdgeIdx;
+  };
+  std::vector<EdgeStub> EdgeStubs;
+
+  /// Body-top offset (after the prologue's pinned-register reloads);
+  /// internal back edges jump here with the pinned registers still live.
+  size_t BodyTop = 0;
+  /// Fuel checks of internal back edges; unlike the entry fuel gate they
+  /// must spill the pinned registers.
+  std::vector<Emitter::Fixup> SelfFuelFixups;
+
+  /// Guest -> host fixed map (NoHostReg = lives in memory off r14).
+  uint8_t HostFor[NumRegs];
+  std::vector<unsigned> Mapped; ///< Guest regs that are pinned.
+
+  TranslateCtx(DbtTier &Tier, Machine &Mach, TranslatedBlock &B,
+               const std::vector<TraceStep> &Steps,
+               const std::vector<uint64_t> &Targets, bool Indirect)
+      : T(Tier), M(Mach), Meta(B), Body(Steps), EdgeTargets(Targets),
+        EndsIndirect(Indirect) {
+    std::memset(HostFor, NoHostReg & 0xFF, sizeof(HostFor));
+    pickFixedMap();
+  }
+
+  //===--- fixed-map register allocation ---------------------------------===//
+
+  void pickFixedMap() {
+    uint32_t Refs[NumRegs] = {};
+    for (const TraceStep &S : Body) {
+      uint32_t Mask = readRegs(S.In) | writtenRegs(S.In);
+      for (unsigned R = 0; R < RegZero; ++R)
+        if (Mask & (1u << R))
+          ++Refs[R];
+    }
+    static const uint8_t Hosts[3] = {RBX, RBP, R12};
+    for (unsigned Slot = 0; Slot < 3; ++Slot) {
+      unsigned Best = NumRegs;
+      uint32_t BestC = 2; // >= 3 refs: pinning costs a load + a spill
+      for (unsigned R = 0; R < RegZero; ++R)
+        if (HostFor[R] == uint8_t(NoHostReg & 0xFF) && Refs[R] > BestC) {
+          Best = R;
+          BestC = Refs[R];
+        }
+      if (Best == NumRegs)
+        break;
+      HostFor[Best] = Hosts[Slot];
+      Mapped.push_back(Best);
+    }
+  }
+
+  unsigned hostOf(unsigned G) const { return HostFor[G]; }
+  bool isMapped(unsigned G) const {
+    return HostFor[G] != uint8_t(NoHostReg & 0xFF);
+  }
+
+  /// Materializes guest register \p G into host register \p Dst.
+  void loadGuest(unsigned Dst, unsigned G) {
+    if (G == RegZero)
+      E.zero(Dst);
+    else if (isMapped(G))
+      E.movRR(Dst, hostOf(G));
+    else
+      E.loadRM(Dst, R14, int32_t(8 * G));
+  }
+
+  /// Writes host register \p Src into guest register \p G (RegZero writes
+  /// are discarded, as in Machine::setReg).
+  void writeGuest(unsigned G, unsigned Src) {
+    if (G == RegZero)
+      return;
+    if (isMapped(G))
+      E.movRR(hostOf(G), Src);
+    else
+      E.storeMR(R14, int32_t(8 * G), Src);
+  }
+
+  /// Spills every pinned guest register back to the register array; done
+  /// on every path that leaves the trace.
+  void flushMapped() {
+    for (unsigned G : Mapped)
+      E.storeMR(R14, int32_t(8 * G), hostOf(G));
+  }
+
+  /// Operand B into \p Dst: the 8-bit zero-extended literal or Regs[Rb].
+  void loadB(unsigned Dst, const Inst &I) {
+    if (I.IsLit)
+      E.movImm64(Dst, I.Lit);
+    else
+      loadGuest(Dst, I.Rb);
+  }
+
+  //===--- helper calls ---------------------------------------------------===//
+
+  /// After any helper that can fault: test ExitReason and bail to the
+  /// side-exit stub if set.
+  void checkHelperExit() {
+    E.cmpMemImm(R15, int32_t(offsetof(DbtState, ExitReason)), 0);
+    SideExits.push_back(E.jcc(CondNE));
+  }
+
+  //===--- memory ---------------------------------------------------------===//
+
+  /// Emits the inline TLB probe for the aligned address in rsi; on a hit
+  /// rsi becomes the host pointer. \p Miss receives the fixups that jump
+  /// to the slow path. The entry is a span: a hit needs
+  /// Lo <= addr <= HiM8, which bounds addr + 8 inside the span — the
+  /// range check subsumes the page tag (a different page's span can never
+  /// contain this address).
+  void tlbProbe(bool IsWrite, std::vector<Emitter::Fixup> &Miss) {
+    int32_t Disp = IsWrite ? WrTlbDisp : 0;
+    // rcx = slot offset for addr's page (32-byte entries).
+    E.movRR(RDX, RSI);
+    E.shrImm(RDX, 13);
+    E.zext8RR(RCX, RDX);
+    E.shlImm(RCX, 5);
+    E.cmpRMIndex(RSI, R13, RCX, Disp); // addr vs Lo (empty: Lo = ~0)
+    Miss.push_back(E.jcc(CondB));
+    E.cmpRMIndex(RSI, R13, RCX, Disp + 8); // addr vs HiM8
+    Miss.push_back(E.jcc(CondA));
+    // Hit: rsi += bias -> host pointer.
+    E.addRMIndex(RSI, R13, RCX, Disp + 16);
+  }
+
+  void emitMemOp(size_t Idx, const Inst &I) {
+    unsigned Size = memAccessSize(I.Op);
+    unsigned SizeLog2 = Size == 1 ? 0 : Size == 2 ? 1 : Size == 4 ? 2 : 3;
+    uint64_t IdxOp = (uint64_t(Idx) << 8) | uint64_t(uint8_t(I.Op));
+    bool IsStore = isStore(I.Op);
+
+    loadGuest(RSI, I.Rb);
+    if (I.Disp)
+      E.addImm(RSI, I.Disp);
+    if (IsStore)
+      loadGuest(R8, I.Ra);
+
+    std::vector<Emitter::Fixup> Miss;
+    bool Strict = M.options().StrictAlignment;
+    if (Size > 1 && Strict) {
+      E.testImm8(RSI, uint8_t(Size - 1));
+      Miss.push_back(E.jcc(CondNE)); // misaligned must trap precisely
+    } else if (Size > 1) {
+      // Misaligned accesses are legal here and the host handles them
+      // natively; a TLB hit's span bound (addr + 8 in range) holds for
+      // any alignment. Count them inline; the miss path undoes the bump
+      // because the helper re-counts on success.
+      E.testImm8(RSI, uint8_t(Size - 1));
+      Emitter::Fixup Aligned = E.jcc(CondE);
+      E.addMemImm(R15, int32_t(offsetof(DbtState, Unaligned)), 1);
+      E.patch(Aligned, E.here());
+    }
+    tlbProbe(IsStore, Miss);
+    if (IsStore) {
+      E.storeMem(RSI, R8, SizeLog2);
+    } else {
+      E.loadMem(RAX, RSI, SizeLog2, /*Sext=*/I.Op == Opcode::Ldl);
+    }
+    Emitter::Fixup Done = E.jmp();
+
+    // Slow path: the C++ helper (TLB miss, strict-unaligned, or faulting).
+    for (Emitter::Fixup F : Miss)
+      E.patch(F, E.here());
+    if (Size > 1 && !Strict) {
+      // rsi is still the guest address on the miss path; undo the inline
+      // unaligned bump (the helper counts it itself when the access
+      // succeeds, and a faulting access must not count at all).
+      E.testImm8(RSI, uint8_t(Size - 1));
+      Emitter::Fixup Aligned = E.jcc(CondE);
+      E.addMemImm(R15, int32_t(offsetof(DbtState, Unaligned)), -1);
+      E.patch(Aligned, E.here());
+    }
+    E.movRR(RDI, R15);
+    if (IsStore) {
+      E.movRR(RDX, R8);
+      E.movImm64(RCX, IdxOp);
+      E.callAbs(uint64_t(reinterpret_cast<uintptr_t>(&atomDbtStore)));
+    } else {
+      E.movImm64(RDX, IdxOp);
+      E.callAbs(uint64_t(reinterpret_cast<uintptr_t>(&atomDbtLoad)));
+    }
+    checkHelperExit();
+
+    E.patch(Done, E.here());
+    if (!IsStore)
+      writeGuest(I.Ra, RAX);
+  }
+
+  //===--- operate format -------------------------------------------------===//
+
+  void emitShift(const Inst &I, void (Emitter::*ByCl)(unsigned),
+                 void (Emitter::*ByImm)(unsigned, uint8_t)) {
+    loadGuest(RAX, I.Ra);
+    if (I.IsLit) {
+      if (I.Lit & 63)
+        (E.*ByImm)(RAX, uint8_t(I.Lit & 63));
+    } else {
+      loadGuest(RCX, I.Rb);
+      (E.*ByCl)(RAX); // hardware masks the count by 63, as B & 63 does
+    }
+    writeGuest(I.Rc, RAX);
+  }
+
+  void emitCompare(const Inst &I, Cond C) {
+    loadGuest(RAX, I.Ra);
+    if (I.IsLit) {
+      E.cmpImm(RAX, int32_t(I.Lit));
+    } else {
+      loadGuest(RCX, I.Rb);
+      E.cmpRR(RAX, RCX);
+    }
+    E.setcc(C, RAX);
+    E.zext8RR(RAX, RAX);
+    writeGuest(I.Rc, RAX);
+  }
+
+  /// ra OP f(B) with an optional `not` on B first (bic/ornot/eqv); a
+  /// literal B (inverted or not) folds into the immediate form.
+  void emitLogic(const Inst &I, void (Emitter::*Op)(unsigned, unsigned),
+                 void (Emitter::*OpImm)(unsigned, int32_t), bool InvertB) {
+    loadGuest(RAX, I.Ra);
+    if (I.IsLit) {
+      int32_t V = InvertB ? int32_t(~int64_t(I.Lit)) : int32_t(I.Lit);
+      (E.*OpImm)(RAX, V); // sign-extended imm is the exact 64-bit mask
+    } else {
+      loadGuest(RCX, I.Rb);
+      if (InvertB)
+        E.notR(RCX);
+      (E.*Op)(RAX, RCX);
+    }
+    writeGuest(I.Rc, RAX);
+  }
+
+  void emitAddSub(const Inst &I, void (Emitter::*Op)(unsigned, unsigned),
+                  void (Emitter::*OpImm)(unsigned, int32_t), bool Sext32) {
+    loadGuest(RAX, I.Ra);
+    if (I.IsLit) {
+      if (I.Lit)
+        (E.*OpImm)(RAX, int32_t(I.Lit));
+    } else {
+      loadGuest(RCX, I.Rb);
+      (E.*Op)(RAX, RCX);
+    }
+    if (Sext32)
+      E.sext32RR(RAX, RAX);
+    writeGuest(I.Rc, RAX);
+  }
+
+  void emitDiv(size_t Idx, const Inst &I) {
+    // atomDbtDiv(DbtState*, A, B, IdxOp) — handles the 0-divisor default
+    // and requests an Arithmetic side exit under TrapOnDivideByZero.
+    loadGuest(RSI, I.Ra);
+    loadB(RDX, I);
+    E.movRR(RDI, R15);
+    E.movImm64(RCX, (uint64_t(Idx) << 8) | uint64_t(uint8_t(I.Op)));
+    E.callAbs(uint64_t(reinterpret_cast<uintptr_t>(&atomDbtDiv)));
+    checkHelperExit();
+    writeGuest(I.Rc, RAX);
+  }
+
+  void emitInst(size_t Idx, const Inst &I) {
+    switch (I.Op) {
+    case Opcode::Lda:
+      loadGuest(RAX, I.Rb);
+      if (I.Disp)
+        E.addImm(RAX, I.Disp);
+      writeGuest(I.Ra, RAX);
+      break;
+    case Opcode::Ldah:
+      loadGuest(RAX, I.Rb);
+      if (I.Disp)
+        E.addImm(RAX, I.Disp << 16);
+      writeGuest(I.Ra, RAX);
+      break;
+
+    case Opcode::Ldbu:
+    case Opcode::Ldwu:
+    case Opcode::Ldl:
+    case Opcode::Ldq:
+    case Opcode::Stb:
+    case Opcode::Stw:
+    case Opcode::Stl:
+    case Opcode::Stq:
+      emitMemOp(Idx, I);
+      break;
+
+    case Opcode::Addl:
+      emitAddSub(I, &Emitter::addRR, &Emitter::addImm, true);
+      break;
+    case Opcode::Addq:
+      emitAddSub(I, &Emitter::addRR, &Emitter::addImm, false);
+      break;
+    case Opcode::Subl:
+      emitAddSub(I, &Emitter::subRR, &Emitter::subImm, true);
+      break;
+    case Opcode::Subq:
+      emitAddSub(I, &Emitter::subRR, &Emitter::subImm, false);
+      break;
+    case Opcode::Mull:
+      // sext32(low32(a * b)): 64-bit imul's low half is sign-agnostic.
+      loadGuest(RAX, I.Ra);
+      loadB(RCX, I);
+      E.imulRR(RAX, RCX);
+      E.sext32RR(RAX, RAX);
+      writeGuest(I.Rc, RAX);
+      break;
+    case Opcode::Mulq:
+      loadGuest(RAX, I.Ra);
+      loadB(RCX, I);
+      E.imulRR(RAX, RCX);
+      writeGuest(I.Rc, RAX);
+      break;
+    case Opcode::Umulh:
+      loadGuest(RAX, I.Ra);
+      loadB(RCX, I);
+      E.mulR(RCX); // rdx:rax = rax * rcx
+      E.movRR(RAX, RDX);
+      writeGuest(I.Rc, RAX);
+      break;
+
+    case Opcode::Divq:
+    case Opcode::Remq:
+    case Opcode::Divqu:
+    case Opcode::Remqu:
+      emitDiv(Idx, I);
+      break;
+
+    case Opcode::And:
+      emitLogic(I, &Emitter::andRR, &Emitter::andImm, false);
+      break;
+    case Opcode::Bic:
+      emitLogic(I, &Emitter::andRR, &Emitter::andImm, true);
+      break;
+    case Opcode::Bis:
+      emitLogic(I, &Emitter::orRR, &Emitter::orImm, false);
+      break;
+    case Opcode::Ornot:
+      emitLogic(I, &Emitter::orRR, &Emitter::orImm, true);
+      break;
+    case Opcode::Xor:
+      emitLogic(I, &Emitter::xorRR, &Emitter::xorImm, false);
+      break;
+    case Opcode::Eqv:
+      emitLogic(I, &Emitter::xorRR, &Emitter::xorImm, true);
+      break;
+
+    case Opcode::Sll: emitShift(I, &Emitter::shlCl, &Emitter::shlImm); break;
+    case Opcode::Srl: emitShift(I, &Emitter::shrCl, &Emitter::shrImm); break;
+    case Opcode::Sra: emitShift(I, &Emitter::sarCl, &Emitter::sarImm); break;
+
+    case Opcode::Cmpeq: emitCompare(I, CondE); break;
+    case Opcode::Cmplt: emitCompare(I, CondL); break;
+    case Opcode::Cmple: emitCompare(I, CondLE); break;
+    case Opcode::Cmpult: emitCompare(I, CondB); break;
+    case Opcode::Cmpule: emitCompare(I, CondBE); break;
+
+    case Opcode::Sextb:
+      loadB(RCX, I);
+      E.sext8RR(RAX, RCX);
+      writeGuest(I.Rc, RAX);
+      break;
+    case Opcode::Sextw:
+      loadB(RCX, I);
+      E.sext16RR(RAX, RCX);
+      writeGuest(I.Rc, RAX);
+      break;
+
+    default: // control transfers handled by the trace walker
+      break;
+    }
+  }
+
+  //===--- exits ----------------------------------------------------------===//
+
+  /// Emits one complete exit: spill pinned regs, bump the edge counter,
+  /// refund the unretired fuel (interior edges only), then a patchable
+  /// 5-byte jmp. Unchained it falls through to the slow tail (publish
+  /// successor PC + this site's address as ChainFrom, leave via the exit
+  /// thunk); once the dispatcher chains it, the jmp lands directly on
+  /// the successor's code and the dead stores are skipped — the
+  /// steady-state cost is spill + count + jmp.
+  void emitDirectExit(ExitEdge &Edge, uint64_t TargetPC) {
+    if (TargetPC == Meta.StartPC) {
+      // Internal back edge: the exit re-enters this same trace. Count
+      // the completed path and recharge in one step — the edge's refund
+      // and the next iteration's charge net out to sub(Edge.Insts) — and
+      // loop to the body top with the pinned registers still live. The
+      // borrow case spills and reports fuel exhaustion precisely.
+      E.movImm64(RAX, uint64_t(reinterpret_cast<uintptr_t>(&Edge.Cnt)));
+      E.incMem(RAX);
+      E.subMemImm(R15, int32_t(offsetof(DbtState, Budget)),
+                  int32_t(Edge.Insts));
+      SelfFuelFixups.push_back(E.jcc(CondB));
+      E.patch(E.jmp(), BodyTop);
+      return;
+    }
+    flushMapped();
+    E.movImm64(RAX, uint64_t(reinterpret_cast<uintptr_t>(&Edge.Cnt)));
+    E.incMem(RAX);
+    uint32_t Refund = Meta.NumInsts - Edge.Insts;
+    if (Refund)
+      E.addMemImm(R15, int32_t(offsetof(DbtState, Budget)), int32_t(Refund));
+    size_t JmpOff = E.here();
+    Emitter::Fixup Site = E.jmp();
+    E.patch(Site, E.here()); // rel32 = 0: fall through until chained
+    E.movImm64(RCX, TargetPC);
+    E.storeMR(R15, int32_t(offsetof(DbtState, ExitPC)), RCX);
+    size_t ImmOff = E.movImm64Fixed(RAX, 0); // patched: address of the jmp
+    E.storeMR(R15, int32_t(offsetof(DbtState, ChainFrom)), RAX);
+    ThunkSites.push_back(E.jmp().Offset);
+    AbsSites.push_back({ImmOff, JmpOff});
+  }
+
+  /// Indirect exit: successor PC already in rsi. Probes the inline
+  /// indirect-branch target cache first, so monomorphic jmp/jsr/ret
+  /// transfers stay inside the code cache; a miss hands the PC to the
+  /// dispatcher with ChainFrom cleared (a chained predecessor may have
+  /// left its own site address there on the way in).
+  void emitIndirectExit(ExitEdge &Edge) {
+    flushMapped();
+    E.movImm64(RAX, uint64_t(reinterpret_cast<uintptr_t>(&Edge.Cnt)));
+    E.incMem(RAX);
+    constexpr int32_t IbtcDisp = int32_t(offsetof(DbtState, Ibtc));
+    // rdx = ((pc >> 2) & 255) * 16 — the entry offset.
+    E.movRR(RDX, RSI);
+    E.shrImm(RDX, 2);
+    E.zext8RR(RDX, RDX);
+    E.shlImm(RDX, 4);
+    E.cmpRMIndex(RSI, R15, RDX, IbtcDisp);
+    Emitter::Fixup MissF = E.jcc(CondNE);
+    E.loadRMIndex(RAX, R15, RDX, IbtcDisp + 8);
+    E.jmpReg(RAX); // straight into the successor trace's prologue
+    E.patch(MissF, E.here());
+    E.storeMR(R15, int32_t(offsetof(DbtState, ExitPC)), RSI);
+    E.storeMemImm(R15, int32_t(offsetof(DbtState, ChainFrom)), 0);
+    ThunkSites.push_back(E.jmp().Offset);
+  }
+
+  //===--- whole trace ----------------------------------------------------===//
+
+  void emitBlock() {
+    // Fuel gate: leave before running anything if the budget cannot cover
+    // the whole trace; the dispatcher interprets the tail precisely. One
+    // sub does both the check (borrow = budget short) and the charge;
+    // exit edges refund their unretired suffix, the cold stub refunds
+    // everything.
+    E.subMemImm(R15, int32_t(offsetof(DbtState, Budget)),
+                int32_t(Meta.NumInsts));
+    Emitter::Fixup FuelF = E.jcc(CondB);
+    for (unsigned G : Mapped)
+      E.loadRM(hostOf(G), R14, int32_t(8 * G));
+    BodyTop = E.here();
+
+    size_t NextEdge = 0;
+    for (size_t I = 0; I < Body.size(); ++I) {
+      const Inst &In = Body[I].In;
+      uint64_t PC = Body[I].PC;
+      switch (In.Op) {
+      case Opcode::Br:
+      case Opcode::Bsr:
+        // Inlined: write the link, keep going at the target (the next
+        // trace step).
+        if (In.Ra != RegZero) {
+          E.movImm64(RAX, PC + 4);
+          writeGuest(In.Ra, RAX);
+        }
+        break;
+      case Opcode::Jmp:
+      case Opcode::Jsr:
+      case Opcode::Ret: {
+        // Target computed from rb *before* the link write (ret ra,(ra)).
+        loadGuest(RSI, In.Rb);
+        E.andImm(RSI, -4);
+        if (In.Ra != RegZero) {
+          E.movImm64(RAX, PC + 4);
+          writeGuest(In.Ra, RAX);
+        }
+        emitIndirectExit(Meta.Exits.back());
+        break;
+      }
+      default:
+        if (isCondBranch(In.Op)) {
+          // Exit on the unfollowed side; the followed side continues
+          // inline as the next trace step.
+          bool LowBit;
+          Cond C = branchCond(In.Op, LowBit);
+          if (Body[I].FollowTaken)
+            C = invertCond(C);
+          unsigned Src = RAX; // pinned regs are tested in place
+          if (isMapped(In.Ra))
+            Src = hostOf(In.Ra);
+          else
+            loadGuest(RAX, In.Ra);
+          if (LowBit)
+            E.testImm8(Src, 1);
+          else
+            E.cmpImm(Src, 0);
+          EdgeStubs.push_back({E.jcc(C), NextEdge++});
+        } else {
+          emitInst(I, In);
+        }
+        break;
+      }
+    }
+    if (!EndsIndirect)
+      emitDirectExit(Meta.Exits.back(), EdgeTargets.back());
+
+    // Interior exit-edge stubs: the unfollowed side of each conditional
+    // branch leaves here with its own counter and fuel refund.
+    for (const EdgeStub &S : EdgeStubs) {
+      E.patch(S.From, E.here());
+      emitDirectExit(Meta.Exits[S.EdgeIdx], EdgeTargets[S.EdgeIdx]);
+    }
+
+    // Back-edge fuel stub: the pinned registers were live, so spill them,
+    // then undo the recharge (the completed path was already committed by
+    // its counter) and report fuel exhaustion at the trace head.
+    if (!SelfFuelFixups.empty()) {
+      for (Emitter::Fixup F : SelfFuelFixups)
+        E.patch(F, E.here());
+      flushMapped();
+      E.addMemImm(R15, int32_t(offsetof(DbtState, Budget)),
+                  int32_t(Meta.NumInsts));
+      E.storeMemImm(R15, int32_t(offsetof(DbtState, ExitReason)),
+                    int32_t(ExitReason::Fuel));
+      E.movImm64(RCX, Meta.StartPC);
+      E.storeMR(R15, int32_t(offsetof(DbtState, ExitPC)), RCX);
+      ThunkSites.push_back(E.jmp().Offset);
+    }
+
+    // Side-exit stub: a helper recorded a fault at ExitIndex. Spill state
+    // and hand the dispatcher this trace's identity via ExitPC.
+    if (!SideExits.empty()) {
+      for (Emitter::Fixup F : SideExits)
+        E.patch(F, E.here());
+      flushMapped();
+      E.movImm64(RCX, Meta.StartPC);
+      E.storeMR(R15, int32_t(offsetof(DbtState, ExitPC)), RCX);
+      ThunkSites.push_back(E.jmp().Offset);
+    }
+
+    // Fuel stub: nothing ran, nothing to spill; refund the charge.
+    E.patch(FuelF, E.here());
+    E.addMemImm(R15, int32_t(offsetof(DbtState, Budget)),
+                int32_t(Meta.NumInsts));
+    E.storeMemImm(R15, int32_t(offsetof(DbtState, ExitReason)),
+                  int32_t(ExitReason::Fuel));
+    E.movImm64(RCX, Meta.StartPC);
+    E.storeMR(R15, int32_t(offsetof(DbtState, ExitPC)), RCX);
+    ThunkSites.push_back(E.jmp().Offset);
+  }
+};
+
+} // namespace dbt
+} // namespace sim
+} // namespace atom
+
+TranslatedBlock *DbtTier::translate(uint64_t PC) {
+  Machine &Mach = *M;
+  auto Reject = [&]() -> TranslatedBlock * {
+    Untranslatable[PC] = true;
+    return nullptr;
+  };
+  if (!Cache)
+    return Reject();
+  uint64_t Text = Mach.textStart();
+
+  // Discover the trace: follow unconditional direct transfers and the
+  // likely (backward = taken) side of conditional branches; stop at the
+  // first indirect transfer, precise instruction, revisited PC, or cap.
+  std::vector<TraceStep> Body;
+  std::unordered_set<uint64_t> InTrace;
+  uint64_t Cur = PC;
+  bool EndsIndirect = false;
+  size_t CondEdges = 0;
+  for (;;) {
+    uint64_t Off = Cur - Text;
+    if ((Off & 3) || Off / 4 >= Mach.textWordCount() ||
+        !Mach.decodeOkWord(Off / 4))
+      break; // trace ends; Cur is the direct successor
+    const Inst &In = Mach.decodedWord(Off / 4);
+    if (!canLower(In.Op) || InTrace.count(Cur) ||
+        Body.size() >= MaxTraceInsts)
+      break;
+    if (isCondBranch(In.Op) && CondEdges >= MaxCondEdges)
+      break;
+    InTrace.insert(Cur);
+    TraceStep S;
+    S.In = In;
+    S.PC = Cur;
+    uint64_t Taken = Cur + 4 + uint64_t(int64_t(In.Disp)) * 4;
+    if (In.Op == Opcode::Br || In.Op == Opcode::Bsr) {
+      Body.push_back(S);
+      Cur = Taken;
+      continue;
+    }
+    if (isCondBranch(In.Op)) {
+      S.FollowTaken = In.Disp < 0; // backward taken = loop back edge
+      ++CondEdges;
+      Body.push_back(S);
+      Cur = S.FollowTaken ? Taken : Cur + 4;
+      continue;
+    }
+    Body.push_back(S);
+    if (isControlTransfer(In.Op)) { // jmp/jsr/ret
+      EndsIndirect = true;
+      break;
+    }
+    Cur += 4;
+  }
+  if (Body.empty())
+    return Reject();
+
+  auto MetaPtr = std::make_unique<TranslatedBlock>();
+  TranslatedBlock &B = *MetaPtr;
+  B.StartPC = PC;
+  B.NumInsts = uint32_t(Body.size());
+  B.LoPC = ~uint64_t(0);
+  B.HiPC = 0;
+  B.PCs.reserve(Body.size());
+  B.TookBranch.assign(Body.size(), 0);
+
+  // Build the exit edges with their retired-prefix stat sums: one per
+  // interior conditional branch (the unfollowed side) plus the trace-end
+  // edge. Exits is fully sized here — counter addresses are baked into
+  // the code and must not move.
+  std::vector<uint64_t> EdgeTargets;
+  ExitEdge Run;
+  uint32_t RunMix[size_t(Opcode::NumOpcodes)] = {};
+  auto Snapshot = [&RunMix](const ExitEdge &From) {
+    ExitEdge Out = From;
+    Out.Cnt = 0;
+    Out.Mix.clear();
+    for (size_t I = 0; I < size_t(Opcode::NumOpcodes); ++I)
+      if (RunMix[I])
+        Out.Mix.emplace_back(Opcode(I), RunMix[I]);
+    return Out;
+  };
+  for (size_t I = 0; I < Body.size(); ++I) {
+    const Inst &In = Body[I].In;
+    uint64_t StepPC = Body[I].PC;
+    B.PCs.push_back(StepPC);
+    B.LoPC = std::min(B.LoPC, StepPC);
+    B.HiPC = std::max(B.HiPC, StepPC + 4);
+    ++Run.Insts;
+    ++RunMix[size_t(In.Op)];
+    if (isLoad(In.Op))
+      ++Run.Loads;
+    else if (isStore(In.Op))
+      ++Run.Stores;
+    if (isCall(In.Op))
+      ++Run.Calls;
+    else if (isReturn(In.Op))
+      ++Run.Returns;
+    if (isCondBranch(In.Op)) {
+      ++Run.CondBranches;
+      bool FollowTaken = Body[I].FollowTaken;
+      B.TookBranch[I] = FollowTaken;
+      // The unfollowed side retires everything up to and including this
+      // branch; it is the taken side exactly when the trace follows the
+      // fall-through.
+      ExitEdge Edge = Snapshot(Run);
+      Edge.TakenBranches = Run.TakenBranches + (FollowTaken ? 0 : 1);
+      B.Exits.push_back(std::move(Edge));
+      EdgeTargets.push_back(FollowTaken
+                                ? StepPC + 4
+                                : StepPC + 4 + uint64_t(int64_t(In.Disp)) * 4);
+      Run.TakenBranches += FollowTaken ? 1 : 0;
+    }
+  }
+  // Trace-end edge: the whole trace retired. For a direct end, Cur is the
+  // successor PC the exit publishes.
+  B.Exits.push_back(Snapshot(Run));
+  EdgeTargets.push_back(Cur);
+
+  TranslateCtx Ctx(*this, Mach, B, Body, EdgeTargets, EndsIndirect);
+  Ctx.emitBlock();
+
+  uint8_t *Base = commitCode(Ctx.E.bytes());
+  // Resolve the cross-section targets now that the trace has an address.
+  for (size_t SiteOff : Ctx.ThunkSites) {
+    int32_t Rel = int32_t(int64_t(uint64_t(ExitThunk)) -
+                          int64_t(uint64_t(Base + SiteOff) + 4));
+    std::memcpy(Base + SiteOff, &Rel, 4);
+  }
+  for (const TranslateCtx::AbsSite &A : Ctx.AbsSites) {
+    uint64_t V = uint64_t(reinterpret_cast<uintptr_t>(Base + A.JmpOff));
+    std::memcpy(Base + A.ImmOff, &V, 8);
+  }
+  makeExecutable();
+
+  B.Code = Base;
+  TranslatedBlock *Ret = &B;
+  Blocks[PC] = std::move(MetaPtr);
+  ++Perf.BlocksTranslated;
+  return Ret;
+}
+
+#endif // __x86_64__

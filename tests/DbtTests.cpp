@@ -1,0 +1,518 @@
+//===- tests/DbtTests.cpp - DBT tier vs interpreter oracle ----------------===//
+//
+// The interpreter is the oracle: every observable of a DBT-dispatched run
+// — RunResult (status, exit code, trap kind, fault PC/address), Stats
+// (including PerOpcode and UnalignedAccesses), final register file, and
+// VFS output — must be bit-identical to the same program run with
+// EnableDbt = false. This suite enforces that with:
+//
+//   * a differential fuzzer over random straight-line blocks (ALU ops,
+//     literals, aligned and misaligned loads/stores),
+//   * directed trap-parity tests covering every memory/arithmetic/control
+//     TrapKind the translated code can encounter,
+//   * translation-cache coherence tests: a decode-corrupted word is never
+//     executed from stale translated code, and a ranged invalidation
+//     drops only the blocks it intersects,
+//   * chaining / indirect-exit / fuel-accounting checks, and
+//   * whole-workload oracle runs with translation forced (threshold 0).
+//
+// Everything honors the ATOM_SIM_DBT environment override: under `off`
+// the differential pairs degenerate to interpreter-vs-interpreter (still
+// valid, trivially), and DBT-activity assertions are skipped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "asm/Assembler.h"
+#include "link/Linker.h"
+#include "sim/Inject.h"
+#include "sim/dbt/Dbt.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace atom;
+using namespace atom::sim;
+using namespace atom::test;
+
+namespace {
+
+/// True when this host can actually run translated code and the CI sweep
+/// has not disabled the tier; activity assertions are gated on this.
+bool dbtActive() {
+  return dbt::DbtTier::supported() && dbt::envMode() != dbt::EnvMode::Off;
+}
+
+MachineOptions dbtForced() {
+  MachineOptions O;
+  O.DbtThreshold = 0; // translate on first execution
+  return O;
+}
+
+MachineOptions dbtOff() {
+  MachineOptions O;
+  O.EnableDbt = false;
+  return O;
+}
+
+std::unique_ptr<Machine> makeAsmMachine(const std::string &Body,
+                                        const MachineOptions &Opts) {
+  std::string Src = "        .text\n        .ent start\n"
+                    "        .globl start\nstart:\n" +
+                    Body + "        .end start\n";
+  DiagEngine Diags;
+  obj::ObjectModule M;
+  if (!assembler::assemble(Src, "t", M, Diags)) {
+    ADD_FAILURE() << "assembly failed:\n" << Diags.str() << "\n" << Src;
+    abort();
+  }
+  obj::Executable Exe;
+  link::LinkOptions LOpts;
+  LOpts.EntrySymbol = "start";
+  if (!link::linkExecutable({M}, Exe, Diags, LOpts)) {
+    ADD_FAILURE() << "link failed:\n" << Diags.str();
+    abort();
+  }
+  return std::make_unique<Machine>(Exe, Opts);
+}
+
+/// Everything a run can observe, captured for differential comparison.
+struct Observed {
+  RunResult R;
+  Stats S;
+  std::array<uint64_t, isa::NumRegs> Regs{};
+  std::string Stdout;
+};
+
+Observed observe(Machine &M, uint64_t Fuel) {
+  Observed O;
+  O.R = M.run(Fuel);
+  O.S = M.stats();
+  for (unsigned I = 0; I < isa::NumRegs; ++I)
+    O.Regs[I] = M.reg(I);
+  O.Stdout = M.vfs().stdoutText();
+  return O;
+}
+
+void expectSame(const Observed &D, const Observed &I, const std::string &Tag) {
+  EXPECT_EQ(int(D.R.Status), int(I.R.Status)) << Tag;
+  EXPECT_EQ(D.R.ExitCode, I.R.ExitCode) << Tag;
+  EXPECT_EQ(int(D.R.Trap), int(I.R.Trap)) << Tag;
+  EXPECT_EQ(D.R.FaultPC, I.R.FaultPC) << Tag;
+  EXPECT_EQ(D.R.FaultAddr, I.R.FaultAddr) << Tag;
+  EXPECT_EQ(D.S.Instructions, I.S.Instructions) << Tag;
+  EXPECT_EQ(D.S.Loads, I.S.Loads) << Tag;
+  EXPECT_EQ(D.S.Stores, I.S.Stores) << Tag;
+  EXPECT_EQ(D.S.CondBranches, I.S.CondBranches) << Tag;
+  EXPECT_EQ(D.S.TakenBranches, I.S.TakenBranches) << Tag;
+  EXPECT_EQ(D.S.Calls, I.S.Calls) << Tag;
+  EXPECT_EQ(D.S.Returns, I.S.Returns) << Tag;
+  EXPECT_EQ(D.S.Syscalls, I.S.Syscalls) << Tag;
+  EXPECT_EQ(D.S.UnalignedAccesses, I.S.UnalignedAccesses) << Tag;
+  for (size_t Op = 0; Op < D.S.PerOpcode.size(); ++Op)
+    EXPECT_EQ(D.S.PerOpcode[Op], I.S.PerOpcode[Op])
+        << Tag << " opcode " << Op;
+  for (unsigned R = 0; R < isa::NumRegs; ++R)
+    EXPECT_EQ(D.Regs[R], I.Regs[R]) << Tag << " reg " << R;
+  EXPECT_EQ(D.Stdout, I.Stdout) << Tag;
+}
+
+/// Assembles \p Body twice and runs it under DBT-forced and DBT-off
+/// options, asserting identical observables.
+void differential(const std::string &Body, const std::string &Tag,
+                  uint64_t Fuel = 1'000'000,
+                  MachineOptions Base = MachineOptions()) {
+  MachineOptions D = Base;
+  D.DbtThreshold = 0;
+  std::unique_ptr<Machine> MD = makeAsmMachine(Body, D);
+  Observed OD = observe(*MD, Fuel);
+
+  MachineOptions N = Base;
+  N.EnableDbt = false;
+  std::unique_ptr<Machine> MN = makeAsmMachine(Body, N);
+  Observed ON = observe(*MN, Fuel);
+
+  expectSame(OD, ON, Tag);
+}
+
+/// xorshift64 for the fuzzer — deterministic across platforms.
+uint64_t nextRand(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: random straight-line blocks.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtFuzz, RandomStraightLineBlocksMatchInterpreter) {
+  // Writable scratch register pool; s0 stays the heap base for memory ops.
+  static const char *Regs[] = {"t1", "t2", "t3", "t4", "t5", "t6", "t7",
+                               "s1", "s2", "s3", "s4", "s5", "a0", "a1",
+                               "a2", "a3", "a4", "a5"};
+  constexpr size_t NR = sizeof(Regs) / sizeof(Regs[0]);
+  static const char *Alu3[] = {"addq", "subq",  "addl",   "subl",  "mulq",
+                               "mull", "umulh", "and",    "bis",   "xor",
+                               "bic",  "ornot", "eqv",    "cmpeq", "cmplt",
+                               "cmple", "cmpult", "cmpule", "sll",  "srl",
+                               "sra"};
+  constexpr size_t NA = sizeof(Alu3) / sizeof(Alu3[0]);
+  static const char *Loads[] = {"ldq", "ldl", "ldwu", "ldbu"};
+  static const char *Stores[] = {"stq", "stl", "stw", "stb"};
+
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    uint64_t S = Seed * 0x9E3779B97F4A7C15ull;
+    std::string Body = "lconst s0, 0x10000000\n";
+    // Seed a few registers with non-trivial values.
+    for (size_t I = 0; I < 6; ++I)
+      Body += "        lda " + std::string(Regs[nextRand(S) % NR]) + ", " +
+              std::to_string(int64_t(nextRand(S) % 0x7fff) - 0x4000) +
+              "(zero)\n";
+    for (size_t I = 0; I < 70; ++I) {
+      uint64_t Pick = nextRand(S) % 10;
+      const char *A = Regs[nextRand(S) % NR];
+      const char *B = Regs[nextRand(S) % NR];
+      const char *C = Regs[nextRand(S) % NR];
+      if (Pick < 5) { // reg-reg ALU
+        Body += "        " + std::string(Alu3[nextRand(S) % NA]) + " " + A +
+                ", " + B + ", " + C + "\n";
+      } else if (Pick < 7) { // literal ALU
+        Body += "        " + std::string(Alu3[nextRand(S) % NA]) + " " + A +
+                ", #" + std::to_string(nextRand(S) % 256) + ", " + C + "\n";
+      } else if (Pick < 8) { // divide/remainder (0 divisor sometimes)
+        static const char *Div[] = {"divq", "remq", "divqu", "remqu"};
+        Body += "        " + std::string(Div[nextRand(S) % 4]) + " " + A +
+                ", #" + std::to_string(nextRand(S) % 8) + ", " + C + "\n";
+      } else if (Pick < 9) { // load (aligned and misaligned offsets)
+        Body += "        " + std::string(Loads[nextRand(S) % 4]) + " " + A +
+                ", " + std::to_string(nextRand(S) % 2048) + "(s0)\n";
+      } else { // store
+        Body += "        " + std::string(Stores[nextRand(S) % 4]) + " " + A +
+                ", " + std::to_string(nextRand(S) % 2048) + "(s0)\n";
+      }
+    }
+    Body += "        halt\n";
+    differential(Body, "fuzz seed " + std::to_string(Seed));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trap parity: every fault kind translated code can reach.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtFaults, UnmappedLoadParity) {
+  differential("lconst t0, 0x03000000\n"
+               "        ldq t1, 0(t0)\n        halt\n",
+               "unmapped load");
+}
+
+TEST(DbtFaults, UnmappedStoreParity) {
+  differential("lconst t0, 0x03000000\n"
+               "        stq t1, 0(t0)\n        halt\n",
+               "unmapped store");
+}
+
+TEST(DbtFaults, WriteProtectedStoreParity) {
+  differential("lconst t0, 0x02000000\n" // text start
+               "        stq t1, 0(t0)\n        halt\n",
+               "write-protected store");
+}
+
+TEST(DbtFaults, StrictAlignmentTrapParity) {
+  MachineOptions Strict;
+  Strict.StrictAlignment = true;
+  differential("lconst t0, 0x10000001\n"
+               "        ldq t1, 0(t0)\n        halt\n",
+               "strict unaligned", 1'000'000, Strict);
+}
+
+TEST(DbtFaults, LenientMisalignedAccessParity) {
+  // Misaligned accesses retire inline on the DBT hot path; the unaligned
+  // counter and loaded values must still match the interpreter exactly.
+  differential("lconst t0, 0x10000000\n"
+               "        lconst t1, 0x0123456789abcdef\n"
+               "        stq t1, 0(t0)\n"
+               "        stq t1, 8(t0)\n"
+               "        ldq t2, 3(t0)\n"
+               "        ldl t3, 1(t0)\n"
+               "        ldwu t4, 5(t0)\n"
+               "        stq t2, 17(t0)\n"
+               "        stl t3, 33(t0)\n"
+               "        ldq t5, 17(t0)\n"
+               "        halt\n",
+               "lenient misaligned");
+}
+
+TEST(DbtFaults, DivideByZeroTrapParity) {
+  MachineOptions TrapDiv;
+  TrapDiv.TrapOnDivideByZero = true;
+  differential("lconst t0, 42\n"
+               "        clr t1\n"
+               "        divq t0, t1, t2\n        halt\n",
+               "divide by zero trap", 1'000'000, TrapDiv);
+}
+
+TEST(DbtFaults, DivideByZeroDefaultParity) {
+  differential("lconst t0, 42\n"
+               "        clr t1\n"
+               "        divq t0, t1, t2\n"
+               "        remq t0, t1, t3\n        halt\n",
+               "divide by zero default");
+}
+
+TEST(DbtFaults, BadIndirectTargetParity) {
+  // jmp to a misaligned / out-of-text target: the indirect exit hands the
+  // PC to the dispatcher, whose checked loop reports BadPC.
+  differential("lconst t0, 0x02000002\n"
+               "        jmp zero, (t0)\n        halt\n",
+               "bad indirect target");
+}
+
+TEST(DbtFaults, FaultInsideHotLoopParity) {
+  // The faulting load only fires once the loop pointer walks off the heap
+  // region: the trace is hot (translated) when the fault arrives, so the
+  // precise side exit and prefix commit are exercised.
+  differential("lconst t0, 0x1fffff00\n" // near the heap region end
+               "Lloop:  ldq t1, 0(t0)\n"
+               "        addq t0, #8, t0\n"
+               "        br Lloop\n",
+               "fault inside hot loop");
+}
+
+//===----------------------------------------------------------------------===//
+// Fuel accounting.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtFuel, ExhaustionIsInstructionExact) {
+  for (uint64_t Fuel : {1u, 7u, 100u, 999u, 5000u}) {
+    MachineOptions D = dbtForced();
+    std::unique_ptr<Machine> M = makeAsmMachine(
+        "Lloop:  addq t0, #1, t0\n"
+        "        subq t1, #3, t1\n"
+        "        br Lloop\n",
+        D);
+    RunResult R = M->run(Fuel);
+    ASSERT_EQ(int(R.Status), int(RunStatus::FuelExhausted)) << Fuel;
+    EXPECT_EQ(M->stats().Instructions, Fuel) << Fuel;
+  }
+}
+
+TEST(DbtFuel, ResumedRunMatchesInterpreter) {
+  // Stop mid-loop, then resume to completion: segmented DBT runs must
+  // retire exactly what one interpreter run does.
+  const std::string Body = "lda t0, 5000(zero)\n"
+                           "Lloop:  subq t0, #1, t0\n"
+                           "        bne t0, Lloop\n"
+                           "        halt\n";
+  std::unique_ptr<Machine> MD = makeAsmMachine(Body, dbtForced());
+  ASSERT_EQ(int(MD->run(1234).Status), int(RunStatus::FuelExhausted));
+  RunResult RD = MD->run(1'000'000);
+
+  std::unique_ptr<Machine> MN = makeAsmMachine(Body, dbtOff());
+  ASSERT_EQ(int(MN->run(1234).Status), int(RunStatus::FuelExhausted));
+  RunResult RN = MN->run(1'000'000);
+
+  EXPECT_EQ(int(RD.Status), int(RN.Status));
+  EXPECT_EQ(MD->stats().Instructions, MN->stats().Instructions);
+  EXPECT_EQ(MD->stats().TakenBranches, MN->stats().TakenBranches);
+}
+
+//===----------------------------------------------------------------------===//
+// Translation-cache coherence (the satellite-2 contract).
+//===----------------------------------------------------------------------===//
+
+TEST(DbtInvalidation, CorruptedWordNeverRunsFromStaleCode) {
+  // Translate the hot loop, corrupt its body word into `halt` mid-run,
+  // and resume: execution must see the new word immediately. Stale
+  // translated code would keep looping and retire a different count.
+  const std::string Body = "lda t0, 30000(zero)\n"
+                           "Lloop:  subq t0, #1, t0\n"
+                           "        bne t0, Lloop\n"
+                           "        halt\n";
+  auto RunCorrupted = [&](const MachineOptions &O) {
+    std::unique_ptr<Machine> M = makeAsmMachine(Body, O);
+    EXPECT_EQ(int(M->run(5000).Status), int(RunStatus::FuelExhausted));
+    // Make word 1 (the subq at Lloop) a halt, byte-identical to word 3.
+    uint64_t Text = obj::DefaultTextStart;
+    uint32_t Subq = M->memory().load32(Text + 4);
+    uint32_t Halt = M->memory().load32(Text + 12);
+    M->corruptTextWord(1, Subq ^ Halt);
+    RunResult R = M->run(1'000'000);
+    EXPECT_EQ(int(R.Status), int(RunStatus::Halted));
+    return std::pair(M->stats().Instructions, std::move(M));
+  };
+  auto [DbtInsts, MD] = RunCorrupted(dbtForced());
+  auto [IntInsts, MN] = RunCorrupted(dbtOff());
+  EXPECT_EQ(DbtInsts, IntInsts) << "stale translated code executed";
+  if (dbtActive()) {
+    ASSERT_NE(MD->dbtPerf(), nullptr);
+    EXPECT_GT(MD->dbtPerf()->BlocksTranslated, 0u);
+    EXPECT_GT(MD->dbtPerf()->Invalidations + MD->dbtPerf()->CacheFlushes, 0u)
+        << "corruption did not drop the translated loop";
+  }
+}
+
+TEST(DbtInvalidation, RangedEventSparesDisjointBlocks) {
+  // Corrupting a never-executed word must not drop the hot loop's
+  // translation: the ranged invalidation only intersects [word, word+4).
+  const std::string Body = "lda t0, 20000(zero)\n"
+                           "Lloop:  subq t0, #1, t0\n"
+                           "        bne t0, Lloop\n"
+                           "        halt\n"
+                           "        addq s0, s0, s0\n"  // dead, word 4
+                           "        addq s0, s0, s0\n"; // dead, word 5
+  std::unique_ptr<Machine> M = makeAsmMachine(Body, dbtForced());
+  ASSERT_EQ(int(M->run(5000).Status), int(RunStatus::FuelExhausted));
+  uint32_t Dead = M->memory().load32(obj::DefaultTextStart + 16);
+  M->corruptTextWord(4, Dead ^ 0xFFFFFFFF);
+  RunResult R = M->run(1'000'000);
+  EXPECT_EQ(int(R.Status), int(RunStatus::Halted)) << R.FaultMessage;
+  EXPECT_GT(M->memory().perf().TransRangedInvalidations, 0u);
+  if (dbtActive()) {
+    ASSERT_NE(M->dbtPerf(), nullptr);
+    EXPECT_GT(M->dbtPerf()->BlocksTranslated, 0u);
+    EXPECT_EQ(M->dbtPerf()->Invalidations, 0u)
+        << "a disjoint corruption evicted live translations";
+    EXPECT_EQ(M->dbtPerf()->CacheFlushes, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Chaining, indirect exits, and tier observability.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtPerfCounters, NestedLoopChainsAndStaysInCache) {
+  const std::string Body = "lda s0, 100(zero)\n"
+                           "Louter: lda t0, 50(zero)\n"
+                           "Linner: subq t0, #1, t0\n"
+                           "        bne t0, Linner\n"
+                           "        subq s0, #1, s0\n"
+                           "        bne s0, Louter\n"
+                           "        halt\n";
+  differential(Body, "nested loop");
+  if (!dbtActive())
+    GTEST_SKIP() << "DBT unavailable on this host or disabled by env";
+  std::unique_ptr<Machine> M = makeAsmMachine(Body, dbtForced());
+  ASSERT_EQ(int(M->run(1'000'000).Status), int(RunStatus::Halted));
+  ASSERT_NE(M->dbtPerf(), nullptr);
+  const dbt::DbtPerf &P = *M->dbtPerf();
+  EXPECT_GT(P.BlocksTranslated, 0u);
+  EXPECT_GT(P.ChainLinks, 0u) << "hot direct exits never chained";
+  EXPECT_GT(P.CacheBytes, 0u);
+  // ~5000 inner iterations: the dispatcher must not be re-entered per
+  // iteration once the loop traces are chained.
+  EXPECT_LT(P.InterpFallbacks, 200u);
+}
+
+TEST(DbtPerfCounters, CallReturnLoopParity) {
+  const std::string Body = "lda s0, 500(zero)\n"
+                           "Lloop:  bsr ra, Lfn\n"
+                           "        subq s0, #1, s0\n"
+                           "        bne s0, Lloop\n"
+                           "        halt\n"
+                           "Lfn:    addq s1, #1, s1\n"
+                           "        ret\n";
+  differential(Body, "call-return loop");
+}
+
+TEST(DbtPerfCounters, TierReportsActivity) {
+  if (!dbtActive())
+    GTEST_SKIP() << "DBT unavailable on this host or disabled by env";
+  std::unique_ptr<Machine> M = makeAsmMachine(
+      "lconst s0, 0x10000000\n"
+      "        lda t0, 2000(zero)\n"
+      "Lloop:  stq t0, 0(s0)\n"
+      "        ldq t1, 0(s0)\n"
+      "        subq t0, #1, t0\n"
+      "        bne t0, Lloop\n"
+      "        halt\n",
+      dbtForced());
+  ASSERT_EQ(int(M->run(1'000'000).Status), int(RunStatus::Halted));
+  ASSERT_NE(M->dbtPerf(), nullptr);
+  const dbt::DbtPerf &P = *M->dbtPerf();
+  EXPECT_GT(P.BlocksTranslated, 0u);
+  EXPECT_GT(P.TlbFills, 0u);
+  // The loop's loads/stores must run inline, not through the helpers.
+  EXPECT_LT(P.SlowMemOps, 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Injection schedules: seeded corruption parity across backends.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtInject, SeededSchedulesMatchInterpreter) {
+  const workloads::Workload *W = workloads::findWorkload("crc");
+  ASSERT_NE(W, nullptr);
+  obj::Executable Exe = buildOrDie(W->Source);
+  static const char *Specs[] = {"regbit@1000,7",  "regbit@5000,99",
+                                "membit@2000,3",  "membit@700,11",
+                                "decode@3000,5",  "decode@800,21",
+                                "io@100,1"};
+  for (const char *Spec : Specs) {
+    InjectSpec S;
+    std::string Err;
+    ASSERT_TRUE(parseInjectSpec(Spec, S, Err)) << Err;
+
+    MachineOptions D = dbtForced();
+    Machine MD(Exe, D);
+    armInjections({S}, MD);
+    Observed OD = observe(MD, 10'000'000);
+
+    Machine MN(Exe, dbtOff());
+    armInjections({S}, MN);
+    Observed ON = observe(MN, 10'000'000);
+
+    expectSame(OD, ON, std::string("inject ") + Spec);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-workload oracle.
+//===----------------------------------------------------------------------===//
+
+TEST(DbtOracle, WorkloadsMatchInterpreterWithTranslationForced) {
+  for (const char *Name : {"crc", "qsort", "matmul", "sieve", "rle",
+                           "iobound"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    obj::Executable Exe = buildOrDie(W->Source);
+
+    Machine MD(Exe, dbtForced());
+    Observed OD = observe(MD, 2'000'000'000);
+    Machine MN(Exe, dbtOff());
+    Observed ON = observe(MN, 2'000'000'000);
+
+    ASSERT_EQ(int(OD.R.Status), int(RunStatus::Exited)) << Name;
+    expectSame(OD, ON, Name);
+    if (dbtActive()) {
+      ASSERT_NE(MD.dbtPerf(), nullptr) << Name;
+      EXPECT_GT(MD.dbtPerf()->BlocksTranslated, 0u) << Name;
+    }
+  }
+}
+
+TEST(DbtOracle, DefaultThresholdWorkloadParity) {
+  // The production configuration (threshold 16) against the interpreter.
+  for (const char *Name : {"crc", "qsort"}) {
+    const workloads::Workload *W = workloads::findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    obj::Executable Exe = buildOrDie(W->Source);
+    Machine MD(Exe); // defaults: DBT on, threshold 16
+    Observed OD = observe(MD, 2'000'000'000);
+    Machine MN(Exe, dbtOff());
+    Observed ON = observe(MN, 2'000'000'000);
+    expectSame(OD, ON, Name);
+  }
+}

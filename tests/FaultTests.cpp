@@ -438,6 +438,30 @@ TEST(Inject, SpecParsing) {
   EXPECT_FALSE(parseInjectSpec("regbit@3,", S, Err));
 }
 
+TEST(Inject, SpecParsingStrict) {
+  InjectSpec S;
+  std::string Err;
+  // Trailing garbage after a valid number must be rejected, not silently
+  // truncated to the leading digits.
+  EXPECT_FALSE(parseInjectSpec("decode@4x", S, Err));
+  EXPECT_FALSE(parseInjectSpec("decode@4 ", S, Err));
+  EXPECT_FALSE(parseInjectSpec("membit@5,42x", S, Err));
+  // Signs and whitespace are not part of an unsigned count.
+  EXPECT_FALSE(parseInjectSpec("regbit@-3", S, Err));
+  EXPECT_FALSE(parseInjectSpec("regbit@+3", S, Err));
+  EXPECT_FALSE(parseInjectSpec("regbit@ 3", S, Err));
+  EXPECT_FALSE(parseInjectSpec("membit@5,-1", S, Err));
+  // Overflow must fail instead of saturating to ULLONG_MAX.
+  EXPECT_FALSE(parseInjectSpec("regbit@99999999999999999999999", S, Err));
+  EXPECT_FALSE(parseInjectSpec("membit@5,99999999999999999999999", S, Err));
+  // Hex and the 64-bit maximum still parse.
+  ASSERT_TRUE(parseInjectSpec("decode@0x10,0xff", S, Err)) << Err;
+  EXPECT_EQ(S.ICount, 16u);
+  EXPECT_EQ(S.Seed, 255u);
+  ASSERT_TRUE(parseInjectSpec("regbit@18446744073709551615", S, Err)) << Err;
+  EXPECT_EQ(S.ICount, ~uint64_t(0));
+}
+
 struct InjectOutcome {
   RunStatus Status = RunStatus::Trap;
   TrapKind Trap = TrapKind::None;
