@@ -4,6 +4,7 @@
 #define ATOM_BENCH_BENCHUTIL_H
 
 #include "atom/Batch.h"
+#include "atomd/Protocol.h"
 #include "obs/Obs.h"
 #include "sim/Machine.h"
 #include "support/ThreadPool.h"
@@ -143,6 +144,25 @@ inline InstrumentedProgram instrumentOrExit(const obj::Executable &App,
     std::exit(1);
   }
   return Out;
+}
+
+/// Stamps the optimization configuration that produced a result row into
+/// the JSON document, so compare_bench.py never compares rows measured
+/// under different configurations (rows from other configs also carry a
+/// distinguishing name suffix, e.g. "cache@O2").
+inline void writeConfigStamp(obs::JsonWriter &J, const AtomOptions &O) {
+  AtomOptions R = resolveAtomOptions(O);
+  J.key("config");
+  J.beginObject();
+  J.key("strategy");
+  J.value(atomd::saveStrategyName(R.Strategy));
+  J.key("inline");
+  J.value(R.InlineAnalysis);
+  J.key("inline-limit");
+  J.value(uint64_t(R.InlineLimit));
+  J.key("opt");
+  J.value(optPresetName(R.Opt));
+  J.endObject();
 }
 
 inline double geomean(const std::vector<double> &Xs) {

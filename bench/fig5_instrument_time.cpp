@@ -47,6 +47,10 @@ int main(int argc, char **argv) {
   J.value(uint64_t(Suite.size()));
   J.key("smoke");
   J.value(Args.Smoke);
+  // Both sweeps below run this one configuration; the stamp keeps
+  // compare_bench.py from comparing documents measured under different
+  // configurations (e.g. an ATOM_OPT=O2 environment).
+  writeConfigStamp(J, AtomOptions());
   J.key("tools");
   J.beginArray();
 

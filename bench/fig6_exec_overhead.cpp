@@ -90,8 +90,9 @@ int main(int argc, char **argv) {
     Ratio = geomean(Ratios);
   };
 
-  auto emitRow = [&](const char *Name, double Ratio, double PaperRatio,
-                     double Min, double Max) {
+  auto emitRow = [&](const std::string &Name, const AtomOptions &Opts,
+                     double Ratio, double PaperRatio, double Min,
+                     double Max) {
     J.beginObject();
     J.key("tool");
     J.value(Name);
@@ -105,9 +106,13 @@ int main(int argc, char **argv) {
     J.value(Min);
     J.key("max");
     J.value(Max);
+    writeConfigStamp(J, Opts);
     J.endObject();
   };
 
+  // Each tool at the default configuration (the figure itself, rows keyed
+  // by tool name) and at --opt=O2 (rows keyed "<tool>@O2") — the
+  // optimizing probe codegen sweep of EXPERIMENTS.md E7.
   for (const ToolRow &Row : PaperRows) {
     const Tool *T = tools::findTool(Row.Name);
     if (!T) {
@@ -119,7 +124,16 @@ int main(int argc, char **argv) {
     std::printf("%-9s | %-32s | %4d | %8.2fx | %8.2fx | %6.2fx | %6.2fx\n",
                 Row.Name, Row.Points, Row.Args, Ratio, Row.PaperRatio, Min,
                 Max);
-    emitRow(Row.Name, Ratio, Row.PaperRatio, Min, Max);
+    emitRow(Row.Name, AtomOptions(), Ratio, Row.PaperRatio, Min, Max);
+
+    AtomOptions O2;
+    O2.Opt = AtomOptions::OptPreset::O2;
+    double R2, Min2, Max2;
+    measure(*T, O2, R2, Min2, Max2);
+    std::printf("%-9s | %-32s | %4d | %8.2fx | %9s | %6.2fx | %6.2fx\n",
+                (std::string(Row.Name) + "@O2").c_str(), "", Row.Args, R2,
+                "--", Min2, Max2);
+    emitRow(std::string(Row.Name) + "@O2", O2, R2, 0, Min2, Max2);
   }
 
   // Not a Figure 6 row: the ATF trace recorder (docs/TRACING.md), measured
@@ -139,7 +153,15 @@ int main(int argc, char **argv) {
     std::printf("%-9s | %-32s | %4d | %8.2fx | %9s | %6.2fx | %6.2fx\n",
                 "trace", "each block + mem/branch/syscall", 2, Ratio, "--",
                 Min, Max);
-    emitRow("trace", Ratio, 0, Min, Max);
+    emitRow("trace", Opts, Ratio, 0, Min, Max);
+
+    AtomOptions O2 = Opts;
+    O2.Opt = AtomOptions::OptPreset::O2;
+    double R2, Min2, Max2;
+    measure(*T, O2, R2, Min2, Max2);
+    std::printf("%-9s | %-32s | %4d | %8.2fx | %9s | %6.2fx | %6.2fx\n",
+                "trace@O2", "", 2, R2, "--", Min2, Max2);
+    emitRow("trace@O2", O2, R2, 0, Min2, Max2);
   }
 
   J.endArray();

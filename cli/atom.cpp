@@ -24,7 +24,13 @@
 //
 // Options:
 //   --strategy wrapper|direct|distributed|save-all|liveness
+//   --opt O0|O1|O2           optimization preset: O0 calls every probe
+//                            out of line, O1 inlines straight-line leaves,
+//                            O2 adds the branching inliner, guard
+//                            hoisting, dead-argument elision, and
+//                            site-liveness saves (docs/EXPERIMENTS.md E7)
 //   --inline                 inline straight-line analysis routines
+//   --inline-limit N         max body size eligible for inlining
 //   --no-rename              disable analysis register renaming
 //   --heap-offset N          partition the heap (paper's method 2)
 //   --jobs N, -j N           batch worker threads (0 = one per core)
@@ -68,7 +74,8 @@ static void usage() {
                "[-o <prog.atom>]\n"
                "            [--strategy wrapper|direct|distributed|"
                "save-all|liveness]\n"
-               "            [--inline] [--no-rename] [--heap-offset N]\n"
+               "            [--opt O0|O1|O2] [--inline] [--inline-limit N]\n"
+               "            [--no-rename] [--heap-offset N]\n"
                "            [--jobs N] [--no-cache] [--cache-bytes SZ]\n"
                "            [--connect <sock>] [--client <name>] "
                "[--timeout-ms N]\n"
@@ -100,10 +107,13 @@ static void printStats(const InstrStats &S, size_t TextBytes,
   std::fprintf(stderr,
                "points %u\ninserted-insts %u\nwrappers %u\n"
                "patched-procs %u\nanalysis-procs %u\nstripped-procs %u\n"
-               "save-slots %u\ntext-bytes %zu (was %zu)\n",
+               "save-slots %u\nprobe-inlined-sites %u\n"
+               "probe-guarded-sites %u\nprobe-args-elided %u\n"
+               "probe-consts-folded %u\ntext-bytes %zu (was %zu)\n",
                S.Points, S.InsertedInsts, S.Wrappers, S.PatchedProcs,
-               S.AnalysisProcs, S.StrippedProcs, S.SaveSlots, TextBytes,
-               OrigTextBytes);
+               S.AnalysisProcs, S.StrippedProcs, S.SaveSlots,
+               S.ProbeInlinedSites, S.ProbeGuardedSites, S.ProbeArgsElided,
+               S.ProbeConstsFolded, TextBytes, OrigTextBytes);
 }
 
 /// The --run tail shared by local and --connect single-pair modes.
@@ -330,8 +340,19 @@ int main(int argc, char **argv) {
       std::string S = argv[++I];
       if (!atomd::parseSaveStrategy(S, Opts.Strategy))
         die("unknown strategy '" + S + "'");
+    } else if (A == "--opt" && I + 1 < argc) {
+      std::string P = argv[++I];
+      if (!parseOptPreset(P, Opts.Opt))
+        die("unknown opt preset '" + P + "' (valid: O0, O1, O2)");
+    } else if (A.rfind("--opt=", 0) == 0) {
+      std::string P = A.substr(6);
+      if (!parseOptPreset(P, Opts.Opt))
+        die("unknown opt preset '" + P + "' (valid: O0, O1, O2)");
     } else if (A == "--inline") {
       Opts.InlineAnalysis = true;
+    } else if (A == "--inline-limit" && I + 1 < argc) {
+      Opts.InlineLimit = unsigned(parseUnsignedArg("--inline-limit",
+                                                   argv[++I]));
     } else if (A == "--no-rename") {
       Opts.RenameAnalysisRegs = false;
     } else if (A == "--heap-offset" && I + 1 < argc) {

@@ -88,6 +88,15 @@ void atom::publishInstrumentStats(const Tool &T, const InstrStats &S) {
   Reg.addCounter("atom.analysis-procs", S.AnalysisProcs);
   Reg.addCounter("atom.stripped-procs", S.StrippedProcs);
   Reg.addCounter("atom.save-slots", S.SaveSlots);
+  Reg.addCounter("atom.probe-inlined-sites", S.ProbeInlinedSites);
+  Reg.addCounter("atom.probe-guarded-sites", S.ProbeGuardedSites);
+  Reg.addCounter("atom.probe-args-elided", S.ProbeArgsElided);
+  Reg.addCounter("atom.probe-consts-folded", S.ProbeConstsFolded);
+  for (unsigned R = 1; R < probeopt::NumRejectReasons; ++R)
+    if (S.ProbeRejects[R])
+      Reg.addCounter(std::string("atom.probe-reject-") +
+                         probeopt::rejectName(probeopt::Reject(R)),
+                     S.ProbeRejects[R]);
   Reg.emitEvent(obs::Event("instrument-run")
                     .str("tool", T.Name)
                     .num("points", S.Points)
@@ -96,7 +105,11 @@ void atom::publishInstrumentStats(const Tool &T, const InstrStats &S) {
                     .num("patched-procs", S.PatchedProcs)
                     .num("analysis-procs", S.AnalysisProcs)
                     .num("stripped-procs", S.StrippedProcs)
-                    .num("save-slots", S.SaveSlots));
+                    .num("save-slots", S.SaveSlots)
+                    .num("probe-inlined-sites", S.ProbeInlinedSites)
+                    .num("probe-guarded-sites", S.ProbeGuardedSites)
+                    .num("probe-args-elided", S.ProbeArgsElided)
+                    .num("probe-consts-folded", S.ProbeConstsFolded));
 }
 
 bool atom::runAtom(const Executable &App, const Tool &T,

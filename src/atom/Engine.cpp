@@ -12,6 +12,7 @@
 #include "runtime/Runtime.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <memory>
@@ -40,7 +41,8 @@ class Engine {
 public:
   Engine(const Executable &AppExe, const AtomOptions &Opts,
          DiagEngine &Diags, const PipelineReuse *Reuse)
-      : AppExe(AppExe), Opts(Opts), Diags(Diags), Reuse(Reuse) {}
+      : AppExe(AppExe), Opts(resolveAtomOptions(Opts)), Diags(Diags),
+        Reuse(Reuse) {}
 
   bool run(const std::function<void(InstrumentationContext &)> &InstrumentFn,
            const std::vector<ObjectModule> &AnalysisModules,
@@ -66,6 +68,8 @@ private:
 
   std::vector<InstNode> genCallSeq(const Action &A, const InstNode *Site,
                                    uint32_t LiveMask);
+  std::vector<InstNode> genCallSeqCore(const Action &A, const InstNode *Site,
+                                       uint32_t LiveMask);
   bool insertSequences(const InstrumentationContext &Ctx);
 
   int analSymbol(const std::string &Name) const {
@@ -98,12 +102,22 @@ private:
     int InlineProcIdx = -1; ///< Inlining enabled and the routine is
                             ///< eligible: index (stable under wrapper
                             ///< appends) of the body to copy into sites.
+    /// Branching-inliner body plan (BranchyInline; supersedes
+    /// InlineProcIdx when set).
+    std::shared_ptr<probeopt::InlinePlan> Plan;
+    /// Hoisted-guard plan for out-of-line calls (GuardHoist).
+    std::shared_ptr<probeopt::GuardPlan> Guard;
+    /// USE summary for out-of-line dead-argument elision (ElideDeadArgs
+    /// with SiteLiveness): ~0 means "assume every argument is read".
+    uint32_t ArgsUsed = ~0u;
   };
   std::map<std::string, TargetInfo> Targets;
 
   /// Interprocedural liveness summaries of the application (SiteLiveness
   /// strategy only; built lazily).
   std::unique_ptr<UseDefSummaries> AppSummaries;
+  /// USE summaries of the analysis unit (dead-argument elision; lazy).
+  std::unique_ptr<UseDefSummaries> AnalUseSummaries;
 
   uint64_t FakePC = 0x40000000; ///< Synthetic OrigPC space for wrappers.
   bool Failed = false; ///< Set by helpers without an error channel
@@ -460,12 +474,43 @@ bool Engine::setupCallTargets(const InstrumentationContext &Ctx) {
 
     if (Opts.InlineAnalysis) {
       int Idx = Anal.ProcByName[Name];
-      if (isInlinable(Anal.Procs[size_t(Idx)], TI.NumProtoArgs)) {
+      if (Opts.BranchyInline) {
+        // The branching inliner subsumes the straight-line check: leaf
+        // bodies come out of planInline as a plan without branches.
+        auto Plan = std::make_shared<probeopt::InlinePlan>();
+        probeopt::Reject R = probeopt::planInline(
+            Anal, Idx, TI.NumProtoArgs, Opts.InlineLimit, DF, *Plan);
+        if (R == probeopt::Reject::None) {
+          TI.Plan = std::move(Plan);
+          TI.TransMod = S.TransMod & callerSavedMask();
+          TI.CallSymbol = Name;
+          continue;
+        }
+        ++Stats.ProbeRejects[unsigned(R)];
+      } else if (isInlinable(Anal.Procs[size_t(Idx)], TI.NumProtoArgs)) {
         TI.InlineProcIdx = Idx;
         TI.TransMod = S.TransMod & callerSavedMask();
         TI.CallSymbol = Name;
         continue;
       }
+    }
+    if (Opts.GuardHoist) {
+      // Not inlinable: see if at least the leading test-and-skip
+      // predicate can be hoisted to the site.
+      auto G = std::make_shared<probeopt::GuardPlan>();
+      if (probeopt::planGuard(Anal.Procs[size_t(Anal.ProcByName[Name])],
+                              *G) == probeopt::Reject::None)
+        TI.Guard = std::move(G);
+    }
+    if (Opts.ElideDeadArgs &&
+        Opts.Strategy == AtomOptions::SaveStrategy::SiteLiveness) {
+      // The handler's USE summary tells the site which argument registers
+      // the out-of-line call can skip staging (and saving) entirely. Only
+      // SiteLiveness composes: the other strategies size their wrapper or
+      // prologue saves assuming every argument register was staged.
+      if (!AnalUseSummaries)
+        AnalUseSummaries = std::make_unique<UseDefSummaries>(Anal);
+      TI.ArgsUsed = AnalUseSummaries->useOf(Name);
     }
     uint32_t SiteSaved = 1u << RegRA;
     for (unsigned J = 0; J < K; ++J)
@@ -520,31 +565,65 @@ bool Engine::setupCallTargets(const InstrumentationContext &Ctx) {
 // Call-sequence synthesis
 //===----------------------------------------------------------------------===//
 
-std::vector<InstNode> Engine::genCallSeq(const Action &A,
-                                         const InstNode *Site,
-                                         uint32_t LiveMask) {
+std::vector<InstNode> Engine::genCallSeqCore(const Action &A,
+                                             const InstNode *Site,
+                                             uint32_t LiveMask) {
   const TargetInfo &TI = Targets.at(A.Callee);
   unsigned N = unsigned(A.Args.size());
   unsigned K = std::min<unsigned>(N, 6);
   unsigned StackArgs = N - K;
+  bool UseLive = Opts.Strategy == AtomOptions::SaveStrategy::SiteLiveness;
+
+  const Procedure *InlineBody =
+      TI.InlineProcIdx >= 0 ? &Anal.Procs[size_t(TI.InlineProcIdx)]
+                            : nullptr;
+  const probeopt::InlinePlan *Plan = TI.Plan.get();
+
+  // Per-argument disposition. Default: stage everything. With a body plan
+  // (or, for out-of-line calls, the handler's USE summary) arguments the
+  // handler never reads are elided, and small-constant actuals feeding
+  // only operate Rb operands are folded into the body copy as literals.
+  uint32_t ArgStage = 0;
+  int FoldVal[6] = {-1, -1, -1, -1, -1, -1};
+  for (unsigned J = 0; J < K; ++J) {
+    if (Plan && Opts.ElideDeadArgs) {
+      if (!(Plan->UsedArgs >> J & 1)) {
+        ++Stats.ProbeArgsElided;
+        continue;
+      }
+      const CallArg &CA = A.Args[J];
+      if ((Plan->FoldableArgs >> J & 1) && CA.K == CallArg::ConstI64 &&
+          CA.Value >= 0 && CA.Value <= 255) {
+        FoldVal[J] = int(CA.Value);
+        ++Stats.ProbeConstsFolded;
+        continue;
+      }
+    } else if (!Plan && !InlineBody &&
+               !(TI.ArgsUsed & (1u << (RegA0 + J)))) {
+      ++Stats.ProbeArgsElided;
+      continue;
+    }
+    ArgStage |= 1u << (RegA0 + J);
+  }
 
   // Site save set: ra, the argument registers we will clobber, at for
   // stack-argument staging, pv when calling via jsr, and — in SiteLiveness
   // mode — every live register the analysis may modify. Inlined bodies
-  // need no ra save (there is no call), only their own scratch registers.
-  const Procedure *InlineBody =
-      TI.InlineProcIdx >= 0 ? &Anal.Procs[size_t(TI.InlineProcIdx)]
-                            : nullptr;
-  uint32_t SaveMask = InlineBody ? 0 : (1u << RegRA);
-  for (unsigned J = 0; J < K; ++J)
-    SaveMask |= 1u << (RegA0 + J);
+  // need no ra save (there is no call), only their own scratch registers;
+  // planned bodies save only what the body itself writes (cold calls'
+  // effects are bracketed per call below).
+  bool IsInline = InlineBody || Plan;
+  uint32_t SaveMask = IsInline ? 0 : (1u << RegRA);
+  SaveMask |= ArgStage;
   if (StackArgs)
     SaveMask |= 1u << RegAT;
-  if (Opts.ForceJsr && !InlineBody)
+  if (Opts.ForceJsr && !IsInline)
     SaveMask |= 1u << RegPV;
   if (InlineBody)
     SaveMask |= TI.TransMod;
-  if (Opts.Strategy == AtomOptions::SaveStrategy::SiteLiveness)
+  if (Plan)
+    SaveMask |= Plan->BodyMod & (UseLive ? LiveMask : ~0u);
+  else if (UseLive)
     SaveMask |= TI.TransMod & LiveMask;
   SaveMask |= TI.SiteExtraSaves;
   SaveMask &= ~(1u << RegZero);
@@ -553,15 +632,44 @@ std::vector<InstNode> Engine::genCallSeq(const Action &A,
     SaveMask &= ~(1u << RegRA);
 
   std::vector<unsigned> Saves = maskToRegs(SaveMask);
-  int64_t OutBytes = 8 * int64_t(StackArgs);
-  int64_t Frame = int64_t(
-      alignTo(uint64_t(OutBytes + 8 * int64_t(Saves.size())), 16));
 
-  int64_t SlotOf[NumRegs];
+  // Bracket saves for cold calls inside a planned body: per call, the
+  // registers the callee may clobber (plus ra) that the site has not
+  // already saved. They get their own slots — distinct from SlotOf, which
+  // argument staging may read — and are filled only on the cold path.
+  uint32_t BracketUnion = 0;
+  std::vector<uint32_t> BracketOf;
+  if (Plan) {
+    BracketOf.resize(Plan->Elems.size(), 0);
+    for (size_t I = 0; I < Plan->Elems.size(); ++I) {
+      const probeopt::InlineElem &E = Plan->Elems[I];
+      if (!E.IsCall)
+        continue;
+      uint32_t M = (E.CalleeTransMod | (1u << RegRA)) & callerSavedMask() &
+                   ~SaveMask & ~(1u << RegZero);
+      if (E.RaProtected) // body's own spill idiom preserves ra
+        M &= ~(1u << RegRA);
+      if (UseLive)
+        M &= LiveMask;
+      BracketOf[I] = M;
+      BracketUnion |= M;
+    }
+  }
+  std::vector<unsigned> BracketRegs = maskToRegs(BracketUnion);
+
+  int64_t OutBytes = 8 * int64_t(StackArgs);
+  int64_t Frame = int64_t(alignTo(
+      uint64_t(OutBytes + 8 * int64_t(Saves.size() + BracketRegs.size())),
+      16));
+
+  int64_t SlotOf[NumRegs], BracketSlot[NumRegs];
   for (unsigned R = 0; R < NumRegs; ++R)
-    SlotOf[R] = -1;
+    SlotOf[R] = BracketSlot[R] = -1;
   for (size_t I = 0; I < Saves.size(); ++I)
     SlotOf[Saves[I]] = OutBytes + 8 * int64_t(I);
+  for (size_t I = 0; I < BracketRegs.size(); ++I)
+    BracketSlot[BracketRegs[I]] =
+        OutBytes + 8 * int64_t(Saves.size() + I);
 
   std::vector<InstNode> Seq;
   auto push = [&](const MInst &I) {
@@ -671,10 +779,71 @@ std::vector<InstNode> Engine::genCallSeq(const Action &A,
   };
 
   for (unsigned J = 0; J < K; ++J)
-    setupArg(A.Args[J], RegA0 + J);
+    if (ArgStage & (1u << (RegA0 + J)))
+      setupArg(A.Args[J], RegA0 + J);
   for (unsigned J = K; J < N; ++J) {
     setupArg(A.Args[J], RegAT);
     push(makeMem(Opcode::Stq, RegAT, int32_t(8 * int64_t(J - K)), RegSP));
+  }
+
+  if (Plan) {
+    // Copy the planned body. Two passes: assign every element its
+    // position in the emitted sequence (cold calls expand to their
+    // brackets, the final ret disappears, other rets become branches past
+    // the copy), then emit with intra-body branches as raw forward
+    // displacements — the sequence lands contiguously in one block, so
+    // layout writes Disp through verbatim.
+    const std::vector<probeopt::InlineElem> &Elems = Plan->Elems;
+    std::vector<int> Pos(Elems.size(), 0);
+    int P = 0;
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      Pos[I] = P;
+      const probeopt::InlineElem &E = Elems[I];
+      if (E.IsRet)
+        P += I + 1 == Elems.size() ? 0 : 1;
+      else if (E.IsCall)
+        P += 1 + 2 * int(maskToRegs(BracketOf[I]).size());
+      else
+        P += 1;
+    }
+    const int EndPos = P;
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      const probeopt::InlineElem &E = Elems[I];
+      if (E.IsRet) {
+        if (I + 1 < Elems.size())
+          push(makeBranch(Opcode::Br, RegZero, EndPos - (Pos[I] + 1)));
+        continue;
+      }
+      if (E.IsCall) {
+        std::vector<unsigned> BR = maskToRegs(BracketOf[I]);
+        for (unsigned R : BR)
+          push(makeMem(Opcode::Stq, R, int32_t(BracketSlot[R]), RegSP));
+        Seq.push_back(E.N); // the bsr, relocation intact
+        for (size_t Z = BR.size(); Z-- > 0;)
+          push(makeMem(Opcode::Ldq, BR[Z], int32_t(BracketSlot[BR[Z]]),
+                       RegSP));
+        Stats.SaveSlots += unsigned(BR.size());
+        continue;
+      }
+      InstNode C = E.N;
+      if (E.BranchTo >= 0)
+        C.I.Disp = Pos[size_t(E.BranchTo)] - (Pos[I] + 1);
+      for (unsigned J = 0; J < K; ++J)
+        if (FoldVal[J] >= 0 && formatOf(C.I.Op) == Format::Operate &&
+            !C.I.IsLit && C.I.Rb == RegA0 + J) {
+          C.I.IsLit = true;
+          C.I.Lit = uint8_t(FoldVal[J]);
+        }
+      Seq.push_back(std::move(C));
+    }
+    for (size_t I = Saves.size(); I-- > 0;)
+      push(makeMem(Opcode::Ldq, Saves[I], int32_t(SlotOf[Saves[I]]),
+                   RegSP));
+    if (Frame)
+      push(makeMem(Opcode::Lda, RegSP, int32_t(Frame), RegSP));
+    ++Stats.ProbeInlinedSites;
+    Stats.InsertedInsts += unsigned(Seq.size());
+    return Seq;
   }
 
   if (InlineBody) {
@@ -726,6 +895,69 @@ std::vector<InstNode> Engine::genCallSeq(const Action &A,
     push(makeMem(Opcode::Lda, RegSP, int32_t(Frame), RegSP));
 
   Stats.InsertedInsts += unsigned(Seq.size());
+  return Seq;
+}
+
+std::vector<InstNode> Engine::genCallSeq(const Action &A,
+                                         const InstNode *Site,
+                                         uint32_t LiveMask) {
+  const TargetInfo &TI = Targets.at(A.Callee);
+  if (!TI.Guard)
+    return genCallSeqCore(A, Site, LiveMask);
+
+  // Guard hoisting: the site evaluates only the handler's leading
+  // predicate and branches over the entire call sequence when it takes
+  // the handler's trivial-return side. Every register the predicate
+  // writes is saved and restored on both paths regardless of liveness: a
+  // later instrumentation point may pass a dead register's application
+  // value as a Regv argument, and that value must match O0's.
+  const probeopt::GuardPlan &G = *TI.Guard;
+  std::vector<InstNode> Inner = genCallSeqCore(A, Site, LiveMask);
+
+  std::vector<unsigned> PSaves = maskToRegs(G.PredMod & ~(1u << RegZero));
+  int64_t GF = int64_t(alignTo(uint64_t(8 * PSaves.size()), 16));
+
+  std::vector<InstNode> Seq;
+  auto push = [&](const MInst &I) {
+    InstNode Node;
+    Node.I = I;
+    Seq.push_back(Node);
+  };
+
+  if (GF)
+    push(makeMem(Opcode::Lda, RegSP, int32_t(-GF), RegSP));
+  for (size_t I = 0; I < PSaves.size(); ++I)
+    push(makeMem(Opcode::Stq, PSaves[I], int32_t(8 * int64_t(I)), RegSP));
+  Stats.SaveSlots += unsigned(PSaves.size());
+  for (const InstNode &N : G.Pred)
+    Seq.push_back(N);
+
+  MInst Br = G.Branch;
+  if (!G.SkipOnTaken)
+    Br.Op = probeopt::invertCondBranch(Br.Op);
+  const int RestoreLen = int(PSaves.size()) + (GF ? 1 : 0);
+  if (RestoreLen == 0) {
+    // Nothing to unwind: skip straight past the call sequence.
+    Br.Disp = int32_t(Inner.size());
+    push(Br);
+    for (InstNode &N : Inner)
+      Seq.push_back(std::move(N));
+  } else {
+    // branch -> SKIP | restores, call seq, br -> END | SKIP: restores END:
+    Br.Disp = int32_t(RestoreLen + int(Inner.size()) + 1);
+    push(Br);
+    for (size_t I = PSaves.size(); I-- > 0;)
+      push(makeMem(Opcode::Ldq, PSaves[I], int32_t(8 * int64_t(I)), RegSP));
+    push(makeMem(Opcode::Lda, RegSP, int32_t(GF), RegSP));
+    for (InstNode &N : Inner)
+      Seq.push_back(std::move(N));
+    push(makeBranch(Opcode::Br, RegZero, RestoreLen));
+    for (size_t I = PSaves.size(); I-- > 0;)
+      push(makeMem(Opcode::Ldq, PSaves[I], int32_t(8 * int64_t(I)), RegSP));
+    push(makeMem(Opcode::Lda, RegSP, int32_t(GF), RegSP));
+  }
+  ++Stats.ProbeGuardedSites;
+  Stats.InsertedInsts += unsigned(Seq.size() - Inner.size());
   return Seq;
 }
 
@@ -1054,6 +1286,80 @@ bool Engine::run(
 }
 
 } // namespace
+
+const char *atom::optPresetName(AtomOptions::OptPreset P) {
+  switch (P) {
+  case AtomOptions::OptPreset::Default:
+    return "default";
+  case AtomOptions::OptPreset::O0:
+    return "O0";
+  case AtomOptions::OptPreset::O1:
+    return "O1";
+  case AtomOptions::OptPreset::O2:
+    return "O2";
+  }
+  return "default";
+}
+
+bool atom::parseOptPreset(const std::string &Name,
+                          AtomOptions::OptPreset &Out) {
+  if (Name == "O0")
+    Out = AtomOptions::OptPreset::O0;
+  else if (Name == "O1")
+    Out = AtomOptions::OptPreset::O1;
+  else if (Name == "O2")
+    Out = AtomOptions::OptPreset::O2;
+  else if (Name == "default")
+    Out = AtomOptions::OptPreset::Default;
+  else
+    return false;
+  return true;
+}
+
+AtomOptions atom::resolveAtomOptions(const AtomOptions &O) {
+  AtomOptions R = O;
+  AtomOptions::OptPreset P = O.Opt;
+  bool FromEnv = false;
+  if (P == AtomOptions::OptPreset::Default) {
+    // CI sweeps re-run whole suites under ATOM_OPT=O2; an explicitly
+    // configured preset always wins over the environment.
+    const char *Env = std::getenv("ATOM_OPT");
+    if (!Env || !parseOptPreset(Env, P) ||
+        P == AtomOptions::OptPreset::Default)
+      return R;
+    FromEnv = true;
+  }
+  R.Opt = P;
+  switch (P) {
+  case AtomOptions::OptPreset::Default:
+    break;
+  case AtomOptions::OptPreset::O0:
+    R.InlineAnalysis = false;
+    R.BranchyInline = false;
+    R.GuardHoist = false;
+    R.ElideDeadArgs = false;
+    break;
+  case AtomOptions::OptPreset::O1:
+    R.InlineAnalysis = true;
+    R.BranchyInline = false;
+    R.GuardHoist = false;
+    R.ElideDeadArgs = false;
+    break;
+  case AtomOptions::OptPreset::O2:
+    R.InlineAnalysis = true;
+    R.BranchyInline = true;
+    R.GuardHoist = true;
+    R.ElideDeadArgs = true;
+    R.InlineLimit = std::max(R.InlineLimit, 48u);
+    // From the environment the preset must not override an explicitly
+    // chosen save strategy (the sweep's whole point is re-running the
+    // strategy matrix with the probe optimizations on).
+    if (!FromEnv)
+      R.Strategy = AtomOptions::SaveStrategy::SiteLiveness;
+    break;
+  }
+  return R;
+}
 
 bool atom::buildAnalysisUnit(const std::vector<ObjectModule> &AnalysisModules,
                              Unit &Out, DiagEngine &Diags) {

@@ -14,6 +14,7 @@
 #define ATOM_ATOM_ENGINE_H
 
 #include "atom/Api.h"
+#include "atom/ProbeOpt.h"
 #include "om/Layout.h"
 
 #include <functional>
@@ -64,6 +65,27 @@ struct AtomOptions {
   bool InlineAnalysis = false;
   /// Maximum body size (instructions, excluding ret) eligible for inlining.
   unsigned InlineLimit = 24;
+  /// Branching inliner (probeopt::planInline): handlers with forward-branch
+  /// internal control flow — early-exit diamonds, bracketed cold calls —
+  /// are copied into the site too, not just straight-line leaves.
+  bool BranchyInline = false;
+  /// Guard hoisting (probeopt::planGuard): when a non-inlinable handler
+  /// opens with a cheap pure test-and-skip predicate, the site runs only
+  /// the predicate and branches over the whole call sequence.
+  bool GuardHoist = false;
+  /// Dead-argument elision and constant-argument folding from the
+  /// handler's USE summary. For out-of-line calls this composes with
+  /// SaveStrategy::SiteLiveness only (other strategies size wrapper and
+  /// prologue saves assuming every argument register is staged).
+  bool ElideDeadArgs = false;
+
+  /// Named optimization presets (`atom --opt=...`). Default defers to the
+  /// ATOM_OPT environment variable if set (used by CI sweeps), else leaves
+  /// the individual knobs exactly as configured. Explicit presets
+  /// overwrite the knobs; O2 from the field (not the environment) also
+  /// selects SaveStrategy::SiteLiveness.
+  enum class OptPreset { Default, O0, O1, O2 };
+  OptPreset Opt = OptPreset::Default;
   /// Worker threads for runAtomBatch(). 0 means one per hardware thread;
   /// 1 runs every (tool, application) pipeline on the calling thread.
   /// Outputs are byte-identical for every value (enforced by tests).
@@ -76,6 +98,19 @@ struct AtomOptions {
   /// (atom.cache-evictions). The `--cache-bytes` knob on atom and atomd.
   uint64_t CacheBytes = 0;
 };
+
+/// Preset name ("O2"); "default" for OptPreset::Default.
+const char *optPresetName(AtomOptions::OptPreset P);
+
+/// Parses "O0"/"O1"/"O2" (case-sensitive, as documented everywhere) or
+/// "default". Returns false on anything else.
+bool parseOptPreset(const std::string &Name, AtomOptions::OptPreset &Out);
+
+/// Applies \p O's preset (and, when the preset is Default, the ATOM_OPT
+/// environment variable) to the individual optimization knobs, returning
+/// the resolved options. The engine calls this itself; it is exposed so
+/// CLIs and tests can report the effective configuration.
+AtomOptions resolveAtomOptions(const AtomOptions &O);
 
 /// Precomputed pipeline inputs a caller may supply to instrument(): the
 /// application already lifted to OM IR, and/or the tool's analysis unit
@@ -96,6 +131,14 @@ struct InstrStats {
   unsigned AnalysisProcs = 0;  ///< Analysis procedures kept after stripping.
   unsigned StrippedProcs = 0;  ///< Unreachable analysis procedures removed.
   unsigned SaveSlots = 0;      ///< Registers saved across wrappers/sites.
+
+  // Probe-codegen optimization counters (the atom.probe-* metrics).
+  unsigned ProbeInlinedSites = 0; ///< Sites that got a full body copy.
+  unsigned ProbeGuardedSites = 0; ///< Sites that got a hoisted guard.
+  unsigned ProbeArgsElided = 0;   ///< Arguments dropped (unread by handler).
+  unsigned ProbeConstsFolded = 0; ///< Arguments folded to operate literals.
+  /// Routines rejected by the planners, indexed by probeopt::Reject.
+  unsigned ProbeRejects[probeopt::NumRejectReasons] = {};
 };
 
 struct InstrumentedProgram {

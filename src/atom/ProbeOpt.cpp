@@ -1,0 +1,451 @@
+//===- atom/ProbeOpt.cpp - Optimizing probe code generation ---------------===//
+//
+// Planning for the branching inliner and for guard hoisting. Emission lives
+// in Engine.cpp (genCallSeq); this file only decides eligibility and
+// records the facts emission needs, so the decision logic is unit-testable
+// without building a whole instrumented program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/ProbeOpt.h"
+
+#include <cassert>
+
+using namespace atom;
+using namespace atom::isa;
+
+namespace atom {
+namespace probeopt {
+
+const char *rejectName(Reject R) {
+  static const char *const Names[NumRejectReasons] = {
+      "none",
+      "too-many-args",
+      "empty-body",
+      "no-return",
+      "too-big",
+      "backward-branch",
+      "indirect-flow",
+      "syscall",
+      "stack-use",
+      "reads-undefined",
+      "writes-protected",
+      "call-clobber-read",
+      "not-guardable",
+  };
+  unsigned I = unsigned(R);
+  return I < NumRejectReasons ? Names[I] : "unknown";
+}
+
+Opcode invertCondBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+    return Opcode::Bne;
+  case Opcode::Bne:
+    return Opcode::Beq;
+  case Opcode::Blt:
+    return Opcode::Bge;
+  case Opcode::Bge:
+    return Opcode::Blt;
+  case Opcode::Ble:
+    return Opcode::Bgt;
+  case Opcode::Bgt:
+    return Opcode::Ble;
+  case Opcode::Blbc:
+    return Opcode::Blbs;
+  case Opcode::Blbs:
+    return Opcode::Blbc;
+  default:
+    assert(false && "not a conditional branch");
+    return Op;
+  }
+}
+
+namespace {
+
+/// Per-block data-flow state for the forward walk over the body's DAG.
+/// All edges point forward (validated during the walk), so one pass in
+/// block order sees every predecessor before its successors.
+struct BlockState {
+  uint32_t Defined = ~0u; ///< Registers defined on every path (intersect).
+  uint32_t MaybeArg = 0;  ///< Argument regs still holding the incoming
+                          ///< value on some path (union).
+  uint32_t Poison = 0;    ///< Regs an internal cold call may have left in
+                          ///< a state that diverges between the called and
+                          ///< inlined worlds (union).
+};
+
+/// True when Insts[At..At+6] is the hand-written ra-spill idiom around an
+/// internal call:
+///
+///     laddr  tA, CELL        (ldah + lda, Hi16/Lo16 relocs)
+///     stq    ra, 0(tA)
+///     bsr    Callee
+///     laddr  tB, CELL        (same symbol, re-materialized after the call)
+///     ldq    ra, 0(tB)
+///
+/// The store/reload pair is value-preserving for ra in both the called and
+/// the inlined world (whatever was in ra comes back), so the reload need
+/// not enter BodyMod and the call bracket need not save ra — the handler
+/// already did the work, exactly so its fast path costs nothing at a site.
+bool matchesRaSpillIdiom(const std::vector<om::InstNode> &Insts, size_t At) {
+  if (At + 6 >= Insts.size())
+    return false;
+  auto laddr = [&](size_t K, int &Reg, int &Sym) {
+    const om::InstNode &Hi = Insts[K], &Lo = Insts[K + 1];
+    if (Hi.I.Op != Opcode::Ldah || !Hi.HasReloc ||
+        Hi.RelKind != obj::RelocKind::Hi16)
+      return false;
+    if (Lo.I.Op != Opcode::Lda || !Lo.HasReloc ||
+        Lo.RelKind != obj::RelocKind::Lo16 || Lo.I.Ra != Hi.I.Ra ||
+        Lo.I.Rb != Hi.I.Ra)
+      return false;
+    if (Hi.Ref.SymIndex != Lo.Ref.SymIndex || Hi.Ref.Addend != Lo.Ref.Addend)
+      return false;
+    Reg = Hi.I.Ra;
+    Sym = Hi.Ref.SymIndex;
+    return true;
+  };
+  int RegA_, SymA, RegB_, SymB;
+  if (!laddr(At, RegA_, SymA) || !laddr(At + 4, RegB_, SymB) || SymA != SymB ||
+      Insts[At].Ref.Addend != Insts[At + 4].Ref.Addend)
+    return false;
+  const om::InstNode &St = Insts[At + 2], &Ld = Insts[At + 6];
+  if (St.I.Op != Opcode::Stq || St.I.Ra != RegRA || St.I.Rb != RegA_ ||
+      St.I.Disp != 0 || St.HasReloc)
+    return false;
+  if (Insts[At + 3].I.Op != Opcode::Bsr)
+    return false;
+  if (Ld.I.Op != Opcode::Ldq || Ld.I.Ra != RegRA || Ld.I.Rb != RegB_ ||
+      Ld.I.Disp != 0 || Ld.HasReloc)
+    return false;
+  return true;
+}
+
+} // namespace
+
+Reject planInline(const om::Unit &Anal, int ProcIdx, unsigned NumArgs,
+                  unsigned InlineLimit, const om::DataFlowResult &DF,
+                  InlinePlan &Plan) {
+  const om::Procedure &P = Anal.Procs[size_t(ProcIdx)];
+  if (NumArgs > 6)
+    return Reject::TooManyArgs;
+
+  size_t NumBlocks = P.Blocks.size();
+  if (NumBlocks == 0)
+    return Reject::EmptyBody;
+
+  std::vector<int> BlockStart(NumBlocks, 0);
+  unsigned Total = 0;
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    BlockStart[B] = int(Total);
+    Total += unsigned(P.Blocks[B].Insts.size());
+  }
+  if (Total == 0)
+    return Reject::EmptyBody;
+
+  const uint32_t CallerSave = om::callerSavedMask();
+  const uint32_t ArgRegMask = NumArgs ? ((1u << NumArgs) - 1) << RegA0 : 0;
+  const uint32_t RaBit = 1u << RegRA;
+  const uint32_t SpBit = 1u << RegSP;
+
+  Plan = InlinePlan();
+  Plan.NumArgs = NumArgs;
+  Plan.FoldableArgs = NumArgs ? (1u << NumArgs) - 1 : 0;
+  Plan.Elems.reserve(Total);
+
+  auto argIdxBits = [&](uint32_t RegMask) {
+    uint32_t Bits = 0;
+    for (unsigned J = 0; J < NumArgs; ++J)
+      if (RegMask & (1u << (RegA0 + J)))
+        Bits |= 1u << J;
+    return Bits;
+  };
+
+  std::vector<BlockState> BS(NumBlocks);
+  BS[0].Defined = ArgRegMask | RaBit | (1u << RegZero);
+  BS[0].MaybeArg = ArgRegMask;
+
+  unsigned Cost = 0;
+  uint32_t UsedArgRegs = 0;
+
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    const om::Block &Blk = P.Blocks[B];
+    uint32_t Defined = BS[B].Defined;
+    uint32_t MaybeArg = BS[B].MaybeArg;
+    uint32_t Poison = BS[B].Poison;
+    bool FallsThrough = true;
+
+    // Positions of ra-spill idioms in this block: the bsr needs no ra in
+    // its bracket, and the reload does not put ra into BodyMod.
+    std::vector<bool> ProtectedCall(Blk.Insts.size(), false);
+    std::vector<bool> RaNeutralLoad(Blk.Insts.size(), false);
+    for (size_t K = 0; K + 6 < Blk.Insts.size(); ++K)
+      if (matchesRaSpillIdiom(Blk.Insts, K)) {
+        ProtectedCall[K + 3] = true;
+        RaNeutralLoad[K + 6] = true;
+      }
+
+    auto mergeInto = [&](size_t S) {
+      BS[S].Defined &= Defined;
+      BS[S].MaybeArg |= MaybeArg;
+      BS[S].Poison |= Poison;
+    };
+
+    for (size_t Idx = 0; Idx < Blk.Insts.size(); ++Idx) {
+      const om::InstNode &N = Blk.Insts[Idx];
+      const Inst &I = N.I;
+      bool IsLast = Idx + 1 == Blk.Insts.size();
+      bool IsFinalElem = B + 1 == NumBlocks && IsLast;
+
+      InlineElem E;
+      E.N = N;
+      E.N.OrigPC = 0;
+      E.N.BranchBlock = -1;
+      E.N.Before.clear();
+      E.N.After.clear();
+
+      if (I.Op == Opcode::Callsys || I.Op == Opcode::Halt)
+        return Reject::Syscall;
+      if (I.Op == Opcode::Jsr || I.Op == Opcode::Jmp)
+        return Reject::IndirectFlow;
+
+      if (I.Op == Opcode::Ret) {
+        // Rewritten at the site into a branch past the body copy (the
+        // final one just falls through); its ra read never happens there,
+        // so it is exempt from the read checks.
+        if (!IsLast)
+          return Reject::IndirectFlow;
+        E.IsRet = true;
+        Plan.Elems.push_back(E);
+        if (!IsFinalElem)
+          ++Cost;
+        FallsThrough = false;
+        continue;
+      }
+
+      if (I.Op == Opcode::Bsr) {
+        // Kept as an out-of-line cold call; the site brackets it with
+        // saves of whatever the callee may clobber (ra included) that the
+        // site did not already save. Anything the callee may leave behind
+        // is poisoned: a later read before redefinition would observe the
+        // bracket's restored application value where the called handler
+        // would have observed the callee's leftovers.
+        if (!N.HasReloc || N.Ref.SymIndex < 0)
+          return Reject::IndirectFlow;
+        const std::string &Callee = Anal.Symbols[size_t(N.Ref.SymIndex)].Name;
+        auto It = Anal.ProcByName.find(Callee);
+        if (It == Anal.ProcByName.end())
+          return Reject::IndirectFlow;
+        const om::ProcSummary &CS = DF.Summaries[size_t(It->second)];
+        if (CS.HasIndirectCall)
+          return Reject::IndirectFlow;
+        E.IsCall = true;
+        E.CalleeTransMod = CS.TransMod;
+        E.RaProtected = ProtectedCall[Idx];
+        Plan.Elems.push_back(E);
+        Plan.HasColdCall = true;
+        ++Cost;
+        // The callee may read any argument register still holding the
+        // incoming actual, so those must be staged and cannot be folded.
+        UsedArgRegs |= MaybeArg;
+        Plan.FoldableArgs &= ~argIdxBits(MaybeArg);
+        Defined |= RaBit;
+        Poison |= (CS.TransMod | RaBit) & CallerSave;
+        continue;
+      }
+
+      uint32_t R = readRegs(I);
+      uint32_t W = writtenRegs(I);
+
+      if ((R | W) & SpBit)
+        return Reject::StackUse;
+
+      if (R & RaBit) {
+        // The incoming ra differs between the worlds (return address vs.
+        // the application's value), so only the save/restore idiom may
+        // touch it: ra as a store's source (paired with a bracketed bsr
+        // and a reload). Anything else could leak the difference.
+        if (!(isStore(I.Op) && I.Ra == RegRA))
+          return Reject::ReadsUndefined;
+      }
+      if (R & Poison)
+        return Reject::CallClobberRead;
+      if (R & ~Defined)
+        return Reject::ReadsUndefined;
+
+      UsedArgRegs |= R & MaybeArg;
+      uint32_t ArgReads = R & ArgRegMask;
+      if (ArgReads) {
+        // Folding replaces every read of the argument with an 8-bit
+        // operate literal, so each read must be exactly the Rb operand of
+        // a non-literal operate instruction.
+        bool OperateRb = formatOf(I.Op) == Format::Operate && !I.IsLit;
+        for (unsigned J = 0; J < NumArgs; ++J) {
+          unsigned AR = RegA0 + J;
+          if (!(ArgReads & (1u << AR)))
+            continue;
+          if (!(OperateRb && I.Rb == AR && I.Ra != AR))
+            Plan.FoldableArgs &= ~(1u << J);
+        }
+      }
+
+      if (W & ~CallerSave)
+        return Reject::WritesProtected;
+      Plan.BodyMod |= RaNeutralLoad[Idx] ? (W & ~RaBit) : W;
+      Defined |= W;
+      MaybeArg &= ~W;
+      Poison &= ~W;
+      if (W & ArgRegMask)
+        Plan.FoldableArgs &= ~argIdxBits(W);
+
+      if (I.Op == Opcode::Br || isCondBranch(I.Op)) {
+        if (N.HasReloc)
+          return Reject::IndirectFlow;
+        int T = N.BranchBlock;
+        if (T < 0 || size_t(T) >= NumBlocks || !IsLast)
+          return Reject::IndirectFlow;
+        if (size_t(T) <= B)
+          return Reject::BackwardBranch;
+        E.BranchTo = BlockStart[size_t(T)];
+        Plan.Elems.push_back(E);
+        ++Cost;
+        mergeInto(size_t(T));
+        if (I.Op == Opcode::Br)
+          FallsThrough = false;
+        continue;
+      }
+
+      Plan.Elems.push_back(E);
+      ++Cost;
+    }
+
+    if (FallsThrough) {
+      if (B + 1 >= NumBlocks)
+        return Reject::NoReturn;
+      mergeInto(B + 1);
+    }
+  }
+
+  if (Cost > InlineLimit)
+    return Reject::TooBig;
+
+  Plan.UsedArgs = argIdxBits(UsedArgRegs);
+  Plan.FoldableArgs &= Plan.UsedArgs; // folding only matters for read args
+  return Reject::None;
+}
+
+Reject planGuard(const om::Procedure &P, GuardPlan &Plan) {
+  Plan = GuardPlan();
+  if (P.Blocks.empty() || P.Blocks[0].Insts.empty())
+    return Reject::EmptyBody;
+
+  const uint32_t CallerSave = om::callerSavedMask();
+  const om::Block &B0 = P.Blocks[0];
+  size_t NumInsts = B0.Insts.size();
+  size_t Idx = 0;
+
+  // Skip the standard mini-C prologue — the frame push and the ra /
+  // parameter spills into it. The called slow path re-executes all of it;
+  // the site emits none of it.
+  if (Idx < NumInsts) {
+    const Inst &I = B0.Insts[Idx].I;
+    if (I.Op == Opcode::Lda && I.Ra == RegSP && I.Rb == RegSP && I.Disp < 0)
+      ++Idx;
+  }
+  while (Idx < NumInsts && isStore(B0.Insts[Idx].I.Op) &&
+         B0.Insts[Idx].I.Rb == RegSP)
+    ++Idx;
+
+  // Collect the predicate: loads from analysis globals and arithmetic over
+  // values the predicate itself defines, ending at the entry block's
+  // conditional branch. Purity (no stores, no calls, no argument or frame
+  // reads) is what makes re-executing it in the slow-path handler safe.
+  uint32_t Defined = 1u << RegZero;
+  bool FoundBranch = false;
+  for (; Idx < NumInsts; ++Idx) {
+    const om::InstNode &N = B0.Insts[Idx];
+    const Inst &I = N.I;
+    if (isCondBranch(I.Op)) {
+      if (Idx + 1 != NumInsts || N.BranchBlock < 0)
+        return Reject::NotGuardable;
+      if (readRegs(I) & ~Defined)
+        return Reject::NotGuardable;
+      Plan.Branch = I;
+      FoundBranch = true;
+      break;
+    }
+    if (isControlTransfer(I.Op) || isStore(I.Op) || I.Op == Opcode::Callsys ||
+        I.Op == Opcode::Halt)
+      return Reject::NotGuardable;
+    uint32_t R = readRegs(I);
+    uint32_t W = writtenRegs(I);
+    if ((R | W) & (1u << RegSP))
+      return Reject::NotGuardable;
+    if (R & ~Defined)
+      return Reject::NotGuardable;
+    if ((W & ~CallerSave) || (W & (1u << RegRA)))
+      return Reject::NotGuardable;
+    if (Plan.Pred.size() >= 8) // predicate is no longer cheap
+      return Reject::NotGuardable;
+    om::InstNode C = N;
+    C.OrigPC = 0;
+    C.BranchBlock = -1;
+    C.Before.clear();
+    C.After.clear();
+    Plan.Pred.push_back(C);
+    Defined |= W;
+    Plan.PredMod |= W & CallerSave;
+  }
+  if (!FoundBranch || Plan.Pred.empty())
+    return Reject::NotGuardable;
+
+  // One side of the branch must be a trivial return: only frame restores,
+  // the frame pop, an unconditional hop, and ret. Nothing observable
+  // happens on it, so the site can skip the entire call sequence.
+  auto isTrivialReturn = [&](int BI) {
+    unsigned Insts = 0;
+    for (unsigned Steps = 0;
+         BI > 0 && size_t(BI) < P.Blocks.size() && Steps < 3; ++Steps) {
+      const om::Block &Blk = P.Blocks[size_t(BI)];
+      int Next = BI + 1;
+      bool Hopped = false;
+      for (size_t K = 0; K < Blk.Insts.size(); ++K) {
+        const Inst &I = Blk.Insts[K].I;
+        if (++Insts > 8)
+          return false;
+        if (I.Op == Opcode::Ret)
+          return true;
+        if (isLoad(I.Op) && I.Rb == RegSP)
+          continue;
+        if (I.Op == Opcode::Lda && I.Ra == RegSP && I.Rb == RegSP &&
+            I.Disp > 0)
+          continue;
+        if (I.Op == Opcode::Br && Blk.Insts[K].BranchBlock > 0 &&
+            K + 1 == Blk.Insts.size()) {
+          Next = Blk.Insts[K].BranchBlock;
+          Hopped = true;
+          break;
+        }
+        return false;
+      }
+      if (!Hopped && Blk.terminator())
+        return false;
+      BI = Next;
+    }
+    return false;
+  };
+
+  int Taken = B0.Insts.back().BranchBlock;
+  int Fall = P.Blocks.size() > 1 ? 1 : -1;
+  if (isTrivialReturn(Taken))
+    Plan.SkipOnTaken = true;
+  else if (isTrivialReturn(Fall))
+    Plan.SkipOnTaken = false;
+  else
+    return Reject::NotGuardable;
+  return Reject::None;
+}
+
+} // namespace probeopt
+} // namespace atom

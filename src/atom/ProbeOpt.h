@@ -1,0 +1,129 @@
+//===- atom/ProbeOpt.h - Optimizing probe code generation -------*- C++ -*-===//
+//
+// The analysis pieces behind `atom --opt=O2` (ROADMAP item 3): deciding
+// which analysis routines can be copied *into* instrumentation sites even
+// when they contain internal control flow, and which routines with a cheap
+// leading test-and-skip predicate can have just that predicate hoisted to
+// the site so the common case never pays for the call.
+//
+// The contract for every transformation here is byte-identity of tool
+// output: an inlined or guarded probe must leave the application's
+// registers, the analysis routines' memory, and every report/trace byte
+// exactly as the called probe would (ToolsTests enforces this across
+// O0/O1/O2). The planners therefore reject anything whose behaviour they
+// cannot prove equivalent, and record *why* — the reject reasons surface
+// as atom.probe-reject-* counters.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ATOM_ATOM_PROBEOPT_H
+#define ATOM_ATOM_PROBEOPT_H
+
+#include "om/DataFlow.h"
+#include "om/Program.h"
+
+namespace atom {
+namespace probeopt {
+
+/// Why a routine was not inlined (or guarded). Stable order: these index
+/// InstrStats::ProbeRejects and name the atom.probe-reject-* counters.
+enum class Reject : uint8_t {
+  None = 0,
+  TooManyArgs,     ///< More than six register arguments.
+  EmptyBody,       ///< No instructions to copy.
+  NoReturn,        ///< Body can fall off the end (malformed for inlining).
+  TooBig,          ///< Over AtomOptions::InlineLimit instructions.
+  BackwardBranch,  ///< Internal loop: only forward (DAG) control flow can
+                   ///< be flattened into a site.
+  IndirectFlow,    ///< jsr/jmp/external br, or a call to a procedure the
+                   ///< data-flow pass cannot see.
+  Syscall,         ///< callsys/halt must not run with site-local state.
+  StackUse,        ///< Reads or writes sp: the body would observe the
+                   ///< site's shifted stack pointer.
+  ReadsUndefined,  ///< Reads a register that is neither an argument nor
+                   ///< defined on every path to the read.
+  WritesProtected, ///< Writes a callee-save register or ra (outside bsr).
+  CallClobberRead, ///< After an internal cold call, reads a register the
+                   ///< call bracket may restore to the application's value
+                   ///< (the called routine would have left garbage there).
+  NotGuardable,    ///< No pure leading test-and-skip predicate.
+  Count
+};
+
+constexpr unsigned NumRejectReasons = unsigned(Reject::Count);
+
+/// Kebab-case name ("backward-branch") for counters and diagnostics.
+const char *rejectName(Reject R);
+
+/// One instruction of a flattened (branch-resolved) inline body.
+struct InlineElem {
+  om::InstNode N;    ///< Relocations preserved; BranchBlock cleared.
+  int BranchTo = -1; ///< Intra-body branch: index of the target elem.
+  bool IsRet = false;  ///< Rewritten to a branch past the body copy.
+  bool IsCall = false; ///< Internal bsr kept as an out-of-line cold call.
+  /// IsCall: the body spills and reloads ra itself around this call (the
+  /// `laddr/stq ra/bsr/laddr/ldq ra` idiom), so the bracket omits ra.
+  bool RaProtected = false;
+  uint32_t CalleeTransMod = 0; ///< IsCall: callee's transitive mod set.
+};
+
+/// Everything genCallSeq needs to copy a routine into a site: the body in
+/// flattened order (blocks concatenated; branches resolved to elem
+/// indices, turned into raw forward displacements at emission), plus the
+/// register facts that size the site's save set.
+struct InlinePlan {
+  std::vector<InlineElem> Elems;
+  unsigned NumArgs = 0;
+  /// Bit j: the body reads a0+j while it still holds the incoming value
+  /// on some path. Unused arguments need no staging and no save at the
+  /// site.
+  uint32_t UsedArgs = 0;
+  /// Caller-save registers the body itself writes (internal calls'
+  /// transitive effects and bsr's ra write excluded — those are bracketed
+  /// around the cold call instead, so the fast path never pays for them).
+  uint32_t BodyMod = 0;
+  /// Bit j: every read of a0+j is the Rb operand of a non-literal operate
+  /// instruction and the register is never overwritten, so a
+  /// small-constant actual (0..255) can be folded into the copied body as
+  /// a literal, eliding the argument entirely. Subset of UsedArgs.
+  uint32_t FoldableArgs = 0;
+  bool HasColdCall = false;
+};
+
+/// Plans the branching inliner for Anal.Procs[ProcIdx] called with
+/// \p NumArgs register arguments. Returns Reject::None and fills \p Plan
+/// on success. \p DF must be the data-flow result for \p Anal (used for
+/// internal callees' transitive mod sets).
+Reject planInline(const om::Unit &Anal, int ProcIdx, unsigned NumArgs,
+                  unsigned InlineLimit, const om::DataFlowResult &DF,
+                  InlinePlan &Plan);
+
+/// A hoistable guard: the routine opens with a pure predicate over
+/// analysis globals (no arguments, no stores, no calls) and one side of
+/// its first conditional branch is a trivial return. The site runs just
+/// the predicate and skips the whole call sequence on the early-exit
+/// side; the slow path re-executes the predicate inside the routine,
+/// which is deterministic because nothing runs in between.
+struct GuardPlan {
+  std::vector<om::InstNode> Pred; ///< Predicate instructions (copies).
+  isa::Inst Branch;               ///< The routine's conditional branch.
+  /// True: the branch's taken edge is the trivial return (site skips when
+  /// taken). False: the fallthrough side returns, so the site branches
+  /// with the *inverted* condition to skip.
+  bool SkipOnTaken = false;
+  uint32_t PredMod = 0; ///< Registers the predicate writes.
+};
+
+/// Plans guard hoisting for \p P (typically attempted after planInline
+/// rejected). Standard mini-C prologues (frame allocation, ra/parameter
+/// spills) are skipped when extracting the predicate, since the site
+/// emits neither.
+Reject planGuard(const om::Procedure &P, GuardPlan &Plan);
+
+/// The inverted sense of a conditional branch opcode (beq <-> bne, ...).
+isa::Opcode invertCondBranch(isa::Opcode Op);
+
+} // namespace probeopt
+} // namespace atom
+
+#endif // ATOM_ATOM_PROBEOPT_H

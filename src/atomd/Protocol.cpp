@@ -268,6 +268,14 @@ void atomd::writeAtomOptions(obs::JsonWriter &W, const AtomOptions &O) {
   W.value(O.InlineAnalysis);
   W.key("inline-limit");
   W.value(uint64_t(O.InlineLimit));
+  W.key("branchy-inline");
+  W.value(O.BranchyInline);
+  W.key("guard-hoist");
+  W.value(O.GuardHoist);
+  W.key("elide-dead-args");
+  W.value(O.ElideDeadArgs);
+  W.key("opt");
+  W.value(optPresetName(O.Opt));
   W.endObject();
 }
 
@@ -289,6 +297,14 @@ bool atomd::parseAtomOptions(const obs::json::Value &V, AtomOptions &O,
   O.AnalysisHeapOffset = V.u64("heap-offset", O.AnalysisHeapOffset);
   O.InlineAnalysis = V.boolean("inline", O.InlineAnalysis);
   O.InlineLimit = unsigned(V.u64("inline-limit", O.InlineLimit));
+  O.BranchyInline = V.boolean("branchy-inline", O.BranchyInline);
+  O.GuardHoist = V.boolean("guard-hoist", O.GuardHoist);
+  O.ElideDeadArgs = V.boolean("elide-dead-args", O.ElideDeadArgs);
+  std::string Opt = V.str("opt", optPresetName(O.Opt));
+  if (!parseOptPreset(Opt, O.Opt)) {
+    Err = "unknown opt preset '" + Opt + "'";
+    return false;
+  }
   return true;
 }
 
@@ -403,6 +419,10 @@ bool atomd::parseReply(const Frame &F, Reply &R, std::string &Err) {
     R.Stats.AnalysisProcs = unsigned(S->u64("analysis-procs"));
     R.Stats.StrippedProcs = unsigned(S->u64("stripped-procs"));
     R.Stats.SaveSlots = unsigned(S->u64("save-slots"));
+    R.Stats.ProbeInlinedSites = unsigned(S->u64("probe-inlined-sites"));
+    R.Stats.ProbeGuardedSites = unsigned(S->u64("probe-guarded-sites"));
+    R.Stats.ProbeArgsElided = unsigned(S->u64("probe-args-elided"));
+    R.Stats.ProbeConstsFolded = unsigned(S->u64("probe-consts-folded"));
   }
   return true;
 }

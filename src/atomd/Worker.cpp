@@ -86,6 +86,14 @@ Frame atomd::buildInstrumentReply(PipelineCache &Cache, uint64_t Id,
   W.value(uint64_t(Out.Stats.StrippedProcs));
   W.key("save-slots");
   W.value(uint64_t(Out.Stats.SaveSlots));
+  W.key("probe-inlined-sites");
+  W.value(uint64_t(Out.Stats.ProbeInlinedSites));
+  W.key("probe-guarded-sites");
+  W.value(uint64_t(Out.Stats.ProbeGuardedSites));
+  W.key("probe-args-elided");
+  W.value(uint64_t(Out.Stats.ProbeArgsElided));
+  W.key("probe-consts-folded");
+  W.value(uint64_t(Out.Stats.ProbeConstsFolded));
   W.endObject();
   W.endObject();
   R.Json = W.take();

@@ -25,6 +25,7 @@ long *tbuf;
 long tn;
 long tfd;
 long tdone;
+long tsavera;
 
 void InitTrace() {
   tbuf = (long *)malloc(16384 * 2 * sizeof(long));
@@ -39,53 +40,142 @@ void TraceFlush() {
   tn = 0;
 }
 
-void TraceBlock(long pc, long n) {
-  if (tdone)
-    return;
-  tbuf[tn * 2] = 1 + (n << 8);
-  tbuf[tn * 2 + 1] = pc;
-  tn = tn + 1;
-  if (tn >= 16384)
-    TraceFlush();
-}
-
-void TraceMem(long a) {
-  if (tdone)
-    return;
-  tbuf[tn * 2] = 2;
-  tbuf[tn * 2 + 1] = a;
-  tn = tn + 1;
-  if (tn >= 16384)
-    TraceFlush();
-}
-
-void TraceBr(long t) {
-  if (tdone)
-    return;
-  tbuf[tn * 2] = 3;
-  if (t)
-    tbuf[tn * 2] = 3 + 256;
-  tbuf[tn * 2 + 1] = 0;
-  tn = tn + 1;
-  if (tn >= 16384)
-    TraceFlush();
-}
-
-void TraceSys(long no) {
-  if (tdone)
-    return;
-  tbuf[tn * 2] = 4;
-  tbuf[tn * 2 + 1] = no;
-  tn = tn + 1;
-  if (tn >= 16384)
-    TraceFlush();
-}
-
 void CloseTrace() {
   TraceFlush();
   fclose(tfd);
   tdone = 1;
 }
+)";
+
+// The per-event handlers are frameless hand-written assembly (mcc always
+// emits a frame + ra spill, which would bar --opt=O2 from copying them into
+// the sites). Record bytes and flush boundaries are exactly the mini-C
+// versions' — the ATF output is byte-identical at every opt level. The
+// buffer append is a bump-pointer store pair; the 1-in-16384 overflow path
+// spills ra to `tsavera`, calls TraceFlush out of line, and reloads ra (the
+// idiom ProbeOpt recognizes as ra-neutral, so inlined sites never save ra
+// on the fast path).
+const char *TraceHotAsm = R"(
+        .text
+        .ent    TraceBlock
+        .globl  TraceBlock
+TraceBlock:
+        laddr   t0, tdone
+        ldq     t0, 0(t0)
+        bne     t0, TraceBlock$done
+        laddr   t0, tn
+        ldq     t1, 0(t0)
+        laddr   t2, tbuf
+        ldq     t2, 0(t2)
+        sll     t1, #4, t3
+        addq    t2, t3, t2        ; &tbuf[tn * 2]
+        sll     a1, #8, t3
+        addq    t3, #1, t3        ; 1 + (n << 8)
+        stq     t3, 0(t2)
+        stq     a0, 8(t2)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        lda     t3, 16384(zero)
+        cmplt   t1, t3, t3
+        bne     t3, TraceBlock$done
+        laddr   t0, tsavera
+        stq     ra, 0(t0)
+        bsr     TraceFlush
+        laddr   t0, tsavera
+        ldq     ra, 0(t0)
+TraceBlock$done:
+        ret
+        .end    TraceBlock
+
+        .ent    TraceMem
+        .globl  TraceMem
+TraceMem:
+        laddr   t0, tdone
+        ldq     t0, 0(t0)
+        bne     t0, TraceMem$done
+        laddr   t0, tn
+        ldq     t1, 0(t0)
+        laddr   t2, tbuf
+        ldq     t2, 0(t2)
+        sll     t1, #4, t3
+        addq    t2, t3, t2
+        lda     t3, 2(zero)
+        stq     t3, 0(t2)
+        stq     a0, 8(t2)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        lda     t3, 16384(zero)
+        cmplt   t1, t3, t3
+        bne     t3, TraceMem$done
+        laddr   t0, tsavera
+        stq     ra, 0(t0)
+        bsr     TraceFlush
+        laddr   t0, tsavera
+        ldq     ra, 0(t0)
+TraceMem$done:
+        ret
+        .end    TraceMem
+
+        .ent    TraceBr
+        .globl  TraceBr
+TraceBr:
+        laddr   t0, tdone
+        ldq     t0, 0(t0)
+        bne     t0, TraceBr$done
+        laddr   t0, tn
+        ldq     t1, 0(t0)
+        laddr   t2, tbuf
+        ldq     t2, 0(t2)
+        sll     t1, #4, t3
+        addq    t2, t3, t2
+        lda     t3, 3(zero)
+        beq     a0, TraceBr$store
+        lda     t3, 259(zero)     ; 3 + 256: taken
+TraceBr$store:
+        stq     t3, 0(t2)
+        stq     zero, 8(t2)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        lda     t3, 16384(zero)
+        cmplt   t1, t3, t3
+        bne     t3, TraceBr$done
+        laddr   t0, tsavera
+        stq     ra, 0(t0)
+        bsr     TraceFlush
+        laddr   t0, tsavera
+        ldq     ra, 0(t0)
+TraceBr$done:
+        ret
+        .end    TraceBr
+
+        .ent    TraceSys
+        .globl  TraceSys
+TraceSys:
+        laddr   t0, tdone
+        ldq     t0, 0(t0)
+        bne     t0, TraceSys$done
+        laddr   t0, tn
+        ldq     t1, 0(t0)
+        laddr   t2, tbuf
+        ldq     t2, 0(t2)
+        sll     t1, #4, t3
+        addq    t2, t3, t2
+        lda     t3, 4(zero)
+        stq     t3, 0(t2)
+        stq     a0, 8(t2)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+        lda     t3, 16384(zero)
+        cmplt   t1, t3, t3
+        bne     t3, TraceSys$done
+        laddr   t0, tsavera
+        stq     ra, 0(t0)
+        bsr     TraceFlush
+        laddr   t0, tsavera
+        ldq     ra, 0(t0)
+TraceSys$done:
+        ret
+        .end    TraceSys
 )";
 
 //===----------------------------------------------------------------------===//
@@ -127,7 +217,7 @@ const Tool &trace::traceTool() {
                          "records an ATF event stream via instrumentation",
                          instrumentTrace,
                          {TraceAnalysis},
-                         {}};
+                         {TraceHotAsm}};
   return T;
 }
 

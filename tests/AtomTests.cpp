@@ -625,8 +625,10 @@ TEST(InlineAnalysis, InliningReducesDynamicCost) {
   const Tool *T = tools::findTool("dyninst");
   obj::Executable App = buildOrDie(workloads::findWorkload("fib")->Source);
   AtomOptions Off;
+  Off.Opt = AtomOptions::OptPreset::O0; // pin against the ATOM_OPT sweep
   AtomOptions On;
   On.InlineAnalysis = true;
+  On.Opt = AtomOptions::OptPreset::O1;
   InstrumentedProgram A = instrumentOrDie(App, *T, Off);
   InstrumentedProgram B = instrumentOrDie(App, *T, On);
   sim::Machine MA(A.Exe), MB(B.Exe);
@@ -643,6 +645,7 @@ TEST(InlineAnalysis, BranchyRoutinesAreNotInlined) {
   RunOutcome Base = runProgram(App);
   AtomOptions On;
   On.InlineAnalysis = true;
+  On.Opt = AtomOptions::OptPreset::O1; // the straight-line inliner only
   InstrumentedProgram B = instrumentOrDie(App, *T, On);
   sim::Machine M(B.Exe);
   ASSERT_TRUE(M.run().exitedWith(0));

@@ -274,6 +274,47 @@ TEST_F(AtomdFixture, InstrumentMatchesStandaloneByteForByte) {
   EXPECT_EQ(Exe, Local.Exe.serialize());
 }
 
+TEST_F(AtomdFixture, OptPresetsMatchStandaloneByteForByte) {
+  // The full optimization surface travels with the request: each preset's
+  // daemon-served executable must match standalone runAtom() at the same
+  // preset byte for byte, and the probe-codegen statistics must round-trip
+  // through the reply.
+  DaemonOptions O;
+  O.SocketPath = socketPath();
+  O.Jobs = 2;
+  Daemon D(O);
+  std::string Err;
+  ASSERT_TRUE(D.start(Err)) << Err;
+
+  obj::Executable App = buildOrDie(AppA);
+  Client Cl;
+  ASSERT_TRUE(Cl.connect(socketPath(), Err)) << Err;
+  for (AtomOptions::OptPreset P :
+       {AtomOptions::OptPreset::O0, AtomOptions::OptPreset::O1,
+        AtomOptions::OptPreset::O2}) {
+    AtomOptions AO;
+    AO.Opt = P;
+    InstrumentedProgram Local =
+        instrumentOrDie(App, *tools::findTool("cache"), AO);
+    std::vector<uint8_t> Exe;
+    Reply R;
+    instrumentVia(Cl, "cache", App, AO, Exe, R);
+    ASSERT_TRUE(R.Ok) << optPresetName(P) << ": " << R.Error;
+    EXPECT_EQ(Exe, Local.Exe.serialize()) << optPresetName(P);
+    EXPECT_EQ(R.Stats.Points, Local.Stats.Points) << optPresetName(P);
+    EXPECT_EQ(R.Stats.ProbeInlinedSites, Local.Stats.ProbeInlinedSites)
+        << optPresetName(P);
+    EXPECT_EQ(R.Stats.ProbeGuardedSites, Local.Stats.ProbeGuardedSites)
+        << optPresetName(P);
+    EXPECT_EQ(R.Stats.ProbeArgsElided, Local.Stats.ProbeArgsElided)
+        << optPresetName(P);
+    EXPECT_EQ(R.Stats.ProbeConstsFolded, Local.Stats.ProbeConstsFolded)
+        << optPresetName(P);
+    if (P == AtomOptions::OptPreset::O2)
+      EXPECT_GT(R.Stats.ProbeInlinedSites, 0u);
+  }
+}
+
 TEST_F(AtomdFixture, FailedPipelineReturnsDiagnostics) {
   DaemonOptions O;
   O.SocketPath = socketPath();

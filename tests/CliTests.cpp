@@ -271,6 +271,55 @@ int main() {
   EXPECT_NE(C.ExitCode, 0);
 }
 
+TEST_F(CliFixture, AtomOptPresetFlag) {
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long s = 0;
+  for (i = 0; i < 30; i = i + 1)
+    s = s + i * i;
+  printf("s %ld\n", s);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+
+  // Both spellings of every preset instrument and run; the report tool's
+  // output is identical at each level (the byte-identity contract).
+  for (const char *Preset : {"O0", "O1", "O2"}) {
+    CommandResult C = runCommand(
+        tool("atom") + " " + path("p.exe") + " --tool cache --opt " +
+        Preset + " --run -o " + path(std::string("p.") + Preset));
+    EXPECT_EQ(C.ExitCode, 0) << Preset << ": " << C.Output;
+    EXPECT_NE(C.Output.find("s 8555"), std::string::npos)
+        << Preset << ": " << C.Output;
+    C = runCommand(tool("atom") + " " + path("p.exe") +
+                   " --tool cache --opt=" + Preset + " -o " +
+                   path(std::string("q.") + Preset));
+    EXPECT_EQ(C.ExitCode, 0) << Preset << ": " << C.Output;
+    C = runCommand("cmp " + path(std::string("p.") + Preset) + " " +
+                   path(std::string("q.") + Preset));
+    EXPECT_EQ(C.ExitCode, 0) << Preset;
+  }
+  // O2 actually rewrites the probes: its output differs from O0's.
+  CommandResult C =
+      runCommand("cmp -s " + path("p.O0") + " " + path("p.O2"));
+  EXPECT_NE(C.ExitCode, 0);
+
+  // Unknown presets are a hard error naming the valid values, in both
+  // spellings.
+  for (const char *Bad : {" --opt O3", " --opt=o2", " --opt full"}) {
+    C = runCommand(tool("atom") + " " + path("p.exe") + " --tool cache" +
+                   Bad);
+    EXPECT_EQ(C.ExitCode, 1) << Bad << ": " << C.Output;
+    EXPECT_NE(C.Output.find("unknown opt preset"), std::string::npos)
+        << Bad << ": " << C.Output;
+    EXPECT_NE(C.Output.find("valid: O0, O1, O2"), std::string::npos)
+        << Bad << ": " << C.Output;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Observability: --stats phase tree, --metrics-out, --profile, --json-diag,
 // stat histograms (docs/OBSERVABILITY.md).
@@ -441,7 +490,8 @@ TEST_F(CliFixture, NumericFlagsRejectGarbage) {
   // of quietly parsing it as 0.
   for (const char *Bad :
        {" --jobs max", " -j 4x", " --jobs -4", " --heap-offset lots",
-        " --cache-bytes huge", " --cache-bytes 1z"}) {
+        " --cache-bytes huge", " --cache-bytes 1z", " --inline-limit big",
+        " --inline-limit 24k"}) {
     CommandResult C = runCommand(tool("atom") + " p.exe --tool prof" + Bad);
     EXPECT_EQ(C.ExitCode, 1) << Bad << ": " << C.Output;
     EXPECT_NE(C.Output.find("invalid value"), std::string::npos)
@@ -533,6 +583,51 @@ int main() {
   C = runCommand(tool("atomd") + " shutdown --socket " + Sock);
   ASSERT_EQ(C.ExitCode, 0) << C.Output;
   EXPECT_NE(C.Output.find("shutdown requested"), std::string::npos);
+  ASSERT_TRUE(waitForLogLine(Log, "atomd: stopped")) << readHostFile(Log);
+}
+
+TEST_F(CliFixture, AtomdConnectOptPresetsMatchStandalone) {
+  // The optimization surface travels over the wire: at every --opt level,
+  // the daemon-served executable is byte-identical to the standalone one
+  // built with the same flags.
+  writeSource("p.mc", R"(
+int main() {
+  long i;
+  long s = 0;
+  for (i = 0; i < 25; i = i + 1)
+    s = s + i;
+  printf("s %ld\n", s);
+  return 0;
+}
+)");
+  runCommand(tool("axp-cc") + " " + path("p.mc") + " -o " + path("p.obj"));
+  runCommand(tool("axp-ld") + " " + path("p.obj") + " -o " + path("p.exe"));
+
+  std::string Sock = path("d.sock");
+  std::string Log = path("d.log");
+  runCommand(tool("atomd") + " serve --socket " + Sock + " --metrics-http 0 "
+             "> " + Log + " 2>&1 &");
+  ASSERT_TRUE(waitForLogLine(Log, "atomd: listening")) << readHostFile(Log);
+
+  for (const char *Preset : {"O0", "O1", "O2"}) {
+    std::string Flags = std::string(" --tool cache --opt ") + Preset;
+    CommandResult C = runCommand(tool("atom") + " " + path("p.exe") + Flags +
+                                 " -o " + path("local.atom"));
+    ASSERT_EQ(C.ExitCode, 0) << Preset << ": " << C.Output;
+    C = runCommand(tool("atom") + " --connect " + Sock + " " +
+                   path("p.exe") + Flags + " -o " + path("remote.atom"));
+    ASSERT_EQ(C.ExitCode, 0) << Preset << ": " << C.Output;
+    C = runCommand("cmp " + path("local.atom") + " " + path("remote.atom"));
+    EXPECT_EQ(C.ExitCode, 0) << Preset << ": " << C.Output;
+    C = runCommand(tool("axp-run") + " " + path("remote.atom") +
+                   " --dump cache.out");
+    EXPECT_EQ(C.ExitCode, 0) << Preset;
+    EXPECT_NE(C.Output.find("s 300"), std::string::npos)
+        << Preset << ": " << C.Output;
+  }
+
+  CommandResult C = runCommand(tool("atomd") + " shutdown --socket " + Sock);
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
   ASSERT_TRUE(waitForLogLine(Log, "atomd: stopped")) << readHostFile(Log);
 }
 

@@ -1,0 +1,374 @@
+//===- tests/ProbeOptTests.cpp - Optimizing probe codegen planners --------===//
+//
+// Unit tests for the --opt=O2 planners (src/atom/ProbeOpt.h): which
+// analysis-routine shapes the branching inliner accepts, the precise
+// reason each ineligible shape is rejected (the atom.probe-reject-*
+// taxonomy), and guard-hoist eligibility. Bodies are assembled from the
+// same hand-written-asm surface the real hot handlers use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "atom/Driver.h"
+#include "atom/ProbeOpt.h"
+#include "om/DataFlow.h"
+
+#include "TestUtil.h"
+
+using namespace atom;
+using namespace atom::test;
+using namespace atom::probeopt;
+
+namespace {
+
+/// Assembles \p Asm (plus optional mini-C \p MiniC) into an analysis unit
+/// exactly as the pipeline would — linked with the runtime, lifted to om
+/// IR — and returns it with its data-flow result.
+struct AnalysisFixture {
+  om::Unit Unit;
+  om::DataFlowResult DF;
+
+  AnalysisFixture(const std::string &Asm, const std::string &MiniC = "") {
+    Tool T;
+    T.Name = "probeopt-test";
+    if (!MiniC.empty())
+      T.AnalysisSources.push_back(MiniC);
+    if (!Asm.empty())
+      T.AnalysisAsmSources.push_back(Asm);
+    std::vector<obj::ObjectModule> Mods;
+    DiagEngine Diags;
+    if (!compileAnalysisModules(T, Mods, Diags) ||
+        !buildAnalysisUnit(Mods, Unit, Diags)) {
+      ADD_FAILURE() << "analysis unit failed to build:\n" << Diags.str();
+      abort();
+    }
+    DF = om::computeDataFlow(Unit);
+  }
+
+  Reject plan(const char *Proc, unsigned NumArgs, InlinePlan &Plan,
+              unsigned Limit = 48) {
+    auto It = Unit.ProcByName.find(Proc);
+    if (It == Unit.ProcByName.end()) {
+      ADD_FAILURE() << "no procedure '" << Proc << "' in analysis unit";
+      abort();
+    }
+    return planInline(Unit, It->second, NumArgs, Limit, DF, Plan);
+  }
+
+  Reject guard(const char *Proc, GuardPlan &Plan) {
+    const om::Procedure *P = Unit.findProc(Proc);
+    if (!P) {
+      ADD_FAILURE() << "no procedure '" << Proc << "' in analysis unit";
+      abort();
+    }
+    return planGuard(*P, Plan);
+  }
+};
+
+/// Globals live in the asm module itself so no mini-C companion is needed.
+const char *DataCell = R"(
+        .data
+pocell: .quad   0
+posave: .quad   0
+)";
+
+std::string withData(const std::string &Text) {
+  return Text + DataCell;
+}
+
+TEST(ProbeOptInline, AcceptsStraightLineBodyAndFoldsLiteralArg) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoAdd
+        .globl  PoAdd
+PoAdd:
+        laddr   t0, pocell
+        ldq     t1, 0(t0)
+        addq    t1, a0, t1
+        stq     t1, 0(t0)
+        ret
+        .end    PoAdd
+)"));
+  InlinePlan P;
+  ASSERT_EQ(F.plan("PoAdd", 1, P), Reject::None);
+  // laddr expands to ldah+lda, so the body is six elements ending in ret.
+  ASSERT_EQ(P.Elems.size(), 6u);
+  EXPECT_TRUE(P.Elems.back().IsRet);
+  EXPECT_FALSE(P.HasColdCall);
+  EXPECT_EQ(P.UsedArgs, 1u);
+  // a0 is only ever the Rb of a non-literal addq: a small-constant actual
+  // can be folded into the copied body as a literal.
+  EXPECT_EQ(P.FoldableArgs, 1u);
+  EXPECT_TRUE(P.BodyMod & (1u << isa::RegT0));
+  EXPECT_TRUE(P.BodyMod & (1u << isa::RegT1));
+  EXPECT_FALSE(P.BodyMod & (1u << isa::RegRA));
+}
+
+TEST(ProbeOptInline, AcceptsForwardBranches) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoBr
+        .globl  PoBr
+PoBr:
+        beq     a0, PoBr$skip
+        laddr   t0, pocell
+        ldq     t1, 0(t0)
+        addq    t1, #1, t1
+        stq     t1, 0(t0)
+PoBr$skip:
+        ret
+        .end    PoBr
+)"));
+  InlinePlan P;
+  ASSERT_EQ(F.plan("PoBr", 1, P), Reject::None);
+  ASSERT_FALSE(P.Elems.empty());
+  // The branch resolves to an intra-body element index (the final ret).
+  EXPECT_EQ(P.Elems[0].BranchTo, int(P.Elems.size() - 1));
+  EXPECT_EQ(P.UsedArgs, 1u);
+  // Read by a branch, not an operate Rb: not foldable.
+  EXPECT_EQ(P.FoldableArgs, 0u);
+}
+
+TEST(ProbeOptInline, RejectsSevenArguments) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoNop
+        .globl  PoNop
+PoNop:
+        ret
+        .end    PoNop
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoNop", 7, P), Reject::TooManyArgs);
+}
+
+TEST(ProbeOptInline, RejectsBodyOverTheInlineLimit) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoAdd
+        .globl  PoAdd
+PoAdd:
+        laddr   t0, pocell
+        ldq     t1, 0(t0)
+        addq    t1, a0, t1
+        stq     t1, 0(t0)
+        ret
+        .end    PoAdd
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoAdd", 1, P, /*Limit=*/2), Reject::TooBig);
+}
+
+TEST(ProbeOptInline, RejectsBackwardBranches) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoLoop
+        .globl  PoLoop
+PoLoop:
+        lda     t0, 4(zero)
+PoLoop$top:
+        subq    t0, #1, t0
+        bne     t0, PoLoop$top
+        ret
+        .end    PoLoop
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoLoop", 0, P), Reject::BackwardBranch);
+}
+
+TEST(ProbeOptInline, RejectsSyscalls) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoSys
+        .globl  PoSys
+PoSys:
+        lda     v0, 1(zero)
+        callsys
+        ret
+        .end    PoSys
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoSys", 0, P), Reject::Syscall);
+}
+
+TEST(ProbeOptInline, RejectsIndirectFlow) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoJmp
+        .globl  PoJmp
+PoJmp:
+        laddr   t0, pocell
+        jmp     (t0)
+        .end    PoJmp
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoJmp", 0, P), Reject::IndirectFlow);
+}
+
+TEST(ProbeOptInline, RejectsStackUse) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoStack
+        .globl  PoStack
+PoStack:
+        ldq     t0, 0(sp)
+        ret
+        .end    PoStack
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoStack", 0, P), Reject::StackUse);
+}
+
+TEST(ProbeOptInline, RejectsReadsOfUndefinedRegisters) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoUndef
+        .globl  PoUndef
+PoUndef:
+        addq    t5, #1, t0
+        ret
+        .end    PoUndef
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoUndef", 0, P), Reject::ReadsUndefined);
+}
+
+TEST(ProbeOptInline, RejectsWritesToCalleeSavedRegisters) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoProt
+        .globl  PoProt
+PoProt:
+        lda     s0, 1(zero)
+        ret
+        .end    PoProt
+)"));
+  InlinePlan P;
+  EXPECT_EQ(F.plan("PoProt", 0, P), Reject::WritesProtected);
+}
+
+/// The trace handlers' cold-call shape: spill ra to a cell, bsr, reload.
+/// The idiom is value-preserving in both the called and the inlined world,
+/// so the bsr's bracket omits ra and ra stays out of BodyMod.
+TEST(ProbeOptInline, RecognizesTheRaSpillIdiomAroundColdCalls) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoCold
+        .globl  PoCold
+PoCold:
+        laddr   t0, posave
+        stq     ra, 0(t0)
+        bsr     PoCallee
+        laddr   t0, posave
+        ldq     ra, 0(t0)
+        ret
+        .end    PoCold
+
+        .ent    PoCallee
+        .globl  PoCallee
+PoCallee:
+        lda     t2, 1(zero)
+        ret
+        .end    PoCallee
+)"));
+  InlinePlan P;
+  ASSERT_EQ(F.plan("PoCold", 0, P), Reject::None);
+  EXPECT_TRUE(P.HasColdCall);
+  const InlineElem *Call = nullptr;
+  for (const InlineElem &E : P.Elems)
+    if (E.IsCall)
+      Call = &E;
+  ASSERT_NE(Call, nullptr);
+  EXPECT_TRUE(Call->RaProtected);
+  EXPECT_TRUE(Call->CalleeTransMod & (1u << isa::RegT2));
+  EXPECT_FALSE(P.BodyMod & (1u << isa::RegRA));
+}
+
+TEST(ProbeOptInline, RejectsReadsOfCallClobberedRegisters) {
+  AnalysisFixture F(withData(R"(
+        .text
+        .ent    PoCcr
+        .globl  PoCcr
+PoCcr:
+        lda     t2, 5(zero)
+        laddr   t0, posave
+        stq     ra, 0(t0)
+        bsr     PoCallee
+        laddr   t0, posave
+        ldq     ra, 0(t0)
+        addq    t2, #1, t2
+        ret
+        .end    PoCcr
+
+        .ent    PoCallee
+        .globl  PoCallee
+PoCallee:
+        lda     t2, 1(zero)
+        ret
+        .end    PoCallee
+)"));
+  InlinePlan P;
+  // PoCallee clobbers t2; at the inlined site the bracket restores the
+  // application's t2, so the read after the bsr would observe the wrong
+  // world's value.
+  EXPECT_EQ(F.plan("PoCcr", 0, P), Reject::CallClobberRead);
+}
+
+TEST(ProbeOptGuard, HoistsALeadingTestAndSkipPredicate) {
+  AnalysisFixture F("", R"(
+long genabled;
+long gcount;
+
+void GuardCount(long n) {
+  if (genabled == 0)
+    return;
+  gcount = gcount + n;
+}
+)");
+  GuardPlan G;
+  ASSERT_EQ(F.guard("GuardCount", G), Reject::None);
+  EXPECT_FALSE(G.Pred.empty());
+  EXPECT_TRUE(isa::isCondBranch(G.Branch.Op));
+  EXPECT_NE(G.PredMod, 0u);
+  // The predicate is pure: loads and arithmetic only, nothing touching sp.
+  for (const om::InstNode &N : G.Pred) {
+    EXPECT_FALSE(isa::isStore(N.I.Op));
+    EXPECT_FALSE(isa::isControlTransfer(N.I.Op));
+  }
+}
+
+TEST(ProbeOptGuard, RejectsBodiesWithoutAPredicate) {
+  AnalysisFixture F("", R"(
+long gsum;
+
+void NoGuard(long n) {
+  gsum = gsum + n;
+}
+)");
+  GuardPlan G;
+  EXPECT_EQ(F.guard("NoGuard", G), Reject::NotGuardable);
+}
+
+TEST(ProbeOpt, InvertsConditionalBranches) {
+  using isa::Opcode;
+  EXPECT_EQ(invertCondBranch(Opcode::Beq), Opcode::Bne);
+  EXPECT_EQ(invertCondBranch(Opcode::Bne), Opcode::Beq);
+  EXPECT_EQ(invertCondBranch(Opcode::Blt), Opcode::Bge);
+  EXPECT_EQ(invertCondBranch(Opcode::Bge), Opcode::Blt);
+  EXPECT_EQ(invertCondBranch(Opcode::Ble), Opcode::Bgt);
+  EXPECT_EQ(invertCondBranch(Opcode::Bgt), Opcode::Ble);
+  EXPECT_EQ(invertCondBranch(Opcode::Blbc), Opcode::Blbs);
+  EXPECT_EQ(invertCondBranch(Opcode::Blbs), Opcode::Blbc);
+}
+
+TEST(ProbeOpt, RejectNamesAreStableAndKebabCase) {
+  EXPECT_STREQ(rejectName(Reject::BackwardBranch), "backward-branch");
+  EXPECT_STREQ(rejectName(Reject::CallClobberRead), "call-clobber-read");
+  for (unsigned R = 1; R < NumRejectReasons; ++R) {
+    const char *N = rejectName(Reject(R));
+    ASSERT_NE(N, nullptr);
+    for (const char *C = N; *C; ++C)
+      EXPECT_TRUE((*C >= 'a' && *C <= 'z') || *C == '-') << N;
+  }
+}
+
+} // namespace

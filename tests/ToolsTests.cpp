@@ -342,6 +342,94 @@ TEST(InlineOracle, SiteCountsSumToDynamicCalls) {
 }
 
 //===----------------------------------------------------------------------===//
+// Optimization presets: byte-identical reports at O0/O1/O2, interpreted
+// and DBT-translated (docs/EXPERIMENTS.md E7)
+//===----------------------------------------------------------------------===//
+
+/// A workload that exercises each tool's instrumentation points (malloc
+/// wants allocations, io/syscall want write traffic, the rest get a
+/// branch/memory/call mix).
+const char *matrixWorkloadFor(const std::string &ToolName) {
+  if (ToolName == "malloc")
+    return "mallocmix";
+  if (ToolName == "io" || ToolName == "syscall")
+    return "iobound";
+  return "qsort";
+}
+
+class OptPresetMatrix : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(OptPresetMatrix, ReportsByteIdenticalAcrossPresetsAndDbt) {
+  const Tool *T = tools::findTool(GetParam());
+  ASSERT_NE(T, nullptr);
+  const char *WName = matrixWorkloadFor(T->Name);
+  obj::Executable App =
+      buildOrDie(workloads::findWorkload(WName)->Source);
+
+  sim::Machine Base(App);
+  ASSERT_TRUE(Base.run().exitedWith(0));
+  const std::string BaseStdout = Base.vfs().stdoutText();
+
+  const AtomOptions::OptPreset Presets[] = {AtomOptions::OptPreset::O0,
+                                            AtomOptions::OptPreset::O1,
+                                            AtomOptions::OptPreset::O2};
+  std::string Reference; // the O0 interpreter report
+  for (AtomOptions::OptPreset P : Presets) {
+    AtomOptions Opts;
+    Opts.Opt = P;
+    InstrumentedProgram Out = instrumentOrDie(App, *T, Opts);
+    for (bool Dbt : {false, true}) {
+      sim::MachineOptions MO;
+      MO.EnableDbt = Dbt;
+      MO.DbtThreshold = 0; // translate everything when the tier is on
+      sim::Machine M(Out.Exe, MO);
+      sim::RunResult R = M.run();
+      ASSERT_TRUE(R.exitedWith(0))
+          << T->Name << " preset " << optPresetName(Opts.Opt)
+          << (Dbt ? " dbt" : " interp") << ": " << R.FaultMessage;
+      EXPECT_EQ(M.vfs().stdoutText(), BaseStdout) << T->Name;
+      std::string Report =
+          M.vfs().fileContents(std::string(T->Name) + ".out");
+      EXPECT_FALSE(Report.empty()) << T->Name;
+      if (Reference.empty())
+        Reference = Report;
+      else
+        EXPECT_EQ(Report, Reference)
+            << T->Name << " preset " << optPresetName(Opts.Opt)
+            << (Dbt ? " dbt" : " interp");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, OptPresetMatrix,
+                         ::testing::Values("branch", "cache", "dyninst",
+                                           "gprof", "inline", "io",
+                                           "malloc", "pipe", "prof",
+                                           "syscall", "unalign"));
+
+TEST(OptPresetMatrix, O2ActuallyOptimizes) {
+  // The preset must do real work where it applies: cache's handler is
+  // branchy-inlined at every reference site, and O2 must strictly cut the
+  // dynamic instruction count versus O0.
+  const Tool *T = tools::findTool("cache");
+  obj::Executable App = buildOrDie(workloads::findWorkload("qsort")->Source);
+  AtomOptions O0;
+  O0.Opt = AtomOptions::OptPreset::O0;
+  AtomOptions O2;
+  O2.Opt = AtomOptions::OptPreset::O2;
+  InstrumentedProgram A = instrumentOrDie(App, *T, O0);
+  InstrumentedProgram B = instrumentOrDie(App, *T, O2);
+  EXPECT_EQ(A.Stats.ProbeInlinedSites, 0u);
+  EXPECT_GT(B.Stats.ProbeInlinedSites, 0u);
+  sim::Machine MA(A.Exe), MB(B.Exe);
+  ASSERT_TRUE(MA.run().exitedWith(0));
+  ASSERT_TRUE(MB.run().exitedWith(0));
+  EXPECT_LT(MB.stats().Instructions, MA.stats().Instructions);
+  EXPECT_EQ(MA.vfs().fileContents("cache.out"),
+            MB.vfs().fileContents("cache.out"));
+}
+
+//===----------------------------------------------------------------------===//
 // Suite shape (Figure 5's tool list)
 //===----------------------------------------------------------------------===//
 
